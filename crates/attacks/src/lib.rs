@@ -1,0 +1,217 @@
+//! # attacks — unauthorized-command attack models
+//!
+//! The paper's threat model (§III-B) covers **on-scene** attackers (guests
+//! replaying recorded or synthesized owner voice, ultrasound-modulated
+//! inaudible commands, laser injection) and **remote** attackers
+//! (compromised playback devices such as a smart TV, and malicious
+//! commands embedded in streamed media). VoiceGuard is deliberately
+//! audio-agnostic — every one of these produces the same command traffic —
+//! so the vectors differ only in *where* the sound can originate, *whether
+//! the owner could notice* it, and *when* the attacker can fire.
+//!
+//! [`AttackPlanner`] turns a vector into concrete attack attempts for the
+//! 7-day scenarios of Tables II–IV: the paper's guest "attempts to issue
+//! pre-recorded voice commands when the owners are not near the smart
+//! speaker".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use speakers::CommandSpec;
+
+/// The attack vectors of §II-B / §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// Replaying a pre-recorded owner utterance through a loudspeaker.
+    ReplayRecording,
+    /// Playing synthesized owner voice (defeats voice-match biometrics).
+    SynthesizedVoice,
+    /// Ultrasound-modulated inaudible command (DolphinAttack-style);
+    /// requires special hardware close to the speaker.
+    UltrasoundInaudible,
+    /// Laser-based audio injection onto the microphone (LightCommands);
+    /// needs line of sight but can cross windows.
+    LaserInjection,
+    /// A compromised always-on playback device (e.g. smart TV) near the
+    /// speaker, commanded remotely.
+    CompromisedPlayback,
+    /// A malicious command embedded in streamed media the household plays.
+    EmbeddedMedia,
+}
+
+impl AttackVector {
+    /// All vectors.
+    pub const ALL: [AttackVector; 6] = [
+        AttackVector::ReplayRecording,
+        AttackVector::SynthesizedVoice,
+        AttackVector::UltrasoundInaudible,
+        AttackVector::LaserInjection,
+        AttackVector::CompromisedPlayback,
+        AttackVector::EmbeddedMedia,
+    ];
+
+    /// True when the attacker does not need to be physically present.
+    pub fn is_remote(self) -> bool {
+        matches!(
+            self,
+            AttackVector::CompromisedPlayback | AttackVector::EmbeddedMedia
+        )
+    }
+
+    /// True when a person in the room would hear the attack audio.
+    /// Even inaudible attacks still trigger the speaker's visible/audio
+    /// activation feedback (§IV-A), which is why the paper's proximity
+    /// premise holds for all of them.
+    pub fn human_audible(self) -> bool {
+        !matches!(
+            self,
+            AttackVector::UltrasoundInaudible | AttackVector::LaserInjection
+        )
+    }
+
+    /// Maximum effective distance from the speaker's microphone, metres.
+    pub fn max_range_m(self) -> f64 {
+        match self {
+            AttackVector::ReplayRecording | AttackVector::SynthesizedVoice => 5.0,
+            AttackVector::UltrasoundInaudible => 1.5,
+            AttackVector::LaserInjection => 20.0,
+            AttackVector::CompromisedPlayback => 4.0,
+            AttackVector::EmbeddedMedia => 4.0,
+        }
+    }
+}
+
+/// One planned attack attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackAttempt {
+    /// The vector used.
+    pub vector: AttackVector,
+    /// Where the attacking sound source sits.
+    pub source: Point,
+    /// The command the speaker will hear.
+    pub command: CommandSpec,
+}
+
+/// Plans attack attempts around a speaker position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackPlanner {
+    speaker: Point,
+}
+
+impl AttackPlanner {
+    /// Creates a planner for a speaker at `speaker`.
+    pub fn new(speaker: Point) -> Self {
+        AttackPlanner { speaker }
+    }
+
+    /// Plans one attempt: places the source uniformly within the vector's
+    /// effective range of the speaker (same floor).
+    pub fn plan<R: Rng + ?Sized>(
+        &self,
+        vector: AttackVector,
+        command: CommandSpec,
+        rng: &mut R,
+    ) -> AttackAttempt {
+        let range = vector.max_range_m();
+        let r = rng.gen_range(0.3..range);
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let source = Point::new(
+            self.speaker.x + r * theta.cos(),
+            self.speaker.y + r * theta.sin(),
+            self.speaker.floor,
+        );
+        AttackAttempt {
+            vector,
+            source,
+            command,
+        }
+    }
+
+    /// True if an attack from `source` with `vector` can reach the
+    /// speaker's microphone.
+    pub fn in_range(&self, vector: AttackVector, source: Point) -> bool {
+        source.floor == self.speaker.floor
+            && self.speaker.horizontal_distance(&source) <= vector.max_range_m()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn planner() -> AttackPlanner {
+        AttackPlanner::new(Point::ground(1.0, 2.5))
+    }
+
+    #[test]
+    fn remote_vectors_classified() {
+        assert!(AttackVector::CompromisedPlayback.is_remote());
+        assert!(AttackVector::EmbeddedMedia.is_remote());
+        assert!(!AttackVector::ReplayRecording.is_remote());
+        assert!(!AttackVector::LaserInjection.is_remote());
+    }
+
+    #[test]
+    fn inaudible_vectors_classified() {
+        assert!(!AttackVector::UltrasoundInaudible.human_audible());
+        assert!(!AttackVector::LaserInjection.human_audible());
+        assert!(AttackVector::ReplayRecording.human_audible());
+    }
+
+    #[test]
+    fn planned_attempts_are_in_range() {
+        let p = planner();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for vector in AttackVector::ALL {
+            for i in 0..50 {
+                let attempt = p.plan(vector, CommandSpec::simple(i), &mut rng);
+                assert!(
+                    p.in_range(vector, attempt.source),
+                    "{vector:?}: {} out of range",
+                    attempt.source
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ultrasound_range_is_tight() {
+        let p = planner();
+        assert!(p.in_range(
+            AttackVector::UltrasoundInaudible,
+            Point::ground(2.0, 2.5)
+        ));
+        assert!(!p.in_range(
+            AttackVector::UltrasoundInaudible,
+            Point::ground(4.0, 2.5)
+        ));
+        // Audible replay reaches further.
+        assert!(p.in_range(AttackVector::ReplayRecording, Point::ground(4.0, 2.5)));
+    }
+
+    #[test]
+    fn cross_floor_sources_are_out_of_range() {
+        let p = planner();
+        assert!(!p.in_range(AttackVector::LaserInjection, Point::new(1.0, 2.5, 1)));
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_seed() {
+        let p = planner();
+        let a = p.plan(
+            AttackVector::ReplayRecording,
+            CommandSpec::simple(1),
+            &mut rand::rngs::StdRng::seed_from_u64(9),
+        );
+        let b = p.plan(
+            AttackVector::ReplayRecording,
+            CommandSpec::simple(1),
+            &mut rand::rngs::StdRng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+}

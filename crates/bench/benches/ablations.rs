@@ -1,0 +1,29 @@
+//! Runs the design-choice ablations (DESIGN.md §5) and benchmarks their
+//! scenarios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("{}", experiments::ablations::run(1));
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("naive_spike", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::ablations::naive_spike(seed, 2)
+        })
+    });
+    group.bench_function("floor_tracker", |b| {
+        let mut seed = 50u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::ablations::floor_tracker(seed, 2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 10 (stair-route clusters) and benchmarks the trace
+//! recording + classification loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig10(c: &mut Criterion) {
+    println!("{}", experiments::fig10::run(1).table);
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("route_clusters", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig10::run(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

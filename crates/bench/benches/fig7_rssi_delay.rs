@@ -1,0 +1,23 @@
+//! Regenerates Fig. 7 (RSSI query workflow delay) at a reduced invocation
+//! count and benchmarks the query path.
+
+use bench::sizes::FIG7_INVOCATIONS;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("{}", experiments::fig7::run_sized(1, FIG7_INVOCATIONS).table);
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("rssi_query_workflow", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 2;
+            experiments::fig7::run_sized(seed, 3)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

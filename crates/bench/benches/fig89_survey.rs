@@ -1,0 +1,24 @@
+//! Regenerates Figs. 8-9 (location RSSI surveys across all testbeds) and
+//! benchmarks the survey sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig89(c: &mut Criterion) {
+    for table in experiments::fig89::run(1).tables {
+        println!("{table}");
+    }
+
+    let mut group = c.benchmark_group("fig89");
+    group.sample_size(10);
+    group.bench_function("survey_all_testbeds", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig89::run(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig89);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figs. 3, 4 and 6 (traffic timeline, proxy cases, perceived
+//! delay) and benchmarks their scenario runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figs(c: &mut Criterion) {
+    println!("{}", experiments::fig3::run(1).table);
+    println!("{}", experiments::fig4::run(1).table);
+    println!("{}", experiments::fig6::run(1).table);
+
+    let mut group = c.benchmark_group("fig_traffic");
+    group.sample_size(10);
+    group.bench_function("fig3_interaction", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig3::run(seed)
+        })
+    });
+    group.bench_function("fig4_proxy_cases", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 3;
+            experiments::fig4::run(seed)
+        })
+    });
+    group.bench_function("fig6_perceived_delay", |b| {
+        let mut seed = 1000u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig6::run(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figs);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the recognition and decision primitives that run
+//! on every packet / query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rfsim::{BleChannel, Point, PropagationConfig};
+use simcore::linear_fit_sampled;
+use voiceguard::{SignatureMatcher, SpikeClassifier};
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+fn bench_signature_matcher(c: &mut Criterion) {
+    c.bench_function("signature_matcher_full_match", |b| {
+        b.iter(|| {
+            let mut m = SignatureMatcher::new(black_box(&AVS_SIG));
+            for len in AVS_SIG {
+                black_box(m.feed(len));
+            }
+            m.state()
+        })
+    });
+    c.bench_function("signature_matcher_early_divergence", |b| {
+        b.iter(|| {
+            let mut m = SignatureMatcher::new(black_box(&AVS_SIG));
+            black_box(m.feed(63));
+            black_box(m.feed(99))
+        })
+    });
+}
+
+fn bench_spike_classifier(c: &mut Criterion) {
+    c.bench_function("spike_classifier_marker_hit", |b| {
+        b.iter(|| {
+            let mut cl = SpikeClassifier::new(7);
+            cl.feed(black_box(277));
+            cl.feed(black_box(131));
+            cl.feed(black_box(138))
+        })
+    });
+    c.bench_function("spike_classifier_default_not_command", |b| {
+        b.iter(|| {
+            let mut cl = SpikeClassifier::new(7);
+            for len in [300u32, 131, 99, 109, 147] {
+                cl.feed(black_box(len));
+            }
+            cl.class()
+        })
+    });
+}
+
+fn bench_rssi(c: &mut Criterion) {
+    let tb = testbeds::two_floor_house();
+    let channel = BleChannel::new(
+        PropagationConfig::paper_calibrated(),
+        tb.plan.clone(),
+        tb.deployments[0],
+    );
+    let rx = Point::new(9.0, 6.0, 0);
+    c.bench_function("rssi_mean_same_floor", |b| {
+        b.iter(|| black_box(channel.mean_rssi(black_box(rx))))
+    });
+    let upstairs = Point::new(9.0, 6.0, 1);
+    c.bench_function("rssi_mean_cross_floor", |b| {
+        b.iter(|| black_box(channel.mean_rssi(black_box(upstairs))))
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    c.bench_function("rssi_measure_with_fading", |b| {
+        b.iter(|| black_box(channel.measure(rx, rfsim::Orientation::Up, &mut rng)))
+    });
+}
+
+fn bench_linear_fit(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..40).map(|i| -1.5 * (i as f64) * 0.2 - 4.0).collect();
+    c.bench_function("linear_fit_40_samples", |b| {
+        b.iter(|| linear_fit_sampled(black_box(&samples), 0.2))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_signature_matcher,
+    bench_spike_classifier,
+    bench_rssi,
+    bench_linear_fit
+);
+criterion_main!(benches);

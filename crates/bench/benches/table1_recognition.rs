@@ -1,0 +1,25 @@
+//! Regenerates Table I (traffic pattern recognition) at a reduced
+//! invocation count and benchmarks the full recognition pipeline.
+
+use bench::sizes::TABLE1_INVOCATIONS;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the reproduced table once.
+    let result = experiments::table1::run_sized(1, TABLE1_INVOCATIONS);
+    println!("{}", result.table);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("recognition_pipeline", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::table1::run_sized(seed, 4)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Tables II-IV (the 7-day end-to-end evaluation) at a
+//! reduced workload and benchmarks one representative case.
+
+use bench::sizes::TABLES_SCALE;
+use criterion::{criterion_group, criterion_main, Criterion};
+use voiceguard::SpeakerKind;
+
+fn bench_tables(c: &mut Criterion) {
+    for table in experiments::tables234::run_scaled(1, TABLES_SCALE).tables {
+        println!("{table}");
+    }
+
+    let mut group = c.benchmark_group("tables234");
+    group.sample_size(10);
+    group.bench_function("echo_apartment_case", |b| {
+        let paper = experiments::tables234::PaperCase {
+            legit: 10,
+            malicious: 8,
+            accuracy: 0.98,
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            experiments::tables234::run_case(
+                testbeds::apartment(),
+                0,
+                SpeakerKind::EchoDot,
+                paper,
+                seed,
+                0.05,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

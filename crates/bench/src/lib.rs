@@ -1,0 +1,21 @@
+//! # bench — benchmark support for the VoiceGuard reproduction
+//!
+//! The Criterion benches under `benches/` regenerate the paper's tables
+//! and figures at reduced workload sizes (wall-clock measurement of the
+//! simulation pipeline), plus micro-benchmarks of the hot recognition
+//! primitives and the ablation suite. Run them with
+//! `cargo bench --workspace`; each bench prints the reproduced rows via
+//! its experiment's `Table` before timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Standard reduced sizes so benches stay fast.
+pub mod sizes {
+    /// Invocations for the Table I bench.
+    pub const TABLE1_INVOCATIONS: usize = 12;
+    /// Invocations per speaker for the Fig. 7 bench.
+    pub const FIG7_INVOCATIONS: usize = 8;
+    /// Workload scale for the Tables II-IV bench.
+    pub const TABLES_SCALE: f64 = 0.08;
+}

@@ -1,0 +1,109 @@
+//! Guard configuration.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Which speaker model the guard protects (the recognition grammar differs,
+/// §IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeakerKind {
+    /// Amazon Echo Dot: long-lived AVS connection, signature-based flow
+    /// re-identification, two-phase spikes.
+    EchoDot,
+    /// Google Home Mini: on-demand DNS-tracked connections, QUIC/TCP
+    /// switching, every post-idle spike is a command.
+    GoogleHomeMini,
+}
+
+/// Tunables of the Traffic Processing Module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Speaker model being protected.
+    pub speaker: SpeakerKind,
+    /// Domain of the Echo Dot's AVS front-end.
+    pub avs_domain: String,
+    /// Domain of the Google voice front-end.
+    pub google_domain: String,
+    /// Quiet time after which the next packet starts a new spike
+    /// ("no traffic for several seconds" ends a phase; heartbeats are
+    /// ignored).
+    pub idle_gap: SimDuration,
+    /// Maximum packets examined before a spike defaults to "not a
+    /// command" (the paper's markers always appear within the first 7).
+    pub classify_max_packets: usize,
+    /// A spike that stays unclassified this long is released as
+    /// non-command traffic.
+    pub classify_deadline: SimDuration,
+    /// Wire length of the Echo Dot heartbeat (ignored traffic).
+    pub heartbeat_len: u32,
+    /// Aggregation window for the Google Home Mini's UDP forwarder before
+    /// a verdict query is issued (QUIC flights lack connection framing, so
+    /// the forwarder buffers briefly to delimit the spike).
+    pub ghm_aggregation: SimDuration,
+    /// Give up waiting for the Decision Module after this long.
+    pub verdict_timeout: SimDuration,
+    /// On verdict timeout: `true` drops the held traffic (fail closed),
+    /// `false` releases it (fail open).
+    pub fail_closed: bool,
+    /// Ablation: use the naive rule of §IV-B1 ("whenever there is a
+    /// traffic spike after a no-traffic period, the Echo Dot receives a
+    /// voice command") instead of the marker-based phase classifier. The
+    /// paper shows this mistakes response spikes for commands and holds
+    /// them needlessly.
+    pub naive_spike_detection: bool,
+    /// Learn the AVS connection signature adaptively from DNS-confirmed
+    /// connections (the paper's §VII future work), so a firmware update
+    /// that changes the handshake does not break DNS-less flow
+    /// re-identification.
+    pub adaptive_signature: bool,
+}
+
+impl GuardConfig {
+    /// Defaults for an Echo Dot deployment.
+    pub fn echo_dot() -> Self {
+        GuardConfig {
+            speaker: SpeakerKind::EchoDot,
+            avs_domain: "avs-alexa-4-na.amazon.com".to_string(),
+            google_domain: "www.google.com".to_string(),
+            idle_gap: SimDuration::from_secs(2),
+            classify_max_packets: 7,
+            classify_deadline: SimDuration::from_millis(1500),
+            heartbeat_len: 41,
+            ghm_aggregation: SimDuration::from_millis(600),
+            verdict_timeout: SimDuration::from_secs(25),
+            fail_closed: true,
+            naive_spike_detection: false,
+            adaptive_signature: false,
+        }
+    }
+
+    /// Defaults for a Google Home Mini deployment.
+    pub fn google_home_mini() -> Self {
+        GuardConfig {
+            speaker: SpeakerKind::GoogleHomeMini,
+            ..GuardConfig::echo_dot()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = GuardConfig::echo_dot();
+        assert_eq!(c.heartbeat_len, 41);
+        assert_eq!(c.classify_max_packets, 7);
+        assert_eq!(c.idle_gap, SimDuration::from_secs(2));
+        assert!(c.fail_closed);
+    }
+
+    #[test]
+    fn ghm_config_differs_only_in_speaker() {
+        let e = GuardConfig::echo_dot();
+        let g = GuardConfig::google_home_mini();
+        assert_eq!(g.speaker, SpeakerKind::GoogleHomeMini);
+        assert_eq!(g.idle_gap, e.idle_gap);
+    }
+}

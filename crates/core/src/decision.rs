@@ -1,0 +1,390 @@
+//! The Decision Module (paper §IV-C, Fig. 5).
+//!
+//! When queried, the module pushes an RSSI-measurement request to every
+//! registered owner device via FCM. Each device wakes a background app,
+//! scans for the speaker's Bluetooth advertisement, and reports the RSSI.
+//! The command is legitimate iff **at least one** device vouches — its
+//! report passes the device's calibrated threshold and no policy (e.g. the
+//! floor-level veto) denies it.
+//!
+//! The module is engine-independent: the caller supplies the positions of
+//! devices (from the mobility layer) and the BLE channel, and receives a
+//! [`DecisionOutcome`] with the verdict and the time offsets at which each
+//! milestone happened, which the orchestrator replays onto the guard tap.
+
+use crate::floor::{FloorLevel, FloorTracker};
+use crate::policy::{
+    device_vouches, DecisionPolicy, DeviceEvidence, FloorLevelPolicy, RssiThresholdPolicy,
+};
+use phone::{DeviceId, FcmLatencyModel, QueryTiming};
+use rand::Rng;
+use rfsim::{BleChannel, Orientation, Point};
+use simcore::{SimDuration, SimTime};
+
+/// Legitimacy verdict for one voice command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// At least one owner device vouched: release the held traffic.
+    Legitimate,
+    /// No device vouched: drop the held traffic and alert the owner.
+    Malicious,
+}
+
+/// One registered device with its calibration.
+#[derive(Debug)]
+pub struct DeviceProfile {
+    /// The registered device.
+    pub device: DeviceId,
+    /// Calibrated RSSI threshold (from the threshold app).
+    pub threshold_db: f64,
+    /// Push/scan latency model for this device class.
+    pub latency: FcmLatencyModel,
+    /// Floor tracker, present in multi-floor homes.
+    pub floor_tracker: Option<FloorTracker>,
+}
+
+/// One device's answer to a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceReport {
+    /// Which device reported.
+    pub device: DeviceId,
+    /// The measured RSSI (dB).
+    pub rssi_db: f64,
+    /// Whether the device vouched for the command.
+    pub vouched: bool,
+    /// Milestones of this device's query.
+    pub timing: QueryTiming,
+}
+
+/// Result of evaluating one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Offset (from the query being issued) at which the verdict is known:
+    /// the earliest vouching report for a legitimate command, or the last
+    /// report for a malicious one (all devices must fail to vouch).
+    pub ready_after: SimDuration,
+    /// Every device's report.
+    pub reports: Vec<DeviceReport>,
+}
+
+/// The Decision Module.
+pub struct DecisionModule {
+    profiles: Vec<DeviceProfile>,
+    policies: Vec<Box<dyn DecisionPolicy>>,
+    scan_samples: usize,
+}
+
+impl std::fmt::Debug for DecisionModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionModule")
+            .field("devices", &self.profiles.len())
+            .field(
+                "policies",
+                &self.policies.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl DecisionModule {
+    /// Creates a module with the paper's default policies (RSSI threshold
+    /// + floor-level veto).
+    pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        DecisionModule {
+            profiles,
+            policies: vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)],
+            scan_samples: 3,
+        }
+    }
+
+    /// Sets how many advertisement packets one scan averages (default 3;
+    /// the single-sample ablation shows why averaging matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_scan_samples(&mut self, n: usize) {
+        assert!(n > 0, "need at least one sample per scan");
+        self.scan_samples = n;
+    }
+
+    /// Adds a custom policy (the extensible framework of §VII).
+    pub fn add_policy(&mut self, policy: Box<dyn DecisionPolicy>) {
+        self.policies.push(policy);
+    }
+
+    /// Registered device profiles.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Mutable access to a device's profile (e.g. to feed its floor
+    /// tracker).
+    pub fn profile_mut(&mut self, device: DeviceId) -> Option<&mut DeviceProfile> {
+        self.profiles.iter_mut().find(|p| p.device == device)
+    }
+
+    /// Feeds a stair-motion trace fit to the floor tracker of `device`.
+    pub fn on_motion_trace(&mut self, device: DeviceId, fit: &simcore::LinearFit) {
+        if let Some(profile) = self.profile_mut(device) {
+            if let Some(tracker) = profile.floor_tracker.as_mut() {
+                tracker.on_motion_trace(fit);
+            }
+        }
+    }
+
+    /// Evaluates one query. `positions` maps each registered device to its
+    /// position at measurement time; `channel` is the speaker's BLE
+    /// channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no devices are registered (a deployment without owner
+    /// devices cannot decide anything).
+    pub fn decide<R: Rng + ?Sized>(
+        &self,
+        positions: &dyn Fn(DeviceId) -> Point,
+        channel: &BleChannel,
+        rng: &mut R,
+    ) -> DecisionOutcome {
+        self.decide_at(SimTime::ZERO, positions, channel, rng)
+    }
+
+    /// Like [`Self::decide`], but carries the query time so time-aware
+    /// policies (e.g. quiet hours) can vote.
+    pub fn decide_at<R: Rng + ?Sized>(
+        &self,
+        now: SimTime,
+        positions: &dyn Fn(DeviceId) -> Point,
+        channel: &BleChannel,
+        rng: &mut R,
+    ) -> DecisionOutcome {
+        assert!(
+            !self.profiles.is_empty(),
+            "decision module needs at least one registered device"
+        );
+        let mut reports = Vec::with_capacity(self.profiles.len());
+        for profile in &self.profiles {
+            let timing = profile.latency.sample(rng);
+            let position = positions(profile.device);
+            // The scan window captures a few advertisement packets; the
+            // app reports their average, which keeps single-packet fading
+            // outliers from flipping the verdict.
+            let orientation = Orientation::ALL[rng.gen_range(0..4)];
+            let rssi_db = (0..self.scan_samples)
+                .map(|_| channel.measure(position, orientation, rng))
+                .sum::<f64>()
+                / self.scan_samples as f64;
+            let evidence = DeviceEvidence {
+                device: profile.device,
+                rssi_db,
+                threshold_db: profile.threshold_db,
+                floor: profile.floor_tracker.as_ref().map(FloorTracker::level),
+                now,
+            };
+            let vouched = device_vouches(&self.policies, &evidence);
+            reports.push(DeviceReport {
+                device: profile.device,
+                rssi_db,
+                vouched,
+                timing,
+            });
+        }
+        let verdict = if reports.iter().any(|r| r.vouched) {
+            Verdict::Legitimate
+        } else {
+            Verdict::Malicious
+        };
+        let ready_after = match verdict {
+            Verdict::Legitimate => reports
+                .iter()
+                .filter(|r| r.vouched)
+                .map(|r| r.timing.reported_at)
+                .min()
+                .expect("at least one vouching report"),
+            Verdict::Malicious => reports
+                .iter()
+                .map(|r| r.timing.reported_at)
+                .max()
+                .expect("nonempty reports"),
+        };
+        DecisionOutcome {
+            verdict,
+            ready_after,
+            reports,
+        }
+    }
+
+    /// Convenience: current floor level of a device, if tracked.
+    pub fn floor_level(&self, device: DeviceId) -> Option<FloorLevel> {
+        self.profiles
+            .iter()
+            .find(|p| p.device == device)
+            .and_then(|p| p.floor_tracker.as_ref())
+            .map(FloorTracker::level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floor::{RouteClass, RouteClassifier};
+    use rand::SeedableRng;
+    use rfsim::{Floorplan, PropagationConfig, Rect, Segment2};
+    use simcore::LinearFit;
+
+    fn channel() -> BleChannel {
+        let mut b = Floorplan::builder("dm");
+        b.room("living", Rect::new(0.0, 0.0, 6.0, 5.0), 0);
+        b.room("far", Rect::new(6.0, 0.0, 12.0, 5.0), 0);
+        b.wall(Segment2::new(6.0, 0.0, 6.0, 5.0), 0);
+        BleChannel::new(
+            PropagationConfig::noiseless(),
+            b.build(),
+            Point::ground(1.0, 2.5),
+        )
+    }
+
+    fn profile(device: u32) -> DeviceProfile {
+        DeviceProfile {
+            device: DeviceId(device),
+            threshold_db: -8.0,
+            latency: FcmLatencyModel::smartphone(),
+            floor_tracker: None,
+        }
+    }
+
+    fn classifier() -> RouteClassifier {
+        let fit = |s: f64, i: f64| LinearFit {
+            slope: s,
+            intercept: i,
+            r_squared: 1.0,
+        };
+        let mut ex = Vec::new();
+        for _ in 0..5 {
+            ex.push((RouteClass::Up, fit(-1.8, -4.0)));
+            ex.push((RouteClass::Down, fit(1.8, -17.0)));
+            ex.push((RouteClass::Route2, fit(-2.2, -0.5)));
+            ex.push((RouteClass::Route3, fit(1.5, -24.0)));
+        }
+        RouteClassifier::train(&ex)
+    }
+
+    #[test]
+    fn nearby_device_legitimizes() {
+        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let near = Point::ground(2.0, 2.5);
+        let out = dm.decide(&|_| near, &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Legitimate);
+        assert!(out.reports[0].vouched);
+    }
+
+    #[test]
+    fn distant_device_flags_malicious() {
+        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let far = Point::ground(10.0, 2.5);
+        let out = dm.decide(&|_| far, &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+    }
+
+    #[test]
+    fn any_single_device_suffices_in_multi_user_homes() {
+        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let positions = |d: DeviceId| {
+            if d == DeviceId(0) {
+                Point::ground(10.0, 2.5) // away
+            } else {
+                Point::ground(2.0, 2.5) // near
+            }
+        };
+        let out = dm.decide(&positions, &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Legitimate);
+        assert!(!out.reports[0].vouched);
+        assert!(out.reports[1].vouched);
+    }
+
+    #[test]
+    fn legitimate_ready_time_is_earliest_voucher() {
+        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let near = Point::ground(2.0, 2.5);
+        let out = dm.decide(&|_| near, &channel(), &mut rng);
+        let min_vouch = out
+            .reports
+            .iter()
+            .filter(|r| r.vouched)
+            .map(|r| r.timing.reported_at)
+            .min()
+            .unwrap();
+        assert_eq!(out.ready_after, min_vouch);
+    }
+
+    #[test]
+    fn malicious_ready_time_is_last_report() {
+        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let far = Point::ground(10.0, 2.5);
+        let out = dm.decide(&|_| far, &channel(), &mut rng);
+        let max_report = out
+            .reports
+            .iter()
+            .map(|r| r.timing.reported_at)
+            .max()
+            .unwrap();
+        assert_eq!(out.ready_after, max_report);
+    }
+
+    #[test]
+    fn floor_veto_blocks_leak_cone_false_negative() {
+        // Device is directly above the speaker (leak cone: RSSI above the
+        // threshold) but the tracker knows the owner went upstairs.
+        let mut p = profile(0);
+        let mut tracker = FloorTracker::new(classifier());
+        tracker.on_motion_trace(&LinearFit {
+            slope: -1.8,
+            intercept: -4.0,
+            r_squared: 1.0,
+        });
+        p.floor_tracker = Some(tracker);
+        let dm = DecisionModule::new(vec![p]);
+        assert_eq!(dm.floor_level(DeviceId(0)), Some(crate::FloorLevel::OtherFloor));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let above = Point::new(1.0, 2.5, 1); // leak cone
+        let ch = channel();
+        assert!(ch.mean_rssi(above) > -8.0, "precondition: cone reads high");
+        let out = dm.decide(&|_| above, &ch, &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious, "floor veto must win");
+    }
+
+    #[test]
+    fn motion_trace_feeds_tracker_through_module() {
+        let mut p = profile(0);
+        p.floor_tracker = Some(FloorTracker::new(classifier()));
+        let mut dm = DecisionModule::new(vec![p]);
+        dm.on_motion_trace(
+            DeviceId(0),
+            &LinearFit {
+                slope: -1.8,
+                intercept: -4.0,
+                r_squared: 1.0,
+            },
+        );
+        assert_eq!(
+            dm.floor_level(DeviceId(0)),
+            Some(crate::FloorLevel::OtherFloor)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one registered device")]
+    fn empty_registry_panics() {
+        let dm = DecisionModule::new(vec![]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        dm.decide(&|_| Point::ground(0.0, 0.0), &channel(), &mut rng);
+    }
+}

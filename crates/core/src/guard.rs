@@ -1,0 +1,850 @@
+//! The Traffic Processing Module as a bump-in-the-wire tap
+//! ([`netsim::Middlebox`]).
+//!
+//! Composition of the two §IV-B sub-modules:
+//!
+//! * **Voice Command Traffic Recognition** — identifies the voice-command
+//!   flow (AVS front-end by DNS or connection signature for the Echo Dot;
+//!   DNS-tracked `www.google.com` flows for the Mini) and classifies
+//!   post-idle spikes with [`crate::SpikeClassifier`];
+//! * **Traffic Handler** — holds spike packets (the engine transparently
+//!   ACKs the speaker), then releases or discards them when the Decision
+//!   Module's verdict arrives via [`VoiceGuardTap::schedule_verdict`].
+//!
+//! The tap is driven by the network engine; an orchestrator polls
+//! [`VoiceGuardTap::take_events`] for [`GuardEvent::QueryRequested`]
+//! events, evaluates them with the [`crate::DecisionModule`], and feeds
+//! verdicts back.
+
+use crate::config::{GuardConfig, SpeakerKind};
+use crate::decision::Verdict;
+use crate::learning::{Observation, SignatureLearner};
+use crate::recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
+use netsim::app::SegmentView;
+use netsim::{CloseReason, ConnId, Datagram, Middlebox, SegmentPayload, TapCtx, TapVerdict};
+use simcore::SimTime;
+use std::any::Any;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifies one legitimacy query raised by the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
+/// Events surfaced to the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardEvent {
+    /// A spike was classified (ground-truthable for Table I).
+    SpikeClassified {
+        /// When the spike's first packet was seen.
+        spike_start: SimTime,
+        /// The classification.
+        class: SpikeClass,
+    },
+    /// A voice command was recognised; the traffic is on hold awaiting a
+    /// verdict.
+    QueryRequested {
+        /// The query to answer via [`VoiceGuardTap::schedule_verdict`].
+        query: QueryId,
+        /// When the query was raised.
+        at: SimTime,
+        /// When the first packet of the command spike was held.
+        hold_started: SimTime,
+    },
+    /// A verdict released the held command traffic.
+    CommandAllowed {
+        /// The query.
+        query: QueryId,
+        /// When the release happened.
+        at: SimTime,
+        /// Packets/datagrams released.
+        released: usize,
+    },
+    /// A verdict dropped the held command traffic.
+    CommandBlocked {
+        /// The query.
+        query: QueryId,
+        /// When the drop happened.
+        at: SimTime,
+        /// Packets/datagrams dropped.
+        dropped: usize,
+    },
+}
+
+/// Aggregate statistics kept by the tap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GuardStats {
+    /// Total queries raised.
+    pub queries: u64,
+    /// Queries resolved as legitimate.
+    pub allowed: u64,
+    /// Queries resolved as malicious.
+    pub blocked: u64,
+    /// Queries resolved by the verdict timeout.
+    pub timeouts: u64,
+    /// Seconds each resolved query kept traffic on hold.
+    pub hold_durations_s: Vec<f64>,
+    /// AVS front-end IPs learned via the connection signature (no DNS).
+    pub signature_learned_ips: u64,
+    /// AVS front-end IPs learned from DNS answers.
+    pub dns_learned_ips: u64,
+    /// Times the adaptive learner promoted a new connection signature.
+    pub signatures_adapted: u64,
+}
+
+// Timer token namespaces.
+const TK_CLASSIFY: u64 = 1 << 56;
+const TK_VERDICT_TIMEOUT: u64 = 2 << 56;
+const TK_VERDICT_DELIVERY: u64 = 3 << 56;
+const TK_AGGREGATE: u64 = 4 << 56;
+const TK_MASK: u64 = 0xFF << 56;
+
+/// What a pending query is holding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HoldTarget {
+    Conn(ConnId),
+    UdpFlow,
+}
+
+#[derive(Debug)]
+struct PendingQuery {
+    target: HoldTarget,
+    hold_started: SimTime,
+    verdict: Option<Verdict>,
+}
+
+#[derive(Debug)]
+enum ConnKind {
+    /// New connection: matching the establishment signature.
+    Candidate(SignatureMatcher),
+    /// The Echo Dot's AVS voice flow.
+    Avs,
+    /// The Mini's on-demand voice flow.
+    GoogleVoice,
+    /// Unrelated traffic: always forwarded.
+    Other,
+}
+
+#[derive(Debug)]
+enum SpikeMode {
+    /// Packets are buffered while the classifier decides.
+    Classifying(SpikeClassifier),
+    /// Classified as a command; held until the verdict for the query
+    /// (kept for diagnostics in Debug output).
+    AwaitingVerdict(#[allow(dead_code)] QueryId),
+}
+
+#[derive(Debug)]
+struct Spike {
+    started: SimTime,
+    mode: SpikeMode,
+}
+
+#[derive(Debug)]
+struct ConnTrack {
+    kind: ConnKind,
+    server_ip: Ipv4Addr,
+    /// Adaptive-learning observation, present while this DNS-confirmed
+    /// connection's establishment sequence is being recorded.
+    learning: Option<Observation>,
+    /// Last speaker-originated, non-heartbeat data packet.
+    last_data: Option<SimTime>,
+    spike: Option<Spike>,
+    /// After a verdict (or non-command classification), forward the rest
+    /// of the burst until the next idle gap.
+    passthrough: bool,
+}
+
+#[derive(Debug, Default)]
+struct UdpFlowTrack {
+    last_data: Option<SimTime>,
+    spike: Option<Spike>,
+    passthrough: bool,
+    /// After a Malicious verdict, the rest of the flight is dropped —
+    /// datagrams have no TLS sequence continuity, so a forwarded tail
+    /// (containing the end-of-command) would still execute the command.
+    blocking: bool,
+}
+
+/// The VoiceGuard tap. Install on the speaker's host with
+/// [`netsim::Network::set_tap`].
+pub struct VoiceGuardTap {
+    config: GuardConfig,
+    avs_signature: Vec<u32>,
+    avs_ip: Option<Ipv4Addr>,
+    google_ips: HashSet<Ipv4Addr>,
+    conns: HashMap<ConnId, ConnTrack>,
+    udp: UdpFlowTrack,
+    learner: Option<SignatureLearner>,
+    dns_confirmed_ips: HashSet<Ipv4Addr>,
+    queries: HashMap<QueryId, PendingQuery>,
+    next_query: u64,
+    events: VecDeque<GuardEvent>,
+    /// Aggregate statistics.
+    pub stats: GuardStats,
+}
+
+impl fmt::Debug for VoiceGuardTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VoiceGuardTap")
+            .field("speaker", &self.config.speaker)
+            .field("avs_ip", &self.avs_ip)
+            .field("pending_queries", &self.queries.len())
+            .finish()
+    }
+}
+
+impl VoiceGuardTap {
+    /// Creates a tap with the paper's AVS connection signature.
+    pub fn new(config: GuardConfig) -> Self {
+        VoiceGuardTap::with_signature(config, &speaker_signature())
+    }
+
+    /// Creates a tap with a custom connection signature (for ablations).
+    pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
+        let learner = config
+            .adaptive_signature
+            .then(|| SignatureLearner::new(signature.len().max(8), 2));
+        VoiceGuardTap {
+            config,
+            avs_signature: signature.to_vec(),
+            avs_ip: None,
+            google_ips: HashSet::new(),
+            conns: HashMap::new(),
+            udp: UdpFlowTrack::default(),
+            learner,
+            dns_confirmed_ips: HashSet::new(),
+            queries: HashMap::new(),
+            next_query: 0,
+            events: VecDeque::new(),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Drains pending events for the orchestrator.
+    pub fn take_events(&mut self) -> Vec<GuardEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// True if any query is awaiting a verdict.
+    pub fn has_pending_queries(&self) -> bool {
+        self.queries.values().any(|q| q.verdict.is_none())
+    }
+
+    /// The AVS front-end IP the guard currently believes in.
+    pub fn learned_avs_ip(&self) -> Option<Ipv4Addr> {
+        self.avs_ip
+    }
+
+    /// Schedules `verdict` for `query` to take effect after `delay` (the
+    /// Decision Module's measured query latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is unknown or already answered.
+    pub fn schedule_verdict(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        query: QueryId,
+        verdict: Verdict,
+        delay: simcore::SimDuration,
+    ) {
+        let pending = self
+            .queries
+            .get_mut(&query)
+            .unwrap_or_else(|| panic!("unknown {query}"));
+        assert!(pending.verdict.is_none(), "{query} already answered");
+        pending.verdict = Some(verdict);
+        ctx.set_timer(delay, TK_VERDICT_DELIVERY | query.0);
+    }
+
+    fn new_query(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        target: HoldTarget,
+        hold_started: SimTime,
+    ) -> QueryId {
+        let query = QueryId(self.next_query);
+        self.next_query += 1;
+        self.queries.insert(
+            query,
+            PendingQuery {
+                target,
+                hold_started,
+                verdict: None,
+            },
+        );
+        self.stats.queries += 1;
+        self.events.push_back(GuardEvent::QueryRequested {
+            query,
+            at: ctx.now(),
+            hold_started,
+        });
+        ctx.set_timer(self.config.verdict_timeout, TK_VERDICT_TIMEOUT | query.0);
+        ctx.trace("guard.query", &format!("{query} raised"));
+        query
+    }
+
+    fn apply_verdict(&mut self, ctx: &mut dyn TapCtx, query: QueryId, verdict: Verdict) {
+        let Some(pending) = self.queries.remove(&query) else {
+            return;
+        };
+        let now = ctx.now();
+        self.stats
+            .hold_durations_s
+            .push(now.saturating_since(pending.hold_started).as_secs_f64());
+        match pending.target {
+            HoldTarget::Conn(conn) => {
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.spike = None;
+                    track.passthrough = true;
+                }
+                match verdict {
+                    Verdict::Legitimate => {
+                        let released = ctx.release_held(conn);
+                        self.stats.allowed += 1;
+                        self.events.push_back(GuardEvent::CommandAllowed {
+                            query,
+                            at: now,
+                            released,
+                        });
+                        ctx.trace("guard.allow", &format!("{query}: released {released}"));
+                    }
+                    Verdict::Malicious => {
+                        let dropped = ctx.discard_held(conn);
+                        self.stats.blocked += 1;
+                        self.events.push_back(GuardEvent::CommandBlocked {
+                            query,
+                            at: now,
+                            dropped,
+                        });
+                        ctx.trace("guard.block", &format!("{query}: dropped {dropped}"));
+                    }
+                }
+            }
+            HoldTarget::UdpFlow => {
+                self.udp.spike = None;
+                match verdict {
+                    Verdict::Legitimate => self.udp.passthrough = true,
+                    Verdict::Malicious => self.udp.blocking = true,
+                }
+                match verdict {
+                    Verdict::Legitimate => {
+                        let released = ctx.release_held_datagrams();
+                        self.stats.allowed += 1;
+                        self.events.push_back(GuardEvent::CommandAllowed {
+                            query,
+                            at: now,
+                            released,
+                        });
+                    }
+                    Verdict::Malicious => {
+                        let dropped = ctx.discard_held_datagrams();
+                        self.stats.blocked += 1;
+                        self.events.push_back(GuardEvent::CommandBlocked {
+                            query,
+                            at: now,
+                            dropped,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn classify_echo_spike(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        conn: ConnId,
+        class: SpikeClass,
+        spike_start: SimTime,
+    ) {
+        self.events.push_back(GuardEvent::SpikeClassified {
+            spike_start,
+            class,
+        });
+        match class {
+            SpikeClass::Command => {
+                let query = self.new_query(ctx, HoldTarget::Conn(conn), spike_start);
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    if let Some(spike) = track.spike.as_mut() {
+                        spike.mode = SpikeMode::AwaitingVerdict(query);
+                    }
+                }
+            }
+            SpikeClass::NotCommand => {
+                // Second phase (or unknown): release immediately.
+                let released = ctx.release_held(conn);
+                ctx.trace(
+                    "guard.release",
+                    &format!("non-command spike on {conn}: released {released}"),
+                );
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.spike = None;
+                    track.passthrough = true;
+                }
+            }
+            SpikeClass::Undecided => unreachable!("classification always resolves"),
+        }
+    }
+
+    /// Echo Dot data-segment handling. Returns the verdict for this
+    /// segment.
+    fn on_echo_data(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView, len: u32) -> TapVerdict {
+        let now = ctx.now();
+        let conn = view.conn;
+        let idle_gap = self.config.idle_gap;
+        let track = self.conns.get_mut(&conn).expect("tracked");
+        // Heartbeats are invisible to spike detection and never update the
+        // idle clock — but while the stream is on hold they must be held
+        // too, or they would overtake the cached records and trip the
+        // server's TLS record-sequence check mid-hold.
+        if len == self.config.heartbeat_len {
+            return if track.spike.is_some() {
+                TapVerdict::Hold
+            } else {
+                TapVerdict::Forward
+            };
+        }
+        let idle = track
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        track.last_data = Some(now);
+
+        if track.passthrough {
+            if idle {
+                track.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+
+        match &mut track.spike {
+            Some(spike) => match &mut spike.mode {
+                SpikeMode::Classifying(classifier) => {
+                    let class = classifier.feed(len);
+                    let spike_start = spike.started;
+                    if class != SpikeClass::Undecided {
+                        self.classify_echo_spike(ctx, conn, class, spike_start);
+                        // The classifying packet itself: if command, keep
+                        // holding; if not, it was released above, forward
+                        // this one too.
+                        return match class {
+                            SpikeClass::Command => TapVerdict::Hold,
+                            _ => TapVerdict::Forward,
+                        };
+                    }
+                    TapVerdict::Hold
+                }
+                SpikeMode::AwaitingVerdict(_) => TapVerdict::Hold,
+            },
+            None => {
+                if idle {
+                    // A new spike begins with this packet.
+                    let mut classifier = SpikeClassifier::new(self.config.classify_max_packets);
+                    let class = if self.config.naive_spike_detection {
+                        SpikeClass::Command
+                    } else {
+                        classifier.feed(len)
+                    };
+                    let spike = Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(classifier),
+                    };
+                    track.spike = Some(spike);
+                    ctx.set_timer(self.config.classify_deadline, TK_CLASSIFY | conn.0);
+                    if class != SpikeClass::Undecided {
+                        self.classify_echo_spike(ctx, conn, class, now);
+                        return match class {
+                            SpikeClass::Command => TapVerdict::Hold,
+                            _ => TapVerdict::Forward,
+                        };
+                    }
+                    TapVerdict::Hold
+                } else {
+                    // Mid-burst traffic with no active spike (tail after a
+                    // release): forward.
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+
+    /// Google Home Mini data handling (TCP records): every post-idle spike
+    /// is a command.
+    fn on_ghm_data(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
+        let now = ctx.now();
+        let conn = view.conn;
+        let idle_gap = self.config.idle_gap;
+        let track = self.conns.get_mut(&conn).expect("tracked");
+        let idle = track
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        track.last_data = Some(now);
+
+        if track.passthrough {
+            if idle {
+                track.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+        match &track.spike {
+            Some(_) => TapVerdict::Hold,
+            None => {
+                if idle {
+                    track.spike = Some(Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(SpikeClassifier::new(
+                            self.config.classify_max_packets,
+                        )),
+                    });
+                    ctx.set_timer(self.config.ghm_aggregation, TK_AGGREGATE | conn.0);
+                    TapVerdict::Hold
+                } else {
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+
+    fn on_ghm_datagram(&mut self, ctx: &mut dyn TapCtx, _dgram: &Datagram) -> TapVerdict {
+        let now = ctx.now();
+        let idle_gap = self.config.idle_gap;
+        let idle = self
+            .udp
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        self.udp.last_data = Some(now);
+        if self.udp.blocking {
+            if idle {
+                self.udp.blocking = false;
+            } else {
+                return TapVerdict::Drop;
+            }
+        }
+        if self.udp.passthrough {
+            if idle {
+                self.udp.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+        match &self.udp.spike {
+            Some(_) => TapVerdict::Hold,
+            None => {
+                if idle {
+                    self.udp.spike = Some(Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(SpikeClassifier::new(
+                            self.config.classify_max_packets,
+                        )),
+                    });
+                    // Token with all-ones low bits = the UDP flow.
+                    ctx.set_timer(self.config.ghm_aggregation, TK_AGGREGATE | 0x00FF_FFFF_FFFF);
+                    TapVerdict::Hold
+                } else {
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+}
+
+/// The Echo Dot AVS connection signature (kept here so the core crate has
+/// no dependency on the speaker models).
+fn speaker_signature() -> [u32; 16] {
+    [63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33]
+}
+
+impl Middlebox for VoiceGuardTap {
+    fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
+        use netsim::Direction;
+        // Only speaker-originated traffic matters for recognition; control
+        // and inbound segments are forwarded (keep-alives during a hold are
+        // held so the engine spoof-ACKs them).
+        let record = match view.payload {
+            SegmentPayload::Data(rec) if rec.is_app_data() => rec,
+            SegmentPayload::KeepAlive if view.dir == Direction::ClientToServer => {
+                let holding = self
+                    .conns
+                    .get(&view.conn)
+                    .map(|t| t.spike.is_some())
+                    .unwrap_or(false);
+                return if holding {
+                    TapVerdict::Hold
+                } else {
+                    TapVerdict::Forward
+                };
+            }
+            _ => return TapVerdict::Forward,
+        };
+        if view.dir != Direction::ClientToServer {
+            return TapVerdict::Forward;
+        }
+        if view.retransmit {
+            // Retransmissions repeat already-counted records: keep them out
+            // of spike accounting, but hold them if the stream is on hold.
+            let holding = self
+                .conns
+                .get(&view.conn)
+                .map(|t| t.spike.is_some())
+                .unwrap_or(false);
+            return if holding {
+                TapVerdict::Hold
+            } else {
+                TapVerdict::Forward
+            };
+        }
+
+        // Track the connection.
+        if !self.conns.contains_key(&view.conn) {
+            let server_ip = *view.dst.ip();
+            let kind = match self.config.speaker {
+                SpeakerKind::EchoDot => {
+                    ConnKind::Candidate(SignatureMatcher::new(&self.avs_signature))
+                }
+                SpeakerKind::GoogleHomeMini => {
+                    if self.google_ips.contains(&server_ip) {
+                        ConnKind::GoogleVoice
+                    } else {
+                        ConnKind::Other
+                    }
+                }
+            };
+            let learning = (self.learner.is_some()
+                && self.dns_confirmed_ips.contains(&server_ip))
+            .then(Observation::default);
+            self.conns.insert(
+                view.conn,
+                ConnTrack {
+                    kind,
+                    server_ip,
+                    learning,
+                    last_data: None,
+                    spike: None,
+                    passthrough: false,
+                },
+            );
+        }
+
+        let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        // Adaptive learning: record the establishment sequence of
+        // DNS-confirmed AVS connections; promote once observations agree.
+        if let (Some(learner), Some(obs)) = (self.learner.as_mut(), track.learning.as_mut()) {
+            if !learner.feed(obs, record.len) {
+                let obs = track.learning.take().expect("present");
+                learner.commit(obs);
+                if let Some(learned) = learner.learned() {
+                    if learned != self.avs_signature.as_slice() {
+                        self.avs_signature = learned.to_vec();
+                        self.stats.signatures_adapted += 1;
+                        ctx.trace(
+                            "guard.adapt",
+                            &format!("connection signature re-learned ({} records)", learned.len()),
+                        );
+                    }
+                }
+            }
+        }
+        let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        match &mut track.kind {
+            ConnKind::Candidate(matcher) => {
+                match matcher.feed(record.len) {
+                    SignatureState::Matched => {
+                        let ip = track.server_ip;
+                        track.kind = ConnKind::Avs;
+                        if self.avs_ip != Some(ip) {
+                            self.avs_ip = Some(ip);
+                            self.stats.signature_learned_ips += 1;
+                            ctx.trace(
+                                "guard.signature",
+                                &format!("AVS front-end re-identified at {ip}"),
+                            );
+                        }
+                    }
+                    SignatureState::Diverged => {
+                        // Flows to the known AVS IP are AVS regardless.
+                        track.kind = if Some(track.server_ip) == self.avs_ip {
+                            ConnKind::Avs
+                        } else {
+                            ConnKind::Other
+                        };
+                    }
+                    SignatureState::Pending => {}
+                }
+                TapVerdict::Forward
+            }
+            ConnKind::Avs => self.on_echo_data(ctx, view, record.len),
+            ConnKind::GoogleVoice => self.on_ghm_data(ctx, view),
+            ConnKind::Other => TapVerdict::Forward,
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut dyn TapCtx, dgram: &Datagram, outbound: bool) -> TapVerdict {
+        if !outbound || self.config.speaker != SpeakerKind::GoogleHomeMini {
+            return TapVerdict::Forward;
+        }
+        if !self.google_ips.contains(dgram.dst.ip()) {
+            return TapVerdict::Forward;
+        }
+        self.on_ghm_datagram(ctx, dgram)
+    }
+
+    fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
+        match self.config.speaker {
+            SpeakerKind::EchoDot => {
+                if name == self.config.avs_domain {
+                    self.dns_confirmed_ips.insert(ip);
+                    if self.avs_ip != Some(ip) {
+                        self.avs_ip = Some(ip);
+                        self.stats.dns_learned_ips += 1;
+                        ctx.trace("guard.dns", &format!("AVS front-end at {ip} (DNS)"));
+                    }
+                }
+            }
+            SpeakerKind::GoogleHomeMini => {
+                if name == self.config.google_domain {
+                    self.google_ips.insert(ip);
+                }
+            }
+        }
+    }
+
+    fn on_conn_closed(&mut self, _ctx: &mut dyn TapCtx, conn: ConnId, _reason: CloseReason) {
+        self.conns.remove(&conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
+        let kind = token & TK_MASK;
+        let low = token & !TK_MASK;
+        match kind {
+            TK_CLASSIFY => {
+                // Classification deadline for an Echo spike.
+                let conn = ConnId(low);
+                let Some(track) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let Some(spike) = track.spike.as_mut() else {
+                    return;
+                };
+                if let SpikeMode::Classifying(classifier) = &mut spike.mode {
+                    let class = classifier.finalize();
+                    let spike_start = spike.started;
+                    self.classify_echo_spike(ctx, conn, class, spike_start);
+                }
+            }
+            TK_AGGREGATE => {
+                // GHM aggregation window elapsed: raise the query.
+                if low == 0x00FF_FFFF_FFFF {
+                    if let Some(spike) = self.udp.spike.as_mut() {
+                        if matches!(spike.mode, SpikeMode::Classifying(_)) {
+                            let started = spike.started;
+                            let query = self.new_query(ctx, HoldTarget::UdpFlow, started);
+                            if let Some(spike) = self.udp.spike.as_mut() {
+                                spike.mode = SpikeMode::AwaitingVerdict(query);
+                            }
+                            self.events.push_back(GuardEvent::SpikeClassified {
+                                spike_start: started,
+                                class: SpikeClass::Command,
+                            });
+                        }
+                    }
+                } else {
+                    let conn = ConnId(low);
+                    let Some(track) = self.conns.get_mut(&conn) else {
+                        return;
+                    };
+                    let Some(spike) = track.spike.as_mut() else {
+                        return;
+                    };
+                    if matches!(spike.mode, SpikeMode::Classifying(_)) {
+                        let started = spike.started;
+                        let query = self.new_query(ctx, HoldTarget::Conn(conn), started);
+                        if let Some(track) = self.conns.get_mut(&conn) {
+                            if let Some(spike) = track.spike.as_mut() {
+                                spike.mode = SpikeMode::AwaitingVerdict(query);
+                            }
+                        }
+                        self.events.push_back(GuardEvent::SpikeClassified {
+                            spike_start: started,
+                            class: SpikeClass::Command,
+                        });
+                    }
+                }
+            }
+            TK_VERDICT_TIMEOUT => {
+                let query = QueryId(low);
+                let unanswered = self
+                    .queries
+                    .get(&query)
+                    .map(|q| q.verdict.is_none())
+                    .unwrap_or(false);
+                if unanswered {
+                    self.stats.timeouts += 1;
+                    let verdict = if self.config.fail_closed {
+                        Verdict::Malicious
+                    } else {
+                        Verdict::Legitimate
+                    };
+                    ctx.trace("guard.timeout", &format!("{query} timed out"));
+                    self.apply_verdict(ctx, query, verdict);
+                }
+            }
+            TK_VERDICT_DELIVERY => {
+                let query = QueryId(low);
+                let Some(verdict) = self.queries.get(&query).and_then(|q| q.verdict) else {
+                    return; // already resolved (e.g. by timeout)
+                };
+                self.apply_verdict(ctx, query, verdict);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_token_namespaces_do_not_collide() {
+        let tokens = [TK_CLASSIFY, TK_VERDICT_TIMEOUT, TK_VERDICT_DELIVERY, TK_AGGREGATE];
+        for (i, a) in tokens.iter().enumerate() {
+            for b in &tokens[i + 1..] {
+                assert_ne!(a & TK_MASK, b & TK_MASK);
+            }
+        }
+    }
+
+    #[test]
+    fn new_tap_has_no_state() {
+        let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        assert!(tap.learned_avs_ip().is_none());
+        assert!(!tap.has_pending_queries());
+        assert_eq!(tap.stats, GuardStats::default());
+    }
+
+    #[test]
+    fn signature_constant_matches_paper() {
+        assert_eq!(
+            speaker_signature()[..4],
+            [63, 33, 653, 131],
+            "prefix from §IV-B1"
+        );
+    }
+}

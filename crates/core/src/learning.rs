@@ -1,0 +1,219 @@
+//! Adaptive signature learning — the paper's stated future work (§VII,
+//! "Potential Changes of Traffic Signature").
+//!
+//! The hard-coded AVS connection signature has "remained the same for over
+//! two years", but a firmware update could change it, silently breaking
+//! the guard's ability to re-identify the AVS flow after a DNS-less
+//! reconnect. [`SignatureLearner`] closes that gap: whenever DNS *does*
+//! reveal the AVS front-end, the learner records the first
+//! application-data record lengths of the next connection to that IP.
+//! Once enough observations agree on a stable prefix, the learned
+//! signature is promoted and can replace (or seed) the static one.
+//!
+//! Learning is conservative:
+//!
+//! * only connections whose server IP was *independently* confirmed by a
+//!   DNS answer for the AVS domain contribute observations (an attacker
+//!   cannot feed the learner through unrelated flows — and could not
+//!   change the speaker's handshake anyway, since the traffic is
+//!   end-to-end encrypted and authenticated);
+//! * a signature is promoted only after `min_observations` *identical*
+//!   prefixes of length `signature_len`;
+//! * a changed handshake simply restarts the vote — the learner never
+//!   mixes disagreeing observations.
+
+use serde::{Deserialize, Serialize};
+
+/// Observes connection-establishment sequences and learns the stable
+/// signature.
+///
+/// # Example
+///
+/// ```
+/// use voiceguard::learning::SignatureLearner;
+///
+/// let mut learner = SignatureLearner::new(16, 3);
+/// let sig = vec![63u32, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33];
+/// for _ in 0..3 {
+///     let mut obs = learner.begin_observation();
+///     for len in &sig {
+///         learner.feed(&mut obs, *len);
+///     }
+///     learner.commit(obs);
+/// }
+/// assert_eq!(learner.learned(), Some(&sig[..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureLearner {
+    signature_len: usize,
+    min_observations: usize,
+    /// The candidate prefix currently being voted on.
+    candidate: Option<Vec<u32>>,
+    votes: usize,
+    learned: Option<Vec<u32>>,
+    /// Total observations consumed (for diagnostics).
+    pub observations: u64,
+    /// Times a disagreeing observation reset the vote.
+    pub resets: u64,
+}
+
+/// An in-progress observation of one connection's first record lengths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Observation {
+    lens: Vec<u32>,
+}
+
+impl SignatureLearner {
+    /// Creates a learner for signatures of `signature_len` records,
+    /// promoting after `min_observations` identical observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(signature_len: usize, min_observations: usize) -> Self {
+        assert!(signature_len > 0, "signature length must be positive");
+        assert!(min_observations > 0, "need at least one observation");
+        SignatureLearner {
+            signature_len,
+            min_observations,
+            candidate: None,
+            votes: 0,
+            learned: None,
+            observations: 0,
+            resets: 0,
+        }
+    }
+
+    /// Starts observing a new DNS-confirmed connection.
+    pub fn begin_observation(&self) -> Observation {
+        Observation::default()
+    }
+
+    /// Feeds the next application-data record length of the observed
+    /// connection. Returns `true` while the observation still wants more
+    /// packets.
+    pub fn feed(&self, obs: &mut Observation, len: u32) -> bool {
+        if obs.lens.len() < self.signature_len {
+            obs.lens.push(len);
+        }
+        obs.lens.len() < self.signature_len
+    }
+
+    /// Commits a completed observation as one vote. Incomplete
+    /// observations (connection died early) are discarded.
+    pub fn commit(&mut self, obs: Observation) {
+        if obs.lens.len() < self.signature_len {
+            return;
+        }
+        self.observations += 1;
+        match &self.candidate {
+            Some(candidate) if *candidate == obs.lens => {
+                self.votes += 1;
+            }
+            Some(_) => {
+                // Disagreement: restart the vote with the new observation
+                // (a genuine signature change will quickly re-converge).
+                self.candidate = Some(obs.lens);
+                self.votes = 1;
+                self.resets += 1;
+            }
+            None => {
+                self.candidate = Some(obs.lens);
+                self.votes = 1;
+            }
+        }
+        if self.votes >= self.min_observations {
+            self.learned = self.candidate.clone();
+        }
+    }
+
+    /// The promoted signature, once learning converged.
+    pub fn learned(&self) -> Option<&[u32]> {
+        self.learned.as_deref()
+    }
+
+    /// Votes accumulated for the current candidate.
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIG_A: [u32; 4] = [63, 33, 653, 131];
+    const SIG_B: [u32; 4] = [70, 41, 700, 140];
+
+    fn observe(learner: &mut SignatureLearner, sig: &[u32]) {
+        let mut obs = learner.begin_observation();
+        for len in sig {
+            learner.feed(&mut obs, *len);
+        }
+        learner.commit(obs);
+    }
+
+    #[test]
+    fn learns_after_min_observations() {
+        let mut l = SignatureLearner::new(4, 3);
+        observe(&mut l, &SIG_A);
+        assert_eq!(l.learned(), None);
+        observe(&mut l, &SIG_A);
+        assert_eq!(l.learned(), None);
+        observe(&mut l, &SIG_A);
+        assert_eq!(l.learned(), Some(&SIG_A[..]));
+        assert_eq!(l.votes(), 3);
+    }
+
+    #[test]
+    fn disagreement_resets_the_vote() {
+        let mut l = SignatureLearner::new(4, 3);
+        observe(&mut l, &SIG_A);
+        observe(&mut l, &SIG_A);
+        observe(&mut l, &SIG_B); // firmware update changed the handshake
+        assert_eq!(l.learned(), None);
+        assert_eq!(l.resets, 1);
+        observe(&mut l, &SIG_B);
+        observe(&mut l, &SIG_B);
+        assert_eq!(l.learned(), Some(&SIG_B[..]));
+    }
+
+    #[test]
+    fn incomplete_observations_are_ignored() {
+        let mut l = SignatureLearner::new(4, 2);
+        let mut obs = l.begin_observation();
+        l.feed(&mut obs, 63);
+        l.feed(&mut obs, 33);
+        l.commit(obs); // connection died after two records
+        assert_eq!(l.observations, 0);
+        assert_eq!(l.votes(), 0);
+    }
+
+    #[test]
+    fn feed_reports_when_full() {
+        let l = SignatureLearner::new(3, 1);
+        let mut obs = l.begin_observation();
+        assert!(l.feed(&mut obs, 1));
+        assert!(l.feed(&mut obs, 2));
+        assert!(!l.feed(&mut obs, 3), "third packet completes it");
+        assert!(!l.feed(&mut obs, 4), "extras are ignored");
+    }
+
+    #[test]
+    fn relearns_after_signature_change() {
+        let mut l = SignatureLearner::new(4, 2);
+        observe(&mut l, &SIG_A);
+        observe(&mut l, &SIG_A);
+        assert_eq!(l.learned(), Some(&SIG_A[..]));
+        // Firmware update: the learner converges to the new signature.
+        observe(&mut l, &SIG_B);
+        observe(&mut l, &SIG_B);
+        assert_eq!(l.learned(), Some(&SIG_B[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_panics() {
+        SignatureLearner::new(0, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # voiceguard — detect and block unauthorized voice commands to smart speakers
+//!
+//! A reproduction of **VoiceGuard** (Xu, Fu, Du, Ratazzi — DSN 2023).
+//! VoiceGuard runs on a commodity computer wedged between a smart speaker
+//! and the home router. It requires no modification of the speaker, its
+//! firmware, or its cloud:
+//!
+//! * the **Traffic Processing Module** ([`guard::VoiceGuardTap`], built on
+//!   [`recognition`]) watches the encrypted traffic's metadata, identifies
+//!   the voice-command flow (by DNS or by the Echo Dot's packet-level
+//!   connection signature), classifies post-idle traffic spikes into
+//!   command phase vs. response phase, and *holds* command packets in a
+//!   transparent proxy — ACKing toward the speaker so nothing times out —
+//!   until a verdict arrives; blocked packets are discarded, which the
+//!   cloud's TLS record-sequence check turns into a clean session close;
+//! * the **Decision Module** ([`decision::DecisionModule`]) pushes an RSSI
+//!   measurement request to every registered owner device over FCM and
+//!   declares the command legitimate iff at least one device reports the
+//!   speaker's Bluetooth RSSI above its calibrated threshold — augmented,
+//!   in multi-floor homes, by a [`floor::FloorTracker`] that classifies
+//!   stair-motion RSSI traces by the slope and intercept of their linear
+//!   fits (Fig. 10) and vetoes devices currently on another floor.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root for a complete
+//! guarded-home scenario; the crate-level tests in `tests/` exercise the
+//! whole pipeline end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decision;
+pub mod floor;
+pub mod guard;
+pub mod learning;
+pub mod policy;
+pub mod recognition;
+
+pub use config::{GuardConfig, SpeakerKind};
+pub use decision::{DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport, Verdict};
+pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
+pub use guard::{GuardEvent, GuardStats, QueryId, VoiceGuardTap};
+pub use learning::SignatureLearner;
+pub use policy::{DecisionPolicy, DeviceEvidence, PolicyVote, QuietHoursPolicy};
+pub use recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};

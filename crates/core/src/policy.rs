@@ -1,0 +1,268 @@
+//! The extensible decision framework (paper §VII, "Extensible
+//! Framework").
+//!
+//! The Decision Module evaluates a set of [`DecisionPolicy`] objects per
+//! registered device. Each policy sees the device's evidence and casts a
+//! vote; a device *vouches* for the command iff at least one policy
+//! approves and none denies. The built-in policies are the Bluetooth RSSI
+//! threshold and the floor-level veto; user-identification methods (the
+//! paper cites gait, footstep-vibration and mmWave ID systems) can be
+//! plugged in as additional policies.
+
+use crate::floor::FloorLevel;
+use phone::DeviceId;
+use simcore::SimTime;
+
+/// Evidence gathered about one device during a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceEvidence {
+    /// Which device.
+    pub device: DeviceId,
+    /// Measured Bluetooth RSSI of the speaker at the device (dB).
+    pub rssi_db: f64,
+    /// The device's calibrated RSSI threshold (dB).
+    pub threshold_db: f64,
+    /// The device's current floor-level estimate, if tracked.
+    pub floor: Option<FloorLevel>,
+    /// When the query was raised (lets time-aware policies like
+    /// [`QuietHoursPolicy`] vote).
+    pub now: SimTime,
+}
+
+/// A policy's vote on one device's evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyVote {
+    /// This evidence indicates the owner is present.
+    Approve,
+    /// This evidence rules the device out (vetoes any approval).
+    Deny,
+    /// No opinion.
+    Abstain,
+}
+
+/// A pluggable check inside the Decision Module.
+pub trait DecisionPolicy: Send {
+    /// Human-readable name for tracing.
+    fn name(&self) -> &str;
+    /// Casts a vote on one device's evidence.
+    fn vote(&self, evidence: &DeviceEvidence) -> PolicyVote;
+}
+
+/// The paper's core policy: approve iff the measured RSSI meets the
+/// device's calibrated threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RssiThresholdPolicy;
+
+impl DecisionPolicy for RssiThresholdPolicy {
+    fn name(&self) -> &str {
+        "rssi-threshold"
+    }
+
+    fn vote(&self, evidence: &DeviceEvidence) -> PolicyVote {
+        if evidence.rssi_db >= evidence.threshold_db {
+            PolicyVote::Approve
+        } else {
+            PolicyVote::Abstain
+        }
+    }
+}
+
+/// The floor-level veto: a device believed to be on another floor cannot
+/// vouch, whatever its RSSI (§V-B2: "the Decision Module blocks a voice
+/// command even if the measured RSSI is higher than the threshold").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FloorLevelPolicy;
+
+impl DecisionPolicy for FloorLevelPolicy {
+    fn name(&self) -> &str {
+        "floor-level"
+    }
+
+    fn vote(&self, evidence: &DeviceEvidence) -> PolicyVote {
+        match evidence.floor {
+            Some(FloorLevel::OtherFloor) => PolicyVote::Deny,
+            _ => PolicyVote::Abstain,
+        }
+    }
+}
+
+/// Blocks all commands during a configured quiet window (e.g. while the
+/// household sleeps), whatever the RSSI says — an example of the
+/// user-identification-style extensions §VII anticipates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuietHoursPolicy {
+    /// Start of the quiet window, hour of day `[0, 24)`.
+    pub start_hour: u8,
+    /// End of the quiet window, hour of day `[0, 24)`. Windows may wrap
+    /// midnight (`start 23, end 6`).
+    pub end_hour: u8,
+}
+
+impl QuietHoursPolicy {
+    /// Creates a policy denying commands between `start_hour` and
+    /// `end_hour` (local simulated time, day = 24 h from t = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either hour is outside `0..24`.
+    pub fn new(start_hour: u8, end_hour: u8) -> Self {
+        assert!(start_hour < 24 && end_hour < 24, "hours must be 0..24");
+        QuietHoursPolicy {
+            start_hour,
+            end_hour,
+        }
+    }
+
+    fn in_window(&self, now: SimTime) -> bool {
+        let hour = ((now.as_secs_f64() / 3600.0) % 24.0) as u8;
+        if self.start_hour <= self.end_hour {
+            hour >= self.start_hour && hour < self.end_hour
+        } else {
+            hour >= self.start_hour || hour < self.end_hour
+        }
+    }
+}
+
+impl DecisionPolicy for QuietHoursPolicy {
+    fn name(&self) -> &str {
+        "quiet-hours"
+    }
+
+    fn vote(&self, evidence: &DeviceEvidence) -> PolicyVote {
+        if self.in_window(evidence.now) {
+            PolicyVote::Deny
+        } else {
+            PolicyVote::Abstain
+        }
+    }
+}
+
+/// Combines policy votes for one device: approved by at least one policy
+/// and denied by none.
+pub fn device_vouches(policies: &[Box<dyn DecisionPolicy>], evidence: &DeviceEvidence) -> bool {
+    let mut approved = false;
+    for policy in policies {
+        match policy.vote(evidence) {
+            PolicyVote::Deny => return false,
+            PolicyVote::Approve => approved = true,
+            PolicyVote::Abstain => {}
+        }
+    }
+    approved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn evidence(rssi: f64, threshold: f64, floor: Option<FloorLevel>) -> DeviceEvidence {
+        DeviceEvidence {
+            device: DeviceId(0),
+            rssi_db: rssi,
+            threshold_db: threshold,
+            floor,
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn default_policies() -> Vec<Box<dyn DecisionPolicy>> {
+        vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)]
+    }
+
+    #[test]
+    fn rssi_above_threshold_vouches() {
+        let p = default_policies();
+        assert!(device_vouches(&p, &evidence(-5.0, -8.0, None)));
+        assert!(device_vouches(&p, &evidence(-8.0, -8.0, None)), "boundary counts");
+    }
+
+    #[test]
+    fn rssi_below_threshold_does_not_vouch() {
+        let p = default_policies();
+        assert!(!device_vouches(&p, &evidence(-9.0, -8.0, None)));
+    }
+
+    #[test]
+    fn other_floor_vetoes_even_strong_rssi() {
+        let p = default_policies();
+        assert!(!device_vouches(
+            &p,
+            &evidence(-4.0, -8.0, Some(FloorLevel::OtherFloor))
+        ));
+    }
+
+    #[test]
+    fn speaker_floor_does_not_veto() {
+        let p = default_policies();
+        assert!(device_vouches(
+            &p,
+            &evidence(-4.0, -8.0, Some(FloorLevel::SpeakerFloor))
+        ));
+    }
+
+    #[test]
+    fn custom_policy_integrates() {
+        /// A toy user-identification policy that denies everything —
+        /// demonstrating third-party extension.
+        struct Paranoid;
+        impl DecisionPolicy for Paranoid {
+            fn name(&self) -> &str {
+                "paranoid"
+            }
+            fn vote(&self, _evidence: &DeviceEvidence) -> PolicyVote {
+                PolicyVote::Deny
+            }
+        }
+        let mut p = default_policies();
+        p.push(Box::new(Paranoid));
+        assert!(!device_vouches(&p, &evidence(-1.0, -8.0, None)));
+    }
+
+    #[test]
+    fn abstain_only_does_not_vouch() {
+        let p: Vec<Box<dyn DecisionPolicy>> = vec![Box::new(FloorLevelPolicy)];
+        assert!(!device_vouches(&p, &evidence(-1.0, -8.0, None)));
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(RssiThresholdPolicy.name(), "rssi-threshold");
+        assert_eq!(FloorLevelPolicy.name(), "floor-level");
+        assert_eq!(QuietHoursPolicy::new(1, 5).name(), "quiet-hours");
+    }
+
+    #[test]
+    fn quiet_hours_deny_inside_window() {
+        let night = QuietHoursPolicy::new(1, 5);
+        let at = |h: u64| DeviceEvidence {
+            now: SimTime::from_secs(h * 3600 + 120),
+            ..evidence(-1.0, -8.0, None)
+        };
+        assert_eq!(night.vote(&at(3)), PolicyVote::Deny);
+        assert_eq!(night.vote(&at(0)), PolicyVote::Abstain);
+        assert_eq!(night.vote(&at(12)), PolicyVote::Abstain);
+        // With the default policies, a denial wins over a strong RSSI.
+        let mut policies = default_policies();
+        policies.push(Box::new(night));
+        assert!(!device_vouches(&policies, &at(3)));
+        assert!(device_vouches(&policies, &at(12)));
+    }
+
+    #[test]
+    fn quiet_hours_wrap_midnight() {
+        let night = QuietHoursPolicy::new(23, 6);
+        let at = |h: u64| DeviceEvidence {
+            now: SimTime::from_secs(h * 3600),
+            ..evidence(-1.0, -8.0, None)
+        };
+        assert_eq!(night.vote(&at(23)), PolicyVote::Deny);
+        assert_eq!(night.vote(&at(2)), PolicyVote::Deny);
+        assert_eq!(night.vote(&at(7)), PolicyVote::Abstain);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..24")]
+    fn bad_hours_panic() {
+        QuietHoursPolicy::new(25, 3);
+    }
+}

@@ -1,0 +1,396 @@
+//! Voice Command Traffic Recognition (paper §IV-B1).
+//!
+//! Two pure, engine-independent pieces:
+//!
+//! * [`SignatureMatcher`] — matches the first application-data record
+//!   lengths of a new connection against the Echo Dot's AVS connection
+//!   signature `63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131,
+//!   77, 33, 33`, so the guard can re-learn the AVS front-end IP when the
+//!   speaker reconnects without a DNS query.
+//! * [`SpikeClassifier`] — classifies the first packets of a post-idle
+//!   spike into the **command phase** (p-138/p-75 marker in the first five
+//!   packets, or one of three fixed patterns with a 250–650-byte lead) or
+//!   the **response phase** (p-77 followed by p-33 within the first seven
+//!   packets), defaulting to "not a command" when nothing matches.
+
+use serde::{Deserialize, Serialize};
+
+/// Progress of a connection-signature match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignatureState {
+    /// Still consuming the prefix; everything matched so far.
+    Pending,
+    /// The full signature matched: this connection talks to the AVS
+    /// front-end.
+    Matched,
+    /// A length diverged: this is some other flow.
+    Diverged,
+}
+
+/// Incremental matcher for one new connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureMatcher {
+    target: Vec<u32>,
+    seen: usize,
+    state: SignatureState,
+}
+
+impl SignatureMatcher {
+    /// Creates a matcher for `signature`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature is empty.
+    pub fn new(signature: &[u32]) -> Self {
+        assert!(!signature.is_empty(), "signature must be non-empty");
+        SignatureMatcher {
+            target: signature.to_vec(),
+            seen: 0,
+            state: SignatureState::Pending,
+        }
+    }
+
+    /// Feeds the next application-data length; returns the updated state.
+    pub fn feed(&mut self, len: u32) -> SignatureState {
+        if self.state != SignatureState::Pending {
+            return self.state;
+        }
+        if self.target[self.seen] != len {
+            self.state = SignatureState::Diverged;
+        } else {
+            self.seen += 1;
+            if self.seen == self.target.len() {
+                self.state = SignatureState::Matched;
+            }
+        }
+        self.state
+    }
+
+    /// Current state without feeding.
+    pub fn state(&self) -> SignatureState {
+        self.state
+    }
+
+    /// How many lengths matched so far.
+    pub fn matched_len(&self) -> usize {
+        self.seen
+    }
+}
+
+/// Phase classification of a spike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpikeClass {
+    /// Not enough packets yet.
+    Undecided,
+    /// First phase: this spike carries a voice command — hold it.
+    Command,
+    /// Second phase (or unknown): not a command — release it.
+    NotCommand,
+}
+
+/// First-phase marker packet lengths.
+pub const P138: u32 = 138;
+/// First-phase marker packet lengths.
+pub const P75: u32 = 75;
+/// Second-phase marker pair.
+pub const P77: u32 = 77;
+/// Second-phase marker pair.
+pub const P33: u32 = 33;
+
+/// The three fixed first-phase patterns (packets 2–5).
+pub const FIXED_PATTERNS: [[u32; 4]; 3] = [
+    [131, 277, 131, 113],
+    [131, 113, 113, 113],
+    [131, 121, 277, 131],
+];
+
+/// Range of the leading packet of a fixed-pattern command spike.
+pub const FIRST_PACKET_RANGE: (u32, u32) = (250, 650);
+
+/// Incremental per-spike classifier.
+///
+/// # Example
+///
+/// ```
+/// use voiceguard::{SpikeClassifier, SpikeClass};
+/// let mut c = SpikeClassifier::new(7);
+/// assert_eq!(c.feed(277), SpikeClass::Undecided);
+/// assert_eq!(c.feed(131), SpikeClass::Undecided);
+/// assert_eq!(c.feed(138), SpikeClass::Command); // p-138 marker
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpikeClassifier {
+    lens: Vec<u32>,
+    max_packets: usize,
+    class: SpikeClass,
+}
+
+impl SpikeClassifier {
+    /// Creates a classifier that gives up after `max_packets` packets
+    /// (the paper's markers always appear within 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_packets < 5` (the rules need five packets).
+    pub fn new(max_packets: usize) -> Self {
+        assert!(max_packets >= 5, "need at least five packets to classify");
+        SpikeClassifier {
+            lens: Vec::with_capacity(max_packets),
+            max_packets,
+            class: SpikeClass::Undecided,
+        }
+    }
+
+    /// Feeds the next packet length of the spike and returns the (possibly
+    /// updated) classification. Once decided, the class is stable.
+    pub fn feed(&mut self, len: u32) -> SpikeClass {
+        if self.class != SpikeClass::Undecided {
+            return self.class;
+        }
+        self.lens.push(len);
+        self.class = classify(&self.lens, self.max_packets, false);
+        self.class
+    }
+
+    /// Forces a decision with the packets seen so far (used when the
+    /// classification deadline passes mid-spike).
+    pub fn finalize(&mut self) -> SpikeClass {
+        if self.class == SpikeClass::Undecided {
+            self.class = classify(&self.lens, self.max_packets, true);
+            if self.class == SpikeClass::Undecided {
+                self.class = SpikeClass::NotCommand;
+            }
+        }
+        self.class
+    }
+
+    /// Current class without feeding.
+    pub fn class(&self) -> SpikeClass {
+        self.class
+    }
+
+    /// Packet lengths consumed so far.
+    pub fn lens(&self) -> &[u32] {
+        &self.lens
+    }
+}
+
+/// The paper's decision rules over a prefix of spike packet lengths.
+///
+/// With `force`, treats the prefix as complete (no more packets coming).
+fn classify(lens: &[u32], max_packets: usize, force: bool) -> SpikeClass {
+    // Rule 1: p-138 or p-75 within the first five packets → command.
+    if lens
+        .iter()
+        .take(5)
+        .any(|l| *l == P138 || *l == P75)
+    {
+        return SpikeClass::Command;
+    }
+    // Rule 2: one of the fixed patterns across the first five packets
+    // (leading packet in 250..=650) → command.
+    if lens.len() >= 5 {
+        let lead_ok = lens[0] >= FIRST_PACKET_RANGE.0 && lens[0] <= FIRST_PACKET_RANGE.1;
+        if lead_ok && FIXED_PATTERNS.iter().any(|p| &lens[1..5] == p) {
+            return SpikeClass::Command;
+        }
+    }
+    // Rule 3: p-77 directly followed by p-33 within the first seven →
+    // response phase.
+    let window = lens.iter().take(7).collect::<Vec<_>>();
+    if window
+        .windows(2)
+        .any(|w| *w[0] == P77 && *w[1] == P33)
+    {
+        return SpikeClass::NotCommand;
+    }
+    // Both command rules only consult the first five packets, so once five
+    // packets have passed without a match the spike can never become a
+    // command: stop holding it. (The p-77/p-33 pair at positions 6-7 would
+    // only confirm the response phase we already assume.)
+    let _ = max_packets;
+    if lens.len() >= 5 || force {
+        return SpikeClass::NotCommand;
+    }
+    SpikeClass::Undecided
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---------------- SignatureMatcher ----------------
+
+    const AVS_SIG: [u32; 16] = [
+        63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+    ];
+
+    #[test]
+    fn full_signature_matches() {
+        let mut m = SignatureMatcher::new(&AVS_SIG);
+        for (i, len) in AVS_SIG.iter().enumerate() {
+            let st = m.feed(*len);
+            if i + 1 < AVS_SIG.len() {
+                assert_eq!(st, SignatureState::Pending, "at {i}");
+            } else {
+                assert_eq!(st, SignatureState::Matched);
+            }
+        }
+        assert_eq!(m.matched_len(), 16);
+    }
+
+    #[test]
+    fn divergence_is_sticky() {
+        let mut m = SignatureMatcher::new(&AVS_SIG);
+        m.feed(63);
+        assert_eq!(m.feed(34), SignatureState::Diverged);
+        // Feeding the "right" continuation cannot resurrect it.
+        assert_eq!(m.feed(653), SignatureState::Diverged);
+        assert_eq!(m.state(), SignatureState::Diverged);
+    }
+
+    #[test]
+    fn near_miss_signatures_diverge() {
+        // Differs only in the last element.
+        let mut other = AVS_SIG;
+        other[15] = 41;
+        let mut m = SignatureMatcher::new(&AVS_SIG);
+        for len in &other[..15] {
+            m.feed(*len);
+        }
+        assert_eq!(m.feed(other[15]), SignatureState::Diverged);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_signature_panics() {
+        SignatureMatcher::new(&[]);
+    }
+
+    // ---------------- SpikeClassifier ----------------
+
+    fn run(lens: &[u32]) -> SpikeClass {
+        let mut c = SpikeClassifier::new(7);
+        let mut last = SpikeClass::Undecided;
+        for l in lens {
+            last = c.feed(*l);
+            if last != SpikeClass::Undecided {
+                break;
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn p138_in_first_five_is_command() {
+        assert_eq!(run(&[277, 131, 138, 99, 105]), SpikeClass::Command);
+        assert_eq!(run(&[138, 1, 1, 1, 1]), SpikeClass::Command);
+        assert_eq!(run(&[300, 400, 500, 600, 138]), SpikeClass::Command);
+    }
+
+    #[test]
+    fn p75_in_first_five_is_command() {
+        assert_eq!(run(&[277, 75]), SpikeClass::Command);
+    }
+
+    #[test]
+    fn marker_after_fifth_does_not_count() {
+        // p-138 as the 6th packet: rule 1 does not fire; defaults to
+        // NotCommand at 5 packets without any match.
+        let class = run(&[260, 131, 99, 105, 147, 138]);
+        assert_eq!(class, SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn fixed_patterns_are_commands() {
+        for pat in FIXED_PATTERNS {
+            let mut lens = vec![277];
+            lens.extend_from_slice(&pat);
+            assert_eq!(run(&lens), SpikeClass::Command, "{pat:?}");
+            // Any lead within 250-650 works.
+            let mut lens = vec![650];
+            lens.extend_from_slice(&pat);
+            assert_eq!(run(&lens), SpikeClass::Command);
+        }
+    }
+
+    #[test]
+    fn fixed_pattern_with_bad_lead_is_not_command() {
+        let mut lens = vec![200]; // below 250
+        lens.extend_from_slice(&FIXED_PATTERNS[0]);
+        assert_eq!(run(&lens), SpikeClass::NotCommand);
+        let mut lens = vec![700]; // above 650
+        lens.extend_from_slice(&FIXED_PATTERNS[0]);
+        assert_eq!(run(&lens), SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn response_markers_within_five() {
+        assert_eq!(run(&[105, 77, 33, 99, 147]), SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn response_markers_at_positions_six_seven() {
+        assert_eq!(
+            run(&[105, 99, 147, 163, 211, 77, 33]),
+            SpikeClass::NotCommand
+        );
+    }
+
+    #[test]
+    fn response_markers_must_be_adjacent() {
+        // 77 ... 33 separated: not the marker pair; defaults NotCommand at
+        // five packets anyway, but must never classify as Command.
+        assert_eq!(run(&[105, 77, 99, 33, 147]), SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn markerless_defaults_to_not_command() {
+        assert_eq!(run(&[300, 131, 99, 109, 147]), SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn undecided_until_enough_packets() {
+        let mut c = SpikeClassifier::new(7);
+        assert_eq!(c.feed(300), SpikeClass::Undecided);
+        assert_eq!(c.feed(131), SpikeClass::Undecided);
+        assert_eq!(c.feed(99), SpikeClass::Undecided);
+        assert_eq!(c.feed(109), SpikeClass::Undecided);
+        // Fifth packet with no match resolves to NotCommand.
+        assert_eq!(c.feed(147), SpikeClass::NotCommand);
+    }
+
+    #[test]
+    fn finalize_forces_a_decision() {
+        let mut c = SpikeClassifier::new(7);
+        c.feed(300);
+        c.feed(131);
+        assert_eq!(c.class(), SpikeClass::Undecided);
+        assert_eq!(c.finalize(), SpikeClass::NotCommand);
+        // Finalize is idempotent and sticky.
+        assert_eq!(c.finalize(), SpikeClass::NotCommand);
+        assert_eq!(c.feed(138), SpikeClass::NotCommand, "decision is final");
+    }
+
+    #[test]
+    fn finalize_respects_early_markers() {
+        let mut c = SpikeClassifier::new(7);
+        c.feed(75);
+        assert_eq!(c.finalize(), SpikeClass::Command);
+    }
+
+    #[test]
+    fn decision_is_stable_after_command() {
+        let mut c = SpikeClassifier::new(7);
+        c.feed(138);
+        assert_eq!(c.class(), SpikeClass::Command);
+        assert_eq!(c.feed(77), SpikeClass::Command);
+        assert_eq!(c.feed(33), SpikeClass::Command);
+    }
+
+    #[test]
+    #[should_panic(expected = "five packets")]
+    fn tiny_max_packets_panics() {
+        SpikeClassifier::new(4);
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end test of adaptive signature learning (§VII future work):
+//! a firmware update changes the Echo Dot's connection-establishment
+//! sequence. A guard with only the stale static signature loses the AVS
+//! flow when the speaker reconnects without DNS; the adaptive guard
+//! re-learns the new signature from DNS-confirmed connections and keeps
+//! blocking attacks.
+
+use netsim::{ConnId, Network, NetworkConfig, ServerPool};
+use simcore::{SimDuration, SimTime};
+use speakers::{AvsCloud, CommandSpec, EchoDotApp, AVS_DOMAIN};
+use std::net::Ipv4Addr;
+use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const AVS_IP1: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+const AVS_IP2: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 11);
+
+/// A post-update handshake the static signature does not know.
+const NEW_FIRMWARE_SIG: [u32; 16] = [
+    70, 41, 702, 140, 80, 140, 195, 80, 140, 80, 140, 80, 140, 85, 41, 41,
+];
+
+fn setup(adaptive: bool, seed: u64) -> (Network, netsim::HostId) {
+    let mut net = Network::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    let speaker = net.add_host("echo-dot", SPEAKER_IP);
+    let avs1 = net.add_host("avs-1", AVS_IP1);
+    let avs2 = net.add_host("avs-2", AVS_IP2);
+    net.set_app(avs1, Box::new(AvsCloud::new()));
+    net.set_app(avs2, Box::new(AvsCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP1, AVS_IP2]));
+    net.set_app(
+        speaker,
+        Box::new(
+            EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP1, AVS_IP2], vec![])
+                .with_connect_signature(NEW_FIRMWARE_SIG.to_vec()),
+        ),
+    );
+    net.set_tap(
+        speaker,
+        Box::new(VoiceGuardTap::new(GuardConfig {
+            adaptive_signature: adaptive,
+            ..GuardConfig::echo_dot()
+        })),
+    );
+    net.start();
+    (net, speaker)
+}
+
+/// Forces reconnects (so the learner sees several DNS-confirmed
+/// establishment sequences) by resetting the live connection from the
+/// cloud side.
+fn churn_connections(net: &mut Network, rounds: u64) {
+    for round in 0..rounds {
+        net.run_until(SimTime::from_secs(5 + round * 12));
+        let conn = ConnId(round + 1);
+        if let Some(info) = net.conn_info(conn) {
+            if info.established {
+                net.with_app::<AvsCloud, _>(info.server, |_app, ctx| ctx.reset(conn));
+            }
+        }
+    }
+    let deadline = net.now() + SimDuration::from_secs(15);
+    net.run_until(deadline);
+}
+
+fn answer_queries(net: &mut Network, speaker: netsim::HostId, until: SimTime) -> (u64, u64) {
+    let mut raised = 0;
+    let mut blocked = 0;
+    while net.now() < until {
+        net.run_for(SimDuration::from_millis(100));
+        let events = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.take_events());
+        for ev in events {
+            match ev {
+                GuardEvent::QueryRequested { query, .. } => {
+                    raised += 1;
+                    net.with_tap::<VoiceGuardTap, _>(speaker, |g, ctx| {
+                        g.schedule_verdict(
+                            ctx,
+                            query,
+                            Verdict::Malicious,
+                            SimDuration::from_millis(1500),
+                        )
+                    });
+                }
+                GuardEvent::CommandBlocked { .. } => blocked += 1,
+                _ => {}
+            }
+        }
+    }
+    (raised, blocked)
+}
+
+#[test]
+fn adaptive_guard_relearns_new_firmware_signature() {
+    let (mut net, speaker) = setup(true, 1);
+    churn_connections(&mut net, 3);
+    let (adapted, learned_ip) = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| {
+        (g.stats.signatures_adapted, g.learned_avs_ip())
+    });
+    assert!(adapted >= 1, "the learner must promote the new signature");
+    assert!(learned_ip.is_some());
+
+    // An attack on the current (possibly DNS-lessly re-established) flow
+    // is still recognised and blocked.
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1));
+    });
+    let until = net.now() + SimDuration::from_secs(40);
+    let (raised, blocked) = answer_queries(&mut net, speaker, until);
+    assert!(raised >= 1, "attack must be recognised");
+    assert!(blocked >= 1, "attack must be blocked");
+    net.with_app::<EchoDotApp, _>(speaker, |app, _| {
+        assert_ne!(
+            app.invocation(1).unwrap().outcome,
+            speakers::CommandOutcome::Executed
+        );
+    });
+}
+
+#[test]
+fn static_guard_does_not_adapt() {
+    let (mut net, speaker) = setup(false, 2);
+    churn_connections(&mut net, 3);
+    let adapted =
+        net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.stats.signatures_adapted);
+    assert_eq!(adapted, 0, "learning is opt-in");
+}
+
+#[test]
+fn adaptive_guard_tracks_dns_less_reconnects_after_update() {
+    // After learning, force enough churn that at least one reconnect is
+    // DNS-less (the speaker flips a coin; 6 rounds make a miss ~1.6%),
+    // then verify the guard still follows the front-end IP.
+    let (mut net, speaker) = setup(true, 3);
+    churn_connections(&mut net, 6);
+    let learned = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.learned_avs_ip());
+    // Find the live connection and compare.
+    let mut live_server = None;
+    for c in 1..=8u64 {
+        if let Some(info) = net.conn_info(ConnId(c)) {
+            if info.established {
+                live_server = Some(*info.server_addr.ip());
+            }
+        }
+    }
+    assert_eq!(
+        learned, live_server,
+        "the adaptive guard must track the live AVS front-end"
+    );
+}

@@ -1,0 +1,132 @@
+//! Behaviour during continuous music streaming — a limitation implied by
+//! the paper's premise that "a traffic spike after a no-traffic period"
+//! marks a command:
+//!
+//! * the stream itself must never be mistaken for commands (no spurious
+//!   holds that would glitch playback);
+//! * a command uttered *during* the stream is invisible to spike
+//!   detection (no idle gap precedes it) — it executes unguarded;
+//! * once the stream stops and the flow goes idle, recognition resumes.
+
+use netsim::{Network, NetworkConfig, ServerPool};
+use simcore::{SimDuration, SimTime};
+use speakers::{AvsCloud, CommandSpec, EchoDotApp, AVS_DOMAIN};
+use std::net::Ipv4Addr;
+use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const AVS_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+
+fn setup(seed: u64) -> (Network, netsim::HostId) {
+    let mut net = Network::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    let speaker = net.add_host("echo", SPEAKER_IP);
+    let avs = net.add_host("avs", AVS_IP);
+    net.set_app(avs, Box::new(AvsCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
+    net.set_app(
+        speaker,
+        Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])),
+    );
+    net.set_tap(speaker, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
+    net.start();
+    (net, speaker)
+}
+
+fn drive(net: &mut Network, speaker: netsim::HostId, until: SimTime, verdict: Verdict) -> Vec<GuardEvent> {
+    let mut all = Vec::new();
+    while net.now() < until {
+        net.run_for(SimDuration::from_millis(100));
+        let events = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.take_events());
+        for ev in &events {
+            if let GuardEvent::QueryRequested { query, .. } = ev {
+                let q = *query;
+                net.with_tap::<VoiceGuardTap, _>(speaker, |g, ctx| {
+                    g.schedule_verdict(ctx, q, verdict, SimDuration::from_millis(1500))
+                });
+            }
+        }
+        all.extend(events);
+    }
+    all
+}
+
+#[test]
+fn music_stream_is_not_mistaken_for_commands() {
+    let (mut net, speaker) = setup(1);
+    net.run_until(SimTime::from_secs(5));
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.start_music_stream(ctx, SimDuration::from_secs(60));
+    });
+    let events = drive(&mut net, speaker, SimTime::from_secs(70), Verdict::Malicious);
+    // The stream's leading packet forms one post-idle spike that must be
+    // classified as NotCommand and released immediately; no query, no hold
+    // that would glitch playback.
+    let queries = events
+        .iter()
+        .filter(|e| matches!(e, GuardEvent::QueryRequested { .. }))
+        .count();
+    assert_eq!(queries, 0, "music must never be held: {events:?}");
+    let stats = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.stats.clone());
+    assert_eq!(stats.blocked, 0);
+}
+
+#[test]
+fn command_during_streaming_is_a_documented_blind_spot() {
+    let (mut net, speaker) = setup(2);
+    net.run_until(SimTime::from_secs(5));
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.start_music_stream(ctx, SimDuration::from_secs(40));
+    });
+    net.run_until(SimTime::from_secs(15));
+    // An attack lands mid-stream: no idle gap, so recognition cannot see
+    // it — the command executes unguarded. This is the flip side of the
+    // paper's spike premise (its evaluation never mixes streaming with
+    // commands).
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1));
+    });
+    let events = drive(&mut net, speaker, SimTime::from_secs(60), Verdict::Malicious);
+    let queries = events
+        .iter()
+        .filter(|e| matches!(e, GuardEvent::QueryRequested { .. }))
+        .count();
+    assert_eq!(queries, 0, "mid-stream commands are invisible to the guard");
+    net.with_app::<EchoDotApp, _>(speaker, |app, _| {
+        assert_eq!(
+            app.invocation(1).unwrap().outcome,
+            speakers::CommandOutcome::Executed,
+            "the blind spot lets the command through"
+        );
+    });
+}
+
+#[test]
+fn recognition_resumes_after_the_stream_ends() {
+    let (mut net, speaker) = setup(3);
+    net.run_until(SimTime::from_secs(5));
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.start_music_stream(ctx, SimDuration::from_secs(20));
+    });
+    // Let the stream finish and the flow go idle.
+    drive(&mut net, speaker, SimTime::from_secs(30), Verdict::Malicious);
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(2));
+    });
+    let events = drive(&mut net, speaker, SimTime::from_secs(60), Verdict::Malicious);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, GuardEvent::CommandBlocked { .. })),
+        "post-stream commands are guarded again: {events:?}"
+    );
+    net.with_app::<EchoDotApp, _>(speaker, |app, _| {
+        assert_ne!(
+            app.invocation(2).unwrap().outcome,
+            speakers::CommandOutcome::Executed
+        );
+    });
+}

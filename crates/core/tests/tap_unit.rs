@@ -1,0 +1,226 @@
+//! Direct unit tests of [`VoiceGuardTap`] against a mock [`TapCtx`] — no
+//! network engine, just the middlebox contract.
+
+use netsim::app::SegmentView;
+use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
+use simcore::{SimDuration, SimTime};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{GuardConfig, GuardEvent, QueryId, Verdict, VoiceGuardTap};
+
+/// Minimal mock TapCtx: counts actions, advances a manual clock.
+#[derive(Debug, Default)]
+struct MockCtx {
+    now: SimTime,
+    held: usize,
+    released: usize,
+    discarded: usize,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl TapCtx for MockCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn tapped_host(&self) -> netsim::HostId {
+        netsim::HostId(0)
+    }
+    fn held_count(&self, _conn: ConnId) -> usize {
+        self.held
+    }
+    fn release_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.released += n;
+        n
+    }
+    fn discard_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.discarded += n;
+        n
+    }
+    fn held_datagram_count(&self) -> usize {
+        0
+    }
+    fn release_held_datagrams(&mut self) -> usize {
+        0
+    }
+    fn discard_held_datagrams(&mut self) -> usize {
+        0
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+    fn trace(&mut self, _category: &str, _message: &str) {}
+}
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+fn data_view(conn: u64, len: u32) -> SegmentView {
+    SegmentView {
+        conn: ConnId(conn),
+        dir: netsim::Direction::ClientToServer,
+        src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
+        dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
+        payload: SegmentPayload::Data(TlsRecord::app_data(len)),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+/// Drives the signature records of a new connection through the tap.
+fn establish(tap: &mut VoiceGuardTap, ctx: &mut MockCtx, conn: u64) {
+    for len in AVS_SIG {
+        assert_eq!(
+            tap.on_segment(ctx, &data_view(conn, len)),
+            TapVerdict::Forward,
+            "establishment records are never held"
+        );
+    }
+}
+
+#[test]
+fn signature_identifies_the_flow_without_dns() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    assert_eq!(tap.learned_avs_ip(), None);
+    establish(&mut tap, &mut ctx, 1);
+    assert_eq!(
+        tap.learned_avs_ip(),
+        Some(Ipv4Addr::new(52, 94, 233, 10)),
+        "signature match must reveal the front-end"
+    );
+    assert_eq!(tap.stats.signature_learned_ips, 1);
+}
+
+#[test]
+fn command_spike_is_held_and_raises_a_query() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    establish(&mut tap, &mut ctx, 1);
+    // Idle gap then a marker spike.
+    ctx.now = SimTime::from_secs(30);
+    for len in [277u32, 131, 138] {
+        let verdict = tap.on_segment(&mut ctx, &data_view(1, len));
+        assert_eq!(verdict, TapVerdict::Hold, "spike packets are held");
+        if verdict == TapVerdict::Hold {
+            ctx.held += 1;
+        }
+    }
+    let events = tap.take_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, GuardEvent::QueryRequested { .. })));
+    assert!(tap.has_pending_queries());
+}
+
+#[test]
+fn verdict_release_and_block_paths() {
+    for verdict in [Verdict::Legitimate, Verdict::Malicious] {
+        let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        let mut ctx = MockCtx::default();
+        establish(&mut tap, &mut ctx, 1);
+        ctx.now = SimTime::from_secs(30);
+        for len in [277u32, 131, 138, 500, 600] {
+            if tap.on_segment(&mut ctx, &data_view(1, len)) == TapVerdict::Hold {
+                ctx.held += 1;
+            }
+        }
+        let query = tap
+            .take_events()
+            .iter()
+            .find_map(|e| match e {
+                GuardEvent::QueryRequested { query, .. } => Some(*query),
+                _ => None,
+            })
+            .expect("query raised");
+        tap.schedule_verdict(&mut ctx, query, verdict, SimDuration::from_secs(1));
+        // Fire the delivery timer the mock recorded last.
+        let (_, token) = *ctx.timers.last().expect("delivery timer set");
+        ctx.now = SimTime::from_secs(31);
+        tap.on_timer(&mut ctx, token);
+        match verdict {
+            Verdict::Legitimate => {
+                assert_eq!(ctx.released, 5);
+                assert_eq!(tap.stats.allowed, 1);
+            }
+            Verdict::Malicious => {
+                assert_eq!(ctx.discarded, 5);
+                assert_eq!(tap.stats.blocked, 1);
+            }
+        }
+        assert!(!tap.has_pending_queries());
+        assert_eq!(tap.stats.hold_durations_s.len(), 1);
+    }
+}
+
+#[test]
+#[should_panic(expected = "unknown query")]
+fn verdict_for_unknown_query_panics() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    tap.schedule_verdict(&mut ctx, QueryId(99), Verdict::Legitimate, SimDuration::ZERO);
+}
+
+#[test]
+#[should_panic(expected = "already answered")]
+fn double_verdict_panics() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    establish(&mut tap, &mut ctx, 1);
+    ctx.now = SimTime::from_secs(30);
+    for len in [277u32, 131, 138] {
+        tap.on_segment(&mut ctx, &data_view(1, len));
+    }
+    let query = tap
+        .take_events()
+        .iter()
+        .find_map(|e| match e {
+            GuardEvent::QueryRequested { query, .. } => Some(*query),
+            _ => None,
+        })
+        .expect("query raised");
+    tap.schedule_verdict(&mut ctx, query, Verdict::Legitimate, SimDuration::ZERO);
+    tap.schedule_verdict(&mut ctx, query, Verdict::Malicious, SimDuration::ZERO);
+}
+
+#[test]
+fn other_flows_are_never_touched() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    // A flow to a non-AVS server whose lengths diverge from the signature.
+    for len in [99u32, 88, 77, 66, 55, 44] {
+        let mut view = data_view(7, len);
+        view.dst = SocketAddrV4::new(Ipv4Addr::new(3, 3, 3, 3), 443);
+        assert_eq!(tap.on_segment(&mut ctx, &view), TapVerdict::Forward);
+    }
+    assert_eq!(tap.stats.queries, 0);
+    assert_eq!(tap.learned_avs_ip(), None);
+}
+
+#[test]
+fn retransmissions_do_not_feed_the_classifier() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    establish(&mut tap, &mut ctx, 1);
+    ctx.now = SimTime::from_secs(30);
+    // First packet of a spike…
+    assert_eq!(
+        tap.on_segment(&mut ctx, &data_view(1, 300)),
+        TapVerdict::Hold
+    );
+    // …followed by retransmitted copies of it: held (stream is on hold)
+    // but not classified as new packets.
+    for _ in 0..10 {
+        let mut view = data_view(1, 300);
+        view.retransmit = true;
+        assert_eq!(tap.on_segment(&mut ctx, &view), TapVerdict::Hold);
+    }
+    // No classification event yet: the classifier has seen one packet.
+    assert!(tap
+        .take_events()
+        .iter()
+        .all(|e| !matches!(e, GuardEvent::SpikeClassified { .. })));
+}

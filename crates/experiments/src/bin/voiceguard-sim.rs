@@ -1,0 +1,162 @@
+//! `voiceguard-sim` — command-line front-end for the reproduction.
+//!
+//! ```text
+//! voiceguard-sim <command> [options]
+//!
+//! commands:
+//!   demo       [--testbed N] [--speaker echo|ghm] [--seed S]
+//!                 run a short guarded-home demo and print the decisions
+//!   survey     [--testbed N] [--deployment 0|1] [--seed S]
+//!                 print the per-location RSSI survey and the calibrated
+//!                 threshold (Figs. 8-9)
+//!   table1     [--invocations N] [--seed S]
+//!                 run the spike-recognition experiment (Table I)
+//!   tables     [--scale F] [--seed S]
+//!                 run the 12-case end-to-end evaluation (Tables II-IV)
+//!   fig7       [--invocations N] [--seed S]
+//!                 measure the RSSI-query workflow delay distribution
+//!   ablations  [--seed S]
+//!                 run the design-choice ablations
+//!   all        [--seed S]
+//!                 run the full battery (writes EXPERIMENTS-style output)
+//! ```
+
+use experiments::orchestrator::{GuardedHome, ScenarioConfig};
+use rand::Rng;
+use rfsim::Point;
+use simcore::SimDuration;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use testbeds::{all as all_testbeds, Testbed};
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, name: &str, default: T) -> T {
+    flags
+        .get(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn pick_testbed(flags: &HashMap<String, String>) -> Testbed {
+    let idx: usize = flag(flags, "testbed", 1);
+    let mut testbeds = all_testbeds();
+    if idx == 0 || idx > testbeds.len() {
+        eprintln!("--testbed must be 1..=3 (house, apartment, office); using 2");
+        return testbeds.swap_remove(1);
+    }
+    testbeds.swap_remove(idx - 1)
+}
+
+fn cmd_demo(flags: &HashMap<String, String>) {
+    let seed: u64 = flag(flags, "seed", 7);
+    let testbed = pick_testbed(flags);
+    let speaker_kind = flags.get("speaker").map(String::as_str).unwrap_or("echo");
+    let cfg = if speaker_kind == "ghm" {
+        ScenarioConfig::ghm(testbed, 0, seed)
+    } else {
+        ScenarioConfig::echo(testbed, 0, seed)
+    };
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    println!(
+        "{} with a {} — threshold {:.1} dB",
+        home.testbed().name,
+        speaker_kind,
+        home.thresholds[0]
+    );
+    let dev = home.device_ids()[0];
+    let sp = home.testbed().deployments[0];
+    for round in 0..6 {
+        let malicious = round % 2 == 1;
+        let pos = if malicious {
+            home.testbed().outside
+        } else {
+            Point::new(sp.x + 1.0, sp.y, sp.floor)
+        };
+        home.set_device_position(dev, pos);
+        let words = home.rng().gen_range(4..=8);
+        let id = home.utter(words, 1, malicious);
+        home.run_for(SimDuration::from_secs(26));
+        println!(
+            "  {} command ({words} words): {}",
+            if malicious { "attack " } else { "owner's" },
+            if home.executed(id) { "EXECUTED" } else { "BLOCKED" }
+        );
+    }
+    let stats = home.guard_stats();
+    println!(
+        "guard: {} queries / {} allowed / {} blocked",
+        stats.queries, stats.allowed, stats.blocked
+    );
+}
+
+fn cmd_survey(flags: &HashMap<String, String>) {
+    let seed: u64 = flag(flags, "seed", 1);
+    let deployment: usize = flag(flags, "deployment", 0);
+    let result = experiments::fig89::run(seed);
+    let testbed = pick_testbed(flags);
+    for survey in result.surveys {
+        if survey.testbed == testbed.name && survey.deployment == deployment.min(1) {
+            println!(
+                "{} — deployment {} — calibrated threshold {:.1} dB (paper {:.0})",
+                survey.testbed,
+                survey.deployment + 1,
+                survey.threshold_db,
+                survey.paper_threshold_db
+            );
+            for (id, rssi) in &survey.locations {
+                println!("  #{id:>3}  {rssi:>6.1} dB");
+            }
+            return;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: voiceguard-sim <demo|survey|table1|tables|fig7|ablations|all> [--flags]");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let seed: u64 = flag(&flags, "seed", 2023);
+    match command.as_str() {
+        "demo" => cmd_demo(&flags),
+        "survey" => cmd_survey(&flags),
+        "table1" => {
+            let n: usize = flag(&flags, "invocations", 40);
+            println!("{}", experiments::table1::run_sized(seed, n).table);
+        }
+        "tables" => {
+            let scale: f64 = flag(&flags, "scale", 0.25);
+            for table in experiments::tables234::run_scaled(seed, scale).tables {
+                println!("{table}");
+            }
+        }
+        "fig7" => {
+            let n: usize = flag(&flags, "invocations", 30);
+            println!("{}", experiments::fig7::run_sized(seed, n).table);
+        }
+        "ablations" => println!("{}", experiments::ablations::run(seed)),
+        "all" => println!("{}", experiments::run_all(seed).to_markdown()),
+        other => {
+            eprintln!("unknown command '{other}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

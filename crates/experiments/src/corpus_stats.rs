@@ -1,0 +1,82 @@
+//! §V-A2 — command-corpus length statistics.
+//!
+//! The paper crawls 320 Alexa and 443 Google Assistant commands and
+//! reports their word-length statistics to argue that, at 2 words/s, the
+//! RSSI query almost always finishes while the user is still speaking.
+
+use crate::report::{fmt_f, pct, Table};
+use speakers::Corpus;
+
+/// Runs the corpus analysis.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "§V-A2 — voice-command corpus statistics (paper vs. measured)",
+        &[
+            "corpus",
+            "commands (paper)",
+            "commands (ours)",
+            "mean words (paper)",
+            "mean words (ours)",
+            "length coverage (paper)",
+            "length coverage (ours)",
+            "speech outlasts mean RSSI query",
+        ],
+    );
+    let alexa = Corpus::alexa();
+    table.push_row(vec![
+        "Alexa".into(),
+        "320".into(),
+        alexa.len().to_string(),
+        "5.95".into(),
+        fmt_f(alexa.mean_words(), 2),
+        ">86.8% with >=4 words".into(),
+        format!("{} with >=4 words", pct(alexa.fraction_at_least_words(4))),
+        pct(alexa.fraction_spoken_longer_than(1.622)),
+    ]);
+    let google = Corpus::google();
+    table.push_row(vec![
+        "Google Assistant".into(),
+        "443".into(),
+        google.len().to_string(),
+        "7.39".into(),
+        fmt_f(google.mean_words(), 2),
+        ">93.9% with >=5 words".into(),
+        format!("{} with >=5 words", pct(google.fraction_at_least_words(5))),
+        pct(google.fraction_spoken_longer_than(1.892)),
+    ]);
+    table.note(
+        "Corpora are synthesized to match the crawl statistics; the paper's crawled command \
+         lists are not redistributable. The last column reproduces the '80% or higher chance \
+         the RSSI query finishes during speech' claim.",
+    );
+    table
+}
+
+/// Helper re-exported for the corpus-related assertions in tests.
+pub fn corpus_speech_coverage(mean_query_s: f64) -> (f64, f64) {
+    (
+        Corpus::alexa().fraction_spoken_longer_than(mean_query_s),
+        Corpus::google().fraction_spoken_longer_than(mean_query_s),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_two_rows() {
+        let t = run();
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0][0] == "Alexa");
+        assert_eq!(t.rows[0][2], "320");
+        assert_eq!(t.rows[1][2], "443");
+    }
+
+    #[test]
+    fn coverage_exceeds_paper_claim() {
+        let (alexa, google) = corpus_speech_coverage(1.9);
+        assert!(alexa >= 0.80, "alexa coverage {alexa}");
+        assert!(google >= 0.80, "google coverage {google}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Fig. 10 — stair-route trace clusters and their separability.
+//!
+//! For both deployment locations in the two-floor house we record the
+//! paper's trace sets (15 Up, 15 Down, 25 in-room Route 1, 10 Route 2,
+//! 10 Route 3), fit each trace's line, and verify:
+//!
+//! * Route 1 slopes lie within (−1, 1) while Up/Down/Route 2/Route 3
+//!   slopes lie outside — the paper's first-stage rule;
+//! * within each slope category, clusters separate in the
+//!   (slope, intercept) plane, so a classifier trained on the traces
+//!   labels fresh traces correctly.
+
+use crate::report::{fmt_f, pct, Table};
+use mobility::{TraceRecorder, Walk};
+use rand::rngs::StdRng;
+use rfsim::{BleChannel, Point, PropagationConfig};
+use simcore::{LinearFit, RngStreams, SimDuration, SimTime};
+use testbeds::{two_floor_house, RouteKind, Testbed};
+use voiceguard::{RouteClass, RouteClassifier};
+
+/// Per-class cluster statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStat {
+    /// The class.
+    pub class: RouteClass,
+    /// Mean fitted slope.
+    pub slope_mean: f64,
+    /// Mean fitted intercept.
+    pub intercept_mean: f64,
+    /// Fraction of evaluation traces classified correctly.
+    pub accuracy: f64,
+}
+
+/// Result of the Fig. 10 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// Cluster statistics for (deployment, class).
+    pub clusters: Vec<(usize, ClusterStat)>,
+    /// Raw evaluation points for the scatter plot:
+    /// `(deployment, class, slope, intercept)`.
+    pub points: Vec<(usize, RouteClass, f64, f64)>,
+    /// Overall evaluation accuracy across classes and deployments.
+    pub overall_accuracy: f64,
+    /// The rendered table.
+    pub table: Table,
+}
+
+fn record_traces(
+    testbed: &Testbed,
+    channel: &BleChannel,
+    kind: RouteKind,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<LinearFit> {
+    let mut fits = Vec::new();
+    match kind {
+        RouteKind::InRoom(_) => {
+            // 5 traces in each of the five Route-1 rooms (paper: 25).
+            for route in &testbed.routes {
+                if let RouteKind::InRoom(room) = route.kind {
+                    let rect = testbed.plan.room(room).rect;
+                    let floor = testbed.plan.room(room).floor;
+                    for _ in 0..n {
+                        let p1 = Point::new(
+                            rand::Rng::gen_range(rng, rect.x0 + 0.3..rect.x1 - 0.3),
+                            rand::Rng::gen_range(rng, rect.y0 + 0.3..rect.y1 - 0.3),
+                            floor,
+                        );
+                        let p2 = Point::new(
+                            (p1.x + rand::Rng::gen_range(rng, -1.2..1.2))
+                                .clamp(rect.x0 + 0.2, rect.x1 - 0.2),
+                            (p1.y + rand::Rng::gen_range(rng, -1.2..1.2))
+                                .clamp(rect.y0 + 0.2, rect.y1 - 0.2),
+                            floor,
+                        );
+                        let walk =
+                            Walk::new(vec![p1, p2], SimTime::ZERO, SimDuration::from_secs(8));
+                        fits.push(TraceRecorder.record(channel, &walk, SimTime::ZERO, rng).fit);
+                    }
+                }
+            }
+        }
+        _ => {
+            let route = testbed.routes_of_kind(kind)[0].clone();
+            for _ in 0..n {
+                let walk = Walk::new(
+                    route.waypoints.clone(),
+                    SimTime::ZERO,
+                    SimDuration::from_secs_f64(route.duration_s),
+                );
+                fits.push(TraceRecorder.record(channel, &walk, SimTime::ZERO, rng).fit);
+            }
+        }
+    }
+    fits
+}
+
+const CLASS_SETS: [(RouteKind, RouteClass, usize); 5] = [
+    (RouteKind::Up, RouteClass::Up, 15),
+    (RouteKind::Down, RouteClass::Down, 15),
+    // 5 per room × 5 rooms = 25 for Route 1.
+    (
+        RouteKind::InRoom(rfsim::RoomId(0)),
+        RouteClass::InRoom,
+        5,
+    ),
+    (RouteKind::Route2, RouteClass::Route2, 10),
+    (RouteKind::Route3, RouteClass::Route3, 10),
+];
+
+/// Runs the experiment for both deployments.
+pub fn run(seed: u64) -> Fig10Result {
+    let testbed = two_floor_house();
+    let streams = RngStreams::new(seed).fork("fig10");
+    let mut clusters = Vec::new();
+    let mut points = Vec::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+
+    let mut table = Table::new(
+        "Fig. 10 — stair-route trace clusters (two-floor house)",
+        &["deployment", "class", "mean slope", "mean intercept", "classification accuracy"],
+    );
+
+    for deployment in 0..2usize {
+        let prop = PropagationConfig {
+            shadow_seed: seed ^ 0x10,
+            ..PropagationConfig::paper_calibrated()
+        };
+        let channel = BleChannel::new(
+            prop,
+            testbed.plan.clone(),
+            testbed.deployments[deployment],
+        );
+        let mut rng = streams.indexed_stream("traces", deployment as u64);
+
+        // Training set.
+        let mut training = Vec::new();
+        for (kind, class, n) in CLASS_SETS {
+            for fit in record_traces(&testbed, &channel, kind, n, &mut rng) {
+                training.push((class, fit));
+            }
+        }
+        let classifier = RouteClassifier::train(&training);
+
+        // Fresh evaluation traces.
+        for (kind, class, n) in CLASS_SETS {
+            let eval = record_traces(&testbed, &channel, kind, n, &mut rng);
+            for fit in &eval {
+                points.push((deployment, class, fit.slope, fit.intercept));
+            }
+            let n_eval = eval.len();
+            let ok = eval
+                .iter()
+                .filter(|fit| classifier.classify(fit) == class)
+                .count();
+            correct += ok;
+            total += n_eval;
+            let slope_mean = eval.iter().map(|f| f.slope).sum::<f64>() / n_eval as f64;
+            let intercept_mean = eval.iter().map(|f| f.intercept).sum::<f64>() / n_eval as f64;
+            let stat = ClusterStat {
+                class,
+                slope_mean,
+                intercept_mean,
+                accuracy: ok as f64 / n_eval as f64,
+            };
+            table.push_row(vec![
+                format!("{}", deployment + 1),
+                format!("{class:?}"),
+                fmt_f(stat.slope_mean, 2),
+                fmt_f(stat.intercept_mean, 1),
+                pct(stat.accuracy),
+            ]);
+            clusters.push((deployment, stat));
+        }
+    }
+    let overall_accuracy = correct as f64 / total as f64;
+    table.note(format!(
+        "Overall accuracy {} — the paper reports the clusters as 'easily separated'.",
+        pct(overall_accuracy)
+    ));
+    Fig10Result {
+        clusters,
+        points,
+        overall_accuracy,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_categories_match_paper() {
+        let r = run(61);
+        for (dep, stat) in &r.clusters {
+            match stat.class {
+                RouteClass::InRoom => assert!(
+                    stat.slope_mean.abs() < 1.0,
+                    "dep {dep} in-room slope {}",
+                    stat.slope_mean
+                ),
+                // Stair routes are steep at every deployment.
+                RouteClass::Up => assert!(
+                    stat.slope_mean < -1.0,
+                    "dep {dep} Up slope {}",
+                    stat.slope_mean
+                ),
+                RouteClass::Down => assert!(
+                    stat.slope_mean > 1.0,
+                    "dep {dep} Down slope {}",
+                    stat.slope_mean
+                ),
+                // Which stair route the confusable walks mimic depends on
+                // the deployment; at the paper's first location Route 2
+                // mimics Up and Route 3 mimics Down.
+                RouteClass::Route2 => {
+                    if *dep == 0 {
+                        assert!(stat.slope_mean < -1.0, "Route2 slope {}", stat.slope_mean);
+                    } else {
+                        assert!(stat.slope_mean.abs() >= 0.5, "Route2 should be steep-ish");
+                    }
+                }
+                RouteClass::Route3 => {
+                    if *dep == 0 {
+                        assert!(stat.slope_mean > 1.0, "Route3 slope {}", stat.slope_mean);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_separable() {
+        let r = run(62);
+        assert!(
+            r.overall_accuracy >= 0.9,
+            "overall accuracy {}",
+            r.overall_accuracy
+        );
+        // The safety-critical distinctions — Up vs Route 2 and Down vs
+        // Route 3 — must be near-perfect.
+        for (_, stat) in &r.clusters {
+            if matches!(stat.class, RouteClass::Up | RouteClass::Down) {
+                assert!(
+                    stat.accuracy >= 0.85,
+                    "{:?} accuracy {}",
+                    stat.class,
+                    stat.accuracy
+                );
+            }
+        }
+    }
+}

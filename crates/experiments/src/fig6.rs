@@ -1,0 +1,113 @@
+//! Fig. 6 — the two user-perceived-delay cases.
+//!
+//! * **Case (a)** — the RSSI query completes before the user finishes
+//!   speaking: zero perceived delay.
+//! * **Case (b)** — the command is short and ends before verification is
+//!   done: the user perceives only the residual delay, much shorter than
+//!   the full verification time.
+
+use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::report::{fmt_f, Table};
+use rfsim::Point;
+use simcore::SimDuration;
+use speakers::EchoDotApp;
+use testbeds::apartment;
+
+/// Result of the Fig. 6 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Perceived delay for the long command (case a), seconds.
+    pub long_command_delay_s: f64,
+    /// Perceived delay for the short command (case b), seconds.
+    pub short_command_delay_s: f64,
+    /// Decision latency of the short command's query, seconds.
+    pub short_command_verification_s: f64,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// Runs both cases.
+pub fn run(seed: u64) -> Fig6Result {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, seed));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let speaker = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(speaker.x + 1.0, speaker.y, speaker.floor));
+
+    // Case (a): a 12-word command takes 6 s to speak — far longer than the
+    // RSSI verification.
+    let long_id = home.utter(12, 1, false);
+    home.run_for(SimDuration::from_secs(40));
+
+    // Case (b): a 3-word command ends after 1.5 s, before the verdict.
+    let short_id = home.utter(3, 1, false);
+    home.run_for(SimDuration::from_secs(40));
+
+    let (long_delay, short_delay) = home
+        .net
+        .with_app::<EchoDotApp, _>(home.speaker_host, |app, _| {
+            (
+                app.invocation(long_id)
+                    .and_then(|r| r.perceived_delay_s())
+                    .unwrap_or(f64::NAN),
+                app.invocation(short_id)
+                    .and_then(|r| r.perceived_delay_s())
+                    .unwrap_or(f64::NAN),
+            )
+        });
+    let short_verification = home
+        .decisions
+        .last()
+        .map(|d| d.decision_latency_s)
+        .unwrap_or(f64::NAN);
+
+    let mut table = Table::new(
+        "Fig. 6 — user-perceived delay (paper vs. measured)",
+        &["case", "paper behaviour", "measured perceived delay (s)"],
+    );
+    table.push_row(vec![
+        "(a) long command".into(),
+        "no delay: query completes during speech".into(),
+        fmt_f(long_delay, 3),
+    ]);
+    table.push_row(vec![
+        "(b) short command".into(),
+        "short residual delay, less than the verification time".into(),
+        format!(
+            "{} (verification itself took {})",
+            fmt_f(short_delay, 3),
+            fmt_f(short_verification, 3)
+        ),
+    ]);
+    Fig6Result {
+        long_command_delay_s: long_delay,
+        short_command_delay_s: short_delay,
+        short_command_verification_s: short_verification,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_commands_hide_the_verification() {
+        let r = run(31);
+        // Case (a): verification hides inside speech; only the cloud's
+        // think time remains.
+        assert!(
+            r.long_command_delay_s < 1.0,
+            "long-command delay {}",
+            r.long_command_delay_s
+        );
+        // Case (b): the user waits, but less than the full verification.
+        assert!(r.short_command_delay_s > r.long_command_delay_s);
+        assert!(
+            r.short_command_delay_s < r.short_command_verification_s + 1.0,
+            "residual {} vs verification {}",
+            r.short_command_delay_s,
+            r.short_command_verification_s
+        );
+    }
+}

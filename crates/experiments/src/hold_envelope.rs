@@ -1,0 +1,136 @@
+//! The hold envelope — how long can the Traffic Handler sit on a command?
+//!
+//! The paper's §IV-B2 (building on the IoT phantom-delay work it cites)
+//! claims the transparent proxy "can hold smart speaker's traffic for
+//! dozens of seconds without triggering any alarm or causing the
+//! connection to be terminated". This experiment sweeps the verdict delay
+//! and reports, per hold duration, whether the connection survived and the
+//! command still executed after release.
+
+use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::report::Table;
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::apartment;
+use voiceguard::{GuardEvent, Verdict, VoiceGuardTap};
+
+/// Outcome of one swept hold duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoldPoint {
+    /// The verdict delay applied, seconds.
+    pub hold_s: u64,
+    /// The command executed after release.
+    pub executed: bool,
+    /// The AVS session survived the hold (no timeout/teardown).
+    pub connection_survived: bool,
+}
+
+/// Result of the hold-envelope sweep.
+#[derive(Debug, Clone)]
+pub struct HoldEnvelopeResult {
+    /// One point per swept duration.
+    pub points: Vec<HoldPoint>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+fn run_point(seed: u64, hold_s: u64) -> HoldPoint {
+    for attempt in 0..4 {
+        if let Some(p) = run_point_once(seed + attempt * 500, hold_s) {
+            return p;
+        }
+    }
+    HoldPoint {
+        hold_s,
+        executed: false,
+        connection_survived: false,
+    }
+}
+
+fn run_point_once(seed: u64, hold_s: u64) -> Option<HoldPoint> {
+    // Note: the guard's 25 s fail-closed timeout does not interfere — a
+    // scheduled verdict counts as answered, so the sweep measures the
+    // network's tolerance of the hold itself.
+    let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, seed));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let sp = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(sp.x + 1.0, sp.y, sp.floor));
+
+    let id = home.utter(4, 1, false);
+    // Intercept the query ourselves so we control the verdict delay
+    // exactly (the stock orchestrator would answer with the sampled FCM
+    // latency).
+    let mut query = None;
+    let deadline = home.net.now() + SimDuration::from_secs(6);
+    while home.net.now() < deadline && query.is_none() {
+        home.net.run_for(SimDuration::from_millis(100));
+        let events = home
+            .net
+            .with_tap::<VoiceGuardTap, _>(home.speaker_host, |g, _| g.take_events());
+        for ev in events {
+            if let GuardEvent::QueryRequested { query: q, .. } = ev {
+                query = Some(q);
+            }
+        }
+    }
+    let q = query?; // unrecognisable spike: retry with another seed
+    home.net
+        .with_tap::<VoiceGuardTap, _>(home.speaker_host, |g, ctx| {
+            g.schedule_verdict(ctx, q, Verdict::Legitimate, SimDuration::from_secs(hold_s))
+        });
+    home.run_for(SimDuration::from_secs(hold_s + 25));
+
+    let executed = home.executed(id);
+    let survived = home
+        .net
+        .with_app::<speakers::EchoDotApp, _>(home.speaker_host, |app, _| {
+            app.avs_closes.is_empty()
+        });
+    Some(HoldPoint {
+        hold_s,
+        executed,
+        connection_survived: survived,
+    })
+}
+
+/// Sweeps hold durations from 1 to 60 seconds.
+pub fn run(seed: u64) -> HoldEnvelopeResult {
+    let mut points = Vec::new();
+    let mut table = Table::new(
+        "Hold envelope — §IV-B2's 'dozens of seconds' claim",
+        &["hold (s)", "command executed after release", "connection survived"],
+    );
+    for hold_s in [1u64, 5, 10, 20, 30, 60] {
+        let p = run_point(seed + hold_s, hold_s);
+        table.push_row(vec![
+            p.hold_s.to_string(),
+            p.executed.to_string(),
+            p.connection_survived.to_string(),
+        ]);
+        points.push(p);
+    }
+    table.note(
+        "The proxy ACKs held segments and keep-alive probes toward the speaker, so neither \
+         retransmission nor keep-alive failure fires during the hold — the mechanism behind \
+         the paper's dozens-of-seconds claim.",
+    );
+    HoldEnvelopeResult { points, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dozens_of_seconds_hold_is_survivable() {
+        for hold_s in [10u64, 30] {
+            let p = run_point(111, hold_s);
+            assert!(
+                p.connection_survived,
+                "{hold_s} s hold must not break the session"
+            );
+            assert!(p.executed, "{hold_s} s hold must still execute on release");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! Each module reproduces one evaluation artefact of VoiceGuard (DSN
+//! 2023); [`run_all`] executes the whole battery and renders an
+//! `EXPERIMENTS.md`-style report.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table1`] | Table I — Echo spike-phase recognition confusion matrix |
+//! | [`fig3`] | Fig. 3 — traffic spikes during a user–Echo interaction |
+//! | [`fig4`] | Fig. 4 — transparent-proxy cases I/II/III |
+//! | [`fig5`] | Fig. 5 — the RSSI decision workflow timeline |
+//! | [`fig6`] | Fig. 6 — user-perceived delay cases (a)/(b) |
+//! | [`fig7`] | Fig. 7 — RSSI-query delay distributions |
+//! | [`fig89`] | Figs. 8 & 9 — per-location RSSI surveys + thresholds |
+//! | [`fig10`] | Fig. 10 — stair-route trace clusters |
+//! | [`tables234`] | Tables II–IV — 7-day end-to-end accuracy |
+//! | [`hold_envelope`] | §IV-B2 — the "dozens of seconds" hold claim |
+//! | [`threat_coverage`] | §III-B — block rate per attack vector |
+//! | [`corpus_stats`] | §V-A2 — command-corpus length statistics |
+//! | [`ablations`] | design-choice ablations (DESIGN.md §5) |
+//!
+//! The shared scenario machinery lives in [`orchestrator`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod corpus_stats;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig89;
+pub mod hold_envelope;
+pub mod orchestrator;
+pub mod report;
+pub mod summary;
+pub mod table1;
+pub mod tables234;
+pub mod threat_coverage;
+
+pub use orchestrator::{CommandRecord, GuardedHome, ScenarioConfig};
+pub use report::{Report, Table};
+
+/// Runs every experiment with the given master seed and collects the
+/// report. This is what `examples/reproduce_paper.rs` and the benches
+/// call.
+pub fn run_all(seed: u64) -> Report {
+    let mut report = Report::new("VoiceGuard reproduction — paper vs. measured");
+    report.add_table(corpus_stats::run());
+    let t1 = table1::run(seed);
+    report.add_table(t1.table.clone());
+    report.add_table(fig3::run(seed).table);
+    report.add_table(fig4::run(seed).table);
+    report.add_table(fig5::run(seed).table);
+    report.add_table(fig6::run(seed).table);
+    let f7 = fig7::run(seed);
+    report.add_table(f7.table.clone());
+    for t in fig89::run(seed).tables {
+        report.add_table(t);
+    }
+    report.add_table(fig10::run(seed).table);
+    let tables = tables234::run(seed);
+    for t in &tables.tables {
+        report.add_table(t.clone());
+    }
+    report.add_table(threat_coverage::run(seed).table);
+    report.add_table(hold_envelope::run(seed).table);
+    report.add_table(ablations::run(seed));
+    report.add_table(summary::run(&t1, &f7, &tables).table);
+    report
+}

@@ -1,0 +1,620 @@
+//! Scenario orchestration: a complete guarded smart home.
+//!
+//! [`GuardedHome`] assembles everything the paper's prototype had:
+//!
+//! * a testbed floorplan with a speaker at one of its two deployment
+//!   locations and a BLE channel calibrated to the paper's RSSI scale;
+//! * a packet network with the speaker model, its cloud endpoints, and the
+//!   VoiceGuard tap on the speaker's access link;
+//! * registered owner devices whose thresholds come from the calibration
+//!   app, optionally with trained floor trackers (two-floor house);
+//! * the Decision Module, driven by the orchestration loop: guard queries
+//!   are answered with RSSI measurements at the devices' current
+//!   positions, delayed by sampled FCM/scan latency.
+
+use netsim::{HostId, Network, NetworkConfig, ServerPool};
+use phone::{
+    DeviceId, DeviceKind, DeviceRegistry, FcmLatencyModel, MobileDevice, ThresholdCalibrator,
+};
+use rand::rngs::StdRng;
+use rfsim::{BleChannel, Point, PropagationConfig};
+use simcore::{RngStreams, SimDuration, SimTime};
+use speakers::{
+    AvsCloud, CommandOutcome, CommandSpec, EchoDotApp, GoogleCloud, GoogleHomeApp, AVS_DOMAIN,
+    GOOGLE_DOMAIN,
+};
+use mobility::{TraceRecorder, Walk};
+use std::net::Ipv4Addr;
+use testbeds::{RouteKind, Testbed};
+use voiceguard::{
+    DecisionModule, DeviceProfile, FloorTracker, GuardConfig, GuardEvent, QueryId, RouteClass,
+    RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap,
+};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const AVS_IPS: [Ipv4Addr; 2] = [
+    Ipv4Addr::new(52, 94, 233, 10),
+    Ipv4Addr::new(52, 94, 233, 11),
+];
+const GOOGLE_IP: Ipv4Addr = Ipv4Addr::new(142, 250, 80, 4);
+
+/// Scenario parameters.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The testbed to deploy in.
+    pub testbed: Testbed,
+    /// Which of the two deployment locations (0 or 1).
+    pub deployment: usize,
+    /// Speaker model.
+    pub speaker: SpeakerKind,
+    /// Owner devices to register: (name, kind).
+    pub devices: Vec<(String, DeviceKind)>,
+    /// Master seed.
+    pub seed: u64,
+    /// Train and use the floor tracker (only meaningful in the two-floor
+    /// house).
+    pub floor_tracking: bool,
+    /// Keep the packet capture (needed by the figure experiments; off for
+    /// long table runs).
+    pub capture: bool,
+    /// Ablation: naive "any post-idle spike is a command" recognition.
+    pub naive_spike_detection: bool,
+    /// Advertisement packets averaged per RSSI scan (default 3).
+    pub scan_samples: usize,
+    /// Wire loss probability for the home network (default 0).
+    pub loss_probability: f64,
+}
+
+impl ScenarioConfig {
+    /// A single-phone Echo Dot deployment in the given testbed.
+    pub fn echo(testbed: Testbed, deployment: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            floor_tracking: !testbed.routes.is_empty(),
+            testbed,
+            deployment,
+            speaker: SpeakerKind::EchoDot,
+            devices: vec![("Pixel 5".to_string(), DeviceKind::Phone)],
+            seed,
+            capture: false,
+            naive_spike_detection: false,
+            scan_samples: 3,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Same but with a Google Home Mini.
+    pub fn ghm(testbed: Testbed, deployment: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            speaker: SpeakerKind::GoogleHomeMini,
+            ..ScenarioConfig::echo(testbed, deployment, seed)
+        }
+    }
+}
+
+/// Ground-truth record of an uttered command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommandRecord {
+    /// Speaker-level command id.
+    pub id: u64,
+    /// When it was uttered.
+    pub at: SimTime,
+    /// Ground truth: was this an attack?
+    pub malicious: bool,
+}
+
+/// Record of one answered guard query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// The query.
+    pub query: QueryId,
+    /// The verdict delivered.
+    pub verdict: Verdict,
+    /// Decision latency (FCM push + scan + report), seconds.
+    pub decision_latency_s: f64,
+    /// When the guard started holding traffic for this query.
+    pub hold_started: SimTime,
+    /// The strongest RSSI any device reported (dB).
+    pub best_rssi_db: f64,
+}
+
+/// A complete guarded-home scenario.
+pub struct GuardedHome {
+    /// The packet network (public for capture/trace inspection).
+    pub net: Network,
+    /// The speaker's host.
+    pub speaker_host: HostId,
+    speaker_kind: SpeakerKind,
+    channel: BleChannel,
+    registry: DeviceRegistry,
+    decision: DecisionModule,
+    testbed: Testbed,
+    deployment: usize,
+    rng: StdRng,
+    next_cmd: u64,
+    /// Ground truth for every uttered command.
+    pub commands: Vec<CommandRecord>,
+    /// Every query answered by the Decision Module.
+    pub decisions: Vec<DecisionRecord>,
+    /// All guard events drained so far.
+    pub guard_events: Vec<GuardEvent>,
+    /// Calibrated threshold per registered device (dB).
+    pub thresholds: Vec<f64>,
+}
+
+impl GuardedHome {
+    /// Builds the scenario: network, guard, calibration, training.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (no devices, bad deployment index).
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        assert!(cfg.deployment < 2, "deployment must be 0 or 1");
+        assert!(!cfg.devices.is_empty(), "need at least one owner device");
+        let streams = RngStreams::new(cfg.seed).fork("orchestrator");
+        let mut rng = streams.stream("main");
+
+        // RF channel for this deployment.
+        let speaker_pos = cfg.testbed.deployments[cfg.deployment];
+        let prop = PropagationConfig {
+            shadow_seed: cfg.seed ^ 0xB1E,
+            ..PropagationConfig::paper_calibrated()
+        };
+        let channel = BleChannel::new(prop, cfg.testbed.plan.clone(), speaker_pos);
+
+        // Network.
+        let mut net = Network::new(NetworkConfig {
+            seed: cfg.seed,
+            capture_enabled: cfg.capture,
+            loss_probability: cfg.loss_probability,
+            ..NetworkConfig::default()
+        });
+        let speaker_host = net.add_host("speaker", SPEAKER_IP);
+        match cfg.speaker {
+            SpeakerKind::EchoDot => {
+                let avs1 = net.add_host("avs-1", AVS_IPS[0]);
+                let avs2 = net.add_host("avs-2", AVS_IPS[1]);
+                net.set_app(avs1, Box::new(AvsCloud::new()));
+                net.set_app(avs2, Box::new(AvsCloud::new()));
+                net.dns_zone_mut()
+                    .insert(AVS_DOMAIN, ServerPool::new(AVS_IPS.to_vec()));
+                net.set_app(
+                    speaker_host,
+                    Box::new(EchoDotApp::new(AVS_DOMAIN, AVS_IPS.to_vec(), vec![])),
+                );
+                net.set_tap(
+                    speaker_host,
+                    Box::new(VoiceGuardTap::new(GuardConfig {
+                        naive_spike_detection: cfg.naive_spike_detection,
+                        ..GuardConfig::echo_dot()
+                    })),
+                );
+            }
+            SpeakerKind::GoogleHomeMini => {
+                let google = net.add_host("google", GOOGLE_IP);
+                net.set_app(google, Box::new(GoogleCloud::new()));
+                net.dns_zone_mut()
+                    .insert(GOOGLE_DOMAIN, ServerPool::new(vec![GOOGLE_IP]));
+                net.set_app(speaker_host, Box::new(GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7)));
+                net.set_tap(
+                    speaker_host,
+                    Box::new(VoiceGuardTap::new(GuardConfig {
+                        naive_spike_detection: cfg.naive_spike_detection,
+                        ..GuardConfig::google_home_mini()
+                    })),
+                );
+            }
+        }
+        net.start();
+
+        // Devices, thresholds, floor trackers.
+        let zone = cfg.testbed.legit_zones[cfg.deployment];
+        let calibrator = ThresholdCalibrator::default();
+        let mut registry = DeviceRegistry::new();
+        let mut thresholds = Vec::new();
+        let classifier = if cfg.floor_tracking && !cfg.testbed.routes.is_empty() {
+            Some(train_classifier(&cfg.testbed, &channel, &mut rng))
+        } else {
+            None
+        };
+        let mut profiles = Vec::new();
+        for (name, kind) in &cfg.devices {
+            let id = registry.register(MobileDevice {
+                name: name.clone(),
+                kind: *kind,
+                position: speaker_pos,
+            });
+            let threshold = calibrator
+                .walk_room(&channel, zone.rect, zone.floor, &mut rng)
+                .threshold_db;
+            thresholds.push(threshold);
+            let latency = match kind {
+                DeviceKind::Phone => FcmLatencyModel::smartphone(),
+                DeviceKind::Watch => FcmLatencyModel::smartwatch(),
+            };
+            profiles.push(DeviceProfile {
+                device: id,
+                threshold_db: threshold,
+                latency,
+                floor_tracker: classifier.clone().map(FloorTracker::new),
+            });
+        }
+        let mut decision = DecisionModule::new(profiles);
+        decision.set_scan_samples(cfg.scan_samples);
+
+        GuardedHome {
+            net,
+            speaker_host,
+            speaker_kind: cfg.speaker,
+            channel,
+            registry,
+            decision,
+            deployment: cfg.deployment,
+            testbed: cfg.testbed,
+            rng,
+            next_cmd: 1,
+            commands: Vec::new(),
+            decisions: Vec::new(),
+            guard_events: Vec::new(),
+            thresholds,
+        }
+    }
+
+    /// The BLE channel (e.g. to inspect RSSI at positions).
+    pub fn channel(&self) -> &BleChannel {
+        &self.channel
+    }
+
+    /// The testbed in use.
+    pub fn testbed(&self) -> &Testbed {
+        &self.testbed
+    }
+
+    /// Which deployment location the speaker sits at.
+    pub fn deployment(&self) -> usize {
+        self.deployment
+    }
+
+    /// Deterministic orchestration RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// All registered device ids.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        self.registry.ids()
+    }
+
+    /// Moves a device (the owner carrying it) to `position`.
+    pub fn set_device_position(&mut self, device: DeviceId, position: Point) {
+        self.registry.device_mut(device).position = position;
+    }
+
+    /// A device's current position.
+    pub fn device_position(&self, device: DeviceId) -> Point {
+        self.registry.device(device).position
+    }
+
+    /// Utters a command at the speaker *now*. Returns its id.
+    pub fn utter(&mut self, words: usize, response_parts: usize, malicious: bool) -> u64 {
+        let id = self.next_cmd;
+        self.next_cmd += 1;
+        let spec = CommandSpec {
+            id,
+            words,
+            response_parts,
+        };
+        let at = self.net.now();
+        match self.speaker_kind {
+            SpeakerKind::EchoDot => {
+                self.net
+                    .with_app::<EchoDotApp, _>(self.speaker_host, |app, ctx| {
+                        app.speak_command(ctx, spec)
+                    });
+            }
+            SpeakerKind::GoogleHomeMini => {
+                self.net
+                    .with_app::<GoogleHomeApp, _>(self.speaker_host, |app, ctx| {
+                        app.speak_command(ctx, spec)
+                    });
+            }
+        }
+        self.commands.push(CommandRecord { id, at, malicious });
+        id
+    }
+
+    /// The outcome of a command by id.
+    pub fn outcome(&mut self, id: u64) -> CommandOutcome {
+        match self.speaker_kind {
+            SpeakerKind::EchoDot => self
+                .net
+                .with_app::<EchoDotApp, _>(self.speaker_host, |app, _| {
+                    app.invocation(id).map(|r| r.outcome)
+                })
+                .unwrap_or(CommandOutcome::Pending),
+            SpeakerKind::GoogleHomeMini => self
+                .net
+                .with_app::<GoogleHomeApp, _>(self.speaker_host, |app, _| {
+                    app.invocation(id).map(|r| r.outcome)
+                })
+                .unwrap_or(CommandOutcome::Pending),
+        }
+    }
+
+    /// True if the command was executed by the cloud.
+    pub fn executed(&mut self, id: u64) -> bool {
+        self.outcome(id) == CommandOutcome::Executed
+    }
+
+    /// Simulates the owner walking a stair route: the motion sensor fires,
+    /// the 8-second RSSI trace is recorded from `device`, and the Decision
+    /// Module's floor tracker consumes it. The device ends up at the
+    /// route's last waypoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the testbed has no route of that kind.
+    pub fn stair_motion(&mut self, device: DeviceId, kind: RouteKind) {
+        let route = self
+            .testbed
+            .routes_of_kind(kind)
+            .first()
+            .copied()
+            .unwrap_or_else(|| panic!("{}: no route {kind:?}", self.testbed.name))
+            .clone();
+        let start = self.net.now();
+        let waypoints = if route.waypoints.is_empty() {
+            // In-room route: small random movement inside the room.
+            let RouteKind::InRoom(room) = kind else {
+                panic!("only in-room routes may omit waypoints")
+            };
+            let rect = self.testbed.plan.room(room).rect;
+            let floor = self.testbed.plan.room(room).floor;
+            let p1 = Point::new(
+                rand::Rng::gen_range(&mut self.rng, rect.x0 + 0.3..rect.x1 - 0.3),
+                rand::Rng::gen_range(&mut self.rng, rect.y0 + 0.3..rect.y1 - 0.3),
+                floor,
+            );
+            let p2 = Point::new(
+                (p1.x + rand::Rng::gen_range(&mut self.rng, -1.0..1.0))
+                    .clamp(rect.x0 + 0.2, rect.x1 - 0.2),
+                (p1.y + rand::Rng::gen_range(&mut self.rng, -1.0..1.0))
+                    .clamp(rect.y0 + 0.2, rect.y1 - 0.2),
+                floor,
+            );
+            vec![p1, p2]
+        } else {
+            route.waypoints.clone()
+        };
+        let walk = Walk::new(
+            waypoints,
+            start,
+            SimDuration::from_secs_f64(route.duration_s),
+        );
+        let trace = TraceRecorder.record(&self.channel, &walk, start, &mut self.rng);
+        for dev in self.registry.ids() {
+            if dev == device {
+                self.decision.on_motion_trace(dev, &trace.fit);
+            }
+        }
+        let end_pos = walk.position_at(walk.end());
+        self.set_device_position(device, end_pos);
+    }
+
+    /// Direct access to the Decision Module (e.g. for custom policies).
+    pub fn decision_mut(&mut self) -> &mut DecisionModule {
+        &mut self.decision
+    }
+
+    /// Runs the scenario for `d` of simulated time, answering guard
+    /// queries along the way.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let end = self.net.now() + d;
+        let slice = SimDuration::from_millis(100);
+        while self.net.now() < end {
+            self.net.run_for(slice);
+            self.pump_guard();
+        }
+    }
+
+    /// Drains guard events and answers any new queries.
+    fn pump_guard(&mut self) {
+        let events = self
+            .net
+            .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, _| g.take_events());
+        for ev in &events {
+            if let GuardEvent::QueryRequested {
+                query,
+                hold_started,
+                ..
+            } = ev
+            {
+                let registry = &self.registry;
+                let now = self.net.now();
+                let outcome = self.decision.decide_at(
+                    now,
+                    &|d: DeviceId| registry.device(d).position,
+                    &self.channel,
+                    &mut self.rng,
+                );
+                let q = *query;
+                let delay = outcome.ready_after;
+                let verdict = outcome.verdict;
+                let best_rssi_db = outcome
+                    .reports
+                    .iter()
+                    .map(|r| r.rssi_db)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                self.net
+                    .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, ctx| {
+                        g.schedule_verdict(ctx, q, verdict, delay)
+                    });
+                self.decisions.push(DecisionRecord {
+                    query: q,
+                    verdict,
+                    decision_latency_s: delay.as_secs_f64(),
+                    hold_started: *hold_started,
+                    best_rssi_db,
+                });
+            }
+        }
+        self.guard_events.extend(events);
+    }
+
+    /// Snapshot of the guard's statistics.
+    pub fn guard_stats(&mut self) -> voiceguard::GuardStats {
+        self.net
+            .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, _| g.stats.clone())
+    }
+}
+
+/// Trains the route classifier the way the paper does: 15 Up, 15 Down,
+/// 25 in-room, 10 Route-2 and 10 Route-3 pre-recorded traces.
+fn train_classifier(
+    testbed: &Testbed,
+    channel: &BleChannel,
+    rng: &mut StdRng,
+) -> RouteClassifier {
+    let mut examples = Vec::new();
+    let mut record_kind = |kind: RouteKind, class: RouteClass, n: usize, rng: &mut StdRng| {
+        for route in testbed.routes_of_kind(kind) {
+            if route.waypoints.is_empty() {
+                continue;
+            }
+            for _ in 0..n {
+                let walk = Walk::new(
+                    route.waypoints.clone(),
+                    SimTime::ZERO,
+                    SimDuration::from_secs_f64(route.duration_s),
+                );
+                let trace = TraceRecorder.record(channel, &walk, SimTime::ZERO, rng);
+                examples.push((class, trace.fit));
+            }
+        }
+    };
+    record_kind(RouteKind::Up, RouteClass::Up, 15, rng);
+    record_kind(RouteKind::Down, RouteClass::Down, 15, rng);
+    record_kind(RouteKind::Route2, RouteClass::Route2, 10, rng);
+    record_kind(RouteKind::Route3, RouteClass::Route3, 10, rng);
+    // In-room traces: 5 per room across the route-1 rooms.
+    for route in &testbed.routes {
+        if let RouteKind::InRoom(room) = route.kind {
+            let rect = testbed.plan.room(room).rect;
+            let floor = testbed.plan.room(room).floor;
+            for _ in 0..5 {
+                let p1 = Point::new(
+                    rand::Rng::gen_range(rng, rect.x0 + 0.3..rect.x1 - 0.3),
+                    rand::Rng::gen_range(rng, rect.y0 + 0.3..rect.y1 - 0.3),
+                    floor,
+                );
+                let p2 = Point::new(
+                    (p1.x + 0.8).min(rect.x1 - 0.2),
+                    (p1.y - 0.6).max(rect.y0 + 0.2),
+                    floor,
+                );
+                let walk = Walk::new(vec![p1, p2], SimTime::ZERO, SimDuration::from_secs(8));
+                let trace = TraceRecorder.record(channel, &walk, SimTime::ZERO, rng);
+                examples.push((RouteClass::InRoom, trace.fit));
+            }
+        }
+    }
+    RouteClassifier::train(&examples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::{OwnerPlacement, PlacementSampler};
+    use testbeds::{apartment, two_floor_house};
+
+    #[test]
+    fn guarded_home_boots_and_calibrates() {
+        let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, 1));
+        home.run_for(SimDuration::from_secs(5));
+        assert_eq!(home.thresholds.len(), 1);
+        let threshold = home.thresholds[0];
+        assert!(
+            (-9.0..=-3.5).contains(&threshold),
+            "calibrated threshold {threshold}"
+        );
+    }
+
+    #[test]
+    fn owner_in_room_command_executes() {
+        let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, 2));
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        let speaker = home.testbed().deployments[0];
+        home.set_device_position(dev, Point::new(speaker.x + 1.0, speaker.y, speaker.floor));
+        let id = home.utter(6, 1, false);
+        home.run_for(SimDuration::from_secs(30));
+        assert!(home.executed(id), "in-room command must execute");
+    }
+
+    #[test]
+    fn attack_with_owner_away_is_blocked() {
+        let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, 3));
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        let sampler = PlacementSampler::new(home.testbed().clone(), 0);
+        let away = {
+            let rng = home.rng();
+            sampler.sample_position(OwnerPlacement::Outside, rng)
+        };
+        home.set_device_position(dev, away);
+        let id = home.utter(4, 1, true);
+        home.run_for(SimDuration::from_secs(40));
+        assert!(!home.executed(id), "attack with owner outside must be blocked");
+        let stats = home.guard_stats();
+        assert_eq!(stats.blocked, 1);
+    }
+
+    #[test]
+    fn ghm_scenario_works_too() {
+        let mut home = GuardedHome::new(ScenarioConfig::ghm(apartment(), 1, 4));
+        home.run_for(SimDuration::from_secs(3));
+        let dev = home.device_ids()[0];
+        let speaker = home.testbed().deployments[1];
+        home.set_device_position(dev, Point::new(speaker.x - 0.8, speaker.y, speaker.floor));
+        let id = home.utter(6, 1, false);
+        home.run_for(SimDuration::from_secs(30));
+        assert!(home.executed(id));
+    }
+
+    #[test]
+    fn floor_tracker_vetoes_leak_cone_in_house() {
+        let mut home = GuardedHome::new(ScenarioConfig::echo(two_floor_house(), 0, 5));
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        // Owner goes upstairs (motion sensor + trace), then stands in the
+        // nursery leak cone where raw RSSI would pass the threshold.
+        home.stair_motion(dev, RouteKind::Up);
+        let cone = home.testbed().location(56);
+        home.set_device_position(dev, cone);
+        assert!(
+            home.channel().mean_rssi(cone) > home.thresholds[0],
+            "precondition: cone above threshold"
+        );
+        let id = home.utter(4, 1, true);
+        home.run_for(SimDuration::from_secs(40));
+        assert!(
+            !home.executed(id),
+            "floor tracker must veto the leak-cone false negative"
+        );
+    }
+
+    #[test]
+    fn multi_user_any_owner_near_suffices() {
+        let mut cfg = ScenarioConfig::echo(apartment(), 0, 6);
+        cfg.devices.push(("Pixel 4a".to_string(), DeviceKind::Phone));
+        let mut home = GuardedHome::new(cfg);
+        home.run_for(SimDuration::from_secs(5));
+        let devs = home.device_ids();
+        let speaker = home.testbed().deployments[0];
+        // First owner far away, second in the room.
+        home.set_device_position(devs[0], home.testbed().outside);
+        home.set_device_position(devs[1], Point::new(speaker.x + 1.2, speaker.y, speaker.floor));
+        let id = home.utter(6, 1, false);
+        home.run_for(SimDuration::from_secs(30));
+        assert!(home.executed(id));
+    }
+}

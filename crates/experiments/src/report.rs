@@ -1,0 +1,186 @@
+//! Report rendering: tables with paper-vs-measured rows, emitted as
+//! markdown and JSON.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One table of results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title, e.g. `"Table I — traffic pattern recognition"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, deviations).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders as CSV (headers + rows; notes omitted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+/// A collection of tables forming one report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Report title.
+    pub title: String,
+    /// All tables in presentation order.
+    pub tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Appends a table.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.push(table);
+    }
+
+    /// Renders the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        for table in &self.tables {
+            out.push_str(&table.to_markdown());
+        }
+        out
+    }
+
+    /// Renders as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never (the report contains only strings).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("string-only structure")
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a float with `d` decimals.
+pub fn fmt_f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.note("a note");
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> a note"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("Demo", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn report_concatenates_tables() {
+        let mut r = Report::new("R");
+        r.add_table(Table::new("T1", &["a"]));
+        r.add_table(Table::new("T2", &["b"]));
+        let md = r.to_markdown();
+        assert!(md.contains("# R") && md.contains("### T1") && md.contains("### T2"));
+        assert!(r.to_json().contains("\"T1\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.9875), "98.75%");
+        assert_eq!(fmt_f(1.62234, 3), "1.622");
+    }
+}

@@ -1,0 +1,165 @@
+//! Table I — traffic pattern recognition.
+//!
+//! The paper activates the Echo Dot 134 times with random commands; every
+//! post-idle traffic spike (command phase *and* response phase) triggers
+//! the recogniser. Table I reports 132/134 command spikes recognised
+//! (recall 98.51 %), 149/149 response spikes correctly ignored
+//! (precision 100 %), accuracy 99.29 %.
+
+use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::report::{pct, Table};
+use rand::Rng;
+use rfsim::Point;
+use simcore::{ConfusionMatrix, SimDuration};
+use speakers::{EchoDotApp, SpikePhase};
+use testbeds::apartment;
+use voiceguard::{GuardEvent, SpikeClass};
+
+/// Result of the Table I experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// The rendered table.
+    pub table: Table,
+    /// The raw confusion matrix (positive = command spike).
+    pub matrix: ConfusionMatrix,
+    /// Number of speaker invocations.
+    pub invocations: usize,
+}
+
+/// Runs the full 134-invocation experiment.
+pub fn run(seed: u64) -> Table1Result {
+    run_sized(seed, 134)
+}
+
+/// Runs with a custom invocation count (tests/benches use fewer).
+pub fn run_sized(seed: u64, invocations: usize) -> Table1Result {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, seed));
+    home.run_for(SimDuration::from_secs(5));
+    // Owner stays next to the speaker so every command executes and
+    // produces its response spikes.
+    let dev = home.device_ids()[0];
+    let speaker = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(speaker.x + 1.0, speaker.y, speaker.floor));
+
+    for _ in 0..invocations {
+        let words = home.rng().gen_range(3..=9);
+        // ~11% of commands produce a second spoken part, reproducing the
+        // paper's 149 response spikes across 134 invocations.
+        let parts = if home.rng().gen_bool(0.11) { 2 } else { 1 };
+        home.utter(words, parts, false);
+        home.run_for(SimDuration::from_secs(26));
+    }
+    home.run_for(SimDuration::from_secs(10));
+
+    // Ground truth from the speaker, predictions from the guard.
+    let labels = home
+        .net
+        .with_app::<EchoDotApp, _>(home.speaker_host, |app, _| app.spikes.clone());
+    let predictions: Vec<(simcore::SimTime, SpikeClass)> = home
+        .guard_events
+        .iter()
+        .filter_map(|e| match e {
+            GuardEvent::SpikeClassified { spike_start, class } => Some((*spike_start, *class)),
+            _ => None,
+        })
+        .collect();
+
+    // Match each ground-truth spike to the nearest classification within
+    // half a second.
+    let mut matrix = ConfusionMatrix::new();
+    let mut unmatched_labels = 0usize;
+    for label in &labels {
+        let nearest = predictions
+            .iter()
+            .map(|(t, c)| {
+                let dt = if *t >= label.start {
+                    t.saturating_since(label.start)
+                } else {
+                    label.start.saturating_since(*t)
+                };
+                (dt, *c)
+            })
+            .min_by_key(|(dt, _)| dt.as_nanos());
+        match nearest {
+            Some((dt, class)) if dt < SimDuration::from_millis(500) => {
+                let actual_command = label.phase == SpikePhase::Command;
+                let predicted_command = class == SpikeClass::Command;
+                matrix.record(actual_command, predicted_command);
+            }
+            _ => {
+                // A spike the guard never classified: a missed command is
+                // a false negative; a missed response spike is a true
+                // negative (it was ignored, which is correct).
+                unmatched_labels += 1;
+                matrix.record(label.phase == SpikePhase::Command, false);
+            }
+        }
+    }
+
+    let mut table = Table::new(
+        "Table I — Echo Dot traffic pattern recognition (paper vs. measured)",
+        &["metric", "paper", "measured"],
+    );
+    table.push_row(vec![
+        "speaker invocations".into(),
+        "134".into(),
+        invocations.to_string(),
+    ]);
+    table.push_row(vec![
+        "command spikes recognised".into(),
+        "132 / 134".into(),
+        format!("{} / {}", matrix.true_positives, matrix.actual_positives()),
+    ]);
+    table.push_row(vec![
+        "response spikes mis-held".into(),
+        "0 / 149".into(),
+        format!("{} / {}", matrix.false_positives, matrix.actual_negatives()),
+    ]);
+    table.push_row(vec![
+        "accuracy".into(),
+        "99.29%".into(),
+        pct(matrix.accuracy()),
+    ]);
+    table.push_row(vec![
+        "precision".into(),
+        "100%".into(),
+        pct(matrix.precision()),
+    ]);
+    table.push_row(vec![
+        "recall".into(),
+        "98.51%".into(),
+        pct(matrix.recall()),
+    ]);
+    if unmatched_labels > 0 {
+        table.note(format!("{unmatched_labels} spikes had no classification event"));
+    }
+    Table1Result {
+        table,
+        matrix,
+        invocations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_run_matches_paper_shape() {
+        let r = run_sized(7, 40);
+        assert_eq!(r.matrix.actual_positives(), 40, "one command spike each");
+        assert!(
+            r.matrix.actual_negatives() >= 40,
+            "at least one response spike per executed command, got {}",
+            r.matrix.actual_negatives()
+        );
+        // Paper shape: perfect precision, near-perfect recall.
+        assert_eq!(r.matrix.false_positives, 0, "precision must stay 100%");
+        assert!(
+            r.matrix.recall() >= 0.9,
+            "recall {} too low",
+            r.matrix.recall()
+        );
+        assert!(r.matrix.accuracy() >= 0.95);
+    }
+}

@@ -1,0 +1,347 @@
+//! Tables II–IV — the 7-day end-to-end evaluation.
+//!
+//! Twelve cases: {two-floor house, apartment, office} × {Echo Dot, Google
+//! Home Mini} × {deployment 1, deployment 2}. The homes have two phone
+//! owners (Pixel 5 + Pixel 4a); the office has one watch owner (Galaxy
+//! Watch4). Owners issue commands from the speaker's zone; a malicious
+//! guest replays commands only when no owner is near the speaker (owners
+//! may be elsewhere inside, upstairs, or out of the building).
+//!
+//! Ground truth is *who issued the command*; the measured outcome is
+//! *whether the command executed*. Positive class = malicious, so recall
+//! is "fraction of attacks blocked" and precision suffers when legitimate
+//! commands are wrongly blocked.
+//!
+//! The inter-command idle time is compressed (the paper spreads ~160
+//! commands over 7 days; we spread them over a few simulated hours),
+//! which does not affect any per-command decision.
+
+use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::report::{pct, Table};
+use phone::DeviceKind;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rfsim::Point;
+use simcore::{ConfusionMatrix, SimDuration};
+use testbeds::{apartment, office, two_floor_house, RouteKind, Testbed};
+use voiceguard::SpeakerKind;
+
+/// Paper-reported workload and results for one case, used both as the
+/// workload specification and as the comparison column.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperCase {
+    /// Legitimate commands issued (the paper's N row total).
+    pub legit: u32,
+    /// Malicious commands issued (P row total).
+    pub malicious: u32,
+    /// Paper accuracy (fraction).
+    pub accuracy: f64,
+}
+
+/// One evaluated case.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Testbed name.
+    pub testbed: String,
+    /// Speaker model.
+    pub speaker: SpeakerKind,
+    /// Deployment index.
+    pub deployment: usize,
+    /// The confusion matrix (positive = malicious).
+    pub matrix: ConfusionMatrix,
+    /// Paper reference.
+    pub paper: PaperCase,
+}
+
+/// Result of the Tables II–IV reproduction.
+#[derive(Debug, Clone)]
+pub struct Tables234Result {
+    /// All twelve case outcomes.
+    pub cases: Vec<CaseOutcome>,
+    /// One table per testbed.
+    pub tables: Vec<Table>,
+}
+
+/// Paper numbers per testbed: [Echo L1, Echo L2, GHM L1, GHM L2].
+fn paper_cases(testbed: &str) -> [PaperCase; 4] {
+    match testbed {
+        "two-floor house" => [
+            PaperCase { legit: 91, malicious: 69, accuracy: 0.9875 },
+            PaperCase { legit: 103, malicious: 78, accuracy: 0.9834 },
+            PaperCase { legit: 94, malicious: 65, accuracy: 0.9748 },
+            PaperCase { legit: 86, malicious: 63, accuracy: 0.9732 },
+        ],
+        "two-bedroom apartment" => [
+            PaperCase { legit: 78, malicious: 59, accuracy: 0.9781 },
+            PaperCase { legit: 88, malicious: 65, accuracy: 0.9804 },
+            PaperCase { legit: 80, malicious: 57, accuracy: 0.9708 },
+            PaperCase { legit: 95, malicious: 50, accuracy: 0.9862 },
+        ],
+        "office" => [
+            PaperCase { legit: 85, malicious: 47, accuracy: 0.9773 },
+            PaperCase { legit: 94, malicious: 52, accuracy: 0.9795 },
+            PaperCase { legit: 90, malicious: 50, accuracy: 0.9929 },
+            PaperCase { legit: 91, malicious: 51, accuracy: 0.9859 },
+        ],
+        other => panic!("unknown testbed {other}"),
+    }
+}
+
+fn devices_for(testbed: &str) -> Vec<(String, DeviceKind)> {
+    if testbed == "office" {
+        vec![("Galaxy Watch4".to_string(), DeviceKind::Watch)]
+    } else {
+        vec![
+            ("Pixel 5".to_string(), DeviceKind::Phone),
+            ("Pixel 4a".to_string(), DeviceKind::Phone),
+        ]
+    }
+}
+
+/// Positions whose *mean* RSSI is below the device threshold — the
+/// protocol's "owner not near the speaker" placements for attack events.
+fn away_positions(home: &GuardedHome, threshold: f64) -> Vec<Point> {
+    let tb = home.testbed();
+    let mut positions: Vec<Point> = tb
+        .locations
+        .iter()
+        .map(|l| l.point)
+        .filter(|p| home.channel().mean_rssi(*p) < threshold - 1.5)
+        .collect();
+    positions.push(tb.outside);
+    positions
+}
+
+/// Runs one case with a workload scale factor (1.0 = the paper's counts).
+pub fn run_case(
+    testbed: Testbed,
+    deployment: usize,
+    speaker: SpeakerKind,
+    paper: PaperCase,
+    seed: u64,
+    scale: f64,
+) -> CaseOutcome {
+    let cfg = ScenarioConfig {
+        devices: devices_for(testbed.name),
+        ..match speaker {
+            SpeakerKind::EchoDot => ScenarioConfig::echo(testbed.clone(), deployment, seed),
+            SpeakerKind::GoogleHomeMini => ScenarioConfig::ghm(testbed.clone(), deployment, seed),
+        }
+    };
+    let has_stairs = !testbed.routes.is_empty();
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+
+    let legit_n = ((paper.legit as f64 * scale).round() as u32).max(4);
+    let mal_n = ((paper.malicious as f64 * scale).round() as u32).max(4);
+    let mut events: Vec<bool> = std::iter::repeat_n(false, legit_n as usize)
+        .chain(std::iter::repeat_n(true, mal_n as usize))
+        .collect();
+    {
+        let rng = home.rng();
+        events.shuffle(rng);
+    }
+
+    let devices = home.device_ids();
+    let zone = home.testbed().legit_zones[deployment];
+    let thresholds = home.thresholds.clone();
+    // Track which devices we've walked upstairs (house only).
+    let mut upstairs: Vec<bool> = vec![false; devices.len()];
+
+    for (i, malicious) in events.into_iter().enumerate() {
+        if malicious {
+            // Every owner away from the speaker. In the house, some
+            // owners go upstairs (through the motion sensor) — including
+            // into the leak cone that would fool a raw RSSI check.
+            for (di, dev) in devices.iter().enumerate() {
+                let go_upstairs = has_stairs && home.rng().gen_bool(0.3);
+                if go_upstairs {
+                    if !upstairs[di] {
+                        home.stair_motion(*dev, RouteKind::Up);
+                        upstairs[di] = true;
+                    }
+                    let spot = pick_upstairs_spot(&mut home);
+                    home.set_device_position(*dev, spot);
+                } else {
+                    if upstairs[di] {
+                        home.stair_motion(*dev, RouteKind::Down);
+                        upstairs[di] = false;
+                    }
+                    let choices = away_positions(&home, thresholds[di]);
+                    let pick = {
+                        let rng = home.rng();
+                        // Ground-floor away positions only (upstairs is
+                        // handled by the branch above, with the tracker).
+                        let grounded: Vec<Point> = choices
+                            .iter()
+                            .copied()
+                            .filter(|p| p.floor == zone.floor)
+                            .collect();
+                        grounded[rng.gen_range(0..grounded.len())]
+                    };
+                    home.set_device_position(*dev, pick);
+                }
+            }
+        } else {
+            // One owner (rotating) stands in the zone; the others roam.
+            let active = i % devices.len();
+            for (di, dev) in devices.iter().enumerate() {
+                if di == active {
+                    if upstairs[di] {
+                        home.stair_motion(*dev, RouteKind::Down);
+                        upstairs[di] = false;
+                    }
+                    let pos = {
+                        let rng = home.rng();
+                        zone.sample_inset(rng, 0.4)
+                    };
+                    home.set_device_position(*dev, pos);
+                } else {
+                    if upstairs[di] {
+                        home.stair_motion(*dev, RouteKind::Down);
+                        upstairs[di] = false;
+                    }
+                    let choices = away_positions(&home, thresholds[di]);
+                    let pick = {
+                        let rng = home.rng();
+                        choices[rng.gen_range(0..choices.len())]
+                    };
+                    home.set_device_position(*dev, pick);
+                }
+            }
+        }
+        let words = home.rng().gen_range(3..=9);
+        home.utter(words, 1, malicious);
+        home.run_for(SimDuration::from_secs(24));
+    }
+    home.run_for(SimDuration::from_secs(30));
+
+    // Score: positive = malicious; predicted positive = blocked.
+    let records = home.commands.clone();
+    let mut matrix = ConfusionMatrix::new();
+    for rec in records {
+        let executed = home.executed(rec.id);
+        matrix.record(rec.malicious, !executed);
+    }
+    CaseOutcome {
+        testbed: home.testbed().name.to_string(),
+        speaker,
+        deployment,
+        matrix,
+        paper,
+    }
+}
+
+fn pick_upstairs_spot(home: &mut GuardedHome) -> Point {
+    // Any first-floor measurement location, *including* the leak cone
+    // (#55-62) where raw RSSI would wrongly vouch.
+    let spots: Vec<Point> = home
+        .testbed()
+        .locations
+        .iter()
+        .map(|l| l.point)
+        .filter(|p| p.floor == 1)
+        .collect();
+    let rng = home.rng();
+    spots[rng.gen_range(0..spots.len())]
+}
+
+/// Runs all twelve cases at the paper's full workload.
+pub fn run(seed: u64) -> Tables234Result {
+    run_scaled(seed, 1.0)
+}
+
+/// Runs all twelve cases at a scaled workload (tests/benches use < 1).
+pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
+    let mut cases = Vec::new();
+    let mut tables = Vec::new();
+    for (t_idx, testbed) in [two_floor_house(), apartment(), office()].into_iter().enumerate() {
+        let papers = paper_cases(testbed.name);
+        let mut table = Table::new(
+            format!(
+                "Table {} — RSSI method, {} (paper vs. measured)",
+                ["II", "III", "IV"][t_idx],
+                testbed.name
+            ),
+            &[
+                "case",
+                "legit correct/total",
+                "malicious correct/total",
+                "accuracy (paper)",
+                "accuracy",
+                "precision",
+                "recall",
+            ],
+        );
+        for (c_idx, (speaker, deployment)) in [
+            (SpeakerKind::EchoDot, 0),
+            (SpeakerKind::EchoDot, 1),
+            (SpeakerKind::GoogleHomeMini, 0),
+            (SpeakerKind::GoogleHomeMini, 1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let outcome = run_case(
+                testbed.clone(),
+                deployment,
+                speaker,
+                papers[c_idx],
+                seed ^ ((t_idx as u64) << 8) ^ (c_idx as u64),
+                scale,
+            );
+            let m = &outcome.matrix;
+            table.push_row(vec![
+                format!("{:?} loc {}", speaker, deployment + 1),
+                format!("{} / {}", m.true_negatives, m.actual_negatives()),
+                format!("{} / {}", m.true_positives, m.actual_positives()),
+                pct(outcome.paper.accuracy),
+                pct(m.accuracy()),
+                pct(m.precision()),
+                pct(m.recall()),
+            ]);
+            cases.push(outcome);
+        }
+        tables.push(table);
+    }
+    Tables234Result { cases, tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apartment_echo_case_matches_paper_band() {
+        let paper = paper_cases("two-bedroom apartment")[0];
+        let out = run_case(apartment(), 0, SpeakerKind::EchoDot, paper, 71, 0.35);
+        let m = &out.matrix;
+        assert!(
+            m.accuracy() >= 0.93,
+            "accuracy {:.3} too far below the paper's ~0.98 ({m})",
+            m.accuracy()
+        );
+        assert!(
+            m.recall() >= 0.95,
+            "recall {:.3}; the paper blocks essentially all attacks ({m})",
+            m.recall()
+        );
+    }
+
+    #[test]
+    fn house_case_with_floor_tracker_blocks_upstairs_attacks() {
+        let paper = paper_cases("two-floor house")[0];
+        let out = run_case(two_floor_house(), 0, SpeakerKind::EchoDot, paper, 72, 0.3);
+        let m = &out.matrix;
+        assert!(m.recall() >= 0.95, "recall {:.3} ({m})", m.recall());
+        assert!(m.accuracy() >= 0.9, "accuracy {:.3} ({m})", m.accuracy());
+    }
+
+    #[test]
+    fn office_watch_case_works() {
+        let paper = paper_cases("office")[2];
+        let out = run_case(office(), 0, SpeakerKind::GoogleHomeMini, paper, 73, 0.3);
+        let m = &out.matrix;
+        assert!(m.accuracy() >= 0.9, "accuracy {:.3} ({m})", m.accuracy());
+    }
+}

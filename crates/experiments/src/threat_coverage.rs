@@ -1,0 +1,119 @@
+//! Threat coverage — block rate per attack vector of the threat model
+//! (§III-B).
+//!
+//! VoiceGuard is audio-agnostic, so every vector reduces to the same
+//! command traffic; this experiment demonstrates that equivalence
+//! empirically: replay, synthesis, ultrasound, laser and remote-playback
+//! attacks are all blocked at the same (near-total) rate, bounded only by
+//! the recognizer's ~1.5 % unrecognisable-spike residue.
+
+use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::report::{pct, Table};
+use attacks::{AttackPlanner, AttackVector};
+use simcore::SimDuration;
+use speakers::CommandSpec;
+use testbeds::apartment;
+
+/// Block statistics for one vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorOutcome {
+    /// The vector.
+    pub vector: AttackVector,
+    /// Attacks attempted.
+    pub attempts: u32,
+    /// Attacks blocked.
+    pub blocked: u32,
+}
+
+impl VectorOutcome {
+    /// Fraction blocked.
+    pub fn block_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            return 1.0;
+        }
+        f64::from(self.blocked) / f64::from(self.attempts)
+    }
+}
+
+/// Result of the threat-coverage experiment.
+#[derive(Debug, Clone)]
+pub struct ThreatCoverageResult {
+    /// Per-vector outcomes.
+    pub outcomes: Vec<VectorOutcome>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// Runs `attempts_per_vector` attacks of every vector with the owner away.
+pub fn run_sized(seed: u64, attempts_per_vector: u32) -> ThreatCoverageResult {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, seed));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    home.set_device_position(dev, home.testbed().outside);
+    let planner = AttackPlanner::new(home.testbed().deployments[0]);
+
+    let mut outcomes = Vec::new();
+    let mut table = Table::new(
+        "Threat coverage — block rate per attack vector (§III-B)",
+        &["vector", "remote", "human-audible", "attempts", "blocked", "block rate"],
+    );
+    let mut next_id = 1u64;
+    for vector in AttackVector::ALL {
+        let mut blocked = 0;
+        for _ in 0..attempts_per_vector {
+            let attempt = {
+                let rng = home.rng();
+                planner.plan(vector, CommandSpec::simple(next_id), rng)
+            };
+            // The attack's audio reaches the microphone; from here on the
+            // traffic is identical for every vector.
+            let id = home.utter(attempt.command.words, 1, true);
+            next_id = id + 1;
+            home.run_for(SimDuration::from_secs(26));
+            if !home.executed(id) {
+                blocked += 1;
+            }
+        }
+        let outcome = VectorOutcome {
+            vector,
+            attempts: attempts_per_vector,
+            blocked,
+        };
+        table.push_row(vec![
+            format!("{vector:?}"),
+            vector.is_remote().to_string(),
+            vector.human_audible().to_string(),
+            outcome.attempts.to_string(),
+            outcome.blocked.to_string(),
+            pct(outcome.block_rate()),
+        ]);
+        outcomes.push(outcome);
+    }
+    table.note(
+        "All vectors produce identical command traffic, so block rates agree up to the \
+         recognizer's ~1.5% unrecognisable-spike residue (Table I's misses).",
+    );
+    ThreatCoverageResult { outcomes, table }
+}
+
+/// The default-size run used by `run_all`.
+pub fn run(seed: u64) -> ThreatCoverageResult {
+    run_sized(seed, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vector_is_essentially_always_blocked() {
+        let r = run_sized(121, 4);
+        assert_eq!(r.outcomes.len(), 6);
+        let total: u32 = r.outcomes.iter().map(|o| o.attempts).sum();
+        let blocked: u32 = r.outcomes.iter().map(|o| o.blocked).sum();
+        assert!(
+            f64::from(blocked) / f64::from(total) >= 0.9,
+            "{blocked}/{total} blocked"
+        );
+    }
+}

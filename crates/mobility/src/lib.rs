@@ -1,0 +1,29 @@
+//! # mobility — human movement over testbed floorplans
+//!
+//! Three things move in the paper's experiments:
+//!
+//! * owners walking routes (notably the stair routes of §V-B2, whose RSSI
+//!   traces train and exercise the floor-level tracker);
+//! * a Hue motion sensor near the stairs that triggers trace recording;
+//! * owners and guests positioning themselves around the home during the
+//!   7-day runs of Tables II–IV.
+//!
+//! This crate provides [`Walk`] (constant-pace waypoint interpolation),
+//! [`TraceRecorder`] (the 8-second, 0.2 s-period, 40-sample RSSI trace of
+//! §V-B2), [`MotionSensor`], and [`PlacementSampler`] (where people stand
+//! when a command is issued).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod placement;
+pub mod schedule;
+pub mod sensor;
+pub mod traces;
+pub mod walk;
+
+pub use placement::{OwnerPlacement, PlacementSampler};
+pub use schedule::{owner_day, DaySchedule, Sojourn};
+pub use sensor::MotionSensor;
+pub use traces::{RouteTrace, TraceRecorder, TRACE_SAMPLES, TRACE_SAMPLE_PERIOD_S};
+pub use walk::Walk;

@@ -1,0 +1,151 @@
+//! Owner/guest placement for the 7-day experiments (Tables II–IV).
+//!
+//! The paper's protocol: owners issue commands when they are near the
+//! speaker; the malicious guest issues pre-recorded commands only when no
+//! owner is in the speaker's room, with owners "at any locations outside
+//! this specific room, or even outside the house".
+
+use rand::Rng;
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use testbeds::{Testbed, Zone};
+
+/// Where an owner is when a command is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OwnerPlacement {
+    /// Inside the speaker's legitimate zone.
+    NearSpeaker,
+    /// Somewhere else inside the building.
+    ElsewhereInside,
+    /// Out of the building entirely.
+    Outside,
+}
+
+/// Samples occupant positions for command events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSampler {
+    testbed: Testbed,
+    deployment: usize,
+}
+
+impl PlacementSampler {
+    /// Creates a sampler for the given deployment (0 or 1) of a testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deployment` is not 0 or 1.
+    pub fn new(testbed: Testbed, deployment: usize) -> Self {
+        assert!(deployment < 2, "deployments are 0 or 1");
+        PlacementSampler {
+            testbed,
+            deployment,
+        }
+    }
+
+    /// The underlying testbed.
+    pub fn testbed(&self) -> &Testbed {
+        &self.testbed
+    }
+
+    /// The speaker's legitimate zone.
+    pub fn legit_zone(&self) -> Zone {
+        self.testbed.legit_zones[self.deployment]
+    }
+
+    /// The speaker position.
+    pub fn speaker(&self) -> Point {
+        self.testbed.deployments[self.deployment]
+    }
+
+    /// Samples a position for the given placement.
+    pub fn sample_position<R: Rng + ?Sized>(
+        &self,
+        placement: OwnerPlacement,
+        rng: &mut R,
+    ) -> Point {
+        match placement {
+            OwnerPlacement::NearSpeaker => self.legit_zone().sample(rng),
+            OwnerPlacement::ElsewhereInside => self.sample_elsewhere(rng),
+            OwnerPlacement::Outside => self.testbed.outside,
+        }
+    }
+
+    /// A measurement location outside the legitimate zone (guests and
+    /// away-owners stand at plausible in-building positions).
+    fn sample_elsewhere<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let zone = self.legit_zone();
+        let candidates: Vec<Point> = self
+            .testbed
+            .locations
+            .iter()
+            .map(|l| l.point)
+            .filter(|p| !zone.contains(*p))
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "testbed must have locations outside the legit zone"
+        );
+        candidates[rng.gen_range(0..candidates.len())]
+    }
+
+    /// A position inside the speaker's zone for the attacker's playback
+    /// device (the attacker stands near the speaker to play audio).
+    pub fn attacker_position<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        self.legit_zone().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use testbeds::{apartment, office, two_floor_house};
+
+    #[test]
+    fn near_speaker_samples_land_in_zone() {
+        let s = PlacementSampler::new(two_floor_house(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = s.sample_position(OwnerPlacement::NearSpeaker, &mut rng);
+            assert!(s.legit_zone().contains(p));
+        }
+    }
+
+    #[test]
+    fn elsewhere_samples_avoid_zone() {
+        for tb in [two_floor_house(), apartment(), office()] {
+            for dep in 0..2 {
+                let s = PlacementSampler::new(tb.clone(), dep);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                for _ in 0..50 {
+                    let p = s.sample_position(OwnerPlacement::ElsewhereInside, &mut rng);
+                    assert!(!s.legit_zone().contains(p), "{}: {p}", tb.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outside_is_outside_every_room() {
+        let s = PlacementSampler::new(apartment(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = s.sample_position(OwnerPlacement::Outside, &mut rng);
+        assert!(s.testbed().plan.room_at(p).is_none());
+    }
+
+    #[test]
+    fn attacker_is_near_speaker() {
+        let s = PlacementSampler::new(office(), 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let p = s.attacker_position(&mut rng);
+            assert!(s.legit_zone().contains(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn bad_deployment_panics() {
+        PlacementSampler::new(office(), 2);
+    }
+}

@@ -1,0 +1,236 @@
+//! Daily occupant routines for long-horizon scenarios (Tables II–IV run
+//! for seven days).
+//!
+//! A [`DaySchedule`] is a chain of sojourns — "be at this position during
+//! this window" — generated from a simple household template: morning in
+//! the bedroom/kitchen, a working block away from home, an evening in the
+//! living area, night in the bedroom. Between sojourns the occupant
+//! teleports (fine-grained walking is only needed for stair traces, which
+//! [`crate::Walk`] covers).
+
+use rand::Rng;
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use testbeds::Testbed;
+
+/// One stay at a position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sojourn {
+    /// When the stay begins.
+    pub start: SimTime,
+    /// When it ends.
+    pub end: SimTime,
+    /// Where the occupant is.
+    pub position: Point,
+}
+
+/// A full day of sojourns, contiguous from the day's start to its end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaySchedule {
+    sojourns: Vec<Sojourn>,
+}
+
+impl DaySchedule {
+    /// Builds a schedule from contiguous sojourns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sojourns are empty, unordered, or leave gaps.
+    pub fn new(sojourns: Vec<Sojourn>) -> Self {
+        assert!(!sojourns.is_empty(), "a day needs at least one sojourn");
+        for pair in sojourns.windows(2) {
+            assert!(
+                pair[0].end == pair[1].start,
+                "sojourns must be contiguous: {} vs {}",
+                pair[0].end,
+                pair[1].start
+            );
+        }
+        for s in &sojourns {
+            assert!(s.start < s.end, "sojourn must have positive length");
+        }
+        DaySchedule { sojourns }
+    }
+
+    /// The sojourns in order.
+    pub fn sojourns(&self) -> &[Sojourn] {
+        &self.sojourns
+    }
+
+    /// When the schedule starts.
+    pub fn start(&self) -> SimTime {
+        self.sojourns.first().expect("nonempty").start
+    }
+
+    /// When it ends.
+    pub fn end(&self) -> SimTime {
+        self.sojourns.last().expect("nonempty").end
+    }
+
+    /// The occupant's position at `t` (clamped to the first/last sojourn
+    /// outside the schedule).
+    pub fn position_at(&self, t: SimTime) -> Point {
+        for s in &self.sojourns {
+            if t < s.end {
+                return s.position;
+            }
+        }
+        self.sojourns.last().expect("nonempty").position
+    }
+
+    /// Sojourns during which the occupant is inside the given zone.
+    pub fn time_in_zone(&self, zone: testbeds::Zone) -> SimDuration {
+        self.sojourns
+            .iter()
+            .filter(|s| zone.contains(s.position))
+            .map(|s| s.end.saturating_since(s.start))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+/// Generates a plausible owner's day in a testbed.
+///
+/// The template (hours from `day_start`): sleep until ~7, breakfast and
+/// morning at home (some of it near the speaker), away for a working block
+/// (9–17 on weekdays, shorter on weekends), an evening mostly in the
+/// speaker's area, night elsewhere in the home.
+pub fn owner_day<R: Rng + ?Sized>(
+    testbed: &Testbed,
+    deployment: usize,
+    day_start: SimTime,
+    weekday: bool,
+    rng: &mut R,
+) -> DaySchedule {
+    let zone = testbed.legit_zones[deployment];
+    let h = |hours: f64| SimDuration::from_secs_f64(hours * 3600.0);
+    let in_zone = |rng: &mut R| zone.sample_inset(rng, 0.4);
+    let elsewhere = |rng: &mut R| {
+        let candidates: Vec<Point> = testbed
+            .locations
+            .iter()
+            .map(|l| l.point)
+            .filter(|p| !zone.contains(*p))
+            .collect();
+        candidates[rng.gen_range(0..candidates.len())]
+    };
+
+    let wake = 6.5 + rng.gen_range(0.0..1.0);
+    let leave = 8.5 + rng.gen_range(0.0..0.7);
+    let back = if weekday {
+        17.0 + rng.gen_range(0.0..1.5)
+    } else {
+        13.0 + rng.gen_range(0.0..2.0)
+    };
+    let night = 22.0 + rng.gen_range(0.0..1.5);
+
+    let mut sojourns = Vec::new();
+    let mut cursor = day_start;
+    let mut push = |cursor: &mut SimTime, until: SimTime, position: Point| {
+        if until > *cursor {
+            sojourns.push(Sojourn {
+                start: *cursor,
+                end: until,
+                position,
+            });
+            *cursor = until;
+        }
+    };
+    // Asleep elsewhere in the home.
+    push(&mut cursor, day_start + h(wake), elsewhere(rng));
+    // Morning around the speaker (coffee, news).
+    push(&mut cursor, day_start + h(leave), in_zone(rng));
+    // Out of the house.
+    push(&mut cursor, day_start + h(back), testbed.outside);
+    // Evening split: mostly near the speaker, a stretch elsewhere.
+    let dinner_end = back + (night - back) * 0.6;
+    push(&mut cursor, day_start + h(dinner_end), in_zone(rng));
+    push(&mut cursor, day_start + h(night), elsewhere(rng));
+    // Night until the end of the day.
+    push(&mut cursor, day_start + h(24.0), elsewhere(rng));
+    DaySchedule::new(sojourns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use testbeds::apartment;
+
+    fn day(weekday: bool, seed: u64) -> DaySchedule {
+        let tb = apartment();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        owner_day(&tb, 0, SimTime::ZERO, weekday, &mut rng)
+    }
+
+    #[test]
+    fn day_is_contiguous_and_covers_24h() {
+        let d = day(true, 1);
+        assert_eq!(d.start(), SimTime::ZERO);
+        assert_eq!(d.end(), SimTime::from_secs(86_400));
+        for pair in d.sojourns().windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn position_lookup_matches_sojourns() {
+        let d = day(true, 2);
+        for s in d.sojourns() {
+            let mid = s.start + (s.end.saturating_since(s.start)) / 2;
+            assert_eq!(d.position_at(mid), s.position);
+        }
+        // Past the end clamps to the last position.
+        assert_eq!(
+            d.position_at(SimTime::from_secs(200_000)),
+            d.sojourns().last().unwrap().position
+        );
+    }
+
+    #[test]
+    fn owner_spends_time_near_the_speaker_and_away() {
+        let tb = apartment();
+        let d = day(true, 3);
+        let zone = tb.legit_zones[0];
+        let near = d.time_in_zone(zone);
+        assert!(
+            near > SimDuration::from_hours(1),
+            "some home time near the speaker: {near}"
+        );
+        // The working block is out of the house.
+        let noon = SimTime::from_secs(12 * 3600);
+        assert_eq!(d.position_at(noon), tb.outside);
+    }
+
+    #[test]
+    fn weekends_shorten_the_away_block() {
+        let wd = day(true, 4);
+        let we = day(false, 4);
+        let tb = apartment();
+        let away_time = |d: &DaySchedule| {
+            d.sojourns()
+                .iter()
+                .filter(|s| s.position == tb.outside)
+                .map(|s| s.end.saturating_since(s.start))
+                .fold(SimDuration::ZERO, |a, b| a + b)
+        };
+        assert!(away_time(&wd) > away_time(&we));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gaps_are_rejected() {
+        DaySchedule::new(vec![
+            Sojourn {
+                start: SimTime::ZERO,
+                end: SimTime::from_secs(10),
+                position: Point::ground(0.0, 0.0),
+            },
+            Sojourn {
+                start: SimTime::from_secs(20),
+                end: SimTime::from_secs(30),
+                position: Point::ground(0.0, 0.0),
+            },
+        ]);
+    }
+}

@@ -1,0 +1,82 @@
+//! The Hue-style motion sensor near the stairs (paper §V-B2).
+
+use crate::walk::Walk;
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// A passive-infrared motion sensor with a circular detection zone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionSensor {
+    /// Sensor position.
+    pub position: Point,
+    /// Detection radius in metres.
+    pub radius_m: f64,
+}
+
+impl MotionSensor {
+    /// A sensor with the Hue's typical ~2.5 m useful indoor radius.
+    pub fn new(position: Point) -> Self {
+        MotionSensor {
+            position,
+            radius_m: 2.5,
+        }
+    }
+
+    /// True if a subject at `p` is inside the detection zone (same floor
+    /// only).
+    pub fn covers(&self, p: Point) -> bool {
+        p.floor == self.position.floor && self.position.horizontal_distance(&p) <= self.radius_m
+    }
+
+    /// The first instant within the walk at which the sensor fires, if the
+    /// walk ever enters the zone. Sampled at 100 ms granularity.
+    pub fn first_trigger(&self, walk: &Walk) -> Option<SimTime> {
+        let mut t = walk.start();
+        while t < walk.end() {
+            if self.covers(walk.position_at(t)) {
+                return Some(t);
+            }
+            t += simcore::SimDuration::from_millis(100);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn covers_same_floor_within_radius() {
+        let s = MotionSensor::new(Point::ground(5.0, 5.0));
+        assert!(s.covers(Point::ground(6.0, 5.0)));
+        assert!(!s.covers(Point::ground(9.0, 5.0)));
+        assert!(!s.covers(Point::new(5.0, 5.0, 1)), "different floor");
+    }
+
+    #[test]
+    fn walk_through_zone_triggers_once_entering() {
+        let s = MotionSensor::new(Point::ground(10.0, 0.0));
+        let w = Walk::new(
+            vec![Point::ground(0.0, 0.0), Point::ground(20.0, 0.0)],
+            SimTime::ZERO,
+            SimDuration::from_secs(20),
+        );
+        let t = s.first_trigger(&w).expect("walk crosses the zone");
+        // Enters the 2.5 m radius at x = 7.5 m -> t = 7.5 s.
+        assert!((t.as_secs_f64() - 7.5).abs() < 0.2, "triggered at {t}");
+    }
+
+    #[test]
+    fn walk_missing_zone_never_triggers() {
+        let s = MotionSensor::new(Point::ground(10.0, 10.0));
+        let w = Walk::new(
+            vec![Point::ground(0.0, 0.0), Point::ground(20.0, 0.0)],
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        );
+        assert!(s.first_trigger(&w).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! RSSI trace recording along walks (paper §V-B2).
+//!
+//! "we start recording the RSSI value every 0.2 seconds for 8 seconds when
+//! receiving active motion events, which generates a trace of 40 RSSI
+//! values."
+
+use crate::walk::Walk;
+use rand::Rng;
+use rfsim::{BleChannel, Orientation};
+use serde::{Deserialize, Serialize};
+use simcore::{linear_fit_sampled, LinearFit, SimDuration, SimTime};
+
+/// Number of samples in one trace.
+pub const TRACE_SAMPLES: usize = 40;
+/// Sampling period in seconds.
+pub const TRACE_SAMPLE_PERIOD_S: f64 = 0.2;
+
+/// A recorded RSSI trace with its linear fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteTrace {
+    /// The 40 RSSI samples.
+    pub samples: Vec<f64>,
+    /// Least-squares fit over the samples (x in seconds).
+    pub fit: LinearFit,
+}
+
+/// Records traces by sampling a walker's RSSI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceRecorder;
+
+impl TraceRecorder {
+    /// Records the §V-B2 trace: 40 samples, 0.2 s apart, starting at
+    /// `trigger` (the motion-sensor activation), while the subject follows
+    /// `walk` carrying the measuring device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linear fit is degenerate (cannot happen for 40
+    /// distinct sample times).
+    pub fn record<R: Rng + ?Sized>(
+        &self,
+        channel: &BleChannel,
+        walk: &Walk,
+        trigger: SimTime,
+        rng: &mut R,
+    ) -> RouteTrace {
+        let mut samples = Vec::with_capacity(TRACE_SAMPLES);
+        for i in 0..TRACE_SAMPLES {
+            let t = trigger + SimDuration::from_secs_f64(i as f64 * TRACE_SAMPLE_PERIOD_S);
+            let p = walk.position_at(t);
+            let orientation = Orientation::ALL[i % 4];
+            samples.push(channel.measure(p, orientation, rng));
+        }
+        let fit = linear_fit_sampled(&samples, TRACE_SAMPLE_PERIOD_S)
+            .expect("40 evenly spaced samples always fit");
+        RouteTrace { samples, fit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rfsim::{Floorplan, Point, PropagationConfig, Rect};
+    use testbeds::{two_floor_house, RouteKind};
+
+    fn open_channel() -> BleChannel {
+        let mut b = Floorplan::builder("open");
+        b.room("hall", Rect::new(0.0, 0.0, 30.0, 10.0), 0);
+        BleChannel::new(
+            PropagationConfig::noiseless(),
+            b.build(),
+            Point::ground(1.0, 5.0),
+        )
+    }
+
+    #[test]
+    fn trace_has_forty_samples_and_a_fit() {
+        let ch = open_channel();
+        let walk = Walk::new(
+            vec![Point::ground(2.0, 5.0), Point::ground(25.0, 5.0)],
+            SimTime::ZERO,
+            SimDuration::from_secs(8),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let trace = TraceRecorder.record(&ch, &walk, SimTime::ZERO, &mut rng);
+        assert_eq!(trace.samples.len(), TRACE_SAMPLES);
+        // Walking away: RSSI falls, slope negative.
+        assert!(trace.fit.slope < -0.5, "slope {}", trace.fit.slope);
+    }
+
+    #[test]
+    fn stationary_subject_has_flat_trace() {
+        let ch = open_channel();
+        let walk = Walk::new(
+            vec![Point::ground(6.0, 5.0), Point::ground(6.2, 5.0)],
+            SimTime::ZERO,
+            SimDuration::from_secs(8),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let trace = TraceRecorder.record(&ch, &walk, SimTime::ZERO, &mut rng);
+        assert!(trace.fit.slope.abs() < 1.0, "slope {}", trace.fit.slope);
+    }
+
+    /// The paper's core claim (Fig. 10): Up and Down stair traces in the
+    /// two-floor house have slopes beyond ±1 while in-room movement stays
+    /// within (−1, 1).
+    #[test]
+    fn house_up_down_routes_have_steep_slopes() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::paper_calibrated(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let up_route = &tb.routes_of_kind(RouteKind::Up)[0];
+        let down_route = &tb.routes_of_kind(RouteKind::Down)[0];
+        for trial in 0..10 {
+            let _ = trial;
+            let up_walk = Walk::new(
+                up_route.waypoints.clone(),
+                SimTime::ZERO,
+                SimDuration::from_secs_f64(up_route.duration_s),
+            );
+            let up = TraceRecorder.record(&ch, &up_walk, SimTime::ZERO, &mut rng);
+            assert!(up.fit.slope < -1.0, "Up slope {}", up.fit.slope);
+
+            let down_walk = Walk::new(
+                down_route.waypoints.clone(),
+                SimTime::ZERO,
+                SimDuration::from_secs_f64(down_route.duration_s),
+            );
+            let down = TraceRecorder.record(&ch, &down_walk, SimTime::ZERO, &mut rng);
+            assert!(down.fit.slope > 1.0, "Down slope {}", down.fit.slope);
+        }
+    }
+
+    #[test]
+    fn house_route2_resembles_up_but_differs_in_intercept() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::paper_calibrated(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let up_route = &tb.routes_of_kind(RouteKind::Up)[0];
+        let r2_route = &tb.routes_of_kind(RouteKind::Route2)[0];
+
+        let up_walk = Walk::new(
+            up_route.waypoints.clone(),
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(up_route.duration_s),
+        );
+        let r2_walk = Walk::new(
+            r2_route.waypoints.clone(),
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(r2_route.duration_s),
+        );
+        let up = TraceRecorder.record(&ch, &up_walk, SimTime::ZERO, &mut rng);
+        let r2 = TraceRecorder.record(&ch, &r2_walk, SimTime::ZERO, &mut rng);
+        assert!(up.fit.slope < -1.0 && r2.fit.slope < -1.0, "both fall steeply");
+        assert!(
+            r2.fit.intercept - up.fit.intercept > 2.0,
+            "Route 2 starts higher: up {} vs r2 {}",
+            up.fit.intercept,
+            r2.fit.intercept
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Constant-pace walks along waypoint polylines.
+
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+
+/// A walk: waypoints traversed at constant pace between `start` and
+/// `start + duration`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Walk {
+    waypoints: Vec<Point>,
+    cumulative: Vec<f64>,
+    start: SimTime,
+    duration: SimDuration,
+}
+
+impl Walk {
+    /// Creates a walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two waypoints are given or `duration` is zero.
+    pub fn new(waypoints: Vec<Point>, start: SimTime, duration: SimDuration) -> Self {
+        assert!(waypoints.len() >= 2, "a walk needs at least two waypoints");
+        assert!(!duration.is_zero(), "a walk needs a positive duration");
+        let mut cumulative = vec![0.0];
+        for pair in waypoints.windows(2) {
+            let d = pair[0].horizontal_distance(&pair[1]).max(1e-9);
+            cumulative.push(cumulative.last().unwrap() + d);
+        }
+        Walk {
+            waypoints,
+            cumulative,
+            start,
+            duration,
+        }
+    }
+
+    /// When the walk starts.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// When the walk ends.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Total path length in metres.
+    pub fn length_m(&self) -> f64 {
+        *self.cumulative.last().expect("nonempty")
+    }
+
+    /// True while the walk is in progress at `t`.
+    pub fn in_progress(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end()
+    }
+
+    /// The walker's position at `t`, clamped to the endpoints outside the
+    /// walk interval.
+    pub fn position_at(&self, t: SimTime) -> Point {
+        if t <= self.start {
+            return self.waypoints[0];
+        }
+        if t >= self.end() {
+            return *self.waypoints.last().expect("nonempty");
+        }
+        let frac = t.saturating_since(self.start).as_secs_f64() / self.duration.as_secs_f64();
+        let target = frac * self.length_m();
+        // Find the segment containing the target arc length.
+        let seg = self
+            .cumulative
+            .windows(2)
+            .position(|w| target >= w[0] && target <= w[1])
+            .unwrap_or(self.waypoints.len() - 2);
+        let seg_len = self.cumulative[seg + 1] - self.cumulative[seg];
+        let local = if seg_len > 0.0 {
+            (target - self.cumulative[seg]) / seg_len
+        } else {
+            0.0
+        };
+        self.waypoints[seg].lerp(&self.waypoints[seg + 1], local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_walk() -> Walk {
+        Walk::new(
+            vec![Point::ground(0.0, 0.0), Point::ground(10.0, 0.0)],
+            SimTime::from_secs(100),
+            SimDuration::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn endpoints_clamp() {
+        let w = straight_walk();
+        assert_eq!(w.position_at(SimTime::from_secs(50)), Point::ground(0.0, 0.0));
+        assert_eq!(w.position_at(SimTime::from_secs(200)), Point::ground(10.0, 0.0));
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let w = straight_walk();
+        let p = w.position_at(SimTime::from_secs(105));
+        assert!((p.x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pace_is_constant_across_segments() {
+        // Two segments of different lengths still traverse at constant
+        // speed overall.
+        let w = Walk::new(
+            vec![
+                Point::ground(0.0, 0.0),
+                Point::ground(2.0, 0.0),
+                Point::ground(10.0, 0.0),
+            ],
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        );
+        // At t = 2 s, 20% of 10 m = 2 m: exactly the first waypoint.
+        let p = w.position_at(SimTime::from_secs(2));
+        assert!((p.x - 2.0).abs() < 1e-9);
+        // At t = 6 s: 6 m.
+        let p = w.position_at(SimTime::from_secs(6));
+        assert!((p.x - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_changes_midway_through_cross_floor_segment() {
+        let w = Walk::new(
+            vec![Point::new(0.0, 0.0, 0), Point::new(4.0, 0.0, 1)],
+            SimTime::ZERO,
+            SimDuration::from_secs(8),
+        );
+        assert_eq!(w.position_at(SimTime::from_secs(1)).floor, 0);
+        assert_eq!(w.position_at(SimTime::from_secs(7)).floor, 1);
+    }
+
+    #[test]
+    fn in_progress_window() {
+        let w = straight_walk();
+        assert!(!w.in_progress(SimTime::from_secs(99)));
+        assert!(w.in_progress(SimTime::from_secs(100)));
+        assert!(w.in_progress(SimTime::from_secs(109)));
+        assert!(!w.in_progress(SimTime::from_secs(110)));
+    }
+
+    #[test]
+    fn length_sums_segments() {
+        let w = Walk::new(
+            vec![
+                Point::ground(0.0, 0.0),
+                Point::ground(3.0, 4.0),
+                Point::ground(3.0, 10.0),
+            ],
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+        );
+        assert!((w.length_m() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two waypoints")]
+    fn single_waypoint_panics() {
+        Walk::new(vec![Point::ground(0.0, 0.0)], SimTime::ZERO, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_panics() {
+        Walk::new(
+            vec![Point::ground(0.0, 0.0), Point::ground(1.0, 0.0)],
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Endpoint-application and middlebox (tap) traits.
+//!
+//! * [`NetApp`] is implemented by things that terminate connections: the
+//!   smart-speaker models and the cloud-server models.
+//! * [`Middlebox`] is implemented by a bump-in-the-wire on a host's access
+//!   link. The VoiceGuard Traffic Processing Module is a middlebox on the
+//!   smart speaker's link: it observes every frame, and may **hold** frames
+//!   (the engine spoofs ACKs toward the sender so the connection survives,
+//!   per §IV-B2), later releasing them in order or discarding them.
+
+use crate::engine::{ConnId, HostId};
+use crate::wire::{Datagram, Direction, SegmentPayload, TlsRecord};
+use simcore::SimTime;
+use std::any::Any;
+use std::net::SocketAddrV4;
+
+/// Why a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseReason {
+    /// Orderly FIN close.
+    Normal,
+    /// Abortive RST close (including a rejected connection attempt).
+    Reset,
+    /// Retransmissions or keep-alives exhausted without acknowledgement.
+    Timeout,
+    /// The receiver observed a gap in TLS record sequence numbers — the
+    /// paper's Fig. 4 case III outcome after VoiceGuard discards held
+    /// packets.
+    TlsRecordSequenceMismatch,
+}
+
+/// A tap's per-frame decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapVerdict {
+    /// Forward toward the destination unchanged.
+    Forward,
+    /// Queue at the tap. For TCP data and keep-alive frames the engine
+    /// spoofs an ACK toward the sender so the connection stays alive.
+    Hold,
+    /// Silently discard this frame.
+    Drop,
+}
+
+/// Read-only view of a TCP segment offered to a tap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentView {
+    /// Connection the segment belongs to.
+    pub conn: ConnId,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address.
+    pub dst: SocketAddrV4,
+    /// Payload (control type, or the TLS record for data segments).
+    pub payload: SegmentPayload,
+    /// Observer-reported length in bytes.
+    pub wire_len: u32,
+    /// True for TCP retransmissions (observable from duplicate sequence
+    /// numbers on the wire).
+    pub retransmit: bool,
+}
+
+impl SegmentView {
+    /// The TLS record carried by this segment, if it is a data segment.
+    pub fn record(&self) -> Option<TlsRecord> {
+        match self.payload {
+            SegmentPayload::Data(rec) => Some(rec),
+            _ => None,
+        }
+    }
+}
+
+/// Callbacks and services available to a [`NetApp`].
+///
+/// Constructed by the engine for the duration of each callback; all actions
+/// take effect at the current simulation time.
+pub trait AppCtx {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// The host this application runs on.
+    fn host(&self) -> HostId;
+    /// Opens a TCP connection to `remote`; completion is signalled via
+    /// [`NetApp::on_connected`] (or `on_closed` with [`CloseReason::Reset`]
+    /// if refused).
+    fn connect(&mut self, remote: SocketAddrV4) -> ConnId;
+    /// Sends a TLS record on an established connection. Returns `false` if
+    /// the connection is not currently established (the record is dropped).
+    fn send_record(&mut self, conn: ConnId, record: TlsRecord) -> bool;
+    /// Closes a connection with FIN.
+    fn close(&mut self, conn: ConnId);
+    /// Aborts a connection with RST.
+    fn reset(&mut self, conn: ConnId);
+    /// Sends a UDP datagram from this host.
+    fn send_datagram(&mut self, dst: SocketAddrV4, len: u32, quic: bool, tag: u64);
+    /// Schedules [`NetApp::on_timer`] after `delay`.
+    fn set_timer(&mut self, delay: simcore::SimDuration, token: u64);
+    /// Issues a DNS query; the answer arrives via [`NetApp::on_dns`].
+    fn dns_lookup(&mut self, name: &str);
+    /// Deterministic RNG scoped to this host.
+    fn rng(&mut self) -> &mut rand::rngs::StdRng;
+    /// Emits a structured trace event.
+    fn trace(&mut self, category: &str, message: &str);
+}
+
+/// An application terminating connections on a host.
+///
+/// All methods have default no-op implementations so simple apps implement
+/// only what they need. `as_any_mut` enables the orchestrator to reach a
+/// concrete app through [`crate::Network::with_app`].
+pub trait NetApp: Any {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        let _ = ctx;
+    }
+    /// A connection this app initiated is now established.
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        let _ = (ctx, conn);
+    }
+    /// An inbound connection request; return `true` to accept.
+    fn on_incoming(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, from: SocketAddrV4) -> bool {
+        let _ = (ctx, conn, from);
+        true
+    }
+    /// A TLS record arrived on an established connection.
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        let _ = (ctx, conn, record);
+    }
+    /// A UDP datagram arrived at this host.
+    fn on_datagram(&mut self, ctx: &mut dyn AppCtx, dgram: Datagram) {
+        let _ = (ctx, dgram);
+    }
+    /// A connection ended.
+    fn on_closed(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, reason: CloseReason) {
+        let _ = (ctx, conn, reason);
+    }
+    /// A timer set via [`AppCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        let _ = (ctx, token);
+    }
+    /// A DNS answer arrived.
+    fn on_dns(&mut self, ctx: &mut dyn AppCtx, name: &str, ip: std::net::Ipv4Addr) {
+        let _ = (ctx, name, ip);
+    }
+    /// Upcast for orchestrator access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Services available to a [`Middlebox`].
+pub trait TapCtx {
+    /// Current simulation time.
+    fn now(&self) -> SimTime;
+    /// The tapped host.
+    fn tapped_host(&self) -> HostId;
+    /// Number of segments currently held for `conn`.
+    fn held_count(&self, conn: ConnId) -> usize;
+    /// Releases all held segments of `conn` toward their destinations, in
+    /// original order. Returns how many were released.
+    fn release_held(&mut self, conn: ConnId) -> usize;
+    /// Discards all held segments of `conn`. Returns how many were dropped.
+    fn discard_held(&mut self, conn: ConnId) -> usize;
+    /// Number of datagrams currently held at this tap.
+    fn held_datagram_count(&self) -> usize;
+    /// Releases all held datagrams in order. Returns how many were released.
+    fn release_held_datagrams(&mut self) -> usize;
+    /// Discards all held datagrams. Returns how many were dropped.
+    fn discard_held_datagrams(&mut self) -> usize;
+    /// Schedules [`Middlebox::on_timer`] after `delay`.
+    fn set_timer(&mut self, delay: simcore::SimDuration, token: u64);
+    /// Emits a structured trace event.
+    fn trace(&mut self, category: &str, message: &str);
+}
+
+/// A bump-in-the-wire on a host's access link.
+pub trait Middlebox: Any {
+    /// A TCP segment is traversing the tap; return a verdict.
+    fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
+        let _ = (ctx, view);
+        TapVerdict::Forward
+    }
+    /// A UDP datagram is traversing the tap (`outbound` is true when it
+    /// leaves the tapped host); return a verdict.
+    fn on_datagram(&mut self, ctx: &mut dyn TapCtx, dgram: &Datagram, outbound: bool) -> TapVerdict {
+        let _ = (ctx, dgram, outbound);
+        TapVerdict::Forward
+    }
+    /// The tapped host issued a DNS query (always forwarded).
+    fn on_dns_query(&mut self, ctx: &mut dyn TapCtx, name: &str) {
+        let _ = (ctx, name);
+    }
+    /// A DNS answer for the tapped host traversed the tap (always
+    /// forwarded).
+    fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: std::net::Ipv4Addr) {
+        let _ = (ctx, name, ip);
+    }
+    /// A connection involving the tapped host closed.
+    fn on_conn_closed(&mut self, ctx: &mut dyn TapCtx, conn: ConnId, reason: CloseReason) {
+        let _ = (ctx, conn, reason);
+    }
+    /// A timer set via [`TapCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
+        let _ = (ctx, token);
+    }
+    /// Upcast for orchestrator access.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TlsContentType;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn segment_view_record_extraction() {
+        let view = SegmentView {
+            conn: ConnId(1),
+            dir: Direction::ClientToServer,
+            src: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 1),
+            dst: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 2),
+            payload: SegmentPayload::Data(TlsRecord {
+                content_type: TlsContentType::ApplicationData,
+                len: 138,
+                seq: 3,
+                app_tag: 0,
+            }),
+            wire_len: 138,
+            retransmit: false,
+        };
+        assert_eq!(view.record().unwrap().len, 138);
+
+        let ctl = SegmentView {
+            payload: SegmentPayload::Syn,
+            ..view
+        };
+        assert!(ctl.record().is_none());
+    }
+
+    #[test]
+    fn default_trait_impls_are_callable() {
+        struct Nop;
+        impl NetApp for Nop {
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct NopTap;
+        impl Middlebox for NopTap {
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        // Compile-time check that objects can be boxed.
+        let _app: Box<dyn NetApp> = Box::new(Nop);
+        let _tap: Box<dyn Middlebox> = Box::new(NopTap);
+    }
+
+    #[test]
+    fn close_reason_equality() {
+        assert_ne!(CloseReason::Normal, CloseReason::Reset);
+        assert_eq!(
+            CloseReason::TlsRecordSequenceMismatch,
+            CloseReason::TlsRecordSequenceMismatch
+        );
+    }
+}

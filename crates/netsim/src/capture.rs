@@ -1,0 +1,264 @@
+//! Pcap-style capture of frames traversing the tap.
+//!
+//! The paper's recognition pipeline is driven by exactly this view: "We run
+//! Wireshark on a laptop that hosts the Traffic Processing Module to observe
+//! network traffic" (§IV-B1). Signature learning reads the lengths of
+//! application-data records per flow from the capture.
+
+use crate::wire::{Direction, TlsContentType};
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::net::SocketAddrV4;
+
+/// Classification of a captured frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// TCP control (SYN/SYN-ACK/ACK/FIN/RST/keep-alive).
+    TcpControl,
+    /// TCP segment carrying a TLS record of the given content type.
+    Tls(TlsContentType),
+    /// UDP datagram (`quic` indicates a QUIC packet).
+    Udp {
+        /// True for QUIC.
+        quic: bool,
+    },
+    /// DNS query for a name (stored in `CapturedPacket::note`).
+    DnsQuery,
+    /// DNS response (resolved IP stored in `CapturedPacket::note`).
+    DnsResponse,
+}
+
+/// One captured frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapturedPacket {
+    /// Monotonic packet number within the capture (1-based, like Wireshark).
+    pub number: u64,
+    /// Capture timestamp.
+    pub time: SimTime,
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address.
+    pub dst: SocketAddrV4,
+    /// Frame classification.
+    pub kind: PacketKind,
+    /// Payload length in bytes (TLS record length for TLS frames).
+    pub len: u32,
+    /// Engine connection id for TCP frames, `None` otherwise.
+    pub conn: Option<u64>,
+    /// Direction for TCP frames.
+    pub dir: Option<Direction>,
+    /// Free-form annotation (DNS name / resolved IP, close reason, …).
+    pub note: String,
+}
+
+/// An append-only capture buffer.
+///
+/// # Example
+///
+/// ```
+/// use netsim::{Capture, PacketKind, TlsContentType, Direction};
+/// use simcore::SimTime;
+/// use std::net::{Ipv4Addr, SocketAddrV4};
+///
+/// let mut cap = Capture::new();
+/// let a = SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40001);
+/// let b = SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 1), 443);
+/// cap.record(
+///     SimTime::ZERO, a, b,
+///     PacketKind::Tls(TlsContentType::ApplicationData),
+///     63, Some(1), Some(Direction::ClientToServer), "",
+/// );
+/// assert_eq!(cap.len(), 1);
+/// assert_eq!(cap.app_data_lens(1, Direction::ClientToServer), vec![63]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Capture {
+    packets: Vec<CapturedPacket>,
+}
+
+impl Capture {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        Capture::default()
+    }
+
+    /// Appends a frame, assigning the next packet number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        src: SocketAddrV4,
+        dst: SocketAddrV4,
+        kind: PacketKind,
+        len: u32,
+        conn: Option<u64>,
+        dir: Option<Direction>,
+        note: impl Into<String>,
+    ) -> u64 {
+        let number = self.packets.len() as u64 + 1;
+        self.packets.push(CapturedPacket {
+            number,
+            time,
+            src,
+            dst,
+            kind,
+            len,
+            conn,
+            dir,
+            note: note.into(),
+        });
+        number
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// All frames in capture order.
+    pub fn packets(&self) -> &[CapturedPacket] {
+        &self.packets
+    }
+
+    /// Frames belonging to connection `conn`.
+    pub fn conn_packets(&self, conn: u64) -> impl Iterator<Item = &CapturedPacket> + '_ {
+        self.packets.iter().filter(move |p| p.conn == Some(conn))
+    }
+
+    /// Lengths of application-data records on `conn` in direction `dir`,
+    /// in capture order — the raw material of packet-level signatures.
+    pub fn app_data_lens(&self, conn: u64, dir: Direction) -> Vec<u32> {
+        self.packets
+            .iter()
+            .filter(|p| {
+                p.conn == Some(conn)
+                    && p.dir == Some(dir)
+                    && p.kind == PacketKind::Tls(TlsContentType::ApplicationData)
+            })
+            .map(|p| p.len)
+            .collect()
+    }
+
+    /// DNS responses observed so far as `(time, name, ip-note)` tuples.
+    pub fn dns_responses(&self) -> impl Iterator<Item = &CapturedPacket> + '_ {
+        self.packets
+            .iter()
+            .filter(|p| p.kind == PacketKind::DnsResponse)
+    }
+
+    /// Drops all captured frames (the packet counter keeps increasing, so
+    /// packet numbers remain unique across a run).
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+
+    /// Renders a Wireshark-style packet listing (the presentation of the
+    /// paper's Fig. 4), optionally restricted to one connection.
+    pub fn to_text(&self, conn: Option<u64>) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("   no.       time  src                  dst                  info\n");
+        for p in &self.packets {
+            if conn.is_some() && p.conn != conn {
+                continue;
+            }
+            let info = match p.kind {
+                PacketKind::Tls(TlsContentType::ApplicationData) => {
+                    format!("TLS Application Data, len {}", p.len)
+                }
+                PacketKind::Tls(TlsContentType::Alert) => "TLS Alert (fatal)".to_string(),
+                PacketKind::Tls(t) => format!("TLS {t:?}"),
+                PacketKind::TcpControl => format!("TCP {}", p.note),
+                PacketKind::Udp { quic: true } => format!("QUIC, len {}", p.len),
+                PacketKind::Udp { quic: false } => format!("UDP, len {}", p.len),
+                PacketKind::DnsQuery => format!("DNS query {}", p.note),
+                PacketKind::DnsResponse => format!("DNS response {}", p.note),
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10.6}  {:<20} {:<20} {}",
+                p.number,
+                p.time.as_secs_f64(),
+                p.src.to_string(),
+                p.dst.to_string(),
+                info
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(last: u8, port: u16) -> SocketAddrV4 {
+        SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    fn tls_kind() -> PacketKind {
+        PacketKind::Tls(TlsContentType::ApplicationData)
+    }
+
+    #[test]
+    fn numbering_is_one_based_and_monotonic() {
+        let mut cap = Capture::new();
+        let n1 = cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 10, None, None, "");
+        let n2 = cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 20, None, None, "");
+        assert_eq!((n1, n2), (1, 2));
+    }
+
+    #[test]
+    fn app_data_lens_filters_conn_dir_and_type() {
+        let mut cap = Capture::new();
+        let c2s = Some(Direction::ClientToServer);
+        let s2c = Some(Direction::ServerToClient);
+        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 63, Some(1), c2s, "");
+        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 33, Some(1), c2s, "");
+        // Other direction — excluded.
+        cap.record(SimTime::ZERO, addr(2, 2), addr(1, 1), tls_kind(), 99, Some(1), s2c, "");
+        // Other connection — excluded.
+        cap.record(SimTime::ZERO, addr(1, 1), addr(3, 3), tls_kind(), 77, Some(2), c2s, "");
+        // Handshake record — excluded.
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            PacketKind::Tls(TlsContentType::Handshake),
+            512,
+            Some(1),
+            c2s,
+            "",
+        );
+        assert_eq!(cap.app_data_lens(1, Direction::ClientToServer), vec![63, 33]);
+    }
+
+    #[test]
+    fn dns_responses_filtered() {
+        let mut cap = Capture::new();
+        cap.record(SimTime::ZERO, addr(1, 53), addr(2, 5), PacketKind::DnsQuery, 40, None, None, "avs");
+        cap.record(SimTime::ZERO, addr(2, 5), addr(1, 53), PacketKind::DnsResponse, 56, None, None, "52.94.233.1");
+        assert_eq!(cap.dns_responses().count(), 1);
+    }
+
+    #[test]
+    fn conn_packets_selects_by_conn() {
+        let mut cap = Capture::new();
+        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 1, Some(5), None, "");
+        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 2, Some(6), None, "");
+        assert_eq!(cap.conn_packets(5).count(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cap = Capture::new();
+        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 1, None, None, "");
+        cap.clear();
+        assert!(cap.is_empty());
+    }
+}

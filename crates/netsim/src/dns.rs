@@ -1,0 +1,156 @@
+//! DNS zone and server-pool model.
+//!
+//! The Echo Dot resolves `avs-alexa-4-na.amazon.com` whose answer rotates
+//! between many front-end IPs; the paper's key observation is that the AVS
+//! server IP changes over time, sometimes *without* an observable DNS query
+//! (the speaker reconnects using a cached/alternative answer), which is why
+//! VoiceGuard needs the packet-level connection signature to re-identify the
+//! AVS flow. [`ServerPool`] models such a rotating pool.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A rotating pool of server IPs behind one domain name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerPool {
+    ips: Vec<Ipv4Addr>,
+    next: usize,
+}
+
+impl ServerPool {
+    /// Creates a pool from a list of IPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ips` is empty.
+    pub fn new(ips: Vec<Ipv4Addr>) -> Self {
+        assert!(!ips.is_empty(), "a server pool needs at least one IP");
+        ServerPool { ips, next: 0 }
+    }
+
+    /// The IP the pool would answer with right now, without rotating.
+    pub fn current(&self) -> Ipv4Addr {
+        self.ips[self.next]
+    }
+
+    /// Answers a query with the current IP and rotates to the next one, so
+    /// consecutive resolutions see different front-ends.
+    pub fn resolve_and_rotate(&mut self) -> Ipv4Addr {
+        let ip = self.ips[self.next];
+        self.next = (self.next + 1) % self.ips.len();
+        ip
+    }
+
+    /// Rotates without being queried, modelling the speaker reconnecting to
+    /// a different front-end using a cached answer (no DNS on the wire).
+    pub fn rotate_silently(&mut self) -> Ipv4Addr {
+        self.next = (self.next + 1) % self.ips.len();
+        self.ips[self.next]
+    }
+
+    /// All IPs in the pool.
+    pub fn ips(&self) -> &[Ipv4Addr] {
+        &self.ips
+    }
+
+    /// True if `ip` belongs to this pool.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.ips.contains(&ip)
+    }
+}
+
+/// A DNS zone: domain name → server pool.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsZone {
+    records: HashMap<String, ServerPool>,
+}
+
+impl DnsZone {
+    /// Creates an empty zone.
+    pub fn new() -> Self {
+        DnsZone::default()
+    }
+
+    /// Registers (or replaces) the pool for `name`.
+    pub fn insert(&mut self, name: impl Into<String>, pool: ServerPool) {
+        self.records.insert(name.into(), pool);
+    }
+
+    /// Resolves `name`, rotating its pool. Returns `None` for unknown names.
+    pub fn resolve(&mut self, name: &str) -> Option<Ipv4Addr> {
+        self.records.get_mut(name).map(ServerPool::resolve_and_rotate)
+    }
+
+    /// Read-only access to a pool.
+    pub fn pool(&self, name: &str) -> Option<&ServerPool> {
+        self.records.get(name)
+    }
+
+    /// Mutable access to a pool (e.g. to rotate silently).
+    pub fn pool_mut(&mut self, name: &str) -> Option<&mut ServerPool> {
+        self.records.get_mut(name)
+    }
+
+    /// Iterates over `(name, pool)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ServerPool)> + '_ {
+        self.records.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(52, 94, 233, last)
+    }
+
+    #[test]
+    fn pool_rotates_on_resolve() {
+        let mut p = ServerPool::new(vec![ip(1), ip(2), ip(3)]);
+        assert_eq!(p.resolve_and_rotate(), ip(1));
+        assert_eq!(p.resolve_and_rotate(), ip(2));
+        assert_eq!(p.resolve_and_rotate(), ip(3));
+        assert_eq!(p.resolve_and_rotate(), ip(1), "wraps around");
+    }
+
+    #[test]
+    fn silent_rotation_skips_dns() {
+        let mut p = ServerPool::new(vec![ip(1), ip(2)]);
+        assert_eq!(p.current(), ip(1));
+        assert_eq!(p.rotate_silently(), ip(2));
+        assert_eq!(p.current(), ip(2));
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let p = ServerPool::new(vec![ip(1), ip(2)]);
+        assert!(p.contains(ip(2)));
+        assert!(!p.contains(ip(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one IP")]
+    fn empty_pool_panics() {
+        ServerPool::new(vec![]);
+    }
+
+    #[test]
+    fn zone_resolution() {
+        let mut z = DnsZone::new();
+        z.insert("avs-alexa-4-na.amazon.com", ServerPool::new(vec![ip(1), ip(2)]));
+        assert_eq!(z.resolve("avs-alexa-4-na.amazon.com"), Some(ip(1)));
+        assert_eq!(z.resolve("avs-alexa-4-na.amazon.com"), Some(ip(2)));
+        assert_eq!(z.resolve("unknown.example"), None);
+    }
+
+    #[test]
+    fn zone_pool_accessors() {
+        let mut z = DnsZone::new();
+        z.insert("www.google.com", ServerPool::new(vec![ip(7)]));
+        assert!(z.pool("www.google.com").is_some());
+        assert!(z.pool_mut("www.google.com").is_some());
+        assert_eq!(z.iter().count(), 1);
+    }
+}

@@ -1,0 +1,1581 @@
+//! The discrete-event network engine.
+//!
+//! Hosts run [`NetApp`]s; at most one [`Middlebox`] taps each host's access
+//! link (the VoiceGuard deployment position: a laptop between the smart
+//! speaker and the home router, §IV-B2). The engine models:
+//!
+//! * TCP at segment granularity: three-way handshake, cumulative ACKs,
+//!   retransmission with exponential backoff and a retry budget, keep-alive
+//!   probes, FIN/RST teardown;
+//! * TLS at record granularity: per-direction record sequence numbers whose
+//!   gaps (caused by a tap discarding held records) force the receiver to
+//!   close the session — reproducing Fig. 4 case III;
+//! * transparent-proxy holds: a tap returning [`TapVerdict::Hold`] queues the
+//!   frame, and the engine spoofs an ACK toward the sender so that neither
+//!   retransmission nor keep-alive failure breaks the connection while the
+//!   Decision Module deliberates;
+//! * UDP/QUIC datagrams and DNS against a rotating [`DnsZone`].
+
+use crate::app::{AppCtx, CloseReason, Middlebox, NetApp, SegmentView, TapCtx, TapVerdict};
+use crate::capture::{Capture, PacketKind};
+use crate::dns::DnsZone;
+use crate::latency::LatencyModel;
+use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
+use rand::rngs::StdRng;
+use simcore::{EventQueue, RngStreams, SimDuration, SimTime, TraceBus};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Identifies a host in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+/// Identifies a TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Path-latency model.
+    pub latency: LatencyModel,
+    /// Idle time after which an endpoint probes with a TCP keep-alive.
+    pub keepalive_idle: SimDuration,
+    /// Unanswered keep-alive grace before the connection is aborted.
+    pub keepalive_timeout: SimDuration,
+    /// Initial retransmission timeout (doubles per attempt).
+    pub rto_initial: SimDuration,
+    /// Retransmissions before the sender aborts the connection.
+    pub max_retransmits: u32,
+    /// Master seed for all engine randomness.
+    pub seed: u64,
+    /// Whether traversing frames are recorded into the [`Capture`].
+    pub capture_enabled: bool,
+    /// Probability that any frame is lost on a wire leg (0 disables loss).
+    /// Loss is recovered by TCP retransmission / handshake and keep-alive
+    /// timeouts; UDP losses are final.
+    pub loss_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency: LatencyModel::residential(),
+            keepalive_idle: SimDuration::from_secs(45),
+            keepalive_timeout: SimDuration::from_secs(10),
+            rto_initial: SimDuration::from_secs(1),
+            max_retransmits: 5,
+            seed: 0,
+            capture_enabled: true,
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// Wire-length of the fatal TLS alert sent on a record-sequence mismatch.
+const TLS_ALERT_LEN: u32 = 31;
+
+#[derive(Debug)]
+enum NetEvent {
+    SegAtTap { tap: HostId, seg: Segment },
+    SegAtEndpoint { seg: Segment },
+    DgramAtTap { tap: HostId, dgram: Datagram, outbound: bool },
+    DgramAtEndpoint { dgram: Datagram },
+    DnsQueryTap { tap: HostId, name: String },
+    DnsQueryAtResolver { host: HostId, name: String },
+    DnsAnswerAtTap { tap: HostId, host: HostId, name: String, ip: Ipv4Addr },
+    DnsAnswerAtHost { host: HostId, name: String, ip: Ipv4Addr },
+    AppTimer { host: HostId, token: u64 },
+    TapTimer { tap: HostId, token: u64 },
+    TapConnClosed { tap: HostId, conn: u64, reason: CloseReason },
+    RtoCheck { conn: u64, dir: Direction, seg_seq: u64, attempt: u32 },
+    KeepAliveCheck { conn: u64, dir: Direction },
+    SynTimeout { conn: u64 },
+    GapCheck { conn: u64, dir: Direction, since: SimTime },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    SynSent,
+    Established,
+    Closed,
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    /// Next data-segment sequence number to assign (1-based).
+    next_seg_seq: u64,
+    /// Next TLS record sequence number to assign (0-based).
+    next_tls_seq: u64,
+    /// Highest cumulative ACK the sender of this direction has received.
+    acked_through: u64,
+    /// Receiver-side: next expected TLS record sequence number.
+    recv_expected_tls: u64,
+    /// Receiver-side: highest contiguous data segment received.
+    recv_cum_seg: u64,
+    /// Unacknowledged sent segments, for retransmission.
+    outstanding: BTreeMap<u64, Segment>,
+    /// Keep-alive probe in flight from this direction's sender.
+    ka_outstanding: bool,
+    /// Receiver-side reassembly buffer: records that arrived beyond a gap
+    /// (TCP delivers TLS records to the application strictly in order; a
+    /// gap stalls delivery until retransmission fills it).
+    ooo: BTreeMap<u64, (u64, TlsRecord)>,
+    /// When the current receive gap opened (None while contiguous). A gap
+    /// that persists past the gap timeout means the bytes were spoof-ACKed
+    /// and discarded by a middlebox — the paper's case III teardown.
+    gap_since: Option<SimTime>,
+}
+
+struct Connection {
+    client: HostId,
+    server: HostId,
+    client_addr: SocketAddrV4,
+    server_addr: SocketAddrV4,
+    state: ConnState,
+    close_reason: Option<CloseReason>,
+    /// Whether each side's app has been told the connection closed
+    /// (index 0 = client, 1 = server).
+    close_notified: [bool; 2],
+    /// Per-direction send/receive state (index 0 = ClientToServer).
+    dirs: [DirState; 2],
+    last_activity: SimTime,
+    /// FIFO floors: earliest permissible next arrival per direction at the
+    /// tap and at the endpoint, so jitter never reorders a TCP stream.
+    arrival_floor_tap: [SimTime; 2],
+    arrival_floor_ep: [SimTime; 2],
+}
+
+impl Connection {
+    fn dir_index(dir: Direction) -> usize {
+        match dir {
+            Direction::ClientToServer => 0,
+            Direction::ServerToClient => 1,
+        }
+    }
+
+    fn host_of_side(&self, side: usize) -> HostId {
+        if side == 0 {
+            self.client
+        } else {
+            self.server
+        }
+    }
+
+    fn endpoint_of_dir_dst(&self, dir: Direction) -> HostId {
+        match dir {
+            Direction::ClientToServer => self.server,
+            Direction::ServerToClient => self.client,
+        }
+    }
+
+    fn endpoint_of_dir_src(&self, dir: Direction) -> HostId {
+        match dir {
+            Direction::ClientToServer => self.client,
+            Direction::ServerToClient => self.server,
+        }
+    }
+
+    fn addrs_for_dir(&self, dir: Direction) -> (SocketAddrV4, SocketAddrV4) {
+        match dir {
+            Direction::ClientToServer => (self.client_addr, self.server_addr),
+            Direction::ServerToClient => (self.server_addr, self.client_addr),
+        }
+    }
+}
+
+/// Read-only snapshot of a connection's addressing and state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnInfo {
+    /// Initiating host.
+    pub client: HostId,
+    /// Accepting host.
+    pub server: HostId,
+    /// Initiator's address.
+    pub client_addr: SocketAddrV4,
+    /// Acceptor's address.
+    pub server_addr: SocketAddrV4,
+    /// True while the connection is usable.
+    pub established: bool,
+    /// Close reason, if the connection has ended.
+    pub close_reason: Option<CloseReason>,
+}
+
+struct HostEntry {
+    name: String,
+    ip: Ipv4Addr,
+    app: Option<Box<dyn NetApp>>,
+    tap: Option<Box<dyn Middlebox>>,
+    next_port: u16,
+    rng: StdRng,
+}
+
+/// The discrete-event network.
+///
+/// See the [crate docs](crate) for an overview and `tests/` for end-to-end
+/// examples.
+pub struct Network {
+    config: NetworkConfig,
+    queue: EventQueue<NetEvent>,
+    hosts: Vec<HostEntry>,
+    conns: HashMap<u64, Connection>,
+    next_conn: u64,
+    held_segs: HashMap<(u32, u64), VecDeque<Segment>>,
+    held_dgrams: HashMap<u32, VecDeque<(Datagram, bool)>>,
+    dns: DnsZone,
+    capture: Capture,
+    trace: TraceBus,
+    rng: StdRng,
+    started: bool,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("hosts", &self.hosts.len())
+            .field("conns", &self.conns.len())
+            .field("now", &self.queue.now())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new(config: NetworkConfig) -> Self {
+        let streams = RngStreams::new(config.seed).fork("netsim");
+        Network {
+            config,
+            queue: EventQueue::new(),
+            hosts: Vec::new(),
+            conns: HashMap::new(),
+            next_conn: 1,
+            held_segs: HashMap::new(),
+            held_dgrams: HashMap::new(),
+            dns: DnsZone::new(),
+            capture: Capture::new(),
+            trace: TraceBus::default(),
+            rng: streams.stream("latency"),
+            started: false,
+        }
+    }
+
+    /// Adds a host with the given display name and IP address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another host already uses `ip`.
+    pub fn add_host(&mut self, name: &str, ip: Ipv4Addr) -> HostId {
+        assert!(
+            self.hosts.iter().all(|h| h.ip != ip),
+            "duplicate host IP {ip}"
+        );
+        let streams = RngStreams::new(self.config.seed).fork("netsim-hosts");
+        let rng = streams.stream(name);
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(HostEntry {
+            name: name.to_string(),
+            ip,
+            app: None,
+            tap: None,
+            next_port: 40_000,
+            rng,
+        });
+        id
+    }
+
+    /// Installs the application running on `host`.
+    pub fn set_app(&mut self, host: HostId, app: Box<dyn NetApp>) {
+        self.host_entry_mut(host).app = Some(app);
+    }
+
+    /// Installs a tap (middlebox) on `host`'s access link.
+    pub fn set_tap(&mut self, host: HostId, tap: Box<dyn Middlebox>) {
+        self.host_entry_mut(host).tap = Some(tap);
+    }
+
+    /// The DNS zone served by the home router.
+    pub fn dns_zone_mut(&mut self) -> &mut DnsZone {
+        &mut self.dns
+    }
+
+    /// Read-only DNS zone access.
+    pub fn dns_zone(&self) -> &DnsZone {
+        &self.dns
+    }
+
+    /// A host's IP address.
+    pub fn host_ip(&self, host: HostId) -> Ipv4Addr {
+        self.host_entry(host).ip
+    }
+
+    /// A host's display name.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.host_entry(host).name
+    }
+
+    /// Looks up the host that owns `ip`.
+    pub fn host_by_ip(&self, ip: Ipv4Addr) -> Option<HostId> {
+        self.hosts
+            .iter()
+            .position(|h| h.ip == ip)
+            .map(|i| HostId(i as u32))
+    }
+
+    /// Snapshot of a connection.
+    pub fn conn_info(&self, conn: ConnId) -> Option<ConnInfo> {
+        self.conns.get(&conn.0).map(|c| ConnInfo {
+            client: c.client,
+            server: c.server,
+            client_addr: c.client_addr,
+            server_addr: c.server_addr,
+            established: c.state == ConnState::Established,
+            close_reason: c.close_reason,
+        })
+    }
+
+    /// The capture of frames that traversed taps.
+    pub fn capture(&self) -> &Capture {
+        &self.capture
+    }
+
+    /// Mutable capture access (e.g. to clear between experiment phases).
+    pub fn capture_mut(&mut self) -> &mut Capture {
+        &mut self.capture
+    }
+
+    /// Enables or disables frame capture.
+    pub fn set_capture_enabled(&mut self, enabled: bool) {
+        self.config.capture_enabled = enabled;
+    }
+
+    /// The structured trace bus.
+    pub fn trace(&self) -> &TraceBus {
+        &self.trace
+    }
+
+    /// Mutable trace access.
+    pub fn trace_mut(&mut self) -> &mut TraceBus {
+        &mut self.trace
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Dispatches `on_start` to every installed app. Must be called once
+    /// before stepping.
+    pub fn start(&mut self) {
+        assert!(!self.started, "Network::start called twice");
+        self.started = true;
+        for i in 0..self.hosts.len() {
+            self.dispatch_app(HostId(i as u32), |app, ctx| app.on_start(ctx));
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.handle(event);
+        true
+    }
+
+    /// Processes all events scheduled at or before `deadline`, leaving the
+    /// clock at `deadline` even if fewer events existed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((_, event)) = self.queue.pop_until(deadline) {
+            self.handle(event);
+        }
+        self.queue.advance_to(deadline);
+    }
+
+    /// Processes all events within the next `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Calls `f` with mutable access to the concrete app of type `T` on
+    /// `host`, together with an [`AppCtx`] — the orchestration hook used to
+    /// inject external stimuli (e.g. "the user spoke a command").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` has no app or the app is not a `T`.
+    pub fn with_app<T: NetApp, R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut T, &mut dyn AppCtx) -> R,
+    ) -> R {
+        let mut app = self
+            .host_entry_mut(host)
+            .app
+            .take()
+            .unwrap_or_else(|| panic!("{host} has no app"));
+        let result = {
+            let mut ctx = Ctx { net: self, host };
+            let typed = app
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("app type mismatch in with_app");
+            f(typed, &mut ctx)
+        };
+        self.host_entry_mut(host).app = Some(app);
+        result
+    }
+
+    /// Calls `f` with mutable access to the concrete tap of type `T` on
+    /// `host`, together with a [`TapCtx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` has no tap or the tap is not a `T`.
+    pub fn with_tap<T: Middlebox, R>(
+        &mut self,
+        host: HostId,
+        f: impl FnOnce(&mut T, &mut dyn TapCtx) -> R,
+    ) -> R {
+        let mut tap = self
+            .host_entry_mut(host)
+            .tap
+            .take()
+            .unwrap_or_else(|| panic!("{host} has no tap"));
+        let result = {
+            let mut ctx = TapCtxImpl { net: self, tap: host };
+            let typed = tap
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("tap type mismatch in with_tap");
+            f(typed, &mut ctx)
+        };
+        self.host_entry_mut(host).tap = Some(tap);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn host_entry(&self, host: HostId) -> &HostEntry {
+        self.hosts
+            .get(host.0 as usize)
+            .unwrap_or_else(|| panic!("unknown {host}"))
+    }
+
+    fn host_entry_mut(&mut self, host: HostId) -> &mut HostEntry {
+        self.hosts
+            .get_mut(host.0 as usize)
+            .unwrap_or_else(|| panic!("unknown {host}"))
+    }
+
+    fn dispatch_app(&mut self, host: HostId, f: impl FnOnce(&mut dyn NetApp, &mut dyn AppCtx)) {
+        let Some(mut app) = self.host_entry_mut(host).app.take() else {
+            return;
+        };
+        {
+            let mut ctx = Ctx { net: self, host };
+            f(app.as_mut(), &mut ctx);
+        }
+        self.host_entry_mut(host).app = Some(app);
+    }
+
+    fn dispatch_tap<R>(
+        &mut self,
+        tap: HostId,
+        f: impl FnOnce(&mut dyn Middlebox, &mut dyn TapCtx) -> R,
+    ) -> Option<R> {
+        let mut mb = self.host_entry_mut(tap).tap.take()?;
+        let result = {
+            let mut ctx = TapCtxImpl { net: self, tap };
+            f(mb.as_mut(), &mut ctx)
+        };
+        self.host_entry_mut(tap).tap = Some(mb);
+        Some(result)
+    }
+
+    fn has_tap(&self, host: HostId) -> bool {
+        self.host_entry(host).tap.is_some()
+    }
+
+    fn alloc_port(&mut self, host: HostId) -> u16 {
+        let entry = self.host_entry_mut(host);
+        let port = entry.next_port;
+        entry.next_port = entry.next_port.wrapping_add(1).max(40_000);
+        port
+    }
+
+    /// Rolls the per-leg loss dice.
+    fn wire_drops(&mut self) -> bool {
+        self.config.loss_probability > 0.0
+            && rand::Rng::gen_bool(&mut self.rng, self.config.loss_probability)
+    }
+
+    /// Routes a segment from its sender toward its receiver, traversing the
+    /// tap of whichever endpoint is tapped.
+    fn route_segment(&mut self, seg: Segment) {
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return;
+        };
+        let src_host = conn.endpoint_of_dir_src(seg.dir);
+        let dst_host = conn.endpoint_of_dir_dst(seg.dir);
+        if self.wire_drops() {
+            return;
+        }
+        let now = self.queue.now();
+        let lat = self.config.latency;
+        let di = Connection::dir_index(seg.dir);
+        if self.has_tap(src_host) {
+            let d = lat.to_tap(&mut self.rng);
+            let at = self.clamp_tap_arrival(seg.conn, di, now + d);
+            self.queue
+                .schedule(at, NetEvent::SegAtTap { tap: src_host, seg });
+        } else if self.has_tap(dst_host) {
+            let d = lat.tap_to_cloud(&mut self.rng);
+            let at = self.clamp_tap_arrival(seg.conn, di, now + d);
+            self.queue
+                .schedule(at, NetEvent::SegAtTap { tap: dst_host, seg });
+        } else {
+            let d = lat.end_to_end(&mut self.rng);
+            let at = self.clamp_ep_arrival(seg.conn, di, now + d);
+            self.queue.schedule(at, NetEvent::SegAtEndpoint { seg });
+        }
+    }
+
+    fn clamp_tap_arrival(&mut self, conn: u64, dir_idx: usize, candidate: SimTime) -> SimTime {
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return candidate;
+        };
+        let at = candidate.max(c.arrival_floor_tap[dir_idx]);
+        c.arrival_floor_tap[dir_idx] = at;
+        at
+    }
+
+    fn clamp_ep_arrival(&mut self, conn: u64, dir_idx: usize, candidate: SimTime) -> SimTime {
+        let Some(c) = self.conns.get_mut(&conn) else {
+            return candidate;
+        };
+        let at = candidate.max(c.arrival_floor_ep[dir_idx]);
+        c.arrival_floor_ep[dir_idx] = at;
+        at
+    }
+
+    /// Forwards a segment onward from a tap to its final endpoint.
+    fn forward_from_tap(&mut self, tap: HostId, seg: Segment) {
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return;
+        };
+        let dst_host = conn.endpoint_of_dir_dst(seg.dir);
+        if self.wire_drops() {
+            return;
+        }
+        let now = self.queue.now();
+        let lat = self.config.latency;
+        let d = if dst_host == tap {
+            lat.to_tap(&mut self.rng)
+        } else {
+            lat.tap_to_cloud(&mut self.rng)
+        };
+        let at = self.clamp_ep_arrival(seg.conn, Connection::dir_index(seg.dir), now + d);
+        self.queue.schedule(at, NetEvent::SegAtEndpoint { seg });
+    }
+
+    fn route_datagram(&mut self, dgram: Datagram) {
+        if self.wire_drops() {
+            return;
+        }
+        let src_host = self.host_by_ip(*dgram.src.ip());
+        let dst_host = self.host_by_ip(*dgram.dst.ip());
+        let now = self.queue.now();
+        let lat = self.config.latency;
+        if let Some(src) = src_host {
+            if self.has_tap(src) {
+                let d = lat.to_tap(&mut self.rng);
+                self.queue.schedule(
+                    now + d,
+                    NetEvent::DgramAtTap {
+                        tap: src,
+                        dgram,
+                        outbound: true,
+                    },
+                );
+                return;
+            }
+        }
+        if let Some(dst) = dst_host {
+            if self.has_tap(dst) {
+                let d = lat.tap_to_cloud(&mut self.rng);
+                self.queue.schedule(
+                    now + d,
+                    NetEvent::DgramAtTap {
+                        tap: dst,
+                        dgram,
+                        outbound: false,
+                    },
+                );
+                return;
+            }
+        }
+        let d = lat.end_to_end(&mut self.rng);
+        self.queue.schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
+    }
+
+    fn forward_dgram_from_tap(&mut self, tap: HostId, dgram: Datagram, outbound: bool) {
+        let now = self.queue.now();
+        let lat = self.config.latency;
+        let d = if outbound {
+            lat.tap_to_cloud(&mut self.rng)
+        } else {
+            lat.to_tap(&mut self.rng)
+        };
+        let _ = tap;
+        self.queue.schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
+    }
+
+    fn capture_segment(&mut self, seg: &Segment) {
+        if !self.config.capture_enabled {
+            return;
+        }
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return;
+        };
+        let (src, dst) = conn.addrs_for_dir(seg.dir);
+        let kind = match seg.payload {
+            SegmentPayload::Data(rec) => PacketKind::Tls(rec.content_type),
+            _ => PacketKind::TcpControl,
+        };
+        let note = match seg.payload {
+            SegmentPayload::Syn => "SYN",
+            SegmentPayload::SynAck => "SYN-ACK",
+            SegmentPayload::Ack { .. } => "ACK",
+            SegmentPayload::KeepAlive => "keep-alive",
+            SegmentPayload::Fin => "FIN",
+            SegmentPayload::Rst => "RST",
+            SegmentPayload::Data(_) => "",
+        };
+        self.capture.record(
+            self.queue.now(),
+            src,
+            dst,
+            kind,
+            seg.wire_len(),
+            Some(seg.conn),
+            Some(seg.dir),
+            note,
+        );
+    }
+
+    /// Sends a TLS record on `conn` from `from_host`. Returns false if the
+    /// connection is not established or the host is not an endpoint.
+    fn send_record_impl(&mut self, from_host: HostId, conn_id: u64, mut record: TlsRecord) -> bool {
+        let now = self.queue.now();
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return false;
+        };
+        if conn.state != ConnState::Established {
+            return false;
+        }
+        let dir = if from_host == conn.client {
+            Direction::ClientToServer
+        } else if from_host == conn.server {
+            Direction::ServerToClient
+        } else {
+            return false;
+        };
+        let d = Connection::dir_index(dir);
+        record.seq = conn.dirs[d].next_tls_seq;
+        conn.dirs[d].next_tls_seq += 1;
+        conn.dirs[d].next_seg_seq += 1;
+        let seg_seq = conn.dirs[d].next_seg_seq;
+        let seg = Segment {
+            conn: conn_id,
+            dir,
+            seg_seq,
+            payload: SegmentPayload::Data(record),
+            sent_at: now,
+            retransmit: false,
+        };
+        conn.dirs[d].outstanding.insert(seg_seq, seg);
+        conn.last_activity = now;
+        self.route_segment(seg);
+        self.queue.schedule(
+            now + self.config.rto_initial,
+            NetEvent::RtoCheck {
+                conn: conn_id,
+                dir,
+                seg_seq,
+                attempt: 0,
+            },
+        );
+        true
+    }
+
+    fn send_control(&mut self, conn_id: u64, dir: Direction, payload: SegmentPayload) {
+        let seg = Segment {
+            conn: conn_id,
+            dir,
+            seg_seq: 0,
+            payload,
+            sent_at: self.queue.now(),
+            retransmit: false,
+        };
+        self.route_segment(seg);
+    }
+
+    /// Closes `conn`, recording the reason. `initiator_side` (0/1) is already
+    /// aware and is not re-notified; pass `None` to notify both sides now.
+    fn close_conn(&mut self, conn_id: u64, reason: CloseReason, initiator_side: Option<usize>) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state == ConnState::Closed {
+            return;
+        }
+        conn.state = ConnState::Closed;
+        conn.close_reason = Some(reason);
+        let mut notify = Vec::new();
+        for side in 0..2 {
+            if Some(side) == initiator_side {
+                conn.close_notified[side] = true;
+                continue;
+            }
+            if !conn.close_notified[side] {
+                conn.close_notified[side] = true;
+                notify.push(conn.host_of_side(side));
+            }
+        }
+        let tapped: Vec<HostId> = [conn.client, conn.server]
+            .into_iter()
+            .filter(|h| self.host_entry(*h).tap.is_some())
+            .collect();
+        for host in notify {
+            self.dispatch_app(host, |app, ctx| app.on_closed(ctx, ConnId(conn_id), reason));
+        }
+        let now = self.queue.now();
+        for tap in tapped {
+            self.queue.schedule(
+                now,
+                NetEvent::TapConnClosed {
+                    tap,
+                    conn: conn_id,
+                    reason,
+                },
+            );
+        }
+        // Clean up any frames still held at taps for this connection.
+        self.held_segs.retain(|(_, c), _| *c != conn_id);
+    }
+
+    fn handle(&mut self, event: NetEvent) {
+        match event {
+            NetEvent::SegAtTap { tap, seg } => self.on_seg_at_tap(tap, seg),
+            NetEvent::SegAtEndpoint { seg } => self.on_seg_at_endpoint(seg),
+            NetEvent::DgramAtTap { tap, dgram, outbound } => {
+                self.on_dgram_at_tap(tap, dgram, outbound)
+            }
+            NetEvent::DgramAtEndpoint { dgram } => self.on_dgram_at_endpoint(dgram),
+            NetEvent::DnsQueryTap { tap, name } => {
+                if self.config.capture_enabled {
+                    let router = SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 1), 53);
+                    let src = SocketAddrV4::new(self.host_ip(tap), 53_000);
+                    self.capture.record(
+                        self.queue.now(),
+                        src,
+                        router,
+                        PacketKind::DnsQuery,
+                        (name.len() + 18) as u32,
+                        None,
+                        None,
+                        name.clone(),
+                    );
+                }
+                self.dispatch_tap(tap, |mb, ctx| mb.on_dns_query(ctx, &name));
+            }
+            NetEvent::DnsQueryAtResolver { host, name } => {
+                let Some(ip) = self.dns.resolve(&name) else {
+                    self.trace
+                        .emit(self.queue.now(), "dns.nxdomain", name.clone());
+                    return;
+                };
+                let now = self.queue.now();
+                let lat = self.config.latency;
+                if self.has_tap(host) {
+                    let d1 = lat.to_tap(&mut self.rng);
+                    self.queue.schedule(
+                        now + d1,
+                        NetEvent::DnsAnswerAtTap {
+                            tap: host,
+                            host,
+                            name: name.clone(),
+                            ip,
+                        },
+                    );
+                    let d2 = lat.to_tap(&mut self.rng);
+                    self.queue.schedule(
+                        now + d1 + d2,
+                        NetEvent::DnsAnswerAtHost { host, name, ip },
+                    );
+                } else {
+                    let d = lat.to_tap(&mut self.rng);
+                    self.queue
+                        .schedule(now + d, NetEvent::DnsAnswerAtHost { host, name, ip });
+                }
+            }
+            NetEvent::DnsAnswerAtTap { tap, host, name, ip } => {
+                if self.config.capture_enabled {
+                    let router = SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 1), 53);
+                    let dst = SocketAddrV4::new(self.host_ip(host), 53_000);
+                    self.capture.record(
+                        self.queue.now(),
+                        router,
+                        dst,
+                        PacketKind::DnsResponse,
+                        (name.len() + 34) as u32,
+                        None,
+                        None,
+                        format!("{name} -> {ip}"),
+                    );
+                }
+                self.dispatch_tap(tap, |mb, ctx| mb.on_dns_response(ctx, &name, ip));
+            }
+            NetEvent::DnsAnswerAtHost { host, name, ip } => {
+                self.dispatch_app(host, |app, ctx| app.on_dns(ctx, &name, ip));
+            }
+            NetEvent::AppTimer { host, token } => {
+                self.dispatch_app(host, |app, ctx| app.on_timer(ctx, token));
+            }
+            NetEvent::TapTimer { tap, token } => {
+                self.dispatch_tap(tap, |mb, ctx| mb.on_timer(ctx, token));
+            }
+            NetEvent::TapConnClosed { tap, conn, reason } => {
+                self.dispatch_tap(tap, |mb, ctx| mb.on_conn_closed(ctx, ConnId(conn), reason));
+            }
+            NetEvent::RtoCheck {
+                conn,
+                dir,
+                seg_seq,
+                attempt,
+            } => self.on_rto_check(conn, dir, seg_seq, attempt),
+            NetEvent::KeepAliveCheck { conn, dir } => self.on_keepalive_check(conn, dir),
+            NetEvent::GapCheck { conn, dir, since } => self.on_gap_check(conn, dir, since),
+            NetEvent::SynTimeout { conn } => {
+                let still_opening = self
+                    .conns
+                    .get(&conn)
+                    .map(|c| c.state == ConnState::SynSent)
+                    .unwrap_or(false);
+                if still_opening {
+                    self.trace.emit(
+                        self.queue.now(),
+                        "tcp.abort",
+                        format!("conn#{conn} handshake timed out"),
+                    );
+                    self.close_conn(conn, CloseReason::Timeout, None);
+                }
+            }
+        }
+    }
+
+    fn on_seg_at_tap(&mut self, tap: HostId, seg: Segment) {
+        let Some(conn) = self.conns.get(&seg.conn) else {
+            return;
+        };
+        if conn.state == ConnState::Closed
+            && !matches!(
+                seg.payload,
+                SegmentPayload::Fin | SegmentPayload::Rst | SegmentPayload::Data(_)
+            )
+        {
+            return;
+        }
+        let (src, dst) = conn.addrs_for_dir(seg.dir);
+        let view = SegmentView {
+            conn: ConnId(seg.conn),
+            dir: seg.dir,
+            src,
+            dst,
+            payload: seg.payload,
+            wire_len: seg.wire_len(),
+            retransmit: seg.retransmit,
+        };
+        self.capture_segment(&seg);
+        let verdict = self
+            .dispatch_tap(tap, |mb, ctx| mb.on_segment(ctx, &view))
+            .unwrap_or(TapVerdict::Forward);
+        match verdict {
+            TapVerdict::Forward => self.forward_from_tap(tap, seg),
+            TapVerdict::Hold => {
+                // Spoof an ACK toward the sender so it neither retransmits
+                // nor declares the peer dead (§IV-B2: "received TCP segments
+                // and keep-alive probes are acknowledged by the proxy").
+                match seg.payload {
+                    SegmentPayload::Data(_) | SegmentPayload::KeepAlive => {
+                        let cum = if seg.payload.is_data() {
+                            seg.seg_seq
+                        } else {
+                            self.conns
+                                .get(&seg.conn)
+                                .map(|c| c.dirs[Connection::dir_index(seg.dir)].acked_through)
+                                .unwrap_or(0)
+                        };
+                        let ack = Segment {
+                            conn: seg.conn,
+                            dir: seg.dir.reverse(),
+                            seg_seq: 0,
+                            payload: SegmentPayload::Ack { cum_seq: cum },
+                            sent_at: self.queue.now(),
+                            retransmit: false,
+                        };
+                        let now = self.queue.now();
+                        let d = self.config.latency.to_tap(&mut self.rng);
+                        self.queue.schedule(now + d, NetEvent::SegAtEndpoint { seg: ack });
+                    }
+                    _ => {}
+                }
+                self.held_segs
+                    .entry((tap.0, seg.conn))
+                    .or_default()
+                    .push_back(seg);
+            }
+            TapVerdict::Drop => {
+                self.trace.emit(
+                    self.queue.now(),
+                    "tap.drop",
+                    format!("conn#{} {} dropped at tap", seg.conn, seg.dir),
+                );
+            }
+        }
+    }
+
+    fn on_seg_at_endpoint(&mut self, seg: Segment) {
+        let conn_id = seg.conn;
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        conn.last_activity = self.queue.now();
+        match seg.payload {
+            SegmentPayload::Syn => {
+                let server = conn.server;
+                let client_addr = conn.client_addr;
+                let accept = {
+                    let mut accept = true;
+                    self.dispatch_app(server, |app, ctx| {
+                        accept = app.on_incoming(ctx, ConnId(conn_id), client_addr);
+                    });
+                    accept
+                };
+                if accept {
+                    self.send_control(conn_id, Direction::ServerToClient, SegmentPayload::SynAck);
+                } else {
+                    self.send_control(conn_id, Direction::ServerToClient, SegmentPayload::Rst);
+                    if let Some(c) = self.conns.get_mut(&conn_id) {
+                        c.state = ConnState::Closed;
+                        c.close_reason = Some(CloseReason::Reset);
+                        c.close_notified = [false, true];
+                    }
+                }
+            }
+            SegmentPayload::SynAck => {
+                if conn.state == ConnState::SynSent {
+                    conn.state = ConnState::Established;
+                    let client = conn.client;
+                    self.send_control(conn_id, Direction::ClientToServer, SegmentPayload::Ack {
+                        cum_seq: 0,
+                    });
+                    self.schedule_keepalives(conn_id);
+                    self.dispatch_app(client, |app, ctx| app.on_connected(ctx, ConnId(conn_id)));
+                }
+            }
+            SegmentPayload::Ack { cum_seq } => {
+                // This ACK acknowledges data flowing opposite to the ACK.
+                let data_dir = seg.dir.reverse();
+                let d = Connection::dir_index(data_dir);
+                if cum_seq > conn.dirs[d].acked_through {
+                    conn.dirs[d].acked_through = cum_seq;
+                }
+                let keys: Vec<u64> = conn.dirs[d]
+                    .outstanding
+                    .range(..=cum_seq)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in keys {
+                    conn.dirs[d].outstanding.remove(&k);
+                }
+                conn.dirs[d].ka_outstanding = false;
+                // Handshake-completing ACK (server side).
+                if cum_seq == 0 && conn.state == ConnState::SynSent {
+                    conn.state = ConnState::Established;
+                    let server = conn.server;
+                    self.schedule_keepalives(conn_id);
+                    self.dispatch_app(server, |app, ctx| app.on_connected(ctx, ConnId(conn_id)));
+                } else if cum_seq == 0 && conn.state == ConnState::Established && !conn.close_notified[1] {
+                    // Server may see the handshake ACK after SYN-ACK already
+                    // established the client side: notify the server app once.
+                    // (Server-side on_connected dispatch happens here exactly
+                    // once because SynSent->Established transitions above.)
+                }
+            }
+            SegmentPayload::Data(rec) => {
+                if conn.state != ConnState::Established {
+                    // An in-flight record arriving after close is what trips
+                    // the server's record check in case III: respond RST.
+                    if conn.state == ConnState::Closed
+                        && conn.close_reason == Some(CloseReason::TlsRecordSequenceMismatch)
+                    {
+                        self.send_control(conn_id, seg.dir.reverse(), SegmentPayload::Rst);
+                    }
+                    return;
+                }
+                let d = Connection::dir_index(seg.dir);
+                let expected = conn.dirs[d].recv_expected_tls;
+                if rec.seq < expected {
+                    // Duplicate (retransmission already satisfied): re-ACK
+                    // up to the contiguous high-water mark.
+                    let cum = conn.dirs[d].recv_cum_seg;
+                    self.send_control(
+                        conn_id,
+                        seg.dir.reverse(),
+                        SegmentPayload::Ack { cum_seq: cum },
+                    );
+                    return;
+                }
+                if rec.seq > expected {
+                    // A receive gap: TCP buffers the out-of-order data and
+                    // keeps asking (duplicate cumulative ACK) while the
+                    // sender's RTO refills the hole. Only a gap that
+                    // *persists* — spoof-ACKed bytes a middlebox discarded —
+                    // tears the session down (case III), via GapCheck.
+                    let now = self.queue.now();
+                    conn.dirs[d].ooo.insert(rec.seq, (seg.seg_seq, rec));
+                    if conn.dirs[d].gap_since.is_none() {
+                        conn.dirs[d].gap_since = Some(now);
+                        self.queue.schedule(
+                            now + self.config.rto_initial * 3,
+                            NetEvent::GapCheck {
+                                conn: conn_id,
+                                dir: seg.dir,
+                                since: now,
+                            },
+                        );
+                    }
+                    let cum = conn.dirs[d].recv_cum_seg;
+                    self.send_control(
+                        conn_id,
+                        seg.dir.reverse(),
+                        SegmentPayload::Ack { cum_seq: cum },
+                    );
+                    return;
+                }
+                // In-order: deliver it and drain anything the gap was
+                // blocking.
+                let receiver = conn.endpoint_of_dir_dst(seg.dir);
+                let mut deliver = vec![rec];
+                conn.dirs[d].recv_expected_tls += 1;
+                conn.dirs[d].recv_cum_seg = seg.seg_seq;
+                while let Some((buf_seg_seq, buf_rec)) =
+                    conn.dirs[d].ooo.remove(&conn.dirs[d].recv_expected_tls)
+                {
+                    conn.dirs[d].recv_expected_tls += 1;
+                    conn.dirs[d].recv_cum_seg = buf_seg_seq;
+                    deliver.push(buf_rec);
+                }
+                conn.dirs[d].gap_since = if conn.dirs[d].ooo.is_empty() {
+                    None
+                } else {
+                    // Another, later gap remains: restart its clock.
+                    let now = self.queue.now();
+                    self.queue.schedule(
+                        now + self.config.rto_initial * 3,
+                        NetEvent::GapCheck {
+                            conn: conn_id,
+                            dir: seg.dir,
+                            since: now,
+                        },
+                    );
+                    Some(now)
+                };
+                let cum = conn.dirs[d].recv_cum_seg;
+                self.send_control(conn_id, seg.dir.reverse(), SegmentPayload::Ack { cum_seq: cum });
+                for r in deliver {
+                    self.dispatch_app(receiver, |app, ctx| {
+                        app.on_record(ctx, ConnId(conn_id), r)
+                    });
+                }
+            }
+            SegmentPayload::KeepAlive => {
+                let d = Connection::dir_index(seg.dir);
+                let cum = conn.dirs[d].recv_cum_seg;
+                self.send_control(conn_id, seg.dir.reverse(), SegmentPayload::Ack { cum_seq: cum });
+            }
+            SegmentPayload::Fin => {
+                let receiver = conn.endpoint_of_dir_dst(seg.dir);
+                let receiver_side = if receiver == conn.client { 0 } else { 1 };
+                let other = 1 - receiver_side;
+                let receiver_was_unaware = !conn.close_notified[receiver_side];
+                conn.state = ConnState::Closed;
+                conn.close_reason.get_or_insert(CloseReason::Normal);
+                conn.close_notified[other] = true;
+                if receiver_was_unaware {
+                    conn.close_notified[receiver_side] = true;
+                    let reason = conn.close_reason.unwrap_or(CloseReason::Normal);
+                    self.dispatch_app(receiver, |app, ctx| {
+                        app.on_closed(ctx, ConnId(conn_id), reason)
+                    });
+                }
+                if receiver_was_unaware {
+                    let tapped: Vec<HostId> = {
+                        let c = &self.conns[&conn_id];
+                        [c.client, c.server]
+                            .into_iter()
+                            .filter(|h| self.host_entry(*h).tap.is_some())
+                            .collect()
+                    };
+                    let now = self.queue.now();
+                    for tap in tapped {
+                        self.queue.schedule(
+                            now,
+                            NetEvent::TapConnClosed {
+                                tap,
+                                conn: conn_id,
+                                reason: CloseReason::Normal,
+                            },
+                        );
+                    }
+                }
+            }
+            SegmentPayload::Rst => {
+                let receiver = conn.endpoint_of_dir_dst(seg.dir);
+                let receiver_side = if receiver == conn.client { 0 } else { 1 };
+                let reason = conn
+                    .close_reason
+                    .unwrap_or(CloseReason::Reset);
+                conn.state = ConnState::Closed;
+                conn.close_reason = Some(reason);
+                if !conn.close_notified[receiver_side] {
+                    conn.close_notified[receiver_side] = true;
+                    self.dispatch_app(receiver, |app, ctx| {
+                        app.on_closed(ctx, ConnId(conn_id), reason)
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_dgram_at_tap(&mut self, tap: HostId, dgram: Datagram, outbound: bool) {
+        if self.config.capture_enabled {
+            self.capture.record(
+                self.queue.now(),
+                dgram.src,
+                dgram.dst,
+                PacketKind::Udp { quic: dgram.quic },
+                dgram.len,
+                None,
+                None,
+                "",
+            );
+        }
+        let verdict = self
+            .dispatch_tap(tap, |mb, ctx| mb.on_datagram(ctx, &dgram, outbound))
+            .unwrap_or(TapVerdict::Forward);
+        match verdict {
+            TapVerdict::Forward => self.forward_dgram_from_tap(tap, dgram, outbound),
+            TapVerdict::Hold => {
+                self.held_dgrams
+                    .entry(tap.0)
+                    .or_default()
+                    .push_back((dgram, outbound));
+            }
+            TapVerdict::Drop => {
+                self.trace
+                    .emit(self.queue.now(), "tap.drop", "datagram dropped at tap");
+            }
+        }
+    }
+
+    fn on_dgram_at_endpoint(&mut self, dgram: Datagram) {
+        let Some(host) = self.host_by_ip(*dgram.dst.ip()) else {
+            return;
+        };
+        self.dispatch_app(host, |app, ctx| app.on_datagram(ctx, dgram));
+    }
+
+    fn on_rto_check(&mut self, conn_id: u64, dir: Direction, seg_seq: u64, attempt: u32) {
+        let Some(conn) = self.conns.get(&conn_id) else {
+            return;
+        };
+        if conn.state != ConnState::Established {
+            return;
+        }
+        let d = Connection::dir_index(dir);
+        if conn.dirs[d].acked_through >= seg_seq {
+            return;
+        }
+        if attempt >= self.config.max_retransmits {
+            self.trace.emit(
+                self.queue.now(),
+                "tcp.abort",
+                format!("conn#{conn_id} retransmission budget exhausted"),
+            );
+            self.close_conn(conn_id, CloseReason::Timeout, None);
+            return;
+        }
+        let Some(seg) = self.conns[&conn_id].dirs[d].outstanding.get(&seg_seq).copied() else {
+            return;
+        };
+        let mut retrans = seg;
+        retrans.retransmit = true;
+        retrans.sent_at = self.queue.now();
+        self.route_segment(retrans);
+        let backoff = self.config.rto_initial * (1u64 << (attempt + 1).min(6));
+        let now = self.queue.now();
+        self.queue.schedule(
+            now + backoff,
+            NetEvent::RtoCheck {
+                conn: conn_id,
+                dir,
+                seg_seq,
+                attempt: attempt + 1,
+            },
+        );
+    }
+
+    fn schedule_keepalives(&mut self, conn_id: u64) {
+        let now = self.queue.now();
+        for dir in [Direction::ClientToServer, Direction::ServerToClient] {
+            self.queue.schedule(
+                now + self.config.keepalive_idle,
+                NetEvent::KeepAliveCheck { conn: conn_id, dir },
+            );
+        }
+    }
+
+    /// A receive gap persisted past the reassembly deadline: the missing
+    /// bytes were acknowledged to the sender but never arrived, i.e. a
+    /// middlebox discarded them. The TLS layer cannot advance — tear the
+    /// session down (Fig. 4 case III).
+    fn on_gap_check(&mut self, conn_id: u64, dir: Direction, since: SimTime) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state != ConnState::Established {
+            return;
+        }
+        let d = Connection::dir_index(dir);
+        if conn.dirs[d].gap_since != Some(since) {
+            return; // the gap was filled (or superseded) in the meantime
+        }
+        let expected = conn.dirs[d].recv_expected_tls;
+        self.trace.emit(
+            self.queue.now(),
+            "tls.mismatch",
+            format!("conn#{conn_id}: record seq gap at {expected} never filled"),
+        );
+        let alert_dir = dir.reverse();
+        let alert = TlsRecord {
+            content_type: TlsContentType::Alert,
+            len: TLS_ALERT_LEN,
+            seq: conn.dirs[Connection::dir_index(alert_dir)].next_tls_seq,
+            app_tag: 0,
+        };
+        let alert_seg = Segment {
+            conn: conn_id,
+            dir: alert_dir,
+            seg_seq: 0,
+            payload: SegmentPayload::Data(alert),
+            sent_at: self.queue.now(),
+            retransmit: false,
+        };
+        self.route_segment(alert_seg);
+        self.send_control(conn_id, alert_dir, SegmentPayload::Rst);
+        self.close_conn(conn_id, CloseReason::TlsRecordSequenceMismatch, None);
+    }
+
+    fn on_keepalive_check(&mut self, conn_id: u64, dir: Direction) {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return;
+        };
+        if conn.state != ConnState::Established {
+            return;
+        }
+        let now = self.queue.now();
+        let d = Connection::dir_index(dir);
+        let idle = now.saturating_since(conn.last_activity);
+        if conn.dirs[d].ka_outstanding {
+            // Probe sent last round and never answered: peer is gone.
+            self.trace.emit(
+                now,
+                "tcp.abort",
+                format!("conn#{conn_id} keep-alive unanswered"),
+            );
+            self.close_conn(conn_id, CloseReason::Timeout, None);
+            return;
+        }
+        if idle >= self.config.keepalive_idle {
+            conn.dirs[d].ka_outstanding = true;
+            self.send_control(conn_id, dir, SegmentPayload::KeepAlive);
+            self.queue.schedule(
+                now + self.config.keepalive_timeout,
+                NetEvent::KeepAliveCheck { conn: conn_id, dir },
+            );
+        } else {
+            let wait = self.config.keepalive_idle - idle;
+            self.queue.schedule(
+                now + wait,
+                NetEvent::KeepAliveCheck { conn: conn_id, dir },
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Context implementations
+// ----------------------------------------------------------------------
+
+struct Ctx<'a> {
+    net: &'a mut Network,
+    host: HostId,
+}
+
+impl AppCtx for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        self.net.queue.now()
+    }
+
+    fn host(&self) -> HostId {
+        self.host
+    }
+
+    fn connect(&mut self, remote: SocketAddrV4) -> ConnId {
+        let local_ip = self.net.host_ip(self.host);
+        let local_port = self.net.alloc_port(self.host);
+        let server = self
+            .net
+            .host_by_ip(*remote.ip())
+            .unwrap_or_else(|| panic!("connect: no host owns {}", remote.ip()));
+        let id = self.net.next_conn;
+        self.net.next_conn += 1;
+        self.net.conns.insert(
+            id,
+            Connection {
+                client: self.host,
+                server,
+                client_addr: SocketAddrV4::new(local_ip, local_port),
+                server_addr: remote,
+                state: ConnState::SynSent,
+                close_reason: None,
+                close_notified: [false, false],
+                dirs: [DirState::default(), DirState::default()],
+                last_activity: self.net.queue.now(),
+                arrival_floor_tap: [SimTime::ZERO; 2],
+                arrival_floor_ep: [SimTime::ZERO; 2],
+            },
+        );
+        self.net
+            .send_control(id, Direction::ClientToServer, SegmentPayload::Syn);
+        // Real TCP retransmits SYNs and eventually gives up; we model the
+        // give-up directly so a black-holed handshake surfaces as Timeout.
+        let at = self.net.queue.now() + SimDuration::from_secs(10);
+        self.net.queue.schedule(at, NetEvent::SynTimeout { conn: id });
+        ConnId(id)
+    }
+
+    fn send_record(&mut self, conn: ConnId, record: TlsRecord) -> bool {
+        self.net.send_record_impl(self.host, conn.0, record)
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        let Some(c) = self.net.conns.get(&conn.0) else {
+            return;
+        };
+        if c.state == ConnState::Closed {
+            return;
+        }
+        let side = if c.client == self.host { 0 } else { 1 };
+        let dir = if side == 0 {
+            Direction::ClientToServer
+        } else {
+            Direction::ServerToClient
+        };
+        self.net.send_control(conn.0, dir, SegmentPayload::Fin);
+        if let Some(c) = self.net.conns.get_mut(&conn.0) {
+            c.state = ConnState::Closed;
+            c.close_reason = Some(CloseReason::Normal);
+            c.close_notified[side] = true;
+        }
+    }
+
+    fn reset(&mut self, conn: ConnId) {
+        let Some(c) = self.net.conns.get(&conn.0) else {
+            return;
+        };
+        if c.state == ConnState::Closed {
+            return;
+        }
+        let side = if c.client == self.host { 0 } else { 1 };
+        let dir = if side == 0 {
+            Direction::ClientToServer
+        } else {
+            Direction::ServerToClient
+        };
+        self.net.send_control(conn.0, dir, SegmentPayload::Rst);
+        if let Some(c) = self.net.conns.get_mut(&conn.0) {
+            c.state = ConnState::Closed;
+            c.close_reason = Some(CloseReason::Reset);
+            c.close_notified[side] = true;
+        }
+    }
+
+    fn send_datagram(&mut self, dst: SocketAddrV4, len: u32, quic: bool, tag: u64) {
+        let src_ip = self.net.host_ip(self.host);
+        let src = SocketAddrV4::new(src_ip, 4_500 + self.host.0 as u16);
+        let dgram = Datagram {
+            src,
+            dst,
+            len,
+            quic,
+            tag,
+        };
+        self.net.route_datagram(dgram);
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.net.queue.now() + delay;
+        self.net
+            .queue
+            .schedule(at, NetEvent::AppTimer { host: self.host, token });
+    }
+
+    fn dns_lookup(&mut self, name: &str) {
+        let now = self.net.queue.now();
+        let lat = self.net.config.latency;
+        if self.net.has_tap(self.host) {
+            let d1 = lat.to_tap(&mut self.net.rng);
+            self.net.queue.schedule(
+                now + d1,
+                NetEvent::DnsQueryTap {
+                    tap: self.host,
+                    name: name.to_string(),
+                },
+            );
+            let d2 = lat.to_tap(&mut self.net.rng);
+            self.net.queue.schedule(
+                now + d1 + d2,
+                NetEvent::DnsQueryAtResolver {
+                    host: self.host,
+                    name: name.to_string(),
+                },
+            );
+        } else {
+            let d = lat.to_tap(&mut self.net.rng);
+            self.net.queue.schedule(
+                now + d,
+                NetEvent::DnsQueryAtResolver {
+                    host: self.host,
+                    name: name.to_string(),
+                },
+            );
+        }
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.net.host_entry_mut(self.host).rng
+    }
+
+    fn trace(&mut self, category: &str, message: &str) {
+        let now = self.net.queue.now();
+        self.net.trace.emit(now, category, message);
+    }
+}
+
+struct TapCtxImpl<'a> {
+    net: &'a mut Network,
+    tap: HostId,
+}
+
+impl TapCtx for TapCtxImpl<'_> {
+    fn now(&self) -> SimTime {
+        self.net.queue.now()
+    }
+
+    fn tapped_host(&self) -> HostId {
+        self.tap
+    }
+
+    fn held_count(&self, conn: ConnId) -> usize {
+        self.net
+            .held_segs
+            .get(&(self.tap.0, conn.0))
+            .map_or(0, VecDeque::len)
+    }
+
+    fn release_held(&mut self, conn: ConnId) -> usize {
+        let Some(held) = self.net.held_segs.remove(&(self.tap.0, conn.0)) else {
+            return 0;
+        };
+        let n = held.len();
+        for seg in held {
+            self.net.forward_from_tap(self.tap, seg);
+        }
+        n
+    }
+
+    fn discard_held(&mut self, conn: ConnId) -> usize {
+        self.net
+            .held_segs
+            .remove(&(self.tap.0, conn.0))
+            .map_or(0, |q| q.len())
+    }
+
+    fn held_datagram_count(&self) -> usize {
+        self.net.held_dgrams.get(&self.tap.0).map_or(0, VecDeque::len)
+    }
+
+    fn release_held_datagrams(&mut self) -> usize {
+        let Some(held) = self.net.held_dgrams.remove(&self.tap.0) else {
+            return 0;
+        };
+        let n = held.len();
+        for (dgram, outbound) in held {
+            self.net.forward_dgram_from_tap(self.tap, dgram, outbound);
+        }
+        n
+    }
+
+    fn discard_held_datagrams(&mut self) -> usize {
+        self.net
+            .held_dgrams
+            .remove(&self.tap.0)
+            .map_or(0, |q| q.len())
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        let at = self.net.queue.now() + delay;
+        self.net
+            .queue
+            .schedule(at, NetEvent::TapTimer { tap: self.tap, token });
+    }
+
+    fn trace(&mut self, category: &str, message: &str) {
+        let now = self.net.queue.now();
+        self.net.trace.emit(now, category, message);
+    }
+}

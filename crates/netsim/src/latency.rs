@@ -1,0 +1,127 @@
+//! Link-latency model.
+//!
+//! The topology of every scenario in the paper is: speaker — (WiFi) —
+//! VoiceGuard laptop (bump-in-the-wire) — home router — Internet — cloud.
+//! We model it with three latency classes: LAN hop, tap processing, and WAN
+//! path, each with optional jitter drawn from the engine's RNG.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Latency parameters for the simulated network paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// One-way latency of a LAN (WiFi) hop.
+    pub lan: SimDuration,
+    /// Processing delay added by the tap for each traversed frame.
+    pub tap_processing: SimDuration,
+    /// One-way latency from the home router to a cloud server.
+    pub wan: SimDuration,
+    /// Maximum uniform jitter added to each hop (0 disables jitter).
+    pub jitter: SimDuration,
+}
+
+impl LatencyModel {
+    /// Defaults representative of a US residential connection: 2 ms WiFi hop,
+    /// 0.2 ms tap processing, 15 ms WAN one-way, ±1 ms jitter.
+    pub fn residential() -> Self {
+        LatencyModel {
+            lan: SimDuration::from_millis(2),
+            tap_processing: SimDuration::from_micros(200),
+            wan: SimDuration::from_millis(15),
+            jitter: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A zero-latency model, useful in unit tests that assert event ordering.
+    pub fn zero() -> Self {
+        LatencyModel {
+            lan: SimDuration::ZERO,
+            tap_processing: SimDuration::ZERO,
+            wan: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    fn with_jitter<R: Rng + ?Sized>(&self, base: SimDuration, rng: &mut R) -> SimDuration {
+        if self.jitter.is_zero() {
+            return base;
+        }
+        base + SimDuration::from_nanos(rng.gen_range(0..=self.jitter.as_nanos()))
+    }
+
+    /// Samples the latency from an endpoint to its tap (one LAN hop).
+    pub fn to_tap<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        self.with_jitter(self.lan, rng)
+    }
+
+    /// Samples the latency from the tap onward to a cloud endpoint
+    /// (tap processing + WAN).
+    pub fn tap_to_cloud<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        self.with_jitter(self.tap_processing + self.wan, rng)
+    }
+
+    /// Samples the end-to-end latency of an untapped path (LAN + WAN).
+    pub fn end_to_end<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        self.with_jitter(self.lan + self.wan, rng)
+    }
+
+    /// Samples the latency of a purely local exchange (e.g. DNS to the home
+    /// router): two LAN hops.
+    pub fn local_round<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        self.with_jitter(self.lan * 2, rng)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::residential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_model_has_no_delay() {
+        let m = LatencyModel::zero();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(m.to_tap(&mut rng), SimDuration::ZERO);
+        assert_eq!(m.end_to_end(&mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let m = LatencyModel::residential();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let d = m.end_to_end(&mut rng);
+            assert!(d >= m.lan + m.wan);
+            assert!(d <= m.lan + m.wan + m.jitter);
+        }
+    }
+
+    #[test]
+    fn residential_ordering() {
+        let m = LatencyModel::residential();
+        assert!(m.lan < m.wan);
+        assert!(m.tap_processing < m.lan);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = LatencyModel::residential();
+        let a: Vec<u64> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            (0..10).map(|_| m.to_tap(&mut rng).as_nanos()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            (0..10).map(|_| m.to_tap(&mut rng).as_nanos()).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

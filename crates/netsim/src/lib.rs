@@ -1,0 +1,44 @@
+//! # netsim — packet-level network simulation for the VoiceGuard reproduction
+//!
+//! VoiceGuard (DSN 2023) never inspects audio: its entire input is the
+//! *metadata* of encrypted traffic between a smart speaker and its cloud —
+//! TLS record lengths, timing, endpoints, DNS lookups — plus the ability of a
+//! transparent proxy to hold, release or drop packets. This crate provides a
+//! discrete-event network with exactly that surface:
+//!
+//! * [`Network`] — the event-driven engine: hosts, connections, datagrams,
+//!   DNS, timers.
+//! * [`NetApp`] — trait implemented by endpoint applications (the speaker
+//!   models in the `speakers` crate, cloud servers, …).
+//! * [`Middlebox`] — trait implemented by a bump-in-the-wire tap on a host's
+//!   access link; the VoiceGuard Traffic Processing Module is a `Middlebox`.
+//!   The engine gives taps the transparent-proxy powers from the paper's
+//!   §IV-B2: per-segment forward/hold verdicts, spoofed ACKs toward the
+//!   sender while holding, ordered release, and discard (which later trips
+//!   the server's TLS record-sequence check, closing the session exactly as
+//!   in Fig. 4 case III).
+//! * [`Capture`] — a pcap-style log of everything that traverses the tap,
+//!   from which packet-level signatures (paper §IV-B1) are learned.
+//!
+//! TCP is modelled at segment granularity (SYN/SYN-ACK/ACK handshake,
+//! cumulative ACKs, retransmission with exponential backoff, keep-alive
+//! probes, FIN/RST), and TLS at record granularity (content type + length +
+//! per-direction record sequence number). QUIC-over-UDP is modelled as
+//! datagrams with a QUIC flag, which is all the Google Home Mini path needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod capture;
+pub mod dns;
+pub mod engine;
+pub mod latency;
+pub mod wire;
+
+pub use app::{AppCtx, CloseReason, Middlebox, NetApp, TapCtx, TapVerdict};
+pub use capture::{Capture, CapturedPacket, PacketKind};
+pub use dns::{DnsZone, ServerPool};
+pub use engine::{ConnId, HostId, Network, NetworkConfig};
+pub use latency::LatencyModel;
+pub use wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};

@@ -1,0 +1,206 @@
+//! Failure-injection tests: black holes, handshake loss, DNS failures,
+//! and retransmission-budget exhaustion. A guard deployed in a real home
+//! must fail predictably when the network does.
+
+use netsim::{
+    AppCtx, CloseReason, ConnId, Middlebox, NetApp, Network, NetworkConfig, SegmentPayload,
+    ServerPool, TapCtx, TapVerdict, TlsRecord,
+};
+use simcore::SimTime;
+use std::any::Any;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+const A_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const B_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 1);
+
+#[derive(Default)]
+struct Client {
+    conn: Option<ConnId>,
+    connected: bool,
+    closed: Option<CloseReason>,
+    received: usize,
+}
+
+impl NetApp for Client {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        self.conn = Some(ctx.connect(SocketAddrV4::new(B_IP, 443)));
+    }
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        self.connected = true;
+        ctx.send_record(conn, TlsRecord::app_data(100));
+    }
+    fn on_record(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, _record: TlsRecord) {
+        self.received += 1;
+    }
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, reason: CloseReason) {
+        self.closed = Some(reason);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Default)]
+struct Server;
+impl NetApp for Server {
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        ctx.send_record(conn, TlsRecord::app_data(record.len));
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A tap that silently drops a configurable class of segments.
+struct BlackHole {
+    drop_syn_ack: bool,
+    drop_data: bool,
+}
+
+impl Middlebox for BlackHole {
+    fn on_segment(&mut self, _ctx: &mut dyn TapCtx, view: &netsim::app::SegmentView) -> TapVerdict {
+        match view.payload {
+            SegmentPayload::SynAck if self.drop_syn_ack => TapVerdict::Drop,
+            SegmentPayload::Data(_) | SegmentPayload::Ack { .. } if self.drop_data => {
+                TapVerdict::Drop
+            }
+            _ => TapVerdict::Forward,
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn network_with_tap(tap: BlackHole, seed: u64) -> (Network, netsim::HostId) {
+    let mut net = Network::new(NetworkConfig {
+        seed,
+        ..NetworkConfig::default()
+    });
+    let a = net.add_host("client", A_IP);
+    let b = net.add_host("server", B_IP);
+    net.set_app(a, Box::new(Client::default()));
+    net.set_app(b, Box::new(Server));
+    net.set_tap(a, Box::new(tap));
+    net.start();
+    (net, a)
+}
+
+#[test]
+fn lost_handshake_times_out() {
+    let (mut net, client) = network_with_tap(
+        BlackHole {
+            drop_syn_ack: true,
+            drop_data: false,
+        },
+        1,
+    );
+    net.run_until(SimTime::from_secs(15));
+    net.with_app::<Client, _>(client, |c, _| {
+        assert!(!c.connected, "handshake was black-holed");
+        assert_eq!(c.closed, Some(CloseReason::Timeout));
+    });
+}
+
+#[test]
+fn data_black_hole_exhausts_retransmissions() {
+    // SYN/SYN-ACK pass, then every data segment and ACK vanishes: the
+    // sender retransmits with backoff (1+2+4+8+16+32 s) and gives up.
+    let (mut net, client) = network_with_tap(
+        BlackHole {
+            drop_syn_ack: false,
+            drop_data: true,
+        },
+        2,
+    );
+    net.run_until(SimTime::from_secs(90));
+    net.with_app::<Client, _>(client, |c, _| {
+        assert!(c.connected, "handshake completed");
+        assert_eq!(c.received, 0, "no data made it");
+        assert_eq!(c.closed, Some(CloseReason::Timeout), "RTO budget exhausted");
+    });
+}
+
+#[test]
+fn nxdomain_lookup_never_answers() {
+    struct DnsApp {
+        answered: bool,
+    }
+    impl NetApp for DnsApp {
+        fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+            ctx.dns_lookup("no-such-domain.example");
+        }
+        fn on_dns(&mut self, _ctx: &mut dyn AppCtx, _name: &str, _ip: Ipv4Addr) {
+            self.answered = true;
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut net = Network::new(NetworkConfig::default());
+    let h = net.add_host("client", A_IP);
+    net.dns_zone_mut()
+        .insert("real.example", ServerPool::new(vec![B_IP]));
+    net.set_app(h, Box::new(DnsApp { answered: false }));
+    net.start();
+    net.run_until(SimTime::from_secs(5));
+    net.with_app::<DnsApp, _>(h, |app, _| {
+        assert!(!app.answered, "NXDOMAIN yields no answer");
+    });
+    assert!(net
+        .trace()
+        .filter("dns.nxdomain")
+        .next()
+        .is_some());
+}
+
+#[test]
+fn keepalive_detects_peer_death_during_long_silence() {
+    // A tap that swallows *everything* after the first exchange, including
+    // keep-alives: the sides declare the connection dead within the
+    // keep-alive idle + grace window.
+    struct KillSwitch {
+        active_after: SimTime,
+    }
+    impl Middlebox for KillSwitch {
+        fn on_segment(
+            &mut self,
+            ctx: &mut dyn TapCtx,
+            _view: &netsim::app::SegmentView,
+        ) -> TapVerdict {
+            if ctx.now() >= self.active_after {
+                TapVerdict::Drop
+            } else {
+                TapVerdict::Forward
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+    let mut net = Network::new(NetworkConfig {
+        seed: 3,
+        ..NetworkConfig::default()
+    });
+    let a = net.add_host("client", A_IP);
+    let b = net.add_host("server", B_IP);
+    net.set_app(a, Box::new(Client::default()));
+    net.set_app(b, Box::new(Server));
+    net.set_tap(
+        a,
+        Box::new(KillSwitch {
+            active_after: SimTime::from_secs(2),
+        }),
+    );
+    net.start();
+    // keepalive_idle (45 s) + keepalive_timeout (10 s) + margin.
+    net.run_until(SimTime::from_secs(120));
+    net.with_app::<Client, _>(a, |c, _| {
+        assert!(c.connected);
+        assert_eq!(
+            c.closed,
+            Some(CloseReason::Timeout),
+            "silent link must be declared dead"
+        );
+    });
+}

@@ -1,0 +1,191 @@
+//! The RSSI-threshold calibration app (paper §IV-C).
+//!
+//! "The user only needs to switch on the button on the screen and walk
+//! around the room (e.g., along the wall) where the smart speaker locates.
+//! The app periodically measures the RSSI of the smart speaker (e.g.,
+//! every 0.5 seconds) … the app calculates the minimum value of all the
+//! measured RSSI values as the RSSI threshold."
+
+use rand::Rng;
+use rfsim::{BleChannel, Orientation, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one calibration walk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationResult {
+    /// The derived threshold: the minimum RSSI seen on the walk.
+    pub threshold_db: f64,
+    /// Every sample taken (for display, like the app's live read-out).
+    pub samples: Vec<f64>,
+}
+
+/// The calibration app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdCalibrator {
+    /// Sampling period in milliseconds (paper: 500 ms).
+    pub sample_period_ms: u64,
+    /// Walking speed in metres per second.
+    pub walk_speed_mps: f64,
+    /// Safety margin subtracted from the observed minimum (dB): the walk
+    /// hugs the walls at a small inset, so positions in the extreme
+    /// corners read slightly below anything sampled.
+    pub margin_db: f64,
+}
+
+impl Default for ThresholdCalibrator {
+    fn default() -> Self {
+        ThresholdCalibrator {
+            sample_period_ms: 500,
+            walk_speed_mps: 1.0,
+            margin_db: 1.0,
+        }
+    }
+}
+
+impl ThresholdCalibrator {
+    /// Walks the perimeter of `room` (at a 0.4 m inset from the walls) on
+    /// `floor`, sampling the speaker's RSSI every
+    /// [`Self::sample_period_ms`], and returns the minimum as the
+    /// threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the room is too small to walk (under ~1 m on a side).
+    pub fn walk_room<R: Rng + ?Sized>(
+        &self,
+        channel: &BleChannel,
+        room: Rect,
+        floor: i32,
+        rng: &mut R,
+    ) -> CalibrationResult {
+        let inset = 0.4;
+        assert!(
+            room.width() > 2.0 * inset && room.height() > 2.0 * inset,
+            "room too small to calibrate"
+        );
+        let corners = [
+            (room.x0 + inset, room.y0 + inset),
+            (room.x1 - inset, room.y0 + inset),
+            (room.x1 - inset, room.y1 - inset),
+            (room.x0 + inset, room.y1 - inset),
+            (room.x0 + inset, room.y0 + inset),
+        ];
+        let step_m = self.walk_speed_mps * self.sample_period_ms as f64 / 1000.0;
+        let mut samples = Vec::new();
+        for pair in corners.windows(2) {
+            let (ax, ay) = pair[0];
+            let (bx, by) = pair[1];
+            let leg = ((bx - ax).powi(2) + (by - ay).powi(2)).sqrt();
+            let steps = (leg / step_m).ceil().max(1.0) as usize;
+            for s in 0..steps {
+                let t = s as f64 / steps as f64;
+                let p = Point::new(ax + (bx - ax) * t, ay + (by - ay) * t, floor);
+                // The app averages a small burst of measurements per
+                // position so single-sample fading outliers do not drag
+                // the derived threshold far below the room's true floor.
+                let burst: f64 = Orientation::ALL
+                    .iter()
+                    .map(|o| channel.measure(p, *o, rng))
+                    .sum::<f64>()
+                    / 4.0;
+                samples.push(burst);
+            }
+        }
+        let threshold_db = samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            - self.margin_db;
+        CalibrationResult {
+            threshold_db,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rfsim::{Floorplan, PropagationConfig, Segment2};
+
+    fn channel() -> BleChannel {
+        let mut b = Floorplan::builder("cal");
+        b.room("living", Rect::new(0.0, 0.0, 6.0, 5.0), 0);
+        b.room("other", Rect::new(6.0, 0.0, 10.0, 5.0), 0);
+        b.wall(Segment2::new(6.0, 0.0, 6.0, 5.0), 0);
+        BleChannel::new(
+            PropagationConfig::paper_calibrated(),
+            b.build(),
+            Point::ground(1.0, 2.5),
+        )
+    }
+
+    #[test]
+    fn threshold_is_minimum_of_samples() {
+        let ch = channel();
+        let cal = ThresholdCalibrator::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let result = cal.walk_room(&ch, Rect::new(0.0, 0.0, 6.0, 5.0), 0, &mut rng);
+        let min = result.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(result.threshold_db, min - cal.margin_db);
+        assert!(result.samples.len() > 20, "walk must sample densely");
+    }
+
+    #[test]
+    fn threshold_lands_in_paper_band() {
+        // For a ~6 x 5 m room with the speaker near one wall the paper's
+        // app derived thresholds between -5 and -8 dB.
+        let ch = channel();
+        let cal = ThresholdCalibrator::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let result = cal.walk_room(&ch, Rect::new(0.0, 0.0, 6.0, 5.0), 0, &mut rng);
+        assert!(
+            (-11.5..=-4.0).contains(&result.threshold_db),
+            "threshold {} outside the plausible band",
+            result.threshold_db
+        );
+    }
+
+    #[test]
+    fn in_room_positions_pass_derived_threshold() {
+        // The defining property: every position inside the walked room
+        // should (in expectation) read at or above the derived threshold.
+        let ch = channel();
+        let cal = ThresholdCalibrator::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let threshold = cal
+            .walk_room(&ch, Rect::new(0.0, 0.0, 6.0, 5.0), 0, &mut rng)
+            .threshold_db;
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            for y in [1.0, 2.5, 4.0] {
+                let mean = ch.mean_rssi(Point::ground(x, y));
+                assert!(
+                    mean >= threshold - 1.0,
+                    "({x},{y}) mean {mean} far below threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn next_room_fails_derived_threshold() {
+        let ch = channel();
+        let cal = ThresholdCalibrator::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let threshold = cal
+            .walk_room(&ch, Rect::new(0.0, 0.0, 6.0, 5.0), 0, &mut rng)
+            .threshold_db;
+        let other = ch.mean_rssi(Point::ground(8.5, 2.5));
+        assert!(other < threshold, "{other} vs {threshold}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_room_panics() {
+        let ch = channel();
+        let cal = ThresholdCalibrator::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        cal.walk_room(&ch, Rect::new(0.0, 0.0, 0.5, 0.5), 0, &mut rng);
+    }
+}

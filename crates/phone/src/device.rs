@@ -1,0 +1,141 @@
+//! Mobile devices (phones and watches) and their registry.
+
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies a registered mobile device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// Phone or wearable. The paper evaluates both (Pixel 5 / Pixel 4a phones
+/// in the homes, a Galaxy Watch4 in the office).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A smartphone.
+    Phone,
+    /// A smartwatch.
+    Watch,
+}
+
+/// One owner device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobileDevice {
+    /// Display name ("Pixel 5", "Galaxy Watch4", …).
+    pub name: String,
+    /// Phone or watch.
+    pub kind: DeviceKind,
+    /// Current position (kept in sync by the mobility layer).
+    pub position: Point,
+}
+
+/// The set of devices registered with a VoiceGuard deployment. Registration
+/// requires owner approval (paper §IV-C), so attackers cannot register.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRegistry {
+    devices: Vec<MobileDevice>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device, returning its id.
+    pub fn register(&mut self, device: MobileDevice) -> DeviceId {
+        self.devices.push(device);
+        DeviceId(self.devices.len() as u32 - 1)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Access a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn device(&self, id: DeviceId) -> &MobileDevice {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Mutable access (the mobility layer updates positions through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut MobileDevice {
+        &mut self.devices[id.0 as usize]
+    }
+
+    /// Iterates over `(id, device)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &MobileDevice)> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i as u32), d))
+    }
+
+    /// All device ids.
+    pub fn ids(&self) -> Vec<DeviceId> {
+        (0..self.devices.len() as u32).map(DeviceId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pixel5() -> MobileDevice {
+        MobileDevice {
+            name: "Pixel 5".into(),
+            kind: DeviceKind::Phone,
+            position: Point::ground(1.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = DeviceRegistry::new();
+        let id = reg.register(pixel5());
+        assert_eq!(id, DeviceId(0));
+        assert_eq!(reg.device(id).name, "Pixel 5");
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn positions_are_mutable() {
+        let mut reg = DeviceRegistry::new();
+        let id = reg.register(pixel5());
+        reg.device_mut(id).position = Point::ground(5.0, 5.0);
+        assert_eq!(reg.device(id).position, Point::ground(5.0, 5.0));
+    }
+
+    #[test]
+    fn iter_and_ids_agree() {
+        let mut reg = DeviceRegistry::new();
+        reg.register(pixel5());
+        reg.register(MobileDevice {
+            name: "Galaxy Watch4".into(),
+            kind: DeviceKind::Watch,
+            position: Point::ground(0.0, 0.0),
+        });
+        assert_eq!(reg.ids(), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(reg.iter().count(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # phone — smartphones, smartwatches, FCM push and threshold calibration
+//!
+//! The Decision Module (paper §IV-C) asks the owner's devices to measure
+//! the speaker's Bluetooth RSSI *on demand*: it pushes a request through
+//! Firebase Cloud Messaging (FCM), a background app wakes, scans BLE for
+//! the speaker's advertisement, and reports the RSSI back. This crate
+//! models:
+//!
+//! * [`MobileDevice`] — a phone or watch with a position and an owner;
+//! * [`FcmLatencyModel`] — the push → wake → scan → report timing whose
+//!   distribution shapes Fig. 7 (mean ≈ 1.6 s end-to-end on the Echo Dot,
+//!   78 % under 2 s, occasional ≥ 3 s stragglers);
+//! * [`ThresholdCalibrator`] — the paper's one-button calibration app: the
+//!   user walks the speaker's room along the walls while the app samples
+//!   RSSI every 0.5 s; the threshold is the minimum observed value.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod device;
+pub mod fcm;
+
+pub use calibration::{CalibrationResult, ThresholdCalibrator};
+pub use device::{DeviceId, DeviceKind, DeviceRegistry, MobileDevice};
+pub use fcm::{FcmLatencyModel, QueryTiming};

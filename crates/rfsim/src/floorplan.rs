@@ -1,0 +1,328 @@
+//! Floorplans: rooms, walls, floors and stairs.
+//!
+//! A floorplan is the geometric substrate under each of the paper's three
+//! testbeds (two-floor house, two-bedroom apartment, office). Walls carry a
+//! per-wall attenuation so the propagation model can count the obstructions
+//! on the straight path between the speaker and a measuring device. Doorways
+//! are simply gaps between wall segments, which naturally produces the
+//! "line-of-sight locations outside the room still read high RSSI"
+//! effect the paper notes for locations #25–27 of Fig. 8a.
+
+use crate::geometry::{Point, Rect, Segment2};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a room within a floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RoomId(pub usize);
+
+/// A rectangular room on one floor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Room {
+    /// Display name ("living room", "kitchen", …).
+    pub name: String,
+    /// Footprint.
+    pub rect: Rect,
+    /// Storey index.
+    pub floor: i32,
+}
+
+/// A wall segment with an attenuation in dB.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wall {
+    /// The segment in the floor plane.
+    pub segment: Segment2,
+    /// Storey the wall stands on.
+    pub floor: i32,
+    /// Attenuation a crossing signal suffers, in dB.
+    pub attenuation_db: f64,
+}
+
+/// A stair region connecting two floors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stair {
+    /// Footprint of the stairwell (same on both floors).
+    pub region: Rect,
+    /// Lower of the two connected floors.
+    pub lower_floor: i32,
+}
+
+/// A complete building description.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Floorplan {
+    name: String,
+    rooms: Vec<Room>,
+    walls: Vec<Wall>,
+    stairs: Vec<Stair>,
+}
+
+impl Floorplan {
+    /// Starts building a floorplan.
+    pub fn builder(name: impl Into<String>) -> FloorplanBuilder {
+        FloorplanBuilder {
+            plan: Floorplan {
+                name: name.into(),
+                ..Floorplan::default()
+            },
+        }
+    }
+
+    /// The floorplan's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All rooms.
+    pub fn rooms(&self) -> &[Room] {
+        &self.rooms
+    }
+
+    /// All walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// All stairs.
+    pub fn stairs(&self) -> &[Stair] {
+        &self.stairs
+    }
+
+    /// Looks up a room by name.
+    pub fn room_by_name(&self, name: &str) -> Option<RoomId> {
+        self.rooms.iter().position(|r| r.name == name).map(RoomId)
+    }
+
+    /// The room a point lies in, if any. When rooms overlap (they should
+    /// not), the first match wins.
+    pub fn room_at(&self, p: Point) -> Option<RoomId> {
+        self.rooms
+            .iter()
+            .position(|r| r.floor == p.floor && r.rect.contains(p.x, p.y))
+            .map(RoomId)
+    }
+
+    /// Access a room by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn room(&self, id: RoomId) -> &Room {
+        &self.rooms[id.0]
+    }
+
+    /// Total wall attenuation (dB) crossed by the straight in-plane path
+    /// from `a` to `b`. Only meaningful when both points share a floor;
+    /// cross-floor paths attenuate through the ceiling instead (see the
+    /// propagation model).
+    pub fn wall_attenuation_between(&self, a: Point, b: Point) -> f64 {
+        if a.floor != b.floor {
+            return 0.0;
+        }
+        let path = Segment2::new(a.x, a.y, b.x, b.y);
+        self.walls
+            .iter()
+            .filter(|w| w.floor == a.floor && w.segment.intersects(&path))
+            .map(|w| w.attenuation_db)
+            .sum()
+    }
+
+    /// Number of wall segments crossed between two same-floor points.
+    pub fn walls_between(&self, a: Point, b: Point) -> usize {
+        if a.floor != b.floor {
+            return 0;
+        }
+        let path = Segment2::new(a.x, a.y, b.x, b.y);
+        self.walls
+            .iter()
+            .filter(|w| w.floor == a.floor && w.segment.intersects(&path))
+            .count()
+    }
+
+    /// True if `p` lies within a stairwell footprint on either connected
+    /// floor.
+    pub fn in_stairwell(&self, p: Point) -> bool {
+        self.stairs.iter().any(|s| {
+            (p.floor == s.lower_floor || p.floor == s.lower_floor + 1)
+                && s.region.contains(p.x, p.y)
+        })
+    }
+
+    /// The set of distinct floors referenced by rooms.
+    pub fn floor_indices(&self) -> Vec<i32> {
+        let mut floors: Vec<i32> = self.rooms.iter().map(|r| r.floor).collect();
+        floors.sort_unstable();
+        floors.dedup();
+        floors
+    }
+}
+
+/// Builder for [`Floorplan`].
+#[derive(Debug)]
+pub struct FloorplanBuilder {
+    plan: Floorplan,
+}
+
+impl FloorplanBuilder {
+    /// Adds a room; returns its id.
+    pub fn room(&mut self, name: &str, rect: Rect, floor: i32) -> RoomId {
+        self.plan.rooms.push(Room {
+            name: name.to_string(),
+            rect,
+            floor,
+        });
+        RoomId(self.plan.rooms.len() - 1)
+    }
+
+    /// Adds a wall with the default interior attenuation (5 dB).
+    pub fn wall(&mut self, segment: Segment2, floor: i32) -> &mut Self {
+        self.wall_with_attenuation(segment, floor, 5.0)
+    }
+
+    /// Adds a wall with an explicit attenuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attenuation_db` is negative.
+    pub fn wall_with_attenuation(
+        &mut self,
+        segment: Segment2,
+        floor: i32,
+        attenuation_db: f64,
+    ) -> &mut Self {
+        assert!(attenuation_db >= 0.0, "attenuation must be non-negative");
+        self.plan.walls.push(Wall {
+            segment,
+            floor,
+            attenuation_db,
+        });
+        self
+    }
+
+    /// Adds a stairwell region connecting `lower_floor` and
+    /// `lower_floor + 1`.
+    pub fn stair(&mut self, region: Rect, lower_floor: i32) -> &mut Self {
+        self.plan.stairs.push(Stair {
+            region,
+            lower_floor,
+        });
+        self
+    }
+
+    /// Finishes the floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rooms were added.
+    pub fn build(self) -> Floorplan {
+        assert!(
+            !self.plan.rooms.is_empty(),
+            "a floorplan needs at least one room"
+        );
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_room_plan() -> Floorplan {
+        let mut b = Floorplan::builder("test");
+        b.room("left", Rect::new(0.0, 0.0, 5.0, 5.0), 0);
+        b.room("right", Rect::new(5.0, 0.0, 10.0, 5.0), 0);
+        // Dividing wall with a doorway gap between y = 2 and y = 3.
+        b.wall(Segment2::new(5.0, 0.0, 5.0, 2.0), 0);
+        b.wall(Segment2::new(5.0, 3.0, 5.0, 5.0), 0);
+        b.build()
+    }
+
+    #[test]
+    fn room_lookup() {
+        let plan = two_room_plan();
+        assert_eq!(
+            plan.room_at(Point::ground(1.0, 1.0)),
+            plan.room_by_name("left")
+        );
+        assert_eq!(
+            plan.room_at(Point::ground(7.0, 1.0)),
+            plan.room_by_name("right")
+        );
+        assert_eq!(plan.room_at(Point::ground(20.0, 20.0)), None);
+        assert_eq!(plan.room_at(Point::new(1.0, 1.0, 3)), None, "wrong floor");
+    }
+
+    #[test]
+    fn wall_attenuation_through_wall_and_doorway() {
+        let plan = two_room_plan();
+        // Path through the wall (y = 1): attenuated.
+        let through = plan.wall_attenuation_between(
+            Point::ground(2.0, 1.0),
+            Point::ground(8.0, 1.0),
+        );
+        assert_eq!(through, 5.0);
+        // Path through the doorway (y = 2.5): line of sight.
+        let door = plan.wall_attenuation_between(
+            Point::ground(2.0, 2.5),
+            Point::ground(8.0, 2.5),
+        );
+        assert_eq!(door, 0.0);
+    }
+
+    #[test]
+    fn cross_floor_paths_skip_walls() {
+        let plan = two_room_plan();
+        let att = plan.wall_attenuation_between(
+            Point::new(2.0, 1.0, 0),
+            Point::new(8.0, 1.0, 1),
+        );
+        assert_eq!(att, 0.0);
+        assert_eq!(
+            plan.walls_between(Point::new(2.0, 1.0, 0), Point::new(8.0, 1.0, 1)),
+            0
+        );
+    }
+
+    #[test]
+    fn walls_between_counts() {
+        let plan = two_room_plan();
+        assert_eq!(
+            plan.walls_between(Point::ground(2.0, 1.0), Point::ground(8.0, 1.0)),
+            1
+        );
+    }
+
+    #[test]
+    fn stairwell_membership() {
+        let mut b = Floorplan::builder("stairs");
+        b.room("hall", Rect::new(0.0, 0.0, 10.0, 10.0), 0);
+        b.stair(Rect::new(4.0, 4.0, 6.0, 6.0), 0);
+        let plan = b.build();
+        assert!(plan.in_stairwell(Point::new(5.0, 5.0, 0)));
+        assert!(plan.in_stairwell(Point::new(5.0, 5.0, 1)));
+        assert!(!plan.in_stairwell(Point::new(5.0, 5.0, 2)));
+        assert!(!plan.in_stairwell(Point::ground(1.0, 1.0)));
+    }
+
+    #[test]
+    fn floor_indices_deduplicated() {
+        let mut b = Floorplan::builder("multi");
+        b.room("a", Rect::new(0.0, 0.0, 1.0, 1.0), 0);
+        b.room("b", Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+        b.room("c", Rect::new(2.0, 0.0, 3.0, 1.0), 1);
+        assert_eq!(b.build().floor_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one room")]
+    fn empty_plan_panics() {
+        let b = Floorplan::builder("empty");
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_attenuation_panics() {
+        let mut b = Floorplan::builder("bad");
+        b.room("a", Rect::new(0.0, 0.0, 1.0, 1.0), 0);
+        b.wall_with_attenuation(Segment2::new(0.0, 0.0, 1.0, 0.0), 0, -1.0);
+    }
+}

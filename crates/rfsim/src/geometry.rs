@@ -1,0 +1,239 @@
+//! 2-D/2.5-D geometry primitives.
+//!
+//! Positions are metres; buildings are modelled as stacked floors, so a
+//! [`Point`] carries `(x, y)` plus an integer floor index, and vertical
+//! distance derives from the floor height.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Height of one storey in metres; used to convert floor indices to vertical
+/// distance.
+pub const FLOOR_HEIGHT_M: f64 = 3.0;
+
+/// A position inside a building: metres in the plane plus a floor index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// East-west coordinate in metres.
+    pub x: f64,
+    /// North-south coordinate in metres.
+    pub y: f64,
+    /// Storey index (0 = ground floor).
+    pub floor: i32,
+}
+
+impl Point {
+    /// Creates a point on the given floor.
+    pub fn new(x: f64, y: f64, floor: i32) -> Self {
+        Point { x, y, floor }
+    }
+
+    /// Creates a ground-floor point.
+    pub fn ground(x: f64, y: f64) -> Self {
+        Point { x, y, floor: 0 }
+    }
+
+    /// Horizontal (in-plane) distance to `other`, ignoring floors.
+    pub fn horizontal_distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Full 3-D distance to `other`, with floors [`FLOOR_HEIGHT_M`] apart.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dz = (self.floor - other.floor) as f64 * FLOOR_HEIGHT_M;
+        let dh = self.horizontal_distance(other);
+        (dh * dh + dz * dz).sqrt()
+    }
+
+    /// Linear interpolation toward `other` (`t` in `[0, 1]`); the floor
+    /// switches at the midpoint.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+            floor: if t < 0.5 { self.floor } else { other.floor },
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1}, f{})", self.x, self.y, self.floor)
+    }
+}
+
+/// A 2-D line segment (within a single floor's plane).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment2 {
+    /// One endpoint `(x, y)`.
+    pub a: (f64, f64),
+    /// The other endpoint `(x, y)`.
+    pub b: (f64, f64),
+}
+
+impl Segment2 {
+    /// Creates a segment between two points.
+    pub fn new(ax: f64, ay: f64, bx: f64, by: f64) -> Self {
+        Segment2 {
+            a: (ax, ay),
+            b: (bx, by),
+        }
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        let dx = self.b.0 - self.a.0;
+        let dy = self.b.1 - self.a.1;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True if this segment properly intersects `other` (shared endpoints
+    /// and collinear touching count as intersections).
+    pub fn intersects(&self, other: &Segment2) -> bool {
+        fn orient(p: (f64, f64), q: (f64, f64), r: (f64, f64)) -> f64 {
+            (q.0 - p.0) * (r.1 - p.1) - (q.1 - p.1) * (r.0 - p.0)
+        }
+        fn on_segment(p: (f64, f64), q: (f64, f64), r: (f64, f64)) -> bool {
+            r.0 >= p.0.min(q.0) - 1e-12
+                && r.0 <= p.0.max(q.0) + 1e-12
+                && r.1 >= p.1.min(q.1) - 1e-12
+                && r.1 <= p.1.max(q.1) + 1e-12
+        }
+        let d1 = orient(self.a, self.b, other.a);
+        let d2 = orient(self.a, self.b, other.b);
+        let d3 = orient(other.a, other.b, self.a);
+        let d4 = orient(other.a, other.b, self.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1.abs() < 1e-12 && on_segment(self.a, self.b, other.a))
+            || (d2.abs() < 1e-12 && on_segment(self.a, self.b, other.b))
+            || (d3.abs() < 1e-12 && on_segment(other.a, other.b, self.a))
+            || (d4.abs() < 1e-12 && on_segment(other.a, other.b, self.b))
+    }
+}
+
+/// An axis-aligned rectangle `(x0, y0)` to `(x1, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum x.
+    pub x0: f64,
+    /// Minimum y.
+    pub y0: f64,
+    /// Maximum x.
+    pub x1: f64,
+    /// Maximum y.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalised so `x0 <= x1`,
+    /// `y0 <= y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// True if `(x, y)` lies inside or on the boundary.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+
+    /// Centre of the rectangle.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::ground(0.0, 0.0);
+        let b = Point::ground(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.horizontal_distance(&b), 5.0);
+        let c = Point::new(0.0, 0.0, 1);
+        assert_eq!(a.distance(&c), FLOOR_HEIGHT_M);
+        assert_eq!(a.horizontal_distance(&c), 0.0);
+    }
+
+    #[test]
+    fn lerp_midpoint_switches_floor() {
+        let a = Point::new(0.0, 0.0, 0);
+        let b = Point::new(10.0, 0.0, 1);
+        assert_eq!(a.lerp(&b, 0.25).floor, 0);
+        assert_eq!(a.lerp(&b, 0.75).floor, 1);
+        assert!((a.lerp(&b, 0.5).x - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment2::new(0.0, 0.0, 2.0, 2.0);
+        let s2 = Segment2::new(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment2::new(0.0, 0.0, 2.0, 0.0);
+        let s2 = Segment2::new(0.0, 1.0, 2.0, 1.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        let s1 = Segment2::new(0.0, 0.0, 1.0, 1.0);
+        let s2 = Segment2::new(1.0, 1.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        let s1 = Segment2::new(0.0, 0.0, 1.0, 0.0);
+        let s2 = Segment2::new(2.0, 1.0, 3.0, 1.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn segment_length() {
+        assert_eq!(Segment2::new(0.0, 0.0, 3.0, 4.0).length(), 5.0);
+    }
+
+    #[test]
+    fn rect_contains_and_normalises() {
+        let r = Rect::new(5.0, 5.0, 0.0, 0.0);
+        assert!(r.contains(2.5, 2.5));
+        assert!(r.contains(0.0, 0.0), "boundary counts");
+        assert!(!r.contains(5.1, 2.0));
+        assert_eq!(r.center(), (2.5, 2.5));
+        assert_eq!(r.area(), 25.0);
+        assert_eq!(r.width(), 5.0);
+        assert_eq!(r.height(), 5.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rfsim — indoor Bluetooth propagation for the VoiceGuard reproduction
+//!
+//! The Decision Module of VoiceGuard compares the smart speaker's Bluetooth
+//! RSSI, measured at the owner's phone/watch, against a per-home threshold
+//! (paper §IV-C). The paper's Figs. 8–9 report RSSI on a compressed scale
+//! (≈ 0 dB next to the speaker down to ≈ −30 dB two rooms away, thresholds
+//! between −5 and −8 dB). This crate provides:
+//!
+//! * [`geometry`] — points, 2-D segments and rectangles with the
+//!   intersection tests needed to count wall crossings;
+//! * [`floorplan`] — rooms, walls (with per-wall attenuation), floors and
+//!   stair regions;
+//! * [`propagation`] — a log-distance path-loss model with wall/floor
+//!   attenuation, a ceiling "leak" hotspot directly above the transmitter
+//!   (reproducing the paper's false-negative region at locations #55–62 of
+//!   Fig. 8a), spatially consistent shadowing, and per-measurement fading.
+//!
+//! All randomness is deterministic: shadowing derives from the position so a
+//! location re-measured later sees the same bias, and fading derives from a
+//! caller-provided RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod floorplan;
+pub mod materials;
+pub mod geometry;
+pub mod propagation;
+
+pub use floorplan::{Floorplan, FloorplanBuilder, Room, RoomId, Stair, Wall};
+pub use materials::Material;
+pub use geometry::{Point, Rect, Segment2};
+pub use propagation::{BleChannel, Orientation, PropagationConfig};

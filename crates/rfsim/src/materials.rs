@@ -1,0 +1,93 @@
+//! Wall-material presets: typical 2.4 GHz attenuations for common indoor
+//! construction, on the compressed RSSI scale this reproduction uses.
+//!
+//! The three testbeds mix interior drywall, heavier exterior walls and the
+//! office's glass partitions; these presets name those choices instead of
+//! scattering magic numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Common indoor wall materials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Interior drywall / stud partition.
+    Drywall,
+    /// Load-bearing brick.
+    Brick,
+    /// Poured concrete (exterior shells, elevator cores).
+    Concrete,
+    /// Office glass partition.
+    Glass,
+    /// Wooden door or thin panel.
+    Wood,
+}
+
+impl Material {
+    /// Attenuation one crossing of this material adds, in dB (compressed
+    /// scale).
+    pub fn attenuation_db(self) -> f64 {
+        match self {
+            Material::Drywall => 5.0,
+            Material::Brick => 8.0,
+            Material::Concrete => 12.0,
+            Material::Glass => 4.5,
+            Material::Wood => 3.0,
+        }
+    }
+
+    /// All materials.
+    pub const ALL: [Material; 5] = [
+        Material::Drywall,
+        Material::Brick,
+        Material::Concrete,
+        Material::Glass,
+        Material::Wood,
+    ];
+}
+
+impl crate::floorplan::FloorplanBuilder {
+    /// Adds a wall of the given material.
+    pub fn wall_of(
+        &mut self,
+        segment: crate::geometry::Segment2,
+        floor: i32,
+        material: Material,
+    ) -> &mut Self {
+        self.wall_with_attenuation(segment, floor, material.attenuation_db())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::Floorplan;
+    use crate::geometry::{Point, Rect, Segment2};
+
+    #[test]
+    fn attenuations_are_ordered_sensibly() {
+        assert!(Material::Wood.attenuation_db() < Material::Glass.attenuation_db());
+        assert!(Material::Glass.attenuation_db() < Material::Drywall.attenuation_db());
+        assert!(Material::Drywall.attenuation_db() < Material::Brick.attenuation_db());
+        assert!(Material::Brick.attenuation_db() < Material::Concrete.attenuation_db());
+    }
+
+    #[test]
+    fn builder_accepts_materials() {
+        let mut b = Floorplan::builder("materials");
+        b.room("a", Rect::new(0.0, 0.0, 10.0, 5.0), 0);
+        b.wall_of(Segment2::new(5.0, 0.0, 5.0, 5.0), 0, Material::Concrete);
+        let plan = b.build();
+        let att = plan.wall_attenuation_between(
+            Point::ground(1.0, 2.5),
+            Point::ground(9.0, 2.5),
+        );
+        assert_eq!(att, Material::Concrete.attenuation_db());
+    }
+
+    #[test]
+    fn every_material_is_positive() {
+        for m in Material::ALL {
+            assert!(m.attenuation_db() > 0.0);
+        }
+    }
+}

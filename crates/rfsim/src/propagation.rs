@@ -1,0 +1,400 @@
+//! Bluetooth RSSI propagation model.
+//!
+//! RSSI is computed as
+//!
+//! ```text
+//! rssi = P0 − 10·n·log10(max(d, d0)) − Σ wall_att − floor_att
+//!        + shadow(position) + fading + orientation_bias
+//! ```
+//!
+//! clamped to at most `rssi_max`. The parameters of
+//! [`PropagationConfig::paper_calibrated`] are fitted so that the model
+//! reproduces the qualitative structure of the paper's Figs. 8–9 on its
+//! compressed RSSI scale:
+//!
+//! * same room as the speaker: ≈ 0 … −8 dB (above the app-derived
+//!   thresholds of −5 … −8 dB);
+//! * adjacent rooms through one wall: ≈ −10 … −20 dB;
+//! * upstairs through the ceiling: ≈ −18 … −30 dB, **except** directly
+//!   above the speaker where a reduced-attenuation "leak cone" yields
+//!   ≈ −4 … −7 dB — the false-negative region (locations #55–62, Fig. 8a)
+//!   that motivates the paper's floor-level tracker;
+//! * line-of-sight spots outside the room (through doorways) stay high,
+//!   like locations #25–27 of Fig. 8a.
+//!
+//! Shadowing is a *spatially consistent* pseudo-random field (derived from
+//! quantised coordinates), so repeated measurements at one location share a
+//! bias, while fast fading varies per measurement.
+
+use crate::floorplan::Floorplan;
+use crate::geometry::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use simcore::rng::normal;
+
+/// Device orientation during a measurement; the paper measures four
+/// orientations at each location (§V-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Orientation {
+    /// Facing the speaker.
+    Up,
+    /// Facing away.
+    Down,
+    /// Turned left.
+    Left,
+    /// Turned right.
+    Right,
+}
+
+impl Orientation {
+    /// All four orientations, in the paper's measurement order.
+    pub const ALL: [Orientation; 4] = [
+        Orientation::Up,
+        Orientation::Down,
+        Orientation::Left,
+        Orientation::Right,
+    ];
+
+    fn bias_db(self) -> f64 {
+        match self {
+            Orientation::Up => 0.5,
+            Orientation::Down => -0.8,
+            Orientation::Left => -0.2,
+            Orientation::Right => 0.1,
+        }
+    }
+}
+
+/// Parameters of the propagation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationConfig {
+    /// RSSI at the reference distance (dB on the paper's scale).
+    pub p0_db: f64,
+    /// Reference distance in metres.
+    pub d0_m: f64,
+    /// Path-loss exponent.
+    pub path_loss_exponent: f64,
+    /// Attenuation of one floor/ceiling crossing, in dB.
+    pub floor_attenuation_db: f64,
+    /// Within this horizontal radius of the transmitter, a cross-floor path
+    /// uses [`Self::leak_attenuation_db`] instead — the short, near-vertical
+    /// ceiling path that creates the paper's above-the-speaker hotspot.
+    pub leak_radius_m: f64,
+    /// Attenuation inside the leak cone, in dB.
+    pub leak_attenuation_db: f64,
+    /// Attenuation of a single-floor crossing when the receiver stands in a
+    /// stairwell (an opening in the ceiling), in dB.
+    pub stair_attenuation_db: f64,
+    /// Standard deviation of the spatially consistent shadowing field, dB.
+    pub shadowing_sigma_db: f64,
+    /// Standard deviation of the per-measurement fast fading, dB.
+    pub fading_sigma_db: f64,
+    /// Ceiling for reported RSSI (the paper's scale tops out at 0).
+    pub rssi_max_db: f64,
+    /// Seed of the shadowing field.
+    pub shadow_seed: u64,
+}
+
+impl PropagationConfig {
+    /// The calibration used throughout the reproduction (see module docs).
+    pub fn paper_calibrated() -> Self {
+        PropagationConfig {
+            p0_db: 5.0,
+            d0_m: 1.0,
+            path_loss_exponent: 1.6,
+            floor_attenuation_db: 14.0,
+            leak_radius_m: 2.2,
+            leak_attenuation_db: 2.5,
+            stair_attenuation_db: 10.0,
+            shadowing_sigma_db: 1.2,
+            fading_sigma_db: 1.0,
+            rssi_max_db: 0.0,
+            shadow_seed: 0xB1E_55ED,
+        }
+    }
+
+    /// A noise-free variant for deterministic unit tests.
+    pub fn noiseless() -> Self {
+        PropagationConfig {
+            shadowing_sigma_db: 0.0,
+            fading_sigma_db: 0.0,
+            ..PropagationConfig::paper_calibrated()
+        }
+    }
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig::paper_calibrated()
+    }
+}
+
+/// A Bluetooth channel between a fixed transmitter (the smart speaker) and
+/// arbitrary receiver positions within a floorplan.
+#[derive(Debug, Clone)]
+pub struct BleChannel {
+    config: PropagationConfig,
+    plan: Floorplan,
+    tx: Point,
+}
+
+impl BleChannel {
+    /// Creates a channel for a speaker at `tx` inside `plan`.
+    pub fn new(config: PropagationConfig, plan: Floorplan, tx: Point) -> Self {
+        BleChannel { config, plan, tx }
+    }
+
+    /// The transmitter position.
+    pub fn transmitter(&self) -> Point {
+        self.tx
+    }
+
+    /// Moves the transmitter (e.g. evaluating the second deployment
+    /// location).
+    pub fn set_transmitter(&mut self, tx: Point) {
+        self.tx = tx;
+    }
+
+    /// The floorplan this channel propagates through.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.plan
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PropagationConfig {
+        &self.config
+    }
+
+    /// Mean RSSI at `rx` — path loss, obstruction and shadowing, but no
+    /// per-measurement noise. This is what the location-survey figures
+    /// (Figs. 8–9) average toward.
+    pub fn mean_rssi(&self, rx: Point) -> f64 {
+        let c = &self.config;
+        let d = self.tx.distance(&rx).max(c.d0_m);
+        let path_loss = 10.0 * c.path_loss_exponent * (d / c.d0_m).log10();
+        let obstruction = if rx.floor == self.tx.floor {
+            self.plan.wall_attenuation_between(self.tx, rx)
+        } else {
+            let crossings = (rx.floor - self.tx.floor).unsigned_abs() as f64;
+            let horiz = self.tx.horizontal_distance(&rx);
+            if crossings <= 1.0 && horiz <= c.leak_radius_m {
+                c.leak_attenuation_db
+            } else if crossings <= 1.0 && self.plan.in_stairwell(rx) {
+                c.stair_attenuation_db
+            } else {
+                c.floor_attenuation_db * crossings + 1.5 * horiz.min(8.0)
+            }
+        };
+        let shadow = self.shadow_at(rx);
+        (c.p0_db - path_loss - obstruction + shadow).min(c.rssi_max_db)
+    }
+
+    /// One RSSI measurement at `rx` with the given orientation: the mean
+    /// plus orientation bias plus fast fading drawn from `rng`.
+    pub fn measure<R: Rng + ?Sized>(&self, rx: Point, orientation: Orientation, rng: &mut R) -> f64 {
+        let fading = normal(rng, 0.0, self.config.fading_sigma_db);
+        (self.mean_rssi(rx) + orientation.bias_db() + fading).min(self.config.rssi_max_db)
+    }
+
+    /// The paper's per-location survey value: 4 measurements in each of the
+    /// 4 orientations (16 total), averaged.
+    pub fn survey_location<R: Rng + ?Sized>(&self, rx: Point, rng: &mut R) -> f64 {
+        let mut sum = 0.0;
+        for orientation in Orientation::ALL {
+            for _ in 0..4 {
+                sum += self.measure(rx, orientation, rng);
+            }
+        }
+        sum / 16.0
+    }
+
+    /// Samples a mean-RSSI heatmap over `rect` on `floor`: a row-major grid
+    /// with `cols x rows` cells, each evaluated at its centre. Useful for
+    /// site-survey visualisation (Figs. 8-9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    pub fn heatmap(
+        &self,
+        rect: crate::geometry::Rect,
+        floor: i32,
+        cols: usize,
+        rows: usize,
+    ) -> Vec<Vec<f64>> {
+        assert!(cols > 0 && rows > 0, "heatmap needs at least one cell");
+        let mut grid = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let mut row = Vec::with_capacity(cols);
+            let y = rect.y0 + rect.height() * (r as f64 + 0.5) / rows as f64;
+            for c in 0..cols {
+                let x = rect.x0 + rect.width() * (c as f64 + 0.5) / cols as f64;
+                row.push(self.mean_rssi(Point::new(x, y, floor)));
+            }
+            grid.push(row);
+        }
+        grid
+    }
+
+    /// Spatially consistent shadowing: a deterministic pseudo-random value
+    /// per ~0.5 m cell, so nearby points and repeated visits agree.
+    fn shadow_at(&self, rx: Point) -> f64 {
+        if self.config.shadowing_sigma_db == 0.0 {
+            return 0.0;
+        }
+        let qx = (rx.x * 2.0).round() as i64;
+        let qy = (rx.y * 2.0).round() as i64;
+        let mut h = self.config.shadow_seed ^ 0x9E37_79B9_7F4A_7C15;
+        for v in [qx as u64, qy as u64, rx.floor as u64] {
+            h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = h.rotate_left(23).wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
+        // Map the hash to an approximately standard normal value by summing
+        // uniform nibbles (Irwin–Hall with n = 8).
+        let mut acc = 0.0;
+        let mut x = h;
+        for _ in 0..8 {
+            acc += (x & 0xFF) as f64 / 255.0;
+            x >>= 8;
+        }
+        let std_normal = (acc - 4.0) / (8.0f64 / 12.0).sqrt();
+        std_normal * self.config.shadowing_sigma_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Rect, Segment2};
+    use rand::SeedableRng;
+
+    /// Plan: living room [0..6, 0..5] with the speaker, bedroom [6..12] past
+    /// a wall, room above on floor 1.
+    fn plan() -> Floorplan {
+        let mut b = Floorplan::builder("cal");
+        b.room("living", Rect::new(0.0, 0.0, 6.0, 5.0), 0);
+        b.room("bedroom", Rect::new(6.0, 0.0, 12.0, 5.0), 0);
+        b.room("upstairs", Rect::new(0.0, 0.0, 12.0, 5.0), 1);
+        b.wall(Segment2::new(6.0, 0.0, 6.0, 5.0), 0);
+        b.build()
+    }
+
+    fn channel() -> BleChannel {
+        BleChannel::new(
+            PropagationConfig::noiseless(),
+            plan(),
+            Point::ground(1.0, 2.5),
+        )
+    }
+
+    #[test]
+    fn same_room_is_above_typical_threshold() {
+        let ch = channel();
+        // Far side of the living room, ~5 m away (inside, clear of the wall).
+        let rssi = ch.mean_rssi(Point::ground(5.5, 4.5));
+        assert!(rssi > -8.0, "same-room RSSI {rssi} must exceed -8 dB");
+        assert!(rssi <= 0.0);
+    }
+
+    #[test]
+    fn rssi_monotonically_decreases_with_distance_in_open_space() {
+        let ch = channel();
+        let mut prev = f64::INFINITY;
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            let r = ch.mean_rssi(Point::ground(x, 2.5));
+            assert!(r <= prev, "rssi must not increase with distance");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn adjacent_room_is_below_threshold() {
+        let ch = channel();
+        let rssi = ch.mean_rssi(Point::ground(9.0, 2.5));
+        assert!(rssi < -8.0, "through-wall RSSI {rssi} must be below -8 dB");
+    }
+
+    #[test]
+    fn ceiling_leak_cone_reads_high_directly_above() {
+        let ch = channel();
+        // Directly above the speaker on floor 1: the paper's FN region.
+        let above = ch.mean_rssi(Point::new(1.0, 2.5, 1));
+        assert!(
+            above > -8.0,
+            "leak-cone RSSI {above} should exceed the -8 dB threshold"
+        );
+        // Far corner upstairs: well below.
+        let far = ch.mean_rssi(Point::new(11.0, 4.5, 1));
+        assert!(far < -15.0, "far upstairs RSSI {far} should be low");
+    }
+
+    #[test]
+    fn rssi_is_clamped_at_max() {
+        let ch = channel();
+        let r = ch.mean_rssi(Point::ground(1.0, 2.5));
+        assert!(r <= ch.config().rssi_max_db);
+    }
+
+    #[test]
+    fn shadowing_is_spatially_consistent() {
+        let cfg = PropagationConfig::paper_calibrated();
+        let ch = BleChannel::new(cfg, plan(), Point::ground(1.0, 2.5));
+        let p = Point::ground(4.2, 3.1);
+        assert_eq!(ch.mean_rssi(p), ch.mean_rssi(p), "same point, same value");
+    }
+
+    #[test]
+    fn measurements_vary_but_cluster_around_mean() {
+        let cfg = PropagationConfig::paper_calibrated();
+        let ch = BleChannel::new(cfg, plan(), Point::ground(1.0, 2.5));
+        let p = Point::ground(4.0, 2.5);
+        let mean = ch.mean_rssi(p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 400;
+        let avg: f64 = (0..n)
+            .map(|_| ch.measure(p, Orientation::Up, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((avg - mean).abs() < 1.0, "avg {avg} vs mean {mean}");
+    }
+
+    #[test]
+    fn survey_averages_sixteen_measurements() {
+        let ch = channel();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = Point::ground(5.5, 2.5);
+        let survey = ch.survey_location(p, &mut rng);
+        // Noiseless config: survey = mean + average orientation bias.
+        let bias: f64 = Orientation::ALL.iter().map(|o| o.bias_db()).sum::<f64>() / 4.0;
+        assert!((survey - (ch.mean_rssi(p) + bias)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmitter_can_move() {
+        let mut ch = channel();
+        let before = ch.mean_rssi(Point::ground(9.0, 2.5));
+        ch.set_transmitter(Point::ground(9.0, 2.5));
+        let after = ch.mean_rssi(Point::ground(9.0, 2.5));
+        assert!(after > before, "co-located receiver must read higher");
+        assert_eq!(ch.transmitter(), Point::ground(9.0, 2.5));
+    }
+
+    #[test]
+    fn heatmap_shape_and_gradient() {
+        let ch = channel();
+        let grid = ch.heatmap(crate::geometry::Rect::new(0.0, 0.0, 6.0, 5.0), 0, 6, 5);
+        assert_eq!(grid.len(), 5);
+        assert!(grid.iter().all(|row| row.len() == 6));
+        // The column nearest the transmitter reads higher than the farthest.
+        let near: f64 = grid.iter().map(|r| r[0]).sum::<f64>() / 5.0;
+        let far: f64 = grid.iter().map(|r| r[5]).sum::<f64>() / 5.0;
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn two_floor_crossing_is_heavily_attenuated() {
+        let ch = channel();
+        let two_up = ch.mean_rssi(Point::new(1.0, 2.5, 2));
+        assert!(two_up < -20.0, "two ceilings: {two_up}");
+    }
+}

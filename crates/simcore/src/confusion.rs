@@ -1,0 +1,253 @@
+//! Binary confusion matrices with the paper's metric conventions.
+//!
+//! Throughout the paper (Tables I–IV) the **positive** class is the event the
+//! system is trying to catch — a *voice command spike* for the traffic
+//! recognizer, a *malicious command* for the RSSI-based decision — and:
+//!
+//! * accuracy  = (TP + TN) / total
+//! * precision = TP / (TP + FP)
+//! * recall    = TP / (TP + FN)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counts of true/false positives/negatives.
+///
+/// # Example
+///
+/// ```
+/// use simcore::ConfusionMatrix;
+/// let mut m = ConfusionMatrix::new();
+/// m.record(true, true);   // TP
+/// m.record(false, false); // TN
+/// m.record(false, true);  // FP
+/// m.record(true, false);  // FN
+/// assert_eq!(m.total(), 4);
+/// assert_eq!(m.accuracy(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Actual positive, predicted positive.
+    pub true_positives: u64,
+    /// Actual negative, predicted negative.
+    pub true_negatives: u64,
+    /// Actual negative, predicted positive.
+    pub false_positives: u64,
+    /// Actual positive, predicted negative.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, actual_positive: bool, predicted_positive: bool) {
+        match (actual_positive, predicted_positive) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.true_negatives + self.false_positives + self.false_negatives
+    }
+
+    /// Number of actual positives.
+    pub fn actual_positives(&self) -> u64 {
+        self.true_positives + self.false_negatives
+    }
+
+    /// Number of actual negatives.
+    pub fn actual_negatives(&self) -> u64 {
+        self.true_negatives + self.false_positives
+    }
+
+    /// Correctly classified positives + negatives over the total; 0 when
+    /// empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// TP / (TP + FP); defined as 1.0 when no positives were predicted (the
+    /// convention that an idle detector has made no precision errors).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// TP / (TP + FN); defined as 1.0 when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.actual_positives();
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// False-positive rate: FP / (FP + TN); 0 when there are no actual
+    /// negatives.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.actual_negatives();
+        if denom == 0 {
+            return 0.0;
+        }
+        self.false_positives as f64 / denom as f64
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+impl AddAssign for ConfusionMatrix {
+    fn add_assign(&mut self, rhs: ConfusionMatrix) {
+        self.merge(&rhs);
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} TN={} FP={} FN={} | acc={:.2}% prec={:.2}% rec={:.2}%",
+            self.true_positives,
+            self.true_negatives,
+            self.false_positives,
+            self.false_negatives,
+            self.accuracy() * 100.0,
+            self.precision() * 100.0,
+            self.recall() * 100.0
+        )
+    }
+}
+
+impl FromIterator<(bool, bool)> for ConfusionMatrix {
+    fn from_iter<T: IntoIterator<Item = (bool, bool)>>(iter: T) -> Self {
+        let mut m = ConfusionMatrix::new();
+        for (actual, predicted) in iter {
+            m.record(actual, predicted);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reproduces Table I's arithmetic: 134 actual positives of which 132
+    /// predicted positive, 149 actual negatives all predicted negative.
+    #[test]
+    fn table1_metrics() {
+        let m = ConfusionMatrix {
+            true_positives: 132,
+            false_negatives: 2,
+            true_negatives: 149,
+            false_positives: 0,
+        };
+        assert_eq!(m.total(), 283);
+        assert!((m.accuracy() - 0.9929).abs() < 1e-3);
+        assert_eq!(m.precision(), 1.0);
+        assert!((m.recall() - 0.9851).abs() < 1e-4);
+    }
+
+    /// Reproduces Table II "Echo Dot, 1st location": 69/69 malicious blocked,
+    /// 89/91 legitimate allowed.
+    #[test]
+    fn table2_first_case_metrics() {
+        let m = ConfusionMatrix {
+            true_positives: 69,
+            false_negatives: 0,
+            true_negatives: 89,
+            false_positives: 2,
+        };
+        assert_eq!(m.total(), 160);
+        assert!((m.accuracy() - 0.9875).abs() < 1e-4);
+        assert!((m.precision() - 0.9718).abs() < 1e-4);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_conventions() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let m: ConfusionMatrix = [(true, true), (true, false), (false, true), (false, false)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.true_positives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.true_negatives, 1);
+    }
+
+    #[test]
+    fn merge_adds_cellwise() {
+        let mut a = ConfusionMatrix {
+            true_positives: 1,
+            true_negatives: 2,
+            false_positives: 3,
+            false_negatives: 4,
+        };
+        let b = a;
+        a += b;
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.true_negatives, 4);
+        assert_eq!(a.false_positives, 6);
+        assert_eq!(a.false_negatives, 8);
+    }
+
+    #[test]
+    fn f1_balances_precision_recall() {
+        let m = ConfusionMatrix {
+            true_positives: 50,
+            false_positives: 50,
+            false_negatives: 0,
+            true_negatives: 0,
+        };
+        assert_eq!(m.precision(), 0.5);
+        assert_eq!(m.recall(), 1.0);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", ConfusionMatrix::new());
+        assert!(s.contains("TP=0"));
+    }
+}

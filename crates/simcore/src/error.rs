@@ -1,0 +1,62 @@
+//! Error type shared by the simulation crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by simulation components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A referenced entity (device, connection, room, …) does not exist.
+    UnknownEntity(String),
+    /// An operation was attempted in a state that does not permit it.
+    InvalidState(String),
+    /// A configuration value failed validation.
+    InvalidConfig(String),
+    /// The simulation deadline passed before the awaited condition occurred.
+    DeadlineExceeded(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownEntity(what) => write!(f, "unknown entity: {what}"),
+            SimError::InvalidState(what) => write!(f, "invalid state: {what}"),
+            SimError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            SimError::DeadlineExceeded(what) => write!(f, "deadline exceeded: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::UnknownEntity("conn 7".into()).to_string(),
+            "unknown entity: conn 7"
+        );
+        assert_eq!(
+            SimError::InvalidState("closed".into()).to_string(),
+            "invalid state: closed"
+        );
+        assert_eq!(
+            SimError::InvalidConfig("bad".into()).to_string(),
+            "invalid configuration: bad"
+        );
+        assert_eq!(
+            SimError::DeadlineExceeded("no verdict".into()).to_string(),
+            "deadline exceeded: no verdict"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # simcore — discrete-event simulation kernel for the VoiceGuard reproduction
+//!
+//! Every other crate in this workspace runs on top of the primitives defined
+//! here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock with nanosecond
+//!   resolution. All latencies, heartbeats, hold timeouts and walking times in
+//!   the simulation are expressed in these units.
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events.
+//!   Ties are broken by insertion order so that runs are reproducible
+//!   bit-for-bit.
+//! * [`rng`] — named, fork-able random-number streams derived from a single
+//!   experiment seed, so adding a new consumer of randomness never perturbs
+//!   existing streams.
+//! * [`stats`] — summary statistics, histograms and CDFs used by the
+//!   experiment harness to regenerate the paper's tables and figures.
+//! * [`regression`] — ordinary least squares on (x, y) traces; the Decision
+//!   Module's floor-level tracker classifies RSSI traces by the slope and
+//!   y-intercept of their fitted lines (paper §V-B2, Fig. 10).
+//! * [`confusion`] — binary confusion matrices with the accuracy / precision /
+//!   recall definitions used by the paper's Tables I–IV.
+//! * [`trace`] — a lightweight structured trace bus used to reconstruct
+//!   figure-style timelines (e.g. Fig. 3 traffic spikes, Fig. 4 proxy cases).
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_secs(2), "beta");
+//! q.schedule(SimTime::ZERO + SimDuration::from_secs(1), "alpha");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "alpha");
+//! assert_eq!(t.as_secs_f64(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod error;
+pub mod queue;
+pub mod regression;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use confusion::ConfusionMatrix;
+pub use error::SimError;
+pub use queue::EventQueue;
+pub use regression::{linear_fit, linear_fit_sampled, LinearFit};
+pub use rng::RngStreams;
+pub use series::TimeSeries;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceBus, TraceEvent};

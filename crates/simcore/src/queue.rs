@@ -1,0 +1,291 @@
+//! Deterministic timestamped event queue.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)` where `sequence` is
+//! a monotonically increasing insertion counter. Two events scheduled for the
+//! same instant therefore pop in the order they were scheduled, which makes
+//! whole-simulation runs reproducible regardless of hash seeds or allocator
+//! behaviour.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(5), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// q.schedule(SimTime::from_secs(1), "early-tie");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-tie");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventId>,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the current simulation
+    /// clock).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `time`, returning a cancellation handle.
+    ///
+    /// Scheduling in the past is permitted (the event fires "immediately", at
+    /// its recorded time) so that zero-latency loopback messages are easy to
+    /// express; the queue never runs the clock backwards when popping.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            time,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Pops the earliest non-cancelled event, advancing the clock to its
+    /// timestamp. The clock never moves backwards: an event scheduled in the
+    /// past pops at the current clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            if entry.time > self.now {
+                self.now = entry.time;
+            }
+            return Some((self.now, entry.event));
+        }
+        None
+    }
+
+    /// Pops the earliest event only if it is scheduled at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let head_time = self.peek_time()?;
+            if head_time > deadline {
+                return None;
+            }
+            if let Some(popped) = self.pop() {
+                return Some(popped);
+            }
+        }
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let id = entry.id;
+                self.heap.pop();
+                self.cancelled.remove(&id);
+                continue;
+            }
+            return Some(entry.time.max(self.now));
+        }
+        None
+    }
+
+    /// Number of pending (possibly including cancelled-but-unswept) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advances the clock to `t` without processing events (no-op if `t`
+    /// is in the past). Used by drivers that poll in fixed wall-clock
+    /// slices even when the queue is momentarily quiet.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Removes all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "a");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        // Event scheduled in the past fires at the current clock.
+        q.schedule(SimTime::from_secs(1), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_secs(1), "keep");
+        let drop_id = q.schedule(SimTime::from_secs(2), "drop");
+        q.schedule(SimTime::from_secs(3), "last");
+        assert!(q.cancel(drop_id));
+        assert!(!q.cancel(drop_id), "double-cancel must report false");
+        let _ = keep;
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep", "last"]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(10), "b");
+        assert_eq!(q.pop_until(SimTime::from_secs(5)).unwrap().1, "a");
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(q.pop_until(SimTime::from_secs(10)).unwrap().1, "b");
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + SimDuration::from_secs(1), 2);
+        q.schedule(t + SimDuration::from_millis(500), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

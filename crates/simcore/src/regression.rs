@@ -1,0 +1,175 @@
+//! Ordinary least-squares linear regression.
+//!
+//! The Decision Module's floor-level tracker (paper §V-B2) records a 40-point
+//! RSSI trace whenever the stair motion sensor fires, fits a line to it, and
+//! classifies the movement by the fitted line's **slope** and **y-intercept**
+//! (Fig. 10). This module provides that fit.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of fitting `y = slope * x + intercept` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// y-intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; 1 for a perfect fit. Defined
+    /// as 1 when the `y` values are constant.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a line to `(x, y)` pairs.
+///
+/// # Errors
+///
+/// Returns `None` if fewer than two points are given or all `x` values are
+/// identical (the slope is then undefined).
+///
+/// # Example
+///
+/// ```
+/// use simcore::linear_fit;
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits a line to evenly spaced samples `y[i]` at `x = i * dx`.
+///
+/// This matches the paper's procedure: 40 RSSI samples taken every 0.2 s give
+/// `dx = 0.2` and an 8-second trace.
+///
+/// # Errors
+///
+/// Returns `None` under the same conditions as [`linear_fit`], or when `dx`
+/// is not strictly positive.
+pub fn linear_fit_sampled(ys: &[f64], dx: f64) -> Option<LinearFit> {
+    if dx <= 0.0 || !dx.is_finite() {
+        return None;
+    }
+    let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64 * dx).collect();
+    linear_fit(&xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovered() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -1.5 * x - 2.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 1.5).abs() < 1e-9);
+        assert!((fit.intercept + 2.0).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x + 1.0 + ((x * 12.9898).sin() * 0.5))
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_full_r2() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [4.0, 4.0, 4.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[2.0, 2.0], &[1.0, 5.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn sampled_fit_matches_explicit() {
+        let ys: Vec<f64> = (0..40).map(|i| -0.3 * (i as f64 * 0.2) + 1.0).collect();
+        let fit = linear_fit_sampled(&ys, 0.2).unwrap();
+        assert!((fit.slope + 0.3).abs() < 1e-9);
+        assert!((fit.intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_fit_rejects_bad_dx() {
+        let ys = [1.0, 2.0, 3.0];
+        assert!(linear_fit_sampled(&ys, 0.0).is_none());
+        assert!(linear_fit_sampled(&ys, -1.0).is_none());
+        assert!(linear_fit_sampled(&ys, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn predict_evaluates_line() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: -1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(3.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = linear_fit(&[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Named deterministic random-number streams.
+//!
+//! Experiments must be reproducible from a single seed *and* robust to code
+//! evolution: adding a new consumer of randomness must not shift the values
+//! observed by existing consumers. [`RngStreams`] achieves this by deriving
+//! each stream's seed from `hash(master_seed, stream_name)` instead of drawing
+//! from a shared generator.
+//!
+//! The generator itself is `rand`'s [`StdRng`] (a cryptographically seeded
+//! PRNG with a stable algorithm within a `rand` major version).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Factory for independent, named RNG streams derived from one master seed.
+///
+/// # Example
+///
+/// ```
+/// use simcore::RngStreams;
+/// use rand::Rng;
+///
+/// let streams = RngStreams::new(42);
+/// let mut a1 = streams.stream("fading");
+/// let mut a2 = streams.stream("fading");
+/// let mut b = streams.stream("walk");
+///
+/// let x1: f64 = a1.gen();
+/// let x2: f64 = a2.gen();
+/// let y: f64 = b.gen();
+/// assert_eq!(x1, x2, "same name, same stream");
+/// assert_ne!(x1, y, "different names, independent streams");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngStreams {
+    master_seed: u64,
+}
+
+impl RngStreams {
+    /// Creates a factory from a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngStreams { master_seed }
+    }
+
+    /// The master seed this factory was built from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Returns the RNG for `name`. Calling twice with the same name yields
+    /// identical sequences.
+    pub fn stream(&self, name: &str) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.master_seed, name))
+    }
+
+    /// Returns the RNG for a `(name, index)` pair, convenient for per-trial
+    /// streams such as `("day", 3)`.
+    pub fn indexed_stream(&self, name: &str, index: u64) -> StdRng {
+        let combined = format!("{name}#{index}");
+        self.stream(&combined)
+    }
+
+    /// Derives a sub-factory, so a subsystem can hand out its own namespaced
+    /// streams without colliding with its parent.
+    pub fn fork(&self, name: &str) -> RngStreams {
+        RngStreams {
+            master_seed: derive_seed(self.master_seed, name),
+        }
+    }
+}
+
+/// FNV-1a style mix of seed and name; stable across platforms and releases.
+fn derive_seed(master: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Final avalanche (splitmix64 finalizer).
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Samples a normally distributed value using the Box–Muller transform.
+///
+/// We avoid a dependency on `rand_distr`; two uniform draws per sample is
+/// plenty fast for simulation workloads.
+///
+/// # Example
+///
+/// ```
+/// use simcore::rng::normal;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = normal(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    if std_dev == 0.0 {
+        return mean;
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples a log-normally distributed value with the given parameters of the
+/// underlying normal (`mu`, `sigma`).
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples an exponentially distributed value with the given mean.
+///
+/// # Panics
+///
+/// Panics if `mean` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0, "mean must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Picks an index in `0..weights.len()` with probability proportional to the
+/// weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_sequence() {
+        let s = RngStreams::new(123);
+        let a: Vec<u32> = {
+            let mut r = s.stream("x");
+            (0..10).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = s.stream("x");
+            (0..10).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let s = RngStreams::new(123);
+        let a: u64 = s.stream("x").gen();
+        let b: u64 = s.stream("y").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: u64 = RngStreams::new(1).stream("x").gen();
+        let b: u64 = RngStreams::new(2).stream("x").gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn forked_factories_are_namespaced() {
+        let root = RngStreams::new(9);
+        let sub = root.fork("netsim");
+        let a: u64 = root.stream("jitter").gen();
+        let b: u64 = sub.stream("jitter").gen();
+        assert_ne!(a, b);
+        // Fork is deterministic.
+        assert_eq!(
+            root.fork("netsim").master_seed(),
+            sub.master_seed()
+        );
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let s = RngStreams::new(5);
+        let a: u64 = s.indexed_stream("trial", 0).gen();
+        let b: u64 = s.indexed_stream("trial", 1).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = RngStreams::new(77).stream("normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = RngStreams::new(1).stream("z");
+        assert_eq!(normal(&mut rng, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let mut rng = RngStreams::new(4).stream("exp");
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 2.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = RngStreams::new(8).stream("w");
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03, "frac={frac2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn weighted_index_empty_panics() {
+        let mut rng = RngStreams::new(8).stream("w");
+        weighted_index(&mut rng, &[]);
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = RngStreams::new(3).stream("ln");
+        for _ in 0..100 {
+            assert!(log_normal(&mut rng, 0.0, 0.5) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Timestamped value series for figure reproduction.
+//!
+//! Figures such as Fig. 3 (traffic spikes over a user–Echo interaction) and
+//! Fig. 10 (RSSI traces) are series of `(time, value)` points. [`TimeSeries`]
+//! stores them with a label and provides the slicing/resampling operations the
+//! experiment harness needs.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A labelled sequence of `(time, value)` points, kept sorted by time.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{TimeSeries, SimTime};
+/// let mut s = TimeSeries::new("rssi");
+/// s.push(SimTime::from_secs(1), -3.0);
+/// s.push(SimTime::from_secs(2), -5.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.values().collect::<Vec<_>>(), vec![-3.0, -5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    label: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TimeSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded point (series are
+    /// append-only in time order) or if `value` is NaN.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        if let Some((last, _)) = self.points.last() {
+            assert!(*last <= time, "points must be pushed in time order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Iterates over values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|(_, v)| *v)
+    }
+
+    /// Iterates over times only.
+    pub fn times(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.points.iter().map(|(t, _)| *t)
+    }
+
+    /// Returns the sub-series within `[start, end)`.
+    pub fn window(&self, start: SimTime, end: SimTime) -> TimeSeries {
+        TimeSeries {
+            label: self.label.clone(),
+            points: self
+                .points
+                .iter()
+                .filter(|(t, _)| *t >= start && *t < end)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Sums values into fixed-width buckets of `width`, starting at the first
+    /// point's time; useful for turning per-packet byte counts into a
+    /// Fig. 3-style spike plot. Returns `(bucket_start, sum)` pairs, including
+    /// empty buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn bucket_sum(&self, width: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!width.is_zero(), "bucket width must be positive");
+        let Some(&(first, _)) = self.points.first() else {
+            return Vec::new();
+        };
+        let last = self.points.last().expect("nonempty").0;
+        let n_buckets = (last.saturating_since(first).as_nanos() / width.as_nanos()) as usize + 1;
+        let mut buckets = vec![0.0f64; n_buckets];
+        for &(t, v) in &self.points {
+            let idx = (t.saturating_since(first).as_nanos() / width.as_nanos()) as usize;
+            buckets[idx] += v;
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, sum)| (first + width * i as u64, sum))
+            .collect()
+    }
+
+    /// The `(x, y)` arrays with `x` in seconds relative to the first point —
+    /// the shape expected by [`crate::regression::linear_fit`].
+    pub fn as_xy_seconds(&self) -> (Vec<f64>, Vec<f64>) {
+        let Some(&(first, _)) = self.points.first() else {
+            return (Vec::new(), Vec::new());
+        };
+        let xs = self
+            .points
+            .iter()
+            .map(|(t, _)| t.saturating_since(first).as_secs_f64())
+            .collect();
+        let ys = self.points.iter().map(|(_, v)| *v).collect();
+        (xs, ys)
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for i in 0..10 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let s = series();
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.label(), "test");
+        assert_eq!(s.values().sum::<f64>(), 45.0);
+        assert_eq!(s.times().count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut s = series();
+        s.push(SimTime::from_secs(1), 0.0);
+    }
+
+    #[test]
+    fn window_selects_half_open_range() {
+        let s = series();
+        let w = s.window(SimTime::from_secs(2), SimTime::from_secs(5));
+        assert_eq!(w.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bucket_sum_aggregates() {
+        let mut s = TimeSeries::new("bytes");
+        s.push(SimTime::from_millis(0), 100.0);
+        s.push(SimTime::from_millis(100), 50.0);
+        s.push(SimTime::from_millis(1200), 10.0);
+        let buckets = s.bucket_sum(SimDuration::from_secs(1));
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].1, 150.0);
+        assert_eq!(buckets[1].1, 10.0);
+    }
+
+    #[test]
+    fn bucket_sum_empty_is_empty() {
+        let s = TimeSeries::new("empty");
+        assert!(s.bucket_sum(SimDuration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn xy_seconds_is_relative() {
+        let mut s = TimeSeries::new("rssi");
+        s.push(SimTime::from_secs(100), -1.0);
+        s.push(SimTime::from_secs(101), -2.0);
+        let (xs, ys) = s.as_xy_seconds();
+        assert_eq!(xs, vec![0.0, 1.0]);
+        assert_eq!(ys, vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn extend_pushes_in_order() {
+        let mut s = TimeSeries::new("x");
+        s.extend([(SimTime::from_secs(1), 1.0), (SimTime::from_secs(2), 2.0)]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Summary statistics, histograms and empirical CDFs.
+//!
+//! The experiment harness uses these to report the same aggregates the paper
+//! does: means (Fig. 7's 1.622 s / 1.892 s average delays), fractions below a
+//! bound ("78 % of invocations have a delay of less than 2 seconds"), and
+//! full distributions for the figure reproductions.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary of a set of `f64` observations.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { values: Vec::new() }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        self.values.push(value);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean. Returns 0.0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation. Returns 0.0 for fewer than two samples.
+    pub fn std_dev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.values.len() as f64)
+            .sqrt()
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn min(&self) -> f64 {
+        assert!(!self.values.is_empty(), "min of empty summary");
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn max(&self) -> f64 {
+        assert!(!self.values.is_empty(), "max of empty summary");
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.values.is_empty(), "quantile of empty summary");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median (the 0.5-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of observations strictly below `bound` (e.g. "78 % of
+    /// invocations have a delay of less than 2 seconds"). Returns 0.0 for an
+    /// empty summary.
+    pub fn fraction_below(&self, bound: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|x| **x < bound).count() as f64 / self.values.len() as f64
+    }
+
+    /// Fraction of observations at or above `bound`.
+    pub fn fraction_at_least(&self, bound: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.fraction_below(bound)
+    }
+
+    /// All recorded values, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Empirical CDF as (value, cumulative fraction) points, sorted by value.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let n = sorted.len() as f64;
+        sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Fixed-width histogram over `[lo, hi)` with `bins` buckets. Values
+    /// outside the range are clamped into the first/last bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "hi must exceed lo");
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for &v in &self.values {
+            let idx = (((v - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.record(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        (1..=10).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = sample();
+        assert_eq!(s.mean(), 5.5);
+        assert!((s.std_dev() - 2.8722813).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_summary_defaults() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.fraction_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let s = sample();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+        assert_eq!(s.median(), 5.5);
+        assert!((s.quantile(0.25) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let s = sample();
+        assert_eq!(s.fraction_below(5.0), 0.4);
+        assert_eq!(s.fraction_at_least(5.0), 0.6);
+        assert_eq!(s.fraction_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let s = sample();
+        let cdf = s.cdf();
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let s: Summary = vec![-5.0, 0.5, 1.5, 2.5, 99.0].into_iter().collect();
+        let h = s.histogram(0.0, 3.0, 3);
+        assert_eq!(h, vec![2, 1, 2]);
+        assert_eq!(h.iter().sum::<usize>(), s.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn min_of_empty_panics() {
+        Summary::new().min();
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = sample();
+        s.extend([11.0, 12.0]);
+        assert_eq!(s.count(), 12);
+        assert_eq!(s.max(), 12.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Structured trace bus.
+//!
+//! Components publish timestamped, categorised events to a [`TraceBus`]; the
+//! experiment harness replays them to reconstruct the paper's timeline figures
+//! (Fig. 4 proxy cases, Fig. 6 delay timelines) and to debug scenarios.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Dot-separated category, e.g. `"proxy.hold"` or `"decision.verdict"`.
+    pub category: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.time, self.category, self.message)
+    }
+}
+
+/// An append-only, bounded log of [`TraceEvent`]s.
+///
+/// The bus keeps at most `capacity` events, discarding the oldest, so long
+/// 7-day scenario runs cannot exhaust memory while short figure scenarios can
+/// retain everything.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{TraceBus, SimTime};
+/// let mut bus = TraceBus::new(100);
+/// bus.emit(SimTime::from_secs(1), "proxy.hold", "holding 5 packets");
+/// assert_eq!(bus.events().count(), 1);
+/// assert_eq!(bus.filter("proxy").count(), 1);
+/// assert_eq!(bus.filter("decision").count(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBus {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceBus {
+    /// Creates a bus retaining up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        TraceBus {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled bus that discards everything (for hot benchmark
+    /// loops).
+    pub fn disabled() -> Self {
+        TraceBus {
+            events: std::collections::VecDeque::new(),
+            capacity: 1,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn emit(&mut self, time: SimTime, category: impl Into<String>, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            time,
+            category: category.into(),
+            message: message.into(),
+        });
+    }
+
+    /// All retained events in chronological order of emission.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Events whose category starts with `prefix`.
+    pub fn filter<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.category.starts_with(prefix))
+    }
+
+    /// Number of events discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Default for TraceBus {
+    fn default() -> Self {
+        TraceBus::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_filter() {
+        let mut bus = TraceBus::new(10);
+        bus.emit(SimTime::from_secs(1), "proxy.hold", "h");
+        bus.emit(SimTime::from_secs(2), "proxy.release", "r");
+        bus.emit(SimTime::from_secs(3), "decision.verdict", "legit");
+        assert_eq!(bus.events().count(), 3);
+        assert_eq!(bus.filter("proxy").count(), 2);
+        assert_eq!(bus.filter("proxy.release").count(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut bus = TraceBus::new(2);
+        for i in 0..5 {
+            bus.emit(SimTime::from_secs(i), "c", format!("{i}"));
+        }
+        let kept: Vec<&str> = bus.events().map(|e| e.message.as_str()).collect();
+        assert_eq!(kept, vec!["3", "4"]);
+        assert_eq!(bus.dropped(), 3);
+    }
+
+    #[test]
+    fn disabled_bus_discards() {
+        let mut bus = TraceBus::disabled();
+        bus.emit(SimTime::ZERO, "c", "m");
+        assert_eq!(bus.events().count(), 0);
+        assert!(!bus.is_enabled());
+        bus.set_enabled(true);
+        bus.emit(SimTime::ZERO, "c", "m");
+        assert_eq!(bus.events().count(), 1);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let e = TraceEvent {
+            time: SimTime::from_secs(1),
+            category: "a.b".into(),
+            message: "hello".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("a.b") && s.contains("hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        TraceBus::new(0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut bus = TraceBus::new(4);
+        bus.emit(SimTime::ZERO, "c", "m");
+        bus.clear();
+        assert_eq!(bus.events().count(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Cloud endpoints: the AVS server pool, the Google voice front-end, and
+//! generic other-Amazon servers.
+//!
+//! Endpoints coordinate with speakers through the `app_tag` field of
+//! [`TlsRecord`] / the `tag` field of datagrams — standing in for decrypted
+//! payload semantics that a tap can never see.
+
+use netsim::{AppCtx, CloseReason, ConnId, Datagram, NetApp, TlsRecord};
+use simcore::SimDuration;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+
+/// Application-tag protocol shared by speakers and clouds.
+pub mod tags {
+    /// Idle heartbeat (Echo Dot, 41 bytes every 30 s).
+    pub const HEARTBEAT: u64 = 1;
+    /// Activation-spike packet (start of the command phase).
+    pub const ACTIVATION: u64 = 2;
+    /// Voice-audio stream packet.
+    pub const VOICE: u64 = 3;
+    /// Marks the last packet of a command. The low byte carries the number
+    /// of response parts; the command id is in bits 8….
+    pub const END_OF_COMMAND_BASE: u64 = 1 << 32;
+    /// Cloud → speaker: directive starting response part N (low byte);
+    /// command id in bits 8….
+    pub const RESPONSE_DIRECTIVE_BASE: u64 = 2 << 32;
+    /// Speaker → cloud: traffic accompanying the end of a spoken response
+    /// part (the paper's phase-2 spikes ③–⑤).
+    pub const UPLINK_RESPONSE: u64 = 4 << 32;
+    /// Mask for the base discriminant.
+    pub const BASE_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+
+    /// Packs `(base, command id, part/parts)` into one tag.
+    pub fn pack(base: u64, command_id: u64, low: u8) -> u64 {
+        base | (command_id << 8) | u64::from(low)
+    }
+
+    /// Unpacks `(command id, low byte)` from a tag.
+    pub fn unpack(tag: u64) -> (u64, u8) {
+        (((tag & !BASE_MASK) >> 8), (tag & 0xFF) as u8)
+    }
+}
+
+/// Alexa Voice Service front-end: answers heartbeats, executes commands and
+/// drives the multi-part response dialogue that produces the Echo Dot's
+/// phase-2 spikes.
+#[derive(Debug, Default)]
+pub struct AvsCloud {
+    /// Commands fully received (END_OF_COMMAND seen).
+    pub commands_received: Vec<u64>,
+    /// Connections closed and why.
+    pub closed: Vec<(ConnId, CloseReason)>,
+    /// Pending think-timers: token → (conn, command id, parts).
+    pending: HashMap<u64, (ConnId, u64, u8)>,
+    next_token: u64,
+}
+
+impl AvsCloud {
+    /// Creates an idle AVS endpoint.
+    pub fn new() -> Self {
+        AvsCloud::default()
+    }
+
+    fn schedule(&mut self, ctx: &mut dyn AppCtx, delay: SimDuration, entry: (ConnId, u64, u8)) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, entry);
+        ctx.set_timer(delay, token);
+    }
+
+    fn send_directive(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, command: u64, part: u8) {
+        let tag = tags::pack(tags::RESPONSE_DIRECTIVE_BASE, command, part);
+        ctx.send_record(conn, TlsRecord::app_data_tagged(900, tag));
+    }
+}
+
+impl NetApp for AvsCloud {
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        if record.app_tag == tags::HEARTBEAT {
+            ctx.send_record(conn, TlsRecord::app_data_tagged(41, tags::HEARTBEAT));
+            return;
+        }
+        if record.app_tag & tags::BASE_MASK == tags::END_OF_COMMAND_BASE {
+            let (command, parts) = tags::unpack(record.app_tag);
+            self.commands_received.push(command);
+            // ASR + skill execution "think time".
+            let think_ms = 300 + (command % 7) * 40;
+            self.schedule(ctx, SimDuration::from_millis(think_ms), (conn, command, parts));
+            return;
+        }
+        if record.app_tag & tags::BASE_MASK == tags::UPLINK_RESPONSE {
+            // End of a spoken part: if more parts remain, send the next
+            // directive (low byte of the uplink tag = parts still to go).
+            let (command, remaining) = tags::unpack(record.app_tag);
+            if remaining > 0 {
+                self.send_directive(ctx, conn, command, remaining);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if let Some((conn, command, parts)) = self.pending.remove(&token) {
+            // Start the response dialogue. The directive's low byte counts
+            // the parts remaining *including* the one being started; the
+            // speaker answers with UPLINK_RESPONSE carrying `remaining - 1`.
+            self.send_directive(ctx, conn, command, parts.max(1));
+        }
+    }
+
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, conn: ConnId, reason: CloseReason) {
+        self.closed.push((conn, reason));
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Google voice front-end: serves both QUIC-over-UDP and TCP command
+/// exchanges. Unlike AVS there is no uplink response dialogue — the
+/// response streams straight down (§IV-B1: the Mini has no response
+/// spikes).
+#[derive(Debug, Default)]
+pub struct GoogleCloud {
+    /// Commands fully received.
+    pub commands_received: Vec<u64>,
+    pending_udp: HashMap<u64, (SocketAddrV4, u64)>,
+    pending_tcp: HashMap<u64, (ConnId, u64)>,
+    next_token: u64,
+}
+
+impl GoogleCloud {
+    /// Creates an idle Google endpoint.
+    pub fn new() -> Self {
+        GoogleCloud::default()
+    }
+}
+
+impl NetApp for GoogleCloud {
+    fn on_datagram(&mut self, ctx: &mut dyn AppCtx, dgram: Datagram) {
+        if dgram.tag & tags::BASE_MASK == tags::END_OF_COMMAND_BASE {
+            let (command, _parts) = tags::unpack(dgram.tag);
+            self.commands_received.push(command);
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending_udp.insert(token, (dgram.src, command));
+            ctx.set_timer(SimDuration::from_millis(350), token);
+        }
+    }
+
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        if record.app_tag & tags::BASE_MASK == tags::END_OF_COMMAND_BASE {
+            let (command, _parts) = tags::unpack(record.app_tag);
+            self.commands_received.push(command);
+            let token = self.next_token;
+            self.next_token += 1;
+            self.pending_tcp.insert(token, (conn, command));
+            ctx.set_timer(SimDuration::from_millis(350), token);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if let Some((dst, command)) = self.pending_udp.remove(&token) {
+            for i in 0..3u64 {
+                ctx.send_datagram(
+                    dst,
+                    1000 + (i * 90) as u32,
+                    true,
+                    tags::pack(tags::RESPONSE_DIRECTIVE_BASE, command, i as u8),
+                );
+            }
+            return;
+        }
+        if let Some((conn, command)) = self.pending_tcp.remove(&token) {
+            for i in 0..3u8 {
+                ctx.send_record(
+                    conn,
+                    TlsRecord::app_data_tagged(
+                        1000 + u32::from(i) * 90,
+                        tags::pack(tags::RESPONSE_DIRECTIVE_BASE, command, i),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A generic non-AVS Amazon endpoint: accepts connections and acknowledges
+/// pings, providing background flows whose connection signatures differ
+/// from the AVS one.
+#[derive(Debug, Default)]
+pub struct OtherAmazonCloud {
+    /// Records received (for tests).
+    pub records_received: usize,
+}
+
+impl OtherAmazonCloud {
+    /// Creates the endpoint.
+    pub fn new() -> Self {
+        OtherAmazonCloud::default()
+    }
+}
+
+impl NetApp for OtherAmazonCloud {
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        self.records_received += 1;
+        // Acknowledge short pings with a short reply.
+        if record.len <= 64 {
+            ctx.send_record(conn, TlsRecord::app_data(47));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_pack_unpack_round_trips() {
+        let tag = tags::pack(tags::END_OF_COMMAND_BASE, 12345, 3);
+        assert_eq!(tag & tags::BASE_MASK, tags::END_OF_COMMAND_BASE);
+        assert_eq!(tags::unpack(tag), (12345, 3));
+    }
+
+    #[test]
+    fn tag_bases_are_distinct() {
+        let bases = [
+            tags::END_OF_COMMAND_BASE,
+            tags::RESPONSE_DIRECTIVE_BASE,
+            tags::UPLINK_RESPONSE,
+        ];
+        for (i, a) in bases.iter().enumerate() {
+            for b in &bases[i + 1..] {
+                assert_ne!(a & tags::BASE_MASK, b & tags::BASE_MASK);
+            }
+        }
+    }
+
+    #[test]
+    fn small_tags_have_empty_base() {
+        assert_eq!(tags::HEARTBEAT & tags::BASE_MASK, 0);
+        assert_eq!(tags::ACTIVATION & tags::BASE_MASK, 0);
+        assert_eq!(tags::VOICE & tags::BASE_MASK, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Command invocation bookkeeping shared by both speaker models.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// What the speaker is asked to do when an utterance reaches its
+/// microphones. VoiceGuard never sees this — it only sees the resulting
+/// traffic — but the experiment harness needs it for ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandSpec {
+    /// Caller-chosen identifier, echoed into the [`InvocationRecord`].
+    pub id: u64,
+    /// Spoken length in words (drives speech duration at 2 words/s).
+    pub words: usize,
+    /// Number of spoken response parts the assistant will produce — each
+    /// causes one response-phase traffic spike on the Echo Dot (Fig. 3
+    /// shows three, one per NBA game in the example).
+    pub response_parts: usize,
+}
+
+impl CommandSpec {
+    /// A short everyday command ("turn on the lights"): 4 words, 1 response
+    /// part.
+    pub fn simple(id: u64) -> CommandSpec {
+        CommandSpec {
+            id,
+            words: 4,
+            response_parts: 1,
+        }
+    }
+}
+
+/// Phase of an Echo Dot traffic spike (ground truth for Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpikePhase {
+    /// First phase: the spike carries the voice command.
+    Command,
+    /// Second phase: the spike accompanies a spoken response part.
+    Response,
+}
+
+/// Ground-truth label for one emitted spike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeLabel {
+    /// Invocation the spike belongs to.
+    pub command_id: u64,
+    /// When the first packet of the spike left the speaker.
+    pub start: SimTime,
+    /// Which phase the spike belongs to.
+    pub phase: SpikePhase,
+}
+
+/// How an invocation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandOutcome {
+    /// Still in progress.
+    Pending,
+    /// The cloud executed the command and the speaker played the response.
+    Executed,
+    /// No response ever arrived (traffic blocked and dropped).
+    NoResponse,
+    /// The connection was torn down before completion.
+    ConnectionClosed,
+}
+
+/// Per-invocation measurements collected by the speaker models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Id from the [`CommandSpec`].
+    pub id: u64,
+    /// When the wake word was detected (command traffic starts).
+    pub started: SimTime,
+    /// When the user finished speaking.
+    pub speech_end: SimTime,
+    /// When the first response record arrived, if ever.
+    pub first_response: Option<SimTime>,
+    /// Final status.
+    pub outcome: CommandOutcome,
+}
+
+impl InvocationRecord {
+    /// The user-perceived delay: time from end of speech to first response,
+    /// `None` when no response arrived. The paper's Fig. 6 case (a) is a
+    /// zero perceived delay (response latency hidden inside speech time).
+    pub fn perceived_delay_s(&self) -> Option<f64> {
+        self.first_response
+            .map(|r| r.saturating_since(self.speech_end).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn simple_command_shape() {
+        let c = CommandSpec::simple(9);
+        assert_eq!(c.id, 9);
+        assert_eq!(c.words, 4);
+        assert_eq!(c.response_parts, 1);
+    }
+
+    #[test]
+    fn perceived_delay_clamps_to_zero_when_response_beats_speech_end() {
+        let rec = InvocationRecord {
+            id: 1,
+            started: SimTime::ZERO,
+            speech_end: SimTime::from_secs(3),
+            first_response: Some(SimTime::from_secs(2)),
+            outcome: CommandOutcome::Executed,
+        };
+        assert_eq!(rec.perceived_delay_s(), Some(0.0));
+    }
+
+    #[test]
+    fn perceived_delay_measures_gap() {
+        let rec = InvocationRecord {
+            id: 1,
+            started: SimTime::ZERO,
+            speech_end: SimTime::from_secs(2),
+            first_response: Some(SimTime::from_secs(2) + SimDuration::from_millis(800)),
+            outcome: CommandOutcome::Executed,
+        };
+        assert!((rec.perceived_delay_s().unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_response_has_no_delay() {
+        let rec = InvocationRecord {
+            id: 1,
+            started: SimTime::ZERO,
+            speech_end: SimTime::from_secs(2),
+            first_response: None,
+            outcome: CommandOutcome::NoResponse,
+        };
+        assert_eq!(rec.perceived_delay_s(), None);
+    }
+}

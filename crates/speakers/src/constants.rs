@@ -1,0 +1,92 @@
+//! Traffic-grammar constants measured by the paper (§IV-B1).
+
+/// Domain name of the Alexa Voice Service front-end the Echo Dot keeps a
+/// long-lived connection to.
+pub const AVS_DOMAIN: &str = "avs-alexa-4-na.amazon.com";
+
+/// Domain the Google Home Mini exchanges voice traffic with.
+pub const GOOGLE_DOMAIN: &str = "www.google.com";
+
+/// The packet-level signature of an Echo Dot establishing a connection with
+/// the AVS server: the lengths (bytes) of the first application-data
+/// records, exactly as reported in the paper.
+pub const AVS_CONNECT_SIGNATURE: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// Connection signatures of other Amazon servers the Echo Dot talks to;
+/// each differs from [`AVS_CONNECT_SIGNATURE`] so the matcher can tell the
+/// flows apart (the paper compared against six other Amazon endpoints).
+pub const OTHER_AMAZON_SIGNATURES: [[u32; 16]; 6] = [
+    [63, 33, 583, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
+    [63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 41],
+    [87, 33, 412, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
+    [63, 41, 653, 145, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
+    [63, 33, 653, 131, 73, 131, 202, 73, 145, 73, 131, 73, 131, 77, 33, 33],
+    [95, 33, 512, 131, 89, 131, 188, 73, 131, 73, 131, 73, 131, 77, 41, 33],
+];
+
+/// Heartbeat period of the idle Echo Dot, seconds.
+pub const HEARTBEAT_INTERVAL_S: u64 = 30;
+
+/// Length of the Echo Dot heartbeat record, bytes.
+pub const HEARTBEAT_LEN: u32 = 41;
+
+/// First-phase marker packet lengths (at least one usually appears within
+/// the first five packets of a command spike).
+pub const PHASE1_MARKERS: [u32; 2] = [138, 75];
+
+/// The three fixed first-phase patterns used when no marker appears; the
+/// leading packet is 250–650 bytes (most commonly 277).
+pub const PHASE1_FIXED_PATTERNS: [[u32; 4]; 3] = [
+    [131, 277, 131, 113],
+    [131, 113, 113, 113],
+    [131, 121, 277, 131],
+];
+
+/// Inclusive range of the first packet of a fixed-pattern command spike.
+pub const PHASE1_FIRST_RANGE: (u32, u32) = (250, 650);
+
+/// Second-phase marker packet lengths; they appear sequentially within the
+/// first five packets (occasionally as the 6th and 7th).
+pub const PHASE2_MARKERS: [u32; 2] = [77, 33];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn avs_signature_matches_paper() {
+        assert_eq!(AVS_CONNECT_SIGNATURE.len(), 16);
+        assert_eq!(&AVS_CONNECT_SIGNATURE[..4], &[63, 33, 653, 131]);
+        assert_eq!(AVS_CONNECT_SIGNATURE[15], 33);
+    }
+
+    #[test]
+    fn other_signatures_differ_from_avs_and_each_other() {
+        let mut seen: HashSet<[u32; 16]> = HashSet::new();
+        seen.insert(AVS_CONNECT_SIGNATURE);
+        for sig in OTHER_AMAZON_SIGNATURES {
+            assert!(seen.insert(sig), "duplicate signature {sig:?}");
+        }
+    }
+
+    #[test]
+    fn phase_markers_are_disjoint() {
+        for m1 in PHASE1_MARKERS {
+            for m2 in PHASE2_MARKERS {
+                assert_ne!(m1, m2);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_patterns_avoid_phase2_markers() {
+        for pat in PHASE1_FIXED_PATTERNS {
+            for len in pat {
+                assert!(!PHASE2_MARKERS.contains(&len));
+            }
+        }
+    }
+}

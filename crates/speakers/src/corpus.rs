@@ -1,0 +1,244 @@
+//! Synthetic voice-command corpora matching the paper's crawl statistics.
+//!
+//! §V-A2: the authors crawled 320 commonly used Alexa commands (mean length
+//! 5.95 words, ≥ 86.8 % with at least 4 words) and 443 Google Assistant
+//! commands (mean 7.39 words, ≥ 93.9 % with at least 5 words), and assume a
+//! speech pace of 2 words per second. We cannot redistribute the crawl, so
+//! we synthesise corpora whose word-count distributions reproduce those
+//! statistics exactly; the experiments only consume the statistics.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimDuration;
+
+/// Normal human speech pace assumed by the paper (words per second).
+pub const SPEECH_WORDS_PER_SECOND: f64 = 2.0;
+
+/// One voice command.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoiceCommand {
+    /// Synthesised command text.
+    pub text: String,
+    /// Number of words (excluding the wake word).
+    pub words: usize,
+}
+
+impl VoiceCommand {
+    /// Time to speak this command at the paper's 2 words/s pace.
+    pub fn speech_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.words as f64 / SPEECH_WORDS_PER_SECOND)
+    }
+}
+
+/// A corpus of voice commands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// Assistant family the corpus belongs to.
+    pub assistant: &'static str,
+    commands: Vec<VoiceCommand>,
+}
+
+/// (word count, how many commands of that length) pairs for the Alexa
+/// corpus: 320 commands, mean 5.95 words, 86.9 % with ≥ 4 words.
+const ALEXA_DISTRIBUTION: [(usize, usize); 11] = [
+    (2, 12),
+    (3, 30),
+    (4, 40),
+    (5, 54),
+    (6, 62),
+    (7, 50),
+    (8, 40),
+    (9, 14),
+    (10, 10),
+    (11, 4),
+    (12, 4),
+];
+
+/// Distribution for the Google corpus: 443 commands, mean 7.39 words,
+/// 93.9 % with ≥ 5 words.
+const GOOGLE_DISTRIBUTION: [(usize, usize); 10] = [
+    (3, 10),
+    (4, 17),
+    (5, 40),
+    (6, 80),
+    (7, 90),
+    (8, 90),
+    (9, 50),
+    (10, 40),
+    (11, 16),
+    (12, 10),
+];
+
+const OPENERS: [&str; 8] = [
+    "turn", "set", "play", "what", "tell", "open", "start", "show",
+];
+const FILLERS: [&str; 16] = [
+    "on", "the", "living", "room", "lights", "to", "my", "favorite", "playlist", "in", "kitchen",
+    "tonight", "weather", "for", "tomorrow", "morning",
+];
+
+fn synthesize_text(index: usize, words: usize) -> String {
+    let mut parts = Vec::with_capacity(words);
+    parts.push(OPENERS[index % OPENERS.len()].to_string());
+    for w in 1..words {
+        parts.push(FILLERS[(index * 7 + w * 3) % FILLERS.len()].to_string());
+    }
+    parts.join(" ")
+}
+
+fn build(assistant: &'static str, distribution: &[(usize, usize)]) -> Corpus {
+    let mut commands = Vec::new();
+    let mut index = 0usize;
+    for &(words, count) in distribution {
+        for _ in 0..count {
+            commands.push(VoiceCommand {
+                text: synthesize_text(index, words),
+                words,
+            });
+            index += 1;
+        }
+    }
+    Corpus {
+        assistant,
+        commands,
+    }
+}
+
+impl Corpus {
+    /// The synthetic Alexa corpus (320 commands).
+    pub fn alexa() -> Corpus {
+        build("alexa", &ALEXA_DISTRIBUTION)
+    }
+
+    /// The synthetic Google Assistant corpus (443 commands).
+    pub fn google() -> Corpus {
+        build("google", &GOOGLE_DISTRIBUTION)
+    }
+
+    /// Number of commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// True if the corpus is empty (never, for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// All commands.
+    pub fn commands(&self) -> &[VoiceCommand] {
+        &self.commands
+    }
+
+    /// The `i`-th command, wrapping around.
+    pub fn cycle(&self, i: usize) -> &VoiceCommand {
+        &self.commands[i % self.commands.len()]
+    }
+
+    /// A uniformly drawn command.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> &VoiceCommand {
+        &self.commands[rng.gen_range(0..self.commands.len())]
+    }
+
+    /// Mean command length in words.
+    pub fn mean_words(&self) -> f64 {
+        self.commands.iter().map(|c| c.words).sum::<usize>() as f64 / self.commands.len() as f64
+    }
+
+    /// Fraction of commands with at least `n` words.
+    pub fn fraction_at_least_words(&self, n: usize) -> f64 {
+        self.commands.iter().filter(|c| c.words >= n).count() as f64 / self.commands.len() as f64
+    }
+
+    /// Fraction of commands whose speech time (at 2 words/s) is at least
+    /// `seconds` — used for the "≥ 80 % of RSSI queries finish while the
+    /// user is still speaking" analysis.
+    pub fn fraction_spoken_longer_than(&self, seconds: f64) -> f64 {
+        self.commands
+            .iter()
+            .filter(|c| c.words as f64 / SPEECH_WORDS_PER_SECOND >= seconds)
+            .count() as f64
+            / self.commands.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alexa_statistics_match_paper() {
+        let c = Corpus::alexa();
+        assert_eq!(c.len(), 320, "paper crawled 320 Alexa commands");
+        assert!(
+            (c.mean_words() - 5.95).abs() < 0.005,
+            "mean {} vs paper 5.95",
+            c.mean_words()
+        );
+        let frac4 = c.fraction_at_least_words(4);
+        assert!(frac4 >= 0.868, "paper: more than 86.8% have >= 4 words, got {frac4}");
+        assert!(frac4 < 0.90);
+    }
+
+    #[test]
+    fn google_statistics_match_paper() {
+        let c = Corpus::google();
+        assert_eq!(c.len(), 443, "paper crawled 443 Google commands");
+        assert!(
+            (c.mean_words() - 7.39).abs() < 0.005,
+            "mean {} vs paper 7.39",
+            c.mean_words()
+        );
+        let frac5 = c.fraction_at_least_words(5);
+        assert!(frac5 >= 0.939, "paper: more than 93.9% have >= 5 words, got {frac5}");
+        assert!(frac5 < 0.96);
+    }
+
+    #[test]
+    fn word_counts_match_text() {
+        for corpus in [Corpus::alexa(), Corpus::google()] {
+            for cmd in corpus.commands() {
+                assert_eq!(cmd.text.split_whitespace().count(), cmd.words);
+            }
+        }
+    }
+
+    #[test]
+    fn speech_duration_uses_two_words_per_second() {
+        let cmd = VoiceCommand {
+            text: "turn on the lights".into(),
+            words: 4,
+        };
+        assert_eq!(cmd.speech_duration(), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn most_rssi_queries_fit_within_speech() {
+        // Fig. 7: the mean RSSI verification takes ~1.6-1.9 s. The paper
+        // argues >= 80% of commands are still being spoken at that point.
+        let alexa = Corpus::alexa();
+        assert!(alexa.fraction_spoken_longer_than(1.622) >= 0.80);
+        let google = Corpus::google();
+        assert!(google.fraction_spoken_longer_than(1.892) >= 0.80);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let c = Corpus::alexa();
+        assert_eq!(c.cycle(0), c.cycle(320));
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let c = Corpus::google();
+        let a = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            c.sample(&mut rng).clone()
+        };
+        let b = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+            c.sample(&mut rng).clone()
+        };
+        assert_eq!(a, b);
+    }
+}

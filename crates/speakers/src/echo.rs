@@ -1,0 +1,442 @@
+//! The Amazon Echo Dot traffic model.
+//!
+//! Reproduces the grammar of §IV-B1:
+//!
+//! * long-lived TLS connection to the AVS front-end, established after a
+//!   DNS lookup at boot but **sometimes re-established without DNS** using
+//!   a firmware-cached front-end IP (the case that forces VoiceGuard to
+//!   re-identify the AVS flow by its connection signature);
+//! * the 16-record connection-establishment sequence
+//!   [`crate::AVS_CONNECT_SIGNATURE`];
+//! * a 41-byte heartbeat every 30 s while idle;
+//! * on a voice command: activation spike (phase 1, with the p-138/p-75 or
+//!   fixed-pattern grammar) → voice stream while the user speaks →
+//!   end-of-speech burst → cloud response → one phase-2 spike (p-77/p-33
+//!   grammar) per spoken response part;
+//! * background connections to other Amazon servers with different
+//!   signatures.
+
+use crate::cloud::tags;
+use crate::command::{
+    CommandOutcome, CommandSpec, InvocationRecord, SpikeLabel, SpikePhase,
+};
+use crate::constants::{AVS_CONNECT_SIGNATURE, HEARTBEAT_INTERVAL_S, HEARTBEAT_LEN, OTHER_AMAZON_SIGNATURES};
+use crate::corpus::SPEECH_WORDS_PER_SECOND;
+use crate::spikes;
+use netsim::{AppCtx, CloseReason, ConnId, NetApp, TlsRecord};
+use rand::Rng;
+use simcore::SimDuration;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+const HEARTBEAT_TOKEN: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Send one record on the AVS connection.
+    Send { len: u32, tag: u64 },
+    /// Send the end-of-command record.
+    EndOfCommand { command: u64, parts: u8 },
+    /// Emit a phase-2 spike; `remaining` parts follow after this one.
+    ResponseSpike { command: u64, remaining: u8 },
+    /// Give up on a command that got no response.
+    InvocationTimeout { command: u64 },
+    /// Re-establish the AVS connection.
+    Reconnect,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AvsState {
+    Boot,
+    AwaitingDns,
+    Connecting,
+    Ready,
+}
+
+/// The Echo Dot application. Drive it with
+/// [`Network::with_app`](netsim::Network::with_app) and
+/// [`EchoDotApp::speak_command`].
+pub struct EchoDotApp {
+    avs_domain: String,
+    /// The establishment sequence this firmware sends (the paper's
+    /// measured signature by default; overridable to model firmware
+    /// updates).
+    connect_signature: Vec<u32>,
+    /// Firmware-cached front-end IPs for DNS-less reconnects.
+    cached_ips: Vec<Ipv4Addr>,
+    next_cached: usize,
+    other_servers: Vec<SocketAddrV4>,
+    avs_conn: Option<ConnId>,
+    state: AvsState,
+    /// Session generation: bumped on every AVS connection loss so that
+    /// traffic steps belonging to a dead session are discarded instead of
+    /// replayed onto the next connection (a real speaker does not resume a
+    /// half-streamed utterance on a fresh TLS session).
+    session_gen: u64,
+    steps: HashMap<u64, (u64, Step)>,
+    next_token: u64,
+    /// Completed and in-flight invocations, in order.
+    pub invocations: Vec<InvocationRecord>,
+    /// Ground-truth spike labels for Table I.
+    pub spikes: Vec<SpikeLabel>,
+    /// Number of times the AVS connection was (re-)established.
+    pub avs_connects: u32,
+    /// Close reasons observed on AVS connections.
+    pub avs_closes: Vec<CloseReason>,
+    by_id: HashMap<u64, usize>,
+    /// Signatures queued for background connections, keyed by conn.
+    other_pending: HashMap<ConnId, Vec<u32>>,
+}
+
+impl EchoDotApp {
+    /// Creates an Echo Dot that will resolve `avs_domain` and may fall back
+    /// to `cached_ips` on reconnects. `other_servers` are contacted at boot
+    /// with non-AVS signatures.
+    pub fn new(
+        avs_domain: impl Into<String>,
+        cached_ips: Vec<Ipv4Addr>,
+        other_servers: Vec<SocketAddrV4>,
+    ) -> Self {
+        EchoDotApp {
+            avs_domain: avs_domain.into(),
+            connect_signature: AVS_CONNECT_SIGNATURE.to_vec(),
+            cached_ips,
+            next_cached: 0,
+            other_servers,
+            avs_conn: None,
+            state: AvsState::Boot,
+            session_gen: 0,
+            steps: HashMap::new(),
+            next_token: 0,
+            invocations: Vec::new(),
+            spikes: Vec::new(),
+            avs_connects: 0,
+            avs_closes: Vec::new(),
+            by_id: HashMap::new(),
+            other_pending: HashMap::new(),
+        }
+    }
+
+    /// Overrides the connection-establishment signature, modelling a
+    /// firmware update that changes the handshake (§VII).
+    #[must_use]
+    pub fn with_connect_signature(mut self, signature: Vec<u32>) -> Self {
+        assert!(!signature.is_empty(), "signature must be non-empty");
+        self.connect_signature = signature;
+        self
+    }
+
+    /// True once the AVS session is usable.
+    pub fn is_ready(&self) -> bool {
+        self.state == AvsState::Ready
+    }
+
+    /// The record of an invocation by id.
+    pub fn invocation(&self, id: u64) -> Option<&InvocationRecord> {
+        self.by_id.get(&id).map(|i| &self.invocations[*i])
+    }
+
+    fn schedule(&mut self, ctx: &mut dyn AppCtx, delay: SimDuration, step: Step) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.steps.insert(token, (self.session_gen, step));
+        ctx.set_timer(delay, token);
+    }
+
+    fn send_avs(&mut self, ctx: &mut dyn AppCtx, len: u32, tag: u64) -> bool {
+        match self.avs_conn {
+            Some(conn) => ctx.send_record(conn, TlsRecord::app_data_tagged(len, tag)),
+            None => false,
+        }
+    }
+
+    /// Starts casting a music stream for `duration`: continuous
+    /// application-data records on the AVS connection with sub-second
+    /// inter-packet gaps. Streaming keeps the flow busy, so the guard's
+    /// idle-gap spike detection never fires — a documented limitation of
+    /// traffic-spike recognition during continuous playback.
+    pub fn start_music_stream(&mut self, ctx: &mut dyn AppCtx, duration: SimDuration) {
+        if self.state != AvsState::Ready {
+            return;
+        }
+        let mut t = SimDuration::from_millis(20);
+        while t < duration {
+            let len = 900 + (t.as_nanos() % 400) as u32;
+            self.schedule(ctx, t, Step::Send { len, tag: tags::VOICE });
+            t += SimDuration::from_millis(400);
+        }
+    }
+
+    /// The user (or an attacker's loudspeaker) utters a command; emits the
+    /// phase-1 traffic and registers the invocation.
+    pub fn speak_command(&mut self, ctx: &mut dyn AppCtx, spec: CommandSpec) {
+        let now = ctx.now();
+        let speech = SimDuration::from_secs_f64(spec.words as f64 / SPEECH_WORDS_PER_SECOND);
+        let record = InvocationRecord {
+            id: spec.id,
+            started: now,
+            speech_end: now + speech,
+            first_response: None,
+            outcome: CommandOutcome::Pending,
+        };
+        self.by_id.insert(spec.id, self.invocations.len());
+        self.invocations.push(record);
+
+        if self.state != AvsState::Ready {
+            // The speaker cannot reach its cloud; the command dies quietly.
+            ctx.trace("echo.command", "spoken while AVS session down");
+            self.schedule(
+                ctx,
+                SimDuration::from_secs(10),
+                Step::InvocationTimeout { command: spec.id },
+            );
+            return;
+        }
+
+        // Phase-1 activation spike.
+        self.spikes.push(SpikeLabel {
+            command_id: spec.id,
+            start: now,
+            phase: SpikePhase::Command,
+        });
+        let (lens, _shape) = spikes::phase1_lengths(ctx.rng());
+        for (i, len) in lens.iter().enumerate() {
+            self.schedule(
+                ctx,
+                SimDuration::from_millis(20 + 90 * i as u64),
+                Step::Send {
+                    len: *len,
+                    tag: tags::ACTIVATION,
+                },
+            );
+        }
+        // Voice stream while the user speaks.
+        let mut t = SimDuration::from_millis(20 + 90 * lens.len() as u64 + 150);
+        while t < speech {
+            let len = spikes::voice_stream_packet(ctx.rng());
+            self.schedule(ctx, t, Step::Send { len, tag: tags::VOICE });
+            t += SimDuration::from_millis(250);
+        }
+        // End-of-speech burst, then the end-of-command record.
+        let burst = spikes::speech_end_burst(ctx.rng());
+        let mut bt = speech;
+        for len in burst {
+            self.schedule(ctx, bt, Step::Send { len, tag: tags::VOICE });
+            bt += SimDuration::from_millis(30);
+        }
+        self.schedule(
+            ctx,
+            bt,
+            Step::EndOfCommand {
+                command: spec.id,
+                parts: spec.response_parts.clamp(1, 255) as u8,
+            },
+        );
+        // Give up if the cloud never answers (e.g. VoiceGuard dropped us).
+        self.schedule(
+            ctx,
+            bt + SimDuration::from_secs(10),
+            Step::InvocationTimeout { command: spec.id },
+        );
+    }
+
+    fn connect_avs(&mut self, ctx: &mut dyn AppCtx, ip: Ipv4Addr) {
+        self.state = AvsState::Connecting;
+        let conn = ctx.connect(SocketAddrV4::new(ip, 443));
+        self.avs_conn = Some(conn);
+    }
+
+    fn reconnect(&mut self, ctx: &mut dyn AppCtx) {
+        // Half the time the Echo re-resolves; otherwise it silently uses a
+        // cached front-end IP — no DNS appears on the wire and VoiceGuard
+        // must fall back to the connection signature.
+        if self.cached_ips.is_empty() || ctx.rng().gen_bool(0.5) {
+            self.state = AvsState::AwaitingDns;
+            ctx.dns_lookup(&self.avs_domain.clone());
+        } else {
+            let ip = self.cached_ips[self.next_cached % self.cached_ips.len()];
+            self.next_cached += 1;
+            ctx.trace("echo.reconnect", "using cached AVS IP (no DNS)");
+            self.connect_avs(ctx, ip);
+        }
+    }
+
+    fn mark_outcome(&mut self, id: u64, outcome: CommandOutcome) {
+        if let Some(idx) = self.by_id.get(&id) {
+            let rec = &mut self.invocations[*idx];
+            if rec.outcome == CommandOutcome::Pending {
+                rec.outcome = outcome;
+            }
+        }
+    }
+}
+
+impl NetApp for EchoDotApp {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        self.state = AvsState::AwaitingDns;
+        ctx.dns_lookup(&self.avs_domain.clone());
+        // Background connections to other Amazon endpoints.
+        for (i, server) in self.other_servers.clone().into_iter().enumerate() {
+            let conn = ctx.connect(server);
+            // Their establishment sequences are sent on connect; remember
+            // them via steps keyed far away from AVS tokens.
+            let sig = OTHER_AMAZON_SIGNATURES[i % OTHER_AMAZON_SIGNATURES.len()];
+            // Stash as pending sends executed on on_connected; encode by
+            // mapping conn -> signature through a step at time zero is
+            // overkill: just remember in `other_pending`.
+            self.other_pending.insert(conn, sig.to_vec());
+        }
+        ctx.set_timer(
+            SimDuration::from_secs(HEARTBEAT_INTERVAL_S),
+            HEARTBEAT_TOKEN,
+        );
+    }
+
+    fn on_dns(&mut self, ctx: &mut dyn AppCtx, name: &str, ip: Ipv4Addr) {
+        if name == self.avs_domain && self.state == AvsState::AwaitingDns {
+            self.connect_avs(ctx, ip);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        if Some(conn) == self.avs_conn {
+            self.avs_connects += 1;
+            self.state = AvsState::Ready;
+            // The connection-establishment signature.
+            for (i, len) in self.connect_signature.clone().into_iter().enumerate() {
+                self.schedule(
+                    ctx,
+                    SimDuration::from_millis(3 * (i as u64 + 1)),
+                    Step::Send {
+                        len,
+                        tag: tags::ACTIVATION,
+                    },
+                );
+            }
+        } else if let Some(sig) = self.other_pending.remove(&conn) {
+            for len in sig {
+                ctx.send_record(conn, TlsRecord::app_data(len));
+            }
+        }
+    }
+
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, record: TlsRecord) {
+        if Some(conn) != self.avs_conn {
+            return;
+        }
+        if record.app_tag & tags::BASE_MASK == tags::RESPONSE_DIRECTIVE_BASE {
+            let (command, remaining) = tags::unpack(record.app_tag);
+            if let Some(idx) = self.by_id.get(&command) {
+                let rec = &mut self.invocations[*idx];
+                if rec.first_response.is_none() {
+                    rec.first_response = Some(ctx.now());
+                }
+                rec.outcome = CommandOutcome::Executed;
+            }
+            // Play the part (2-4 s), then emit the phase-2 spike.
+            let play_ms = 2_000 + (u64::from(remaining) * 617 + command * 131) % 2_000;
+            self.schedule(
+                ctx,
+                SimDuration::from_millis(play_ms),
+                Step::ResponseSpike {
+                    command,
+                    remaining: remaining.saturating_sub(1),
+                },
+            );
+        }
+    }
+
+    fn on_closed(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, reason: CloseReason) {
+        if Some(conn) == self.avs_conn {
+            self.avs_closes.push(reason);
+            self.avs_conn = None;
+            self.state = AvsState::Boot;
+            self.session_gen += 1;
+            // Any invocation still pending dies with the connection.
+            let pending: Vec<u64> = self
+                .invocations
+                .iter()
+                .filter(|r| r.outcome == CommandOutcome::Pending)
+                .map(|r| r.id)
+                .collect();
+            for id in pending {
+                self.mark_outcome(id, CommandOutcome::ConnectionClosed);
+            }
+            self.schedule(ctx, SimDuration::from_millis(600), Step::Reconnect);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if token == HEARTBEAT_TOKEN {
+            if self.state == AvsState::Ready {
+                self.send_avs(ctx, HEARTBEAT_LEN, tags::HEARTBEAT);
+            }
+            ctx.set_timer(
+                SimDuration::from_secs(HEARTBEAT_INTERVAL_S),
+                HEARTBEAT_TOKEN,
+            );
+            return;
+        }
+        let Some((gen, step)) = self.steps.remove(&token) else {
+            return;
+        };
+        // Traffic belonging to a dead session must not leak onto the new
+        // connection; bookkeeping steps always run.
+        let stale = gen != self.session_gen;
+        if stale
+            && matches!(
+                step,
+                Step::Send { .. } | Step::EndOfCommand { .. } | Step::ResponseSpike { .. }
+            )
+        {
+            return;
+        }
+        match step {
+            Step::Send { len, tag } => {
+                self.send_avs(ctx, len, tag);
+            }
+            Step::EndOfCommand { command, parts } => {
+                let len = spikes::voice_stream_packet(ctx.rng());
+                self.send_avs(ctx, len, tags::pack(tags::END_OF_COMMAND_BASE, command, parts));
+            }
+            Step::ResponseSpike { command, remaining } => {
+                self.spikes.push(SpikeLabel {
+                    command_id: command,
+                    start: ctx.now(),
+                    phase: SpikePhase::Response,
+                });
+                let lens = spikes::phase2_lengths(ctx.rng());
+                let n = lens.len();
+                for (i, len) in lens.into_iter().enumerate() {
+                    self.schedule(
+                        ctx,
+                        SimDuration::from_millis(15 + 70 * i as u64),
+                        Step::Send {
+                            len,
+                            tag: tags::VOICE,
+                        },
+                    );
+                }
+                // Tell the cloud the part finished playing so it can start
+                // the next one.
+                self.schedule(
+                    ctx,
+                    SimDuration::from_millis(15 + 70 * n as u64),
+                    Step::Send {
+                        len: 120,
+                        tag: tags::pack(tags::UPLINK_RESPONSE, command, remaining),
+                    },
+                );
+            }
+            Step::InvocationTimeout { command } => {
+                self.mark_outcome(command, CommandOutcome::NoResponse);
+            }
+            Step::Reconnect => self.reconnect(ctx),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

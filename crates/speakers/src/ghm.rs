@@ -1,0 +1,238 @@
+//! The Google Home Mini traffic model.
+//!
+//! §IV-B1 highlights three differences from the Echo Dot: the connection to
+//! `www.google.com` is **on-demand** (established per command, so its DNS
+//! query is always observable), transport **switches between QUIC/UDP and
+//! TCP** depending on network conditions, and there are **no response-phase
+//! uplink spikes** — any post-idle spike is a command.
+
+use crate::cloud::tags;
+use crate::command::{CommandOutcome, CommandSpec, InvocationRecord};
+use crate::corpus::SPEECH_WORDS_PER_SECOND;
+use netsim::{AppCtx, CloseReason, ConnId, Datagram, NetApp, TlsRecord};
+use rand::Rng;
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+#[derive(Debug, Clone)]
+enum Step {
+    SendDgram { dst: SocketAddrV4, len: u32, tag: u64 },
+    SendRecord { conn: ConnId, len: u32, tag: u64 },
+    CloseConn { conn: ConnId },
+    InvocationTimeout { command: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct PendingCommand {
+    spec: CommandSpec,
+    spoken_at: SimTime,
+}
+
+/// The Google Home Mini application.
+pub struct GoogleHomeApp {
+    domain: String,
+    /// Probability a command uses QUIC (else TCP).
+    quic_probability: f64,
+    steps: HashMap<u64, Step>,
+    next_token: u64,
+    /// Commands waiting for DNS resolution.
+    awaiting_dns: Vec<PendingCommand>,
+    /// TCP commands waiting for connection establishment.
+    awaiting_conn: HashMap<ConnId, PendingCommand>,
+    /// All invocations, in order.
+    pub invocations: Vec<InvocationRecord>,
+    /// How many commands used QUIC.
+    pub quic_commands: u32,
+    /// How many commands used TCP.
+    pub tcp_commands: u32,
+    by_id: HashMap<u64, usize>,
+}
+
+impl GoogleHomeApp {
+    /// Creates a Mini that resolves `domain` per command and picks QUIC
+    /// with probability `quic_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quic_probability` is outside `[0, 1]`.
+    pub fn new(domain: impl Into<String>, quic_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quic_probability));
+        GoogleHomeApp {
+            domain: domain.into(),
+            quic_probability,
+            steps: HashMap::new(),
+            next_token: 0,
+            awaiting_dns: Vec::new(),
+            awaiting_conn: HashMap::new(),
+            invocations: Vec::new(),
+            quic_commands: 0,
+            tcp_commands: 0,
+            by_id: HashMap::new(),
+        }
+    }
+
+    /// The record of an invocation by id.
+    pub fn invocation(&self, id: u64) -> Option<&InvocationRecord> {
+        self.by_id.get(&id).map(|i| &self.invocations[*i])
+    }
+
+    fn schedule(&mut self, ctx: &mut dyn AppCtx, delay: SimDuration, step: Step) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.steps.insert(token, step);
+        ctx.set_timer(delay, token);
+    }
+
+    /// The user utters a command: resolve the front-end, then stream it.
+    pub fn speak_command(&mut self, ctx: &mut dyn AppCtx, spec: CommandSpec) {
+        let now = ctx.now();
+        let speech = SimDuration::from_secs_f64(spec.words as f64 / SPEECH_WORDS_PER_SECOND);
+        self.by_id.insert(spec.id, self.invocations.len());
+        self.invocations.push(InvocationRecord {
+            id: spec.id,
+            started: now,
+            speech_end: now + speech,
+            first_response: None,
+            outcome: CommandOutcome::Pending,
+        });
+        self.schedule(
+            ctx,
+            speech + SimDuration::from_secs(10),
+            Step::InvocationTimeout { command: spec.id },
+        );
+        self.awaiting_dns.push(PendingCommand {
+            spec,
+            spoken_at: now,
+        });
+        ctx.dns_lookup(&self.domain.clone());
+    }
+
+    /// Emits the command traffic (QUIC datagrams or TCP records) toward the
+    /// resolved front-end.
+    fn stream_command(
+        &mut self,
+        ctx: &mut dyn AppCtx,
+        pending: PendingCommand,
+        target: CommandTarget,
+    ) {
+        let PendingCommand { spec, spoken_at } = pending;
+        let speech = SimDuration::from_secs_f64(spec.words as f64 / SPEECH_WORDS_PER_SECOND);
+        let already_spoken = ctx.now().saturating_since(spoken_at);
+        let remaining_speech = speech.saturating_sub(already_spoken);
+
+        // Activation spike then audio packets until speech ends.
+        let mut t = SimDuration::ZERO;
+        let mut i = 0u64;
+        loop {
+            let len = 600 + ((spec.id * 97 + i * 53) % 700) as u32;
+            let last = t >= remaining_speech;
+            let tag = if last {
+                tags::pack(tags::END_OF_COMMAND_BASE, spec.id, spec.response_parts as u8)
+            } else {
+                tags::VOICE
+            };
+            match target {
+                CommandTarget::Quic(dst) => {
+                    self.schedule(ctx, t, Step::SendDgram { dst, len, tag })
+                }
+                CommandTarget::Tcp(conn) => {
+                    self.schedule(ctx, t, Step::SendRecord { conn, len, tag })
+                }
+            }
+            if last {
+                break;
+            }
+            t += SimDuration::from_millis(200);
+            i += 1;
+        }
+        if let CommandTarget::Tcp(conn) = target {
+            // On-demand session: close a while after the exchange.
+            self.schedule(ctx, t + SimDuration::from_secs(8), Step::CloseConn { conn });
+        }
+    }
+
+    fn record_response(&mut self, now: SimTime, command: u64) {
+        if let Some(idx) = self.by_id.get(&command) {
+            let rec = &mut self.invocations[*idx];
+            if rec.first_response.is_none() {
+                rec.first_response = Some(now);
+            }
+            rec.outcome = CommandOutcome::Executed;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CommandTarget {
+    Quic(SocketAddrV4),
+    Tcp(ConnId),
+}
+
+impl NetApp for GoogleHomeApp {
+    fn on_dns(&mut self, ctx: &mut dyn AppCtx, name: &str, ip: Ipv4Addr) {
+        if name != self.domain || self.awaiting_dns.is_empty() {
+            return;
+        }
+        let pending = self.awaiting_dns.remove(0);
+        let use_quic = ctx.rng().gen_bool(self.quic_probability);
+        if use_quic {
+            self.quic_commands += 1;
+            self.stream_command(ctx, pending, CommandTarget::Quic(SocketAddrV4::new(ip, 443)));
+        } else {
+            self.tcp_commands += 1;
+            let conn = ctx.connect(SocketAddrV4::new(ip, 443));
+            self.awaiting_conn.insert(conn, pending);
+        }
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        if let Some(pending) = self.awaiting_conn.remove(&conn) {
+            self.stream_command(ctx, pending, CommandTarget::Tcp(conn));
+        }
+    }
+
+    fn on_datagram(&mut self, ctx: &mut dyn AppCtx, dgram: Datagram) {
+        if dgram.tag & tags::BASE_MASK == tags::RESPONSE_DIRECTIVE_BASE {
+            let (command, _) = tags::unpack(dgram.tag);
+            self.record_response(ctx.now(), command);
+        }
+    }
+
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, _conn: ConnId, record: TlsRecord) {
+        if record.app_tag & tags::BASE_MASK == tags::RESPONSE_DIRECTIVE_BASE {
+            let (command, _) = tags::unpack(record.app_tag);
+            self.record_response(ctx.now(), command);
+        }
+    }
+
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, conn: ConnId, _reason: CloseReason) {
+        self.awaiting_conn.remove(&conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        let Some(step) = self.steps.remove(&token) else {
+            return;
+        };
+        match step {
+            Step::SendDgram { dst, len, tag } => ctx.send_datagram(dst, len, true, tag),
+            Step::SendRecord { conn, len, tag } => {
+                ctx.send_record(conn, TlsRecord::app_data_tagged(len, tag));
+            }
+            Step::CloseConn { conn } => ctx.close(conn),
+            Step::InvocationTimeout { command } => {
+                if let Some(idx) = self.by_id.get(&command) {
+                    let rec = &mut self.invocations[*idx];
+                    if rec.outcome == CommandOutcome::Pending {
+                        rec.outcome = CommandOutcome::NoResponse;
+                    }
+                }
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

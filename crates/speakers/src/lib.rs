@@ -1,0 +1,46 @@
+//! # speakers — smart-speaker traffic models and cloud endpoints
+//!
+//! VoiceGuard is audio-agnostic: everything it observes is the *traffic
+//! grammar* of the Amazon Echo Dot and Google Home Mini, which the paper
+//! characterises in §IV-B1. This crate reproduces that grammar as
+//! [`netsim::NetApp`] implementations:
+//!
+//! * [`EchoDotApp`] — maintains a long-lived TLS connection to the AVS
+//!   cloud (re-established after failures, sometimes *without* a DNS query
+//!   — the situation that forces signature-based flow re-identification),
+//!   sends a 41-byte heartbeat every 30 s, and emits the two-phase spike
+//!   structure of Fig. 3: a command phase whose first packets carry the
+//!   p-138/p-75 markers (or one of three fixed patterns), followed after an
+//!   idle gap by one response-phase spike per spoken response part, carrying
+//!   the p-77/p-33 markers.
+//! * [`GoogleHomeApp`] — on-demand connections to `www.google.com`,
+//!   switching between QUIC-over-UDP and TCP, with no response-phase spikes.
+//! * [`AvsCloud`] / [`GoogleCloud`] — the corresponding cloud endpoints.
+//! * [`corpus`] — synthetic Alexa/Google command corpora matching the
+//!   length statistics of §V-A2 (320 commands, mean 5.95 words / 443
+//!   commands, mean 7.39 words) used for the user-perceived-delay analysis.
+//!
+//! The connection-establishment signature of the Echo Dot
+//! ([`AVS_CONNECT_SIGNATURE`]) is the 16-length sequence reported in the
+//! paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod command;
+pub mod constants;
+pub mod corpus;
+pub mod echo;
+pub mod ghm;
+pub mod spikes;
+
+pub use cloud::{AvsCloud, GoogleCloud, OtherAmazonCloud};
+pub use command::{CommandOutcome, CommandSpec, InvocationRecord, SpikeLabel, SpikePhase};
+pub use constants::{
+    AVS_CONNECT_SIGNATURE, AVS_DOMAIN, GOOGLE_DOMAIN, HEARTBEAT_INTERVAL_S, HEARTBEAT_LEN,
+    OTHER_AMAZON_SIGNATURES,
+};
+pub use corpus::{Corpus, VoiceCommand, SPEECH_WORDS_PER_SECOND};
+pub use echo::EchoDotApp;
+pub use ghm::GoogleHomeApp;

@@ -1,0 +1,207 @@
+//! Spike-pattern generation: the packet-length grammar of the Echo Dot's
+//! two phases (§IV-B1).
+//!
+//! First-phase (command) spikes usually contain a p-138 or p-75 marker in
+//! the first five packets; when they don't, they follow one of three fixed
+//! patterns whose leading packet is 250–650 bytes. A small residue
+//! (~1.5 %, matching the 2/134 misses in Table I) carries neither — those
+//! spikes are unrecognisable from metadata and become the recognizer's
+//! false negatives.
+//!
+//! Second-phase (response) spikes contain the p-77/p-33 marker pair
+//! sequentially within the first five packets, occasionally shifted to
+//! positions 6–7.
+
+use crate::constants::{
+    PHASE1_FIRST_RANGE, PHASE1_FIXED_PATTERNS, PHASE1_MARKERS, PHASE2_MARKERS,
+};
+use rand::Rng;
+
+/// How a generated phase-1 spike announces itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase1Shape {
+    /// Contains p-138 or p-75 within the first five packets.
+    Marker,
+    /// One of the three fixed patterns.
+    FixedPattern,
+    /// Neither (the rare shape behind Table I's false negatives).
+    Markerless,
+}
+
+/// Probability that a phase-1 spike carries a marker packet.
+pub const P_MARKER: f64 = 0.72;
+/// Probability that a phase-1 spike follows a fixed pattern (given no
+/// marker). The residual ~1.5 % is markerless.
+pub const P_FIXED: f64 = 0.265;
+
+/// Filler packet lengths (voice-stream framing) that never collide with any
+/// marker or pattern component.
+const FILLERS: [u32; 6] = [97, 105, 147, 163, 211, 242];
+
+fn filler<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    FILLERS[rng.gen_range(0..FILLERS.len())]
+}
+
+/// Generates the first packets of a phase-1 (command) spike. Returns the
+/// lengths and the shape that was drawn.
+pub fn phase1_lengths<R: Rng + ?Sized>(rng: &mut R) -> (Vec<u32>, Phase1Shape) {
+    let roll: f64 = rng.gen();
+    if roll < P_MARKER {
+        // Leading packet 250-650 (mode 277), then a marker somewhere in the
+        // first five.
+        let mut lens = vec![lead_packet(rng), 131, filler(rng), filler(rng), filler(rng)];
+        let marker = PHASE1_MARKERS[rng.gen_range(0..PHASE1_MARKERS.len())];
+        let pos = rng.gen_range(1..5);
+        lens[pos] = marker;
+        (lens, Phase1Shape::Marker)
+    } else if roll < P_MARKER + P_FIXED {
+        let pat = PHASE1_FIXED_PATTERNS[rng.gen_range(0..PHASE1_FIXED_PATTERNS.len())];
+        let mut lens = vec![lead_packet(rng)];
+        lens.extend_from_slice(&pat);
+        (lens, Phase1Shape::FixedPattern)
+    } else {
+        // Markerless anomaly: no marker, and the tail deviates from every
+        // fixed pattern.
+        let lens = vec![lead_packet(rng), 131, filler(rng), 109, filler(rng)];
+        (lens, Phase1Shape::Markerless)
+    }
+}
+
+fn lead_packet<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    // Mode at 277 with a spread across the 250-650 range.
+    if rng.gen_bool(0.6) {
+        277
+    } else {
+        rng.gen_range(PHASE1_FIRST_RANGE.0..=PHASE1_FIRST_RANGE.1)
+    }
+}
+
+/// Generates the first packets of a phase-2 (response) spike. The leading
+/// packet stays below 250 bytes so a phase-2 spike can never satisfy the
+/// fixed-pattern rule, preserving the recognizer's 100 % precision.
+pub fn phase2_lengths<R: Rng + ?Sized>(rng: &mut R) -> Vec<u32> {
+    let mut lens = vec![filler(rng), filler(rng), filler(rng), filler(rng), filler(rng)];
+    if rng.gen_bool(0.9) {
+        // Marker pair within the first five packets.
+        let pos = rng.gen_range(0..4);
+        lens[pos] = PHASE2_MARKERS[0];
+        lens[pos + 1] = PHASE2_MARKERS[1];
+    } else {
+        // Marker pair shifted to packets 6 and 7.
+        lens.push(PHASE2_MARKERS[0]);
+        lens.push(PHASE2_MARKERS[1]);
+    }
+    lens
+}
+
+/// Lengths of the voice-audio stream packets between the activation spike
+/// and the end-of-speech burst.
+pub fn voice_stream_packet<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    rng.gen_range(300..900)
+}
+
+/// Lengths of the end-of-speech burst (spike ② in Fig. 3).
+pub fn speech_end_burst<R: Rng + ?Sized>(rng: &mut R) -> Vec<u32> {
+    (0..rng.gen_range(3..6))
+        .map(|_| rng.gen_range(700..1400))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn has_marker(lens: &[u32]) -> bool {
+        lens.iter().take(5).any(|l| PHASE1_MARKERS.contains(l))
+    }
+
+    fn matches_fixed(lens: &[u32]) -> bool {
+        lens.len() >= 5
+            && lens[0] >= PHASE1_FIRST_RANGE.0
+            && lens[0] <= PHASE1_FIRST_RANGE.1
+            && PHASE1_FIXED_PATTERNS.iter().any(|p| &lens[1..5] == p)
+    }
+
+    #[test]
+    fn marker_spikes_contain_marker() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let (lens, shape) = phase1_lengths(&mut r);
+            match shape {
+                Phase1Shape::Marker => assert!(has_marker(&lens), "{lens:?}"),
+                Phase1Shape::FixedPattern => {
+                    assert!(matches_fixed(&lens), "{lens:?}");
+                    assert!(!has_marker(&lens), "{lens:?}");
+                }
+                Phase1Shape::Markerless => {
+                    assert!(!has_marker(&lens), "{lens:?}");
+                    assert!(!matches_fixed(&lens), "{lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_frequencies_are_plausible() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        let n = 10_000;
+        for _ in 0..n {
+            let (_, shape) = phase1_lengths(&mut r);
+            counts[match shape {
+                Phase1Shape::Marker => 0,
+                Phase1Shape::FixedPattern => 1,
+                Phase1Shape::Markerless => 2,
+            }] += 1;
+        }
+        let markerless_rate = counts[2] as f64 / n as f64;
+        assert!(
+            (markerless_rate - 0.015).abs() < 0.006,
+            "markerless rate {markerless_rate} should be near Table I's 2/134"
+        );
+        assert!(counts[0] > counts[1]);
+    }
+
+    #[test]
+    fn phase2_contains_sequential_markers_within_seven() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let lens = phase2_lengths(&mut r);
+            let pos = lens
+                .iter()
+                .position(|l| *l == PHASE2_MARKERS[0])
+                .expect("p-77 present");
+            assert!(pos + 1 < lens.len());
+            assert_eq!(lens[pos + 1], PHASE2_MARKERS[1], "{lens:?}");
+            assert!(pos + 2 <= 7, "markers within the first seven packets");
+        }
+    }
+
+    #[test]
+    fn phase2_never_looks_like_phase1() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let lens = phase2_lengths(&mut r);
+            assert!(!has_marker(&lens), "{lens:?}");
+            assert!(!matches_fixed(&lens), "{lens:?}");
+            assert!(lens[0] < PHASE1_FIRST_RANGE.0);
+        }
+    }
+
+    #[test]
+    fn stream_and_burst_ranges() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = voice_stream_packet(&mut r);
+            assert!((300..900).contains(&v));
+            let burst = speech_end_burst(&mut r);
+            assert!((3..6).contains(&burst.len()));
+            assert!(burst.iter().all(|l| (700..1400).contains(l)));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The second testbed: a single-floor two-bedroom apartment (paper
+//! Figs. 8b, 9b; Table III).
+//!
+//! Location numbering:
+//!
+//! | ids   | where                         |
+//! |-------|-------------------------------|
+//! | 1–15  | living room (speaker dep. 1)  |
+//! | 16–23 | kitchen                       |
+//! | 24–27 | bathroom                      |
+//! | 28–42 | bedroom A (speaker dep. 2)    |
+//! | 43–54 | bedroom B                     |
+
+use crate::testbed::{grid, MeasurementLocation, Testbed, Zone};
+use rfsim::{Floorplan, Material, Point, Rect, Segment2};
+
+
+fn plan() -> Floorplan {
+    let mut b = Floorplan::builder("two-bedroom apartment");
+
+    b.room("living room", Rect::new(0.0, 0.0, 5.0, 5.0), 0);
+    b.room("kitchen", Rect::new(5.0, 0.0, 9.0, 3.0), 0);
+    b.room("bathroom", Rect::new(9.0, 0.0, 12.0, 3.0), 0);
+    b.room("bedroom A", Rect::new(5.0, 3.0, 12.0, 8.0), 0);
+    b.room("bedroom B", Rect::new(0.0, 5.0, 5.0, 8.0), 0);
+
+    // Exterior shell.
+    b.wall_of(Segment2::new(0.0, 0.0, 12.0, 0.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(12.0, 0.0, 12.0, 8.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(0.0, 8.0, 12.0, 8.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(0.0, 0.0, 0.0, 8.0), 0, Material::Brick);
+
+    // x = 5 wall: kitchen door (y 1.2..2.0) and bedroom A door (y 3.5..4.3).
+    b.wall(Segment2::new(5.0, 0.0, 5.0, 1.2), 0);
+    b.wall(Segment2::new(5.0, 2.0, 5.0, 3.5), 0);
+    b.wall(Segment2::new(5.0, 4.3, 5.0, 8.0), 0);
+    // y = 5 wall between living room and bedroom B, door at the far corner
+    // (x 4.3..5.0) so no survey point has line of sight through it.
+    b.wall(Segment2::new(0.0, 5.0, 4.3, 5.0), 0);
+    // y = 3 wall under bedroom A, door x 6.0..6.8.
+    b.wall(Segment2::new(5.0, 3.0, 6.0, 3.0), 0);
+    b.wall(Segment2::new(6.8, 3.0, 12.0, 3.0), 0);
+    // Bathroom wall x = 9, door y 1.0..1.8.
+    b.wall(Segment2::new(9.0, 0.0, 9.0, 1.0), 0);
+    b.wall(Segment2::new(9.0, 1.8, 9.0, 3.0), 0);
+
+    b.build()
+}
+
+/// Builds the two-bedroom apartment testbed.
+pub fn apartment() -> Testbed {
+    let plan = plan();
+    let mut locations: Vec<MeasurementLocation> = Vec::with_capacity(54);
+    let mut next = 1u32;
+    // #1-15 living room, 5 x 3.
+    next = grid(&mut locations, next, 0.0, 0.0, 5.0, 5.0, 0, 5, 3);
+    // #16-23 kitchen, 4 x 2.
+    next = grid(&mut locations, next, 5.0, 0.0, 9.0, 3.0, 0, 4, 2);
+    // #24-27 bathroom, 2 x 2.
+    next = grid(&mut locations, next, 9.0, 0.0, 12.0, 3.0, 0, 2, 2);
+    // #28-42 bedroom A, 5 x 3.
+    next = grid(&mut locations, next, 5.0, 3.0, 12.0, 8.0, 0, 5, 3);
+    // #43-54 bedroom B, 4 x 3.
+    next = grid(&mut locations, next, 0.0, 5.0, 5.0, 8.0, 0, 4, 3);
+    debug_assert_eq!(next, 55);
+
+    let living = plan.room_by_name("living room").expect("living room");
+    let bedroom_a = plan.room_by_name("bedroom A").expect("bedroom A");
+
+    Testbed {
+        name: "two-bedroom apartment",
+        deployments: [Point::new(1.2, 2.5, 0), Point::new(9.0, 5.5, 0)],
+        speaker_rooms: [living, bedroom_a],
+        paper_thresholds: [-6.0, -6.0],
+        legit_zones: [
+            Zone {
+                rect: plan.room(living).rect,
+                floor: 0,
+            },
+            Zone {
+                rect: plan.room(bedroom_a).rect,
+                floor: 0,
+            },
+        ],
+        plan,
+        locations,
+        stair_motion_sensor: None,
+        routes: Vec::new(),
+        outside: Point::new(-6.0, -6.0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim::{BleChannel, PropagationConfig};
+
+    #[test]
+    fn has_54_locations() {
+        assert_eq!(apartment().locations.len(), 54);
+    }
+
+    #[test]
+    fn living_room_above_threshold_for_first_deployment() {
+        let tb = apartment();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for id in 1..=15u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi >= -6.5, "living #{id} reads {rssi:.1}");
+        }
+    }
+
+    #[test]
+    fn bedroom_a_above_threshold_for_second_deployment() {
+        let tb = apartment();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[1],
+        );
+        for id in 28..=42u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi >= -7.5, "bedroom A #{id} reads {rssi:.1}");
+        }
+    }
+
+    #[test]
+    fn other_rooms_below_threshold() {
+        let tb = apartment();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        // Bathroom and the far side of bedroom A are well outside.
+        for id in 24..=27u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi < -8.0, "bathroom #{id} reads {rssi:.1}");
+        }
+        for id in 43..=54u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi < -6.0, "bedroom B #{id} reads {rssi:.1}");
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The first testbed: a two-floor house (paper Figs. 8a, 9a, 10;
+//! Table II).
+//!
+//! Ground floor: living room (speaker deployment 1), kitchen, restroom and
+//! a hallway containing the staircase with its motion sensor (speaker
+//! deployment 2 is in the restroom, near the stairs). First floor: a
+//! nursery **directly above deployment 1** (the ceiling-leak hotspot at
+//! locations #55, #56, #59–62), a master bedroom, a landing hall and a
+//! bathroom.
+//!
+//! Location numbering matches the structure of Fig. 8a:
+//!
+//! | ids      | where                     |
+//! |----------|---------------------------|
+//! | 1–24     | living room (6 × 4 grid)  |
+//! | 25–27    | hallway, line-of-sight through the living-room door |
+//! | 28–35    | kitchen                   |
+//! | 36–41    | restroom                  |
+//! | 42–48    | staircase ascent          |
+//! | 49–54    | first-floor landing       |
+//! | 55–62    | nursery (above speaker)   |
+//! | 63–74    | master bedroom            |
+//! | 75–78    | first-floor bathroom      |
+
+use crate::testbed::{grid, MeasurementLocation, Route, RouteKind, Testbed, Zone};
+use rfsim::{Floorplan, Material, Point, Rect, Segment2};
+
+
+fn plan() -> Floorplan {
+    let mut b = Floorplan::builder("two-floor house");
+
+    // Ground floor rooms.
+    b.room("living room", Rect::new(0.0, 0.0, 6.0, 5.0), 0);
+    b.room("kitchen", Rect::new(6.0, 0.0, 12.0, 4.0), 0);
+    b.room("restroom", Rect::new(6.0, 4.0, 12.0, 8.0), 0);
+    b.room("hallway", Rect::new(0.0, 5.0, 6.0, 8.0), 0);
+
+    // First floor rooms.
+    b.room("nursery", Rect::new(0.0, 0.0, 3.5, 5.0), 1);
+    b.room("master bedroom", Rect::new(3.5, 0.0, 12.0, 5.0), 1);
+    b.room("landing", Rect::new(0.0, 5.0, 9.0, 8.0), 1);
+    b.room("bathroom", Rect::new(9.0, 5.0, 12.0, 8.0), 1);
+
+    for floor in [0, 1] {
+        // Exterior walls.
+        b.wall_of(Segment2::new(0.0, 0.0, 12.0, 0.0), floor, Material::Brick);
+        b.wall_of(Segment2::new(12.0, 0.0, 12.0, 8.0), floor, Material::Brick);
+        b.wall_of(Segment2::new(0.0, 8.0, 12.0, 8.0), floor, Material::Brick);
+        b.wall_of(Segment2::new(0.0, 0.0, 0.0, 8.0), floor, Material::Brick);
+    }
+
+    // Ground-floor interior walls. The living-room/hallway wall has a wide
+    // doorway (x in 0.8..2.8) giving the hallway spots #25-27 line of sight.
+    b.wall(Segment2::new(0.0, 5.0, 0.8, 5.0), 0);
+    b.wall(Segment2::new(2.8, 5.0, 6.0, 5.0), 0);
+    // North-south dividing wall at x = 6 with the kitchen door (y 1.0..2.0)
+    // and the restroom door (y 5.5..6.5).
+    b.wall(Segment2::new(6.0, 0.0, 6.0, 1.0), 0);
+    b.wall(Segment2::new(6.0, 2.0, 6.0, 5.5), 0);
+    b.wall(Segment2::new(6.0, 6.5, 6.0, 8.0), 0);
+    // Kitchen/restroom wall with a door (x 10.5..11.5).
+    b.wall(Segment2::new(6.0, 4.0, 10.5, 4.0), 0);
+    b.wall(Segment2::new(11.5, 4.0, 12.0, 4.0), 0);
+
+    // First-floor interior walls.
+    b.wall(Segment2::new(3.5, 0.0, 3.5, 2.0), 1);
+    b.wall(Segment2::new(3.5, 3.0, 3.5, 5.0), 1);
+    b.wall(Segment2::new(0.0, 5.0, 1.0, 5.0), 1);
+    b.wall(Segment2::new(2.0, 5.0, 6.0, 5.0), 1);
+    b.wall(Segment2::new(7.0, 5.0, 12.0, 5.0), 1);
+    b.wall(Segment2::new(9.0, 5.0, 9.0, 6.0), 1);
+    b.wall(Segment2::new(9.0, 6.7, 9.0, 8.0), 1);
+
+    // The staircase occupies part of the hallway / landing.
+    b.stair(Rect::new(2.6, 5.5, 4.3, 8.0), 0);
+
+    b.build()
+}
+
+/// Stair-ascent locations #42–48 (floor switches between #45 and #46).
+fn stair_points() -> Vec<Point> {
+    vec![
+        Point::new(3.0, 5.7, 0),
+        Point::new(3.2, 6.1, 0),
+        Point::new(3.4, 6.5, 0),
+        Point::new(3.6, 6.9, 0),
+        Point::new(3.7, 7.2, 1),
+        Point::new(3.8, 7.5, 1),
+        Point::new(3.9, 7.7, 1),
+    ]
+}
+
+/// Builds the two-floor house testbed.
+pub fn two_floor_house() -> Testbed {
+    let plan = plan();
+    let mut locations: Vec<MeasurementLocation> = Vec::with_capacity(78);
+    let mut next = 1u32;
+
+    // #1-24 living room, 6 x 4.
+    next = grid(&mut locations, next, 0.0, 0.0, 6.0, 5.0, 0, 6, 4);
+    // #25-27 hallway line-of-sight spots near the living-room doorway.
+    for p in [
+        Point::new(1.0, 5.6, 0),
+        Point::new(1.6, 6.3, 0),
+        Point::new(2.1, 5.8, 0),
+    ] {
+        locations.push(MeasurementLocation { id: next, point: p });
+        next += 1;
+    }
+    // #28-35 kitchen, 4 x 2.
+    next = grid(&mut locations, next, 6.0, 0.0, 12.0, 4.0, 0, 4, 2);
+    // #36-41 restroom, 3 x 2.
+    next = grid(&mut locations, next, 6.0, 4.0, 12.0, 8.0, 0, 3, 2);
+    // #42-48 staircase.
+    for p in stair_points() {
+        locations.push(MeasurementLocation { id: next, point: p });
+        next += 1;
+    }
+    // #49-54 landing, 3 x 2 (kept clear of the stair region).
+    next = grid(&mut locations, next, 4.8, 5.0, 9.0, 8.0, 1, 3, 2);
+    // #55-62 nursery: hand-placed so that exactly #55, #56 and #59-62 fall
+    // inside the ceiling-leak cone of deployment 1, matching Fig. 8a.
+    for p in [
+        Point::new(0.6, 1.8, 1),
+        Point::new(1.5, 2.2, 1),
+        Point::new(3.1, 0.7, 1),
+        Point::new(3.1, 4.4, 1),
+        Point::new(0.7, 3.1, 1),
+        Point::new(1.6, 3.4, 1),
+        Point::new(2.3, 2.0, 1),
+        Point::new(2.6, 3.0, 1),
+    ] {
+        locations.push(MeasurementLocation { id: next, point: p });
+        next += 1;
+    }
+    // #63-74 master bedroom, 4 x 3.
+    next = grid(&mut locations, next, 3.5, 0.0, 12.0, 5.0, 1, 4, 3);
+    // #75-78 bathroom, 2 x 2.
+    next = grid(&mut locations, next, 9.0, 5.0, 12.0, 8.0, 1, 2, 2);
+    debug_assert_eq!(next, 79);
+
+    let living = plan.room_by_name("living room").expect("living room");
+    let kitchen = plan.room_by_name("kitchen").expect("kitchen");
+    let restroom = plan.room_by_name("restroom").expect("restroom");
+    let nursery = plan.room_by_name("nursery").expect("nursery");
+    let master = plan.room_by_name("master bedroom").expect("master");
+
+    // Deployment 2 sits in the restroom, close enough to the staircase
+    // that stair walks still produce steep RSSI trends (the floor-tracker
+    // method needs the speaker within Bluetooth "slope range" of the
+    // stairs at both locations).
+    let deployments = [Point::new(1.0, 2.5, 0), Point::new(7.0, 6.6, 0)];
+
+    // Routes for the floor tracker (§V-B2, Fig. 10).
+    let stair = stair_points();
+    let mut routes = Vec::new();
+    routes.push(Route {
+        kind: RouteKind::Up,
+        waypoints: stair.clone(),
+        duration_s: 8.0,
+    });
+    routes.push(Route {
+        kind: RouteKind::Down,
+        waypoints: stair.iter().rev().copied().collect(),
+        duration_s: 8.0,
+    });
+    for room in [kitchen, living, restroom, nursery, master] {
+        routes.push(Route {
+            kind: RouteKind::InRoom(room),
+            waypoints: Vec::new(), // sampled inside the room at run time
+            duration_s: 8.0,
+        });
+    }
+    // Route 2: living room #21 toward the restroom #37 — RSSI falls like Up.
+    routes.push(Route {
+        kind: RouteKind::Route2,
+        waypoints: vec![
+            Point::new(2.52, 4.5, 0),
+            Point::new(4.2, 4.5, 0),
+            Point::new(6.2, 4.6, 0),
+            Point::new(9.0, 4.4, 0),
+        ],
+        duration_s: 8.0,
+    });
+    // Route 3: stair top #48 into the nursery leak cone #59 — rises like
+    // Down.
+    routes.push(Route {
+        kind: RouteKind::Route3,
+        waypoints: vec![
+            Point::new(3.9, 7.7, 1),
+            Point::new(1.5, 6.0, 1),
+            Point::new(1.5, 5.0, 1),
+            Point::new(0.7, 3.1, 1),
+        ],
+        duration_s: 8.0,
+    });
+
+    Testbed {
+        name: "two-floor house",
+        deployments,
+        speaker_rooms: [living, restroom],
+        paper_thresholds: [-8.0, -7.0],
+        legit_zones: [
+            Zone {
+                rect: plan.room(living).rect,
+                floor: 0,
+            },
+            Zone {
+                rect: plan.room(restroom).rect,
+                floor: 0,
+            },
+        ],
+        plan,
+        locations,
+        stair_motion_sensor: Some(Point::new(3.0, 5.6, 0)),
+        routes,
+        outside: Point::new(-6.0, -6.0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim::{BleChannel, PropagationConfig};
+
+    #[test]
+    fn has_78_locations() {
+        assert_eq!(two_floor_house().locations.len(), 78);
+    }
+
+    #[test]
+    fn living_room_ids_are_1_to_24() {
+        let tb = two_floor_house();
+        let living = tb.plan.room_by_name("living room").unwrap();
+        let ids = tb.location_ids_in_room(living);
+        assert_eq!(ids, (1..=24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nursery_hotspot_matches_paper_exceptions() {
+        // Locations #55, #56 and #59-62 must read above the -8 dB threshold
+        // even though they are upstairs; #57 and #58 must not.
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for id in [55u32, 56, 59, 60, 61, 62] {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(
+                rssi > -8.0,
+                "location #{id} should sit in the leak cone, got {rssi:.1}"
+            );
+        }
+        for id in [57u32, 58] {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(
+                rssi < -8.0,
+                "location #{id} should fall outside the cone, got {rssi:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn living_room_locations_are_above_threshold() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for id in 1..=24u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi >= -8.0, "living room #{id} reads {rssi:.1}");
+        }
+    }
+
+    #[test]
+    fn hallway_los_spots_read_high() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for id in [25u32, 26, 27] {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(
+                rssi > -8.0,
+                "line-of-sight spot #{id} should read high, got {rssi:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn kitchen_and_restroom_are_below_threshold() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for id in 28..=41u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi < -8.0, "other-room #{id} reads {rssi:.1}");
+        }
+    }
+
+    #[test]
+    fn up_route_trace_falls_and_down_rises() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        let up: Vec<f64> = tb.routes_of_kind(RouteKind::Up)[0]
+            .waypoints
+            .iter()
+            .map(|p| ch.mean_rssi(*p))
+            .collect();
+        assert!(
+            up.first().unwrap() - up.last().unwrap() > 8.0,
+            "Up route must lose many dB: {up:?}"
+        );
+        let down: Vec<f64> = tb.routes_of_kind(RouteKind::Down)[0]
+            .waypoints
+            .iter()
+            .map(|p| ch.mean_rssi(*p))
+            .collect();
+        assert!(down.last().unwrap() - down.first().unwrap() > 8.0);
+    }
+
+    #[test]
+    fn stair_points_are_in_stairwell() {
+        let tb = two_floor_house();
+        for p in stair_points() {
+            assert!(tb.plan.in_stairwell(p), "{p} should be in the stairwell");
+        }
+    }
+
+    #[test]
+    fn outside_point_is_far_and_low() {
+        let tb = two_floor_house();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        assert!(ch.mean_rssi(tb.outside) < -15.0);
+        assert!(tb.plan.room_at(tb.outside).is_none());
+    }
+}

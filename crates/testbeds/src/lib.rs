@@ -1,0 +1,101 @@
+//! # testbeds — the paper's three real-world testbeds as floorplans
+//!
+//! VoiceGuard's evaluation (paper §V-B) runs in three environments, each
+//! with two speaker deployment locations:
+//!
+//! 1. [`two_floor_house`] — Fig. 8a/9a. 78 measurement locations across two
+//!    floors, a stairway with a motion sensor, and the "room directly above
+//!    the speaker" whose ceiling-leak hotspot (locations #55, #56, #59–62)
+//!    motivates the floor-level tracker.
+//! 2. [`apartment`] — Fig. 8b/9b. A single-floor two-bedroom apartment with
+//!    54 measurement locations.
+//! 3. [`office`] — Fig. 8c/9c. A large office with 70 measurement
+//!    locations, evaluated with a smartwatch.
+//!
+//! Each [`Testbed`] also defines the five route families of §V-B2 / Fig. 10
+//! (Up, Down, in-room Route 1, and the confusable Routes 2 and 3) so the
+//! floor-tracker experiments can replay them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apartment;
+mod house;
+mod office;
+mod testbed;
+
+pub use apartment::apartment;
+pub use house::two_floor_house;
+pub use office::office;
+pub use testbed::{MeasurementLocation, Route, RouteKind, Testbed, Zone};
+
+/// All three testbeds in paper order.
+pub fn all() -> Vec<Testbed> {
+    vec![two_floor_house(), apartment(), office()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_counts_match_paper() {
+        assert_eq!(two_floor_house().locations.len(), 78, "Fig. 8a has 78");
+        assert_eq!(apartment().locations.len(), 54, "Fig. 8b has 54");
+        assert_eq!(office().locations.len(), 70, "Fig. 8c has 70");
+    }
+
+    #[test]
+    fn all_returns_three() {
+        let t = all();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].name, "two-floor house");
+        assert_eq!(t[1].name, "two-bedroom apartment");
+        assert_eq!(t[2].name, "office");
+    }
+
+    #[test]
+    fn ids_are_one_based_and_contiguous() {
+        for tb in all() {
+            for (i, loc) in tb.locations.iter().enumerate() {
+                assert_eq!(loc.id as usize, i + 1, "{}", tb.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_location_is_inside_a_room() {
+        for tb in all() {
+            for loc in &tb.locations {
+                assert!(
+                    tb.plan.room_at(loc.point).is_some(),
+                    "{} location #{} at {} is outside every room",
+                    tb.name,
+                    loc.id,
+                    loc.point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deployments_are_inside_their_rooms() {
+        for tb in all() {
+            for (d, point) in tb.deployments.iter().enumerate() {
+                let room = tb.plan.room_at(*point).unwrap_or_else(|| {
+                    panic!("{} deployment {d} is outside every room", tb.name)
+                });
+                assert_eq!(room, tb.speaker_rooms[d], "{} deployment {d}", tb.name);
+            }
+        }
+    }
+
+    #[test]
+    fn only_the_house_has_stairs_and_routes() {
+        let house = two_floor_house();
+        assert!(house.stair_motion_sensor.is_some());
+        assert!(!house.routes.is_empty());
+        assert!(apartment().stair_motion_sensor.is_none());
+        assert!(office().stair_motion_sensor.is_none());
+    }
+}

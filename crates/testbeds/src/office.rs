@@ -1,0 +1,152 @@
+//! The third testbed: a large office (paper Figs. 8c, 9c; Table IV),
+//! evaluated with a smartwatch instead of a phone.
+//!
+//! The open-plan area is too large for its whole footprint to read above a
+//! threshold, so the paper marks a "red box" legitimate area around each
+//! deployment; we model the same zones.
+//!
+//! Location numbering:
+//!
+//! | ids   | where                             |
+//! |-------|-----------------------------------|
+//! | 1–40  | open-plan area (speaker dep. 1)   |
+//! | 41–55 | meeting room (speaker dep. 2)     |
+//! | 56–70 | lounge                            |
+
+use crate::testbed::{grid, MeasurementLocation, Testbed, Zone};
+use rfsim::{Floorplan, Material, Point, Rect, Segment2};
+
+
+fn plan() -> Floorplan {
+    let mut b = Floorplan::builder("office");
+
+    b.room("open plan", Rect::new(0.0, 0.0, 10.0, 10.0), 0);
+    b.room("meeting room", Rect::new(10.0, 0.0, 16.0, 5.0), 0);
+    b.room("lounge", Rect::new(10.0, 5.0, 16.0, 10.0), 0);
+
+    b.wall_of(Segment2::new(0.0, 0.0, 16.0, 0.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(16.0, 0.0, 16.0, 10.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(0.0, 10.0, 16.0, 10.0), 0, Material::Brick);
+    b.wall_of(Segment2::new(0.0, 0.0, 0.0, 10.0), 0, Material::Brick);
+
+    // x = 10 partition: meeting-room door (y 2.2..3.0), lounge door
+    // (y 7.0..7.8).
+    b.wall_of(Segment2::new(10.0, 0.0, 10.0, 2.2), 0, Material::Glass);
+    b.wall_of(Segment2::new(10.0, 3.0, 10.0, 7.0), 0, Material::Glass);
+    b.wall_of(Segment2::new(10.0, 7.8, 10.0, 10.0), 0, Material::Glass);
+    // y = 5 partition between meeting room and lounge, door at the corner
+    // (x 10.1..10.9) so no lounge survey point has line of sight to the
+    // meeting-room speaker.
+    b.wall_of(Segment2::new(10.9, 5.0, 16.0, 5.0), 0, Material::Glass);
+
+    b.build()
+}
+
+/// Builds the office testbed.
+pub fn office() -> Testbed {
+    let plan = plan();
+    let mut locations: Vec<MeasurementLocation> = Vec::with_capacity(70);
+    let mut next = 1u32;
+    // #1-40 open plan, 5 x 8.
+    next = grid(&mut locations, next, 0.0, 0.0, 10.0, 10.0, 0, 5, 8);
+    // #41-55 meeting room, 5 x 3.
+    next = grid(&mut locations, next, 10.0, 0.0, 16.0, 5.0, 0, 5, 3);
+    // #56-70 lounge, 5 x 3.
+    next = grid(&mut locations, next, 10.0, 5.0, 16.0, 10.0, 0, 5, 3);
+    debug_assert_eq!(next, 71);
+
+    let open = plan.room_by_name("open plan").expect("open plan");
+    let meeting = plan.room_by_name("meeting room").expect("meeting room");
+
+    Testbed {
+        name: "office",
+        deployments: [Point::new(2.0, 5.0, 0), Point::new(13.0, 2.5, 0)],
+        speaker_rooms: [open, meeting],
+        paper_thresholds: [-6.0, -5.0],
+        legit_zones: [
+            // The paper's red box: a working area around deployment 1, not
+            // the whole open-plan floor.
+            Zone {
+                rect: Rect::new(0.0, 2.0, 6.0, 8.0),
+                floor: 0,
+            },
+            Zone {
+                rect: plan.room(meeting).rect,
+                floor: 0,
+            },
+        ],
+        plan,
+        locations,
+        stair_motion_sensor: None,
+        routes: Vec::new(),
+        outside: Point::new(-6.0, -6.0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim::{BleChannel, PropagationConfig};
+
+    #[test]
+    fn has_70_locations() {
+        assert_eq!(office().locations.len(), 70);
+    }
+
+    #[test]
+    fn red_box_reads_above_threshold() {
+        let tb = office();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        for loc in &tb.locations {
+            if tb.legit_zones[0].contains(loc.point) {
+                let rssi = ch.mean_rssi(loc.point);
+                assert!(rssi >= -6.8, "red-box #{} reads {rssi:.1}", loc.id);
+            }
+        }
+    }
+
+    #[test]
+    fn far_corner_of_open_plan_is_below_threshold() {
+        let tb = office();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[0],
+        );
+        // Location #5 is the far bottom-right corner of the open area.
+        let rssi = ch.mean_rssi(tb.location(5));
+        assert!(rssi < -6.0, "far corner reads {rssi:.1}");
+    }
+
+    #[test]
+    fn meeting_room_above_threshold_for_second_deployment() {
+        let tb = office();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[1],
+        );
+        for id in 41..=55u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi >= -5.8, "meeting #{id} reads {rssi:.1}");
+        }
+    }
+
+    #[test]
+    fn lounge_is_below_meeting_threshold() {
+        let tb = office();
+        let ch = BleChannel::new(
+            PropagationConfig::noiseless(),
+            tb.plan.clone(),
+            tb.deployments[1],
+        );
+        for id in 56..=70u32 {
+            let rssi = ch.mean_rssi(tb.location(id));
+            assert!(rssi < -5.0, "lounge #{id} reads {rssi:.1}");
+        }
+    }
+}

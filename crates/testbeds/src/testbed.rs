@@ -1,0 +1,218 @@
+//! Common testbed types.
+
+use rfsim::{Floorplan, Point, RoomId};
+use serde::{Deserialize, Serialize};
+
+/// One numbered measurement location (the paper numbers them 1..N per
+/// testbed; see Figs. 8–9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementLocation {
+    /// 1-based location number as printed in the figures.
+    pub id: u32,
+    /// Position of the location.
+    pub point: Point,
+}
+
+/// The route families of §V-B2 used to train/evaluate the floor-level
+/// tracker (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// Going upstairs (locations #42 → #48 in the house).
+    Up,
+    /// Going downstairs (#48 → #42).
+    Down,
+    /// Route 1: random movement within one room.
+    InRoom(RoomId),
+    /// Route 2: same-floor walk (#21 → #37) whose RSSI trace resembles Up.
+    Route2,
+    /// Route 3: upstairs walk (#48 → #59, into the leak cone) whose RSSI
+    /// trace resembles Down.
+    Route3,
+}
+
+/// A concrete walkable route: waypoints traversed at constant pace over
+/// `duration_s` seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Which family this route belongs to.
+    pub kind: RouteKind,
+    /// Waypoints, in walking order.
+    pub waypoints: Vec<Point>,
+    /// Nominal traversal time in seconds (the paper's stair walk takes
+    /// about 8 s).
+    pub duration_s: f64,
+}
+
+/// A rectangular zone on one floor; used for the "legitimate area" around a
+/// speaker (the paper's red box in Fig. 8c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Footprint of the zone.
+    pub rect: rfsim::Rect,
+    /// Floor of the zone.
+    pub floor: i32,
+}
+
+impl Zone {
+    /// True if `p` lies inside the zone.
+    pub fn contains(&self, p: Point) -> bool {
+        p.floor == self.floor && self.rect.contains(p.x, p.y)
+    }
+
+    /// A point drawn uniformly from the zone.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        self.sample_inset(rng, 0.0)
+    }
+
+    /// A point drawn uniformly from the zone, inset from its edges (people
+    /// rarely stand flush against a wall; the calibration walk also runs
+    /// slightly inside the walls).
+    pub fn sample_inset<R: rand::Rng + ?Sized>(&self, rng: &mut R, inset: f64) -> Point {
+        let ix = inset.min((self.rect.x1 - self.rect.x0) / 2.0 - 0.05);
+        let iy = inset.min((self.rect.y1 - self.rect.y0) / 2.0 - 0.05);
+        Point::new(
+            rng.gen_range(self.rect.x0 + ix..=self.rect.x1 - ix),
+            rng.gen_range(self.rect.y0 + iy..=self.rect.y1 - iy),
+            self.floor,
+        )
+    }
+}
+
+/// A complete testbed: the floorplan, the two speaker deployment locations,
+/// the numbered measurement grid and (for the house) the stair
+/// infrastructure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Testbed {
+    /// Testbed name as referred to in the paper.
+    pub name: &'static str,
+    /// The building.
+    pub plan: Floorplan,
+    /// The two speaker deployment locations ("1st" and "2nd" in Tables
+    /// II–IV).
+    pub deployments: [Point; 2],
+    /// The room each deployment sits in (commands from this room are the
+    /// legitimate zone).
+    pub speaker_rooms: [RoomId; 2],
+    /// Paper-reported RSSI threshold for each deployment (dB); our
+    /// calibration app should land near these.
+    pub paper_thresholds: [f64; 2],
+    /// The legitimate command zone for each deployment — the speaker's room,
+    /// or the paper's red-box area in the open-plan office.
+    pub legit_zones: [Zone; 2],
+    /// Numbered measurement locations.
+    pub locations: Vec<MeasurementLocation>,
+    /// Stair motion sensor position, if the testbed has stairs.
+    pub stair_motion_sensor: Option<Point>,
+    /// Routes for the floor-tracker experiments (empty when no stairs).
+    pub routes: Vec<Route>,
+    /// A point well outside the building (owners sometimes leave).
+    pub outside: Point,
+}
+
+impl Testbed {
+    /// Looks up a measurement location by its 1-based id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn location(&self, id: u32) -> Point {
+        self.locations
+            .iter()
+            .find(|l| l.id == id)
+            .unwrap_or_else(|| panic!("{}: no location #{id}", self.name))
+            .point
+    }
+
+    /// All location ids lying in the given room.
+    pub fn location_ids_in_room(&self, room: RoomId) -> Vec<u32> {
+        self.locations
+            .iter()
+            .filter(|l| self.plan.room_at(l.point) == Some(room))
+            .map(|l| l.id)
+            .collect()
+    }
+
+    /// The routes of a given kind.
+    pub fn routes_of_kind(&self, kind: RouteKind) -> Vec<&Route> {
+        self.routes.iter().filter(|r| r.kind == kind).collect()
+    }
+}
+
+/// Lays a `cols x rows` grid of locations inside the rectangle
+/// `(x0, y0)..(x1, y1)` on `floor`, inset from the edges, appending to
+/// `out` with ids continuing from `next_id`. Returns the next free id.
+///
+/// Grid order is row-major from low y to high y, matching the paper's
+/// room-by-room numbering.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grid(
+    out: &mut Vec<MeasurementLocation>,
+    mut next_id: u32,
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    floor: i32,
+    cols: usize,
+    rows: usize,
+) -> u32 {
+    assert!(cols > 0 && rows > 0, "grid needs at least one cell");
+    let inset_x = (x1 - x0) * 0.1;
+    let inset_y = (y1 - y0) * 0.1;
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = if cols == 1 {
+                (x0 + x1) / 2.0
+            } else {
+                x0 + inset_x + (x1 - x0 - 2.0 * inset_x) * c as f64 / (cols - 1) as f64
+            };
+            let y = if rows == 1 {
+                (y0 + y1) / 2.0
+            } else {
+                y0 + inset_y + (y1 - y0 - 2.0 * inset_y) * r as f64 / (rows - 1) as f64
+            };
+            out.push(MeasurementLocation {
+                id: next_id,
+                point: Point::new(x, y, floor),
+            });
+            next_id += 1;
+        }
+    }
+    next_id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_generates_expected_count_and_order() {
+        let mut out = Vec::new();
+        let next = grid(&mut out, 1, 0.0, 0.0, 10.0, 10.0, 0, 3, 2);
+        assert_eq!(next, 7);
+        assert_eq!(out.len(), 6);
+        // Row-major: first three share the low y.
+        assert!(out[0].point.y == out[1].point.y && out[1].point.y == out[2].point.y);
+        assert!(out[3].point.y > out[0].point.y);
+        assert!(out[0].point.x < out[1].point.x);
+    }
+
+    #[test]
+    fn grid_single_cell_centers() {
+        let mut out = Vec::new();
+        grid(&mut out, 1, 0.0, 0.0, 4.0, 6.0, 2, 1, 1);
+        assert_eq!(out[0].point.x, 2.0);
+        assert_eq!(out[0].point.y, 3.0);
+        assert_eq!(out[0].point.floor, 2);
+    }
+
+    #[test]
+    fn grid_points_stay_inside() {
+        let mut out = Vec::new();
+        grid(&mut out, 1, 1.0, 2.0, 5.0, 8.0, 0, 4, 4);
+        for l in &out {
+            assert!(l.point.x > 1.0 && l.point.x < 5.0);
+            assert!(l.point.y > 2.0 && l.point.y < 8.0);
+        }
+    }
+}

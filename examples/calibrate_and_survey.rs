@@ -1,0 +1,75 @@
+//! The threshold-calibration app and a full RSSI site survey.
+//!
+//! Walks the calibration route in each testbed (deriving the threshold the
+//! way the paper's one-button app does), then surveys every numbered
+//! measurement location and prints a per-room summary like Figs. 8-9.
+//!
+//! Run with: `cargo run --example calibrate_and_survey`
+
+use phone::ThresholdCalibrator;
+use rand::SeedableRng;
+use rfsim::{BleChannel, PropagationConfig};
+use std::collections::BTreeMap;
+use testbeds::all;
+
+fn main() {
+    for testbed in all() {
+        for deployment in 0..2 {
+            let channel = BleChannel::new(
+                PropagationConfig::paper_calibrated(),
+                testbed.plan.clone(),
+                testbed.deployments[deployment],
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(99 + deployment as u64);
+            let zone = testbed.legit_zones[deployment];
+            let cal = ThresholdCalibrator::default().walk_room(
+                &channel,
+                zone.rect,
+                zone.floor,
+                &mut rng,
+            );
+            println!(
+                "\n== {} — deployment {} ==\n   calibration walk: {} samples, threshold {:.1} dB \
+                 (paper: {:.0} dB)",
+                testbed.name,
+                deployment + 1,
+                cal.samples.len(),
+                cal.threshold_db,
+                testbed.paper_thresholds[deployment]
+            );
+
+            // Survey every numbered location, grouped by room.
+            let mut by_room: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            for loc in &testbed.locations {
+                let rssi = channel.survey_location(loc.point, &mut rng);
+                let room = testbed
+                    .plan
+                    .room_at(loc.point)
+                    .map(|r| {
+                        format!(
+                            "{} (floor {})",
+                            testbed.plan.room(r).name,
+                            testbed.plan.room(r).floor
+                        )
+                    })
+                    .unwrap_or_else(|| "outside".to_string());
+                by_room.entry(room).or_default().push(rssi);
+            }
+            for (room, values) in by_room {
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                let above = values.iter().filter(|v| **v >= cal.threshold_db).count();
+                println!(
+                    "   {:<28} {:>2} locations  rssi {:>6.1} .. {:>5.1} (mean {:>5.1})  {:>2} above threshold",
+                    room,
+                    values.len(),
+                    min,
+                    max,
+                    mean,
+                    above
+                );
+            }
+        }
+    }
+}

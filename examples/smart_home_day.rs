@@ -1,0 +1,82 @@
+//! A day in the guarded two-floor house.
+//!
+//! The owner moves through the home — issuing commands from the living
+//! room, walking upstairs past the motion sensor (which records the
+//! RSSI trace that flips the floor tracker), standing in the nursery
+//! directly above the speaker — while a malicious guest picks the moments
+//! the owner is away to replay commands. The log shows every decision.
+//!
+//! Run with: `cargo run --example smart_home_day`
+
+use experiments::{GuardedHome, ScenarioConfig};
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::{two_floor_house, RouteKind};
+
+fn act(home: &mut GuardedHome, label: &str, malicious: bool, words: usize) {
+    let id = home.utter(words, 1, malicious);
+    home.run_for(SimDuration::from_secs(30));
+    let executed = home.executed(id);
+    let verdict = if executed { "EXECUTED" } else { "BLOCKED " };
+    let ok = executed != malicious;
+    println!(
+        "[{}] {verdict} {} {label}",
+        if ok { "ok" } else { "!!" },
+        if malicious { "(attack)" } else { "(owner) " },
+    );
+}
+
+fn main() {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(two_floor_house(), 0, 7));
+    home.run_for(SimDuration::from_secs(5));
+    let phone = home.device_ids()[0];
+    let speaker = home.testbed().deployments[0];
+    println!(
+        "Two-floor house, Echo Dot in the living room. Threshold {:.1} dB\n",
+        home.thresholds[0]
+    );
+
+    // Morning: owner in the living room.
+    home.set_device_position(phone, Point::new(speaker.x + 1.5, speaker.y + 0.5, 0));
+    act(&mut home, "morning news from the couch", false, 6);
+
+    // Owner cooks in the kitchen; a guest replays a recorded command.
+    home.set_device_position(phone, home.testbed().location(30));
+    act(&mut home, "guest replays 'unlock the front door'", true, 5);
+
+    // Owner returns and asks for music.
+    home.set_device_position(phone, Point::new(speaker.x + 2.0, speaker.y, 0));
+    act(&mut home, "owner asks for music", false, 5);
+
+    // Owner walks upstairs — the stair motion sensor records the trace and
+    // the floor tracker flips to "other floor".
+    home.stair_motion(phone, RouteKind::Up);
+    println!("-- owner walks upstairs (motion sensor fires, trace says Up) --");
+
+    // Owner stands in the nursery, directly above the speaker: raw RSSI
+    // would pass the threshold here, but the floor tracker vetoes.
+    home.set_device_position(phone, home.testbed().location(56));
+    act(
+        &mut home,
+        "attack while owner is right above the speaker (leak cone)",
+        true,
+        4,
+    );
+
+    // Owner comes back down; commands work again.
+    home.stair_motion(phone, RouteKind::Down);
+    println!("-- owner comes back downstairs (trace says Down) --");
+    home.set_device_position(phone, Point::new(speaker.x + 1.0, speaker.y, 0));
+    act(&mut home, "good-night routine", false, 7);
+
+    // Night: owner asleep upstairs; burglar tries an ultrasonic command.
+    home.stair_motion(phone, RouteKind::Up);
+    home.set_device_position(phone, home.testbed().location(70));
+    act(&mut home, "night-time inaudible attack", true, 4);
+
+    let stats = home.guard_stats();
+    println!(
+        "\nDay summary: {} commands checked, {} allowed, {} blocked.",
+        stats.queries, stats.allowed, stats.blocked
+    );
+}

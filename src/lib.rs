@@ -1,0 +1,45 @@
+//! # voiceguard-repro — workspace umbrella
+//!
+//! A full reproduction of **VoiceGuard: An Effective and Practical
+//! Approach for Detecting and Blocking Unauthorized Voice Commands to
+//! Smart Speakers** (Xu, Fu, Du, Ratazzi — DSN 2023).
+//!
+//! This crate re-exports the member crates for one-stop use and hosts the
+//! workspace-level examples (`examples/`) and cross-crate tests
+//! (`tests/`). The interesting entry points:
+//!
+//! * [`voiceguard`] — the paper's contribution: the Traffic Processing
+//!   Module (signature-based flow identification, spike-phase
+//!   classification, transparent-proxy holds) and the Decision Module
+//!   (FCM-queried Bluetooth RSSI thresholds, multi-user OR rule,
+//!   floor-level tracking).
+//! * [`experiments`] — regenerates every table and figure of the paper;
+//!   `experiments::run_all` produces the full paper-vs-measured report.
+//! * [`netsim`], [`rfsim`], [`speakers`], [`testbeds`], [`mobility`],
+//!   [`phone`], [`attacks`] — the substrates the paper's hardware testbed
+//!   provided, rebuilt as deterministic simulators (see `DESIGN.md` for
+//!   the substitution table).
+//!
+//! ```no_run
+//! use experiments::{GuardedHome, ScenarioConfig};
+//! use simcore::SimDuration;
+//!
+//! let mut home = GuardedHome::new(ScenarioConfig::echo(testbeds::apartment(), 0, 42));
+//! home.run_for(SimDuration::from_secs(5));
+//! let command = home.utter(6, 1, false);
+//! home.run_for(SimDuration::from_secs(30));
+//! println!("executed: {}", home.executed(command));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use attacks;
+pub use experiments;
+pub use mobility;
+pub use netsim;
+pub use phone;
+pub use rfsim;
+pub use simcore;
+pub use speakers;
+pub use testbeds;
+pub use voiceguard;

@@ -1,0 +1,180 @@
+//! Workspace-level integration tests spanning every crate: testbeds →
+//! rfsim → netsim → speakers → voiceguard → phone → experiments.
+
+use experiments::{GuardedHome, ScenarioConfig};
+use phone::DeviceKind;
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::{all, apartment, office, two_floor_house, RouteKind};
+use voiceguard::SpeakerKind;
+
+#[test]
+fn every_testbed_and_speaker_boots_and_guards() {
+    for (t_idx, testbed) in all().into_iter().enumerate() {
+        for deployment in 0..2usize {
+            for speaker in [SpeakerKind::EchoDot, SpeakerKind::GoogleHomeMini] {
+                let seed = 1000 + (t_idx as u64) * 10 + deployment as u64;
+                let cfg = match speaker {
+                    SpeakerKind::EchoDot => {
+                        ScenarioConfig::echo(testbed.clone(), deployment, seed)
+                    }
+                    SpeakerKind::GoogleHomeMini => {
+                        ScenarioConfig::ghm(testbed.clone(), deployment, seed)
+                    }
+                };
+                let mut home = GuardedHome::new(cfg);
+                home.run_for(SimDuration::from_secs(5));
+                // A command from inside the zone executes.
+                let dev = home.device_ids()[0];
+                let zone = home.testbed().legit_zones[deployment];
+                let pos = {
+                    let rng = home.rng();
+                    zone.sample(rng)
+                };
+                home.set_device_position(dev, pos);
+                let id = home.utter(6, 1, false);
+                home.run_for(SimDuration::from_secs(30));
+                assert!(
+                    home.executed(id),
+                    "{} dep {} {:?}: in-zone command failed",
+                    testbed.name,
+                    deployment,
+                    speaker
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn attack_is_blocked_in_every_testbed() {
+    for (t_idx, testbed) in all().into_iter().enumerate() {
+        let seed = 2000 + t_idx as u64;
+        let mut home = GuardedHome::new(ScenarioConfig::echo(testbed, 0, seed));
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        home.set_device_position(dev, home.testbed().outside);
+        // Two attempts tolerate the known ~1.5% unrecognisable-spike miss.
+        let mut blocked = false;
+        for _ in 0..2 {
+            let id = home.utter(4, 1, true);
+            home.run_for(SimDuration::from_secs(40));
+            if !home.executed(id) {
+                blocked = true;
+                break;
+            }
+        }
+        assert!(blocked, "{}: attacks must be blocked", home.testbed().name);
+    }
+}
+
+#[test]
+fn consecutive_commands_alternating_legitimacy() {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, 3000));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let speaker = home.testbed().deployments[0];
+    let near = Point::new(speaker.x + 1.0, speaker.y, speaker.floor);
+    let mut correct = 0;
+    let total = 12;
+    for i in 0..total {
+        let malicious = i % 2 == 1;
+        home.set_device_position(dev, if malicious { home.testbed().outside } else { near });
+        let id = home.utter(5, 1, malicious);
+        home.run_for(SimDuration::from_secs(26));
+        if home.executed(id) != malicious {
+            correct += 1;
+        }
+    }
+    assert!(
+        correct >= total - 1,
+        "{correct}/{total} decisions correct across session-close/reconnect churn"
+    );
+}
+
+#[test]
+fn floor_tracking_round_trip_in_the_house() {
+    let mut home = GuardedHome::new(ScenarioConfig::echo(two_floor_house(), 0, 4000));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let cone = home.testbed().location(56);
+
+    // Upstairs: attack blocked even from the leak cone.
+    home.stair_motion(dev, RouteKind::Up);
+    home.set_device_position(dev, cone);
+    let id = home.utter(4, 1, true);
+    home.run_for(SimDuration::from_secs(40));
+    assert!(!home.executed(id), "leak-cone attack must be blocked");
+
+    // Back downstairs: the owner's own command works again.
+    home.stair_motion(dev, RouteKind::Down);
+    let speaker = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(speaker.x + 1.0, speaker.y, 0));
+    let id = home.utter(6, 1, false);
+    home.run_for(SimDuration::from_secs(30));
+    assert!(home.executed(id), "post-descent command must execute");
+}
+
+#[test]
+fn watch_based_office_deployment_works() {
+    let mut cfg = ScenarioConfig::ghm(office(), 1, 5000);
+    cfg.devices = vec![("Galaxy Watch4".to_string(), DeviceKind::Watch)];
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let speaker = home.testbed().deployments[1];
+    home.set_device_position(dev, Point::new(speaker.x + 1.0, speaker.y, 0));
+    let id = home.utter(7, 1, false);
+    home.run_for(SimDuration::from_secs(30));
+    assert!(home.executed(id));
+
+    home.set_device_position(dev, home.testbed().outside);
+    let id = home.utter(4, 1, true);
+    home.run_for(SimDuration::from_secs(40));
+    assert!(!home.executed(id));
+}
+
+#[test]
+fn scenario_is_deterministic_per_seed() {
+    fn run(seed: u64) -> (Vec<bool>, Vec<f64>) {
+        let mut home = GuardedHome::new(ScenarioConfig::echo(apartment(), 0, seed));
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        let speaker = home.testbed().deployments[0];
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            let malicious = i % 2 == 0;
+            home.set_device_position(
+                dev,
+                if malicious {
+                    home.testbed().outside
+                } else {
+                    Point::new(speaker.x + 1.0, speaker.y, 0)
+                },
+            );
+            let id = home.utter(5, 1, malicious);
+            home.run_for(SimDuration::from_secs(26));
+            outcomes.push(home.executed(id));
+        }
+        let stats = home.guard_stats();
+        (outcomes, stats.hold_durations_s)
+    }
+    let a = run(99);
+    let b = run(99);
+    assert_eq!(a, b, "same seed must reproduce bit-for-bit");
+}
+
+#[test]
+fn run_all_report_contains_every_artifact() {
+    // A smoke test of the full battery at tiny scale via the individual
+    // experiment entry points (run_all itself is exercised by the
+    // reproduce_paper example; here we check the cheap ones end-to-end).
+    let t1 = experiments::table1::run_sized(42, 6);
+    assert!(t1.table.title.contains("Table I"));
+    let f6 = experiments::fig6::run(42);
+    assert!(f6.table.title.contains("Fig. 6"));
+    let f89 = experiments::fig89::run(42);
+    assert_eq!(f89.surveys.len(), 6);
+    let corpus = experiments::corpus_stats::run();
+    assert_eq!(corpus.rows.len(), 2);
+}

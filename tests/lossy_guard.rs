@@ -1,0 +1,73 @@
+//! The full guarded home on a lossy link: recognition, holds and verdicts
+//! must keep working when the WiFi drops frames.
+
+use experiments::{GuardedHome, ScenarioConfig};
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::apartment;
+
+fn run_with_loss(loss: f64, seed: u64) -> (u32, u32, u32, u32) {
+    // (legit ok, legit total, attacks blocked, attacks total)
+    let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
+    cfg.loss_probability = loss;
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let sp = home.testbed().deployments[0];
+    let mut legit_ok = 0;
+    let mut attacks_blocked = 0;
+    let (mut legit_total, mut attack_total) = (0, 0);
+    for i in 0..10 {
+        let malicious = i % 2 == 1;
+        home.set_device_position(
+            dev,
+            if malicious {
+                home.testbed().outside
+            } else {
+                Point::new(sp.x + 1.0, sp.y, sp.floor)
+            },
+        );
+        let id = home.utter(5, 1, malicious);
+        home.run_for(SimDuration::from_secs(30));
+        if malicious {
+            attack_total += 1;
+            if !home.executed(id) {
+                attacks_blocked += 1;
+            }
+        } else {
+            legit_total += 1;
+            if home.executed(id) {
+                legit_ok += 1;
+            }
+        }
+    }
+    (legit_ok, legit_total, attacks_blocked, attack_total)
+}
+
+#[test]
+fn guard_works_on_a_mildly_lossy_wifi() {
+    let (legit_ok, legit_total, blocked, attacks) = run_with_loss(0.01, 77);
+    // Security invariant: attacks stay blocked even with loss.
+    assert!(
+        blocked >= attacks - 1,
+        "blocked {blocked}/{attacks} under 1% loss"
+    );
+    // Availability degrades gracefully.
+    assert!(
+        legit_ok >= legit_total - 2,
+        "legit {legit_ok}/{legit_total} under 1% loss"
+    );
+}
+
+#[test]
+fn attacks_never_slip_through_even_under_heavy_loss() {
+    // 5% loss breaks availability before it ever breaks security: a lost
+    // packet can deny a legitimate command, but a blocked attack's
+    // discarded records cannot be resurrected by retransmission (the
+    // proxy spoof-ACKed them).
+    let (_, _, blocked, attacks) = run_with_loss(0.05, 78);
+    assert!(
+        blocked >= attacks - 1,
+        "blocked {blocked}/{attacks} under 5% loss"
+    );
+}

@@ -1,0 +1,155 @@
+//! Multiple guarded speakers in one home (paper §V: "VoiceGuard identifies
+//! which smart speaker is being used based on the speaker's unique IP
+//! address, and then applies the same strategy as the one-speaker case").
+//!
+//! We model that by attaching one guard tap per speaker host on the same
+//! network; both speakers share the cloud pool and the DNS zone, and each
+//! guard independently holds/blocks its own speaker's traffic.
+
+use netsim::{Network, NetworkConfig, ServerPool};
+use simcore::{SimDuration, SimTime};
+use speakers::{AvsCloud, CommandSpec, EchoDotApp, AVS_DOMAIN};
+use std::net::Ipv4Addr;
+use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+
+const SPEAKER1_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const SPEAKER2_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 201);
+const AVS_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+
+fn pump(
+    net: &mut Network,
+    hosts: &[netsim::HostId],
+    verdicts: &[Verdict],
+    until: SimTime,
+) -> Vec<(usize, u64)> {
+    // Returns (speaker index, blocked count) pairs at the end.
+    while net.now() < until {
+        net.run_for(SimDuration::from_millis(100));
+        for (i, host) in hosts.iter().enumerate() {
+            let events = net.with_tap::<VoiceGuardTap, _>(*host, |g, _| g.take_events());
+            for ev in events {
+                if let GuardEvent::QueryRequested { query, .. } = ev {
+                    let verdict = verdicts[i];
+                    net.with_tap::<VoiceGuardTap, _>(*host, |g, ctx| {
+                        g.schedule_verdict(ctx, query, verdict, SimDuration::from_millis(1500))
+                    });
+                }
+            }
+        }
+    }
+    hosts
+        .iter()
+        .enumerate()
+        .map(|(i, host)| {
+            let blocked = net.with_tap::<VoiceGuardTap, _>(*host, |g, _| g.stats.blocked);
+            (i, blocked)
+        })
+        .collect()
+}
+
+#[test]
+fn two_speakers_are_guarded_independently() {
+    let mut net = Network::new(NetworkConfig {
+        seed: 5,
+        ..NetworkConfig::default()
+    });
+    let s1 = net.add_host("echo-living", SPEAKER1_IP);
+    let s2 = net.add_host("echo-bedroom", SPEAKER2_IP);
+    let avs = net.add_host("avs", AVS_IP);
+    net.set_app(avs, Box::new(AvsCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
+    for s in [s1, s2] {
+        net.set_app(s, Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])));
+        net.set_tap(s, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
+    }
+    net.start();
+    net.run_until(SimTime::from_secs(5));
+
+    // Speaker 1 gets a legitimate command (owner near it); speaker 2 is
+    // attacked at the same moment (owner cannot be in both rooms).
+    net.with_app::<EchoDotApp, _>(s1, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1))
+    });
+    net.with_app::<EchoDotApp, _>(s2, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(2))
+    });
+    let results = pump(
+        &mut net,
+        &[s1, s2],
+        &[Verdict::Legitimate, Verdict::Malicious],
+        SimTime::from_secs(45),
+    );
+    assert_eq!(results[0].1, 0, "speaker 1's command was allowed");
+    assert_eq!(results[1].1, 1, "speaker 2's attack was blocked");
+
+    net.with_app::<EchoDotApp, _>(s1, |app, _| {
+        assert_eq!(
+            app.invocation(1).unwrap().outcome,
+            speakers::CommandOutcome::Executed
+        );
+    });
+    net.with_app::<EchoDotApp, _>(s2, |app, _| {
+        assert_ne!(
+            app.invocation(2).unwrap().outcome,
+            speakers::CommandOutcome::Executed
+        );
+    });
+}
+
+#[test]
+fn blocking_one_speaker_does_not_disturb_the_other() {
+    let mut net = Network::new(NetworkConfig {
+        seed: 6,
+        ..NetworkConfig::default()
+    });
+    let s1 = net.add_host("echo-a", SPEAKER1_IP);
+    let s2 = net.add_host("echo-b", SPEAKER2_IP);
+    let avs = net.add_host("avs", AVS_IP);
+    net.set_app(avs, Box::new(AvsCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
+    for s in [s1, s2] {
+        net.set_app(s, Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])));
+        net.set_tap(s, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
+    }
+    net.start();
+    net.run_until(SimTime::from_secs(5));
+
+    // Attack speaker 1 (blocked → its session is torn down and rebuilt);
+    // meanwhile speaker 2 stays quietly connected.
+    net.with_app::<EchoDotApp, _>(s1, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1))
+    });
+    pump(
+        &mut net,
+        &[s1, s2],
+        &[Verdict::Malicious, Verdict::Legitimate],
+        SimTime::from_secs(60),
+    );
+    net.with_app::<EchoDotApp, _>(s1, |app, _| {
+        assert!(app.avs_connects >= 2, "speaker 1 reconnected after the block");
+    });
+    net.with_app::<EchoDotApp, _>(s2, |app, _| {
+        assert!(app.is_ready());
+        assert_eq!(app.avs_connects, 1, "speaker 2 was untouched");
+        assert!(app.avs_closes.is_empty());
+    });
+    // And a command on speaker 2 still works afterwards.
+    net.with_app::<EchoDotApp, _>(s2, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(9))
+    });
+    let end = net.now() + SimDuration::from_secs(30);
+    pump(
+        &mut net,
+        &[s1, s2],
+        &[Verdict::Malicious, Verdict::Legitimate],
+        end,
+    );
+    net.with_app::<EchoDotApp, _>(s2, |app, _| {
+        assert_eq!(
+            app.invocation(9).unwrap().outcome,
+            speakers::CommandOutcome::Executed
+        );
+    });
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+use rfsim::{BleChannel, Floorplan, Point, PropagationConfig, Rect, Segment2};
+use simcore::{linear_fit, ConfusionMatrix, EventQueue, SimDuration, SimTime};
+use voiceguard::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+proptest! {
+    /// The signature matcher accepts exactly the signature and nothing
+    /// else: any single-position mutation diverges.
+    #[test]
+    fn signature_matcher_rejects_any_mutation(pos in 0usize..16, delta in 1u32..500) {
+        let mut mutated = AVS_SIG;
+        mutated[pos] = mutated[pos].wrapping_add(delta);
+        let mut m = SignatureMatcher::new(&AVS_SIG);
+        let mut diverged = false;
+        for len in mutated {
+            if m.feed(len) == SignatureState::Diverged {
+                diverged = true;
+                break;
+            }
+        }
+        prop_assert!(diverged, "mutation at {pos} (+{delta}) must not match");
+    }
+
+    /// Random traffic almost never matches: any sequence whose first
+    /// element differs from 63 diverges immediately.
+    #[test]
+    fn signature_matcher_rejects_random_first_packet(first in 0u32..2000) {
+        prop_assume!(first != 63);
+        let mut m = SignatureMatcher::new(&AVS_SIG);
+        prop_assert_eq!(m.feed(first), SignatureState::Diverged);
+    }
+
+    /// A spike whose first five packets avoid every command rule is never
+    /// classified as a command (the recognizer's 100% precision).
+    #[test]
+    fn classifier_never_promotes_ruleless_prefix(
+        lens in proptest::collection::vec(0u32..2000, 5..10)
+    ) {
+        // Filter inputs toward the "no command rule applies" region.
+        let first_five = &lens[..5];
+        prop_assume!(!first_five.iter().any(|l| *l == 138 || *l == 75));
+        prop_assume!(!(first_five[0] >= 250 && first_five[0] <= 650
+            && [[131u32, 277, 131, 113], [131, 113, 113, 113], [131, 121, 277, 131]]
+                .iter()
+                .any(|p| &first_five[1..5] == p)));
+        let mut c = SpikeClassifier::new(7);
+        let mut class = SpikeClass::Undecided;
+        for l in &lens {
+            class = c.feed(*l);
+            if class != SpikeClass::Undecided {
+                break;
+            }
+        }
+        prop_assert_ne!(class, SpikeClass::Command);
+    }
+
+    /// Any spike containing p-138 or p-75 in the first five packets is a
+    /// command, whatever surrounds it.
+    #[test]
+    fn classifier_always_detects_markers(
+        mut lens in proptest::collection::vec(0u32..2000, 5..10),
+        pos in 0usize..5,
+        marker in prop_oneof![Just(138u32), Just(75u32)],
+    ) {
+        lens[pos] = marker;
+        let mut c = SpikeClassifier::new(7);
+        let mut class = SpikeClass::Undecided;
+        for l in &lens {
+            class = c.feed(*l);
+            if class != SpikeClass::Undecided {
+                break;
+            }
+        }
+        prop_assert_eq!(class, SpikeClass::Command);
+    }
+
+    /// Confusion-matrix metrics always lie in [0, 1] and accuracy is
+    /// consistent with the cell counts.
+    #[test]
+    fn confusion_metrics_bounded(tp in 0u64..1000, tn in 0u64..1000, fp in 0u64..1000, fnn in 0u64..1000) {
+        let m = ConfusionMatrix {
+            true_positives: tp,
+            true_negatives: tn,
+            false_positives: fp,
+            false_negatives: fnn,
+        };
+        for v in [m.accuracy(), m.precision(), m.recall(), m.f1(), m.false_positive_rate()] {
+            prop_assert!((0.0..=1.0).contains(&v), "metric {v} out of range");
+        }
+        if m.total() > 0 {
+            let expect = (tp + tn) as f64 / m.total() as f64;
+            prop_assert!((m.accuracy() - expect).abs() < 1e-12);
+        }
+    }
+
+    /// The event queue pops in non-decreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Linear fit recovers exact lines (up to numerical noise).
+    #[test]
+    fn linear_fit_recovers_lines(slope in -10.0f64..10.0, intercept in -50.0f64..50.0) {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = linear_fit(&xs, &ys).expect("fit");
+        prop_assert!((fit.slope - slope).abs() < 1e-9);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-9);
+    }
+
+    /// Path loss is monotone in distance in free space: a farther receiver
+    /// never reads a (meanfully) higher RSSI.
+    #[test]
+    fn rssi_monotone_in_free_space(d1 in 1.0f64..15.0, d2 in 1.0f64..15.0) {
+        prop_assume!(d1 < d2);
+        let mut b = Floorplan::builder("open");
+        b.room("hall", Rect::new(-20.0, -20.0, 40.0, 40.0), 0);
+        let plan = b.build();
+        let cfg = PropagationConfig {
+            shadowing_sigma_db: 0.0,
+            fading_sigma_db: 0.0,
+            ..PropagationConfig::paper_calibrated()
+        };
+        let ch = BleChannel::new(cfg, plan, Point::ground(0.0, 0.0));
+        let near = ch.mean_rssi(Point::ground(d1, 0.0));
+        let far = ch.mean_rssi(Point::ground(d2, 0.0));
+        prop_assert!(near >= far, "rssi({d1})={near} < rssi({d2})={far}");
+    }
+
+    /// Crossing a wall only ever lowers the mean RSSI.
+    #[test]
+    fn walls_only_attenuate(att in 0.0f64..20.0) {
+        let open = {
+            let mut b = Floorplan::builder("open");
+            b.room("hall", Rect::new(0.0, -10.0, 20.0, 10.0), 0);
+            b.build()
+        };
+        let walled = {
+            let mut b = Floorplan::builder("walled");
+            b.room("hall", Rect::new(0.0, -10.0, 20.0, 10.0), 0);
+            b.wall_with_attenuation(Segment2::new(5.0, -10.0, 5.0, 10.0), 0, att);
+            b.build()
+        };
+        let cfg = PropagationConfig {
+            shadowing_sigma_db: 0.0,
+            fading_sigma_db: 0.0,
+            ..PropagationConfig::paper_calibrated()
+        };
+        let rx = Point::ground(10.0, 0.0);
+        let tx = Point::ground(1.0, 0.0);
+        let open_rssi = BleChannel::new(cfg, open, tx).mean_rssi(rx);
+        let walled_rssi = BleChannel::new(cfg, walled, tx).mean_rssi(rx);
+        prop_assert!(walled_rssi <= open_rssi + 1e-12);
+    }
+
+    /// Walk positions always stay within the bounding box of the
+    /// waypoints.
+    #[test]
+    fn walk_stays_in_bounding_box(
+        xs in proptest::collection::vec(-50.0f64..50.0, 2..6),
+        t_frac in 0.0f64..1.0,
+    ) {
+        let waypoints: Vec<Point> = xs.iter().map(|x| Point::ground(*x, 2.0 * x)).collect();
+        let walk = mobility::Walk::new(
+            waypoints.clone(),
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+        );
+        let t = SimTime::from_secs_f64(10.0 * t_frac);
+        let p = walk.position_at(t);
+        let min_x = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_x = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+    }
+
+    /// The corpus cycle accessor never panics and wraps around.
+    #[test]
+    fn corpus_cycle_total_function(i in 0usize..10_000) {
+        let c = speakers::Corpus::alexa();
+        let cmd = c.cycle(i);
+        prop_assert!(cmd.words >= 2 && cmd.words <= 12);
+    }
+}
