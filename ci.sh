@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, lints, formatting.
+#
+# Usage: ./ci.sh [extra cargo args...]
+# Extra args (e.g. `--config path/to/offline.toml`) are passed to every
+# cargo invocation, which lets air-gapped environments point cargo at
+# vendored or patched dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+CARGO_ARGS=("$@")
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo "${CARGO_ARGS[@]}" build --release
+run cargo "${CARGO_ARGS[@]}" test -q
+run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
+run cargo "${CARGO_ARGS[@]}" fmt --check
+
+echo "==> CI green"

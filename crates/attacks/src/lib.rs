@@ -181,14 +181,8 @@ mod tests {
     #[test]
     fn ultrasound_range_is_tight() {
         let p = planner();
-        assert!(p.in_range(
-            AttackVector::UltrasoundInaudible,
-            Point::ground(2.0, 2.5)
-        ));
-        assert!(!p.in_range(
-            AttackVector::UltrasoundInaudible,
-            Point::ground(4.0, 2.5)
-        ));
+        assert!(p.in_range(AttackVector::UltrasoundInaudible, Point::ground(2.0, 2.5)));
+        assert!(!p.in_range(AttackVector::UltrasoundInaudible, Point::ground(4.0, 2.5)));
         // Audible replay reaches further.
         assert!(p.in_range(AttackVector::ReplayRecording, Point::ground(4.0, 2.5)));
     }

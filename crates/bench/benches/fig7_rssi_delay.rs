@@ -5,7 +5,10 @@ use bench::sizes::FIG7_INVOCATIONS;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_fig7(c: &mut Criterion) {
-    println!("{}", experiments::fig7::run_sized(1, FIG7_INVOCATIONS).table);
+    println!(
+        "{}",
+        experiments::fig7::run_sized(1, FIG7_INVOCATIONS).table
+    );
 
     let mut group = c.benchmark_group("fig7");
     group.sample_size(10);

@@ -352,7 +352,10 @@ mod tests {
         });
         p.floor_tracker = Some(tracker);
         let dm = DecisionModule::new(vec![p]);
-        assert_eq!(dm.floor_level(DeviceId(0)), Some(crate::FloorLevel::OtherFloor));
+        assert_eq!(
+            dm.floor_level(DeviceId(0)),
+            Some(crate::FloorLevel::OtherFloor)
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(6);
         let above = Point::new(1.0, 2.5, 1); // leak cone
         let ch = channel();

@@ -1,0 +1,336 @@
+//! The Echo Dot pipeline: AVS flow recognition by DNS and connection
+//! signature, spike classification (p-138 / p-75 command markers, fixed
+//! response patterns), TCP hold with adaptive signature re-learning.
+
+use crate::config::GuardConfig;
+use crate::decision::Verdict;
+use crate::guard::flow::FlowTable;
+use crate::guard::pipeline::{
+    screen_segment, HoldTarget, PipelineCtx, Screened, SpeakerPipeline, Spike, SpikeMode,
+};
+use crate::guard::token::TimerToken;
+use crate::learning::{Observation, SignatureLearner};
+use crate::recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
+use netsim::app::SegmentView;
+use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+#[derive(Debug)]
+enum ConnKind {
+    /// New connection: matching the establishment signature.
+    Candidate(SignatureMatcher),
+    /// The Echo Dot's AVS voice flow.
+    Avs,
+    /// Unrelated traffic: always forwarded.
+    Other,
+}
+
+#[derive(Debug)]
+struct ConnTrack {
+    kind: ConnKind,
+    server_ip: Ipv4Addr,
+    /// Adaptive-learning observation, present while this DNS-confirmed
+    /// connection's establishment sequence is being recorded.
+    learning: Option<Observation>,
+    /// Last speaker-originated, non-heartbeat data packet.
+    last_data: Option<simcore::SimTime>,
+    spike: Option<Spike>,
+    /// After a verdict (or non-command classification), forward the rest
+    /// of the burst until the next idle gap.
+    passthrough: bool,
+}
+
+/// [`SpeakerPipeline`] for the Amazon Echo Dot (paper §IV-B1).
+#[derive(Debug)]
+pub struct EchoPipeline {
+    config: GuardConfig,
+    avs_signature: Vec<u32>,
+    avs_ip: Option<Ipv4Addr>,
+    conns: FlowTable<ConnId, ConnTrack>,
+    learner: Option<SignatureLearner>,
+    dns_confirmed_ips: HashSet<Ipv4Addr>,
+}
+
+impl EchoPipeline {
+    /// Creates an Echo pipeline with a custom connection signature.
+    pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
+        let learner = config
+            .adaptive_signature
+            .then(|| SignatureLearner::new(signature.len().max(8), 2));
+        EchoPipeline {
+            config,
+            avs_signature: signature.to_vec(),
+            avs_ip: None,
+            conns: FlowTable::new(),
+            learner,
+            dns_confirmed_ips: HashSet::new(),
+        }
+    }
+
+    fn classify_spike(
+        &mut self,
+        ctx: &mut PipelineCtx<'_>,
+        conn: ConnId,
+        class: SpikeClass,
+        spike_start: simcore::SimTime,
+    ) {
+        ctx.spike_classified(spike_start, class);
+        match class {
+            SpikeClass::Command => {
+                let query = ctx.raise_query(HoldTarget::Conn(conn), spike_start, &self.config);
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    if let Some(spike) = track.spike.as_mut() {
+                        spike.mode = SpikeMode::AwaitingVerdict(query);
+                    }
+                }
+            }
+            SpikeClass::NotCommand => {
+                // Second phase (or unknown): release immediately.
+                let released = ctx.release_held(conn);
+                ctx.trace(
+                    "guard.release",
+                    &format!("non-command spike on {conn}: released {released}"),
+                );
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.spike = None;
+                    track.passthrough = true;
+                }
+            }
+            SpikeClass::Undecided => unreachable!("classification always resolves"),
+        }
+    }
+
+    /// AVS data-segment handling. Returns the verdict for this segment.
+    fn on_avs_data(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, len: u32) -> TapVerdict {
+        let now = ctx.now();
+        let idle_gap = self.config.idle_gap;
+        let track = self.conns.get_mut(&conn).expect("tracked");
+        // Heartbeats are invisible to spike detection and never update the
+        // idle clock — but while the stream is on hold they must be held
+        // too, or they would overtake the cached records and trip the
+        // server's TLS record-sequence check mid-hold.
+        if len == self.config.heartbeat_len {
+            return if track.spike.is_some() {
+                TapVerdict::Hold
+            } else {
+                TapVerdict::Forward
+            };
+        }
+        let idle = track
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        track.last_data = Some(now);
+
+        if track.passthrough {
+            if idle {
+                track.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+
+        match &mut track.spike {
+            Some(spike) => match &mut spike.mode {
+                SpikeMode::Classifying(classifier) => {
+                    let class = classifier.feed(len);
+                    let spike_start = spike.started;
+                    if class != SpikeClass::Undecided {
+                        self.classify_spike(ctx, conn, class, spike_start);
+                        // The classifying packet itself: if command, keep
+                        // holding; if not, it was released above, forward
+                        // this one too.
+                        return match class {
+                            SpikeClass::Command => TapVerdict::Hold,
+                            _ => TapVerdict::Forward,
+                        };
+                    }
+                    TapVerdict::Hold
+                }
+                SpikeMode::AwaitingVerdict(_) => TapVerdict::Hold,
+            },
+            None => {
+                if idle {
+                    // A new spike begins with this packet.
+                    let mut classifier = SpikeClassifier::new(self.config.classify_max_packets);
+                    let class = if self.config.naive_spike_detection {
+                        SpikeClass::Command
+                    } else {
+                        classifier.feed(len)
+                    };
+                    let spike = Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(classifier),
+                    };
+                    track.spike = Some(spike);
+                    ctx.set_timer(
+                        self.config.classify_deadline,
+                        TimerToken::Classify {
+                            pipeline: ctx.index() as u8,
+                            conn,
+                        },
+                    );
+                    if class != SpikeClass::Undecided {
+                        self.classify_spike(ctx, conn, class, now);
+                        return match class {
+                            SpikeClass::Command => TapVerdict::Hold,
+                            _ => TapVerdict::Forward,
+                        };
+                    }
+                    TapVerdict::Hold
+                } else {
+                    // Mid-burst traffic with no active spike (tail after a
+                    // release): forward.
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+}
+
+impl SpeakerPipeline for EchoPipeline {
+    fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
+        let holding = self
+            .conns
+            .get(&view.conn)
+            .map(|t| t.spike.is_some())
+            .unwrap_or(false);
+        let len = match screen_segment(view, holding) {
+            Screened::Verdict(v) => return v,
+            Screened::Record(len) => len,
+        };
+
+        // Track the connection.
+        if !self.conns.contains(&view.conn) {
+            let server_ip = *view.dst.ip();
+            let learning = (self.learner.is_some() && self.dns_confirmed_ips.contains(&server_ip))
+                .then(Observation::default);
+            self.conns.insert(
+                view.conn,
+                ConnTrack {
+                    kind: ConnKind::Candidate(SignatureMatcher::new(&self.avs_signature)),
+                    server_ip,
+                    learning,
+                    last_data: None,
+                    spike: None,
+                    passthrough: false,
+                },
+            );
+        }
+
+        let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        // Adaptive learning: record the establishment sequence of
+        // DNS-confirmed AVS connections; promote once observations agree.
+        if let (Some(learner), Some(obs)) = (self.learner.as_mut(), track.learning.as_mut()) {
+            if !learner.feed(obs, len) {
+                let obs = track.learning.take().expect("present");
+                learner.commit(obs);
+                if let Some(learned) = learner.learned() {
+                    if learned != self.avs_signature.as_slice() {
+                        self.avs_signature = learned.to_vec();
+                        ctx.bump(|s| s.signatures_adapted += 1);
+                        ctx.trace(
+                            "guard.adapt",
+                            &format!(
+                                "connection signature re-learned ({} records)",
+                                learned.len()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        match &mut track.kind {
+            ConnKind::Candidate(matcher) => {
+                match matcher.feed(len) {
+                    SignatureState::Matched => {
+                        let ip = track.server_ip;
+                        track.kind = ConnKind::Avs;
+                        if self.avs_ip != Some(ip) {
+                            self.avs_ip = Some(ip);
+                            ctx.bump(|s| s.signature_learned_ips += 1);
+                            ctx.trace(
+                                "guard.signature",
+                                &format!("AVS front-end re-identified at {ip}"),
+                            );
+                        }
+                    }
+                    SignatureState::Diverged => {
+                        // Flows to the known AVS IP are AVS regardless.
+                        track.kind = if Some(track.server_ip) == self.avs_ip {
+                            ConnKind::Avs
+                        } else {
+                            ConnKind::Other
+                        };
+                    }
+                    SignatureState::Pending => {}
+                }
+                TapVerdict::Forward
+            }
+            ConnKind::Avs => self.on_avs_data(ctx, view.conn, len),
+            ConnKind::Other => TapVerdict::Forward,
+        }
+    }
+
+    fn on_datagram(
+        &mut self,
+        _ctx: &mut PipelineCtx<'_>,
+        _dgram: &Datagram,
+        _outbound: bool,
+    ) -> TapVerdict {
+        // The Echo Dot's voice flow is TCP-only.
+        TapVerdict::Forward
+    }
+
+    fn on_dns_response(&mut self, ctx: &mut PipelineCtx<'_>, name: &str, ip: Ipv4Addr) {
+        if name == self.config.avs_domain {
+            self.dns_confirmed_ips.insert(ip);
+            if self.avs_ip != Some(ip) {
+                self.avs_ip = Some(ip);
+                ctx.bump(|s| s.dns_learned_ips += 1);
+                ctx.trace("guard.dns", &format!("AVS front-end at {ip} (DNS)"));
+            }
+        }
+    }
+
+    fn on_conn_closed(&mut self, _ctx: &mut PipelineCtx<'_>, conn: ConnId, _reason: CloseReason) {
+        self.conns.remove(&conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut PipelineCtx<'_>, token: TimerToken) {
+        if let TimerToken::Classify { conn, .. } = token {
+            // Classification deadline for a spike.
+            let Some(track) = self.conns.get_mut(&conn) else {
+                return;
+            };
+            let Some(spike) = track.spike.as_mut() else {
+                return;
+            };
+            if let SpikeMode::Classifying(classifier) = &mut spike.mode {
+                let class = classifier.finalize();
+                let spike_start = spike.started;
+                self.classify_spike(ctx, conn, class, spike_start);
+            }
+        }
+    }
+
+    fn verdict_applied(
+        &mut self,
+        _ctx: &mut PipelineCtx<'_>,
+        target: HoldTarget,
+        _verdict: Verdict,
+    ) {
+        if let HoldTarget::Conn(conn) = target {
+            if let Some(track) = self.conns.get_mut(&conn) {
+                track.spike = None;
+                track.passthrough = true;
+            }
+        }
+    }
+
+    fn cloud_ip(&self) -> Option<Ipv4Addr> {
+        self.avs_ip
+    }
+}

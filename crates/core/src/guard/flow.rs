@@ -1,0 +1,98 @@
+//! Per-flow state tracking shared by the speaker pipelines.
+//!
+//! A [`FlowTable`] maps a connection or flow id to pipeline-specific track
+//! state; [`HoldQueue`] (re-exported from `simcore`) is the keyed FIFO the
+//! engine parks held frames in while a verdict is pending.
+
+pub use simcore::HoldQueue;
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Flow-keyed state table.
+///
+/// A thin wrapper over a hash map that gives the pipelines a common idiom
+/// for connection/flow state and keeps the door open for eviction policies
+/// without touching pipeline code.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable<K, T> {
+    flows: HashMap<K, T>,
+}
+
+impl<K: Eq + Hash, T> FlowTable<K, T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+        }
+    }
+
+    /// True if `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.flows.contains_key(key)
+    }
+
+    /// Shared access to `key`'s track state.
+    pub fn get(&self, key: &K) -> Option<&T> {
+        self.flows.get(key)
+    }
+
+    /// Mutable access to `key`'s track state.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut T> {
+        self.flows.get_mut(key)
+    }
+
+    /// Starts tracking `key`, replacing any previous state.
+    pub fn insert(&mut self, key: K, track: T) {
+        self.flows.insert(key, track);
+    }
+
+    /// Stops tracking `key`, returning its state if present.
+    pub fn remove(&mut self, key: &K) -> Option<T> {
+        self.flows.remove(key)
+    }
+
+    /// Mutable access to `key`'s state, inserting a default first if it is
+    /// not yet tracked.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> T) -> &mut T {
+        self.flows.entry(key).or_insert_with(default)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_and_forgets_flows() {
+        let mut table: FlowTable<u64, &str> = FlowTable::new();
+        assert!(table.is_empty());
+        table.insert(1, "a");
+        assert!(table.contains(&1));
+        assert_eq!(table.get(&1), Some(&"a"));
+        *table.get_mut(&1).unwrap() = "b";
+        assert_eq!(table.remove(&1), Some("b"));
+        assert!(!table.contains(&1));
+    }
+
+    #[test]
+    fn get_or_insert_with_is_lazy() {
+        let mut table: FlowTable<u32, Vec<u8>> = FlowTable::new();
+        table.get_or_insert_with(5, Vec::new).push(1);
+        table
+            .get_or_insert_with(5, || panic!("must not run"))
+            .push(2);
+        assert_eq!(table.get(&5), Some(&vec![1, 2]));
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The Google Home Mini pipeline: DNS-tracked `www.google.com` flows,
+//! post-idle aggregation windows (every post-idle spike is a command), and
+//! QUIC datagram tail-drop after a malicious verdict.
+
+use crate::config::GuardConfig;
+use crate::decision::Verdict;
+use crate::guard::flow::FlowTable;
+use crate::guard::pipeline::{
+    screen_segment, HoldTarget, PipelineCtx, Screened, SpeakerPipeline, Spike, SpikeMode,
+};
+use crate::guard::token::TimerToken;
+use crate::recognition::{SpikeClass, SpikeClassifier};
+use netsim::app::SegmentView;
+use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+#[derive(Debug)]
+enum ConnKind {
+    /// The Mini's on-demand voice flow.
+    GoogleVoice,
+    /// Unrelated traffic: always forwarded.
+    Other,
+}
+
+#[derive(Debug)]
+struct ConnTrack {
+    kind: ConnKind,
+    last_data: Option<simcore::SimTime>,
+    spike: Option<Spike>,
+    /// After a verdict, forward the rest of the burst until the next idle
+    /// gap.
+    passthrough: bool,
+}
+
+#[derive(Debug, Default)]
+struct UdpFlowTrack {
+    last_data: Option<simcore::SimTime>,
+    spike: Option<Spike>,
+    passthrough: bool,
+    /// After a Malicious verdict, the rest of the flight is dropped —
+    /// datagrams have no TLS sequence continuity, so a forwarded tail
+    /// (containing the end-of-command) would still execute the command.
+    blocking: bool,
+}
+
+/// [`SpeakerPipeline`] for the Google Home Mini (paper §IV-B1).
+#[derive(Debug)]
+pub struct GhmPipeline {
+    config: GuardConfig,
+    google_ips: HashSet<Ipv4Addr>,
+    conns: FlowTable<ConnId, ConnTrack>,
+    udp: UdpFlowTrack,
+    /// Speaker-side IP of the QUIC voice flow, learned from the first
+    /// outbound datagram toward a tracked Google IP. Keys the engine-held
+    /// datagrams for this pipeline.
+    flow_ip: Option<Ipv4Addr>,
+}
+
+impl GhmPipeline {
+    /// Creates a Mini pipeline.
+    pub fn new(config: GuardConfig) -> Self {
+        GhmPipeline {
+            config,
+            google_ips: HashSet::new(),
+            conns: FlowTable::new(),
+            udp: UdpFlowTrack::default(),
+            flow_ip: None,
+        }
+    }
+
+    /// TCP voice-flow records: every post-idle spike is a command.
+    fn on_voice_data(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId) -> TapVerdict {
+        let now = ctx.now();
+        let idle_gap = self.config.idle_gap;
+        let track = self.conns.get_mut(&conn).expect("tracked");
+        let idle = track
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        track.last_data = Some(now);
+
+        if track.passthrough {
+            if idle {
+                track.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+        match &track.spike {
+            Some(_) => TapVerdict::Hold,
+            None => {
+                if idle {
+                    track.spike = Some(Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(SpikeClassifier::new(
+                            self.config.classify_max_packets,
+                        )),
+                    });
+                    ctx.set_timer(
+                        self.config.ghm_aggregation,
+                        TimerToken::AggregateConn {
+                            pipeline: ctx.index() as u8,
+                            conn,
+                        },
+                    );
+                    TapVerdict::Hold
+                } else {
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+
+    fn on_voice_datagram(&mut self, ctx: &mut PipelineCtx<'_>) -> TapVerdict {
+        let now = ctx.now();
+        let idle_gap = self.config.idle_gap;
+        let idle = self
+            .udp
+            .last_data
+            .map(|t| now.saturating_since(t) >= idle_gap)
+            .unwrap_or(true);
+        self.udp.last_data = Some(now);
+        if self.udp.blocking {
+            if idle {
+                self.udp.blocking = false;
+            } else {
+                return TapVerdict::Drop;
+            }
+        }
+        if self.udp.passthrough {
+            if idle {
+                self.udp.passthrough = false;
+            } else {
+                return TapVerdict::Forward;
+            }
+        }
+        match &self.udp.spike {
+            Some(_) => TapVerdict::Hold,
+            None => {
+                if idle {
+                    self.udp.spike = Some(Spike {
+                        started: now,
+                        mode: SpikeMode::Classifying(SpikeClassifier::new(
+                            self.config.classify_max_packets,
+                        )),
+                    });
+                    ctx.set_timer(
+                        self.config.ghm_aggregation,
+                        TimerToken::AggregateUdp {
+                            pipeline: ctx.index() as u8,
+                        },
+                    );
+                    TapVerdict::Hold
+                } else {
+                    TapVerdict::Forward
+                }
+            }
+        }
+    }
+}
+
+impl SpeakerPipeline for GhmPipeline {
+    fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
+        let holding = self
+            .conns
+            .get(&view.conn)
+            .map(|t| t.spike.is_some())
+            .unwrap_or(false);
+        if let Screened::Verdict(v) = screen_segment(view, holding) {
+            return v;
+        }
+
+        if !self.conns.contains(&view.conn) {
+            let server_ip = *view.dst.ip();
+            let kind = if self.google_ips.contains(&server_ip) {
+                ConnKind::GoogleVoice
+            } else {
+                ConnKind::Other
+            };
+            self.conns.insert(
+                view.conn,
+                ConnTrack {
+                    kind,
+                    last_data: None,
+                    spike: None,
+                    passthrough: false,
+                },
+            );
+        }
+
+        let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        match track.kind {
+            ConnKind::GoogleVoice => self.on_voice_data(ctx, view.conn),
+            ConnKind::Other => TapVerdict::Forward,
+        }
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut PipelineCtx<'_>,
+        dgram: &Datagram,
+        outbound: bool,
+    ) -> TapVerdict {
+        if !outbound {
+            return TapVerdict::Forward;
+        }
+        if !self.google_ips.contains(dgram.dst.ip()) {
+            return TapVerdict::Forward;
+        }
+        if self.flow_ip.is_none() {
+            self.flow_ip = Some(*dgram.src.ip());
+        }
+        self.on_voice_datagram(ctx)
+    }
+
+    fn on_dns_response(&mut self, _ctx: &mut PipelineCtx<'_>, name: &str, ip: Ipv4Addr) {
+        if name == self.config.google_domain {
+            self.google_ips.insert(ip);
+        }
+    }
+
+    fn on_conn_closed(&mut self, _ctx: &mut PipelineCtx<'_>, conn: ConnId, _reason: CloseReason) {
+        self.conns.remove(&conn);
+    }
+
+    fn on_timer(&mut self, ctx: &mut PipelineCtx<'_>, token: TimerToken) {
+        match token {
+            TimerToken::AggregateUdp { .. } => {
+                // Aggregation window elapsed: the whole post-idle flight is
+                // one command; raise the query.
+                let Some(flow) = self.flow_ip else {
+                    return;
+                };
+                if let Some(spike) = self.udp.spike.as_mut() {
+                    if matches!(spike.mode, SpikeMode::Classifying(_)) {
+                        let started = spike.started;
+                        let query =
+                            ctx.raise_query(HoldTarget::UdpFlow(flow), started, &self.config);
+                        if let Some(spike) = self.udp.spike.as_mut() {
+                            spike.mode = SpikeMode::AwaitingVerdict(query);
+                        }
+                        ctx.spike_classified(started, SpikeClass::Command);
+                    }
+                }
+            }
+            TimerToken::AggregateConn { conn, .. } => {
+                let Some(track) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let Some(spike) = track.spike.as_mut() else {
+                    return;
+                };
+                if matches!(spike.mode, SpikeMode::Classifying(_)) {
+                    let started = spike.started;
+                    let query = ctx.raise_query(HoldTarget::Conn(conn), started, &self.config);
+                    if let Some(track) = self.conns.get_mut(&conn) {
+                        if let Some(spike) = track.spike.as_mut() {
+                            spike.mode = SpikeMode::AwaitingVerdict(query);
+                        }
+                    }
+                    ctx.spike_classified(started, SpikeClass::Command);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn verdict_applied(
+        &mut self,
+        _ctx: &mut PipelineCtx<'_>,
+        target: HoldTarget,
+        verdict: Verdict,
+    ) {
+        match target {
+            HoldTarget::Conn(conn) => {
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.spike = None;
+                    track.passthrough = true;
+                }
+            }
+            HoldTarget::UdpFlow(_) => {
+                self.udp.spike = None;
+                match verdict {
+                    Verdict::Legitimate => self.udp.passthrough = true,
+                    Verdict::Malicious => self.udp.blocking = true,
+                }
+            }
+        }
+    }
+}

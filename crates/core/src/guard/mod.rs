@@ -1,0 +1,520 @@
+//! The Traffic Processing Module as a bump-in-the-wire tap
+//! ([`netsim::Middlebox`]).
+//!
+//! Composition of the two §IV-B sub-modules:
+//!
+//! * **Voice Command Traffic Recognition** — identifies the voice-command
+//!   flow (AVS front-end by DNS or connection signature for the Echo Dot;
+//!   DNS-tracked `www.google.com` flows for the Mini) and classifies
+//!   post-idle spikes with [`crate::SpikeClassifier`];
+//! * **Traffic Handler** — holds spike packets (the engine transparently
+//!   ACKs the speaker), then releases or discards them when the Decision
+//!   Module's verdict arrives via [`VoiceGuardTap::schedule_verdict`].
+//!
+//! # Architecture
+//!
+//! [`VoiceGuardTap`] is a thin multiplexer: it owns the query table, event
+//! queue and statistics, and routes segments/datagrams by speaker IP to
+//! per-speaker [`SpeakerPipeline`] instances ([`EchoPipeline`],
+//! [`GhmPipeline`]). One tap can therefore guard several speakers of
+//! different kinds at once — attach additional pipelines with
+//! [`VoiceGuardTap::add_pipeline`] or [`VoiceGuardTap::attach`] and share
+//! the tap across hosts with `netsim::Network::share_tap`.
+//!
+//! The tap is driven by the network engine; an orchestrator polls
+//! [`VoiceGuardTap::take_events`] for [`GuardEvent::QueryRequested`]
+//! events, evaluates them with the [`crate::DecisionModule`], and feeds
+//! verdicts back.
+
+pub mod echo;
+pub mod flow;
+pub mod ghm;
+pub mod pipeline;
+pub mod token;
+
+pub use echo::EchoPipeline;
+pub use flow::{FlowTable, HoldQueue};
+pub use ghm::GhmPipeline;
+pub use pipeline::{HoldTarget, PipelineCtx, SpeakerPipeline};
+pub use token::TimerToken;
+
+use crate::config::{GuardConfig, SpeakerKind};
+use crate::decision::Verdict;
+use crate::recognition::SpikeClass;
+use netsim::app::SegmentView;
+use netsim::{CloseReason, ConnId, Datagram, Direction, Middlebox, TapCtx, TapVerdict};
+use simcore::SimTime;
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Identifies one legitimacy query raised by the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
+/// Events surfaced to the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardEvent {
+    /// A spike was classified (ground-truthable for Table I).
+    SpikeClassified {
+        /// When the spike's first packet was seen.
+        spike_start: SimTime,
+        /// The classification.
+        class: SpikeClass,
+    },
+    /// A voice command was recognised; the traffic is on hold awaiting a
+    /// verdict.
+    QueryRequested {
+        /// The query to answer via [`VoiceGuardTap::schedule_verdict`].
+        query: QueryId,
+        /// When the query was raised.
+        at: SimTime,
+        /// When the first packet of the command spike was held.
+        hold_started: SimTime,
+        /// Index of the speaker pipeline that raised the query.
+        pipeline: usize,
+    },
+    /// A verdict released the held command traffic.
+    CommandAllowed {
+        /// The query.
+        query: QueryId,
+        /// When the release happened.
+        at: SimTime,
+        /// Packets/datagrams released.
+        released: usize,
+    },
+    /// A verdict dropped the held command traffic.
+    CommandBlocked {
+        /// The query.
+        query: QueryId,
+        /// When the drop happened.
+        at: SimTime,
+        /// Packets/datagrams dropped.
+        dropped: usize,
+    },
+}
+
+/// Aggregate statistics kept by the tap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GuardStats {
+    /// Total queries raised.
+    pub queries: u64,
+    /// Queries resolved as legitimate.
+    pub allowed: u64,
+    /// Queries resolved as malicious.
+    pub blocked: u64,
+    /// Queries resolved by the verdict timeout.
+    pub timeouts: u64,
+    /// Seconds each resolved query kept traffic on hold.
+    pub hold_durations_s: Vec<f64>,
+    /// AVS front-end IPs learned via the connection signature (no DNS).
+    pub signature_learned_ips: u64,
+    /// AVS front-end IPs learned from DNS answers.
+    pub dns_learned_ips: u64,
+    /// Times the adaptive learner promoted a new connection signature.
+    pub signatures_adapted: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct PendingQuery {
+    pub(crate) pipeline: usize,
+    pub(crate) target: HoldTarget,
+    pub(crate) hold_started: SimTime,
+    pub(crate) verdict: Option<Verdict>,
+    pub(crate) fail_closed: bool,
+}
+
+/// One pipeline attached to the multiplexer.
+struct PipelineSlot {
+    /// Speaker IP this pipeline guards; `None` is a catch-all that takes
+    /// any traffic no addressed pipeline claims (the single-speaker
+    /// legacy mode).
+    ip: Option<Ipv4Addr>,
+    pipeline: Box<dyn SpeakerPipeline>,
+}
+
+/// The VoiceGuard tap: a multiplexer of per-speaker
+/// [`SpeakerPipeline`]s. Install on the speaker's host with
+/// [`netsim::Network::set_tap`]; guard further speakers through the same
+/// instance with `netsim::Network::share_tap`.
+pub struct VoiceGuardTap {
+    slots: Vec<PipelineSlot>,
+    /// Connection → pipeline routing cache, filled on first sight and
+    /// cleared when the connection closes.
+    conn_routes: HashMap<ConnId, usize>,
+    queries: HashMap<QueryId, PendingQuery>,
+    next_query: u64,
+    events: VecDeque<GuardEvent>,
+    /// Aggregate statistics across all pipelines.
+    pub stats: GuardStats,
+    pipeline_stats: Vec<GuardStats>,
+}
+
+impl fmt::Debug for VoiceGuardTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VoiceGuardTap")
+            .field("pipelines", &self.slots.len())
+            .field("pending_queries", &self.queries.len())
+            .finish()
+    }
+}
+
+/// Builds the pipeline matching `config.speaker`. The only speaker-kind
+/// dispatch left in the guard — it runs at construction time, never on the
+/// packet path.
+fn build_pipeline(config: GuardConfig, signature: &[u32]) -> Box<dyn SpeakerPipeline> {
+    match config.speaker {
+        SpeakerKind::EchoDot => Box::new(EchoPipeline::with_signature(config, signature)),
+        SpeakerKind::GoogleHomeMini => Box::new(GhmPipeline::new(config)),
+    }
+}
+
+impl VoiceGuardTap {
+    /// Creates a single-speaker tap with the paper's AVS connection
+    /// signature. The pipeline is a catch-all: it sees all traffic on the
+    /// tapped link, whatever the speaker's address.
+    pub fn new(config: GuardConfig) -> Self {
+        VoiceGuardTap::with_signature(config, &speaker_signature())
+    }
+
+    /// Creates a single-speaker tap with a custom connection signature
+    /// (for ablations).
+    pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
+        let mut tap = VoiceGuardTap::multi();
+        tap.attach(None, build_pipeline(config, signature));
+        tap
+    }
+
+    /// Creates an empty multi-speaker tap; add speakers with
+    /// [`VoiceGuardTap::add_pipeline`] or [`VoiceGuardTap::attach`].
+    pub fn multi() -> Self {
+        VoiceGuardTap {
+            slots: Vec::new(),
+            conn_routes: HashMap::new(),
+            queries: HashMap::new(),
+            next_query: 0,
+            events: VecDeque::new(),
+            stats: GuardStats::default(),
+            pipeline_stats: Vec::new(),
+        }
+    }
+
+    /// Adds a pipeline for the speaker at `ip`, built from
+    /// `config.speaker` with the paper's AVS signature. Returns the
+    /// pipeline's index (the `pipeline` field of its
+    /// [`GuardEvent::QueryRequested`] events).
+    pub fn add_pipeline(&mut self, ip: Ipv4Addr, config: GuardConfig) -> usize {
+        self.attach(Some(ip), build_pipeline(config, &speaker_signature()))
+    }
+
+    /// Attaches an arbitrary [`SpeakerPipeline`] — the extension point for
+    /// speaker models beyond the paper's two. `ip: None` makes it the
+    /// catch-all for traffic no addressed pipeline claims.
+    pub fn attach(&mut self, ip: Option<Ipv4Addr>, pipeline: Box<dyn SpeakerPipeline>) -> usize {
+        let index = self.slots.len();
+        assert!(index < 256, "at most 256 pipelines per tap");
+        self.slots.push(PipelineSlot { ip, pipeline });
+        self.pipeline_stats.push(GuardStats::default());
+        index
+    }
+
+    /// Number of attached pipelines.
+    pub fn pipeline_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Per-speaker statistics for pipeline `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn pipeline_stats(&self, index: usize) -> &GuardStats {
+        &self.pipeline_stats[index]
+    }
+
+    /// Drains pending events for the orchestrator.
+    pub fn take_events(&mut self) -> Vec<GuardEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// True if any query is awaiting a verdict.
+    pub fn has_pending_queries(&self) -> bool {
+        self.queries.values().any(|q| q.verdict.is_none())
+    }
+
+    /// The AVS front-end IP the guard currently believes in (first
+    /// pipeline that tracks one).
+    pub fn learned_avs_ip(&self) -> Option<Ipv4Addr> {
+        self.slots.iter().find_map(|s| s.pipeline.cloud_ip())
+    }
+
+    /// Schedules `verdict` for `query` to take effect after `delay` (the
+    /// Decision Module's measured query latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is unknown or already answered.
+    pub fn schedule_verdict(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        query: QueryId,
+        verdict: Verdict,
+        delay: simcore::SimDuration,
+    ) {
+        let pending = self
+            .queries
+            .get_mut(&query)
+            .unwrap_or_else(|| panic!("unknown {query}"));
+        assert!(pending.verdict.is_none(), "{query} already answered");
+        pending.verdict = Some(verdict);
+        ctx.set_timer(delay, TimerToken::VerdictDelivery { query }.encode());
+    }
+
+    /// Routes to the pipeline addressed by `speaker_ip`, falling back to
+    /// the catch-all pipeline.
+    fn route_ip(&self, speaker_ip: Ipv4Addr) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.ip == Some(speaker_ip))
+            .or_else(|| self.slots.iter().position(|s| s.ip.is_none()))
+    }
+
+    /// Runs `f` against pipeline `index` with a [`PipelineCtx`] split out
+    /// of the multiplexer's shared state.
+    fn dispatch<R>(
+        &mut self,
+        index: usize,
+        tap: &mut dyn TapCtx,
+        f: impl FnOnce(&mut dyn SpeakerPipeline, &mut PipelineCtx<'_>) -> R,
+    ) -> R {
+        let slot = &mut self.slots[index];
+        let mut ctx = PipelineCtx {
+            tap,
+            queries: &mut self.queries,
+            next_query: &mut self.next_query,
+            events: &mut self.events,
+            stats: &mut self.stats,
+            pipeline_stats: &mut self.pipeline_stats[index],
+            index,
+        };
+        f(slot.pipeline.as_mut(), &mut ctx)
+    }
+
+    /// Applies a statistics update to both the aggregate and pipeline
+    /// `index`'s counters.
+    fn bump(&mut self, index: usize, f: impl Fn(&mut GuardStats)) {
+        f(&mut self.stats);
+        f(&mut self.pipeline_stats[index]);
+    }
+
+    fn apply_verdict(&mut self, ctx: &mut dyn TapCtx, query: QueryId, verdict: Verdict) {
+        let Some(pending) = self.queries.remove(&query) else {
+            return;
+        };
+        let now = ctx.now();
+        let held_for = now.saturating_since(pending.hold_started).as_secs_f64();
+        self.bump(pending.pipeline, |s| s.hold_durations_s.push(held_for));
+        // Let the owning pipeline retire its spike / enter passthrough or
+        // blocking before the held frames move.
+        self.dispatch(pending.pipeline, ctx, |p, pctx| {
+            p.verdict_applied(pctx, pending.target, verdict)
+        });
+        match (pending.target, verdict) {
+            (HoldTarget::Conn(conn), Verdict::Legitimate) => {
+                let released = ctx.release_held(conn);
+                self.bump(pending.pipeline, |s| s.allowed += 1);
+                self.events.push_back(GuardEvent::CommandAllowed {
+                    query,
+                    at: now,
+                    released,
+                });
+                ctx.trace("guard.allow", &format!("{query}: released {released}"));
+            }
+            (HoldTarget::Conn(conn), Verdict::Malicious) => {
+                let dropped = ctx.discard_held(conn);
+                self.bump(pending.pipeline, |s| s.blocked += 1);
+                self.events.push_back(GuardEvent::CommandBlocked {
+                    query,
+                    at: now,
+                    dropped,
+                });
+                ctx.trace("guard.block", &format!("{query}: dropped {dropped}"));
+            }
+            (HoldTarget::UdpFlow(flow), Verdict::Legitimate) => {
+                let released = ctx.release_held_datagrams(flow);
+                self.bump(pending.pipeline, |s| s.allowed += 1);
+                self.events.push_back(GuardEvent::CommandAllowed {
+                    query,
+                    at: now,
+                    released,
+                });
+            }
+            (HoldTarget::UdpFlow(flow), Verdict::Malicious) => {
+                let dropped = ctx.discard_held_datagrams(flow);
+                self.bump(pending.pipeline, |s| s.blocked += 1);
+                self.events.push_back(GuardEvent::CommandBlocked {
+                    query,
+                    at: now,
+                    dropped,
+                });
+            }
+        }
+    }
+}
+
+/// The Echo Dot AVS connection signature (kept here so the core crate has
+/// no dependency on the speaker models).
+fn speaker_signature() -> [u32; 16] {
+    [
+        63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+    ]
+}
+
+impl Middlebox for VoiceGuardTap {
+    fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
+        let index = match self.conn_routes.get(&view.conn) {
+            Some(&i) => i,
+            None => {
+                // The speaker side of the segment: source when the speaker
+                // sends, destination when it receives.
+                let speaker_ip = match view.dir {
+                    Direction::ClientToServer => *view.src.ip(),
+                    Direction::ServerToClient => *view.dst.ip(),
+                };
+                let Some(i) = self.route_ip(speaker_ip) else {
+                    return TapVerdict::Forward;
+                };
+                self.conn_routes.insert(view.conn, i);
+                i
+            }
+        };
+        self.dispatch(index, ctx, |p, pctx| p.on_segment(pctx, view))
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        dgram: &Datagram,
+        outbound: bool,
+    ) -> TapVerdict {
+        let speaker_ip = if outbound {
+            *dgram.src.ip()
+        } else {
+            *dgram.dst.ip()
+        };
+        let Some(index) = self.route_ip(speaker_ip) else {
+            return TapVerdict::Forward;
+        };
+        self.dispatch(index, ctx, |p, pctx| p.on_datagram(pctx, dgram, outbound))
+    }
+
+    fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
+        // DNS answers are broadcast: each pipeline filters by the domain
+        // it tracks.
+        for index in 0..self.slots.len() {
+            self.dispatch(index, ctx, |p, pctx| p.on_dns_response(pctx, name, ip));
+        }
+    }
+
+    fn on_conn_closed(&mut self, ctx: &mut dyn TapCtx, conn: ConnId, reason: CloseReason) {
+        if let Some(index) = self.conn_routes.remove(&conn) {
+            self.dispatch(index, ctx, |p, pctx| p.on_conn_closed(pctx, conn, reason));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
+        let Some(token) = TimerToken::decode(token) else {
+            return;
+        };
+        match token {
+            TimerToken::VerdictTimeout { query } => {
+                let Some(pending) = self.queries.get(&query) else {
+                    return;
+                };
+                if pending.verdict.is_some() {
+                    return;
+                }
+                let (index, fail_closed) = (pending.pipeline, pending.fail_closed);
+                self.bump(index, |s| s.timeouts += 1);
+                let verdict = if fail_closed {
+                    Verdict::Malicious
+                } else {
+                    Verdict::Legitimate
+                };
+                ctx.trace("guard.timeout", &format!("{query} timed out"));
+                self.apply_verdict(ctx, query, verdict);
+            }
+            TimerToken::VerdictDelivery { query } => {
+                let Some(verdict) = self.queries.get(&query).and_then(|q| q.verdict) else {
+                    return; // already resolved (e.g. by timeout)
+                };
+                self.apply_verdict(ctx, query, verdict);
+            }
+            pipeline_token => {
+                let Some(index) = pipeline_token.pipeline() else {
+                    return;
+                };
+                if index >= self.slots.len() {
+                    return;
+                }
+                self.dispatch(index, ctx, |p, pctx| p.on_timer(pctx, pipeline_token));
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tap_has_no_state() {
+        let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        assert!(tap.learned_avs_ip().is_none());
+        assert!(!tap.has_pending_queries());
+        assert_eq!(tap.stats, GuardStats::default());
+        assert_eq!(tap.pipeline_count(), 1);
+        assert_eq!(tap.pipeline_stats(0), &GuardStats::default());
+    }
+
+    #[test]
+    fn signature_constant_matches_paper() {
+        assert_eq!(
+            speaker_signature()[..4],
+            [63, 33, 653, 131],
+            "prefix from §IV-B1"
+        );
+    }
+
+    #[test]
+    fn multi_tap_routes_by_speaker_ip() {
+        let mut tap = VoiceGuardTap::multi();
+        let echo = tap.add_pipeline(Ipv4Addr::new(192, 168, 1, 200), GuardConfig::echo_dot());
+        let ghm = tap.add_pipeline(
+            Ipv4Addr::new(192, 168, 1, 201),
+            GuardConfig::google_home_mini(),
+        );
+        assert_eq!((echo, ghm), (0, 1));
+        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 200)), Some(0));
+        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 201)), Some(1));
+        // No catch-all: unknown speakers are nobody's business.
+        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 202)), None);
+    }
+
+    #[test]
+    fn catch_all_takes_unclaimed_traffic() {
+        let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        assert_eq!(tap.route_ip(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
+    }
+}

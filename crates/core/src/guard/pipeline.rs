@@ -1,0 +1,210 @@
+//! The speaker-agnostic pipeline abstraction.
+//!
+//! A [`SpeakerPipeline`] owns the flow-recognition state machine for one
+//! smart speaker; the [`crate::VoiceGuardTap`] multiplexer routes traffic
+//! to pipelines by speaker IP and services their shared needs (queries,
+//! events, stats, timers) through a [`PipelineCtx`]. Adding support for a
+//! new speaker model means implementing this trait — the multiplexer and
+//! the engine are untouched.
+
+use crate::config::GuardConfig;
+use crate::decision::Verdict;
+use crate::guard::token::TimerToken;
+use crate::guard::{GuardEvent, GuardStats, PendingQuery, QueryId};
+use crate::recognition::{SpikeClass, SpikeClassifier};
+use netsim::app::SegmentView;
+use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapCtx, TapVerdict};
+use simcore::SimTime;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// What a pending query is holding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldTarget {
+    /// A TCP connection's held segments.
+    Conn(ConnId),
+    /// A UDP flow's held datagrams, identified by the speaker-side IP.
+    UdpFlow(Ipv4Addr),
+}
+
+/// Spike lifecycle shared by the pipelines.
+#[derive(Debug)]
+pub(super) enum SpikeMode {
+    /// Packets are buffered while the classifier decides.
+    Classifying(SpikeClassifier),
+    /// Classified as a command; held until the verdict for the query
+    /// (kept for diagnostics in Debug output).
+    AwaitingVerdict(#[allow(dead_code)] QueryId),
+}
+
+#[derive(Debug)]
+pub(super) struct Spike {
+    pub(super) started: SimTime,
+    pub(super) mode: SpikeMode,
+}
+
+/// Outcome of the speaker-agnostic segment screen.
+pub(super) enum Screened {
+    /// The segment's fate is decided without touching recognition state.
+    Verdict(TapVerdict),
+    /// A speaker-originated application-data record to recognise.
+    Record(u32),
+}
+
+/// Filters a segment down to the speaker-originated app-data records the
+/// recognition state machines care about. Control frames, inbound records,
+/// keep-alives and retransmissions are resolved here: held while `holding`
+/// (so the engine spoof-ACKs them mid-hold), forwarded otherwise.
+pub(super) fn screen_segment(view: &SegmentView, holding: bool) -> Screened {
+    let held_or_forwarded = if holding {
+        TapVerdict::Hold
+    } else {
+        TapVerdict::Forward
+    };
+    let record = match view.payload {
+        SegmentPayload::Data(rec) if rec.is_app_data() => rec,
+        SegmentPayload::KeepAlive if view.dir == Direction::ClientToServer => {
+            return Screened::Verdict(held_or_forwarded);
+        }
+        _ => return Screened::Verdict(TapVerdict::Forward),
+    };
+    if view.dir != Direction::ClientToServer {
+        return Screened::Verdict(TapVerdict::Forward);
+    }
+    if view.retransmit {
+        // Retransmissions repeat already-counted records: keep them out
+        // of spike accounting, but hold them if the stream is on hold.
+        return Screened::Verdict(held_or_forwarded);
+    }
+    Screened::Record(record.len)
+}
+
+/// Per-speaker traffic pipeline driven by the [`crate::VoiceGuardTap`]
+/// multiplexer.
+pub trait SpeakerPipeline: fmt::Debug + Send {
+    /// A speaker-originated or speaker-bound TCP segment.
+    fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict;
+
+    /// A UDP/QUIC datagram on the speaker's access link.
+    fn on_datagram(
+        &mut self,
+        ctx: &mut PipelineCtx<'_>,
+        dgram: &Datagram,
+        outbound: bool,
+    ) -> TapVerdict;
+
+    /// A DNS answer observed on the access link (broadcast to every
+    /// pipeline; each filters by the domain it tracks).
+    fn on_dns_response(&mut self, ctx: &mut PipelineCtx<'_>, name: &str, ip: Ipv4Addr);
+
+    /// A tracked connection ended.
+    fn on_conn_closed(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, reason: CloseReason);
+
+    /// A pipeline-scoped timer (Classify / Aggregate) fired.
+    fn on_timer(&mut self, ctx: &mut PipelineCtx<'_>, token: TimerToken);
+
+    /// The multiplexer resolved a query on `target`: update flow state
+    /// (clear the spike, enter passthrough or blocking). Releasing or
+    /// discarding the held frames is the multiplexer's job.
+    fn verdict_applied(&mut self, ctx: &mut PipelineCtx<'_>, target: HoldTarget, verdict: Verdict);
+
+    /// The cloud front-end IP this pipeline currently believes in, if it
+    /// tracks one (the Echo pipeline's AVS front-end).
+    fn cloud_ip(&self) -> Option<Ipv4Addr> {
+        None
+    }
+}
+
+/// The multiplexer-side services a pipeline works against: the shared
+/// query table, event queue, statistics and the engine's [`TapCtx`].
+pub struct PipelineCtx<'a> {
+    pub(super) tap: &'a mut dyn TapCtx,
+    pub(super) queries: &'a mut HashMap<QueryId, PendingQuery>,
+    pub(super) next_query: &'a mut u64,
+    pub(super) events: &'a mut VecDeque<GuardEvent>,
+    pub(super) stats: &'a mut GuardStats,
+    pub(super) pipeline_stats: &'a mut GuardStats,
+    pub(super) index: usize,
+}
+
+impl PipelineCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.tap.now()
+    }
+
+    /// This pipeline's index at the multiplexer (the `pipeline` byte for
+    /// its timer tokens).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Emits a structured trace event.
+    pub fn trace(&mut self, category: &str, message: &str) {
+        self.tap.trace(category, message);
+    }
+
+    /// Schedules a timer; it returns to this pipeline's
+    /// [`SpeakerPipeline::on_timer`] (or the multiplexer, for verdict
+    /// tokens) after `delay`.
+    pub fn set_timer(&mut self, delay: simcore::SimDuration, token: TimerToken) {
+        self.tap.set_timer(delay, token.encode());
+    }
+
+    /// Raises a legitimacy query holding `target`, arming the verdict
+    /// fail-safe from `config`. Mirrors the paper's Traffic Handler: the
+    /// spike stays on hold until [`crate::VoiceGuardTap::schedule_verdict`]
+    /// answers or the timeout resolves it.
+    pub fn raise_query(
+        &mut self,
+        target: HoldTarget,
+        hold_started: SimTime,
+        config: &GuardConfig,
+    ) -> QueryId {
+        let query = QueryId(*self.next_query);
+        *self.next_query += 1;
+        self.queries.insert(
+            query,
+            PendingQuery {
+                pipeline: self.index,
+                target,
+                hold_started,
+                verdict: None,
+                fail_closed: config.fail_closed,
+            },
+        );
+        self.bump(|s| s.queries += 1);
+        let at = self.tap.now();
+        self.events.push_back(GuardEvent::QueryRequested {
+            query,
+            at,
+            hold_started,
+            pipeline: self.index,
+        });
+        self.tap.set_timer(
+            config.verdict_timeout,
+            TimerToken::VerdictTimeout { query }.encode(),
+        );
+        self.tap.trace("guard.query", &format!("{query} raised"));
+        query
+    }
+
+    /// Records a spike classification event (ground-truthable, Table I).
+    pub fn spike_classified(&mut self, spike_start: SimTime, class: SpikeClass) {
+        self.events
+            .push_back(GuardEvent::SpikeClassified { spike_start, class });
+    }
+
+    /// Releases `conn`'s held segments in order; returns how many.
+    pub fn release_held(&mut self, conn: ConnId) -> usize {
+        self.tap.release_held(conn)
+    }
+
+    /// Applies a statistics update to both the aggregate and this
+    /// pipeline's per-speaker counters.
+    pub fn bump(&mut self, f: impl Fn(&mut GuardStats)) {
+        f(self.stats);
+        f(self.pipeline_stats);
+    }
+}

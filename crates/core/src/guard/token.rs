@@ -1,0 +1,183 @@
+//! Typed timer tokens.
+//!
+//! The engine's [`netsim::TapCtx::set_timer`] carries an opaque `u64`; the
+//! guard packs a [`TimerToken`] into it. Layout (most significant first):
+//!
+//! ```text
+//! | kind: 8 bits | pipeline: 8 bits | payload: 48 bits |
+//! ```
+//!
+//! `kind` discriminates the token variants, `pipeline` addresses the
+//! per-speaker pipeline a Classify/Aggregate timer belongs to, and
+//! `payload` carries the connection or query id. Verdict timers are owned
+//! by the multiplexer itself, so their pipeline byte is zero.
+
+use crate::guard::QueryId;
+use netsim::ConnId;
+
+const KIND_SHIFT: u32 = 56;
+const PIPELINE_SHIFT: u32 = 48;
+const PAYLOAD_MASK: u64 = (1 << PIPELINE_SHIFT) - 1;
+
+const KIND_CLASSIFY: u64 = 1;
+const KIND_VERDICT_TIMEOUT: u64 = 2;
+const KIND_VERDICT_DELIVERY: u64 = 3;
+const KIND_AGGREGATE_CONN: u64 = 4;
+const KIND_AGGREGATE_UDP: u64 = 5;
+
+/// A decoded guard timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerToken {
+    /// Classification deadline for an Echo spike on `conn`.
+    Classify {
+        /// Owning pipeline index.
+        pipeline: u8,
+        /// The spiking connection.
+        conn: ConnId,
+    },
+    /// Fail-safe deadline for an unanswered query.
+    VerdictTimeout {
+        /// The query that must resolve.
+        query: QueryId,
+    },
+    /// A scheduled verdict becomes effective.
+    VerdictDelivery {
+        /// The answered query.
+        query: QueryId,
+    },
+    /// GHM aggregation window elapsed for a TCP voice flow.
+    AggregateConn {
+        /// Owning pipeline index.
+        pipeline: u8,
+        /// The spiking connection.
+        conn: ConnId,
+    },
+    /// GHM aggregation window elapsed for the QUIC datagram flow.
+    AggregateUdp {
+        /// Owning pipeline index.
+        pipeline: u8,
+    },
+}
+
+impl TimerToken {
+    /// Packs the token into the engine's `u64` timer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection or query id exceeds 48 bits.
+    pub fn encode(self) -> u64 {
+        let (kind, pipeline, payload) = match self {
+            TimerToken::Classify { pipeline, conn } => (KIND_CLASSIFY, pipeline, conn.0),
+            TimerToken::VerdictTimeout { query } => (KIND_VERDICT_TIMEOUT, 0, query.0),
+            TimerToken::VerdictDelivery { query } => (KIND_VERDICT_DELIVERY, 0, query.0),
+            TimerToken::AggregateConn { pipeline, conn } => (KIND_AGGREGATE_CONN, pipeline, conn.0),
+            TimerToken::AggregateUdp { pipeline } => (KIND_AGGREGATE_UDP, pipeline, 0),
+        };
+        assert!(
+            payload <= PAYLOAD_MASK,
+            "timer payload {payload:#x} exceeds 48 bits"
+        );
+        (kind << KIND_SHIFT) | ((pipeline as u64) << PIPELINE_SHIFT) | payload
+    }
+
+    /// Decodes an engine timer payload; `None` for unknown kinds (e.g.
+    /// tokens set by a different middlebox).
+    pub fn decode(token: u64) -> Option<TimerToken> {
+        let kind = token >> KIND_SHIFT;
+        let pipeline = ((token >> PIPELINE_SHIFT) & 0xFF) as u8;
+        let payload = token & PAYLOAD_MASK;
+        match kind {
+            KIND_CLASSIFY => Some(TimerToken::Classify {
+                pipeline,
+                conn: ConnId(payload),
+            }),
+            KIND_VERDICT_TIMEOUT => Some(TimerToken::VerdictTimeout {
+                query: QueryId(payload),
+            }),
+            KIND_VERDICT_DELIVERY => Some(TimerToken::VerdictDelivery {
+                query: QueryId(payload),
+            }),
+            KIND_AGGREGATE_CONN => Some(TimerToken::AggregateConn {
+                pipeline,
+                conn: ConnId(payload),
+            }),
+            KIND_AGGREGATE_UDP => Some(TimerToken::AggregateUdp { pipeline }),
+            _ => None,
+        }
+    }
+
+    /// The pipeline index a pipeline-scoped token addresses; `None` for
+    /// the multiplexer-owned verdict timers.
+    pub fn pipeline(self) -> Option<usize> {
+        match self {
+            TimerToken::Classify { pipeline, .. }
+            | TimerToken::AggregateConn { pipeline, .. }
+            | TimerToken::AggregateUdp { pipeline } => Some(pipeline as usize),
+            TimerToken::VerdictTimeout { .. } | TimerToken::VerdictDelivery { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_variant() {
+        let samples = [
+            TimerToken::Classify {
+                pipeline: 0,
+                conn: ConnId(0),
+            },
+            TimerToken::Classify {
+                pipeline: 255,
+                conn: ConnId(PAYLOAD_MASK),
+            },
+            TimerToken::VerdictTimeout { query: QueryId(42) },
+            TimerToken::VerdictDelivery {
+                query: QueryId(PAYLOAD_MASK),
+            },
+            TimerToken::AggregateConn {
+                pipeline: 7,
+                conn: ConnId(123_456_789),
+            },
+            TimerToken::AggregateUdp { pipeline: 3 },
+        ];
+        for token in samples {
+            assert_eq!(TimerToken::decode(token.encode()), Some(token), "{token:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_tokens_encode_distinctly() {
+        let a = TimerToken::Classify {
+            pipeline: 1,
+            conn: ConnId(9),
+        };
+        let b = TimerToken::AggregateConn {
+            pipeline: 1,
+            conn: ConnId(9),
+        };
+        let c = TimerToken::VerdictTimeout { query: QueryId(9) };
+        assert_ne!(a.encode(), b.encode());
+        assert_ne!(a.encode(), c.encode());
+        assert_ne!(b.encode(), c.encode());
+    }
+
+    #[test]
+    fn unknown_kind_decodes_to_none() {
+        assert_eq!(TimerToken::decode(0), None);
+        assert_eq!(TimerToken::decode(0xFF << KIND_SHIFT), None);
+        assert_eq!(TimerToken::decode(0x99 << KIND_SHIFT | 5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_payload_panics() {
+        TimerToken::Classify {
+            pipeline: 0,
+            conn: ConnId(1 << 48),
+        }
+        .encode();
+    }
+}

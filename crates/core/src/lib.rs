@@ -41,7 +41,10 @@ pub mod recognition;
 pub use config::{GuardConfig, SpeakerKind};
 pub use decision::{DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport, Verdict};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
-pub use guard::{GuardEvent, GuardStats, QueryId, VoiceGuardTap};
+pub use guard::{
+    EchoPipeline, FlowTable, GhmPipeline, GuardEvent, GuardStats, HoldTarget, PipelineCtx, QueryId,
+    SpeakerPipeline, TimerToken, VoiceGuardTap,
+};
 pub use learning::SignatureLearner;
 pub use policy::{DecisionPolicy, DeviceEvidence, PolicyVote, QuietHoursPolicy};
 pub use recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};

@@ -173,7 +173,10 @@ mod tests {
     fn rssi_above_threshold_vouches() {
         let p = default_policies();
         assert!(device_vouches(&p, &evidence(-5.0, -8.0, None)));
-        assert!(device_vouches(&p, &evidence(-8.0, -8.0, None)), "boundary counts");
+        assert!(
+            device_vouches(&p, &evidence(-8.0, -8.0, None)),
+            "boundary counts"
+        );
     }
 
     #[test]

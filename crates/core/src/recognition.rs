@@ -180,11 +180,7 @@ impl SpikeClassifier {
 /// With `force`, treats the prefix as complete (no more packets coming).
 fn classify(lens: &[u32], max_packets: usize, force: bool) -> SpikeClass {
     // Rule 1: p-138 or p-75 within the first five packets → command.
-    if lens
-        .iter()
-        .take(5)
-        .any(|l| *l == P138 || *l == P75)
-    {
+    if lens.iter().take(5).any(|l| *l == P138 || *l == P75) {
         return SpikeClass::Command;
     }
     // Rule 2: one of the fixed patterns across the first five packets
@@ -198,10 +194,7 @@ fn classify(lens: &[u32], max_packets: usize, force: bool) -> SpikeClass {
     // Rule 3: p-77 directly followed by p-33 within the first seven →
     // response phase.
     let window = lens.iter().take(7).collect::<Vec<_>>();
-    if window
-        .windows(2)
-        .any(|w| *w[0] == P77 && *w[1] == P33)
-    {
+    if window.windows(2).any(|w| *w[0] == P77 && *w[1] == P33) {
         return SpikeClass::NotCommand;
     }
     // Both command rules only consult the first five packets, so once five

@@ -125,8 +125,7 @@ fn adaptive_guard_relearns_new_firmware_signature() {
 fn static_guard_does_not_adapt() {
     let (mut net, speaker) = setup(false, 2);
     churn_connections(&mut net, 3);
-    let adapted =
-        net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.stats.signatures_adapted);
+    let adapted = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.stats.signatures_adapted);
     assert_eq!(adapted, 0, "learning is opt-in");
 }
 

@@ -33,7 +33,10 @@ fn echo_setup(seed: u64) -> (Network, netsim::HostId) {
         speaker,
         Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP1, AVS_IP2], vec![])),
     );
-    net.set_tap(speaker, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
+    net.set_tap(
+        speaker,
+        Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())),
+    );
     net.start();
     (net, speaker)
 }
@@ -84,7 +87,9 @@ fn heartbeats_never_raise_queries() {
         SimDuration::from_millis(1500),
     );
     assert!(
-        events.iter().all(|e| !matches!(e, GuardEvent::QueryRequested { .. })),
+        events
+            .iter()
+            .all(|e| !matches!(e, GuardEvent::QueryRequested { .. })),
         "idle heartbeats must not trigger the guard: {events:?}"
     );
 }
@@ -159,7 +164,11 @@ fn blocked_command_never_executes_and_session_closes_cleanly() {
         .any(|e| matches!(e, GuardEvent::CommandBlocked { dropped, .. } if *dropped > 0)));
     net.with_app::<EchoDotApp, _>(speaker, |app, _| {
         let rec = app.invocation(99).unwrap();
-        assert_ne!(rec.outcome, CommandOutcome::Executed, "blocked command must not run");
+        assert_ne!(
+            rec.outcome,
+            CommandOutcome::Executed,
+            "blocked command must not run"
+        );
         // Fig. 4 case III: the session closed on the record-sequence gap …
         assert!(
             app.avs_closes
@@ -205,7 +214,10 @@ fn guard_reidentifies_avs_flow_after_block_and_still_blocks_next_attack() {
     // a different front-end the guard must have re-learned it too.
     assert!(sig_learned + dns_learned >= 1);
     if current_server != Some(AVS_IP1) {
-        assert!(sig_learned + dns_learned >= 2, "front-end changed: must re-learn");
+        assert!(
+            sig_learned + dns_learned >= 2,
+            "front-end changed: must re-learn"
+        );
     }
 
     // Further attacks on the new connection must still be caught. A tiny
@@ -238,7 +250,10 @@ fn guard_reidentifies_avs_flow_after_block_and_still_blocks_next_attack() {
             break;
         }
     }
-    assert!(blocked_any, "attacks on the re-identified flow must be blocked");
+    assert!(
+        blocked_any,
+        "attacks on the re-identified flow must be blocked"
+    );
 }
 
 #[test]

@@ -31,12 +31,20 @@ fn setup(seed: u64) -> (Network, netsim::HostId) {
         speaker,
         Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])),
     );
-    net.set_tap(speaker, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
+    net.set_tap(
+        speaker,
+        Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())),
+    );
     net.start();
     (net, speaker)
 }
 
-fn drive(net: &mut Network, speaker: netsim::HostId, until: SimTime, verdict: Verdict) -> Vec<GuardEvent> {
+fn drive(
+    net: &mut Network,
+    speaker: netsim::HostId,
+    until: SimTime,
+    verdict: Verdict,
+) -> Vec<GuardEvent> {
     let mut all = Vec::new();
     while net.now() < until {
         net.run_for(SimDuration::from_millis(100));
@@ -61,7 +69,12 @@ fn music_stream_is_not_mistaken_for_commands() {
     net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
         app.start_music_stream(ctx, SimDuration::from_secs(60));
     });
-    let events = drive(&mut net, speaker, SimTime::from_secs(70), Verdict::Malicious);
+    let events = drive(
+        &mut net,
+        speaker,
+        SimTime::from_secs(70),
+        Verdict::Malicious,
+    );
     // The stream's leading packet forms one post-idle spike that must be
     // classified as NotCommand and released immediately; no query, no hold
     // that would glitch playback.
@@ -89,7 +102,12 @@ fn command_during_streaming_is_a_documented_blind_spot() {
     net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
         app.speak_command(ctx, CommandSpec::simple(1));
     });
-    let events = drive(&mut net, speaker, SimTime::from_secs(60), Verdict::Malicious);
+    let events = drive(
+        &mut net,
+        speaker,
+        SimTime::from_secs(60),
+        Verdict::Malicious,
+    );
     let queries = events
         .iter()
         .filter(|e| matches!(e, GuardEvent::QueryRequested { .. }))
@@ -112,11 +130,21 @@ fn recognition_resumes_after_the_stream_ends() {
         app.start_music_stream(ctx, SimDuration::from_secs(20));
     });
     // Let the stream finish and the flow go idle.
-    drive(&mut net, speaker, SimTime::from_secs(30), Verdict::Malicious);
+    drive(
+        &mut net,
+        speaker,
+        SimTime::from_secs(30),
+        Verdict::Malicious,
+    );
     net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
         app.speak_command(ctx, CommandSpec::simple(2));
     });
-    let events = drive(&mut net, speaker, SimTime::from_secs(60), Verdict::Malicious);
+    let events = drive(
+        &mut net,
+        speaker,
+        SimTime::from_secs(60),
+        Verdict::Malicious,
+    );
     assert!(
         events
             .iter()

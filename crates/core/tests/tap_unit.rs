@@ -39,13 +39,13 @@ impl TapCtx for MockCtx {
         self.discarded += n;
         n
     }
-    fn held_datagram_count(&self) -> usize {
+    fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
         0
     }
-    fn release_held_datagrams(&mut self) -> usize {
+    fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
         0
     }
-    fn discard_held_datagrams(&mut self) -> usize {
+    fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
         0
     }
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
@@ -161,7 +161,12 @@ fn verdict_release_and_block_paths() {
 fn verdict_for_unknown_query_panics() {
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
-    tap.schedule_verdict(&mut ctx, QueryId(99), Verdict::Legitimate, SimDuration::ZERO);
+    tap.schedule_verdict(
+        &mut ctx,
+        QueryId(99),
+        Verdict::Legitimate,
+        SimDuration::ZERO,
+    );
 }
 
 #[test]

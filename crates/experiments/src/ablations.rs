@@ -140,7 +140,8 @@ pub fn multi_user(seed: u64, commands: u32) -> MultiUserOutcome {
     let run = |register_both: bool| -> u32 {
         let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
         if register_both {
-            cfg.devices.push(("Pixel 4a".to_string(), DeviceKind::Phone));
+            cfg.devices
+                .push(("Pixel 4a".to_string(), DeviceKind::Phone));
         }
         let mut home = GuardedHome::new(cfg);
         home.run_for(SimDuration::from_secs(5));

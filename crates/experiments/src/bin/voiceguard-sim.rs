@@ -94,7 +94,11 @@ fn cmd_demo(flags: &HashMap<String, String>) {
         println!(
             "  {} command ({words} words): {}",
             if malicious { "attack " } else { "owner's" },
-            if home.executed(id) { "EXECUTED" } else { "BLOCKED" }
+            if home.executed(id) {
+                "EXECUTED"
+            } else {
+                "BLOCKED"
+            }
         );
     }
     let stats = home.guard_stats();

@@ -99,11 +99,7 @@ const CLASS_SETS: [(RouteKind, RouteClass, usize); 5] = [
     (RouteKind::Up, RouteClass::Up, 15),
     (RouteKind::Down, RouteClass::Down, 15),
     // 5 per room × 5 rooms = 25 for Route 1.
-    (
-        RouteKind::InRoom(rfsim::RoomId(0)),
-        RouteClass::InRoom,
-        5,
-    ),
+    (RouteKind::InRoom(rfsim::RoomId(0)), RouteClass::InRoom, 5),
     (RouteKind::Route2, RouteClass::Route2, 10),
     (RouteKind::Route3, RouteClass::Route3, 10),
 ];
@@ -119,7 +115,13 @@ pub fn run(seed: u64) -> Fig10Result {
 
     let mut table = Table::new(
         "Fig. 10 — stair-route trace clusters (two-floor house)",
-        &["deployment", "class", "mean slope", "mean intercept", "classification accuracy"],
+        &[
+            "deployment",
+            "class",
+            "mean slope",
+            "mean intercept",
+            "classification accuracy",
+        ],
     );
 
     for deployment in 0..2usize {
@@ -127,11 +129,7 @@ pub fn run(seed: u64) -> Fig10Result {
             shadow_seed: seed ^ 0x10,
             ..PropagationConfig::paper_calibrated()
         };
-        let channel = BleChannel::new(
-            prop,
-            testbed.plan.clone(),
-            testbed.deployments[deployment],
-        );
+        let channel = BleChannel::new(prop, testbed.plan.clone(), testbed.deployments[deployment]);
         let mut rng = streams.indexed_stream("traces", deployment as u64);
 
         // Training set.

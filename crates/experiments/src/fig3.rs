@@ -44,7 +44,10 @@ pub fn run(seed: u64) -> Fig3Result {
     let mut series = TimeSeries::new("uplink-bytes");
     for p in home.net.capture().packets() {
         if p.dir == Some(Direction::ClientToServer)
-            && matches!(p.kind, netsim::PacketKind::Tls(netsim::TlsContentType::ApplicationData))
+            && matches!(
+                p.kind,
+                netsim::PacketKind::Tls(netsim::TlsContentType::ApplicationData)
+            )
             && p.len != 41
         {
             series.push(p.time, f64::from(p.len));

@@ -111,12 +111,22 @@ pub fn run(seed: u64) -> Fig4Result {
 
     let mut table = Table::new(
         "Fig. 4 — Traffic Handler cases (paper vs. measured)",
-        &["case", "paper behaviour", "measured hold (s)", "executed", "TLS-mismatch close", "perceived delay (s)"],
+        &[
+            "case",
+            "paper behaviour",
+            "measured hold (s)",
+            "executed",
+            "TLS-mismatch close",
+            "perceived delay (s)",
+        ],
     );
     for (c, paper) in [
         (&case1, "response in < 0.04 s RTT, no hold"),
         (&case2, "held 1.5 s, response right after release"),
-        (&case3, "held, discarded, session closed by record-sequence mismatch"),
+        (
+            &case3,
+            "held, discarded, session closed by record-sequence mismatch",
+        ),
     ] {
         table.push_row(vec![
             c.case.into(),

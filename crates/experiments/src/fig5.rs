@@ -76,13 +76,41 @@ fn run_once(seed: u64) -> Option<Fig5Result> {
     // reconstruct them relative to the query.
     let report = decision.decision_latency_s;
     let steps = vec![
-        WorkflowStep { step: 1, what: "speaker hears the voice command", at_s: 0.0 },
-        WorkflowStep { step: 2, what: "command traffic held by the transparent proxy", at_s: rel(hold_started) },
-        WorkflowStep { step: 3, what: "Traffic Processing Module queries the Decision Module", at_s: rel(query_at) },
-        WorkflowStep { step: 4, what: "Decision Module pushes RSSI request via FCM", at_s: rel(query_at) },
-        WorkflowStep { step: 5, what: "owner's device receives the push, app wakes", at_s: rel(query_at) + report * 0.45 },
-        WorkflowStep { step: 6, what: "app measures the speaker's Bluetooth RSSI", at_s: rel(query_at) + report * 0.9 },
-        WorkflowStep { step: 7, what: "report returns; verdict releases the held traffic", at_s: rel(verdict_at) },
+        WorkflowStep {
+            step: 1,
+            what: "speaker hears the voice command",
+            at_s: 0.0,
+        },
+        WorkflowStep {
+            step: 2,
+            what: "command traffic held by the transparent proxy",
+            at_s: rel(hold_started),
+        },
+        WorkflowStep {
+            step: 3,
+            what: "Traffic Processing Module queries the Decision Module",
+            at_s: rel(query_at),
+        },
+        WorkflowStep {
+            step: 4,
+            what: "Decision Module pushes RSSI request via FCM",
+            at_s: rel(query_at),
+        },
+        WorkflowStep {
+            step: 5,
+            what: "owner's device receives the push, app wakes",
+            at_s: rel(query_at) + report * 0.45,
+        },
+        WorkflowStep {
+            step: 6,
+            what: "app measures the speaker's Bluetooth RSSI",
+            at_s: rel(query_at) + report * 0.9,
+        },
+        WorkflowStep {
+            step: 7,
+            what: "report returns; verdict releases the held traffic",
+            at_s: rel(verdict_at),
+        },
     ];
 
     let mut table = Table::new(

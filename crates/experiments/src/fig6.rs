@@ -43,18 +43,18 @@ pub fn run(seed: u64) -> Fig6Result {
     let short_id = home.utter(3, 1, false);
     home.run_for(SimDuration::from_secs(40));
 
-    let (long_delay, short_delay) = home
-        .net
-        .with_app::<EchoDotApp, _>(home.speaker_host, |app, _| {
-            (
-                app.invocation(long_id)
-                    .and_then(|r| r.perceived_delay_s())
-                    .unwrap_or(f64::NAN),
-                app.invocation(short_id)
-                    .and_then(|r| r.perceived_delay_s())
-                    .unwrap_or(f64::NAN),
-            )
-        });
+    let (long_delay, short_delay) =
+        home.net
+            .with_app::<EchoDotApp, _>(home.speaker_host, |app, _| {
+                (
+                    app.invocation(long_id)
+                        .and_then(|r| r.perceived_delay_s())
+                        .unwrap_or(f64::NAN),
+                    app.invocation(short_id)
+                        .and_then(|r| r.perceived_delay_s())
+                        .unwrap_or(f64::NAN),
+                )
+            });
     let short_verification = home
         .decisions
         .last()

@@ -60,7 +60,14 @@ pub fn run_sized(seed: u64, invocations: usize) -> Fig7Result {
 
     let mut table = Table::new(
         "Fig. 7 — RSSI query workflow delay (paper vs. measured)",
-        &["speaker", "paper mean (s)", "measured mean (s)", "paper < 2 s", "measured < 2 s", "measured max (s)"],
+        &[
+            "speaker",
+            "paper mean (s)",
+            "measured mean (s)",
+            "paper < 2 s",
+            "measured < 2 s",
+            "measured max (s)",
+        ],
     );
     table.push_row(vec![
         "Echo Dot".into(),

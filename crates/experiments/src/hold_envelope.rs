@@ -84,9 +84,7 @@ fn run_point_once(seed: u64, hold_s: u64) -> Option<HoldPoint> {
     let executed = home.executed(id);
     let survived = home
         .net
-        .with_app::<speakers::EchoDotApp, _>(home.speaker_host, |app, _| {
-            app.avs_closes.is_empty()
-        });
+        .with_app::<speakers::EchoDotApp, _>(home.speaker_host, |app, _| app.avs_closes.is_empty());
     Some(HoldPoint {
         hold_s,
         executed,
@@ -99,7 +97,11 @@ pub fn run(seed: u64) -> HoldEnvelopeResult {
     let mut points = Vec::new();
     let mut table = Table::new(
         "Hold envelope — §IV-B2's 'dozens of seconds' claim",
-        &["hold (s)", "command executed after release", "connection survived"],
+        &[
+            "hold (s)",
+            "command executed after release",
+            "connection survived",
+        ],
     );
     for hold_s in [1u64, 5, 10, 20, 30, 60] {
         let p = run_point(seed + hold_s, hold_s);

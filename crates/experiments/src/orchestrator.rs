@@ -12,6 +12,7 @@
 //!   are answered with RSSI measurements at the devices' current
 //!   positions, delayed by sampled FCM/scan latency.
 
+use mobility::{TraceRecorder, Walk};
 use netsim::{HostId, Network, NetworkConfig, ServerPool};
 use phone::{
     DeviceId, DeviceKind, DeviceRegistry, FcmLatencyModel, MobileDevice, ThresholdCalibrator,
@@ -23,7 +24,6 @@ use speakers::{
     AvsCloud, CommandOutcome, CommandSpec, EchoDotApp, GoogleCloud, GoogleHomeApp, AVS_DOMAIN,
     GOOGLE_DOMAIN,
 };
-use mobility::{TraceRecorder, Walk};
 use std::net::Ipv4Addr;
 use testbeds::{RouteKind, Testbed};
 use voiceguard::{
@@ -31,7 +31,8 @@ use voiceguard::{
     RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap,
 };
 
-const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+/// Speaker `i` lives at 192.168.1.(200+i).
+const SPEAKER_IP_BASE: u8 = 200;
 const AVS_IPS: [Ipv4Addr; 2] = [
     Ipv4Addr::new(52, 94, 233, 10),
     Ipv4Addr::new(52, 94, 233, 11),
@@ -45,8 +46,10 @@ pub struct ScenarioConfig {
     pub testbed: Testbed,
     /// Which of the two deployment locations (0 or 1).
     pub deployment: usize,
-    /// Speaker model.
-    pub speaker: SpeakerKind,
+    /// Speakers to deploy, all guarded by one shared [`VoiceGuardTap`].
+    /// The first sits at `deployment`; each further speaker takes the next
+    /// deployment location (cycling through the testbed's locations).
+    pub speakers: Vec<SpeakerKind>,
     /// Owner devices to register: (name, kind).
     pub devices: Vec<(String, DeviceKind)>,
     /// Master seed.
@@ -72,7 +75,7 @@ impl ScenarioConfig {
             floor_tracking: !testbed.routes.is_empty(),
             testbed,
             deployment,
-            speaker: SpeakerKind::EchoDot,
+            speakers: vec![SpeakerKind::EchoDot],
             devices: vec![("Pixel 5".to_string(), DeviceKind::Phone)],
             seed,
             capture: false,
@@ -85,7 +88,15 @@ impl ScenarioConfig {
     /// Same but with a Google Home Mini.
     pub fn ghm(testbed: Testbed, deployment: usize, seed: u64) -> Self {
         ScenarioConfig {
-            speaker: SpeakerKind::GoogleHomeMini,
+            speakers: vec![SpeakerKind::GoogleHomeMini],
+            ..ScenarioConfig::echo(testbed, deployment, seed)
+        }
+    }
+
+    /// One Echo Dot plus one Google Home Mini, guarded by the same tap.
+    pub fn mixed(testbed: Testbed, deployment: usize, seed: u64) -> Self {
+        ScenarioConfig {
+            speakers: vec![SpeakerKind::EchoDot, SpeakerKind::GoogleHomeMini],
             ..ScenarioConfig::echo(testbed, deployment, seed)
         }
     }
@@ -100,6 +111,8 @@ pub struct CommandRecord {
     pub at: SimTime,
     /// Ground truth: was this an attack?
     pub malicious: bool,
+    /// Which speaker (index into `ScenarioConfig::speakers`) it targeted.
+    pub speaker: usize,
 }
 
 /// Record of one answered guard query.
@@ -115,16 +128,21 @@ pub struct DecisionRecord {
     pub hold_started: SimTime,
     /// The strongest RSSI any device reported (dB).
     pub best_rssi_db: f64,
+    /// Which speaker pipeline raised the query.
+    pub speaker: usize,
 }
 
 /// A complete guarded-home scenario.
 pub struct GuardedHome {
     /// The packet network (public for capture/trace inspection).
     pub net: Network,
-    /// The speaker's host.
+    /// The first speaker's host — the one carrying the shared guard tap.
     pub speaker_host: HostId,
-    speaker_kind: SpeakerKind,
-    channel: BleChannel,
+    /// All speaker hosts, in `ScenarioConfig::speakers` order.
+    pub speaker_hosts: Vec<HostId>,
+    speaker_kinds: Vec<SpeakerKind>,
+    /// One BLE channel per speaker (each sits at its own position).
+    channels: Vec<BleChannel>,
     registry: DeviceRegistry,
     decision: DecisionModule,
     testbed: Testbed,
@@ -150,58 +168,100 @@ impl GuardedHome {
     pub fn new(cfg: ScenarioConfig) -> Self {
         assert!(cfg.deployment < 2, "deployment must be 0 or 1");
         assert!(!cfg.devices.is_empty(), "need at least one owner device");
+        assert!(!cfg.speakers.is_empty(), "need at least one speaker");
         let streams = RngStreams::new(cfg.seed).fork("orchestrator");
         let mut rng = streams.stream("main");
 
-        // RF channel for this deployment.
-        let speaker_pos = cfg.testbed.deployments[cfg.deployment];
+        // One RF channel per speaker: the first at the configured
+        // deployment, further speakers cycling through the remaining
+        // locations.
         let prop = PropagationConfig {
             shadow_seed: cfg.seed ^ 0xB1E,
             ..PropagationConfig::paper_calibrated()
         };
-        let channel = BleChannel::new(prop, cfg.testbed.plan.clone(), speaker_pos);
+        let positions: Vec<Point> = (0..cfg.speakers.len())
+            .map(|i| cfg.testbed.deployments[(cfg.deployment + i) % cfg.testbed.deployments.len()])
+            .collect();
+        let channels: Vec<BleChannel> = positions
+            .iter()
+            .map(|pos| BleChannel::new(prop, cfg.testbed.plan.clone(), *pos))
+            .collect();
+        let speaker_pos = positions[0];
 
-        // Network.
+        // Network: speaker hosts, their clouds, and one shared guard tap.
         let mut net = Network::new(NetworkConfig {
             seed: cfg.seed,
             capture_enabled: cfg.capture,
             loss_probability: cfg.loss_probability,
             ..NetworkConfig::default()
         });
-        let speaker_host = net.add_host("speaker", SPEAKER_IP);
-        match cfg.speaker {
-            SpeakerKind::EchoDot => {
-                let avs1 = net.add_host("avs-1", AVS_IPS[0]);
-                let avs2 = net.add_host("avs-2", AVS_IPS[1]);
-                net.set_app(avs1, Box::new(AvsCloud::new()));
-                net.set_app(avs2, Box::new(AvsCloud::new()));
-                net.dns_zone_mut()
-                    .insert(AVS_DOMAIN, ServerPool::new(AVS_IPS.to_vec()));
-                net.set_app(
-                    speaker_host,
-                    Box::new(EchoDotApp::new(AVS_DOMAIN, AVS_IPS.to_vec(), vec![])),
-                );
-                net.set_tap(
-                    speaker_host,
-                    Box::new(VoiceGuardTap::new(GuardConfig {
-                        naive_spike_detection: cfg.naive_spike_detection,
-                        ..GuardConfig::echo_dot()
-                    })),
+        let mut speaker_hosts = Vec::new();
+        let (mut avs_cloud_up, mut google_cloud_up) = (false, false);
+        for (i, kind) in cfg.speakers.iter().enumerate() {
+            let ip = Ipv4Addr::new(192, 168, 1, SPEAKER_IP_BASE + i as u8);
+            let name = if i == 0 {
+                "speaker".to_string()
+            } else {
+                format!("speaker-{}", i + 1)
+            };
+            let host = net.add_host(&name, ip);
+            match kind {
+                SpeakerKind::EchoDot => {
+                    if !avs_cloud_up {
+                        avs_cloud_up = true;
+                        let avs1 = net.add_host("avs-1", AVS_IPS[0]);
+                        let avs2 = net.add_host("avs-2", AVS_IPS[1]);
+                        net.set_app(avs1, Box::new(AvsCloud::new()));
+                        net.set_app(avs2, Box::new(AvsCloud::new()));
+                        net.dns_zone_mut()
+                            .insert(AVS_DOMAIN, ServerPool::new(AVS_IPS.to_vec()));
+                    }
+                    net.set_app(
+                        host,
+                        Box::new(EchoDotApp::new(AVS_DOMAIN, AVS_IPS.to_vec(), vec![])),
+                    );
+                }
+                SpeakerKind::GoogleHomeMini => {
+                    if !google_cloud_up {
+                        google_cloud_up = true;
+                        let google = net.add_host("google", GOOGLE_IP);
+                        net.set_app(google, Box::new(GoogleCloud::new()));
+                        net.dns_zone_mut()
+                            .insert(GOOGLE_DOMAIN, ServerPool::new(vec![GOOGLE_IP]));
+                    }
+                    net.set_app(host, Box::new(GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7)));
+                }
+            }
+            speaker_hosts.push(host);
+        }
+        let guard_config = |kind: SpeakerKind| GuardConfig {
+            naive_spike_detection: cfg.naive_spike_detection,
+            ..match kind {
+                SpeakerKind::EchoDot => GuardConfig::echo_dot(),
+                SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
+            }
+        };
+        let speaker_host = speaker_hosts[0];
+        if cfg.speakers.len() == 1 {
+            // Single speaker: a catch-all pipeline, exactly the paper's
+            // one-speaker deployment.
+            net.set_tap(
+                speaker_host,
+                Box::new(VoiceGuardTap::new(guard_config(cfg.speakers[0]))),
+            );
+        } else {
+            // Several speakers share one tap; pipeline i guards speaker i
+            // by its IP, so pipeline indices equal speaker indices.
+            let mut tap = VoiceGuardTap::multi();
+            for (i, kind) in cfg.speakers.iter().enumerate() {
+                tap.add_pipeline(
+                    Ipv4Addr::new(192, 168, 1, SPEAKER_IP_BASE + i as u8),
+                    guard_config(*kind),
                 );
             }
-            SpeakerKind::GoogleHomeMini => {
-                let google = net.add_host("google", GOOGLE_IP);
-                net.set_app(google, Box::new(GoogleCloud::new()));
-                net.dns_zone_mut()
-                    .insert(GOOGLE_DOMAIN, ServerPool::new(vec![GOOGLE_IP]));
-                net.set_app(speaker_host, Box::new(GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7)));
-                net.set_tap(
-                    speaker_host,
-                    Box::new(VoiceGuardTap::new(GuardConfig {
-                        naive_spike_detection: cfg.naive_spike_detection,
-                        ..GuardConfig::google_home_mini()
-                    })),
-                );
+            net.set_tap(speaker_host, Box::new(tap));
+            for host in &speaker_hosts[1..] {
+                net.share_tap(*host, speaker_host);
             }
         }
         net.start();
@@ -212,7 +272,7 @@ impl GuardedHome {
         let mut registry = DeviceRegistry::new();
         let mut thresholds = Vec::new();
         let classifier = if cfg.floor_tracking && !cfg.testbed.routes.is_empty() {
-            Some(train_classifier(&cfg.testbed, &channel, &mut rng))
+            Some(train_classifier(&cfg.testbed, &channels[0], &mut rng))
         } else {
             None
         };
@@ -224,7 +284,7 @@ impl GuardedHome {
                 position: speaker_pos,
             });
             let threshold = calibrator
-                .walk_room(&channel, zone.rect, zone.floor, &mut rng)
+                .walk_room(&channels[0], zone.rect, zone.floor, &mut rng)
                 .threshold_db;
             thresholds.push(threshold);
             let latency = match kind {
@@ -244,8 +304,9 @@ impl GuardedHome {
         GuardedHome {
             net,
             speaker_host,
-            speaker_kind: cfg.speaker,
-            channel,
+            speaker_hosts,
+            speaker_kinds: cfg.speakers,
+            channels,
             registry,
             decision,
             deployment: cfg.deployment,
@@ -259,9 +320,29 @@ impl GuardedHome {
         }
     }
 
-    /// The BLE channel (e.g. to inspect RSSI at positions).
+    /// The first speaker's BLE channel (e.g. to inspect RSSI at
+    /// positions).
     pub fn channel(&self) -> &BleChannel {
-        &self.channel
+        &self.channels[0]
+    }
+
+    /// Speaker `index`'s BLE channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn channel_of(&self, index: usize) -> &BleChannel {
+        &self.channels[index]
+    }
+
+    /// Number of deployed speakers.
+    pub fn speaker_count(&self) -> usize {
+        self.speaker_hosts.len()
+    }
+
+    /// Speaker `index`'s model.
+    pub fn speaker_kind(&self, index: usize) -> SpeakerKind {
+        self.speaker_kinds[index]
     }
 
     /// The testbed in use.
@@ -294,8 +375,23 @@ impl GuardedHome {
         self.registry.device(device).position
     }
 
-    /// Utters a command at the speaker *now*. Returns its id.
+    /// Utters a command at the first speaker *now*. Returns its id.
     pub fn utter(&mut self, words: usize, response_parts: usize, malicious: bool) -> u64 {
+        self.utter_on(0, words, response_parts, malicious)
+    }
+
+    /// Utters a command at speaker `speaker` *now*. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speaker` is out of range.
+    pub fn utter_on(
+        &mut self,
+        speaker: usize,
+        words: usize,
+        response_parts: usize,
+        malicious: bool,
+    ) -> u64 {
         let id = self.next_cmd;
         self.next_cmd += 1;
         let spec = CommandSpec {
@@ -304,38 +400,48 @@ impl GuardedHome {
             response_parts,
         };
         let at = self.net.now();
-        match self.speaker_kind {
+        let host = self.speaker_hosts[speaker];
+        match self.speaker_kinds[speaker] {
             SpeakerKind::EchoDot => {
                 self.net
-                    .with_app::<EchoDotApp, _>(self.speaker_host, |app, ctx| {
-                        app.speak_command(ctx, spec)
-                    });
+                    .with_app::<EchoDotApp, _>(host, |app, ctx| app.speak_command(ctx, spec));
             }
             SpeakerKind::GoogleHomeMini => {
                 self.net
-                    .with_app::<GoogleHomeApp, _>(self.speaker_host, |app, ctx| {
-                        app.speak_command(ctx, spec)
-                    });
+                    .with_app::<GoogleHomeApp, _>(host, |app, ctx| app.speak_command(ctx, spec));
             }
         }
-        self.commands.push(CommandRecord { id, at, malicious });
+        self.commands.push(CommandRecord {
+            id,
+            at,
+            malicious,
+            speaker,
+        });
         id
     }
 
-    /// The outcome of a command by id.
+    /// The outcome of a command by id (whichever speaker uttered it).
     pub fn outcome(&mut self, id: u64) -> CommandOutcome {
-        match self.speaker_kind {
+        let speaker = self
+            .commands
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.speaker)
+            .unwrap_or(0);
+        self.outcome_on(speaker, id)
+    }
+
+    /// The outcome of command `id` as seen by speaker `speaker`'s app.
+    pub fn outcome_on(&mut self, speaker: usize, id: u64) -> CommandOutcome {
+        let host = self.speaker_hosts[speaker];
+        match self.speaker_kinds[speaker] {
             SpeakerKind::EchoDot => self
                 .net
-                .with_app::<EchoDotApp, _>(self.speaker_host, |app, _| {
-                    app.invocation(id).map(|r| r.outcome)
-                })
+                .with_app::<EchoDotApp, _>(host, |app, _| app.invocation(id).map(|r| r.outcome))
                 .unwrap_or(CommandOutcome::Pending),
             SpeakerKind::GoogleHomeMini => self
                 .net
-                .with_app::<GoogleHomeApp, _>(self.speaker_host, |app, _| {
-                    app.invocation(id).map(|r| r.outcome)
-                })
+                .with_app::<GoogleHomeApp, _>(host, |app, _| app.invocation(id).map(|r| r.outcome))
                 .unwrap_or(CommandOutcome::Pending),
         }
     }
@@ -390,7 +496,7 @@ impl GuardedHome {
             start,
             SimDuration::from_secs_f64(route.duration_s),
         );
-        let trace = TraceRecorder.record(&self.channel, &walk, start, &mut self.rng);
+        let trace = TraceRecorder.record(&self.channels[0], &walk, start, &mut self.rng);
         for dev in self.registry.ids() {
             if dev == device {
                 self.decision.on_motion_trace(dev, &trace.fit);
@@ -416,7 +522,9 @@ impl GuardedHome {
         }
     }
 
-    /// Drains guard events and answers any new queries.
+    /// Drains guard events and answers any new queries. The RSSI check
+    /// runs against the channel of the speaker whose pipeline raised the
+    /// query — proximity to *that* speaker is what legitimises a command.
     fn pump_guard(&mut self) {
         let events = self
             .net
@@ -425,15 +533,17 @@ impl GuardedHome {
             if let GuardEvent::QueryRequested {
                 query,
                 hold_started,
+                pipeline,
                 ..
             } = ev
             {
+                let speaker = (*pipeline).min(self.channels.len() - 1);
                 let registry = &self.registry;
                 let now = self.net.now();
                 let outcome = self.decision.decide_at(
                     now,
                     &|d: DeviceId| registry.device(d).position,
-                    &self.channel,
+                    &self.channels[speaker],
                     &mut self.rng,
                 );
                 let q = *query;
@@ -454,26 +564,29 @@ impl GuardedHome {
                     decision_latency_s: delay.as_secs_f64(),
                     hold_started: *hold_started,
                     best_rssi_db,
+                    speaker,
                 });
             }
         }
         self.guard_events.extend(events);
     }
 
-    /// Snapshot of the guard's statistics.
+    /// Snapshot of the guard's aggregate statistics.
     pub fn guard_stats(&mut self) -> voiceguard::GuardStats {
         self.net
             .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, _| g.stats.clone())
+    }
+
+    /// Statistics of speaker `index`'s pipeline alone.
+    pub fn guard_pipeline_stats(&mut self, index: usize) -> voiceguard::GuardStats {
+        self.net
+            .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, _| g.pipeline_stats(index).clone())
     }
 }
 
 /// Trains the route classifier the way the paper does: 15 Up, 15 Down,
 /// 25 in-room, 10 Route-2 and 10 Route-3 pre-recorded traces.
-fn train_classifier(
-    testbed: &Testbed,
-    channel: &BleChannel,
-    rng: &mut StdRng,
-) -> RouteClassifier {
+fn train_classifier(testbed: &Testbed, channel: &BleChannel, rng: &mut StdRng) -> RouteClassifier {
     let mut examples = Vec::new();
     let mut record_kind = |kind: RouteKind, class: RouteClass, n: usize, rng: &mut StdRng| {
         for route in testbed.routes_of_kind(kind) {
@@ -563,7 +676,10 @@ mod tests {
         home.set_device_position(dev, away);
         let id = home.utter(4, 1, true);
         home.run_for(SimDuration::from_secs(40));
-        assert!(!home.executed(id), "attack with owner outside must be blocked");
+        assert!(
+            !home.executed(id),
+            "attack with owner outside must be blocked"
+        );
         let stats = home.guard_stats();
         assert_eq!(stats.blocked, 1);
     }
@@ -603,16 +719,42 @@ mod tests {
     }
 
     #[test]
+    fn mixed_home_boots_with_one_shared_tap() {
+        let mut home = GuardedHome::new(ScenarioConfig::mixed(apartment(), 0, 7));
+        assert_eq!(home.speaker_count(), 2);
+        assert_eq!(home.speaker_kind(0), SpeakerKind::EchoDot);
+        assert_eq!(home.speaker_kind(1), SpeakerKind::GoogleHomeMini);
+        home.run_for(SimDuration::from_secs(5));
+        let dev = home.device_ids()[0];
+        // Owner next to the Mini (deployment 1): its command executes.
+        let mini = home.testbed().deployments[1];
+        home.set_device_position(dev, Point::new(mini.x + 0.8, mini.y, mini.floor));
+        let id = home.utter_on(1, 6, 1, false);
+        home.run_for(SimDuration::from_secs(30));
+        assert!(home.executed(id), "command near the Mini must execute");
+        assert_eq!(home.guard_pipeline_stats(1).allowed, 1);
+        assert_eq!(
+            home.guard_pipeline_stats(0).queries,
+            0,
+            "Echo pipeline idle"
+        );
+    }
+
+    #[test]
     fn multi_user_any_owner_near_suffices() {
         let mut cfg = ScenarioConfig::echo(apartment(), 0, 6);
-        cfg.devices.push(("Pixel 4a".to_string(), DeviceKind::Phone));
+        cfg.devices
+            .push(("Pixel 4a".to_string(), DeviceKind::Phone));
         let mut home = GuardedHome::new(cfg);
         home.run_for(SimDuration::from_secs(5));
         let devs = home.device_ids();
         let speaker = home.testbed().deployments[0];
         // First owner far away, second in the room.
         home.set_device_position(devs[0], home.testbed().outside);
-        home.set_device_position(devs[1], Point::new(speaker.x + 1.2, speaker.y, speaker.floor));
+        home.set_device_position(
+            devs[1],
+            Point::new(speaker.x + 1.2, speaker.y, speaker.floor),
+        );
         let id = home.utter(6, 1, false);
         home.run_for(SimDuration::from_secs(30));
         assert!(home.executed(id));

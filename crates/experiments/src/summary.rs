@@ -126,7 +126,11 @@ mod tests {
         for case in &tables.cases {
             pooled.merge(&case.matrix);
         }
-        assert!(pooled.accuracy() >= 0.95, "pooled accuracy {}", pooled.accuracy());
+        assert!(
+            pooled.accuracy() >= 0.95,
+            "pooled accuracy {}",
+            pooled.accuracy()
+        );
         assert!(pooled.recall() >= 0.95, "pooled recall {}", pooled.recall());
     }
 }

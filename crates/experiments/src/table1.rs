@@ -125,13 +125,11 @@ pub fn run_sized(seed: u64, invocations: usize) -> Table1Result {
         "100%".into(),
         pct(matrix.precision()),
     ]);
-    table.push_row(vec![
-        "recall".into(),
-        "98.51%".into(),
-        pct(matrix.recall()),
-    ]);
+    table.push_row(vec!["recall".into(), "98.51%".into(), pct(matrix.recall())]);
     if unmatched_labels > 0 {
-        table.note(format!("{unmatched_labels} spikes had no classification event"));
+        table.note(format!(
+            "{unmatched_labels} spikes had no classification event"
+        ));
     }
     Table1Result {
         table,

@@ -66,22 +66,70 @@ pub struct Tables234Result {
 fn paper_cases(testbed: &str) -> [PaperCase; 4] {
     match testbed {
         "two-floor house" => [
-            PaperCase { legit: 91, malicious: 69, accuracy: 0.9875 },
-            PaperCase { legit: 103, malicious: 78, accuracy: 0.9834 },
-            PaperCase { legit: 94, malicious: 65, accuracy: 0.9748 },
-            PaperCase { legit: 86, malicious: 63, accuracy: 0.9732 },
+            PaperCase {
+                legit: 91,
+                malicious: 69,
+                accuracy: 0.9875,
+            },
+            PaperCase {
+                legit: 103,
+                malicious: 78,
+                accuracy: 0.9834,
+            },
+            PaperCase {
+                legit: 94,
+                malicious: 65,
+                accuracy: 0.9748,
+            },
+            PaperCase {
+                legit: 86,
+                malicious: 63,
+                accuracy: 0.9732,
+            },
         ],
         "two-bedroom apartment" => [
-            PaperCase { legit: 78, malicious: 59, accuracy: 0.9781 },
-            PaperCase { legit: 88, malicious: 65, accuracy: 0.9804 },
-            PaperCase { legit: 80, malicious: 57, accuracy: 0.9708 },
-            PaperCase { legit: 95, malicious: 50, accuracy: 0.9862 },
+            PaperCase {
+                legit: 78,
+                malicious: 59,
+                accuracy: 0.9781,
+            },
+            PaperCase {
+                legit: 88,
+                malicious: 65,
+                accuracy: 0.9804,
+            },
+            PaperCase {
+                legit: 80,
+                malicious: 57,
+                accuracy: 0.9708,
+            },
+            PaperCase {
+                legit: 95,
+                malicious: 50,
+                accuracy: 0.9862,
+            },
         ],
         "office" => [
-            PaperCase { legit: 85, malicious: 47, accuracy: 0.9773 },
-            PaperCase { legit: 94, malicious: 52, accuracy: 0.9795 },
-            PaperCase { legit: 90, malicious: 50, accuracy: 0.9929 },
-            PaperCase { legit: 91, malicious: 51, accuracy: 0.9859 },
+            PaperCase {
+                legit: 85,
+                malicious: 47,
+                accuracy: 0.9773,
+            },
+            PaperCase {
+                legit: 94,
+                malicious: 52,
+                accuracy: 0.9795,
+            },
+            PaperCase {
+                legit: 90,
+                malicious: 50,
+                accuracy: 0.9929,
+            },
+            PaperCase {
+                legit: 91,
+                malicious: 51,
+                accuracy: 0.9859,
+            },
         ],
         other => panic!("unknown testbed {other}"),
     }
@@ -251,17 +299,58 @@ pub fn run(seed: u64) -> Tables234Result {
     run_scaled(seed, 1.0)
 }
 
-/// Runs all twelve cases at a scaled workload (tests/benches use < 1).
-pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
-    let mut cases = Vec::new();
-    let mut tables = Vec::new();
-    for (t_idx, testbed) in [two_floor_house(), apartment(), office()].into_iter().enumerate() {
+/// One of the twelve (testbed, speaker, deployment) cases, fully
+/// specified so it can run on any thread.
+struct CaseSpec {
+    testbed: Testbed,
+    deployment: usize,
+    speaker: SpeakerKind,
+    paper: PaperCase,
+    seed: u64,
+}
+
+/// The twelve case specs in table order. Every case forks its own RNG
+/// from the master seed (`seed ^ (t_idx << 8) ^ c_idx`), so cases are
+/// statistically independent and their results do not depend on
+/// execution order.
+fn case_specs(seed: u64) -> Vec<CaseSpec> {
+    let mut specs = Vec::new();
+    for (t_idx, testbed) in [two_floor_house(), apartment(), office()]
+        .into_iter()
+        .enumerate()
+    {
         let papers = paper_cases(testbed.name);
+        for (c_idx, (speaker, deployment)) in [
+            (SpeakerKind::EchoDot, 0),
+            (SpeakerKind::EchoDot, 1),
+            (SpeakerKind::GoogleHomeMini, 0),
+            (SpeakerKind::GoogleHomeMini, 1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            specs.push(CaseSpec {
+                testbed: testbed.clone(),
+                deployment,
+                speaker,
+                paper: papers[c_idx],
+                seed: seed ^ ((t_idx as u64) << 8) ^ (c_idx as u64),
+            });
+        }
+    }
+    specs
+}
+
+/// Builds the three report tables from the twelve outcomes (in
+/// [`case_specs`] order).
+fn tabulate(cases: Vec<CaseOutcome>) -> Tables234Result {
+    let mut tables = Vec::new();
+    for (t_idx, chunk) in cases.chunks(4).enumerate() {
         let mut table = Table::new(
             format!(
                 "Table {} — RSSI method, {} (paper vs. measured)",
                 ["II", "III", "IV"][t_idx],
-                testbed.name
+                chunk[0].testbed
             ),
             &[
                 "case",
@@ -273,26 +362,10 @@ pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
                 "recall",
             ],
         );
-        for (c_idx, (speaker, deployment)) in [
-            (SpeakerKind::EchoDot, 0),
-            (SpeakerKind::EchoDot, 1),
-            (SpeakerKind::GoogleHomeMini, 0),
-            (SpeakerKind::GoogleHomeMini, 1),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let outcome = run_case(
-                testbed.clone(),
-                deployment,
-                speaker,
-                papers[c_idx],
-                seed ^ ((t_idx as u64) << 8) ^ (c_idx as u64),
-                scale,
-            );
+        for outcome in chunk {
             let m = &outcome.matrix;
             table.push_row(vec![
-                format!("{:?} loc {}", speaker, deployment + 1),
+                format!("{:?} loc {}", outcome.speaker, outcome.deployment + 1),
                 format!("{} / {}", m.true_negatives, m.actual_negatives()),
                 format!("{} / {}", m.true_positives, m.actual_positives()),
                 pct(outcome.paper.accuracy),
@@ -300,11 +373,60 @@ pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
                 pct(m.precision()),
                 pct(m.recall()),
             ]);
-            cases.push(outcome);
         }
         tables.push(table);
     }
     Tables234Result { cases, tables }
+}
+
+/// Runs all twelve cases at a scaled workload (tests/benches use < 1),
+/// one OS thread per case. Because each case owns an independent seed
+/// fork, the outcomes are bit-identical to [`run_scaled_serial`] — the
+/// threads only change wall-clock time.
+pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
+    let specs = case_specs(seed);
+    let cases = std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .into_iter()
+            .map(|spec| {
+                scope.spawn(move || {
+                    run_case(
+                        spec.testbed,
+                        spec.deployment,
+                        spec.speaker,
+                        spec.paper,
+                        spec.seed,
+                        scale,
+                    )
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the result order deterministic.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("case thread panicked"))
+            .collect()
+    });
+    tabulate(cases)
+}
+
+/// Runs all twelve cases on the calling thread (the reference
+/// implementation the parallel runner is checked against).
+pub fn run_scaled_serial(seed: u64, scale: f64) -> Tables234Result {
+    let cases = case_specs(seed)
+        .into_iter()
+        .map(|spec| {
+            run_case(
+                spec.testbed,
+                spec.deployment,
+                spec.speaker,
+                spec.paper,
+                spec.seed,
+                scale,
+            )
+        })
+        .collect();
+    tabulate(cases)
 }
 
 #[cfg(test)]
@@ -335,6 +457,20 @@ mod tests {
         let m = &out.matrix;
         assert!(m.recall() >= 0.95, "recall {:.3} ({m})", m.recall());
         assert!(m.accuracy() >= 0.9, "accuracy {:.3} ({m})", m.accuracy());
+    }
+
+    #[test]
+    fn parallel_runner_is_bit_identical_to_serial() {
+        let par = run_scaled(99, 0.02);
+        let ser = run_scaled_serial(99, 0.02);
+        assert_eq!(par.cases.len(), 12);
+        for (p, s) in par.cases.iter().zip(&ser.cases) {
+            assert_eq!(p.testbed, s.testbed);
+            assert_eq!(p.speaker, s.speaker);
+            assert_eq!(p.deployment, s.deployment);
+            assert_eq!(p.matrix, s.matrix, "case {} {:?}", p.testbed, p.speaker);
+        }
+        assert_eq!(par.tables, ser.tables, "rendered tables must match");
     }
 
     #[test]

@@ -55,7 +55,14 @@ pub fn run_sized(seed: u64, attempts_per_vector: u32) -> ThreatCoverageResult {
     let mut outcomes = Vec::new();
     let mut table = Table::new(
         "Threat coverage — block rate per attack vector (§III-B)",
-        &["vector", "remote", "human-audible", "attempts", "blocked", "block rate"],
+        &[
+            "vector",
+            "remote",
+            "human-audible",
+            "attempts",
+            "blocked",
+            "block rate",
+        ],
     );
     let mut next_id = 1u64;
     for vector in AttackVector::ALL {

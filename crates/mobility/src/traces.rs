@@ -160,7 +160,10 @@ mod tests {
         );
         let up = TraceRecorder.record(&ch, &up_walk, SimTime::ZERO, &mut rng);
         let r2 = TraceRecorder.record(&ch, &r2_walk, SimTime::ZERO, &mut rng);
-        assert!(up.fit.slope < -1.0 && r2.fit.slope < -1.0, "both fall steeply");
+        assert!(
+            up.fit.slope < -1.0 && r2.fit.slope < -1.0,
+            "both fall steeply"
+        );
         assert!(
             r2.fit.intercept - up.fit.intercept > 2.0,
             "Route 2 starts higher: up {} vs r2 {}",

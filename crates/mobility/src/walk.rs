@@ -98,8 +98,14 @@ mod tests {
     #[test]
     fn endpoints_clamp() {
         let w = straight_walk();
-        assert_eq!(w.position_at(SimTime::from_secs(50)), Point::ground(0.0, 0.0));
-        assert_eq!(w.position_at(SimTime::from_secs(200)), Point::ground(10.0, 0.0));
+        assert_eq!(
+            w.position_at(SimTime::from_secs(50)),
+            Point::ground(0.0, 0.0)
+        );
+        assert_eq!(
+            w.position_at(SimTime::from_secs(200)),
+            Point::ground(10.0, 0.0)
+        );
     }
 
     #[test]
@@ -167,7 +173,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "two waypoints")]
     fn single_waypoint_panics() {
-        Walk::new(vec![Point::ground(0.0, 0.0)], SimTime::ZERO, SimDuration::from_secs(1));
+        Walk::new(
+            vec![Point::ground(0.0, 0.0)],
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        );
     }
 
     #[test]

@@ -159,12 +159,14 @@ pub trait TapCtx {
     fn release_held(&mut self, conn: ConnId) -> usize;
     /// Discards all held segments of `conn`. Returns how many were dropped.
     fn discard_held(&mut self, conn: ConnId) -> usize;
-    /// Number of datagrams currently held at this tap.
-    fn held_datagram_count(&self) -> usize;
-    /// Releases all held datagrams in order. Returns how many were released.
-    fn release_held_datagrams(&mut self) -> usize;
-    /// Discards all held datagrams. Returns how many were dropped.
-    fn discard_held_datagrams(&mut self) -> usize;
+    /// Number of datagrams currently held for the flow identified by the
+    /// speaker-side IP `flow`.
+    fn held_datagram_count(&self, flow: std::net::Ipv4Addr) -> usize;
+    /// Releases `flow`'s held datagrams in arrival order. Returns how many
+    /// were released.
+    fn release_held_datagrams(&mut self, flow: std::net::Ipv4Addr) -> usize;
+    /// Discards `flow`'s held datagrams. Returns how many were dropped.
+    fn discard_held_datagrams(&mut self, flow: std::net::Ipv4Addr) -> usize;
     /// Schedules [`Middlebox::on_timer`] after `delay`.
     fn set_timer(&mut self, delay: simcore::SimDuration, token: u64);
     /// Emits a structured trace event.
@@ -180,7 +182,12 @@ pub trait Middlebox: Any {
     }
     /// A UDP datagram is traversing the tap (`outbound` is true when it
     /// leaves the tapped host); return a verdict.
-    fn on_datagram(&mut self, ctx: &mut dyn TapCtx, dgram: &Datagram, outbound: bool) -> TapVerdict {
+    fn on_datagram(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        dgram: &Datagram,
+        outbound: bool,
+    ) -> TapVerdict {
         let _ = (ctx, dgram, outbound);
         TapVerdict::Forward
     }

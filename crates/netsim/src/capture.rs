@@ -161,7 +161,8 @@ impl Capture {
     /// paper's Fig. 4), optionally restricted to one connection.
     pub fn to_text(&self, conn: Option<u64>) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("   no.       time  src                  dst                  info\n");
+        let mut out =
+            String::from("   no.       time  src                  dst                  info\n");
         for p in &self.packets {
             if conn.is_some() && p.conn != conn {
                 continue;
@@ -208,8 +209,26 @@ mod tests {
     #[test]
     fn numbering_is_one_based_and_monotonic() {
         let mut cap = Capture::new();
-        let n1 = cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 10, None, None, "");
-        let n2 = cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 20, None, None, "");
+        let n1 = cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            10,
+            None,
+            None,
+            "",
+        );
+        let n2 = cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            20,
+            None,
+            None,
+            "",
+        );
         assert_eq!((n1, n2), (1, 2));
     }
 
@@ -218,12 +237,48 @@ mod tests {
         let mut cap = Capture::new();
         let c2s = Some(Direction::ClientToServer);
         let s2c = Some(Direction::ServerToClient);
-        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 63, Some(1), c2s, "");
-        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 33, Some(1), c2s, "");
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            63,
+            Some(1),
+            c2s,
+            "",
+        );
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            33,
+            Some(1),
+            c2s,
+            "",
+        );
         // Other direction — excluded.
-        cap.record(SimTime::ZERO, addr(2, 2), addr(1, 1), tls_kind(), 99, Some(1), s2c, "");
+        cap.record(
+            SimTime::ZERO,
+            addr(2, 2),
+            addr(1, 1),
+            tls_kind(),
+            99,
+            Some(1),
+            s2c,
+            "",
+        );
         // Other connection — excluded.
-        cap.record(SimTime::ZERO, addr(1, 1), addr(3, 3), tls_kind(), 77, Some(2), c2s, "");
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(3, 3),
+            tls_kind(),
+            77,
+            Some(2),
+            c2s,
+            "",
+        );
         // Handshake record — excluded.
         cap.record(
             SimTime::ZERO,
@@ -235,29 +290,77 @@ mod tests {
             c2s,
             "",
         );
-        assert_eq!(cap.app_data_lens(1, Direction::ClientToServer), vec![63, 33]);
+        assert_eq!(
+            cap.app_data_lens(1, Direction::ClientToServer),
+            vec![63, 33]
+        );
     }
 
     #[test]
     fn dns_responses_filtered() {
         let mut cap = Capture::new();
-        cap.record(SimTime::ZERO, addr(1, 53), addr(2, 5), PacketKind::DnsQuery, 40, None, None, "avs");
-        cap.record(SimTime::ZERO, addr(2, 5), addr(1, 53), PacketKind::DnsResponse, 56, None, None, "52.94.233.1");
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 53),
+            addr(2, 5),
+            PacketKind::DnsQuery,
+            40,
+            None,
+            None,
+            "avs",
+        );
+        cap.record(
+            SimTime::ZERO,
+            addr(2, 5),
+            addr(1, 53),
+            PacketKind::DnsResponse,
+            56,
+            None,
+            None,
+            "52.94.233.1",
+        );
         assert_eq!(cap.dns_responses().count(), 1);
     }
 
     #[test]
     fn conn_packets_selects_by_conn() {
         let mut cap = Capture::new();
-        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 1, Some(5), None, "");
-        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 2, Some(6), None, "");
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            1,
+            Some(5),
+            None,
+            "",
+        );
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            2,
+            Some(6),
+            None,
+            "",
+        );
         assert_eq!(cap.conn_packets(5).count(), 1);
     }
 
     #[test]
     fn clear_empties() {
         let mut cap = Capture::new();
-        cap.record(SimTime::ZERO, addr(1, 1), addr(2, 2), tls_kind(), 1, None, None, "");
+        cap.record(
+            SimTime::ZERO,
+            addr(1, 1),
+            addr(2, 2),
+            tls_kind(),
+            1,
+            None,
+            None,
+            "",
+        );
         cap.clear();
         assert!(cap.is_empty());
     }

@@ -79,7 +79,9 @@ impl DnsZone {
 
     /// Resolves `name`, rotating its pool. Returns `None` for unknown names.
     pub fn resolve(&mut self, name: &str) -> Option<Ipv4Addr> {
-        self.records.get_mut(name).map(ServerPool::resolve_and_rotate)
+        self.records
+            .get_mut(name)
+            .map(ServerPool::resolve_and_rotate)
     }
 
     /// Read-only access to a pool.
@@ -139,7 +141,10 @@ mod tests {
     #[test]
     fn zone_resolution() {
         let mut z = DnsZone::new();
-        z.insert("avs-alexa-4-na.amazon.com", ServerPool::new(vec![ip(1), ip(2)]));
+        z.insert(
+            "avs-alexa-4-na.amazon.com",
+            ServerPool::new(vec![ip(1), ip(2)]),
+        );
         assert_eq!(z.resolve("avs-alexa-4-na.amazon.com"), Some(ip(1)));
         assert_eq!(z.resolve("avs-alexa-4-na.amazon.com"), Some(ip(2)));
         assert_eq!(z.resolve("unknown.example"), None);

@@ -22,8 +22,8 @@ use crate::dns::DnsZone;
 use crate::latency::LatencyModel;
 use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
 use rand::rngs::StdRng;
-use simcore::{EventQueue, RngStreams, SimDuration, SimTime, TraceBus};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use simcore::{EventQueue, HoldQueue, RngStreams, SimDuration, SimTime, TraceBus};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::{Ipv4Addr, SocketAddrV4};
 
@@ -90,21 +90,71 @@ const TLS_ALERT_LEN: u32 = 31;
 
 #[derive(Debug)]
 enum NetEvent {
-    SegAtTap { tap: HostId, seg: Segment },
-    SegAtEndpoint { seg: Segment },
-    DgramAtTap { tap: HostId, dgram: Datagram, outbound: bool },
-    DgramAtEndpoint { dgram: Datagram },
-    DnsQueryTap { tap: HostId, name: String },
-    DnsQueryAtResolver { host: HostId, name: String },
-    DnsAnswerAtTap { tap: HostId, host: HostId, name: String, ip: Ipv4Addr },
-    DnsAnswerAtHost { host: HostId, name: String, ip: Ipv4Addr },
-    AppTimer { host: HostId, token: u64 },
-    TapTimer { tap: HostId, token: u64 },
-    TapConnClosed { tap: HostId, conn: u64, reason: CloseReason },
-    RtoCheck { conn: u64, dir: Direction, seg_seq: u64, attempt: u32 },
-    KeepAliveCheck { conn: u64, dir: Direction },
-    SynTimeout { conn: u64 },
-    GapCheck { conn: u64, dir: Direction, since: SimTime },
+    SegAtTap {
+        tap: HostId,
+        seg: Segment,
+    },
+    SegAtEndpoint {
+        seg: Segment,
+    },
+    DgramAtTap {
+        tap: HostId,
+        dgram: Datagram,
+        outbound: bool,
+    },
+    DgramAtEndpoint {
+        dgram: Datagram,
+    },
+    DnsQueryTap {
+        tap: HostId,
+        name: String,
+    },
+    DnsQueryAtResolver {
+        host: HostId,
+        name: String,
+    },
+    DnsAnswerAtTap {
+        tap: HostId,
+        host: HostId,
+        name: String,
+        ip: Ipv4Addr,
+    },
+    DnsAnswerAtHost {
+        host: HostId,
+        name: String,
+        ip: Ipv4Addr,
+    },
+    AppTimer {
+        host: HostId,
+        token: u64,
+    },
+    TapTimer {
+        tap: HostId,
+        token: u64,
+    },
+    TapConnClosed {
+        tap: HostId,
+        conn: u64,
+        reason: CloseReason,
+    },
+    RtoCheck {
+        conn: u64,
+        dir: Direction,
+        seg_seq: u64,
+        attempt: u32,
+    },
+    KeepAliveCheck {
+        conn: u64,
+        dir: Direction,
+    },
+    SynTimeout {
+        conn: u64,
+    },
+    GapCheck {
+        conn: u64,
+        dir: Direction,
+        since: SimTime,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,7 +268,9 @@ struct HostEntry {
     name: String,
     ip: Ipv4Addr,
     app: Option<Box<dyn NetApp>>,
-    tap: Option<Box<dyn Middlebox>>,
+    /// Index into [`Network::taps`]; several hosts may share one slot so a
+    /// single middlebox can guard multiple access links.
+    tap: Option<usize>,
     next_port: u16,
     rng: StdRng,
 }
@@ -233,8 +285,13 @@ pub struct Network {
     hosts: Vec<HostEntry>,
     conns: HashMap<u64, Connection>,
     next_conn: u64,
-    held_segs: HashMap<(u32, u64), VecDeque<Segment>>,
-    held_dgrams: HashMap<u32, VecDeque<(Datagram, bool)>>,
+    /// Middlebox instances; hosts reference slots by index (`None` while a
+    /// slot's middlebox is temporarily taken for dispatch).
+    taps: Vec<Option<Box<dyn Middlebox>>>,
+    /// Segments parked by a tap, keyed by (tap slot, connection id).
+    held_segs: HoldQueue<(usize, u64), Segment>,
+    /// Datagrams parked by a tap, keyed by (tap slot, speaker-side flow IP).
+    held_dgrams: HoldQueue<(usize, Ipv4Addr), (Datagram, bool)>,
     dns: DnsZone,
     capture: Capture,
     trace: TraceBus,
@@ -262,8 +319,9 @@ impl Network {
             hosts: Vec::new(),
             conns: HashMap::new(),
             next_conn: 1,
-            held_segs: HashMap::new(),
-            held_dgrams: HashMap::new(),
+            taps: Vec::new(),
+            held_segs: HoldQueue::new(),
+            held_dgrams: HoldQueue::new(),
             dns: DnsZone::new(),
             capture: Capture::new(),
             trace: TraceBus::default(),
@@ -303,7 +361,23 @@ impl Network {
 
     /// Installs a tap (middlebox) on `host`'s access link.
     pub fn set_tap(&mut self, host: HostId, tap: Box<dyn Middlebox>) {
-        self.host_entry_mut(host).tap = Some(tap);
+        let slot = self.taps.len();
+        self.taps.push(Some(tap));
+        self.host_entry_mut(host).tap = Some(slot);
+    }
+
+    /// Attaches the tap already guarding `other` to `host`'s access link as
+    /// well, so one middlebox instance observes both hosts' traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has no tap installed.
+    pub fn share_tap(&mut self, host: HostId, other: HostId) {
+        let slot = self
+            .host_entry(other)
+            .tap
+            .unwrap_or_else(|| panic!("{other} has no tap to share"));
+        self.host_entry_mut(host).tap = Some(slot);
     }
 
     /// The DNS zone served by the home router.
@@ -455,20 +529,26 @@ impl Network {
         host: HostId,
         f: impl FnOnce(&mut T, &mut dyn TapCtx) -> R,
     ) -> R {
-        let mut tap = self
-            .host_entry_mut(host)
+        let slot = self
+            .host_entry(host)
             .tap
-            .take()
             .unwrap_or_else(|| panic!("{host} has no tap"));
+        let mut tap = self.taps[slot]
+            .take()
+            .unwrap_or_else(|| panic!("tap slot {slot} already taken"));
         let result = {
-            let mut ctx = TapCtxImpl { net: self, tap: host };
+            let mut ctx = TapCtxImpl {
+                net: self,
+                tap: host,
+                slot,
+            };
             let typed = tap
                 .as_any_mut()
                 .downcast_mut::<T>()
                 .expect("tap type mismatch in with_tap");
             f(typed, &mut ctx)
         };
-        self.host_entry_mut(host).tap = Some(tap);
+        self.taps[slot] = Some(tap);
         result
     }
 
@@ -504,13 +584,38 @@ impl Network {
         tap: HostId,
         f: impl FnOnce(&mut dyn Middlebox, &mut dyn TapCtx) -> R,
     ) -> Option<R> {
-        let mut mb = self.host_entry_mut(tap).tap.take()?;
+        let slot = self.host_entry(tap).tap?;
+        let mut mb = self.taps[slot].take()?;
         let result = {
-            let mut ctx = TapCtxImpl { net: self, tap };
+            let mut ctx = TapCtxImpl {
+                net: self,
+                tap,
+                slot,
+            };
             f(mb.as_mut(), &mut ctx)
         };
-        self.host_entry_mut(tap).tap = Some(mb);
+        self.taps[slot] = Some(mb);
         Some(result)
+    }
+
+    fn tap_slot(&self, host: HostId) -> Option<usize> {
+        self.host_entry(host).tap
+    }
+
+    /// The tapped endpoints of a connection, reduced to one host per tap
+    /// slot so a shared middlebox is notified exactly once.
+    fn tapped_once(&self, client: HostId, server: HostId) -> Vec<HostId> {
+        let mut seen_slots = Vec::new();
+        let mut hosts = Vec::new();
+        for host in [client, server] {
+            if let Some(slot) = self.host_entry(host).tap {
+                if !seen_slots.contains(&slot) {
+                    seen_slots.push(slot);
+                    hosts.push(host);
+                }
+            }
+        }
+        hosts
     }
 
     fn has_tap(&self, host: HostId) -> bool {
@@ -636,7 +741,8 @@ impl Network {
             }
         }
         let d = lat.end_to_end(&mut self.rng);
-        self.queue.schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
+        self.queue
+            .schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
     }
 
     fn forward_dgram_from_tap(&mut self, tap: HostId, dgram: Datagram, outbound: bool) {
@@ -648,7 +754,8 @@ impl Network {
             lat.to_tap(&mut self.rng)
         };
         let _ = tap;
-        self.queue.schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
+        self.queue
+            .schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
     }
 
     fn capture_segment(&mut self, seg: &Segment) {
@@ -763,10 +870,8 @@ impl Network {
                 notify.push(conn.host_of_side(side));
             }
         }
-        let tapped: Vec<HostId> = [conn.client, conn.server]
-            .into_iter()
-            .filter(|h| self.host_entry(*h).tap.is_some())
-            .collect();
+        let (client, server) = (conn.client, conn.server);
+        let tapped = self.tapped_once(client, server);
         for host in notify {
             self.dispatch_app(host, |app, ctx| app.on_closed(ctx, ConnId(conn_id), reason));
         }
@@ -782,16 +887,18 @@ impl Network {
             );
         }
         // Clean up any frames still held at taps for this connection.
-        self.held_segs.retain(|(_, c), _| *c != conn_id);
+        self.held_segs.retain_keys(|(_, c)| *c != conn_id);
     }
 
     fn handle(&mut self, event: NetEvent) {
         match event {
             NetEvent::SegAtTap { tap, seg } => self.on_seg_at_tap(tap, seg),
             NetEvent::SegAtEndpoint { seg } => self.on_seg_at_endpoint(seg),
-            NetEvent::DgramAtTap { tap, dgram, outbound } => {
-                self.on_dgram_at_tap(tap, dgram, outbound)
-            }
+            NetEvent::DgramAtTap {
+                tap,
+                dgram,
+                outbound,
+            } => self.on_dgram_at_tap(tap, dgram, outbound),
             NetEvent::DgramAtEndpoint { dgram } => self.on_dgram_at_endpoint(dgram),
             NetEvent::DnsQueryTap { tap, name } => {
                 if self.config.capture_enabled {
@@ -830,17 +937,20 @@ impl Network {
                         },
                     );
                     let d2 = lat.to_tap(&mut self.rng);
-                    self.queue.schedule(
-                        now + d1 + d2,
-                        NetEvent::DnsAnswerAtHost { host, name, ip },
-                    );
+                    self.queue
+                        .schedule(now + d1 + d2, NetEvent::DnsAnswerAtHost { host, name, ip });
                 } else {
                     let d = lat.to_tap(&mut self.rng);
                     self.queue
                         .schedule(now + d, NetEvent::DnsAnswerAtHost { host, name, ip });
                 }
             }
-            NetEvent::DnsAnswerAtTap { tap, host, name, ip } => {
+            NetEvent::DnsAnswerAtTap {
+                tap,
+                host,
+                name,
+                ip,
+            } => {
                 if self.config.capture_enabled {
                     let router = SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 1), 53);
                     let dst = SocketAddrV4::new(self.host_ip(host), 53_000);
@@ -947,14 +1057,13 @@ impl Network {
                         };
                         let now = self.queue.now();
                         let d = self.config.latency.to_tap(&mut self.rng);
-                        self.queue.schedule(now + d, NetEvent::SegAtEndpoint { seg: ack });
+                        self.queue
+                            .schedule(now + d, NetEvent::SegAtEndpoint { seg: ack });
                     }
                     _ => {}
                 }
-                self.held_segs
-                    .entry((tap.0, seg.conn))
-                    .or_default()
-                    .push_back(seg);
+                let slot = self.tap_slot(tap).expect("hold verdict from untapped host");
+                self.held_segs.push((slot, seg.conn), seg);
             }
             TapVerdict::Drop => {
                 self.trace.emit(
@@ -998,9 +1107,11 @@ impl Network {
                 if conn.state == ConnState::SynSent {
                     conn.state = ConnState::Established;
                     let client = conn.client;
-                    self.send_control(conn_id, Direction::ClientToServer, SegmentPayload::Ack {
-                        cum_seq: 0,
-                    });
+                    self.send_control(
+                        conn_id,
+                        Direction::ClientToServer,
+                        SegmentPayload::Ack { cum_seq: 0 },
+                    );
                     self.schedule_keepalives(conn_id);
                     self.dispatch_app(client, |app, ctx| app.on_connected(ctx, ConnId(conn_id)));
                 }
@@ -1027,7 +1138,10 @@ impl Network {
                     let server = conn.server;
                     self.schedule_keepalives(conn_id);
                     self.dispatch_app(server, |app, ctx| app.on_connected(ctx, ConnId(conn_id)));
-                } else if cum_seq == 0 && conn.state == ConnState::Established && !conn.close_notified[1] {
+                } else if cum_seq == 0
+                    && conn.state == ConnState::Established
+                    && !conn.close_notified[1]
+                {
                     // Server may see the handshake ACK after SYN-ACK already
                     // established the client side: notify the server app once.
                     // (Server-side on_connected dispatch happens here exactly
@@ -1114,17 +1228,23 @@ impl Network {
                     Some(now)
                 };
                 let cum = conn.dirs[d].recv_cum_seg;
-                self.send_control(conn_id, seg.dir.reverse(), SegmentPayload::Ack { cum_seq: cum });
+                self.send_control(
+                    conn_id,
+                    seg.dir.reverse(),
+                    SegmentPayload::Ack { cum_seq: cum },
+                );
                 for r in deliver {
-                    self.dispatch_app(receiver, |app, ctx| {
-                        app.on_record(ctx, ConnId(conn_id), r)
-                    });
+                    self.dispatch_app(receiver, |app, ctx| app.on_record(ctx, ConnId(conn_id), r));
                 }
             }
             SegmentPayload::KeepAlive => {
                 let d = Connection::dir_index(seg.dir);
                 let cum = conn.dirs[d].recv_cum_seg;
-                self.send_control(conn_id, seg.dir.reverse(), SegmentPayload::Ack { cum_seq: cum });
+                self.send_control(
+                    conn_id,
+                    seg.dir.reverse(),
+                    SegmentPayload::Ack { cum_seq: cum },
+                );
             }
             SegmentPayload::Fin => {
                 let receiver = conn.endpoint_of_dir_dst(seg.dir);
@@ -1142,12 +1262,9 @@ impl Network {
                     });
                 }
                 if receiver_was_unaware {
-                    let tapped: Vec<HostId> = {
+                    let tapped = {
                         let c = &self.conns[&conn_id];
-                        [c.client, c.server]
-                            .into_iter()
-                            .filter(|h| self.host_entry(*h).tap.is_some())
-                            .collect()
+                        self.tapped_once(c.client, c.server)
                     };
                     let now = self.queue.now();
                     for tap in tapped {
@@ -1165,9 +1282,7 @@ impl Network {
             SegmentPayload::Rst => {
                 let receiver = conn.endpoint_of_dir_dst(seg.dir);
                 let receiver_side = if receiver == conn.client { 0 } else { 1 };
-                let reason = conn
-                    .close_reason
-                    .unwrap_or(CloseReason::Reset);
+                let reason = conn.close_reason.unwrap_or(CloseReason::Reset);
                 conn.state = ConnState::Closed;
                 conn.close_reason = Some(reason);
                 if !conn.close_notified[receiver_side] {
@@ -1177,6 +1292,16 @@ impl Network {
                     });
                 }
             }
+        }
+    }
+
+    /// The speaker-side IP identifying a datagram's flow for hold keying:
+    /// the source of an outbound datagram, the destination of an inbound one.
+    fn datagram_flow_ip(dgram: &Datagram, outbound: bool) -> Ipv4Addr {
+        if outbound {
+            *dgram.src.ip()
+        } else {
+            *dgram.dst.ip()
         }
     }
 
@@ -1199,10 +1324,9 @@ impl Network {
         match verdict {
             TapVerdict::Forward => self.forward_dgram_from_tap(tap, dgram, outbound),
             TapVerdict::Hold => {
-                self.held_dgrams
-                    .entry(tap.0)
-                    .or_default()
-                    .push_back((dgram, outbound));
+                let slot = self.tap_slot(tap).expect("hold verdict from untapped host");
+                let flow = Self::datagram_flow_ip(&dgram, outbound);
+                self.held_dgrams.push((slot, flow), (dgram, outbound));
             }
             TapVerdict::Drop => {
                 self.trace
@@ -1238,7 +1362,11 @@ impl Network {
             self.close_conn(conn_id, CloseReason::Timeout, None);
             return;
         }
-        let Some(seg) = self.conns[&conn_id].dirs[d].outstanding.get(&seg_seq).copied() else {
+        let Some(seg) = self.conns[&conn_id].dirs[d]
+            .outstanding
+            .get(&seg_seq)
+            .copied()
+        else {
             return;
         };
         let mut retrans = seg;
@@ -1338,10 +1466,8 @@ impl Network {
             );
         } else {
             let wait = self.config.keepalive_idle - idle;
-            self.queue.schedule(
-                now + wait,
-                NetEvent::KeepAliveCheck { conn: conn_id, dir },
-            );
+            self.queue
+                .schedule(now + wait, NetEvent::KeepAliveCheck { conn: conn_id, dir });
         }
     }
 }
@@ -1394,7 +1520,9 @@ impl AppCtx for Ctx<'_> {
         // Real TCP retransmits SYNs and eventually gives up; we model the
         // give-up directly so a black-holed handshake surfaces as Timeout.
         let at = self.net.queue.now() + SimDuration::from_secs(10);
-        self.net.queue.schedule(at, NetEvent::SynTimeout { conn: id });
+        self.net
+            .queue
+            .schedule(at, NetEvent::SynTimeout { conn: id });
         ConnId(id)
     }
 
@@ -1459,9 +1587,13 @@ impl AppCtx for Ctx<'_> {
 
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.net.queue.now() + delay;
-        self.net
-            .queue
-            .schedule(at, NetEvent::AppTimer { host: self.host, token });
+        self.net.queue.schedule(
+            at,
+            NetEvent::AppTimer {
+                host: self.host,
+                token,
+            },
+        );
     }
 
     fn dns_lookup(&mut self, name: &str) {
@@ -1509,6 +1641,7 @@ impl AppCtx for Ctx<'_> {
 struct TapCtxImpl<'a> {
     net: &'a mut Network,
     tap: HostId,
+    slot: usize,
 }
 
 impl TapCtx for TapCtxImpl<'_> {
@@ -1521,16 +1654,11 @@ impl TapCtx for TapCtxImpl<'_> {
     }
 
     fn held_count(&self, conn: ConnId) -> usize {
-        self.net
-            .held_segs
-            .get(&(self.tap.0, conn.0))
-            .map_or(0, VecDeque::len)
+        self.net.held_segs.len(&(self.slot, conn.0))
     }
 
     fn release_held(&mut self, conn: ConnId) -> usize {
-        let Some(held) = self.net.held_segs.remove(&(self.tap.0, conn.0)) else {
-            return 0;
-        };
+        let held = self.net.held_segs.release(&(self.slot, conn.0));
         let n = held.len();
         for seg in held {
             self.net.forward_from_tap(self.tap, seg);
@@ -1539,20 +1667,15 @@ impl TapCtx for TapCtxImpl<'_> {
     }
 
     fn discard_held(&mut self, conn: ConnId) -> usize {
-        self.net
-            .held_segs
-            .remove(&(self.tap.0, conn.0))
-            .map_or(0, |q| q.len())
+        self.net.held_segs.discard(&(self.slot, conn.0))
     }
 
-    fn held_datagram_count(&self) -> usize {
-        self.net.held_dgrams.get(&self.tap.0).map_or(0, VecDeque::len)
+    fn held_datagram_count(&self, flow: Ipv4Addr) -> usize {
+        self.net.held_dgrams.len(&(self.slot, flow))
     }
 
-    fn release_held_datagrams(&mut self) -> usize {
-        let Some(held) = self.net.held_dgrams.remove(&self.tap.0) else {
-            return 0;
-        };
+    fn release_held_datagrams(&mut self, flow: Ipv4Addr) -> usize {
+        let held = self.net.held_dgrams.release(&(self.slot, flow));
         let n = held.len();
         for (dgram, outbound) in held {
             self.net.forward_dgram_from_tap(self.tap, dgram, outbound);
@@ -1560,18 +1683,19 @@ impl TapCtx for TapCtxImpl<'_> {
         n
     }
 
-    fn discard_held_datagrams(&mut self) -> usize {
-        self.net
-            .held_dgrams
-            .remove(&self.tap.0)
-            .map_or(0, |q| q.len())
+    fn discard_held_datagrams(&mut self, flow: Ipv4Addr) -> usize {
+        self.net.held_dgrams.discard(&(self.slot, flow))
     }
 
     fn set_timer(&mut self, delay: SimDuration, token: u64) {
         let at = self.net.queue.now() + delay;
-        self.net
-            .queue
-            .schedule(at, NetEvent::TapTimer { tap: self.tap, token });
+        self.net.queue.schedule(
+            at,
+            NetEvent::TapTimer {
+                tap: self.tap,
+                token,
+            },
+        );
     }
 
     fn trace(&mut self, category: &str, message: &str) {

@@ -100,11 +100,7 @@ struct HoldTap {
 }
 
 impl Middlebox for HoldTap {
-    fn on_segment(
-        &mut self,
-        _ctx: &mut dyn TapCtx,
-        view: &netsim::app::SegmentView,
-    ) -> TapVerdict {
+    fn on_segment(&mut self, _ctx: &mut dyn TapCtx, view: &netsim::app::SegmentView) -> TapVerdict {
         if view.dir == Direction::ClientToServer {
             if let SegmentPayload::Data(rec) = view.payload {
                 if rec.is_app_data() {
@@ -165,7 +161,8 @@ fn handshake_and_echo_without_tap() {
 #[test]
 fn echo_through_forwarding_tap() {
     let client = ScriptClient::new(vec![138, 75], cloud_addr());
-    let (mut net, speaker, _cloud) = build(client, EchoServer::accepting(), Some(HoldTap::default()));
+    let (mut net, speaker, _cloud) =
+        build(client, EchoServer::accepting(), Some(HoldTap::default()));
     net.run_until(SimTime::from_secs(5));
 
     net.with_app::<ScriptClient, _>(speaker, |cl, _| {
@@ -269,7 +266,10 @@ fn discard_then_next_record_trips_tls_sequence_check() {
     });
     let info = net.conn_info(ConnId(1)).unwrap();
     assert!(!info.established);
-    assert_eq!(info.close_reason, Some(CloseReason::TlsRecordSequenceMismatch));
+    assert_eq!(
+        info.close_reason,
+        Some(CloseReason::TlsRecordSequenceMismatch)
+    );
 }
 
 #[test]
@@ -299,7 +299,8 @@ fn orderly_close_notifies_peer() {
 #[test]
 fn tap_sees_connection_close() {
     let client = ScriptClient::new(vec![10], cloud_addr());
-    let (mut net, speaker, _cloud) = build(client, EchoServer::accepting(), Some(HoldTap::default()));
+    let (mut net, speaker, _cloud) =
+        build(client, EchoServer::accepting(), Some(HoldTap::default()));
     net.run_until(SimTime::from_secs(2));
     net.with_app::<ScriptClient, _>(speaker, |_cl, ctx| ctx.close(ConnId(1)));
     net.run_until(SimTime::from_secs(4));
@@ -374,8 +375,10 @@ fn dns_is_visible_to_tap() {
 
     let mut net = Network::new(NetworkConfig::default());
     let speaker = net.add_host("speaker", SPEAKER_IP);
-    net.dns_zone_mut()
-        .insert("www.google.com", ServerPool::new(vec![Ipv4Addr::new(142, 250, 80, 4)]));
+    net.dns_zone_mut().insert(
+        "www.google.com",
+        ServerPool::new(vec![Ipv4Addr::new(142, 250, 80, 4)]),
+    );
     net.set_app(speaker, Box::new(DnsApp));
     net.set_tap(speaker, Box::new(DnsTap::default()));
     net.start();
@@ -454,13 +457,13 @@ fn datagrams_round_trip_and_can_be_held() {
 
     // Outbound datagram held: no reply yet.
     net.with_app::<UdpClient, _>(speaker, |cl, _| assert!(cl.replies.is_empty()));
-    let held = net.with_tap::<UdpTap, _>(speaker, |_t, ctx| ctx.held_datagram_count());
+    let held = net.with_tap::<UdpTap, _>(speaker, |_t, ctx| ctx.held_datagram_count(SPEAKER_IP));
     assert_eq!(held, 1);
 
     // Release: reply arrives.
     net.with_tap::<UdpTap, _>(speaker, |tap, ctx| {
         tap.hold_outbound = false;
-        assert_eq!(ctx.release_held_datagrams(), 1);
+        assert_eq!(ctx.release_held_datagrams(SPEAKER_IP), 1);
     });
     net.run_until(SimTime::from_secs(2));
     net.with_app::<UdpClient, _>(speaker, |cl, _| assert_eq!(cl.replies, vec![101]));

@@ -147,11 +147,7 @@ fn nxdomain_lookup_never_answers() {
     net.with_app::<DnsApp, _>(h, |app, _| {
         assert!(!app.answered, "NXDOMAIN yields no answer");
     });
-    assert!(net
-        .trace()
-        .filter("dns.nxdomain")
-        .next()
-        .is_some());
+    assert!(net.trace().filter("dns.nxdomain").next().is_some());
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Behaviour under random wire loss: TCP recovers via retransmission, the
 //! handshake gives up cleanly when black-holed, and UDP losses are final.
 
-use netsim::{
-    AppCtx, CloseReason, ConnId, Datagram, NetApp, Network, NetworkConfig, TlsRecord,
-};
+use netsim::{AppCtx, CloseReason, ConnId, Datagram, NetApp, Network, NetworkConfig, TlsRecord};
 use simcore::SimTime;
 use std::any::Any;
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -58,7 +56,13 @@ fn tcp_delivers_in_order_despite_loss() {
         });
         let a = net.add_host("a", A_IP);
         let b = net.add_host("b", B_IP);
-        net.set_app(a, Box::new(Burst { n: 30, closed: None }));
+        net.set_app(
+            a,
+            Box::new(Burst {
+                n: 30,
+                closed: None,
+            }),
+        );
         net.set_app(b, Box::new(Sink::default()));
         net.start();
         net.run_until(SimTime::from_secs(60));

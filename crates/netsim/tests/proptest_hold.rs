@@ -4,8 +4,8 @@
 //! session on the next record.
 
 use netsim::{
-    AppCtx, CloseReason, ConnId, Middlebox, NetApp, Network, NetworkConfig, SegmentPayload,
-    TapCtx, TapVerdict, TlsRecord,
+    AppCtx, CloseReason, ConnId, Middlebox, NetApp, Network, NetworkConfig, SegmentPayload, TapCtx,
+    TapVerdict, TlsRecord,
 };
 use proptest::prelude::*;
 use simcore::SimTime;

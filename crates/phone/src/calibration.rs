@@ -91,11 +91,7 @@ impl ThresholdCalibrator {
                 samples.push(burst);
             }
         }
-        let threshold_db = samples
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
-            - self.margin_db;
+        let threshold_db = samples.iter().copied().fold(f64::INFINITY, f64::min) - self.margin_db;
         CalibrationResult {
             threshold_db,
             samples,

@@ -254,26 +254,18 @@ mod tests {
     fn wall_attenuation_through_wall_and_doorway() {
         let plan = two_room_plan();
         // Path through the wall (y = 1): attenuated.
-        let through = plan.wall_attenuation_between(
-            Point::ground(2.0, 1.0),
-            Point::ground(8.0, 1.0),
-        );
+        let through =
+            plan.wall_attenuation_between(Point::ground(2.0, 1.0), Point::ground(8.0, 1.0));
         assert_eq!(through, 5.0);
         // Path through the doorway (y = 2.5): line of sight.
-        let door = plan.wall_attenuation_between(
-            Point::ground(2.0, 2.5),
-            Point::ground(8.0, 2.5),
-        );
+        let door = plan.wall_attenuation_between(Point::ground(2.0, 2.5), Point::ground(8.0, 2.5));
         assert_eq!(door, 0.0);
     }
 
     #[test]
     fn cross_floor_paths_skip_walls() {
         let plan = two_room_plan();
-        let att = plan.wall_attenuation_between(
-            Point::new(2.0, 1.0, 0),
-            Point::new(8.0, 1.0, 1),
-        );
+        let att = plan.wall_attenuation_between(Point::new(2.0, 1.0, 0), Point::new(8.0, 1.0, 1));
         assert_eq!(att, 0.0);
         assert_eq!(
             plan.walls_between(Point::new(2.0, 1.0, 0), Point::new(8.0, 1.0, 1)),

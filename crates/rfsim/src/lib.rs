@@ -23,11 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod floorplan;
-pub mod materials;
 pub mod geometry;
+pub mod materials;
 pub mod propagation;
 
 pub use floorplan::{Floorplan, FloorplanBuilder, Room, RoomId, Stair, Wall};
-pub use materials::Material;
 pub use geometry::{Point, Rect, Segment2};
+pub use materials::Material;
 pub use propagation::{BleChannel, Orientation, PropagationConfig};

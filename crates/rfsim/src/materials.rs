@@ -77,10 +77,7 @@ mod tests {
         b.room("a", Rect::new(0.0, 0.0, 10.0, 5.0), 0);
         b.wall_of(Segment2::new(5.0, 0.0, 5.0, 5.0), 0, Material::Concrete);
         let plan = b.build();
-        let att = plan.wall_attenuation_between(
-            Point::ground(1.0, 2.5),
-            Point::ground(9.0, 2.5),
-        );
+        let att = plan.wall_attenuation_between(Point::ground(1.0, 2.5), Point::ground(9.0, 2.5));
         assert_eq!(att, Material::Concrete.attenuation_db());
     }
 

@@ -191,7 +191,12 @@ impl BleChannel {
 
     /// One RSSI measurement at `rx` with the given orientation: the mean
     /// plus orientation bias plus fast fading drawn from `rng`.
-    pub fn measure<R: Rng + ?Sized>(&self, rx: Point, orientation: Orientation, rng: &mut R) -> f64 {
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        rx: Point,
+        orientation: Orientation,
+        rng: &mut R,
+    ) -> f64 {
         let fading = normal(rng, 0.0, self.config.fading_sigma_db);
         (self.mean_rssi(rx) + orientation.bias_db() + fading).min(self.config.rssi_max_db)
     }

@@ -1,0 +1,122 @@
+//! Keyed FIFO hold queues.
+//!
+//! A [`HoldQueue`] parks in-flight items (segments, datagrams) per flow key
+//! until a verdict arrives: `release` drains a key's items in arrival order,
+//! `discard` drops them without yielding. Items held under one key are never
+//! affected by operations on another key — the invariant the guard's
+//! hold-and-spoof mechanism depends on.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// FIFO queues of held items, one queue per key.
+#[derive(Debug, Clone)]
+pub struct HoldQueue<K, V> {
+    queues: HashMap<K, VecDeque<V>>,
+}
+
+impl<K: Eq + Hash, V> HoldQueue<K, V> {
+    /// Creates an empty hold queue.
+    pub fn new() -> Self {
+        HoldQueue {
+            queues: HashMap::new(),
+        }
+    }
+
+    /// Parks `item` at the back of `key`'s queue.
+    pub fn push(&mut self, key: K, item: V) {
+        self.queues.entry(key).or_default().push_back(item);
+    }
+
+    /// Removes and returns all items held under `key`, oldest first.
+    pub fn release(&mut self, key: &K) -> Vec<V> {
+        self.queues
+            .remove(key)
+            .map(|q| q.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops all items held under `key`, returning how many were discarded.
+    pub fn discard(&mut self, key: &K) -> usize {
+        self.queues.remove(key).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Number of items currently held under `key`.
+    pub fn len(&self, key: &K) -> usize {
+        self.queues.get(key).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// True when no key holds any item.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(|q| q.is_empty())
+    }
+
+    /// Total items held across all keys.
+    pub fn total(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Keeps only the queues whose key satisfies `pred`.
+    pub fn retain_keys<F: FnMut(&K) -> bool>(&mut self, mut pred: F) {
+        self.queues.retain(|k, _| pred(k));
+    }
+
+    /// Iterates over `key`'s held items in arrival order without removing.
+    pub fn iter(&self, key: &K) -> impl Iterator<Item = &V> {
+        self.queues.get(key).into_iter().flat_map(|q| q.iter())
+    }
+}
+
+impl<K: Eq + Hash, V> Default for HoldQueue<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_preserves_fifo_order() {
+        let mut q = HoldQueue::new();
+        q.push(1u32, "a");
+        q.push(2u32, "x");
+        q.push(1u32, "b");
+        q.push(1u32, "c");
+        assert_eq!(q.release(&1), vec!["a", "b", "c"]);
+        assert_eq!(q.len(&1), 0);
+        assert_eq!(q.len(&2), 1);
+    }
+
+    #[test]
+    fn discard_only_touches_its_key() {
+        let mut q = HoldQueue::new();
+        q.push('a', 1);
+        q.push('b', 2);
+        q.push('b', 3);
+        assert_eq!(q.discard(&'b'), 2);
+        assert_eq!(q.release(&'a'), vec![1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_key_operations_are_noops() {
+        let mut q: HoldQueue<u64, u8> = HoldQueue::new();
+        assert_eq!(q.release(&9), Vec::<u8>::new());
+        assert_eq!(q.discard(&9), 0);
+        assert_eq!(q.len(&9), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.total(), 0);
+    }
+
+    #[test]
+    fn retain_keys_drops_whole_queues() {
+        let mut q = HoldQueue::new();
+        q.push(1, 'x');
+        q.push(2, 'y');
+        q.retain_keys(|k| *k != 1);
+        assert_eq!(q.len(&1), 0);
+        assert_eq!(q.len(&2), 1);
+    }
+}

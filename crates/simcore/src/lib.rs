@@ -40,6 +40,7 @@
 
 pub mod confusion;
 pub mod error;
+pub mod hold;
 pub mod queue;
 pub mod regression;
 pub mod rng;
@@ -50,6 +51,7 @@ pub mod trace;
 
 pub use confusion::ConfusionMatrix;
 pub use error::SimError;
+pub use hold::HoldQueue;
 pub use queue::EventQueue;
 pub use regression::{linear_fit, linear_fit_sampled, LinearFit};
 pub use rng::RngStreams;

@@ -188,10 +188,7 @@ mod tests {
         let b: u64 = sub.stream("jitter").gen();
         assert_ne!(a, b);
         // Fork is deterministic.
-        assert_eq!(
-            root.fork("netsim").master_seed(),
-            sub.master_seed()
-        );
+        assert_eq!(root.fork("netsim").master_seed(), sub.master_seed());
     }
 
     #[test]

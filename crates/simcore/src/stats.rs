@@ -67,8 +67,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        (self.values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.values.len() as f64)
-            .sqrt()
+        (self.values.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.values.len() as f64).sqrt()
     }
 
     /// Smallest observation.
@@ -88,7 +87,10 @@ impl Summary {
     /// Panics if the summary is empty.
     pub fn max(&self) -> f64 {
         assert!(!self.values.is_empty(), "max of empty summary");
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation between order

@@ -18,7 +18,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_millis(1_500);
 /// assert_eq!(t.as_secs_f64(), 1.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -30,7 +32,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs(30);
 /// assert_eq!(d * 2, SimDuration::from_secs(60));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -60,7 +64,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be non-negative and finite");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be non-negative and finite"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -169,7 +176,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -348,6 +358,9 @@ mod tests {
             SimTime::from_secs(3).checked_sub(SimDuration::from_secs(1)),
             Some(SimTime::from_secs(2))
         );
-        assert_eq!(SimTime::from_secs(1).checked_sub(SimDuration::from_secs(3)), None);
+        assert_eq!(
+            SimTime::from_secs(1).checked_sub(SimDuration::from_secs(3)),
+            None
+        );
     }
 }

@@ -86,7 +86,11 @@ impl NetApp for AvsCloud {
             self.commands_received.push(command);
             // ASR + skill execution "think time".
             let think_ms = 300 + (command % 7) * 40;
-            self.schedule(ctx, SimDuration::from_millis(think_ms), (conn, command, parts));
+            self.schedule(
+                ctx,
+                SimDuration::from_millis(think_ms),
+                (conn, command, parts),
+            );
             return;
         }
         if record.app_tag & tags::BASE_MASK == tags::UPLINK_RESPONSE {

@@ -18,12 +18,24 @@ pub const AVS_CONNECT_SIGNATURE: [u32; 16] = [
 /// each differs from [`AVS_CONNECT_SIGNATURE`] so the matcher can tell the
 /// flows apart (the paper compared against six other Amazon endpoints).
 pub const OTHER_AMAZON_SIGNATURES: [[u32; 16]; 6] = [
-    [63, 33, 583, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
-    [63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 41],
-    [87, 33, 412, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
-    [63, 41, 653, 145, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33],
-    [63, 33, 653, 131, 73, 131, 202, 73, 145, 73, 131, 73, 131, 77, 33, 33],
-    [95, 33, 512, 131, 89, 131, 188, 73, 131, 73, 131, 73, 131, 77, 41, 33],
+    [
+        63, 33, 583, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+    ],
+    [
+        63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 41,
+    ],
+    [
+        87, 33, 412, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+    ],
+    [
+        63, 41, 653, 145, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+    ],
+    [
+        63, 33, 653, 131, 73, 131, 202, 73, 145, 73, 131, 73, 131, 77, 33, 33,
+    ],
+    [
+        95, 33, 512, 131, 89, 131, 188, 73, 131, 73, 131, 73, 131, 77, 41, 33,
+    ],
 ];
 
 /// Heartbeat period of the idle Echo Dot, seconds.

@@ -176,7 +176,10 @@ mod tests {
             c.mean_words()
         );
         let frac4 = c.fraction_at_least_words(4);
-        assert!(frac4 >= 0.868, "paper: more than 86.8% have >= 4 words, got {frac4}");
+        assert!(
+            frac4 >= 0.868,
+            "paper: more than 86.8% have >= 4 words, got {frac4}"
+        );
         assert!(frac4 < 0.90);
     }
 
@@ -190,7 +193,10 @@ mod tests {
             c.mean_words()
         );
         let frac5 = c.fraction_at_least_words(5);
-        assert!(frac5 >= 0.939, "paper: more than 93.9% have >= 5 words, got {frac5}");
+        assert!(
+            frac5 >= 0.939,
+            "paper: more than 93.9% have >= 5 words, got {frac5}"
+        );
         assert!(frac5 < 0.96);
     }
 

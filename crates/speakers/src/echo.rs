@@ -17,10 +17,10 @@
 //!   signatures.
 
 use crate::cloud::tags;
-use crate::command::{
-    CommandOutcome, CommandSpec, InvocationRecord, SpikeLabel, SpikePhase,
+use crate::command::{CommandOutcome, CommandSpec, InvocationRecord, SpikeLabel, SpikePhase};
+use crate::constants::{
+    AVS_CONNECT_SIGNATURE, HEARTBEAT_INTERVAL_S, HEARTBEAT_LEN, OTHER_AMAZON_SIGNATURES,
 };
-use crate::constants::{AVS_CONNECT_SIGNATURE, HEARTBEAT_INTERVAL_S, HEARTBEAT_LEN, OTHER_AMAZON_SIGNATURES};
 use crate::corpus::SPEECH_WORDS_PER_SECOND;
 use crate::spikes;
 use netsim::{AppCtx, CloseReason, ConnId, NetApp, TlsRecord};
@@ -163,7 +163,14 @@ impl EchoDotApp {
         let mut t = SimDuration::from_millis(20);
         while t < duration {
             let len = 900 + (t.as_nanos() % 400) as u32;
-            self.schedule(ctx, t, Step::Send { len, tag: tags::VOICE });
+            self.schedule(
+                ctx,
+                t,
+                Step::Send {
+                    len,
+                    tag: tags::VOICE,
+                },
+            );
             t += SimDuration::from_millis(400);
         }
     }
@@ -215,14 +222,28 @@ impl EchoDotApp {
         let mut t = SimDuration::from_millis(20 + 90 * lens.len() as u64 + 150);
         while t < speech {
             let len = spikes::voice_stream_packet(ctx.rng());
-            self.schedule(ctx, t, Step::Send { len, tag: tags::VOICE });
+            self.schedule(
+                ctx,
+                t,
+                Step::Send {
+                    len,
+                    tag: tags::VOICE,
+                },
+            );
             t += SimDuration::from_millis(250);
         }
         // End-of-speech burst, then the end-of-command record.
         let burst = spikes::speech_end_burst(ctx.rng());
         let mut bt = speech;
         for len in burst {
-            self.schedule(ctx, bt, Step::Send { len, tag: tags::VOICE });
+            self.schedule(
+                ctx,
+                bt,
+                Step::Send {
+                    len,
+                    tag: tags::VOICE,
+                },
+            );
             bt += SimDuration::from_millis(30);
         }
         self.schedule(
@@ -398,7 +419,11 @@ impl NetApp for EchoDotApp {
             }
             Step::EndOfCommand { command, parts } => {
                 let len = spikes::voice_stream_packet(ctx.rng());
-                self.send_avs(ctx, len, tags::pack(tags::END_OF_COMMAND_BASE, command, parts));
+                self.send_avs(
+                    ctx,
+                    len,
+                    tags::pack(tags::END_OF_COMMAND_BASE, command, parts),
+                );
             }
             Step::ResponseSpike { command, remaining } => {
                 self.spikes.push(SpikeLabel {

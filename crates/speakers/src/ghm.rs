@@ -18,10 +18,22 @@ use std::net::{Ipv4Addr, SocketAddrV4};
 
 #[derive(Debug, Clone)]
 enum Step {
-    SendDgram { dst: SocketAddrV4, len: u32, tag: u64 },
-    SendRecord { conn: ConnId, len: u32, tag: u64 },
-    CloseConn { conn: ConnId },
-    InvocationTimeout { command: u64 },
+    SendDgram {
+        dst: SocketAddrV4,
+        len: u32,
+        tag: u64,
+    },
+    SendRecord {
+        conn: ConnId,
+        len: u32,
+        tag: u64,
+    },
+    CloseConn {
+        conn: ConnId,
+    },
+    InvocationTimeout {
+        command: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -129,7 +141,11 @@ impl GoogleHomeApp {
             let len = 600 + ((spec.id * 97 + i * 53) % 700) as u32;
             let last = t >= remaining_speech;
             let tag = if last {
-                tags::pack(tags::END_OF_COMMAND_BASE, spec.id, spec.response_parts as u8)
+                tags::pack(
+                    tags::END_OF_COMMAND_BASE,
+                    spec.id,
+                    spec.response_parts as u8,
+                )
             } else {
                 tags::VOICE
             };
@@ -179,7 +195,11 @@ impl NetApp for GoogleHomeApp {
         let use_quic = ctx.rng().gen_bool(self.quic_probability);
         if use_quic {
             self.quic_commands += 1;
-            self.stream_command(ctx, pending, CommandTarget::Quic(SocketAddrV4::new(ip, 443)));
+            self.stream_command(
+                ctx,
+                pending,
+                CommandTarget::Quic(SocketAddrV4::new(ip, 443)),
+            );
         } else {
             self.tcp_commands += 1;
             let conn = ctx.connect(SocketAddrV4::new(ip, 443));

@@ -12,9 +12,7 @@
 //! sequentially within the first five packets, occasionally shifted to
 //! positions 6–7.
 
-use crate::constants::{
-    PHASE1_FIRST_RANGE, PHASE1_FIXED_PATTERNS, PHASE1_MARKERS, PHASE2_MARKERS,
-};
+use crate::constants::{PHASE1_FIRST_RANGE, PHASE1_FIXED_PATTERNS, PHASE1_MARKERS, PHASE2_MARKERS};
 use rand::Rng;
 
 /// How a generated phase-1 spike announces itself.
@@ -80,7 +78,13 @@ fn lead_packet<R: Rng + ?Sized>(rng: &mut R) -> u32 {
 /// packet stays below 250 bytes so a phase-2 spike can never satisfy the
 /// fixed-pattern rule, preserving the recognizer's 100 % precision.
 pub fn phase2_lengths<R: Rng + ?Sized>(rng: &mut R) -> Vec<u32> {
-    let mut lens = vec![filler(rng), filler(rng), filler(rng), filler(rng), filler(rng)];
+    let mut lens = vec![
+        filler(rng),
+        filler(rng),
+        filler(rng),
+        filler(rng),
+        filler(rng),
+    ];
     if rng.gen_bool(0.9) {
         // Marker pair within the first five packets.
         let pos = rng.gen_range(0..4);

@@ -14,7 +14,6 @@
 use crate::testbed::{grid, MeasurementLocation, Testbed, Zone};
 use rfsim::{Floorplan, Material, Point, Rect, Segment2};
 
-
 fn plan() -> Floorplan {
     let mut b = Floorplan::builder("two-bedroom apartment");
 

@@ -25,7 +25,6 @@
 use crate::testbed::{grid, MeasurementLocation, Route, RouteKind, Testbed, Zone};
 use rfsim::{Floorplan, Material, Point, Rect, Segment2};
 
-
 fn plan() -> Floorplan {
     let mut b = Floorplan::builder("two-floor house");
 

@@ -82,9 +82,10 @@ mod tests {
     fn deployments_are_inside_their_rooms() {
         for tb in all() {
             for (d, point) in tb.deployments.iter().enumerate() {
-                let room = tb.plan.room_at(*point).unwrap_or_else(|| {
-                    panic!("{} deployment {d} is outside every room", tb.name)
-                });
+                let room = tb
+                    .plan
+                    .room_at(*point)
+                    .unwrap_or_else(|| panic!("{} deployment {d} is outside every room", tb.name));
                 assert_eq!(room, tb.speaker_rooms[d], "{} deployment {d}", tb.name);
             }
         }

@@ -16,7 +16,6 @@
 use crate::testbed::{grid, MeasurementLocation, Testbed, Zone};
 use rfsim::{Floorplan, Material, Point, Rect, Segment2};
 
-
 fn plan() -> Floorplan {
     let mut b = Floorplan::builder("office");
 

@@ -49,8 +49,6 @@ fn main() {
     println!(
         "\n{} attacks recognised, {} blocked ({} false negatives from \
          unrecognisable spikes — the paper's Table I misses).",
-        stats.queries,
-        stats.blocked,
-        stats.allowed
+        stats.queries, stats.blocked, stats.allowed
     );
 }

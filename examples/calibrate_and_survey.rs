@@ -22,12 +22,8 @@ fn main() {
             );
             let mut rng = rand::rngs::StdRng::seed_from_u64(99 + deployment as u64);
             let zone = testbed.legit_zones[deployment];
-            let cal = ThresholdCalibrator::default().walk_room(
-                &channel,
-                zone.rect,
-                zone.floor,
-                &mut rng,
-            );
+            let cal =
+                ThresholdCalibrator::default().walk_room(&channel, zone.rect, zone.floor, &mut rng);
             println!(
                 "\n== {} — deployment {} ==\n   calibration walk: {} samples, threshold {:.1} dB \
                  (paper: {:.0} dB)",

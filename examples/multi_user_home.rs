@@ -11,7 +11,8 @@ use testbeds::apartment;
 
 fn main() {
     let mut cfg = ScenarioConfig::echo(apartment(), 0, 11);
-    cfg.devices.push(("Pixel 4a".to_string(), DeviceKind::Phone));
+    cfg.devices
+        .push(("Pixel 4a".to_string(), DeviceKind::Phone));
     let mut home = GuardedHome::new(cfg);
     home.run_for(SimDuration::from_secs(5));
 

@@ -15,9 +15,7 @@ fn every_testbed_and_speaker_boots_and_guards() {
             for speaker in [SpeakerKind::EchoDot, SpeakerKind::GoogleHomeMini] {
                 let seed = 1000 + (t_idx as u64) * 10 + deployment as u64;
                 let cfg = match speaker {
-                    SpeakerKind::EchoDot => {
-                        ScenarioConfig::echo(testbed.clone(), deployment, seed)
-                    }
+                    SpeakerKind::EchoDot => ScenarioConfig::echo(testbed.clone(), deployment, seed),
                     SpeakerKind::GoogleHomeMini => {
                         ScenarioConfig::ghm(testbed.clone(), deployment, seed)
                     }
@@ -79,7 +77,14 @@ fn consecutive_commands_alternating_legitimacy() {
     let total = 12;
     for i in 0..total {
         let malicious = i % 2 == 1;
-        home.set_device_position(dev, if malicious { home.testbed().outside } else { near });
+        home.set_device_position(
+            dev,
+            if malicious {
+                home.testbed().outside
+            } else {
+                near
+            },
+        );
         let id = home.utter(5, 1, malicious);
         home.run_for(SimDuration::from_secs(26));
         if home.executed(id) != malicious {

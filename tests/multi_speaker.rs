@@ -2,19 +2,23 @@
 //! which smart speaker is being used based on the speaker's unique IP
 //! address, and then applies the same strategy as the one-speaker case").
 //!
-//! We model that by attaching one guard tap per speaker host on the same
-//! network; both speakers share the cloud pool and the DNS zone, and each
-//! guard independently holds/blocks its own speaker's traffic.
+//! Two deployment shapes are covered: one guard tap per speaker host
+//! (separate taps, shared clouds and DNS), and one *shared* tap whose
+//! per-speaker pipelines route by IP — the paper's single middlebox
+//! guarding every speaker in the home.
 
 use netsim::{Network, NetworkConfig, ServerPool};
 use simcore::{SimDuration, SimTime};
-use speakers::{AvsCloud, CommandSpec, EchoDotApp, AVS_DOMAIN};
+use speakers::{
+    AvsCloud, CommandSpec, EchoDotApp, GoogleCloud, GoogleHomeApp, AVS_DOMAIN, GOOGLE_DOMAIN,
+};
 use std::net::Ipv4Addr;
 use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
 
 const SPEAKER1_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
 const SPEAKER2_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 201);
 const AVS_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+const GOOGLE_IP: Ipv4Addr = Ipv4Addr::new(142, 250, 80, 4);
 
 fn pump(
     net: &mut Network,
@@ -60,7 +64,10 @@ fn two_speakers_are_guarded_independently() {
     net.dns_zone_mut()
         .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
     for s in [s1, s2] {
-        net.set_app(s, Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])));
+        net.set_app(
+            s,
+            Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])),
+        );
         net.set_tap(s, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
     }
     net.start();
@@ -110,7 +117,10 @@ fn blocking_one_speaker_does_not_disturb_the_other() {
     net.dns_zone_mut()
         .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
     for s in [s1, s2] {
-        net.set_app(s, Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])));
+        net.set_app(
+            s,
+            Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])),
+        );
         net.set_tap(s, Box::new(VoiceGuardTap::new(GuardConfig::echo_dot())));
     }
     net.start();
@@ -128,7 +138,10 @@ fn blocking_one_speaker_does_not_disturb_the_other() {
         SimTime::from_secs(60),
     );
     net.with_app::<EchoDotApp, _>(s1, |app, _| {
-        assert!(app.avs_connects >= 2, "speaker 1 reconnected after the block");
+        assert!(
+            app.avs_connects >= 2,
+            "speaker 1 reconnected after the block"
+        );
     });
     net.with_app::<EchoDotApp, _>(s2, |app, _| {
         assert!(app.is_ready());
@@ -152,4 +165,136 @@ fn blocking_one_speaker_does_not_disturb_the_other() {
             speakers::CommandOutcome::Executed
         );
     });
+}
+
+/// The tentpole scenario: ONE `VoiceGuardTap` guards two speakers of
+/// *different kinds* (an Echo Dot and a Google Home Mini) through
+/// per-speaker pipelines routed by IP. A legitimate command on the Echo
+/// and an attack on the Mini are in flight at the same time; the verdicts
+/// must not cross between pipelines.
+#[test]
+fn one_shared_tap_guards_echo_and_mini_without_cross_talk() {
+    let mut net = Network::new(NetworkConfig {
+        seed: 7,
+        ..NetworkConfig::default()
+    });
+    let echo = net.add_host("echo", SPEAKER1_IP);
+    let mini = net.add_host("mini", SPEAKER2_IP);
+    let avs = net.add_host("avs", AVS_IP);
+    let google = net.add_host("google", GOOGLE_IP);
+    net.set_app(avs, Box::new(AvsCloud::new()));
+    net.set_app(google, Box::new(GoogleCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP]));
+    net.dns_zone_mut()
+        .insert(GOOGLE_DOMAIN, ServerPool::new(vec![GOOGLE_IP]));
+    net.set_app(
+        echo,
+        Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP], vec![])),
+    );
+    net.set_app(mini, Box::new(GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7)));
+
+    let mut tap = VoiceGuardTap::multi();
+    let echo_pipe = tap.add_pipeline(SPEAKER1_IP, GuardConfig::echo_dot());
+    let mini_pipe = tap.add_pipeline(SPEAKER2_IP, GuardConfig::google_home_mini());
+    net.set_tap(echo, Box::new(tap));
+    net.share_tap(mini, echo);
+    net.start();
+    net.run_until(SimTime::from_secs(5));
+
+    // Both speakers command at the same instant: the Echo hears the owner
+    // (legitimate), the Mini is attacked.
+    net.with_app::<EchoDotApp, _>(echo, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1))
+    });
+    net.with_app::<GoogleHomeApp, _>(mini, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(2))
+    });
+
+    // Answer queries by the pipeline that raised them: proximity vouches
+    // for the Echo's command, nobody is near the Mini.
+    while net.now() < SimTime::from_secs(60) {
+        net.run_for(SimDuration::from_millis(100));
+        let events = net.with_tap::<VoiceGuardTap, _>(echo, |g, _| g.take_events());
+        for ev in events {
+            if let GuardEvent::QueryRequested {
+                query, pipeline, ..
+            } = ev
+            {
+                let verdict = if pipeline == echo_pipe {
+                    Verdict::Legitimate
+                } else {
+                    Verdict::Malicious
+                };
+                net.with_tap::<VoiceGuardTap, _>(echo, |g, ctx| {
+                    g.schedule_verdict(ctx, query, verdict, SimDuration::from_millis(1500))
+                });
+            }
+        }
+    }
+
+    net.with_app::<EchoDotApp, _>(echo, |app, _| {
+        assert_eq!(
+            app.invocation(1).unwrap().outcome,
+            speakers::CommandOutcome::Executed,
+            "the Echo's legitimate command executes"
+        );
+    });
+    net.with_app::<GoogleHomeApp, _>(mini, |app, _| {
+        assert_ne!(
+            app.invocation(2).unwrap().outcome,
+            speakers::CommandOutcome::Executed,
+            "the Mini's attack is blocked"
+        );
+    });
+    // Per-pipeline statistics prove there was no verdict cross-talk.
+    net.with_tap::<VoiceGuardTap, _>(echo, |g, _| {
+        assert_eq!(g.pipeline_count(), 2);
+        assert_eq!(g.pipeline_stats(echo_pipe).allowed, 1);
+        assert_eq!(g.pipeline_stats(echo_pipe).blocked, 0);
+        assert!(g.pipeline_stats(mini_pipe).blocked >= 1);
+        assert_eq!(g.pipeline_stats(mini_pipe).allowed, 0);
+        // The aggregate is exactly the sum of the parts.
+        assert_eq!(
+            g.stats.allowed,
+            g.pipeline_stats(echo_pipe).allowed + g.pipeline_stats(mini_pipe).allowed
+        );
+        assert_eq!(
+            g.stats.blocked,
+            g.pipeline_stats(echo_pipe).blocked + g.pipeline_stats(mini_pipe).blocked
+        );
+    });
+}
+
+/// Same shared-tap home driven through the orchestrator: proximity to the
+/// *right* speaker is what vouches for a command.
+#[test]
+fn guarded_home_runs_mixed_speakers_on_one_tap() {
+    use experiments::{GuardedHome, ScenarioConfig};
+    use rfsim::Point;
+
+    let mut home = GuardedHome::new(ScenarioConfig::mixed(testbeds::apartment(), 0, 21));
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+
+    // Owner beside the Echo (deployment 0): Echo command executes while a
+    // concurrent attack through the Mini (deployment 1) is blocked.
+    let echo_pos = home.testbed().deployments[0];
+    home.set_device_position(
+        dev,
+        Point::new(echo_pos.x + 0.8, echo_pos.y, echo_pos.floor),
+    );
+    let legit = home.utter_on(0, 6, 1, false);
+    let attack = home.utter_on(1, 4, 1, true);
+    home.run_for(SimDuration::from_secs(45));
+
+    assert!(home.executed(legit), "command near the Echo must execute");
+    assert!(
+        !home.executed(attack),
+        "attack on the far Mini must be blocked"
+    );
+    assert_eq!(home.guard_pipeline_stats(0).allowed, 1);
+    assert_eq!(home.guard_pipeline_stats(0).blocked, 0);
+    assert!(home.guard_pipeline_stats(1).blocked >= 1);
+    assert_eq!(home.guard_pipeline_stats(1).allowed, 0);
 }

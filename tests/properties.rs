@@ -197,4 +197,79 @@ proptest! {
         let cmd = c.cycle(i);
         prop_assert!(cmd.words >= 2 && cmd.words <= 12);
     }
+
+    /// The guard's hold queue under any interleaving of holds, releases
+    /// and drops across flows: release returns exactly the flow's held
+    /// items in FIFO order, and a drop never removes (leaks) a segment
+    /// held for another flow.
+    #[test]
+    fn hold_queue_fifo_per_flow_and_no_cross_flow_leaks(
+        ops in proptest::collection::vec((0u8..3, 0u64..4), 1..120)
+    ) {
+        let mut q: simcore::HoldQueue<u64, (u64, u64)> = simcore::HoldQueue::new();
+        let mut mirror: std::collections::HashMap<u64, std::collections::VecDeque<(u64, u64)>> =
+            std::collections::HashMap::new();
+        let mut seq = 0u64;
+        for (op, flow) in ops {
+            match op {
+                0 => {
+                    // Hold a new segment of `flow`.
+                    q.push(flow, (flow, seq));
+                    mirror.entry(flow).or_default().push_back((flow, seq));
+                    seq += 1;
+                }
+                1 => {
+                    // Verdict Legitimate: release the flow.
+                    let got = q.release(&flow);
+                    let want: Vec<(u64, u64)> =
+                        mirror.remove(&flow).unwrap_or_default().into();
+                    prop_assert_eq!(&got, &want, "release must be FIFO and flow-local");
+                    for (f, _) in &got {
+                        prop_assert_eq!(*f, flow, "released a segment of another flow");
+                    }
+                    // FIFO: sequence numbers strictly increase.
+                    for w in got.windows(2) {
+                        prop_assert!(w[0].1 < w[1].1, "out-of-order release");
+                    }
+                }
+                _ => {
+                    // Verdict Malicious: drop the flow.
+                    let dropped = q.discard(&flow);
+                    let want = mirror.remove(&flow).map(|v| v.len()).unwrap_or(0);
+                    prop_assert_eq!(dropped, want, "drop count must match holds");
+                }
+            }
+            // Invariant: no segment of any *other* flow ever went missing.
+            for (flow, want) in &mirror {
+                prop_assert_eq!(q.len(flow), want.len(), "flow {} leaked", flow);
+            }
+            prop_assert_eq!(q.total(), mirror.values().map(|v| v.len()).sum::<usize>());
+        }
+    }
+
+    /// The per-speaker flow table behaves like a plain map: inserts are
+    /// retrievable, removes forget, and `get_or_insert_with` runs the
+    /// constructor exactly once per key.
+    #[test]
+    fn flow_table_tracks_like_a_map(
+        keys in proptest::collection::vec(0u64..16, 1..60)
+    ) {
+        let mut table: voiceguard::FlowTable<u64, u64> = voiceguard::FlowTable::new();
+        let mut mirror: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            if i % 3 == 2 {
+                table.remove(k);
+                mirror.remove(k);
+            } else {
+                let v = i as u64;
+                let got = *table.get_or_insert_with(*k, || v);
+                let want = *mirror.entry(*k).or_insert(v);
+                prop_assert_eq!(got, want, "constructor must run once per live key");
+            }
+            prop_assert_eq!(table.len(), mirror.len());
+            for (k, v) in &mirror {
+                prop_assert_eq!(table.get(k), Some(v));
+            }
+        }
+    }
 }
