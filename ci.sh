@@ -17,6 +17,10 @@ run() {
 
 run cargo "${CARGO_ARGS[@]}" build --release
 run cargo "${CARGO_ARGS[@]}" test -q
+# Fault-matrix smoke: one round of every chaos profile (clean, lossy,
+# bursty, FCM-degraded) through the full guarded home. Deterministic —
+# a hang or panic here means fault handling regressed.
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7
 run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
 run cargo "${CARGO_ARGS[@]}" fmt --check
 

@@ -45,6 +45,12 @@ pub struct GuardConfig {
     /// On verdict timeout: `true` drops the held traffic (fail closed),
     /// `false` releases it (fail open).
     pub fail_closed: bool,
+    /// Maximum frames the engine may park per held flow before the overflow
+    /// policy kicks in (0 = unbounded). A guard on a constrained box cannot
+    /// buffer without limit while the Decision Module deliberates; beyond
+    /// the cap, `fail_closed` decides whether excess frames are dropped or
+    /// forwarded unscreened.
+    pub hold_capacity: usize,
     /// Ablation: use the naive rule of §IV-B1 ("whenever there is a
     /// traffic spike after a no-traffic period, the Echo Dot receives a
     /// voice command") instead of the marker-based phase classifier. The
@@ -72,6 +78,7 @@ impl GuardConfig {
             ghm_aggregation: SimDuration::from_millis(600),
             verdict_timeout: SimDuration::from_secs(25),
             fail_closed: true,
+            hold_capacity: 0,
             naive_spike_detection: false,
             adaptive_signature: false,
         }
@@ -84,6 +91,37 @@ impl GuardConfig {
             ..GuardConfig::echo_dot()
         }
     }
+
+    /// The hold-overflow policy implied by `hold_capacity` and
+    /// `fail_closed`.
+    pub fn hold_policy(&self) -> HoldOverflowPolicy {
+        match (self.hold_capacity, self.fail_closed) {
+            (0, _) => HoldOverflowPolicy::Unbounded,
+            (cap, true) => HoldOverflowPolicy::DropNewest { capacity: cap },
+            (cap, false) => HoldOverflowPolicy::ForwardNewest { capacity: cap },
+        }
+    }
+}
+
+/// What a pipeline does with a frame it wants to hold once the engine
+/// already parks `capacity` frames for that flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoldOverflowPolicy {
+    /// Hold without limit (the default; a simulation never runs out of
+    /// memory, a real guard box might).
+    Unbounded,
+    /// Fail closed: the excess frame is dropped. The speaker retransmits,
+    /// so a released command still completes — late but unbroken.
+    DropNewest {
+        /// Held-frame cap per flow.
+        capacity: usize,
+    },
+    /// Fail open: the excess frame is forwarded unscreened, favoring
+    /// availability over complete command blocking.
+    ForwardNewest {
+        /// Held-frame cap per flow.
+        capacity: usize,
+    },
 }
 
 #[cfg(test)]
@@ -105,5 +143,21 @@ mod tests {
         let g = GuardConfig::google_home_mini();
         assert_eq!(g.speaker, SpeakerKind::GoogleHomeMini);
         assert_eq!(g.idle_gap, e.idle_gap);
+    }
+
+    #[test]
+    fn hold_policy_follows_capacity_and_fail_mode() {
+        let mut c = GuardConfig::echo_dot();
+        assert_eq!(c.hold_policy(), HoldOverflowPolicy::Unbounded);
+        c.hold_capacity = 16;
+        assert_eq!(
+            c.hold_policy(),
+            HoldOverflowPolicy::DropNewest { capacity: 16 }
+        );
+        c.fail_closed = false;
+        assert_eq!(
+            c.hold_policy(),
+            HoldOverflowPolicy::ForwardNewest { capacity: 16 }
+        );
     }
 }

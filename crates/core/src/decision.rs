@@ -16,7 +16,7 @@ use crate::floor::{FloorLevel, FloorTracker};
 use crate::policy::{
     device_vouches, DecisionPolicy, DeviceEvidence, FloorLevelPolicy, RssiThresholdPolicy,
 };
-use phone::{DeviceId, FcmLatencyModel, QueryTiming};
+use phone::{DeviceId, FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};
 use rand::Rng;
 use rfsim::{BleChannel, Orientation, Point};
 use simcore::{SimDuration, SimTime};
@@ -62,11 +62,72 @@ pub struct DecisionOutcome {
     /// The verdict.
     pub verdict: Verdict,
     /// Offset (from the query being issued) at which the verdict is known:
-    /// the earliest vouching report for a legitimate command, or the last
-    /// report for a malicious one (all devices must fail to vouch).
+    /// the earliest vouching report for a legitimate command, the last
+    /// report for a malicious one (all devices must fail to vouch), or the
+    /// fallback hold deadline when reports are missing.
     pub ready_after: SimDuration,
-    /// Every device's report.
+    /// Every report that reached the module before the hold deadline.
     pub reports: Vec<DeviceReport>,
+    /// What the FCM fault model did to this query.
+    pub degradation: DecisionDegradation,
+}
+
+/// Timeout / retry / fallback behavior when RSSI reports fail to arrive
+/// (paper §Traffic Handler: the guard can only hold traffic for so long
+/// before either releasing or dropping it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FallbackPolicy {
+    /// The longest the module waits for reports. Reports arriving later are
+    /// discarded, and if none arrived at all the fallback verdict applies.
+    /// Keep this aligned with the guard's `verdict_timeout`.
+    pub hold_deadline: SimDuration,
+    /// Re-pushes after an attempt produced no report (push dropped or
+    /// report lost). Offline devices are never retried.
+    pub max_retries: u32,
+    /// Delay before each re-push.
+    pub retry_backoff: SimDuration,
+    /// The verdict when no report arrives before `hold_deadline`:
+    /// `true` releases the command (availability first — the owner is
+    /// probably home with a dead phone), `false` blocks it (security
+    /// first — an attacker may be jamming the query path).
+    pub fail_open: bool,
+}
+
+impl Default for FallbackPolicy {
+    fn default() -> Self {
+        FallbackPolicy {
+            hold_deadline: SimDuration::from_secs(25),
+            max_retries: 2,
+            retry_backoff: SimDuration::from_secs(3),
+            fail_open: false,
+        }
+    }
+}
+
+/// Per-query tallies of FCM degradation, for reports and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecisionDegradation {
+    /// Push notifications that never reached a device.
+    pub pushes_dropped: u32,
+    /// Devices offline for the whole query.
+    pub devices_offline: u32,
+    /// Deliveries delayed by FCM's retry machinery.
+    pub delivery_timeouts: u32,
+    /// Reports lost on the way back.
+    pub reports_lost: u32,
+    /// Reports that arrived after the hold deadline and were discarded.
+    pub late_reports: u32,
+    /// Re-push attempts made.
+    pub retries: u32,
+    /// True if no report arrived at all and the fallback verdict applied.
+    pub fell_back: bool,
+}
+
+impl DecisionDegradation {
+    /// True if the query saw no degradation at all.
+    pub fn is_clean(&self) -> bool {
+        *self == DecisionDegradation::default()
+    }
 }
 
 /// The Decision Module.
@@ -74,6 +135,8 @@ pub struct DecisionModule {
     profiles: Vec<DeviceProfile>,
     policies: Vec<Box<dyn DecisionPolicy>>,
     scan_samples: usize,
+    fcm_faults: FcmFaults,
+    fallback: FallbackPolicy,
 }
 
 impl std::fmt::Debug for DecisionModule {
@@ -96,7 +159,24 @@ impl DecisionModule {
             profiles,
             policies: vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)],
             scan_samples: 3,
+            fcm_faults: FcmFaults::none(),
+            fallback: FallbackPolicy::default(),
         }
+    }
+
+    /// Sets the FCM fault model applied to every query (default: none).
+    pub fn set_fcm_faults(&mut self, faults: FcmFaults) {
+        self.fcm_faults = faults;
+    }
+
+    /// Sets the timeout / retry / fallback policy.
+    pub fn set_fallback(&mut self, policy: FallbackPolicy) {
+        self.fallback = policy;
+    }
+
+    /// The active timeout / retry / fallback policy.
+    pub fn fallback(&self) -> FallbackPolicy {
+        self.fallback
     }
 
     /// Sets how many advertisement packets one scan averages (default 3;
@@ -166,8 +246,50 @@ impl DecisionModule {
             "decision module needs at least one registered device"
         );
         let mut reports = Vec::with_capacity(self.profiles.len());
+        let mut degradation = DecisionDegradation::default();
         for profile in &self.profiles {
-            let timing = profile.latency.sample(rng);
+            // An offline device is unreachable for the whole query: one die
+            // per device, and no retry can help.
+            if self.fcm_faults.device_offline > 0.0 && rng.gen_bool(self.fcm_faults.device_offline)
+            {
+                degradation.devices_offline += 1;
+                continue;
+            }
+            let attempt_faults = FcmFaults {
+                device_offline: 0.0,
+                ..self.fcm_faults
+            };
+            let mut attempt: u32 = 0;
+            let timing = loop {
+                // Each retry starts one backoff later than the previous
+                // attempt; all sampled milestones shift accordingly.
+                let base = self.fallback.retry_backoff * u64::from(attempt);
+                match profile.latency.sample_with_faults(&attempt_faults, rng) {
+                    FcmOutcome::Delivered(t) => break Some(offset_timing(t, base)),
+                    FcmOutcome::Delayed(t) => {
+                        degradation.delivery_timeouts += 1;
+                        break Some(offset_timing(t, base));
+                    }
+                    FcmOutcome::PushDropped => degradation.pushes_dropped += 1,
+                    FcmOutcome::ReportLost(_) => degradation.reports_lost += 1,
+                    FcmOutcome::DeviceOffline => {
+                        degradation.devices_offline += 1;
+                        break None;
+                    }
+                }
+                if attempt >= self.fallback.max_retries {
+                    break None;
+                }
+                attempt += 1;
+                degradation.retries += 1;
+            };
+            let Some(timing) = timing else {
+                continue;
+            };
+            if timing.reported_at > self.fallback.hold_deadline {
+                degradation.late_reports += 1;
+                continue;
+            }
             let position = positions(profile.device);
             // The scan window captures a few advertisement packets; the
             // app reports their average, which keeps single-packet fading
@@ -192,28 +314,45 @@ impl DecisionModule {
                 timing,
             });
         }
-        let verdict = if reports.iter().any(|r| r.vouched) {
+        let vouched_any = reports.iter().any(|r| r.vouched);
+        let verdict = if vouched_any {
             Verdict::Legitimate
+        } else if reports.is_empty() {
+            // No evidence at all before the hold deadline: the fallback
+            // policy decides.
+            degradation.fell_back = true;
+            if self.fallback.fail_open {
+                Verdict::Legitimate
+            } else {
+                Verdict::Malicious
+            }
         } else {
             Verdict::Malicious
         };
-        let ready_after = match verdict {
-            Verdict::Legitimate => reports
+        let all_reported = reports.len() == self.profiles.len();
+        let ready_after = if vouched_any {
+            reports
                 .iter()
                 .filter(|r| r.vouched)
                 .map(|r| r.timing.reported_at)
                 .min()
-                .expect("at least one vouching report"),
-            Verdict::Malicious => reports
+                .expect("at least one vouching report")
+        } else if all_reported {
+            reports
                 .iter()
                 .map(|r| r.timing.reported_at)
                 .max()
-                .expect("nonempty reports"),
+                .expect("nonempty reports")
+        } else {
+            // Some device stayed silent: the module must wait out the hold
+            // deadline before concluding anything.
+            self.fallback.hold_deadline
         };
         DecisionOutcome {
             verdict,
             ready_after,
             reports,
+            degradation,
         }
     }
 
@@ -224,6 +363,16 @@ impl DecisionModule {
             .find(|p| p.device == device)
             .and_then(|p| p.floor_tracker.as_ref())
             .map(FloorTracker::level)
+    }
+}
+
+/// Shifts every milestone of `t` by `base` (the start offset of a retry
+/// attempt relative to the query being issued).
+fn offset_timing(t: QueryTiming, base: SimDuration) -> QueryTiming {
+    QueryTiming {
+        scan_start: t.scan_start + base,
+        measured_at: t.measured_at + base,
+        reported_at: t.reported_at + base,
     }
 }
 
@@ -389,5 +538,112 @@ mod tests {
         let dm = DecisionModule::new(vec![]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         dm.decide(&|_| Point::ground(0.0, 0.0), &channel(), &mut rng);
+    }
+
+    #[test]
+    fn no_faults_leaves_degradation_clean() {
+        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert!(out.degradation.is_clean());
+    }
+
+    #[test]
+    fn fail_closed_blocks_under_total_fcm_loss() {
+        // Every push vanishes: even a nearby owner device cannot vouch, and
+        // the default (fail-closed) fallback blocks the command at the hold
+        // deadline.
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            push_drop: 1.0,
+            ..FcmFaults::none()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert!(out.reports.is_empty());
+        assert!(out.degradation.fell_back);
+        assert_eq!(out.ready_after, dm.fallback().hold_deadline);
+        // Initial attempt + max_retries re-pushes, all dropped.
+        assert_eq!(out.degradation.retries, dm.fallback().max_retries);
+        assert_eq!(
+            out.degradation.pushes_dropped,
+            dm.fallback().max_retries + 1
+        );
+    }
+
+    #[test]
+    fn fail_open_releases_under_total_fcm_loss() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            push_drop: 1.0,
+            ..FcmFaults::none()
+        });
+        dm.set_fallback(FallbackPolicy {
+            fail_open: true,
+            ..FallbackPolicy::default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Legitimate);
+        assert!(out.reports.is_empty());
+        assert!(out.degradation.fell_back);
+        assert_eq!(out.ready_after, dm.fallback().hold_deadline);
+    }
+
+    #[test]
+    fn offline_devices_cannot_vouch_and_are_never_retried() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            device_offline: 1.0,
+            ..FcmFaults::none()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.devices_offline, 1);
+        assert_eq!(out.degradation.retries, 0);
+        assert!(out.degradation.fell_back);
+    }
+
+    #[test]
+    fn reports_arriving_after_the_deadline_are_discarded() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            delivery_timeout: 1.0,
+            delivery_timeout_extra_s: 100.0,
+            ..FcmFaults::none()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious, "late vouch must not count");
+        assert!(out.reports.is_empty());
+        assert_eq!(out.degradation.late_reports, 1);
+        assert_eq!(out.degradation.delivery_timeouts, 1);
+        assert!(out.degradation.fell_back);
+    }
+
+    #[test]
+    fn lost_reports_are_retried_and_can_recover() {
+        // report_loss = 0.5 with two retries: across many seeds the retry
+        // path must recover some queries (retries > 0 and a verdict backed
+        // by a real report).
+        let mut recovered = false;
+        for seed in 0..40u64 {
+            let mut dm = DecisionModule::new(vec![profile(0)]);
+            dm.set_fcm_faults(FcmFaults {
+                report_loss: 0.5,
+                ..FcmFaults::none()
+            });
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+            if out.degradation.retries > 0 && !out.reports.is_empty() {
+                assert_eq!(out.verdict, Verdict::Legitimate);
+                // The recovered report is offset by the retry backoff.
+                assert!(out.ready_after >= dm.fallback().retry_backoff);
+                recovered = true;
+            }
+        }
+        assert!(recovered, "some seed must recover via retry");
     }
 }

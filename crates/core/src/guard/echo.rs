@@ -6,14 +6,15 @@ use crate::config::GuardConfig;
 use crate::decision::Verdict;
 use crate::guard::flow::FlowTable;
 use crate::guard::pipeline::{
-    screen_segment, HoldTarget, PipelineCtx, Screened, SpeakerPipeline, Spike, SpikeMode,
+    repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
+    SpeakerPipeline, Spike, SpikeMode,
 };
 use crate::guard::token::TimerToken;
 use crate::learning::{Observation, SignatureLearner};
 use crate::recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
-use std::collections::HashSet;
+use netsim::{CloseReason, ConnId, Datagram, Direction, TapVerdict};
+use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
 #[derive(Debug)]
@@ -39,6 +40,16 @@ struct ConnTrack {
     /// After a verdict (or non-command classification), forward the rest
     /// of the burst until the next idle gap.
     passthrough: bool,
+    /// Record seqs already counted by spike accounting.
+    ledger: RecordLedger,
+    /// Next record seq the in-order feed expects. Both positional
+    /// consumers — the signature matcher during establishment and the
+    /// spike classifier during a spike — are fed in record-seq order,
+    /// not arrival order.
+    pending_next: u64,
+    /// Records that arrived ahead of a hole, keyed by seq, waiting for
+    /// the hole's retransmission before the in-order feed drains them.
+    pending: BTreeMap<u64, u32>,
 }
 
 /// [`SpeakerPipeline`] for the Amazon Echo Dot (paper §IV-B1).
@@ -102,108 +113,137 @@ impl EchoPipeline {
     }
 
     /// AVS data-segment handling. Returns the verdict for this segment.
-    fn on_avs_data(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, len: u32) -> TapVerdict {
+    ///
+    /// The classifier's rules are positional (markers in the first five
+    /// packets, fixed patterns at lens[1..5]), so the feed must follow
+    /// *record-seq* order, not arrival order: under loss the marker's
+    /// retransmission arrives after later records, and an arrival-order
+    /// feed would decide NotCommand before ever seeing it. Records ahead
+    /// of a hole wait in `pending`; the classify deadline still
+    /// bounds the wait, so a hole that is never filled degrades to a
+    /// forced decision rather than a deadlock.
+    fn on_avs_data(
+        &mut self,
+        ctx: &mut PipelineCtx<'_>,
+        conn: ConnId,
+        seq: u64,
+        len: u32,
+    ) -> TapVerdict {
         let now = ctx.now();
         let idle_gap = self.config.idle_gap;
+        let heartbeat_len = self.config.heartbeat_len;
         let track = self.conns.get_mut(&conn).expect("tracked");
         // Heartbeats are invisible to spike detection and never update the
         // idle clock — but while the stream is on hold they must be held
         // too, or they would overtake the cached records and trip the
-        // server's TLS record-sequence check mid-hold.
-        if len == self.config.heartbeat_len {
-            return if track.spike.is_some() {
-                TapVerdict::Hold
-            } else {
-                TapVerdict::Forward
-            };
+        // server's TLS record-sequence check mid-hold. They do consume a
+        // record seq, so the in-order drain below steps over them.
+        if len == heartbeat_len && track.spike.is_none() {
+            return TapVerdict::Forward;
         }
-        let idle = track
-            .last_data
-            .map(|t| now.saturating_since(t) >= idle_gap)
-            .unwrap_or(true);
-        track.last_data = Some(now);
-
-        if track.passthrough {
-            if idle {
-                track.passthrough = false;
-            } else {
+        if let Some(spike) = &track.spike {
+            if seq < spike.first_seq {
+                // A late original from below the held range (its peers
+                // were forwarded before the spike began): the server may
+                // need it to fill a gap, and it cannot overtake the held
+                // records, so it passes through untouched by recognition.
                 return TapVerdict::Forward;
             }
         }
+        if len != heartbeat_len {
+            let idle = track
+                .last_data
+                .map(|t| now.saturating_since(t) >= idle_gap)
+                .unwrap_or(true);
+            track.last_data = Some(now);
 
-        match &mut track.spike {
-            Some(spike) => match &mut spike.mode {
-                SpikeMode::Classifying(classifier) => {
-                    let class = classifier.feed(len);
-                    let spike_start = spike.started;
-                    if class != SpikeClass::Undecided {
-                        self.classify_spike(ctx, conn, class, spike_start);
-                        // The classifying packet itself: if command, keep
-                        // holding; if not, it was released above, forward
-                        // this one too.
-                        return match class {
-                            SpikeClass::Command => TapVerdict::Hold,
-                            _ => TapVerdict::Forward,
-                        };
-                    }
-                    TapVerdict::Hold
-                }
-                SpikeMode::AwaitingVerdict(_) => TapVerdict::Hold,
-            },
-            None => {
+            if track.passthrough {
                 if idle {
-                    // A new spike begins with this packet.
-                    let mut classifier = SpikeClassifier::new(self.config.classify_max_packets);
-                    let class = if self.config.naive_spike_detection {
-                        SpikeClass::Command
-                    } else {
-                        classifier.feed(len)
-                    };
-                    let spike = Spike {
-                        started: now,
-                        mode: SpikeMode::Classifying(classifier),
-                    };
-                    track.spike = Some(spike);
-                    ctx.set_timer(
-                        self.config.classify_deadline,
-                        TimerToken::Classify {
-                            pipeline: ctx.index() as u8,
-                            conn,
-                        },
-                    );
-                    if class != SpikeClass::Undecided {
-                        self.classify_spike(ctx, conn, class, now);
-                        return match class {
-                            SpikeClass::Command => TapVerdict::Hold,
-                            _ => TapVerdict::Forward,
-                        };
-                    }
-                    TapVerdict::Hold
+                    track.passthrough = false;
                 } else {
+                    return TapVerdict::Forward;
+                }
+            }
+
+            if track.spike.is_none() {
+                if !idle {
                     // Mid-burst traffic with no active spike (tail after a
                     // release): forward.
-                    TapVerdict::Forward
+                    return TapVerdict::Forward;
+                }
+                // A new spike begins with this record — or, if earlier
+                // records of the same burst are still in flight (ledger
+                // holes below this seq), at the lowest of those, so the
+                // positional classifier feed starts at the burst's true
+                // first record.
+                let burst_start = track.ledger.lowest_hole_below(seq).unwrap_or(seq);
+                track.spike = Some(Spike {
+                    started: now,
+                    first_seq: burst_start,
+                    mode: SpikeMode::Classifying(SpikeClassifier::new(
+                        self.config.classify_max_packets,
+                    )),
+                });
+                track.pending_next = burst_start;
+                track.pending.clear();
+                ctx.set_timer(
+                    self.config.classify_deadline,
+                    TimerToken::Classify {
+                        pipeline: ctx.index() as u8,
+                        conn,
+                    },
+                );
+                if self.config.naive_spike_detection {
+                    self.classify_spike(ctx, conn, SpikeClass::Command, now);
+                    return TapVerdict::Hold;
                 }
             }
         }
+
+        // An active spike: buffer the record and drain the contiguous
+        // seq prefix into the classifier.
+        let track = self.conns.get_mut(&conn).expect("tracked");
+        let spike = track.spike.as_mut().expect("active spike");
+        let spike_start = spike.started;
+        let SpikeMode::Classifying(classifier) = &mut spike.mode else {
+            return TapVerdict::Hold;
+        };
+        if seq >= track.pending_next {
+            track.pending.insert(seq, len);
+        }
+        let mut class = SpikeClass::Undecided;
+        while let Some(drained) = track.pending.remove(&track.pending_next) {
+            track.pending_next += 1;
+            if drained == heartbeat_len {
+                continue;
+            }
+            class = classifier.feed(drained);
+            if class != SpikeClass::Undecided {
+                break;
+            }
+        }
+        if class != SpikeClass::Undecided {
+            self.classify_spike(ctx, conn, class, spike_start);
+            // The deciding record itself: if command, keep holding; if
+            // not, the hold was released above — forward this one too.
+            return match class {
+                SpikeClass::Command => TapVerdict::Hold,
+                _ => TapVerdict::Forward,
+            };
+        }
+        TapVerdict::Hold
     }
 }
 
 impl SpeakerPipeline for EchoPipeline {
     fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
-        let holding = self
-            .conns
-            .get(&view.conn)
-            .map(|t| t.spike.is_some())
-            .unwrap_or(false);
-        let len = match screen_segment(view, holding) {
-            Screened::Verdict(v) => return v,
-            Screened::Record(len) => len,
-        };
-
-        // Track the connection.
+        // Track the connection (from its first frame, so the record
+        // ledger covers the whole stream).
         if !self.conns.contains(&view.conn) {
-            let server_ip = *view.dst.ip();
+            let server_ip = match view.dir {
+                Direction::ClientToServer => *view.dst.ip(),
+                _ => *view.src.ip(),
+            };
             let learning = (self.learner.is_some() && self.dns_confirmed_ips.contains(&server_ip))
                 .then(Observation::default);
             self.conns.insert(
@@ -215,11 +255,19 @@ impl SpeakerPipeline for EchoPipeline {
                     last_data: None,
                     spike: None,
                     passthrough: false,
+                    ledger: RecordLedger::default(),
+                    pending_next: 0,
+                    pending: BTreeMap::new(),
                 },
             );
         }
-
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        let holding = track.spike.is_some();
+        let (seq, len) = match screen_segment(view, holding, &mut track.ledger) {
+            Screened::Verdict(v) => return v,
+            Screened::Repeat { seq } => return repeat_verdict(&track.spike, seq),
+            Screened::Record { seq, len } => (seq, len),
+        };
         // Adaptive learning: record the establishment sequence of
         // DNS-confirmed AVS connections; promote once observations agree.
         if let (Some(learner), Some(obs)) = (self.learner.as_mut(), track.learning.as_mut()) {
@@ -242,34 +290,60 @@ impl SpeakerPipeline for EchoPipeline {
             }
         }
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
-        match &mut track.kind {
-            ConnKind::Candidate(matcher) => {
-                match matcher.feed(len) {
-                    SignatureState::Matched => {
-                        let ip = track.server_ip;
-                        track.kind = ConnKind::Avs;
-                        if self.avs_ip != Some(ip) {
-                            self.avs_ip = Some(ip);
-                            ctx.bump(|s| s.signature_learned_ips += 1);
-                            ctx.trace(
-                                "guard.signature",
-                                &format!("AVS front-end re-identified at {ip}"),
-                            );
+        match &track.kind {
+            ConnKind::Candidate(_) => {
+                // The connection signature is positional, so like the
+                // spike classifier the matcher is fed in record-seq
+                // order. An arrival-order feed diverges on a loss-garbled
+                // view of establishment — and when the cloud rotates to a
+                // fresh front-end IP without a DNS query, the signature
+                // is the *only* identification, so a garbled divergence
+                // leaves the guard blind to the whole session.
+                if seq >= track.pending_next {
+                    track.pending.insert(seq, len);
+                }
+                while let Some(drained) = track.pending.remove(&track.pending_next) {
+                    track.pending_next += 1;
+                    let ConnKind::Candidate(matcher) = &mut track.kind else {
+                        unreachable!("loop breaks on resolution");
+                    };
+                    match matcher.feed(drained) {
+                        SignatureState::Matched => {
+                            let ip = track.server_ip;
+                            track.kind = ConnKind::Avs;
+                            track.pending.clear();
+                            if self.avs_ip != Some(ip) {
+                                self.avs_ip = Some(ip);
+                                ctx.bump(|s| s.signature_learned_ips += 1);
+                                ctx.trace(
+                                    "guard.signature",
+                                    &format!("AVS front-end re-identified at {ip}"),
+                                );
+                            }
+                            break;
                         }
+                        SignatureState::Diverged => {
+                            // Flows to a known AVS front-end are AVS
+                            // regardless of how establishment looked on
+                            // the wire — the cloud rotates between several
+                            // DNS-confirmed front-end IPs while `avs_ip`
+                            // tracks only the latest.
+                            track.kind = if Some(track.server_ip) == self.avs_ip
+                                || self.dns_confirmed_ips.contains(&track.server_ip)
+                            {
+                                ConnKind::Avs
+                            } else {
+                                ConnKind::Other
+                            };
+                            track.pending.clear();
+                            break;
+                        }
+                        SignatureState::Pending => {}
                     }
-                    SignatureState::Diverged => {
-                        // Flows to the known AVS IP are AVS regardless.
-                        track.kind = if Some(track.server_ip) == self.avs_ip {
-                            ConnKind::Avs
-                        } else {
-                            ConnKind::Other
-                        };
-                    }
-                    SignatureState::Pending => {}
                 }
                 TapVerdict::Forward
             }
-            ConnKind::Avs => self.on_avs_data(ctx, view.conn, len),
+            ConnKind::Avs => self.on_avs_data(ctx, view.conn, seq, len),
             ConnKind::Other => TapVerdict::Forward,
         }
     }
@@ -309,7 +383,16 @@ impl SpeakerPipeline for EchoPipeline {
                 return;
             };
             if let SpikeMode::Classifying(classifier) = &mut spike.mode {
-                let class = classifier.finalize();
+                // With records still parked behind an unfilled hole, the
+                // evidence is missing rather than absent: a lost marker
+                // must not let the spike fail open, so treat it as a
+                // command and let the decision module rule. A gap-free
+                // feed is decided on what it saw.
+                let class = if track.pending.is_empty() {
+                    classifier.finalize()
+                } else {
+                    SpikeClass::Command
+                };
                 let spike_start = spike.started;
                 self.classify_spike(ctx, conn, class, spike_start);
             }
@@ -332,5 +415,9 @@ impl SpeakerPipeline for EchoPipeline {
 
     fn cloud_ip(&self) -> Option<Ipv4Addr> {
         self.avs_ip
+    }
+
+    fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
+        self.config.hold_policy()
     }
 }

@@ -6,12 +6,13 @@ use crate::config::GuardConfig;
 use crate::decision::Verdict;
 use crate::guard::flow::FlowTable;
 use crate::guard::pipeline::{
-    screen_segment, HoldTarget, PipelineCtx, Screened, SpeakerPipeline, Spike, SpikeMode,
+    repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
+    SpeakerPipeline, Spike, SpikeMode,
 };
 use crate::guard::token::TimerToken;
 use crate::recognition::{SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
+use netsim::{CloseReason, ConnId, Datagram, Direction, TapVerdict};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
@@ -31,6 +32,8 @@ struct ConnTrack {
     /// After a verdict, forward the rest of the burst until the next idle
     /// gap.
     passthrough: bool,
+    /// Record seqs already counted by spike accounting.
+    ledger: RecordLedger,
 }
 
 #[derive(Debug, Default)]
@@ -70,10 +73,18 @@ impl GhmPipeline {
     }
 
     /// TCP voice-flow records: every post-idle spike is a command.
-    fn on_voice_data(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId) -> TapVerdict {
+    fn on_voice_data(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, seq: u64) -> TapVerdict {
         let now = ctx.now();
         let idle_gap = self.config.idle_gap;
         let track = self.conns.get_mut(&conn).expect("tracked");
+        if let Some(spike) = &track.spike {
+            if seq < spike.first_seq {
+                // A late original from below the held range: the server
+                // may need it to fill a gap, and it cannot overtake the
+                // held records.
+                return TapVerdict::Forward;
+            }
+        }
         let idle = track
             .last_data
             .map(|t| now.saturating_since(t) >= idle_gap)
@@ -91,8 +102,13 @@ impl GhmPipeline {
             Some(_) => TapVerdict::Hold,
             None => {
                 if idle {
+                    // Anchor the held range at the burst's true start:
+                    // records of this burst still in flight (ledger holes
+                    // below this seq) belong inside the hold.
+                    let burst_start = track.ledger.lowest_hole_below(seq).unwrap_or(seq);
                     track.spike = Some(Spike {
                         started: now,
+                        first_seq: burst_start,
                         mode: SpikeMode::Classifying(SpikeClassifier::new(
                             self.config.classify_max_packets,
                         )),
@@ -141,6 +157,7 @@ impl GhmPipeline {
                 if idle {
                     self.udp.spike = Some(Spike {
                         started: now,
+                        first_seq: 0,
                         mode: SpikeMode::Classifying(SpikeClassifier::new(
                             self.config.classify_max_packets,
                         )),
@@ -162,17 +179,11 @@ impl GhmPipeline {
 
 impl SpeakerPipeline for GhmPipeline {
     fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
-        let holding = self
-            .conns
-            .get(&view.conn)
-            .map(|t| t.spike.is_some())
-            .unwrap_or(false);
-        if let Screened::Verdict(v) = screen_segment(view, holding) {
-            return v;
-        }
-
         if !self.conns.contains(&view.conn) {
-            let server_ip = *view.dst.ip();
+            let server_ip = match view.dir {
+                Direction::ClientToServer => *view.dst.ip(),
+                _ => *view.src.ip(),
+            };
             let kind = if self.google_ips.contains(&server_ip) {
                 ConnKind::GoogleVoice
             } else {
@@ -185,13 +196,19 @@ impl SpeakerPipeline for GhmPipeline {
                     last_data: None,
                     spike: None,
                     passthrough: false,
+                    ledger: RecordLedger::default(),
                 },
             );
         }
-
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        let holding = track.spike.is_some();
+        let seq = match screen_segment(view, holding, &mut track.ledger) {
+            Screened::Verdict(v) => return v,
+            Screened::Repeat { seq } => return repeat_verdict(&track.spike, seq),
+            Screened::Record { seq, .. } => seq,
+        };
         match track.kind {
-            ConnKind::GoogleVoice => self.on_voice_data(ctx, view.conn),
+            ConnKind::GoogleVoice => self.on_voice_data(ctx, view.conn, seq),
             ConnKind::Other => TapVerdict::Forward,
         }
     }
@@ -287,5 +304,9 @@ impl SpeakerPipeline for GhmPipeline {
                 }
             }
         }
+    }
+
+    fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
+        self.config.hold_policy()
     }
 }

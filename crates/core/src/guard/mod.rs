@@ -38,7 +38,7 @@ pub use ghm::GhmPipeline;
 pub use pipeline::{HoldTarget, PipelineCtx, SpeakerPipeline};
 pub use token::TimerToken;
 
-use crate::config::{GuardConfig, SpeakerKind};
+use crate::config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
 use crate::decision::Verdict;
 use crate::recognition::SpikeClass;
 use netsim::app::SegmentView;
@@ -120,6 +120,13 @@ pub struct GuardStats {
     pub dns_learned_ips: u64,
     /// Times the adaptive learner promoted a new connection signature.
     pub signatures_adapted: u64,
+    /// Frames dropped because a flow's hold queue hit its capacity under a
+    /// fail-closed overflow policy (degradation: the speaker retransmits).
+    pub hold_overflow_dropped: u64,
+    /// Frames forwarded unscreened because a flow's hold queue hit its
+    /// capacity under a fail-open overflow policy (degradation: traffic
+    /// escapes the hold).
+    pub hold_overflow_forwarded: u64,
 }
 
 #[derive(Debug)]
@@ -314,6 +321,40 @@ impl VoiceGuardTap {
         f(&mut self.pipeline_stats[index]);
     }
 
+    /// Applies pipeline `index`'s hold-overflow policy to a frame the
+    /// pipeline wants to hold while `held` frames are already parked for
+    /// its flow. Overflowing frames degrade to a drop (fail closed — the
+    /// sender retransmits) or an unscreened forward (fail open), counted
+    /// per pipeline.
+    fn enforce_hold_capacity(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        index: usize,
+        held: usize,
+        flow: &str,
+    ) -> TapVerdict {
+        match self.slots[index].pipeline.hold_policy() {
+            HoldOverflowPolicy::Unbounded => TapVerdict::Hold,
+            HoldOverflowPolicy::DropNewest { capacity } if held >= capacity => {
+                self.bump(index, |s| s.hold_overflow_dropped += 1);
+                ctx.trace(
+                    "guard.overflow",
+                    &format!("{flow}: hold queue full ({held}), dropping"),
+                );
+                TapVerdict::Drop
+            }
+            HoldOverflowPolicy::ForwardNewest { capacity } if held >= capacity => {
+                self.bump(index, |s| s.hold_overflow_forwarded += 1);
+                ctx.trace(
+                    "guard.overflow",
+                    &format!("{flow}: hold queue full ({held}), forwarding unscreened"),
+                );
+                TapVerdict::Forward
+            }
+            _ => TapVerdict::Hold,
+        }
+    }
+
     fn apply_verdict(&mut self, ctx: &mut dyn TapCtx, query: QueryId, verdict: Verdict) {
         let Some(pending) = self.queries.remove(&query) else {
             return;
@@ -395,7 +436,12 @@ impl Middlebox for VoiceGuardTap {
                 i
             }
         };
-        self.dispatch(index, ctx, |p, pctx| p.on_segment(pctx, view))
+        let verdict = self.dispatch(index, ctx, |p, pctx| p.on_segment(pctx, view));
+        if verdict == TapVerdict::Hold {
+            let held = ctx.held_count(view.conn);
+            return self.enforce_hold_capacity(ctx, index, held, &format!("{}", view.conn));
+        }
+        verdict
     }
 
     fn on_datagram(
@@ -412,7 +458,12 @@ impl Middlebox for VoiceGuardTap {
         let Some(index) = self.route_ip(speaker_ip) else {
             return TapVerdict::Forward;
         };
-        self.dispatch(index, ctx, |p, pctx| p.on_datagram(pctx, dgram, outbound))
+        let verdict = self.dispatch(index, ctx, |p, pctx| p.on_datagram(pctx, dgram, outbound));
+        if verdict == TapVerdict::Hold {
+            let held = ctx.held_datagram_count(speaker_ip);
+            return self.enforce_hold_capacity(ctx, index, held, &format!("udp {speaker_ip}"));
+        }
+        verdict
     }
 
     fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
@@ -516,5 +567,148 @@ mod tests {
     fn catch_all_takes_unclaimed_traffic() {
         let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
         assert_eq!(tap.route_ip(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
+    }
+
+    /// A pipeline that holds everything, with a fixed overflow policy.
+    #[derive(Debug)]
+    struct AlwaysHold(HoldOverflowPolicy);
+    impl SpeakerPipeline for AlwaysHold {
+        fn on_segment(&mut self, _ctx: &mut PipelineCtx<'_>, _view: &SegmentView) -> TapVerdict {
+            TapVerdict::Hold
+        }
+        fn on_datagram(
+            &mut self,
+            _ctx: &mut PipelineCtx<'_>,
+            _dgram: &Datagram,
+            _outbound: bool,
+        ) -> TapVerdict {
+            TapVerdict::Hold
+        }
+        fn on_dns_response(&mut self, _ctx: &mut PipelineCtx<'_>, _name: &str, _ip: Ipv4Addr) {}
+        fn on_conn_closed(
+            &mut self,
+            _ctx: &mut PipelineCtx<'_>,
+            _conn: ConnId,
+            _reason: CloseReason,
+        ) {
+        }
+        fn on_timer(&mut self, _ctx: &mut PipelineCtx<'_>, _token: TimerToken) {}
+        fn verdict_applied(
+            &mut self,
+            _ctx: &mut PipelineCtx<'_>,
+            _target: HoldTarget,
+            _verdict: Verdict,
+        ) {
+        }
+        fn hold_policy(&self) -> HoldOverflowPolicy {
+            self.0
+        }
+    }
+
+    /// A detached TapCtx reporting a fixed number of already-held frames.
+    struct FakeTap {
+        held: usize,
+    }
+    impl TapCtx for FakeTap {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn tapped_host(&self) -> netsim::HostId {
+            netsim::HostId(0)
+        }
+        fn held_count(&self, _conn: ConnId) -> usize {
+            self.held
+        }
+        fn release_held(&mut self, _conn: ConnId) -> usize {
+            0
+        }
+        fn discard_held(&mut self, _conn: ConnId) -> usize {
+            0
+        }
+        fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
+            self.held
+        }
+        fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+            0
+        }
+        fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+            0
+        }
+        fn set_timer(&mut self, _delay: simcore::SimDuration, _token: u64) {}
+        fn trace(&mut self, _category: &str, _message: &str) {}
+    }
+
+    fn data_view() -> SegmentView {
+        use std::net::SocketAddrV4;
+        SegmentView {
+            conn: ConnId(1),
+            dir: Direction::ClientToServer,
+            src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
+            dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
+            payload: netsim::SegmentPayload::Data(netsim::TlsRecord::app_data(138)),
+            wire_len: 138,
+            retransmit: false,
+        }
+    }
+
+    #[test]
+    fn hold_overflow_drops_when_fail_closed() {
+        let mut tap = VoiceGuardTap::multi();
+        tap.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
+        );
+        let mut ctx = FakeTap { held: 4 };
+        let v = tap.on_segment(&mut ctx, &data_view());
+        assert_eq!(v, TapVerdict::Drop);
+        assert_eq!(tap.stats.hold_overflow_dropped, 1);
+        assert_eq!(tap.pipeline_stats(0).hold_overflow_dropped, 1);
+        assert_eq!(tap.stats.hold_overflow_forwarded, 0);
+    }
+
+    #[test]
+    fn hold_overflow_forwards_when_fail_open() {
+        let mut tap = VoiceGuardTap::multi();
+        tap.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::ForwardNewest {
+                capacity: 4,
+            })),
+        );
+        let mut ctx = FakeTap { held: 4 };
+        let v = tap.on_segment(&mut ctx, &data_view());
+        assert_eq!(v, TapVerdict::Forward);
+        assert_eq!(tap.stats.hold_overflow_forwarded, 1);
+    }
+
+    #[test]
+    fn hold_below_capacity_still_holds() {
+        let mut tap = VoiceGuardTap::multi();
+        tap.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
+        );
+        let mut ctx = FakeTap { held: 3 };
+        assert_eq!(tap.on_segment(&mut ctx, &data_view()), TapVerdict::Hold);
+        assert_eq!(tap.stats.hold_overflow_dropped, 0);
+    }
+
+    #[test]
+    fn datagram_hold_overflow_uses_flow_count() {
+        let mut tap = VoiceGuardTap::multi();
+        tap.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 2 })),
+        );
+        let mut ctx = FakeTap { held: 2 };
+        let dgram = Datagram {
+            src: std::net::SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 201), 40_000),
+            dst: std::net::SocketAddrV4::new(Ipv4Addr::new(142, 250, 80, 4), 443),
+            len: 1000,
+            quic: true,
+            tag: 0,
+        };
+        assert_eq!(tap.on_datagram(&mut ctx, &dgram, true), TapVerdict::Drop);
+        assert_eq!(tap.stats.hold_overflow_dropped, 1);
     }
 }

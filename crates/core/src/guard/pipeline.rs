@@ -15,7 +15,7 @@ use crate::recognition::{SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
 use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapCtx, TapVerdict};
 use simcore::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -41,6 +41,10 @@ pub(super) enum SpikeMode {
 #[derive(Debug)]
 pub(super) struct Spike {
     pub(super) started: SimTime,
+    /// Record seq of the first held record: everything at or above it is
+    /// in the held range, everything below was forwarded before the
+    /// spike began. (Meaningless for UDP flows, which have no seqs.)
+    pub(super) first_seq: u64,
     pub(super) mode: SpikeMode,
 }
 
@@ -49,14 +53,89 @@ pub(super) enum Screened {
     /// The segment's fate is decided without touching recognition state.
     Verdict(TapVerdict),
     /// A speaker-originated application-data record to recognise.
-    Record(u32),
+    Record {
+        /// Record seq (tap-visible; orders the stream under reordering).
+        seq: u64,
+        /// Record length (the recognition feature).
+        len: u32,
+    },
+    /// A repeat of an already-counted record (retransmission or wire
+    /// duplicate): stays out of recognition, but the pipeline decides
+    /// its fate by where it sits relative to the held range — see
+    /// [`repeat_verdict`].
+    Repeat {
+        /// Record seq of the repeat.
+        seq: u64,
+    },
+}
+
+/// Verdict for a repeat of an already-counted record. Repeats inside an
+/// active spike's held range stay held (the engine's spoof-ACK already
+/// answered the speaker, and letting a copy through would overtake the
+/// cached records). Repeats *below* the held range are retransmissions
+/// of records the tap forwarded but the WAN then lost — swallowing those
+/// leaves the server's record-sequence gap unfilled and tears the
+/// session down mid-hold, so they pass through.
+pub(super) fn repeat_verdict(spike: &Option<Spike>, seq: u64) -> TapVerdict {
+    match spike {
+        Some(s) if seq < s.first_seq => TapVerdict::Forward,
+        Some(_) => TapVerdict::Hold,
+        None => TapVerdict::Forward,
+    }
+}
+
+/// Which speaker-originated record seqs this tap has already counted.
+///
+/// A middlebox must keep repeats of records it has seen out of spike
+/// accounting (retransmissions and wire duplicates), but a record whose
+/// *original was lost upstream of the tap* arrives here for the first time
+/// as a "retransmission" — skipping it would blind the classifier to the
+/// command marker and let an attack slip through on a lossy LAN. The
+/// ledger tells the two cases apart by record seq, which is tap-visible
+/// (it maps to the TCP byte offset).
+#[derive(Debug, Default)]
+pub(super) struct RecordLedger {
+    /// Lowest never-seen seq at or above which everything is new.
+    next: u64,
+    /// Seqs below `next` that were skipped over (reordered in flight) and
+    /// are still new when they eventually arrive.
+    holes: BTreeSet<u64>,
+}
+
+impl RecordLedger {
+    /// True the first time `seq` is presented, false on every repeat.
+    pub(super) fn first_sight(&mut self, seq: u64) -> bool {
+        if seq >= self.next {
+            for missing in self.next..seq {
+                self.holes.insert(missing);
+            }
+            self.next = seq + 1;
+            true
+        } else {
+            self.holes.remove(&seq)
+        }
+    }
+
+    /// Lowest still-unseen seq below `seq`, if any. At spike detection
+    /// this is where the burst actually *starts*: when the burst's first
+    /// record is lost or reordered on the LAN, a later record triggers
+    /// the spike, and anchoring the hold and the classifier feed at the
+    /// arrival seq would shift every positional rule off by the hole.
+    pub(super) fn lowest_hole_below(&self, seq: u64) -> Option<u64> {
+        self.holes.range(..seq).next().copied()
+    }
 }
 
 /// Filters a segment down to the speaker-originated app-data records the
 /// recognition state machines care about. Control frames, inbound records,
-/// keep-alives and retransmissions are resolved here: held while `holding`
-/// (so the engine spoof-ACKs them mid-hold), forwarded otherwise.
-pub(super) fn screen_segment(view: &SegmentView, holding: bool) -> Screened {
+/// keep-alives and already-counted repeats are resolved here: held while
+/// `holding` (so the engine spoof-ACKs them mid-hold), forwarded
+/// otherwise.
+pub(super) fn screen_segment(
+    view: &SegmentView,
+    holding: bool,
+    ledger: &mut RecordLedger,
+) -> Screened {
     let held_or_forwarded = if holding {
         TapVerdict::Hold
     } else {
@@ -72,12 +151,13 @@ pub(super) fn screen_segment(view: &SegmentView, holding: bool) -> Screened {
     if view.dir != Direction::ClientToServer {
         return Screened::Verdict(TapVerdict::Forward);
     }
-    if view.retransmit {
-        // Retransmissions repeat already-counted records: keep them out
-        // of spike accounting, but hold them if the stream is on hold.
-        return Screened::Verdict(held_or_forwarded);
+    if !ledger.first_sight(record.seq) {
+        return Screened::Repeat { seq: record.seq };
     }
-    Screened::Record(record.len)
+    Screened::Record {
+        seq: record.seq,
+        len: record.len,
+    }
 }
 
 /// Per-speaker traffic pipeline driven by the [`crate::VoiceGuardTap`]
@@ -113,6 +193,14 @@ pub trait SpeakerPipeline: fmt::Debug + Send {
     /// tracks one (the Echo pipeline's AVS front-end).
     fn cloud_ip(&self) -> Option<Ipv4Addr> {
         None
+    }
+
+    /// What the multiplexer does with a Hold verdict once this pipeline's
+    /// flow already has that many frames parked (see
+    /// [`crate::config::GuardConfig::hold_policy`]). The default is
+    /// unbounded holding.
+    fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
+        crate::config::HoldOverflowPolicy::Unbounded
     }
 }
 

@@ -38,8 +38,11 @@ pub mod learning;
 pub mod policy;
 pub mod recognition;
 
-pub use config::{GuardConfig, SpeakerKind};
-pub use decision::{DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport, Verdict};
+pub use config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
+pub use decision::{
+    DecisionDegradation, DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport,
+    FallbackPolicy, Verdict,
+};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
     EchoPipeline, FlowTable, GhmPipeline, GuardEvent, GuardStats, HoldTarget, PipelineCtx, QueryId,

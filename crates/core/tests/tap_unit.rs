@@ -58,27 +58,31 @@ const AVS_SIG: [u32; 16] = [
     63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
 ];
 
-fn data_view(conn: u64, len: u32) -> SegmentView {
+fn data_view(conn: u64, seq: u64, len: u32) -> SegmentView {
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
     SegmentView {
         conn: ConnId(conn),
         dir: netsim::Direction::ClientToServer,
         src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
         dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
-        payload: SegmentPayload::Data(TlsRecord::app_data(len)),
+        payload: SegmentPayload::Data(rec),
         wire_len: len,
         retransmit: false,
     }
 }
 
 /// Drives the signature records of a new connection through the tap.
-fn establish(tap: &mut VoiceGuardTap, ctx: &mut MockCtx, conn: u64) {
-    for len in AVS_SIG {
+/// Returns the next free record seq.
+fn establish(tap: &mut VoiceGuardTap, ctx: &mut MockCtx, conn: u64) -> u64 {
+    for (seq, len) in AVS_SIG.into_iter().enumerate() {
         assert_eq!(
-            tap.on_segment(ctx, &data_view(conn, len)),
+            tap.on_segment(ctx, &data_view(conn, seq as u64, len)),
             TapVerdict::Forward,
             "establishment records are never held"
         );
     }
+    AVS_SIG.len() as u64
 }
 
 #[test]
@@ -99,11 +103,12 @@ fn signature_identifies_the_flow_without_dns() {
 fn command_spike_is_held_and_raises_a_query() {
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
-    establish(&mut tap, &mut ctx, 1);
+    let mut seq = establish(&mut tap, &mut ctx, 1);
     // Idle gap then a marker spike.
     ctx.now = SimTime::from_secs(30);
     for len in [277u32, 131, 138] {
-        let verdict = tap.on_segment(&mut ctx, &data_view(1, len));
+        let verdict = tap.on_segment(&mut ctx, &data_view(1, seq, len));
+        seq += 1;
         assert_eq!(verdict, TapVerdict::Hold, "spike packets are held");
         if verdict == TapVerdict::Hold {
             ctx.held += 1;
@@ -121,12 +126,13 @@ fn verdict_release_and_block_paths() {
     for verdict in [Verdict::Legitimate, Verdict::Malicious] {
         let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
         let mut ctx = MockCtx::default();
-        establish(&mut tap, &mut ctx, 1);
+        let mut seq = establish(&mut tap, &mut ctx, 1);
         ctx.now = SimTime::from_secs(30);
         for len in [277u32, 131, 138, 500, 600] {
-            if tap.on_segment(&mut ctx, &data_view(1, len)) == TapVerdict::Hold {
+            if tap.on_segment(&mut ctx, &data_view(1, seq, len)) == TapVerdict::Hold {
                 ctx.held += 1;
             }
+            seq += 1;
         }
         let query = tap
             .take_events()
@@ -174,10 +180,11 @@ fn verdict_for_unknown_query_panics() {
 fn double_verdict_panics() {
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
-    establish(&mut tap, &mut ctx, 1);
+    let mut seq = establish(&mut tap, &mut ctx, 1);
     ctx.now = SimTime::from_secs(30);
     for len in [277u32, 131, 138] {
-        tap.on_segment(&mut ctx, &data_view(1, len));
+        tap.on_segment(&mut ctx, &data_view(1, seq, len));
+        seq += 1;
     }
     let query = tap
         .take_events()
@@ -196,8 +203,8 @@ fn other_flows_are_never_touched() {
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
     // A flow to a non-AVS server whose lengths diverge from the signature.
-    for len in [99u32, 88, 77, 66, 55, 44] {
-        let mut view = data_view(7, len);
+    for (seq, len) in [99u32, 88, 77, 66, 55, 44].into_iter().enumerate() {
+        let mut view = data_view(7, seq as u64, len);
         view.dst = SocketAddrV4::new(Ipv4Addr::new(3, 3, 3, 3), 443);
         assert_eq!(tap.on_segment(&mut ctx, &view), TapVerdict::Forward);
     }
@@ -209,17 +216,17 @@ fn other_flows_are_never_touched() {
 fn retransmissions_do_not_feed_the_classifier() {
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
-    establish(&mut tap, &mut ctx, 1);
+    let seq = establish(&mut tap, &mut ctx, 1);
     ctx.now = SimTime::from_secs(30);
     // First packet of a spike…
     assert_eq!(
-        tap.on_segment(&mut ctx, &data_view(1, 300)),
+        tap.on_segment(&mut ctx, &data_view(1, seq, 300)),
         TapVerdict::Hold
     );
-    // …followed by retransmitted copies of it: held (stream is on hold)
-    // but not classified as new packets.
+    // …followed by retransmitted copies of it — same record seq: held
+    // (stream is on hold) but not classified as new packets.
     for _ in 0..10 {
-        let mut view = data_view(1, 300);
+        let mut view = data_view(1, seq, 300);
         view.retransmit = true;
         assert_eq!(tap.on_segment(&mut ctx, &view), TapVerdict::Hold);
     }
@@ -228,4 +235,29 @@ fn retransmissions_do_not_feed_the_classifier() {
         .take_events()
         .iter()
         .all(|e| !matches!(e, GuardEvent::SpikeClassified { .. })));
+}
+
+#[test]
+fn retransmission_of_a_never_seen_record_is_counted() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    let seq = establish(&mut tap, &mut ctx, 1);
+    ctx.now = SimTime::from_secs(30);
+    // The spike's first record was lost between the speaker and the tap,
+    // so the tap first sees it as a TCP retransmission. It must feed the
+    // classifier like any new record — skipping it would blind the guard
+    // to the command marker on a lossy LAN.
+    let mut view = data_view(1, seq, 277);
+    view.retransmit = true;
+    assert_eq!(tap.on_segment(&mut ctx, &view), TapVerdict::Hold);
+    for (i, len) in [131u32, 138].into_iter().enumerate() {
+        assert_eq!(
+            tap.on_segment(&mut ctx, &data_view(1, seq + 1 + i as u64, len)),
+            TapVerdict::Hold
+        );
+    }
+    assert!(
+        tap.has_pending_queries(),
+        "marker sequence recognised despite the upstream loss"
+    );
 }

@@ -1,0 +1,214 @@
+//! Chaos sweep — how the guarded home degrades under injected faults.
+//!
+//! One compact Echo Dot scenario (apartment, single phone owner) is
+//! replayed under each fault profile, clean → lossy → bursty →
+//! fcm-degraded. Each round utters one legitimate command with the owner
+//! beside the speaker and one attack with the owner outside; the table
+//! reports block rate, false-rejection rate, mean hold time and the
+//! degradation counters per profile. The whole sweep is driven by the
+//! seeded engine RNG, so two runs with the same seed render byte-identical
+//! tables.
+
+use crate::orchestrator::{FaultProfile, GuardedHome, ScenarioConfig};
+use crate::report::{fmt_f, pct, Table};
+use netsim::FaultCounters;
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::apartment;
+
+/// Degradation summary of one profile's run.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Profile name.
+    pub profile: &'static str,
+    /// Legitimate commands uttered.
+    pub legit: u32,
+    /// Legitimate commands wrongly blocked (false rejections).
+    pub blocked_legit: u32,
+    /// Attacks uttered.
+    pub malicious: u32,
+    /// Attacks blocked.
+    pub blocked_malicious: u32,
+    /// Mean hold duration across resolved queries, seconds.
+    pub mean_hold_s: f64,
+    /// Queries resolved by the guard's verdict-timeout fail-safe.
+    pub timeouts: u64,
+    /// Decisions where no device report survived and the fallback policy
+    /// spoke.
+    pub fell_back: u64,
+    /// Held frames dropped at the hold-capacity limit (fail closed).
+    pub overflow_dropped: u64,
+    /// Held frames forwarded unscreened at the limit (fail open).
+    pub overflow_forwarded: u64,
+    /// Wire faults the network injected.
+    pub wire: FaultCounters,
+}
+
+impl ChaosOutcome {
+    /// Fraction of attacks blocked.
+    pub fn block_rate(&self) -> f64 {
+        if self.malicious == 0 {
+            return 0.0;
+        }
+        f64::from(self.blocked_malicious) / f64::from(self.malicious)
+    }
+
+    /// False-rejection rate: fraction of legitimate commands blocked.
+    pub fn frr(&self) -> f64 {
+        if self.legit == 0 {
+            return 0.0;
+        }
+        f64::from(self.blocked_legit) / f64::from(self.legit)
+    }
+}
+
+/// Result of the full sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// Per-profile outcomes, in sweep order.
+    pub outcomes: Vec<ChaosOutcome>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// The canonical sweep order: clean → lossy → bursty → fcm-degraded.
+pub fn profiles() -> Vec<FaultProfile> {
+    vec![
+        FaultProfile::clean(),
+        FaultProfile::lossy(),
+        FaultProfile::bursty(),
+        FaultProfile::fcm_degraded(),
+    ]
+}
+
+/// Runs the compact scenario under one profile. `rounds` pairs of
+/// (legitimate, attack) commands are uttered.
+pub fn run_profile(profile: FaultProfile, seed: u64, rounds: u32) -> ChaosOutcome {
+    let name = profile.name;
+    let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
+    cfg.faults = profile;
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let speaker = home.testbed().deployments[0];
+    let near = Point::new(speaker.x + 1.0, speaker.y, speaker.floor);
+    let away = home.testbed().outside;
+
+    let (mut legit, mut blocked_legit) = (0u32, 0u32);
+    let (mut malicious, mut blocked_malicious) = (0u32, 0u32);
+    for round in 0..rounds {
+        for attack in [false, true] {
+            home.set_device_position(dev, if attack { away } else { near });
+            let words = 4 + (round as usize % 5);
+            let id = home.utter(words, 1, attack);
+            // Long enough for the worst case: a fallback resolved by the
+            // guard's 25 s verdict timeout, plus loss-recovery retransmits.
+            home.run_for(SimDuration::from_secs(40));
+            let blocked = !home.executed(id);
+            if attack {
+                malicious += 1;
+                blocked_malicious += u32::from(blocked);
+            } else {
+                legit += 1;
+                blocked_legit += u32::from(blocked);
+            }
+        }
+    }
+    home.run_for(SimDuration::from_secs(10));
+
+    let stats = home.guard_stats();
+    let mean_hold_s = if stats.hold_durations_s.is_empty() {
+        0.0
+    } else {
+        stats.hold_durations_s.iter().sum::<f64>() / stats.hold_durations_s.len() as f64
+    };
+    ChaosOutcome {
+        profile: name,
+        legit,
+        blocked_legit,
+        malicious,
+        blocked_malicious,
+        mean_hold_s,
+        timeouts: stats.timeouts,
+        fell_back: home.decisions.iter().filter(|d| d.fell_back).count() as u64,
+        overflow_dropped: stats.hold_overflow_dropped,
+        overflow_forwarded: stats.hold_overflow_forwarded,
+        wire: home.fault_counters(),
+    }
+}
+
+/// Runs the whole sweep and renders the table.
+pub fn run(seed: u64, rounds: u32) -> ChaosResult {
+    let outcomes: Vec<ChaosOutcome> = profiles()
+        .into_iter()
+        .map(|p| run_profile(p, seed, rounds))
+        .collect();
+    let mut table = Table::new(
+        "Chaos sweep — degradation under injected faults",
+        &[
+            "profile",
+            "block rate",
+            "FRR",
+            "mean hold (s)",
+            "timeouts",
+            "fell back",
+            "overflow drop/fwd",
+            "wire drop/reorder/dup",
+        ],
+    );
+    for o in &outcomes {
+        table.push_row(vec![
+            o.profile.to_string(),
+            format!("{} ({})", pct(o.block_rate()), o.blocked_malicious),
+            format!("{} ({})", pct(o.frr()), o.blocked_legit),
+            fmt_f(o.mean_hold_s, 2),
+            o.timeouts.to_string(),
+            o.fell_back.to_string(),
+            format!("{}/{}", o.overflow_dropped, o.overflow_forwarded),
+            format!(
+                "{}/{}/{}",
+                o.wire.dropped, o.wire.reordered, o.wire.duplicated
+            ),
+        ]);
+    }
+    table.note(format!(
+        "{rounds} legitimate + {rounds} attack commands per profile, seed {seed}; \
+         fcm-degraded runs fail-closed (fallback blocks when no report survives)."
+    ));
+    ChaosResult { outcomes, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_renders_byte_identical_tables() {
+        let a = run(77, 1);
+        let b = run(77, 1);
+        assert_eq!(a.table.to_markdown(), b.table.to_markdown());
+    }
+
+    #[test]
+    fn clean_profile_blocks_attacks_without_false_rejections() {
+        let o = run_profile(FaultProfile::clean(), 11, 2);
+        assert_eq!(o.blocked_malicious, o.malicious, "all attacks blocked");
+        assert_eq!(o.blocked_legit, 0, "no false rejections when clean");
+        assert_eq!(o.wire.dropped + o.wire.reordered + o.wire.duplicated, 0);
+    }
+
+    #[test]
+    fn faulty_profiles_actually_inject_wire_faults() {
+        let o = run_profile(FaultProfile::lossy(), 12, 1);
+        assert!(o.wire.dropped > 0, "lossy profile must drop frames: {o:?}");
+    }
+
+    #[test]
+    fn fcm_degraded_fail_closed_still_blocks_attacks() {
+        let o = run_profile(FaultProfile::fcm_degraded(), 13, 2);
+        assert_eq!(
+            o.blocked_malicious, o.malicious,
+            "fail-closed fallback must keep blocking attacks: {o:?}"
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`threat_coverage`] | §III-B — block rate per attack vector |
 //! | [`corpus_stats`] | §V-A2 — command-corpus length statistics |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §5) |
+//! | [`chaos`] | fault-injection sweep (clean → lossy → bursty → FCM-degraded) |
 //!
 //! The shared scenario machinery lives in [`orchestrator`].
 
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod corpus_stats;
 pub mod fig10;
 pub mod fig3;
@@ -42,7 +44,7 @@ pub mod table1;
 pub mod tables234;
 pub mod threat_coverage;
 
-pub use orchestrator::{CommandRecord, GuardedHome, ScenarioConfig};
+pub use orchestrator::{CommandRecord, FaultProfile, GuardedHome, ScenarioConfig};
 pub use report::{Report, Table};
 
 /// Runs every experiment with the given master seed and collects the

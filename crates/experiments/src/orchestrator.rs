@@ -13,9 +13,12 @@
 //!   positions, delayed by sampled FCM/scan latency.
 
 use mobility::{TraceRecorder, Walk};
-use netsim::{HostId, Network, NetworkConfig, ServerPool};
+use netsim::{
+    FaultCounters, FaultPlan, HostId, LinkFaults, LossModel, Network, NetworkConfig, ServerPool,
+};
 use phone::{
-    DeviceId, DeviceKind, DeviceRegistry, FcmLatencyModel, MobileDevice, ThresholdCalibrator,
+    DeviceId, DeviceKind, DeviceRegistry, FcmFaults, FcmLatencyModel, MobileDevice,
+    ThresholdCalibrator,
 };
 use rand::rngs::StdRng;
 use rfsim::{BleChannel, Point, PropagationConfig};
@@ -27,8 +30,8 @@ use speakers::{
 use std::net::Ipv4Addr;
 use testbeds::{RouteKind, Testbed};
 use voiceguard::{
-    DecisionModule, DeviceProfile, FloorTracker, GuardConfig, GuardEvent, QueryId, RouteClass,
-    RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap,
+    DecisionModule, DeviceProfile, FallbackPolicy, FloorTracker, GuardConfig, GuardEvent, QueryId,
+    RouteClass, RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap,
 };
 
 /// Speaker `i` lives at 192.168.1.(200+i).
@@ -64,8 +67,113 @@ pub struct ScenarioConfig {
     pub naive_spike_detection: bool,
     /// Advertisement packets averaged per RSSI scan (default 3).
     pub scan_samples: usize,
-    /// Wire loss probability for the home network (default 0).
-    pub loss_probability: f64,
+    /// Fault profile applied across the stack (default clean).
+    pub faults: FaultProfile,
+}
+
+/// A named bundle of fault settings applied to every layer of a scenario:
+/// the packet network, the FCM push channel, and the Decision Module's
+/// retry/fallback policy. The guard's hold-overflow capacity rides along
+/// because it only matters under degraded conditions.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Profile name (labels table rows and traces).
+    pub name: &'static str,
+    /// Per-leg network fault model.
+    pub net: FaultPlan,
+    /// FCM push-channel failure modes.
+    pub fcm: FcmFaults,
+    /// Decision Module retry/timeout/fallback policy.
+    pub fallback: FallbackPolicy,
+    /// Held-frame cap per flow at the guard (0 = unbounded).
+    pub hold_capacity: usize,
+}
+
+impl FaultProfile {
+    /// No faults anywhere — identical to the pre-fault-model behavior.
+    pub fn clean() -> Self {
+        FaultProfile {
+            name: "clean",
+            net: FaultPlan::none(),
+            fcm: FcmFaults::none(),
+            fallback: FallbackPolicy::default(),
+            hold_capacity: 0,
+        }
+    }
+
+    /// Uniform wire loss at probability `p`, both legs (the old
+    /// `loss_probability` knob).
+    pub fn uniform_loss(p: f64) -> Self {
+        FaultProfile {
+            name: "uniform",
+            net: FaultPlan::uniform_loss(p),
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// A congested home network: 5% uniform loss plus light reordering
+    /// and duplication on both legs.
+    pub fn lossy() -> Self {
+        let leg = LinkFaults {
+            loss: LossModel::Uniform { p: 0.05 },
+            reorder_probability: 0.02,
+            duplicate_probability: 0.01,
+            ..LinkFaults::none()
+        };
+        FaultProfile {
+            name: "lossy",
+            net: FaultPlan { lan: leg, wan: leg },
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// Bursty Gilbert–Elliott loss: near-clean in the good state, heavy
+    /// loss in bad-state bursts (interference episodes on the access
+    /// link).
+    pub fn bursty() -> Self {
+        let leg = LinkFaults {
+            loss: LossModel::GilbertElliott {
+                p_enter_bad: 0.02,
+                p_exit_bad: 0.25,
+                loss_good: 0.002,
+                loss_bad: 0.4,
+            },
+            reorder_probability: 0.01,
+            ..LinkFaults::none()
+        };
+        FaultProfile {
+            name: "bursty",
+            net: FaultPlan { lan: leg, wan: leg },
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// A degraded push channel: dropped pushes, delivery timeouts,
+    /// offline devices and lost reports, with the Decision Module
+    /// retrying and ultimately falling back per its policy. The guard
+    /// holds at most 64 frames per flow so long deliberations degrade
+    /// instead of buffering without bound.
+    pub fn fcm_degraded() -> Self {
+        FaultProfile {
+            name: "fcm-degraded",
+            fcm: FcmFaults {
+                push_drop: 0.25,
+                delivery_timeout: 0.15,
+                delivery_timeout_extra_s: 6.0,
+                device_offline: 0.1,
+                report_loss: 0.15,
+            },
+            hold_capacity: 64,
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// Same profile with the given fallback policy (fail-open vs.
+    /// fail-closed sweeps).
+    pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Self {
+        self.fallback = fallback;
+        self
+    }
 }
 
 impl ScenarioConfig {
@@ -81,7 +189,7 @@ impl ScenarioConfig {
             capture: false,
             naive_spike_detection: false,
             scan_samples: 3,
-            loss_probability: 0.0,
+            faults: FaultProfile::clean(),
         }
     }
 
@@ -130,6 +238,9 @@ pub struct DecisionRecord {
     pub best_rssi_db: f64,
     /// Which speaker pipeline raised the query.
     pub speaker: usize,
+    /// True when no device report survived the push channel and the
+    /// verdict is the fallback policy speaking, not a measurement.
+    pub fell_back: bool,
 }
 
 /// A complete guarded-home scenario.
@@ -192,7 +303,7 @@ impl GuardedHome {
         let mut net = Network::new(NetworkConfig {
             seed: cfg.seed,
             capture_enabled: cfg.capture,
-            loss_probability: cfg.loss_probability,
+            faults: cfg.faults.net,
             ..NetworkConfig::default()
         });
         let mut speaker_hosts = Vec::new();
@@ -236,6 +347,11 @@ impl GuardedHome {
         }
         let guard_config = |kind: SpeakerKind| GuardConfig {
             naive_spike_detection: cfg.naive_spike_detection,
+            hold_capacity: cfg.faults.hold_capacity,
+            // The guard's timeout fail-safe and the Decision Module's
+            // fallback must agree, or a fallback verdict and the guard's
+            // own timeout resolution could contradict each other.
+            fail_closed: !cfg.faults.fallback.fail_open,
             ..match kind {
                 SpeakerKind::EchoDot => GuardConfig::echo_dot(),
                 SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
@@ -300,6 +416,8 @@ impl GuardedHome {
         }
         let mut decision = DecisionModule::new(profiles);
         decision.set_scan_samples(cfg.scan_samples);
+        decision.set_fcm_faults(cfg.faults.fcm);
+        decision.set_fallback(cfg.faults.fallback);
 
         GuardedHome {
             net,
@@ -549,15 +667,23 @@ impl GuardedHome {
                 let q = *query;
                 let delay = outcome.ready_after;
                 let verdict = outcome.verdict;
+                let fell_back = outcome.degradation.fell_back;
                 let best_rssi_db = outcome
                     .reports
                     .iter()
                     .map(|r| r.rssi_db)
                     .fold(f64::NEG_INFINITY, f64::max);
-                self.net
-                    .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, ctx| {
-                        g.schedule_verdict(ctx, q, verdict, delay)
-                    });
+                if !fell_back {
+                    self.net
+                        .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, ctx| {
+                            g.schedule_verdict(ctx, q, verdict, delay)
+                        });
+                }
+                // On total report loss no verdict is scheduled: the
+                // guard's own verdict-timeout fail-safe resolves the
+                // hold (per its fail mode, which `GuardedHome::new`
+                // keeps consistent with the fallback policy), and its
+                // `timeouts` counter records the degradation.
                 self.decisions.push(DecisionRecord {
                     query: q,
                     verdict,
@@ -565,6 +691,7 @@ impl GuardedHome {
                     hold_started: *hold_started,
                     best_rssi_db,
                     speaker,
+                    fell_back,
                 });
             }
         }
@@ -581,6 +708,12 @@ impl GuardedHome {
     pub fn guard_pipeline_stats(&mut self, index: usize) -> voiceguard::GuardStats {
         self.net
             .with_tap::<VoiceGuardTap, _>(self.speaker_host, |g, _| g.pipeline_stats(index).clone())
+    }
+
+    /// Wire-fault tallies of the packet network (drops/reorders/dups
+    /// injected so far).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.net.fault_counters()
     }
 }
 

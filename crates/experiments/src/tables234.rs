@@ -16,7 +16,7 @@
 //! commands over 7 days; we spread them over a few simulated hours),
 //! which does not affect any per-command decision.
 
-use crate::orchestrator::{GuardedHome, ScenarioConfig};
+use crate::orchestrator::{FaultProfile, GuardedHome, ScenarioConfig};
 use crate::report::{pct, Table};
 use phone::DeviceKind;
 use rand::seq::SliceRandom;
@@ -169,8 +169,31 @@ pub fn run_case(
     seed: u64,
     scale: f64,
 ) -> CaseOutcome {
+    run_case_with(
+        testbed,
+        deployment,
+        speaker,
+        paper,
+        seed,
+        scale,
+        FaultProfile::clean(),
+    )
+}
+
+/// [`run_case`] under a fault profile.
+#[allow(clippy::too_many_arguments)]
+pub fn run_case_with(
+    testbed: Testbed,
+    deployment: usize,
+    speaker: SpeakerKind,
+    paper: PaperCase,
+    seed: u64,
+    scale: f64,
+    faults: FaultProfile,
+) -> CaseOutcome {
     let cfg = ScenarioConfig {
         devices: devices_for(testbed.name),
+        faults,
         ..match speaker {
             SpeakerKind::EchoDot => ScenarioConfig::echo(testbed.clone(), deployment, seed),
             SpeakerKind::GoogleHomeMini => ScenarioConfig::ghm(testbed.clone(), deployment, seed),
@@ -384,19 +407,28 @@ fn tabulate(cases: Vec<CaseOutcome>) -> Tables234Result {
 /// fork, the outcomes are bit-identical to [`run_scaled_serial`] — the
 /// threads only change wall-clock time.
 pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
+    run_scaled_with(seed, scale, FaultProfile::clean())
+}
+
+/// [`run_scaled`] with every case under the same fault profile. Fault
+/// dice live on the engine's seeded RNG streams, so the parallel runner
+/// stays bit-identical to [`run_scaled_serial_with`] even on faulty runs.
+pub fn run_scaled_with(seed: u64, scale: f64, faults: FaultProfile) -> Tables234Result {
     let specs = case_specs(seed);
     let cases = std::thread::scope(|scope| {
         let handles: Vec<_> = specs
             .into_iter()
             .map(|spec| {
+                let faults = faults.clone();
                 scope.spawn(move || {
-                    run_case(
+                    run_case_with(
                         spec.testbed,
                         spec.deployment,
                         spec.speaker,
                         spec.paper,
                         spec.seed,
                         scale,
+                        faults,
                     )
                 })
             })
@@ -413,16 +445,22 @@ pub fn run_scaled(seed: u64, scale: f64) -> Tables234Result {
 /// Runs all twelve cases on the calling thread (the reference
 /// implementation the parallel runner is checked against).
 pub fn run_scaled_serial(seed: u64, scale: f64) -> Tables234Result {
+    run_scaled_serial_with(seed, scale, FaultProfile::clean())
+}
+
+/// [`run_scaled_serial`] under a fault profile.
+pub fn run_scaled_serial_with(seed: u64, scale: f64, faults: FaultProfile) -> Tables234Result {
     let cases = case_specs(seed)
         .into_iter()
         .map(|spec| {
-            run_case(
+            run_case_with(
                 spec.testbed,
                 spec.deployment,
                 spec.speaker,
                 spec.paper,
                 spec.seed,
                 scale,
+                faults.clone(),
             )
         })
         .collect();
@@ -468,6 +506,21 @@ mod tests {
             assert_eq!(p.testbed, s.testbed);
             assert_eq!(p.speaker, s.speaker);
             assert_eq!(p.deployment, s.deployment);
+            assert_eq!(p.matrix, s.matrix, "case {} {:?}", p.testbed, p.speaker);
+        }
+        assert_eq!(par.tables, ser.tables, "rendered tables must match");
+    }
+
+    #[test]
+    fn parallel_runner_is_bit_identical_to_serial_under_faults() {
+        // Same seed + same FaultPlan must reproduce identical verdicts
+        // whether the cases run threaded or on one thread: all fault dice
+        // come from each case's own seeded engine streams.
+        let faults = FaultProfile::bursty();
+        let par = run_scaled_with(99, 0.02, faults.clone());
+        let ser = run_scaled_serial_with(99, 0.02, faults);
+        assert_eq!(par.cases.len(), 12);
+        for (p, s) in par.cases.iter().zip(&ser.cases) {
             assert_eq!(p.matrix, s.matrix, "case {} {:?}", p.testbed, p.speaker);
         }
         assert_eq!(par.tables, ser.tables, "rendered tables must match");

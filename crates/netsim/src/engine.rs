@@ -19,6 +19,7 @@
 use crate::app::{AppCtx, CloseReason, Middlebox, NetApp, SegmentView, TapCtx, TapVerdict};
 use crate::capture::{Capture, PacketKind};
 use crate::dns::DnsZone;
+use crate::fault::{FaultAction, FaultCounters, FaultInjector, FaultPlan, Leg};
 use crate::latency::LatencyModel;
 use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
 use rand::rngs::StdRng;
@@ -64,10 +65,10 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Whether traversing frames are recorded into the [`Capture`].
     pub capture_enabled: bool,
-    /// Probability that any frame is lost on a wire leg (0 disables loss).
-    /// Loss is recovered by TCP retransmission / handshake and keep-alive
+    /// Per-leg wire fault model (loss, burst loss, reordering, duplication).
+    /// TCP recovers losses by retransmission / handshake and keep-alive
     /// timeouts; UDP losses are final.
-    pub loss_probability: f64,
+    pub faults: FaultPlan,
 }
 
 impl Default for NetworkConfig {
@@ -80,10 +81,13 @@ impl Default for NetworkConfig {
             max_retransmits: 5,
             seed: 0,
             capture_enabled: true,
-            loss_probability: 0.0,
+            faults: FaultPlan::none(),
         }
     }
 }
+
+/// How far a wire-duplicated frame trails its original.
+const DUPLICATE_TRAIL: SimDuration = SimDuration::from_micros(500);
 
 /// Wire-length of the fatal TLS alert sent on a record-sequence mismatch.
 const TLS_ALERT_LEN: u32 = 31;
@@ -296,6 +300,7 @@ pub struct Network {
     capture: Capture,
     trace: TraceBus,
     rng: StdRng,
+    faults: FaultInjector,
     started: bool,
 }
 
@@ -326,8 +331,14 @@ impl Network {
             capture: Capture::new(),
             trace: TraceBus::default(),
             rng: streams.stream("latency"),
+            faults: FaultInjector::new(config.faults, streams.stream("faults")),
             started: false,
         }
+    }
+
+    /// Tallies of wire faults injected so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters()
     }
 
     /// Adds a host with the given display name and IP address.
@@ -629,10 +640,38 @@ impl Network {
         port
     }
 
-    /// Rolls the per-leg loss dice.
-    fn wire_drops(&mut self) -> bool {
-        self.config.loss_probability > 0.0
-            && rand::Rng::gen_bool(&mut self.rng, self.config.loss_probability)
+    /// Schedules `seg` at `candidate` (or later, FIFO-clamped), honoring a
+    /// reorder/duplicate fault decision. Reordered frames are delayed by the
+    /// leg's `reorder_extra` *without* advancing the FIFO floor, so later
+    /// frames can overtake them; duplicated frames trail the original
+    /// flagged as already-seen (taps and endpoints de-duplicate them like
+    /// spurious retransmissions).
+    fn schedule_segment(
+        &mut self,
+        seg: Segment,
+        at_tap: Option<HostId>,
+        candidate: SimTime,
+        action: FaultAction,
+        leg: Leg,
+    ) {
+        let di = Connection::dir_index(seg.dir);
+        let at = if action.reorder {
+            candidate + self.faults.reorder_extra(leg)
+        } else if at_tap.is_some() {
+            self.clamp_tap_arrival(seg.conn, di, candidate)
+        } else {
+            self.clamp_ep_arrival(seg.conn, di, candidate)
+        };
+        let make = |seg: Segment| match at_tap {
+            Some(tap) => NetEvent::SegAtTap { tap, seg },
+            None => NetEvent::SegAtEndpoint { seg },
+        };
+        self.queue.schedule(at, make(seg));
+        if action.duplicate {
+            let mut dup = seg;
+            dup.retransmit = true;
+            self.queue.schedule(at + DUPLICATE_TRAIL, make(dup));
+        }
     }
 
     /// Routes a segment from its sender toward its receiver, traversing the
@@ -643,27 +682,25 @@ impl Network {
         };
         let src_host = conn.endpoint_of_dir_src(seg.dir);
         let dst_host = conn.endpoint_of_dir_dst(seg.dir);
-        if self.wire_drops() {
+        let (leg, at_tap) = if self.has_tap(src_host) {
+            (Leg::Lan, Some(src_host))
+        } else if self.has_tap(dst_host) {
+            (Leg::Wan, Some(dst_host))
+        } else {
+            (Leg::Wan, None)
+        };
+        let action = self.faults.decide(leg);
+        if action.drop {
             return;
         }
         let now = self.queue.now();
         let lat = self.config.latency;
-        let di = Connection::dir_index(seg.dir);
-        if self.has_tap(src_host) {
-            let d = lat.to_tap(&mut self.rng);
-            let at = self.clamp_tap_arrival(seg.conn, di, now + d);
-            self.queue
-                .schedule(at, NetEvent::SegAtTap { tap: src_host, seg });
-        } else if self.has_tap(dst_host) {
-            let d = lat.tap_to_cloud(&mut self.rng);
-            let at = self.clamp_tap_arrival(seg.conn, di, now + d);
-            self.queue
-                .schedule(at, NetEvent::SegAtTap { tap: dst_host, seg });
-        } else {
-            let d = lat.end_to_end(&mut self.rng);
-            let at = self.clamp_ep_arrival(seg.conn, di, now + d);
-            self.queue.schedule(at, NetEvent::SegAtEndpoint { seg });
-        }
+        let d = match (leg, at_tap.is_some()) {
+            (Leg::Lan, _) => lat.to_tap(&mut self.rng),
+            (Leg::Wan, true) => lat.tap_to_cloud(&mut self.rng),
+            (Leg::Wan, false) => lat.end_to_end(&mut self.rng),
+        };
+        self.schedule_segment(seg, at_tap, now + d, action, leg);
     }
 
     fn clamp_tap_arrival(&mut self, conn: u64, dir_idx: usize, candidate: SimTime) -> SimTime {
@@ -690,72 +727,106 @@ impl Network {
             return;
         };
         let dst_host = conn.endpoint_of_dir_dst(seg.dir);
-        if self.wire_drops() {
+        let leg = if dst_host == tap { Leg::Lan } else { Leg::Wan };
+        let action = self.faults.decide(leg);
+        if action.drop {
             return;
         }
         let now = self.queue.now();
         let lat = self.config.latency;
-        let d = if dst_host == tap {
-            lat.to_tap(&mut self.rng)
-        } else {
-            lat.tap_to_cloud(&mut self.rng)
+        let d = match leg {
+            Leg::Lan => lat.to_tap(&mut self.rng),
+            Leg::Wan => lat.tap_to_cloud(&mut self.rng),
         };
-        let at = self.clamp_ep_arrival(seg.conn, Connection::dir_index(seg.dir), now + d);
-        self.queue.schedule(at, NetEvent::SegAtEndpoint { seg });
+        self.schedule_segment(seg, None, now + d, action, leg);
+    }
+
+    /// Schedules `dgram`, honoring a reorder/duplicate fault decision.
+    /// Datagrams have no FIFO floor (UDP is unordered), so reordering is a
+    /// plain extra delay.
+    fn schedule_datagram(
+        &mut self,
+        event: impl Fn(Datagram) -> NetEvent,
+        dgram: Datagram,
+        candidate: SimTime,
+        action: FaultAction,
+        leg: Leg,
+    ) {
+        let at = if action.reorder {
+            candidate + self.faults.reorder_extra(leg)
+        } else {
+            candidate
+        };
+        self.queue.schedule(at, event(dgram));
+        if action.duplicate {
+            self.queue.schedule(at + DUPLICATE_TRAIL, event(dgram));
+        }
     }
 
     fn route_datagram(&mut self, dgram: Datagram) {
-        if self.wire_drops() {
-            return;
-        }
         let src_host = self.host_by_ip(*dgram.src.ip());
         let dst_host = self.host_by_ip(*dgram.dst.ip());
+        let tapped = |h: Option<HostId>| h.filter(|h| self.has_tap(*h));
+        let (leg, at_tap) = if let Some(src) = tapped(src_host) {
+            (Leg::Lan, Some((src, true)))
+        } else if let Some(dst) = tapped(dst_host) {
+            (Leg::Wan, Some((dst, false)))
+        } else {
+            (Leg::Wan, None)
+        };
+        let action = self.faults.decide(leg);
+        if action.drop {
+            return;
+        }
         let now = self.queue.now();
         let lat = self.config.latency;
-        if let Some(src) = src_host {
-            if self.has_tap(src) {
-                let d = lat.to_tap(&mut self.rng);
-                self.queue.schedule(
-                    now + d,
-                    NetEvent::DgramAtTap {
-                        tap: src,
-                        dgram,
-                        outbound: true,
-                    },
-                );
-                return;
-            }
+        let d = match (leg, at_tap.is_some()) {
+            (Leg::Lan, _) => lat.to_tap(&mut self.rng),
+            (Leg::Wan, true) => lat.tap_to_cloud(&mut self.rng),
+            (Leg::Wan, false) => lat.end_to_end(&mut self.rng),
+        };
+        match at_tap {
+            Some((tap, outbound)) => self.schedule_datagram(
+                |dgram| NetEvent::DgramAtTap {
+                    tap,
+                    dgram,
+                    outbound,
+                },
+                dgram,
+                now + d,
+                action,
+                leg,
+            ),
+            None => self.schedule_datagram(
+                |dgram| NetEvent::DgramAtEndpoint { dgram },
+                dgram,
+                now + d,
+                action,
+                leg,
+            ),
         }
-        if let Some(dst) = dst_host {
-            if self.has_tap(dst) {
-                let d = lat.tap_to_cloud(&mut self.rng);
-                self.queue.schedule(
-                    now + d,
-                    NetEvent::DgramAtTap {
-                        tap: dst,
-                        dgram,
-                        outbound: false,
-                    },
-                );
-                return;
-            }
-        }
-        let d = lat.end_to_end(&mut self.rng);
-        self.queue
-            .schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
     }
 
     fn forward_dgram_from_tap(&mut self, tap: HostId, dgram: Datagram, outbound: bool) {
+        let leg = if outbound { Leg::Wan } else { Leg::Lan };
+        let action = self.faults.decide(leg);
+        if action.drop {
+            return;
+        }
         let now = self.queue.now();
         let lat = self.config.latency;
-        let d = if outbound {
-            lat.tap_to_cloud(&mut self.rng)
-        } else {
-            lat.to_tap(&mut self.rng)
+        let d = match leg {
+            Leg::Lan => lat.to_tap(&mut self.rng),
+            Leg::Wan => lat.tap_to_cloud(&mut self.rng),
         };
         let _ = tap;
-        self.queue
-            .schedule(now + d, NetEvent::DgramAtEndpoint { dgram });
+        self.schedule_datagram(
+            |dgram| NetEvent::DgramAtEndpoint { dgram },
+            dgram,
+            now + d,
+            action,
+            leg,
+        )
     }
 
     fn capture_segment(&mut self, seg: &Segment) {

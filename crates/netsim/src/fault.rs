@@ -1,0 +1,425 @@
+//! Per-leg wire fault injection: loss (uniform or Gilbert–Elliott burst),
+//! bounded reordering, and duplication.
+//!
+//! A real deployment of the guard sits on lossy home WiFi (the LAN leg) in
+//! front of a residential uplink (the WAN leg), and the paper's practicality
+//! claim — holding spike packets for dozens of seconds without breaking the
+//! session — is only credible if it survives those conditions. The
+//! [`FaultPlan`] describes what each leg does to traversing frames; the
+//! [`FaultInjector`] rolls the dice from a dedicated RNG stream (forked off
+//! the engine seed) so that enabling faults never shifts the latency stream
+//! and runs stay bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcore::SimDuration;
+
+/// The loss process applied to one wire leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Each frame is lost independently with probability `p`.
+    Uniform {
+        /// Per-frame loss probability (0 disables loss).
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott Markov chain: the leg alternates between a
+    /// `good` and a `bad` state with per-frame transition probabilities, and
+    /// frames are lost with a state-dependent probability. This produces the
+    /// bursty losses of congested or interference-prone WiFi, which perturb
+    /// packet-length sequences far more than uniform loss of the same mean.
+    GilbertElliott {
+        /// Probability of entering the bad state on each frame while good.
+        p_enter_bad: f64,
+        /// Probability of returning to the good state on each frame while bad.
+        p_exit_bad: f64,
+        /// Per-frame loss probability in the good state.
+        loss_good: f64,
+        /// Per-frame loss probability in the bad state.
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// No loss at all.
+    pub const fn none() -> Self {
+        LossModel::Uniform { p: 0.0 }
+    }
+
+    /// True if this model can never drop a frame.
+    pub fn is_none(&self) -> bool {
+        match *self {
+            LossModel::Uniform { p } => p == 0.0,
+            LossModel::GilbertElliott {
+                loss_good,
+                loss_bad,
+                p_enter_bad,
+                ..
+            } => loss_good == 0.0 && (loss_bad == 0.0 || p_enter_bad == 0.0),
+        }
+    }
+}
+
+/// Fault processes for a single wire leg.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// The leg's loss process.
+    pub loss: LossModel,
+    /// Probability that a delivered frame is reordered: it is scheduled
+    /// `reorder_extra` later than normal *without* advancing the per-flow
+    /// FIFO floor, so later frames may overtake it on the wire.
+    pub reorder_probability: f64,
+    /// Extra in-flight delay of a reordered frame. Keep this well below the
+    /// engine's TLS gap-check window (`rto_initial * 3`), or a late frame is
+    /// indistinguishable from a guard-discarded one and tears the session
+    /// down (Fig. 4 case III).
+    pub reorder_extra: SimDuration,
+    /// Probability that a delivered frame is duplicated on the wire. The
+    /// copy trails the original slightly and is flagged as already-seen so
+    /// taps and endpoints de-duplicate it like a spurious retransmission.
+    pub duplicate_probability: f64,
+}
+
+impl LinkFaults {
+    /// A fault-free leg.
+    pub const fn none() -> Self {
+        LinkFaults {
+            loss: LossModel::none(),
+            reorder_probability: 0.0,
+            reorder_extra: SimDuration::from_millis(40),
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// Uniform loss only.
+    pub const fn uniform_loss(p: f64) -> Self {
+        LinkFaults {
+            loss: LossModel::Uniform { p },
+            ..LinkFaults::none()
+        }
+    }
+
+    /// True if this leg never perturbs a frame (the injector then makes no
+    /// RNG draws for it, preserving existing streams bit-for-bit).
+    pub fn is_none(&self) -> bool {
+        self.loss.is_none() && self.reorder_probability == 0.0 && self.duplicate_probability == 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// Per-leg fault model for the whole network.
+///
+/// The LAN leg covers speaker ↔ tap (home WiFi); the WAN leg covers
+/// tap ↔ cloud and any untapped end-to-end path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Faults on the speaker ↔ tap (WiFi) leg.
+    pub lan: LinkFaults,
+    /// Faults on the tap ↔ cloud (uplink) leg and untapped paths.
+    pub wan: LinkFaults,
+}
+
+impl FaultPlan {
+    /// No faults anywhere — the injector makes zero RNG draws.
+    pub const fn none() -> Self {
+        FaultPlan {
+            lan: LinkFaults::none(),
+            wan: LinkFaults::none(),
+        }
+    }
+
+    /// Uniform loss with probability `p` on both legs (the semantics of the
+    /// engine's former scalar `loss_probability`).
+    pub const fn uniform_loss(p: f64) -> Self {
+        FaultPlan {
+            lan: LinkFaults::uniform_loss(p),
+            wan: LinkFaults::uniform_loss(p),
+        }
+    }
+
+    /// True if neither leg perturbs frames.
+    pub fn is_none(&self) -> bool {
+        self.lan.is_none() && self.wan.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Which leg a frame is traversing, from the injector's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// Speaker ↔ tap (home WiFi).
+    Lan,
+    /// Tap ↔ cloud, or an untapped end-to-end path.
+    Wan,
+}
+
+/// What the injector decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultAction {
+    /// The frame vanishes on the wire.
+    pub drop: bool,
+    /// The frame is delayed past its FIFO slot (see
+    /// [`LinkFaults::reorder_extra`]).
+    pub reorder: bool,
+    /// A trailing duplicate of the frame is also delivered.
+    pub duplicate: bool,
+}
+
+impl FaultAction {
+    const DELIVER: FaultAction = FaultAction {
+        drop: false,
+        reorder: false,
+        duplicate: false,
+    };
+}
+
+/// Counts of injected faults, for reports and degradation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Frames dropped on the wire.
+    pub dropped: u64,
+    /// Frames delivered late / out of order.
+    pub reordered: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+}
+
+/// Runtime fault state: the plan, the dedicated dice, and the per-leg
+/// Gilbert–Elliott channel state.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Whether each leg's Gilbert–Elliott chain is currently in the bad
+    /// state, indexed by [`Leg`] discriminant.
+    bad: [bool; 2],
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Creates an injector rolling dice from `rng` (fork a dedicated stream;
+    /// sharing the latency stream would shift deliveries when faults are
+    /// enabled).
+    pub fn new(plan: FaultPlan, rng: StdRng) -> Self {
+        FaultInjector {
+            plan,
+            rng,
+            bad: [false; 2],
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injected-fault tallies so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Rolls the dice for one frame on `leg`.
+    ///
+    /// All draws are guarded by `probability > 0.0`, so a degenerate model
+    /// (e.g. Gilbert–Elliott with zero transition probabilities) consumes
+    /// exactly the same RNG sequence as the uniform model it reduces to.
+    pub fn decide(&mut self, leg: Leg) -> FaultAction {
+        let lf = match leg {
+            Leg::Lan => self.plan.lan,
+            Leg::Wan => self.plan.wan,
+        };
+        if lf.is_none() {
+            return FaultAction::DELIVER;
+        }
+        let idx = leg as usize;
+        let lost = match lf.loss {
+            LossModel::Uniform { p } => p > 0.0 && self.rng.gen_bool(p),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                let flip = if self.bad[idx] {
+                    p_exit_bad
+                } else {
+                    p_enter_bad
+                };
+                if flip > 0.0 && self.rng.gen_bool(flip) {
+                    self.bad[idx] = !self.bad[idx];
+                }
+                let p = if self.bad[idx] { loss_bad } else { loss_good };
+                p > 0.0 && self.rng.gen_bool(p)
+            }
+        };
+        if lost {
+            self.counters.dropped += 1;
+            return FaultAction {
+                drop: true,
+                ..FaultAction::DELIVER
+            };
+        }
+        let reorder = lf.reorder_probability > 0.0 && self.rng.gen_bool(lf.reorder_probability);
+        let duplicate =
+            lf.duplicate_probability > 0.0 && self.rng.gen_bool(lf.duplicate_probability);
+        if reorder {
+            self.counters.reordered += 1;
+        }
+        if duplicate {
+            self.counters.duplicated += 1;
+        }
+        FaultAction {
+            drop: false,
+            reorder,
+            duplicate,
+        }
+    }
+
+    /// The extra delay applied to reordered frames on `leg`.
+    pub fn reorder_extra(&self, leg: Leg) -> SimDuration {
+        match leg {
+            Leg::Lan => self.plan.lan.reorder_extra,
+            Leg::Wan => self.plan.wan.reorder_extra,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn injector(plan: FaultPlan, seed: u64) -> FaultInjector {
+        FaultInjector::new(plan, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn no_fault_plan_makes_no_draws_and_never_perturbs() {
+        let mut inj = injector(FaultPlan::none(), 1);
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(Leg::Lan), FaultAction::DELIVER);
+            assert_eq!(inj.decide(Leg::Wan), FaultAction::DELIVER);
+        }
+        assert_eq!(inj.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn uniform_loss_rate_is_roughly_p() {
+        let mut inj = injector(FaultPlan::uniform_loss(0.2), 7);
+        let n = 20_000;
+        let dropped = (0..n).filter(|_| inj.decide(Leg::Lan).drop).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_with_zero_transitions_matches_uniform_exactly() {
+        // p = q = 0 pins the chain to the good state with no transition
+        // draws, so the injector consumes the identical RNG sequence as the
+        // uniform model: every decision is bit-for-bit equal.
+        let uniform = FaultPlan::uniform_loss(0.15);
+        let degenerate = FaultPlan {
+            lan: LinkFaults {
+                loss: LossModel::GilbertElliott {
+                    p_enter_bad: 0.0,
+                    p_exit_bad: 0.0,
+                    loss_good: 0.15,
+                    loss_bad: 0.95,
+                },
+                ..LinkFaults::none()
+            },
+            wan: LinkFaults {
+                loss: LossModel::GilbertElliott {
+                    p_enter_bad: 0.0,
+                    p_exit_bad: 0.0,
+                    loss_good: 0.15,
+                    loss_bad: 0.95,
+                },
+                ..LinkFaults::none()
+            },
+        };
+        let mut a = injector(uniform, 42);
+        let mut b = injector(degenerate, 42);
+        for i in 0..10_000 {
+            let leg = if i % 3 == 0 { Leg::Wan } else { Leg::Lan };
+            assert_eq!(a.decide(leg), b.decide(leg), "frame {i}");
+        }
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_cluster_losses() {
+        let ge = FaultPlan {
+            lan: LinkFaults {
+                loss: LossModel::GilbertElliott {
+                    p_enter_bad: 0.02,
+                    p_exit_bad: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 0.6,
+                },
+                ..LinkFaults::none()
+            },
+            wan: LinkFaults::none(),
+        };
+        let mut inj = injector(ge, 11);
+        let drops: Vec<bool> = (0..50_000).map(|_| inj.decide(Leg::Lan).drop).collect();
+        let total = drops.iter().filter(|d| **d).count();
+        // Mean loss = pi_bad * 0.6 with pi_bad = 0.02 / (0.02 + 0.2) ≈ 0.0909.
+        let rate = total as f64 / drops.len() as f64;
+        assert!((rate - 0.0545).abs() < 0.01, "rate={rate}");
+        // Burstiness: the probability that the frame after a loss is also
+        // lost must be far above the marginal rate.
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in drops.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let cond = after_loss_lost as f64 / after_loss as f64;
+        assert!(cond > 3.0 * rate, "cond={cond} rate={rate}");
+    }
+
+    #[test]
+    fn per_leg_plans_are_independent() {
+        let plan = FaultPlan {
+            lan: LinkFaults::uniform_loss(1.0),
+            wan: LinkFaults::none(),
+        };
+        let mut inj = injector(plan, 3);
+        assert!(inj.decide(Leg::Lan).drop);
+        assert!(!inj.decide(Leg::Wan).drop);
+    }
+
+    #[test]
+    fn reorder_and_duplicate_flags_fire() {
+        let plan = FaultPlan {
+            lan: LinkFaults {
+                loss: LossModel::none(),
+                reorder_probability: 1.0,
+                reorder_extra: SimDuration::from_millis(25),
+                duplicate_probability: 1.0,
+            },
+            wan: LinkFaults::none(),
+        };
+        let mut inj = injector(plan, 5);
+        let a = inj.decide(Leg::Lan);
+        assert!(a.reorder && a.duplicate && !a.drop);
+        assert_eq!(inj.reorder_extra(Leg::Lan), SimDuration::from_millis(25));
+        assert_eq!(inj.counters().reordered, 1);
+        assert_eq!(inj.counters().duplicated, 1);
+    }
+}

@@ -33,6 +33,7 @@ pub mod app;
 pub mod capture;
 pub mod dns;
 pub mod engine;
+pub mod fault;
 pub mod latency;
 pub mod wire;
 
@@ -40,5 +41,6 @@ pub use app::{AppCtx, CloseReason, Middlebox, NetApp, TapCtx, TapVerdict};
 pub use capture::{Capture, CapturedPacket, PacketKind};
 pub use dns::{DnsZone, ServerPool};
 pub use engine::{ConnId, HostId, Network, NetworkConfig};
+pub use fault::{FaultCounters, FaultPlan, LinkFaults, LossModel};
 pub use latency::LatencyModel;
 pub use wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};

@@ -1,7 +1,9 @@
 //! Behaviour under random wire loss: TCP recovers via retransmission, the
 //! handshake gives up cleanly when black-holed, and UDP losses are final.
 
-use netsim::{AppCtx, CloseReason, ConnId, Datagram, NetApp, Network, NetworkConfig, TlsRecord};
+use netsim::{
+    AppCtx, CloseReason, ConnId, Datagram, FaultPlan, NetApp, Network, NetworkConfig, TlsRecord,
+};
 use simcore::SimTime;
 use std::any::Any;
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -51,7 +53,7 @@ fn tcp_delivers_in_order_despite_loss() {
     for seed in 0..4u64 {
         let mut net = Network::new(NetworkConfig {
             seed,
-            loss_probability: 0.05,
+            faults: FaultPlan::uniform_loss(0.05),
             ..NetworkConfig::default()
         });
         let a = net.add_host("a", A_IP);
@@ -115,7 +117,7 @@ fn udp_loss_is_final() {
     }
     let mut net = Network::new(NetworkConfig {
         seed: 9,
-        loss_probability: 0.2,
+        faults: FaultPlan::uniform_loss(0.2),
         ..NetworkConfig::default()
     });
     let a = net.add_host("a", A_IP);

@@ -88,6 +88,118 @@ impl FcmLatencyModel {
             reported_at,
         }
     }
+
+    /// Samples one query attempt under a fault model.
+    ///
+    /// With [`FcmFaults::none`] this makes exactly the same RNG draws as
+    /// [`FcmLatencyModel::sample`] (each fault die is only rolled when its
+    /// probability is non-zero), so enabling the fault plumbing never shifts
+    /// existing streams.
+    pub fn sample_with_faults<R: Rng + ?Sized>(
+        &self,
+        faults: &FcmFaults,
+        rng: &mut R,
+    ) -> FcmOutcome {
+        if faults.device_offline > 0.0 && rng.gen_bool(faults.device_offline) {
+            return FcmOutcome::DeviceOffline;
+        }
+        if faults.push_drop > 0.0 && rng.gen_bool(faults.push_drop) {
+            return FcmOutcome::PushDropped;
+        }
+        let mut timing = self.sample(rng);
+        let delayed = faults.delivery_timeout > 0.0 && rng.gen_bool(faults.delivery_timeout);
+        if delayed {
+            let extra = SimDuration::from_secs_f64(faults.delivery_timeout_extra_s);
+            timing.scan_start += extra;
+            timing.measured_at += extra;
+            timing.reported_at += extra;
+        }
+        if faults.report_loss > 0.0 && rng.gen_bool(faults.report_loss) {
+            return FcmOutcome::ReportLost(timing);
+        }
+        if delayed {
+            FcmOutcome::Delayed(timing)
+        } else {
+            FcmOutcome::Delivered(timing)
+        }
+    }
+}
+
+/// Failure modes of the FCM push / report path (Fig. 5, steps 4–7).
+///
+/// Each probability is rolled per query attempt; zero disables the
+/// corresponding die entirely, so [`FcmFaults::none`] is free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FcmFaults {
+    /// The push notification silently never reaches the device.
+    pub push_drop: f64,
+    /// The push is delivered, but only after FCM's retry machinery adds
+    /// `delivery_timeout_extra_s` of delay (the heavy "throttled push"
+    /// tail beyond Fig. 7's log-normal).
+    pub delivery_timeout: f64,
+    /// Extra delay (seconds) added to a timed-out delivery.
+    pub delivery_timeout_extra_s: f64,
+    /// The device is unreachable for the whole query (powered off, out of
+    /// the home, airplane mode): no attempt can reach it.
+    pub device_offline: f64,
+    /// The scan completes but the report back to the Decision Module is
+    /// lost.
+    pub report_loss: f64,
+}
+
+impl FcmFaults {
+    /// A fault-free FCM path.
+    pub const fn none() -> Self {
+        FcmFaults {
+            push_drop: 0.0,
+            delivery_timeout: 0.0,
+            delivery_timeout_extra_s: 0.0,
+            device_offline: 0.0,
+            report_loss: 0.0,
+        }
+    }
+
+    /// True if no fault die can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.push_drop == 0.0
+            && self.delivery_timeout == 0.0
+            && self.device_offline == 0.0
+            && self.report_loss == 0.0
+    }
+}
+
+impl Default for FcmFaults {
+    fn default() -> Self {
+        FcmFaults::none()
+    }
+}
+
+/// The outcome of one RSSI-query attempt against one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FcmOutcome {
+    /// The report arrived on schedule.
+    Delivered(QueryTiming),
+    /// The report arrived, but only after a delivery timeout inflated every
+    /// milestone.
+    Delayed(QueryTiming),
+    /// The push never reached the device; nothing more will happen for this
+    /// attempt.
+    PushDropped,
+    /// The device is offline for the whole query; retrying is pointless.
+    DeviceOffline,
+    /// The device scanned, but the report back was lost. The timing records
+    /// when the (never-arriving) report would have been sent.
+    ReportLost(QueryTiming),
+}
+
+impl FcmOutcome {
+    /// The delivered timing, if the report reached the Decision Module.
+    pub fn delivered(&self) -> Option<QueryTiming> {
+        match *self {
+            FcmOutcome::Delivered(t) | FcmOutcome::Delayed(t) => Some(t),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +261,71 @@ mod tests {
         let a = m.sample(&mut rand::rngs::StdRng::seed_from_u64(9));
         let b = m.sample(&mut rand::rngs::StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_faults_matches_plain_sample_bit_for_bit() {
+        let m = FcmLatencyModel::smartphone();
+        let mut a = rand::rngs::StdRng::seed_from_u64(4);
+        let mut b = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let plain = m.sample(&mut a);
+            let faulted = m.sample_with_faults(&FcmFaults::none(), &mut b);
+            assert_eq!(faulted, FcmOutcome::Delivered(plain));
+        }
+    }
+
+    #[test]
+    fn fault_outcomes_fire_at_expected_rates() {
+        let m = FcmLatencyModel::smartphone();
+        let faults = FcmFaults {
+            push_drop: 0.2,
+            delivery_timeout: 0.1,
+            delivery_timeout_extra_s: 10.0,
+            device_offline: 0.1,
+            report_loss: 0.1,
+            ..FcmFaults::none()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 10_000;
+        let mut offline = 0;
+        let mut dropped = 0;
+        let mut delayed = 0;
+        let mut lost = 0;
+        for _ in 0..n {
+            match m.sample_with_faults(&faults, &mut rng) {
+                FcmOutcome::DeviceOffline => offline += 1,
+                FcmOutcome::PushDropped => dropped += 1,
+                FcmOutcome::Delayed(t) => {
+                    delayed += 1;
+                    assert!(t.reported_at >= SimDuration::from_secs(10));
+                }
+                FcmOutcome::ReportLost(_) => lost += 1,
+                FcmOutcome::Delivered(_) => {}
+            }
+        }
+        let frac = |c: i32| f64::from(c) / n as f64;
+        assert!((frac(offline) - 0.1).abs() < 0.02, "offline {offline}");
+        // push_drop is conditional on not-offline: 0.9 * 0.2 = 0.18.
+        assert!((frac(dropped) - 0.18).abs() < 0.02, "dropped {dropped}");
+        // delayed-and-report-kept: 0.9 * 0.8 * 0.1 * 0.9 ≈ 0.065.
+        assert!((frac(delayed) - 0.065).abs() < 0.015, "delayed {delayed}");
+        // report loss: 0.9 * 0.8 * 0.1 = 0.072.
+        assert!((frac(lost) - 0.072).abs() < 0.015, "lost {lost}");
+    }
+
+    #[test]
+    fn total_push_loss_never_delivers() {
+        let m = FcmLatencyModel::smartphone();
+        let faults = FcmFaults {
+            push_drop: 1.0,
+            ..FcmFaults::none()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let out = m.sample_with_faults(&faults, &mut rng);
+            assert_eq!(out, FcmOutcome::PushDropped);
+            assert_eq!(out.delivered(), None);
+        }
     }
 }

@@ -23,4 +23,4 @@ pub mod fcm;
 
 pub use calibration::{CalibrationResult, ThresholdCalibrator};
 pub use device::{DeviceId, DeviceKind, DeviceRegistry, MobileDevice};
-pub use fcm::{FcmLatencyModel, QueryTiming};
+pub use fcm::{FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};

@@ -1,0 +1,107 @@
+//! Golden-trace snapshot: one canonical Echo and one canonical GHM run
+//! under a fixed fault schedule, with the full guard event sequence
+//! (classifications, queries, verdicts) pinned byte-for-byte.
+//!
+//! Every event in the sequence is a deterministic function of (scenario,
+//! seed, fault plan): if a change to the engine, the fault injector, or
+//! the guard shifts a single classification or verdict, this test renders
+//! the new sequence so the diff is reviewable — update the constant only
+//! when the behavior change is intended.
+
+use experiments::{FaultProfile, GuardedHome, ScenarioConfig};
+use rfsim::Point;
+use simcore::SimDuration;
+use std::fmt::Write as _;
+use testbeds::apartment;
+use voiceguard::GuardEvent;
+
+/// Stable one-line-per-event rendering of a guard event sequence.
+fn render(events: &[GuardEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        match ev {
+            GuardEvent::SpikeClassified { spike_start, class } => {
+                writeln!(out, "{:12.6} spike   {class:?}", spike_start.as_secs_f64())
+            }
+            GuardEvent::QueryRequested {
+                query,
+                at,
+                hold_started,
+                pipeline,
+            } => writeln!(
+                out,
+                "{:12.6} query   {query} pipeline={pipeline} hold_started={:.6}",
+                at.as_secs_f64(),
+                hold_started.as_secs_f64()
+            ),
+            GuardEvent::CommandAllowed {
+                query,
+                at,
+                released,
+            } => writeln!(
+                out,
+                "{:12.6} allow   {query} released={released}",
+                at.as_secs_f64()
+            ),
+            GuardEvent::CommandBlocked { query, at, dropped } => writeln!(
+                out,
+                "{:12.6} block   {query} dropped={dropped}",
+                at.as_secs_f64()
+            ),
+        }
+        .expect("write to string");
+    }
+    out
+}
+
+/// Runs the canonical scenario: warm-up, one legitimate command from
+/// beside the speaker, one attack command from outside the home.
+fn canonical_run(mut cfg: ScenarioConfig) -> String {
+    cfg.faults = FaultProfile::lossy();
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let sp = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(sp.x + 1.0, sp.y, sp.floor));
+    home.utter(4, 1, false);
+    home.run_for(SimDuration::from_secs(30));
+    home.set_device_position(dev, home.testbed().outside);
+    home.utter(4, 1, true);
+    home.run_for(SimDuration::from_secs(30));
+    render(&home.guard_events)
+}
+
+const ECHO_GOLDEN: &str = "    5.022879 spike   Command
+    5.382329 query   query#0 pipeline=0 hold_started=5.022879
+    6.631065 allow   query#0 released=10
+   10.233001 spike   NotCommand
+   35.022518 spike   Command
+   35.382357 query   query#1 pipeline=0 hold_started=35.022518
+   37.033888 block   query#1 dropped=13
+";
+
+const GHM_GOLDEN: &str = "    5.648570 query   query#0 pipeline=0 hold_started=5.048570
+    5.048570 spike   Command
+    6.931065 allow   query#0 released=10
+   35.611781 query   query#1 pipeline=0 hold_started=35.011781
+   35.011781 spike   Command
+   37.333888 block   query#1 dropped=10
+";
+
+#[test]
+fn echo_guard_event_sequence_is_pinned() {
+    let trace = canonical_run(ScenarioConfig::echo(apartment(), 0, 42));
+    assert_eq!(
+        trace, ECHO_GOLDEN,
+        "Echo guard event sequence changed; new trace:\n{trace}"
+    );
+}
+
+#[test]
+fn ghm_guard_event_sequence_is_pinned() {
+    let trace = canonical_run(ScenarioConfig::ghm(apartment(), 0, 42));
+    assert_eq!(
+        trace, GHM_GOLDEN,
+        "GHM guard event sequence changed; new trace:\n{trace}"
+    );
+}
