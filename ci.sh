@@ -21,6 +21,10 @@ run cargo "${CARGO_ARGS[@]}" test -q
 # bursty, FCM-degraded) through the full guarded home. Deterministic —
 # a hang or panic here means fault handling regressed.
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7
+# Crash-matrix smoke: one round of the guard-crash profile under both
+# blind-window policies (fail-open pass-through and fail-closed drop).
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-pass
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-drop
 run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
 run cargo "${CARGO_ARGS[@]}" fmt --check
 

@@ -19,10 +19,11 @@ use crate::policy::{
 use phone::{DeviceId, FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};
 use rand::Rng;
 use rfsim::{BleChannel, Orientation, Point};
+use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// Legitimacy verdict for one voice command.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Verdict {
     /// At least one owner device vouched: release the held traffic.
     Legitimate,

@@ -9,25 +9,33 @@ use crate::guard::pipeline::{
     repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
     SpeakerPipeline, Spike, SpikeMode,
 };
+use crate::guard::snapshot::PipelineSnapshot;
 use crate::guard::token::TimerToken;
 use crate::learning::{Observation, SignatureLearner};
 use crate::recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, TapVerdict};
+use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapVerdict};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum ConnKind {
     /// New connection: matching the establishment signature.
     Candidate(SignatureMatcher),
     /// The Echo Dot's AVS voice flow.
     Avs,
+    /// A flow whose establishment this incarnation never saw (it predates
+    /// the last crash, or flowed unseen through the blind window). It is
+    /// forwarded — never held — until re-identified as the AVS session by
+    /// a DNS confirmation or the learned front-end IP, at which point it
+    /// is re-adopted mid-stream.
+    Provisional,
     /// Unrelated traffic: always forwarded.
     Other,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ConnTrack {
     kind: ConnKind,
     server_ip: Ipv4Addr,
@@ -50,6 +58,10 @@ struct ConnTrack {
     /// Records that arrived ahead of a hole, keyed by seq, waiting for
     /// the hole's retransmission before the in-order feed drains them.
     pending: BTreeMap<u64, u32>,
+    /// Set on tracks restored from a crash checkpoint: the ledger must
+    /// re-synchronise on the first post-restart record, forgiving the
+    /// seqs that flowed (or were dropped) during the blind window.
+    resync: bool,
 }
 
 /// [`SpeakerPipeline`] for the Amazon Echo Dot (paper §IV-B1).
@@ -61,6 +73,25 @@ pub struct EchoPipeline {
     conns: FlowTable<ConnId, ConnTrack>,
     learner: Option<SignatureLearner>,
     dns_confirmed_ips: HashSet<Ipv4Addr>,
+    /// True once this pipeline has survived a crash: flows first seen
+    /// mid-stream enter [`ConnKind::Provisional`] instead of signature
+    /// matching (their establishment is gone).
+    restarted: bool,
+}
+
+/// Serializable state of an [`EchoPipeline`] (see
+/// [`crate::guard::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EchoSnapshot {
+    config: GuardConfig,
+    avs_signature: Vec<u32>,
+    avs_ip: Option<Ipv4Addr>,
+    /// Tracked connections, sorted by connection id.
+    conns: Vec<(u64, ConnTrack)>,
+    learner: Option<SignatureLearner>,
+    /// DNS-confirmed front-end IPs, sorted.
+    dns_confirmed_ips: Vec<Ipv4Addr>,
+    restarted: bool,
 }
 
 impl EchoPipeline {
@@ -76,6 +107,24 @@ impl EchoPipeline {
             conns: FlowTable::new(),
             learner,
             dns_confirmed_ips: HashSet::new(),
+            restarted: false,
+        }
+    }
+
+    /// Rebuilds a pipeline from a crash checkpoint, exactly as captured.
+    pub(crate) fn from_snapshot(snap: &EchoSnapshot) -> Self {
+        let mut conns = FlowTable::new();
+        for (conn, track) in &snap.conns {
+            conns.insert(ConnId(*conn), track.clone());
+        }
+        EchoPipeline {
+            config: snap.config.clone(),
+            avs_signature: snap.avs_signature.clone(),
+            avs_ip: snap.avs_ip,
+            conns,
+            learner: snap.learner.clone(),
+            dns_confirmed_ips: snap.dns_confirmed_ips.iter().copied().collect(),
+            restarted: snap.restarted,
         }
     }
 
@@ -244,12 +293,26 @@ impl SpeakerPipeline for EchoPipeline {
                 Direction::ClientToServer => *view.dst.ip(),
                 _ => *view.src.ip(),
             };
-            let learning = (self.learner.is_some() && self.dns_confirmed_ips.contains(&server_ip))
-                .then(Observation::default);
+            // After a restart, a flow whose first tap-visible frame is a
+            // mid-stream data record was established by (or flowed past)
+            // a dead incarnation: its establishment signature is gone, so
+            // it cannot be matched — only re-adopted by address.
+            let mid_stream = self.restarted
+                && matches!(view.payload,
+                    SegmentPayload::Data(rec) if rec.is_app_data() && rec.seq > 0);
+            let kind = if mid_stream {
+                ConnKind::Provisional
+            } else {
+                ConnKind::Candidate(SignatureMatcher::new(&self.avs_signature))
+            };
+            let learning = (!mid_stream
+                && self.learner.is_some()
+                && self.dns_confirmed_ips.contains(&server_ip))
+            .then(Observation::default);
             self.conns.insert(
                 view.conn,
                 ConnTrack {
-                    kind: ConnKind::Candidate(SignatureMatcher::new(&self.avs_signature)),
+                    kind,
                     server_ip,
                     learning,
                     last_data: None,
@@ -258,10 +321,24 @@ impl SpeakerPipeline for EchoPipeline {
                     ledger: RecordLedger::default(),
                     pending_next: 0,
                     pending: BTreeMap::new(),
+                    // A mid-stream first sight starts the ledger at the
+                    // observed seq — everything below it predates this
+                    // incarnation and must not register as holes.
+                    resync: mid_stream,
                 },
             );
         }
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        if track.resync {
+            if let SegmentPayload::Data(rec) = view.payload {
+                if rec.is_app_data() && view.dir == Direction::ClientToServer {
+                    track.ledger.resync_before(rec.seq);
+                    track.pending_next = rec.seq;
+                    track.pending.clear();
+                    track.resync = false;
+                }
+            }
+        }
         let holding = track.spike.is_some();
         let (seq, len) = match screen_segment(view, holding, &mut track.ledger) {
             Screened::Verdict(v) => return v,
@@ -344,6 +421,22 @@ impl SpeakerPipeline for EchoPipeline {
                 TapVerdict::Forward
             }
             ConnKind::Avs => self.on_avs_data(ctx, view.conn, seq, len),
+            ConnKind::Provisional => {
+                // Re-adoption by address: the flow is the AVS session iff
+                // its server is the learned front-end (from the restored
+                // checkpoint, the signature learner, or a fresh DNS
+                // answer). Until then it is forwarded — fail open for the
+                // flow, but holds resume the moment it is re-adopted.
+                if Some(track.server_ip) == self.avs_ip
+                    || self.dns_confirmed_ips.contains(&track.server_ip)
+                {
+                    track.kind = ConnKind::Avs;
+                    ctx.flow_readopted(view.conn);
+                    self.on_avs_data(ctx, view.conn, seq, len)
+                } else {
+                    TapVerdict::Forward
+                }
+            }
             ConnKind::Other => TapVerdict::Forward,
         }
     }
@@ -365,6 +458,21 @@ impl SpeakerPipeline for EchoPipeline {
                 self.avs_ip = Some(ip);
                 ctx.bump(|s| s.dns_learned_ips += 1);
                 ctx.trace("guard.dns", &format!("AVS front-end at {ip} (DNS)"));
+            }
+            // A DNS confirmation also re-adopts provisional flows already
+            // talking to that front-end (post-crash re-identification).
+            let mut orphans: Vec<ConnId> = self
+                .conns
+                .iter()
+                .filter(|(_, t)| t.kind == ConnKind::Provisional && t.server_ip == ip)
+                .map(|(c, _)| *c)
+                .collect();
+            orphans.sort();
+            for conn in orphans {
+                if let Some(track) = self.conns.get_mut(&conn) {
+                    track.kind = ConnKind::Avs;
+                }
+                ctx.flow_readopted(conn);
             }
         }
     }
@@ -419,5 +527,52 @@ impl SpeakerPipeline for EchoPipeline {
 
     fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
         self.config.hold_policy()
+    }
+
+    fn snapshot(&self) -> Option<PipelineSnapshot> {
+        let mut conns: Vec<(u64, ConnTrack)> =
+            self.conns.iter().map(|(c, t)| (c.0, t.clone())).collect();
+        conns.sort_by_key(|(c, _)| *c);
+        let mut dns_confirmed_ips: Vec<Ipv4Addr> = self.dns_confirmed_ips.iter().copied().collect();
+        dns_confirmed_ips.sort();
+        Some(PipelineSnapshot::Echo(EchoSnapshot {
+            config: self.config.clone(),
+            avs_signature: self.avs_signature.clone(),
+            avs_ip: self.avs_ip,
+            conns,
+            learner: self.learner.clone(),
+            dns_confirmed_ips,
+            restarted: self.restarted,
+        }))
+    }
+
+    fn recover(&mut self, ctx: &mut PipelineCtx<'_>) {
+        self.restarted = true;
+        let mut conns: Vec<ConnId> = self.conns.iter().map(|(c, _)| *c).collect();
+        conns.sort();
+        let mut demoted = 0usize;
+        for conn in conns {
+            let track = self.conns.get_mut(&conn).expect("listed");
+            // The checkpointed spike's held frames died with the old
+            // incarnation; the abandoned query is drained separately by
+            // the multiplexer. In-flight establishment matching and
+            // half-recorded learner observations are garbled by the blind
+            // window, so candidates fall back to address re-adoption.
+            track.spike = None;
+            track.passthrough = false;
+            track.pending.clear();
+            track.learning = None;
+            track.resync = true;
+            if matches!(track.kind, ConnKind::Candidate(_)) {
+                track.kind = ConnKind::Provisional;
+                demoted += 1;
+            }
+        }
+        if demoted > 0 {
+            ctx.trace(
+                "guard.recover",
+                &format!("{demoted} candidate conns demoted to provisional"),
+            );
+        }
     }
 }

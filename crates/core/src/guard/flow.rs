@@ -58,6 +58,13 @@ impl<K: Eq + Hash, T> FlowTable<K, T> {
         self.flows.entry(key).or_insert_with(default)
     }
 
+    /// Iterates over every tracked flow in arbitrary (hash) order.
+    /// Callers needing a deterministic view — e.g. snapshotting — must
+    /// sort the result by key.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &T)> {
+        self.flows.iter()
+    }
+
     /// Number of tracked flows.
     pub fn len(&self) -> usize {
         self.flows.len()

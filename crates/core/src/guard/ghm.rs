@@ -9,14 +9,16 @@ use crate::guard::pipeline::{
     repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
     SpeakerPipeline, Spike, SpikeMode,
 };
+use crate::guard::snapshot::PipelineSnapshot;
 use crate::guard::token::TimerToken;
 use crate::recognition::{SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, TapVerdict};
+use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapVerdict};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum ConnKind {
     /// The Mini's on-demand voice flow.
     GoogleVoice,
@@ -24,7 +26,7 @@ enum ConnKind {
     Other,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct ConnTrack {
     kind: ConnKind,
     last_data: Option<simcore::SimTime>,
@@ -34,9 +36,13 @@ struct ConnTrack {
     passthrough: bool,
     /// Record seqs already counted by spike accounting.
     ledger: RecordLedger,
+    /// Set on tracks restored from a crash checkpoint: the ledger must
+    /// re-synchronise on the first post-restart record (seqs that flowed
+    /// during the blind window are the guard's outage, not loss).
+    resync: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 struct UdpFlowTrack {
     last_data: Option<simcore::SimTime>,
     spike: Option<Spike>,
@@ -58,6 +64,22 @@ pub struct GhmPipeline {
     /// outbound datagram toward a tracked Google IP. Keys the engine-held
     /// datagrams for this pipeline.
     flow_ip: Option<Ipv4Addr>,
+    /// True once this pipeline has survived a crash.
+    restarted: bool,
+}
+
+/// Serializable state of a [`GhmPipeline`] (see
+/// [`crate::guard::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GhmSnapshot {
+    config: GuardConfig,
+    /// Tracked Google front-end IPs, sorted.
+    google_ips: Vec<Ipv4Addr>,
+    /// Tracked connections, sorted by connection id.
+    conns: Vec<(u64, ConnTrack)>,
+    udp: UdpFlowTrack,
+    flow_ip: Option<Ipv4Addr>,
+    restarted: bool,
 }
 
 impl GhmPipeline {
@@ -69,6 +91,23 @@ impl GhmPipeline {
             conns: FlowTable::new(),
             udp: UdpFlowTrack::default(),
             flow_ip: None,
+            restarted: false,
+        }
+    }
+
+    /// Rebuilds a pipeline from a crash checkpoint, exactly as captured.
+    pub(crate) fn from_snapshot(snap: &GhmSnapshot) -> Self {
+        let mut conns = FlowTable::new();
+        for (conn, track) in &snap.conns {
+            conns.insert(ConnId(*conn), track.clone());
+        }
+        GhmPipeline {
+            config: snap.config.clone(),
+            google_ips: snap.google_ips.iter().copied().collect(),
+            conns,
+            udp: snap.udp.clone(),
+            flow_ip: snap.flow_ip,
+            restarted: snap.restarted,
         }
     }
 
@@ -189,6 +228,17 @@ impl SpeakerPipeline for GhmPipeline {
             } else {
                 ConnKind::Other
             };
+            // After a restart, a voice flow first sighted mid-stream was
+            // established past a dead incarnation; it is re-adopted here
+            // because the Mini's flows are identified by address alone
+            // (the google_ips set survives in the checkpoint and re-arms
+            // from the next DNS answer).
+            let mid_stream = self.restarted
+                && matches!(view.payload,
+                    SegmentPayload::Data(rec) if rec.is_app_data() && rec.seq > 0);
+            if mid_stream && kind == ConnKind::GoogleVoice {
+                ctx.flow_readopted(view.conn);
+            }
             self.conns.insert(
                 view.conn,
                 ConnTrack {
@@ -197,10 +247,19 @@ impl SpeakerPipeline for GhmPipeline {
                     spike: None,
                     passthrough: false,
                     ledger: RecordLedger::default(),
+                    resync: mid_stream,
                 },
             );
         }
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        if track.resync {
+            if let SegmentPayload::Data(rec) = view.payload {
+                if rec.is_app_data() && view.dir == Direction::ClientToServer {
+                    track.ledger.resync_before(rec.seq);
+                    track.resync = false;
+                }
+            }
+        }
         let holding = track.spike.is_some();
         let seq = match screen_segment(view, holding, &mut track.ledger) {
             Screened::Verdict(v) => return v,
@@ -308,5 +367,42 @@ impl SpeakerPipeline for GhmPipeline {
 
     fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
         self.config.hold_policy()
+    }
+
+    fn snapshot(&self) -> Option<PipelineSnapshot> {
+        let mut google_ips: Vec<Ipv4Addr> = self.google_ips.iter().copied().collect();
+        google_ips.sort();
+        let mut conns: Vec<(u64, ConnTrack)> =
+            self.conns.iter().map(|(c, t)| (c.0, t.clone())).collect();
+        conns.sort_by_key(|(c, _)| *c);
+        Some(PipelineSnapshot::Ghm(GhmSnapshot {
+            config: self.config.clone(),
+            google_ips,
+            conns,
+            udp: self.udp.clone(),
+            flow_ip: self.flow_ip,
+            restarted: self.restarted,
+        }))
+    }
+
+    fn recover(&mut self, ctx: &mut PipelineCtx<'_>) {
+        self.restarted = true;
+        let mut conns: Vec<ConnId> = self.conns.iter().map(|(c, _)| *c).collect();
+        conns.sort();
+        for conn in conns {
+            let track = self.conns.get_mut(&conn).expect("listed");
+            track.spike = None;
+            track.passthrough = false;
+            track.resync = true;
+        }
+        // The UDP flow has no sequence continuity to resynchronise; its
+        // checkpointed spike died with the held datagrams, but an active
+        // tail-drop block is kept — releasing a half-blocked command
+        // because the guard crashed would fail open.
+        self.udp.spike = None;
+        self.udp.passthrough = false;
+        if self.udp.blocking {
+            ctx.trace("guard.recover", "udp tail-drop block kept across restart");
+        }
     }
 }

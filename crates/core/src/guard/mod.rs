@@ -30,19 +30,23 @@ pub mod echo;
 pub mod flow;
 pub mod ghm;
 pub mod pipeline;
+pub mod snapshot;
 pub mod token;
 
 pub use echo::EchoPipeline;
 pub use flow::{FlowTable, HoldQueue};
 pub use ghm::GhmPipeline;
 pub use pipeline::{HoldTarget, PipelineCtx, SpeakerPipeline};
+pub use snapshot::{GuardSnapshot, PipelineSnapshot};
 pub use token::TimerToken;
 
 use crate::config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
 use crate::decision::Verdict;
+use crate::guard::snapshot::{HoldTargetSnapshot, PendingQuerySnapshot, SlotSnapshot};
 use crate::recognition::SpikeClass;
 use netsim::app::SegmentView;
 use netsim::{CloseReason, ConnId, Datagram, Direction, Middlebox, TapCtx, TapVerdict};
+use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -50,7 +54,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Identifies one legitimacy query raised by the guard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct QueryId(pub u64);
 
 impl fmt::Display for QueryId {
@@ -99,10 +103,30 @@ pub enum GuardEvent {
         /// Packets/datagrams dropped.
         dropped: usize,
     },
+    /// A restart drained a hold opened by a dead incarnation. The held
+    /// frames were lost in the crash, so the query resolves fail-closed:
+    /// the record-seq gap the discard leaves behind closes the session
+    /// (Fig. 4 case III) rather than letting the command through.
+    HoldAbandoned {
+        /// The query the dead incarnation had raised.
+        query: QueryId,
+        /// When the restart drained it.
+        at: SimTime,
+    },
+    /// A restored pipeline re-identified a flow whose establishment it
+    /// never saw (mid-stream re-adoption after a crash).
+    FlowReAdopted {
+        /// When the flow was re-adopted.
+        at: SimTime,
+        /// The pipeline that re-adopted it.
+        pipeline: usize,
+        /// The re-adopted connection.
+        conn: ConnId,
+    },
 }
 
 /// Aggregate statistics kept by the tap.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GuardStats {
     /// Total queries raised.
     pub queries: u64,
@@ -127,6 +151,18 @@ pub struct GuardStats {
     /// capacity under a fail-open overflow policy (degradation: traffic
     /// escapes the hold).
     pub hold_overflow_forwarded: u64,
+    /// Injected guard crashes survived by this tap.
+    pub crashes: u64,
+    /// Supervised restarts completed.
+    pub restarts: u64,
+    /// Holds opened by a dead incarnation and drained fail-closed at
+    /// restart.
+    pub holds_abandoned: u64,
+    /// Flows re-identified mid-stream after a restart.
+    pub flows_readopted: u64,
+    /// Total seconds between each restart and its flow re-adoptions
+    /// (divide by `flows_readopted` for the mean re-adoption latency).
+    pub readoption_latency_s: f64,
 }
 
 #[derive(Debug)]
@@ -145,6 +181,11 @@ struct PipelineSlot {
     /// legacy mode).
     ip: Option<Ipv4Addr>,
     pipeline: Box<dyn SpeakerPipeline>,
+    /// What the pipeline was built from, so a crash without a checkpoint
+    /// restarts it cold instead of keeping "lost" memory. `None` for
+    /// custom [`VoiceGuardTap::attach`] pipelines, which cannot be
+    /// rebuilt and keep their live state across simulated crashes.
+    boot: Option<(GuardConfig, Vec<u32>)>,
 }
 
 /// The VoiceGuard tap: a multiplexer of per-speaker
@@ -162,6 +203,13 @@ pub struct VoiceGuardTap {
     /// Aggregate statistics across all pipelines.
     pub stats: GuardStats,
     pipeline_stats: Vec<GuardStats>,
+    /// Incarnation counter: bumped on every supervised restart and
+    /// stamped into timer tokens, so timers armed by a dead incarnation
+    /// are ignored instead of firing into rebuilt state.
+    generation: u8,
+    /// When the current incarnation restarted from a crash; `None` for
+    /// the original.
+    restarted_at: Option<SimTime>,
 }
 
 impl fmt::Debug for VoiceGuardTap {
@@ -195,7 +243,8 @@ impl VoiceGuardTap {
     /// (for ablations).
     pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
         let mut tap = VoiceGuardTap::multi();
-        tap.attach(None, build_pipeline(config, signature));
+        let index = tap.attach(None, build_pipeline(config.clone(), signature));
+        tap.slots[index].boot = Some((config, signature.to_vec()));
         tap
     }
 
@@ -210,6 +259,8 @@ impl VoiceGuardTap {
             events: VecDeque::new(),
             stats: GuardStats::default(),
             pipeline_stats: Vec::new(),
+            generation: 0,
+            restarted_at: None,
         }
     }
 
@@ -218,7 +269,10 @@ impl VoiceGuardTap {
     /// pipeline's index (the `pipeline` field of its
     /// [`GuardEvent::QueryRequested`] events).
     pub fn add_pipeline(&mut self, ip: Ipv4Addr, config: GuardConfig) -> usize {
-        self.attach(Some(ip), build_pipeline(config, &speaker_signature()))
+        let signature = speaker_signature();
+        let index = self.attach(Some(ip), build_pipeline(config.clone(), &signature));
+        self.slots[index].boot = Some((config, signature.to_vec()));
+        index
     }
 
     /// Attaches an arbitrary [`SpeakerPipeline`] — the extension point for
@@ -227,7 +281,11 @@ impl VoiceGuardTap {
     pub fn attach(&mut self, ip: Option<Ipv4Addr>, pipeline: Box<dyn SpeakerPipeline>) -> usize {
         let index = self.slots.len();
         assert!(index < 256, "at most 256 pipelines per tap");
-        self.slots.push(PipelineSlot { ip, pipeline });
+        self.slots.push(PipelineSlot {
+            ip,
+            pipeline,
+            boot: None,
+        });
         self.pipeline_stats.push(GuardStats::default());
         index
     }
@@ -265,9 +323,13 @@ impl VoiceGuardTap {
     /// Schedules `verdict` for `query` to take effect after `delay` (the
     /// Decision Module's measured query latency).
     ///
+    /// A verdict for a query this incarnation no longer knows — it was
+    /// drained fail-closed by a crash restart before the orchestrator
+    /// answered — is ignored with a trace.
+    ///
     /// # Panics
     ///
-    /// Panics if the query is unknown or already answered.
+    /// Panics if the query is already answered.
     pub fn schedule_verdict(
         &mut self,
         ctx: &mut dyn TapCtx,
@@ -275,13 +337,19 @@ impl VoiceGuardTap {
         verdict: Verdict,
         delay: simcore::SimDuration,
     ) {
-        let pending = self
-            .queries
-            .get_mut(&query)
-            .unwrap_or_else(|| panic!("unknown {query}"));
+        let Some(pending) = self.queries.get_mut(&query) else {
+            ctx.trace(
+                "guard.verdict",
+                &format!("{query} no longer pending (crashed incarnation); verdict dropped"),
+            );
+            return;
+        };
         assert!(pending.verdict.is_none(), "{query} already answered");
         pending.verdict = Some(verdict);
-        ctx.set_timer(delay, TimerToken::VerdictDelivery { query }.encode());
+        ctx.set_timer(
+            delay,
+            TimerToken::VerdictDelivery { query }.encode_with_generation(self.generation),
+        );
     }
 
     /// Routes to the pipeline addressed by `speaker_ip`, falling back to
@@ -310,6 +378,8 @@ impl VoiceGuardTap {
             stats: &mut self.stats,
             pipeline_stats: &mut self.pipeline_stats[index],
             index,
+            generation: self.generation,
+            restarted_at: self.restarted_at,
         };
         f(slot.pipeline.as_mut(), &mut ctx)
     }
@@ -408,6 +478,116 @@ impl VoiceGuardTap {
             }
         }
     }
+
+    /// Captures the complete recoverable state of the tap, in sorted,
+    /// deterministic form. Inverse of [`VoiceGuardTap::restore`].
+    pub fn snapshot(&self) -> GuardSnapshot {
+        let mut queries: Vec<(u64, PendingQuerySnapshot)> = self
+            .queries
+            .iter()
+            .map(|(id, q)| {
+                (
+                    id.0,
+                    PendingQuerySnapshot {
+                        pipeline: q.pipeline,
+                        target: match q.target {
+                            HoldTarget::Conn(conn) => HoldTargetSnapshot::Conn(conn.0),
+                            HoldTarget::UdpFlow(ip) => HoldTargetSnapshot::UdpFlow(ip),
+                        },
+                        hold_started: q.hold_started,
+                        verdict: q.verdict,
+                        fail_closed: q.fail_closed,
+                    },
+                )
+            })
+            .collect();
+        queries.sort_by_key(|(id, _)| *id);
+        let mut conn_routes: Vec<(u64, usize)> = self
+            .conn_routes
+            .iter()
+            .map(|(conn, &index)| (conn.0, index))
+            .collect();
+        conn_routes.sort_by_key(|(conn, _)| *conn);
+        GuardSnapshot {
+            generation: self.generation,
+            next_query: self.next_query,
+            queries,
+            stats: self.stats.clone(),
+            pipeline_stats: self.pipeline_stats.clone(),
+            conn_routes,
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotSnapshot {
+                    ip: s.ip,
+                    pipeline: s.pipeline.snapshot().unwrap_or(PipelineSnapshot::Opaque),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores the tap to exactly the state a [`VoiceGuardTap::snapshot`]
+    /// captured — statistics, query table, routing and pipeline state.
+    /// Feeding the restored tap the same traffic yields the same events
+    /// (the round-trip proptest pins this). Crash recovery instead goes
+    /// through [`netsim::Middlebox::restart`], which additionally bumps
+    /// the generation and reconciles with the blind window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's slot count differs from this tap's.
+    pub fn restore(&mut self, snap: &GuardSnapshot) {
+        self.generation = snap.generation;
+        self.stats = snap.stats.clone();
+        self.pipeline_stats = snap.pipeline_stats.clone();
+        self.adopt_checkpoint(snap);
+    }
+
+    /// Overwrites guard state (query table, routing, pipelines) from a
+    /// checkpoint, leaving statistics, events and generation alone.
+    fn adopt_checkpoint(&mut self, snap: &GuardSnapshot) {
+        assert_eq!(
+            snap.slots.len(),
+            self.slots.len(),
+            "checkpoint does not match this tap's pipelines"
+        );
+        self.next_query = self.next_query.max(snap.next_query);
+        self.conn_routes = snap
+            .conn_routes
+            .iter()
+            .map(|&(conn, index)| (ConnId(conn), index))
+            .collect();
+        self.queries = snap
+            .queries
+            .iter()
+            .map(|&(id, q)| {
+                (
+                    QueryId(id),
+                    PendingQuery {
+                        pipeline: q.pipeline,
+                        target: match q.target {
+                            HoldTargetSnapshot::Conn(conn) => HoldTarget::Conn(ConnId(conn)),
+                            HoldTargetSnapshot::UdpFlow(ip) => HoldTarget::UdpFlow(ip),
+                        },
+                        hold_started: q.hold_started,
+                        verdict: q.verdict,
+                        fail_closed: q.fail_closed,
+                    },
+                )
+            })
+            .collect();
+        for (slot, ss) in self.slots.iter_mut().zip(&snap.slots) {
+            match &ss.pipeline {
+                PipelineSnapshot::Echo(e) => {
+                    slot.pipeline = Box::new(EchoPipeline::from_snapshot(e))
+                }
+                PipelineSnapshot::Ghm(g) => slot.pipeline = Box::new(GhmPipeline::from_snapshot(g)),
+                // Custom pipelines cannot be rebuilt from bytes: they
+                // keep their live state.
+                PipelineSnapshot::Opaque => {}
+            }
+        }
+    }
 }
 
 /// The Echo Dot AVS connection signature (kept here so the core crate has
@@ -481,6 +661,20 @@ impl Middlebox for VoiceGuardTap {
     }
 
     fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
+        // A timer armed by a dead incarnation must not fire into rebuilt
+        // state: its payload (query id, spike deadline) refers to holds
+        // and flows that were reconciled at restart.
+        if TimerToken::generation(token) != self.generation {
+            ctx.trace(
+                "guard.stale-timer",
+                &format!(
+                    "ignoring timer from generation {} (current {})",
+                    TimerToken::generation(token),
+                    self.generation
+                ),
+            );
+            return;
+        }
         let Some(token) = TimerToken::decode(token) else {
             return;
         };
@@ -518,6 +712,67 @@ impl Middlebox for VoiceGuardTap {
                 self.dispatch(index, ctx, |p, pctx| p.on_timer(pctx, pipeline_token));
             }
         }
+    }
+
+    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+        Some(Box::new(self.snapshot()))
+    }
+
+    fn crash(&mut self) {
+        // In-memory guard state dies with the process. Statistics and the
+        // event queue survive: they model the *measurement harness*, not
+        // the guard (the orchestrator has already drained past events).
+        self.stats.crashes += 1;
+        self.conn_routes.clear();
+        self.queries.clear();
+        for slot in &mut self.slots {
+            if let Some((config, signature)) = &slot.boot {
+                slot.pipeline = build_pipeline(config.clone(), signature);
+            }
+        }
+    }
+
+    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+        self.generation = self.generation.wrapping_add(1);
+        let now = ctx.now();
+        self.restarted_at = Some(now);
+        self.stats.restarts += 1;
+        if let Some(snap) = checkpoint.and_then(|c| c.downcast_ref::<GuardSnapshot>()) {
+            self.adopt_checkpoint(snap);
+        }
+        // Holds opened by the dead incarnation drain fail-closed: the
+        // engine already discarded the held frames in the crash, so the
+        // record-seq gap (or the missing QUIC tail) blocks the command —
+        // never release what this incarnation cannot screen.
+        let mut stale: Vec<QueryId> = self.queries.keys().copied().collect();
+        stale.sort();
+        for query in stale {
+            let Some(pending) = self.queries.remove(&query) else {
+                continue;
+            };
+            match pending.target {
+                HoldTarget::Conn(conn) => {
+                    ctx.discard_held(conn);
+                }
+                HoldTarget::UdpFlow(ip) => {
+                    ctx.discard_held_datagrams(ip);
+                }
+            }
+            self.bump(pending.pipeline, |s| s.holds_abandoned += 1);
+            self.events
+                .push_back(GuardEvent::HoldAbandoned { query, at: now });
+            ctx.trace(
+                "guard.recover",
+                &format!("{query} abandoned: hold predates this incarnation"),
+            );
+        }
+        for index in 0..self.slots.len() {
+            self.dispatch(index, ctx, |p, pctx| p.recover(pctx));
+        }
+        ctx.trace(
+            "guard.recover",
+            &format!("guard restarted as generation {}", self.generation),
+        );
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

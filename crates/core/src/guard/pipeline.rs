@@ -14,6 +14,7 @@ use crate::guard::{GuardEvent, GuardStats, PendingQuery, QueryId};
 use crate::recognition::{SpikeClass, SpikeClassifier};
 use netsim::app::SegmentView;
 use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapCtx, TapVerdict};
+use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -29,7 +30,7 @@ pub enum HoldTarget {
 }
 
 /// Spike lifecycle shared by the pipelines.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(super) enum SpikeMode {
     /// Packets are buffered while the classifier decides.
     Classifying(SpikeClassifier),
@@ -38,7 +39,7 @@ pub(super) enum SpikeMode {
     AwaitingVerdict(#[allow(dead_code)] QueryId),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(super) struct Spike {
     pub(super) started: SimTime,
     /// Record seq of the first held record: everything at or above it is
@@ -93,7 +94,7 @@ pub(super) fn repeat_verdict(spike: &Option<Spike>, seq: u64) -> TapVerdict {
 /// command marker and let an attack slip through on a lossy LAN. The
 /// ledger tells the two cases apart by record seq, which is tap-visible
 /// (it maps to the TCP byte offset).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub(super) struct RecordLedger {
     /// Lowest never-seen seq at or above which everything is new.
     next: u64,
@@ -123,6 +124,21 @@ impl RecordLedger {
     /// arrival seq would shift every positional rule off by the hole.
     pub(super) fn lowest_hole_below(&self, seq: u64) -> Option<u64> {
         self.holes.range(..seq).next().copied()
+    }
+
+    /// Forgives every hole below `seq` and fast-forwards `next` to `seq`.
+    ///
+    /// After a guard restart with a pass-through blind window, records
+    /// flowed while the ledger was frozen at its checkpointed state; the
+    /// gap between the checkpoint's `next` and the live stream is not
+    /// packet loss but the guard's own outage. Re-synchronising on the
+    /// first post-restart record keeps those phantom holes from anchoring
+    /// future spikes at pre-crash offsets.
+    pub(super) fn resync_before(&mut self, seq: u64) {
+        self.holes = self.holes.split_off(&seq);
+        if self.next < seq {
+            self.next = seq;
+        }
     }
 }
 
@@ -202,6 +218,22 @@ pub trait SpeakerPipeline: fmt::Debug + Send {
     fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
         crate::config::HoldOverflowPolicy::Unbounded
     }
+
+    /// Serialises this pipeline's recoverable state for a checkpoint.
+    /// Pipelines that opt out of checkpointing return `None` and restart
+    /// cold.
+    fn snapshot(&self) -> Option<crate::guard::snapshot::PipelineSnapshot> {
+        None
+    }
+
+    /// Called once after the multiplexer restored this pipeline from a
+    /// crash checkpoint, *before* any post-restart traffic. The pipeline
+    /// reconciles checkpointed flow state with the reality that frames
+    /// flowed (or were dropped) unseen during the blind window: clear
+    /// in-flight spikes, mark flows provisional, keep fail-closed blocks.
+    fn recover(&mut self, ctx: &mut PipelineCtx<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// The multiplexer-side services a pipeline works against: the shared
@@ -214,6 +246,11 @@ pub struct PipelineCtx<'a> {
     pub(super) stats: &'a mut GuardStats,
     pub(super) pipeline_stats: &'a mut GuardStats,
     pub(super) index: usize,
+    /// The guard incarnation arming any timers set through this ctx.
+    pub(super) generation: u8,
+    /// When the current incarnation restarted from a crash checkpoint,
+    /// `Some(restart instant)`; `None` for the original incarnation.
+    pub(super) restarted_at: Option<SimTime>,
 }
 
 impl PipelineCtx<'_> {
@@ -237,7 +274,14 @@ impl PipelineCtx<'_> {
     /// [`SpeakerPipeline::on_timer`] (or the multiplexer, for verdict
     /// tokens) after `delay`.
     pub fn set_timer(&mut self, delay: simcore::SimDuration, token: TimerToken) {
-        self.tap.set_timer(delay, token.encode());
+        self.tap
+            .set_timer(delay, token.encode_with_generation(self.generation));
+    }
+
+    /// When the current incarnation was restored from a crash checkpoint,
+    /// the restart instant; `None` before the first crash.
+    pub fn restarted_at(&self) -> Option<SimTime> {
+        self.restarted_at
     }
 
     /// Raises a legitimacy query holding `target`, arming the verdict
@@ -272,7 +316,7 @@ impl PipelineCtx<'_> {
         });
         self.tap.set_timer(
             config.verdict_timeout,
-            TimerToken::VerdictTimeout { query }.encode(),
+            TimerToken::VerdictTimeout { query }.encode_with_generation(self.generation),
         );
         self.tap.trace("guard.query", &format!("{query} raised"));
         query
@@ -287,6 +331,26 @@ impl PipelineCtx<'_> {
     /// Releases `conn`'s held segments in order; returns how many.
     pub fn release_held(&mut self, conn: ConnId) -> usize {
         self.tap.release_held(conn)
+    }
+
+    /// Marks `conn` as re-adopted after a restart: the restored pipeline
+    /// re-identified a flow it had never seen establish. Emits the event
+    /// and accumulates the re-adoption latency from the restart instant.
+    pub fn flow_readopted(&mut self, conn: ConnId) {
+        let at = self.tap.now();
+        let pipeline = self.index;
+        self.events
+            .push_back(GuardEvent::FlowReAdopted { at, pipeline, conn });
+        let latency = self
+            .restarted_at
+            .map(|t| at.saturating_since(t).as_secs_f64())
+            .unwrap_or(0.0);
+        self.bump(|s| {
+            s.flows_readopted += 1;
+            s.readoption_latency_s += latency;
+        });
+        self.tap
+            .trace("guard.readopt", &format!("conn#{} re-adopted", conn.0));
     }
 
     /// Applies a statistics update to both the aggregate and this

@@ -1,0 +1,90 @@
+//! Serializable guard state for crash checkpointing.
+//!
+//! A [`GuardSnapshot`] is the complete recoverable state of a
+//! [`crate::VoiceGuardTap`]: the query table, the connection→pipeline
+//! routing cache, the statistics, and every built-in pipeline's flow
+//! state. The engine's supervisor takes one periodically through
+//! [`netsim::Middlebox::checkpoint`] and hands the latest back on
+//! restart; [`crate::VoiceGuardTap::restore`] rebuilds the tap from it
+//! bit-for-bit (the snapshot round-trip proptest relies on that).
+//!
+//! Everything is stored in **sorted, owned form** — flow tables and IP
+//! sets iterate in hash order, which would make two snapshots of the
+//! same state compare (and serialize) differently. Sorting at capture
+//! time keeps snapshots deterministic per seed.
+
+use crate::decision::Verdict;
+use crate::guard::echo::EchoSnapshot;
+use crate::guard::ghm::GhmSnapshot;
+use crate::guard::GuardStats;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::net::Ipv4Addr;
+
+/// Serializable mirror of [`crate::guard::HoldTarget`] (connection ids
+/// are stored as raw `u64` so the snapshot does not depend on `netsim`
+/// types having serde support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoldTargetSnapshot {
+    /// A TCP connection's held segments.
+    Conn(u64),
+    /// A UDP flow's held datagrams, keyed by the speaker-side IP.
+    UdpFlow(Ipv4Addr),
+}
+
+/// One pending legitimacy query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingQuerySnapshot {
+    /// Index of the pipeline that raised the query.
+    pub pipeline: usize,
+    /// What the query is holding.
+    pub target: HoldTargetSnapshot,
+    /// When the hold began.
+    pub hold_started: SimTime,
+    /// A verdict already scheduled but not yet delivered.
+    pub verdict: Option<Verdict>,
+    /// The timeout policy the query was raised under.
+    pub fail_closed: bool,
+}
+
+/// One pipeline's recoverable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PipelineSnapshot {
+    /// An [`crate::EchoPipeline`]'s state.
+    Echo(EchoSnapshot),
+    /// A [`crate::GhmPipeline`]'s state.
+    Ghm(GhmSnapshot),
+    /// A custom pipeline that does not implement
+    /// [`crate::SpeakerPipeline::snapshot`]; it keeps its live in-memory
+    /// state across a simulated crash (there is no way to rebuild an
+    /// arbitrary pipeline from serialized bytes).
+    Opaque,
+}
+
+/// One attached pipeline slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotSnapshot {
+    /// The speaker IP the slot guards (`None` = catch-all).
+    pub ip: Option<Ipv4Addr>,
+    /// The pipeline's state.
+    pub pipeline: PipelineSnapshot,
+}
+
+/// Complete recoverable state of a [`crate::VoiceGuardTap`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardSnapshot {
+    /// The incarnation that took the snapshot.
+    pub generation: u8,
+    /// Next query id to allocate.
+    pub next_query: u64,
+    /// Pending queries, sorted by query id.
+    pub queries: Vec<(u64, PendingQuerySnapshot)>,
+    /// Aggregate statistics at snapshot time.
+    pub stats: GuardStats,
+    /// Per-pipeline statistics at snapshot time.
+    pub pipeline_stats: Vec<GuardStats>,
+    /// Connection→pipeline routing cache, sorted by connection id.
+    pub conn_routes: Vec<(u64, usize)>,
+    /// Every attached pipeline, in slot order.
+    pub slots: Vec<SlotSnapshot>,
+}

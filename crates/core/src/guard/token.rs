@@ -4,19 +4,23 @@
 //! guard packs a [`TimerToken`] into it. Layout (most significant first):
 //!
 //! ```text
-//! | kind: 8 bits | pipeline: 8 bits | payload: 48 bits |
+//! | kind: 8 bits | generation: 8 bits | pipeline: 8 bits | payload: 40 bits |
 //! ```
 //!
-//! `kind` discriminates the token variants, `pipeline` addresses the
-//! per-speaker pipeline a Classify/Aggregate timer belongs to, and
-//! `payload` carries the connection or query id. Verdict timers are owned
-//! by the multiplexer itself, so their pipeline byte is zero.
+//! `kind` discriminates the token variants, `generation` identifies the
+//! guard incarnation that armed the timer (so a timer scheduled before a
+//! crash is ignored after the restart instead of firing into rebuilt
+//! state), `pipeline` addresses the per-speaker pipeline a
+//! Classify/Aggregate timer belongs to, and `payload` carries the
+//! connection or query id. Verdict timers are owned by the multiplexer
+//! itself, so their pipeline byte is zero.
 
 use crate::guard::QueryId;
 use netsim::ConnId;
 
 const KIND_SHIFT: u32 = 56;
-const PIPELINE_SHIFT: u32 = 48;
+const GEN_SHIFT: u32 = 48;
+const PIPELINE_SHIFT: u32 = 40;
 const PAYLOAD_MASK: u64 = (1 << PIPELINE_SHIFT) - 1;
 
 const KIND_CLASSIFY: u64 = 1;
@@ -60,12 +64,23 @@ pub enum TimerToken {
 }
 
 impl TimerToken {
-    /// Packs the token into the engine's `u64` timer payload.
+    /// Packs the token into the engine's `u64` timer payload with
+    /// generation 0 (a guard that never restarts).
     ///
     /// # Panics
     ///
-    /// Panics if the connection or query id exceeds 48 bits.
+    /// Panics if the connection or query id exceeds 40 bits.
     pub fn encode(self) -> u64 {
+        self.encode_with_generation(0)
+    }
+
+    /// Packs the token, stamping it with the arming incarnation's
+    /// generation byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the connection or query id exceeds 40 bits.
+    pub fn encode_with_generation(self, generation: u8) -> u64 {
         let (kind, pipeline, payload) = match self {
             TimerToken::Classify { pipeline, conn } => (KIND_CLASSIFY, pipeline, conn.0),
             TimerToken::VerdictTimeout { query } => (KIND_VERDICT_TIMEOUT, 0, query.0),
@@ -75,13 +90,18 @@ impl TimerToken {
         };
         assert!(
             payload <= PAYLOAD_MASK,
-            "timer payload {payload:#x} exceeds 48 bits"
+            "timer payload {payload:#x} exceeds 40 bits"
         );
-        (kind << KIND_SHIFT) | ((pipeline as u64) << PIPELINE_SHIFT) | payload
+        (kind << KIND_SHIFT)
+            | ((generation as u64) << GEN_SHIFT)
+            | ((pipeline as u64) << PIPELINE_SHIFT)
+            | payload
     }
 
-    /// Decodes an engine timer payload; `None` for unknown kinds (e.g.
-    /// tokens set by a different middlebox).
+    /// Decodes an engine timer payload, ignoring the generation byte;
+    /// `None` for unknown kinds (e.g. tokens set by a different
+    /// middlebox). Check [`TimerToken::generation`] *before* dispatching
+    /// when the guard can restart.
     pub fn decode(token: u64) -> Option<TimerToken> {
         let kind = token >> KIND_SHIFT;
         let pipeline = ((token >> PIPELINE_SHIFT) & 0xFF) as u8;
@@ -104,6 +124,11 @@ impl TimerToken {
             KIND_AGGREGATE_UDP => Some(TimerToken::AggregateUdp { pipeline }),
             _ => None,
         }
+    }
+
+    /// The guard incarnation that armed an encoded timer.
+    pub fn generation(token: u64) -> u8 {
+        ((token >> GEN_SHIFT) & 0xFF) as u8
     }
 
     /// The pipeline index a pipeline-scoped token addresses; `None` for
@@ -149,6 +174,20 @@ mod tests {
     }
 
     #[test]
+    fn generation_round_trips_and_does_not_disturb_decode() {
+        let token = TimerToken::AggregateConn {
+            pipeline: 7,
+            conn: ConnId(123_456_789),
+        };
+        for generation in [0u8, 1, 17, 255] {
+            let encoded = token.encode_with_generation(generation);
+            assert_eq!(TimerToken::generation(encoded), generation);
+            assert_eq!(TimerToken::decode(encoded), Some(token));
+        }
+        assert_eq!(TimerToken::generation(token.encode()), 0);
+    }
+
+    #[test]
     fn distinct_tokens_encode_distinctly() {
         let a = TimerToken::Classify {
             pipeline: 1,
@@ -172,11 +211,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds 48 bits")]
+    #[should_panic(expected = "exceeds 40 bits")]
     fn oversized_payload_panics() {
         TimerToken::Classify {
             pipeline: 0,
-            conn: ConnId(1 << 48),
+            conn: ConnId(1 << 40),
         }
         .encode();
     }

@@ -58,7 +58,7 @@ pub struct SignatureLearner {
 }
 
 /// An in-progress observation of one connection's first record lengths.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Observation {
     lens: Vec<u32>,
 }

@@ -45,8 +45,8 @@ pub use decision::{
 };
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
-    EchoPipeline, FlowTable, GhmPipeline, GuardEvent, GuardStats, HoldTarget, PipelineCtx, QueryId,
-    SpeakerPipeline, TimerToken, VoiceGuardTap,
+    EchoPipeline, FlowTable, GhmPipeline, GuardEvent, GuardSnapshot, GuardStats, HoldTarget,
+    PipelineCtx, PipelineSnapshot, QueryId, SpeakerPipeline, TimerToken, VoiceGuardTap,
 };
 pub use learning::SignatureLearner;
 pub use policy::{DecisionPolicy, DeviceEvidence, PolicyVote, QuietHoursPolicy};

@@ -1,0 +1,186 @@
+//! Property: `snapshot → restore` is behaviour-identical.
+//!
+//! Drive a [`VoiceGuardTap`] with a generated trace of bursts, cut it at a
+//! random point, snapshot the live tap, restore a fresh tap from that
+//! snapshot, then replay the identical suffix into both. The restored tap
+//! must emit the same [`GuardEvent`] sequence, reach the same stats, and
+//! produce the same final snapshot as the one that never crashed.
+
+use netsim::app::SegmentView;
+use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+
+/// Mock TapCtx with a manual clock; held/released/discarded counters model
+/// the engine-side hold queue so both replicas see identical queue depths.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct MockCtx {
+    now: SimTime,
+    held: usize,
+    released: usize,
+    discarded: usize,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl TapCtx for MockCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn tapped_host(&self) -> netsim::HostId {
+        netsim::HostId(0)
+    }
+    fn held_count(&self, _conn: ConnId) -> usize {
+        self.held
+    }
+    fn release_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.released += n;
+        n
+    }
+    fn discard_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.discarded += n;
+        n
+    }
+    fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+    fn trace(&mut self, _category: &str, _message: &str) {}
+}
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// Record lengths a burst draws from: the Echo command-marker triple plus a
+/// few benign sizes, so some bursts classify as commands and some do not.
+const LENS: [u32; 7] = [277, 131, 138, 41, 500, 600, 33];
+
+fn data_view(conn: u64, seq: u64, len: u32) -> SegmentView {
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
+    SegmentView {
+        conn: ConnId(conn),
+        dir: netsim::Direction::ClientToServer,
+        src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
+        dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
+        payload: SegmentPayload::Data(rec),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+fn establish(tap: &mut VoiceGuardTap, ctx: &mut MockCtx) -> u64 {
+    for (seq, len) in AVS_SIG.into_iter().enumerate() {
+        tap.on_segment(ctx, &data_view(1, seq as u64, len));
+    }
+    AVS_SIG.len() as u64
+}
+
+/// One generated burst: an idle gap (deciseconds), some record-length
+/// indices, and a verdict selector for the newest query the burst raised
+/// (0 = leave pending, 1 = malicious, 2 = legitimate).
+type Burst = (u16, Vec<u8>, u8);
+
+/// Feed one burst into the tap, mirroring the engine: hold verdicts grow
+/// the mock queue, queries raised by the burst may be answered and their
+/// delivery timer fired immediately. Returns the events the burst emitted.
+fn feed(
+    tap: &mut VoiceGuardTap,
+    ctx: &mut MockCtx,
+    seq: &mut u64,
+    burst: &Burst,
+) -> Vec<GuardEvent> {
+    let (gap_ds, lens, verdict) = burst;
+    ctx.now += SimDuration::from_millis(u64::from(*gap_ds) * 100);
+    for idx in lens {
+        let len = LENS[*idx as usize % LENS.len()];
+        if tap.on_segment(ctx, &data_view(1, *seq, len)) == TapVerdict::Hold {
+            ctx.held += 1;
+        }
+        *seq += 1;
+        ctx.now += SimDuration::from_millis(20);
+    }
+    let events = tap.take_events();
+    if *verdict != 0 {
+        let query = events.iter().rev().find_map(|e| match e {
+            GuardEvent::QueryRequested { query, .. } => Some(*query),
+            _ => None,
+        });
+        if let Some(query) = query {
+            let verdict = if *verdict == 2 {
+                Verdict::Legitimate
+            } else {
+                Verdict::Malicious
+            };
+            tap.schedule_verdict(ctx, query, verdict, SimDuration::from_millis(400));
+            let (delay, token) = *ctx.timers.last().expect("delivery timer armed");
+            ctx.now += delay;
+            tap.on_timer(ctx, token);
+        }
+    }
+    events.into_iter().chain(tap.take_events()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn snapshot_restore_is_behaviour_identical(
+        bursts in proptest::collection::vec(
+            (
+                0u16..80,
+                proptest::collection::vec(0u8..7, 1usize..6),
+                0u8..3,
+            ),
+            2usize..10,
+        ),
+        cut in 0usize..10,
+    ) {
+        let cut = cut % bursts.len();
+
+        // Reference tap: runs the whole trace uninterrupted.
+        let mut tap_a = VoiceGuardTap::new(GuardConfig::echo_dot());
+        let mut ctx_a = MockCtx::default();
+        let mut seq_a = establish(&mut tap_a, &mut ctx_a);
+        for burst in &bursts[..cut] {
+            feed(&mut tap_a, &mut ctx_a, &mut seq_a, burst);
+        }
+
+        // Snapshot at the cut; restore into a fresh tap, clone the mock so
+        // both replicas start the suffix from the same engine-side state.
+        let snap = tap_a.snapshot();
+        let mut tap_b = VoiceGuardTap::new(GuardConfig::echo_dot());
+        tap_b.restore(&snap);
+        prop_assert_eq!(tap_b.snapshot(), snap, "restore must be lossless");
+        let mut ctx_b = ctx_a.clone();
+        let mut seq_b = seq_a;
+
+        // Replay the identical suffix into both and compare behaviour.
+        for burst in &bursts[cut..] {
+            let ev_a = feed(&mut tap_a, &mut ctx_a, &mut seq_a, burst);
+            let ev_b = feed(&mut tap_b, &mut ctx_b, &mut seq_b, burst);
+            prop_assert_eq!(ev_a, ev_b, "event streams diverged");
+        }
+        prop_assert_eq!(&tap_a.stats, &tap_b.stats, "stats diverged");
+        prop_assert_eq!(ctx_a, ctx_b, "engine-side actions diverged");
+        prop_assert_eq!(
+            tap_a.snapshot(),
+            tap_b.snapshot(),
+            "final snapshots diverged"
+        );
+    }
+}

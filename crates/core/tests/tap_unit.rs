@@ -163,8 +163,11 @@ fn verdict_release_and_block_paths() {
 }
 
 #[test]
-#[should_panic(expected = "unknown query")]
-fn verdict_for_unknown_query_panics() {
+fn verdict_for_unknown_query_is_dropped() {
+    // After a crash restart the orchestrator may still answer a query the
+    // new incarnation drained fail-closed at restart. The stale verdict
+    // must be ignored — not panic the guard, and not arm a delivery
+    // timer for a hold that no longer exists.
     let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
     let mut ctx = MockCtx::default();
     tap.schedule_verdict(
@@ -173,6 +176,11 @@ fn verdict_for_unknown_query_panics() {
         Verdict::Legitimate,
         SimDuration::ZERO,
     );
+    assert!(
+        ctx.timers.is_empty(),
+        "no delivery timer for a stale verdict"
+    );
+    assert_eq!(tap.stats, voiceguard::GuardStats::default());
 }
 
 #[test]
@@ -196,6 +204,45 @@ fn double_verdict_panics() {
         .expect("query raised");
     tap.schedule_verdict(&mut ctx, query, Verdict::Legitimate, SimDuration::ZERO);
     tap.schedule_verdict(&mut ctx, query, Verdict::Malicious, SimDuration::ZERO);
+}
+
+#[test]
+fn restart_readopts_mid_stream_avs_flow_and_resumes_holds() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    establish(&mut tap, &mut ctx, 1);
+    assert!(tap.learned_avs_ip().is_some());
+    let snap = tap.snapshot();
+    // The guard dies and the supervisor restarts it from the checkpoint.
+    tap.crash();
+    ctx.now = SimTime::from_secs(40);
+    tap.restart(&mut ctx, Some(&snap));
+    tap.take_events();
+    // A connection the speaker (re-)established during the blind window
+    // first appears as a mid-stream record: it must enter Provisional,
+    // be re-adopted by the checkpointed front-end address, and have its
+    // command spikes held again immediately.
+    ctx.now = SimTime::from_secs(70);
+    for (i, len) in [277u32, 131, 138].into_iter().enumerate() {
+        let verdict = tap.on_segment(&mut ctx, &data_view(2, 20 + i as u64, len));
+        assert_eq!(verdict, TapVerdict::Hold, "record {i} of the spike");
+        ctx.held += 1;
+    }
+    let events = tap.take_events();
+    let readopted = events
+        .iter()
+        .position(|e| matches!(e, GuardEvent::FlowReAdopted { conn, .. } if *conn == ConnId(2)));
+    let queried = events
+        .iter()
+        .position(|e| matches!(e, GuardEvent::QueryRequested { .. }));
+    assert!(readopted.is_some(), "flow must be re-adopted: {events:?}");
+    assert!(queried.is_some(), "spike must raise a query: {events:?}");
+    assert!(
+        readopted < queried,
+        "re-adoption precedes the first held query"
+    );
+    assert_eq!(tap.stats.flows_readopted, 1);
+    assert!(tap.stats.readoption_latency_s >= 29.9);
 }
 
 #[test]

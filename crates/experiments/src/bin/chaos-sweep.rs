@@ -1,23 +1,31 @@
 //! `chaos-sweep` — fault-injection sweep across the guarded home.
 //!
 //! ```text
-//! chaos-sweep [--seed S] [--rounds N] [--smoke]
+//! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
 //!
-//!   --seed S     master seed (default 2023)
-//!   --rounds N   (legit, attack) command pairs per profile (default 4)
-//!   --smoke      fast CI setting: equivalent to --rounds 1
+//!   --seed S        master seed (default 2023)
+//!   --rounds N      (legit, attack) command pairs per profile (default 4)
+//!   --smoke         fast CI setting: equivalent to --rounds 1
+//!   --profile NAME  run only the named profile (clean, lossy, bursty,
+//!                   fcm-degraded, crash-pass, crash-drop)
+//!   --crash         run the crash-recovery sweep (crash rate × restart
+//!                   delay × blind policy grid) instead of the profiles
 //! ```
 //!
-//! Replays a compact Echo Dot scenario under the clean, lossy, bursty and
-//! fcm-degraded fault profiles and prints a markdown table of block rate,
-//! false-rejection rate, mean hold time and degradation counters. Output
-//! is byte-identical for two runs with the same seed.
+//! The default mode replays a compact Echo Dot scenario under the clean,
+//! lossy, bursty and fcm-degraded fault profiles and prints a markdown
+//! table of block rate, false-rejection rate, mean hold time and
+//! degradation counters. `--crash` sweeps guard crashes instead and adds
+//! the degraded-mode summary table. Output is byte-identical for two runs
+//! with the same seed.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut seed: u64 = 2023;
     let mut rounds: u32 = 4;
+    let mut profile: Option<String> = None;
+    let mut crash = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -25,6 +33,18 @@ fn main() -> ExitCode {
             "--smoke" => {
                 rounds = 1;
                 i += 1;
+            }
+            "--crash" => {
+                crash = true;
+                i += 1;
+            }
+            "--profile" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--profile needs a value");
+                    return ExitCode::FAILURE;
+                };
+                profile = Some(value.clone());
+                i += 2;
             }
             "--seed" | "--rounds" => {
                 let Some(value) = args.get(i + 1) else {
@@ -43,12 +63,38 @@ fn main() -> ExitCode {
                 i += 2;
             }
             other => {
-                eprintln!("usage: chaos-sweep [--seed S] [--rounds N] [--smoke]");
+                eprintln!(
+                    "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
+                     [--profile NAME] [--crash]"
+                );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
             }
         }
     }
-    print!("{}", experiments::chaos::run(seed, rounds).table);
+    if crash {
+        let result = experiments::chaos::crash_sweep(seed, rounds);
+        print!("{}", result.table);
+        let outcomes: Vec<_> = result.cells.iter().map(|c| c.outcome.clone()).collect();
+        print!("{}", experiments::summary::degradation(&outcomes));
+        return ExitCode::SUCCESS;
+    }
+    let selected = match &profile {
+        None => experiments::chaos::profiles(),
+        Some(name) => {
+            let all = experiments::chaos::all_profiles();
+            let known: Vec<&str> = all.iter().map(|p| p.name).collect();
+            let Some(p) = all.iter().find(|p| p.name == name.as_str()) else {
+                eprintln!("unknown profile '{name}'; known: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            };
+            vec![p.clone()]
+        }
+    };
+    let result = experiments::chaos::run_profiles(selected, seed, rounds);
+    print!("{}", result.table);
+    if profile.is_some() {
+        print!("{}", experiments::summary::degradation(&result.outcomes));
+    }
     ExitCode::SUCCESS
 }

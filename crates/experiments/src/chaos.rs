@@ -11,7 +11,7 @@
 
 use crate::orchestrator::{FaultProfile, GuardedHome, ScenarioConfig};
 use crate::report::{fmt_f, pct, Table};
-use netsim::FaultCounters;
+use netsim::{BlindWindowPolicy, FaultCounters, GuardFaultCounters};
 use rfsim::Point;
 use simcore::SimDuration;
 use testbeds::apartment;
@@ -42,6 +42,15 @@ pub struct ChaosOutcome {
     pub overflow_forwarded: u64,
     /// Wire faults the network injected.
     pub wire: FaultCounters,
+    /// Guard crash/restart/checkpoint and blind-window tallies (all zero
+    /// for profiles that never crash the guard).
+    pub guard: GuardFaultCounters,
+    /// Holds opened by a dead incarnation, drained fail-closed at restart.
+    pub holds_abandoned: u64,
+    /// Flows first sighted mid-stream and re-adopted after a restart.
+    pub flows_readopted: u64,
+    /// Mean restart→re-adoption latency across re-adopted flows, seconds.
+    pub mean_readoption_s: f64,
 }
 
 impl ChaosOutcome {
@@ -79,6 +88,22 @@ pub fn profiles() -> Vec<FaultProfile> {
         FaultProfile::bursty(),
         FaultProfile::fcm_degraded(),
     ]
+}
+
+/// The guard-crash profiles: hazard-driven crashes with a supervised
+/// restart, under both blind-window policies.
+pub fn crash_profiles() -> Vec<FaultProfile> {
+    vec![
+        FaultProfile::crash(BlindWindowPolicy::PassThrough),
+        FaultProfile::crash(BlindWindowPolicy::Drop),
+    ]
+}
+
+/// Every named profile `--profile` can select.
+pub fn all_profiles() -> Vec<FaultProfile> {
+    let mut all = profiles();
+    all.extend(crash_profiles());
+    all
 }
 
 /// Runs the compact scenario under one profile. `rounds` pairs of
@@ -134,12 +159,26 @@ pub fn run_profile(profile: FaultProfile, seed: u64, rounds: u32) -> ChaosOutcom
         overflow_dropped: stats.hold_overflow_dropped,
         overflow_forwarded: stats.hold_overflow_forwarded,
         wire: home.fault_counters(),
+        guard: home.guard_fault_counters(),
+        holds_abandoned: stats.holds_abandoned,
+        flows_readopted: stats.flows_readopted,
+        mean_readoption_s: if stats.flows_readopted == 0 {
+            0.0
+        } else {
+            stats.readoption_latency_s / stats.flows_readopted as f64
+        },
     }
 }
 
 /// Runs the whole sweep and renders the table.
 pub fn run(seed: u64, rounds: u32) -> ChaosResult {
-    let outcomes: Vec<ChaosOutcome> = profiles()
+    run_profiles(profiles(), seed, rounds)
+}
+
+/// Runs the sweep over an explicit profile list (e.g. a `--profile`
+/// selection) and renders the table.
+pub fn run_profiles(selected: Vec<FaultProfile>, seed: u64, rounds: u32) -> ChaosResult {
+    let outcomes: Vec<ChaosOutcome> = selected
         .into_iter()
         .map(|p| run_profile(p, seed, rounds))
         .collect();
@@ -178,6 +217,100 @@ pub fn run(seed: u64, rounds: u32) -> ChaosResult {
     ChaosResult { outcomes, table }
 }
 
+/// One cell of the crash sweep: a (crash rate × restart delay × blind
+/// policy) point of the grid.
+#[derive(Debug, Clone)]
+pub struct CrashCell {
+    /// Crash hazard rate (expected crashes per simulated second).
+    pub hazard_per_s: f64,
+    /// Supervisor restart delay, seconds.
+    pub restart_delay_s: f64,
+    /// Blind-window policy while the guard is down.
+    pub blind: BlindWindowPolicy,
+    /// The measured outcome.
+    pub outcome: ChaosOutcome,
+}
+
+/// Result of the crash sweep.
+#[derive(Debug, Clone)]
+pub struct CrashSweepResult {
+    /// Per-cell outcomes, grid order: hazard ↗, delay ↗, pass → drop.
+    pub cells: Vec<CrashCell>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+fn blind_label(blind: BlindWindowPolicy) -> &'static str {
+    match blind {
+        BlindWindowPolicy::PassThrough => "pass",
+        BlindWindowPolicy::Drop => "drop",
+    }
+}
+
+/// Crash-recovery sweep: the compact scenario replayed on a grid of
+/// (crash rate × restart delay × blind policy) cells, every guard
+/// checkpointing every 5 s. The table reports block rate, FRR, the
+/// blind-window command traffic, and the recovery counters per cell;
+/// output is byte-identical for two runs with the same seed.
+pub fn crash_sweep(seed: u64, rounds: u32) -> CrashSweepResult {
+    let mut cells = Vec::new();
+    for hazard_per_s in [1.0 / 60.0, 1.0 / 30.0] {
+        for delay_s in [1u64, 5] {
+            for blind in [BlindWindowPolicy::PassThrough, BlindWindowPolicy::Drop] {
+                let profile =
+                    FaultProfile::crash_cell(blind, hazard_per_s, SimDuration::from_secs(delay_s));
+                let outcome = run_profile(profile, seed, rounds);
+                cells.push(CrashCell {
+                    hazard_per_s,
+                    restart_delay_s: delay_s as f64,
+                    blind,
+                    outcome,
+                });
+            }
+        }
+    }
+    let mut table = Table::new(
+        "Crash sweep — recovery under guard crashes (checkpoint every 5 s)",
+        &[
+            "cell (rate × delay × blind)",
+            "block rate",
+            "FRR",
+            "crash/restart/ckpt",
+            "blind pass/drop",
+            "held lost",
+            "abandoned",
+            "readopted (mean s)",
+        ],
+    );
+    for c in &cells {
+        let o = &c.outcome;
+        table.push_row(vec![
+            format!(
+                "1/{:.0}s × {:.0}s × {}",
+                1.0 / c.hazard_per_s,
+                c.restart_delay_s,
+                blind_label(c.blind)
+            ),
+            format!("{} ({})", pct(o.block_rate()), o.blocked_malicious),
+            format!("{} ({})", pct(o.frr()), o.blocked_legit),
+            format!(
+                "{}/{}/{}",
+                o.guard.crashes, o.guard.restarts, o.guard.checkpoints
+            ),
+            format!("{}/{}", o.guard.blind_passed, o.guard.blind_dropped),
+            o.guard.held_frames_lost.to_string(),
+            o.holds_abandoned.to_string(),
+            format!("{} ({})", o.flows_readopted, fmt_f(o.mean_readoption_s, 2)),
+        ]);
+    }
+    table.note(format!(
+        "{rounds} legitimate + {rounds} attack commands per cell, seed {seed}; \
+         holds opened by a dead incarnation drain fail-closed at restart \
+         (record-seq mismatch closes the session)."
+    ));
+    CrashSweepResult { cells, table }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +343,49 @@ mod tests {
             o.blocked_malicious, o.malicious,
             "fail-closed fallback must keep blocking attacks: {o:?}"
         );
+    }
+
+    #[test]
+    fn crash_sweep_is_deterministic_and_blocks_attacks_when_fail_closed() {
+        let a = crash_sweep(21, 1);
+        let b = crash_sweep(21, 1);
+        assert_eq!(
+            a.table.to_markdown(),
+            b.table.to_markdown(),
+            "crash sweep must be byte-identical at the same seed"
+        );
+        assert!(
+            a.cells.iter().any(|c| c.outcome.guard.crashes > 0),
+            "hazard must actually crash the guard: {:?}",
+            a.cells
+        );
+        for c in &a.cells {
+            // The final crash's restart may fall past the run horizon.
+            assert!(
+                c.outcome.guard.restarts >= c.outcome.guard.crashes.saturating_sub(1),
+                "every crash must be followed by a supervised restart: {c:?}"
+            );
+            if c.blind == BlindWindowPolicy::Drop {
+                assert_eq!(
+                    c.outcome.blocked_malicious, c.outcome.malicious,
+                    "fail-closed blind window must keep recall at 100%: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crash_profile_without_crashes_matches_clean() {
+        // A crash profile whose hazard never fires behaves exactly like
+        // clean: the zero-probability plan draws nothing from the RNG.
+        let mut profile = FaultProfile::crash(BlindWindowPolicy::Drop);
+        profile.guard.hazard_per_s = 0.0;
+        profile.name = "clean";
+        let quiet = run_profile(profile, 11, 2);
+        let clean = run_profile(FaultProfile::clean(), 11, 2);
+        assert_eq!(quiet.blocked_malicious, clean.blocked_malicious);
+        assert_eq!(quiet.blocked_legit, clean.blocked_legit);
+        assert_eq!(quiet.guard.crashes, 0);
+        assert_eq!(quiet.guard.checkpoints, 0, "no crashes, no checkpoints?");
     }
 }

@@ -14,7 +14,8 @@
 
 use mobility::{TraceRecorder, Walk};
 use netsim::{
-    FaultCounters, FaultPlan, HostId, LinkFaults, LossModel, Network, NetworkConfig, ServerPool,
+    BlindWindowPolicy, FaultCounters, FaultPlan, GuardFaultCounters, GuardFaults, HostId,
+    LinkFaults, LossModel, Network, NetworkConfig, ServerPool,
 };
 use phone::{
     DeviceId, DeviceKind, DeviceRegistry, FcmFaults, FcmLatencyModel, MobileDevice,
@@ -87,6 +88,8 @@ pub struct FaultProfile {
     pub fallback: FallbackPolicy,
     /// Held-frame cap per flow at the guard (0 = unbounded).
     pub hold_capacity: usize,
+    /// Guard crash/restart schedule (default: never crashes).
+    pub guard: GuardFaults,
 }
 
 impl FaultProfile {
@@ -98,6 +101,7 @@ impl FaultProfile {
             fcm: FcmFaults::none(),
             fallback: FallbackPolicy::default(),
             hold_capacity: 0,
+            guard: GuardFaults::none(),
         }
     }
 
@@ -173,6 +177,41 @@ impl FaultProfile {
     pub fn with_fallback(mut self, fallback: FallbackPolicy) -> Self {
         self.fallback = fallback;
         self
+    }
+
+    /// A guard process that crashes (hazard-driven) and is restarted by a
+    /// supervisor after 2 s, restoring from its 5-second checkpoints. The
+    /// network itself stays clean so every anomaly is attributable to the
+    /// crash/restart cycle.
+    pub fn crash(blind: BlindWindowPolicy) -> Self {
+        FaultProfile {
+            name: match blind {
+                BlindWindowPolicy::PassThrough => "crash-pass",
+                BlindWindowPolicy::Drop => "crash-drop",
+            },
+            guard: GuardFaults {
+                hazard_per_s: 1.0 / 45.0,
+                restart_delay: SimDuration::from_secs(2),
+                max_restarts: 1_000,
+                checkpoint_every: Some(SimDuration::from_secs(5)),
+                blind,
+                ..GuardFaults::none()
+            },
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// The crash profile with an explicit hazard rate and restart delay
+    /// (the crash-sweep grid).
+    pub fn crash_cell(
+        blind: BlindWindowPolicy,
+        hazard_per_s: f64,
+        restart_delay: SimDuration,
+    ) -> Self {
+        let mut p = FaultProfile::crash(blind);
+        p.guard.hazard_per_s = hazard_per_s;
+        p.guard.restart_delay = restart_delay;
+        p
     }
 }
 
@@ -304,6 +343,7 @@ impl GuardedHome {
             seed: cfg.seed,
             capture_enabled: cfg.capture,
             faults: cfg.faults.net,
+            guard_faults: cfg.faults.guard,
             ..NetworkConfig::default()
         });
         let mut speaker_hosts = Vec::new();
@@ -714,6 +754,16 @@ impl GuardedHome {
     /// injected so far).
     pub fn fault_counters(&self) -> FaultCounters {
         self.net.fault_counters()
+    }
+
+    /// Guard crash/restart/checkpoint and blind-window tallies.
+    pub fn guard_fault_counters(&self) -> GuardFaultCounters {
+        self.net.guard_fault_counters()
+    }
+
+    /// True while the guard process is up (false inside a blind window).
+    pub fn guard_up(&self) -> bool {
+        self.net.tap_up(self.speaker_host)
     }
 }
 

@@ -7,8 +7,9 @@
 //! 100 % precision recognition, and the Fig. 7 claim that holds never
 //! terminate a connection.
 
+use crate::chaos::ChaosOutcome;
 use crate::fig7::Fig7Result;
-use crate::report::{pct, Table};
+use crate::report::{fmt_f, pct, Table};
 use crate::table1::Table1Result;
 use crate::tables234::Tables234Result;
 
@@ -101,6 +102,50 @@ pub fn run(table1: &Table1Result, fig7: &Fig7Result, tables: &Tables234Result) -
         ]);
     }
     SummaryResult { checks, table }
+}
+
+/// Degraded-mode companion to the headline table: the fault-tolerance
+/// counters (PR 2's hold-overflow / fallback / verdict-timeout paths and
+/// the crash-recovery machinery) per profile, so degraded behaviour is
+/// visible next to the clean-path claims. Works for both the standard
+/// chaos profiles and the crash-sweep cells — pass whichever ran.
+pub fn degradation(outcomes: &[ChaosOutcome]) -> Table {
+    let mut table = Table::new(
+        "Degraded-mode & recovery behaviour",
+        &[
+            "profile",
+            "block rate",
+            "FRR",
+            "timeouts",
+            "fell back",
+            "overflow drop/fwd",
+            "crash/restart/ckpt",
+            "holds abandoned",
+            "readopted (mean s)",
+        ],
+    );
+    for o in outcomes {
+        table.push_row(vec![
+            o.profile.to_string(),
+            pct(o.block_rate()),
+            pct(o.frr()),
+            o.timeouts.to_string(),
+            o.fell_back.to_string(),
+            format!("{}/{}", o.overflow_dropped, o.overflow_forwarded),
+            format!(
+                "{}/{}/{}",
+                o.guard.crashes, o.guard.restarts, o.guard.checkpoints
+            ),
+            o.holds_abandoned.to_string(),
+            format!("{} ({})", o.flows_readopted, fmt_f(o.mean_readoption_s, 2)),
+        ]);
+    }
+    table.note(
+        "Abandoned holds drain fail-closed at restart: the record-seq gap \
+         closes the session, so a crashed deliberation can never leak a \
+         held command.",
+    );
+    table
 }
 
 #[cfg(test)]

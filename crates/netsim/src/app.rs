@@ -208,6 +208,20 @@ pub trait Middlebox: Any {
     fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
         let _ = (ctx, token);
     }
+    /// Serializes recovery state for the periodic checkpointer. A
+    /// middlebox that cannot be restored returns `None` (the default) and
+    /// restarts cold.
+    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+        None
+    }
+    /// The process hosting this middlebox crashed: all in-memory state is
+    /// gone. The engine has already discarded the frames this tap held.
+    fn crash(&mut self) {}
+    /// The supervisor restarted this middlebox after a crash, handing it
+    /// the most recent checkpoint (if any was ever taken).
+    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+        let _ = (ctx, checkpoint);
+    }
     /// Upcast for orchestrator access.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }

@@ -19,7 +19,10 @@
 use crate::app::{AppCtx, CloseReason, Middlebox, NetApp, SegmentView, TapCtx, TapVerdict};
 use crate::capture::{Capture, PacketKind};
 use crate::dns::DnsZone;
-use crate::fault::{FaultAction, FaultCounters, FaultInjector, FaultPlan, Leg};
+use crate::fault::{
+    BlindWindowPolicy, FaultAction, FaultCounters, FaultInjector, FaultPlan, GuardFaultCounters,
+    GuardFaults, Leg,
+};
 use crate::latency::LatencyModel;
 use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
 use rand::rngs::StdRng;
@@ -69,6 +72,9 @@ pub struct NetworkConfig {
     /// TCP recovers losses by retransmission / handshake and keep-alive
     /// timeouts; UDP losses are final.
     pub faults: FaultPlan,
+    /// Guard crash/restart plan applied to every tap slot. The default
+    /// ([`GuardFaults::none`]) schedules nothing and draws nothing.
+    pub guard_faults: GuardFaults,
 }
 
 impl Default for NetworkConfig {
@@ -82,6 +88,7 @@ impl Default for NetworkConfig {
             seed: 0,
             capture_enabled: true,
             faults: FaultPlan::none(),
+            guard_faults: GuardFaults::none(),
         }
     }
 }
@@ -158,6 +165,15 @@ enum NetEvent {
         conn: u64,
         dir: Direction,
         since: SimTime,
+    },
+    GuardCrash {
+        slot: usize,
+    },
+    GuardRestart {
+        slot: usize,
+    },
+    GuardCheckpoint {
+        slot: usize,
     },
 }
 
@@ -279,6 +295,16 @@ struct HostEntry {
     rng: StdRng,
 }
 
+/// Supervisor-side state of one tap slot's guard process.
+struct GuardSlot {
+    /// False while the guard is crashed (the blind window).
+    up: bool,
+    /// Crashes so far, charged against [`GuardFaults::max_restarts`].
+    crashes: u32,
+    /// The most recent checkpoint, surviving crashes like a file on disk.
+    checkpoint: Option<Box<dyn std::any::Any + Send>>,
+}
+
 /// The discrete-event network.
 ///
 /// See the [crate docs](crate) for an overview and `tests/` for end-to-end
@@ -292,6 +318,10 @@ pub struct Network {
     /// Middlebox instances; hosts reference slots by index (`None` while a
     /// slot's middlebox is temporarily taken for dispatch).
     taps: Vec<Option<Box<dyn Middlebox>>>,
+    /// Guard process state, parallel to `taps`.
+    guards: Vec<GuardSlot>,
+    /// Guard crash/recovery tallies.
+    guard_counters: GuardFaultCounters,
     /// Segments parked by a tap, keyed by (tap slot, connection id).
     held_segs: HoldQueue<(usize, u64), Segment>,
     /// Datagrams parked by a tap, keyed by (tap slot, speaker-side flow IP).
@@ -325,6 +355,8 @@ impl Network {
             conns: HashMap::new(),
             next_conn: 1,
             taps: Vec::new(),
+            guards: Vec::new(),
+            guard_counters: GuardFaultCounters::default(),
             held_segs: HoldQueue::new(),
             held_dgrams: HoldQueue::new(),
             dns: DnsZone::new(),
@@ -339,6 +371,20 @@ impl Network {
     /// Tallies of wire faults injected so far.
     pub fn fault_counters(&self) -> FaultCounters {
         self.faults.counters()
+    }
+
+    /// Tallies of guard crash/recovery activity so far.
+    pub fn guard_fault_counters(&self) -> GuardFaultCounters {
+        self.guard_counters
+    }
+
+    /// Whether `host`'s guard process is currently up. Hosts without a tap
+    /// (or with a tap but no crash plan) are always up.
+    pub fn tap_up(&self, host: HostId) -> bool {
+        match self.host_entry(host).tap {
+            Some(slot) => self.guards.get(slot).map(|g| g.up).unwrap_or(true),
+            None => true,
+        }
     }
 
     /// Adds a host with the given display name and IP address.
@@ -374,6 +420,11 @@ impl Network {
     pub fn set_tap(&mut self, host: HostId, tap: Box<dyn Middlebox>) {
         let slot = self.taps.len();
         self.taps.push(Some(tap));
+        self.guards.push(GuardSlot {
+            up: true,
+            crashes: 0,
+            checkpoint: None,
+        });
         self.host_entry_mut(host).tap = Some(slot);
     }
 
@@ -468,6 +519,28 @@ impl Network {
         self.started = true;
         for i in 0..self.hosts.len() {
             self.dispatch_app(HostId(i as u32), |app, ctx| app.on_start(ctx));
+        }
+        let gf = self.config.guard_faults;
+        if !gf.is_none() {
+            let now = self.queue.now();
+            for slot in 0..self.guards.len() {
+                // The first crash: either pinned (no RNG draw, for golden
+                // traces) or drawn from the hazard process.
+                let at = match gf.crash_at {
+                    Some(t) => Some(t.max(now)),
+                    None => self
+                        .faults
+                        .next_crash_delay(gf.hazard_per_s)
+                        .map(|d| now + d),
+                };
+                if let Some(at) = at {
+                    self.queue.schedule(at, NetEvent::GuardCrash { slot });
+                }
+                if let Some(every) = gf.checkpoint_every {
+                    self.queue
+                        .schedule(now + every, NetEvent::GuardCheckpoint { slot });
+                }
+            }
         }
     }
 
@@ -611,6 +684,10 @@ impl Network {
 
     fn tap_slot(&self, host: HostId) -> Option<usize> {
         self.host_entry(host).tap
+    }
+
+    fn slot_up(&self, slot: usize) -> bool {
+        self.guards.get(slot).map(|g| g.up).unwrap_or(true)
     }
 
     /// The tapped endpoints of a connection, reduced to one host per tap
@@ -986,7 +1063,9 @@ impl Network {
                         name.clone(),
                     );
                 }
-                self.dispatch_tap(tap, |mb, ctx| mb.on_dns_query(ctx, &name));
+                if self.tap_up(tap) {
+                    self.dispatch_tap(tap, |mb, ctx| mb.on_dns_query(ctx, &name));
+                }
             }
             NetEvent::DnsQueryAtResolver { host, name } => {
                 let Some(ip) = self.dns.resolve(&name) else {
@@ -1036,7 +1115,9 @@ impl Network {
                         format!("{name} -> {ip}"),
                     );
                 }
-                self.dispatch_tap(tap, |mb, ctx| mb.on_dns_response(ctx, &name, ip));
+                if self.tap_up(tap) {
+                    self.dispatch_tap(tap, |mb, ctx| mb.on_dns_response(ctx, &name, ip));
+                }
             }
             NetEvent::DnsAnswerAtHost { host, name, ip } => {
                 self.dispatch_app(host, |app, ctx| app.on_dns(ctx, &name, ip));
@@ -1045,10 +1126,14 @@ impl Network {
                 self.dispatch_app(host, |app, ctx| app.on_timer(ctx, token));
             }
             NetEvent::TapTimer { tap, token } => {
-                self.dispatch_tap(tap, |mb, ctx| mb.on_timer(ctx, token));
+                if self.tap_up(tap) {
+                    self.dispatch_tap(tap, |mb, ctx| mb.on_timer(ctx, token));
+                }
             }
             NetEvent::TapConnClosed { tap, conn, reason } => {
-                self.dispatch_tap(tap, |mb, ctx| mb.on_conn_closed(ctx, ConnId(conn), reason));
+                if self.tap_up(tap) {
+                    self.dispatch_tap(tap, |mb, ctx| mb.on_conn_closed(ctx, ConnId(conn), reason));
+                }
             }
             NetEvent::RtoCheck {
                 conn,
@@ -1073,7 +1158,116 @@ impl Network {
                     self.close_conn(conn, CloseReason::Timeout, None);
                 }
             }
+            NetEvent::GuardCrash { slot } => self.on_guard_crash(slot),
+            NetEvent::GuardRestart { slot } => self.on_guard_restart(slot),
+            NetEvent::GuardCheckpoint { slot } => self.on_guard_checkpoint(slot),
         }
+    }
+
+    /// The guard process at `slot` dies: its in-memory state and every
+    /// frame it was holding are gone. Held segments were spoof-ACKed to
+    /// their senders, so discarding them leaves record-sequence gaps the
+    /// receivers tear down via [`NetEvent::GapCheck`] (Fig. 4 case III) —
+    /// a dead guard fails closed on everything it was deliberating about.
+    fn on_guard_crash(&mut self, slot: usize) {
+        let gf = self.config.guard_faults;
+        let Some(guard) = self.guards.get_mut(slot) else {
+            return;
+        };
+        if !guard.up {
+            return;
+        }
+        guard.up = false;
+        guard.crashes += 1;
+        let crashes = guard.crashes;
+        self.guard_counters.crashes += 1;
+        let now = self.queue.now();
+        self.trace.emit(
+            now,
+            "guard.crash",
+            format!("tap slot {slot} crashed (#{crashes})"),
+        );
+        if let Some(mut mb) = self.taps[slot].take() {
+            mb.crash();
+            self.taps[slot] = Some(mb);
+        }
+        let before = self.held_segs.total() + self.held_dgrams.total();
+        self.held_segs.retain_keys(|(s, _)| *s != slot);
+        self.held_dgrams.retain_keys(|(s, _)| *s != slot);
+        let after = self.held_segs.total() + self.held_dgrams.total();
+        self.guard_counters.held_frames_lost += (before - after) as u64;
+        if crashes <= gf.max_restarts {
+            self.queue
+                .schedule(now + gf.restart_delay, NetEvent::GuardRestart { slot });
+        } else {
+            self.trace.emit(
+                now,
+                "guard.crash",
+                format!("tap slot {slot} restart budget exhausted; staying down"),
+            );
+        }
+    }
+
+    /// The supervisor brings the guard at `slot` back, handing it the most
+    /// recent checkpoint (which survives crashes like a file on disk).
+    fn on_guard_restart(&mut self, slot: usize) {
+        let gf = self.config.guard_faults;
+        {
+            let Some(guard) = self.guards.get_mut(slot) else {
+                return;
+            };
+            if guard.up {
+                return;
+            }
+            guard.up = true;
+        }
+        self.guard_counters.restarts += 1;
+        let now = self.queue.now();
+        self.trace
+            .emit(now, "guard.restart", format!("tap slot {slot} restarted"));
+        let Some(host_idx) = self.hosts.iter().position(|h| h.tap == Some(slot)) else {
+            return;
+        };
+        let tap_host = HostId(host_idx as u32);
+        let checkpoint = self.guards[slot].checkpoint.take();
+        if let Some(mut mb) = self.taps[slot].take() {
+            {
+                let mut ctx = TapCtxImpl {
+                    net: self,
+                    tap: tap_host,
+                    slot,
+                };
+                mb.restart(
+                    &mut ctx,
+                    checkpoint.as_ref().map(|b| &**b as &dyn std::any::Any),
+                );
+            }
+            self.taps[slot] = Some(mb);
+        }
+        self.guards[slot].checkpoint = checkpoint;
+        if let Some(d) = self.faults.next_crash_delay(gf.hazard_per_s) {
+            let at = self.queue.now() + d;
+            self.queue.schedule(at, NetEvent::GuardCrash { slot });
+        }
+    }
+
+    fn on_guard_checkpoint(&mut self, slot: usize) {
+        let Some(every) = self.config.guard_faults.checkpoint_every else {
+            return;
+        };
+        if self.slot_up(slot) {
+            if let Some(mut mb) = self.taps[slot].take() {
+                let snap = mb.checkpoint();
+                self.taps[slot] = Some(mb);
+                if let Some(snap) = snap {
+                    self.guards[slot].checkpoint = Some(snap);
+                    self.guard_counters.checkpoints += 1;
+                }
+            }
+        }
+        let now = self.queue.now();
+        self.queue
+            .schedule(now + every, NetEvent::GuardCheckpoint { slot });
     }
 
     fn on_seg_at_tap(&mut self, tap: HostId, seg: Segment) {
@@ -1099,6 +1293,27 @@ impl Network {
             retransmit: seg.retransmit,
         };
         self.capture_segment(&seg);
+        if let Some(slot) = self.tap_slot(tap) {
+            if !self.slot_up(slot) {
+                // Blind window: the guard process is down, so no verdict
+                // can be asked for. The slot-level policy decides.
+                match self.config.guard_faults.blind {
+                    BlindWindowPolicy::PassThrough => {
+                        self.guard_counters.blind_passed += 1;
+                        self.forward_from_tap(tap, seg);
+                    }
+                    BlindWindowPolicy::Drop => {
+                        self.guard_counters.blind_dropped += 1;
+                        self.trace.emit(
+                            self.queue.now(),
+                            "guard.blind",
+                            format!("conn#{} {} dropped in blind window", seg.conn, seg.dir),
+                        );
+                    }
+                }
+                return;
+            }
+        }
         let verdict = self
             .dispatch_tap(tap, |mb, ctx| mb.on_segment(ctx, &view))
             .unwrap_or(TapVerdict::Forward);
@@ -1388,6 +1603,25 @@ impl Network {
                 None,
                 "",
             );
+        }
+        if let Some(slot) = self.tap_slot(tap) {
+            if !self.slot_up(slot) {
+                match self.config.guard_faults.blind {
+                    BlindWindowPolicy::PassThrough => {
+                        self.guard_counters.blind_passed += 1;
+                        self.forward_dgram_from_tap(tap, dgram, outbound);
+                    }
+                    BlindWindowPolicy::Drop => {
+                        self.guard_counters.blind_dropped += 1;
+                        self.trace.emit(
+                            self.queue.now(),
+                            "guard.blind",
+                            "datagram dropped in blind window",
+                        );
+                    }
+                }
+                return;
+            }
         }
         let verdict = self
             .dispatch_tap(tap, |mb, ctx| mb.on_datagram(ctx, &dgram, outbound))

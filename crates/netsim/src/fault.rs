@@ -292,6 +292,99 @@ impl FaultInjector {
             Leg::Wan => self.plan.wan.reorder_extra,
         }
     }
+
+    /// Draws the delay until the next guard crash from an exponential
+    /// distribution with rate `hazard_per_s` (a memoryless crash process).
+    /// A non-positive hazard makes **no** RNG draw and returns `None`, so
+    /// crash-free plans leave the `"faults"` stream bit-identical.
+    pub fn next_crash_delay(&mut self, hazard_per_s: f64) -> Option<SimDuration> {
+        if hazard_per_s <= 0.0 {
+            return None;
+        }
+        let u: f64 = self.rng.gen_range(1e-12..1.0);
+        Some(SimDuration::from_secs_f64(-u.ln() / hazard_per_s))
+    }
+}
+
+/// What the engine does with frames reaching a tap slot whose guard is
+/// down (the *blind window* between a crash and the supervised restart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlindWindowPolicy {
+    /// Fail open: frames bypass the dead guard and flow end-to-end. The
+    /// home keeps working, but a command injected during the window is
+    /// never screened.
+    PassThrough,
+    /// Fail closed: frames are dropped at the tap slot. No command can
+    /// slip past a dead guard, at the cost of availability (TCP
+    /// retransmits carry legitimate traffic through short windows).
+    Drop,
+}
+
+/// Crash/restart plan for the guard process at a tap slot.
+///
+/// Two scheduling modes compose: `crash_at` pins the *first* crash to an
+/// exact simulation time with no RNG draw (for golden traces), and
+/// `hazard_per_s` draws memoryless inter-crash delays from the `"faults"`
+/// stream for every subsequent (or, without `crash_at`, every) crash. A
+/// plan that is [`GuardFaults::is_none`] schedules nothing and draws
+/// nothing, keeping clean runs bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardFaults {
+    /// Expected crashes per simulated second (0 disables hazard crashes).
+    pub hazard_per_s: f64,
+    /// Absolute time of the first crash, bypassing the RNG.
+    pub crash_at: Option<simcore::SimTime>,
+    /// How long the supervisor takes to restart a crashed guard.
+    pub restart_delay: SimDuration,
+    /// Restart budget: after this many restarts the guard stays down.
+    pub max_restarts: u32,
+    /// Periodic checkpoint interval; `None` disables checkpointing and a
+    /// restarted guard rebuilds from its boot configuration.
+    pub checkpoint_every: Option<SimDuration>,
+    /// What happens to tap-slot traffic while the guard is down.
+    pub blind: BlindWindowPolicy,
+}
+
+impl GuardFaults {
+    /// No crashes ever — the engine schedules nothing and draws nothing.
+    pub const fn none() -> Self {
+        GuardFaults {
+            hazard_per_s: 0.0,
+            crash_at: None,
+            restart_delay: SimDuration::from_secs(2),
+            max_restarts: 0,
+            checkpoint_every: None,
+            blind: BlindWindowPolicy::PassThrough,
+        }
+    }
+
+    /// True if this plan can never crash a guard.
+    pub fn is_none(&self) -> bool {
+        self.hazard_per_s <= 0.0 && self.crash_at.is_none()
+    }
+}
+
+impl Default for GuardFaults {
+    fn default() -> Self {
+        GuardFaults::none()
+    }
+}
+
+/// Tallies of guard crash/recovery activity, for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardFaultCounters {
+    /// Guard crashes injected.
+    pub crashes: u64,
+    /// Supervised restarts completed.
+    pub restarts: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Frames passed through an unguarded tap slot (fail-open blind window).
+    pub blind_passed: u64,
+    /// Frames dropped at an unguarded tap slot (fail-closed blind window).
+    pub blind_dropped: u64,
+    /// Frames that were held by the guard and lost when it crashed.
+    pub held_frames_lost: u64,
 }
 
 #[cfg(test)]
@@ -402,6 +495,49 @@ mod tests {
         let mut inj = injector(plan, 3);
         assert!(inj.decide(Leg::Lan).drop);
         assert!(!inj.decide(Leg::Wan).drop);
+    }
+
+    #[test]
+    fn zero_hazard_makes_no_draws_and_leaves_stream_bit_identical() {
+        // Interleaving zero-hazard crash queries must not shift the fault
+        // decisions of an otherwise-identical injector.
+        let plan = FaultPlan::uniform_loss(0.3);
+        let mut a = injector(plan, 9);
+        let mut b = injector(plan, 9);
+        for i in 0..5_000 {
+            assert_eq!(b.next_crash_delay(0.0), None);
+            assert_eq!(b.next_crash_delay(-1.0), None);
+            assert_eq!(a.decide(Leg::Lan), b.decide(Leg::Lan), "frame {i}");
+        }
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn crash_delay_mean_is_roughly_inverse_hazard() {
+        let mut inj = injector(FaultPlan::none(), 21);
+        let rate = 0.05; // one crash per 20 s on average
+        let n = 5_000;
+        let total: f64 = (0..n)
+            .map(|_| inj.next_crash_delay(rate).unwrap().as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 20.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn guard_faults_none_is_none() {
+        assert!(GuardFaults::none().is_none());
+        assert!(GuardFaults::default().is_none());
+        let hazard = GuardFaults {
+            hazard_per_s: 0.01,
+            ..GuardFaults::none()
+        };
+        assert!(!hazard.is_none());
+        let pinned = GuardFaults {
+            crash_at: Some(simcore::SimTime::from_secs(7)),
+            ..GuardFaults::none()
+        };
+        assert!(!pinned.is_none());
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub use app::{AppCtx, CloseReason, Middlebox, NetApp, TapCtx, TapVerdict};
 pub use capture::{Capture, CapturedPacket, PacketKind};
 pub use dns::{DnsZone, ServerPool};
 pub use engine::{ConnId, HostId, Network, NetworkConfig};
-pub use fault::{FaultCounters, FaultPlan, LinkFaults, LossModel};
+pub use fault::{
+    BlindWindowPolicy, FaultCounters, FaultPlan, GuardFaultCounters, GuardFaults, LinkFaults,
+    LossModel,
+};
 pub use latency::LatencyModel;
 pub use wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};

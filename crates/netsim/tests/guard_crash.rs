@@ -1,0 +1,237 @@
+//! Guard crash/restart supervision at the engine level: blind-window
+//! policies, checkpoint plumbing, held-frame loss accounting, and the
+//! restart budget. The guard-side recovery logic (snapshot/restore,
+//! re-adoption) lives in the `voiceguard` crate; these tests drive the
+//! engine contract with a minimal recording middlebox.
+
+use netsim::{
+    AppCtx, BlindWindowPolicy, CloseReason, ConnId, GuardFaults, Middlebox, NetApp, Network,
+    NetworkConfig, SegmentPayload, TapCtx, TapVerdict, TlsRecord,
+};
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const CLOUD_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 1);
+
+/// Sends one record per second so there is always traffic in flight.
+#[derive(Default)]
+struct Chatter {
+    conn: Option<ConnId>,
+    sent: usize,
+    closed: Option<CloseReason>,
+}
+
+impl NetApp for Chatter {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        self.conn = Some(ctx.connect(SocketAddrV4::new(CLOUD_IP, 443)));
+    }
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, _conn: ConnId) {
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, _token: u64) {
+        if self.closed.is_some() {
+            return;
+        }
+        if let Some(conn) = self.conn {
+            if ctx.send_record(conn, TlsRecord::app_data(400)) {
+                self.sent += 1;
+            }
+        }
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, reason: CloseReason) {
+        self.closed = Some(reason);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    received: usize,
+}
+impl NetApp for Sink {
+    fn on_record(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, _record: TlsRecord) {
+        self.received += 1;
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A middlebox that counts lifecycle callbacks and optionally holds every
+/// data segment (to exercise held-frame loss at crash time).
+#[derive(Default)]
+struct RecordingTap {
+    hold_data: bool,
+    segs_seen: usize,
+    crashes: usize,
+    restarts: usize,
+    checkpoints_taken: usize,
+    restored_from_checkpoint: bool,
+}
+
+impl Middlebox for RecordingTap {
+    fn on_segment(&mut self, _ctx: &mut dyn TapCtx, view: &netsim::app::SegmentView) -> TapVerdict {
+        self.segs_seen += 1;
+        if self.hold_data && matches!(view.payload, SegmentPayload::Data(_)) {
+            TapVerdict::Hold
+        } else {
+            TapVerdict::Forward
+        }
+    }
+    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+        self.checkpoints_taken += 1;
+        Some(Box::new(self.segs_seen))
+    }
+    fn crash(&mut self) {
+        self.crashes += 1;
+        self.segs_seen = 0; // in-memory state is gone
+    }
+    fn restart(&mut self, _ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+        self.restarts += 1;
+        if let Some(n) = checkpoint.and_then(|c| c.downcast_ref::<usize>()) {
+            self.segs_seen = *n;
+            self.restored_from_checkpoint = true;
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn build(seed: u64, guard_faults: GuardFaults, tap: RecordingTap) -> (Network, netsim::HostId) {
+    let mut net = Network::new(NetworkConfig {
+        seed,
+        guard_faults,
+        ..NetworkConfig::default()
+    });
+    let speaker = net.add_host("speaker", SPEAKER_IP);
+    let cloud = net.add_host("cloud", CLOUD_IP);
+    net.set_app(speaker, Box::new(Chatter::default()));
+    net.set_app(cloud, Box::new(Sink::default()));
+    net.set_tap(speaker, Box::new(tap));
+    net.start();
+    (net, speaker)
+}
+
+#[test]
+fn zero_plan_schedules_nothing_and_counts_nothing() {
+    let (mut net, speaker) = build(1, GuardFaults::none(), RecordingTap::default());
+    net.run_until(SimTime::from_secs(30));
+    let c = net.guard_fault_counters();
+    assert_eq!(c, netsim::GuardFaultCounters::default());
+    assert!(net.tap_up(speaker));
+    assert!(net.trace().filter("guard.crash").next().is_none());
+    net.with_tap::<RecordingTap, _>(speaker, |t, _| {
+        assert_eq!(t.crashes, 0);
+        assert_eq!(t.restarts, 0);
+        assert_eq!(t.checkpoints_taken, 0);
+    });
+}
+
+#[test]
+fn pinned_crash_restarts_with_latest_checkpoint() {
+    let gf = GuardFaults {
+        crash_at: Some(SimTime::from_secs(10)),
+        restart_delay: SimDuration::from_secs(2),
+        max_restarts: 1,
+        checkpoint_every: Some(SimDuration::from_secs(3)),
+        blind: BlindWindowPolicy::PassThrough,
+        ..GuardFaults::none()
+    };
+    let (mut net, speaker) = build(2, gf, RecordingTap::default());
+    net.run_until(SimTime::from_secs(20));
+    let c = net.guard_fault_counters();
+    assert_eq!(c.crashes, 1);
+    assert_eq!(c.restarts, 1);
+    assert!(c.checkpoints >= 3, "checkpoints={}", c.checkpoints);
+    assert!(c.blind_passed > 0, "traffic flowed during the blind window");
+    assert_eq!(c.blind_dropped, 0);
+    assert!(net.tap_up(speaker));
+    net.with_tap::<RecordingTap, _>(speaker, |t, _| {
+        assert_eq!(t.crashes, 1);
+        assert_eq!(t.restarts, 1);
+        assert!(t.restored_from_checkpoint);
+        assert!(t.segs_seen > 0, "checkpointed count was restored");
+    });
+}
+
+#[test]
+fn blind_window_drop_policy_stops_frames_at_the_slot() {
+    let gf = GuardFaults {
+        crash_at: Some(SimTime::from_secs(5)),
+        restart_delay: SimDuration::from_secs(4),
+        max_restarts: 1,
+        blind: BlindWindowPolicy::Drop,
+        ..GuardFaults::none()
+    };
+    let (mut net, speaker) = build(3, gf, RecordingTap::default());
+    net.run_until(SimTime::from_secs(20));
+    let c = net.guard_fault_counters();
+    assert_eq!(c.crashes, 1);
+    assert_eq!(c.restarts, 1);
+    assert!(c.blind_dropped > 0, "frames were dropped while down");
+    assert_eq!(c.blind_passed, 0);
+    // TCP retransmission carries the session across the 4 s window.
+    net.with_app::<Chatter, _>(speaker, |a, _| {
+        assert_eq!(a.closed, None, "session survived the blind window");
+    });
+}
+
+#[test]
+fn crash_discards_held_frames_and_session_fails_closed() {
+    // The tap holds every data record (spoof-ACKing the sender). When the
+    // guard dies those frames are gone; post-crash records pass through
+    // (fail-open window with max_restarts = 0) and expose the record-seq
+    // gap, so the receiver tears the session down — Fig. 4 case III.
+    let gf = GuardFaults {
+        crash_at: Some(SimTime::from_secs(6)),
+        max_restarts: 0,
+        blind: BlindWindowPolicy::PassThrough,
+        ..GuardFaults::none()
+    };
+    let tap = RecordingTap {
+        hold_data: true,
+        ..RecordingTap::default()
+    };
+    let (mut net, speaker) = build(4, gf, tap);
+    net.run_until(SimTime::from_secs(30));
+    let c = net.guard_fault_counters();
+    assert_eq!(c.crashes, 1);
+    assert_eq!(c.restarts, 0, "no restart budget");
+    assert!(!net.tap_up(speaker), "guard stays down");
+    assert!(c.held_frames_lost > 0, "held frames were lost in the crash");
+    net.with_app::<Chatter, _>(speaker, |a, _| {
+        assert_eq!(
+            a.closed,
+            Some(CloseReason::TlsRecordSequenceMismatch),
+            "stale hold drained fail-closed via the record-seq check"
+        );
+    });
+}
+
+#[test]
+fn hazard_crashes_are_repeated_and_deterministic() {
+    let gf = GuardFaults {
+        hazard_per_s: 0.2,
+        restart_delay: SimDuration::from_secs(1),
+        max_restarts: 100,
+        blind: BlindWindowPolicy::PassThrough,
+        ..GuardFaults::none()
+    };
+    let run = |seed| {
+        let (mut net, _) = build(seed, gf, RecordingTap::default());
+        net.run_until(SimTime::from_secs(60));
+        net.guard_fault_counters()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a, b, "same seed, same crash schedule");
+    assert!(a.crashes >= 2, "crashes={}", a.crashes);
+    // The final crash's restart may fall past the horizon.
+    assert!(a.restarts >= a.crashes - 1, "{a:?}");
+}

@@ -9,8 +9,9 @@
 //! when the behavior change is intended.
 
 use experiments::{FaultProfile, GuardedHome, ScenarioConfig};
+use netsim::{BlindWindowPolicy, GuardFaults};
 use rfsim::Point;
-use simcore::SimDuration;
+use simcore::{SimDuration, SimTime};
 use std::fmt::Write as _;
 use testbeds::apartment;
 use voiceguard::GuardEvent;
@@ -47,6 +48,17 @@ fn render(events: &[GuardEvent]) -> String {
                 out,
                 "{:12.6} block   {query} dropped={dropped}",
                 at.as_secs_f64()
+            ),
+            GuardEvent::HoldAbandoned { query, at } => writeln!(
+                out,
+                "{:12.6} abandon {query} (hold predates this incarnation)",
+                at.as_secs_f64()
+            ),
+            GuardEvent::FlowReAdopted { at, pipeline, conn } => writeln!(
+                out,
+                "{:12.6} readopt conn#{} pipeline={pipeline}",
+                at.as_secs_f64(),
+                conn.0
             ),
         }
         .expect("write to string");
@@ -94,6 +106,72 @@ fn echo_guard_event_sequence_is_pinned() {
     assert_eq!(
         trace, ECHO_GOLDEN,
         "Echo guard event sequence changed; new trace:\n{trace}"
+    );
+}
+
+/// The canonical crash run: a legitimate command, then an attack whose
+/// hold is cut short by a guard crash pinned mid-deliberation, a 2 s
+/// blind window, a checkpoint-restoring restart that drains the stale
+/// hold fail-closed, mid-stream re-adoption of the speaker's next AVS
+/// session, and a final legitimate command that must complete normally.
+fn crash_canonical_run() -> (String, bool, bool) {
+    let mut cfg = ScenarioConfig::echo(apartment(), 0, 42);
+    let mut faults = FaultProfile::clean();
+    faults.name = "crash-golden";
+    faults.guard = GuardFaults {
+        crash_at: Some(SimTime::from_secs_f64(36.2)),
+        restart_delay: SimDuration::from_secs(2),
+        max_restarts: 1,
+        checkpoint_every: Some(SimDuration::from_secs(1)),
+        blind: BlindWindowPolicy::PassThrough,
+        ..GuardFaults::none()
+    };
+    cfg.faults = faults;
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let dev = home.device_ids()[0];
+    let sp = home.testbed().deployments[0];
+    home.set_device_position(dev, Point::new(sp.x + 1.0, sp.y, sp.floor));
+    home.utter(4, 1, false);
+    home.run_for(SimDuration::from_secs(30));
+    home.set_device_position(dev, home.testbed().outside);
+    let attack = home.utter(4, 1, true);
+    home.run_for(SimDuration::from_secs(10));
+    home.set_device_position(dev, Point::new(sp.x + 1.0, sp.y, sp.floor));
+    let post_restart = home.utter(4, 1, false);
+    home.run_for(SimDuration::from_secs(30));
+    let attack_blocked = !home.executed(attack);
+    let legit_executed = home.executed(post_restart);
+    (render(&home.guard_events), attack_blocked, legit_executed)
+}
+
+const ECHO_CRASH_GOLDEN: &str = "    5.022735 spike   Command
+    5.382847 query   query#0 pipeline=0 hold_started=5.022735
+    6.631065 allow   query#0 released=10
+   10.231726 spike   NotCommand
+   35.022481 spike   Command
+   35.382498 query   query#1 pipeline=0 hold_started=35.022481
+   38.200000 abandon query#1 (hold predates this incarnation)
+   45.022380 spike   Command
+   45.292463 query   query#2 pipeline=0 hold_started=45.022380
+   47.199680 allow   query#2 released=16
+   50.680605 spike   NotCommand
+";
+
+#[test]
+fn echo_crash_recovery_sequence_is_pinned() {
+    let (trace, attack_blocked, legit_executed) = crash_canonical_run();
+    assert!(
+        attack_blocked,
+        "attack cut by the crash must not execute; trace:\n{trace}"
+    );
+    assert!(
+        legit_executed,
+        "post-restart legitimate command must complete; trace:\n{trace}"
+    );
+    assert_eq!(
+        trace, ECHO_CRASH_GOLDEN,
+        "crash recovery event sequence changed; new trace:\n{trace}"
     );
 }
 
