@@ -25,6 +25,10 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # blind-window policies (fail-open pass-through and fail-closed drop).
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-pass
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-drop
+# Adversarial smoke: one round of the flow-flood and slow-loris memory
+# attacks against the unbounded and hardened guard. A hang, panic, or
+# non-blocked attack command here means the state bounds regressed.
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --adversarial --attack flood --attack slow-loris
 run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
 run cargo "${CARGO_ARGS[@]}" fmt --check
 

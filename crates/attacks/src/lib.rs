@@ -17,6 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod traffic;
+
+pub use traffic::{
+    FloodClient, FloodConfig, SignatureMimicApp, SignatureMimicConfig, SinkServer, SlowLorisApp,
+    SlowLorisConfig, SpikeStormApp, SpikeStormConfig,
+};
+
 use rand::Rng;
 use rfsim::Point;
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,598 @@
+//! Adversarial *network* traffic against the guard itself.
+//!
+//! The planner in the crate root models attackers who make the speaker
+//! *hear* things. The apps here model a different adversary: a
+//! compromised LAN device (or a WAN peer it talks to) that attacks the
+//! guard's **memory** rather than the speaker's microphone, trying to
+//! push the tap's tracked state past its bounds or starve legitimate
+//! holds:
+//!
+//! * [`FloodClient`] — thousands of short-lived connections, inflating
+//!   the flow table;
+//! * [`SlowLorisApp`] — sessions that emit one post-idle burst and then
+//!   stall forever, pinning per-flow state (and, against a guard that
+//!   can be fooled into holding them, hold memory) until something
+//!   evicts them;
+//! * [`SignatureMimicApp`] — replays the Echo Dot's 16-record
+//!   connection-establishment signature from a non-AVS endpoint, trying
+//!   to poison the guard's flow identification and its adaptive
+//!   signature learner;
+//! * [`SpikeStormApp`] — a single long-lived connection firing post-idle
+//!   bursts back to back, maximising spike classifications and pending
+//!   queries per unit time.
+//!
+//! All pacing jitter is drawn from the app's own [`netsim`] host RNG
+//! stream, so a run with adversaries replays bit-identically for a
+//! given seed and adding adversaries never perturbs the streams of
+//! other hosts.
+
+use netsim::{AppCtx, CloseReason, ConnId, NetApp, TlsRecord};
+use rand::Rng;
+use simcore::SimDuration;
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+
+/// Phase-1 command marker length used for attack bursts (`p-138`): it is
+/// what the guard's spike classifier treats as command evidence, making
+/// the bursts maximally suspicious.
+const BURST_RECORD_LEN: u32 = speakers::PHASE1_MARKERS[0];
+
+const TOKEN_WAVE: u64 = 1;
+const TOKEN_SESSION: u64 = 2;
+const TOKEN_BURST: u64 = 3;
+/// Tokens at or above this encode `TOKEN_CONN_BASE + conn` per-connection
+/// deadlines.
+const TOKEN_CONN_BASE: u64 = 1 << 32;
+
+/// Configuration of a [`FloodClient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodConfig {
+    /// Server the flood connects to.
+    pub target: SocketAddrV4,
+    /// Quiet period before the first wave.
+    pub start: SimDuration,
+    /// Connections opened per wave.
+    pub conns_per_wave: usize,
+    /// Gap between waves.
+    pub wave_interval: SimDuration,
+    /// Total connections to open before going quiet.
+    pub total_conns: usize,
+    /// Records sent on each connection before it is closed.
+    pub records_per_conn: u32,
+    /// How long each connection lives after establishment.
+    pub linger: SimDuration,
+}
+
+impl FloodConfig {
+    /// A dense default profile: 40 waves of 25 connections, 250 ms apart.
+    pub fn dense(target: SocketAddrV4, start: SimDuration) -> Self {
+        FloodConfig {
+            target,
+            start,
+            conns_per_wave: 25,
+            wave_interval: SimDuration::from_millis(250),
+            total_conns: 1_000,
+            records_per_conn: 2,
+            linger: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Flow-flood client: opens `total_conns` short-lived connections in
+/// paced waves. Each tracked connection costs the guard a flow-table
+/// entry and a record ledger until it closes or is evicted.
+#[derive(Debug)]
+pub struct FloodClient {
+    config: FloodConfig,
+    opened: usize,
+    established: usize,
+}
+
+impl FloodClient {
+    /// Creates a flood client.
+    pub fn new(config: FloodConfig) -> Self {
+        FloodClient {
+            config,
+            opened: 0,
+            established: 0,
+        }
+    }
+
+    /// Connections opened so far.
+    pub fn opened(&self) -> usize {
+        self.opened
+    }
+
+    /// Connections that completed establishment so far.
+    pub fn established(&self) -> usize {
+        self.established
+    }
+}
+
+impl NetApp for FloodClient {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..50));
+        ctx.set_timer(self.config.start + jitter, TOKEN_WAVE);
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        self.established += 1;
+        for _ in 0..self.config.records_per_conn {
+            let len = ctx.rng().gen_range(40..200);
+            ctx.send_record(conn, TlsRecord::app_data(len));
+        }
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..100));
+        ctx.set_timer(self.config.linger + jitter, TOKEN_CONN_BASE + conn.0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if token >= TOKEN_CONN_BASE {
+            ctx.close(ConnId(token - TOKEN_CONN_BASE));
+            return;
+        }
+        if token != TOKEN_WAVE {
+            return;
+        }
+        let wave = self
+            .config
+            .conns_per_wave
+            .min(self.config.total_conns - self.opened);
+        for _ in 0..wave {
+            ctx.connect(self.config.target);
+            self.opened += 1;
+        }
+        if self.opened < self.config.total_conns {
+            let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..50));
+            ctx.set_timer(self.config.wave_interval + jitter, TOKEN_WAVE);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Configuration of a [`SlowLorisApp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowLorisConfig {
+    /// Server the stalled sessions connect to.
+    pub target: SocketAddrV4,
+    /// Quiet period before the first session.
+    pub start: SimDuration,
+    /// Stalled sessions to open in total.
+    pub sessions: usize,
+    /// Gap between session openings.
+    pub session_interval: SimDuration,
+    /// Idle time before each session's burst, so the burst registers as
+    /// post-idle (a spike) at the guard.
+    pub idle_wait: SimDuration,
+    /// Records in the one burst each session ever sends.
+    pub burst_records: u32,
+}
+
+impl SlowLorisConfig {
+    /// A default profile: 20 sessions, 2 s apart, bursting after 3 s idle.
+    pub fn pinned(target: SocketAddrV4, start: SimDuration) -> Self {
+        SlowLorisConfig {
+            target,
+            start,
+            sessions: 20,
+            session_interval: SimDuration::from_secs(2),
+            idle_wait: SimDuration::from_secs(3),
+            burst_records: 12,
+        }
+    }
+}
+
+/// Slow-loris holder: each session idles, emits one command-marker burst
+/// and then stalls with the connection open. Whatever per-flow state the
+/// guard allocated for the burst stays allocated until an idle-TTL or
+/// capacity bound reclaims it.
+#[derive(Debug)]
+pub struct SlowLorisApp {
+    config: SlowLorisConfig,
+    opened: usize,
+}
+
+impl SlowLorisApp {
+    /// Creates a slow-loris holder.
+    pub fn new(config: SlowLorisConfig) -> Self {
+        SlowLorisApp { config, opened: 0 }
+    }
+
+    /// Sessions opened so far.
+    pub fn opened(&self) -> usize {
+        self.opened
+    }
+}
+
+impl NetApp for SlowLorisApp {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..50));
+        ctx.set_timer(self.config.start + jitter, TOKEN_SESSION);
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..200));
+        ctx.set_timer(self.config.idle_wait + jitter, TOKEN_CONN_BASE + conn.0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if token >= TOKEN_CONN_BASE {
+            let conn = ConnId(token - TOKEN_CONN_BASE);
+            for _ in 0..self.config.burst_records {
+                ctx.send_record(conn, TlsRecord::app_data(BURST_RECORD_LEN));
+            }
+            // ... and never again: the connection stalls open.
+            return;
+        }
+        if token != TOKEN_SESSION {
+            return;
+        }
+        ctx.connect(self.config.target);
+        self.opened += 1;
+        if self.opened < self.config.sessions {
+            let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..200));
+            ctx.set_timer(self.config.session_interval + jitter, TOKEN_SESSION);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Configuration of a [`SignatureMimicApp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureMimicConfig {
+    /// Server the mimic connects to (NOT an AVS front-end).
+    pub target: SocketAddrV4,
+    /// Quiet period before the first mimic session.
+    pub start: SimDuration,
+    /// Establishment signature to replay, record length by record length.
+    pub signature: Vec<u32>,
+    /// Mimic sessions to run in total.
+    pub sessions: usize,
+    /// Gap between sessions.
+    pub session_interval: SimDuration,
+    /// Idle time after the replayed establishment before the fake
+    /// command burst.
+    pub idle_wait: SimDuration,
+}
+
+impl SignatureMimicConfig {
+    /// Mimics the Echo Dot's stock AVS establishment signature.
+    pub fn avs(target: SocketAddrV4, start: SimDuration) -> Self {
+        SignatureMimicConfig {
+            target,
+            start,
+            signature: speakers::AVS_CONNECT_SIGNATURE.to_vec(),
+            sessions: 6,
+            session_interval: SimDuration::from_secs(8),
+            idle_wait: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Signature mimic: replays a speaker's connection-establishment
+/// signature from a non-speaker endpoint, then emits a command-marker
+/// burst. Against an unhardened guard this can hijack flow
+/// identification (`avs_ip`) or steer the adaptive signature learner;
+/// the hardened guard must treat the whole session as foreign.
+#[derive(Debug)]
+pub struct SignatureMimicApp {
+    config: SignatureMimicConfig,
+    opened: usize,
+}
+
+impl SignatureMimicApp {
+    /// Creates a signature mimic.
+    pub fn new(config: SignatureMimicConfig) -> Self {
+        SignatureMimicApp { config, opened: 0 }
+    }
+
+    /// Mimic sessions opened so far.
+    pub fn opened(&self) -> usize {
+        self.opened
+    }
+}
+
+impl NetApp for SignatureMimicApp {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..50));
+        ctx.set_timer(self.config.start + jitter, TOKEN_SESSION);
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        // The replayed establishment, back to back like the real boot
+        // sequence.
+        for len in self.config.signature.clone() {
+            ctx.send_record(conn, TlsRecord::app_data(len));
+        }
+        let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..200));
+        ctx.set_timer(self.config.idle_wait + jitter, TOKEN_CONN_BASE + conn.0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if token >= TOKEN_CONN_BASE {
+            // The fake "voice command" after the establishment: if the
+            // guard fell for the signature it will now hold this burst.
+            let conn = ConnId(token - TOKEN_CONN_BASE);
+            for _ in 0..10 {
+                ctx.send_record(conn, TlsRecord::app_data(BURST_RECORD_LEN));
+            }
+            return;
+        }
+        if token != TOKEN_SESSION {
+            return;
+        }
+        ctx.connect(self.config.target);
+        self.opened += 1;
+        if self.opened < self.config.sessions {
+            let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..200));
+            ctx.set_timer(self.config.session_interval + jitter, TOKEN_SESSION);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Configuration of a [`SpikeStormApp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeStormConfig {
+    /// Server the storm connection talks to.
+    pub target: SocketAddrV4,
+    /// Quiet period before the first burst.
+    pub start: SimDuration,
+    /// Bursts to fire in total.
+    pub bursts: usize,
+    /// Gap between bursts (must exceed the guard's idle gap for every
+    /// burst to register as a fresh post-idle spike).
+    pub burst_interval: SimDuration,
+    /// Records per burst.
+    pub burst_records: u32,
+}
+
+impl SpikeStormConfig {
+    /// A default storm: 30 bursts, 2.5 s apart.
+    pub fn steady(target: SocketAddrV4, start: SimDuration) -> Self {
+        SpikeStormConfig {
+            target,
+            start,
+            bursts: 30,
+            burst_interval: SimDuration::from_millis(2_500),
+            burst_records: 8,
+        }
+    }
+}
+
+/// Spike-storm generator: one long-lived connection emitting post-idle
+/// command-marker bursts back to back — the per-connection analogue of a
+/// query flood.
+#[derive(Debug)]
+pub struct SpikeStormApp {
+    config: SpikeStormConfig,
+    conn: Option<ConnId>,
+    fired: usize,
+}
+
+impl SpikeStormApp {
+    /// Creates a spike-storm generator.
+    pub fn new(config: SpikeStormConfig) -> Self {
+        SpikeStormApp {
+            config,
+            conn: None,
+            fired: 0,
+        }
+    }
+
+    /// Bursts fired so far.
+    pub fn fired(&self) -> usize {
+        self.fired
+    }
+}
+
+impl NetApp for SpikeStormApp {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        self.conn = Some(ctx.connect(self.config.target));
+    }
+
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, conn: ConnId) {
+        if Some(conn) == self.conn {
+            let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..100));
+            ctx.set_timer(self.config.start + jitter, TOKEN_BURST);
+        }
+    }
+
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, conn: ConnId, _reason: CloseReason) {
+        if Some(conn) == self.conn {
+            self.conn = None;
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, token: u64) {
+        if token != TOKEN_BURST {
+            return;
+        }
+        let Some(conn) = self.conn else {
+            return;
+        };
+        for _ in 0..self.config.burst_records {
+            ctx.send_record(conn, TlsRecord::app_data(BURST_RECORD_LEN));
+        }
+        self.fired += 1;
+        if self.fired < self.config.bursts {
+            let jitter = SimDuration::from_millis(ctx.rng().gen_range(0..100));
+            ctx.set_timer(self.config.burst_interval + jitter, TOKEN_BURST);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Accept-everything server for the adversarial clients to talk to.
+/// Optionally answers every data record with a small response record, so
+/// attack connections carry two-way traffic like real ones.
+#[derive(Debug)]
+pub struct SinkServer {
+    respond_len: Option<u32>,
+    /// Records received per connection.
+    received: HashMap<u64, u64>,
+}
+
+impl SinkServer {
+    /// A sink answering each record with a `respond_len`-byte record.
+    pub fn responding(respond_len: u32) -> Self {
+        SinkServer {
+            respond_len: Some(respond_len),
+            received: HashMap::new(),
+        }
+    }
+
+    /// A sink that swallows everything silently.
+    pub fn silent() -> Self {
+        SinkServer {
+            respond_len: None,
+            received: HashMap::new(),
+        }
+    }
+
+    /// Total records received across all connections.
+    pub fn total_received(&self) -> u64 {
+        self.received.values().sum()
+    }
+}
+
+impl NetApp for SinkServer {
+    fn on_incoming(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, _from: SocketAddrV4) -> bool {
+        true
+    }
+
+    fn on_record(&mut self, ctx: &mut dyn AppCtx, conn: ConnId, _record: TlsRecord) {
+        *self.received.entry(conn.0).or_insert(0) += 1;
+        if let Some(len) = self.respond_len {
+            ctx.send_record(conn, TlsRecord::app_data(len));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{Network, NetworkConfig};
+    use std::net::Ipv4Addr;
+
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 66);
+    const SINK_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 66);
+
+    fn sink_addr() -> SocketAddrV4 {
+        SocketAddrV4::new(SINK_IP, 443)
+    }
+
+    fn net(seed: u64) -> Network {
+        Network::new(NetworkConfig {
+            seed,
+            ..NetworkConfig::default()
+        })
+    }
+
+    #[test]
+    fn flood_opens_and_closes_connections() {
+        let mut n = net(5);
+        let client = n.add_host("flood", CLIENT_IP);
+        let sink = n.add_host("sink", SINK_IP);
+        let mut cfg = FloodConfig::dense(sink_addr(), SimDuration::from_millis(100));
+        cfg.total_conns = 60;
+        n.set_app(client, Box::new(FloodClient::new(cfg)));
+        n.set_app(sink, Box::new(SinkServer::responding(47)));
+        n.start();
+        n.run_until(simcore::SimTime::from_secs(10));
+        n.with_app::<FloodClient, _>(client, |app, _| {
+            assert_eq!(app.opened(), 60);
+            assert_eq!(app.established(), 60);
+        });
+        n.with_app::<SinkServer, _>(sink, |app, _| {
+            assert!(app.total_received() >= 100, "{}", app.total_received());
+        });
+    }
+
+    #[test]
+    fn slow_loris_keeps_sessions_open() {
+        let mut n = net(6);
+        let client = n.add_host("loris", CLIENT_IP);
+        let sink = n.add_host("sink", SINK_IP);
+        let mut cfg = SlowLorisConfig::pinned(sink_addr(), SimDuration::from_millis(100));
+        cfg.sessions = 5;
+        n.set_app(client, Box::new(SlowLorisApp::new(cfg)));
+        n.set_app(sink, Box::new(SinkServer::silent()));
+        n.start();
+        n.run_until(simcore::SimTime::from_secs(30));
+        n.with_app::<SlowLorisApp, _>(client, |app, _| assert_eq!(app.opened(), 5));
+        // Every session burst once and then stalled without closing.
+        n.with_app::<SinkServer, _>(sink, |app, _| {
+            assert_eq!(app.total_received(), 5 * 12);
+        });
+    }
+
+    #[test]
+    fn mimic_replays_the_full_signature() {
+        let mut n = net(7);
+        let client = n.add_host("mimic", CLIENT_IP);
+        let sink = n.add_host("sink", SINK_IP);
+        let mut cfg = SignatureMimicConfig::avs(sink_addr(), SimDuration::from_millis(100));
+        cfg.sessions = 2;
+        n.set_app(client, Box::new(SignatureMimicApp::new(cfg)));
+        n.set_app(sink, Box::new(SinkServer::silent()));
+        n.start();
+        n.run_until(simcore::SimTime::from_secs(30));
+        let sig_len = speakers::AVS_CONNECT_SIGNATURE.len() as u64;
+        n.with_app::<SinkServer, _>(sink, |app, _| {
+            // establishment + 10-record burst, per session
+            assert_eq!(app.total_received(), 2 * (sig_len + 10));
+        });
+    }
+
+    #[test]
+    fn spike_storm_fires_every_burst() {
+        let mut n = net(8);
+        let client = n.add_host("storm", CLIENT_IP);
+        let sink = n.add_host("sink", SINK_IP);
+        let mut cfg = SpikeStormConfig::steady(sink_addr(), SimDuration::from_millis(500));
+        cfg.bursts = 4;
+        n.set_app(client, Box::new(SpikeStormApp::new(cfg)));
+        n.set_app(sink, Box::new(SinkServer::silent()));
+        n.start();
+        n.run_until(simcore::SimTime::from_secs(30));
+        n.with_app::<SpikeStormApp, _>(client, |app, _| assert_eq!(app.fired(), 4));
+        n.with_app::<SinkServer, _>(sink, |app, _| {
+            assert_eq!(app.total_received(), 4 * 8);
+        });
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let run = |seed| {
+            let mut n = net(seed);
+            let client = n.add_host("flood", CLIENT_IP);
+            let sink = n.add_host("sink", SINK_IP);
+            let mut cfg = FloodConfig::dense(sink_addr(), SimDuration::from_millis(100));
+            cfg.total_conns = 30;
+            n.set_app(client, Box::new(FloodClient::new(cfg)));
+            n.set_app(sink, Box::new(SinkServer::responding(47)));
+            n.start();
+            n.run_until(simcore::SimTime::from_secs(8));
+            n.with_app::<SinkServer, _>(sink, |app, _| app.total_received())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Regression: signature mimicry must not poison flow identification.
+//!
+//! A compromised LAN device replays the Echo Dot's 16-packet AVS
+//! establishment signature towards a non-AVS endpoint, then fires a
+//! marker-length "command" burst — the classic way to either hijack the
+//! guard's `avs_ip` or steer the adaptive signature learner towards the
+//! attacker's flow. The hardened guard only lets DNS-confirmed,
+//! verdict-surviving connections shape identification, so the mimic's
+//! session must stay foreign: never adopted as AVS, never held, never
+//! queried, and the learner's view of the front-end untouched.
+
+use attacks::{SignatureMimicApp, SignatureMimicConfig, SinkServer};
+use netsim::{Network, NetworkConfig, ServerPool};
+use simcore::SimDuration;
+use speakers::{AvsCloud, CommandSpec, EchoDotApp, AVS_DOMAIN};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const AVS_IP1: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+const AVS_IP2: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 11);
+const MIMIC_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 62);
+const SINK_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 66);
+
+/// Seed-pinned: the trace this test runs is bit-reproducible, so a
+/// regression that lets the mimic in cannot hide behind nondeterminism.
+const SEED: u64 = 41;
+
+#[test]
+fn mimic_connection_never_becomes_avs_or_steers_the_learner() {
+    let mut net = Network::new(NetworkConfig {
+        seed: SEED,
+        ..NetworkConfig::default()
+    });
+    let speaker = net.add_host("echo-dot", SPEAKER_IP);
+    let avs1 = net.add_host("avs-1", AVS_IP1);
+    let avs2 = net.add_host("avs-2", AVS_IP2);
+    let sink = net.add_host("adv-sink", SINK_IP);
+    let mimic = net.add_host("adv-mimic", MIMIC_IP);
+    net.set_app(avs1, Box::new(AvsCloud::new()));
+    net.set_app(avs2, Box::new(AvsCloud::new()));
+    net.dns_zone_mut()
+        .insert(AVS_DOMAIN, ServerPool::new(vec![AVS_IP1, AVS_IP2]));
+    net.set_app(
+        speaker,
+        Box::new(EchoDotApp::new(AVS_DOMAIN, vec![AVS_IP1, AVS_IP2], vec![])),
+    );
+    net.set_app(sink, Box::new(SinkServer::responding(64)));
+    // The mimic starts after the speaker's own (DNS-confirmed)
+    // establishment, the strongest position for the attack: the guard
+    // has a signature to confuse with and a learner to steer.
+    net.set_app(
+        mimic,
+        Box::new(SignatureMimicApp::new(SignatureMimicConfig::avs(
+            SocketAddrV4::new(SINK_IP, 443),
+            SimDuration::from_secs(6),
+        ))),
+    );
+    net.set_tap(
+        speaker,
+        Box::new(VoiceGuardTap::new(GuardConfig {
+            adaptive_signature: true,
+            ..GuardConfig::echo_dot()
+        })),
+    );
+    // The adversary sits on the speaker's access link: its traffic
+    // traverses the same guard.
+    net.share_tap(mimic, speaker);
+    net.share_tap(sink, speaker);
+    net.start();
+
+    // Let every mimic session (establishment replay + idle + marker
+    // burst) play out while the speaker only heartbeats. A guard that
+    // falls for the replay would adopt the mimic flow as AVS and its
+    // post-idle marker burst would be held and queried.
+    let mut queries = 0u64;
+    while net.now() < simcore::SimTime::from_secs(70) {
+        net.run_for(SimDuration::from_millis(250));
+        for ev in net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.take_events()) {
+            if matches!(ev, GuardEvent::QueryRequested { .. }) {
+                queries += 1;
+            }
+        }
+    }
+    let sessions = net.with_app::<SignatureMimicApp, _>(mimic, |app, _| app.opened());
+    assert!(sessions >= 6, "the mimic must actually have attacked");
+    assert_eq!(
+        queries, 0,
+        "a mimic burst was held and queried: the guard adopted a foreign \
+         flow as the speaker's"
+    );
+    let (learned, adapted) = net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| {
+        (g.learned_avs_ip(), g.stats.signatures_adapted)
+    });
+    let learned = learned.expect("the speaker's own flow must be identified");
+    assert!(
+        learned == AVS_IP1 || learned == AVS_IP2,
+        "flow identification was hijacked to {learned}"
+    );
+    assert_eq!(
+        adapted, 0,
+        "the learner promoted a signature off the mimic's replay"
+    );
+
+    // The real flow is still tracked: a command spoken now is recognised
+    // and, under a malicious verdict, blocked.
+    net.with_app::<EchoDotApp, _>(speaker, |app, ctx| {
+        app.speak_command(ctx, CommandSpec::simple(1));
+    });
+    let mut raised = 0u64;
+    let mut blocked = 0u64;
+    let until = net.now() + SimDuration::from_secs(40);
+    while net.now() < until {
+        net.run_for(SimDuration::from_millis(100));
+        for ev in net.with_tap::<VoiceGuardTap, _>(speaker, |g, _| g.take_events()) {
+            match ev {
+                GuardEvent::QueryRequested { query, .. } => {
+                    raised += 1;
+                    net.with_tap::<VoiceGuardTap, _>(speaker, |g, ctx| {
+                        g.schedule_verdict(
+                            ctx,
+                            query,
+                            Verdict::Malicious,
+                            SimDuration::from_millis(1500),
+                        )
+                    });
+                }
+                GuardEvent::CommandBlocked { .. } => blocked += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(raised >= 1, "the speaker's own command must be recognised");
+    assert!(blocked >= 1, "the malicious verdict must block it");
+}

@@ -62,6 +62,32 @@ pub struct GuardConfig {
     /// that changes the handshake does not break DNS-less flow
     /// re-identification.
     pub adaptive_signature: bool,
+    /// Maximum flows tracked per pipeline before the least-recently-active
+    /// flow is evicted (0 = unbounded, today's behaviour). An evicted flow
+    /// with an open hold is drained fail-closed like `HoldAbandoned`.
+    #[serde(default)]
+    pub flow_table_capacity: usize,
+    /// A tracked flow idle this long is expired off the timer wheel
+    /// (0 = never expire). Expiry uses the same fail-closed drain as
+    /// capacity eviction.
+    #[serde(default)]
+    pub flow_idle_ttl: SimDuration,
+    /// Maximum outstanding record-sequence holes tracked per connection
+    /// ledger (0 = unbounded). A connection that overflows its ledger is
+    /// quarantined fail-closed: its speaker-originated data is dropped.
+    #[serde(default)]
+    pub ledger_hole_capacity: usize,
+    /// Maximum out-of-order records buffered per spike while waiting for
+    /// in-sequence delivery (0 = unbounded). Overflow quarantines the
+    /// connection fail-closed.
+    #[serde(default)]
+    pub reorder_buffer_capacity: usize,
+    /// Maximum unanswered verdict queries across the whole tap
+    /// (0 = unbounded). When a new query would exceed the budget, the
+    /// oldest unanswered query is shed fail-closed (its held traffic is
+    /// discarded as if the verdict had been Malicious).
+    #[serde(default)]
+    pub pending_query_budget: usize,
 }
 
 impl GuardConfig {
@@ -81,6 +107,11 @@ impl GuardConfig {
             hold_capacity: 0,
             naive_spike_detection: false,
             adaptive_signature: false,
+            flow_table_capacity: 0,
+            flow_idle_ttl: SimDuration::default(),
+            ledger_hole_capacity: 0,
+            reorder_buffer_capacity: 0,
+            pending_query_budget: 0,
         }
     }
 
@@ -90,6 +121,15 @@ impl GuardConfig {
             speaker: SpeakerKind::GoogleHomeMini,
             ..GuardConfig::echo_dot()
         }
+    }
+
+    /// True when a tracked flow can be dropped while its connection is
+    /// still alive (capacity eviction or idle-TTL expiry). Pipelines use
+    /// this to decide whether a first sight of mid-stream data may be a
+    /// previously-evicted flow that must be re-adopted by address — the
+    /// same blind spot a crash restart creates.
+    pub fn flows_evictable(&self) -> bool {
+        self.flow_table_capacity != 0 || self.flow_idle_ttl != SimDuration::default()
     }
 
     /// The hold-overflow policy implied by `hold_capacity` and
@@ -135,6 +175,16 @@ mod tests {
         assert_eq!(c.classify_max_packets, 7);
         assert_eq!(c.idle_gap, SimDuration::from_secs(2));
         assert!(c.fail_closed);
+    }
+
+    #[test]
+    fn state_bounds_default_to_unbounded() {
+        let c = GuardConfig::echo_dot();
+        assert_eq!(c.flow_table_capacity, 0);
+        assert_eq!(c.flow_idle_ttl, SimDuration::default());
+        assert_eq!(c.ledger_hole_capacity, 0);
+        assert_eq!(c.reorder_buffer_capacity, 0);
+        assert_eq!(c.pending_query_budget, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use crate::config::GuardConfig;
 use crate::decision::Verdict;
-use crate::guard::flow::FlowTable;
+use crate::guard::flow::{EvictionPolicy, FlowTable};
 use crate::guard::pipeline::{
     repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
     SpeakerPipeline, Spike, SpikeMode,
@@ -62,6 +62,25 @@ struct ConnTrack {
     /// re-synchronise on the first post-restart record, forgiving the
     /// seqs that flowed (or were dropped) during the blind window.
     resync: bool,
+    /// Last time any frame of this connection traversed the tap (drives
+    /// the idle-TTL sweep; unlike `last_data` it counts heartbeats and
+    /// control frames too, so a live-but-quiet AVS session is not
+    /// expired).
+    #[serde(default)]
+    last_seen: simcore::SimTime,
+    /// Fail-closed quarantine after a ledger or reorder-buffer overflow:
+    /// speaker-originated frames on this connection are dropped.
+    #[serde(default)]
+    quarantined: bool,
+    /// A completed learner observation parked until the connection
+    /// closes. Committing only at close keeps a connection that is later
+    /// ruled Malicious from ever updating the learned signature.
+    #[serde(default)]
+    pending_commit: Option<Observation>,
+    /// Set when a Malicious verdict hit this connection: it can never
+    /// contribute to the adaptive signature again.
+    #[serde(default)]
+    condemned: bool,
 }
 
 /// [`SpeakerPipeline`] for the Amazon Echo Dot (paper §IV-B1).
@@ -77,6 +96,15 @@ pub struct EchoPipeline {
     /// mid-stream enter [`ConnKind::Provisional`] instead of signature
     /// matching (their establishment is gone).
     restarted: bool,
+    /// The speaker's own LAN address, learned on a catch-all slot as the
+    /// client of the first connection to a DNS-confirmed front-end (the
+    /// speaker resolved the domain through this very tap). Connections
+    /// from any other client are [`ConnKind::Other`] — they can neither
+    /// match the establishment signature nor feed the adaptive learner,
+    /// which is what defeats signature mimicry from a LAN neighbour.
+    speaker_identity: Option<Ipv4Addr>,
+    /// True while a [`TimerToken::FlowTtlSweep`] timer is armed.
+    sweep_armed: bool,
 }
 
 /// Serializable state of an [`EchoPipeline`] (see
@@ -92,6 +120,9 @@ pub struct EchoSnapshot {
     /// DNS-confirmed front-end IPs, sorted.
     dns_confirmed_ips: Vec<Ipv4Addr>,
     restarted: bool,
+    /// The learned speaker address (catch-all slots only).
+    #[serde(default)]
+    speaker_identity: Option<Ipv4Addr>,
 }
 
 impl EchoPipeline {
@@ -108,6 +139,8 @@ impl EchoPipeline {
             learner,
             dns_confirmed_ips: HashSet::new(),
             restarted: false,
+            speaker_identity: None,
+            sweep_armed: false,
         }
     }
 
@@ -125,7 +158,42 @@ impl EchoPipeline {
             learner: snap.learner.clone(),
             dns_confirmed_ips: snap.dns_confirmed_ips.iter().copied().collect(),
             restarted: snap.restarted,
+            speaker_identity: snap.speaker_identity,
+            // Re-armed lazily on the next tracked frame.
+            sweep_armed: false,
         }
+    }
+
+    /// Arms the periodic idle-flow sweep when a TTL is configured and
+    /// flows are tracked. A zero TTL never arms a timer, so unbounded
+    /// configurations stay byte-identical to the pre-bounds guard.
+    fn ensure_sweep(&mut self, ctx: &mut PipelineCtx<'_>) {
+        let ttl = self.config.flow_idle_ttl;
+        if ttl == simcore::SimDuration::default() || self.sweep_armed || self.conns.is_empty() {
+            return;
+        }
+        self.sweep_armed = true;
+        ctx.set_timer(
+            ttl,
+            TimerToken::FlowTtlSweep {
+                pipeline: ctx.index() as u8,
+            },
+        );
+    }
+
+    /// Quarantines `conn` fail-closed after a state-bound overflow and
+    /// drops the offending frame.
+    fn quarantine(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, reason: &str) -> TapVerdict {
+        if let Some(track) = self.conns.get_mut(&conn) {
+            track.quarantined = true;
+            track.spike = None;
+            track.passthrough = false;
+            track.pending.clear();
+            track.learning = None;
+            track.pending_commit = None;
+        }
+        ctx.conn_quarantined(conn, reason);
+        TapVerdict::Drop
     }
 
     fn classify_spike(
@@ -259,6 +327,11 @@ impl EchoPipeline {
         };
         if seq >= track.pending_next {
             track.pending.insert(seq, len);
+            let cap = self.config.reorder_buffer_capacity;
+            if cap != 0 && track.pending.len() > cap {
+                ctx.bump(|s| s.reorder_overflows += 1);
+                return self.quarantine(ctx, conn, "spike reorder-buffer cap");
+            }
         }
         let mut class = SpikeClass::Undecided;
         while let Some(drained) = track.pending.remove(&track.pending_next) {
@@ -286,6 +359,7 @@ impl EchoPipeline {
 
 impl SpeakerPipeline for EchoPipeline {
     fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
+        let now = ctx.now();
         // Track the connection (from its first frame, so the record
         // ledger covers the whole stream).
         if !self.conns.contains(&view.conn) {
@@ -293,22 +367,60 @@ impl SpeakerPipeline for EchoPipeline {
                 Direction::ClientToServer => *view.dst.ip(),
                 _ => *view.src.ip(),
             };
-            // After a restart, a flow whose first tap-visible frame is a
-            // mid-stream data record was established by (or flowed past)
-            // a dead incarnation: its establishment signature is gone, so
-            // it cannot be matched — only re-adopted by address.
-            let mid_stream = self.restarted
+            let client_ip = match view.dir {
+                Direction::ClientToServer => *view.src.ip(),
+                _ => *view.dst.ip(),
+            };
+            // Catch-all slots learn the speaker's own address: the first
+            // client observed talking to a DNS-confirmed front-end is the
+            // speaker (it resolved the domain through this very tap,
+            // during warm-up, before any LAN neighbour can race it).
+            if ctx.speaker_ip().is_none()
+                && self.speaker_identity.is_none()
+                && self.dns_confirmed_ips.contains(&server_ip)
+            {
+                self.speaker_identity = Some(client_ip);
+                ctx.trace(
+                    "guard.identity",
+                    &format!("speaker identified at {client_ip}"),
+                );
+            }
+            // A connection whose client side is not the speaker can be
+            // neither the AVS session nor learning material, however
+            // AVS-like its establishment looks on the wire: this is what
+            // stops a LAN neighbour replaying the connection signature
+            // from poisoning `avs_ip` or the adaptive learner.
+            let identity = ctx.speaker_ip().or(self.speaker_identity);
+            let foreign = identity.is_some_and(|id| id != client_ip);
+            // After a restart — or whenever the state bounds can evict a
+            // live flow — a flow whose first tap-visible frame is a
+            // mid-stream data record was established past a blind spot:
+            // its establishment signature is gone, so it cannot be
+            // matched — only re-adopted by address.
+            let mid_stream = (self.restarted || self.config.flows_evictable())
                 && matches!(view.payload,
                     SegmentPayload::Data(rec) if rec.is_app_data() && rec.seq > 0);
-            let kind = if mid_stream {
+            let kind = if foreign {
+                ConnKind::Other
+            } else if mid_stream {
                 ConnKind::Provisional
             } else {
                 ConnKind::Candidate(SignatureMatcher::new(&self.avs_signature))
             };
             let learning = (!mid_stream
+                && !foreign
                 && self.learner.is_some()
                 && self.dns_confirmed_ips.contains(&server_ip))
             .then(Observation::default);
+            // At capacity, the least-recently-active flow makes room:
+            // its open hold (if any) drains fail-closed.
+            let capacity = self.config.flow_table_capacity;
+            if capacity != 0 && self.conns.len() >= capacity {
+                if let Some(victim) = self.conns.victim(EvictionPolicy::LeastRecentlyUsed) {
+                    self.conns.remove(&victim);
+                    ctx.flow_evicted(victim, false);
+                }
+            }
             self.conns.insert(
                 view.conn,
                 ConnTrack {
@@ -325,10 +437,25 @@ impl SpeakerPipeline for EchoPipeline {
                     // observed seq — everything below it predates this
                     // incarnation and must not register as holes.
                     resync: mid_stream,
+                    last_seen: now,
+                    quarantined: false,
+                    pending_commit: None,
+                    condemned: false,
                 },
             );
+            ctx.record_tracked_flows(self.conns.len());
+            self.ensure_sweep(ctx);
         }
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        track.last_seen = now;
+        if track.quarantined {
+            // Fail closed on an overflowed connection: nothing the
+            // speaker sends on it is screened or forwarded again.
+            return match view.dir {
+                Direction::ClientToServer => TapVerdict::Drop,
+                Direction::ServerToClient => TapVerdict::Forward,
+            };
+        }
         if track.resync {
             if let SegmentPayload::Data(rec) = view.payload {
                 if rec.is_app_data() && view.dir == Direction::ClientToServer {
@@ -340,29 +467,27 @@ impl SpeakerPipeline for EchoPipeline {
             }
         }
         let holding = track.spike.is_some();
-        let (seq, len) = match screen_segment(view, holding, &mut track.ledger) {
+        let hole_cap = self.config.ledger_hole_capacity;
+        let (seq, len) = match screen_segment(view, holding, &mut track.ledger, hole_cap) {
             Screened::Verdict(v) => return v,
             Screened::Repeat { seq } => return repeat_verdict(&track.spike, seq),
+            Screened::Overflow => {
+                ctx.bump(|s| s.ledger_overflows += 1);
+                return self.quarantine(ctx, view.conn, "record-ledger hole cap");
+            }
             Screened::Record { seq, len } => (seq, len),
         };
         // Adaptive learning: record the establishment sequence of
-        // DNS-confirmed AVS connections; promote once observations agree.
+        // DNS-confirmed AVS connections. A completed observation is only
+        // *parked* here — it is committed when the connection closes
+        // without ever drawing a Malicious verdict, so shaped traffic
+        // that the Decision Module rejects can never steer the learned
+        // signature.
         if let (Some(learner), Some(obs)) = (self.learner.as_mut(), track.learning.as_mut()) {
             if !learner.feed(obs, len) {
                 let obs = track.learning.take().expect("present");
-                learner.commit(obs);
-                if let Some(learned) = learner.learned() {
-                    if learned != self.avs_signature.as_slice() {
-                        self.avs_signature = learned.to_vec();
-                        ctx.bump(|s| s.signatures_adapted += 1);
-                        ctx.trace(
-                            "guard.adapt",
-                            &format!(
-                                "connection signature re-learned ({} records)",
-                                learned.len()
-                            ),
-                        );
-                    }
+                if !track.condemned {
+                    track.pending_commit = Some(obs);
                 }
             }
         }
@@ -378,6 +503,11 @@ impl SpeakerPipeline for EchoPipeline {
                 // leaves the guard blind to the whole session.
                 if seq >= track.pending_next {
                     track.pending.insert(seq, len);
+                    let cap = self.config.reorder_buffer_capacity;
+                    if cap != 0 && track.pending.len() > cap {
+                        ctx.bump(|s| s.reorder_overflows += 1);
+                        return self.quarantine(ctx, view.conn, "signature reorder-buffer cap");
+                    }
                 }
                 while let Some(drained) = track.pending.remove(&track.pending_next) {
                     track.pending_next += 1;
@@ -477,33 +607,81 @@ impl SpeakerPipeline for EchoPipeline {
         }
     }
 
-    fn on_conn_closed(&mut self, _ctx: &mut PipelineCtx<'_>, conn: ConnId, _reason: CloseReason) {
-        self.conns.remove(&conn);
+    fn on_conn_closed(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, _reason: CloseReason) {
+        let Some(track) = self.conns.remove(&conn) else {
+            return;
+        };
+        // The connection is over and no Malicious verdict ever hit it:
+        // its parked establishment observation may now update the learned
+        // signature. (Any close reason qualifies — the cloud resetting an
+        // idle session is the normal end of a legitimate connection.)
+        if track.condemned {
+            return;
+        }
+        if let (Some(learner), Some(obs)) = (self.learner.as_mut(), track.pending_commit) {
+            learner.commit(obs);
+            if let Some(learned) = learner.learned() {
+                if learned != self.avs_signature.as_slice() {
+                    self.avs_signature = learned.to_vec();
+                    ctx.bump(|s| s.signatures_adapted += 1);
+                    ctx.trace(
+                        "guard.adapt",
+                        &format!(
+                            "connection signature re-learned ({} records)",
+                            learned.len()
+                        ),
+                    );
+                }
+            }
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut PipelineCtx<'_>, token: TimerToken) {
-        if let TimerToken::Classify { conn, .. } = token {
-            // Classification deadline for a spike.
-            let Some(track) = self.conns.get_mut(&conn) else {
-                return;
-            };
-            let Some(spike) = track.spike.as_mut() else {
-                return;
-            };
-            if let SpikeMode::Classifying(classifier) = &mut spike.mode {
-                // With records still parked behind an unfilled hole, the
-                // evidence is missing rather than absent: a lost marker
-                // must not let the spike fail open, so treat it as a
-                // command and let the decision module rule. A gap-free
-                // feed is decided on what it saw.
-                let class = if track.pending.is_empty() {
-                    classifier.finalize()
-                } else {
-                    SpikeClass::Command
+        match token {
+            TimerToken::Classify { conn, .. } => {
+                // Classification deadline for a spike.
+                let Some(track) = self.conns.get_mut(&conn) else {
+                    return;
                 };
-                let spike_start = spike.started;
-                self.classify_spike(ctx, conn, class, spike_start);
+                let Some(spike) = track.spike.as_mut() else {
+                    return;
+                };
+                if let SpikeMode::Classifying(classifier) = &mut spike.mode {
+                    // With records still parked behind an unfilled hole,
+                    // the evidence is missing rather than absent: a lost
+                    // marker must not let the spike fail open, so treat
+                    // it as a command and let the decision module rule. A
+                    // gap-free feed is decided on what it saw.
+                    let class = if track.pending.is_empty() {
+                        classifier.finalize()
+                    } else {
+                        SpikeClass::Command
+                    };
+                    let spike_start = spike.started;
+                    self.classify_spike(ctx, conn, class, spike_start);
+                }
             }
+            TimerToken::FlowTtlSweep { .. } => {
+                self.sweep_armed = false;
+                let ttl = self.config.flow_idle_ttl;
+                if ttl == simcore::SimDuration::default() {
+                    return;
+                }
+                let now = ctx.now();
+                let mut idle: Vec<ConnId> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, t)| now.saturating_since(t.last_seen) >= ttl)
+                    .map(|(c, _)| *c)
+                    .collect();
+                idle.sort();
+                for conn in idle {
+                    self.conns.remove(&conn);
+                    ctx.flow_evicted(conn, true);
+                }
+                self.ensure_sweep(ctx);
+            }
+            _ => {}
         }
     }
 
@@ -511,12 +689,19 @@ impl SpeakerPipeline for EchoPipeline {
         &mut self,
         _ctx: &mut PipelineCtx<'_>,
         target: HoldTarget,
-        _verdict: Verdict,
+        verdict: Verdict,
     ) {
         if let HoldTarget::Conn(conn) = target {
             if let Some(track) = self.conns.get_mut(&conn) {
                 track.spike = None;
                 track.passthrough = true;
+                if verdict == Verdict::Malicious {
+                    // A condemned connection never feeds the adaptive
+                    // learner: discard its parked observation and refuse
+                    // future ones.
+                    track.condemned = true;
+                    track.pending_commit = None;
+                }
             }
         }
     }
@@ -527,6 +712,14 @@ impl SpeakerPipeline for EchoPipeline {
 
     fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {
         self.config.hold_policy()
+    }
+
+    fn tracked_flows(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn query_budget(&self) -> usize {
+        self.config.pending_query_budget
     }
 
     fn snapshot(&self) -> Option<PipelineSnapshot> {
@@ -543,6 +736,7 @@ impl SpeakerPipeline for EchoPipeline {
             learner: self.learner.clone(),
             dns_confirmed_ips,
             restarted: self.restarted,
+            speaker_identity: self.speaker_identity,
         }))
     }
 

@@ -9,14 +9,36 @@ pub use simcore::HoldQueue;
 use std::collections::HashMap;
 use std::hash::Hash;
 
-/// Flow-keyed state table.
+/// How a bounded [`FlowTable`] picks the victim when it is at capacity and
+/// a new flow must be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Evict the flow whose track state was touched longest ago (insert
+    /// and mutable access both count as touches).
+    LeastRecentlyUsed,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    track: T,
+    /// Monotonic access stamp: larger = touched more recently. Stamps are
+    /// rebuilt fresh on snapshot restore (entries are re-inserted in
+    /// sorted key order), so recency survives a restart only
+    /// approximately — acceptable for an eviction heuristic.
+    stamp: u64,
+}
+
+/// Flow-keyed state table with optional LRU bookkeeping.
 ///
 /// A thin wrapper over a hash map that gives the pipelines a common idiom
-/// for connection/flow state and keeps the door open for eviction policies
-/// without touching pipeline code.
+/// for connection/flow state. Every insert and mutable access bumps a
+/// monotonic per-entry stamp so a pipeline enforcing a capacity bound can
+/// ask for the least-recently-used victim deterministically (stamps are
+/// unique, so the victim never depends on hash order).
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable<K, T> {
-    flows: HashMap<K, T>,
+    flows: HashMap<K, Entry<T>>,
+    clock: u64,
 }
 
 impl<K: Eq + Hash, T> FlowTable<K, T> {
@@ -24,7 +46,13 @@ impl<K: Eq + Hash, T> FlowTable<K, T> {
     pub fn new() -> Self {
         FlowTable {
             flows: HashMap::new(),
+            clock: 0,
         }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
     }
 
     /// True if `key` is tracked.
@@ -32,37 +60,48 @@ impl<K: Eq + Hash, T> FlowTable<K, T> {
         self.flows.contains_key(key)
     }
 
-    /// Shared access to `key`'s track state.
+    /// Shared access to `key`'s track state (does not refresh recency).
     pub fn get(&self, key: &K) -> Option<&T> {
-        self.flows.get(key)
+        self.flows.get(key).map(|e| &e.track)
     }
 
-    /// Mutable access to `key`'s track state.
+    /// Mutable access to `key`'s track state; refreshes its recency.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut T> {
-        self.flows.get_mut(key)
+        let stamp = self.clock + 1;
+        let entry = self.flows.get_mut(key)?;
+        self.clock = stamp;
+        entry.stamp = stamp;
+        Some(&mut entry.track)
     }
 
     /// Starts tracking `key`, replacing any previous state.
     pub fn insert(&mut self, key: K, track: T) {
-        self.flows.insert(key, track);
+        let stamp = self.tick();
+        self.flows.insert(key, Entry { track, stamp });
     }
 
     /// Stops tracking `key`, returning its state if present.
     pub fn remove(&mut self, key: &K) -> Option<T> {
-        self.flows.remove(key)
+        self.flows.remove(key).map(|e| e.track)
     }
 
     /// Mutable access to `key`'s state, inserting a default first if it is
-    /// not yet tracked.
+    /// not yet tracked. Refreshes recency either way.
     pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> T) -> &mut T {
-        self.flows.entry(key).or_insert_with(default)
+        let stamp = self.tick();
+        let entry = self.flows.entry(key).or_insert_with(|| Entry {
+            track: default(),
+            stamp,
+        });
+        entry.stamp = stamp;
+        &mut entry.track
     }
 
     /// Iterates over every tracked flow in arbitrary (hash) order.
     /// Callers needing a deterministic view — e.g. snapshotting — must
     /// sort the result by key.
     pub fn iter(&self) -> impl Iterator<Item = (&K, &T)> {
-        self.flows.iter()
+        self.flows.iter().map(|(k, e)| (k, &e.track))
     }
 
     /// Number of tracked flows.
@@ -73,6 +112,21 @@ impl<K: Eq + Hash, T> FlowTable<K, T> {
     /// True when no flow is tracked.
     pub fn is_empty(&self) -> bool {
         self.flows.is_empty()
+    }
+}
+
+impl<K: Eq + Hash + Copy, T> FlowTable<K, T> {
+    /// The flow `policy` would evict next, or `None` on an empty table.
+    /// Deterministic: access stamps are unique, so hash order never
+    /// decides.
+    pub fn victim(&self, policy: EvictionPolicy) -> Option<K> {
+        match policy {
+            EvictionPolicy::LeastRecentlyUsed => self
+                .flows
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k),
+        }
     }
 }
 
@@ -101,5 +155,24 @@ mod tests {
             .push(2);
         assert_eq!(table.get(&5), Some(&vec![1, 2]));
         assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn lru_victim_tracks_mutable_access_order() {
+        let mut table: FlowTable<u32, &str> = FlowTable::new();
+        assert_eq!(table.victim(EvictionPolicy::LeastRecentlyUsed), None);
+        table.insert(1, "a");
+        table.insert(2, "b");
+        table.insert(3, "c");
+        // Oldest insert is the victim…
+        assert_eq!(table.victim(EvictionPolicy::LeastRecentlyUsed), Some(1));
+        // …until it is touched again.
+        table.get_mut(&1);
+        assert_eq!(table.victim(EvictionPolicy::LeastRecentlyUsed), Some(2));
+        // Shared access does not refresh recency.
+        table.get(&2);
+        assert_eq!(table.victim(EvictionPolicy::LeastRecentlyUsed), Some(2));
+        table.get_or_insert_with(2, || "x");
+        assert_eq!(table.victim(EvictionPolicy::LeastRecentlyUsed), Some(3));
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::config::GuardConfig;
 use crate::decision::Verdict;
-use crate::guard::flow::FlowTable;
+use crate::guard::flow::{EvictionPolicy, FlowTable};
 use crate::guard::pipeline::{
     repeat_verdict, screen_segment, HoldTarget, PipelineCtx, RecordLedger, Screened,
     SpeakerPipeline, Spike, SpikeMode,
@@ -40,6 +40,14 @@ struct ConnTrack {
     /// re-synchronise on the first post-restart record (seqs that flowed
     /// during the blind window are the guard's outage, not loss).
     resync: bool,
+    /// Last time any frame was seen on this connection, for idle-TTL
+    /// expiry.
+    #[serde(default)]
+    last_seen: simcore::SimTime,
+    /// Set when the connection blew a state bound: speaker-originated
+    /// frames are dropped fail-closed from then on.
+    #[serde(default)]
+    quarantined: bool,
 }
 
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -66,6 +74,8 @@ pub struct GhmPipeline {
     flow_ip: Option<Ipv4Addr>,
     /// True once this pipeline has survived a crash.
     restarted: bool,
+    /// True while a [`TimerToken::FlowTtlSweep`] timer is outstanding.
+    sweep_armed: bool,
 }
 
 /// Serializable state of a [`GhmPipeline`] (see
@@ -92,6 +102,7 @@ impl GhmPipeline {
             udp: UdpFlowTrack::default(),
             flow_ip: None,
             restarted: false,
+            sweep_armed: false,
         }
     }
 
@@ -108,7 +119,38 @@ impl GhmPipeline {
             udp: snap.udp.clone(),
             flow_ip: snap.flow_ip,
             restarted: snap.restarted,
+            // Re-armed lazily on the next tracked frame.
+            sweep_armed: false,
         }
+    }
+
+    /// Arms the idle-flow expiry sweep if a TTL is configured and no
+    /// sweep is already pending.
+    fn ensure_sweep(&mut self, ctx: &mut PipelineCtx<'_>) {
+        let ttl = self.config.flow_idle_ttl;
+        if ttl == simcore::SimDuration::default() || self.sweep_armed || self.conns.is_empty() {
+            return;
+        }
+        self.sweep_armed = true;
+        ctx.set_timer(
+            ttl,
+            TimerToken::FlowTtlSweep {
+                pipeline: ctx.index() as u8,
+            },
+        );
+    }
+
+    /// Fails the connection closed after it blew a state bound: held
+    /// frames are drained as if the hold were abandoned, and every later
+    /// speaker-originated frame is dropped.
+    fn quarantine(&mut self, ctx: &mut PipelineCtx<'_>, conn: ConnId, reason: &str) -> TapVerdict {
+        if let Some(track) = self.conns.get_mut(&conn) {
+            track.quarantined = true;
+            track.spike = None;
+            track.passthrough = false;
+        }
+        ctx.conn_quarantined(conn, reason);
+        TapVerdict::Drop
     }
 
     /// TCP voice-flow records: every post-idle spike is a command.
@@ -218,6 +260,7 @@ impl GhmPipeline {
 
 impl SpeakerPipeline for GhmPipeline {
     fn on_segment(&mut self, ctx: &mut PipelineCtx<'_>, view: &SegmentView) -> TapVerdict {
+        let now = ctx.now();
         if !self.conns.contains(&view.conn) {
             let server_ip = match view.dir {
                 Direction::ClientToServer => *view.dst.ip(),
@@ -228,16 +271,24 @@ impl SpeakerPipeline for GhmPipeline {
             } else {
                 ConnKind::Other
             };
-            // After a restart, a voice flow first sighted mid-stream was
-            // established past a dead incarnation; it is re-adopted here
-            // because the Mini's flows are identified by address alone
-            // (the google_ips set survives in the checkpoint and re-arms
-            // from the next DNS answer).
-            let mid_stream = self.restarted
+            // After a restart — or whenever the state bounds can evict a
+            // live flow — a voice flow first sighted mid-stream was
+            // established past a blind spot; it is re-adopted here because
+            // the Mini's flows are identified by address alone (the
+            // google_ips set survives in the checkpoint and re-arms from
+            // the next DNS answer).
+            let mid_stream = (self.restarted || self.config.flows_evictable())
                 && matches!(view.payload,
                     SegmentPayload::Data(rec) if rec.is_app_data() && rec.seq > 0);
             if mid_stream && kind == ConnKind::GoogleVoice {
                 ctx.flow_readopted(view.conn);
+            }
+            let capacity = self.config.flow_table_capacity;
+            if capacity != 0 && self.conns.len() >= capacity {
+                if let Some(victim) = self.conns.victim(EvictionPolicy::LeastRecentlyUsed) {
+                    self.conns.remove(&victim);
+                    ctx.flow_evicted(victim, false);
+                }
             }
             self.conns.insert(
                 view.conn,
@@ -248,10 +299,21 @@ impl SpeakerPipeline for GhmPipeline {
                     passthrough: false,
                     ledger: RecordLedger::default(),
                     resync: mid_stream,
+                    last_seen: now,
+                    quarantined: false,
                 },
             );
+            ctx.record_tracked_flows(self.conns.len());
+            self.ensure_sweep(ctx);
         }
         let track = self.conns.get_mut(&view.conn).expect("just inserted");
+        track.last_seen = now;
+        if track.quarantined {
+            return match view.dir {
+                Direction::ClientToServer => TapVerdict::Drop,
+                _ => TapVerdict::Forward,
+            };
+        }
         if track.resync {
             if let SegmentPayload::Data(rec) = view.payload {
                 if rec.is_app_data() && view.dir == Direction::ClientToServer {
@@ -261,9 +323,14 @@ impl SpeakerPipeline for GhmPipeline {
             }
         }
         let holding = track.spike.is_some();
-        let seq = match screen_segment(view, holding, &mut track.ledger) {
+        let hole_cap = self.config.ledger_hole_capacity;
+        let seq = match screen_segment(view, holding, &mut track.ledger, hole_cap) {
             Screened::Verdict(v) => return v,
             Screened::Repeat { seq } => return repeat_verdict(&track.spike, seq),
+            Screened::Overflow => {
+                ctx.bump(|s| s.ledger_overflows += 1);
+                return self.quarantine(ctx, view.conn, "record-ledger hole cap");
+            }
             Screened::Record { seq, .. } => seq,
         };
         match track.kind {
@@ -338,8 +405,36 @@ impl SpeakerPipeline for GhmPipeline {
                     ctx.spike_classified(started, SpikeClass::Command);
                 }
             }
+            TimerToken::FlowTtlSweep { .. } => {
+                self.sweep_armed = false;
+                let ttl = self.config.flow_idle_ttl;
+                if ttl == simcore::SimDuration::default() {
+                    return;
+                }
+                let now = ctx.now();
+                let mut idle: Vec<ConnId> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, t)| now.saturating_since(t.last_seen) >= ttl)
+                    .map(|(c, _)| *c)
+                    .collect();
+                idle.sort();
+                for conn in idle {
+                    self.conns.remove(&conn);
+                    ctx.flow_evicted(conn, true);
+                }
+                self.ensure_sweep(ctx);
+            }
             _ => {}
         }
+    }
+
+    fn tracked_flows(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn query_budget(&self) -> usize {
+        self.config.pending_query_budget
     }
 
     fn verdict_applied(

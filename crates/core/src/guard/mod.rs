@@ -34,10 +34,11 @@ pub mod snapshot;
 pub mod token;
 
 pub use echo::EchoPipeline;
+pub use flow::EvictionPolicy;
 pub use flow::{FlowTable, HoldQueue};
 pub use ghm::GhmPipeline;
 pub use pipeline::{HoldTarget, PipelineCtx, SpeakerPipeline};
-pub use snapshot::{GuardSnapshot, PipelineSnapshot};
+pub use snapshot::{GuardSnapshot, PipelineSnapshot, SnapshotError, GUARD_SNAPSHOT_VERSION};
 pub use token::TimerToken;
 
 use crate::config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
@@ -45,7 +46,9 @@ use crate::decision::Verdict;
 use crate::guard::snapshot::{HoldTargetSnapshot, PendingQuerySnapshot, SlotSnapshot};
 use crate::recognition::SpikeClass;
 use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, Middlebox, TapCtx, TapVerdict};
+use netsim::{
+    CloseReason, ConnId, Datagram, Direction, Middlebox, SegmentPayload, TapCtx, TapVerdict,
+};
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::any::Any;
@@ -123,6 +126,26 @@ pub enum GuardEvent {
         /// The re-adopted connection.
         conn: ConnId,
     },
+    /// A bounded flow table pushed a flow out (capacity eviction or
+    /// idle-TTL expiry). Any hold it had open was drained fail-closed.
+    FlowEvicted {
+        /// When the eviction happened.
+        at: SimTime,
+        /// The pipeline whose table evicted.
+        pipeline: usize,
+        /// The evicted connection.
+        conn: ConnId,
+    },
+    /// The pending-query budget shed the oldest unanswered query
+    /// fail-closed: its held traffic was discarded as if the verdict had
+    /// been Malicious (not counted as a blocked command — the Decision
+    /// Module never answered).
+    QueryShed {
+        /// The shed query.
+        query: QueryId,
+        /// When the shed happened.
+        at: SimTime,
+    },
 }
 
 /// Aggregate statistics kept by the tap.
@@ -163,6 +186,34 @@ pub struct GuardStats {
     /// Total seconds between each restart and its flow re-adoptions
     /// (divide by `flows_readopted` for the mean re-adoption latency).
     pub readoption_latency_s: f64,
+    /// Flows evicted by the flow-table capacity cap (LRU victims).
+    #[serde(default)]
+    pub flows_evicted: u64,
+    /// Flows expired by the idle-TTL sweep.
+    #[serde(default)]
+    pub flows_expired: u64,
+    /// Unanswered queries shed fail-closed by the pending-query budget.
+    #[serde(default)]
+    pub queries_shed: u64,
+    /// Connections quarantined fail-closed after a record-ledger hole-cap
+    /// overflow.
+    #[serde(default)]
+    pub ledger_overflows: u64,
+    /// Connections quarantined fail-closed after a spike reorder-buffer
+    /// overflow.
+    #[serde(default)]
+    pub reorder_overflows: u64,
+    /// High-water mark of tracked flows (largest any single pipeline's
+    /// table ever reached — tables are bounded per pipeline).
+    #[serde(default)]
+    pub peak_tracked_flows: u64,
+    /// High-water mark of simultaneously pending *unanswered* queries
+    /// (queries whose verdict is already scheduled resolve on their own
+    /// within the delivery latency and stop counting). Recorded after
+    /// budget enforcement, so a configured budget is a hard ceiling on
+    /// this value.
+    #[serde(default)]
+    pub peak_pending_queries: u64,
 }
 
 #[derive(Debug)]
@@ -314,6 +365,25 @@ impl VoiceGuardTap {
         self.queries.values().any(|q| q.verdict.is_none())
     }
 
+    /// Number of queries currently awaiting a verdict (the quantity the
+    /// pending-query budget bounds).
+    pub fn pending_query_count(&self) -> usize {
+        self.queries
+            .values()
+            .filter(|q| q.verdict.is_none())
+            .count()
+    }
+
+    /// Number of flows pipeline `index` currently tracks (the quantity
+    /// the flow-table capacity bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn tracked_flows(&self, index: usize) -> usize {
+        self.slots[index].pipeline.tracked_flows()
+    }
+
     /// The AVS front-end IP the guard currently believes in (first
     /// pipeline that tracks one).
     pub fn learned_avs_ip(&self) -> Option<Ipv4Addr> {
@@ -377,7 +447,9 @@ impl VoiceGuardTap {
             events: &mut self.events,
             stats: &mut self.stats,
             pipeline_stats: &mut self.pipeline_stats[index],
+            conn_routes: &mut self.conn_routes,
             index,
+            speaker_ip: slot.ip,
             generation: self.generation,
             restarted_at: self.restarted_at,
         };
@@ -423,6 +495,84 @@ impl VoiceGuardTap {
             }
             _ => TapVerdict::Hold,
         }
+    }
+
+    /// Enforces the tap-wide pending-query budget (the largest budget any
+    /// attached pipeline's config asks for; 0 = unbounded). While the
+    /// number of *unanswered* queries exceeds the budget, the oldest is
+    /// shed fail-closed.
+    fn enforce_query_budget(&mut self, ctx: &mut dyn TapCtx) {
+        let budget = self
+            .slots
+            .iter()
+            .map(|s| s.pipeline.query_budget())
+            .max()
+            .unwrap_or(0);
+        if budget != 0 {
+            loop {
+                let unanswered = self
+                    .queries
+                    .values()
+                    .filter(|q| q.verdict.is_none())
+                    .count();
+                if unanswered <= budget {
+                    break;
+                }
+                let Some(oldest) = self
+                    .queries
+                    .iter()
+                    .filter(|(_, q)| q.verdict.is_none())
+                    .map(|(id, _)| *id)
+                    .min()
+                else {
+                    break;
+                };
+                self.shed_query(ctx, oldest);
+            }
+        }
+        // High-water marks are recorded *after* enforcement: with a
+        // budget set, the recorded peak can never exceed it.
+        let total = self
+            .queries
+            .values()
+            .filter(|q| q.verdict.is_none())
+            .count() as u64;
+        self.stats.peak_pending_queries = self.stats.peak_pending_queries.max(total);
+        for index in 0..self.slots.len() {
+            let mine = self
+                .queries
+                .values()
+                .filter(|q| q.pipeline == index && q.verdict.is_none())
+                .count() as u64;
+            let stat = &mut self.pipeline_stats[index];
+            stat.peak_pending_queries = stat.peak_pending_queries.max(mine);
+        }
+    }
+
+    /// Sheds `query` fail-closed: the owning pipeline retires its spike as
+    /// if the verdict had been Malicious and the held traffic is
+    /// discarded, but neither `allowed` nor `blocked` moves — the Decision
+    /// Module never answered this query. A VerdictTimeout timer still
+    /// armed for it becomes a no-op (the query is gone from the table).
+    fn shed_query(&mut self, ctx: &mut dyn TapCtx, query: QueryId) {
+        let Some(pending) = self.queries.remove(&query) else {
+            return;
+        };
+        let now = ctx.now();
+        self.dispatch(pending.pipeline, ctx, |p, pctx| {
+            p.verdict_applied(pctx, pending.target, Verdict::Malicious)
+        });
+        let dropped = match pending.target {
+            HoldTarget::Conn(conn) => ctx.discard_held(conn),
+            HoldTarget::UdpFlow(ip) => ctx.discard_held_datagrams(ip),
+        };
+        self.bump(pending.pipeline, |s| s.queries_shed += 1);
+        self.events
+            .push_back(GuardEvent::QueryShed { query, at: now });
+        ctx.trace(
+            "guard.shed",
+            &format!("{query} shed: pending-query budget exceeded ({dropped} held frames dropped)"),
+        );
     }
 
     fn apply_verdict(&mut self, ctx: &mut dyn TapCtx, query: QueryId, verdict: Verdict) {
@@ -509,6 +659,7 @@ impl VoiceGuardTap {
             .collect();
         conn_routes.sort_by_key(|(conn, _)| *conn);
         GuardSnapshot {
+            version: GUARD_SNAPSHOT_VERSION,
             generation: self.generation,
             next_query: self.next_query,
             queries,
@@ -541,6 +692,29 @@ impl VoiceGuardTap {
         self.stats = snap.stats.clone();
         self.pipeline_stats = snap.pipeline_stats.clone();
         self.adopt_checkpoint(snap);
+    }
+
+    /// Version-checked [`VoiceGuardTap::restore`] for snapshots that
+    /// crossed a serialization boundary (disk, network): a snapshot from
+    /// an unknown layout version — newer, or written before versioning —
+    /// is rejected with a typed error instead of being deserialized into
+    /// live guard state, as is a snapshot whose pipeline slots do not
+    /// match this tap.
+    pub fn try_restore(&mut self, snap: &GuardSnapshot) -> Result<(), SnapshotError> {
+        if snap.version != snapshot::GUARD_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: snap.version,
+                supported: snapshot::GUARD_SNAPSHOT_VERSION,
+            });
+        }
+        if snap.slots.len() != self.slots.len() {
+            return Err(SnapshotError::SlotMismatch {
+                found: snap.slots.len(),
+                expected: self.slots.len(),
+            });
+        }
+        self.restore(snap);
+        Ok(())
     }
 
     /// Overwrites guard state (query table, routing, pipelines) from a
@@ -617,6 +791,15 @@ impl Middlebox for VoiceGuardTap {
             }
         };
         let verdict = self.dispatch(index, ctx, |p, pctx| p.on_segment(pctx, view));
+        self.enforce_query_budget(ctx);
+        // A RST on the wire is the connection's end: the engine only
+        // notifies taps of graceful closes, so without this an aborted
+        // connection's flow state would be pinned until evicted. The
+        // engine's own close notification (if one still arrives) finds
+        // the route gone and is a no-op.
+        if matches!(view.payload, SegmentPayload::Rst) {
+            self.on_conn_closed(ctx, view.conn, CloseReason::Reset);
+        }
         if verdict == TapVerdict::Hold {
             let held = ctx.held_count(view.conn);
             return self.enforce_hold_capacity(ctx, index, held, &format!("{}", view.conn));
@@ -639,6 +822,7 @@ impl Middlebox for VoiceGuardTap {
             return TapVerdict::Forward;
         };
         let verdict = self.dispatch(index, ctx, |p, pctx| p.on_datagram(pctx, dgram, outbound));
+        self.enforce_query_budget(ctx);
         if verdict == TapVerdict::Hold {
             let held = ctx.held_datagram_count(speaker_ip);
             return self.enforce_hold_capacity(ctx, index, held, &format!("udp {speaker_ip}"));
@@ -710,6 +894,7 @@ impl Middlebox for VoiceGuardTap {
                     return;
                 }
                 self.dispatch(index, ctx, |p, pctx| p.on_timer(pctx, pipeline_token));
+                self.enforce_query_budget(ctx);
             }
         }
     }

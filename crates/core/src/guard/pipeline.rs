@@ -68,6 +68,10 @@ pub(super) enum Screened {
         /// Record seq of the repeat.
         seq: u64,
     },
+    /// Admitting this record would blow the connection's ledger-hole cap
+    /// (a sequence jump far beyond anything seen). The pipeline must
+    /// quarantine the connection fail-closed.
+    Overflow,
 }
 
 /// Verdict for a repeat of an already-counted record. Repeats inside an
@@ -104,16 +108,27 @@ pub(super) struct RecordLedger {
 }
 
 impl RecordLedger {
-    /// True the first time `seq` is presented, false on every repeat.
-    pub(super) fn first_sight(&mut self, seq: u64) -> bool {
+    /// True the first time `seq` is presented, false on every repeat;
+    /// `None` when admitting `seq` would push the outstanding-hole count
+    /// past `hole_cap` (0 = unbounded). The cap is checked *before* the
+    /// holes are inserted: a single adversarial sequence jump would
+    /// otherwise materialise the whole gap in one call, which is exactly
+    /// the memory exhaustion the cap exists to prevent.
+    pub(super) fn first_sight(&mut self, seq: u64, hole_cap: usize) -> Option<bool> {
         if seq >= self.next {
+            if hole_cap != 0 {
+                let new_holes = (seq - self.next) as usize;
+                if self.holes.len().saturating_add(new_holes) > hole_cap {
+                    return None;
+                }
+            }
             for missing in self.next..seq {
                 self.holes.insert(missing);
             }
             self.next = seq + 1;
-            true
+            Some(true)
         } else {
-            self.holes.remove(&seq)
+            Some(self.holes.remove(&seq))
         }
     }
 
@@ -151,6 +166,7 @@ pub(super) fn screen_segment(
     view: &SegmentView,
     holding: bool,
     ledger: &mut RecordLedger,
+    hole_cap: usize,
 ) -> Screened {
     let held_or_forwarded = if holding {
         TapVerdict::Hold
@@ -167,12 +183,13 @@ pub(super) fn screen_segment(
     if view.dir != Direction::ClientToServer {
         return Screened::Verdict(TapVerdict::Forward);
     }
-    if !ledger.first_sight(record.seq) {
-        return Screened::Repeat { seq: record.seq };
-    }
-    Screened::Record {
-        seq: record.seq,
-        len: record.len,
+    match ledger.first_sight(record.seq, hole_cap) {
+        None => Screened::Overflow,
+        Some(false) => Screened::Repeat { seq: record.seq },
+        Some(true) => Screened::Record {
+            seq: record.seq,
+            len: record.len,
+        },
     }
 }
 
@@ -219,6 +236,21 @@ pub trait SpeakerPipeline: fmt::Debug + Send {
         crate::config::HoldOverflowPolicy::Unbounded
     }
 
+    /// Number of flows this pipeline currently tracks. Exposed so the
+    /// multiplexer and tests can watch state bounds; pipelines without a
+    /// flow table report 0.
+    fn tracked_flows(&self) -> usize {
+        0
+    }
+
+    /// The tap-wide unanswered-query budget this pipeline's config asks
+    /// for (0 = unbounded, the default). The multiplexer enforces the
+    /// largest budget any attached pipeline requests, shedding the oldest
+    /// unanswered query fail-closed when a new one would exceed it.
+    fn query_budget(&self) -> usize {
+        0
+    }
+
     /// Serialises this pipeline's recoverable state for a checkpoint.
     /// Pipelines that opt out of checkpointing return `None` and restart
     /// cold.
@@ -245,7 +277,11 @@ pub struct PipelineCtx<'a> {
     pub(super) events: &'a mut VecDeque<GuardEvent>,
     pub(super) stats: &'a mut GuardStats,
     pub(super) pipeline_stats: &'a mut GuardStats,
+    pub(super) conn_routes: &'a mut HashMap<ConnId, usize>,
     pub(super) index: usize,
+    /// The speaker IP this pipeline is addressed to at the multiplexer,
+    /// if it is not a catch-all slot.
+    pub(super) speaker_ip: Option<Ipv4Addr>,
     /// The guard incarnation arming any timers set through this ctx.
     pub(super) generation: u8,
     /// When the current incarnation restarted from a crash checkpoint,
@@ -282,6 +318,12 @@ impl PipelineCtx<'_> {
     /// the restart instant; `None` before the first crash.
     pub fn restarted_at(&self) -> Option<SimTime> {
         self.restarted_at
+    }
+
+    /// The speaker IP this pipeline is addressed to at the multiplexer,
+    /// or `None` for a catch-all slot that claims unrouted traffic.
+    pub fn speaker_ip(&self) -> Option<Ipv4Addr> {
+        self.speaker_ip
     }
 
     /// Raises a legitimacy query holding `target`, arming the verdict
@@ -358,5 +400,79 @@ impl PipelineCtx<'_> {
     pub fn bump(&mut self, f: impl Fn(&mut GuardStats)) {
         f(self.stats);
         f(self.pipeline_stats);
+    }
+
+    /// Records a flow-table high-water mark for bound monitoring.
+    /// The aggregate peak is the largest any single pipeline's table ever
+    /// reached (per-pipeline tables are bounded independently).
+    pub fn record_tracked_flows(&mut self, count: usize) {
+        let count = count as u64;
+        self.bump(|s| s.peak_tracked_flows = s.peak_tracked_flows.max(count));
+    }
+
+    /// Drains `conn` fail-closed: discards its held frames and forgets any
+    /// unanswered query holding it, exactly like `HoldAbandoned` at a
+    /// crash restart. The spoof-ACKed record-seq gap then closes the
+    /// session upstream, so nothing held ever reaches the cloud. Returns
+    /// (frames discarded, queries forgotten).
+    fn drain_conn_fail_closed(&mut self, conn: ConnId) -> (usize, usize) {
+        let dropped = self.tap.discard_held(conn);
+        let index = self.index;
+        let mut stale: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, q)| q.pipeline == index && q.target == HoldTarget::Conn(conn))
+            .map(|(id, _)| *id)
+            .collect();
+        stale.sort_unstable_by_key(|q| q.0);
+        for query in &stale {
+            self.queries.remove(query);
+        }
+        (dropped, stale.len())
+    }
+
+    /// Evicts `conn` from this pipeline's flow table bookkeeping: drains
+    /// any open hold fail-closed, forgets the multiplexer's route cache
+    /// entry, and counts the eviction (`expired` selects the idle-TTL
+    /// counter over the capacity-eviction counter). The pipeline itself
+    /// removes the track state from its `FlowTable`.
+    pub fn flow_evicted(&mut self, conn: ConnId, expired: bool) {
+        let (dropped, stale) = self.drain_conn_fail_closed(conn);
+        self.conn_routes.remove(&conn);
+        let at = self.tap.now();
+        let pipeline = self.index;
+        self.events
+            .push_back(GuardEvent::FlowEvicted { at, pipeline, conn });
+        self.bump(|s| {
+            if expired {
+                s.flows_expired += 1;
+            } else {
+                s.flows_evicted += 1;
+            }
+        });
+        self.tap.trace(
+            "guard.evict",
+            &format!(
+                "conn#{} {} ({dropped} held frames discarded, {stale} queries abandoned)",
+                conn.0,
+                if expired { "expired" } else { "evicted" },
+            ),
+        );
+    }
+
+    /// Quarantines `conn` fail-closed after a ledger or reorder-buffer
+    /// overflow: held frames are discarded, open queries forgotten, and
+    /// the pipeline keeps the track so subsequent speaker-originated data
+    /// on the connection is dropped. The route cache entry stays (the
+    /// track still exists and must keep routing here).
+    pub fn conn_quarantined(&mut self, conn: ConnId, reason: &str) {
+        let (dropped, stale) = self.drain_conn_fail_closed(conn);
+        self.tap.trace(
+            "guard.quarantine",
+            &format!(
+                "conn#{} quarantined ({reason}; {dropped} held frames discarded, {stale} queries abandoned)",
+                conn.0,
+            ),
+        );
     }
 }

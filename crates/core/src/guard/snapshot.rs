@@ -19,7 +19,55 @@ use crate::guard::ghm::GhmSnapshot;
 use crate::guard::GuardStats;
 use serde::{Deserialize, Serialize};
 use simcore::SimTime;
+use std::fmt;
 use std::net::Ipv4Addr;
+
+/// The snapshot layout version written by this build. Bumped whenever the
+/// snapshot schema changes shape in a way old readers would misinterpret
+/// (version 1 predates the field itself and deserializes as 0 via
+/// `#[serde(default)]`; version 2 added the bounded-state fields).
+pub const GUARD_SNAPSHOT_VERSION: u32 = 2;
+
+/// Why a snapshot could not be adopted by
+/// [`crate::VoiceGuardTap::try_restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was written by an unknown (newer or pre-versioning)
+    /// layout; adopting it would deserialize garbage into live guard
+    /// state.
+    UnsupportedVersion {
+        /// Version found in the snapshot (0 = written before the field
+        /// existed).
+        found: u32,
+        /// Version this build writes and accepts.
+        supported: u32,
+    },
+    /// The snapshot's pipeline slots do not match the tap it is being
+    /// restored into.
+    SlotMismatch {
+        /// Slots in the snapshot.
+        found: usize,
+        /// Slots attached to the tap.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported guard snapshot version {found} (this build supports {supported})"
+            ),
+            SnapshotError::SlotMismatch { found, expected } => write!(
+                f,
+                "guard snapshot has {found} pipeline slots, tap has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
 
 /// Serializable mirror of [`crate::guard::HoldTarget`] (connection ids
 /// are stored as raw `u64` so the snapshot does not depend on `netsim`
@@ -73,6 +121,10 @@ pub struct SlotSnapshot {
 /// Complete recoverable state of a [`crate::VoiceGuardTap`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GuardSnapshot {
+    /// Snapshot layout version ([`GUARD_SNAPSHOT_VERSION`] at capture;
+    /// 0 when deserialized from a pre-versioning checkpoint).
+    #[serde(default)]
+    pub version: u32,
     /// The incarnation that took the snapshot.
     pub generation: u8,
     /// Next query id to allocate.

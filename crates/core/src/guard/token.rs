@@ -28,6 +28,7 @@ const KIND_VERDICT_TIMEOUT: u64 = 2;
 const KIND_VERDICT_DELIVERY: u64 = 3;
 const KIND_AGGREGATE_CONN: u64 = 4;
 const KIND_AGGREGATE_UDP: u64 = 5;
+const KIND_FLOW_TTL_SWEEP: u64 = 6;
 
 /// A decoded guard timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,11 @@ pub enum TimerToken {
         /// Owning pipeline index.
         pipeline: u8,
     },
+    /// Periodic idle-flow expiry sweep for a pipeline's flow table.
+    FlowTtlSweep {
+        /// Owning pipeline index.
+        pipeline: u8,
+    },
 }
 
 impl TimerToken {
@@ -87,6 +93,7 @@ impl TimerToken {
             TimerToken::VerdictDelivery { query } => (KIND_VERDICT_DELIVERY, 0, query.0),
             TimerToken::AggregateConn { pipeline, conn } => (KIND_AGGREGATE_CONN, pipeline, conn.0),
             TimerToken::AggregateUdp { pipeline } => (KIND_AGGREGATE_UDP, pipeline, 0),
+            TimerToken::FlowTtlSweep { pipeline } => (KIND_FLOW_TTL_SWEEP, pipeline, 0),
         };
         assert!(
             payload <= PAYLOAD_MASK,
@@ -122,6 +129,7 @@ impl TimerToken {
                 conn: ConnId(payload),
             }),
             KIND_AGGREGATE_UDP => Some(TimerToken::AggregateUdp { pipeline }),
+            KIND_FLOW_TTL_SWEEP => Some(TimerToken::FlowTtlSweep { pipeline }),
             _ => None,
         }
     }
@@ -137,7 +145,8 @@ impl TimerToken {
         match self {
             TimerToken::Classify { pipeline, .. }
             | TimerToken::AggregateConn { pipeline, .. }
-            | TimerToken::AggregateUdp { pipeline } => Some(pipeline as usize),
+            | TimerToken::AggregateUdp { pipeline }
+            | TimerToken::FlowTtlSweep { pipeline } => Some(pipeline as usize),
             TimerToken::VerdictTimeout { .. } | TimerToken::VerdictDelivery { .. } => None,
         }
     }
@@ -167,6 +176,8 @@ mod tests {
                 conn: ConnId(123_456_789),
             },
             TimerToken::AggregateUdp { pipeline: 3 },
+            TimerToken::FlowTtlSweep { pipeline: 0 },
+            TimerToken::FlowTtlSweep { pipeline: 255 },
         ];
         for token in samples {
             assert_eq!(TimerToken::decode(token.encode()), Some(token), "{token:?}");

@@ -45,8 +45,9 @@ pub use decision::{
 };
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
-    EchoPipeline, FlowTable, GhmPipeline, GuardEvent, GuardSnapshot, GuardStats, HoldTarget,
-    PipelineCtx, PipelineSnapshot, QueryId, SpeakerPipeline, TimerToken, VoiceGuardTap,
+    EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardEvent, GuardSnapshot, GuardStats,
+    HoldTarget, PipelineCtx, PipelineSnapshot, QueryId, SnapshotError, SpeakerPipeline, TimerToken,
+    VoiceGuardTap, GUARD_SNAPSHOT_VERSION,
 };
 pub use learning::SignatureLearner;
 pub use policy::{DecisionPolicy, DeviceEvidence, PolicyVote, QuietHoursPolicy};

@@ -1,0 +1,255 @@
+//! Property: the guard's state bounds are hard invariants, not goals.
+//!
+//! Drive a bounded [`VoiceGuardTap`] with arbitrary interleavings of
+//! legitimate-looking and adversarial traffic — in-order records on the
+//! speaker's flow, foreign flows from other LAN endpoints, sequence gaps
+//! that grow reorder buffers and record ledgers, idle stretches that let
+//! the TTL sweep run, and verdicts answered in arbitrary order. After
+//! every single step:
+//!
+//! * the flow table never exceeds its capacity,
+//! * the pending-query count never exceeds its budget,
+//! * every held frame belongs to a connection the tap still routes — an
+//!   evicted or expired flow never leaks a hold-queue entry, and a
+//!   verdict arriving after the fail-closed drain never releases one
+//!   twice.
+
+use netsim::app::SegmentView;
+use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{GuardConfig, GuardEvent, QueryId, Verdict, VoiceGuardTap};
+
+const CAP_FLOWS: usize = 3;
+const BUDGET: usize = 2;
+
+/// Mock TapCtx with a manual clock, per-connection hold-queue accounting
+/// and a real (absolute-time) timer queue, so TTL sweeps, spike deadlines
+/// and verdict deliveries all fire in order.
+#[derive(Debug, Default)]
+struct BoundedCtx {
+    now: SimTime,
+    held: HashMap<u64, usize>,
+    released: HashMap<u64, usize>,
+    discarded: HashMap<u64, usize>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl TapCtx for BoundedCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn tapped_host(&self) -> netsim::HostId {
+        netsim::HostId(0)
+    }
+    fn held_count(&self, conn: ConnId) -> usize {
+        self.held.get(&conn.0).copied().unwrap_or(0)
+    }
+    fn release_held(&mut self, conn: ConnId) -> usize {
+        let n = self.held.remove(&conn.0).unwrap_or(0);
+        *self.released.entry(conn.0).or_default() += n;
+        n
+    }
+    fn discard_held(&mut self, conn: ConnId) -> usize {
+        let n = self.held.remove(&conn.0).unwrap_or(0);
+        *self.discarded.entry(conn.0).or_default() += n;
+        n
+    }
+    fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+    fn trace(&mut self, _category: &str, _message: &str) {}
+}
+
+/// Advances the clock to `now + dur`, firing every due timer in order.
+fn advance(tap: &mut VoiceGuardTap, ctx: &mut BoundedCtx, dur: SimDuration) {
+    let target = ctx.now + dur;
+    loop {
+        let due = ctx
+            .timers
+            .iter()
+            .enumerate()
+            .filter(|(_, (at, _))| *at <= target)
+            .min_by_key(|(_, (at, _))| *at)
+            .map(|(i, _)| i);
+        let Some(i) = due else { break };
+        let (at, token) = ctx.timers.remove(i);
+        ctx.now = at;
+        tap.on_timer(ctx, token);
+    }
+    ctx.now = target;
+}
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// Record lengths including the Echo command-marker triple, so spikes
+/// sometimes classify as commands (raising queries and holds).
+const LENS: [u32; 7] = [277, 131, 138, 41, 500, 600, 33];
+
+/// Five concurrent connections: the speaker's AVS flow plus four foreign
+/// LAN endpoints talking to a non-AVS sink. With a flow cap of 3 they
+/// compete for table space, so eviction fires constantly.
+fn view(slot: usize, seq: u64, len: u32) -> SegmentView {
+    let (src, dst) = match slot {
+        0 => (
+            Ipv4Addr::new(192, 168, 1, 200),
+            Ipv4Addr::new(52, 94, 233, 10),
+        ),
+        n => (
+            Ipv4Addr::new(192, 168, 1, 60 + n as u8),
+            Ipv4Addr::new(203, 0, 113, 66),
+        ),
+    };
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
+    SegmentView {
+        conn: ConnId(slot as u64 + 1),
+        dir: netsim::Direction::ClientToServer,
+        src: SocketAddrV4::new(src, 40_000),
+        dst: SocketAddrV4::new(dst, 443),
+        payload: SegmentPayload::Data(rec),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+fn bounded_config() -> GuardConfig {
+    GuardConfig {
+        flow_table_capacity: CAP_FLOWS,
+        flow_idle_ttl: SimDuration::from_secs(5),
+        ledger_hole_capacity: 3,
+        reorder_buffer_capacity: 3,
+        pending_query_budget: BUDGET,
+        ..GuardConfig::echo_dot()
+    }
+}
+
+// Each step is (connection slot, op kind, parameter). Kinds: 0 = in-order
+// record, 1 = sequence jump then record (grows ledgers / reorder
+// buffers), 2 = advance time (deciseconds; lets TTL sweeps and spike
+// deadlines fire), 3 = answer the oldest open query.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn state_bounds_hold_and_holds_never_leak(
+        establish in 0u8..2,
+        steps in proptest::collection::vec((0u8..5, 0u8..4, 0u16..u16::MAX), 1usize..60),
+    ) {
+        let establish = establish == 1;
+        let mut tap = VoiceGuardTap::new(bounded_config());
+        let mut ctx = BoundedCtx::default();
+        let mut seqs: HashMap<usize, u64> = HashMap::new();
+        let mut open_queries: Vec<QueryId> = Vec::new();
+        let mut evict_events = 0u64;
+
+        if establish {
+            for len in AVS_SIG {
+                let v = view(0, *seqs.entry(0).or_default(), len);
+                if tap.on_segment(&mut ctx, &v) == TapVerdict::Hold {
+                    *ctx.held.entry(v.conn.0).or_default() += 1;
+                }
+                *seqs.get_mut(&0).unwrap() += 1;
+                advance(&mut tap, &mut ctx, SimDuration::from_millis(20));
+            }
+        }
+
+        for &(slot, kind, param) in &steps {
+            let slot = slot as usize;
+            match kind {
+                0 | 1 => {
+                    let seq = seqs.entry(slot).or_default();
+                    if kind == 1 {
+                        // A sequence gap: the skipped range becomes a
+                        // ledger hole and later records park in the
+                        // reorder buffer until it fills (it never will).
+                        *seq += 1 + u64::from(param % 4);
+                    }
+                    let len = LENS[param as usize % LENS.len()];
+                    let v = view(slot, *seq, len);
+                    if tap.on_segment(&mut ctx, &v) == TapVerdict::Hold {
+                        *ctx.held.entry(v.conn.0).or_default() += 1;
+                    }
+                    *seq += 1;
+                    advance(&mut tap, &mut ctx, SimDuration::from_millis(20));
+                }
+                2 => {
+                    advance(
+                        &mut tap,
+                        &mut ctx,
+                        SimDuration::from_millis(u64::from(param % 80) * 100),
+                    );
+                }
+                _ => {
+                    if !open_queries.is_empty() {
+                        let query = open_queries.remove(0);
+                        let verdict = if param % 2 == 0 {
+                            Verdict::Legitimate
+                        } else {
+                            Verdict::Malicious
+                        };
+                        tap.schedule_verdict(&mut ctx, query, verdict, SimDuration::from_millis(300));
+                        advance(&mut tap, &mut ctx, SimDuration::from_millis(400));
+                    }
+                }
+            }
+
+            for ev in tap.take_events() {
+                match ev {
+                    GuardEvent::QueryRequested { query, .. } => open_queries.push(query),
+                    GuardEvent::FlowEvicted { .. } => evict_events += 1,
+                    _ => {}
+                }
+            }
+
+            // The bounds are invariants at every step, not just at rest.
+            prop_assert!(
+                tap.tracked_flows(0) <= CAP_FLOWS,
+                "flow table exceeded its capacity: {} > {}",
+                tap.tracked_flows(0),
+                CAP_FLOWS
+            );
+            prop_assert!(
+                tap.pending_query_count() <= BUDGET,
+                "pending queries exceeded the budget: {} > {}",
+                tap.pending_query_count(),
+                BUDGET
+            );
+            // No leaked hold-queue entries: a held frame always belongs
+            // to a connection the tap still routes. Eviction and expiry
+            // drain fail-closed, so a de-routed connection must have
+            // zero frames left in the queue.
+            let snap = tap.snapshot();
+            for (conn, n) in &ctx.held {
+                if *n > 0 {
+                    prop_assert!(
+                        snap.conn_routes.iter().any(|(c, _)| c == conn),
+                        "conn#{conn} leaked {n} held frames after losing its route"
+                    );
+                }
+            }
+        }
+
+        // Eviction accounting is consistent: every eviction the stats
+        // counted was also announced as an event (and vice versa), so
+        // nothing was reclaimed silently — or double-counted.
+        prop_assert_eq!(
+            tap.stats.flows_evicted + tap.stats.flows_expired,
+            evict_events,
+            "eviction stats and events diverged"
+        );
+    }
+}

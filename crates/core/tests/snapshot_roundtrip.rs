@@ -11,7 +11,9 @@ use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
 use proptest::prelude::*;
 use simcore::{SimDuration, SimTime};
 use std::net::{Ipv4Addr, SocketAddrV4};
-use voiceguard::{GuardConfig, GuardEvent, Verdict, VoiceGuardTap};
+use voiceguard::{
+    GuardConfig, GuardEvent, SnapshotError, Verdict, VoiceGuardTap, GUARD_SNAPSHOT_VERSION,
+};
 
 /// Mock TapCtx with a manual clock; held/released/discarded counters model
 /// the engine-side hold queue so both replicas see identical queue depths.
@@ -133,6 +135,36 @@ fn feed(
         }
     }
     events.into_iter().chain(tap.take_events()).collect()
+}
+
+/// Forward compatibility: a snapshot stamped by a future (unknown) layout
+/// version must be rejected with a typed error rather than silently
+/// misinterpreted, and the refusing tap must stay restorable from a
+/// current-version snapshot.
+#[test]
+fn unknown_snapshot_version_is_rejected() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    establish(&mut tap, &mut ctx);
+    let good = tap.snapshot();
+    assert_eq!(good.version, GUARD_SNAPSHOT_VERSION);
+
+    let mut future = good.clone();
+    future.version = GUARD_SNAPSHOT_VERSION + 97;
+    let mut fresh = VoiceGuardTap::new(GuardConfig::echo_dot());
+    match fresh.try_restore(&future) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, GUARD_SNAPSHOT_VERSION + 97);
+            assert_eq!(supported, GUARD_SNAPSHOT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // The failed restore must not have corrupted the tap: the current
+    // snapshot still restores and round-trips losslessly.
+    fresh
+        .try_restore(&good)
+        .expect("current-version snapshot must restore");
+    assert_eq!(fresh.snapshot(), good);
 }
 
 proptest! {

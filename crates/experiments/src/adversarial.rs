@@ -1,0 +1,249 @@
+//! Adversarial sweep — guard state bounds under memory attacks.
+//!
+//! The chaos sweep stresses the guarded home with *faults*; this sweep
+//! stresses it with an *adversary*: compromised LAN devices flooding the
+//! flow table, pinning per-flow state, mimicking the AVS establishment
+//! signature and storming post-idle spikes (see [`attacks::traffic`]),
+//! all while the owner keeps using the speaker. Each attack plan runs
+//! twice — once with the guard unbounded (the pre-hardening behaviour)
+//! and once with [`GuardBounds::hardened`] — and the table reports the
+//! peak tracked state, the eviction/expiry/shed counters, and what the
+//! attack cost the legitimate traffic.
+//!
+//! The headline invariants, pinned by this module's tests: under every
+//! attack plan the bounded guard's peak tracked state stays at or under
+//! its caps, no attack command is ever forwarded, and the legitimate
+//! false-rejection rate stays bounded.
+
+use crate::chaos::{run_profile, ChaosOutcome};
+use crate::orchestrator::{AdversaryPlan, FaultProfile, GuardBounds};
+use crate::report::{pct, Table};
+
+/// One cell of the sweep: an attack plan × a bound configuration.
+#[derive(Debug, Clone)]
+pub struct AdversarialCell {
+    /// Attack-plan label.
+    pub attack: &'static str,
+    /// True when the guard ran with [`GuardBounds::hardened`].
+    pub bounded: bool,
+    /// The measured outcome.
+    pub outcome: ChaosOutcome,
+}
+
+/// Result of the adversarial sweep.
+#[derive(Debug, Clone)]
+pub struct AdversarialResult {
+    /// Per-cell outcomes, plan order, unbounded before bounded.
+    pub cells: Vec<AdversarialCell>,
+    /// The rendered table.
+    pub table: Table,
+    /// The bound configuration the bounded cells ran with.
+    pub bounds: GuardBounds,
+}
+
+/// The attack plans of the sweep, with their table labels. `none` is the
+/// control: it pins that the bounds alone change nothing for legitimate
+/// traffic.
+pub fn attack_plans() -> Vec<(&'static str, AdversaryPlan)> {
+    vec![
+        ("none", AdversaryPlan::none()),
+        (
+            "flood",
+            AdversaryPlan {
+                flood: true,
+                ..AdversaryPlan::none()
+            },
+        ),
+        (
+            "slow-loris",
+            AdversaryPlan {
+                slow_loris: true,
+                ..AdversaryPlan::none()
+            },
+        ),
+        (
+            "mimic",
+            AdversaryPlan {
+                mimic: true,
+                ..AdversaryPlan::none()
+            },
+        ),
+        (
+            "spike-storm",
+            AdversaryPlan {
+                spike_storm: true,
+                ..AdversaryPlan::none()
+            },
+        ),
+        ("all", AdversaryPlan::all()),
+    ]
+}
+
+/// Runs the sweep: every attack plan × {unbounded, hardened}, `rounds`
+/// (legitimate, attack) command pairs each, and renders the table.
+pub fn run(seed: u64, rounds: u32) -> AdversarialResult {
+    run_attacks(&[], seed, rounds)
+}
+
+/// Runs the sweep restricted to the named attack plans (empty = all);
+/// the CI smoke uses this to exercise single attacks cheaply.
+pub fn run_attacks(attacks: &[&str], seed: u64, rounds: u32) -> AdversarialResult {
+    let bounds = GuardBounds::hardened();
+    let mut cells = Vec::new();
+    for (attack, plan) in attack_plans() {
+        if !attacks.is_empty() && !attacks.contains(&attack) {
+            continue;
+        }
+        for bounded in [false, true] {
+            let cell_bounds = if bounded {
+                bounds
+            } else {
+                GuardBounds::unbounded()
+            };
+            let outcome = run_profile(
+                FaultProfile::adversarial(attack, plan, cell_bounds),
+                seed,
+                rounds,
+            );
+            cells.push(AdversarialCell {
+                attack,
+                bounded,
+                outcome,
+            });
+        }
+    }
+    let mut table = Table::new(
+        "Adversarial sweep — guard state bounds under memory attacks",
+        &[
+            "cell (attack × bounds)",
+            "block rate",
+            "FRR",
+            "peak flows",
+            "peak queries",
+            "evict/expire",
+            "shed",
+            "ledger/reorder ovf",
+            "readopted",
+        ],
+    );
+    for c in &cells {
+        let o = &c.outcome;
+        table.push_row(vec![
+            format!(
+                "{} × {}",
+                c.attack,
+                if c.bounded { "bounded" } else { "unbounded" }
+            ),
+            format!("{} ({})", pct(o.block_rate()), o.blocked_malicious),
+            format!("{} ({})", pct(o.frr()), o.blocked_legit),
+            o.peak_tracked_flows.to_string(),
+            o.peak_pending_queries.to_string(),
+            format!("{}/{}", o.flows_evicted, o.flows_expired),
+            o.queries_shed.to_string(),
+            format!("{}/{}", o.ledger_overflows, o.reorder_overflows),
+            o.flows_readopted.to_string(),
+        ]);
+    }
+    table.note(format!(
+        "{rounds} legitimate + {rounds} attack commands per cell, seed {seed}; \
+         bounded cells cap the flow table at {} (LRU eviction), expire flows \
+         idle {:.0} s, cap ledgers at {} holes and reorder buffers at {} \
+         records, and budget {} pending queries — every bound fails closed.",
+        bounds.flow_table_capacity,
+        bounds.flow_idle_ttl.as_secs_f64(),
+        bounds.ledger_hole_capacity,
+        bounds.reorder_buffer_capacity,
+        bounds.pending_query_budget,
+    ));
+    AdversarialResult {
+        cells,
+        table,
+        bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline hardening invariant: bounds hold under every attack,
+    /// no attack command is ever forwarded, and what the attacks cost
+    /// legitimate traffic is bounded.
+    #[test]
+    fn bounds_hold_attacks_stay_blocked_and_frr_stays_bounded() {
+        let r = run(31, 1);
+        let frr_of = |attack: &str, bounded: bool| {
+            r.cells
+                .iter()
+                .find(|c| c.attack == attack && c.bounded == bounded)
+                .map(|c| c.outcome.frr())
+                .expect("cell present")
+        };
+        for c in &r.cells {
+            let o = &c.outcome;
+            assert_eq!(
+                o.blocked_malicious, o.malicious,
+                "no attack command may ever be forwarded: {c:?}"
+            );
+            if c.bounded {
+                assert!(
+                    o.peak_tracked_flows <= r.bounds.flow_table_capacity as u64,
+                    "peak tracked flows must stay under the cap: {c:?}"
+                );
+                assert!(
+                    o.peak_pending_queries <= r.bounds.pending_query_budget as u64,
+                    "peak pending queries must stay under the budget: {c:?}"
+                );
+                assert!(
+                    o.frr() <= 0.5,
+                    "legitimate FRR may degrade, but boundedly: {c:?}"
+                );
+            }
+        }
+        // The control cell: bounds alone cost legitimate traffic nothing.
+        assert_eq!(
+            frr_of("none", true),
+            frr_of("none", false),
+            "bounds without an adversary must not change the FRR"
+        );
+        // The attacks actually pressure the bounds they are aimed at.
+        let cell = |attack: &str, bounded: bool| {
+            &r.cells
+                .iter()
+                .find(|c| c.attack == attack && c.bounded == bounded)
+                .expect("cell present")
+                .outcome
+        };
+        assert!(
+            cell("flood", false).peak_tracked_flows > r.bounds.flow_table_capacity as u64,
+            "the unbounded flood must exceed the hardened cap, or the cap \
+             proves nothing: {:?}",
+            cell("flood", false)
+        );
+        assert!(
+            cell("flood", true).flows_evicted > 0,
+            "the bounded flood must actually trigger LRU eviction"
+        );
+        assert!(
+            cell("slow-loris", true).flows_expired > 0,
+            "stalled slow-loris sessions must be expired by the idle TTL"
+        );
+    }
+
+    #[test]
+    fn adversarial_cells_replay_bit_identically() {
+        let profile = || {
+            FaultProfile::adversarial(
+                "flood",
+                AdversaryPlan {
+                    flood: true,
+                    ..AdversaryPlan::none()
+                },
+                GuardBounds::hardened(),
+            )
+        };
+        let a = run_profile(profile(), 5, 1);
+        let b = run_profile(profile(), 5, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
+//!             [--adversarial] [--attack NAME]
 //!
 //!   --seed S        master seed (default 2023)
 //!   --rounds N      (legit, attack) command pairs per profile (default 4)
@@ -10,13 +11,20 @@
 //!                   fcm-degraded, crash-pass, crash-drop)
 //!   --crash         run the crash-recovery sweep (crash rate × restart
 //!                   delay × blind policy grid) instead of the profiles
+//!   --adversarial   run the adversarial-load sweep (memory attacks ×
+//!                   guard state bounds) instead of the profiles
+//!   --attack NAME   with --adversarial: run only the named attack plan
+//!                   (none, flood, slow-loris, mimic, spike-storm, all);
+//!                   repeatable
 //! ```
 //!
 //! The default mode replays a compact Echo Dot scenario under the clean,
 //! lossy, bursty and fcm-degraded fault profiles and prints a markdown
 //! table of block rate, false-rejection rate, mean hold time and
 //! degradation counters. `--crash` sweeps guard crashes instead and adds
-//! the degraded-mode summary table. Output is byte-identical for two runs
+//! the degraded-mode summary table. `--adversarial` sweeps memory attacks
+//! (flow flood, slow loris, signature mimic, spike storm) against the
+//! unbounded and hardened guard. Output is byte-identical for two runs
 //! with the same seed.
 
 use std::process::ExitCode;
@@ -26,6 +34,8 @@ fn main() -> ExitCode {
     let mut rounds: u32 = 4;
     let mut profile: Option<String> = None;
     let mut crash = false;
+    let mut adversarial = false;
+    let mut attacks: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -37,6 +47,18 @@ fn main() -> ExitCode {
             "--crash" => {
                 crash = true;
                 i += 1;
+            }
+            "--adversarial" => {
+                adversarial = true;
+                i += 1;
+            }
+            "--attack" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--attack needs a value");
+                    return ExitCode::FAILURE;
+                };
+                attacks.push(value.clone());
+                i += 2;
             }
             "--profile" => {
                 let Some(value) = args.get(i + 1) else {
@@ -65,12 +87,32 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
-                     [--profile NAME] [--crash]"
+                     [--profile NAME] [--crash] [--adversarial] [--attack NAME]"
                 );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if adversarial {
+        let known: Vec<&str> = experiments::adversarial::attack_plans()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        for attack in &attacks {
+            if !known.contains(&attack.as_str()) {
+                eprintln!("unknown attack '{attack}'; known: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+        let selected: Vec<&str> = attacks.iter().map(String::as_str).collect();
+        let result = experiments::adversarial::run_attacks(&selected, seed, rounds);
+        print!("{}", result.table);
+        return ExitCode::SUCCESS;
+    }
+    if !attacks.is_empty() {
+        eprintln!("--attack only makes sense with --adversarial");
+        return ExitCode::FAILURE;
     }
     if crash {
         let result = experiments::chaos::crash_sweep(seed, rounds);

@@ -51,6 +51,23 @@ pub struct ChaosOutcome {
     pub flows_readopted: u64,
     /// Mean restart→re-adoption latency across re-adopted flows, seconds.
     pub mean_readoption_s: f64,
+    /// Peak flows tracked by any one pipeline (a configured flow-table
+    /// capacity is a hard ceiling on this).
+    pub peak_tracked_flows: u64,
+    /// Peak unanswered verdict queries across the tap (a configured
+    /// pending-query budget is a hard ceiling on this).
+    pub peak_pending_queries: u64,
+    /// Flows evicted at the flow-table capacity cap.
+    pub flows_evicted: u64,
+    /// Idle flows expired by the TTL sweep.
+    pub flows_expired: u64,
+    /// Pending queries shed at the budget, their holds drained
+    /// fail-closed.
+    pub queries_shed: u64,
+    /// Connections quarantined at the record-ledger hole cap.
+    pub ledger_overflows: u64,
+    /// Connections quarantined at the reorder-buffer cap.
+    pub reorder_overflows: u64,
 }
 
 impl ChaosOutcome {
@@ -167,6 +184,13 @@ pub fn run_profile(profile: FaultProfile, seed: u64, rounds: u32) -> ChaosOutcom
         } else {
             stats.readoption_latency_s / stats.flows_readopted as f64
         },
+        peak_tracked_flows: stats.peak_tracked_flows,
+        peak_pending_queries: stats.peak_pending_queries,
+        flows_evicted: stats.flows_evicted,
+        flows_expired: stats.flows_expired,
+        queries_shed: stats.queries_shed,
+        ledger_overflows: stats.ledger_overflows,
+        reorder_overflows: stats.reorder_overflows,
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`corpus_stats`] | §V-A2 — command-corpus length statistics |
 //! | [`ablations`] | design-choice ablations (DESIGN.md §5) |
 //! | [`chaos`] | fault-injection sweep (clean → lossy → bursty → FCM-degraded) |
+//! | [`adversarial`] | adversarial-load sweep (memory attacks × guard state bounds) |
 //!
 //! The shared scenario machinery lives in [`orchestrator`].
 
@@ -27,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod adversarial;
 pub mod chaos;
 pub mod corpus_stats;
 pub mod fig10;
@@ -37,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig89;
 pub mod hold_envelope;
+pub mod offline;
 pub mod orchestrator;
 pub mod report;
 pub mod summary;

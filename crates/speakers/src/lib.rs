@@ -39,7 +39,7 @@ pub use cloud::{AvsCloud, GoogleCloud, OtherAmazonCloud};
 pub use command::{CommandOutcome, CommandSpec, InvocationRecord, SpikeLabel, SpikePhase};
 pub use constants::{
     AVS_CONNECT_SIGNATURE, AVS_DOMAIN, GOOGLE_DOMAIN, HEARTBEAT_INTERVAL_S, HEARTBEAT_LEN,
-    OTHER_AMAZON_SIGNATURES,
+    OTHER_AMAZON_SIGNATURES, PHASE1_MARKERS,
 };
 pub use corpus::{Corpus, VoiceCommand, SPEECH_WORDS_PER_SECOND};
 pub use echo::EchoDotApp;

@@ -60,6 +60,17 @@ fn render(events: &[GuardEvent]) -> String {
                 at.as_secs_f64(),
                 conn.0
             ),
+            GuardEvent::FlowEvicted { at, pipeline, conn } => writeln!(
+                out,
+                "{:12.6} evict   conn#{} pipeline={pipeline}",
+                at.as_secs_f64(),
+                conn.0
+            ),
+            GuardEvent::QueryShed { query, at } => writeln!(
+                out,
+                "{:12.6} shed    {query} (pending-query budget)",
+                at.as_secs_f64()
+            ),
         }
         .expect("write to string");
     }
