@@ -29,6 +29,11 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # attacks against the unbounded and hardened guard. A hang, panic, or
 # non-blocked attack command here means the state bounds regressed.
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --adversarial --attack flood --attack slow-loris
+# Byzantine smoke: one round of the BLE-spoofing and compromised-device
+# evidence attacks against the paper's any-one rule and the hardened
+# Decision Module. An attack command executing in a hardened cell here
+# means the evidence validation or quorum hardening regressed.
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --byzantine --attack spoof --attack compromised
 run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
 run cargo "${CARGO_ARGS[@]}" fmt --check
 

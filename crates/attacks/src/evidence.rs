@@ -1,0 +1,346 @@
+//! Byzantine evidence attacks against the Decision Module.
+//!
+//! The paper's threat model (§III-B) assumes the RSSI evidence channel is
+//! honest: devices are the owner's, reports are fresh, and the speaker's
+//! BLE advertisement cannot be forged. These attacks drop that assumption
+//! one leg at a time:
+//!
+//! * [`BleSpoofingAdvertiser`] — an rfsim transmitter that replays the
+//!   speaker's advertisement from an attacker-chosen position at
+//!   attacker-chosen power, inflating every nearby device's genuine
+//!   measurement (the device itself stays honest);
+//! * [`ReplayedReportAttack`] — an on-path observer that captures
+//!   vouching [`EvidenceEnvelope`]s while the owner is home and replays
+//!   the strongest one against a later query;
+//! * [`CompromisedDeviceAttack`] — malicious firmware on one registered
+//!   device that rewrites its outgoing reports (always-vouch at a
+//!   plausible RSSI, or always-high at a physically impossible one),
+//!   via the Decision Module's [`EvidenceTamper`] hook.
+//!
+//! Each attack draws from its own RNG stream so arming one never shifts
+//! another cell's draw sequence — the same per-host isolation the fault
+//! injectors use.
+
+use phone::{DeviceId, EvidenceEnvelope};
+use rand::Rng;
+use rfsim::{Point, SpoofTransmitter};
+use serde::{Deserialize, Serialize};
+use voiceguard::{DecisionOutcome, EvidenceTamper};
+
+/// A BLE advertisement spoofer: replays the speaker's advertisement from
+/// `position` with `tx_gain_db` dB of extra transmit power, so a distant
+/// owner device hears a strong "speaker" and vouches for a command the
+/// owner never issued.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BleSpoofingAdvertiser {
+    /// Where the spoofing transmitter sits.
+    pub position: Point,
+    /// Extra transmit power over the genuine advertisement, dB.
+    pub tx_gain_db: f64,
+    /// Uniform per-attempt jitter applied to the gain (models imperfect
+    /// amplifier control); zero disables it.
+    pub gain_jitter_db: f64,
+}
+
+impl BleSpoofingAdvertiser {
+    /// A spoofer at `position` with a fixed `tx_gain_db` boost.
+    pub fn new(position: Point, tx_gain_db: f64) -> Self {
+        BleSpoofingAdvertiser {
+            position,
+            tx_gain_db,
+            gain_jitter_db: 0.0,
+        }
+    }
+
+    /// Adds ±`jitter_db` of uniform per-attempt gain jitter.
+    pub fn with_jitter(mut self, jitter_db: f64) -> Self {
+        self.gain_jitter_db = jitter_db;
+        self
+    }
+
+    /// Arms one attempt: the concrete transmitter to overlay on the
+    /// speaker's [`rfsim::BleChannel`] for this query.
+    pub fn transmitter<R: Rng + ?Sized>(&self, rng: &mut R) -> SpoofTransmitter {
+        let jitter = if self.gain_jitter_db > 0.0 {
+            rng.gen_range(-self.gain_jitter_db..self.gain_jitter_db)
+        } else {
+            0.0
+        };
+        SpoofTransmitter {
+            position: self.position,
+            tx_gain_db: self.tx_gain_db + jitter,
+        }
+    }
+}
+
+/// An on-path observer that harvests vouching reports from completed
+/// queries and replays the strongest one against a later query.
+///
+/// The replayed envelope is byte-for-byte what the genuine device sent —
+/// old nonce, old measurement timestamp — which is exactly why the
+/// hardened module's cross-query and staleness checks catch it while the
+/// paper's trust-everything module does not.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayedReportAttack {
+    captured: Vec<EvidenceEnvelope>,
+}
+
+impl ReplayedReportAttack {
+    /// A fresh observer with nothing captured yet.
+    pub fn new() -> Self {
+        ReplayedReportAttack::default()
+    }
+
+    /// Observes one completed query, capturing every envelope whose
+    /// report vouched.
+    pub fn observe(&mut self, outcome: &DecisionOutcome) {
+        for (report, envelope) in outcome.reports.iter().zip(&outcome.envelopes) {
+            if report.vouched {
+                self.captured.push(*envelope);
+            }
+        }
+    }
+
+    /// How many vouching envelopes have been captured.
+    pub fn captured(&self) -> usize {
+        self.captured.len()
+    }
+
+    /// The strongest captured envelope, if any.
+    pub fn best(&self) -> Option<EvidenceEnvelope> {
+        self.captured
+            .iter()
+            .copied()
+            .max_by(|a, b| a.rssi_db.total_cmp(&b.rssi_db))
+    }
+
+    /// The envelopes to inject into the current query: the single best
+    /// capture (an attacker replays its strongest card), or nothing if
+    /// the observer has captured no vouching report yet.
+    pub fn inject(&self) -> Vec<EvidenceEnvelope> {
+        self.best().into_iter().collect()
+    }
+}
+
+/// What the compromised firmware writes into its outgoing reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CompromiseMode {
+    /// Always vouch with a *plausible* strong reading: defeats the
+    /// any-one rule outright and slips past outlier rejection; only the
+    /// disagreement ledger and quarantine catch it, after a few queries.
+    AlwaysVouch {
+        /// Claimed RSSI, dB — keep at or below the channel ceiling.
+        rssi_db: f64,
+    },
+    /// Always report a *physically impossible* reading: the greedy
+    /// variant, caught immediately by plausibility scoring and unable to
+    /// vouch alone under `OutlierReject`.
+    AlwaysHighRssi {
+        /// Claimed RSSI, dB — above the channel ceiling plus margin.
+        rssi_db: f64,
+    },
+}
+
+impl CompromiseMode {
+    /// The RSSI the firmware writes.
+    pub fn rssi_db(self) -> f64 {
+        match self {
+            CompromiseMode::AlwaysVouch { rssi_db } => rssi_db,
+            CompromiseMode::AlwaysHighRssi { rssi_db } => rssi_db,
+        }
+    }
+}
+
+/// Malicious firmware on one registered device: every outgoing report
+/// has its RSSI rewritten per [`CompromiseMode`], with a small uniform
+/// jitter drawn from the attack's own RNG stream so repeated reports do
+/// not look byte-identical.
+pub struct CompromisedDeviceAttack<R: Rng + Send> {
+    device: DeviceId,
+    mode: CompromiseMode,
+    jitter_db: f64,
+    rng: R,
+}
+
+impl<R: Rng + Send> CompromisedDeviceAttack<R> {
+    /// Compromises `device` with `mode`, drawing jitter from `rng`.
+    pub fn new(device: DeviceId, mode: CompromiseMode, rng: R) -> Self {
+        CompromisedDeviceAttack {
+            device,
+            mode,
+            jitter_db: 0.0,
+            rng,
+        }
+    }
+
+    /// Adds ±`jitter_db` of uniform jitter to every rewritten reading.
+    pub fn with_jitter(mut self, jitter_db: f64) -> Self {
+        self.jitter_db = jitter_db;
+        self
+    }
+
+    /// The device this firmware runs on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+}
+
+impl<R: Rng + Send> EvidenceTamper for CompromisedDeviceAttack<R> {
+    fn name(&self) -> &str {
+        match self.mode {
+            CompromiseMode::AlwaysVouch { .. } => "compromised-always-vouch",
+            CompromiseMode::AlwaysHighRssi { .. } => "compromised-always-high",
+        }
+    }
+
+    fn tamper(&mut self, envelope: &mut EvidenceEnvelope) {
+        if envelope.device != self.device {
+            return;
+        }
+        let jitter = if self.jitter_db > 0.0 {
+            self.rng.gen_range(-self.jitter_db..self.jitter_db)
+        } else {
+            0.0
+        };
+        envelope.rssi_db = self.mode.rssi_db() + jitter;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phone::FcmLatencyModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfsim::{BleChannel, Floorplan, PropagationConfig, Rect};
+    use simcore::SimTime;
+    use voiceguard::{DecisionModule, DeviceProfile, Verdict};
+
+    fn channel() -> BleChannel {
+        let mut b = Floorplan::builder("atk");
+        b.room("living", Rect::new(0.0, 0.0, 12.0, 5.0), 0);
+        BleChannel::new(
+            PropagationConfig::noiseless(),
+            b.build(),
+            Point::ground(1.0, 2.5),
+        )
+    }
+
+    fn module() -> DecisionModule {
+        DecisionModule::new(vec![DeviceProfile {
+            device: DeviceId(0),
+            threshold_db: -8.0,
+            latency: FcmLatencyModel::smartphone(),
+            floor_tracker: None,
+        }])
+    }
+
+    #[test]
+    fn spoofer_jitter_is_bounded_and_deterministic() {
+        let spoof = BleSpoofingAdvertiser::new(Point::ground(9.0, 2.5), 30.0).with_jitter(2.0);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let ta = spoof.transmitter(&mut a);
+            let tb = spoof.transmitter(&mut b);
+            assert_eq!(ta, tb);
+            assert!((ta.tx_gain_db - 30.0).abs() < 2.0);
+            assert_eq!(ta.position, Point::ground(9.0, 2.5));
+        }
+    }
+
+    #[test]
+    fn spoofed_channel_makes_a_distant_device_vouch() {
+        let far = Point::ground(10.0, 2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = module().decide(&|_| far, &channel(), &mut rng);
+        assert_eq!(clean.verdict, Verdict::Malicious);
+
+        let spoof = BleSpoofingAdvertiser::new(Point::ground(10.0, 2.0), 40.0);
+        let spoofed = channel().with_spoofer(spoof.transmitter(&mut StdRng::seed_from_u64(2)));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = module().decide(&|_| far, &spoofed, &mut rng);
+        assert_eq!(
+            out.verdict,
+            Verdict::Legitimate,
+            "the spoofer defeats the paper's any-one rule"
+        );
+    }
+
+    #[test]
+    fn replay_captures_only_vouching_reports_and_replays_the_best() {
+        let mut dm = module();
+        let mut attack = ReplayedReportAttack::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let near = Point::ground(2.0, 2.5);
+        let far = Point::ground(10.0, 2.5);
+
+        let miss = dm.decide_at(SimTime::from_secs(10), &|_| far, &channel(), &mut rng);
+        attack.observe(&miss);
+        assert_eq!(attack.captured(), 0, "non-vouching reports are useless");
+        assert!(attack.inject().is_empty());
+
+        let hit = dm.decide_at(SimTime::from_secs(20), &|_| near, &channel(), &mut rng);
+        assert_eq!(hit.verdict, Verdict::Legitimate);
+        attack.observe(&hit);
+        assert_eq!(attack.captured(), 1);
+        let replayed = attack.inject();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0], hit.envelopes[0], "replayed byte-for-byte");
+
+        // The replay defeats the paper module even with every device away.
+        let out = dm.decide_with_evidence(
+            SimTime::from_secs(200),
+            &|_| far,
+            &channel(),
+            &replayed,
+            &mut rng,
+        );
+        assert_eq!(out.verdict, Verdict::Legitimate);
+    }
+
+    #[test]
+    fn compromised_firmware_rewrites_only_its_own_device() {
+        let rng = StdRng::seed_from_u64(7);
+        let mut attack = CompromisedDeviceAttack::new(
+            DeviceId(1),
+            CompromiseMode::AlwaysHighRssi { rssi_db: 12.0 },
+            rng,
+        )
+        .with_jitter(0.5);
+        assert_eq!(attack.name(), "compromised-always-high");
+        assert_eq!(attack.device(), DeviceId(1));
+
+        let timing = phone::QueryTiming {
+            scan_start: simcore::SimDuration::from_secs_f64(1.0),
+            measured_at: simcore::SimDuration::from_secs_f64(1.4),
+            reported_at: simcore::SimDuration::from_secs_f64(1.45),
+        };
+        let mut other = EvidenceEnvelope::genuine(DeviceId(0), 0, SimTime::ZERO, -50.0, timing);
+        attack.tamper(&mut other);
+        assert_eq!(other.rssi_db, -50.0, "other devices untouched");
+
+        let mut own = EvidenceEnvelope::genuine(DeviceId(1), 0, SimTime::ZERO, -50.0, timing);
+        attack.tamper(&mut own);
+        assert!((own.rssi_db - 12.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn always_vouch_mode_reports_the_configured_reading() {
+        let rng = StdRng::seed_from_u64(8);
+        let mut attack = CompromisedDeviceAttack::new(
+            DeviceId(0),
+            CompromiseMode::AlwaysVouch { rssi_db: -2.0 },
+            rng,
+        );
+        assert_eq!(attack.name(), "compromised-always-vouch");
+        let timing = phone::QueryTiming {
+            scan_start: simcore::SimDuration::from_secs_f64(1.0),
+            measured_at: simcore::SimDuration::from_secs_f64(1.4),
+            reported_at: simcore::SimDuration::from_secs_f64(1.45),
+        };
+        let mut env = EvidenceEnvelope::genuine(DeviceId(0), 0, SimTime::ZERO, -60.0, timing);
+        attack.tamper(&mut env);
+        assert_eq!(env.rssi_db, -2.0);
+    }
+}

@@ -17,8 +17,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evidence;
 pub mod traffic;
 
+pub use evidence::{
+    BleSpoofingAdvertiser, CompromiseMode, CompromisedDeviceAttack, ReplayedReportAttack,
+};
 pub use traffic::{
     FloodClient, FloodConfig, SignatureMimicApp, SignatureMimicConfig, SinkServer, SlowLorisApp,
     SlowLorisConfig, SpikeStormApp, SpikeStormConfig,

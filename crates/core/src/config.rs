@@ -143,6 +143,72 @@ impl GuardConfig {
     }
 }
 
+/// Opt-in hardening of the Decision Module's evidence path against
+/// Byzantine device reports (spoofed RSSI, replays, compromised devices).
+///
+/// The default ([`EvidenceHardening::off`]) disables every check and
+/// reproduces the paper's trust-everything behaviour bit for bit; the
+/// knob values are still populated so flipping `enabled` alone yields a
+/// sane hardened configuration ([`EvidenceHardening::hardened`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvidenceHardening {
+    /// Master switch. Off = the paper's behaviour, byte-identical.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Maximum age of a report's claimed measurement on arrival before it
+    /// is rejected as stale.
+    pub max_report_age: SimDuration,
+    /// A reading more than this many dB above the channel's RSSI ceiling
+    /// is physically implausible for the genuine advertisement: it scores
+    /// an anomaly and cannot vouch alone under `OutlierReject`.
+    pub plausible_margin_db: f64,
+    /// Report latency above this scores a slow-report anomaly
+    /// (zero disables the check).
+    pub latency_ceiling: SimDuration,
+    /// Rolling per-device window length, in accepted observations.
+    pub anomaly_window: usize,
+    /// Anomalies within the window that trip the device's breaker.
+    pub quarantine_threshold: u32,
+    /// How long a tripped breaker stays open before a half-open probe.
+    pub quarantine_cooldown: SimDuration,
+    /// Score a vouch that disagrees with the strict majority of reporting
+    /// devices (3+ reports) as an anomaly. Cheap signal against lying
+    /// devices, but it can strike an honest near device when the rest of
+    /// the household is away — see DESIGN.md §13 for the FRR trade-off.
+    pub disagreement_checks: bool,
+}
+
+impl EvidenceHardening {
+    /// Hardening disabled (the default): the paper's trust-everything
+    /// evidence path.
+    pub fn off() -> Self {
+        EvidenceHardening {
+            enabled: false,
+            ..EvidenceHardening::hardened()
+        }
+    }
+
+    /// The hardened profile used by the byzantine sweep.
+    pub fn hardened() -> Self {
+        EvidenceHardening {
+            enabled: true,
+            max_report_age: SimDuration::from_secs(10),
+            plausible_margin_db: 3.0,
+            latency_ceiling: SimDuration::from_secs(20),
+            anomaly_window: 8,
+            quarantine_threshold: 3,
+            quarantine_cooldown: SimDuration::from_secs(30),
+            disagreement_checks: true,
+        }
+    }
+}
+
+impl Default for EvidenceHardening {
+    fn default() -> Self {
+        EvidenceHardening::off()
+    }
+}
+
 /// What a pipeline does with a frame it wants to hold once the engine
 /// already parks `capacity` frames for that flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -185,6 +251,18 @@ mod tests {
         assert_eq!(c.ledger_hole_capacity, 0);
         assert_eq!(c.reorder_buffer_capacity, 0);
         assert_eq!(c.pending_query_budget, 0);
+    }
+
+    #[test]
+    fn evidence_hardening_defaults_off() {
+        let h = EvidenceHardening::default();
+        assert!(!h.enabled, "hardening must be opt-in");
+        assert!(EvidenceHardening::hardened().enabled);
+        assert_eq!(
+            EvidenceHardening { enabled: true, ..h },
+            EvidenceHardening::hardened(),
+            "off() differs from hardened() only in the master switch"
+        );
     }
 
     #[test]

@@ -12,11 +12,15 @@
 //! [`DecisionOutcome`] with the verdict and the time offsets at which each
 //! milestone happened, which the orchestrator replays onto the guard tap.
 
+use crate::config::EvidenceHardening;
+use crate::evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 use crate::floor::{FloorLevel, FloorTracker};
+use crate::health::{DeviceHealth, HealthGate};
 use crate::policy::{
-    device_vouches, DecisionPolicy, DeviceEvidence, FloorLevelPolicy, RssiThresholdPolicy,
+    device_vouches, AnyOneQuorum, DecisionPolicy, DeviceEvidence, FloorLevelPolicy, QuorumEvidence,
+    QuorumPolicy, RssiThresholdPolicy,
 };
-use phone::{DeviceId, FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};
+use phone::{DeviceId, EvidenceEnvelope, FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};
 use rand::Rng;
 use rfsim::{BleChannel, Orientation, Point};
 use serde::{Deserialize, Serialize};
@@ -63,13 +67,22 @@ pub struct DecisionOutcome {
     /// The verdict.
     pub verdict: Verdict,
     /// Offset (from the query being issued) at which the verdict is known:
-    /// the earliest vouching report for a legitimate command, the last
-    /// report for a malicious one (all devices must fail to vouch), or the
-    /// fallback hold deadline when reports are missing.
+    /// the earliest report prefix satisfying the quorum for a legitimate
+    /// command (with the paper's any-one rule: the earliest vouching
+    /// report), the last report for a malicious one (all devices must fail
+    /// to vouch), or the fallback hold deadline when reports are missing.
     pub ready_after: SimDuration,
-    /// Every report that reached the module before the hold deadline.
+    /// Every report that reached the module before the hold deadline and
+    /// survived evidence validation.
     pub reports: Vec<DeviceReport>,
-    /// What the FCM fault model did to this query.
+    /// The query nonce the module minted: every accepted report carried
+    /// this value.
+    pub nonce: u64,
+    /// The accepted evidence envelopes, parallel to `reports` — what an
+    /// on-path observer could capture for replay.
+    pub envelopes: Vec<EvidenceEnvelope>,
+    /// What the FCM fault model (and evidence validation) did to this
+    /// query.
     pub degradation: DecisionDegradation,
 }
 
@@ -92,6 +105,16 @@ pub struct FallbackPolicy {
     /// probably home with a dead phone), `false` blocks it (security
     /// first — an attacker may be jamming the query path).
     pub fail_open: bool,
+    /// When `true`, a retry after a lost report starts only once the
+    /// failed attempt's own sampled latency has elapsed (the loss is
+    /// detected when the report *should* have arrived) plus the backoff —
+    /// the physically consistent accounting. The legacy default (`false`)
+    /// offsets retries by the backoff alone, which lets recovered reports
+    /// land earlier than possible; it is kept as the default so existing
+    /// seeded sweeps replay byte-identically. Dropped pushes are flagged
+    /// by the FCM delivery receipt immediately, so they consume no
+    /// latency either way.
+    pub charge_failed_attempts: bool,
 }
 
 impl Default for FallbackPolicy {
@@ -101,6 +124,7 @@ impl Default for FallbackPolicy {
             max_retries: 2,
             retry_backoff: SimDuration::from_secs(3),
             fail_open: false,
+            charge_failed_attempts: false,
         }
     }
 }
@@ -120,6 +144,15 @@ pub struct DecisionDegradation {
     pub late_reports: u32,
     /// Re-push attempts made.
     pub retries: u32,
+    /// Devices whose query gave up after exhausting every retry (the
+    /// device was reachable but no attempt produced a report).
+    pub attempts_exhausted: u32,
+    /// Reports rejected by evidence validation, by reason.
+    pub rejections: EvidenceRejections,
+    /// Device circuit breakers tripped during this query.
+    pub quarantines: u32,
+    /// Anomalies scored against device health ledgers during this query.
+    pub anomalies: u32,
     /// True if no report arrived at all and the fallback verdict applied.
     pub fell_back: bool,
 }
@@ -135,9 +168,15 @@ impl DecisionDegradation {
 pub struct DecisionModule {
     profiles: Vec<DeviceProfile>,
     policies: Vec<Box<dyn DecisionPolicy>>,
+    quorum: Box<dyn QuorumPolicy>,
     scan_samples: usize,
     fcm_faults: FcmFaults,
     fallback: FallbackPolicy,
+    hardening: EvidenceHardening,
+    health: Vec<DeviceHealth>,
+    tampers: Vec<Box<dyn EvidenceTamper>>,
+    next_nonce: u64,
+    totals: EvidenceTotals,
 }
 
 impl std::fmt::Debug for DecisionModule {
@@ -148,26 +187,87 @@ impl std::fmt::Debug for DecisionModule {
                 "policies",
                 &self.policies.iter().map(|p| p.name()).collect::<Vec<_>>(),
             )
+            .field("quorum", &self.quorum.name())
+            .field("hardened", &self.hardening.enabled)
             .finish()
     }
 }
 
 impl DecisionModule {
     /// Creates a module with the paper's default policies (RSSI threshold
-    /// + floor-level veto).
+    /// + floor-level veto) and any-one-device quorum.
     pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        let health = profiles
+            .iter()
+            .map(|p| DeviceHealth::new(p.device))
+            .collect();
         DecisionModule {
             profiles,
             policies: vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)],
+            quorum: Box::new(AnyOneQuorum),
             scan_samples: 3,
             fcm_faults: FcmFaults::none(),
             fallback: FallbackPolicy::default(),
+            hardening: EvidenceHardening::off(),
+            health,
+            tampers: Vec::new(),
+            next_nonce: 0,
+            totals: EvidenceTotals::default(),
         }
     }
 
     /// Sets the FCM fault model applied to every query (default: none).
     pub fn set_fcm_faults(&mut self, faults: FcmFaults) {
         self.fcm_faults = faults;
+    }
+
+    /// Sets the cross-device quorum rule (default: the paper's
+    /// [`AnyOneQuorum`]).
+    pub fn set_quorum(&mut self, quorum: Box<dyn QuorumPolicy>) {
+        self.quorum = quorum;
+    }
+
+    /// Name of the active quorum rule.
+    pub fn quorum_name(&self) -> &str {
+        self.quorum.name()
+    }
+
+    /// Sets the evidence-hardening configuration (default:
+    /// [`EvidenceHardening::off`], the paper's trust-everything path).
+    pub fn set_hardening(&mut self, hardening: EvidenceHardening) {
+        self.hardening = hardening;
+    }
+
+    /// The active evidence-hardening configuration.
+    pub fn hardening(&self) -> EvidenceHardening {
+        self.hardening
+    }
+
+    /// Registers a device-side tamper hook — how a compromised device is
+    /// modelled. Tampers mutate outgoing genuine envelopes before
+    /// validation sees them.
+    pub fn add_tamper(&mut self, tamper: Box<dyn EvidenceTamper>) {
+        self.tampers.push(tamper);
+    }
+
+    /// Names of the installed tamper hooks, in installation order.
+    pub fn tamper_names(&self) -> Vec<&str> {
+        self.tampers.iter().map(|t| t.name()).collect()
+    }
+
+    /// Health ledger of one registered device.
+    pub fn device_health(&self, device: DeviceId) -> Option<&DeviceHealth> {
+        self.health.iter().find(|h| h.device() == device)
+    }
+
+    /// Health ledgers of every registered device.
+    pub fn health(&self) -> &[DeviceHealth] {
+        &self.health
+    }
+
+    /// Cumulative evidence-path accounting since the module was built.
+    pub fn evidence_totals(&self) -> EvidenceTotals {
+        self.totals
     }
 
     /// Sets the timeout / retry / fallback policy.
@@ -225,7 +325,7 @@ impl DecisionModule {
     /// Panics if no devices are registered (a deployment without owner
     /// devices cannot decide anything).
     pub fn decide<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         positions: &dyn Fn(DeviceId) -> Point,
         channel: &BleChannel,
         rng: &mut R,
@@ -236,18 +336,44 @@ impl DecisionModule {
     /// Like [`Self::decide`], but carries the query time so time-aware
     /// policies (e.g. quiet hours) can vote.
     pub fn decide_at<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         now: SimTime,
         positions: &dyn Fn(DeviceId) -> Point,
         channel: &BleChannel,
+        rng: &mut R,
+    ) -> DecisionOutcome {
+        self.decide_with_evidence(now, positions, channel, &[], rng)
+    }
+
+    /// Like [`Self::decide_at`], plus attacker-supplied envelopes injected
+    /// into the report stream (replayed or forged reports arriving over
+    /// the same FCM return path). Genuine device reports are gathered
+    /// first, in registry order, with the exact sampling sequence of the
+    /// paper's module; injected envelopes are considered after them.
+    pub fn decide_with_evidence<R: Rng + ?Sized>(
+        &mut self,
+        now: SimTime,
+        positions: &dyn Fn(DeviceId) -> Point,
+        channel: &BleChannel,
+        injected: &[EvidenceEnvelope],
         rng: &mut R,
     ) -> DecisionOutcome {
         assert!(
             !self.profiles.is_empty(),
             "decision module needs at least one registered device"
         );
-        let mut reports = Vec::with_capacity(self.profiles.len());
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
         let mut degradation = DecisionDegradation::default();
+
+        // Phase 1: query every registered device over FCM and collect the
+        // envelopes that arrive in time. Draw order (offline die, attempt
+        // loop, orientation, scan samples) is exactly the paper module's,
+        // so runs without faults, tampers or injections replay bit for
+        // bit.
+        let mut submissions: Vec<EvidenceEnvelope> =
+            Vec::with_capacity(self.profiles.len() + injected.len());
+        let mut genuine_arrivals = 0usize;
         for profile in &self.profiles {
             // An offline device is unreachable for the whole query: one die
             // per device, and no retry can help.
@@ -261,10 +387,14 @@ impl DecisionModule {
                 ..self.fcm_faults
             };
             let mut attempt: u32 = 0;
+            // Start offset of the current attempt relative to the query
+            // being issued. A lost report is only detected once it should
+            // have arrived, so (when charged) the failed attempt's sampled
+            // latency elapses before the backoff; a dropped push bounces
+            // off the FCM delivery receipt immediately, so only the
+            // backoff applies.
+            let mut base = SimDuration::ZERO;
             let timing = loop {
-                // Each retry starts one backoff later than the previous
-                // attempt; all sampled milestones shift accordingly.
-                let base = self.fallback.retry_backoff * u64::from(attempt);
                 match profile.latency.sample_with_faults(&attempt_faults, rng) {
                     FcmOutcome::Delivered(t) => break Some(offset_timing(t, base)),
                     FcmOutcome::Delayed(t) => {
@@ -272,17 +402,24 @@ impl DecisionModule {
                         break Some(offset_timing(t, base));
                     }
                     FcmOutcome::PushDropped => degradation.pushes_dropped += 1,
-                    FcmOutcome::ReportLost(_) => degradation.reports_lost += 1,
+                    FcmOutcome::ReportLost(t) => {
+                        degradation.reports_lost += 1;
+                        if self.fallback.charge_failed_attempts {
+                            base += t.reported_at;
+                        }
+                    }
                     FcmOutcome::DeviceOffline => {
                         degradation.devices_offline += 1;
                         break None;
                     }
                 }
                 if attempt >= self.fallback.max_retries {
+                    degradation.attempts_exhausted += 1;
                     break None;
                 }
                 attempt += 1;
                 degradation.retries += 1;
+                base += self.fallback.retry_backoff;
             };
             let Some(timing) = timing else {
                 continue;
@@ -300,27 +437,135 @@ impl DecisionModule {
                 .map(|_| channel.measure(position, orientation, rng))
                 .sum::<f64>()
                 / self.scan_samples as f64;
+            let mut envelope =
+                EvidenceEnvelope::genuine(profile.device, nonce, now, rssi_db, timing);
+            // A compromised device lies on its own side of the trust
+            // boundary: tampers rewrite the outgoing envelope, then
+            // validation and health tracking see the lie.
+            for tamper in &mut self.tampers {
+                tamper.tamper(&mut envelope);
+            }
+            submissions.push(envelope);
+            genuine_arrivals += 1;
+        }
+        submissions.extend_from_slice(injected);
+
+        // Phase 2: evidence validation. Unknown devices are always
+        // rejected (no calibration to score them against); the nonce,
+        // replay, staleness and quarantine checks only run when hardening
+        // is enabled — disabled, the module trusts everything, exactly
+        // like the paper.
+        let plausible_ceiling = channel.config().rssi_max_db + self.hardening.plausible_margin_db;
+        let mut accepted: Vec<(EvidenceEnvelope, usize)> = Vec::with_capacity(submissions.len());
+        for envelope in submissions {
+            let Some(idx) = self
+                .profiles
+                .iter()
+                .position(|p| p.device == envelope.device)
+            else {
+                degradation
+                    .rejections
+                    .record(EvidenceRejection::UnknownDevice);
+                continue;
+            };
+            if self.hardening.enabled {
+                if envelope.nonce != nonce {
+                    degradation.rejections.record(EvidenceRejection::CrossQuery);
+                    continue;
+                }
+                if envelope.age_on_arrival(now) > self.hardening.max_report_age {
+                    degradation.rejections.record(EvidenceRejection::Stale);
+                    continue;
+                }
+                if accepted.iter().any(|(e, _)| e.device == envelope.device) {
+                    degradation.rejections.record(EvidenceRejection::Replayed);
+                    continue;
+                }
+                if self.health[idx].gate(now) == HealthGate::Reject {
+                    degradation
+                        .rejections
+                        .record(EvidenceRejection::Quarantined);
+                    continue;
+                }
+            }
+            accepted.push((envelope, idx));
+        }
+
+        // Phase 3: per-device policy votes over the accepted evidence.
+        // Policies are pure (no RNG), so voting after collection keeps the
+        // draw sequence identical to voting inline.
+        let mut reports = Vec::with_capacity(accepted.len());
+        let mut envelopes = Vec::with_capacity(accepted.len());
+        for (envelope, idx) in &accepted {
+            let profile = &self.profiles[*idx];
             let evidence = DeviceEvidence {
-                device: profile.device,
-                rssi_db,
+                device: envelope.device,
+                rssi_db: envelope.rssi_db,
                 threshold_db: profile.threshold_db,
                 floor: profile.floor_tracker.as_ref().map(FloorTracker::level),
                 now,
             };
             let vouched = device_vouches(&self.policies, &evidence);
             reports.push(DeviceReport {
-                device: profile.device,
-                rssi_db,
+                device: envelope.device,
+                rssi_db: envelope.rssi_db,
                 vouched,
-                timing,
+                timing: envelope.timing,
             });
+            envelopes.push(*envelope);
         }
-        let vouched_any = reports.iter().any(|r| r.vouched);
-        let verdict = if vouched_any {
+
+        // Phase 4 (hardened only): score anomalies against each device's
+        // health ledger. Disagreement needs the cross-device majority, so
+        // scoring runs after all votes are in.
+        if self.hardening.enabled {
+            let majority_vouch = if reports.len() >= 3 {
+                let vouchers = reports.iter().filter(|r| r.vouched).count();
+                Some(vouchers * 2 > reports.len())
+            } else {
+                None
+            };
+            for (i, (envelope, idx)) in accepted.iter().enumerate() {
+                let mut anomalous = envelope.rssi_db > plausible_ceiling;
+                if !self.hardening.latency_ceiling.is_zero()
+                    && envelope.timing.reported_at > self.hardening.latency_ceiling
+                {
+                    anomalous = true;
+                }
+                if self.hardening.disagreement_checks {
+                    if let Some(majority) = majority_vouch {
+                        if reports[i].vouched != majority {
+                            anomalous = true;
+                        }
+                    }
+                }
+                if anomalous {
+                    degradation.anomalies += 1;
+                }
+                if self.health[*idx].observe(now, anomalous, &self.hardening) {
+                    degradation.quarantines += 1;
+                }
+            }
+        }
+
+        // Phase 5: the quorum rule decides over the accepted set.
+        let quorum_evidence: Vec<QuorumEvidence> = accepted
+            .iter()
+            .zip(&reports)
+            .map(|((envelope, idx), report)| QuorumEvidence {
+                device: envelope.device,
+                vouched: report.vouched,
+                rssi_db: envelope.rssi_db,
+                plausible: envelope.rssi_db <= plausible_ceiling,
+                health_weight: self.health[*idx].weight(),
+            })
+            .collect();
+        let satisfied = !reports.is_empty() && self.quorum.satisfied(&quorum_evidence);
+        let verdict = if satisfied {
             Verdict::Legitimate
         } else if reports.is_empty() {
-            // No evidence at all before the hold deadline: the fallback
-            // policy decides.
+            // No accepted evidence at all before the hold deadline: the
+            // fallback policy decides.
             degradation.fell_back = true;
             if self.fallback.fail_open {
                 Verdict::Legitimate
@@ -330,15 +575,30 @@ impl DecisionModule {
         } else {
             Verdict::Malicious
         };
-        let all_reported = reports.len() == self.profiles.len();
-        let ready_after = if vouched_any {
-            reports
-                .iter()
-                .filter(|r| r.vouched)
-                .map(|r| r.timing.reported_at)
-                .min()
-                .expect("at least one vouching report")
-        } else if all_reported {
+        let all_reported = genuine_arrivals == self.profiles.len();
+        let ready_after = if satisfied {
+            // Earliest arrival prefix that already satisfies the quorum
+            // (for any-one: the earliest vouching report). Non-monotone
+            // rules fall back to the last arrival.
+            let mut order: Vec<usize> = (0..reports.len()).collect();
+            order.sort_by_key(|&i| reports[i].timing.reported_at);
+            let mut prefix: Vec<QuorumEvidence> = Vec::with_capacity(order.len());
+            let mut ready = None;
+            for &i in &order {
+                prefix.push(quorum_evidence[i]);
+                if self.quorum.satisfied(&prefix) {
+                    ready = Some(reports[i].timing.reported_at);
+                    break;
+                }
+            }
+            ready.unwrap_or_else(|| {
+                reports
+                    .iter()
+                    .map(|r| r.timing.reported_at)
+                    .max()
+                    .expect("satisfied quorum implies nonempty reports")
+            })
+        } else if all_reported && !reports.is_empty() {
             reports
                 .iter()
                 .map(|r| r.timing.reported_at)
@@ -349,10 +609,15 @@ impl DecisionModule {
             // deadline before concluding anything.
             self.fallback.hold_deadline
         };
+        self.totals.rejections.absorb(&degradation.rejections);
+        self.totals.quarantines += u64::from(degradation.quarantines);
+        self.totals.anomalies += u64::from(degradation.anomalies);
         DecisionOutcome {
             verdict,
             ready_after,
             reports,
+            nonce,
+            envelopes,
             degradation,
         }
     }
@@ -424,7 +689,7 @@ mod tests {
 
     #[test]
     fn nearby_device_legitimizes() {
-        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut dm = DecisionModule::new(vec![profile(0)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let near = Point::ground(2.0, 2.5);
         let out = dm.decide(&|_| near, &channel(), &mut rng);
@@ -434,7 +699,7 @@ mod tests {
 
     #[test]
     fn distant_device_flags_malicious() {
-        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut dm = DecisionModule::new(vec![profile(0)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let far = Point::ground(10.0, 2.5);
         let out = dm.decide(&|_| far, &channel(), &mut rng);
@@ -443,7 +708,7 @@ mod tests {
 
     #[test]
     fn any_single_device_suffices_in_multi_user_homes() {
-        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let positions = |d: DeviceId| {
             if d == DeviceId(0) {
@@ -460,7 +725,7 @@ mod tests {
 
     #[test]
     fn legitimate_ready_time_is_earliest_voucher() {
-        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let near = Point::ground(2.0, 2.5);
         let out = dm.decide(&|_| near, &channel(), &mut rng);
@@ -476,7 +741,7 @@ mod tests {
 
     #[test]
     fn malicious_ready_time_is_last_report() {
-        let dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let far = Point::ground(10.0, 2.5);
         let out = dm.decide(&|_| far, &channel(), &mut rng);
@@ -501,7 +766,7 @@ mod tests {
             r_squared: 1.0,
         });
         p.floor_tracker = Some(tracker);
-        let dm = DecisionModule::new(vec![p]);
+        let mut dm = DecisionModule::new(vec![p]);
         assert_eq!(
             dm.floor_level(DeviceId(0)),
             Some(crate::FloorLevel::OtherFloor)
@@ -536,14 +801,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one registered device")]
     fn empty_registry_panics() {
-        let dm = DecisionModule::new(vec![]);
+        let mut dm = DecisionModule::new(vec![]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         dm.decide(&|_| Point::ground(0.0, 0.0), &channel(), &mut rng);
     }
 
     #[test]
     fn no_faults_leaves_degradation_clean() {
-        let dm = DecisionModule::new(vec![profile(0)]);
+        let mut dm = DecisionModule::new(vec![profile(0)]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
         assert!(out.degradation.is_clean());
@@ -646,5 +911,311 @@ mod tests {
             }
         }
         assert!(recovered, "some seed must recover via retry");
+    }
+
+    #[test]
+    fn nonces_are_minted_per_query() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        let near = Point::ground(2.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let first = dm.decide(&|_| near, &channel(), &mut rng);
+        let second = dm.decide(&|_| near, &channel(), &mut rng);
+        assert_eq!(first.nonce, 0);
+        assert_eq!(second.nonce, 1);
+        assert!(first.envelopes.iter().all(|e| e.nonce == 0));
+        assert_eq!(first.envelopes.len(), first.reports.len());
+    }
+
+    #[test]
+    fn hardening_without_attacks_is_byte_identical_to_paper_module() {
+        let near = Point::ground(2.0, 2.5);
+        for seed in 0..12u64 {
+            let mut paper = DecisionModule::new(vec![profile(0), profile(1)]);
+            let mut hardened = DecisionModule::new(vec![profile(0), profile(1)]);
+            hardened.set_hardening(EvidenceHardening::hardened());
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = paper.decide(&|_| near, &channel(), &mut r1);
+            let b = hardened.decide(&|_| near, &channel(), &mut r2);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.ready_after, b.ready_after);
+            assert_eq!(a.reports, b.reports);
+            assert_eq!(
+                b.degradation.rejections.total(),
+                0,
+                "honest evidence is never rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn replayed_cross_query_report_defeats_the_paper_module_but_not_hardening() {
+        // An on-path observer captures a vouching envelope while the owner
+        // is home, then replays it against a later query issued while every
+        // device is away.
+        let near = Point::ground(2.0, 2.5);
+        let far = Point::ground(10.0, 2.5);
+        let capture = |dm: &mut DecisionModule, rng: &mut rand::rngs::StdRng| {
+            let out = dm.decide_at(SimTime::from_secs(100), &|_| near, &channel(), rng);
+            assert_eq!(out.verdict, Verdict::Legitimate);
+            out.envelopes[0]
+        };
+
+        let mut paper = DecisionModule::new(vec![profile(0)]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let stolen = capture(&mut paper, &mut rng);
+        let out = paper.decide_with_evidence(
+            SimTime::from_secs(300),
+            &|_| far,
+            &channel(),
+            &[stolen],
+            &mut rng,
+        );
+        assert_eq!(
+            out.verdict,
+            Verdict::Legitimate,
+            "the paper module trusts the replay — the vulnerability is real"
+        );
+
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_hardening(EvidenceHardening::hardened());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let stolen = capture(&mut dm, &mut rng);
+        let out = dm.decide_with_evidence(
+            SimTime::from_secs(300),
+            &|_| far,
+            &channel(),
+            &[stolen],
+            &mut rng,
+        );
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.rejections.cross_query, 1);
+        assert_eq!(dm.evidence_totals().rejections.cross_query, 1);
+    }
+
+    #[test]
+    fn stale_report_with_a_guessed_nonce_is_rejected() {
+        // Even an attacker who predicts the next nonce cannot reuse an old
+        // measurement: the claimed timestamp betrays it.
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_hardening(EvidenceHardening::hardened());
+        let far = Point::ground(10.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let first = dm.decide_at(SimTime::from_secs(100), &|_| far, &channel(), &mut rng);
+        let mut forged = first.envelopes[0];
+        forged.nonce = first.nonce + 1; // guesses the next query's nonce
+        forged.rssi_db = -1.0; // claims to be next to the speaker
+        let out = dm.decide_with_evidence(
+            SimTime::from_secs(400),
+            &|_| far,
+            &channel(),
+            &[forged],
+            &mut rng,
+        );
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.rejections.stale, 1);
+    }
+
+    #[test]
+    fn second_report_from_one_device_is_rejected_as_replayed() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_hardening(EvidenceHardening::hardened());
+        let far = Point::ground(10.0, 2.5);
+        let now = SimTime::from_secs(50);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        // Forge a fresh, correct-nonce vouching duplicate for device 0; the
+        // genuine report is accepted first, so the forgery is the duplicate.
+        let forged = EvidenceEnvelope::genuine(
+            DeviceId(0),
+            0,
+            now,
+            -1.0,
+            QueryTiming {
+                scan_start: SimDuration::from_secs_f64(1.0),
+                measured_at: SimDuration::from_secs_f64(1.4),
+                reported_at: SimDuration::from_secs_f64(1.45),
+            },
+        );
+        let out = dm.decide_with_evidence(now, &|_| far, &channel(), &[forged], &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.rejections.replayed, 1);
+        assert_eq!(out.reports.len(), 1, "only the genuine report counts");
+    }
+
+    #[test]
+    fn unknown_device_reports_are_rejected_even_without_hardening() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        let far = Point::ground(10.0, 2.5);
+        let now = SimTime::ZERO;
+        let forged = EvidenceEnvelope::genuine(
+            DeviceId(99),
+            0,
+            now,
+            -1.0,
+            QueryTiming {
+                scan_start: SimDuration::from_secs_f64(1.0),
+                measured_at: SimDuration::from_secs_f64(1.4),
+                reported_at: SimDuration::from_secs_f64(1.45),
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let out = dm.decide_with_evidence(now, &|_| far, &channel(), &[forged], &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.rejections.unknown_device, 1);
+    }
+
+    #[test]
+    fn lying_device_is_quarantined_and_its_later_reports_rejected() {
+        /// Always-high-RSSI firmware: every outgoing report claims the
+        /// device is right next to the speaker.
+        struct AlwaysHigh;
+        impl crate::evidence::EvidenceTamper for AlwaysHigh {
+            fn name(&self) -> &str {
+                "always-high"
+            }
+            fn tamper(&mut self, envelope: &mut EvidenceEnvelope) {
+                envelope.rssi_db = 12.0; // physically impossible
+            }
+        }
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_hardening(EvidenceHardening {
+            quarantine_threshold: 1,
+            ..EvidenceHardening::hardened()
+        });
+        dm.set_quorum(Box::new(crate::policy::OutlierRejectQuorum));
+        dm.add_tamper(Box::new(AlwaysHigh));
+        let far = Point::ground(10.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        // Query 1: the lie is accepted but cannot vouch (implausible), and
+        // it trips the breaker.
+        let q1 = dm.decide_at(SimTime::from_secs(10), &|_| far, &channel(), &mut rng);
+        assert_eq!(q1.verdict, Verdict::Malicious);
+        assert_eq!(q1.degradation.quarantines, 1);
+        assert_eq!(q1.degradation.anomalies, 1);
+        // Query 2, inside the cooldown: the device is quarantined outright.
+        let q2 = dm.decide_at(SimTime::from_secs(20), &|_| far, &channel(), &mut rng);
+        assert_eq!(q2.verdict, Verdict::Malicious);
+        assert_eq!(q2.degradation.rejections.quarantined, 1);
+        assert!(q2.reports.is_empty());
+        let health = dm.device_health(DeviceId(0)).unwrap();
+        assert_eq!(health.quarantines(), 1);
+        assert_eq!(dm.evidence_totals().quarantines, 1);
+    }
+
+    #[test]
+    fn charged_retries_land_recovered_reports_later_never_earlier() {
+        // Satellite: the legacy accounting re-pushes after the backoff
+        // alone; charging the failed attempt's sampled latency must shift
+        // every recovered report later, and zero-fault runs stay
+        // byte-identical.
+        let near = Point::ground(2.0, 2.5);
+        let faults = FcmFaults {
+            report_loss: 0.5,
+            ..FcmFaults::none()
+        };
+        let mut shifted = 0u32;
+        for seed in 0..40u64 {
+            let run = |charge: bool| {
+                let mut dm = DecisionModule::new(vec![profile(0)]);
+                dm.set_fcm_faults(faults);
+                dm.set_fallback(FallbackPolicy {
+                    charge_failed_attempts: charge,
+                    ..FallbackPolicy::default()
+                });
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                dm.decide(&|_| near, &channel(), &mut rng)
+            };
+            let legacy = run(false);
+            let charged = run(true);
+            assert_eq!(legacy.verdict, charged.verdict);
+            assert_eq!(legacy.degradation, charged.degradation);
+            if legacy.degradation.reports_lost > 0 && !legacy.reports.is_empty() {
+                // A recovered report: the charged timeline adds the lost
+                // attempt's full latency on top of the backoff.
+                assert!(
+                    charged.ready_after > legacy.ready_after,
+                    "seed {seed}: {:?} vs {:?}",
+                    charged.ready_after,
+                    legacy.ready_after
+                );
+                shifted += 1;
+            } else {
+                assert_eq!(legacy.ready_after, charged.ready_after);
+            }
+        }
+        assert!(shifted > 0, "some seed must exercise the recovery path");
+
+        // Zero faults: the flag changes nothing at all.
+        for seed in 0..8u64 {
+            let run = |charge: bool| {
+                let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
+                dm.set_fallback(FallbackPolicy {
+                    charge_failed_attempts: charge,
+                    ..FallbackPolicy::default()
+                });
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                dm.decide(&|_| near, &channel(), &mut rng)
+            };
+            assert_eq!(run(false), run(true));
+        }
+    }
+
+    #[test]
+    fn late_voucher_stays_malicious_with_exact_accounting() {
+        // Satellite regression: device 0 reports non-vouching on time;
+        // device 1 would vouch but its report arrives after the hold
+        // deadline. The verdict must stay Malicious with the late report
+        // accounted — no silent fail-open.
+        let snail = FcmLatencyModel {
+            push_mu: 4.0, // e^4 ≈ 54.6 s — far past the 25 s deadline
+            push_sigma: 0.0,
+            ..FcmLatencyModel::smartphone()
+        };
+        let mut dm = DecisionModule::new(vec![
+            profile(0),
+            DeviceProfile {
+                device: DeviceId(1),
+                threshold_db: -8.0,
+                latency: snail,
+                floor_tracker: None,
+            },
+        ]);
+        let positions = |d: DeviceId| {
+            if d == DeviceId(0) {
+                Point::ground(10.0, 2.5) // far: on time but does not vouch
+            } else {
+                Point::ground(2.0, 2.5) // near: would vouch, arrives late
+            }
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let out = dm.decide(&positions, &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.degradation.late_reports, 1);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].device, DeviceId(0));
+        assert!(!out.reports[0].vouched);
+        assert!(!out.degradation.fell_back, "one report did arrive");
+        assert_eq!(
+            out.ready_after,
+            dm.fallback().hold_deadline,
+            "the module must wait out the deadline for the silent device"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_are_counted() {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            push_drop: 1.0,
+            ..FcmFaults::none()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.degradation.attempts_exhausted, 1);
+        assert_eq!(
+            out.degradation.retries,
+            out.degradation.pushes_dropped + out.degradation.reports_lost
+                - out.degradation.attempts_exhausted
+        );
     }
 }

@@ -1,0 +1,146 @@
+//! Untrusted-evidence validation: typed rejections and tamper hooks.
+//!
+//! The paper's Decision Module trusts every RSSI report implicitly. The
+//! hardened module (see [`crate::config::EvidenceHardening`]) treats each
+//! [`phone::EvidenceEnvelope`] as a *claim* from an untrusted device and
+//! validates it before it may influence the verdict:
+//!
+//! * the envelope must carry the **current query's nonce** (a captured
+//!   report replayed against a later query is [`EvidenceRejection::CrossQuery`]);
+//! * a device may answer each query **once** (a second envelope for the
+//!   same device is [`EvidenceRejection::Replayed`]);
+//! * the claimed measurement must be **fresh** on arrival
+//!   ([`EvidenceRejection::Stale`] otherwise);
+//! * the device must not be **quarantined** by its circuit breaker
+//!   ([`EvidenceRejection::Quarantined`], see [`crate::health::DeviceHealth`]).
+//!
+//! Every rejection is tallied, per query in
+//! [`crate::decision::DecisionDegradation`] and cumulatively in
+//! [`EvidenceTotals`] — hostile evidence must never disappear silently.
+
+use phone::EvidenceEnvelope;
+use serde::{Deserialize, Serialize};
+
+/// Why the Decision Module refused to consider a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceRejection {
+    /// The reporting device is not in the registry (no calibration to
+    /// evaluate it against). Rejected even without hardening — the module
+    /// cannot score a device it never calibrated.
+    UnknownDevice,
+    /// The envelope's nonce does not match the current query: a report
+    /// captured from an earlier query, replayed against this one.
+    CrossQuery,
+    /// A second envelope from a device that already answered this query.
+    Replayed,
+    /// The claimed measurement was older than the freshness bound when
+    /// the report arrived.
+    Stale,
+    /// The device's circuit breaker is open (see
+    /// [`crate::health::DeviceHealth`]).
+    Quarantined,
+}
+
+impl EvidenceRejection {
+    /// Stable human-readable label for tables and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvidenceRejection::UnknownDevice => "unknown-device",
+            EvidenceRejection::CrossQuery => "cross-query",
+            EvidenceRejection::Replayed => "replayed",
+            EvidenceRejection::Stale => "stale",
+            EvidenceRejection::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Per-reason rejection tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvidenceRejections {
+    /// Reports from unregistered devices.
+    pub unknown_device: u32,
+    /// Reports carrying another query's nonce.
+    pub cross_query: u32,
+    /// Duplicate reports within one query.
+    pub replayed: u32,
+    /// Reports whose claimed measurement was stale on arrival.
+    pub stale: u32,
+    /// Reports from quarantined devices.
+    pub quarantined: u32,
+}
+
+impl EvidenceRejections {
+    /// Records one rejection.
+    pub fn record(&mut self, reason: EvidenceRejection) {
+        match reason {
+            EvidenceRejection::UnknownDevice => self.unknown_device += 1,
+            EvidenceRejection::CrossQuery => self.cross_query += 1,
+            EvidenceRejection::Replayed => self.replayed += 1,
+            EvidenceRejection::Stale => self.stale += 1,
+            EvidenceRejection::Quarantined => self.quarantined += 1,
+        }
+    }
+
+    /// Total rejections across all reasons.
+    pub fn total(&self) -> u32 {
+        self.unknown_device + self.cross_query + self.replayed + self.stale + self.quarantined
+    }
+
+    /// Adds another tally into this one (for sweep aggregation).
+    pub fn absorb(&mut self, other: &EvidenceRejections) {
+        self.unknown_device += other.unknown_device;
+        self.cross_query += other.cross_query;
+        self.replayed += other.replayed;
+        self.stale += other.stale;
+        self.quarantined += other.quarantined;
+    }
+}
+
+/// Cumulative evidence-path accounting across a module's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EvidenceTotals {
+    /// All rejections since the module was built.
+    pub rejections: EvidenceRejections,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open transitions).
+    pub quarantines: u64,
+    /// Anomalies scored against device health ledgers.
+    pub anomalies: u64,
+}
+
+/// A hook that mutates a device's outgoing report before the Decision
+/// Module sees it — how `attacks::evidence` models a compromised device
+/// (always-vouch / always-high-RSSI firmware). Tampers run on the
+/// device side of the trust boundary: validation and health tracking
+/// apply to the tampered envelope, exactly as they would in the field.
+pub trait EvidenceTamper: Send {
+    /// Human-readable name for tracing.
+    fn name(&self) -> &str;
+    /// Mutates (or leaves alone) one outgoing envelope.
+    fn tamper(&mut self, envelope: &mut EvidenceEnvelope);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total_cover_every_reason() {
+        let mut r = EvidenceRejections::default();
+        for reason in [
+            EvidenceRejection::UnknownDevice,
+            EvidenceRejection::CrossQuery,
+            EvidenceRejection::Replayed,
+            EvidenceRejection::Stale,
+            EvidenceRejection::Quarantined,
+        ] {
+            r.record(reason);
+            assert!(!reason.label().is_empty());
+        }
+        assert_eq!(r.total(), 5);
+        let mut sum = EvidenceRejections::default();
+        sum.absorb(&r);
+        sum.absorb(&r);
+        assert_eq!(sum.total(), 10);
+        assert_eq!(sum.cross_query, 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Per-device health ledgers and circuit breakers.
+//!
+//! The hardened Decision Module scores every accepted report against a
+//! rolling per-device anomaly window: implausibly high RSSI (above the
+//! channel's physical ceiling plus a margin), slow reports, and vouches
+//! that disagree with the device-majority. A device whose window
+//! accumulates `quarantine_threshold` anomalies trips its breaker to
+//! [`BreakerState::Open`]: its reports are rejected outright (still
+//! queried, so RNG draw sequences are unchanged) until the cooldown
+//! elapses, then one report is admitted as a [`BreakerState::HalfOpen`]
+//! probe — a clean probe closes the breaker and clears the window, an
+//! anomalous one re-opens it for another cooldown.
+
+use crate::config::EvidenceHardening;
+use phone::DeviceId;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Circuit-breaker position for one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: reports are accepted and scored.
+    Closed,
+    /// Quarantined: reports are rejected until `until`.
+    Open {
+        /// When the cooldown elapses and a probe is admitted.
+        until: SimTime,
+    },
+    /// Cooldown elapsed: the next report is a probe — clean closes the
+    /// breaker, anomalous re-opens it.
+    HalfOpen,
+}
+
+/// What the breaker says about admitting the current report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthGate {
+    /// Admit and score normally.
+    Accept,
+    /// Admit as a half-open probe.
+    Probe,
+    /// Reject: the device is quarantined.
+    Reject,
+}
+
+/// Kinds of anomaly the health ledger scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// RSSI above the channel ceiling plus the plausibility margin.
+    ImplausibleRssi,
+    /// Report latency above the configured ceiling.
+    SlowReport,
+    /// Vouch disagreeing with the strict majority of reporting devices.
+    Disagreement,
+}
+
+/// Rolling health ledger + circuit breaker for one registered device.
+#[derive(Debug, Clone)]
+pub struct DeviceHealth {
+    device: DeviceId,
+    /// One flag per accepted observation, newest last; `true` = anomalous.
+    window: VecDeque<bool>,
+    state: BreakerState,
+    quarantines: u64,
+    anomalies: u64,
+}
+
+impl DeviceHealth {
+    /// A fresh, healthy ledger.
+    pub fn new(device: DeviceId) -> Self {
+        DeviceHealth {
+            device,
+            window: VecDeque::new(),
+            state: BreakerState::Closed,
+            quarantines: 0,
+            anomalies: 0,
+        }
+    }
+
+    /// The device this ledger tracks.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Current breaker position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Breaker trips so far (Closed/HalfOpen → Open transitions).
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Anomalies scored so far, across the ledger's lifetime.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Anomalies currently inside the rolling window.
+    pub fn window_anomalies(&self) -> usize {
+        self.window.iter().filter(|&&a| a).count()
+    }
+
+    /// Gates the current report: transitions Open → HalfOpen once the
+    /// cooldown has elapsed.
+    pub fn gate(&mut self, now: SimTime) -> HealthGate {
+        match self.state {
+            BreakerState::Closed => HealthGate::Accept,
+            BreakerState::HalfOpen => HealthGate::Probe,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    HealthGate::Probe
+                } else {
+                    HealthGate::Reject
+                }
+            }
+        }
+    }
+
+    /// Scores one *admitted* observation. Returns `true` if this
+    /// observation tripped the breaker (a new quarantine).
+    pub fn observe(&mut self, now: SimTime, anomalous: bool, cfg: &EvidenceHardening) -> bool {
+        if anomalous {
+            self.anomalies += 1;
+        }
+        match self.state {
+            BreakerState::HalfOpen => {
+                // Probe: one strike re-opens, one clean report recovers.
+                if anomalous {
+                    self.trip(now, cfg);
+                    true
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.window.clear();
+                    false
+                }
+            }
+            _ => {
+                self.window.push_back(anomalous);
+                while self.window.len() > cfg.anomaly_window.max(1) {
+                    self.window.pop_front();
+                }
+                if self.window_anomalies() >= cfg.quarantine_threshold.max(1) as usize {
+                    self.trip(now, cfg);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, now: SimTime, cfg: &EvidenceHardening) {
+        self.state = BreakerState::Open {
+            until: now + cfg.quarantine_cooldown,
+        };
+        self.quarantines += 1;
+        self.window.clear();
+    }
+
+    /// Trust weight in `[0, 1]` for [`crate::policy::WeightedByHealthQuorum`]:
+    /// the clean fraction of the rolling window (1 when empty), halved
+    /// while half-open, zero while quarantined. Reflects every
+    /// observation scored so far, including the current query's.
+    pub fn weight(&self) -> f64 {
+        match self.state {
+            BreakerState::Open { .. } => 0.0,
+            BreakerState::HalfOpen => 0.5,
+            BreakerState::Closed => {
+                if self.window.is_empty() {
+                    1.0
+                } else {
+                    let clean = self.window.len() - self.window_anomalies();
+                    clean as f64 / self.window.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn cfg() -> EvidenceHardening {
+        EvidenceHardening {
+            anomaly_window: 4,
+            quarantine_threshold: 2,
+            quarantine_cooldown: SimDuration::from_secs(30),
+            ..EvidenceHardening::hardened()
+        }
+    }
+
+    #[test]
+    fn k_anomalies_in_window_trip_the_breaker() {
+        let mut h = DeviceHealth::new(DeviceId(0));
+        let now = SimTime::from_secs(100);
+        assert_eq!(h.gate(now), HealthGate::Accept);
+        assert!(!h.observe(now, true, &cfg()));
+        assert!(h.observe(now, true, &cfg()), "second strike trips");
+        assert_eq!(h.quarantines(), 1);
+        assert!(matches!(h.state(), BreakerState::Open { .. }));
+        assert_eq!(h.gate(now), HealthGate::Reject);
+        assert_eq!(h.weight(), 0.0);
+    }
+
+    #[test]
+    fn clean_traffic_ages_anomalies_out_of_the_window() {
+        let mut h = DeviceHealth::new(DeviceId(0));
+        let now = SimTime::from_secs(0);
+        assert!(!h.observe(now, true, &cfg()));
+        // Window of 4: enough clean observations push the strike out.
+        for _ in 0..4 {
+            assert!(!h.observe(now, false, &cfg()));
+        }
+        assert_eq!(h.window_anomalies(), 0);
+        assert!(!h.observe(now, true, &cfg()), "old strike no longer counts");
+        assert_eq!(h.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let mut h = DeviceHealth::new(DeviceId(0));
+        let t0 = SimTime::from_secs(100);
+        h.observe(t0, true, &cfg());
+        h.observe(t0, true, &cfg());
+        assert!(matches!(h.state(), BreakerState::Open { .. }));
+        // Before the cooldown: still rejected.
+        assert_eq!(h.gate(t0 + SimDuration::from_secs(10)), HealthGate::Reject);
+        // After the cooldown: a probe is admitted.
+        let t1 = t0 + SimDuration::from_secs(31);
+        assert_eq!(h.gate(t1), HealthGate::Probe);
+        assert_eq!(h.weight(), 0.5);
+        // Anomalous probe re-opens for another cooldown.
+        assert!(h.observe(t1, true, &cfg()));
+        assert_eq!(h.quarantines(), 2);
+        assert_eq!(h.gate(t1 + SimDuration::from_secs(1)), HealthGate::Reject);
+        // Clean probe after the second cooldown closes the breaker.
+        let t2 = t1 + SimDuration::from_secs(31);
+        assert_eq!(h.gate(t2), HealthGate::Probe);
+        assert!(!h.observe(t2, false, &cfg()));
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.weight(), 1.0, "window cleared on recovery");
+    }
+
+    #[test]
+    fn weight_tracks_clean_fraction() {
+        let mut h = DeviceHealth::new(DeviceId(0));
+        let now = SimTime::ZERO;
+        assert_eq!(h.weight(), 1.0);
+        h.observe(now, false, &cfg());
+        h.observe(now, false, &cfg());
+        h.observe(now, false, &cfg());
+        h.observe(now, true, &cfg());
+        assert_eq!(h.weight(), 0.75);
+    }
+}

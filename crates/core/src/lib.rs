@@ -32,23 +32,30 @@
 
 pub mod config;
 pub mod decision;
+pub mod evidence;
 pub mod floor;
 pub mod guard;
+pub mod health;
 pub mod learning;
 pub mod policy;
 pub mod recognition;
 
-pub use config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
+pub use config::{EvidenceHardening, GuardConfig, HoldOverflowPolicy, SpeakerKind};
 pub use decision::{
     DecisionDegradation, DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport,
     FallbackPolicy, Verdict,
 };
+pub use evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
     EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardEvent, GuardSnapshot, GuardStats,
     HoldTarget, PipelineCtx, PipelineSnapshot, QueryId, SnapshotError, SpeakerPipeline, TimerToken,
     VoiceGuardTap, GUARD_SNAPSHOT_VERSION,
 };
+pub use health::{AnomalyKind, BreakerState, DeviceHealth, HealthGate};
 pub use learning::SignatureLearner;
-pub use policy::{DecisionPolicy, DeviceEvidence, PolicyVote, QuietHoursPolicy};
+pub use policy::{
+    AnyOneQuorum, DecisionPolicy, DeviceEvidence, KOfNQuorum, OutlierRejectQuorum, PolicyVote,
+    QuietHoursPolicy, QuorumEvidence, QuorumPolicy, WeightedByHealthQuorum,
+};
 pub use recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};

@@ -151,6 +151,113 @@ pub fn device_vouches(policies: &[Box<dyn DecisionPolicy>], evidence: &DeviceEvi
     approved
 }
 
+/// Per-device summary handed to a [`QuorumPolicy`]: the per-device vote
+/// plus the hardening signals the cross-device layer keys on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuorumEvidence {
+    /// Which device.
+    pub device: DeviceId,
+    /// Whether the per-device policy stack vouched.
+    pub vouched: bool,
+    /// The reported RSSI (dB).
+    pub rssi_db: f64,
+    /// False when the reading exceeds the channel's physical ceiling plus
+    /// the plausibility margin — i.e. it cannot have come from the genuine
+    /// advertisement.
+    pub plausible: bool,
+    /// Trust weight from the device's health ledger, in `[0, 1]`.
+    pub health_weight: f64,
+}
+
+/// The cross-device decision layer: given every accepted device's
+/// [`QuorumEvidence`], does the command pass? The paper's rule is
+/// [`AnyOneQuorum`]; the hardened alternatives trade FRR for resistance
+/// to a minority of lying or spoofed devices (§VII's extension point,
+/// one level up from [`DecisionPolicy`]).
+pub trait QuorumPolicy: Send {
+    /// Human-readable name for tables and traces.
+    fn name(&self) -> &str;
+    /// True iff this evidence set releases the command.
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool;
+}
+
+/// The paper's rule: at least one device vouches (§IV-C).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnyOneQuorum;
+
+impl QuorumPolicy for AnyOneQuorum {
+    fn name(&self) -> &str {
+        "any-one"
+    }
+
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool {
+        evidence.iter().any(|e| e.vouched)
+    }
+}
+
+/// At least `k` devices must vouch. `k = 1` is the paper's rule; higher
+/// `k` tolerates `k − 1` compromised always-vouch devices at the cost of
+/// false rejections whenever fewer than `k` owners are home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KOfNQuorum {
+    /// Vouching devices required.
+    pub k: usize,
+}
+
+impl QuorumPolicy for KOfNQuorum {
+    fn name(&self) -> &str {
+        "k-of-n"
+    }
+
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool {
+        evidence.iter().filter(|e| e.vouched).count() >= self.k.max(1)
+    }
+}
+
+/// The summed health weights of vouching devices must reach
+/// `min_weight`. A device with a clean ledger contributes 1.0; a device
+/// that has been lying recently contributes little, so a single
+/// frequently-anomalous voucher cannot release a command on its own.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedByHealthQuorum {
+    /// Required total weight of vouching devices.
+    pub min_weight: f64,
+}
+
+impl QuorumPolicy for WeightedByHealthQuorum {
+    fn name(&self) -> &str {
+        "weighted-by-health"
+    }
+
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool {
+        let weight: f64 = evidence
+            .iter()
+            .filter(|e| e.vouched)
+            .map(|e| e.health_weight)
+            .sum();
+        weight >= self.min_weight
+    }
+}
+
+/// A vouching RSSI above the device's calibrated plausible range (more
+/// than the configured margin over the free-space ceiling at distance 0)
+/// cannot vouch alone: only *plausible* vouchers release the command.
+/// A high-power BLE replay inflates every scan it reaches — but it
+/// inflates them *past the physics*, which is exactly what this rejects.
+/// Corroboration must come from a device reading a believable RSSI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutlierRejectQuorum;
+
+impl QuorumPolicy for OutlierRejectQuorum {
+    fn name(&self) -> &str {
+        "outlier-reject"
+    }
+
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool {
+        evidence.iter().any(|e| e.vouched && e.plausible)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +374,61 @@ mod tests {
     #[should_panic(expected = "0..24")]
     fn bad_hours_panic() {
         QuietHoursPolicy::new(25, 3);
+    }
+
+    fn quorum(vouched: bool, plausible: bool, weight: f64) -> QuorumEvidence {
+        QuorumEvidence {
+            device: DeviceId(0),
+            vouched,
+            rssi_db: if plausible { -5.0 } else { 9.0 },
+            plausible,
+            health_weight: weight,
+        }
+    }
+
+    #[test]
+    fn any_one_matches_paper_rule() {
+        let q = AnyOneQuorum;
+        assert!(!q.satisfied(&[]));
+        assert!(!q.satisfied(&[quorum(false, true, 1.0)]));
+        assert!(q.satisfied(&[quorum(false, true, 1.0), quorum(true, true, 1.0)]));
+        // The paper's rule ignores plausibility and health entirely.
+        assert!(q.satisfied(&[quorum(true, false, 0.0)]));
+    }
+
+    #[test]
+    fn k_of_n_requires_k_vouchers() {
+        let q = KOfNQuorum { k: 2 };
+        assert!(!q.satisfied(&[quorum(true, true, 1.0)]));
+        assert!(q.satisfied(&[quorum(true, true, 1.0), quorum(true, false, 1.0)]));
+        // k = 0 still demands one voucher (clamped).
+        assert!(!KOfNQuorum { k: 0 }.satisfied(&[quorum(false, true, 1.0)]));
+        assert!(KOfNQuorum { k: 0 }.satisfied(&[quorum(true, true, 1.0)]));
+    }
+
+    #[test]
+    fn weighted_by_health_discounts_lying_devices() {
+        let q = WeightedByHealthQuorum { min_weight: 1.0 };
+        // A quarantine-prone voucher alone cannot reach the bar…
+        assert!(!q.satisfied(&[quorum(true, true, 0.25)]));
+        // …but a clean device can, and partial weights add up.
+        assert!(q.satisfied(&[quorum(true, true, 1.0)]));
+        assert!(q.satisfied(&[quorum(true, true, 0.5), quorum(true, true, 0.5)]));
+        // Non-vouchers contribute nothing, whatever their weight.
+        assert!(!q.satisfied(&[quorum(false, true, 1.0), quorum(true, true, 0.75)]));
+    }
+
+    #[test]
+    fn outlier_reject_needs_a_plausible_voucher() {
+        let q = OutlierRejectQuorum;
+        // An implausibly hot reading cannot vouch alone.
+        assert!(!q.satisfied(&[quorum(true, false, 1.0)]));
+        // Nor can two of them corroborate each other (a spoofer inflates
+        // every scan it reaches).
+        assert!(!q.satisfied(&[quorum(true, false, 1.0), quorum(true, false, 1.0)]));
+        // One believable voucher suffices, with or without hot outliers.
+        assert!(q.satisfied(&[quorum(true, false, 1.0), quorum(true, true, 1.0)]));
+        assert!(q.satisfied(&[quorum(true, true, 1.0)]));
+        assert_eq!(q.name(), "outlier-reject");
     }
 }

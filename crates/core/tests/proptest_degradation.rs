@@ -1,0 +1,92 @@
+//! Property: the Decision Module's degradation counters conserve.
+//!
+//! Whatever the push-channel fault probabilities, every registered device
+//! ends one query in exactly one terminal state — reported on time,
+//! reported late, exhausted its retry budget, or offline — and every
+//! failed attempt (dropped push or lost report) is accounted for by
+//! either a retry or the device's exhaustion. Lossy accounting here would
+//! mean degraded evidence disappearing silently, which is exactly what
+//! the fail-closed design must never allow.
+
+use phone::{DeviceId, FcmFaults, FcmLatencyModel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rfsim::{BleChannel, Floorplan, Point, PropagationConfig, Rect};
+use voiceguard::{DecisionModule, DeviceProfile, FallbackPolicy};
+
+fn channel() -> BleChannel {
+    let mut b = Floorplan::builder("prop");
+    b.room("living", Rect::new(0.0, 0.0, 12.0, 5.0), 0);
+    BleChannel::new(
+        PropagationConfig::noiseless(),
+        b.build(),
+        Point::ground(1.0, 2.5),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn degradation_counters_account_for_every_device(
+        (devices, max_retries, charge, seed)
+            in (1usize..6, 0u32..4, 0u8..2, 0u64..u64::MAX),
+        (push_drop, device_offline, report_loss, delivery_timeout)
+            in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let charge_failed_attempts = charge == 1;
+        let profiles = (0..devices)
+            .map(|i| DeviceProfile {
+                device: DeviceId(i as u32),
+                threshold_db: -8.0,
+                latency: FcmLatencyModel::smartphone(),
+                floor_tracker: None,
+            })
+            .collect();
+        let mut dm = DecisionModule::new(profiles);
+        dm.set_fcm_faults(FcmFaults {
+            push_drop,
+            device_offline,
+            report_loss,
+            delivery_timeout,
+            delivery_timeout_extra_s: 4.0,
+        });
+        dm.set_fallback(FallbackPolicy {
+            max_retries,
+            charge_failed_attempts,
+            ..FallbackPolicy::default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Spread the devices from beside the speaker to the far wall so
+        // both verdicts and both ready_after branches are exercised.
+        let out = dm.decide(
+            &|d: DeviceId| Point::ground((2.0 + f64::from(d.0)).min(11.0), 2.5),
+            &channel(),
+            &mut rng,
+        );
+        let d = out.degradation;
+
+        // Every registered device ends in exactly one terminal state.
+        prop_assert_eq!(
+            out.reports.len() as u32 + d.late_reports + d.attempts_exhausted + d.devices_offline,
+            devices as u32,
+            "device partition must conserve: {:?}",
+            d
+        );
+        // Every failed attempt either earned a retry or exhausted the
+        // device's budget.
+        prop_assert_eq!(
+            d.retries,
+            d.pushes_dropped + d.reports_lost - d.attempts_exhausted,
+            "attempt accounting must conserve: {:?}",
+            d
+        );
+        // The paper-mode module rejects nothing.
+        prop_assert_eq!(d.rejections.total(), 0);
+        prop_assert_eq!(d.quarantines, 0);
+        // The fallback speaks exactly when no report survived.
+        prop_assert_eq!(d.fell_back, out.reports.is_empty());
+        // Envelopes parallel reports one-to-one.
+        prop_assert_eq!(out.envelopes.len(), out.reports.len());
+    }
+}

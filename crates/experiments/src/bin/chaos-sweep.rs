@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
-//!             [--adversarial] [--attack NAME]
+//!             [--adversarial] [--byzantine] [--attack NAME]
 //!
 //!   --seed S        master seed (default 2023)
 //!   --rounds N      (legit, attack) command pairs per profile (default 4)
@@ -13,9 +13,14 @@
 //!                   delay × blind policy grid) instead of the profiles
 //!   --adversarial   run the adversarial-load sweep (memory attacks ×
 //!                   guard state bounds) instead of the profiles
-//!   --attack NAME   with --adversarial: run only the named attack plan
-//!                   (none, flood, slow-loris, mimic, spike-storm, all);
-//!                   repeatable
+//!   --byzantine     run the byzantine-evidence sweep (spoof/replay/
+//!                   compromised-device attacks × {paper-any-one,
+//!                   hardened} decision policies) instead of the profiles
+//!   --attack NAME   with --adversarial or --byzantine: run only the
+//!                   named attack plan (adversarial: none, flood,
+//!                   slow-loris, mimic, spike-storm, all; byzantine:
+//!                   none, spoof, replay, compromised,
+//!                   compromised+spoof); repeatable
 //! ```
 //!
 //! The default mode replays a compact Echo Dot scenario under the clean,
@@ -24,8 +29,10 @@
 //! degradation counters. `--crash` sweeps guard crashes instead and adds
 //! the degraded-mode summary table. `--adversarial` sweeps memory attacks
 //! (flow flood, slow loris, signature mimic, spike storm) against the
-//! unbounded and hardened guard. Output is byte-identical for two runs
-//! with the same seed.
+//! unbounded and hardened guard. `--byzantine` sweeps evidence attacks
+//! (BLE spoofing, report replay, compromised devices) against the
+//! paper's any-one-device rule and the hardened Decision Module. Output
+//! is byte-identical for two runs with the same seed.
 
 use std::process::ExitCode;
 
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
     let mut profile: Option<String> = None;
     let mut crash = false;
     let mut adversarial = false;
+    let mut byzantine = false;
     let mut attacks: Vec<String> = Vec::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -50,6 +58,10 @@ fn main() -> ExitCode {
             }
             "--adversarial" => {
                 adversarial = true;
+                i += 1;
+            }
+            "--byzantine" => {
+                byzantine = true;
                 i += 1;
             }
             "--attack" => {
@@ -87,12 +99,33 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
-                     [--profile NAME] [--crash] [--adversarial] [--attack NAME]"
+                     [--profile NAME] [--crash] [--adversarial] [--byzantine] \
+                     [--attack NAME]"
                 );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if byzantine && adversarial {
+        eprintln!("--byzantine and --adversarial are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if byzantine {
+        let known: Vec<&str> = experiments::byzantine::attack_plans()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        for attack in &attacks {
+            if !known.contains(&attack.as_str()) {
+                eprintln!("unknown attack '{attack}'; known: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+        let selected: Vec<&str> = attacks.iter().map(String::as_str).collect();
+        let result = experiments::byzantine::run_attacks(&selected, seed, rounds);
+        print!("{}", result.table);
+        return ExitCode::SUCCESS;
     }
     if adversarial {
         let known: Vec<&str> = experiments::adversarial::attack_plans()
@@ -111,7 +144,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if !attacks.is_empty() {
-        eprintln!("--attack only makes sense with --adversarial");
+        eprintln!("--attack only makes sense with --adversarial or --byzantine");
         return ExitCode::FAILURE;
     }
     if crash {

@@ -29,6 +29,7 @@
 
 pub mod ablations;
 pub mod adversarial;
+pub mod byzantine;
 pub mod chaos;
 pub mod corpus_stats;
 pub mod fig10;
@@ -47,7 +48,10 @@ pub mod table1;
 pub mod tables234;
 pub mod threat_coverage;
 
-pub use orchestrator::{CommandRecord, FaultProfile, GuardedHome, ScenarioConfig};
+pub use orchestrator::{
+    CommandRecord, EvidencePlan, FaultProfile, GuardedHome, QuorumChoice, ScenarioConfig,
+    ScenarioError,
+};
 pub use report::{Report, Table};
 
 /// Runs every experiment with the given master seed and collects the

@@ -13,7 +13,8 @@
 //!   positions, delayed by sampled FCM/scan latency.
 
 use attacks::{
-    FloodClient, FloodConfig, SignatureMimicApp, SignatureMimicConfig, SinkServer, SlowLorisApp,
+    BleSpoofingAdvertiser, CompromiseMode, CompromisedDeviceAttack, FloodClient, FloodConfig,
+    ReplayedReportAttack, SignatureMimicApp, SignatureMimicConfig, SinkServer, SlowLorisApp,
     SlowLorisConfig, SpikeStormApp, SpikeStormConfig,
 };
 use mobility::{TraceRecorder, Walk};
@@ -22,8 +23,8 @@ use netsim::{
     LinkFaults, LossModel, Network, NetworkConfig, ServerPool,
 };
 use phone::{
-    DeviceId, DeviceKind, DeviceRegistry, FcmFaults, FcmLatencyModel, MobileDevice,
-    ThresholdCalibrator,
+    DeviceId, DeviceKind, DeviceRegistry, EvidenceEnvelope, FcmFaults, FcmLatencyModel,
+    MobileDevice, ThresholdCalibrator,
 };
 use rand::rngs::StdRng;
 use rfsim::{BleChannel, Point, PropagationConfig};
@@ -35,8 +36,9 @@ use speakers::{
 use std::net::{Ipv4Addr, SocketAddrV4};
 use testbeds::{RouteKind, Testbed};
 use voiceguard::{
-    DecisionModule, DeviceProfile, FallbackPolicy, FloorTracker, GuardConfig, GuardEvent, QueryId,
-    RouteClass, RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap,
+    AnyOneQuorum, DecisionModule, DeviceProfile, EvidenceHardening, FallbackPolicy, FloorTracker,
+    GuardConfig, GuardEvent, KOfNQuorum, OutlierRejectQuorum, QueryId, QuorumPolicy, RouteClass,
+    RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap, WeightedByHealthQuorum,
 };
 
 /// Speaker `i` lives at 192.168.1.(200+i).
@@ -118,6 +120,68 @@ impl AdversaryPlan {
     }
 }
 
+/// Which Byzantine evidence attacks run against the Decision Module (see
+/// [`attacks::evidence`]). Like [`AdversaryPlan`], an empty plan adds no
+/// state and draws no RNG, so a run without evidence attacks is
+/// byte-identical to one predating the model. Attacks fire only while the
+/// scenario arms them ([`GuardedHome::set_attacker_armed`]) — the paper's
+/// guest attacks while the owners are away, not around the clock.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvidencePlan {
+    /// BLE advertisement spoofer overlaid on the speaker's channel while
+    /// armed, inflating every device's genuine measurement.
+    pub spoof: Option<BleSpoofingAdvertiser>,
+    /// On-path observer that captures vouching reports from (unarmed)
+    /// queries and replays the strongest one into armed queries.
+    pub replay: bool,
+    /// Malicious firmware on the *last* registered device, rewriting its
+    /// outgoing reports at all times (a compromise does not toggle).
+    pub compromised: Option<CompromiseMode>,
+}
+
+impl EvidencePlan {
+    /// No evidence attacks (the default).
+    pub fn none() -> Self {
+        EvidencePlan::default()
+    }
+
+    /// True when at least one attack is enabled.
+    pub fn any(self) -> bool {
+        self.spoof.is_some() || self.replay || self.compromised.is_some()
+    }
+}
+
+/// Which quorum rule the Decision Module applies over accepted evidence —
+/// the §VII extension point the byzantine sweep crosses with the attack
+/// cells.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QuorumChoice {
+    /// The paper's rule: any one vouching device legitimises.
+    #[default]
+    AnyOne,
+    /// At least `k` devices must vouch.
+    KOfN(usize),
+    /// Summed health weight of vouchers must reach the threshold.
+    WeightedByHealth(f64),
+    /// Any one *plausible* voucher; implausibly strong readings cannot
+    /// vouch alone.
+    OutlierReject,
+}
+
+impl QuorumChoice {
+    /// Builds the concrete policy object.
+    pub fn build(self) -> Box<dyn QuorumPolicy> {
+        match self {
+            QuorumChoice::AnyOne => Box::new(AnyOneQuorum),
+            QuorumChoice::KOfN(k) => Box::new(KOfNQuorum { k }),
+            QuorumChoice::WeightedByHealth(min_weight) => {
+                Box::new(WeightedByHealthQuorum { min_weight })
+            }
+            QuorumChoice::OutlierReject => Box::new(OutlierRejectQuorum),
+        }
+    }
+}
+
 /// The guard's tracked-state bounds as a profile-level bundle. Every
 /// knob at 0 is the pre-hardening unbounded behaviour, so a profile with
 /// `GuardBounds::unbounded()` replays byte-identically to one predating
@@ -185,6 +249,14 @@ pub struct FaultProfile {
     pub bounds: GuardBounds,
     /// Adversarial traffic generators on the LAN (default: none).
     pub adversary: AdversaryPlan,
+    /// Byzantine evidence attacks against the Decision Module
+    /// (default: none).
+    pub evidence: EvidencePlan,
+    /// Evidence-path hardening (default: off — the paper's
+    /// trust-everything behaviour).
+    pub hardening: EvidenceHardening,
+    /// Quorum rule over accepted evidence (default: the paper's any-one).
+    pub quorum: QuorumChoice,
 }
 
 impl FaultProfile {
@@ -199,6 +271,31 @@ impl FaultProfile {
             guard: GuardFaults::none(),
             bounds: GuardBounds::unbounded(),
             adversary: AdversaryPlan::none(),
+            evidence: EvidencePlan::none(),
+            hardening: EvidenceHardening::off(),
+            quorum: QuorumChoice::AnyOne,
+        }
+    }
+
+    /// A Byzantine-evidence cell: `evidence` attacks against either the
+    /// paper's trust-everything module (`hardened == false`) or the
+    /// hardened one (nonce/staleness/replay validation, health
+    /// quarantines, and the outlier-rejecting quorum).
+    pub fn byzantine(name: &'static str, evidence: EvidencePlan, hardened: bool) -> Self {
+        FaultProfile {
+            name,
+            evidence,
+            hardening: if hardened {
+                EvidenceHardening::hardened()
+            } else {
+                EvidenceHardening::off()
+            },
+            quorum: if hardened {
+                QuorumChoice::OutlierReject
+            } else {
+                QuorumChoice::AnyOne
+            },
+            ..FaultProfile::clean()
         }
     }
 
@@ -390,6 +487,40 @@ pub struct DecisionRecord {
     pub fell_back: bool,
 }
 
+/// Why a [`ScenarioConfig`] cannot be built into a [`GuardedHome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The Decision Module's `hold_deadline` exceeds the guard's
+    /// `verdict_timeout`: the module would still be waiting for device
+    /// reports when the guard's own timeout fail-safe resolves the hold,
+    /// so a scheduled verdict could arrive for traffic already released
+    /// or dropped — the two fail-safes would contradict each other.
+    DeadlineMismatch {
+        /// The fallback policy's report deadline.
+        hold_deadline: SimDuration,
+        /// The guard's verdict timeout.
+        verdict_timeout: SimDuration,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::DeadlineMismatch {
+                hold_deadline,
+                verdict_timeout,
+            } => write!(
+                f,
+                "fallback hold_deadline ({:?}) exceeds guard verdict_timeout ({:?}): \
+                 the guard would time out a hold before the Decision Module gives up",
+                hold_deadline, verdict_timeout
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// A complete guarded-home scenario.
 pub struct GuardedHome {
     /// The packet network (public for capture/trace inspection).
@@ -407,6 +538,13 @@ pub struct GuardedHome {
     deployment: usize,
     rng: StdRng,
     next_cmd: u64,
+    /// BLE spoofer with its own RNG stream, overlaid while armed.
+    spoof: Option<(BleSpoofingAdvertiser, StdRng)>,
+    /// Report-replay observer, capturing while unarmed, injecting while
+    /// armed.
+    replay: Option<ReplayedReportAttack>,
+    /// True while the scenario's attacker is actively transmitting.
+    attacker_armed: bool,
     /// Ground truth for every uttered command.
     pub commands: Vec<CommandRecord>,
     /// Every query answered by the Decision Module.
@@ -422,8 +560,25 @@ impl GuardedHome {
     ///
     /// # Panics
     ///
-    /// Panics on invalid configuration (no devices, bad deployment index).
+    /// Panics on invalid configuration (no devices, bad deployment index,
+    /// or a fallback `hold_deadline` past the guard's `verdict_timeout` —
+    /// see [`GuardedHome::try_new`]).
     pub fn new(cfg: ScenarioConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(home) => home,
+            Err(e) => panic!("invalid scenario: {e}"),
+        }
+    }
+
+    /// Builds the scenario, returning a typed error instead of panicking
+    /// when the fallback policy and guard configuration contradict each
+    /// other (the Decision Module must give up on device reports no later
+    /// than the guard's own verdict-timeout fail-safe fires).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (no devices, bad deployment index).
+    pub fn try_new(cfg: ScenarioConfig) -> Result<Self, ScenarioError> {
         assert!(cfg.deployment < 2, "deployment must be 0 or 1");
         assert!(!cfg.devices.is_empty(), "need at least one owner device");
         assert!(!cfg.speakers.is_empty(), "need at least one speaker");
@@ -550,6 +705,18 @@ impl GuardedHome {
                 SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
             }
         };
+        // The Decision Module must fall back no later than the guard's own
+        // verdict-timeout fail-safe, or a verdict scheduled after the
+        // deadline would address a hold the guard already resolved.
+        for kind in &cfg.speakers {
+            let verdict_timeout = guard_config(*kind).verdict_timeout;
+            if cfg.faults.fallback.hold_deadline > verdict_timeout {
+                return Err(ScenarioError::DeadlineMismatch {
+                    hold_deadline: cfg.faults.fallback.hold_deadline,
+                    verdict_timeout,
+                });
+            }
+        }
         let speaker_host = speaker_hosts[0];
         if cfg.speakers.len() == 1 {
             // Single speaker: a catch-all pipeline, exactly the paper's
@@ -616,8 +783,23 @@ impl GuardedHome {
         decision.set_scan_samples(cfg.scan_samples);
         decision.set_fcm_faults(cfg.faults.fcm);
         decision.set_fallback(cfg.faults.fallback);
+        decision.set_hardening(cfg.faults.hardening);
+        decision.set_quorum(cfg.faults.quorum.build());
+        // Evidence attacks: each armed leg gets its own RNG stream, so a
+        // plan with nothing enabled draws nothing and stays byte-identical
+        // to a run predating the model.
+        let ev = cfg.faults.evidence;
+        if let Some(mode) = ev.compromised {
+            let victim = *registry.ids().last().expect("at least one device");
+            let rng = streams.stream("evidence-compromised");
+            decision.add_tamper(Box::new(
+                CompromisedDeviceAttack::new(victim, mode, rng).with_jitter(0.25),
+            ));
+        }
+        let spoof = ev.spoof.map(|s| (s, streams.stream("evidence-spoof")));
+        let replay = ev.replay.then(ReplayedReportAttack::new);
 
-        GuardedHome {
+        Ok(GuardedHome {
             net,
             speaker_host,
             speaker_hosts,
@@ -629,11 +811,14 @@ impl GuardedHome {
             testbed: cfg.testbed,
             rng,
             next_cmd: 1,
+            spoof,
+            replay,
+            attacker_armed: false,
             commands: Vec::new(),
             decisions: Vec::new(),
             guard_events: Vec::new(),
             thresholds,
-        }
+        })
     }
 
     /// The first speaker's BLE channel (e.g. to inspect RSSI at
@@ -827,6 +1012,21 @@ impl GuardedHome {
         &mut self.decision
     }
 
+    /// Arms or disarms the scenario's evidence attacker. While armed, the
+    /// configured BLE spoofer overlays the speaker's channel and the
+    /// replay observer injects its best captured report; while unarmed
+    /// the observer captures vouching reports instead. A compromised
+    /// device is *not* gated by this — its firmware lies around the
+    /// clock.
+    pub fn set_attacker_armed(&mut self, armed: bool) {
+        self.attacker_armed = armed;
+    }
+
+    /// True when the profile's [`EvidencePlan`] enabled any attack.
+    pub fn evidence_attack_configured(&self) -> bool {
+        self.spoof.is_some() || self.replay.is_some() || !self.decision.tamper_names().is_empty()
+    }
+
     /// Runs the scenario for `d` of simulated time, answering guard
     /// queries along the way.
     pub fn run_for(&mut self, d: SimDuration) {
@@ -854,14 +1054,38 @@ impl GuardedHome {
             } = ev
             {
                 let speaker = (*pipeline).min(self.channels.len() - 1);
-                let registry = &self.registry;
                 let now = self.net.now();
-                let outcome = self.decision.decide_at(
+                // While armed, the replay attacker injects its best
+                // captured report and the spoofer overlays the speaker's
+                // channel; both legs are absent by default and touch no
+                // RNG, keeping unarmed runs byte-identical.
+                let injected: Vec<EvidenceEnvelope> = if self.attacker_armed {
+                    self.replay.as_ref().map(|r| r.inject()).unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                let spoofed = if self.attacker_armed {
+                    self.spoof.as_mut().map(|(advertiser, spoof_rng)| {
+                        self.channels[speaker]
+                            .clone()
+                            .with_spoofer(advertiser.transmitter(spoof_rng))
+                    })
+                } else {
+                    None
+                };
+                let registry = &self.registry;
+                let outcome = self.decision.decide_with_evidence(
                     now,
                     &|d: DeviceId| registry.device(d).position,
-                    &self.channels[speaker],
+                    spoofed.as_ref().unwrap_or(&self.channels[speaker]),
+                    &injected,
                     &mut self.rng,
                 );
+                if !self.attacker_armed {
+                    if let Some(observer) = self.replay.as_mut() {
+                        observer.observe(&outcome);
+                    }
+                }
                 let q = *query;
                 let delay = outcome.ready_after;
                 let verdict = outcome.verdict;
@@ -1099,5 +1323,34 @@ mod tests {
         let id = home.utter(6, 1, false);
         home.run_for(SimDuration::from_secs(30));
         assert!(home.executed(id));
+    }
+
+    #[test]
+    fn hold_deadline_past_verdict_timeout_is_a_typed_error() {
+        let mut cfg = ScenarioConfig::echo(apartment(), 0, 1);
+        cfg.faults = FaultProfile::clean().with_fallback(FallbackPolicy {
+            hold_deadline: SimDuration::from_secs(30),
+            ..FallbackPolicy::default()
+        });
+        let err = GuardedHome::try_new(cfg).err().expect("must be rejected");
+        assert_eq!(
+            err,
+            ScenarioError::DeadlineMismatch {
+                hold_deadline: SimDuration::from_secs(30),
+                verdict_timeout: SimDuration::from_secs(25),
+            }
+        );
+        assert!(err.to_string().contains("verdict_timeout"));
+    }
+
+    #[test]
+    fn hold_deadline_within_verdict_timeout_builds() {
+        let mut cfg = ScenarioConfig::echo(apartment(), 0, 1);
+        cfg.faults = FaultProfile::clean().with_fallback(FallbackPolicy {
+            hold_deadline: SimDuration::from_secs(20),
+            ..FallbackPolicy::default()
+        });
+        let home = GuardedHome::try_new(cfg);
+        assert!(home.is_ok());
     }
 }

@@ -20,7 +20,9 @@
 pub mod calibration;
 pub mod device;
 pub mod fcm;
+pub mod report;
 
 pub use calibration::{CalibrationResult, ThresholdCalibrator};
 pub use device::{DeviceId, DeviceKind, DeviceRegistry, MobileDevice};
 pub use fcm::{FcmFaults, FcmLatencyModel, FcmOutcome, QueryTiming};
+pub use report::EvidenceEnvelope;

@@ -1,0 +1,103 @@
+//! Signed-ish evidence envelopes: the device-side RSSI report format.
+//!
+//! The paper's Decision Module trusts every report implicitly; the
+//! hardened guard treats reports as *claims* from untrusted devices. An
+//! [`EvidenceEnvelope`] is the on-the-wire report a device sends back
+//! through FCM, binding the measured RSSI to:
+//!
+//! * the **query nonce** it answers (a per-query `QueryId` the Decision
+//!   Module mints fresh for every push), so a report captured from one
+//!   query cannot vouch for another; and
+//! * the absolute **measurement timestamp**, so a report replayed later
+//!   is visibly stale even if the attacker races the current nonce.
+//!
+//! We do not model real message authentication codes — in the simulation
+//! an attacker forging an envelope simply *sets* these fields, and the
+//! Decision Module's validation logic (in `voiceguard::decision`) decides
+//! what a given forgery can achieve. That keeps the threat model honest:
+//! nonce and timestamp checks stop *replay*, not *fabrication*; fabricated
+//! evidence is the job of the health ledger and quorum policies.
+
+use crate::device::DeviceId;
+use crate::fcm::QueryTiming;
+use simcore::SimTime;
+
+/// One device's RSSI report for one proximity query, as transmitted.
+///
+/// `timing` carries the same relative milestones as the raw
+/// [`QueryTiming`] (offsets from the query being issued); `measured_at`
+/// is the device's claimed *absolute* scan time, which is what staleness
+/// checks compare against the guard's clock.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvidenceEnvelope {
+    /// Reporting device.
+    pub device: DeviceId,
+    /// Nonce of the query this report claims to answer.
+    pub nonce: u64,
+    /// Claimed absolute time of the BLE scan.
+    pub measured_at: SimTime,
+    /// Claimed RSSI of the speaker's advertisement, in dB.
+    pub rssi_db: f64,
+    /// Relative push → wake → scan → report milestones.
+    pub timing: QueryTiming,
+}
+
+impl EvidenceEnvelope {
+    /// Build the envelope a *genuine* device produces: the measurement
+    /// timestamp is derived from the query issue time plus the sampled
+    /// scan milestone.
+    pub fn genuine(
+        device: DeviceId,
+        nonce: u64,
+        issued_at: SimTime,
+        rssi_db: f64,
+        timing: QueryTiming,
+    ) -> Self {
+        Self {
+            device,
+            nonce,
+            measured_at: issued_at + timing.measured_at,
+            rssi_db,
+            timing,
+        }
+    }
+
+    /// Age of the claimed measurement when the report lands, given the
+    /// query issue time: arrival is `issued_at + timing.reported_at`.
+    pub fn age_on_arrival(&self, issued_at: SimTime) -> simcore::SimDuration {
+        let arrival = issued_at + self.timing.reported_at;
+        arrival.saturating_since(self.measured_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    fn timing() -> QueryTiming {
+        QueryTiming {
+            scan_start: SimDuration::from_secs_f64(1.0),
+            measured_at: SimDuration::from_secs_f64(1.5),
+            reported_at: SimDuration::from_secs_f64(1.54),
+        }
+    }
+
+    #[test]
+    fn genuine_envelope_is_fresh_on_arrival() {
+        let issued = SimTime::ZERO + SimDuration::from_secs(100);
+        let env = EvidenceEnvelope::genuine(DeviceId(0), 7, issued, -50.0, timing());
+        assert_eq!(env.measured_at, issued + SimDuration::from_secs_f64(1.5));
+        let age = env.age_on_arrival(issued).as_secs_f64();
+        assert!((age - 0.04).abs() < 1e-9, "scan-to-report gap, got {age}");
+    }
+
+    #[test]
+    fn replayed_envelope_is_stale_on_arrival() {
+        let captured_at = SimTime::ZERO + SimDuration::from_secs(100);
+        let env = EvidenceEnvelope::genuine(DeviceId(0), 7, captured_at, -50.0, timing());
+        // Replayed against a query issued two minutes later.
+        let replay_issued = captured_at + SimDuration::from_secs(120);
+        assert!(env.age_on_arrival(replay_issued) > SimDuration::from_secs(100));
+    }
+}

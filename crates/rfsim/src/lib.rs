@@ -30,4 +30,4 @@ pub mod propagation;
 pub use floorplan::{Floorplan, FloorplanBuilder, Room, RoomId, Stair, Wall};
 pub use geometry::{Point, Rect, Segment2};
 pub use materials::Material;
-pub use propagation::{BleChannel, Orientation, PropagationConfig};
+pub use propagation::{BleChannel, Orientation, PropagationConfig, SpoofTransmitter};

@@ -129,6 +129,22 @@ impl Default for PropagationConfig {
     }
 }
 
+/// An attacker-controlled transmitter replaying the speaker's BLE
+/// advertisement from its own position at its own power.
+///
+/// The spoofed signal is *not* clamped at [`PropagationConfig::rssi_max_db`]:
+/// the ceiling models the scale compression of the speaker's low-power
+/// advertisement, while a high-gain replay can arrive well above anything
+/// the genuine transmitter could produce — which is exactly the
+/// implausibility the hardened Decision Module keys on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpoofTransmitter {
+    /// Where the attacker transmits from.
+    pub position: Point,
+    /// Transmit-power advantage over the genuine advertisement, in dB.
+    pub tx_gain_db: f64,
+}
+
 /// A Bluetooth channel between a fixed transmitter (the smart speaker) and
 /// arbitrary receiver positions within a floorplan.
 #[derive(Debug, Clone)]
@@ -136,12 +152,18 @@ pub struct BleChannel {
     config: PropagationConfig,
     plan: Floorplan,
     tx: Point,
+    spoofer: Option<SpoofTransmitter>,
 }
 
 impl BleChannel {
     /// Creates a channel for a speaker at `tx` inside `plan`.
     pub fn new(config: PropagationConfig, plan: Floorplan, tx: Point) -> Self {
-        BleChannel { config, plan, tx }
+        BleChannel {
+            config,
+            plan,
+            tx,
+            spoofer: None,
+        }
     }
 
     /// The transmitter position.
@@ -165,18 +187,35 @@ impl BleChannel {
         &self.config
     }
 
-    /// Mean RSSI at `rx` — path loss, obstruction and shadowing, but no
-    /// per-measurement noise. This is what the location-survey figures
-    /// (Figs. 8–9) average toward.
-    pub fn mean_rssi(&self, rx: Point) -> f64 {
+    /// Installs (or clears) an attacker transmitter replaying the
+    /// speaker's advertisement. `None` restores the genuine channel.
+    pub fn set_spoofer(&mut self, spoofer: Option<SpoofTransmitter>) {
+        self.spoofer = spoofer;
+    }
+
+    /// Builder-style [`Self::set_spoofer`].
+    pub fn with_spoofer(mut self, spoofer: SpoofTransmitter) -> Self {
+        self.spoofer = Some(spoofer);
+        self
+    }
+
+    /// The currently installed spoof transmitter, if any.
+    pub fn spoofer(&self) -> Option<SpoofTransmitter> {
+        self.spoofer
+    }
+
+    /// Mean received signal from an arbitrary transmitter at `tx` with
+    /// reference power `p0_db`: path loss, obstruction and shadowing, but
+    /// no per-measurement noise and no ceiling.
+    fn path_rssi(&self, tx: Point, p0_db: f64, rx: Point) -> f64 {
         let c = &self.config;
-        let d = self.tx.distance(&rx).max(c.d0_m);
+        let d = tx.distance(&rx).max(c.d0_m);
         let path_loss = 10.0 * c.path_loss_exponent * (d / c.d0_m).log10();
-        let obstruction = if rx.floor == self.tx.floor {
-            self.plan.wall_attenuation_between(self.tx, rx)
+        let obstruction = if rx.floor == tx.floor {
+            self.plan.wall_attenuation_between(tx, rx)
         } else {
-            let crossings = (rx.floor - self.tx.floor).unsigned_abs() as f64;
-            let horiz = self.tx.horizontal_distance(&rx);
+            let crossings = (rx.floor - tx.floor).unsigned_abs() as f64;
+            let horiz = tx.horizontal_distance(&rx);
             if crossings <= 1.0 && horiz <= c.leak_radius_m {
                 c.leak_attenuation_db
             } else if crossings <= 1.0 && self.plan.in_stairwell(rx) {
@@ -186,11 +225,35 @@ impl BleChannel {
             }
         };
         let shadow = self.shadow_at(rx);
-        (c.p0_db - path_loss - obstruction + shadow).min(c.rssi_max_db)
+        p0_db - path_loss - obstruction + shadow
+    }
+
+    /// Mean RSSI at `rx` — path loss, obstruction and shadowing, but no
+    /// per-measurement noise. This is what the location-survey figures
+    /// (Figs. 8–9) average toward.
+    pub fn mean_rssi(&self, rx: Point) -> f64 {
+        self.path_rssi(self.tx, self.config.p0_db, rx)
+            .min(self.config.rssi_max_db)
+    }
+
+    /// Mean *spoofed* signal at `rx`: what the installed attacker
+    /// transmitter alone delivers. Unclamped (see [`SpoofTransmitter`]).
+    /// Returns `-inf` when no spoofer is installed.
+    pub fn spoofed_mean_rssi(&self, rx: Point) -> f64 {
+        match self.spoofer {
+            None => f64::NEG_INFINITY,
+            Some(s) => self.path_rssi(s.position, self.config.p0_db + s.tx_gain_db, rx),
+        }
     }
 
     /// One RSSI measurement at `rx` with the given orientation: the mean
     /// plus orientation bias plus fast fading drawn from `rng`.
+    ///
+    /// With a spoofer installed the scan locks onto whichever copy of the
+    /// advertisement arrives stronger; receiver-side effects (orientation
+    /// bias, fading) apply to either copy, so enabling a spoofer changes
+    /// no RNG draw counts and a disarmed spoofer is byte-identical to no
+    /// spoofer at all.
     pub fn measure<R: Rng + ?Sized>(
         &self,
         rx: Point,
@@ -198,7 +261,15 @@ impl BleChannel {
         rng: &mut R,
     ) -> f64 {
         let fading = normal(rng, 0.0, self.config.fading_sigma_db);
-        (self.mean_rssi(rx) + orientation.bias_db() + fading).min(self.config.rssi_max_db)
+        let genuine =
+            (self.mean_rssi(rx) + orientation.bias_db() + fading).min(self.config.rssi_max_db);
+        match self.spoofer {
+            None => genuine,
+            Some(_) => {
+                let spoofed = self.spoofed_mean_rssi(rx) + orientation.bias_db() + fading;
+                genuine.max(spoofed)
+            }
+        }
     }
 
     /// The paper's per-location survey value: 4 measurements in each of the
@@ -401,5 +472,61 @@ mod tests {
         let ch = channel();
         let two_up = ch.mean_rssi(Point::new(1.0, 2.5, 2));
         assert!(two_up < -20.0, "two ceilings: {two_up}");
+    }
+
+    #[test]
+    fn spoofer_inflates_distant_readings_above_the_genuine_ceiling() {
+        let far = Point::ground(11.0, 4.5);
+        let genuine = channel();
+        let spoofed = channel().with_spoofer(SpoofTransmitter {
+            position: Point::ground(11.5, 4.5),
+            tx_gain_db: 30.0,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let honest = genuine.measure(far, Orientation::Up, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let forged = spoofed.measure(far, Orientation::Up, &mut rng);
+        assert!(honest < -8.0, "distant genuine reading {honest}");
+        assert!(
+            forged > genuine.config().rssi_max_db,
+            "spoofed reading {forged} should exceed the genuine ceiling"
+        );
+    }
+
+    #[test]
+    fn spoofer_never_lowers_a_reading_and_none_is_identical() {
+        let p = Point::ground(2.0, 2.5);
+        let base = channel();
+        let weak = channel().with_spoofer(SpoofTransmitter {
+            position: Point::ground(11.5, 4.5),
+            tx_gain_db: 0.0,
+        });
+        let mut cleared = weak.clone();
+        cleared.set_spoofer(None);
+        for seed in 0..8 {
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r3 = rand::rngs::StdRng::seed_from_u64(seed);
+            let honest = base.measure(p, Orientation::Down, &mut r1);
+            let overlay = weak.measure(p, Orientation::Down, &mut r2);
+            let restored = cleared.measure(p, Orientation::Down, &mut r3);
+            assert!(overlay >= honest, "max-combining never lowers a reading");
+            assert_eq!(honest, restored, "cleared spoofer is byte-identical");
+        }
+    }
+
+    #[test]
+    fn spoofed_mean_tracks_attacker_position_and_gain() {
+        let ch = channel().with_spoofer(SpoofTransmitter {
+            position: Point::ground(9.0, 2.5),
+            tx_gain_db: 20.0,
+        });
+        // Next to the attacker: spoofed signal dominates by construction.
+        let near_attacker = ch.spoofed_mean_rssi(Point::ground(9.5, 2.5));
+        assert!(near_attacker > ch.config().rssi_max_db);
+        assert_eq!(
+            channel().spoofed_mean_rssi(Point::ground(9.5, 2.5)),
+            f64::NEG_INFINITY
+        );
     }
 }
