@@ -34,6 +34,16 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # Decision Module. An attack command executing in a hardened cell here
 # means the evidence validation or quorum hardening regressed.
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --byzantine --attack spoof --attack compromised
+# Sans-io fuzz smoke: bounded property runs driving the pure GuardCore
+# with arbitrary input interleavings (no panics, state bounds hold, no
+# double-released holds) and pinning driver equivalence (simulator tap
+# vs. trace replay: identical action streams and stats). The pinned
+# golden traces replaying byte-identically is part of `cargo test` above
+# (crates/experiments/tests/trace_replay.rs).
+run cargo "${CARGO_ARGS[@]}" test --release -q -p voiceguard --test proptest_inputs --test driver_equivalence
+# Bench smoke: the pure-core benchmarks must still compile and run; the
+# committed baseline lives in BENCH_guard.json.
+run cargo "${CARGO_ARGS[@]}" bench -q -p bench --bench guard_core
 run cargo "${CARGO_ARGS[@]}" clippy --workspace -- -D warnings
 run cargo "${CARGO_ARGS[@]}" fmt --check
 

@@ -1,0 +1,148 @@
+//! Micro-benchmarks of the pure sans-io [`voiceguard::GuardCore`] hot
+//! path — no network engine in the loop, every iteration is a direct
+//! `GuardCore::step` (or a primitive the step path is built from).
+//!
+//! The committed baseline lives in `BENCH_guard.json` at the workspace
+//! root; regenerate it with `./ci.sh`'s bench smoke or
+//! `cargo bench -p bench --bench guard_core` after a perf-relevant
+//! change so later PRs have a trajectory to beat.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simcore::wire::{ConnId, Direction, SegmentPayload, SegmentView, TlsContentType, TlsRecord};
+use simcore::{SimDuration, SimTime};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{Action, GuardConfig, GuardCore, Input, RecordLedger, TimerToken};
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const AVS_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 10);
+
+/// The paper's §IV-B1 Echo Dot establishment signature.
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// A client→server app-data record on `conn` with an explicit record seq.
+fn data_seg(conn: u64, seq: u64, len: u32) -> Input {
+    Input::Segment(SegmentView {
+        conn: ConnId(conn),
+        dir: Direction::ClientToServer,
+        src: SocketAddrV4::new(SPEAKER_IP, 40_000),
+        dst: SocketAddrV4::new(AVS_IP, 443),
+        payload: SegmentPayload::Data(TlsRecord {
+            content_type: TlsContentType::ApplicationData,
+            len,
+            seq,
+            app_tag: 0,
+        }),
+        wire_len: len,
+        retransmit: false,
+    })
+}
+
+/// Feeds one connection's 16-record establishment signature through the
+/// core, which identifies the AVS front-end by signature alone.
+fn establish(core: &mut GuardCore, conn: u64, at: SimTime, out: &mut Vec<Action>) {
+    for (i, len) in AVS_SIG.iter().enumerate() {
+        out.clear();
+        core.step(at, data_seg(conn, i as u64, *len), out);
+    }
+}
+
+fn bench_signature_match(c: &mut Criterion) {
+    c.bench_function("guard_core_signature_match_establishment", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut core = GuardCore::new(GuardConfig::echo_dot());
+            establish(&mut core, 1, SimTime::ZERO, &mut out);
+            black_box(core.learned_avs_ip())
+        })
+    });
+}
+
+fn bench_record_ledger(c: &mut Criterion) {
+    c.bench_function("record_ledger_first_sight_in_order", |b| {
+        b.iter(|| {
+            let mut ledger = RecordLedger::default();
+            for seq in 0..256u64 {
+                black_box(ledger.first_sight(seq, 1024));
+            }
+            ledger.lowest_hole_below(256)
+        })
+    });
+    c.bench_function("record_ledger_first_sight_with_holes", |b| {
+        b.iter(|| {
+            let mut ledger = RecordLedger::default();
+            // Every fourth record arrives late: skip it, then fill it.
+            for chunk in (0..256u64).step_by(4) {
+                for seq in chunk + 1..chunk + 4 {
+                    black_box(ledger.first_sight(seq, 1024));
+                }
+                black_box(ledger.first_sight(chunk, 1024));
+            }
+            ledger.lowest_hole_below(256)
+        })
+    });
+}
+
+fn bench_reorder_drain(c: &mut Criterion) {
+    // An established AVS connection goes idle, then a spike arrives with
+    // every record pair swapped — each step buffers one record and drains
+    // the contiguous prefix into the classifier.
+    c.bench_function("guard_core_reorder_buffer_drain", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut core = GuardCore::new(GuardConfig::echo_dot());
+            establish(&mut core, 1, SimTime::ZERO, &mut out);
+            let spike_at = SimTime::from_secs(30);
+            for pair in 0..8u64 {
+                let (a, b_) = (16 + pair * 2, 16 + pair * 2 + 1);
+                out.clear();
+                core.step(spike_at, data_seg(1, b_, 131), &mut out);
+                out.clear();
+                core.step(spike_at, data_seg(1, a, 131), &mut out);
+            }
+            black_box(core.stats.clone())
+        })
+    });
+}
+
+fn bench_timer_tick(c: &mut Criterion) {
+    let mut core = GuardCore::new(GuardConfig::echo_dot());
+    let mut out = Vec::new();
+    establish(&mut core, 1, SimTime::ZERO, &mut out);
+    let token = TimerToken::FlowTtlSweep { pipeline: 0 }.encode();
+    let mut now = SimTime::from_secs(1);
+    c.bench_function("guard_core_flow_ttl_sweep_tick", |b| {
+        b.iter(|| {
+            now += SimDuration::from_millis(10);
+            out.clear();
+            core.step(now, Input::Timer { token }, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut core = GuardCore::new(GuardConfig::echo_dot());
+    let mut out = Vec::new();
+    // A few live flows so the snapshot has real state to capture.
+    for conn in 1..=8u64 {
+        establish(&mut core, conn, SimTime::from_secs(conn), &mut out);
+    }
+    c.bench_function("guard_snapshot_capture_and_serialize", |b| {
+        b.iter(|| {
+            let snap = core.snapshot();
+            black_box(serde_json::to_string(&snap).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_signature_match,
+    bench_record_ledger,
+    bench_reorder_drain,
+    bench_timer_tick,
+    bench_snapshot
+);
+criterion_main!(benches);

@@ -432,7 +432,7 @@ impl DecisionModule {
             // The scan window captures a few advertisement packets; the
             // app reports their average, which keeps single-packet fading
             // outliers from flipping the verdict.
-            let orientation = Orientation::ALL[rng.gen_range(0..4)];
+            let orientation = Orientation::ALL[rng.gen_range(0..4usize)];
             let rssi_db = (0..self.scan_samples)
                 .map(|_| channel.measure(position, orientation, rng))
                 .sum::<f64>()

@@ -13,9 +13,10 @@ use crate::guard::snapshot::PipelineSnapshot;
 use crate::guard::token::TimerToken;
 use crate::learning::{Observation, SignatureLearner};
 use crate::recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
-use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapVerdict};
 use serde::{Deserialize, Serialize};
+use simcore::wire::{
+    CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
+};
 use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -623,12 +624,13 @@ impl SpeakerPipeline for EchoPipeline {
             if let Some(learned) = learner.learned() {
                 if learned != self.avs_signature.as_slice() {
                     self.avs_signature = learned.to_vec();
+                    ctx.learn_signature(&self.avs_signature);
                     ctx.bump(|s| s.signatures_adapted += 1);
                     ctx.trace(
                         "guard.adapt",
                         &format!(
                             "connection signature re-learned ({} records)",
-                            learned.len()
+                            self.avs_signature.len()
                         ),
                     );
                 }
@@ -708,6 +710,10 @@ impl SpeakerPipeline for EchoPipeline {
 
     fn cloud_ip(&self) -> Option<Ipv4Addr> {
         self.avs_ip
+    }
+
+    fn dns_domain(&self) -> Option<&str> {
+        Some(&self.config.avs_domain)
     }
 
     fn hold_policy(&self) -> crate::config::HoldOverflowPolicy {

@@ -12,9 +12,10 @@ use crate::guard::pipeline::{
 use crate::guard::snapshot::PipelineSnapshot;
 use crate::guard::token::TimerToken;
 use crate::recognition::{SpikeClass, SpikeClassifier};
-use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapVerdict};
 use serde::{Deserialize, Serialize};
+use simcore::wire::{
+    CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
+};
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
@@ -435,6 +436,10 @@ impl SpeakerPipeline for GhmPipeline {
 
     fn query_budget(&self) -> usize {
         self.config.pending_query_budget
+    }
+
+    fn dns_domain(&self) -> Option<&str> {
+        Some(&self.config.google_domain)
     }
 
     fn verdict_applied(

@@ -1,5 +1,4 @@
-//! The Traffic Processing Module as a bump-in-the-wire tap
-//! ([`netsim::Middlebox`]).
+//! The Traffic Processing Module as a pure, sans-io state machine.
 //!
 //! Composition of the two §IV-B sub-modules:
 //!
@@ -7,29 +6,49 @@
 //!   flow (AVS front-end by DNS or connection signature for the Echo Dot;
 //!   DNS-tracked `www.google.com` flows for the Mini) and classifies
 //!   post-idle spikes with [`crate::SpikeClassifier`];
-//! * **Traffic Handler** — holds spike packets (the engine transparently
+//! * **Traffic Handler** — holds spike packets (the driver transparently
 //!   ACKs the speaker), then releases or discards them when the Decision
-//!   Module's verdict arrives via [`VoiceGuardTap::schedule_verdict`].
+//!   Module's verdict arrives as an [`Input::Verdict`].
 //!
 //! # Architecture
 //!
-//! [`VoiceGuardTap`] is a thin multiplexer: it owns the query table, event
-//! queue and statistics, and routes segments/datagrams by speaker IP to
-//! per-speaker [`SpeakerPipeline`] instances ([`EchoPipeline`],
-//! [`GhmPipeline`]). One tap can therefore guard several speakers of
-//! different kinds at once — attach additional pipelines with
-//! [`VoiceGuardTap::add_pipeline`] or [`VoiceGuardTap::attach`] and share
-//! the tap across hosts with `netsim::Network::share_tap`.
+//! [`GuardCore`] is the whole guard, with the IO cut away: it consumes
+//! typed [`Input`]s and emits [`Action`]s, and performs no side effects of
+//! its own — no clocks, no sockets, no engine callbacks. Everything that
+//! *does* IO lives in a driver implementing [`GuardDriver`]:
 //!
-//! The tap is driven by the network engine; an orchestrator polls
-//! [`VoiceGuardTap::take_events`] for [`GuardEvent::QueryRequested`]
-//! events, evaluates them with the [`crate::DecisionModule`], and feeds
-//! verdicts back.
+//! * [`crate::tap::VoiceGuardTap`] adapts the network simulator's
+//!   middlebox callbacks into inputs and applies the actions through the
+//!   engine's tap services (releasing held frames, arming timers,
+//!   tracing);
+//! * [`replay::ReplayDriver`] feeds a recorded input trace back through a
+//!   fresh core, byte-for-byte, with no engine at all — the basis of the
+//!   driver-equivalence tests and the pinned golden traces;
+//! * a future socket-backed driver would be a third implementation of the
+//!   same trait against a real NIC.
+//!
+//! Internally the core is a thin multiplexer: it owns the query table,
+//! event queue and statistics, and routes segments/datagrams by speaker IP
+//! to per-speaker [`SpeakerPipeline`] instances ([`EchoPipeline`],
+//! [`GhmPipeline`]). One core can therefore guard several speakers of
+//! different kinds at once — attach additional pipelines with
+//! [`GuardCore::add_pipeline`] or [`GuardCore::attach`].
+//!
+//! Because the core never sees the driver's hold queues, it mirrors the
+//! per-flow held-frame counts itself ([`Action::Hold`] increments,
+//! [`Action::Release`]/[`Action::Discard`] drain); the [`Input`] contract
+//! below spells out the events a driver must deliver for the mirror to
+//! stay exact.
+//!
+//! An orchestrator polls [`GuardCore::take_events`] for
+//! [`GuardEvent::QueryRequested`] events, evaluates them with the
+//! [`crate::DecisionModule`], and feeds verdicts back through the driver.
 
 pub mod echo;
 pub mod flow;
 pub mod ghm;
 pub mod pipeline;
+pub mod replay;
 pub mod snapshot;
 pub mod token;
 
@@ -37,7 +56,7 @@ pub use echo::EchoPipeline;
 pub use flow::EvictionPolicy;
 pub use flow::{FlowTable, HoldQueue};
 pub use ghm::GhmPipeline;
-pub use pipeline::{HoldTarget, PipelineCtx, SpeakerPipeline};
+pub use pipeline::{HoldTarget, PipelineCtx, RecordLedger, SpeakerPipeline};
 pub use snapshot::{GuardSnapshot, PipelineSnapshot, SnapshotError, GUARD_SNAPSHOT_VERSION};
 pub use token::TimerToken;
 
@@ -45,13 +64,11 @@ use crate::config::{GuardConfig, HoldOverflowPolicy, SpeakerKind};
 use crate::decision::Verdict;
 use crate::guard::snapshot::{HoldTargetSnapshot, PendingQuerySnapshot, SlotSnapshot};
 use crate::recognition::SpikeClass;
-use netsim::app::SegmentView;
-use netsim::{
-    CloseReason, ConnId, Datagram, Direction, Middlebox, SegmentPayload, TapCtx, TapVerdict,
-};
 use serde::{Deserialize, Serialize};
-use simcore::SimTime;
-use std::any::Any;
+use simcore::wire::{
+    CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
+};
+use simcore::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -79,7 +96,7 @@ pub enum GuardEvent {
     /// A voice command was recognised; the traffic is on hold awaiting a
     /// verdict.
     QueryRequested {
-        /// The query to answer via [`VoiceGuardTap::schedule_verdict`].
+        /// The query to answer via an [`Input::Verdict`].
         query: QueryId,
         /// When the query was raised.
         at: SimTime,
@@ -148,7 +165,7 @@ pub enum GuardEvent {
     },
 }
 
-/// Aggregate statistics kept by the tap.
+/// Aggregate statistics kept by the guard core.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GuardStats {
     /// Total queries raised.
@@ -174,7 +191,7 @@ pub struct GuardStats {
     /// capacity under a fail-open overflow policy (degradation: traffic
     /// escapes the hold).
     pub hold_overflow_forwarded: u64,
-    /// Injected guard crashes survived by this tap.
+    /// Injected guard crashes survived by this guard.
     pub crashes: u64,
     /// Supervised restarts completed.
     pub restarts: u64,
@@ -216,6 +233,185 @@ pub struct GuardStats {
     pub peak_pending_queries: u64,
 }
 
+/// One typed input to [`GuardCore::step`]. A driver translates whatever
+/// its environment produces (engine callbacks, a recorded trace, socket
+/// readiness) into this vocabulary.
+///
+/// # Contract
+///
+/// The core mirrors the driver's per-flow held-frame counts from the
+/// actions it emits, so the driver must uphold two invariants:
+///
+/// * a frame answered with [`Action::Hold`] is actually queued, and stays
+///   queued until an [`Action::Release`]/[`Action::Discard`] for its
+///   target drains the queue;
+/// * [`Input::ConnClosed`] with [`CloseReason::Timeout`] or
+///   [`CloseReason::TlsRecordSequenceMismatch`] means the driver has
+///   *already dropped* the connection's held frames as part of the
+///   teardown (the simulator engine does); FIN/RST closes leave them
+///   queued.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// A TCP segment is traversing the tap point. The core answers with
+    /// exactly one frame-verdict action ([`Action::Forward`],
+    /// [`Action::Hold`] or [`Action::Drop`]).
+    Segment(SegmentView),
+    /// A UDP datagram is traversing the tap point. Answered like
+    /// [`Input::Segment`].
+    Datagram {
+        /// The datagram.
+        dgram: Datagram,
+        /// True when it leaves the tapped host.
+        outbound: bool,
+    },
+    /// A DNS answer for the tapped host was observed.
+    DnsResponse {
+        /// The queried name.
+        name: String,
+        /// The answered address.
+        ip: Ipv4Addr,
+    },
+    /// A connection involving the tapped host closed. See the contract
+    /// above for which close reasons imply the driver already dropped the
+    /// connection's held frames.
+    ConnClosed {
+        /// The closed connection.
+        conn: ConnId,
+        /// Why it closed.
+        reason: CloseReason,
+    },
+    /// A timer armed via [`Action::SetTimer`] fired.
+    Timer {
+        /// The token the core packed into the timer.
+        token: u64,
+    },
+    /// The Decision Module answered a query; the verdict becomes effective
+    /// after `delay` (its measured query latency).
+    Verdict {
+        /// The answered query.
+        query: QueryId,
+        /// The ruling.
+        verdict: Verdict,
+        /// Delivery delay before the verdict takes effect.
+        delay: SimDuration,
+    },
+    /// The supervisor wants a checkpoint; the core answers with
+    /// [`Action::Snapshot`].
+    CheckpointRequest,
+    /// The process hosting the guard crashed: in-memory guard state is
+    /// gone, and the driver has discarded every held frame.
+    Crash,
+    /// The supervisor restarted the guard after a crash, handing it the
+    /// most recent checkpoint (if any was ever taken).
+    Restart {
+        /// The checkpoint to rebuild from, if one exists.
+        checkpoint: Option<Box<GuardSnapshot>>,
+    },
+}
+
+/// One effect requested by [`GuardCore::step`]. The driver applies the
+/// actions **in emission order** — interleaving matters, because trace
+/// and release actions reproduce the exact engine-visible call sequence
+/// of the pre-sans-io guard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Forward the input frame unchanged (frame verdict).
+    Forward,
+    /// Queue the input frame at the tap point (frame verdict). The driver
+    /// spoof-ACKs TCP data so the connection survives the hold (§IV-B2).
+    Hold(HoldTarget),
+    /// Silently discard the input frame (frame verdict).
+    Drop,
+    /// Release every frame held for the target, in original order.
+    Release(HoldTarget),
+    /// Discard every frame held for the target.
+    Discard(HoldTarget),
+    /// The adaptive learner promoted a new connection signature; a driver
+    /// with a persistence layer may store it.
+    LearnSignature {
+        /// The newly learned packet-length signature.
+        signature: Vec<u32>,
+    },
+    /// The core wants to observe DNS answers for `domain` (emitted once
+    /// per attached pipeline, on the first step). Drivers that must
+    /// subscribe to a resolver do so here; passive taps ignore it.
+    ArmDns {
+        /// The domain whose answers identify the voice-command flow.
+        domain: String,
+    },
+    /// A legitimacy query was raised; the orchestrator must answer it
+    /// with an [`Input::Verdict`]. Mirrors the
+    /// [`GuardEvent::QueryRequested`] event for drivers that push rather
+    /// than poll.
+    IssueQuery {
+        /// The raised query.
+        query: QueryId,
+        /// The pipeline that raised it.
+        pipeline: usize,
+        /// When the first packet of the spike was held.
+        hold_started: SimTime,
+    },
+    /// Arm a timer: deliver [`Input::Timer`] with `token` after `delay`.
+    SetTimer {
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Opaque token, returned verbatim in [`Input::Timer`].
+        token: u64,
+    },
+    /// Cancel a pending timer. The current core never emits this — stale
+    /// timers are filtered by generation instead — but drivers whose
+    /// timer facility is a real wheel (sockets, tokio) should support it.
+    CancelTimer {
+        /// The token of the timer to cancel.
+        token: u64,
+    },
+    /// A [`GuardEvent`] for the orchestrator. Also queued internally for
+    /// [`GuardCore::take_events`]; push-based drivers forward it, poll
+    /// drivers ignore it.
+    Emit(GuardEvent),
+    /// The checkpoint answering an [`Input::CheckpointRequest`].
+    Snapshot(Box<GuardSnapshot>),
+    /// A structured trace event for the driver's trace bus.
+    Trace {
+        /// Trace category (e.g. `guard.query`).
+        category: &'static str,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Action {
+    /// The frame verdict this action carries, if it is one of the three
+    /// per-frame decisions. Exactly one such action is emitted for every
+    /// [`Input::Segment`] / [`Input::Datagram`], always last.
+    pub fn frame_verdict(&self) -> Option<TapVerdict> {
+        match self {
+            Action::Forward => Some(TapVerdict::Forward),
+            Action::Hold(_) => Some(TapVerdict::Hold),
+            Action::Drop => Some(TapVerdict::Drop),
+            _ => None,
+        }
+    }
+}
+
+/// A driver owns the IO around one [`GuardCore`]: it translates its
+/// environment's happenings into [`Input`]s, feeds them through
+/// [`GuardCore::step`], and applies the emitted [`Action`]s.
+///
+/// Implementations: [`crate::tap::VoiceGuardTap`] (simulator engine),
+/// [`replay::ReplayDriver`] (recorded traces, no IO at all); a
+/// socket-backed driver would implement the same trait against a NIC.
+pub trait GuardDriver {
+    /// Whatever the driver borrows from its environment to apply actions
+    /// (the simulator driver borrows the engine's tap services; the
+    /// replay driver needs nothing).
+    type Env<'a>;
+
+    /// Feeds one input through the core and applies the resulting
+    /// actions. Returns the frame verdict when the input was a frame.
+    fn drive(&mut self, env: Self::Env<'_>, now: SimTime, input: Input) -> Option<TapVerdict>;
+}
+
 #[derive(Debug)]
 pub(crate) struct PendingQuery {
     pub(crate) pipeline: usize,
@@ -234,16 +430,15 @@ struct PipelineSlot {
     pipeline: Box<dyn SpeakerPipeline>,
     /// What the pipeline was built from, so a crash without a checkpoint
     /// restarts it cold instead of keeping "lost" memory. `None` for
-    /// custom [`VoiceGuardTap::attach`] pipelines, which cannot be
-    /// rebuilt and keep their live state across simulated crashes.
+    /// custom [`GuardCore::attach`] pipelines, which cannot be rebuilt
+    /// and keep their live state across simulated crashes.
     boot: Option<(GuardConfig, Vec<u32>)>,
 }
 
-/// The VoiceGuard tap: a multiplexer of per-speaker
-/// [`SpeakerPipeline`]s. Install on the speaker's host with
-/// [`netsim::Network::set_tap`]; guard further speakers through the same
-/// instance with `netsim::Network::share_tap`.
-pub struct VoiceGuardTap {
+/// The VoiceGuard core: a pure state machine multiplexing per-speaker
+/// [`SpeakerPipeline`]s. Feed it [`Input`]s via [`GuardCore::step`] and
+/// apply the [`Action`]s it emits — it performs no IO of its own.
+pub struct GuardCore {
     slots: Vec<PipelineSlot>,
     /// Connection → pipeline routing cache, filled on first sight and
     /// cleared when the connection closes.
@@ -261,11 +456,20 @@ pub struct VoiceGuardTap {
     /// When the current incarnation restarted from a crash; `None` for
     /// the original.
     restarted_at: Option<SimTime>,
+    /// Mirror of the driver's per-connection held-frame counts, kept
+    /// exact through the [`Input`] contract.
+    held: HashMap<ConnId, usize>,
+    /// Mirror of the driver's per-UDP-flow held-datagram counts.
+    held_dgrams: HashMap<Ipv4Addr, usize>,
+    /// The timestamp of the last [`GuardCore::step`].
+    now: SimTime,
+    /// Actions queued before the first step (DNS arming from `attach`).
+    pending_startup: Vec<Action>,
 }
 
-impl fmt::Debug for VoiceGuardTap {
+impl fmt::Debug for GuardCore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("VoiceGuardTap")
+        f.debug_struct("GuardCore")
             .field("pipelines", &self.slots.len())
             .field("pending_queries", &self.queries.len())
             .finish()
@@ -282,27 +486,27 @@ fn build_pipeline(config: GuardConfig, signature: &[u32]) -> Box<dyn SpeakerPipe
     }
 }
 
-impl VoiceGuardTap {
-    /// Creates a single-speaker tap with the paper's AVS connection
+impl GuardCore {
+    /// Creates a single-speaker core with the paper's AVS connection
     /// signature. The pipeline is a catch-all: it sees all traffic on the
     /// tapped link, whatever the speaker's address.
     pub fn new(config: GuardConfig) -> Self {
-        VoiceGuardTap::with_signature(config, &speaker_signature())
+        GuardCore::with_signature(config, &speaker_signature())
     }
 
-    /// Creates a single-speaker tap with a custom connection signature
+    /// Creates a single-speaker core with a custom connection signature
     /// (for ablations).
     pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
-        let mut tap = VoiceGuardTap::multi();
-        let index = tap.attach(None, build_pipeline(config.clone(), signature));
-        tap.slots[index].boot = Some((config, signature.to_vec()));
-        tap
+        let mut core = GuardCore::multi();
+        let index = core.attach(None, build_pipeline(config.clone(), signature));
+        core.slots[index].boot = Some((config, signature.to_vec()));
+        core
     }
 
-    /// Creates an empty multi-speaker tap; add speakers with
-    /// [`VoiceGuardTap::add_pipeline`] or [`VoiceGuardTap::attach`].
+    /// Creates an empty multi-speaker core; add speakers with
+    /// [`GuardCore::add_pipeline`] or [`GuardCore::attach`].
     pub fn multi() -> Self {
-        VoiceGuardTap {
+        GuardCore {
             slots: Vec::new(),
             conn_routes: HashMap::new(),
             queries: HashMap::new(),
@@ -312,6 +516,10 @@ impl VoiceGuardTap {
             pipeline_stats: Vec::new(),
             generation: 0,
             restarted_at: None,
+            held: HashMap::new(),
+            held_dgrams: HashMap::new(),
+            now: SimTime::ZERO,
+            pending_startup: Vec::new(),
         }
     }
 
@@ -332,6 +540,11 @@ impl VoiceGuardTap {
     pub fn attach(&mut self, ip: Option<Ipv4Addr>, pipeline: Box<dyn SpeakerPipeline>) -> usize {
         let index = self.slots.len();
         assert!(index < 256, "at most 256 pipelines per tap");
+        if let Some(domain) = pipeline.dns_domain() {
+            self.pending_startup.push(Action::ArmDns {
+                domain: domain.to_string(),
+            });
+        }
         self.slots.push(PipelineSlot {
             ip,
             pipeline,
@@ -390,6 +603,192 @@ impl VoiceGuardTap {
         self.slots.iter().find_map(|s| s.pipeline.cloud_ip())
     }
 
+    /// The timestamp of the most recent [`GuardCore::step`].
+    pub fn last_step_at(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the state machine by one input at time `now`, appending
+    /// the requested effects to `out`. The driver must apply them in
+    /// order; for [`Input::Segment`] / [`Input::Datagram`] exactly one of
+    /// them carries the frame verdict (see [`Action::frame_verdict`]),
+    /// always last.
+    pub fn step(&mut self, now: SimTime, input: Input, out: &mut Vec<Action>) {
+        self.now = now;
+        if !self.pending_startup.is_empty() {
+            out.append(&mut self.pending_startup);
+        }
+        match input {
+            Input::Segment(view) => self.step_segment(&view, out),
+            Input::Datagram { dgram, outbound } => self.step_datagram(&dgram, outbound, out),
+            Input::DnsResponse { name, ip } => {
+                // DNS answers are broadcast: each pipeline filters by the
+                // domain it tracks.
+                for index in 0..self.slots.len() {
+                    self.dispatch(index, out, |p, pctx| p.on_dns_response(pctx, &name, ip));
+                }
+            }
+            Input::ConnClosed { conn, reason } => {
+                // Per the Input contract, a timeout / record-mismatch
+                // teardown means the driver already dropped the
+                // connection's held frames; mirror that before the
+                // pipeline reacts. FIN/RST closes leave them queued.
+                if matches!(
+                    reason,
+                    CloseReason::Timeout | CloseReason::TlsRecordSequenceMismatch
+                ) {
+                    self.held.remove(&conn);
+                }
+                self.conn_closed(conn, reason, out);
+            }
+            Input::Timer { token } => self.step_timer(token, out),
+            Input::Verdict {
+                query,
+                verdict,
+                delay,
+            } => self.step_verdict(query, verdict, delay, out),
+            Input::CheckpointRequest => out.push(Action::Snapshot(Box::new(self.snapshot()))),
+            Input::Crash => self.step_crash(),
+            Input::Restart { checkpoint } => self.step_restart(checkpoint.as_deref(), out),
+        }
+    }
+
+    fn step_segment(&mut self, view: &SegmentView, out: &mut Vec<Action>) {
+        let index = match self.conn_routes.get(&view.conn) {
+            Some(&i) => i,
+            None => {
+                // The speaker side of the segment: source when the speaker
+                // sends, destination when it receives.
+                let speaker_ip = match view.dir {
+                    Direction::ClientToServer => *view.src.ip(),
+                    Direction::ServerToClient => *view.dst.ip(),
+                };
+                let Some(i) = self.route_ip(speaker_ip) else {
+                    out.push(Action::Forward);
+                    return;
+                };
+                self.conn_routes.insert(view.conn, i);
+                i
+            }
+        };
+        let verdict = self.dispatch(index, out, |p, pctx| p.on_segment(pctx, view));
+        self.enforce_query_budget(out);
+        // A RST on the wire is the connection's end: drivers only notify
+        // of graceful closes, so without this an aborted connection's
+        // flow state would be pinned until evicted. The driver's own
+        // close notification (if one still arrives) finds the route gone
+        // and is a no-op.
+        if matches!(view.payload, SegmentPayload::Rst) {
+            self.conn_closed(view.conn, CloseReason::Reset, out);
+        }
+        let verdict = if verdict == TapVerdict::Hold {
+            let held = self.held.get(&view.conn).copied().unwrap_or(0);
+            self.enforce_hold_capacity(out, index, held, &format!("{}", view.conn))
+        } else {
+            verdict
+        };
+        match verdict {
+            TapVerdict::Forward => out.push(Action::Forward),
+            TapVerdict::Drop => out.push(Action::Drop),
+            TapVerdict::Hold => {
+                *self.held.entry(view.conn).or_default() += 1;
+                out.push(Action::Hold(HoldTarget::Conn(view.conn)));
+            }
+        }
+    }
+
+    fn step_datagram(&mut self, dgram: &Datagram, outbound: bool, out: &mut Vec<Action>) {
+        let speaker_ip = if outbound {
+            *dgram.src.ip()
+        } else {
+            *dgram.dst.ip()
+        };
+        let Some(index) = self.route_ip(speaker_ip) else {
+            out.push(Action::Forward);
+            return;
+        };
+        let verdict = self.dispatch(index, out, |p, pctx| p.on_datagram(pctx, dgram, outbound));
+        self.enforce_query_budget(out);
+        let verdict = if verdict == TapVerdict::Hold {
+            let held = self.held_dgrams.get(&speaker_ip).copied().unwrap_or(0);
+            self.enforce_hold_capacity(out, index, held, &format!("udp {speaker_ip}"))
+        } else {
+            verdict
+        };
+        match verdict {
+            TapVerdict::Forward => out.push(Action::Forward),
+            TapVerdict::Drop => out.push(Action::Drop),
+            TapVerdict::Hold => {
+                *self.held_dgrams.entry(speaker_ip).or_default() += 1;
+                out.push(Action::Hold(HoldTarget::UdpFlow(speaker_ip)));
+            }
+        }
+    }
+
+    fn conn_closed(&mut self, conn: ConnId, reason: CloseReason, out: &mut Vec<Action>) {
+        if let Some(index) = self.conn_routes.remove(&conn) {
+            self.dispatch(index, out, |p, pctx| p.on_conn_closed(pctx, conn, reason));
+        }
+    }
+
+    fn step_timer(&mut self, token: u64, out: &mut Vec<Action>) {
+        // A timer armed by a dead incarnation must not fire into rebuilt
+        // state: its payload (query id, spike deadline) refers to holds
+        // and flows that were reconciled at restart.
+        if TimerToken::generation(token) != self.generation {
+            out.push(Action::Trace {
+                category: "guard.stale-timer",
+                message: format!(
+                    "ignoring timer from generation {} (current {})",
+                    TimerToken::generation(token),
+                    self.generation
+                ),
+            });
+            return;
+        }
+        let Some(token) = TimerToken::decode(token) else {
+            return;
+        };
+        match token {
+            TimerToken::VerdictTimeout { query } => {
+                let Some(pending) = self.queries.get(&query) else {
+                    return;
+                };
+                if pending.verdict.is_some() {
+                    return;
+                }
+                let (index, fail_closed) = (pending.pipeline, pending.fail_closed);
+                self.bump(index, |s| s.timeouts += 1);
+                let verdict = if fail_closed {
+                    Verdict::Malicious
+                } else {
+                    Verdict::Legitimate
+                };
+                out.push(Action::Trace {
+                    category: "guard.timeout",
+                    message: format!("{query} timed out"),
+                });
+                self.apply_verdict(query, verdict, out);
+            }
+            TimerToken::VerdictDelivery { query } => {
+                let Some(verdict) = self.queries.get(&query).and_then(|q| q.verdict) else {
+                    return; // already resolved (e.g. by timeout)
+                };
+                self.apply_verdict(query, verdict, out);
+            }
+            pipeline_token => {
+                let Some(index) = pipeline_token.pipeline() else {
+                    return;
+                };
+                if index >= self.slots.len() {
+                    return;
+                }
+                self.dispatch(index, out, |p, pctx| p.on_timer(pctx, pipeline_token));
+                self.enforce_query_budget(out);
+            }
+        }
+    }
+
     /// Schedules `verdict` for `query` to take effect after `delay` (the
     /// Decision Module's measured query latency).
     ///
@@ -400,26 +799,81 @@ impl VoiceGuardTap {
     /// # Panics
     ///
     /// Panics if the query is already answered.
-    pub fn schedule_verdict(
+    fn step_verdict(
         &mut self,
-        ctx: &mut dyn TapCtx,
         query: QueryId,
         verdict: Verdict,
-        delay: simcore::SimDuration,
+        delay: SimDuration,
+        out: &mut Vec<Action>,
     ) {
         let Some(pending) = self.queries.get_mut(&query) else {
-            ctx.trace(
-                "guard.verdict",
-                &format!("{query} no longer pending (crashed incarnation); verdict dropped"),
-            );
+            out.push(Action::Trace {
+                category: "guard.verdict",
+                message: format!(
+                    "{query} no longer pending (crashed incarnation); verdict dropped"
+                ),
+            });
             return;
         };
         assert!(pending.verdict.is_none(), "{query} already answered");
         pending.verdict = Some(verdict);
-        ctx.set_timer(
+        out.push(Action::SetTimer {
             delay,
-            TimerToken::VerdictDelivery { query }.encode_with_generation(self.generation),
-        );
+            token: TimerToken::VerdictDelivery { query }.encode_with_generation(self.generation),
+        });
+    }
+
+    fn step_crash(&mut self) {
+        // In-memory guard state dies with the process. Statistics and the
+        // event queue survive: they model the *measurement harness*, not
+        // the guard (the orchestrator has already drained past events).
+        self.stats.crashes += 1;
+        self.conn_routes.clear();
+        self.queries.clear();
+        // The driver's held frames died with the process too; reset the
+        // mirror so capacity accounting restarts from zero.
+        self.held.clear();
+        self.held_dgrams.clear();
+        for slot in &mut self.slots {
+            if let Some((config, signature)) = &slot.boot {
+                slot.pipeline = build_pipeline(config.clone(), signature);
+            }
+        }
+    }
+
+    fn step_restart(&mut self, checkpoint: Option<&GuardSnapshot>, out: &mut Vec<Action>) {
+        self.generation = self.generation.wrapping_add(1);
+        let now = self.now;
+        self.restarted_at = Some(now);
+        self.stats.restarts += 1;
+        if let Some(snap) = checkpoint {
+            self.adopt_checkpoint(snap);
+        }
+        // Holds opened by the dead incarnation drain fail-closed: the
+        // driver already discarded the held frames in the crash, so the
+        // record-seq gap (or the missing QUIC tail) blocks the command —
+        // never release what this incarnation cannot screen.
+        let mut stale: Vec<QueryId> = self.queries.keys().copied().collect();
+        stale.sort();
+        for query in stale {
+            let Some(pending) = self.queries.remove(&query) else {
+                continue;
+            };
+            self.discard_target(pending.target, out);
+            self.bump(pending.pipeline, |s| s.holds_abandoned += 1);
+            self.emit(GuardEvent::HoldAbandoned { query, at: now }, out);
+            out.push(Action::Trace {
+                category: "guard.recover",
+                message: format!("{query} abandoned: hold predates this incarnation"),
+            });
+        }
+        for index in 0..self.slots.len() {
+            self.dispatch(index, out, |p, pctx| p.recover(pctx));
+        }
+        out.push(Action::Trace {
+            category: "guard.recover",
+            message: format!("guard restarted as generation {}", self.generation),
+        });
     }
 
     /// Routes to the pipeline addressed by `speaker_ip`, falling back to
@@ -436,12 +890,14 @@ impl VoiceGuardTap {
     fn dispatch<R>(
         &mut self,
         index: usize,
-        tap: &mut dyn TapCtx,
+        out: &mut Vec<Action>,
         f: impl FnOnce(&mut dyn SpeakerPipeline, &mut PipelineCtx<'_>) -> R,
     ) -> R {
         let slot = &mut self.slots[index];
         let mut ctx = PipelineCtx {
-            tap,
+            now: self.now,
+            actions: out,
+            held: &mut self.held,
             queries: &mut self.queries,
             next_query: &mut self.next_query,
             events: &mut self.events,
@@ -463,6 +919,35 @@ impl VoiceGuardTap {
         f(&mut self.pipeline_stats[index]);
     }
 
+    /// Queues `event` for [`GuardCore::take_events`] and mirrors it as an
+    /// [`Action::Emit`] for push-based drivers.
+    fn emit(&mut self, event: GuardEvent, out: &mut Vec<Action>) {
+        self.events.push_back(event);
+        out.push(Action::Emit(event));
+    }
+
+    /// Drains the mirror for `target` and asks the driver to release its
+    /// held frames; returns how many the mirror said were parked.
+    fn release_target(&mut self, target: HoldTarget, out: &mut Vec<Action>) -> usize {
+        let n = match target {
+            HoldTarget::Conn(conn) => self.held.remove(&conn).unwrap_or(0),
+            HoldTarget::UdpFlow(ip) => self.held_dgrams.remove(&ip).unwrap_or(0),
+        };
+        out.push(Action::Release(target));
+        n
+    }
+
+    /// Drains the mirror for `target` and asks the driver to discard its
+    /// held frames; returns how many the mirror said were parked.
+    fn discard_target(&mut self, target: HoldTarget, out: &mut Vec<Action>) -> usize {
+        let n = match target {
+            HoldTarget::Conn(conn) => self.held.remove(&conn).unwrap_or(0),
+            HoldTarget::UdpFlow(ip) => self.held_dgrams.remove(&ip).unwrap_or(0),
+        };
+        out.push(Action::Discard(target));
+        n
+    }
+
     /// Applies pipeline `index`'s hold-overflow policy to a frame the
     /// pipeline wants to hold while `held` frames are already parked for
     /// its flow. Overflowing frames degrade to a drop (fail closed — the
@@ -470,7 +955,7 @@ impl VoiceGuardTap {
     /// per pipeline.
     fn enforce_hold_capacity(
         &mut self,
-        ctx: &mut dyn TapCtx,
+        out: &mut Vec<Action>,
         index: usize,
         held: usize,
         flow: &str,
@@ -479,29 +964,29 @@ impl VoiceGuardTap {
             HoldOverflowPolicy::Unbounded => TapVerdict::Hold,
             HoldOverflowPolicy::DropNewest { capacity } if held >= capacity => {
                 self.bump(index, |s| s.hold_overflow_dropped += 1);
-                ctx.trace(
-                    "guard.overflow",
-                    &format!("{flow}: hold queue full ({held}), dropping"),
-                );
+                out.push(Action::Trace {
+                    category: "guard.overflow",
+                    message: format!("{flow}: hold queue full ({held}), dropping"),
+                });
                 TapVerdict::Drop
             }
             HoldOverflowPolicy::ForwardNewest { capacity } if held >= capacity => {
                 self.bump(index, |s| s.hold_overflow_forwarded += 1);
-                ctx.trace(
-                    "guard.overflow",
-                    &format!("{flow}: hold queue full ({held}), forwarding unscreened"),
-                );
+                out.push(Action::Trace {
+                    category: "guard.overflow",
+                    message: format!("{flow}: hold queue full ({held}), forwarding unscreened"),
+                });
                 TapVerdict::Forward
             }
             _ => TapVerdict::Hold,
         }
     }
 
-    /// Enforces the tap-wide pending-query budget (the largest budget any
-    /// attached pipeline's config asks for; 0 = unbounded). While the
+    /// Enforces the guard-wide pending-query budget (the largest budget
+    /// any attached pipeline's config asks for; 0 = unbounded). While the
     /// number of *unanswered* queries exceeds the budget, the oldest is
     /// shed fail-closed.
-    fn enforce_query_budget(&mut self, ctx: &mut dyn TapCtx) {
+    fn enforce_query_budget(&mut self, out: &mut Vec<Action>) {
         let budget = self
             .slots
             .iter()
@@ -527,7 +1012,7 @@ impl VoiceGuardTap {
                 else {
                     break;
                 };
-                self.shed_query(ctx, oldest);
+                self.shed_query(oldest, out);
             }
         }
         // High-water marks are recorded *after* enforcement: with a
@@ -554,83 +1039,99 @@ impl VoiceGuardTap {
     /// discarded, but neither `allowed` nor `blocked` moves — the Decision
     /// Module never answered this query. A VerdictTimeout timer still
     /// armed for it becomes a no-op (the query is gone from the table).
-    fn shed_query(&mut self, ctx: &mut dyn TapCtx, query: QueryId) {
+    fn shed_query(&mut self, query: QueryId, out: &mut Vec<Action>) {
         let Some(pending) = self.queries.remove(&query) else {
             return;
         };
-        let now = ctx.now();
-        self.dispatch(pending.pipeline, ctx, |p, pctx| {
+        let now = self.now;
+        self.dispatch(pending.pipeline, out, |p, pctx| {
             p.verdict_applied(pctx, pending.target, Verdict::Malicious)
         });
-        let dropped = match pending.target {
-            HoldTarget::Conn(conn) => ctx.discard_held(conn),
-            HoldTarget::UdpFlow(ip) => ctx.discard_held_datagrams(ip),
-        };
+        let dropped = self.discard_target(pending.target, out);
         self.bump(pending.pipeline, |s| s.queries_shed += 1);
-        self.events
-            .push_back(GuardEvent::QueryShed { query, at: now });
-        ctx.trace(
-            "guard.shed",
-            &format!("{query} shed: pending-query budget exceeded ({dropped} held frames dropped)"),
-        );
+        self.emit(GuardEvent::QueryShed { query, at: now }, out);
+        out.push(Action::Trace {
+            category: "guard.shed",
+            message: format!(
+                "{query} shed: pending-query budget exceeded ({dropped} held frames dropped)"
+            ),
+        });
     }
 
-    fn apply_verdict(&mut self, ctx: &mut dyn TapCtx, query: QueryId, verdict: Verdict) {
+    fn apply_verdict(&mut self, query: QueryId, verdict: Verdict, out: &mut Vec<Action>) {
         let Some(pending) = self.queries.remove(&query) else {
             return;
         };
-        let now = ctx.now();
+        let now = self.now;
         let held_for = now.saturating_since(pending.hold_started).as_secs_f64();
         self.bump(pending.pipeline, |s| s.hold_durations_s.push(held_for));
         // Let the owning pipeline retire its spike / enter passthrough or
         // blocking before the held frames move.
-        self.dispatch(pending.pipeline, ctx, |p, pctx| {
+        self.dispatch(pending.pipeline, out, |p, pctx| {
             p.verdict_applied(pctx, pending.target, verdict)
         });
         match (pending.target, verdict) {
-            (HoldTarget::Conn(conn), Verdict::Legitimate) => {
-                let released = ctx.release_held(conn);
+            (HoldTarget::Conn(_), Verdict::Legitimate) => {
+                let released = self.release_target(pending.target, out);
                 self.bump(pending.pipeline, |s| s.allowed += 1);
-                self.events.push_back(GuardEvent::CommandAllowed {
-                    query,
-                    at: now,
-                    released,
+                self.emit(
+                    GuardEvent::CommandAllowed {
+                        query,
+                        at: now,
+                        released,
+                    },
+                    out,
+                );
+                out.push(Action::Trace {
+                    category: "guard.allow",
+                    message: format!("{query}: released {released}"),
                 });
-                ctx.trace("guard.allow", &format!("{query}: released {released}"));
             }
-            (HoldTarget::Conn(conn), Verdict::Malicious) => {
-                let dropped = ctx.discard_held(conn);
+            (HoldTarget::Conn(_), Verdict::Malicious) => {
+                let dropped = self.discard_target(pending.target, out);
                 self.bump(pending.pipeline, |s| s.blocked += 1);
-                self.events.push_back(GuardEvent::CommandBlocked {
-                    query,
-                    at: now,
-                    dropped,
+                self.emit(
+                    GuardEvent::CommandBlocked {
+                        query,
+                        at: now,
+                        dropped,
+                    },
+                    out,
+                );
+                out.push(Action::Trace {
+                    category: "guard.block",
+                    message: format!("{query}: dropped {dropped}"),
                 });
-                ctx.trace("guard.block", &format!("{query}: dropped {dropped}"));
             }
-            (HoldTarget::UdpFlow(flow), Verdict::Legitimate) => {
-                let released = ctx.release_held_datagrams(flow);
+            (HoldTarget::UdpFlow(_), Verdict::Legitimate) => {
+                let released = self.release_target(pending.target, out);
                 self.bump(pending.pipeline, |s| s.allowed += 1);
-                self.events.push_back(GuardEvent::CommandAllowed {
-                    query,
-                    at: now,
-                    released,
-                });
+                self.emit(
+                    GuardEvent::CommandAllowed {
+                        query,
+                        at: now,
+                        released,
+                    },
+                    out,
+                );
             }
-            (HoldTarget::UdpFlow(flow), Verdict::Malicious) => {
-                let dropped = ctx.discard_held_datagrams(flow);
+            (HoldTarget::UdpFlow(_), Verdict::Malicious) => {
+                let dropped = self.discard_target(pending.target, out);
                 self.bump(pending.pipeline, |s| s.blocked += 1);
-                self.events.push_back(GuardEvent::CommandBlocked {
-                    query,
-                    at: now,
-                    dropped,
-                });
+                self.emit(
+                    GuardEvent::CommandBlocked {
+                        query,
+                        at: now,
+                        dropped,
+                    },
+                    out,
+                );
             }
         }
     }
 
-    /// Captures the complete recoverable state of the tap, in sorted,
-    /// deterministic form. Inverse of [`VoiceGuardTap::restore`].
+    /// Captures the complete recoverable state of the guard, in sorted,
+    /// deterministic form. Inverse of [`GuardCore::restore`].
     pub fn snapshot(&self) -> GuardSnapshot {
         let mut queries: Vec<(u64, PendingQuerySnapshot)> = self
             .queries
@@ -658,6 +1159,12 @@ impl VoiceGuardTap {
             .map(|(conn, &index)| (conn.0, index))
             .collect();
         conn_routes.sort_by_key(|(conn, _)| *conn);
+        let mut held_conns: Vec<(u64, usize)> =
+            self.held.iter().map(|(conn, &n)| (conn.0, n)).collect();
+        held_conns.sort_by_key(|(conn, _)| *conn);
+        let mut held_udp: Vec<(Ipv4Addr, usize)> =
+            self.held_dgrams.iter().map(|(ip, &n)| (*ip, n)).collect();
+        held_udp.sort();
         GuardSnapshot {
             version: GUARD_SNAPSHOT_VERSION,
             generation: self.generation,
@@ -666,6 +1173,8 @@ impl VoiceGuardTap {
             stats: self.stats.clone(),
             pipeline_stats: self.pipeline_stats.clone(),
             conn_routes,
+            held_conns,
+            held_udp,
             slots: self
                 .slots
                 .iter()
@@ -677,29 +1186,39 @@ impl VoiceGuardTap {
         }
     }
 
-    /// Restores the tap to exactly the state a [`VoiceGuardTap::snapshot`]
-    /// captured — statistics, query table, routing and pipeline state.
-    /// Feeding the restored tap the same traffic yields the same events
-    /// (the round-trip proptest pins this). Crash recovery instead goes
-    /// through [`netsim::Middlebox::restart`], which additionally bumps
-    /// the generation and reconciles with the blind window.
+    /// Restores the guard to exactly the state a [`GuardCore::snapshot`]
+    /// captured — statistics, query table, routing, held-frame mirror and
+    /// pipeline state. Feeding the restored guard the same traffic yields
+    /// the same events (the round-trip proptest pins this). Crash
+    /// recovery instead goes through [`Input::Restart`], which
+    /// additionally bumps the generation and reconciles with the blind
+    /// window.
     ///
     /// # Panics
     ///
-    /// Panics if the snapshot's slot count differs from this tap's.
+    /// Panics if the snapshot's slot count differs from this guard's.
     pub fn restore(&mut self, snap: &GuardSnapshot) {
         self.generation = snap.generation;
         self.stats = snap.stats.clone();
         self.pipeline_stats = snap.pipeline_stats.clone();
         self.adopt_checkpoint(snap);
+        // A lossless restore re-adopts the held-frame mirror: the driver
+        // restoring the guard restores its hold queues too. (Crash
+        // restarts do not — the frames died with the process.)
+        self.held = snap
+            .held_conns
+            .iter()
+            .map(|&(conn, n)| (ConnId(conn), n))
+            .collect();
+        self.held_dgrams = snap.held_udp.iter().copied().collect();
     }
 
-    /// Version-checked [`VoiceGuardTap::restore`] for snapshots that
-    /// crossed a serialization boundary (disk, network): a snapshot from
-    /// an unknown layout version — newer, or written before versioning —
-    /// is rejected with a typed error instead of being deserialized into
+    /// Version-checked [`GuardCore::restore`] for snapshots that crossed
+    /// a serialization boundary (disk, network): a snapshot from an
+    /// unknown layout version — newer, or written before versioning — is
+    /// rejected with a typed error instead of being deserialized into
     /// live guard state, as is a snapshot whose pipeline slots do not
-    /// match this tap.
+    /// match this guard.
     pub fn try_restore(&mut self, snap: &GuardSnapshot) -> Result<(), SnapshotError> {
         if snap.version != snapshot::GUARD_SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
@@ -718,7 +1237,8 @@ impl VoiceGuardTap {
     }
 
     /// Overwrites guard state (query table, routing, pipelines) from a
-    /// checkpoint, leaving statistics, events and generation alone.
+    /// checkpoint, leaving statistics, events, generation and the
+    /// held-frame mirror alone.
     fn adopt_checkpoint(&mut self, snap: &GuardSnapshot) {
         assert_eq!(
             snap.slots.len(),
@@ -766,217 +1286,26 @@ impl VoiceGuardTap {
 
 /// The Echo Dot AVS connection signature (kept here so the core crate has
 /// no dependency on the speaker models).
-fn speaker_signature() -> [u32; 16] {
+pub(crate) fn speaker_signature() -> [u32; 16] {
     [
         63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
     ]
 }
 
-impl Middlebox for VoiceGuardTap {
-    fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
-        let index = match self.conn_routes.get(&view.conn) {
-            Some(&i) => i,
-            None => {
-                // The speaker side of the segment: source when the speaker
-                // sends, destination when it receives.
-                let speaker_ip = match view.dir {
-                    Direction::ClientToServer => *view.src.ip(),
-                    Direction::ServerToClient => *view.dst.ip(),
-                };
-                let Some(i) = self.route_ip(speaker_ip) else {
-                    return TapVerdict::Forward;
-                };
-                self.conn_routes.insert(view.conn, i);
-                i
-            }
-        };
-        let verdict = self.dispatch(index, ctx, |p, pctx| p.on_segment(pctx, view));
-        self.enforce_query_budget(ctx);
-        // A RST on the wire is the connection's end: the engine only
-        // notifies taps of graceful closes, so without this an aborted
-        // connection's flow state would be pinned until evicted. The
-        // engine's own close notification (if one still arrives) finds
-        // the route gone and is a no-op.
-        if matches!(view.payload, SegmentPayload::Rst) {
-            self.on_conn_closed(ctx, view.conn, CloseReason::Reset);
-        }
-        if verdict == TapVerdict::Hold {
-            let held = ctx.held_count(view.conn);
-            return self.enforce_hold_capacity(ctx, index, held, &format!("{}", view.conn));
-        }
-        verdict
-    }
-
-    fn on_datagram(
-        &mut self,
-        ctx: &mut dyn TapCtx,
-        dgram: &Datagram,
-        outbound: bool,
-    ) -> TapVerdict {
-        let speaker_ip = if outbound {
-            *dgram.src.ip()
-        } else {
-            *dgram.dst.ip()
-        };
-        let Some(index) = self.route_ip(speaker_ip) else {
-            return TapVerdict::Forward;
-        };
-        let verdict = self.dispatch(index, ctx, |p, pctx| p.on_datagram(pctx, dgram, outbound));
-        self.enforce_query_budget(ctx);
-        if verdict == TapVerdict::Hold {
-            let held = ctx.held_datagram_count(speaker_ip);
-            return self.enforce_hold_capacity(ctx, index, held, &format!("udp {speaker_ip}"));
-        }
-        verdict
-    }
-
-    fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
-        // DNS answers are broadcast: each pipeline filters by the domain
-        // it tracks.
-        for index in 0..self.slots.len() {
-            self.dispatch(index, ctx, |p, pctx| p.on_dns_response(pctx, name, ip));
-        }
-    }
-
-    fn on_conn_closed(&mut self, ctx: &mut dyn TapCtx, conn: ConnId, reason: CloseReason) {
-        if let Some(index) = self.conn_routes.remove(&conn) {
-            self.dispatch(index, ctx, |p, pctx| p.on_conn_closed(pctx, conn, reason));
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
-        // A timer armed by a dead incarnation must not fire into rebuilt
-        // state: its payload (query id, spike deadline) refers to holds
-        // and flows that were reconciled at restart.
-        if TimerToken::generation(token) != self.generation {
-            ctx.trace(
-                "guard.stale-timer",
-                &format!(
-                    "ignoring timer from generation {} (current {})",
-                    TimerToken::generation(token),
-                    self.generation
-                ),
-            );
-            return;
-        }
-        let Some(token) = TimerToken::decode(token) else {
-            return;
-        };
-        match token {
-            TimerToken::VerdictTimeout { query } => {
-                let Some(pending) = self.queries.get(&query) else {
-                    return;
-                };
-                if pending.verdict.is_some() {
-                    return;
-                }
-                let (index, fail_closed) = (pending.pipeline, pending.fail_closed);
-                self.bump(index, |s| s.timeouts += 1);
-                let verdict = if fail_closed {
-                    Verdict::Malicious
-                } else {
-                    Verdict::Legitimate
-                };
-                ctx.trace("guard.timeout", &format!("{query} timed out"));
-                self.apply_verdict(ctx, query, verdict);
-            }
-            TimerToken::VerdictDelivery { query } => {
-                let Some(verdict) = self.queries.get(&query).and_then(|q| q.verdict) else {
-                    return; // already resolved (e.g. by timeout)
-                };
-                self.apply_verdict(ctx, query, verdict);
-            }
-            pipeline_token => {
-                let Some(index) = pipeline_token.pipeline() else {
-                    return;
-                };
-                if index >= self.slots.len() {
-                    return;
-                }
-                self.dispatch(index, ctx, |p, pctx| p.on_timer(pctx, pipeline_token));
-                self.enforce_query_budget(ctx);
-            }
-        }
-    }
-
-    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
-        Some(Box::new(self.snapshot()))
-    }
-
-    fn crash(&mut self) {
-        // In-memory guard state dies with the process. Statistics and the
-        // event queue survive: they model the *measurement harness*, not
-        // the guard (the orchestrator has already drained past events).
-        self.stats.crashes += 1;
-        self.conn_routes.clear();
-        self.queries.clear();
-        for slot in &mut self.slots {
-            if let Some((config, signature)) = &slot.boot {
-                slot.pipeline = build_pipeline(config.clone(), signature);
-            }
-        }
-    }
-
-    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
-        self.generation = self.generation.wrapping_add(1);
-        let now = ctx.now();
-        self.restarted_at = Some(now);
-        self.stats.restarts += 1;
-        if let Some(snap) = checkpoint.and_then(|c| c.downcast_ref::<GuardSnapshot>()) {
-            self.adopt_checkpoint(snap);
-        }
-        // Holds opened by the dead incarnation drain fail-closed: the
-        // engine already discarded the held frames in the crash, so the
-        // record-seq gap (or the missing QUIC tail) blocks the command —
-        // never release what this incarnation cannot screen.
-        let mut stale: Vec<QueryId> = self.queries.keys().copied().collect();
-        stale.sort();
-        for query in stale {
-            let Some(pending) = self.queries.remove(&query) else {
-                continue;
-            };
-            match pending.target {
-                HoldTarget::Conn(conn) => {
-                    ctx.discard_held(conn);
-                }
-                HoldTarget::UdpFlow(ip) => {
-                    ctx.discard_held_datagrams(ip);
-                }
-            }
-            self.bump(pending.pipeline, |s| s.holds_abandoned += 1);
-            self.events
-                .push_back(GuardEvent::HoldAbandoned { query, at: now });
-            ctx.trace(
-                "guard.recover",
-                &format!("{query} abandoned: hold predates this incarnation"),
-            );
-        }
-        for index in 0..self.slots.len() {
-            self.dispatch(index, ctx, |p, pctx| p.recover(pctx));
-        }
-        ctx.trace(
-            "guard.recover",
-            &format!("guard restarted as generation {}", self.generation),
-        );
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simcore::wire::TlsRecord;
+    use std::net::SocketAddrV4;
 
     #[test]
-    fn new_tap_has_no_state() {
-        let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
-        assert!(tap.learned_avs_ip().is_none());
-        assert!(!tap.has_pending_queries());
-        assert_eq!(tap.stats, GuardStats::default());
-        assert_eq!(tap.pipeline_count(), 1);
-        assert_eq!(tap.pipeline_stats(0), &GuardStats::default());
+    fn new_core_has_no_state() {
+        let core = GuardCore::new(GuardConfig::echo_dot());
+        assert!(core.learned_avs_ip().is_none());
+        assert!(!core.has_pending_queries());
+        assert_eq!(core.stats, GuardStats::default());
+        assert_eq!(core.pipeline_count(), 1);
+        assert_eq!(core.pipeline_stats(0), &GuardStats::default());
     }
 
     #[test]
@@ -989,24 +1318,40 @@ mod tests {
     }
 
     #[test]
-    fn multi_tap_routes_by_speaker_ip() {
-        let mut tap = VoiceGuardTap::multi();
-        let echo = tap.add_pipeline(Ipv4Addr::new(192, 168, 1, 200), GuardConfig::echo_dot());
-        let ghm = tap.add_pipeline(
+    fn multi_core_routes_by_speaker_ip() {
+        let mut core = GuardCore::multi();
+        let echo = core.add_pipeline(Ipv4Addr::new(192, 168, 1, 200), GuardConfig::echo_dot());
+        let ghm = core.add_pipeline(
             Ipv4Addr::new(192, 168, 1, 201),
             GuardConfig::google_home_mini(),
         );
         assert_eq!((echo, ghm), (0, 1));
-        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 200)), Some(0));
-        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 201)), Some(1));
+        assert_eq!(core.route_ip(Ipv4Addr::new(192, 168, 1, 200)), Some(0));
+        assert_eq!(core.route_ip(Ipv4Addr::new(192, 168, 1, 201)), Some(1));
         // No catch-all: unknown speakers are nobody's business.
-        assert_eq!(tap.route_ip(Ipv4Addr::new(192, 168, 1, 202)), None);
+        assert_eq!(core.route_ip(Ipv4Addr::new(192, 168, 1, 202)), None);
     }
 
     #[test]
     fn catch_all_takes_unclaimed_traffic() {
-        let tap = VoiceGuardTap::new(GuardConfig::echo_dot());
-        assert_eq!(tap.route_ip(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
+        let core = GuardCore::new(GuardConfig::echo_dot());
+        assert_eq!(core.route_ip(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
+    }
+
+    #[test]
+    fn attach_arms_dns_on_first_step() {
+        let mut core = GuardCore::new(GuardConfig::echo_dot());
+        let mut out = Vec::new();
+        core.step(SimTime::ZERO, Input::Timer { token: 0 }, &mut out);
+        assert!(
+            out.iter()
+                .any(|a| matches!(a, Action::ArmDns { domain } if !domain.is_empty())),
+            "first step must surface the pipeline's DNS domain: {out:?}"
+        );
+        // Only once.
+        out.clear();
+        core.step(SimTime::ZERO, Input::Timer { token: 0 }, &mut out);
+        assert!(!out.iter().any(|a| matches!(a, Action::ArmDns { .. })));
     }
 
     /// A pipeline that holds everything, with a fixed overflow policy.
@@ -1045,110 +1390,151 @@ mod tests {
         }
     }
 
-    /// A detached TapCtx reporting a fixed number of already-held frames.
-    struct FakeTap {
-        held: usize,
-    }
-    impl TapCtx for FakeTap {
-        fn now(&self) -> SimTime {
-            SimTime::ZERO
-        }
-        fn tapped_host(&self) -> netsim::HostId {
-            netsim::HostId(0)
-        }
-        fn held_count(&self, _conn: ConnId) -> usize {
-            self.held
-        }
-        fn release_held(&mut self, _conn: ConnId) -> usize {
-            0
-        }
-        fn discard_held(&mut self, _conn: ConnId) -> usize {
-            0
-        }
-        fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
-            self.held
-        }
-        fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
-            0
-        }
-        fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
-            0
-        }
-        fn set_timer(&mut self, _delay: simcore::SimDuration, _token: u64) {}
-        fn trace(&mut self, _category: &str, _message: &str) {}
-    }
-
     fn data_view() -> SegmentView {
-        use std::net::SocketAddrV4;
         SegmentView {
             conn: ConnId(1),
             dir: Direction::ClientToServer,
             src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
             dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
-            payload: netsim::SegmentPayload::Data(netsim::TlsRecord::app_data(138)),
+            payload: SegmentPayload::Data(TlsRecord::app_data(138)),
             wire_len: 138,
             retransmit: false,
         }
     }
 
+    /// Steps a segment through `core` and returns the frame verdict.
+    fn feed_segment(core: &mut GuardCore, view: SegmentView) -> TapVerdict {
+        let mut out = Vec::new();
+        core.step(SimTime::ZERO, Input::Segment(view), &mut out);
+        let verdicts: Vec<TapVerdict> = out.iter().filter_map(Action::frame_verdict).collect();
+        assert_eq!(verdicts.len(), 1, "exactly one frame verdict: {out:?}");
+        verdicts[0]
+    }
+
+    fn feed_datagram(core: &mut GuardCore, dgram: Datagram) -> TapVerdict {
+        let mut out = Vec::new();
+        core.step(
+            SimTime::ZERO,
+            Input::Datagram {
+                dgram,
+                outbound: true,
+            },
+            &mut out,
+        );
+        let verdicts: Vec<TapVerdict> = out.iter().filter_map(Action::frame_verdict).collect();
+        assert_eq!(verdicts.len(), 1, "exactly one frame verdict: {out:?}");
+        verdicts[0]
+    }
+
     #[test]
     fn hold_overflow_drops_when_fail_closed() {
-        let mut tap = VoiceGuardTap::multi();
-        tap.attach(
+        let mut core = GuardCore::multi();
+        core.attach(
             None,
             Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
         );
-        let mut ctx = FakeTap { held: 4 };
-        let v = tap.on_segment(&mut ctx, &data_view());
+        // The first `capacity` frames are parked; the mirror tracks them.
+        for _ in 0..4 {
+            assert_eq!(feed_segment(&mut core, data_view()), TapVerdict::Hold);
+        }
+        let v = feed_segment(&mut core, data_view());
         assert_eq!(v, TapVerdict::Drop);
-        assert_eq!(tap.stats.hold_overflow_dropped, 1);
-        assert_eq!(tap.pipeline_stats(0).hold_overflow_dropped, 1);
-        assert_eq!(tap.stats.hold_overflow_forwarded, 0);
+        assert_eq!(core.stats.hold_overflow_dropped, 1);
+        assert_eq!(core.pipeline_stats(0).hold_overflow_dropped, 1);
+        assert_eq!(core.stats.hold_overflow_forwarded, 0);
     }
 
     #[test]
     fn hold_overflow_forwards_when_fail_open() {
-        let mut tap = VoiceGuardTap::multi();
-        tap.attach(
+        let mut core = GuardCore::multi();
+        core.attach(
             None,
             Box::new(AlwaysHold(HoldOverflowPolicy::ForwardNewest {
                 capacity: 4,
             })),
         );
-        let mut ctx = FakeTap { held: 4 };
-        let v = tap.on_segment(&mut ctx, &data_view());
+        for _ in 0..4 {
+            assert_eq!(feed_segment(&mut core, data_view()), TapVerdict::Hold);
+        }
+        let v = feed_segment(&mut core, data_view());
         assert_eq!(v, TapVerdict::Forward);
-        assert_eq!(tap.stats.hold_overflow_forwarded, 1);
+        assert_eq!(core.stats.hold_overflow_forwarded, 1);
     }
 
     #[test]
     fn hold_below_capacity_still_holds() {
-        let mut tap = VoiceGuardTap::multi();
-        tap.attach(
+        let mut core = GuardCore::multi();
+        core.attach(
             None,
             Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
         );
-        let mut ctx = FakeTap { held: 3 };
-        assert_eq!(tap.on_segment(&mut ctx, &data_view()), TapVerdict::Hold);
-        assert_eq!(tap.stats.hold_overflow_dropped, 0);
+        for _ in 0..3 {
+            assert_eq!(feed_segment(&mut core, data_view()), TapVerdict::Hold);
+        }
+        assert_eq!(feed_segment(&mut core, data_view()), TapVerdict::Hold);
+        assert_eq!(core.stats.hold_overflow_dropped, 0);
     }
 
     #[test]
     fn datagram_hold_overflow_uses_flow_count() {
-        let mut tap = VoiceGuardTap::multi();
-        tap.attach(
+        let mut core = GuardCore::multi();
+        core.attach(
             None,
             Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 2 })),
         );
-        let mut ctx = FakeTap { held: 2 };
         let dgram = Datagram {
-            src: std::net::SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 201), 40_000),
-            dst: std::net::SocketAddrV4::new(Ipv4Addr::new(142, 250, 80, 4), 443),
+            src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 201), 40_000),
+            dst: SocketAddrV4::new(Ipv4Addr::new(142, 250, 80, 4), 443),
             len: 1000,
             quic: true,
             tag: 0,
         };
-        assert_eq!(tap.on_datagram(&mut ctx, &dgram, true), TapVerdict::Drop);
-        assert_eq!(tap.stats.hold_overflow_dropped, 1);
+        for _ in 0..2 {
+            assert_eq!(feed_datagram(&mut core, dgram), TapVerdict::Hold);
+        }
+        assert_eq!(feed_datagram(&mut core, dgram), TapVerdict::Drop);
+        assert_eq!(core.stats.hold_overflow_dropped, 1);
+    }
+
+    #[test]
+    fn mirror_survives_snapshot_restore() {
+        let mut core = GuardCore::multi();
+        core.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
+        );
+        for _ in 0..3 {
+            feed_segment(&mut core, data_view());
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.held_conns, vec![(1, 3)]);
+        let mut fresh = GuardCore::multi();
+        fresh.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 4 })),
+        );
+        fresh.restore(&snap);
+        // One more hold fills the mirror; the next overflows.
+        assert_eq!(feed_segment(&mut fresh, data_view()), TapVerdict::Hold);
+        assert_eq!(feed_segment(&mut fresh, data_view()), TapVerdict::Drop);
+    }
+
+    #[test]
+    fn crash_resets_the_held_mirror() {
+        let mut core = GuardCore::multi();
+        core.attach(
+            None,
+            Box::new(AlwaysHold(HoldOverflowPolicy::DropNewest { capacity: 2 })),
+        );
+        for _ in 0..2 {
+            feed_segment(&mut core, data_view());
+        }
+        let mut out = Vec::new();
+        core.step(SimTime::ZERO, Input::Crash, &mut out);
+        assert!(out.is_empty(), "a crash has no effects to apply: {out:?}");
+        // The driver dropped the held frames in the crash; capacity
+        // accounting starts over.
+        assert_eq!(feed_segment(&mut core, data_view()), TapVerdict::Hold);
+        assert_eq!(core.stats.hold_overflow_dropped, 0);
     }
 }

@@ -1,20 +1,26 @@
 //! The speaker-agnostic pipeline abstraction.
 //!
 //! A [`SpeakerPipeline`] owns the flow-recognition state machine for one
-//! smart speaker; the [`crate::VoiceGuardTap`] multiplexer routes traffic
-//! to pipelines by speaker IP and services their shared needs (queries,
+//! smart speaker; the [`crate::GuardCore`] multiplexer routes traffic to
+//! pipelines by speaker IP and services their shared needs (queries,
 //! events, stats, timers) through a [`PipelineCtx`]. Adding support for a
 //! new speaker model means implementing this trait — the multiplexer and
-//! the engine are untouched.
+//! the drivers are untouched.
+//!
+//! Like the multiplexer, pipelines are pure: every side effect a pipeline
+//! wants (a timer, a trace, releasing held frames) becomes an
+//! [`Action`](crate::guard::Action) appended through the ctx, applied
+//! later by whichever driver is running the core.
 
 use crate::config::GuardConfig;
 use crate::decision::Verdict;
 use crate::guard::token::TimerToken;
-use crate::guard::{GuardEvent, GuardStats, PendingQuery, QueryId};
+use crate::guard::{Action, GuardEvent, GuardStats, PendingQuery, QueryId};
 use crate::recognition::{SpikeClass, SpikeClassifier};
-use netsim::app::SegmentView;
-use netsim::{CloseReason, ConnId, Datagram, Direction, SegmentPayload, TapCtx, TapVerdict};
 use serde::{Deserialize, Serialize};
+use simcore::wire::{
+    CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
+};
 use simcore::SimTime;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
@@ -75,7 +81,7 @@ pub(super) enum Screened {
 }
 
 /// Verdict for a repeat of an already-counted record. Repeats inside an
-/// active spike's held range stay held (the engine's spoof-ACK already
+/// active spike's held range stay held (the driver's spoof-ACK already
 /// answered the speaker, and letting a copy through would overtake the
 /// cached records). Repeats *below* the held range are retransmissions
 /// of records the tap forwarded but the WAN then lost — swallowing those
@@ -99,7 +105,7 @@ pub(super) fn repeat_verdict(spike: &Option<Spike>, seq: u64) -> TapVerdict {
 /// ledger tells the two cases apart by record seq, which is tap-visible
 /// (it maps to the TCP byte offset).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub(super) struct RecordLedger {
+pub struct RecordLedger {
     /// Lowest never-seen seq at or above which everything is new.
     next: u64,
     /// Seqs below `next` that were skipped over (reordered in flight) and
@@ -114,7 +120,7 @@ impl RecordLedger {
     /// holes are inserted: a single adversarial sequence jump would
     /// otherwise materialise the whole gap in one call, which is exactly
     /// the memory exhaustion the cap exists to prevent.
-    pub(super) fn first_sight(&mut self, seq: u64, hole_cap: usize) -> Option<bool> {
+    pub fn first_sight(&mut self, seq: u64, hole_cap: usize) -> Option<bool> {
         if seq >= self.next {
             if hole_cap != 0 {
                 let new_holes = (seq - self.next) as usize;
@@ -137,7 +143,7 @@ impl RecordLedger {
     /// record is lost or reordered on the LAN, a later record triggers
     /// the spike, and anchoring the hold and the classifier feed at the
     /// arrival seq would shift every positional rule off by the hole.
-    pub(super) fn lowest_hole_below(&self, seq: u64) -> Option<u64> {
+    pub fn lowest_hole_below(&self, seq: u64) -> Option<u64> {
         self.holes.range(..seq).next().copied()
     }
 
@@ -149,7 +155,7 @@ impl RecordLedger {
     /// packet loss but the guard's own outage. Re-synchronising on the
     /// first post-restart record keeps those phantom holes from anchoring
     /// future spikes at pre-crash offsets.
-    pub(super) fn resync_before(&mut self, seq: u64) {
+    pub fn resync_before(&mut self, seq: u64) {
         self.holes = self.holes.split_off(&seq);
         if self.next < seq {
             self.next = seq;
@@ -160,7 +166,7 @@ impl RecordLedger {
 /// Filters a segment down to the speaker-originated app-data records the
 /// recognition state machines care about. Control frames, inbound records,
 /// keep-alives and already-counted repeats are resolved here: held while
-/// `holding` (so the engine spoof-ACKs them mid-hold), forwarded
+/// `holding` (so the driver spoof-ACKs them mid-hold), forwarded
 /// otherwise.
 pub(super) fn screen_segment(
     view: &SegmentView,
@@ -193,7 +199,7 @@ pub(super) fn screen_segment(
     }
 }
 
-/// Per-speaker traffic pipeline driven by the [`crate::VoiceGuardTap`]
+/// Per-speaker traffic pipeline driven by the [`crate::GuardCore`]
 /// multiplexer.
 pub trait SpeakerPipeline: fmt::Debug + Send {
     /// A speaker-originated or speaker-bound TCP segment.
@@ -225,6 +231,15 @@ pub trait SpeakerPipeline: fmt::Debug + Send {
     /// The cloud front-end IP this pipeline currently believes in, if it
     /// tracks one (the Echo pipeline's AVS front-end).
     fn cloud_ip(&self) -> Option<Ipv4Addr> {
+        None
+    }
+
+    /// The DNS domain whose answers identify this pipeline's
+    /// voice-command flow, if it watches one. The multiplexer surfaces it
+    /// as [`Action::ArmDns`](crate::guard::Action::ArmDns) on the first
+    /// step so drivers that must subscribe to a resolver can do so;
+    /// passive taps (the simulator) see every answer anyway.
+    fn dns_domain(&self) -> Option<&str> {
         None
     }
 
@@ -269,9 +284,16 @@ pub trait SpeakerPipeline: fmt::Debug + Send {
 }
 
 /// The multiplexer-side services a pipeline works against: the shared
-/// query table, event queue, statistics and the engine's [`TapCtx`].
+/// query table, event queue, statistics, and the action stream through
+/// which every requested side effect reaches the driver.
 pub struct PipelineCtx<'a> {
-    pub(super) tap: &'a mut dyn TapCtx,
+    /// Timestamp of the step being processed.
+    pub(super) now: SimTime,
+    /// The step's output: side effects append here, in order.
+    pub(super) actions: &'a mut Vec<Action>,
+    /// The multiplexer's mirror of the driver's per-connection held-frame
+    /// counts (drained when a release/discard action is emitted).
+    pub(super) held: &'a mut HashMap<ConnId, usize>,
     pub(super) queries: &'a mut HashMap<QueryId, PendingQuery>,
     pub(super) next_query: &'a mut u64,
     pub(super) events: &'a mut VecDeque<GuardEvent>,
@@ -292,7 +314,7 @@ pub struct PipelineCtx<'a> {
 impl PipelineCtx<'_> {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.tap.now()
+        self.now
     }
 
     /// This pipeline's index at the multiplexer (the `pipeline` byte for
@@ -302,16 +324,21 @@ impl PipelineCtx<'_> {
     }
 
     /// Emits a structured trace event.
-    pub fn trace(&mut self, category: &str, message: &str) {
-        self.tap.trace(category, message);
+    pub fn trace(&mut self, category: &'static str, message: &str) {
+        self.actions.push(Action::Trace {
+            category,
+            message: message.to_string(),
+        });
     }
 
     /// Schedules a timer; it returns to this pipeline's
     /// [`SpeakerPipeline::on_timer`] (or the multiplexer, for verdict
     /// tokens) after `delay`.
     pub fn set_timer(&mut self, delay: simcore::SimDuration, token: TimerToken) {
-        self.tap
-            .set_timer(delay, token.encode_with_generation(self.generation));
+        self.actions.push(Action::SetTimer {
+            delay,
+            token: token.encode_with_generation(self.generation),
+        });
     }
 
     /// When the current incarnation was restored from a crash checkpoint,
@@ -328,8 +355,9 @@ impl PipelineCtx<'_> {
 
     /// Raises a legitimacy query holding `target`, arming the verdict
     /// fail-safe from `config`. Mirrors the paper's Traffic Handler: the
-    /// spike stays on hold until [`crate::VoiceGuardTap::schedule_verdict`]
-    /// answers or the timeout resolves it.
+    /// spike stays on hold until an
+    /// [`Input::Verdict`](crate::guard::Input::Verdict) answers or the
+    /// timeout resolves it.
     pub fn raise_query(
         &mut self,
         target: HoldTarget,
@@ -349,40 +377,54 @@ impl PipelineCtx<'_> {
             },
         );
         self.bump(|s| s.queries += 1);
-        let at = self.tap.now();
-        self.events.push_back(GuardEvent::QueryRequested {
+        let at = self.now;
+        self.emit(GuardEvent::QueryRequested {
             query,
             at,
             hold_started,
             pipeline: self.index,
         });
-        self.tap.set_timer(
-            config.verdict_timeout,
-            TimerToken::VerdictTimeout { query }.encode_with_generation(self.generation),
-        );
-        self.tap.trace("guard.query", &format!("{query} raised"));
+        self.actions.push(Action::IssueQuery {
+            query,
+            pipeline: self.index,
+            hold_started,
+        });
+        self.actions.push(Action::SetTimer {
+            delay: config.verdict_timeout,
+            token: TimerToken::VerdictTimeout { query }.encode_with_generation(self.generation),
+        });
+        self.trace("guard.query", &format!("{query} raised"));
         query
     }
 
     /// Records a spike classification event (ground-truthable, Table I).
     pub fn spike_classified(&mut self, spike_start: SimTime, class: SpikeClass) {
-        self.events
-            .push_back(GuardEvent::SpikeClassified { spike_start, class });
+        self.emit(GuardEvent::SpikeClassified { spike_start, class });
     }
 
-    /// Releases `conn`'s held segments in order; returns how many.
+    /// Releases `conn`'s held segments in order; returns how many the
+    /// multiplexer's mirror says were parked.
     pub fn release_held(&mut self, conn: ConnId) -> usize {
-        self.tap.release_held(conn)
+        let released = self.held.remove(&conn).unwrap_or(0);
+        self.actions.push(Action::Release(HoldTarget::Conn(conn)));
+        released
+    }
+
+    /// Surfaces a newly promoted connection signature to the driver
+    /// (a persistence layer may store it).
+    pub fn learn_signature(&mut self, signature: &[u32]) {
+        self.actions.push(Action::LearnSignature {
+            signature: signature.to_vec(),
+        });
     }
 
     /// Marks `conn` as re-adopted after a restart: the restored pipeline
     /// re-identified a flow it had never seen establish. Emits the event
     /// and accumulates the re-adoption latency from the restart instant.
     pub fn flow_readopted(&mut self, conn: ConnId) {
-        let at = self.tap.now();
+        let at = self.now;
         let pipeline = self.index;
-        self.events
-            .push_back(GuardEvent::FlowReAdopted { at, pipeline, conn });
+        self.emit(GuardEvent::FlowReAdopted { at, pipeline, conn });
         let latency = self
             .restarted_at
             .map(|t| at.saturating_since(t).as_secs_f64())
@@ -391,8 +433,7 @@ impl PipelineCtx<'_> {
             s.flows_readopted += 1;
             s.readoption_latency_s += latency;
         });
-        self.tap
-            .trace("guard.readopt", &format!("conn#{} re-adopted", conn.0));
+        self.trace("guard.readopt", &format!("conn#{} re-adopted", conn.0));
     }
 
     /// Applies a statistics update to both the aggregate and this
@@ -410,13 +451,21 @@ impl PipelineCtx<'_> {
         self.bump(|s| s.peak_tracked_flows = s.peak_tracked_flows.max(count));
     }
 
+    /// Queues an event for the orchestrator and mirrors it on the action
+    /// stream for push-based drivers.
+    fn emit(&mut self, event: GuardEvent) {
+        self.events.push_back(event);
+        self.actions.push(Action::Emit(event));
+    }
+
     /// Drains `conn` fail-closed: discards its held frames and forgets any
     /// unanswered query holding it, exactly like `HoldAbandoned` at a
     /// crash restart. The spoof-ACKed record-seq gap then closes the
     /// session upstream, so nothing held ever reaches the cloud. Returns
     /// (frames discarded, queries forgotten).
     fn drain_conn_fail_closed(&mut self, conn: ConnId) -> (usize, usize) {
-        let dropped = self.tap.discard_held(conn);
+        let dropped = self.held.remove(&conn).unwrap_or(0);
+        self.actions.push(Action::Discard(HoldTarget::Conn(conn)));
         let index = self.index;
         let mut stale: Vec<QueryId> = self
             .queries
@@ -439,10 +488,9 @@ impl PipelineCtx<'_> {
     pub fn flow_evicted(&mut self, conn: ConnId, expired: bool) {
         let (dropped, stale) = self.drain_conn_fail_closed(conn);
         self.conn_routes.remove(&conn);
-        let at = self.tap.now();
+        let at = self.now;
         let pipeline = self.index;
-        self.events
-            .push_back(GuardEvent::FlowEvicted { at, pipeline, conn });
+        self.emit(GuardEvent::FlowEvicted { at, pipeline, conn });
         self.bump(|s| {
             if expired {
                 s.flows_expired += 1;
@@ -450,7 +498,7 @@ impl PipelineCtx<'_> {
                 s.flows_evicted += 1;
             }
         });
-        self.tap.trace(
+        self.trace(
             "guard.evict",
             &format!(
                 "conn#{} {} ({dropped} held frames discarded, {stale} queries abandoned)",
@@ -467,7 +515,7 @@ impl PipelineCtx<'_> {
     /// track still exists and must keep routing here).
     pub fn conn_quarantined(&mut self, conn: ConnId, reason: &str) {
         let (dropped, stale) = self.drain_conn_fail_closed(conn);
-        self.tap.trace(
+        self.trace(
             "guard.quarantine",
             &format!(
                 "conn#{} quarantined ({reason}; {dropped} held frames discarded, {stale} queries abandoned)",

@@ -1,0 +1,635 @@
+//! Trace recording and replay for the sans-io guard core.
+//!
+//! A recorded guard trace is JSON lines: one flat object per
+//! [`Input`], stamped with the simulation time it was fed to the core.
+//! [`record_line`] writes a line; [`parse_line`] reads one back;
+//! [`ReplayDriver`] feeds a parsed trace through a fresh [`GuardCore`]
+//! with **no IO at all** — the second [`GuardDriver`] implementation,
+//! proving the core's behaviour is a function of its input stream alone.
+//!
+//! Times serialize as integer nanoseconds and timer tokens as full
+//! `u64`s, so the parser reads integers exactly (no float round-trip —
+//! a 64-bit timer token does not survive an `f64`).
+//!
+//! Restart inputs carry the supervisor's checkpoint, which is too large
+//! (and too redundant) to embed in the trace: a restart line records
+//! only whether a checkpoint was handed over (`"latest"`) or not
+//! (`"none"`), and the replay driver substitutes the snapshot it
+//! captured from the most recent checkpoint request — exactly what the
+//! supervisor does.
+
+use crate::decision::Verdict;
+use crate::guard::{Action, GuardCore, GuardDriver, GuardSnapshot, Input};
+use simcore::wire::{
+    CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
+    TlsContentType, TlsRecord,
+};
+use simcore::{SimDuration, SimTime};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use std::str::FromStr;
+
+/// One parsed trace line: either a self-contained input, or a restart
+/// that adopts the replay's most recent checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TracedInput {
+    /// A fully reconstructed input.
+    Input(Input),
+    /// A restart handing over the latest checkpoint taken during the
+    /// trace ([`ReplayDriver`] substitutes the snapshot it captured).
+    RestartLatest,
+}
+
+/// Replays a recorded input stream through a pure [`GuardCore`],
+/// capturing checkpoints so later restart lines can adopt them. No IO:
+/// actions are returned to the caller, not applied anywhere.
+#[derive(Debug)]
+pub struct ReplayDriver {
+    /// The core being driven.
+    pub core: GuardCore,
+    last_checkpoint: Option<GuardSnapshot>,
+    scratch: Vec<Action>,
+}
+
+impl ReplayDriver {
+    /// Wraps a core for replay.
+    pub fn new(core: GuardCore) -> Self {
+        ReplayDriver {
+            core,
+            last_checkpoint: None,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Steps one traced line and returns the actions the core emitted.
+    pub fn drive_traced(&mut self, now: SimTime, traced: TracedInput) -> Vec<Action> {
+        let input = match traced {
+            TracedInput::Input(input) => input,
+            TracedInput::RestartLatest => Input::Restart {
+                checkpoint: self.last_checkpoint.clone().map(Box::new),
+            },
+        };
+        self.scratch.clear();
+        self.core.step(now, input, &mut self.scratch);
+        for action in &self.scratch {
+            if let Action::Snapshot(snap) = action {
+                self.last_checkpoint = Some((**snap).clone());
+            }
+        }
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Parses and replays a whole JSON-lines trace, returning every
+    /// action emitted, in order. Blank lines are skipped.
+    pub fn run_trace(&mut self, text: &str) -> Result<Vec<Action>, String> {
+        let mut all = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (at, traced) =
+                parse_line(line).map_err(|e| format!("trace line {}: {e}", idx + 1))?;
+            all.extend(self.drive_traced(at, traced));
+        }
+        Ok(all)
+    }
+}
+
+impl GuardDriver for ReplayDriver {
+    type Env<'a> = ();
+
+    fn drive(&mut self, _env: (), now: SimTime, input: Input) -> Option<TapVerdict> {
+        self.drive_traced(now, TracedInput::Input(input))
+            .iter()
+            .find_map(Action::frame_verdict)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn content_type_str(ct: TlsContentType) -> &'static str {
+    match ct {
+        TlsContentType::Handshake => "handshake",
+        TlsContentType::ChangeCipherSpec => "ccs",
+        TlsContentType::Alert => "alert",
+        TlsContentType::ApplicationData => "app",
+    }
+}
+
+fn payload_json(payload: &SegmentPayload) -> String {
+    match payload {
+        SegmentPayload::Syn => r#"{"kind":"syn"}"#.to_string(),
+        SegmentPayload::SynAck => r#"{"kind":"synack"}"#.to_string(),
+        SegmentPayload::Ack { cum_seq } => format!(r#"{{"kind":"ack","cum_seq":{cum_seq}}}"#),
+        SegmentPayload::Data(rec) => format!(
+            r#"{{"kind":"data","ct":"{}","len":{},"seq":{}}}"#,
+            content_type_str(rec.content_type),
+            rec.len,
+            rec.seq
+        ),
+        SegmentPayload::KeepAlive => r#"{"kind":"keepalive"}"#.to_string(),
+        SegmentPayload::Fin => r#"{"kind":"fin"}"#.to_string(),
+        SegmentPayload::Rst => r#"{"kind":"rst"}"#.to_string(),
+    }
+}
+
+fn close_reason_str(reason: CloseReason) -> &'static str {
+    match reason {
+        CloseReason::Normal => "normal",
+        CloseReason::Reset => "reset",
+        CloseReason::Timeout => "timeout",
+        CloseReason::TlsRecordSequenceMismatch => "tls_mismatch",
+    }
+}
+
+/// Serializes one input as a flat JSON object on a single line.
+///
+/// The endpoint-correlation tags on records and datagrams (`app_tag`,
+/// `tag`) are invisible to the guard and deliberately not recorded; they
+/// parse back as 0.
+pub fn record_line(at: SimTime, input: &Input) -> String {
+    let at = at.as_nanos();
+    match input {
+        Input::Segment(view) => format!(
+            r#"{{"at":{at},"type":"segment","conn":{},"dir":"{}","src":"{}","dst":"{}","payload":{},"wire_len":{},"retransmit":{}}}"#,
+            view.conn.0,
+            match view.dir {
+                Direction::ClientToServer => "c2s",
+                Direction::ServerToClient => "s2c",
+            },
+            view.src,
+            view.dst,
+            payload_json(&view.payload),
+            view.wire_len,
+            view.retransmit
+        ),
+        Input::Datagram { dgram, outbound } => format!(
+            r#"{{"at":{at},"type":"datagram","src":"{}","dst":"{}","len":{},"quic":{},"outbound":{outbound}}}"#,
+            dgram.src, dgram.dst, dgram.len, dgram.quic
+        ),
+        Input::DnsResponse { name, ip } => format!(
+            r#"{{"at":{at},"type":"dns","name":"{}","ip":"{ip}"}}"#,
+            escape(name)
+        ),
+        Input::ConnClosed { conn, reason } => format!(
+            r#"{{"at":{at},"type":"closed","conn":{},"reason":"{}"}}"#,
+            conn.0,
+            close_reason_str(*reason)
+        ),
+        Input::Timer { token } => format!(r#"{{"at":{at},"type":"timer","token":{token}}}"#),
+        Input::Verdict {
+            query,
+            verdict,
+            delay,
+        } => format!(
+            r#"{{"at":{at},"type":"verdict","query":{},"verdict":"{}","delay":{}}}"#,
+            query.0,
+            match verdict {
+                Verdict::Legitimate => "legitimate",
+                Verdict::Malicious => "malicious",
+            },
+            delay.as_nanos()
+        ),
+        Input::CheckpointRequest => format!(r#"{{"at":{at},"type":"checkpoint"}}"#),
+        Input::Crash => format!(r#"{{"at":{at},"type":"crash"}}"#),
+        Input::Restart { checkpoint } => format!(
+            r#"{{"at":{at},"type":"restart","checkpoint":"{}"}}"#,
+            if checkpoint.is_some() {
+                "latest"
+            } else {
+                "none"
+            }
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser — a minimal recursive-descent JSON reader. Numbers are read as
+// exact u64 (timer tokens use all 64 bits; an f64 detour would corrupt
+// them). Arrays and floats never appear in traces and are rejected.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Str(String),
+    Num(u64),
+    Bool(bool),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Json::Num(n)) => Ok(*n),
+            _ => Err(format!("missing integer field {key:?}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s),
+            _ => Err(format!("missing string field {key:?}")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing boolean field {key:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') | Some(b'f') => self.boolean(),
+            Some(b) if b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("unexpected {other:?} in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Traces are ASCII-clean, but pass UTF-8 through by
+                    // collecting the raw byte run.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let _ = b;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if matches!(
+            self.bytes.get(self.pos),
+            Some(b'.') | Some(b'e') | Some(b'E')
+        ) {
+            return Err("floating-point numbers do not appear in traces".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad integer {text:?}: {e}"))
+    }
+
+    fn boolean(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(Json::Bool(true))
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(Json::Bool(false))
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddrV4, String> {
+    SocketAddrV4::from_str(s).map_err(|e| format!("bad socket address {s:?}: {e}"))
+}
+
+fn parse_payload(obj: &Json) -> Result<SegmentPayload, String> {
+    Ok(match obj.str("kind")? {
+        "syn" => SegmentPayload::Syn,
+        "synack" => SegmentPayload::SynAck,
+        "ack" => SegmentPayload::Ack {
+            cum_seq: obj.num("cum_seq")?,
+        },
+        "data" => {
+            let content_type = match obj.str("ct")? {
+                "handshake" => TlsContentType::Handshake,
+                "ccs" => TlsContentType::ChangeCipherSpec,
+                "alert" => TlsContentType::Alert,
+                "app" => TlsContentType::ApplicationData,
+                other => return Err(format!("unknown content type {other:?}")),
+            };
+            SegmentPayload::Data(TlsRecord {
+                content_type,
+                len: obj.num("len")? as u32,
+                seq: obj.num("seq")?,
+                app_tag: 0,
+            })
+        }
+        "keepalive" => SegmentPayload::KeepAlive,
+        "fin" => SegmentPayload::Fin,
+        "rst" => SegmentPayload::Rst,
+        other => return Err(format!("unknown payload kind {other:?}")),
+    })
+}
+
+/// Parses one trace line back into its timestamp and input.
+pub fn parse_line(line: &str) -> Result<(SimTime, TracedInput), String> {
+    let mut parser = Parser::new(line);
+    let obj = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after object at {}", parser.pos));
+    }
+    let at = SimTime::from_nanos(obj.num("at")?);
+    let traced = match obj.str("type")? {
+        "segment" => TracedInput::Input(Input::Segment(SegmentView {
+            conn: ConnId(obj.num("conn")?),
+            dir: match obj.str("dir")? {
+                "c2s" => Direction::ClientToServer,
+                "s2c" => Direction::ServerToClient,
+                other => return Err(format!("unknown direction {other:?}")),
+            },
+            src: parse_addr(obj.str("src")?)?,
+            dst: parse_addr(obj.str("dst")?)?,
+            payload: parse_payload(
+                obj.get("payload")
+                    .ok_or_else(|| "missing payload".to_string())?,
+            )?,
+            wire_len: obj.num("wire_len")? as u32,
+            retransmit: obj.bool("retransmit")?,
+        })),
+        "datagram" => TracedInput::Input(Input::Datagram {
+            dgram: Datagram {
+                src: parse_addr(obj.str("src")?)?,
+                dst: parse_addr(obj.str("dst")?)?,
+                len: obj.num("len")? as u32,
+                quic: obj.bool("quic")?,
+                tag: 0,
+            },
+            outbound: obj.bool("outbound")?,
+        }),
+        "dns" => TracedInput::Input(Input::DnsResponse {
+            name: obj.str("name")?.to_string(),
+            ip: Ipv4Addr::from_str(obj.str("ip")?).map_err(|e| e.to_string())?,
+        }),
+        "closed" => TracedInput::Input(Input::ConnClosed {
+            conn: ConnId(obj.num("conn")?),
+            reason: match obj.str("reason")? {
+                "normal" => CloseReason::Normal,
+                "reset" => CloseReason::Reset,
+                "timeout" => CloseReason::Timeout,
+                "tls_mismatch" => CloseReason::TlsRecordSequenceMismatch,
+                other => return Err(format!("unknown close reason {other:?}")),
+            },
+        }),
+        "timer" => TracedInput::Input(Input::Timer {
+            token: obj.num("token")?,
+        }),
+        "verdict" => TracedInput::Input(Input::Verdict {
+            query: crate::guard::QueryId(obj.num("query")?),
+            verdict: match obj.str("verdict")? {
+                "legitimate" => Verdict::Legitimate,
+                "malicious" => Verdict::Malicious,
+                other => return Err(format!("unknown verdict {other:?}")),
+            },
+            delay: SimDuration::from_nanos(obj.num("delay")?),
+        }),
+        "checkpoint" => TracedInput::Input(Input::CheckpointRequest),
+        "crash" => TracedInput::Input(Input::Crash),
+        "restart" => match obj.str("checkpoint")? {
+            "latest" => TracedInput::RestartLatest,
+            "none" => TracedInput::Input(Input::Restart { checkpoint: None }),
+            other => return Err(format!("unknown restart checkpoint {other:?}")),
+        },
+        other => return Err(format!("unknown input type {other:?}")),
+    };
+    Ok((at, traced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: Input) {
+        let at = SimTime::from_nanos(1_234_567_890_123);
+        let line = record_line(at, &input);
+        let (parsed_at, parsed) = parse_line(&line).expect(&line);
+        assert_eq!(parsed_at, at, "{line}");
+        assert_eq!(parsed, TracedInput::Input(input), "{line}");
+    }
+
+    #[test]
+    fn every_input_kind_round_trips() {
+        round_trip(Input::Segment(SegmentView {
+            conn: ConnId(7),
+            dir: Direction::ClientToServer,
+            src: parse_addr("192.168.1.200:40000").unwrap(),
+            dst: parse_addr("52.94.233.10:443").unwrap(),
+            payload: SegmentPayload::Data(TlsRecord::app_data(138)),
+            wire_len: 138,
+            retransmit: false,
+        }));
+        round_trip(Input::Segment(SegmentView {
+            conn: ConnId(u64::MAX >> 24),
+            dir: Direction::ServerToClient,
+            src: parse_addr("52.94.233.10:443").unwrap(),
+            dst: parse_addr("192.168.1.200:40000").unwrap(),
+            payload: SegmentPayload::Ack { cum_seq: 42 },
+            wire_len: 40,
+            retransmit: true,
+        }));
+        for payload in [
+            SegmentPayload::Syn,
+            SegmentPayload::SynAck,
+            SegmentPayload::KeepAlive,
+            SegmentPayload::Fin,
+            SegmentPayload::Rst,
+        ] {
+            round_trip(Input::Segment(SegmentView {
+                conn: ConnId(1),
+                dir: Direction::ClientToServer,
+                src: parse_addr("10.0.0.1:1024").unwrap(),
+                dst: parse_addr("10.0.0.2:443").unwrap(),
+                payload,
+                wire_len: 40,
+                retransmit: false,
+            }));
+        }
+        round_trip(Input::Datagram {
+            dgram: Datagram {
+                src: parse_addr("192.168.1.201:40000").unwrap(),
+                dst: parse_addr("142.250.80.4:443").unwrap(),
+                len: 1200,
+                quic: true,
+                tag: 0,
+            },
+            outbound: true,
+        });
+        round_trip(Input::DnsResponse {
+            name: "avs-alexa-na.amazon.com".to_string(),
+            ip: Ipv4Addr::new(52, 94, 233, 10),
+        });
+        for reason in [
+            CloseReason::Normal,
+            CloseReason::Reset,
+            CloseReason::Timeout,
+            CloseReason::TlsRecordSequenceMismatch,
+        ] {
+            round_trip(Input::ConnClosed {
+                conn: ConnId(3),
+                reason,
+            });
+        }
+        round_trip(Input::Timer { token: u64::MAX });
+        round_trip(Input::Verdict {
+            query: crate::guard::QueryId(9),
+            verdict: Verdict::Legitimate,
+            delay: SimDuration::from_millis(200),
+        });
+        round_trip(Input::CheckpointRequest);
+        round_trip(Input::Crash);
+        round_trip(Input::Restart { checkpoint: None });
+    }
+
+    #[test]
+    fn restart_with_checkpoint_records_latest() {
+        let line = record_line(
+            SimTime::ZERO,
+            &Input::Restart {
+                checkpoint: Some(Box::new(crate::GuardCore::multi().snapshot())),
+            },
+        );
+        let (_, traced) = parse_line(&line).unwrap();
+        assert_eq!(traced, TracedInput::RestartLatest);
+    }
+
+    #[test]
+    fn timer_tokens_keep_all_64_bits() {
+        // 2^63 + 3 is not representable as f64; an f64 detour would
+        // round it and fire the wrong timer.
+        let token = (1u64 << 63) + 3;
+        let line = record_line(SimTime::ZERO, &Input::Timer { token });
+        let (_, traced) = parse_line(&line).unwrap();
+        assert_eq!(traced, TracedInput::Input(Input::Timer { token }));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{}").is_err());
+        assert!(parse_line(r#"{"at":1,"type":"segment"}"#).is_err());
+        assert!(parse_line(r#"{"at":1.5,"type":"crash"}"#).is_err());
+        assert!(parse_line(r#"{"at":1,"type":"crash"} extra"#).is_err());
+        assert!(parse_line(r#"{"at":1,"type":"warp"}"#).is_err());
+    }
+}

@@ -1,12 +1,12 @@
 //! Serializable guard state for crash checkpointing.
 //!
 //! A [`GuardSnapshot`] is the complete recoverable state of a
-//! [`crate::VoiceGuardTap`]: the query table, the connection→pipeline
-//! routing cache, the statistics, and every built-in pipeline's flow
-//! state. The engine's supervisor takes one periodically through
-//! [`netsim::Middlebox::checkpoint`] and hands the latest back on
-//! restart; [`crate::VoiceGuardTap::restore`] rebuilds the tap from it
-//! bit-for-bit (the snapshot round-trip proptest relies on that).
+//! [`crate::GuardCore`]: the query table, the connection→pipeline
+//! routing cache, the statistics, the held-frame mirror, and every
+//! built-in pipeline's flow state. A supervisor requests one periodically
+//! via [`crate::guard::Input::CheckpointRequest`] and hands the latest
+//! back on restart; [`crate::GuardCore::restore`] rebuilds the core from
+//! it bit-for-bit (the snapshot round-trip proptest relies on that).
 //!
 //! Everything is stored in **sorted, owned form** — flow tables and IP
 //! sets iterate in hash order, which would make two snapshots of the
@@ -29,7 +29,7 @@ use std::net::Ipv4Addr;
 pub const GUARD_SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be adopted by
-/// [`crate::VoiceGuardTap::try_restore`].
+/// [`crate::GuardCore::try_restore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     /// The snapshot was written by an unknown (newer or pre-versioning)
@@ -70,7 +70,7 @@ impl fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {}
 
 /// Serializable mirror of [`crate::guard::HoldTarget`] (connection ids
-/// are stored as raw `u64` so the snapshot does not depend on `netsim`
+/// are stored as raw `u64` so the snapshot does not depend on engine
 /// types having serde support).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HoldTargetSnapshot {
@@ -118,7 +118,7 @@ pub struct SlotSnapshot {
     pub pipeline: PipelineSnapshot,
 }
 
-/// Complete recoverable state of a [`crate::VoiceGuardTap`].
+/// Complete recoverable state of a [`crate::GuardCore`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GuardSnapshot {
     /// Snapshot layout version ([`GUARD_SNAPSHOT_VERSION`] at capture;
@@ -137,6 +137,16 @@ pub struct GuardSnapshot {
     pub pipeline_stats: Vec<GuardStats>,
     /// Connection→pipeline routing cache, sorted by connection id.
     pub conn_routes: Vec<(u64, usize)>,
+    /// The core's mirror of per-connection held-frame counts, sorted by
+    /// connection id. Adopted on a lossless [`crate::GuardCore::restore`]
+    /// (the driver restoring the core restores its hold queues too);
+    /// ignored by crash recovery, where the frames died with the process.
+    #[serde(default)]
+    pub held_conns: Vec<(u64, usize)>,
+    /// The core's mirror of per-UDP-flow held-datagram counts, sorted by
+    /// speaker-side IP. Same adoption rule as `held_conns`.
+    #[serde(default)]
+    pub held_udp: Vec<(Ipv4Addr, usize)>,
     /// Every attached pipeline, in slot order.
     pub slots: Vec<SlotSnapshot>,
 }

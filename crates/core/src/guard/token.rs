@@ -1,7 +1,7 @@
 //! Typed timer tokens.
 //!
-//! The engine's [`netsim::TapCtx::set_timer`] carries an opaque `u64`; the
-//! guard packs a [`TimerToken`] into it. Layout (most significant first):
+//! A driver's timer facility carries an opaque `u64`; the guard packs a
+//! [`TimerToken`] into it. Layout (most significant first):
 //!
 //! ```text
 //! | kind: 8 bits | generation: 8 bits | pipeline: 8 bits | payload: 40 bits |
@@ -16,7 +16,7 @@
 //! itself, so their pipeline byte is zero.
 
 use crate::guard::QueryId;
-use netsim::ConnId;
+use simcore::wire::ConnId;
 
 const KIND_SHIFT: u32 = 56;
 const GEN_SHIFT: u32 = 48;

@@ -5,8 +5,10 @@
 //! and the home router. It requires no modification of the speaker, its
 //! firmware, or its cloud:
 //!
-//! * the **Traffic Processing Module** ([`guard::VoiceGuardTap`], built on
-//!   [`recognition`]) watches the encrypted traffic's metadata, identifies
+//! * the **Traffic Processing Module** ([`guard::GuardCore`], a pure
+//!   sans-io state machine driven through [`tap::VoiceGuardTap`] in the
+//!   simulator, built on [`recognition`]) watches the encrypted traffic's
+//!   metadata, identifies
 //!   the voice-command flow (by DNS or by the Echo Dot's packet-level
 //!   connection signature), classifies post-idle traffic spikes into
 //!   command phase vs. response phase, and *holds* command packets in a
@@ -39,6 +41,7 @@ pub mod health;
 pub mod learning;
 pub mod policy;
 pub mod recognition;
+pub mod tap;
 
 pub use config::{EvidenceHardening, GuardConfig, HoldOverflowPolicy, SpeakerKind};
 pub use decision::{
@@ -48,9 +51,9 @@ pub use decision::{
 pub use evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
-    EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardEvent, GuardSnapshot, GuardStats,
-    HoldTarget, PipelineCtx, PipelineSnapshot, QueryId, SnapshotError, SpeakerPipeline, TimerToken,
-    VoiceGuardTap, GUARD_SNAPSHOT_VERSION,
+    Action, EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardCore, GuardDriver,
+    GuardEvent, GuardSnapshot, GuardStats, HoldTarget, Input, PipelineCtx, PipelineSnapshot,
+    QueryId, RecordLedger, SnapshotError, SpeakerPipeline, TimerToken, GUARD_SNAPSHOT_VERSION,
 };
 pub use health::{AnomalyKind, BreakerState, DeviceHealth, HealthGate};
 pub use learning::SignatureLearner;
@@ -59,3 +62,4 @@ pub use policy::{
     QuietHoursPolicy, QuorumEvidence, QuorumPolicy, WeightedByHealthQuorum,
 };
 pub use recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
+pub use tap::VoiceGuardTap;

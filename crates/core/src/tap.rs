@@ -1,0 +1,302 @@
+//! The simulator driver for the sans-io guard core.
+//!
+//! [`VoiceGuardTap`] implements the engine's [`netsim::Middlebox`] trait
+//! by translating each tap callback into a [`crate::guard::Input`],
+//! stepping the pure [`GuardCore`], and applying the emitted
+//! [`crate::guard::Action`]s through the engine's [`netsim::TapCtx`]
+//! services — in exact emission order, so the engine-visible call
+//! sequence (releases, discards, timers, traces) is identical to the
+//! pre-sans-io guard and recorded traces stay byte-for-byte stable.
+//!
+//! The tap can also record the input stream it feeds the core (one JSON
+//! line per input, see [`crate::guard::replay`]) and the action stream
+//! the core emits; the driver-equivalence tests replay a recorded stream
+//! through a [`crate::guard::replay::ReplayDriver`] and assert both
+//! drivers observed identical actions.
+
+use crate::guard::replay::record_line;
+use crate::guard::{Action, GuardCore, GuardDriver, GuardSnapshot, HoldTarget, Input, QueryId};
+use crate::{config::GuardConfig, decision::Verdict};
+use netsim::app::{Middlebox, TapCtx};
+use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
+use simcore::wire::SegmentView;
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::ops::{Deref, DerefMut};
+
+/// The VoiceGuard middlebox: a [`GuardCore`] driven by the network
+/// simulator. Derefs to the core, so all inspection APIs
+/// ([`GuardCore::take_events`], [`GuardCore::snapshot`], `stats`, …) are
+/// available directly on the tap.
+pub struct VoiceGuardTap {
+    core: GuardCore,
+    /// Reused per-step action buffer.
+    scratch: Vec<Action>,
+    /// When recording, the JSON-lines input trace fed to the core so far.
+    input_log: Option<Vec<String>>,
+    /// When recording, every action the core emitted, in order.
+    action_log: Option<Vec<Action>>,
+}
+
+impl fmt::Debug for VoiceGuardTap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.core.fmt(f)
+    }
+}
+
+impl Deref for VoiceGuardTap {
+    type Target = GuardCore;
+    fn deref(&self) -> &GuardCore {
+        &self.core
+    }
+}
+
+impl DerefMut for VoiceGuardTap {
+    fn deref_mut(&mut self) -> &mut GuardCore {
+        &mut self.core
+    }
+}
+
+impl VoiceGuardTap {
+    /// Creates a single-speaker tap with the paper's AVS connection
+    /// signature (see [`GuardCore::new`]).
+    pub fn new(config: GuardConfig) -> Self {
+        VoiceGuardTap::around(GuardCore::new(config))
+    }
+
+    /// Creates a single-speaker tap with a custom connection signature.
+    pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {
+        VoiceGuardTap::around(GuardCore::with_signature(config, signature))
+    }
+
+    /// Creates an empty multi-speaker tap; add speakers with
+    /// [`GuardCore::add_pipeline`] / [`GuardCore::attach`].
+    pub fn multi() -> Self {
+        VoiceGuardTap::around(GuardCore::multi())
+    }
+
+    /// Wraps an existing core in the simulator driver.
+    pub fn around(core: GuardCore) -> Self {
+        VoiceGuardTap {
+            core,
+            scratch: Vec::new(),
+            input_log: None,
+            action_log: None,
+        }
+    }
+
+    /// Starts recording the input stream as JSON lines (one per input).
+    pub fn record_inputs(&mut self) {
+        self.input_log = Some(Vec::new());
+    }
+
+    /// Drains the recorded input lines (empty if recording was never
+    /// enabled).
+    pub fn drain_recorded_inputs(&mut self) -> Vec<String> {
+        self.input_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Starts recording every action the core emits.
+    pub fn record_actions(&mut self) {
+        self.action_log = Some(Vec::new());
+    }
+
+    /// Drains the recorded actions (empty if recording was never
+    /// enabled).
+    pub fn drain_recorded_actions(&mut self) -> Vec<Action> {
+        self.action_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Schedules `verdict` for `query` to take effect after `delay` (the
+    /// Decision Module's measured query latency). A verdict for a query
+    /// this incarnation no longer knows (it was drained fail-closed by a
+    /// crash restart) is dropped with a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is already answered.
+    pub fn schedule_verdict(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        query: QueryId,
+        verdict: Verdict,
+        delay: SimDuration,
+    ) {
+        let now = ctx.now();
+        self.drive(
+            ctx,
+            now,
+            Input::Verdict {
+                query,
+                verdict,
+                delay,
+            },
+        );
+    }
+
+    /// Records `input` (when recording), steps the core at `now`, applies
+    /// the actions through `ctx`, and returns the frame verdict if the
+    /// input was a frame.
+    fn step_through(
+        &mut self,
+        ctx: Option<&mut dyn TapCtx>,
+        now: SimTime,
+        input: Input,
+    ) -> Option<TapVerdict> {
+        if let Some(log) = self.input_log.as_mut() {
+            log.push(record_line(now, &input));
+        }
+        self.scratch.clear();
+        self.core.step(now, input, &mut self.scratch);
+        let mut verdict = None;
+        if let Some(ctx) = ctx {
+            for action in &self.scratch {
+                match action {
+                    Action::Forward => verdict = Some(TapVerdict::Forward),
+                    Action::Hold(_) => verdict = Some(TapVerdict::Hold),
+                    Action::Drop => verdict = Some(TapVerdict::Drop),
+                    Action::Release(HoldTarget::Conn(conn)) => {
+                        ctx.release_held(*conn);
+                    }
+                    Action::Release(HoldTarget::UdpFlow(ip)) => {
+                        ctx.release_held_datagrams(*ip);
+                    }
+                    Action::Discard(HoldTarget::Conn(conn)) => {
+                        ctx.discard_held(*conn);
+                    }
+                    Action::Discard(HoldTarget::UdpFlow(ip)) => {
+                        ctx.discard_held_datagrams(*ip);
+                    }
+                    Action::SetTimer { delay, token } => ctx.set_timer(*delay, *token),
+                    Action::Trace { category, message } => ctx.trace(category, message),
+                    // The engine needs nothing for these: DNS is observed
+                    // passively, queries are polled via take_events, and
+                    // snapshots are returned by checkpoint().
+                    Action::LearnSignature { .. }
+                    | Action::ArmDns { .. }
+                    | Action::IssueQuery { .. }
+                    | Action::CancelTimer { .. }
+                    | Action::Emit(_)
+                    | Action::Snapshot(_) => {}
+                }
+            }
+        }
+        if let Some(log) = self.action_log.as_mut() {
+            log.extend(self.scratch.iter().cloned());
+        }
+        verdict
+    }
+}
+
+impl GuardDriver for VoiceGuardTap {
+    type Env<'a> = &'a mut dyn TapCtx;
+
+    fn drive(&mut self, env: Self::Env<'_>, now: SimTime, input: Input) -> Option<TapVerdict> {
+        self.step_through(Some(env), now, input)
+    }
+}
+
+impl Middlebox for VoiceGuardTap {
+    fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
+        let now = ctx.now();
+        self.drive(ctx, now, Input::Segment(*view))
+            .unwrap_or(TapVerdict::Forward)
+    }
+
+    fn on_datagram(
+        &mut self,
+        ctx: &mut dyn TapCtx,
+        dgram: &Datagram,
+        outbound: bool,
+    ) -> TapVerdict {
+        let now = ctx.now();
+        self.drive(
+            ctx,
+            now,
+            Input::Datagram {
+                dgram: *dgram,
+                outbound,
+            },
+        )
+        .unwrap_or(TapVerdict::Forward)
+    }
+
+    fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
+        let now = ctx.now();
+        self.drive(
+            ctx,
+            now,
+            Input::DnsResponse {
+                name: name.to_string(),
+                ip,
+            },
+        );
+    }
+
+    fn on_conn_closed(&mut self, ctx: &mut dyn TapCtx, conn: ConnId, reason: CloseReason) {
+        let now = ctx.now();
+        self.drive(ctx, now, Input::ConnClosed { conn, reason });
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
+        let now = ctx.now();
+        self.drive(ctx, now, Input::Timer { token });
+    }
+
+    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+        // The supervisor checkpoints without a ctx; the request is still
+        // an input so recorded traces capture it for replay.
+        let now = self.core.last_step_at();
+        self.step_through(None, now, Input::CheckpointRequest);
+        for action in &mut self.scratch {
+            if let Action::Snapshot(snap) = action {
+                let snap = std::mem::replace(snap, Box::new(empty_snapshot()));
+                return Some(Box::new(*snap));
+            }
+        }
+        None
+    }
+
+    fn crash(&mut self) {
+        let now = self.core.last_step_at();
+        self.step_through(None, now, Input::Crash);
+    }
+
+    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+        let now = ctx.now();
+        let checkpoint = checkpoint
+            .and_then(|any| any.downcast_ref::<GuardSnapshot>())
+            .cloned()
+            .map(Box::new);
+        self.drive(ctx, now, Input::Restart { checkpoint });
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Placeholder swapped into the action buffer when [`Middlebox::checkpoint`]
+/// moves the real snapshot out.
+fn empty_snapshot() -> GuardSnapshot {
+    GuardSnapshot {
+        version: crate::guard::GUARD_SNAPSHOT_VERSION,
+        generation: 0,
+        next_query: 0,
+        queries: Vec::new(),
+        stats: Default::default(),
+        pipeline_stats: Vec::new(),
+        conn_routes: Vec::new(),
+        held_conns: Vec::new(),
+        held_udp: Vec::new(),
+        slots: Vec::new(),
+    }
+}

@@ -1,0 +1,269 @@
+//! Property: every driver of the sans-io core is observationally
+//! equivalent.
+//!
+//! Drive a [`VoiceGuardTap`] (the simulator driver) through arbitrary
+//! scenarios — establishment, sequence gaps, foreign flows fighting a
+//! 3-entry flow table (evictions), verdicts, TTL sweeps, checkpoints,
+//! crashes and supervised restarts — while recording the input stream it
+//! feeds the core and every action the core emits. Then replay the
+//! recorded stream through a [`ReplayDriver`] around a fresh core, with
+//! no engine at all, and require:
+//!
+//! * the replayed core emitted the **identical action stream**, and
+//! * both cores end with the **identical [`GuardStats`]**.
+//!
+//! This is the contract that makes the pinned golden traces trustworthy:
+//! what the simulator driver saw is exactly what a replay (or any future
+//! socket driver) reproduces.
+
+use netsim::app::SegmentView;
+use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::guard::replay::ReplayDriver;
+use voiceguard::{GuardConfig, GuardCore, GuardEvent, QueryId, Verdict, VoiceGuardTap};
+
+const CAP_FLOWS: usize = 3;
+const BUDGET: usize = 2;
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+const LENS: [u32; 7] = [277, 131, 138, 41, 500, 600, 33];
+
+/// Mock TapCtx: manual clock, per-connection hold accounting and an
+/// absolute-time timer queue (see `proptest_bounds.rs`).
+#[derive(Debug, Default)]
+struct MockCtx {
+    now: SimTime,
+    held: HashMap<u64, usize>,
+    timers: Vec<(SimTime, u64)>,
+}
+
+impl TapCtx for MockCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn tapped_host(&self) -> netsim::HostId {
+        netsim::HostId(0)
+    }
+    fn held_count(&self, conn: ConnId) -> usize {
+        self.held.get(&conn.0).copied().unwrap_or(0)
+    }
+    fn release_held(&mut self, conn: ConnId) -> usize {
+        self.held.remove(&conn.0).unwrap_or(0)
+    }
+    fn discard_held(&mut self, conn: ConnId) -> usize {
+        self.held.remove(&conn.0).unwrap_or(0)
+    }
+    fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((self.now + delay, token));
+    }
+    fn trace(&mut self, _category: &str, _message: &str) {}
+}
+
+/// Advances the clock, firing due timers in order. No delivery while the
+/// guard is crashed; overdue timers fire (stale) right after the restart.
+fn advance(tap: &mut VoiceGuardTap, ctx: &mut MockCtx, crashed: bool, dur: SimDuration) {
+    let target = ctx.now + dur;
+    if !crashed {
+        loop {
+            let due = ctx
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, (at, _))| *at <= target)
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let (at, token) = ctx.timers.remove(i);
+            ctx.now = ctx.now.max(at);
+            tap.on_timer(ctx, token);
+        }
+    }
+    ctx.now = target;
+}
+
+fn view(slot: usize, seq: u64, len: u32) -> SegmentView {
+    let (src, dst) = match slot {
+        0 => (
+            Ipv4Addr::new(192, 168, 1, 200),
+            Ipv4Addr::new(52, 94, 233, 10),
+        ),
+        n => (
+            Ipv4Addr::new(192, 168, 1, 60 + n as u8),
+            Ipv4Addr::new(203, 0, 113, 66),
+        ),
+    };
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
+    SegmentView {
+        conn: ConnId(slot as u64 + 1),
+        dir: netsim::Direction::ClientToServer,
+        src: SocketAddrV4::new(src, 40_000),
+        dst: SocketAddrV4::new(dst, 443),
+        payload: SegmentPayload::Data(rec),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+fn bounded_config() -> GuardConfig {
+    GuardConfig {
+        flow_table_capacity: CAP_FLOWS,
+        flow_idle_ttl: SimDuration::from_secs(5),
+        ledger_hole_capacity: 3,
+        reorder_buffer_capacity: 3,
+        pending_query_budget: BUDGET,
+        hold_capacity: 4,
+        ..GuardConfig::echo_dot()
+    }
+}
+
+// Op kinds: 0 = in-order record, 1 = gapped record, 2 = advance time,
+// 3 = answer the oldest query, 4 = checkpoint, 5 = crash, 6 = restart
+// from the latest checkpoint, 7 = DNS answer, 8 = connection close.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sim_driver_and_replay_driver_are_equivalent(
+        establish in 0u8..2,
+        steps in proptest::collection::vec((0u8..5, 0u8..9, 0u16..u16::MAX), 1usize..50),
+    ) {
+        let mut tap = VoiceGuardTap::new(bounded_config());
+        tap.record_inputs();
+        tap.record_actions();
+        let mut ctx = MockCtx::default();
+        let mut seqs: HashMap<usize, u64> = HashMap::new();
+        let mut open_queries: Vec<QueryId> = Vec::new();
+        let mut checkpoint: Option<Box<dyn Any + Send>> = None;
+        let mut crashed = false;
+
+        let feed = |tap: &mut VoiceGuardTap, ctx: &mut MockCtx, slot: usize, seq: u64, len: u32| {
+            let v = view(slot, seq, len);
+            if tap.on_segment(ctx, &v) == TapVerdict::Hold {
+                *ctx.held.entry(v.conn.0).or_default() += 1;
+            }
+        };
+
+        if establish == 1 {
+            for len in AVS_SIG {
+                let seq = seqs.entry(0).or_default();
+                feed(&mut tap, &mut ctx, 0, *seq, len);
+                *seq += 1;
+                advance(&mut tap, &mut ctx, crashed, SimDuration::from_millis(20));
+            }
+        }
+
+        for &(slot, kind, param) in &steps {
+            let slot = slot as usize;
+            match kind {
+                0 | 1 if !crashed => {
+                    let seq = seqs.entry(slot).or_default();
+                    if kind == 1 {
+                        *seq += 1 + u64::from(param % 4);
+                    }
+                    let len = LENS[param as usize % LENS.len()];
+                    feed(&mut tap, &mut ctx, slot, *seq, len);
+                    *seq += 1;
+                    advance(&mut tap, &mut ctx, crashed, SimDuration::from_millis(20));
+                }
+                2 => {
+                    advance(
+                        &mut tap,
+                        &mut ctx,
+                        crashed,
+                        SimDuration::from_millis(u64::from(param % 80) * 100),
+                    );
+                }
+                3 if !crashed && !open_queries.is_empty() => {
+                    let query = open_queries.remove(0);
+                    let verdict = if param % 2 == 0 {
+                        Verdict::Legitimate
+                    } else {
+                        Verdict::Malicious
+                    };
+                    tap.schedule_verdict(&mut ctx, query, verdict, SimDuration::from_millis(300));
+                    advance(&mut tap, &mut ctx, crashed, SimDuration::from_millis(400));
+                }
+                4 if !crashed => {
+                    if let Some(snap) = tap.checkpoint() {
+                        checkpoint = Some(snap);
+                    }
+                }
+                5 if !crashed => {
+                    // The engine discards every held frame when the guard
+                    // process dies.
+                    ctx.held.clear();
+                    tap.crash();
+                    crashed = true;
+                }
+                6 if crashed => {
+                    tap.restart(&mut ctx, checkpoint.as_ref().map(|b| &**b as &dyn Any));
+                    crashed = false;
+                }
+                7 if !crashed => {
+                    let (name, ip) = if param % 3 == 0 {
+                        ("cdn.example.net".to_string(), Ipv4Addr::new(203, 0, 113, 66))
+                    } else {
+                        (
+                            bounded_config().avs_domain,
+                            Ipv4Addr::new(52, 94, 233, param as u8),
+                        )
+                    };
+                    tap.on_dns_response(&mut ctx, &name, ip);
+                }
+                8 if !crashed => {
+                    let reason = match param % 4 {
+                        0 => netsim::CloseReason::Normal,
+                        1 => netsim::CloseReason::Reset,
+                        2 => netsim::CloseReason::Timeout,
+                        _ => netsim::CloseReason::TlsRecordSequenceMismatch,
+                    };
+                    // The engine tears the hold queue down with the
+                    // connection.
+                    ctx.held.remove(&(slot as u64 + 1));
+                    tap.on_conn_closed(&mut ctx, ConnId(slot as u64 + 1), reason);
+                }
+                _ => {}
+            }
+            for ev in tap.take_events() {
+                if let GuardEvent::QueryRequested { query, .. } = ev {
+                    open_queries.push(query);
+                }
+            }
+        }
+
+        let trace = tap.drain_recorded_inputs().join("\n");
+        let sim_actions = tap.drain_recorded_actions();
+        let sim_stats = tap.stats.clone();
+
+        let mut replay = ReplayDriver::new(GuardCore::new(bounded_config()));
+        let replay_actions = replay
+            .run_trace(&trace)
+            .expect("a recorded trace always replays");
+
+        prop_assert_eq!(
+            &replay_actions, &sim_actions,
+            "the replay driver emitted a different action stream"
+        );
+        prop_assert_eq!(
+            &replay.core.stats, &sim_stats,
+            "the replayed core ended with different stats"
+        );
+    }
+}

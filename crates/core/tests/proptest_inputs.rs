@@ -1,0 +1,343 @@
+//! Structured fuzz of the sans-io [`GuardCore`] input vocabulary.
+//!
+//! A model driver feeds arbitrary contract-respecting interleavings of
+//! every [`Input`] variant — segments (in-order and gapped), DNS answers,
+//! connection closes, timers, verdicts, checkpoints, crashes and
+//! restarts — straight into [`GuardCore::step`], with no tap, engine or
+//! network anywhere. After every step:
+//!
+//! * the core never panics,
+//! * the PR 4 state bounds hold (flow table capacity, pending-query
+//!   budget),
+//! * every frame input gets exactly one frame-verdict action, emitted
+//!   last; non-frame inputs get none,
+//! * holds are never double-released: the core's own held-frame mirror
+//!   (visible in its snapshot) stays equal to the model driver's hold
+//!   queues, and every held frame is drained exactly once — released,
+//!   discarded, or lost to a crash, never two of those.
+
+use proptest::prelude::*;
+use simcore::wire::{CloseReason, ConnId, Direction, SegmentPayload, SegmentView, TlsRecord};
+use simcore::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{
+    Action, GuardConfig, GuardCore, GuardSnapshot, HoldTarget, Input, QueryId, Verdict,
+};
+
+const CAP_FLOWS: usize = 3;
+const BUDGET: usize = 2;
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// Record lengths including the Echo command-marker triple, so spikes
+/// sometimes classify as commands (raising queries and holds).
+const LENS: [u32; 7] = [277, 131, 138, 41, 500, 600, 33];
+
+fn bounded_config() -> GuardConfig {
+    GuardConfig {
+        flow_table_capacity: CAP_FLOWS,
+        flow_idle_ttl: SimDuration::from_secs(5),
+        ledger_hole_capacity: 3,
+        reorder_buffer_capacity: 3,
+        pending_query_budget: BUDGET,
+        hold_capacity: 4,
+        ..GuardConfig::echo_dot()
+    }
+}
+
+/// Five concurrent connections: the speaker's AVS flow plus four foreign
+/// LAN endpoints, competing for a 3-entry flow table.
+fn view(slot: usize, seq: u64, len: u32) -> SegmentView {
+    let (src, dst) = match slot {
+        0 => (
+            Ipv4Addr::new(192, 168, 1, 200),
+            Ipv4Addr::new(52, 94, 233, 10),
+        ),
+        n => (
+            Ipv4Addr::new(192, 168, 1, 60 + n as u8),
+            Ipv4Addr::new(203, 0, 113, 66),
+        ),
+    };
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
+    SegmentView {
+        conn: ConnId(slot as u64 + 1),
+        dir: Direction::ClientToServer,
+        src: SocketAddrV4::new(src, 40_000),
+        dst: SocketAddrV4::new(dst, 443),
+        payload: SegmentPayload::Data(rec),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+/// Hash key for a [`HoldTarget`].
+fn key(target: &HoldTarget) -> (u8, u64) {
+    match target {
+        HoldTarget::Conn(conn) => (0, conn.0),
+        HoldTarget::UdpFlow(ip) => (1, u64::from(u32::from(*ip))),
+    }
+}
+
+/// A driver with no IO at all: hold queues, timer wheel and checkpoint
+/// slot are plain data, and every action the core emits is applied to
+/// them exactly as [`VoiceGuardTap`] would apply it through the engine.
+#[derive(Debug, Default)]
+struct ModelDriver {
+    now: SimTime,
+    held: HashMap<(u8, u64), u64>,
+    holds_total: u64,
+    released_total: u64,
+    discarded_total: u64,
+    crash_lost_total: u64,
+    timers: Vec<(SimTime, u64)>,
+    open_queries: Vec<QueryId>,
+    last_snapshot: Option<GuardSnapshot>,
+    crashed: bool,
+}
+
+impl ModelDriver {
+    /// Steps the core and applies the emitted actions. Returns the number
+    /// of frame-verdict actions and whether the last action was one.
+    fn step(&mut self, core: &mut GuardCore, input: Input) -> (usize, bool) {
+        let mut out = Vec::new();
+        core.step(self.now, input, &mut out);
+        let mut verdicts = 0usize;
+        let mut last_was_verdict = false;
+        for action in &out {
+            last_was_verdict = false;
+            match action {
+                Action::Forward | Action::Drop => {
+                    verdicts += 1;
+                    last_was_verdict = true;
+                }
+                Action::Hold(target) => {
+                    verdicts += 1;
+                    last_was_verdict = true;
+                    *self.held.entry(key(target)).or_default() += 1;
+                    self.holds_total += 1;
+                }
+                Action::Release(target) => {
+                    self.released_total += self.held.remove(&key(target)).unwrap_or(0);
+                }
+                Action::Discard(target) => {
+                    self.discarded_total += self.held.remove(&key(target)).unwrap_or(0);
+                }
+                Action::SetTimer { delay, token } => {
+                    self.timers.push((self.now + *delay, *token));
+                }
+                Action::CancelTimer { token } => {
+                    self.timers.retain(|(_, t)| t != token);
+                }
+                Action::IssueQuery { query, .. } => self.open_queries.push(*query),
+                Action::Snapshot(snap) => self.last_snapshot = Some((**snap).clone()),
+                Action::LearnSignature { .. }
+                | Action::ArmDns { .. }
+                | Action::Emit(_)
+                | Action::Trace { .. } => {}
+            }
+        }
+        (verdicts, last_was_verdict)
+    }
+
+    /// Advances the clock to `now + dur`, firing due timers in order.
+    /// While crashed, the clock still moves but nothing is delivered;
+    /// stale timers fire (late) after the restart, where the core must
+    /// filter them by generation.
+    fn advance(&mut self, core: &mut GuardCore, dur: SimDuration) {
+        let target = self.now + dur;
+        while !self.crashed {
+            let due = self
+                .timers
+                .iter()
+                .enumerate()
+                .filter(|(_, (at, _))| *at <= target)
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let (at, token) = self.timers.remove(i);
+            self.now = self.now.max(at);
+            self.step(core, Input::Timer { token });
+        }
+        self.now = target;
+    }
+}
+
+// Each step is (connection slot, op kind, parameter). Kinds: 0 = in-order
+// record, 1 = sequence jump then record, 2 = advance time, 3 = answer the
+// oldest open query, 4 = checkpoint, 5 = crash, 6 = restart from the last
+// checkpoint, 7 = DNS answer, 8 = connection close.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_inputs_never_panic_and_holds_drain_once(
+        establish in 0u8..2,
+        steps in proptest::collection::vec((0u8..5, 0u8..9, 0u16..u16::MAX), 1usize..60),
+    ) {
+        let mut core = GuardCore::new(bounded_config());
+        let mut model = ModelDriver::default();
+        let mut seqs: HashMap<usize, u64> = HashMap::new();
+
+        if establish == 1 {
+            for len in AVS_SIG {
+                let seq = seqs.entry(0).or_default();
+                model.step(&mut core, Input::Segment(view(0, *seq, len)));
+                *seq += 1;
+                model.advance(&mut core, SimDuration::from_millis(20));
+            }
+        }
+
+        for &(slot, kind, param) in &steps {
+            let slot = slot as usize;
+            let mut frame = false;
+            let (verdicts, last_was_verdict) = match kind {
+                0 | 1 if !model.crashed => {
+                    frame = true;
+                    let seq = seqs.entry(slot).or_default();
+                    if kind == 1 {
+                        *seq += 1 + u64::from(param % 4);
+                    }
+                    let len = LENS[param as usize % LENS.len()];
+                    let v = view(slot, *seq, len);
+                    *seq += 1;
+                    let r = model.step(&mut core, Input::Segment(v));
+                    model.advance(&mut core, SimDuration::from_millis(20));
+                    r
+                }
+                2 => {
+                    model.advance(
+                        &mut core,
+                        SimDuration::from_millis(u64::from(param % 80) * 100),
+                    );
+                    (0, false)
+                }
+                3 if !model.crashed => {
+                    if model.open_queries.is_empty() {
+                        (0, false)
+                    } else {
+                        let query = model.open_queries.remove(0);
+                        let verdict = if param % 2 == 0 {
+                            Verdict::Legitimate
+                        } else {
+                            Verdict::Malicious
+                        };
+                        let r = model.step(&mut core, Input::Verdict {
+                            query,
+                            verdict,
+                            delay: SimDuration::from_millis(300),
+                        });
+                        model.advance(&mut core, SimDuration::from_millis(400));
+                        r
+                    }
+                }
+                4 if !model.crashed => model.step(&mut core, Input::CheckpointRequest),
+                5 if !model.crashed => {
+                    // Crash contract: in-memory guard state is gone and
+                    // the driver has discarded every held frame.
+                    let lost: u64 = model.held.values().sum();
+                    model.crash_lost_total += lost;
+                    model.held.clear();
+                    model.crashed = true;
+                    model.step(&mut core, Input::Crash)
+                }
+                6 if model.crashed => {
+                    model.crashed = false;
+                    let checkpoint = model.last_snapshot.clone().map(Box::new);
+                    model.step(&mut core, Input::Restart { checkpoint })
+                }
+                7 if !model.crashed => {
+                    let (name, ip) = if param % 3 == 0 {
+                        ("cdn.example.net".to_string(), Ipv4Addr::new(203, 0, 113, 66))
+                    } else {
+                        (
+                            bounded_config().avs_domain,
+                            Ipv4Addr::new(52, 94, 233, param as u8),
+                        )
+                    };
+                    model.step(&mut core, Input::DnsResponse { name, ip })
+                }
+                8 if !model.crashed => {
+                    let reason = match param % 4 {
+                        0 => CloseReason::Normal,
+                        1 => CloseReason::Reset,
+                        2 => CloseReason::Timeout,
+                        _ => CloseReason::TlsRecordSequenceMismatch,
+                    };
+                    // Close contract: the engine has already torn down the
+                    // connection's hold queue.
+                    let k = (0u8, slot as u64 + 1);
+                    model.discarded_total += model.held.remove(&k).unwrap_or(0);
+                    model.step(&mut core, Input::ConnClosed {
+                        conn: ConnId(slot as u64 + 1),
+                        reason,
+                    })
+                }
+                _ => (0, false),
+            };
+
+            if frame {
+                prop_assert_eq!(verdicts, 1, "a frame input must get exactly one verdict");
+                prop_assert!(last_was_verdict, "the frame verdict must be the last action");
+            } else {
+                prop_assert_eq!(verdicts, 0, "only frame inputs get frame verdicts");
+            }
+
+            prop_assert!(
+                core.tracked_flows(0) <= CAP_FLOWS,
+                "flow table exceeded its capacity: {} > {}",
+                core.tracked_flows(0),
+                CAP_FLOWS
+            );
+            prop_assert!(
+                core.pending_query_count() <= BUDGET,
+                "pending queries exceeded the budget: {} > {}",
+                core.pending_query_count(),
+                BUDGET
+            );
+
+            // The core's held-frame mirror agrees with the model driver's
+            // hold queues: a release or discard the core believes in
+            // always had real frames behind it, and never drains the same
+            // hold twice.
+            if !model.crashed {
+                let snap = core.snapshot();
+                let mut mirror: HashMap<(u8, u64), u64> = HashMap::new();
+                for (conn, n) in &snap.held_conns {
+                    if *n > 0 {
+                        mirror.insert((0, *conn), *n as u64);
+                    }
+                }
+                for (ip, n) in &snap.held_udp {
+                    if *n > 0 {
+                        mirror.insert((1, u64::from(u32::from(*ip))), *n as u64);
+                    }
+                }
+                let held: HashMap<(u8, u64), u64> = model
+                    .held
+                    .iter()
+                    .filter(|(_, n)| **n > 0)
+                    .map(|(k, n)| (*k, *n))
+                    .collect();
+                prop_assert_eq!(
+                    &mirror, &held,
+                    "core held-frame mirror diverged from the driver's queues"
+                );
+            }
+
+            // Every held frame is drained exactly once.
+            let outstanding: u64 = model.held.values().sum();
+            prop_assert_eq!(
+                model.holds_total,
+                outstanding
+                    + model.released_total
+                    + model.discarded_total
+                    + model.crash_lost_total,
+                "a held frame was double-drained or leaked"
+            );
+        }
+    }
+}

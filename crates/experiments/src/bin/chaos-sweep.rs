@@ -3,6 +3,7 @@
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
 //!             [--adversarial] [--byzantine] [--attack NAME]
+//!             [--record-trace FILE]
 //!
 //!   --seed S        master seed (default 2023)
 //!   --rounds N      (legit, attack) command pairs per profile (default 4)
@@ -21,6 +22,11 @@
 //!                   slow-loris, mimic, spike-storm, all; byzantine:
 //!                   none, spoof, replay, compromised,
 //!                   compromised+spoof); repeatable
+//!   --record-trace FILE
+//!                   with --profile: record the guard's sans-io input
+//!                   stream (one JSON line per input, the format the
+//!                   pure-core replay driver parses) and write it to
+//!                   FILE; the table output is unchanged
 //! ```
 //!
 //! The default mode replays a compact Echo Dot scenario under the clean,
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
     let mut adversarial = false;
     let mut byzantine = false;
     let mut attacks: Vec<String> = Vec::new();
+    let mut record_trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -70,6 +77,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 attacks.push(value.clone());
+                i += 2;
+            }
+            "--record-trace" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--record-trace needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                record_trace = Some(value.clone());
                 i += 2;
             }
             "--profile" => {
@@ -109,6 +124,10 @@ fn main() -> ExitCode {
     }
     if byzantine && adversarial {
         eprintln!("--byzantine and --adversarial are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if record_trace.is_some() && (crash || adversarial || byzantine) {
+        eprintln!("--record-trace only supports the profile mode (use --profile NAME)");
         return ExitCode::FAILURE;
     }
     if byzantine {
@@ -166,6 +185,27 @@ fn main() -> ExitCode {
             vec![p.clone()]
         }
     };
+    if let Some(path) = &record_trace {
+        // One scenario = one trace: recording a multi-profile sweep would
+        // interleave unrelated runs in a single file.
+        if profile.is_none() {
+            eprintln!("--record-trace needs --profile NAME (one scenario per trace)");
+            return ExitCode::FAILURE;
+        }
+        let (outcome, lines) =
+            experiments::chaos::record_profile_trace(selected[0].clone(), seed, rounds);
+        let mut text = lines.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("recorded {} inputs to {path}", lines.len());
+        let result = experiments::chaos::render_profiles(vec![outcome], seed, rounds);
+        print!("{}", result.table);
+        print!("{}", experiments::summary::degradation(&result.outcomes));
+        return ExitCode::SUCCESS;
+    }
     let result = experiments::chaos::run_profiles(selected, seed, rounds);
     print!("{}", result.table);
     if profile.is_some() {

@@ -126,10 +126,38 @@ pub fn all_profiles() -> Vec<FaultProfile> {
 /// Runs the compact scenario under one profile. `rounds` pairs of
 /// (legitimate, attack) commands are uttered.
 pub fn run_profile(profile: FaultProfile, seed: u64, rounds: u32) -> ChaosOutcome {
+    run_profile_inner(profile, seed, rounds, None)
+}
+
+/// Runs one profile while recording the guard's sans-io input stream
+/// (one JSON line per [`voiceguard::Input`], the format
+/// [`voiceguard::guard::replay`] parses). Returns the outcome and the
+/// recorded trace; `chaos-sweep --record-trace FILE` writes the latter
+/// out so the pinned-golden replay test can drive the pure core with it.
+pub fn record_profile_trace(
+    profile: FaultProfile,
+    seed: u64,
+    rounds: u32,
+) -> (ChaosOutcome, Vec<String>) {
+    let mut lines = Vec::new();
+    let outcome = run_profile_inner(profile, seed, rounds, Some(&mut lines));
+    (outcome, lines)
+}
+
+fn run_profile_inner(
+    profile: FaultProfile,
+    seed: u64,
+    rounds: u32,
+    trace: Option<&mut Vec<String>>,
+) -> ChaosOutcome {
     let name = profile.name;
     let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
     cfg.faults = profile;
     let mut home = GuardedHome::new(cfg);
+    if trace.is_some() {
+        home.net
+            .with_tap::<voiceguard::VoiceGuardTap, _>(home.speaker_host, |g, _| g.record_inputs());
+    }
     home.run_for(SimDuration::from_secs(5));
     let dev = home.device_ids()[0];
     let speaker = home.testbed().deployments[0];
@@ -158,6 +186,14 @@ pub fn run_profile(profile: FaultProfile, seed: u64, rounds: u32) -> ChaosOutcom
     }
     home.run_for(SimDuration::from_secs(10));
 
+    if let Some(out) = trace {
+        out.extend(
+            home.net
+                .with_tap::<voiceguard::VoiceGuardTap, _>(home.speaker_host, |g, _| {
+                    g.drain_recorded_inputs()
+                }),
+        );
+    }
     let stats = home.guard_stats();
     let mean_hold_s = if stats.hold_durations_s.is_empty() {
         0.0
@@ -206,6 +242,12 @@ pub fn run_profiles(selected: Vec<FaultProfile>, seed: u64, rounds: u32) -> Chao
         .into_iter()
         .map(|p| run_profile(p, seed, rounds))
         .collect();
+    render_profiles(outcomes, seed, rounds)
+}
+
+/// Renders already-measured outcomes into the sweep table (split out so
+/// a recorded run can reuse the exact table formatting).
+pub fn render_profiles(outcomes: Vec<ChaosOutcome>, seed: u64, rounds: u32) -> ChaosResult {
     let mut table = Table::new(
         "Chaos sweep — degradation under injected faults",
         &[

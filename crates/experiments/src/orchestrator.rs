@@ -521,6 +521,33 @@ impl std::fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
+/// The guard configuration a scenario deploys for a speaker of `kind`.
+///
+/// Exposed so a trace-replay harness can rebuild the *same* pure
+/// [`voiceguard::GuardCore`] a recorded scenario drove: replaying a
+/// `chaos-sweep --record-trace` file against a core built from any other
+/// configuration would diverge on the first capacity or timeout check.
+pub fn scenario_guard_config(cfg: &ScenarioConfig, kind: SpeakerKind) -> GuardConfig {
+    let bounds = cfg.faults.bounds;
+    GuardConfig {
+        naive_spike_detection: cfg.naive_spike_detection,
+        hold_capacity: cfg.faults.hold_capacity,
+        flow_table_capacity: bounds.flow_table_capacity,
+        flow_idle_ttl: bounds.flow_idle_ttl,
+        ledger_hole_capacity: bounds.ledger_hole_capacity,
+        reorder_buffer_capacity: bounds.reorder_buffer_capacity,
+        pending_query_budget: bounds.pending_query_budget,
+        // The guard's timeout fail-safe and the Decision Module's
+        // fallback must agree, or a fallback verdict and the guard's
+        // own timeout resolution could contradict each other.
+        fail_closed: !cfg.faults.fallback.fail_open,
+        ..match kind {
+            SpeakerKind::EchoDot => GuardConfig::echo_dot(),
+            SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
+        }
+    }
+}
+
 /// A complete guarded-home scenario.
 pub struct GuardedHome {
     /// The packet network (public for capture/trace inspection).
@@ -687,24 +714,7 @@ impl GuardedHome {
                 adversary_hosts.push(host);
             }
         }
-        let bounds = cfg.faults.bounds;
-        let guard_config = |kind: SpeakerKind| GuardConfig {
-            naive_spike_detection: cfg.naive_spike_detection,
-            hold_capacity: cfg.faults.hold_capacity,
-            flow_table_capacity: bounds.flow_table_capacity,
-            flow_idle_ttl: bounds.flow_idle_ttl,
-            ledger_hole_capacity: bounds.ledger_hole_capacity,
-            reorder_buffer_capacity: bounds.reorder_buffer_capacity,
-            pending_query_budget: bounds.pending_query_budget,
-            // The guard's timeout fail-safe and the Decision Module's
-            // fallback must agree, or a fallback verdict and the guard's
-            // own timeout resolution could contradict each other.
-            fail_closed: !cfg.faults.fallback.fail_open,
-            ..match kind {
-                SpeakerKind::EchoDot => GuardConfig::echo_dot(),
-                SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
-            }
-        };
+        let guard_config = |kind: SpeakerKind| scenario_guard_config(&cfg, kind);
         // The Decision Module must fall back no later than the guard's own
         // verdict-timeout fail-safe, or a verdict scheduled after the
         // deadline would address a hold the guard already resolved.

@@ -1,0 +1,94 @@
+//! Pinned-golden replay: recorded `chaos-sweep --record-trace` input
+//! streams driven through the **pure** [`voiceguard::GuardCore`] — no
+//! network engine anywhere — must produce byte-identical event/trace
+//! output run over run. A diff here means the sans-io core's semantics
+//! drifted from what the recorded scenario observed.
+//!
+//! Regenerate the `.events` pins after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test trace_replay
+//! ```
+//!
+//! (The `.trace` files themselves are re-recorded with
+//! `chaos-sweep --smoke --seed 7 --profile NAME --record-trace FILE`.)
+
+use experiments::orchestrator::{scenario_guard_config, ScenarioConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use testbeds::apartment;
+use voiceguard::guard::replay::ReplayDriver;
+use voiceguard::{Action, GuardCore, SpeakerKind};
+
+/// Replays `trace` through a core configured exactly like the recorded
+/// scenario's guard and renders every emitted event and trace line.
+fn replay_events(profile_name: &str, seed: u64, trace: &str) -> String {
+    let profile = experiments::chaos::all_profiles()
+        .into_iter()
+        .find(|p| p.name == profile_name)
+        .expect("known profile");
+    let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
+    cfg.faults = profile;
+    let config = scenario_guard_config(&cfg, SpeakerKind::EchoDot);
+    let mut driver = ReplayDriver::new(GuardCore::new(config));
+    let actions = driver.run_trace(trace).expect("trace parses and replays");
+    let mut out = String::new();
+    for action in &actions {
+        match action {
+            Action::Emit(ev) => writeln!(out, "event {ev:?}").unwrap(),
+            Action::Trace { category, message } => {
+                writeln!(out, "trace {category} {message}").unwrap()
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Compares `rendered` against the committed pin, or rewrites the pin
+/// when `UPDATE_GOLDEN` is set.
+fn check_golden(pin: &str, rendered: String) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(pin);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with UPDATE_GOLDEN=1)", pin));
+    assert_eq!(
+        rendered, expected,
+        "replay of {pin} diverged from the committed pin"
+    );
+}
+
+#[test]
+fn clean_profile_trace_replays_byte_identically() {
+    let trace = include_str!("golden/guard_clean_s7.trace");
+    check_golden("guard_clean_s7.events", replay_events("clean", 7, trace));
+}
+
+#[test]
+fn crash_drop_trace_replays_byte_identically() {
+    // Exercises the checkpoint/crash/restart path of the replay driver:
+    // the trace carries 17 checkpoints, 4 crashes and 4 "latest"-
+    // checkpoint restarts that the driver must resolve itself.
+    let trace = include_str!("golden/guard_crash_drop_s7.trace");
+    check_golden(
+        "guard_crash_drop_s7.events",
+        replay_events("crash-drop", 7, trace),
+    );
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let trace = include_str!("golden/guard_clean_s7.trace");
+    let first = replay_events("clean", 7, trace);
+    let second = replay_events("clean", 7, trace);
+    assert_eq!(first, second);
+    assert!(
+        first.contains("event "),
+        "a recorded command round must emit guard events: {first:?}"
+    );
+}

@@ -9,67 +9,12 @@
 //!   per §IV-B2), later releasing them in order or discarding them.
 
 use crate::engine::{ConnId, HostId};
-use crate::wire::{Datagram, Direction, SegmentPayload, TlsRecord};
+use crate::wire::{Datagram, TlsRecord};
 use simcore::SimTime;
 use std::any::Any;
 use std::net::SocketAddrV4;
 
-/// Why a connection ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CloseReason {
-    /// Orderly FIN close.
-    Normal,
-    /// Abortive RST close (including a rejected connection attempt).
-    Reset,
-    /// Retransmissions or keep-alives exhausted without acknowledgement.
-    Timeout,
-    /// The receiver observed a gap in TLS record sequence numbers — the
-    /// paper's Fig. 4 case III outcome after VoiceGuard discards held
-    /// packets.
-    TlsRecordSequenceMismatch,
-}
-
-/// A tap's per-frame decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TapVerdict {
-    /// Forward toward the destination unchanged.
-    Forward,
-    /// Queue at the tap. For TCP data and keep-alive frames the engine
-    /// spoofs an ACK toward the sender so the connection stays alive.
-    Hold,
-    /// Silently discard this frame.
-    Drop,
-}
-
-/// Read-only view of a TCP segment offered to a tap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SegmentView {
-    /// Connection the segment belongs to.
-    pub conn: ConnId,
-    /// Direction of travel.
-    pub dir: Direction,
-    /// Source address.
-    pub src: SocketAddrV4,
-    /// Destination address.
-    pub dst: SocketAddrV4,
-    /// Payload (control type, or the TLS record for data segments).
-    pub payload: SegmentPayload,
-    /// Observer-reported length in bytes.
-    pub wire_len: u32,
-    /// True for TCP retransmissions (observable from duplicate sequence
-    /// numbers on the wire).
-    pub retransmit: bool,
-}
-
-impl SegmentView {
-    /// The TLS record carried by this segment, if it is a data segment.
-    pub fn record(&self) -> Option<TlsRecord> {
-        match self.payload {
-            SegmentPayload::Data(rec) => Some(rec),
-            _ => None,
-        }
-    }
-}
+pub use simcore::wire::{CloseReason, SegmentView, TapVerdict};
 
 /// Callbacks and services available to a [`NetApp`].
 ///
@@ -229,33 +174,6 @@ pub trait Middlebox: Any {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::TlsContentType;
-    use std::net::Ipv4Addr;
-
-    #[test]
-    fn segment_view_record_extraction() {
-        let view = SegmentView {
-            conn: ConnId(1),
-            dir: Direction::ClientToServer,
-            src: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 1),
-            dst: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 2),
-            payload: SegmentPayload::Data(TlsRecord {
-                content_type: TlsContentType::ApplicationData,
-                len: 138,
-                seq: 3,
-                app_tag: 0,
-            }),
-            wire_len: 138,
-            retransmit: false,
-        };
-        assert_eq!(view.record().unwrap().len, 138);
-
-        let ctl = SegmentView {
-            payload: SegmentPayload::Syn,
-            ..view
-        };
-        assert!(ctl.record().is_none());
-    }
 
     #[test]
     fn default_trait_impls_are_callable() {
@@ -274,14 +192,5 @@ mod tests {
         // Compile-time check that objects can be boxed.
         let _app: Box<dyn NetApp> = Box::new(Nop);
         let _tap: Box<dyn Middlebox> = Box::new(NopTap);
-    }
-
-    #[test]
-    fn close_reason_equality() {
-        assert_ne!(CloseReason::Normal, CloseReason::Reset);
-        assert_eq!(
-            CloseReason::TlsRecordSequenceMismatch,
-            CloseReason::TlsRecordSequenceMismatch
-        );
     }
 }

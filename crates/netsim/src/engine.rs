@@ -41,15 +41,7 @@ impl fmt::Display for HostId {
     }
 }
 
-/// Identifies a TCP connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ConnId(pub u64);
-
-impl fmt::Display for ConnId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "conn#{}", self.0)
-    }
-}
+pub use simcore::wire::ConnId;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

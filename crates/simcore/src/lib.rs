@@ -21,6 +21,9 @@
 //!   recall definitions used by the paper's Tables I–IV.
 //! * [`trace`] — a lightweight structured trace bus used to reconstruct
 //!   figure-style timelines (e.g. Fig. 3 traffic spikes, Fig. 4 proxy cases).
+//! * [`wire`] — the wire-metadata vocabulary (TLS records, TCP segments, UDP
+//!   datagrams, tap verdicts) shared by the network engine and the pure,
+//!   sans-io guard core.
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use confusion::ConfusionMatrix;
 pub use error::SimError;

@@ -1,0 +1,387 @@
+//! On-the-wire message types: TLS records, TCP segments, UDP datagrams.
+//!
+//! The simulation carries *metadata only* — lengths, types and sequence
+//! numbers — because that is all an observer of encrypted traffic (and hence
+//! all VoiceGuard) can see.
+//!
+//! These types live in `simcore` (rather than the network engine) so that
+//! pure, IO-free consumers — the sans-io guard core foremost — can speak
+//! the wire vocabulary without depending on any particular driver.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::SocketAddrV4;
+
+/// Identifies a TCP connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// Direction of travel on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// From the connection initiator toward the server.
+    ClientToServer,
+    /// From the server back to the initiator.
+    ServerToClient,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::ClientToServer => Direction::ServerToClient,
+            Direction::ServerToClient => Direction::ClientToServer,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::ClientToServer => write!(f, "c->s"),
+            Direction::ServerToClient => write!(f, "s->c"),
+        }
+    }
+}
+
+/// TLS record content types, as visible in the unencrypted record header.
+///
+/// The paper's packet-level signatures consider only records "labeled as
+/// 'Application Data' in the (unencrypted) TLS record header" (§IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlsContentType {
+    /// Handshake messages (ClientHello, certificates, …).
+    Handshake,
+    /// Cipher-spec change marker.
+    ChangeCipherSpec,
+    /// Alerts, including the fatal alert that closes a session after a
+    /// record-sequence mismatch.
+    Alert,
+    /// Encrypted application payload — the only type whose lengths form
+    /// packet-level signatures.
+    ApplicationData,
+}
+
+/// One TLS record: a content type, a payload length in bytes, and the
+/// per-direction record sequence number assigned by the sender.
+///
+/// The sequence number models TLS's implicit record counter: a receiver that
+/// observes a gap (because a middlebox discarded records) fails record
+/// authentication and must close the session — the mechanism behind Fig. 4
+/// case III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TlsRecord {
+    /// Content type from the record header.
+    pub content_type: TlsContentType,
+    /// Payload length in bytes (the "packet length" of the paper's
+    /// signatures).
+    pub len: u32,
+    /// Per-direction record counter; assigned by the engine when sent.
+    pub seq: u64,
+    /// Endpoint-only application tag standing in for the (encrypted)
+    /// payload semantics. **Taps must never read this field** — a real
+    /// middlebox sees only ciphertext; it exists so the two endpoints can
+    /// coordinate (e.g. "this record ends a voice command") without a
+    /// parallel channel.
+    #[serde(default)]
+    pub app_tag: u64,
+}
+
+impl TlsRecord {
+    /// Convenience constructor for an application-data record of `len` bytes.
+    /// The sequence number is assigned by the engine at send time.
+    pub fn app_data(len: u32) -> TlsRecord {
+        TlsRecord {
+            content_type: TlsContentType::ApplicationData,
+            len,
+            seq: 0,
+            app_tag: 0,
+        }
+    }
+
+    /// An application-data record carrying an endpoint-only tag.
+    pub fn app_data_tagged(len: u32, app_tag: u64) -> TlsRecord {
+        TlsRecord {
+            content_type: TlsContentType::ApplicationData,
+            len,
+            seq: 0,
+            app_tag,
+        }
+    }
+
+    /// True for application-data records.
+    pub fn is_app_data(&self) -> bool {
+        self.content_type == TlsContentType::ApplicationData
+    }
+}
+
+/// Payload of a TCP segment in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentPayload {
+    /// Connection request.
+    Syn,
+    /// Connection accept.
+    SynAck,
+    /// Cumulative acknowledgement of all segments with `seg_seq <= cum_seq`.
+    Ack {
+        /// Highest contiguously received segment sequence number.
+        cum_seq: u64,
+    },
+    /// A TLS record riding in this segment.
+    Data(TlsRecord),
+    /// TCP keep-alive probe (zero-length, expects an ACK).
+    KeepAlive,
+    /// Orderly close.
+    Fin,
+    /// Abortive close.
+    Rst,
+}
+
+impl SegmentPayload {
+    /// True if this payload consumes a data sequence number.
+    pub fn is_data(&self) -> bool {
+        matches!(self, SegmentPayload::Data(_))
+    }
+}
+
+/// A TCP segment in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Connection this segment belongs to (engine-assigned id).
+    pub conn: u64,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Sender-assigned segment sequence number (counts data segments only;
+    /// zero for control segments).
+    pub seg_seq: u64,
+    /// The payload.
+    pub payload: SegmentPayload,
+    /// When the sender emitted this segment.
+    pub sent_at: SimTime,
+    /// True if this is a retransmission.
+    pub retransmit: bool,
+}
+
+impl Segment {
+    /// Wire length in bytes as an observer would report it: the TLS record
+    /// length for data segments (matching the paper's signature tables) and a
+    /// nominal small size for control segments.
+    pub fn wire_len(&self) -> u32 {
+        match self.payload {
+            SegmentPayload::Data(rec) => rec.len,
+            SegmentPayload::Syn | SegmentPayload::SynAck => 0,
+            SegmentPayload::Ack { .. } => 0,
+            SegmentPayload::KeepAlive => 1,
+            SegmentPayload::Fin | SegmentPayload::Rst => 0,
+        }
+    }
+}
+
+/// A UDP datagram (QUIC packets are datagrams with `quic = true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Datagram {
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address.
+    pub dst: SocketAddrV4,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// True if this datagram carries QUIC.
+    pub quic: bool,
+    /// Application-chosen tag, used by endpoints to correlate
+    /// request/response exchanges (opaque to taps, as ciphertext would be).
+    pub tag: u64,
+}
+
+/// Why a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloseReason {
+    /// Orderly FIN close.
+    Normal,
+    /// Abortive RST close (including a rejected connection attempt).
+    Reset,
+    /// Retransmissions or keep-alives exhausted without acknowledgement.
+    Timeout,
+    /// The receiver observed a gap in TLS record sequence numbers — the
+    /// paper's Fig. 4 case III outcome after VoiceGuard discards held
+    /// packets.
+    TlsRecordSequenceMismatch,
+}
+
+/// A tap's per-frame decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TapVerdict {
+    /// Forward toward the destination unchanged.
+    Forward,
+    /// Queue at the tap. For TCP data and keep-alive frames the engine
+    /// spoofs an ACK toward the sender so the connection stays alive.
+    Hold,
+    /// Silently discard this frame.
+    Drop,
+}
+
+/// Read-only view of a TCP segment offered to a tap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentView {
+    /// Connection the segment belongs to.
+    pub conn: ConnId,
+    /// Direction of travel.
+    pub dir: Direction,
+    /// Source address.
+    pub src: SocketAddrV4,
+    /// Destination address.
+    pub dst: SocketAddrV4,
+    /// Payload (control type, or the TLS record for data segments).
+    pub payload: SegmentPayload,
+    /// Observer-reported length in bytes.
+    pub wire_len: u32,
+    /// True for TCP retransmissions (observable from duplicate sequence
+    /// numbers on the wire).
+    pub retransmit: bool,
+}
+
+impl SegmentView {
+    /// The TLS record carried by this segment, if it is a data segment.
+    pub fn record(&self) -> Option<TlsRecord> {
+        match self.payload {
+            SegmentPayload::Data(rec) => Some(rec),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(
+            Direction::ClientToServer.reverse(),
+            Direction::ServerToClient
+        );
+        assert_eq!(
+            Direction::ClientToServer.reverse().reverse(),
+            Direction::ClientToServer
+        );
+    }
+
+    #[test]
+    fn app_data_constructor() {
+        let r = TlsRecord::app_data(138);
+        assert!(r.is_app_data());
+        assert_eq!(r.len, 138);
+        assert_eq!(r.seq, 0);
+    }
+
+    #[test]
+    fn non_app_data_is_flagged() {
+        let r = TlsRecord {
+            content_type: TlsContentType::Alert,
+            len: 2,
+            seq: 9,
+            app_tag: 0,
+        };
+        assert!(!r.is_app_data());
+    }
+
+    #[test]
+    fn wire_len_reports_record_len_for_data() {
+        let seg = Segment {
+            conn: 1,
+            dir: Direction::ClientToServer,
+            seg_seq: 5,
+            payload: SegmentPayload::Data(TlsRecord::app_data(653)),
+            sent_at: SimTime::ZERO,
+            retransmit: false,
+        };
+        assert_eq!(seg.wire_len(), 653);
+    }
+
+    #[test]
+    fn control_segments_have_zero_wire_len() {
+        for payload in [
+            SegmentPayload::Syn,
+            SegmentPayload::SynAck,
+            SegmentPayload::Ack { cum_seq: 3 },
+            SegmentPayload::Fin,
+            SegmentPayload::Rst,
+        ] {
+            let seg = Segment {
+                conn: 0,
+                dir: Direction::ServerToClient,
+                seg_seq: 0,
+                payload,
+                sent_at: SimTime::ZERO,
+                retransmit: false,
+            };
+            assert_eq!(seg.wire_len(), 0, "{payload:?}");
+        }
+    }
+
+    #[test]
+    fn is_data_detects_payloads() {
+        assert!(SegmentPayload::Data(TlsRecord::app_data(1)).is_data());
+        assert!(!SegmentPayload::Syn.is_data());
+    }
+
+    #[test]
+    fn datagram_fields_round_trip() {
+        let d = Datagram {
+            src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 50), 40000),
+            dst: SocketAddrV4::new(Ipv4Addr::new(142, 250, 0, 1), 443),
+            len: 1200,
+            quic: true,
+            tag: 7,
+        };
+        assert_eq!(d.len, 1200);
+        assert!(d.quic);
+    }
+
+    #[test]
+    fn segment_view_record_extraction() {
+        let view = SegmentView {
+            conn: ConnId(1),
+            dir: Direction::ClientToServer,
+            src: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 1),
+            dst: SocketAddrV4::new(Ipv4Addr::LOCALHOST, 2),
+            payload: SegmentPayload::Data(TlsRecord {
+                content_type: TlsContentType::ApplicationData,
+                len: 138,
+                seq: 3,
+                app_tag: 0,
+            }),
+            wire_len: 138,
+            retransmit: false,
+        };
+        assert_eq!(view.record().unwrap().len, 138);
+
+        let ctl = SegmentView {
+            payload: SegmentPayload::Syn,
+            ..view
+        };
+        assert!(ctl.record().is_none());
+    }
+
+    #[test]
+    fn close_reason_equality() {
+        assert_ne!(CloseReason::Normal, CloseReason::Reset);
+        assert_eq!(
+            CloseReason::TlsRecordSequenceMismatch,
+            CloseReason::TlsRecordSequenceMismatch
+        );
+    }
+
+    #[test]
+    fn conn_id_displays_like_the_engine_assigned_it() {
+        assert_eq!(ConnId(7).to_string(), "conn#7");
+    }
+}

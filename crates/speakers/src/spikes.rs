@@ -49,7 +49,7 @@ pub fn phase1_lengths<R: Rng + ?Sized>(rng: &mut R) -> (Vec<u32>, Phase1Shape) {
         // first five.
         let mut lens = vec![lead_packet(rng), 131, filler(rng), filler(rng), filler(rng)];
         let marker = PHASE1_MARKERS[rng.gen_range(0..PHASE1_MARKERS.len())];
-        let pos = rng.gen_range(1..5);
+        let pos = rng.gen_range(1..5usize);
         lens[pos] = marker;
         (lens, Phase1Shape::Marker)
     } else if roll < P_MARKER + P_FIXED {
@@ -87,7 +87,7 @@ pub fn phase2_lengths<R: Rng + ?Sized>(rng: &mut R) -> Vec<u32> {
     ];
     if rng.gen_bool(0.9) {
         // Marker pair within the first five packets.
-        let pos = rng.gen_range(0..4);
+        let pos = rng.gen_range(0..4usize);
         lens[pos] = PHASE2_MARKERS[0];
         lens[pos + 1] = PHASE2_MARKERS[1];
     } else {
