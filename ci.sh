@@ -34,6 +34,22 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # Decision Module. An attack command executing in a hardened cell here
 # means the evidence validation or quorum hardening regressed.
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --byzantine --attack spoof --attack compromised
+# Fleet smoke: ~1k home-hours across the archetype population, run
+# twice at 4 shards and once serially. The rendered population report
+# must be byte-identical across repetitions and shard counts — any
+# divergence means a shared RNG stream or a non-commutative merge
+# crept into the fleet engine.
+fleet_smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$fleet_smoke_dir"' EXIT
+echo "==> fleet-sweep --smoke (4 shards, twice; 1 shard, once)"
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 4 >"$fleet_smoke_dir/a.md"
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 4 >"$fleet_smoke_dir/b.md"
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 1 >"$fleet_smoke_dir/serial.md"
+run cmp "$fleet_smoke_dir/a.md" "$fleet_smoke_dir/b.md"
+run cmp "$fleet_smoke_dir/a.md" "$fleet_smoke_dir/serial.md"
 # Sans-io fuzz smoke: bounded property runs driving the pure GuardCore
 # with arbitrary input interleavings (no panics, state bounds hold, no
 # double-released holds) and pinning driver equivalence (simulator tap

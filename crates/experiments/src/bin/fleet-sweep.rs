@@ -1,0 +1,113 @@
+//! `fleet-sweep` — population-scale simulation of guarded homes.
+//!
+//! ```text
+//! fleet-sweep [--home-hours N] [--seed S] [--shards N] [--hours-per-home H]
+//!             [--batch B] [--smoke]
+//!
+//!   --home-hours N      simulated home-hours to cover (default 1000000)
+//!   --seed S            population seed (default 7)
+//!   --shards N          worker threads; 1 = serial (default 4)
+//!   --hours-per-home H  hours each home runs (default 24)
+//!   --batch B           homes per work-stealing batch (default 16)
+//!   --smoke             fast CI setting: equivalent to --home-hours 1000
+//! ```
+//!
+//! Stdout carries the deterministic population report: archetype mix,
+//! block-rate/FRR Wilson intervals, hold-latency tail percentiles from
+//! the streaming sketch, rare-event counters (crash-during-hold,
+//! eviction-during-hold) and checkpoint overhead. The bytes depend only
+//! on `(seed, home-hours, hours-per-home)` — shard count, batch size and
+//! thread interleaving cannot change them. Stderr carries the execution
+//! observations that *do* depend on the run shape: wall-clock,
+//! home-hours/sec throughput and the peak number of simultaneously
+//! resident homes (the O(active homes) memory bound, always ≤ shards).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use experiments::fleet::{render_report, run, FleetConfig};
+
+fn main() -> ExitCode {
+    let mut cfg = FleetConfig::new(7, 1_000_000);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                cfg.home_hours = 1_000;
+                i += 1;
+            }
+            "--home-hours" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    return usage("--home-hours expects an integer");
+                };
+                cfg.home_hours = n;
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    return usage("--seed expects an integer");
+                };
+                cfg.population_seed = n;
+                i += 2;
+            }
+            "--shards" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    return usage("--shards expects an integer");
+                };
+                if n == 0 {
+                    return usage("--shards must be at least 1");
+                }
+                cfg.shards = n;
+                i += 2;
+            }
+            "--hours-per-home" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    return usage("--hours-per-home expects an integer");
+                };
+                if n == 0 {
+                    return usage("--hours-per-home must be at least 1");
+                }
+                cfg.hours_per_home = n;
+                i += 2;
+            }
+            "--batch" if i + 1 < args.len() => {
+                let Ok(n) = args[i + 1].parse() else {
+                    return usage("--batch expects an integer");
+                };
+                cfg.batch = n;
+                i += 2;
+            }
+            flag @ ("--home-hours" | "--seed" | "--shards" | "--hours-per-home" | "--batch") => {
+                return usage(&format!("{flag} needs a value"))
+            }
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let started = Instant::now();
+    let outcome = run(&cfg);
+    let elapsed = started.elapsed().as_secs_f64();
+    print!("{}", render_report(&cfg, &outcome.accumulator));
+    eprintln!(
+        "fleet-sweep: {} homes, {} home-hours in {:.2}s ({:.0} home-hours/sec) \
+         across {} shards; peak {} live homes (bound: {})",
+        outcome.accumulator.homes,
+        outcome.accumulator.home_hours,
+        elapsed,
+        outcome.accumulator.home_hours as f64 / elapsed.max(1e-9),
+        cfg.shards,
+        outcome.peak_live_homes,
+        cfg.shards,
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("fleet-sweep: {err}");
+    eprintln!(
+        "usage: fleet-sweep [--home-hours N] [--seed S] [--shards N] \
+         [--hours-per-home H] [--batch B] [--smoke]"
+    );
+    ExitCode::FAILURE
+}

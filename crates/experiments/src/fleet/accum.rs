@@ -1,0 +1,212 @@
+//! The mergeable per-shard fleet accumulator.
+//!
+//! Every field is either a `u64` count/sum (merged by addition) or a
+//! [`QuantileSketch`] (merged by element-wise addition) or a high-water
+//! mark (merged by `max`) — all associative and commutative, so a fleet
+//! report assembled from per-shard accumulators is byte-identical
+//! regardless of shard count, batch size, or merge order. Floating-point
+//! arithmetic happens only at render time, on the final merged integers,
+//! so it cannot introduce order dependence.
+
+use super::sketch::QuantileSketch;
+
+/// Streaming aggregate over any subset of a fleet's homes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetAccumulator {
+    /// Homes simulated.
+    pub homes: u64,
+    /// Simulated home-hours covered.
+    pub home_hours: u64,
+    /// Homes per archetype, indexed like [`super::Archetype::ALL`].
+    pub archetype_homes: [u64; 5],
+    /// Homes running the Echo Dot (TCP) pipeline.
+    pub echo_homes: u64,
+    /// Homes running the Google Home Mini (UDP) pipeline.
+    pub ghm_homes: u64,
+
+    /// Legitimate command episodes driven.
+    pub legit_commands: u64,
+    /// Attack command episodes driven.
+    pub attack_commands: u64,
+    /// Legitimate commands wrongly blocked (false rejects), including
+    /// verdict-timeout fail-closed resolutions of legitimate commands.
+    pub false_rejects: u64,
+    /// Attack commands that executed (missed blocks — byzantine vouching
+    /// or fail-open windows).
+    pub attacks_executed: u64,
+    /// Attack commands blocked.
+    pub attacks_blocked: u64,
+
+    /// Queries raised by the guard (from `GuardStats`).
+    pub queries: u64,
+    /// Queries resolved Legitimate.
+    pub allowed: u64,
+    /// Queries resolved Malicious.
+    pub blocked: u64,
+    /// Queries resolved by the verdict-timeout fail-safe.
+    pub timeouts: u64,
+    /// Unanswered queries shed fail-closed by the pending-query budget.
+    pub queries_shed: u64,
+
+    /// Guard crashes injected.
+    pub crashes: u64,
+    /// Supervised restarts completed.
+    pub restarts: u64,
+    /// Holds opened by a dead incarnation, drained fail-closed at restart.
+    pub holds_abandoned: u64,
+    /// Abandoned holds that were open *because of a forced
+    /// crash-during-hold episode* (subset of `holds_abandoned`).
+    pub crash_during_hold: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Total state entries (tracked flows + pending queries) captured
+    /// across all checkpoints; divide by `checkpoints` for the mean.
+    pub checkpoint_entries: u64,
+
+    /// Flows evicted by the flow-table capacity cap.
+    pub flows_evicted: u64,
+    /// Flows expired by the idle-TTL sweep.
+    pub flows_expired: u64,
+    /// Evictions that drained an open hold fail-closed (the
+    /// eviction-during-hold rare event).
+    pub evicted_during_hold: u64,
+    /// Flows re-identified mid-stream (re-adoptions).
+    pub flows_readopted: u64,
+    /// Connections quarantined by ledger/reorder overflow caps.
+    pub quarantines: u64,
+
+    /// Hold latency distribution (seconds) of every resolved query.
+    pub hold_latency: QuantileSketch,
+    /// Sum of hold latencies in integer microseconds (for the mean).
+    pub hold_micros: u64,
+
+    /// Highest number of homes simultaneously resident in memory across
+    /// all shards — the O(active homes) memory bound. Merged by `max`.
+    pub peak_live_homes: u64,
+}
+
+impl FleetAccumulator {
+    /// Merges `other` into `self`. Associative and commutative.
+    pub fn merge(&mut self, other: &FleetAccumulator) {
+        self.homes += other.homes;
+        self.home_hours += other.home_hours;
+        for (a, b) in self
+            .archetype_homes
+            .iter_mut()
+            .zip(other.archetype_homes.iter())
+        {
+            *a += *b;
+        }
+        self.echo_homes += other.echo_homes;
+        self.ghm_homes += other.ghm_homes;
+        self.legit_commands += other.legit_commands;
+        self.attack_commands += other.attack_commands;
+        self.false_rejects += other.false_rejects;
+        self.attacks_executed += other.attacks_executed;
+        self.attacks_blocked += other.attacks_blocked;
+        self.queries += other.queries;
+        self.allowed += other.allowed;
+        self.blocked += other.blocked;
+        self.timeouts += other.timeouts;
+        self.queries_shed += other.queries_shed;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+        self.holds_abandoned += other.holds_abandoned;
+        self.crash_during_hold += other.crash_during_hold;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_entries += other.checkpoint_entries;
+        self.flows_evicted += other.flows_evicted;
+        self.flows_expired += other.flows_expired;
+        self.evicted_during_hold += other.evicted_during_hold;
+        self.flows_readopted += other.flows_readopted;
+        self.quarantines += other.quarantines;
+        self.hold_latency.merge(&other.hold_latency);
+        self.hold_micros += other.hold_micros;
+        self.peak_live_homes = self.peak_live_homes.max(other.peak_live_homes);
+    }
+
+    /// Records one resolved-query hold latency (seconds).
+    pub fn record_hold(&mut self, seconds: f64) {
+        self.hold_latency.record(seconds);
+        self.hold_micros += (seconds * 1e6).round() as u64;
+    }
+}
+
+/// Wilson score interval for a binomial proportion at z = 1.96 (95%).
+/// Returns `(low, high)`; `(0, 0)` when `n == 0`.
+pub fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let z = 1.96_f64;
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let centre = p + z2 / (2.0 * n_f);
+    let half = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    (
+        ((centre - half) / denom).max(0.0),
+        ((centre + half) / denom).min(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(k: u64) -> FleetAccumulator {
+        let mut a = FleetAccumulator {
+            homes: k,
+            home_hours: 24 * k,
+            queries: 10 * k,
+            allowed: 9 * k,
+            blocked: k,
+            peak_live_homes: k,
+            ..FleetAccumulator::default()
+        };
+        a.archetype_homes[(k % 5) as usize] += k;
+        for i in 0..k {
+            a.record_hold(0.5 + i as f64 * 0.01);
+        }
+        a
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let (a, b) = (sample(3), sample(11));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (sample(2), sample(5), sample(9));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn peak_merges_by_max_not_sum() {
+        let mut a = sample(3);
+        a.merge(&sample(11));
+        assert_eq!(a.peak_live_homes, 11);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(90, 100);
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(lo > 0.8 && hi < 0.96, "({lo}, {hi})");
+        assert_eq!(wilson_interval(0, 0), (0.0, 0.0));
+    }
+}

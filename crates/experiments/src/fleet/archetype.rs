@@ -1,0 +1,298 @@
+//! Household archetypes and the structural (pure-hash) population plan.
+//!
+//! Everything that must be *provably present* in a population — which
+//! archetype each home is, which speaker it runs, how many command
+//! episodes each hour holds and which of them are attacks or forced rare
+//! events — is drawn from [`RngStreams::master_seed`] values, which are
+//! pure integer hashes of the population seed and the home index. No
+//! generator is advanced, so the plan is identical on every platform and
+//! under the offline stub RNG, and a test can re-derive the exact plan
+//! (e.g. the exact number of crash-during-hold episodes) without running
+//! any simulation. Continuous noise (packet spacing, verdict latencies,
+//! loss dice) comes from proper RNG streams forked per home in
+//! [`super::home`].
+
+use simcore::RngStreams;
+use voiceguard::SpeakerKind;
+
+use crate::orchestrator::{AdversaryPlan, EvidencePlan, FaultProfile, GuardBounds, ScenarioConfig};
+
+/// The five household archetypes a fleet is populated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    /// Healthy network, honest devices.
+    Clean,
+    /// Congested Wi-Fi: records are delayed/reordered on their way to the
+    /// tap, and Decision Module reports go missing more often.
+    Lossy,
+    /// The guard process crashes and is supervisor-restarted; some
+    /// crashes land mid-hold (the Fig. 4 case III rare event).
+    Crashy,
+    /// A compromised LAN device floods the (bounded) flow table; some
+    /// floods land mid-hold and evict the speaker's own flow.
+    AdversarialTraffic,
+    /// Evidence-layer attacker: some attack commands arrive with spoofed
+    /// supporting evidence and are (wrongly) vouched legitimate.
+    ByzantineEvidence,
+}
+
+impl Archetype {
+    /// All archetypes, in mix order.
+    pub const ALL: [Archetype; 5] = [
+        Archetype::Clean,
+        Archetype::Lossy,
+        Archetype::Crashy,
+        Archetype::AdversarialTraffic,
+        Archetype::ByzantineEvidence,
+    ];
+
+    /// Cumulative population mix in percent: 40% clean, 25% lossy, 15%
+    /// crashy, 10% adversarial, 10% byzantine.
+    const CUMULATIVE_PCT: [u64; 5] = [40, 65, 80, 90, 100];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Clean => "clean",
+            Archetype::Lossy => "lossy",
+            Archetype::Crashy => "crashy",
+            Archetype::AdversarialTraffic => "adversarial",
+            Archetype::ByzantineEvidence => "byzantine",
+        }
+    }
+
+    /// Index into [`Archetype::ALL`].
+    pub fn index(self) -> usize {
+        Archetype::ALL.iter().position(|a| *a == self).unwrap()
+    }
+
+    /// Percent of command episodes that are attacks.
+    fn attack_pct(self) -> u64 {
+        match self {
+            Archetype::Clean => 2,
+            Archetype::Lossy => 2,
+            Archetype::Crashy => 2,
+            Archetype::AdversarialTraffic => 5,
+            Archetype::ByzantineEvidence => 20,
+        }
+    }
+
+    /// The `ScenarioConfig` this archetype corresponds to — the same
+    /// vocabulary the chaos/adversarial/byzantine sweeps use, so a fleet
+    /// home can be promoted to a full-fidelity [`crate::GuardedHome`]
+    /// run. The fleet's fast path derives its guard configuration from
+    /// this via [`crate::scenario_guard_config`].
+    pub fn scenario(self, seed: u64) -> ScenarioConfig {
+        let testbed = testbeds::apartment();
+        let mut cfg = ScenarioConfig::echo(testbed, 0, seed);
+        cfg.faults = match self {
+            Archetype::Clean => FaultProfile::clean(),
+            Archetype::Lossy => FaultProfile::lossy(),
+            Archetype::Crashy => FaultProfile::crash(netsim::BlindWindowPolicy::Drop),
+            Archetype::AdversarialTraffic => FaultProfile::adversarial(
+                "fleet-adversarial",
+                AdversaryPlan {
+                    flood: true,
+                    ..AdversaryPlan::none()
+                },
+                // A fleet-sized variant of the hardened bounds: the flow
+                // cap is small enough that a forced flood displaces the
+                // speaker's flow within one episode, and the idle TTL is
+                // long enough that the periodic sweep stays cheap across
+                // a simulated day.
+                GuardBounds {
+                    flow_table_capacity: 8,
+                    flow_idle_ttl: simcore::SimDuration::from_secs(300),
+                    pending_query_budget: 4,
+                    ..GuardBounds::unbounded()
+                },
+            ),
+            Archetype::ByzantineEvidence => FaultProfile::byzantine(
+                "fleet-byzantine",
+                EvidencePlan {
+                    replay: true,
+                    ..EvidencePlan::none()
+                },
+                false,
+            ),
+        };
+        cfg
+    }
+}
+
+/// What one command episode does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpisodeKind {
+    /// An owner command; should be allowed.
+    Legit,
+    /// An unauthorized command; should be blocked.
+    Attack,
+    /// An owner command whose hold is interrupted by a guard crash: the
+    /// restart must drain it fail-closed (abandoned hold).
+    CrashDuringHold,
+    /// An owner command whose hold is interrupted by a flow flood that
+    /// evicts the speaker's flow: the eviction must drain it fail-closed.
+    EvictionDuringHold,
+}
+
+/// The structural plan for one home: everything a rare-event test needs
+/// to predict, derived purely from hashes of `(population seed, index)`.
+#[derive(Debug, Clone)]
+pub struct HomePlan {
+    /// Home index within the population.
+    pub index: u64,
+    /// This home's archetype.
+    pub archetype: Archetype,
+    /// Speaker model (Echo Dot = TCP/TLS pipeline, GHM = UDP pipeline).
+    pub speaker: SpeakerKind,
+    /// Simulated hours this home runs.
+    pub hours: u32,
+    /// RNG factory for the home's continuous noise streams.
+    pub streams: RngStreams,
+}
+
+impl HomePlan {
+    /// Derives home `index`'s plan from the population factory.
+    pub fn for_home(population: &RngStreams, index: u64, hours: u32) -> HomePlan {
+        let streams = population.fork_indexed("home", index);
+        let plan_seed = streams.fork("plan").master_seed();
+        let archetype = Archetype::ALL[Archetype::CUMULATIVE_PCT
+            .iter()
+            .position(|&c| plan_seed % 100 < c)
+            .unwrap()];
+        // Eviction-during-hold needs a TCP hold to evict, so adversarial
+        // homes always run the Echo pipeline; the rest split 3:1.
+        let speaker = if archetype == Archetype::AdversarialTraffic || (plan_seed >> 8) % 4 < 3 {
+            SpeakerKind::EchoDot
+        } else {
+            SpeakerKind::GoogleHomeMini
+        };
+        HomePlan {
+            index,
+            archetype,
+            speaker,
+            hours,
+            streams,
+        }
+    }
+
+    /// Number of command episodes in hour `h` (0–3, mean 1.5).
+    pub fn episodes_in_hour(&self, hour: u32) -> u32 {
+        let s = self.hour_seed(hour);
+        match s % 8 {
+            0..=2 => 1,
+            3..=5 => 2,
+            6 => 3,
+            _ => 0,
+        }
+    }
+
+    /// Whether the guard is idle-crashed (no hold open) at the end of
+    /// hour `h`. Only crashy homes crash.
+    pub fn idle_crash_at_hour_end(&self, hour: u32) -> bool {
+        self.archetype == Archetype::Crashy && (self.hour_seed(hour) >> 16).is_multiple_of(4)
+    }
+
+    /// The kind of episode `k` (0-based within the home, across hours).
+    pub fn episode_kind(&self, ordinal: u64) -> EpisodeKind {
+        match self.archetype {
+            // Every 6th episode of a crashy home crashes mid-hold.
+            Archetype::Crashy if ordinal % 6 == 2 => return EpisodeKind::CrashDuringHold,
+            // Every 5th episode of an adversarial home is flooded
+            // mid-hold until the speaker's flow is evicted.
+            Archetype::AdversarialTraffic if ordinal % 5 == 2 => {
+                return EpisodeKind::EvictionDuringHold
+            }
+            _ => {}
+        }
+        let s = self.streams.fork_indexed("episode", ordinal).master_seed();
+        if s % 100 < self.archetype.attack_pct() {
+            EpisodeKind::Attack
+        } else {
+            EpisodeKind::Legit
+        }
+    }
+
+    /// Total episodes across the home's whole run.
+    pub fn total_episodes(&self) -> u64 {
+        (0..self.hours)
+            .map(|h| u64::from(self.episodes_in_hour(h)))
+            .sum()
+    }
+
+    fn hour_seed(&self, hour: u32) -> u64 {
+        self.streams
+            .fork_indexed("hour", u64::from(hour))
+            .master_seed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_index() {
+        let pop = RngStreams::new(7);
+        for i in 0..20 {
+            let a = HomePlan::for_home(&pop, i, 24);
+            let b = HomePlan::for_home(&pop, i, 24);
+            assert_eq!(a.archetype, b.archetype);
+            assert_eq!(a.speaker, b.speaker);
+            for h in 0..24 {
+                assert_eq!(a.episodes_in_hour(h), b.episodes_in_hour(h));
+            }
+            for k in 0..a.total_episodes() {
+                assert_eq!(a.episode_kind(k), b.episode_kind(k));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_roughly_matches_population_shares() {
+        let pop = RngStreams::new(42);
+        let mut counts = [0u64; 5];
+        let n = 2_000;
+        for i in 0..n {
+            counts[HomePlan::for_home(&pop, i, 1).archetype.index()] += 1;
+        }
+        // 40/25/15/10/10 within a few points at n=2000.
+        let pct: Vec<f64> = counts
+            .iter()
+            .map(|&c| c as f64 * 100.0 / n as f64)
+            .collect();
+        assert!((pct[0] - 40.0).abs() < 5.0, "clean {pct:?}");
+        assert!((pct[1] - 25.0).abs() < 5.0, "lossy {pct:?}");
+        assert!((pct[2] - 15.0).abs() < 5.0, "crashy {pct:?}");
+        assert!((pct[3] - 10.0).abs() < 4.0, "adversarial {pct:?}");
+        assert!((pct[4] - 10.0).abs() < 4.0, "byzantine {pct:?}");
+    }
+
+    #[test]
+    fn adversarial_homes_always_run_echo() {
+        let pop = RngStreams::new(3);
+        for i in 0..500 {
+            let plan = HomePlan::for_home(&pop, i, 1);
+            if plan.archetype == Archetype::AdversarialTraffic {
+                assert_eq!(plan.speaker, SpeakerKind::EchoDot);
+            }
+        }
+    }
+
+    #[test]
+    fn archetype_scenarios_carry_their_fault_profiles() {
+        assert_eq!(Archetype::Clean.scenario(1).faults.name, "clean");
+        assert!(Archetype::AdversarialTraffic
+            .scenario(1)
+            .faults
+            .adversary
+            .any());
+        assert!(Archetype::ByzantineEvidence
+            .scenario(1)
+            .faults
+            .evidence
+            .any());
+        let bounds = Archetype::AdversarialTraffic.scenario(1).faults.bounds;
+        assert_eq!(bounds.flow_table_capacity, 8);
+    }
+}

@@ -1,0 +1,410 @@
+//! Fleet-scale simulation: a population of guarded homes executed across
+//! all cores with streaming aggregation.
+//!
+//! One orchestrator run simulates one home at packet fidelity; the fleet
+//! engine simulates *populations* — up to millions of home-hours — by
+//! driving the pure sans-io [`voiceguard::GuardCore`] directly with
+//! synthesized tap-level episodes ([`home::HomeSim`]), skipping the
+//! packet engine's per-record event costs. Three layers keep the result
+//! deterministic regardless of how it is executed:
+//!
+//! * **RNG hierarchy** — a population factory forks one sub-factory per
+//!   home ([`simcore::RngStreams::fork_indexed`]), and each home forks
+//!   per-subsystem streams from its own factory, so no stream is shared
+//!   between homes and execution order cannot shift any draw.
+//! * **Structural plans** — which archetype a home is, how many episodes
+//!   each hour holds and which are attacks or forced rare events are pure
+//!   integer hashes of `(population seed, home index)` ([`archetype`]),
+//!   re-derivable by tests without running anything.
+//! * **Mergeable aggregation** — every statistic is a `u64` counter or a
+//!   fixed-size integer [`sketch::QuantileSketch`], merged by addition
+//!   ([`accum::FleetAccumulator::merge`] is associative and commutative),
+//!   so any shard count, batch size or merge order produces the identical
+//!   report. Floats appear only at render time, on final merged integers.
+//!
+//! Memory stays O(active homes): each worker holds exactly one live
+//! [`home::HomeSim`] plus one shard accumulator (a few KB of fixed-size
+//! arrays); finished homes fold into the accumulator and are dropped.
+//! [`FleetOutcome::peak_live_homes`] measures the high-water mark and the
+//! executor asserts it never exceeds the worker count.
+
+pub mod accum;
+pub mod archetype;
+pub mod home;
+pub mod sketch;
+
+pub use accum::{wilson_interval, FleetAccumulator};
+pub use archetype::{Archetype, EpisodeKind, HomePlan};
+pub use home::HomeSim;
+pub use sketch::QuantileSketch;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use simcore::RngStreams;
+use voiceguard::GuardConfig;
+
+use crate::orchestrator::scenario_guard_config;
+use crate::report::{fmt_f, pct, Table};
+
+/// How a fleet run is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Root seed of the whole population.
+    pub population_seed: u64,
+    /// Total simulated home-hours to cover.
+    pub home_hours: u64,
+    /// Hours each home runs (the last home may be shorter to hit the
+    /// total exactly).
+    pub hours_per_home: u32,
+    /// Worker threads (shards). `1` = serial.
+    pub shards: usize,
+    /// Homes per work-stealing batch.
+    pub batch: u64,
+}
+
+impl FleetConfig {
+    /// A fleet covering `home_hours` from `population_seed`, with the
+    /// default shape: 24-hour homes, 4 shards, 16-home batches.
+    pub fn new(population_seed: u64, home_hours: u64) -> Self {
+        FleetConfig {
+            population_seed,
+            home_hours,
+            hours_per_home: 24,
+            shards: 4,
+            batch: 16,
+        }
+    }
+
+    /// Number of homes the population holds (ceiling division, so the
+    /// last home may run fewer hours).
+    pub fn homes(&self) -> u64 {
+        let per = u64::from(self.hours_per_home.max(1));
+        self.home_hours.div_ceil(per)
+    }
+
+    /// Hours home `index` runs: `hours_per_home`, except the last home
+    /// absorbs the remainder.
+    pub fn hours_of(&self, index: u64) -> u32 {
+        let per = u64::from(self.hours_per_home.max(1));
+        let full = self.home_hours / per;
+        if index < full {
+            self.hours_per_home.max(1)
+        } else {
+            (self.home_hours % per) as u32
+        }
+    }
+
+    /// The population-level RNG factory every home forks from.
+    pub fn population(&self) -> RngStreams {
+        RngStreams::new(self.population_seed).fork("population")
+    }
+}
+
+/// A finished fleet run: the merged accumulator plus execution-shape
+/// observations that must stay *out* of the deterministic report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The merged population aggregate. Identical for a fixed
+    /// `(population_seed, home_hours, hours_per_home)` regardless of
+    /// shard count, batch size or merge order.
+    pub accumulator: FleetAccumulator,
+    /// High-water mark of simultaneously resident homes across all
+    /// workers — the O(active homes) memory bound. Depends on the
+    /// execution shape (≤ `shards`), so it is reported separately and
+    /// never rendered into the deterministic report.
+    pub peak_live_homes: u64,
+}
+
+/// Derives home `index`'s guard configuration from its archetype's
+/// scenario — the same `ScenarioConfig` vocabulary the full-fidelity
+/// sweeps use, so fleet homes and orchestrator homes share one config
+/// path.
+pub fn home_guard_config(plan: &HomePlan) -> GuardConfig {
+    let scenario = plan.archetype.scenario(plan.streams.master_seed());
+    scenario_guard_config(&scenario, plan.speaker)
+}
+
+/// Simulates one home and folds it into `acc`.
+pub fn simulate_home(population: &RngStreams, index: u64, hours: u32, acc: &mut FleetAccumulator) {
+    let plan = HomePlan::for_home(population, index, hours);
+    let config = home_guard_config(&plan);
+    HomeSim::new(&plan, config).run(acc);
+}
+
+/// Runs the fleet. With `shards == 1` the homes execute serially on the
+/// calling thread; otherwise a scoped work-stealing pool of `shards`
+/// workers claims batches of homes from a shared atomic counter. Either
+/// way the merged accumulator is identical: every home's randomness is
+/// rooted in its own fork and the merge is order-independent.
+pub fn run(cfg: &FleetConfig) -> FleetOutcome {
+    let homes = cfg.homes();
+    let population = cfg.population();
+    if cfg.shards <= 1 {
+        let mut acc = FleetAccumulator::default();
+        for index in 0..homes {
+            let hours = cfg.hours_of(index);
+            if hours > 0 {
+                simulate_home(&population, index, hours, &mut acc);
+            }
+        }
+        let peak = u64::from(homes > 0);
+        acc.peak_live_homes = peak;
+        return FleetOutcome {
+            accumulator: acc,
+            peak_live_homes: peak,
+        };
+    }
+
+    let next = AtomicU64::new(0);
+    let live = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let batch = cfg.batch.max(1);
+    let shard_accs: Vec<FleetAccumulator> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.shards)
+            .map(|_| {
+                let population = &population;
+                let next = &next;
+                let live = &live;
+                let peak = &peak;
+                scope.spawn(move || {
+                    let mut acc = FleetAccumulator::default();
+                    loop {
+                        let start = next.fetch_add(batch, Ordering::Relaxed);
+                        if start >= homes {
+                            break;
+                        }
+                        let end = (start + batch).min(homes);
+                        for index in start..end {
+                            let hours = cfg.hours_of(index);
+                            if hours == 0 {
+                                continue;
+                            }
+                            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                            peak.fetch_max(now, Ordering::SeqCst);
+                            simulate_home(population, index, hours, &mut acc);
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet worker panicked"))
+            .collect()
+    });
+
+    let mut merged = FleetAccumulator::default();
+    for shard in &shard_accs {
+        merged.merge(shard);
+    }
+    let peak = peak.load(Ordering::SeqCst);
+    assert!(
+        peak <= cfg.shards as u64,
+        "memory bound violated: {peak} live homes > {} workers",
+        cfg.shards
+    );
+    merged.peak_live_homes = peak;
+    FleetOutcome {
+        accumulator: merged,
+        peak_live_homes: peak,
+    }
+}
+
+/// Renders the deterministic population report. Everything here is a
+/// pure function of the merged integer accumulator — no wall-clock, no
+/// execution-shape observations — so the bytes are identical for a fixed
+/// population regardless of how the fleet was executed.
+pub fn render_report(cfg: &FleetConfig, acc: &FleetAccumulator) -> String {
+    let mut out = format!(
+        "# fleet-sweep — population seed {}, {} home-hours across {} homes\n\n",
+        cfg.population_seed, acc.home_hours, acc.homes
+    );
+
+    let mut pop = Table::new(
+        "Population",
+        &["archetype", "homes", "share", "echo", "ghm"],
+    );
+    for (i, archetype) in Archetype::ALL.iter().enumerate() {
+        let n = acc.archetype_homes[i];
+        pop.push_row(vec![
+            archetype.name().to_string(),
+            n.to_string(),
+            pct(n as f64 / acc.homes.max(1) as f64),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    pop.push_row(vec![
+        "total".to_string(),
+        acc.homes.to_string(),
+        pct(1.0),
+        acc.echo_homes.to_string(),
+        acc.ghm_homes.to_string(),
+    ]);
+    out.push_str(&pop.to_markdown());
+
+    let mut rates = Table::new(
+        "Outcomes (95% Wilson CI)",
+        &["metric", "events", "of", "rate", "ci"],
+    );
+    let attacks_resolved = acc.attacks_blocked + acc.attacks_executed;
+    let (blo, bhi) = wilson_interval(acc.attacks_blocked, attacks_resolved);
+    rates.push_row(vec![
+        "attack block rate".to_string(),
+        acc.attacks_blocked.to_string(),
+        attacks_resolved.to_string(),
+        pct(acc.attacks_blocked as f64 / attacks_resolved.max(1) as f64),
+        format!("[{}, {}]", pct(blo), pct(bhi)),
+    ]);
+    let (flo, fhi) = wilson_interval(acc.false_rejects, acc.legit_commands);
+    rates.push_row(vec![
+        "false reject rate".to_string(),
+        acc.false_rejects.to_string(),
+        acc.legit_commands.to_string(),
+        pct(acc.false_rejects as f64 / acc.legit_commands.max(1) as f64),
+        format!("[{}, {}]", pct(flo), pct(fhi)),
+    ]);
+    let (xlo, xhi) = wilson_interval(acc.attacks_executed, attacks_resolved);
+    rates.push_row(vec![
+        "attacks executed".to_string(),
+        acc.attacks_executed.to_string(),
+        attacks_resolved.to_string(),
+        pct(acc.attacks_executed as f64 / attacks_resolved.max(1) as f64),
+        format!("[{}, {}]", pct(xlo), pct(xhi)),
+    ]);
+    out.push_str(&rates.to_markdown());
+
+    let mut holds = Table::new("Hold latency (s)", &["stat", "value"]);
+    for (label, q) in [
+        ("p50", 0.50),
+        ("p95", 0.95),
+        ("p99", 0.99),
+        ("p99.9", 0.999),
+    ] {
+        let v = acc
+            .hold_latency
+            .quantile(q)
+            .map(|v| fmt_f(v, 3))
+            .unwrap_or_else(|| "-".to_string());
+        holds.push_row(vec![label.to_string(), v]);
+    }
+    holds.push_row(vec![
+        "mean".to_string(),
+        fmt_f(
+            acc.hold_micros as f64 / 1e6 / acc.hold_latency.len().max(1) as f64,
+            3,
+        ),
+    ]);
+    holds.push_row(vec![
+        "samples".to_string(),
+        acc.hold_latency.len().to_string(),
+    ]);
+    holds.note("log-bucket sketch, 5% buckets: quantiles within ~2.5% relative error");
+    out.push_str(&holds.to_markdown());
+
+    let mut life = Table::new(
+        "Guard lifecycle",
+        &["counter", "count", "per 1k home-hours"],
+    );
+    let per_kh = |n: u64| fmt_f(n as f64 * 1000.0 / acc.home_hours.max(1) as f64, 3);
+    for (label, n) in [
+        ("queries", acc.queries),
+        ("allowed", acc.allowed),
+        ("blocked", acc.blocked),
+        ("verdict timeouts", acc.timeouts),
+        ("queries shed", acc.queries_shed),
+        ("crashes", acc.crashes),
+        ("restarts", acc.restarts),
+        ("holds abandoned", acc.holds_abandoned),
+        ("crash during hold", acc.crash_during_hold),
+        ("flows evicted", acc.flows_evicted),
+        ("flows expired", acc.flows_expired),
+        ("evicted during hold", acc.evicted_during_hold),
+        ("flows re-adopted", acc.flows_readopted),
+        ("quarantines", acc.quarantines),
+    ] {
+        life.push_row(vec![label.to_string(), n.to_string(), per_kh(n)]);
+    }
+    out.push_str(&life.to_markdown());
+
+    let mut ckpt = Table::new("Checkpoint overhead", &["metric", "value"]);
+    ckpt.push_row(vec!["checkpoints".to_string(), acc.checkpoints.to_string()]);
+    ckpt.push_row(vec![
+        "state entries captured".to_string(),
+        acc.checkpoint_entries.to_string(),
+    ]);
+    ckpt.push_row(vec![
+        "mean entries/checkpoint".to_string(),
+        fmt_f(
+            acc.checkpoint_entries as f64 / acc.checkpoints.max(1) as f64,
+            2,
+        ),
+    ]);
+    out.push_str(&ckpt.to_markdown());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homes_and_hours_partition_the_total() {
+        let cfg = FleetConfig {
+            hours_per_home: 24,
+            ..FleetConfig::new(7, 100)
+        };
+        assert_eq!(cfg.homes(), 5);
+        let total: u64 = (0..cfg.homes()).map(|i| u64::from(cfg.hours_of(i))).sum();
+        assert_eq!(total, 100);
+        assert_eq!(cfg.hours_of(4), 4);
+    }
+
+    #[test]
+    fn exact_multiples_have_no_short_home() {
+        let cfg = FleetConfig::new(7, 48);
+        assert_eq!(cfg.homes(), 2);
+        assert_eq!(cfg.hours_of(0), 24);
+        assert_eq!(cfg.hours_of(1), 24);
+    }
+
+    #[test]
+    fn tiny_fleet_serial_equals_sharded() {
+        let mut cfg = FleetConfig::new(21, 12);
+        cfg.hours_per_home = 3;
+        cfg.shards = 1;
+        let serial = run(&cfg);
+        cfg.shards = 3;
+        cfg.batch = 1;
+        let sharded = run(&cfg);
+        let mut a = serial.accumulator.clone();
+        let mut b = sharded.accumulator.clone();
+        a.peak_live_homes = 0;
+        b.peak_live_homes = 0;
+        assert_eq!(a, b);
+        assert_eq!(
+            render_report(&cfg, &serial.accumulator),
+            render_report(&cfg, &sharded.accumulator)
+        );
+        assert!(sharded.peak_live_homes <= 3);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut cfg = FleetConfig::new(7, 24);
+        cfg.shards = 1;
+        let outcome = run(&cfg);
+        let report = render_report(&cfg, &outcome.accumulator);
+        for section in [
+            "Population",
+            "Outcomes",
+            "Hold latency",
+            "Guard lifecycle",
+            "Checkpoint overhead",
+        ] {
+            assert!(report.contains(section), "missing {section}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Fixed-size mergeable quantile sketch for streaming fleet aggregation.
+//!
+//! A log-bucketed histogram: bucket `i` covers `[MIN * GAMMA^(i-1), MIN * GAMMA^i)`
+//! so the relative width of every bucket is `GAMMA - 1` (5%). Quantile
+//! estimates are the geometric midpoint of the bucket holding the target
+//! rank, which bounds the relative error of any reported quantile by half a
+//! bucket width (≈ 2.5%) for values inside `[MIN, MAX)`; values outside are
+//! clamped into the underflow/overflow buckets.
+//!
+//! Everything is `u64` counts, so [`QuantileSketch::merge`] is element-wise
+//! addition — associative and commutative — and a fleet report assembled
+//! from per-shard sketches is byte-identical regardless of shard count or
+//! merge order. Memory is a fixed 256-slot array per sketch, independent of
+//! the number of recorded samples.
+
+/// Smallest resolvable value (seconds, when used for latencies): 1 ms.
+const MIN: f64 = 1e-3;
+/// Per-bucket growth factor; relative bucket width is `GAMMA - 1` = 5%.
+const GAMMA: f64 = 1.05;
+/// Bucket count. `MIN * GAMMA^254` ≈ 240 s, an order of magnitude above
+/// any latency the guard can produce (the verdict timeout caps holds at
+/// tens of seconds); larger values clamp into the overflow bucket.
+const BUCKETS: usize = 256;
+
+/// Streaming quantile estimator over a fixed log-bucket grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Records one sample. Non-finite and negative values clamp to the
+    /// underflow bucket.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Merges `other` into `self`. Element-wise `u64` addition: associative,
+    /// commutative, and lossless, so any merge tree over any partition of
+    /// the samples produces the identical sketch.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`, or `None` when empty.
+    ///
+    /// Uses the nearest-rank definition (`ceil(q * n)`, minimum rank 1) and
+    /// returns the geometric midpoint of the bucket containing that rank,
+    /// so the estimate is within half a bucket (≈ 2.5% relative) of the
+    /// exact order statistic for in-range values.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        Some(bucket_mid(BUCKETS - 1))
+    }
+
+    /// Stable integer fingerprint of the bucket contents, for byte-identity
+    /// assertions in determinism tests and goldens.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for c in &self.counts {
+            h ^= *c;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Bucket index for a value. 0 is underflow (`< MIN`, including negatives
+/// and non-finite values), `BUCKETS - 1` is overflow.
+fn bucket_of(value: f64) -> usize {
+    if !value.is_finite() || value < MIN {
+        return 0;
+    }
+    let idx = (value / MIN).ln() / GAMMA.ln();
+    // +1 so that index 0 stays reserved for underflow.
+    ((idx.floor() as i64) + 1).clamp(0, (BUCKETS - 1) as i64) as usize
+}
+
+/// Geometric midpoint of bucket `i`'s range; the representative value
+/// reported for quantiles landing in that bucket.
+fn bucket_mid(i: usize) -> f64 {
+    if i == 0 {
+        return MIN;
+    }
+    let lo = MIN * GAMMA.powi(i as i32 - 1);
+    lo * GAMMA.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use simcore::RngStreams;
+
+    /// Exact nearest-rank percentile of a sorted slice.
+    fn exact(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    fn assert_within_bound(samples: &mut [f64], qs: &[f64]) {
+        let mut sketch = QuantileSketch::new();
+        for &s in samples.iter() {
+            sketch.record(s);
+        }
+        samples.sort_by(f64::total_cmp);
+        for &q in qs {
+            let est = sketch.quantile(q).unwrap();
+            let truth = exact(samples, q);
+            // Stated bound: one bucket width of relative error (GAMMA - 1),
+            // i.e. the estimate and the exact order statistic share a bucket
+            // or neighbouring buckets.
+            let rel = (est - truth).abs() / truth;
+            assert!(
+                rel <= GAMMA - 1.0,
+                "q={q}: est={est} truth={truth} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_quantiles_within_bound() {
+        let mut rng = RngStreams::new(11).stream("uniform");
+        let mut samples: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.01..10.0)).collect();
+        assert_within_bound(&mut samples, &[0.5, 0.95, 0.99]);
+    }
+
+    #[test]
+    fn log_normal_quantiles_within_bound() {
+        let mut rng = RngStreams::new(12).stream("lognormal");
+        let mut samples: Vec<f64> = (0..10_000)
+            .map(|_| simcore::rng::log_normal(&mut rng, 0.5, 0.8).clamp(MIN, 1e5))
+            .collect();
+        assert_within_bound(&mut samples, &[0.5, 0.95, 0.99]);
+    }
+
+    #[test]
+    fn exponential_quantiles_within_bound() {
+        let mut rng = RngStreams::new(13).stream("exp");
+        let mut samples: Vec<f64> = (0..10_000)
+            .map(|_| simcore::rng::exponential(&mut rng, 2.0).max(MIN))
+            .collect();
+        assert_within_bound(&mut samples, &[0.5, 0.95, 0.99]);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut rng = RngStreams::new(14).stream("merge");
+        let parts: Vec<QuantileSketch> = (0..4)
+            .map(|_| {
+                let mut s = QuantileSketch::new();
+                for _ in 0..500 {
+                    s.record(rng.gen_range(0.001..50.0));
+                }
+                s
+            })
+            .collect();
+        // ((a+b)+c)+d
+        let mut left = parts[0].clone();
+        for p in &parts[1..] {
+            left.merge(p);
+        }
+        // d+(c+(b+a))
+        let mut right = parts[3].clone();
+        let mut inner = parts[2].clone();
+        let mut innermost = parts[1].clone();
+        innermost.merge(&parts[0]);
+        inner.merge(&innermost);
+        right.merge(&inner);
+        assert_eq!(left, right);
+        assert_eq!(left.fingerprint(), right.fingerprint());
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut s = QuantileSketch::new();
+        s.record(-1.0);
+        s.record(0.0);
+        s.record(f64::NAN);
+        s.record(1e9);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.quantile(0.0).unwrap(), MIN);
+        // Overflow clamps into the top bucket (~240 s), far above any
+        // latency the guard can produce.
+        assert!(s.quantile(1.0).unwrap() > 200.0);
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        assert!(QuantileSketch::new().quantile(0.5).is_none());
+    }
+}

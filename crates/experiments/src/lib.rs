@@ -39,6 +39,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig89;
+pub mod fleet;
 pub mod hold_envelope;
 pub mod offline;
 pub mod orchestrator;

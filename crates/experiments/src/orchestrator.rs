@@ -76,6 +76,26 @@ pub struct ScenarioConfig {
     pub scan_samples: usize,
     /// Fault profile applied across the stack (default clean).
     pub faults: FaultProfile,
+    /// RNG stream factory to root every scenario stream in, instead of
+    /// `RngStreams::new(seed)`. A fleet sets this to a per-home fork of a
+    /// population factory (`population.fork_indexed("home", i)`) so each
+    /// home draws independent randomness without coordinating seeds; the
+    /// engine inherits the same factory. `None` (the default) preserves
+    /// the historical seed-rooted derivation byte-for-byte.
+    pub streams: Option<RngStreams>,
+}
+
+impl ScenarioConfig {
+    /// Roots the scenario's randomness in a fork of `parent` dedicated to
+    /// home `index` — the population → home → subsystem hierarchy of the
+    /// fleet engine. Also rewrites `seed` to the fork's master seed so
+    /// seed-derived values (e.g. the RF shadow seed) stay per-home.
+    pub fn with_home_streams(mut self, parent: &RngStreams, index: u64) -> Self {
+        let streams = parent.fork_indexed("home", index);
+        self.seed = streams.master_seed();
+        self.streams = Some(streams);
+        self
+    }
 }
 
 /// Which adversarial traffic generators ride on the scenario LAN: a
@@ -434,6 +454,7 @@ impl ScenarioConfig {
             naive_spike_detection: false,
             scan_samples: 3,
             faults: FaultProfile::clean(),
+            streams: None,
         }
     }
 
@@ -609,14 +630,15 @@ impl GuardedHome {
         assert!(cfg.deployment < 2, "deployment must be 0 or 1");
         assert!(!cfg.devices.is_empty(), "need at least one owner device");
         assert!(!cfg.speakers.is_empty(), "need at least one speaker");
-        let streams = RngStreams::new(cfg.seed).fork("orchestrator");
+        let root = cfg.streams.unwrap_or_else(|| RngStreams::new(cfg.seed));
+        let streams = root.fork("orchestrator");
         let mut rng = streams.stream("main");
 
         // One RF channel per speaker: the first at the configured
         // deployment, further speakers cycling through the remaining
         // locations.
         let prop = PropagationConfig {
-            shadow_seed: cfg.seed ^ 0xB1E,
+            shadow_seed: root.master_seed() ^ 0xB1E,
             ..PropagationConfig::paper_calibrated()
         };
         let positions: Vec<Point> = (0..cfg.speakers.len())
@@ -630,7 +652,8 @@ impl GuardedHome {
 
         // Network: speaker hosts, their clouds, and one shared guard tap.
         let mut net = Network::new(NetworkConfig {
-            seed: cfg.seed,
+            seed: root.master_seed(),
+            streams: cfg.streams,
             capture_enabled: cfg.capture,
             faults: cfg.faults.net,
             guard_faults: cfg.faults.guard,

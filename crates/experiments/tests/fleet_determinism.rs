@@ -1,0 +1,126 @@
+//! Determinism of the fleet engine: arbitrary small fleets run
+//! sharded-parallel and serially must produce identical merged
+//! [`FleetAccumulator`]s — and therefore byte-identical rendered
+//! reports — for any shard count, batch size and merge order.
+//!
+//! This holds because every home's randomness is rooted in its own
+//! `fork_indexed("home", i)` factory (no stream is shared between
+//! homes), and because the accumulator is integers-only with an
+//! associative + commutative merge. The proptests here are the
+//! executable form of that argument.
+
+use experiments::fleet::{render_report, run, simulate_home, FleetAccumulator, FleetConfig};
+use proptest::prelude::*;
+
+/// Zeroes the execution-shape observation so accumulators from
+/// different run shapes compare on simulation content alone.
+fn normalized(acc: &FleetAccumulator) -> FleetAccumulator {
+    let mut acc = acc.clone();
+    acc.peak_live_homes = 0;
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial and sharded execution agree for 1–64 homes of mixed
+    /// archetypes, any shard count, any batch size.
+    #[test]
+    fn sharded_equals_serial(
+        seed in 0u64..1_000_000,
+        homes in 1u64..=64,
+        hours in 1u32..=3,
+        shards in 2usize..=6,
+        batch in 1u64..=8,
+    ) {
+        let mut cfg = FleetConfig::new(seed, homes * u64::from(hours));
+        cfg.hours_per_home = hours;
+        cfg.shards = 1;
+        let serial = run(&cfg);
+        cfg.shards = shards;
+        cfg.batch = batch;
+        let sharded = run(&cfg);
+        prop_assert_eq!(
+            normalized(&serial.accumulator),
+            normalized(&sharded.accumulator)
+        );
+        // The rendered report never contains the execution shape, so its
+        // bytes are identical too.
+        prop_assert_eq!(
+            render_report(&cfg, &serial.accumulator),
+            render_report(&cfg, &sharded.accumulator)
+        );
+        // The memory bound: never more resident homes than workers.
+        prop_assert!(serial.peak_live_homes <= 1);
+        prop_assert!(sharded.peak_live_homes <= shards as u64);
+    }
+
+    /// Merging per-home accumulators is associative and commutative:
+    /// any permutation and any grouping produces the same aggregate.
+    #[test]
+    fn merge_order_is_irrelevant(
+        seed in 0u64..1_000_000,
+        homes in 2usize..=16,
+        order in proptest::collection::vec(0u64..u64::MAX, 2usize..16),
+    ) {
+        let cfg = FleetConfig::new(seed, homes as u64);
+        let population = cfg.population();
+        let parts: Vec<FleetAccumulator> = (0..homes as u64)
+            .map(|i| {
+                let mut acc = FleetAccumulator::default();
+                simulate_home(&population, i, 1, &mut acc);
+                acc
+            })
+            .collect();
+
+        // Left fold in index order.
+        let mut forward = FleetAccumulator::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+
+        // A permutation driven by the proptest input.
+        let mut indices: Vec<usize> = (0..parts.len()).collect();
+        for (i, r) in order.iter().enumerate() {
+            let j = (*r as usize) % parts.len();
+            indices.swap(i % parts.len(), j);
+        }
+        let mut permuted = FleetAccumulator::default();
+        for &i in &indices {
+            permuted.merge(&parts[i]);
+        }
+
+        // Pairwise tree merge (different grouping).
+        let mut layer = parts.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let mut m = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    m.merge(b);
+                }
+                next.push(m);
+            }
+            layer = next;
+        }
+
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(&forward, &layer[0]);
+    }
+
+    /// A home simulated twice from the same population factory is
+    /// bit-identical — the per-home RNG fork is self-contained.
+    #[test]
+    fn homes_replay_bit_identically(
+        seed in 0u64..1_000_000,
+        index in 0u64..256,
+    ) {
+        let cfg = FleetConfig::new(seed, 24);
+        let population = cfg.population();
+        let mut a = FleetAccumulator::default();
+        simulate_home(&population, index, 2, &mut a);
+        let mut b = FleetAccumulator::default();
+        simulate_home(&population, index, 2, &mut b);
+        prop_assert_eq!(a, b);
+    }
+}

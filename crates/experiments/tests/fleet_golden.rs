@@ -1,0 +1,52 @@
+//! Pinned seed-7 golden fleet report.
+//!
+//! The continuous noise inside each home (packet spacing, verdict
+//! latencies, loss dice) comes from `StdRng` streams, whose numeric
+//! output differs between the real crates-io `rand` and the offline
+//! build stubs. The pin is therefore world-tagged: `fleet_s7.stub.md`
+//! for the stub world, `fleet_s7.md` for the real one. A world whose pin
+//! has not been generated yet skips with a note instead of failing.
+//!
+//! Regenerate for the active world after an intentional behaviour
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test fleet_golden
+//! ```
+
+use experiments::fleet::{render_report, run, FleetConfig};
+use experiments::offline::offline_stubs_active;
+use std::path::PathBuf;
+
+#[test]
+fn seed7_fleet_report_matches_pin() {
+    let mut cfg = FleetConfig::new(7, 1_000);
+    cfg.shards = 2;
+    let outcome = run(&cfg);
+    let rendered = render_report(&cfg, &outcome.accumulator);
+
+    let pin = if offline_stubs_active() {
+        "fleet_s7.stub.md"
+    } else {
+        "fleet_s7.md"
+    };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(pin);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let Ok(expected) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "skipping: no {pin} pin for this dependency world yet \
+             (generate with UPDATE_GOLDEN=1)"
+        );
+        return;
+    };
+    assert_eq!(
+        rendered, expected,
+        "seed-7 fleet report drifted from {pin}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -67,6 +67,12 @@ pub struct NetworkConfig {
     /// Guard crash/restart plan applied to every tap slot. The default
     /// ([`GuardFaults::none`]) schedules nothing and draws nothing.
     pub guard_faults: GuardFaults,
+    /// RNG stream factory to derive engine randomness from instead of
+    /// `RngStreams::new(seed)`. Lets a fleet hand each home's engine a
+    /// factory forked from a population stream (`fork_indexed("home", i)`)
+    /// so homes are independent without coordinating seeds. `None` (the
+    /// default) preserves the historical seed-rooted derivation.
+    pub streams: Option<RngStreams>,
 }
 
 impl Default for NetworkConfig {
@@ -81,6 +87,7 @@ impl Default for NetworkConfig {
             capture_enabled: true,
             faults: FaultPlan::none(),
             guard_faults: GuardFaults::none(),
+            streams: None,
         }
     }
 }
@@ -339,7 +346,10 @@ impl fmt::Debug for Network {
 impl Network {
     /// Creates an empty network.
     pub fn new(config: NetworkConfig) -> Self {
-        let streams = RngStreams::new(config.seed).fork("netsim");
+        let streams = config
+            .streams
+            .unwrap_or_else(|| RngStreams::new(config.seed))
+            .fork("netsim");
         Network {
             config,
             queue: EventQueue::new(),
@@ -389,7 +399,11 @@ impl Network {
             self.hosts.iter().all(|h| h.ip != ip),
             "duplicate host IP {ip}"
         );
-        let streams = RngStreams::new(self.config.seed).fork("netsim-hosts");
+        let streams = self
+            .config
+            .streams
+            .unwrap_or_else(|| RngStreams::new(self.config.seed))
+            .fork("netsim-hosts");
         let rng = streams.stream(name);
         let id = HostId(self.hosts.len() as u32);
         self.hosts.push(HostEntry {

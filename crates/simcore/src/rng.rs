@@ -67,6 +67,16 @@ impl RngStreams {
             master_seed: derive_seed(self.master_seed, name),
         }
     }
+
+    /// Derives a sub-factory for a `(name, index)` pair — the hierarchical
+    /// population → home → subsystem pattern. `fork_indexed("home", 3)` is
+    /// `fork("home#3")`, so a fleet can hand each simulated home an
+    /// independent factory and each home can fork further without any
+    /// coordination between siblings.
+    pub fn fork_indexed(&self, name: &str, index: u64) -> RngStreams {
+        let combined = format!("{name}#{index}");
+        self.fork(&combined)
+    }
 }
 
 /// FNV-1a style mix of seed and name; stable across platforms and releases.
