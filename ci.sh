@@ -25,6 +25,11 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # blind-window policies (fail-open pass-through and fail-closed drop).
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-pass
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --profile crash-drop
+# Storage-matrix smoke: one round of the fail-closed crash profile over
+# every checkpoint-store fault mix × chain depth cell. A hang, panic,
+# or a deep-chain cell failing open here means the framed-checkpoint
+# recovery walk regressed.
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 21 --storage
 # Adversarial smoke: one round of the flow-flood and slow-loris memory
 # attacks against the unbounded and hardened guard. A hang, panic, or
 # non-blocked attack command here means the state bounds regressed.
@@ -50,6 +55,15 @@ cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
     --smoke --seed 7 --shards 1 >"$fleet_smoke_dir/serial.md"
 run cmp "$fleet_smoke_dir/a.md" "$fleet_smoke_dir/b.md"
 run cmp "$fleet_smoke_dir/a.md" "$fleet_smoke_dir/serial.md"
+# Fleet storage smoke: the same population with the crashy-archetype
+# storage-fault dial on. The report must still be shard-independent and
+# must grow the checkpoint-storage recovery table (fault evidence).
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 4 --storage-faults >"$fleet_smoke_dir/faulty_a.md"
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 1 --storage-faults >"$fleet_smoke_dir/faulty_serial.md"
+run cmp "$fleet_smoke_dir/faulty_a.md" "$fleet_smoke_dir/faulty_serial.md"
+run grep -q "Checkpoint storage" "$fleet_smoke_dir/faulty_a.md"
 # Sans-io fuzz smoke: bounded property runs driving the pure GuardCore
 # with arbitrary input interleavings (no panics, state bounds hold, no
 # double-released holds) and pinning driver equivalence (simulator tap

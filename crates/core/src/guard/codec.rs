@@ -1,0 +1,735 @@
+//! Hand-rolled binary codec for guard snapshots.
+//!
+//! Checkpoints cross a modeled durability boundary (the simulator's
+//! checkpoint store injects torn writes and bit rot at the byte level),
+//! so a snapshot must exist as a concrete byte sequence with a decoder
+//! that survives arbitrary corruption without panicking. The layout is a
+//! fixed little-endian field order — no self-describing framing, no
+//! reflection — which keeps the bytes deterministic per seed (snapshots
+//! are captured in sorted form, see [`crate::guard::snapshot`]).
+//!
+//! Every decode is bounds-checked against the remaining input and every
+//! tag, length and structural invariant is validated, returning a typed
+//! [`DecodeError`] instead of trusting the bytes: a truncated buffer,
+//! a flipped tag bit, or a length field pointing past the end of the
+//! frame must never allocate unboundedly, index out of range, or build a
+//! value that violates an invariant the in-memory constructors enforce
+//! (the snapshot corruption fuzz test pins this).
+
+use crate::config::{GuardConfig, SpeakerKind};
+use crate::decision::Verdict;
+use crate::guard::snapshot::{
+    GuardSnapshot, HoldTargetSnapshot, PendingQuerySnapshot, PipelineSnapshot, SlotSnapshot,
+};
+use crate::guard::GuardStats;
+use crate::recognition::{SignatureState, SpikeClass};
+use simcore::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Why a snapshot byte buffer could not be decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the field at byte offset `at` was complete.
+    Truncated {
+        /// Byte offset of the incomplete field.
+        at: usize,
+    },
+    /// An enum tag (or strict boolean) byte held an unknown value.
+    InvalidTag {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length field claimed more elements than the remaining bytes
+    /// could possibly hold (rejected before any allocation).
+    TooLong {
+        /// Which collection was being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A structural invariant the in-memory constructors enforce does not
+    /// hold in the decoded value (e.g. an empty signature matcher).
+    Invalid {
+        /// The violated invariant.
+        what: &'static str,
+    },
+    /// Decoding succeeded but bytes remain after the value.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "snapshot truncated at byte {at}"),
+            DecodeError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag:#04x} decoding {what}")
+            }
+            DecodeError::TooLong { what, len } => {
+                write!(f, "{what} claims {len} elements past the end of the buffer")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "snapshot string is not valid UTF-8"),
+            DecodeError::Invalid { what } => write!(f, "snapshot violates invariant: {what}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked cursor over a snapshot byte buffer.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { at: self.pos });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+}
+
+/// Fixed-layout binary encoding. Implementations live next to the types
+/// whose fields are private; everything reachable from [`GuardSnapshot`]
+/// implements this.
+pub(crate) trait Codec: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+}
+
+// ------------------------------------------------------------------
+// Primitives
+// ------------------------------------------------------------------
+
+impl Codec for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.u8()
+    }
+}
+
+impl Codec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Codec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| DecodeError::Invalid {
+            what: "usize field exceeds platform width",
+        })
+    }
+}
+
+impl Codec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        // Strict: any byte other than 0/1 is corruption, not `true`.
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::InvalidTag { what: "bool", tag }),
+        }
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        if len > r.remaining() as u64 {
+            return Err(DecodeError::TooLong {
+                what: "string",
+                len,
+            });
+        }
+        let bytes = r.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+}
+
+impl Codec for Ipv4Addr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.octets());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let o: [u8; 4] = r.take(4)?.try_into().unwrap();
+        Ok(Ipv4Addr::from(o))
+    }
+}
+
+impl Codec for SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SimTime::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl Codec for SimDuration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SimDuration::from_nanos(u64::decode(r)?))
+    }
+}
+
+// ------------------------------------------------------------------
+// Containers
+// ------------------------------------------------------------------
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::InvalidTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        // Every element occupies at least one byte, so a length beyond the
+        // remaining input is corrupt — reject before allocating.
+        if len > r.remaining() as u64 {
+            return Err(DecodeError::TooLong { what: "Vec", len });
+        }
+        let mut v = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Codec for BTreeMap<u64, u32> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        if len > r.remaining() as u64 {
+            return Err(DecodeError::TooLong {
+                what: "BTreeMap",
+                len,
+            });
+        }
+        let mut m = BTreeMap::new();
+        for _ in 0..len {
+            m.insert(u64::decode(r)?, u32::decode(r)?);
+        }
+        Ok(m)
+    }
+}
+
+impl Codec for BTreeSet<u64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u64::decode(r)?;
+        if len > r.remaining() as u64 {
+            return Err(DecodeError::TooLong {
+                what: "BTreeSet",
+                len,
+            });
+        }
+        let mut s = BTreeSet::new();
+        for _ in 0..len {
+            s.insert(u64::decode(r)?);
+        }
+        Ok(s)
+    }
+}
+
+// ------------------------------------------------------------------
+// Simple enums
+// ------------------------------------------------------------------
+
+impl Codec for Verdict {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Verdict::Legitimate => 0,
+            Verdict::Malicious => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(Verdict::Legitimate),
+            1 => Ok(Verdict::Malicious),
+            tag => Err(DecodeError::InvalidTag {
+                what: "Verdict",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for SpeakerKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SpeakerKind::EchoDot => 0,
+            SpeakerKind::GoogleHomeMini => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SpeakerKind::EchoDot),
+            1 => Ok(SpeakerKind::GoogleHomeMini),
+            tag => Err(DecodeError::InvalidTag {
+                what: "SpeakerKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for SpikeClass {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SpikeClass::Undecided => 0,
+            SpikeClass::Command => 1,
+            SpikeClass::NotCommand => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SpikeClass::Undecided),
+            1 => Ok(SpikeClass::Command),
+            2 => Ok(SpikeClass::NotCommand),
+            tag => Err(DecodeError::InvalidTag {
+                what: "SpikeClass",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for SignatureState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            SignatureState::Pending => 0,
+            SignatureState::Matched => 1,
+            SignatureState::Diverged => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SignatureState::Pending),
+            1 => Ok(SignatureState::Matched),
+            2 => Ok(SignatureState::Diverged),
+            tag => Err(DecodeError::InvalidTag {
+                what: "SignatureState",
+                tag,
+            }),
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Public structs (private-field types implement Codec in their own
+// modules: recognition, learning, pipeline, echo, ghm)
+// ------------------------------------------------------------------
+
+impl Codec for GuardConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.speaker.encode(out);
+        self.avs_domain.encode(out);
+        self.google_domain.encode(out);
+        self.idle_gap.encode(out);
+        self.classify_max_packets.encode(out);
+        self.classify_deadline.encode(out);
+        self.heartbeat_len.encode(out);
+        self.ghm_aggregation.encode(out);
+        self.verdict_timeout.encode(out);
+        self.fail_closed.encode(out);
+        self.hold_capacity.encode(out);
+        self.naive_spike_detection.encode(out);
+        self.adaptive_signature.encode(out);
+        self.flow_table_capacity.encode(out);
+        self.flow_idle_ttl.encode(out);
+        self.ledger_hole_capacity.encode(out);
+        self.reorder_buffer_capacity.encode(out);
+        self.pending_query_budget.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(GuardConfig {
+            speaker: Codec::decode(r)?,
+            avs_domain: Codec::decode(r)?,
+            google_domain: Codec::decode(r)?,
+            idle_gap: Codec::decode(r)?,
+            classify_max_packets: Codec::decode(r)?,
+            classify_deadline: Codec::decode(r)?,
+            heartbeat_len: Codec::decode(r)?,
+            ghm_aggregation: Codec::decode(r)?,
+            verdict_timeout: Codec::decode(r)?,
+            fail_closed: Codec::decode(r)?,
+            hold_capacity: Codec::decode(r)?,
+            naive_spike_detection: Codec::decode(r)?,
+            adaptive_signature: Codec::decode(r)?,
+            flow_table_capacity: Codec::decode(r)?,
+            flow_idle_ttl: Codec::decode(r)?,
+            ledger_hole_capacity: Codec::decode(r)?,
+            reorder_buffer_capacity: Codec::decode(r)?,
+            pending_query_budget: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GuardStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.queries.encode(out);
+        self.allowed.encode(out);
+        self.blocked.encode(out);
+        self.timeouts.encode(out);
+        self.hold_durations_s.encode(out);
+        self.signature_learned_ips.encode(out);
+        self.dns_learned_ips.encode(out);
+        self.signatures_adapted.encode(out);
+        self.hold_overflow_dropped.encode(out);
+        self.hold_overflow_forwarded.encode(out);
+        self.crashes.encode(out);
+        self.restarts.encode(out);
+        self.holds_abandoned.encode(out);
+        self.flows_readopted.encode(out);
+        self.readoption_latency_s.encode(out);
+        self.flows_evicted.encode(out);
+        self.flows_expired.encode(out);
+        self.queries_shed.encode(out);
+        self.ledger_overflows.encode(out);
+        self.reorder_overflows.encode(out);
+        self.peak_tracked_flows.encode(out);
+        self.peak_pending_queries.encode(out);
+        self.recoveries_intact.encode(out);
+        self.recoveries_fell_back.encode(out);
+        self.recoveries_cold.encode(out);
+        self.recovery_checkpoints_skipped.encode(out);
+        self.opaque_snapshots.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(GuardStats {
+            queries: Codec::decode(r)?,
+            allowed: Codec::decode(r)?,
+            blocked: Codec::decode(r)?,
+            timeouts: Codec::decode(r)?,
+            hold_durations_s: Codec::decode(r)?,
+            signature_learned_ips: Codec::decode(r)?,
+            dns_learned_ips: Codec::decode(r)?,
+            signatures_adapted: Codec::decode(r)?,
+            hold_overflow_dropped: Codec::decode(r)?,
+            hold_overflow_forwarded: Codec::decode(r)?,
+            crashes: Codec::decode(r)?,
+            restarts: Codec::decode(r)?,
+            holds_abandoned: Codec::decode(r)?,
+            flows_readopted: Codec::decode(r)?,
+            readoption_latency_s: Codec::decode(r)?,
+            flows_evicted: Codec::decode(r)?,
+            flows_expired: Codec::decode(r)?,
+            queries_shed: Codec::decode(r)?,
+            ledger_overflows: Codec::decode(r)?,
+            reorder_overflows: Codec::decode(r)?,
+            peak_tracked_flows: Codec::decode(r)?,
+            peak_pending_queries: Codec::decode(r)?,
+            recoveries_intact: Codec::decode(r)?,
+            recoveries_fell_back: Codec::decode(r)?,
+            recoveries_cold: Codec::decode(r)?,
+            recovery_checkpoints_skipped: Codec::decode(r)?,
+            opaque_snapshots: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for HoldTargetSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HoldTargetSnapshot::Conn(conn) => {
+                out.push(0);
+                conn.encode(out);
+            }
+            HoldTargetSnapshot::UdpFlow(ip) => {
+                out.push(1);
+                ip.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(HoldTargetSnapshot::Conn(Codec::decode(r)?)),
+            1 => Ok(HoldTargetSnapshot::UdpFlow(Codec::decode(r)?)),
+            tag => Err(DecodeError::InvalidTag {
+                what: "HoldTargetSnapshot",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for PendingQuerySnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pipeline.encode(out);
+        self.target.encode(out);
+        self.hold_started.encode(out);
+        self.verdict.encode(out);
+        self.fail_closed.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(PendingQuerySnapshot {
+            pipeline: Codec::decode(r)?,
+            target: Codec::decode(r)?,
+            hold_started: Codec::decode(r)?,
+            verdict: Codec::decode(r)?,
+            fail_closed: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for PipelineSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PipelineSnapshot::Echo(e) => {
+                out.push(0);
+                e.encode(out);
+            }
+            PipelineSnapshot::Ghm(g) => {
+                out.push(1);
+                g.encode(out);
+            }
+            PipelineSnapshot::Opaque => out.push(2),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(PipelineSnapshot::Echo(Codec::decode(r)?)),
+            1 => Ok(PipelineSnapshot::Ghm(Codec::decode(r)?)),
+            2 => Ok(PipelineSnapshot::Opaque),
+            tag => Err(DecodeError::InvalidTag {
+                what: "PipelineSnapshot",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for SlotSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ip.encode(out);
+        self.pipeline.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(SlotSnapshot {
+            ip: Codec::decode(r)?,
+            pipeline: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GuardSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.generation.encode(out);
+        self.next_query.encode(out);
+        self.queries.encode(out);
+        self.stats.encode(out);
+        self.pipeline_stats.encode(out);
+        self.conn_routes.encode(out);
+        self.held_conns.encode(out);
+        self.held_udp.encode(out);
+        self.slots.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(GuardSnapshot {
+            version: Codec::decode(r)?,
+            generation: Codec::decode(r)?,
+            next_query: Codec::decode(r)?,
+            queries: Codec::decode(r)?,
+            stats: Codec::decode(r)?,
+            pipeline_stats: Codec::decode(r)?,
+            conn_routes: Codec::decode(r)?,
+            held_conns: Codec::decode(r)?,
+            held_udp: Codec::decode(r)?,
+            slots: Codec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + fmt::Debug>(value: T) {
+        let mut out = Vec::new();
+        value.encode(&mut out);
+        let mut r = Reader::new(&out);
+        let back = T::decode(&mut r).expect("decode");
+        assert_eq!(back, value);
+        assert_eq!(r.remaining(), 0, "decode consumed everything");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(std::f64::consts::PI);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("avs-alexa-4-na.amazon.com"));
+        round_trip(Ipv4Addr::new(192, 168, 1, 50));
+        round_trip(SimTime::from_millis(12_345));
+        round_trip(SimDuration::from_secs(25));
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip(vec![1u32, 2, 3]);
+        round_trip((9u64, 3usize));
+    }
+
+    #[test]
+    fn strict_bool_rejects_corrupt_byte() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(
+            bool::decode(&mut r),
+            Err(DecodeError::InvalidTag {
+                what: "bool",
+                tag: 2
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_vec_length_is_rejected_before_allocation() {
+        let mut out = Vec::new();
+        (u64::MAX).encode(&mut out);
+        let mut r = Reader::new(&out);
+        assert!(matches!(
+            Vec::<u64>::decode(&mut r),
+            Err(DecodeError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let mut out = Vec::new();
+        7u64.encode(&mut out);
+        out.truncate(3);
+        let mut r = Reader::new(&out);
+        assert_eq!(u64::decode(&mut r), Err(DecodeError::Truncated { at: 0 }));
+    }
+
+    #[test]
+    fn guard_config_round_trips() {
+        round_trip(GuardConfig::echo_dot());
+        round_trip(GuardConfig::google_home_mini());
+    }
+
+    #[test]
+    fn guard_stats_round_trip() {
+        let stats = GuardStats {
+            queries: 9,
+            hold_durations_s: vec![1.5, 0.25],
+            readoption_latency_s: 3.75,
+            ..GuardStats::default()
+        };
+        round_trip(stats);
+    }
+}

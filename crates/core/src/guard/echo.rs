@@ -126,6 +126,104 @@ pub struct EchoSnapshot {
     speaker_identity: Option<Ipv4Addr>,
 }
 
+use crate::guard::codec::{Codec, DecodeError, Reader};
+
+impl Codec for ConnKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConnKind::Candidate(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            ConnKind::Avs => out.push(1),
+            ConnKind::Provisional => out.push(2),
+            ConnKind::Other => out.push(3),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(ConnKind::Candidate(Codec::decode(r)?)),
+            1 => Ok(ConnKind::Avs),
+            2 => Ok(ConnKind::Provisional),
+            3 => Ok(ConnKind::Other),
+            tag => Err(DecodeError::InvalidTag {
+                what: "echo ConnKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for ConnTrack {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.server_ip.encode(out);
+        self.learning.encode(out);
+        self.last_data.encode(out);
+        self.spike.encode(out);
+        self.passthrough.encode(out);
+        self.ledger.encode(out);
+        self.pending_next.encode(out);
+        self.pending.encode(out);
+        self.resync.encode(out);
+        self.last_seen.encode(out);
+        self.quarantined.encode(out);
+        self.pending_commit.encode(out);
+        self.condemned.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ConnTrack {
+            kind: Codec::decode(r)?,
+            server_ip: Codec::decode(r)?,
+            learning: Codec::decode(r)?,
+            last_data: Codec::decode(r)?,
+            spike: Codec::decode(r)?,
+            passthrough: Codec::decode(r)?,
+            ledger: Codec::decode(r)?,
+            pending_next: Codec::decode(r)?,
+            pending: Codec::decode(r)?,
+            resync: Codec::decode(r)?,
+            last_seen: Codec::decode(r)?,
+            quarantined: Codec::decode(r)?,
+            pending_commit: Codec::decode(r)?,
+            condemned: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for EchoSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.avs_signature.encode(out);
+        self.avs_ip.encode(out);
+        self.conns.encode(out);
+        self.learner.encode(out);
+        self.dns_confirmed_ips.encode(out);
+        self.restarted.encode(out);
+        self.speaker_identity.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let snap = EchoSnapshot {
+            config: Codec::decode(r)?,
+            avs_signature: Codec::decode(r)?,
+            avs_ip: Codec::decode(r)?,
+            conns: Codec::decode(r)?,
+            learner: Codec::decode(r)?,
+            dns_confirmed_ips: Codec::decode(r)?,
+            restarted: Codec::decode(r)?,
+            speaker_identity: Codec::decode(r)?,
+        };
+        // `from_snapshot` rebuilds candidate matchers against this
+        // signature; an empty one would panic in SignatureMatcher::new.
+        if snap.avs_signature.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "EchoSnapshot with empty AVS signature",
+            });
+        }
+        Ok(snap)
+    }
+}
+
 impl EchoPipeline {
     /// Creates an Echo pipeline with a custom connection signature.
     pub fn with_signature(config: GuardConfig, signature: &[u32]) -> Self {

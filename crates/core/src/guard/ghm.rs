@@ -93,6 +93,90 @@ pub struct GhmSnapshot {
     restarted: bool,
 }
 
+use crate::guard::codec::{Codec, DecodeError, Reader};
+
+impl Codec for ConnKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ConnKind::GoogleVoice => 0,
+            ConnKind::Other => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(ConnKind::GoogleVoice),
+            1 => Ok(ConnKind::Other),
+            tag => Err(DecodeError::InvalidTag {
+                what: "ghm ConnKind",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for ConnTrack {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.last_data.encode(out);
+        self.spike.encode(out);
+        self.passthrough.encode(out);
+        self.ledger.encode(out);
+        self.resync.encode(out);
+        self.last_seen.encode(out);
+        self.quarantined.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ConnTrack {
+            kind: Codec::decode(r)?,
+            last_data: Codec::decode(r)?,
+            spike: Codec::decode(r)?,
+            passthrough: Codec::decode(r)?,
+            ledger: Codec::decode(r)?,
+            resync: Codec::decode(r)?,
+            last_seen: Codec::decode(r)?,
+            quarantined: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for UdpFlowTrack {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.last_data.encode(out);
+        self.spike.encode(out);
+        self.passthrough.encode(out);
+        self.blocking.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(UdpFlowTrack {
+            last_data: Codec::decode(r)?,
+            spike: Codec::decode(r)?,
+            passthrough: Codec::decode(r)?,
+            blocking: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for GhmSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        self.google_ips.encode(out);
+        self.conns.encode(out);
+        self.udp.encode(out);
+        self.flow_ip.encode(out);
+        self.restarted.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(GhmSnapshot {
+            config: Codec::decode(r)?,
+            google_ips: Codec::decode(r)?,
+            conns: Codec::decode(r)?,
+            udp: Codec::decode(r)?,
+            flow_ip: Codec::decode(r)?,
+            restarted: Codec::decode(r)?,
+        })
+    }
+}
+
 impl GhmPipeline {
     /// Creates a Mini pipeline.
     pub fn new(config: GuardConfig) -> Self {

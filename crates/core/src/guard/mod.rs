@@ -44,6 +44,7 @@
 //! [`GuardEvent::QueryRequested`] events, evaluates them with the
 //! [`crate::DecisionModule`], and feeds verdicts back through the driver.
 
+pub mod codec;
 pub mod echo;
 pub mod flow;
 pub mod ghm;
@@ -52,6 +53,7 @@ pub mod replay;
 pub mod snapshot;
 pub mod token;
 
+pub use codec::DecodeError;
 pub use echo::EchoPipeline;
 pub use flow::EvictionPolicy;
 pub use flow::{FlowTable, HoldQueue};
@@ -231,6 +233,42 @@ pub struct GuardStats {
     /// this value.
     #[serde(default)]
     pub peak_pending_queries: u64,
+    /// Restarts whose newest stored checkpoint restored intact.
+    #[serde(default)]
+    pub recoveries_intact: u64,
+    /// Restarts that fell back past damaged or rejected checkpoints to an
+    /// older one in the chain.
+    #[serde(default)]
+    pub recoveries_fell_back: u64,
+    /// Restarts that found no usable checkpoint and cold-started.
+    #[serde(default)]
+    pub recoveries_cold: u64,
+    /// Damaged or rejected checkpoints skipped across all fell-back
+    /// restarts (total fallback depth).
+    #[serde(default)]
+    pub recovery_checkpoints_skipped: u64,
+    /// Pipeline slots whose snapshot degraded to
+    /// [`PipelineSnapshot::Opaque`] because the pipeline could not
+    /// serialize its state. An opaque slot keeps its *live* state on
+    /// restore instead of the checkpointed state — a silent recovery gap
+    /// unless counted here.
+    #[serde(default)]
+    pub opaque_snapshots: u64,
+}
+
+/// Provenance of the checkpoint handed to [`Input::Restart`]: how the
+/// supervisor's recovery walk over the checkpoint chain found it. The
+/// default value means "newest checkpoint, restored intact" (or, with no
+/// checkpoint at all, "this guard was never checkpointed").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryInfo {
+    /// Damaged or rejected checkpoints the walk skipped before landing on
+    /// the one delivered (zero for an intact newest-checkpoint restore).
+    pub skipped: u32,
+    /// True when checkpoints existed but the entire chain was unusable —
+    /// the accompanying cold start is storage damage, not a guard that
+    /// never checkpointed.
+    pub chain_failed: bool,
 }
 
 /// One typed input to [`GuardCore::step`]. A driver translates whatever
@@ -302,10 +340,14 @@ pub enum Input {
     /// gone, and the driver has discarded every held frame.
     Crash,
     /// The supervisor restarted the guard after a crash, handing it the
-    /// most recent checkpoint (if any was ever taken).
+    /// newest checkpoint its recovery walk could validate (if any).
     Restart {
         /// The checkpoint to rebuild from, if one exists.
         checkpoint: Option<Box<GuardSnapshot>>,
+        /// How the recovery walk found that checkpoint (fallback depth,
+        /// whole-chain failure). Keeps the recovery-outcome accounting
+        /// exact even when restore lands several generations back.
+        recovery: RecoveryInfo,
     },
 }
 
@@ -649,7 +691,10 @@ impl GuardCore {
             } => self.step_verdict(query, verdict, delay, out),
             Input::CheckpointRequest => out.push(Action::Snapshot(Box::new(self.snapshot()))),
             Input::Crash => self.step_crash(),
-            Input::Restart { checkpoint } => self.step_restart(checkpoint.as_deref(), out),
+            Input::Restart {
+                checkpoint,
+                recovery,
+            } => self.step_restart(checkpoint.as_deref(), recovery, out),
         }
     }
 
@@ -841,13 +886,40 @@ impl GuardCore {
         }
     }
 
-    fn step_restart(&mut self, checkpoint: Option<&GuardSnapshot>, out: &mut Vec<Action>) {
+    fn step_restart(
+        &mut self,
+        checkpoint: Option<&GuardSnapshot>,
+        recovery: RecoveryInfo,
+        out: &mut Vec<Action>,
+    ) {
         self.generation = self.generation.wrapping_add(1);
         let now = self.now;
         self.restarted_at = Some(now);
         self.stats.restarts += 1;
+        // Recovery-outcome accounting: exactly one of the three counters
+        // moves per restart, so intact + fell-back + cold == restarts.
+        self.stats.recovery_checkpoints_skipped += u64::from(recovery.skipped);
+        match checkpoint {
+            Some(_) if recovery.skipped == 0 => self.stats.recoveries_intact += 1,
+            Some(_) => self.stats.recoveries_fell_back += 1,
+            None => self.stats.recoveries_cold += 1,
+        }
         if let Some(snap) = checkpoint {
             self.adopt_checkpoint(snap);
+            if recovery.skipped > 0 {
+                out.push(Action::Trace {
+                    category: "guard.recover",
+                    message: format!(
+                        "recovery fell back past {} damaged checkpoint(s) to generation {}",
+                        recovery.skipped, snap.generation
+                    ),
+                });
+            }
+        } else if recovery.chain_failed {
+            out.push(Action::Trace {
+                category: "guard.recover",
+                message: "recovery cold start: whole checkpoint chain unusable".to_string(),
+            });
         }
         // Holds opened by the dead incarnation drain fail-closed: the
         // driver already discarded the held frames in the crash, so the
@@ -1132,7 +1204,26 @@ impl GuardCore {
 
     /// Captures the complete recoverable state of the guard, in sorted,
     /// deterministic form. Inverse of [`GuardCore::restore`].
-    pub fn snapshot(&self) -> GuardSnapshot {
+    ///
+    /// A pipeline that cannot serialize its state degrades to
+    /// [`PipelineSnapshot::Opaque`] — counted in
+    /// [`GuardStats::opaque_snapshots`] (and visible in the captured
+    /// stats), never silent, because an opaque slot keeps its live state
+    /// on restore instead of the checkpointed state.
+    pub fn snapshot(&mut self) -> GuardSnapshot {
+        let mut opaque = 0u64;
+        let slots: Vec<SlotSnapshot> = self
+            .slots
+            .iter()
+            .map(|s| SlotSnapshot {
+                ip: s.ip,
+                pipeline: s.pipeline.snapshot().unwrap_or_else(|| {
+                    opaque += 1;
+                    PipelineSnapshot::Opaque
+                }),
+            })
+            .collect();
+        self.stats.opaque_snapshots += opaque;
         let mut queries: Vec<(u64, PendingQuerySnapshot)> = self
             .queries
             .iter()
@@ -1175,14 +1266,7 @@ impl GuardCore {
             conn_routes,
             held_conns,
             held_udp,
-            slots: self
-                .slots
-                .iter()
-                .map(|s| SlotSnapshot {
-                    ip: s.ip,
-                    pipeline: s.pipeline.snapshot().unwrap_or(PipelineSnapshot::Opaque),
-                })
-                .collect(),
+            slots,
         }
     }
 
@@ -1220,6 +1304,18 @@ impl GuardCore {
     /// live guard state, as is a snapshot whose pipeline slots do not
     /// match this guard.
     pub fn try_restore(&mut self, snap: &GuardSnapshot) -> Result<(), SnapshotError> {
+        self.check_restorable(snap)?;
+        self.restore(snap);
+        Ok(())
+    }
+
+    /// The compatibility checks of [`GuardCore::try_restore`] without the
+    /// restore: version and pipeline-slot match. Non-mutating, so a crash
+    /// recovery can probe a chain of checkpoint candidates in order and
+    /// only adopt the first compatible one (via
+    /// [`crate::guard::Input::Restart`], whose semantics — generation
+    /// bump, no held-mirror adoption — differ from a lossless restore).
+    pub fn check_restorable(&self, snap: &GuardSnapshot) -> Result<(), SnapshotError> {
         if snap.version != snapshot::GUARD_SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
                 found: snap.version,
@@ -1232,7 +1328,6 @@ impl GuardCore {
                 expected: self.slots.len(),
             });
         }
-        self.restore(snap);
         Ok(())
     }
 

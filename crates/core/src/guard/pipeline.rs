@@ -163,6 +163,67 @@ impl RecordLedger {
     }
 }
 
+use crate::guard::codec::{Codec, DecodeError, Reader};
+
+impl Codec for SpikeMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SpikeMode::Classifying(c) => {
+                out.push(0);
+                c.encode(out);
+            }
+            SpikeMode::AwaitingVerdict(q) => {
+                out.push(1);
+                q.0.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(SpikeMode::Classifying(Codec::decode(r)?)),
+            1 => Ok(SpikeMode::AwaitingVerdict(QueryId(Codec::decode(r)?))),
+            tag => Err(DecodeError::InvalidTag {
+                what: "SpikeMode",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for Spike {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.started.encode(out);
+        self.first_seq.encode(out);
+        self.mode.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Spike {
+            started: Codec::decode(r)?,
+            first_seq: Codec::decode(r)?,
+            mode: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for RecordLedger {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.next.encode(out);
+        self.holes.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let next: u64 = Codec::decode(r)?;
+        let holes: BTreeSet<u64> = Codec::decode(r)?;
+        // Holes live strictly below `next` — a hole at or above it would
+        // break the first-sight partition.
+        if holes.iter().next_back().is_some_and(|&h| h >= next) {
+            return Err(DecodeError::Invalid {
+                what: "RecordLedger hole at or above next",
+            });
+        }
+        Ok(RecordLedger { next, holes })
+    }
+}
+
 /// Filters a segment down to the speaker-originated app-data records the
 /// recognition state machines care about. Control frames, inbound records,
 /// keep-alives and already-counted repeats are resolved here: held while

@@ -19,7 +19,7 @@
 //! supervisor does.
 
 use crate::decision::Verdict;
-use crate::guard::{Action, GuardCore, GuardDriver, GuardSnapshot, Input};
+use crate::guard::{Action, GuardCore, GuardDriver, GuardSnapshot, Input, RecoveryInfo};
 use simcore::wire::{
     CloseReason, ConnId, Datagram, Direction, SegmentPayload, SegmentView, TapVerdict,
     TlsContentType, TlsRecord,
@@ -35,8 +35,12 @@ pub enum TracedInput {
     /// A fully reconstructed input.
     Input(Input),
     /// A restart handing over the latest checkpoint taken during the
-    /// trace ([`ReplayDriver`] substitutes the snapshot it captured).
-    RestartLatest,
+    /// trace ([`ReplayDriver`] substitutes the snapshot it captured),
+    /// with the recorded recovery provenance.
+    RestartLatest {
+        /// How the recovery walk found the checkpoint.
+        recovery: RecoveryInfo,
+    },
 }
 
 /// Replays a recorded input stream through a pure [`GuardCore`],
@@ -64,8 +68,9 @@ impl ReplayDriver {
     pub fn drive_traced(&mut self, now: SimTime, traced: TracedInput) -> Vec<Action> {
         let input = match traced {
             TracedInput::Input(input) => input,
-            TracedInput::RestartLatest => Input::Restart {
+            TracedInput::RestartLatest { recovery } => Input::Restart {
                 checkpoint: self.last_checkpoint.clone().map(Box::new),
+                recovery,
             },
         };
         self.scratch.clear();
@@ -208,14 +213,30 @@ pub fn record_line(at: SimTime, input: &Input) -> String {
         ),
         Input::CheckpointRequest => format!(r#"{{"at":{at},"type":"checkpoint"}}"#),
         Input::Crash => format!(r#"{{"at":{at},"type":"crash"}}"#),
-        Input::Restart { checkpoint } => format!(
-            r#"{{"at":{at},"type":"restart","checkpoint":"{}"}}"#,
-            if checkpoint.is_some() {
-                "latest"
-            } else {
-                "none"
+        Input::Restart {
+            checkpoint,
+            recovery,
+        } => {
+            // Default provenance (intact restore / never-checkpointed cold
+            // start) keeps the pre-provenance line format, so traces
+            // recorded before storage faults existed stay byte-identical.
+            let mut line = format!(
+                r#"{{"at":{at},"type":"restart","checkpoint":"{}""#,
+                if checkpoint.is_some() {
+                    "latest"
+                } else {
+                    "none"
+                }
+            );
+            if recovery.skipped != 0 {
+                line.push_str(&format!(r#","skipped":{}"#, recovery.skipped));
             }
-        ),
+            if recovery.chain_failed {
+                line.push_str(r#","chain_failed":true"#);
+            }
+            line.push('}');
+            line
+        }
     }
 }
 
@@ -506,11 +527,34 @@ pub fn parse_line(line: &str) -> Result<(SimTime, TracedInput), String> {
         }),
         "checkpoint" => TracedInput::Input(Input::CheckpointRequest),
         "crash" => TracedInput::Input(Input::Crash),
-        "restart" => match obj.str("checkpoint")? {
-            "latest" => TracedInput::RestartLatest,
-            "none" => TracedInput::Input(Input::Restart { checkpoint: None }),
-            other => return Err(format!("unknown restart checkpoint {other:?}")),
-        },
+        "restart" => {
+            // Provenance fields are optional: lines recorded before storage
+            // faults existed carry neither and parse as the default.
+            let skipped = match obj.get("skipped") {
+                None => 0,
+                Some(Json::Num(n)) => {
+                    u32::try_from(*n).map_err(|_| "restart skipped out of range".to_string())?
+                }
+                Some(_) => return Err("restart skipped must be an integer".to_string()),
+            };
+            let chain_failed = match obj.get("chain_failed") {
+                None => false,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("restart chain_failed must be a boolean".to_string()),
+            };
+            let recovery = RecoveryInfo {
+                skipped,
+                chain_failed,
+            };
+            match obj.str("checkpoint")? {
+                "latest" => TracedInput::RestartLatest { recovery },
+                "none" => TracedInput::Input(Input::Restart {
+                    checkpoint: None,
+                    recovery,
+                }),
+                other => return Err(format!("unknown restart checkpoint {other:?}")),
+            }
+        }
         other => return Err(format!("unknown input type {other:?}")),
     };
     Ok((at, traced))
@@ -598,7 +642,17 @@ mod tests {
         });
         round_trip(Input::CheckpointRequest);
         round_trip(Input::Crash);
-        round_trip(Input::Restart { checkpoint: None });
+        round_trip(Input::Restart {
+            checkpoint: None,
+            recovery: RecoveryInfo::default(),
+        });
+        round_trip(Input::Restart {
+            checkpoint: None,
+            recovery: RecoveryInfo {
+                skipped: 3,
+                chain_failed: true,
+            },
+        });
     }
 
     #[test]
@@ -607,10 +661,52 @@ mod tests {
             SimTime::ZERO,
             &Input::Restart {
                 checkpoint: Some(Box::new(crate::GuardCore::multi().snapshot())),
+                recovery: RecoveryInfo::default(),
             },
         );
         let (_, traced) = parse_line(&line).unwrap();
-        assert_eq!(traced, TracedInput::RestartLatest);
+        assert_eq!(
+            traced,
+            TracedInput::RestartLatest {
+                recovery: RecoveryInfo::default()
+            }
+        );
+    }
+
+    #[test]
+    fn default_provenance_keeps_the_pre_provenance_line_format() {
+        let line = record_line(
+            SimTime::from_nanos(5),
+            &Input::Restart {
+                checkpoint: None,
+                recovery: RecoveryInfo::default(),
+            },
+        );
+        assert_eq!(line, r#"{"at":5,"type":"restart","checkpoint":"none"}"#);
+    }
+
+    #[test]
+    fn fell_back_provenance_round_trips_through_a_restart_line() {
+        let line = record_line(
+            SimTime::from_nanos(9),
+            &Input::Restart {
+                checkpoint: Some(Box::new(crate::GuardCore::multi().snapshot())),
+                recovery: RecoveryInfo {
+                    skipped: 2,
+                    chain_failed: false,
+                },
+            },
+        );
+        let (_, traced) = parse_line(&line).unwrap();
+        assert_eq!(
+            traced,
+            TracedInput::RestartLatest {
+                recovery: RecoveryInfo {
+                    skipped: 2,
+                    chain_failed: false,
+                }
+            }
+        );
     }
 
     #[test]

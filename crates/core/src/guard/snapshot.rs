@@ -14,6 +14,7 @@
 //! time keeps snapshots deterministic per seed.
 
 use crate::decision::Verdict;
+use crate::guard::codec::DecodeError;
 use crate::guard::echo::EchoSnapshot;
 use crate::guard::ghm::GhmSnapshot;
 use crate::guard::GuardStats;
@@ -149,4 +150,36 @@ pub struct GuardSnapshot {
     pub held_udp: Vec<(Ipv4Addr, usize)>,
     /// Every attached pipeline, in slot order.
     pub slots: Vec<SlotSnapshot>,
+}
+
+impl GuardSnapshot {
+    /// Serializes the snapshot into the fixed little-endian byte layout
+    /// used by durable checkpoint stores. Deterministic: snapshots are
+    /// captured in sorted form, so equal snapshots yield equal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::guard::codec::Codec;
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a snapshot produced by [`GuardSnapshot::to_bytes`].
+    ///
+    /// Total: every byte is bounds-checked and every tag, length and
+    /// structural invariant validated, so arbitrarily corrupted or
+    /// truncated input yields a typed [`DecodeError`] — never a panic,
+    /// an unbounded allocation, or a snapshot that would panic a later
+    /// [`crate::GuardCore::try_restore`]. Trailing bytes are rejected
+    /// (a valid snapshot followed by garbage is not a valid snapshot).
+    pub fn from_bytes(bytes: &[u8]) -> Result<GuardSnapshot, DecodeError> {
+        use crate::guard::codec::{Codec, Reader};
+        let mut r = Reader::new(bytes);
+        let snap = GuardSnapshot::decode(&mut r)?;
+        if r.remaining() > 0 {
+            return Err(DecodeError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(snap)
+    }
 }

@@ -138,6 +138,52 @@ impl SignatureLearner {
     }
 }
 
+impl crate::guard::codec::Codec for SignatureLearner {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.signature_len.encode(out);
+        self.min_observations.encode(out);
+        self.candidate.encode(out);
+        self.votes.encode(out);
+        self.learned.encode(out);
+        self.observations.encode(out);
+        self.resets.encode(out);
+    }
+    fn decode(
+        r: &mut crate::guard::codec::Reader<'_>,
+    ) -> Result<Self, crate::guard::codec::DecodeError> {
+        use crate::guard::codec::{Codec, DecodeError};
+        let learner = SignatureLearner {
+            signature_len: Codec::decode(r)?,
+            min_observations: Codec::decode(r)?,
+            candidate: Codec::decode(r)?,
+            votes: Codec::decode(r)?,
+            learned: Codec::decode(r)?,
+            observations: Codec::decode(r)?,
+            resets: Codec::decode(r)?,
+        };
+        if learner.signature_len == 0 || learner.min_observations == 0 {
+            return Err(DecodeError::Invalid {
+                what: "SignatureLearner with zero-sized parameters",
+            });
+        }
+        Ok(learner)
+    }
+}
+
+impl crate::guard::codec::Codec for Observation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lens.encode(out);
+    }
+    fn decode(
+        r: &mut crate::guard::codec::Reader<'_>,
+    ) -> Result<Self, crate::guard::codec::DecodeError> {
+        use crate::guard::codec::Codec;
+        Ok(Observation {
+            lens: Codec::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,9 +51,10 @@ pub use decision::{
 pub use evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
 pub use guard::{
-    Action, EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardCore, GuardDriver,
-    GuardEvent, GuardSnapshot, GuardStats, HoldTarget, Input, PipelineCtx, PipelineSnapshot,
-    QueryId, RecordLedger, SnapshotError, SpeakerPipeline, TimerToken, GUARD_SNAPSHOT_VERSION,
+    Action, DecodeError, EchoPipeline, EvictionPolicy, FlowTable, GhmPipeline, GuardCore,
+    GuardDriver, GuardEvent, GuardSnapshot, GuardStats, HoldTarget, Input, PipelineCtx,
+    PipelineSnapshot, QueryId, RecordLedger, RecoveryInfo, SnapshotError, SpeakerPipeline,
+    TimerToken, GUARD_SNAPSHOT_VERSION,
 };
 pub use health::{AnomalyKind, BreakerState, DeviceHealth, HealthGate};
 pub use learning::SignatureLearner;

@@ -175,6 +175,65 @@ impl SpikeClassifier {
     }
 }
 
+impl crate::guard::codec::Codec for SignatureMatcher {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.target.encode(out);
+        self.seen.encode(out);
+        self.state.encode(out);
+    }
+    fn decode(
+        r: &mut crate::guard::codec::Reader<'_>,
+    ) -> Result<Self, crate::guard::codec::DecodeError> {
+        use crate::guard::codec::{Codec, DecodeError};
+        let target: Vec<u32> = Codec::decode(r)?;
+        let seen: usize = Codec::decode(r)?;
+        let state: SignatureState = Codec::decode(r)?;
+        // `feed` indexes target[seen]; corrupt bytes must not be able to
+        // rebuild a matcher that would panic there.
+        if target.is_empty() {
+            return Err(DecodeError::Invalid {
+                what: "SignatureMatcher with empty target",
+            });
+        }
+        if seen > target.len() || (state == SignatureState::Pending && seen == target.len()) {
+            return Err(DecodeError::Invalid {
+                what: "SignatureMatcher progress past its target",
+            });
+        }
+        Ok(SignatureMatcher {
+            target,
+            seen,
+            state,
+        })
+    }
+}
+
+impl crate::guard::codec::Codec for SpikeClassifier {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.lens.encode(out);
+        self.max_packets.encode(out);
+        self.class.encode(out);
+    }
+    fn decode(
+        r: &mut crate::guard::codec::Reader<'_>,
+    ) -> Result<Self, crate::guard::codec::DecodeError> {
+        use crate::guard::codec::{Codec, DecodeError};
+        let lens: Vec<u32> = Codec::decode(r)?;
+        let max_packets: usize = Codec::decode(r)?;
+        let class: SpikeClass = Codec::decode(r)?;
+        if max_packets < 5 {
+            return Err(DecodeError::Invalid {
+                what: "SpikeClassifier with max_packets < 5",
+            });
+        }
+        Ok(SpikeClassifier {
+            lens,
+            max_packets,
+            class,
+        })
+    }
+}
+
 /// The paper's decision rules over a prefix of spike packet lengths.
 ///
 /// With `force`, treats the prefix as complete (no more packets coming).

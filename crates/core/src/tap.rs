@@ -15,10 +15,12 @@
 //! drivers observed identical actions.
 
 use crate::guard::replay::record_line;
-use crate::guard::{Action, GuardCore, GuardDriver, GuardSnapshot, HoldTarget, Input, QueryId};
+use crate::guard::{
+    Action, GuardCore, GuardDriver, GuardSnapshot, HoldTarget, Input, QueryId, RecoveryInfo,
+};
 use crate::{config::GuardConfig, decision::Verdict};
 use netsim::app::{Middlebox, TapCtx};
-use netsim::{CloseReason, ConnId, Datagram, TapVerdict};
+use netsim::{CloseReason, ConnId, Datagram, RecoveryScan, RestoreReport, TapVerdict};
 use simcore::wire::SegmentView;
 use simcore::{SimDuration, SimTime};
 use std::any::Any;
@@ -251,15 +253,14 @@ impl Middlebox for VoiceGuardTap {
         self.drive(ctx, now, Input::Timer { token });
     }
 
-    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+    fn checkpoint(&mut self) -> Option<Vec<u8>> {
         // The supervisor checkpoints without a ctx; the request is still
         // an input so recorded traces capture it for replay.
         let now = self.core.last_step_at();
         self.step_through(None, now, Input::CheckpointRequest);
         for action in &mut self.scratch {
             if let Action::Snapshot(snap) = action {
-                let snap = std::mem::replace(snap, Box::new(empty_snapshot()));
-                return Some(Box::new(*snap));
+                return Some(snap.to_bytes());
             }
         }
         None
@@ -270,33 +271,52 @@ impl Middlebox for VoiceGuardTap {
         self.step_through(None, now, Input::Crash);
     }
 
-    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+    fn restart(&mut self, ctx: &mut dyn TapCtx, scan: &RecoveryScan) -> RestoreReport {
         let now = ctx.now();
-        let checkpoint = checkpoint
-            .and_then(|any| any.downcast_ref::<GuardSnapshot>())
-            .cloned()
-            .map(Box::new);
-        self.drive(ctx, now, Input::Restart { checkpoint });
+        // Probe the checksum-valid candidates newest-first: decode the
+        // payload, then check compatibility without mutating the core
+        // (`check_restorable`, not `try_restore` — a crash restart must
+        // go through `Input::Restart`, which bumps the generation and
+        // does not adopt the held-frame mirror). Adopt the first usable
+        // candidate; anything it fell past is counted as skipped.
+        let mut adopted = None;
+        let mut rejected = 0u32;
+        for (index, candidate) in scan.candidates.iter().enumerate() {
+            match GuardSnapshot::from_bytes(&candidate.payload) {
+                Ok(snap) if self.core.check_restorable(&snap).is_ok() => {
+                    adopted = Some((index, snap));
+                    break;
+                }
+                _ => rejected += 1,
+            }
+        }
+        let report = RestoreReport {
+            adopted: adopted.as_ref().map(|(index, _)| *index),
+            rejected,
+        };
+        let recovery = match &adopted {
+            Some((index, _)) => RecoveryInfo {
+                skipped: scan.skipped_before(*index),
+                chain_failed: false,
+            },
+            None => RecoveryInfo {
+                skipped: scan.candidates.len() as u32 + scan.damage.total(),
+                chain_failed: !scan.is_empty(),
+            },
+        };
+        let checkpoint = adopted.map(|(_, snap)| Box::new(snap));
+        self.drive(
+            ctx,
+            now,
+            Input::Restart {
+                checkpoint,
+                recovery,
+            },
+        );
+        report
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
-    }
-}
-
-/// Placeholder swapped into the action buffer when [`Middlebox::checkpoint`]
-/// moves the real snapshot out.
-fn empty_snapshot() -> GuardSnapshot {
-    GuardSnapshot {
-        version: crate::guard::GUARD_SNAPSHOT_VERSION,
-        generation: 0,
-        next_query: 0,
-        queries: Vec::new(),
-        stats: Default::default(),
-        pipeline_stats: Vec::new(),
-        conn_routes: Vec::new(),
-        held_conns: Vec::new(),
-        held_udp: Vec::new(),
-        slots: Vec::new(),
     }
 }

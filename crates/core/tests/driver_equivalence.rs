@@ -17,10 +17,12 @@
 //! socket driver) reproduces.
 
 use netsim::app::SegmentView;
-use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TapVerdict, TlsRecord};
+use netsim::{
+    ConnId, Middlebox, RecoveryScan, RestoreCandidate, SegmentPayload, TapCtx, TapVerdict,
+    TlsRecord,
+};
 use proptest::prelude::*;
 use simcore::{SimDuration, SimTime};
-use std::any::Any;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddrV4};
 use voiceguard::guard::replay::ReplayDriver;
@@ -150,7 +152,7 @@ proptest! {
         let mut ctx = MockCtx::default();
         let mut seqs: HashMap<usize, u64> = HashMap::new();
         let mut open_queries: Vec<QueryId> = Vec::new();
-        let mut checkpoint: Option<Box<dyn Any + Send>> = None;
+        let mut checkpoint: Option<Vec<u8>> = None;
         let mut crashed = false;
 
         let feed = |tap: &mut VoiceGuardTap, ctx: &mut MockCtx, slot: usize, seq: u64, len: u32| {
@@ -213,7 +215,20 @@ proptest! {
                     crashed = true;
                 }
                 6 if crashed => {
-                    tap.restart(&mut ctx, checkpoint.as_ref().map(|b| &**b as &dyn Any));
+                    // A one-candidate scan: the supervisor found the latest
+                    // checkpoint frame intact on its durable medium.
+                    let scan = RecoveryScan {
+                        candidates: checkpoint
+                            .iter()
+                            .map(|payload| RestoreCandidate {
+                                generation: 0,
+                                prior_damage: 0,
+                                payload: payload.clone(),
+                            })
+                            .collect(),
+                        damage: Default::default(),
+                    };
+                    tap.restart(&mut ctx, &scan);
                     crashed = false;
                 }
                 7 if !crashed => {

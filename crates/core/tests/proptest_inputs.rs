@@ -247,7 +247,10 @@ proptest! {
                 6 if model.crashed => {
                     model.crashed = false;
                     let checkpoint = model.last_snapshot.clone().map(Box::new);
-                    model.step(&mut core, Input::Restart { checkpoint })
+                    model.step(&mut core, Input::Restart {
+                        checkpoint,
+                        recovery: voiceguard::RecoveryInfo::default(),
+                    })
                 }
                 7 if !model.crashed => {
                     let (name, ip) = if param % 3 == 0 {

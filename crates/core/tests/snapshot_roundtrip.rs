@@ -167,8 +167,66 @@ fn unknown_snapshot_version_is_rejected() {
     assert_eq!(fresh.snapshot(), good);
 }
 
+/// The byte codec is exact: a live snapshot serialized for the durable
+/// checkpoint store decodes back to an equal snapshot.
+#[test]
+fn byte_codec_round_trips_a_live_snapshot() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    let mut seq = establish(&mut tap, &mut ctx);
+    // A command burst left pending so the snapshot carries a live query.
+    feed(&mut tap, &mut ctx, &mut seq, &(30, vec![0, 1, 2], 0));
+    let snap = tap.snapshot();
+    let bytes = snap.to_bytes();
+    let decoded = voiceguard::GuardSnapshot::from_bytes(&bytes)
+        .expect("a freshly captured snapshot must decode");
+    assert_eq!(decoded, snap);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Corruption fuzz: arbitrary byte flips and truncations applied to a
+    /// live snapshot's serialized frame must never panic the decoder, and
+    /// anything that still decodes must never panic `try_restore` — a
+    /// damaged checkpoint surfaces as a typed rejection, not a crash.
+    #[test]
+    fn corrupted_snapshot_bytes_never_panic_decode_or_restore(
+        bursts in proptest::collection::vec(
+            (
+                0u16..80,
+                proptest::collection::vec(0u8..7, 1usize..6),
+                0u8..3,
+            ),
+            1usize..5,
+        ),
+        flips in proptest::collection::vec((0usize..4096, 0u8..8), 0usize..8),
+        truncate_to in 0usize..4096,
+    ) {
+        let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        let mut ctx = MockCtx::default();
+        let mut seq = establish(&mut tap, &mut ctx);
+        for burst in &bursts {
+            feed(&mut tap, &mut ctx, &mut seq, burst);
+        }
+        let mut bytes = tap.snapshot().to_bytes();
+        for (pos, bit) in &flips {
+            if !bytes.is_empty() {
+                let pos = pos % bytes.len();
+                bytes[pos] ^= 1 << bit;
+            }
+        }
+        // Truncation to the full length is a no-op, so some cases fuzz
+        // bit flips alone.
+        bytes.truncate(truncate_to % (bytes.len() + 1));
+        // Decode is total: Ok or a typed error, never a panic or
+        // over-read. A decodable mutation must then pass through
+        // try_restore without panicking (it may be rejected).
+        if let Ok(snap) = voiceguard::GuardSnapshot::from_bytes(&bytes) {
+            let mut fresh = VoiceGuardTap::new(GuardConfig::echo_dot());
+            let _ = fresh.try_restore(&snap);
+        }
+    }
 
     #[test]
     fn snapshot_restore_is_behaviour_identical(

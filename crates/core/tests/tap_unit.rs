@@ -216,7 +216,15 @@ fn restart_readopts_mid_stream_avs_flow_and_resumes_holds() {
     // The guard dies and the supervisor restarts it from the checkpoint.
     tap.crash();
     ctx.now = SimTime::from_secs(40);
-    tap.restart(&mut ctx, Some(&snap));
+    let scan = netsim::RecoveryScan {
+        candidates: vec![netsim::RestoreCandidate {
+            generation: 0,
+            prior_damage: 0,
+            payload: snap.to_bytes(),
+        }],
+        damage: Default::default(),
+    };
+    tap.restart(&mut ctx, &scan);
     tap.take_events();
     // A connection the speaker (re-)established during the blind window
     // first appears as a mid-stream record: it must enter Provisional,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
-//!             [--adversarial] [--byzantine] [--attack NAME]
+//!             [--storage] [--adversarial] [--byzantine] [--attack NAME]
 //!             [--record-trace FILE]
 //!
 //!   --seed S        master seed (default 2023)
@@ -12,6 +12,9 @@
 //!                   fcm-degraded, crash-pass, crash-drop)
 //!   --crash         run the crash-recovery sweep (crash rate × restart
 //!                   delay × blind policy grid) instead of the profiles
+//!   --storage       run the checkpoint-storage sweep (write-fault mix ×
+//!                   chain depth grid, fail-closed crash profile) instead
+//!                   of the profiles
 //!   --adversarial   run the adversarial-load sweep (memory attacks ×
 //!                   guard state bounds) instead of the profiles
 //!   --byzantine     run the byzantine-evidence sweep (spoof/replay/
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
     let mut rounds: u32 = 4;
     let mut profile: Option<String> = None;
     let mut crash = false;
+    let mut storage = false;
     let mut adversarial = false;
     let mut byzantine = false;
     let mut attacks: Vec<String> = Vec::new();
@@ -61,6 +65,10 @@ fn main() -> ExitCode {
             }
             "--crash" => {
                 crash = true;
+                i += 1;
+            }
+            "--storage" => {
+                storage = true;
                 i += 1;
             }
             "--adversarial" => {
@@ -114,8 +122,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!(
                     "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
-                     [--profile NAME] [--crash] [--adversarial] [--byzantine] \
-                     [--attack NAME]"
+                     [--profile NAME] [--crash] [--storage] [--adversarial] \
+                     [--byzantine] [--attack NAME]"
                 );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
@@ -126,9 +134,16 @@ fn main() -> ExitCode {
         eprintln!("--byzantine and --adversarial are mutually exclusive");
         return ExitCode::FAILURE;
     }
-    if record_trace.is_some() && (crash || adversarial || byzantine) {
+    if record_trace.is_some() && (crash || storage || adversarial || byzantine) {
         eprintln!("--record-trace only supports the profile mode (use --profile NAME)");
         return ExitCode::FAILURE;
+    }
+    if storage {
+        let result = experiments::chaos::storage_sweep(seed, rounds);
+        print!("{}", result.table);
+        let outcomes: Vec<_> = result.cells.iter().map(|c| c.outcome.clone()).collect();
+        print!("{}", experiments::summary::degradation(&outcomes));
+        return ExitCode::SUCCESS;
     }
     if byzantine {
         let known: Vec<&str> = experiments::byzantine::attack_plans()

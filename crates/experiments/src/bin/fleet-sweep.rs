@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fleet-sweep [--home-hours N] [--seed S] [--shards N] [--hours-per-home H]
-//!             [--batch B] [--smoke]
+//!             [--batch B] [--smoke] [--storage-faults]
 //!
 //!   --home-hours N      simulated home-hours to cover (default 1000000)
 //!   --seed S            population seed (default 7)
@@ -10,6 +10,9 @@
 //!   --hours-per-home H  hours each home runs (default 24)
 //!   --batch B           homes per work-stealing batch (default 16)
 //!   --smoke             fast CI setting: equivalent to --home-hours 1000
+//!   --storage-faults    give crashy homes a faulty checkpoint store
+//!                       (torn/bit-rot/lost writes racing the crash); the
+//!                       report grows a checkpoint-storage table
 //! ```
 //!
 //! Stdout carries the deterministic population report: archetype mix,
@@ -35,6 +38,10 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--smoke" => {
                 cfg.home_hours = 1_000;
+                i += 1;
+            }
+            "--storage-faults" => {
+                cfg.storage_faults = true;
                 i += 1;
             }
             "--home-hours" if i + 1 < args.len() => {
@@ -107,7 +114,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("fleet-sweep: {err}");
     eprintln!(
         "usage: fleet-sweep [--home-hours N] [--seed S] [--shards N] \
-         [--hours-per-home H] [--batch B] [--smoke]"
+         [--hours-per-home H] [--batch B] [--smoke] [--storage-faults]"
     );
     ExitCode::FAILURE
 }

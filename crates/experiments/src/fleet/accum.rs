@@ -63,6 +63,25 @@ pub struct FleetAccumulator {
     /// across all checkpoints; divide by `checkpoints` for the mean.
     pub checkpoint_entries: u64,
 
+    /// Restarts restoring the newest checkpoint intact.
+    pub recoveries_intact: u64,
+    /// Restarts that fell back past damaged/rejected checkpoints.
+    pub recoveries_fell_back: u64,
+    /// Restarts that came up cold (no usable checkpoint).
+    pub recoveries_cold: u64,
+    /// Total checkpoints skipped across fell-back recoveries.
+    pub fallback_depth: u64,
+    /// Checksum-valid candidates rejected at restore.
+    pub candidates_rejected: u64,
+    /// Checkpoint writes torn by the storage-fault dial.
+    pub ckpt_writes_torn: u64,
+    /// Checkpoint writes hit by post-write bit corruption.
+    pub ckpt_writes_corrupted: u64,
+    /// Checkpoint writes lost before reaching the medium.
+    pub ckpt_writes_lost: u64,
+    /// Checkpoint writes that raced a crash (in-flight at death).
+    pub ckpt_writes_raced: u64,
+
     /// Flows evicted by the flow-table capacity cap.
     pub flows_evicted: u64,
     /// Flows expired by the idle-TTL sweep.
@@ -115,6 +134,15 @@ impl FleetAccumulator {
         self.crash_during_hold += other.crash_during_hold;
         self.checkpoints += other.checkpoints;
         self.checkpoint_entries += other.checkpoint_entries;
+        self.recoveries_intact += other.recoveries_intact;
+        self.recoveries_fell_back += other.recoveries_fell_back;
+        self.recoveries_cold += other.recoveries_cold;
+        self.fallback_depth += other.fallback_depth;
+        self.candidates_rejected += other.candidates_rejected;
+        self.ckpt_writes_torn += other.ckpt_writes_torn;
+        self.ckpt_writes_corrupted += other.ckpt_writes_corrupted;
+        self.ckpt_writes_lost += other.ckpt_writes_lost;
+        self.ckpt_writes_raced += other.ckpt_writes_raced;
         self.flows_evicted += other.flows_evicted;
         self.flows_expired += other.flows_expired;
         self.evicted_during_hold += other.evicted_during_hold;

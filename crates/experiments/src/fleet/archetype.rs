@@ -12,6 +12,7 @@
 //! loss dice) comes from proper RNG streams forked per home in
 //! [`super::home`].
 
+use netsim::StoragePlan;
 use simcore::RngStreams;
 use voiceguard::SpeakerKind;
 
@@ -147,6 +148,10 @@ pub struct HomePlan {
     pub speaker: SpeakerKind,
     /// Simulated hours this home runs.
     pub hours: u32,
+    /// Checkpoint-storage fault dial for this home's durable store.
+    /// [`StoragePlan::none`] (the default) stores perfectly and draws
+    /// nothing from the home's `"storage"` stream.
+    pub storage: StoragePlan,
     /// RNG factory for the home's continuous noise streams.
     pub streams: RngStreams,
 }
@@ -172,8 +177,33 @@ impl HomePlan {
             archetype,
             speaker,
             hours,
+            storage: StoragePlan::none(),
             streams,
         }
+    }
+
+    /// The canonical faulty-disk dial applied to crashy homes when a
+    /// fleet's storage-fault dial is on: frequent enough that a pinned
+    /// thousand-home-hour fleet observes torn, corrupted and lost
+    /// checkpoints, with a chain deep enough that fallback — not cold
+    /// start — is the common recovery.
+    pub fn crashy_storage_faults() -> StoragePlan {
+        StoragePlan {
+            torn_write: 0.20,
+            bit_rot: 0.10,
+            loss: 0.10,
+            write_latency: simcore::SimDuration::from_millis(500),
+            chain_depth: 4,
+        }
+    }
+
+    /// Applies `dial` to this home if its archetype is crashy (the only
+    /// archetype whose supervisor restarts exercise the store).
+    pub fn with_crashy_storage(mut self, dial: StoragePlan) -> Self {
+        if self.archetype == Archetype::Crashy {
+            self.storage = dial;
+        }
+        self
     }
 
     /// Number of command episodes in hour `h` (0–3, mean 1.5).

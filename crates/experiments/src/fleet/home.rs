@@ -13,13 +13,14 @@
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddrV4};
 
+use netsim::{CheckpointStore, RestoreReport};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simcore::wire::{CloseReason, ConnId, Datagram, SegmentPayload, SegmentView, TlsRecord};
 use simcore::{SimDuration, SimTime};
 use voiceguard::{
     Action, GuardConfig, GuardCore, GuardEvent, GuardSnapshot, HoldTarget, Input, QueryId,
-    SpeakerKind, Verdict,
+    RecoveryInfo, SpeakerKind, Verdict,
 };
 
 use super::accum::FleetAccumulator;
@@ -63,7 +64,9 @@ pub struct HomeSim<'a> {
     /// Held-datagram mirror per UDP flow IP.
     held_dgrams: HashMap<Ipv4Addr, usize>,
     open: HashMap<u64, OpenQuery>,
-    latest_checkpoint: Option<Box<GuardSnapshot>>,
+    /// The durable checkpoint chain — same fault-injected store the
+    /// packet engine's supervisor uses, driven by the plan's storage dial.
+    store: CheckpointStore,
     actions: Vec<Action>,
     /// Queries raised by the most recent [`HomeSim::step`] call.
     pending_raised: Vec<QueryId>,
@@ -76,6 +79,9 @@ pub struct HomeSim<'a> {
     traffic: StdRng,
     decision: StdRng,
     faults: StdRng,
+    /// Dedicated stream for checkpoint-storage faults; a clean dial
+    /// never draws from it.
+    storage: StdRng,
     // Per-home tallies folded into the accumulator at the end.
     legit_commands: u64,
     attack_commands: u64,
@@ -86,6 +92,11 @@ pub struct HomeSim<'a> {
     evicted_during_hold: u64,
     checkpoints: u64,
     checkpoint_entries: u64,
+    /// Checksum-valid candidates still rejected at restore (decode or
+    /// compatibility failure).
+    candidates_rejected: u64,
+    /// Total checkpoints skipped across fell-back recoveries.
+    fallback_depth: u64,
 }
 
 impl<'a> HomeSim<'a> {
@@ -101,7 +112,7 @@ impl<'a> HomeSim<'a> {
             held: HashMap::new(),
             held_dgrams: HashMap::new(),
             open: HashMap::new(),
-            latest_checkpoint: None,
+            store: CheckpointStore::new(plan.storage),
             actions: Vec::new(),
             pending_raised: Vec::new(),
             conn: None,
@@ -110,6 +121,7 @@ impl<'a> HomeSim<'a> {
             traffic: plan.streams.stream("traffic"),
             decision: plan.streams.stream("decision"),
             faults: plan.streams.stream("faults"),
+            storage: plan.streams.stream("storage"),
             plan,
             legit_commands: 0,
             attack_commands: 0,
@@ -120,6 +132,8 @@ impl<'a> HomeSim<'a> {
             evicted_during_hold: 0,
             checkpoints: 0,
             checkpoint_entries: 0,
+            candidates_rejected: 0,
+            fallback_depth: 0,
         }
     }
 
@@ -500,10 +514,49 @@ impl<'a> HomeSim<'a> {
         self.held.clear();
         self.held_dgrams.clear();
         self.crashed = true;
+        // Checkpoint writes still in flight die with the process.
+        self.store.crash(self.now);
         self.advance(SimDuration::from_secs(2));
         self.crashed = false;
-        let checkpoint = self.latest_checkpoint.clone();
-        self.step(Input::Restart { checkpoint });
+        // Walk the durable chain newest-first, adopting the first
+        // candidate that decodes and is compatible — the same last-good
+        // recovery the packet engine's supervisor performs.
+        let scan = self.store.recover();
+        let mut adopted = None;
+        let mut rejected = 0u32;
+        for (index, candidate) in scan.candidates.iter().enumerate() {
+            match GuardSnapshot::from_bytes(&candidate.payload) {
+                Ok(snap) if self.core.check_restorable(&snap).is_ok() => {
+                    adopted = Some((index, snap));
+                    break;
+                }
+                _ => rejected += 1,
+            }
+        }
+        let report = RestoreReport {
+            adopted: adopted.as_ref().map(|(index, _)| *index),
+            rejected,
+        };
+        self.candidates_rejected += u64::from(rejected);
+        self.fallback_depth += u64::from(match scan.outcome(&report) {
+            netsim::RecoveryOutcome::FellBack { skipped } => skipped,
+            _ => 0,
+        });
+        let recovery = match &adopted {
+            Some((index, _)) => RecoveryInfo {
+                skipped: scan.skipped_before(*index),
+                chain_failed: false,
+            },
+            None => RecoveryInfo {
+                skipped: scan.candidates.len() as u32 + scan.damage.total(),
+                chain_failed: !scan.is_empty(),
+            },
+        };
+        let checkpoint = adopted.map(|(_, snap)| Box::new(snap));
+        self.step(Input::Restart {
+            checkpoint,
+            recovery,
+        });
     }
 
     fn checkpoint(&mut self) {
@@ -595,7 +648,8 @@ impl<'a> HomeSim<'a> {
                     raised.push(*query);
                 }
                 Action::Snapshot(snap) => {
-                    self.latest_checkpoint = Some(snap.clone());
+                    self.store
+                        .write(self.now, &snap.to_bytes(), &mut self.storage);
                 }
                 Action::Emit(event) => self.on_event(event),
                 Action::Forward
@@ -722,6 +776,16 @@ impl<'a> HomeSim<'a> {
         acc.crash_during_hold += self.crash_during_hold;
         acc.checkpoints += self.checkpoints;
         acc.checkpoint_entries += self.checkpoint_entries;
+        acc.recoveries_intact += stats.recoveries_intact;
+        acc.recoveries_fell_back += stats.recoveries_fell_back;
+        acc.recoveries_cold += stats.recoveries_cold;
+        acc.fallback_depth += self.fallback_depth;
+        acc.candidates_rejected += self.candidates_rejected;
+        let storage = self.store.counters();
+        acc.ckpt_writes_torn += storage.torn;
+        acc.ckpt_writes_corrupted += storage.corrupted;
+        acc.ckpt_writes_lost += storage.lost;
+        acc.ckpt_writes_raced += storage.raced;
         acc.flows_evicted += stats.flows_evicted;
         acc.flows_expired += stats.flows_expired;
         acc.evicted_during_hold += self.evicted_during_hold;

@@ -60,6 +60,10 @@ pub struct FleetConfig {
     pub shards: usize,
     /// Homes per work-stealing batch.
     pub batch: u64,
+    /// Storage-fault dial: when true, crashy homes' checkpoint stores
+    /// run [`HomePlan::crashy_storage_faults`] (torn/corrupt/lost writes
+    /// and durability latency) instead of a perfect store.
+    pub storage_faults: bool,
 }
 
 impl FleetConfig {
@@ -72,6 +76,7 @@ impl FleetConfig {
             hours_per_home: 24,
             shards: 4,
             batch: 16,
+            storage_faults: false,
         }
     }
 
@@ -124,9 +129,25 @@ pub fn home_guard_config(plan: &HomePlan) -> GuardConfig {
     scenario_guard_config(&scenario, plan.speaker)
 }
 
-/// Simulates one home and folds it into `acc`.
+/// Simulates one home (perfect checkpoint storage) and folds it into
+/// `acc`.
 pub fn simulate_home(population: &RngStreams, index: u64, hours: u32, acc: &mut FleetAccumulator) {
-    let plan = HomePlan::for_home(population, index, hours);
+    simulate_home_dialed(population, index, hours, false, acc);
+}
+
+/// Simulates one home with the fleet's storage-fault dial applied (see
+/// [`FleetConfig::storage_faults`]) and folds it into `acc`.
+pub fn simulate_home_dialed(
+    population: &RngStreams,
+    index: u64,
+    hours: u32,
+    storage_faults: bool,
+    acc: &mut FleetAccumulator,
+) {
+    let mut plan = HomePlan::for_home(population, index, hours);
+    if storage_faults {
+        plan = plan.with_crashy_storage(HomePlan::crashy_storage_faults());
+    }
     let config = home_guard_config(&plan);
     HomeSim::new(&plan, config).run(acc);
 }
@@ -144,7 +165,7 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
         for index in 0..homes {
             let hours = cfg.hours_of(index);
             if hours > 0 {
-                simulate_home(&population, index, hours, &mut acc);
+                simulate_home_dialed(&population, index, hours, cfg.storage_faults, &mut acc);
             }
         }
         let peak = u64::from(homes > 0);
@@ -159,6 +180,7 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
     let live = AtomicU64::new(0);
     let peak = AtomicU64::new(0);
     let batch = cfg.batch.max(1);
+    let storage_faults = cfg.storage_faults;
     let shard_accs: Vec<FleetAccumulator> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.shards)
             .map(|_| {
@@ -181,7 +203,13 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
                             }
                             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                             peak.fetch_max(now, Ordering::SeqCst);
-                            simulate_home(population, index, hours, &mut acc);
+                            simulate_home_dialed(
+                                population,
+                                index,
+                                hours,
+                                storage_faults,
+                                &mut acc,
+                            );
                             live.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
@@ -343,6 +371,34 @@ pub fn render_report(cfg: &FleetConfig, acc: &FleetAccumulator) -> String {
         ),
     ]);
     out.push_str(&ckpt.to_markdown());
+
+    // Rendered only when the run exercised the durable store's fault
+    // surface, so clean-fleet reports (and their goldens) are unchanged.
+    let storage_activity = acc.recoveries_fell_back
+        + acc.fallback_depth
+        + acc.candidates_rejected
+        + acc.ckpt_writes_torn
+        + acc.ckpt_writes_corrupted
+        + acc.ckpt_writes_lost
+        + acc.ckpt_writes_raced;
+    if storage_activity > 0 {
+        let mut store = Table::new("Checkpoint storage", &["counter", "count"]);
+        for (label, n) in [
+            ("recoveries intact", acc.recoveries_intact),
+            ("recoveries fell back", acc.recoveries_fell_back),
+            ("recoveries cold", acc.recoveries_cold),
+            ("fallback depth (total skipped)", acc.fallback_depth),
+            ("candidates rejected", acc.candidates_rejected),
+            ("writes torn", acc.ckpt_writes_torn),
+            ("writes corrupted", acc.ckpt_writes_corrupted),
+            ("writes lost", acc.ckpt_writes_lost),
+            ("writes raced crash", acc.ckpt_writes_raced),
+        ] {
+            store.push_row(vec![label.to_string(), n.to_string()]);
+        }
+        store.note("crashy homes' durable checkpoint chains under the storage-fault dial");
+        out.push_str(&store.to_markdown());
+    }
     out
 }
 

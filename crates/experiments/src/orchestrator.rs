@@ -20,7 +20,7 @@ use attacks::{
 use mobility::{TraceRecorder, Walk};
 use netsim::{
     BlindWindowPolicy, FaultCounters, FaultPlan, GuardFaultCounters, GuardFaults, HostId,
-    LinkFaults, LossModel, Network, NetworkConfig, ServerPool,
+    LinkFaults, LossModel, Network, NetworkConfig, ServerPool, StoragePlan,
 };
 use phone::{
     DeviceId, DeviceKind, DeviceRegistry, EvidenceEnvelope, FcmFaults, FcmLatencyModel,
@@ -265,6 +265,9 @@ pub struct FaultProfile {
     pub hold_capacity: usize,
     /// Guard crash/restart schedule (default: never crashes).
     pub guard: GuardFaults,
+    /// Durable checkpoint-store fault plan (default: a perfect store —
+    /// zero RNG draws, so goldens are unaffected).
+    pub storage: StoragePlan,
     /// Guard tracked-state bounds (default: unbounded).
     pub bounds: GuardBounds,
     /// Adversarial traffic generators on the LAN (default: none).
@@ -289,6 +292,7 @@ impl FaultProfile {
             fallback: FallbackPolicy::default(),
             hold_capacity: 0,
             guard: GuardFaults::none(),
+            storage: StoragePlan::none(),
             bounds: GuardBounds::unbounded(),
             adversary: AdversaryPlan::none(),
             evidence: EvidencePlan::none(),
@@ -437,6 +441,14 @@ impl FaultProfile {
         p.guard.hazard_per_s = hazard_per_s;
         p.guard.restart_delay = restart_delay;
         p
+    }
+
+    /// This profile with the given checkpoint-storage fault plan and a
+    /// name labelling the storage cell.
+    pub fn with_storage(mut self, name: &'static str, storage: StoragePlan) -> Self {
+        self.name = name;
+        self.storage = storage;
+        self
     }
 }
 
@@ -657,6 +669,7 @@ impl GuardedHome {
             capture_enabled: cfg.capture,
             faults: cfg.faults.net,
             guard_faults: cfg.faults.guard,
+            storage: cfg.faults.storage,
             ..NetworkConfig::default()
         });
         let mut speaker_hosts = Vec::new();

@@ -110,22 +110,39 @@ pub fn run(table1: &Table1Result, fig7: &Fig7Result, tables: &Tables234Result) -
 /// visible next to the clean-path claims. Works for both the standard
 /// chaos profiles and the crash-sweep cells — pass whichever ran.
 pub fn degradation(outcomes: &[ChaosOutcome]) -> Table {
-    let mut table = Table::new(
-        "Degraded-mode & recovery behaviour",
-        &[
-            "profile",
-            "block rate",
-            "FRR",
-            "timeouts",
-            "fell back",
-            "overflow drop/fwd",
-            "crash/restart/ckpt",
-            "holds abandoned",
-            "readopted (mean s)",
-        ],
-    );
+    // Checkpoint-storage recovery columns only render when some outcome
+    // actually shows storage-fault evidence, so sweeps run against a
+    // perfect store keep their historical table layout byte-identical.
+    let storage_faulted = outcomes.iter().any(|o| {
+        let g = &o.guard;
+        let s = &g.storage;
+        g.recoveries_fell_back
+            + g.fallback_depth
+            + g.candidates_rejected
+            + s.torn
+            + s.corrupted
+            + s.lost
+            + s.raced
+            > 0
+    });
+    let mut headers = vec![
+        "profile",
+        "block rate",
+        "FRR",
+        "timeouts",
+        "fell back",
+        "overflow drop/fwd",
+        "crash/restart/ckpt",
+        "holds abandoned",
+        "readopted (mean s)",
+    ];
+    if storage_faulted {
+        headers.push("recovery intact/fellback/cold");
+        headers.push("ckpt skipped");
+    }
+    let mut table = Table::new("Degraded-mode & recovery behaviour", &headers);
     for o in outcomes {
-        table.push_row(vec![
+        let mut row = vec![
             o.profile.to_string(),
             pct(o.block_rate()),
             pct(o.frr()),
@@ -138,7 +155,15 @@ pub fn degradation(outcomes: &[ChaosOutcome]) -> Table {
             ),
             o.holds_abandoned.to_string(),
             format!("{} ({})", o.flows_readopted, fmt_f(o.mean_readoption_s, 2)),
-        ]);
+        ];
+        if storage_faulted {
+            row.push(format!(
+                "{}/{}/{}",
+                o.guard.recoveries_intact, o.guard.recoveries_fell_back, o.guard.recoveries_cold
+            ));
+            row.push(o.guard.fallback_depth.to_string());
+        }
+        table.push_row(row);
     }
     table.note(
         "Abandoned holds drain fail-closed at restart: the record-seq gap \

@@ -9,6 +9,7 @@
 //!   per §IV-B2), later releasing them in order or discarding them.
 
 use crate::engine::{ConnId, HostId};
+use crate::storage::{RecoveryScan, RestoreReport};
 use crate::wire::{Datagram, TlsRecord};
 use simcore::SimTime;
 use std::any::Any;
@@ -153,19 +154,25 @@ pub trait Middlebox: Any {
     fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
         let _ = (ctx, token);
     }
-    /// Serializes recovery state for the periodic checkpointer. A
-    /// middlebox that cannot be restored returns `None` (the default) and
-    /// restarts cold.
-    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+    /// Serializes recovery state for the periodic checkpointer as a flat
+    /// byte payload — what actually goes to the (fault-injected) durable
+    /// store. A middlebox that cannot be restored returns `None` (the
+    /// default) and restarts cold.
+    fn checkpoint(&mut self) -> Option<Vec<u8>> {
         None
     }
     /// The process hosting this middlebox crashed: all in-memory state is
     /// gone. The engine has already discarded the frames this tap held.
     fn crash(&mut self) {}
     /// The supervisor restarted this middlebox after a crash, handing it
-    /// the most recent checkpoint (if any was ever taken).
-    fn restart(&mut self, ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
-        let _ = (ctx, checkpoint);
+    /// the checkpoint chain's recovery scan: every checksum-valid
+    /// candidate newest-first. The middlebox probes candidates in order
+    /// (decode, compatibility) and adopts the first usable one, returning
+    /// which — if any — it adopted and how many it rejected, so the
+    /// supervisor can account the recovery outcome.
+    fn restart(&mut self, ctx: &mut dyn TapCtx, scan: &RecoveryScan) -> RestoreReport {
+        let _ = (ctx, scan);
+        RestoreReport::cold()
     }
     /// Upcast for orchestrator access.
     fn as_any_mut(&mut self) -> &mut dyn Any;

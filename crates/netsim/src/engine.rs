@@ -24,6 +24,7 @@ use crate::fault::{
     GuardFaults, Leg,
 };
 use crate::latency::LatencyModel;
+use crate::storage::{CheckpointStore, RecoveryOutcome, StorageCounters, StoragePlan};
 use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
 use rand::rngs::StdRng;
 use simcore::{EventQueue, HoldQueue, RngStreams, SimDuration, SimTime, TraceBus};
@@ -67,6 +68,10 @@ pub struct NetworkConfig {
     /// Guard crash/restart plan applied to every tap slot. The default
     /// ([`GuardFaults::none`]) schedules nothing and draws nothing.
     pub guard_faults: GuardFaults,
+    /// Durable-storage fault plan for every tap slot's checkpoint store.
+    /// The default ([`StoragePlan::none`]) stores perfectly and draws
+    /// nothing from the `"storage"` stream.
+    pub storage: StoragePlan,
     /// RNG stream factory to derive engine randomness from instead of
     /// `RngStreams::new(seed)`. Lets a fleet hand each home's engine a
     /// factory forked from a population stream (`fork_indexed("home", i)`)
@@ -87,6 +92,7 @@ impl Default for NetworkConfig {
             capture_enabled: true,
             faults: FaultPlan::none(),
             guard_faults: GuardFaults::none(),
+            storage: StoragePlan::none(),
             streams: None,
         }
     }
@@ -300,8 +306,9 @@ struct GuardSlot {
     up: bool,
     /// Crashes so far, charged against [`GuardFaults::max_restarts`].
     crashes: u32,
-    /// The most recent checkpoint, surviving crashes like a file on disk.
-    checkpoint: Option<Box<dyn std::any::Any + Send>>,
+    /// The durable checkpoint chain — an actual modeled medium with torn
+    /// writes, bit rot and lost writes, not an infallible in-memory slot.
+    store: CheckpointStore,
 }
 
 /// The discrete-event network.
@@ -330,6 +337,9 @@ pub struct Network {
     trace: TraceBus,
     rng: StdRng,
     faults: FaultInjector,
+    /// Dedicated stream for checkpoint-storage faults; a zero-probability
+    /// [`StoragePlan`] never draws from it.
+    storage_rng: StdRng,
     started: bool,
 }
 
@@ -366,6 +376,7 @@ impl Network {
             trace: TraceBus::default(),
             rng: streams.stream("latency"),
             faults: FaultInjector::new(config.faults, streams.stream("faults")),
+            storage_rng: streams.stream("storage"),
             started: false,
         }
     }
@@ -375,9 +386,24 @@ impl Network {
         self.faults.counters()
     }
 
-    /// Tallies of guard crash/recovery activity so far.
+    /// Tallies of guard crash/recovery activity so far, including the
+    /// checkpoint stores' write-time storage-fault counts aggregated
+    /// across all tap slots.
     pub fn guard_fault_counters(&self) -> GuardFaultCounters {
-        self.guard_counters
+        let mut c = self.guard_counters;
+        for g in &self.guards {
+            c.storage.merge(g.store.counters());
+        }
+        c
+    }
+
+    /// The aggregated checkpoint-storage fault tallies alone.
+    pub fn storage_counters(&self) -> StorageCounters {
+        let mut c = StorageCounters::default();
+        for g in &self.guards {
+            c.merge(g.store.counters());
+        }
+        c
     }
 
     /// Whether `host`'s guard process is currently up. Hosts without a tap
@@ -429,7 +455,7 @@ impl Network {
         self.guards.push(GuardSlot {
             up: true,
             crashes: 0,
-            checkpoint: None,
+            store: CheckpointStore::new(self.config.storage),
         });
         self.host_entry_mut(host).tap = Some(slot);
     }
@@ -1188,6 +1214,8 @@ impl Network {
         let crashes = guard.crashes;
         self.guard_counters.crashes += 1;
         let now = self.queue.now();
+        // Checkpoint writes still in flight die with the process.
+        self.guards[slot].store.crash(now);
         self.trace.emit(
             now,
             "guard.crash",
@@ -1214,8 +1242,12 @@ impl Network {
         }
     }
 
-    /// The supervisor brings the guard at `slot` back, handing it the most
-    /// recent checkpoint (which survives crashes like a file on disk).
+    /// The supervisor brings the guard at `slot` back, scanning the
+    /// durable checkpoint chain and handing the middlebox every
+    /// checksum-valid candidate (newest first). The middlebox adopts the
+    /// first candidate it can decode and validate; damaged or rejected
+    /// frames fall back to older ones, and a chain with nothing usable is
+    /// a cold start — typed and counted, never a panic.
     fn on_guard_restart(&mut self, slot: usize) {
         let gf = self.config.guard_faults;
         {
@@ -1235,22 +1267,39 @@ impl Network {
             return;
         };
         let tap_host = HostId(host_idx as u32);
-        let checkpoint = self.guards[slot].checkpoint.take();
+        let scan = self.guards[slot].store.recover();
         if let Some(mut mb) = self.taps[slot].take() {
-            {
+            let report = {
                 let mut ctx = TapCtxImpl {
                     net: self,
                     tap: tap_host,
                     slot,
                 };
-                mb.restart(
-                    &mut ctx,
-                    checkpoint.as_ref().map(|b| &**b as &dyn std::any::Any),
-                );
-            }
+                mb.restart(&mut ctx, &scan)
+            };
             self.taps[slot] = Some(mb);
+            self.guard_counters.candidates_rejected += u64::from(report.rejected);
+            match scan.outcome(&report) {
+                RecoveryOutcome::Intact => self.guard_counters.recoveries_intact += 1,
+                RecoveryOutcome::FellBack { skipped } => {
+                    self.guard_counters.recoveries_fell_back += 1;
+                    self.guard_counters.fallback_depth += u64::from(skipped);
+                    self.trace.emit(
+                        now,
+                        "guard.restart",
+                        format!("tap slot {slot} recovery fell back past {skipped} checkpoint(s)"),
+                    );
+                }
+                RecoveryOutcome::ColdStart { reason } => {
+                    self.guard_counters.recoveries_cold += 1;
+                    self.trace.emit(
+                        now,
+                        "guard.restart",
+                        format!("tap slot {slot} recovery cold start ({reason:?})"),
+                    );
+                }
+            }
         }
-        self.guards[slot].checkpoint = checkpoint;
         if let Some(d) = self.faults.next_crash_delay(gf.hazard_per_s) {
             let at = self.queue.now() + d;
             self.queue.schedule(at, NetEvent::GuardCrash { slot });
@@ -1263,10 +1312,13 @@ impl Network {
         };
         if self.slot_up(slot) {
             if let Some(mut mb) = self.taps[slot].take() {
-                let snap = mb.checkpoint();
+                let payload = mb.checkpoint();
                 self.taps[slot] = Some(mb);
-                if let Some(snap) = snap {
-                    self.guards[slot].checkpoint = Some(snap);
+                if let Some(payload) = payload {
+                    let now = self.queue.now();
+                    self.guards[slot]
+                        .store
+                        .write(now, &payload, &mut self.storage_rng);
                     self.guard_counters.checkpoints += 1;
                 }
             }
@@ -1723,6 +1775,30 @@ impl Network {
             return; // the gap was filled (or superseded) in the meantime
         }
         let expected = conn.dirs[d].recv_expected_tls;
+        // Case III applies only when the hole can never be filled: the
+        // missing record was spoof-ACKed out of the sender's retransmission
+        // buffer and then discarded by a middlebox. If the sender still
+        // holds it (wire loss, or a fail-closed blind window dropping
+        // un-ACKed frames), the RTO process will refill the hole — keep
+        // waiting instead of tearing the session down under the sender's
+        // backed-off retransmission.
+        let refillable = conn.dirs[d]
+            .outstanding
+            .values()
+            .any(|seg| matches!(seg.payload, SegmentPayload::Data(rec) if rec.seq == expected));
+        if refillable {
+            let now = self.queue.now();
+            conn.dirs[d].gap_since = Some(now);
+            self.queue.schedule(
+                now + self.config.rto_initial * 3,
+                NetEvent::GapCheck {
+                    conn: conn_id,
+                    dir,
+                    since: now,
+                },
+            );
+            return;
+        }
         self.trace.emit(
             self.queue.now(),
             "tls.mismatch",

@@ -385,6 +385,21 @@ pub struct GuardFaultCounters {
     pub blind_dropped: u64,
     /// Frames that were held by the guard and lost when it crashed.
     pub held_frames_lost: u64,
+    /// Restarts that restored the newest checkpoint undamaged.
+    pub recoveries_intact: u64,
+    /// Restarts that fell back past damaged/rejected checkpoints to an
+    /// older one.
+    pub recoveries_fell_back: u64,
+    /// Restarts that found nothing usable (never checkpointed, or the
+    /// whole chain was damaged) and came up cold.
+    pub recoveries_cold: u64,
+    /// Total checkpoints skipped across all fell-back recoveries.
+    pub fallback_depth: u64,
+    /// Checksum-valid candidates the middlebox still rejected (decode or
+    /// compatibility failure).
+    pub candidates_rejected: u64,
+    /// Write-time storage faults injected by the checkpoint stores.
+    pub storage: crate::storage::StorageCounters,
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod dns;
 pub mod engine;
 pub mod fault;
 pub mod latency;
+pub mod storage;
 pub mod wire;
 
 pub use app::{AppCtx, CloseReason, Middlebox, NetApp, TapCtx, TapVerdict};
@@ -46,4 +47,8 @@ pub use fault::{
     LossModel,
 };
 pub use latency::LatencyModel;
+pub use storage::{
+    CheckpointStore, ColdStartReason, RecoveryOutcome, RecoveryScan, RestoreCandidate,
+    RestoreReport, ScanDamage, StorageCounters, StoragePlan, DEFAULT_CHAIN_DEPTH,
+};
 pub use wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};

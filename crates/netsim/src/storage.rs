@@ -1,0 +1,744 @@
+//! Modeled durable checkpoint storage with injected write faults.
+//!
+//! PR 3's crash recovery rested on an infallible in-memory checkpoint
+//! slot — "a file on disk" with none of a disk's failure modes. Real
+//! restore paths must survive torn writes, bit rot, lost writes and
+//! writes that race the crash (the OSDI crash-consistency literature is
+//! a catalogue of recovery code meeting its first bad checkpoint in
+//! production). [`CheckpointStore`] models that surface:
+//!
+//! * every checkpoint is **framed** — magic, frame-format version, store
+//!   generation, payload length and a CRC-32 over the payload — so
+//!   recovery can tell a good frame from a damaged one without trusting
+//!   a single byte;
+//! * the store keeps a bounded **chain** of the last K frames, so a
+//!   damaged newest checkpoint falls back to an older one instead of a
+//!   cold start;
+//! * writes pass through a deterministic [`StoragePlan`] drawing from a
+//!   dedicated `"storage"` RNG stream. Every draw is guarded by
+//!   `probability > 0.0`, so a zero-probability plan makes **zero**
+//!   draws and leaves all other streams — and therefore every existing
+//!   golden trace — bit-identical.
+//!
+//! Recovery ([`CheckpointStore::recover`]) is a typed, panic-free walk
+//! of the chain newest→oldest: frame validation and checksum here, then
+//! decode + compatibility probing by the application (the guard's
+//! `try_restore` checks precede any mutation, so probing candidates in
+//! order is safe). The walk ends in a [`RecoveryOutcome`]: `Intact`,
+//! `FellBack { skipped }`, or `ColdStart` with a reason that separates
+//! "never checkpointed" from "whole chain bad" — the latter is the
+//! fail-closed residue: the guard restarts blank and re-learns, holding
+//! nothing it cannot screen.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Frame magic: identifies a checkpoint frame (and catches bit rot or
+/// torn writes landing inside the header).
+pub const FRAME_MAGIC: [u8; 4] = *b"VGCK";
+/// Frame-format version written by this build.
+pub const FRAME_VERSION: u16 = 1;
+/// Bytes of frame header preceding the payload:
+/// magic(4) + version(2) + generation(8) + payload_len(4) + crc32(4).
+pub const FRAME_HEADER_LEN: usize = 22;
+
+/// Default checkpoint-chain depth (last K checkpoints retained).
+pub const DEFAULT_CHAIN_DEPTH: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`. Bitwise, no table — a
+/// checkpoint is a few kilobytes and writes are rare, so simplicity wins
+/// over a lookup table here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Deterministic write-fault plan for a checkpoint store.
+///
+/// All probabilities are per write. A plan with every probability at
+/// zero draws nothing from the storage RNG stream — the discipline every
+/// fault plan in this crate follows, so enabling the storage subsystem
+/// with a clean plan perturbs no existing golden output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoragePlan {
+    /// Probability a write is torn: the frame is truncated at a
+    /// fault-chosen offset (possibly inside the header).
+    pub torn_write: f64,
+    /// Probability a completed write suffers post-write bit corruption:
+    /// one fault-chosen bit of the frame is flipped.
+    pub bit_rot: f64,
+    /// Probability a write is lost entirely (never reaches the medium).
+    pub loss: f64,
+    /// How long a write takes to become durable. A crash before this
+    /// point loses the write — the race the paper's supervisor never
+    /// modeled.
+    pub write_latency: SimDuration,
+    /// How many checkpoints the chain retains (oldest pruned first).
+    /// Clamped to at least 1.
+    pub chain_depth: usize,
+}
+
+impl StoragePlan {
+    /// A perfect store: no faults, instant durability, default chain.
+    /// Makes zero RNG draws.
+    pub const fn none() -> Self {
+        StoragePlan {
+            torn_write: 0.0,
+            bit_rot: 0.0,
+            loss: 0.0,
+            write_latency: SimDuration::from_nanos(0),
+            chain_depth: DEFAULT_CHAIN_DEPTH,
+        }
+    }
+
+    /// True if this plan can never damage, lose or delay a write.
+    pub fn is_none(&self) -> bool {
+        self.torn_write == 0.0
+            && self.bit_rot == 0.0
+            && self.loss == 0.0
+            && self.write_latency == SimDuration::from_nanos(0)
+    }
+}
+
+impl Default for StoragePlan {
+    fn default() -> Self {
+        StoragePlan::none()
+    }
+}
+
+/// Write-time fault tallies kept by a [`CheckpointStore`]. These count
+/// faults as they are *injected* (deterministic per seed), so a damaged
+/// frame lingering in the chain across several recoveries is counted
+/// once, not once per scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageCounters {
+    /// Checkpoint writes attempted.
+    pub writes: u64,
+    /// Writes torn (truncated mid-frame).
+    pub torn: u64,
+    /// Writes hit by post-write bit corruption.
+    pub corrupted: u64,
+    /// Writes lost entirely.
+    pub lost: u64,
+    /// Writes still in flight when a crash hit (latency raced the crash).
+    pub raced: u64,
+}
+
+impl StorageCounters {
+    /// Adds `other`'s tallies into `self` (used to aggregate per-slot
+    /// stores into one report).
+    pub fn merge(&mut self, other: StorageCounters) {
+        self.writes += other.writes;
+        self.torn += other.torn;
+        self.corrupted += other.corrupted;
+        self.lost += other.lost;
+        self.raced += other.raced;
+    }
+}
+
+/// What one stored chain entry holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Stored {
+    /// The (possibly damaged) frame bytes that reached the medium.
+    Bytes(Vec<u8>),
+    /// The write was lost before reaching the medium.
+    LostWrite,
+    /// The write was still in flight when a crash hit.
+    LostInFlight,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Entry {
+    generation: u64,
+    durable_at: SimTime,
+    stored: Stored,
+}
+
+/// Why a frame in the chain could not serve as a recovery candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDamage {
+    /// The frame is shorter than its header declares (torn write).
+    Torn,
+    /// Header fields or payload checksum do not validate (bit rot).
+    Corrupted,
+    /// The write never reached the medium.
+    Lost,
+    /// The write was still in flight at the crash.
+    InFlight,
+}
+
+/// Per-cause damage found by one recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanDamage {
+    /// Frames truncated below their declared length.
+    pub torn: u32,
+    /// Frames failing header or checksum validation.
+    pub corrupted: u32,
+    /// Writes lost before reaching the medium.
+    pub lost: u32,
+    /// Writes that raced the crash.
+    pub in_flight: u32,
+}
+
+impl ScanDamage {
+    /// Total damaged frames in the scan.
+    pub fn total(&self) -> u32 {
+        self.torn + self.corrupted + self.lost + self.in_flight
+    }
+
+    fn count(&mut self, damage: FrameDamage) {
+        match damage {
+            FrameDamage::Torn => self.torn += 1,
+            FrameDamage::Corrupted => self.corrupted += 1,
+            FrameDamage::Lost => self.lost += 1,
+            FrameDamage::InFlight => self.in_flight += 1,
+        }
+    }
+}
+
+/// One checksum-valid checkpoint payload from a recovery scan, newest
+/// first in [`RecoveryScan::candidates`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreCandidate {
+    /// Store write sequence of the frame (monotonic; diagnostics only —
+    /// distinct from the guard's own incarnation generation).
+    pub generation: u64,
+    /// Damaged frames the scan skipped between the previous candidate
+    /// (or the chain head) and this one.
+    pub prior_damage: u32,
+    /// The frame's payload (checksum-verified; decoding and
+    /// compatibility are the application's to probe).
+    pub payload: Vec<u8>,
+}
+
+/// Result of scanning the checkpoint chain after a crash: every
+/// checksum-valid candidate newest→oldest, plus the per-cause damage
+/// tally.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryScan {
+    /// Checksum-valid candidates, newest first.
+    pub candidates: Vec<RestoreCandidate>,
+    /// Damage found across the whole chain.
+    pub damage: ScanDamage,
+}
+
+impl RecoveryScan {
+    /// True when the chain held nothing at all — no valid frame *and* no
+    /// damaged frame. Distinguishes "never checkpointed" from "whole
+    /// chain bad".
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty() && self.damage.total() == 0
+    }
+
+    /// Checkpoints skipped before adopting candidate `index`: every
+    /// damaged frame above it in the chain plus every valid-but-rejected
+    /// candidate before it.
+    pub fn skipped_before(&self, index: usize) -> u32 {
+        let damage: u32 = self.candidates[..=index]
+            .iter()
+            .map(|c| c.prior_damage)
+            .sum();
+        damage + index as u32
+    }
+
+    /// Folds a middlebox's [`RestoreReport`] into the typed outcome.
+    pub fn outcome(&self, report: &RestoreReport) -> RecoveryOutcome {
+        match report.adopted {
+            Some(index) => match self.skipped_before(index) {
+                0 => RecoveryOutcome::Intact,
+                skipped => RecoveryOutcome::FellBack { skipped },
+            },
+            None if self.is_empty() => RecoveryOutcome::ColdStart {
+                reason: ColdStartReason::NoCheckpoint,
+            },
+            None => RecoveryOutcome::ColdStart {
+                reason: ColdStartReason::ChainUnusable,
+            },
+        }
+    }
+}
+
+/// What the application (middlebox) did with the scan's candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Index into [`RecoveryScan::candidates`] of the adopted
+    /// checkpoint; `None` for a cold start.
+    pub adopted: Option<usize>,
+    /// Candidates the application rejected (decode or compatibility
+    /// failure) before adopting — or all of them, on a cold start.
+    pub rejected: u32,
+}
+
+impl RestoreReport {
+    /// No candidate adopted, none rejected (empty chain).
+    pub const fn cold() -> Self {
+        RestoreReport {
+            adopted: None,
+            rejected: 0,
+        }
+    }
+}
+
+/// Why a recovery ended in a cold start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdStartReason {
+    /// The guard was never checkpointed — an expected cold start.
+    NoCheckpoint,
+    /// Checkpoints existed but every frame was damaged or rejected: the
+    /// fail-closed residue of storage faults. The guard restarts blank
+    /// and re-learns; held traffic it cannot screen stays blocked.
+    ChainUnusable,
+}
+
+/// Typed outcome of one recovery walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The newest checkpoint restored intact.
+    Intact,
+    /// An older checkpoint restored after `skipped` newer ones were
+    /// damaged or rejected.
+    FellBack {
+        /// Checkpoints skipped before the adopted one.
+        skipped: u32,
+    },
+    /// No checkpoint restored.
+    ColdStart {
+        /// Why the recovery came up empty.
+        reason: ColdStartReason,
+    },
+}
+
+/// A modeled durable store holding a bounded chain of framed, CRC'd
+/// checkpoints, with deterministic write-fault injection.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    plan: StoragePlan,
+    /// Oldest → newest.
+    entries: VecDeque<Entry>,
+    next_generation: u64,
+    counters: StorageCounters,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store executing `plan`.
+    pub fn new(plan: StoragePlan) -> Self {
+        CheckpointStore {
+            plan,
+            entries: VecDeque::new(),
+            next_generation: 0,
+            counters: StorageCounters::default(),
+        }
+    }
+
+    /// The plan this store executes.
+    pub fn plan(&self) -> &StoragePlan {
+        &self.plan
+    }
+
+    /// Write-fault tallies so far.
+    pub fn counters(&self) -> StorageCounters {
+        self.counters
+    }
+
+    /// Frames currently in the chain (including damaged ones).
+    pub fn chain_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Writes one checkpoint payload through the fault plan, pruning the
+    /// chain to its depth. Draws from `rng` **only** when a fault with
+    /// positive probability is configured — a [`StoragePlan::none`] plan
+    /// consumes nothing.
+    pub fn write(&mut self, now: SimTime, payload: &[u8], rng: &mut StdRng) {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.counters.writes += 1;
+
+        let stored = if self.plan.loss > 0.0 && rng.gen_bool(self.plan.loss) {
+            self.counters.lost += 1;
+            Stored::LostWrite
+        } else {
+            let mut frame = encode_frame(generation, payload);
+            if self.plan.torn_write > 0.0 && rng.gen_bool(self.plan.torn_write) {
+                // Tear somewhere strictly inside the frame: at least one
+                // byte written, at least one byte missing.
+                let cut = rng.gen_range(1..frame.len());
+                frame.truncate(cut);
+                self.counters.torn += 1;
+            }
+            if self.plan.bit_rot > 0.0 && rng.gen_bool(self.plan.bit_rot) {
+                let bit = rng.gen_range(0..frame.len() * 8);
+                frame[bit / 8] ^= 1 << (bit % 8);
+                self.counters.corrupted += 1;
+            }
+            Stored::Bytes(frame)
+        };
+
+        self.entries.push_back(Entry {
+            generation,
+            durable_at: now + self.plan.write_latency,
+            stored,
+        });
+        let depth = self.plan.chain_depth.max(1);
+        while self.entries.len() > depth {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Marks every write still in flight at `at` as permanently lost —
+    /// the process died before the medium acknowledged them. Call at
+    /// crash time, before [`CheckpointStore::recover`].
+    pub fn crash(&mut self, at: SimTime) {
+        for entry in &mut self.entries {
+            if entry.durable_at > at && matches!(entry.stored, Stored::Bytes(_)) {
+                entry.stored = Stored::LostInFlight;
+                self.counters.raced += 1;
+            }
+        }
+    }
+
+    /// Walks the chain newest→oldest, validating each frame's header and
+    /// checksum, and returns every valid candidate plus the damage tally.
+    /// Non-destructive and panic-free on arbitrary frame bytes.
+    pub fn recover(&self) -> RecoveryScan {
+        let mut scan = RecoveryScan::default();
+        let mut pending_damage = 0u32;
+        for entry in self.entries.iter().rev() {
+            match &entry.stored {
+                Stored::LostWrite => {
+                    scan.damage.count(FrameDamage::Lost);
+                    pending_damage += 1;
+                }
+                Stored::LostInFlight => {
+                    scan.damage.count(FrameDamage::InFlight);
+                    pending_damage += 1;
+                }
+                Stored::Bytes(frame) => match decode_frame(frame) {
+                    Ok(payload) => {
+                        scan.candidates.push(RestoreCandidate {
+                            generation: entry.generation,
+                            prior_damage: pending_damage,
+                            payload: payload.to_vec(),
+                        });
+                        pending_damage = 0;
+                    }
+                    Err(damage) => {
+                        scan.damage.count(damage);
+                        pending_damage += 1;
+                    }
+                },
+            }
+        }
+        scan
+    }
+}
+
+/// Frames `payload` for the medium.
+fn encode_frame(generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&FRAME_VERSION.to_le_bytes());
+    frame.extend_from_slice(&generation.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Validates one frame, returning its payload slice or the damage class.
+/// Total over arbitrary bytes — no panic, no over-read.
+fn decode_frame(frame: &[u8]) -> Result<&[u8], FrameDamage> {
+    if frame.len() < FRAME_HEADER_LEN {
+        // Too short to even declare a length: a torn header.
+        return Err(FrameDamage::Torn);
+    }
+    if frame[..4] != FRAME_MAGIC {
+        return Err(FrameDamage::Corrupted);
+    }
+    let version = u16::from_le_bytes([frame[4], frame[5]]);
+    if version != FRAME_VERSION {
+        return Err(FrameDamage::Corrupted);
+    }
+    let declared = u32::from_le_bytes([frame[14], frame[15], frame[16], frame[17]]) as usize;
+    let payload = &frame[FRAME_HEADER_LEN..];
+    if payload.len() < declared {
+        return Err(FrameDamage::Torn);
+    }
+    if payload.len() > declared {
+        // A frame longer than declared cannot come from a torn write;
+        // the length field itself was corrupted.
+        return Err(FrameDamage::Corrupted);
+    }
+    let crc = u32::from_le_bytes([frame[18], frame[19], frame[20], frame[21]]);
+    if crc32(payload) != crc {
+        return Err(FrameDamage::Corrupted);
+    }
+    Ok(payload)
+}
+
+impl RecoveryOutcome {
+    /// Checkpoints skipped on the way to this outcome's adoption (0 for
+    /// intact and cold starts).
+    pub fn skipped(&self) -> u32 {
+        match self {
+            RecoveryOutcome::FellBack { skipped } => *skipped,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn clean_write_recovers_intact() {
+        let mut store = CheckpointStore::new(StoragePlan::none());
+        let mut r = rng(1);
+        store.write(SimTime::from_secs(1), b"checkpoint-a", &mut r);
+        store.crash(SimTime::from_secs(2));
+        let scan = store.recover();
+        assert_eq!(scan.damage, ScanDamage::default());
+        assert_eq!(scan.candidates.len(), 1);
+        assert_eq!(scan.candidates[0].payload, b"checkpoint-a");
+        let report = RestoreReport {
+            adopted: Some(0),
+            rejected: 0,
+        };
+        assert_eq!(scan.outcome(&report), RecoveryOutcome::Intact);
+    }
+
+    #[test]
+    fn zero_prob_plan_makes_no_draws() {
+        // Writing through a clean plan must leave the RNG stream
+        // bit-identical to an untouched one.
+        let mut store = CheckpointStore::new(StoragePlan::none());
+        let mut a = rng(7);
+        let untouched: Vec<u64> = {
+            let mut b = rng(7);
+            (0..32).map(|_| b.gen::<u64>()).collect()
+        };
+        for i in 0..100u64 {
+            store.write(SimTime::from_secs(i), &i.to_le_bytes(), &mut a);
+        }
+        let after: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        assert_eq!(after, untouched);
+    }
+
+    #[test]
+    fn chain_is_bounded_to_depth() {
+        let plan = StoragePlan {
+            chain_depth: 3,
+            ..StoragePlan::none()
+        };
+        let mut store = CheckpointStore::new(plan);
+        let mut r = rng(2);
+        for i in 0..10u64 {
+            store.write(SimTime::from_secs(i), &i.to_le_bytes(), &mut r);
+        }
+        assert_eq!(store.chain_len(), 3);
+        let scan = store.recover();
+        let gens: Vec<u64> = scan.candidates.iter().map(|c| c.generation).collect();
+        assert_eq!(gens, vec![9, 8, 7], "newest first, oldest pruned");
+    }
+
+    #[test]
+    fn torn_write_is_detected_and_falls_back() {
+        let plan = StoragePlan {
+            torn_write: 1.0,
+            ..StoragePlan::none()
+        };
+        let mut good = CheckpointStore::new(StoragePlan::none());
+        let mut r = rng(3);
+        good.write(SimTime::from_secs(1), b"older-good", &mut r);
+        // Graft a torn newest frame on top by writing through a torn plan
+        // into the same chain.
+        let mut store = CheckpointStore {
+            plan,
+            entries: good.entries.clone(),
+            next_generation: good.next_generation,
+            counters: good.counters,
+        };
+        store.write(SimTime::from_secs(2), b"newest-torn", &mut r);
+        assert_eq!(store.counters().torn, 1);
+        let scan = store.recover();
+        assert_eq!(scan.damage.torn, 1);
+        assert_eq!(scan.candidates.len(), 1);
+        assert_eq!(scan.candidates[0].payload, b"older-good");
+        assert_eq!(scan.candidates[0].prior_damage, 1);
+        let report = RestoreReport {
+            adopted: Some(0),
+            rejected: 0,
+        };
+        assert_eq!(
+            scan.outcome(&report),
+            RecoveryOutcome::FellBack { skipped: 1 }
+        );
+    }
+
+    #[test]
+    fn bit_rot_fails_the_checksum() {
+        let plan = StoragePlan {
+            bit_rot: 1.0,
+            ..StoragePlan::none()
+        };
+        let mut store = CheckpointStore::new(plan);
+        let mut r = rng(4);
+        store.write(SimTime::from_secs(1), b"will-rot", &mut r);
+        let scan = store.recover();
+        assert!(scan.candidates.is_empty());
+        assert_eq!(scan.damage.torn + scan.damage.corrupted, 1);
+        assert_eq!(
+            scan.outcome(&RestoreReport::cold()),
+            RecoveryOutcome::ColdStart {
+                reason: ColdStartReason::ChainUnusable,
+            }
+        );
+    }
+
+    #[test]
+    fn lost_write_leaves_a_counted_hole() {
+        let plan = StoragePlan {
+            loss: 1.0,
+            ..StoragePlan::none()
+        };
+        let mut store = CheckpointStore::new(plan);
+        let mut r = rng(5);
+        store.write(SimTime::from_secs(1), b"gone", &mut r);
+        assert_eq!(store.counters().lost, 1);
+        let scan = store.recover();
+        assert_eq!(scan.damage.lost, 1);
+        assert!(scan.candidates.is_empty());
+    }
+
+    #[test]
+    fn write_latency_races_the_crash() {
+        let plan = StoragePlan {
+            write_latency: SimDuration::from_secs(5),
+            ..StoragePlan::none()
+        };
+        let mut store = CheckpointStore::new(plan);
+        let mut r = rng(6);
+        store.write(SimTime::from_secs(1), b"durable-at-6", &mut r);
+        store.write(SimTime::from_secs(10), b"durable-at-15", &mut r);
+        // Crash at t=12: the first write became durable at 6, the second
+        // would only land at 15.
+        store.crash(SimTime::from_secs(12));
+        assert_eq!(store.counters().raced, 1);
+        let scan = store.recover();
+        assert_eq!(scan.damage.in_flight, 1);
+        assert_eq!(scan.candidates.len(), 1);
+        assert_eq!(scan.candidates[0].payload, b"durable-at-6");
+    }
+
+    #[test]
+    fn empty_chain_is_a_plain_cold_start() {
+        let store = CheckpointStore::new(StoragePlan::none());
+        let scan = store.recover();
+        assert!(scan.is_empty());
+        assert_eq!(
+            scan.outcome(&RestoreReport::cold()),
+            RecoveryOutcome::ColdStart {
+                reason: ColdStartReason::NoCheckpoint,
+            }
+        );
+    }
+
+    #[test]
+    fn skipped_counts_damage_and_rejections() {
+        // Chain (newest first): damaged, valid-but-rejected, damaged, valid.
+        let scan = RecoveryScan {
+            candidates: vec![
+                RestoreCandidate {
+                    generation: 4,
+                    prior_damage: 1,
+                    payload: b"rejected".to_vec(),
+                },
+                RestoreCandidate {
+                    generation: 2,
+                    prior_damage: 1,
+                    payload: b"adopted".to_vec(),
+                },
+            ],
+            damage: ScanDamage {
+                corrupted: 2,
+                ..ScanDamage::default()
+            },
+        };
+        let report = RestoreReport {
+            adopted: Some(1),
+            rejected: 1,
+        };
+        assert_eq!(
+            scan.outcome(&report),
+            RecoveryOutcome::FellBack { skipped: 3 },
+            "2 damaged + 1 rejected above the adopted frame"
+        );
+    }
+
+    #[test]
+    fn decode_frame_is_total_over_arbitrary_bytes() {
+        // No input may panic or over-read; damaged classes are stable.
+        assert_eq!(decode_frame(&[]), Err(FrameDamage::Torn));
+        assert_eq!(decode_frame(&[0x56; 10]), Err(FrameDamage::Torn));
+        let mut frame = encode_frame(0, b"payload");
+        assert!(decode_frame(&frame).is_ok());
+        frame[0] ^= 0xFF; // magic
+        assert_eq!(decode_frame(&frame), Err(FrameDamage::Corrupted));
+        let mut frame = encode_frame(0, b"payload");
+        frame[4] = 0xEE; // version
+        assert_eq!(decode_frame(&frame), Err(FrameDamage::Corrupted));
+        let mut frame = encode_frame(0, b"payload");
+        let cut = frame.len() - 2;
+        frame.truncate(cut);
+        assert_eq!(decode_frame(&frame), Err(FrameDamage::Torn));
+        let mut frame = encode_frame(0, b"payload");
+        frame.push(0); // longer than declared: corrupt length field
+        assert_eq!(decode_frame(&frame), Err(FrameDamage::Corrupted));
+        let last = frame.len() - 2;
+        let mut frame = encode_frame(0, b"payload");
+        frame[last] ^= 0x01; // payload bit flip
+        assert_eq!(decode_frame(&frame), Err(FrameDamage::Corrupted));
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let plan = StoragePlan {
+            torn_write: 0.4,
+            bit_rot: 0.3,
+            loss: 0.2,
+            ..StoragePlan::none()
+        };
+        let run = |seed| {
+            let mut store = CheckpointStore::new(plan);
+            let mut r = rng(seed);
+            for i in 0..50u64 {
+                store.write(SimTime::from_secs(i), &i.to_le_bytes(), &mut r);
+            }
+            (store.counters(), store.recover())
+        };
+        assert_eq!(run(11), run(11), "deterministic per seed");
+        assert_ne!(run(11).0, run(12).0, "seed actually matters");
+    }
+}

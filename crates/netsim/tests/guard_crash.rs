@@ -6,7 +6,8 @@
 
 use netsim::{
     AppCtx, BlindWindowPolicy, CloseReason, ConnId, GuardFaults, Middlebox, NetApp, Network,
-    NetworkConfig, SegmentPayload, TapCtx, TapVerdict, TlsRecord,
+    NetworkConfig, RecoveryScan, RestoreReport, SegmentPayload, StoragePlan, TapCtx, TapVerdict,
+    TlsRecord,
 };
 use simcore::{SimDuration, SimTime};
 use std::any::Any;
@@ -83,19 +84,31 @@ impl Middlebox for RecordingTap {
             TapVerdict::Forward
         }
     }
-    fn checkpoint(&mut self) -> Option<Box<dyn Any + Send>> {
+    fn checkpoint(&mut self) -> Option<Vec<u8>> {
         self.checkpoints_taken += 1;
-        Some(Box::new(self.segs_seen))
+        Some((self.segs_seen as u64).to_le_bytes().to_vec())
     }
     fn crash(&mut self) {
         self.crashes += 1;
         self.segs_seen = 0; // in-memory state is gone
     }
-    fn restart(&mut self, _ctx: &mut dyn TapCtx, checkpoint: Option<&dyn Any>) {
+    fn restart(&mut self, _ctx: &mut dyn TapCtx, scan: &RecoveryScan) -> RestoreReport {
         self.restarts += 1;
-        if let Some(n) = checkpoint.and_then(|c| c.downcast_ref::<usize>()) {
-            self.segs_seen = *n;
-            self.restored_from_checkpoint = true;
+        let mut rejected = 0u32;
+        for (index, candidate) in scan.candidates.iter().enumerate() {
+            if let Ok(bytes) = <[u8; 8]>::try_from(candidate.payload.as_slice()) {
+                self.segs_seen = u64::from_le_bytes(bytes) as usize;
+                self.restored_from_checkpoint = true;
+                return RestoreReport {
+                    adopted: Some(index),
+                    rejected,
+                };
+            }
+            rejected += 1;
+        }
+        RestoreReport {
+            adopted: None,
+            rejected,
         }
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {

@@ -1,0 +1,271 @@
+//! Chain-recovery properties of the durable checkpoint store.
+//!
+//! Two layers are exercised. The store-level property drives an
+//! arbitrary schedule of faulty writes, crashes and recovery scans
+//! straight into [`CheckpointStore`] and checks the chain's structural
+//! invariants: candidates come out newest-first with strictly decreasing
+//! generations, no generation is ever offered twice (a checkpoint cannot
+//! be "released" into two candidates), every adopted generation is one
+//! that was written before the crash, and every frame in the chain is
+//! accounted for as exactly one candidate or one damage tally. The
+//! engine-level property runs a crashing guard over a faulty store and
+//! checks the recovery bookkeeping: every supervised restart ends in
+//! exactly one typed outcome, so intact + fell-back + cold == restarts,
+//! with fallback depth only ever attributed to fell-back recoveries.
+
+use netsim::{
+    AppCtx, BlindWindowPolicy, CloseReason, ConnId, GuardFaults, Middlebox, NetApp, Network,
+    NetworkConfig, RecoveryScan, RestoreReport, StoragePlan, TapCtx, TapVerdict, TlsRecord,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcore::{SimDuration, SimTime};
+use std::any::Any;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// One step of a store schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a checkpoint whose payload encodes the write ordinal.
+    Write,
+    /// Crash the store (tombstones in-flight writes), then scan.
+    CrashAndScan,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![3 => Just(Op::Write), 1 => Just(Op::CrashAndScan)]
+}
+
+fn plan_strategy() -> impl Strategy<Value = StoragePlan> {
+    (
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0u64..3_000,
+        1usize..6,
+    )
+        .prop_map(
+            |(torn_write, bit_rot, loss, latency_ms, chain_depth)| StoragePlan {
+                torn_write,
+                bit_rot,
+                loss,
+                write_latency: SimDuration::from_millis(latency_ms),
+                chain_depth,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chain_scans_uphold_generation_and_accounting_invariants(
+        plan in plan_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let mut store = netsim::CheckpointStore::new(plan);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut now = SimTime::from_secs(0);
+        let mut written = 0u64;
+        for op in &ops {
+            now += SimDuration::from_secs(1);
+            match op {
+                Op::Write => {
+                    store.write(now, &written.to_le_bytes(), &mut rng);
+                    written += 1;
+                }
+                Op::CrashAndScan => {
+                    store.crash(now);
+                    let scan = store.recover();
+                    // Newest-first, strictly decreasing generations: no
+                    // generation can be offered twice.
+                    for pair in scan.candidates.windows(2) {
+                        prop_assert!(
+                            pair[0].generation > pair[1].generation,
+                            "candidates must be newest-first and unique: {scan:?}"
+                        );
+                    }
+                    // Any adoptable generation must be one the schedule
+                    // actually wrote before this crash.
+                    for c in &scan.candidates {
+                        prop_assert!(
+                            c.generation < written,
+                            "candidate generation {} but only {written} writes",
+                            c.generation
+                        );
+                    }
+                    // Every retained frame is exactly one candidate or
+                    // one damage tally — nothing vanishes, nothing is
+                    // counted twice.
+                    prop_assert_eq!(
+                        scan.candidates.len() + scan.damage.total() as usize,
+                        store.chain_len(),
+                        "scan must account for the whole chain"
+                    );
+                    // Adopting the newest candidate with no damage above
+                    // it is Intact; anything else adopted is FellBack
+                    // with the skip arithmetic consistent.
+                    if let Some(first) = scan.candidates.first() {
+                        let report = RestoreReport { adopted: Some(0), rejected: 0 };
+                        let outcome = scan.outcome(&report);
+                        if first.prior_damage == 0 {
+                            prop_assert_eq!(outcome, netsim::RecoveryOutcome::Intact);
+                        } else {
+                            prop_assert_eq!(
+                                outcome,
+                                netsim::RecoveryOutcome::FellBack { skipped: first.prior_damage }
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+const SPEAKER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 200);
+const CLOUD_IP: Ipv4Addr = Ipv4Addr::new(52, 94, 233, 1);
+
+/// Sends one record per second so there is always traffic in flight.
+#[derive(Default)]
+struct Chatter {
+    conn: Option<ConnId>,
+    closed: Option<CloseReason>,
+}
+
+impl NetApp for Chatter {
+    fn on_start(&mut self, ctx: &mut dyn AppCtx) {
+        self.conn = Some(ctx.connect(SocketAddrV4::new(CLOUD_IP, 443)));
+    }
+    fn on_connected(&mut self, ctx: &mut dyn AppCtx, _conn: ConnId) {
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut dyn AppCtx, _token: u64) {
+        if self.closed.is_some() {
+            return;
+        }
+        if let Some(conn) = self.conn {
+            ctx.send_record(conn, TlsRecord::app_data(400));
+        }
+        ctx.set_timer(SimDuration::from_secs(1), 0);
+    }
+    fn on_closed(&mut self, _ctx: &mut dyn AppCtx, _conn: ConnId, reason: CloseReason) {
+        self.closed = Some(reason);
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Default)]
+struct Sink;
+impl NetApp for Sink {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Counts segments and checkpoints them; restores the first decodable
+/// candidate at restart (the engine-side recovery contract).
+#[derive(Default)]
+struct CountingTap {
+    segs_seen: usize,
+    restarts: usize,
+}
+
+impl Middlebox for CountingTap {
+    fn on_segment(
+        &mut self,
+        _ctx: &mut dyn TapCtx,
+        _view: &netsim::app::SegmentView,
+    ) -> TapVerdict {
+        self.segs_seen += 1;
+        TapVerdict::Forward
+    }
+    fn checkpoint(&mut self) -> Option<Vec<u8>> {
+        Some((self.segs_seen as u64).to_le_bytes().to_vec())
+    }
+    fn crash(&mut self) {
+        self.segs_seen = 0;
+    }
+    fn restart(&mut self, _ctx: &mut dyn TapCtx, scan: &RecoveryScan) -> RestoreReport {
+        self.restarts += 1;
+        let mut rejected = 0u32;
+        for (index, candidate) in scan.candidates.iter().enumerate() {
+            if let Ok(bytes) = <[u8; 8]>::try_from(candidate.payload.as_slice()) {
+                self.segs_seen = u64::from_le_bytes(bytes) as usize;
+                return RestoreReport {
+                    adopted: Some(index),
+                    rejected,
+                };
+            }
+            rejected += 1;
+        }
+        RestoreReport {
+            adopted: None,
+            rejected,
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_restart_ends_in_exactly_one_recovery_outcome(
+        plan in plan_strategy(),
+        seed in 0u64..1_000,
+        hazard_period_s in 5u64..40,
+    ) {
+        let gf = GuardFaults {
+            hazard_per_s: 1.0 / hazard_period_s as f64,
+            restart_delay: SimDuration::from_secs(2),
+            max_restarts: 100,
+            checkpoint_every: Some(SimDuration::from_secs(3)),
+            blind: BlindWindowPolicy::Drop,
+            ..GuardFaults::none()
+        };
+        let mut net = Network::new(NetworkConfig {
+            seed,
+            guard_faults: gf,
+            storage: plan,
+            ..NetworkConfig::default()
+        });
+        let speaker = net.add_host("speaker", SPEAKER_IP);
+        let cloud = net.add_host("cloud", CLOUD_IP);
+        net.set_app(speaker, Box::new(Chatter::default()));
+        net.set_app(cloud, Box::new(Sink));
+        net.set_tap(speaker, Box::new(CountingTap::default()));
+        net.start();
+        net.run_until(SimTime::from_secs(120));
+
+        let c = net.guard_fault_counters();
+        prop_assert_eq!(
+            c.recoveries_intact + c.recoveries_fell_back + c.recoveries_cold,
+            c.restarts,
+            "each restart must end in exactly one typed outcome: {:?}", c
+        );
+        prop_assert!(
+            c.fallback_depth == 0 || c.recoveries_fell_back > 0,
+            "fallback depth without a fell-back recovery: {:?}", c
+        );
+        // A single write can be both torn and bit-rotted, so the tallies
+        // are not disjoint — but no single cause can exceed the write
+        // count, and a lost write cannot also race the crash.
+        for cause in [c.storage.torn, c.storage.corrupted, c.storage.lost, c.storage.raced] {
+            prop_assert!(cause <= c.storage.writes, "impossible tally: {:?}", c);
+        }
+        prop_assert!(
+            c.storage.lost + c.storage.raced <= c.storage.writes,
+            "lost and raced are disjoint per write: {:?}", c
+        );
+        net.with_tap::<CountingTap, _>(speaker, |t, _| {
+            assert_eq!(t.restarts as u64, c.restarts);
+        });
+    }
+}
