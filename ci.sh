@@ -39,6 +39,12 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # Decision Module. An attack command executing in a hardened cell here
 # means the evidence validation or quorum hardening regressed.
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --byzantine --attack spoof --attack compromised
+# Household smoke: one evidence-starved archetype under the paper's
+# fail-closed rule and the graceful-degradation policy. A hang, panic,
+# or an executed acoustic injection here means the availability
+# machinery regressed. (The full 6×4 grid is pinned as a golden in
+# crates/experiments/tests/household_golden.rs.)
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --household --archetype single-device --policy paper-any-one --policy graceful-k2
 # Fleet smoke: ~1k home-hours across the archetype population, run
 # twice at 4 shards and once serially. The rendered population report
 # must be byte-identical across repetitions and shard counts — any

@@ -1,0 +1,319 @@
+//! Acoustic-injection utterance sources with **no in-room occupant**.
+//!
+//! The paper's guest attacker stands in the room; BarrierBypass-style
+//! attacks do not. A loudspeaker on the porch plays a recorded command
+//! through a window, a laser rig across the street modulates audio onto
+//! the microphone, an ultrasonic emitter outside the wall carries an
+//! inaudible command — in every case the *sound* reaches the speaker
+//! while no attacking human is inside, so presence evidence (the RSSI
+//! the Decision Module depends on) is untouched by the attack itself.
+//!
+//! [`AcousticInjector`] models one such source: an [`AttackVector`], a
+//! position, a source level, and the [`Barrier`] between source and
+//! speaker. Whether the injection *acoustically* succeeds (the command
+//! is intelligible at the microphone) is a pure function of those
+//! parameters — the household sweep then asks the guard whether the
+//! resulting clean command traffic is blocked. [`injection_corpus`]
+//! builds the standard attack set the sweep iterates, parameterized by
+//! barrier attenuation and target speaker.
+
+use crate::AttackVector;
+use rfsim::Point;
+use serde::{Deserialize, Serialize};
+use speakers::CommandSpec;
+
+/// Reference distance (m) for the source level: SPL quoted at 1 m.
+const REFERENCE_DISTANCE_M: f64 = 1.0;
+
+/// Minimum level (dB SPL) at the microphone for a command to be
+/// intelligible to the wake-word and ASR pipeline.
+pub const INTELLIGIBILITY_FLOOR_DB: f64 = 45.0;
+
+/// The building element between an outside acoustic source and the
+/// speaker's microphone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Barrier {
+    /// Nothing in the way (open window, same room, door ajar).
+    Open,
+    /// A closed single-pane window.
+    Window,
+    /// An interior partition wall.
+    InteriorWall,
+    /// An exterior load-bearing wall.
+    ExteriorWall,
+}
+
+impl Barrier {
+    /// All barriers, in increasing attenuation order.
+    pub const ALL: [Barrier; 4] = [
+        Barrier::Open,
+        Barrier::Window,
+        Barrier::InteriorWall,
+        Barrier::ExteriorWall,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Barrier::Open => "open",
+            Barrier::Window => "window",
+            Barrier::InteriorWall => "interior-wall",
+            Barrier::ExteriorWall => "exterior-wall",
+        }
+    }
+
+    /// Transmission loss for ordinary audible sound, dB.
+    pub fn audible_attenuation_db(self) -> f64 {
+        match self {
+            Barrier::Open => 0.0,
+            Barrier::Window => 8.0,
+            Barrier::InteriorWall => 15.0,
+            Barrier::ExteriorWall => 25.0,
+        }
+    }
+
+    /// Transmission loss experienced by `vector`'s carrier, dB.
+    /// `None` means the barrier blocks the vector outright: a laser
+    /// cannot cross an opaque wall, and an ultrasonic carrier dies in
+    /// masonry.
+    pub fn attenuation_db(self, vector: AttackVector) -> Option<f64> {
+        match vector {
+            // A laser needs line of sight; glass costs it almost nothing.
+            AttackVector::LaserInjection => match self {
+                Barrier::Open => Some(0.0),
+                Barrier::Window => Some(1.0),
+                Barrier::InteriorWall | Barrier::ExteriorWall => None,
+            },
+            // Ultrasonic carriers attenuate far faster in solids than
+            // audible sound; anything heavier than glass kills them.
+            AttackVector::UltrasoundInaudible => match self {
+                Barrier::Open => Some(0.0),
+                Barrier::Window => Some(20.0),
+                Barrier::InteriorWall | Barrier::ExteriorWall => None,
+            },
+            _ => Some(self.audible_attenuation_db()),
+        }
+    }
+}
+
+/// One no-occupant acoustic injection source aimed at a speaker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcousticInjector {
+    /// The injection vector.
+    pub vector: AttackVector,
+    /// Where the source sits (outside the home, or at least outside the
+    /// speaker's room).
+    pub source: Point,
+    /// Index of the targeted speaker in a multi-speaker deployment.
+    pub target_speaker: usize,
+    /// Source level at 1 m, dB SPL. A porch loudspeaker manages ~85 dB;
+    /// consumer gear ~75 dB.
+    pub source_level_db: f64,
+    /// The barrier between the source and the target's microphone.
+    pub barrier: Barrier,
+}
+
+impl AcousticInjector {
+    /// A porch-loudspeaker replay source: audible recorded owner voice,
+    /// 85 dB SPL at 1 m.
+    pub fn loudspeaker(source: Point, target_speaker: usize, barrier: Barrier) -> Self {
+        AcousticInjector {
+            vector: AttackVector::ReplayRecording,
+            source,
+            target_speaker,
+            source_level_db: 85.0,
+            barrier,
+        }
+    }
+
+    /// An ultrasonic (DolphinAttack-style) emitter: inaudible to any
+    /// human, high source level but a carrier that dies in masonry.
+    pub fn ultrasonic(source: Point, target_speaker: usize, barrier: Barrier) -> Self {
+        AcousticInjector {
+            vector: AttackVector::UltrasoundInaudible,
+            source,
+            target_speaker,
+            source_level_db: 110.0,
+            barrier,
+        }
+    }
+
+    /// A laser rig (LightCommands-style): effectively unlimited acoustic
+    /// budget, needs line of sight.
+    pub fn laser(source: Point, target_speaker: usize, barrier: Barrier) -> Self {
+        AcousticInjector {
+            vector: AttackVector::LaserInjection,
+            source,
+            target_speaker,
+            source_level_db: 120.0,
+            barrier,
+        }
+    }
+
+    /// Sound level at the microphone of a speaker at `speaker_pos`, dB
+    /// SPL: the source level minus spherical spreading minus the
+    /// barrier's transmission loss. `None` when the barrier blocks the
+    /// carrier outright.
+    pub fn received_level_db(&self, speaker_pos: Point) -> Option<f64> {
+        let attenuation = self.barrier.attenuation_db(self.vector)?;
+        let d = self
+            .source
+            .horizontal_distance(&speaker_pos)
+            .max(REFERENCE_DISTANCE_M);
+        // Ultrasonic carriers decay much faster than audible sound: the
+        // demodulated level falls at ~40 dB/decade and air absorbs
+        // ~2 dB/m at carrier frequencies, which is what confines
+        // DolphinAttack-style injection to short range.
+        let path_loss = if self.vector == AttackVector::UltrasoundInaudible {
+            40.0 * (d / REFERENCE_DISTANCE_M).log10() + 2.0 * d
+        } else {
+            20.0 * (d / REFERENCE_DISTANCE_M).log10()
+        };
+        Some(self.source_level_db - path_loss - attenuation)
+    }
+
+    /// Whether the injected command is intelligible at the microphone —
+    /// the acoustic half of the attack. The guard half (is the resulting
+    /// command traffic blocked?) is what the household sweep measures.
+    pub fn injects(&self, speaker_pos: Point) -> bool {
+        self.received_level_db(speaker_pos)
+            .is_some_and(|level| level >= INTELLIGIBILITY_FLOOR_DB)
+    }
+
+    /// True for every acoustic injection: the attack needs no human in
+    /// the room, so no presence evidence accompanies it.
+    pub fn requires_occupant(&self) -> bool {
+        false
+    }
+}
+
+/// One entry of the standard injection corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcousticInjection {
+    /// Stable name for tables (`loudspeaker@window` etc.).
+    pub name: String,
+    /// The source model.
+    pub injector: AcousticInjector,
+    /// The command the speaker hears if the injection lands.
+    pub command: CommandSpec,
+}
+
+/// Builds the standard no-occupant injection corpus against one target
+/// speaker: every injector archetype behind every barrier it can
+/// plausibly face, commands numbered from `first_id`. Deterministic —
+/// no RNG — so sweeps can enumerate it per cell.
+pub fn injection_corpus(
+    source: Point,
+    target_speaker: usize,
+    first_id: u64,
+) -> Vec<AcousticInjection> {
+    let mut corpus = Vec::new();
+    let mut id = first_id;
+    let mut push = |name: String, injector: AcousticInjector| {
+        corpus.push(AcousticInjection {
+            name,
+            injector,
+            command: CommandSpec::simple(id),
+        });
+        id += 1;
+    };
+    for barrier in [
+        Barrier::Window,
+        Barrier::InteriorWall,
+        Barrier::ExteriorWall,
+    ] {
+        push(
+            format!("loudspeaker@{}", barrier.name()),
+            AcousticInjector::loudspeaker(source, target_speaker, barrier),
+        );
+    }
+    for barrier in [Barrier::Open, Barrier::Window] {
+        push(
+            format!("ultrasonic@{}", barrier.name()),
+            AcousticInjector::ultrasonic(source, target_speaker, barrier),
+        );
+        push(
+            format!("laser@{}", barrier.name()),
+            AcousticInjector::laser(source, target_speaker, barrier),
+        );
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speaker() -> Point {
+        Point::ground(1.0, 2.5)
+    }
+
+    #[test]
+    fn loudspeaker_through_window_is_intelligible() {
+        let inj = AcousticInjector::loudspeaker(Point::ground(-2.0, 2.5), 0, Barrier::Window);
+        let level = inj.received_level_db(speaker()).unwrap();
+        // 85 − 20·log10(3) − 8 ≈ 67.5 dB: loud and clear.
+        assert!((level - 67.5).abs() < 0.1, "{level}");
+        assert!(inj.injects(speaker()));
+        assert!(!inj.requires_occupant());
+    }
+
+    #[test]
+    fn exterior_wall_attenuates_but_close_sources_still_land() {
+        let close =
+            AcousticInjector::loudspeaker(Point::ground(-1.0, 2.5), 0, Barrier::ExteriorWall);
+        assert!(close.injects(speaker()), "2 m through the wall still lands");
+        // Far across the yard the same wall drops it below the floor.
+        let far =
+            AcousticInjector::loudspeaker(Point::ground(-14.0, 2.5), 0, Barrier::ExteriorWall);
+        assert!(!far.injects(speaker()));
+    }
+
+    #[test]
+    fn lasers_cross_windows_but_not_walls() {
+        let through_glass = AcousticInjector::laser(Point::ground(-19.0, 2.5), 0, Barrier::Window);
+        assert!(through_glass.injects(speaker()));
+        let through_wall =
+            AcousticInjector::laser(Point::ground(-2.0, 2.5), 0, Barrier::InteriorWall);
+        assert_eq!(through_wall.received_level_db(speaker()), None);
+        assert!(!through_wall.injects(speaker()));
+    }
+
+    #[test]
+    fn ultrasound_dies_in_masonry_and_fades_through_glass() {
+        let open = AcousticInjector::ultrasonic(Point::ground(0.0, 1.5), 0, Barrier::Open);
+        assert!(open.injects(speaker()));
+        let wall = AcousticInjector::ultrasonic(Point::ground(0.0, 1.5), 0, Barrier::ExteriorWall);
+        assert!(!wall.injects(speaker()));
+        // Through glass the carrier survives only at point-blank range.
+        let glass_near = AcousticInjector::ultrasonic(Point::ground(0.0, 2.5), 0, Barrier::Window);
+        assert!(glass_near.injects(speaker()));
+        let glass_far = AcousticInjector::ultrasonic(Point::ground(-9.0, 2.5), 0, Barrier::Window);
+        assert!(!glass_far.injects(speaker()));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_distinctly_named() {
+        let a = injection_corpus(Point::ground(-2.0, 2.5), 1, 100);
+        let b = injection_corpus(Point::ground(-2.0, 2.5), 1, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        let mut names: Vec<&str> = a.iter().map(|i| i.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7, "names must be unique");
+        assert!(a.iter().all(|i| i.injector.target_speaker == 1));
+        // Command ids are consecutive from first_id.
+        for (k, inj) in a.iter().enumerate() {
+            assert_eq!(inj.command.id, 100 + k as u64);
+        }
+    }
+
+    #[test]
+    fn every_corpus_entry_is_occupant_free_and_attributed() {
+        for inj in injection_corpus(Point::ground(-2.0, 2.5), 0, 0) {
+            assert!(!inj.injector.requires_occupant());
+            assert!(Barrier::ALL.contains(&inj.injector.barrier));
+        }
+    }
+}

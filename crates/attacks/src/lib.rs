@@ -17,9 +17,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acoustic;
 pub mod evidence;
 pub mod traffic;
 
+pub use acoustic::{
+    injection_corpus, AcousticInjection, AcousticInjector, Barrier, INTELLIGIBILITY_FLOOR_DB,
+};
 pub use evidence::{
     BleSpoofingAdvertiser, CompromiseMode, CompromisedDeviceAttack, ReplayedReportAttack,
 };

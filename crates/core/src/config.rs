@@ -209,6 +209,74 @@ impl Default for EvidenceHardening {
     }
 }
 
+/// Opt-in graceful-degradation rules for evidence-starved queries.
+///
+/// The paper's Decision Module implicitly assumes a friendly household:
+/// several registered devices, all reachable, all reporting. Real homes
+/// are often evidence-starved — a single registered phone, a phone left
+/// at home while the owner is away, a dead-battery or Do-Not-Disturb
+/// device that will never answer. This policy classifies each query's
+/// evidence situation ([`crate::decision::EvidenceSituation`]) and
+/// applies configurable rules instead of silently falling back to the
+/// paper's any-one rule:
+///
+/// * **fail-closed on starvation** — a query that ends with *zero*
+///   accepted reports is blocked even when the fallback policy would
+///   otherwise fail open;
+/// * **DND-aware accounting** — devices marked Do-Not-Disturb via
+///   [`crate::decision::DecisionModule::set_device_dnd`] are excluded
+///   from the expected-evidence count, are never polled (no FCM push,
+///   no RNG draws), and never accrue silence anomalies, so a dead
+///   battery cannot trip its own circuit breaker or poison
+///   [`crate::policy::WeightedByHealthQuorum`];
+/// * **silence scoring** — a reachable (non-DND) device that fails to
+///   produce an accepted report scores a health anomaly, so a device
+///   that goes persistently dark degrades its trust weight instead of
+///   being treated as an innocent absence forever.
+///
+/// The default ([`EvidenceAvailabilityPolicy::off`]) disables all of it
+/// and reproduces the paper's behaviour bit for bit; the knob values are
+/// still populated so flipping `enabled` alone yields the graceful
+/// profile ([`EvidenceAvailabilityPolicy::graceful`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceAvailabilityPolicy {
+    /// Master switch. Off = the paper's behaviour, byte-identical.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Block (rather than apply the fallback's `fail_open`) when a query
+    /// ends with zero accepted reports.
+    pub fail_closed_on_starvation: bool,
+    /// Score a health anomaly against every reachable device that failed
+    /// to produce an accepted report for a query.
+    pub score_silence: bool,
+}
+
+impl EvidenceAvailabilityPolicy {
+    /// Availability handling disabled (the default): the paper's
+    /// behaviour, including its silent any-one fallback.
+    pub fn off() -> Self {
+        EvidenceAvailabilityPolicy {
+            enabled: false,
+            ..EvidenceAvailabilityPolicy::graceful()
+        }
+    }
+
+    /// The graceful-degradation profile used by the household sweep.
+    pub fn graceful() -> Self {
+        EvidenceAvailabilityPolicy {
+            enabled: true,
+            fail_closed_on_starvation: true,
+            score_silence: true,
+        }
+    }
+}
+
+impl Default for EvidenceAvailabilityPolicy {
+    fn default() -> Self {
+        EvidenceAvailabilityPolicy::off()
+    }
+}
+
 /// What a pipeline does with a frame it wants to hold once the engine
 /// already parks `capacity` frames for that flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -262,6 +330,18 @@ mod tests {
             EvidenceHardening { enabled: true, ..h },
             EvidenceHardening::hardened(),
             "off() differs from hardened() only in the master switch"
+        );
+    }
+
+    #[test]
+    fn evidence_availability_defaults_off() {
+        let a = EvidenceAvailabilityPolicy::default();
+        assert!(!a.enabled, "availability handling must be opt-in");
+        assert!(EvidenceAvailabilityPolicy::graceful().enabled);
+        assert_eq!(
+            EvidenceAvailabilityPolicy { enabled: true, ..a },
+            EvidenceAvailabilityPolicy::graceful(),
+            "off() differs from graceful() only in the master switch"
         );
     }
 

@@ -12,7 +12,7 @@
 //! [`DecisionOutcome`] with the verdict and the time offsets at which each
 //! milestone happened, which the orchestrator replays onto the guard tap.
 
-use crate::config::EvidenceHardening;
+use crate::config::{EvidenceAvailabilityPolicy, EvidenceHardening};
 use crate::evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 use crate::floor::{FloorLevel, FloorTracker};
 use crate::health::{DeviceHealth, HealthGate};
@@ -33,6 +33,32 @@ pub enum Verdict {
     Legitimate,
     /// No device vouched: drop the held traffic and alert the owner.
     Malicious,
+}
+
+/// How much of the expected evidence a query actually received — the
+/// classification [`crate::config::EvidenceAvailabilityPolicy`] keys on.
+/// Computed for every query (it is pure accounting, no RNG), whether or
+/// not the availability policy is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceSituation {
+    /// Every expected (non-DND) device produced an accepted report.
+    Full,
+    /// Some but not all expected devices produced accepted reports.
+    Partial,
+    /// No report was accepted at all: the verdict rests entirely on the
+    /// fallback (or starvation) policy.
+    Starved,
+}
+
+impl EvidenceSituation {
+    /// Stable human-readable label for tables and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvidenceSituation::Full => "full",
+            EvidenceSituation::Partial => "partial",
+            EvidenceSituation::Starved => "starved",
+        }
+    }
 }
 
 /// One registered device with its calibration.
@@ -84,6 +110,8 @@ pub struct DecisionOutcome {
     /// What the FCM fault model (and evidence validation) did to this
     /// query.
     pub degradation: DecisionDegradation,
+    /// How much of the expected evidence this query received.
+    pub situation: EvidenceSituation,
 }
 
 /// Timeout / retry / fallback behavior when RSSI reports fail to arrive
@@ -155,6 +183,14 @@ pub struct DecisionDegradation {
     pub anomalies: u32,
     /// True if no report arrived at all and the fallback verdict applied.
     pub fell_back: bool,
+    /// Devices skipped because they are marked Do-Not-Disturb.
+    pub devices_dnd: u32,
+    /// Silence anomalies scored against reachable devices that produced
+    /// no accepted report (a subset of `anomalies`).
+    pub silence_anomalies: u32,
+    /// True if the availability policy forced a starved query closed
+    /// when the fallback would have failed open.
+    pub starved_fail_closed: bool,
 }
 
 impl DecisionDegradation {
@@ -173,6 +209,8 @@ pub struct DecisionModule {
     fcm_faults: FcmFaults,
     fallback: FallbackPolicy,
     hardening: EvidenceHardening,
+    availability: EvidenceAvailabilityPolicy,
+    dnd: Vec<bool>,
     health: Vec<DeviceHealth>,
     tampers: Vec<Box<dyn EvidenceTamper>>,
     next_nonce: u64,
@@ -201,6 +239,7 @@ impl DecisionModule {
             .iter()
             .map(|p| DeviceHealth::new(p.device))
             .collect();
+        let dnd = vec![false; profiles.len()];
         DecisionModule {
             profiles,
             policies: vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)],
@@ -209,6 +248,8 @@ impl DecisionModule {
             fcm_faults: FcmFaults::none(),
             fallback: FallbackPolicy::default(),
             hardening: EvidenceHardening::off(),
+            availability: EvidenceAvailabilityPolicy::off(),
+            dnd,
             health,
             tampers: Vec::new(),
             next_nonce: 0,
@@ -241,6 +282,42 @@ impl DecisionModule {
     /// The active evidence-hardening configuration.
     pub fn hardening(&self) -> EvidenceHardening {
         self.hardening
+    }
+
+    /// Sets the evidence-availability policy (default:
+    /// [`EvidenceAvailabilityPolicy::off`], the paper's silent any-one
+    /// fallback).
+    pub fn set_availability(&mut self, policy: EvidenceAvailabilityPolicy) {
+        self.availability = policy;
+    }
+
+    /// The active evidence-availability policy.
+    pub fn availability(&self) -> EvidenceAvailabilityPolicy {
+        self.availability
+    }
+
+    /// Marks a registered device Do-Not-Disturb (dead battery, muted
+    /// notifications): it is never polled, draws nothing from the RNG,
+    /// and — when the availability policy is enabled — is excluded from
+    /// the expected-evidence count and never scored for silence. Returns
+    /// `false` if the device is not registered.
+    pub fn set_device_dnd(&mut self, device: DeviceId, dnd: bool) -> bool {
+        match self.profiles.iter().position(|p| p.device == device) {
+            Some(idx) => {
+                self.dnd[idx] = dnd;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether a registered device is currently marked Do-Not-Disturb.
+    pub fn device_dnd(&self, device: DeviceId) -> bool {
+        self.profiles
+            .iter()
+            .position(|p| p.device == device)
+            .map(|idx| self.dnd[idx])
+            .unwrap_or(false)
     }
 
     /// Registers a device-side tamper hook — how a compromised device is
@@ -374,7 +451,14 @@ impl DecisionModule {
         let mut submissions: Vec<EvidenceEnvelope> =
             Vec::with_capacity(self.profiles.len() + injected.len());
         let mut genuine_arrivals = 0usize;
-        for profile in &self.profiles {
+        for (pi, profile) in self.profiles.iter().enumerate() {
+            // A Do-Not-Disturb device (dead battery, muted notifications)
+            // is never polled: no push, no scan, no RNG draws — the draw
+            // sequence of the remaining devices is unchanged.
+            if self.dnd[pi] {
+                degradation.devices_dnd += 1;
+                continue;
+            }
             // An offline device is unreachable for the whole query: one die
             // per device, and no retry can help.
             if self.fcm_faults.device_offline > 0.0 && rng.gen_bool(self.fcm_faults.device_offline)
@@ -481,12 +565,17 @@ impl DecisionModule {
                     degradation.rejections.record(EvidenceRejection::Replayed);
                     continue;
                 }
-                if self.health[idx].gate(now) == HealthGate::Reject {
-                    degradation
-                        .rejections
-                        .record(EvidenceRejection::Quarantined);
-                    continue;
-                }
+            }
+            // Silence scoring can trip a breaker even without hardening,
+            // so the quarantine gate applies whenever either layer that
+            // feeds the health ledger is active.
+            let gate_quarantine = self.hardening.enabled
+                || (self.availability.enabled && self.availability.score_silence);
+            if gate_quarantine && self.health[idx].gate(now) == HealthGate::Reject {
+                degradation
+                    .rejections
+                    .record(EvidenceRejection::Quarantined);
+                continue;
             }
             accepted.push((envelope, idx));
         }
@@ -548,6 +637,24 @@ impl DecisionModule {
             }
         }
 
+        // Phase 4b (availability only): a reachable device that produced
+        // no accepted report scores a silence anomaly, so a device that
+        // goes persistently dark degrades its own trust weight instead of
+        // reading as an innocent absence forever. DND devices are exempt —
+        // a dead battery must not trip its own breaker.
+        if self.availability.enabled && self.availability.score_silence {
+            for pi in 0..self.profiles.len() {
+                if self.dnd[pi] || accepted.iter().any(|(_, idx)| *idx == pi) {
+                    continue;
+                }
+                degradation.silence_anomalies += 1;
+                degradation.anomalies += 1;
+                if self.health[pi].observe(now, true, &self.hardening) {
+                    degradation.quarantines += 1;
+                }
+            }
+        }
+
         // Phase 5: the quorum rule decides over the accepted set.
         let quorum_evidence: Vec<QuorumEvidence> = accepted
             .iter()
@@ -561,13 +668,37 @@ impl DecisionModule {
             })
             .collect();
         let satisfied = !reports.is_empty() && self.quorum.satisfied(&quorum_evidence);
+
+        // Classify the evidence situation: how many of the devices the
+        // module expected to hear from actually got a report accepted.
+        // Pure accounting — computed for every query, availability policy
+        // or not.
+        let dnd_count = self.dnd.iter().filter(|d| **d).count();
+        let expected = self.profiles.len() - dnd_count;
+        let responding = (0..self.profiles.len())
+            .filter(|&pi| !self.dnd[pi] && accepted.iter().any(|(_, idx)| *idx == pi))
+            .count();
+        let situation = if reports.is_empty() {
+            EvidenceSituation::Starved
+        } else if responding >= expected {
+            EvidenceSituation::Full
+        } else {
+            EvidenceSituation::Partial
+        };
+
         let verdict = if satisfied {
             Verdict::Legitimate
         } else if reports.is_empty() {
             // No accepted evidence at all before the hold deadline: the
-            // fallback policy decides.
+            // fallback policy decides — unless the availability policy
+            // forces starvation closed.
             degradation.fell_back = true;
-            if self.fallback.fail_open {
+            let force_closed =
+                self.availability.enabled && self.availability.fail_closed_on_starvation;
+            if force_closed && self.fallback.fail_open {
+                degradation.starved_fail_closed = true;
+            }
+            if self.fallback.fail_open && !force_closed {
                 Verdict::Legitimate
             } else {
                 Verdict::Malicious
@@ -575,7 +706,14 @@ impl DecisionModule {
         } else {
             Verdict::Malicious
         };
-        let all_reported = genuine_arrivals == self.profiles.len();
+        // With the availability policy on, the module knows DND devices
+        // will never answer and stops waiting for them; the paper module
+        // has no such knowledge and waits out the hold deadline.
+        let all_reported = if self.availability.enabled {
+            genuine_arrivals + dnd_count == self.profiles.len()
+        } else {
+            genuine_arrivals == self.profiles.len()
+        };
         let ready_after = if satisfied {
             // Earliest arrival prefix that already satisfies the quorum
             // (for any-one: the earliest vouching report). Non-monotone
@@ -612,6 +750,14 @@ impl DecisionModule {
         self.totals.rejections.absorb(&degradation.rejections);
         self.totals.quarantines += u64::from(degradation.quarantines);
         self.totals.anomalies += u64::from(degradation.anomalies);
+        match situation {
+            EvidenceSituation::Full => self.totals.full_queries += 1,
+            EvidenceSituation::Partial => self.totals.partial_queries += 1,
+            EvidenceSituation::Starved => self.totals.starved_queries += 1,
+        }
+        self.totals.starved_fail_closed += u64::from(degradation.starved_fail_closed);
+        self.totals.dnd_skips += u64::from(degradation.devices_dnd);
+        self.totals.silence_anomalies += u64::from(degradation.silence_anomalies);
         DecisionOutcome {
             verdict,
             ready_after,
@@ -619,6 +765,7 @@ impl DecisionModule {
             nonce,
             envelopes,
             degradation,
+            situation,
         }
     }
 
@@ -1217,5 +1364,177 @@ mod tests {
             out.degradation.pushes_dropped + out.degradation.reports_lost
                 - out.degradation.attempts_exhausted
         );
+    }
+
+    #[test]
+    fn availability_with_full_evidence_is_byte_identical_to_paper_module() {
+        // The graceful policy only changes behaviour when evidence is
+        // missing; a healthy multi-device query draws the same dice and
+        // lands the same outcome as the paper module.
+        let near = Point::ground(2.0, 2.5);
+        for seed in 0..12u64 {
+            let mut paper = DecisionModule::new(vec![profile(0), profile(1)]);
+            let mut graceful = DecisionModule::new(vec![profile(0), profile(1)]);
+            graceful.set_availability(EvidenceAvailabilityPolicy::graceful());
+            let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = paper.decide(&|_| near, &channel(), &mut r1);
+            let b = graceful.decide(&|_| near, &channel(), &mut r2);
+            assert_eq!(a, b);
+            assert_eq!(b.situation, EvidenceSituation::Full);
+            assert_eq!(b.degradation.silence_anomalies, 0);
+        }
+        let totals = {
+            let mut dm = DecisionModule::new(vec![profile(0)]);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            dm.decide(&|_| near, &channel(), &mut rng);
+            dm.evidence_totals()
+        };
+        assert_eq!(totals.full_queries, 1);
+        assert_eq!(totals.starved_queries, 0);
+    }
+
+    #[test]
+    fn single_device_starvation_fails_closed_despite_fail_open() {
+        // Seed-pinned regression for the single-device residual: the only
+        // registered phone is unreachable, the fallback is fail-open (the
+        // paper's availability-first configuration), and the availability
+        // policy still blocks the command.
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_fcm_faults(FcmFaults {
+            push_drop: 1.0,
+            ..FcmFaults::none()
+        });
+        dm.set_fallback(FallbackPolicy {
+            fail_open: true,
+            ..FallbackPolicy::default()
+        });
+        dm.set_availability(EvidenceAvailabilityPolicy::graceful());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let out = dm.decide(&|_| Point::ground(2.0, 2.5), &channel(), &mut rng);
+        assert_eq!(out.verdict, Verdict::Malicious);
+        assert_eq!(out.situation, EvidenceSituation::Starved);
+        assert!(out.degradation.fell_back);
+        assert!(out.degradation.starved_fail_closed);
+        assert_eq!(dm.evidence_totals().starved_queries, 1);
+        assert_eq!(dm.evidence_totals().starved_fail_closed, 1);
+    }
+
+    #[test]
+    fn dnd_device_is_never_polled_scored_or_quarantined() {
+        // A dead-battery (DND) device must not trip its own breaker or
+        // poison the weighted quorum, however many queries pass it by.
+        let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
+        dm.set_availability(EvidenceAvailabilityPolicy::graceful());
+        dm.set_quorum(Box::new(crate::policy::WeightedByHealthQuorum {
+            min_weight: 1.0,
+        }));
+        assert!(dm.set_device_dnd(DeviceId(1), true));
+        assert!(dm.device_dnd(DeviceId(1)));
+        assert!(!dm.set_device_dnd(DeviceId(99), true), "unknown device");
+        let near = Point::ground(2.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for q in 0..20u64 {
+            let out = dm.decide_at(SimTime::from_secs(q * 60), &|_| near, &channel(), &mut rng);
+            assert_eq!(out.verdict, Verdict::Legitimate, "query {q}");
+            assert_eq!(out.situation, EvidenceSituation::Full);
+            assert_eq!(out.degradation.devices_dnd, 1);
+            assert_eq!(out.degradation.silence_anomalies, 0);
+        }
+        let h = dm.device_health(DeviceId(1)).unwrap();
+        assert_eq!(h.anomalies(), 0);
+        assert_eq!(h.quarantines(), 0);
+        assert_eq!(h.weight(), 1.0);
+        assert_eq!(dm.evidence_totals().dnd_skips, 20);
+    }
+
+    #[test]
+    fn silent_non_dnd_device_decays_and_eventually_quarantines() {
+        // A reachable device that never answers is not an innocent
+        // absence: silence scoring degrades its weight and trips its
+        // breaker, even with hardening off.
+        let snail = FcmLatencyModel {
+            push_mu: 4.0, // e^4 ≈ 54.6 s — always past the 25 s deadline
+            push_sigma: 0.0,
+            ..FcmLatencyModel::smartphone()
+        };
+        let mut dm = DecisionModule::new(vec![
+            profile(0),
+            DeviceProfile {
+                device: DeviceId(1),
+                threshold_db: -8.0,
+                latency: snail,
+                floor_tracker: None,
+            },
+        ]);
+        dm.set_availability(EvidenceAvailabilityPolicy::graceful());
+        let near = Point::ground(2.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut quarantined = false;
+        for q in 0..8u64 {
+            let out = dm.decide_at(SimTime::from_secs(q), &|_| near, &channel(), &mut rng);
+            assert_eq!(out.verdict, Verdict::Legitimate, "device 0 still vouches");
+            assert_eq!(out.situation, EvidenceSituation::Partial);
+            assert_eq!(out.degradation.silence_anomalies, 1);
+            quarantined |= out.degradation.quarantines > 0;
+        }
+        assert!(quarantined, "persistent silence must trip the breaker");
+        let h = dm.device_health(DeviceId(1)).unwrap();
+        assert!(h.anomalies() > 0);
+        assert!(h.weight() < 1.0);
+        assert!(dm.evidence_totals().silence_anomalies >= 3);
+        assert_eq!(dm.evidence_totals().partial_queries, 8);
+    }
+
+    #[test]
+    fn outcome_conservation_across_availability_configurations() {
+        // Every query resolves to exactly one of {allow, block,
+        // degraded-fallback}, and the situation/fallback bookkeeping is
+        // internally consistent under every policy combination.
+        let near = Point::ground(2.0, 2.5);
+        let far = Point::ground(10.0, 2.5);
+        for seed in 0..24u64 {
+            for (fail_open, avail, faulty) in [
+                (false, EvidenceAvailabilityPolicy::off(), false),
+                (true, EvidenceAvailabilityPolicy::off(), true),
+                (false, EvidenceAvailabilityPolicy::graceful(), true),
+                (true, EvidenceAvailabilityPolicy::graceful(), true),
+            ] {
+                let mut dm = DecisionModule::new(vec![profile(0), profile(1)]);
+                dm.set_availability(avail);
+                dm.set_fallback(FallbackPolicy {
+                    fail_open,
+                    ..FallbackPolicy::default()
+                });
+                if faulty {
+                    dm.set_fcm_faults(FcmFaults {
+                        push_drop: 0.5,
+                        device_offline: 0.3,
+                        ..FcmFaults::none()
+                    });
+                }
+                let pos = if seed % 2 == 0 { near } else { far };
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let out = dm.decide(&|_| pos, &channel(), &mut rng);
+                let allow = out.verdict == Verdict::Legitimate && !out.degradation.fell_back;
+                let block = out.verdict == Verdict::Malicious && !out.degradation.fell_back;
+                let fallback = out.degradation.fell_back;
+                assert_eq!(
+                    u32::from(allow) + u32::from(block) + u32::from(fallback),
+                    1,
+                    "exactly one outcome class"
+                );
+                // Starved ⇔ fell back ⇔ no reports.
+                assert_eq!(out.situation == EvidenceSituation::Starved, fallback);
+                assert_eq!(out.reports.is_empty(), fallback);
+                if out.degradation.starved_fail_closed {
+                    assert!(fallback && out.verdict == Verdict::Malicious);
+                }
+                // The graceful policy never releases a starved query.
+                if avail.enabled && avail.fail_closed_on_starvation && fallback {
+                    assert_eq!(out.verdict, Verdict::Malicious);
+                }
+            }
+        }
     }
 }

@@ -105,6 +105,24 @@ pub struct EvidenceTotals {
     pub quarantines: u64,
     /// Anomalies scored against device health ledgers.
     pub anomalies: u64,
+    /// Queries where every expected (non-DND) device produced an
+    /// accepted report ([`crate::decision::EvidenceSituation::Full`]).
+    pub full_queries: u64,
+    /// Queries where some but not all expected devices reported
+    /// ([`crate::decision::EvidenceSituation::Partial`]).
+    pub partial_queries: u64,
+    /// Queries that ended with zero accepted reports
+    /// ([`crate::decision::EvidenceSituation::Starved`]).
+    pub starved_queries: u64,
+    /// Starved queries blocked by
+    /// [`crate::config::EvidenceAvailabilityPolicy::fail_closed_on_starvation`]
+    /// overriding a fail-open fallback.
+    pub starved_fail_closed: u64,
+    /// Device-queries skipped because the device was Do-Not-Disturb.
+    pub dnd_skips: u64,
+    /// Silence anomalies scored against reachable devices that never
+    /// produced an accepted report (a subset of `anomalies`).
+    pub silence_anomalies: u64,
 }
 
 /// A hook that mutates a device's outgoing report before the Decision

@@ -43,10 +43,12 @@ pub mod policy;
 pub mod recognition;
 pub mod tap;
 
-pub use config::{EvidenceHardening, GuardConfig, HoldOverflowPolicy, SpeakerKind};
+pub use config::{
+    EvidenceAvailabilityPolicy, EvidenceHardening, GuardConfig, HoldOverflowPolicy, SpeakerKind,
+};
 pub use decision::{
     DecisionDegradation, DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport,
-    FallbackPolicy, Verdict,
+    EvidenceSituation, FallbackPolicy, Verdict,
 };
 pub use evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 pub use floor::{FloorLevel, FloorTracker, RouteClass, RouteClassifier};
@@ -59,8 +61,9 @@ pub use guard::{
 pub use health::{AnomalyKind, BreakerState, DeviceHealth, HealthGate};
 pub use learning::SignatureLearner;
 pub use policy::{
-    AnyOneQuorum, DecisionPolicy, DeviceEvidence, KOfNQuorum, OutlierRejectQuorum, PolicyVote,
-    QuietHoursPolicy, QuorumEvidence, QuorumPolicy, WeightedByHealthQuorum,
+    AnyOneQuorum, DecisionPolicy, DeviceEvidence, KOfAvailableQuorum, KOfNQuorum,
+    OutlierRejectQuorum, PolicyVote, QuietHoursPolicy, QuorumEvidence, QuorumPolicy,
+    WeightedByHealthQuorum,
 };
 pub use recognition::{SignatureMatcher, SignatureState, SpikeClass, SpikeClassifier};
 pub use tap::VoiceGuardTap;

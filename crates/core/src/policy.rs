@@ -239,6 +239,32 @@ impl QuorumPolicy for WeightedByHealthQuorum {
     }
 }
 
+/// At least `min(k, devices that reported)` devices must vouch — the
+/// graceful middle ground between the paper's [`AnyOneQuorum`] and a
+/// strict [`KOfNQuorum`]. A single-device household (or a query where
+/// only one device reported) passes with its one voucher instead of
+/// being condemned to a 100 % false-rejection rate, while a query with
+/// `k`+ reports keeps the full `k`-of-`n` strictness. The trade-off is
+/// honest: an attacker who can silence all but one compromised device
+/// regains the any-one bar, which is why the household sweep tables
+/// this policy next to the strict one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KOfAvailableQuorum {
+    /// Vouching devices required when at least `k` devices reported.
+    pub k: usize,
+}
+
+impl QuorumPolicy for KOfAvailableQuorum {
+    fn name(&self) -> &str {
+        "k-of-available"
+    }
+
+    fn satisfied(&self, evidence: &[QuorumEvidence]) -> bool {
+        let need = self.k.min(evidence.len()).max(1);
+        evidence.iter().filter(|e| e.vouched).count() >= need
+    }
+}
+
 /// A vouching RSSI above the device's calibrated plausible range (more
 /// than the configured margin over the free-space ceiling at distance 0)
 /// cannot vouch alone: only *plausible* vouchers release the command.
@@ -416,6 +442,29 @@ mod tests {
         assert!(q.satisfied(&[quorum(true, true, 0.5), quorum(true, true, 0.5)]));
         // Non-vouchers contribute nothing, whatever their weight.
         assert!(!q.satisfied(&[quorum(false, true, 1.0), quorum(true, true, 0.75)]));
+    }
+
+    #[test]
+    fn k_of_available_scales_to_the_reporting_set() {
+        let q = KOfAvailableQuorum { k: 2 };
+        // Empty evidence never satisfies.
+        assert!(!q.satisfied(&[]));
+        // One report: the bar relaxes to 1 — single-device homes pass.
+        assert!(q.satisfied(&[quorum(true, true, 1.0)]));
+        assert!(!q.satisfied(&[quorum(false, true, 1.0)]));
+        // Two reports: the full k = 2 bar applies.
+        assert!(!q.satisfied(&[quorum(true, true, 1.0), quorum(false, true, 1.0)]));
+        assert!(q.satisfied(&[quorum(true, true, 1.0), quorum(true, false, 1.0)]));
+        // Three reports: still k = 2, not all-of-available.
+        assert!(q.satisfied(&[
+            quorum(true, true, 1.0),
+            quorum(true, true, 1.0),
+            quorum(false, true, 1.0)
+        ]));
+        // k = 0 clamps to 1 voucher, like KOfNQuorum.
+        assert!(!KOfAvailableQuorum { k: 0 }.satisfied(&[quorum(false, true, 1.0)]));
+        assert!(KOfAvailableQuorum { k: 0 }.satisfied(&[quorum(true, true, 1.0)]));
+        assert_eq!(q.name(), "k-of-available");
     }
 
     #[test]

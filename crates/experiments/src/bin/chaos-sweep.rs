@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
-//!             [--storage] [--adversarial] [--byzantine] [--attack NAME]
-//!             [--record-trace FILE]
+//!             [--storage] [--adversarial] [--byzantine] [--household]
+//!             [--attack NAME] [--archetype NAME] [--policy NAME]
+//!             [--record-trace FILE] [--list]
 //!
 //!   --seed S        master seed (default 2023)
 //!   --rounds N      (legit, attack) command pairs per profile (default 4)
@@ -20,17 +21,32 @@
 //!   --byzantine     run the byzantine-evidence sweep (spoof/replay/
 //!                   compromised-device attacks × {paper-any-one,
 //!                   hardened} decision policies) instead of the profiles
+//!   --household     run the household sweep (household archetypes ×
+//!                   quorum-fallback policies, with the no-occupant
+//!                   acoustic-injection corpus) instead of the profiles
 //!   --attack NAME   with --adversarial or --byzantine: run only the
 //!                   named attack plan (adversarial: none, flood,
 //!                   slow-loris, mimic, spike-storm, all; byzantine:
 //!                   none, spoof, replay, compromised,
 //!                   compromised+spoof); repeatable
+//!   --archetype NAME
+//!                   with --household: run only the named household
+//!                   archetype; repeatable
+//!   --policy NAME   with --household: run only the named quorum-fallback
+//!                   policy; repeatable
 //!   --record-trace FILE
 //!                   with --profile: record the guard's sans-io input
 //!                   stream (one JSON line per input, the format the
 //!                   pure-core replay driver parses) and write it to
 //!                   FILE; the table output is unchanged
+//!   --list          print every mode, profile, attack plan, household
+//!                   archetype and policy, then exit
 //! ```
+//!
+//! The sweep modes (`--crash`, `--storage`, `--adversarial`,
+//! `--byzantine`, `--household`) are mutually exclusive — each replaces
+//! the default profile sweep wholesale, so combining them would silently
+//! ignore all but one.
 //!
 //! The default mode replays a compact Echo Dot scenario under the clean,
 //! lossy, bursty and fcm-degraded fault profiles and prints a markdown
@@ -40,8 +56,10 @@
 //! (flow flood, slow loris, signature mimic, spike storm) against the
 //! unbounded and hardened guard. `--byzantine` sweeps evidence attacks
 //! (BLE spoofing, report replay, compromised devices) against the
-//! paper's any-one-device rule and the hardened Decision Module. Output
-//! is byte-identical for two runs with the same seed.
+//! paper's any-one-device rule and the hardened Decision Module.
+//! `--household` sweeps evidence-starved household shapes against
+//! quorum-fallback policies. Output is byte-identical for two runs with
+//! the same seed.
 
 use std::process::ExitCode;
 
@@ -53,7 +71,11 @@ fn main() -> ExitCode {
     let mut storage = false;
     let mut adversarial = false;
     let mut byzantine = false;
+    let mut household = false;
+    let mut list = false;
     let mut attacks: Vec<String> = Vec::new();
+    let mut archetypes: Vec<String> = Vec::new();
+    let mut policies: Vec<String> = Vec::new();
     let mut record_trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -79,12 +101,36 @@ fn main() -> ExitCode {
                 byzantine = true;
                 i += 1;
             }
+            "--household" => {
+                household = true;
+                i += 1;
+            }
+            "--list" => {
+                list = true;
+                i += 1;
+            }
             "--attack" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("--attack needs a value");
                     return ExitCode::FAILURE;
                 };
                 attacks.push(value.clone());
+                i += 2;
+            }
+            "--archetype" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--archetype needs a value");
+                    return ExitCode::FAILURE;
+                };
+                archetypes.push(value.clone());
+                i += 2;
+            }
+            "--policy" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--policy needs a value");
+                    return ExitCode::FAILURE;
+                };
+                policies.push(value.clone());
                 i += 2;
             }
             "--record-trace" => {
@@ -123,20 +169,89 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
                      [--profile NAME] [--crash] [--storage] [--adversarial] \
-                     [--byzantine] [--attack NAME]"
+                     [--byzantine] [--household] [--attack NAME] \
+                     [--archetype NAME] [--policy NAME] [--list]"
                 );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
             }
         }
     }
-    if byzantine && adversarial {
-        eprintln!("--byzantine and --adversarial are mutually exclusive");
+    if list {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+    // Each sweep mode replaces the default profile sweep wholesale;
+    // combining them would silently ignore all but one, so refuse.
+    let modes: Vec<&str> = [
+        ("--crash", crash),
+        ("--storage", storage),
+        ("--adversarial", adversarial),
+        ("--byzantine", byzantine),
+        ("--household", household),
+    ]
+    .iter()
+    .filter(|(_, on)| *on)
+    .map(|(flag, _)| *flag)
+    .collect();
+    if modes.len() > 1 {
+        eprintln!(
+            "conflicting sweep modes: {} — each replaces the profile sweep \
+             entirely, so pick exactly one",
+            modes.join(" and ")
+        );
         return ExitCode::FAILURE;
     }
-    if record_trace.is_some() && (crash || storage || adversarial || byzantine) {
+    if profile.is_some() && !modes.is_empty() {
+        eprintln!(
+            "--profile selects a fault profile of the default sweep and \
+             cannot be combined with {}",
+            modes[0]
+        );
+        return ExitCode::FAILURE;
+    }
+    if record_trace.is_some() && !modes.is_empty() {
         eprintln!("--record-trace only supports the profile mode (use --profile NAME)");
         return ExitCode::FAILURE;
+    }
+    if !household && (!archetypes.is_empty() || !policies.is_empty()) {
+        eprintln!("--archetype/--policy only make sense with --household");
+        return ExitCode::FAILURE;
+    }
+    if !adversarial && !byzantine && !attacks.is_empty() {
+        eprintln!("--attack only makes sense with --adversarial or --byzantine");
+        return ExitCode::FAILURE;
+    }
+    if household {
+        let known_arch: Vec<&str> = experiments::HouseholdArchetype::ALL
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        for a in &archetypes {
+            if !known_arch.contains(&a.as_str()) {
+                eprintln!("unknown archetype '{a}'; known: {}", known_arch.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+        let known_pol: Vec<&'static str> = experiments::household::policy_cells()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        for p in &policies {
+            if !known_pol.contains(&p.as_str()) {
+                eprintln!("unknown policy '{p}'; known: {}", known_pol.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+        let arch: Vec<&str> = archetypes.iter().map(String::as_str).collect();
+        let pol: Vec<&str> = policies.iter().map(String::as_str).collect();
+        let result = experiments::household::run_filtered(&arch, &pol, seed, rounds);
+        print!("{}", result.table);
+        print!(
+            "{}",
+            experiments::summary::availability_degradation(&result.cells)
+        );
+        return ExitCode::SUCCESS;
     }
     if storage {
         let result = experiments::chaos::storage_sweep(seed, rounds);
@@ -176,10 +291,6 @@ fn main() -> ExitCode {
         let result = experiments::adversarial::run_attacks(&selected, seed, rounds);
         print!("{}", result.table);
         return ExitCode::SUCCESS;
-    }
-    if !attacks.is_empty() {
-        eprintln!("--attack only makes sense with --adversarial or --byzantine");
-        return ExitCode::FAILURE;
     }
     if crash {
         let result = experiments::chaos::crash_sweep(seed, rounds);
@@ -227,4 +338,44 @@ fn main() -> ExitCode {
         print!("{}", experiments::summary::degradation(&result.outcomes));
     }
     ExitCode::SUCCESS
+}
+
+/// Prints every selectable mode, profile, attack plan, household
+/// archetype and policy — the `--list` discovery aid.
+fn print_list() {
+    println!("modes:");
+    println!("  (default)     fault-profile sweep (clean/lossy/bursty/fcm-degraded)");
+    println!("  --crash       crash-recovery sweep");
+    println!("  --storage     checkpoint-storage sweep");
+    println!("  --adversarial adversarial-load sweep");
+    println!("  --byzantine   byzantine-evidence sweep");
+    println!("  --household   household evidence-availability sweep");
+    let profiles: Vec<&str> = experiments::chaos::all_profiles()
+        .iter()
+        .map(|p| p.name)
+        .collect();
+    println!("profiles (--profile): {}", profiles.join(", "));
+    let adversarial: Vec<&str> = experiments::adversarial::attack_plans()
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    println!("adversarial attacks (--attack): {}", adversarial.join(", "));
+    let byzantine: Vec<&str> = experiments::byzantine::attack_plans()
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    println!("byzantine attacks (--attack): {}", byzantine.join(", "));
+    let archetypes: Vec<&str> = experiments::HouseholdArchetype::ALL
+        .iter()
+        .map(|a| a.name())
+        .collect();
+    println!(
+        "household archetypes (--archetype): {}",
+        archetypes.join(", ")
+    );
+    let policies: Vec<&str> = experiments::household::policy_cells()
+        .iter()
+        .map(|p| p.name)
+        .collect();
+    println!("household policies (--policy): {}", policies.join(", "));
 }

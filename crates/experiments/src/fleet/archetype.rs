@@ -16,7 +16,9 @@ use netsim::StoragePlan;
 use simcore::RngStreams;
 use voiceguard::SpeakerKind;
 
-use crate::orchestrator::{AdversaryPlan, EvidencePlan, FaultProfile, GuardBounds, ScenarioConfig};
+use crate::orchestrator::{
+    AdversaryPlan, EvidencePlan, FaultProfile, GuardBounds, HouseholdArchetype, ScenarioConfig,
+};
 
 /// The five household archetypes a fleet is populated from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +154,11 @@ pub struct HomePlan {
     /// [`StoragePlan::none`] (the default) stores perfectly and draws
     /// nothing from the home's `"storage"` stream.
     pub storage: StoragePlan,
+    /// The household shape this home promotes to in a full-fidelity run
+    /// ([`HomePlan::household_scenario`]). Derived from spare plan-seed
+    /// bits, so adding it changed no existing archetype or speaker draw;
+    /// the fleet fast path does not consult it.
+    pub household: HouseholdArchetype,
     /// RNG factory for the home's continuous noise streams.
     pub streams: RngStreams,
 }
@@ -172,14 +179,26 @@ impl HomePlan {
         } else {
             SpeakerKind::GoogleHomeMini
         };
+        let household = HouseholdArchetype::ALL
+            [((plan_seed >> 32) % HouseholdArchetype::ALL.len() as u64) as usize];
         HomePlan {
             index,
             archetype,
             speaker,
             hours,
             storage: StoragePlan::none(),
+            household,
             streams,
         }
+    }
+
+    /// The full-fidelity scenario this home promotes to: the archetype's
+    /// fault profile applied over the planned household shape (device
+    /// roster, guests, DND marks, speaker layout).
+    pub fn household_scenario(&self) -> ScenarioConfig {
+        let mut cfg = self.archetype.scenario(self.streams.master_seed());
+        self.household.configure(&mut cfg);
+        cfg
     }
 
     /// The canonical faulty-disk dial applied to crashy homes when a
@@ -306,6 +325,35 @@ mod tests {
             if plan.archetype == Archetype::AdversarialTraffic {
                 assert_eq!(plan.speaker, SpeakerKind::EchoDot);
             }
+        }
+    }
+
+    #[test]
+    fn household_shapes_cover_the_fleet_and_leave_existing_draws_alone() {
+        let pop = RngStreams::new(42);
+        let mut counts = [0u64; 6];
+        for i in 0..2_000 {
+            let plan = HomePlan::for_home(&pop, i, 1);
+            let pos = HouseholdArchetype::ALL
+                .iter()
+                .position(|a| *a == plan.household)
+                .unwrap();
+            counts[pos] += 1;
+            // The promoted scenario carries both the archetype's faults
+            // and the household's roster.
+            let cfg = plan.household_scenario();
+            assert_eq!(cfg.faults.name, plan.archetype.scenario(1).faults.name);
+            if plan.household == HouseholdArchetype::CouplePlusGuest {
+                assert_eq!(cfg.guest_devices, 1);
+            }
+        }
+        // Spare-bit uniform draw: each shape lands near 1/6 of homes.
+        for (i, &c) in counts.iter().enumerate() {
+            let pct = c as f64 * 100.0 / 2_000.0;
+            assert!(
+                (pct - 100.0 / 6.0).abs() < 4.0,
+                "household {i} share {pct}: {counts:?}"
+            );
         }
     }
 

@@ -1,0 +1,471 @@
+//! Household sweep — evidence-starved homes × quorum-fallback policies.
+//!
+//! The paper evaluates one owner, one phone, one speaker. This sweep
+//! measures what its Decision Module does in households it never tested:
+//! couples with two registered phones, visiting guests carrying
+//! *unregistered* devices, the phone left on a shelf while everyone is
+//! out, a dead-battery Do-Not-Disturb device, and a second speaker far
+//! from where the owner usually stands (see
+//! [`crate::orchestrator::HouseholdArchetype`]). Each archetype runs
+//! under every quorum-fallback policy — the paper's any-one fail-closed
+//! rule, availability-first fail-open, a strict 2-of-n quorum, and the
+//! graceful-degradation policy (k-of-*available* quorum, starvation
+//! fail-closed, silence scoring, DND-aware expectations).
+//!
+//! Every cell fires the no-occupant acoustic-injection corpus
+//! ([`attacks::injection_corpus`]) against the empty home, plus a
+//! **dead-phone window**: the owner's phone dies (DND) and a legitimate
+//! command and an attack each probe the starved evidence path. The §13
+//! single-device residual shows up honestly in its own rows: fail-open
+//! turns dead-phone attacks into executions, fail-closed turns dead-phone
+//! *legitimate* commands into false rejections, and no policy escapes
+//! both — multi-device households are the actual fix.
+
+use crate::orchestrator::{
+    FaultProfile, GuardedHome, HouseholdArchetype, QuorumChoice, ScenarioConfig,
+};
+use crate::report::{pct, Table};
+use attacks::injection_corpus;
+use rfsim::Point;
+use simcore::SimDuration;
+use testbeds::apartment;
+use voiceguard::{EvidenceAvailabilityPolicy, EvidenceTotals, FallbackPolicy};
+
+/// One quorum-fallback policy column of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCell {
+    /// Stable table label.
+    pub name: &'static str,
+    /// Verdict when no report arrives (the module-level fallback).
+    pub fail_open: bool,
+    /// Quorum rule over accepted evidence.
+    pub quorum: QuorumChoice,
+    /// Evidence-availability policy (graceful degradation knobs).
+    pub availability: EvidenceAvailabilityPolicy,
+}
+
+/// The policy columns: the paper's rule, its fail-open mirror, a strict
+/// fixed quorum, and the graceful-degradation bundle this PR adds.
+pub fn policy_cells() -> Vec<PolicyCell> {
+    vec![
+        PolicyCell {
+            name: "paper-any-one",
+            fail_open: false,
+            quorum: QuorumChoice::AnyOne,
+            availability: EvidenceAvailabilityPolicy::off(),
+        },
+        PolicyCell {
+            name: "fail-open",
+            fail_open: true,
+            quorum: QuorumChoice::AnyOne,
+            availability: EvidenceAvailabilityPolicy::off(),
+        },
+        PolicyCell {
+            name: "k2-strict",
+            fail_open: false,
+            quorum: QuorumChoice::KOfN(2),
+            availability: EvidenceAvailabilityPolicy::off(),
+        },
+        PolicyCell {
+            name: "graceful-k2",
+            // Availability-first *except* on starvation: the policy
+            // overrides fail-open when zero reports arrive.
+            fail_open: true,
+            quorum: QuorumChoice::KOfAvailable(2),
+            availability: EvidenceAvailabilityPolicy::graceful(),
+        },
+    ]
+}
+
+/// One cell of the sweep: a household archetype × a policy.
+#[derive(Debug, Clone)]
+pub struct HouseholdCell {
+    /// The household shape.
+    pub archetype: HouseholdArchetype,
+    /// The policy label.
+    pub policy: &'static str,
+    /// Legitimate commands with normal evidence.
+    pub legit: u32,
+    /// Of those, wrongly blocked.
+    pub blocked_legit: u32,
+    /// Legitimate commands during the dead-phone window.
+    pub dead_phone_legit: u32,
+    /// Of those, blocked (the fail-closed FRR cost).
+    pub blocked_dead_phone_legit: u32,
+    /// Acoustic-injection attacks that acoustically landed.
+    pub attacks: u32,
+    /// Of those, executed by the cloud (the attack succeeded).
+    pub executed_attacks: u32,
+    /// Attacks during the dead-phone window.
+    pub dead_phone_attacks: u32,
+    /// Of those, executed — the starvation residual.
+    pub executed_dead_phone_attacks: u32,
+    /// Evidence-path totals across the cell's run.
+    pub totals: EvidenceTotals,
+}
+
+impl HouseholdCell {
+    /// False-rejection rate on normally-evidenced legitimate commands.
+    pub fn frr(&self) -> f64 {
+        ratio(self.blocked_legit, self.legit)
+    }
+
+    /// False-rejection rate inside the dead-phone window.
+    pub fn dead_phone_frr(&self) -> f64 {
+        ratio(self.blocked_dead_phone_legit, self.dead_phone_legit)
+    }
+
+    /// Fraction of landed acoustic injections the cloud executed.
+    pub fn attack_success(&self) -> f64 {
+        ratio(self.executed_attacks, self.attacks)
+    }
+
+    /// Fraction of dead-phone-window attacks executed — the residual
+    /// risk evidence starvation leaves open.
+    pub fn residual_risk(&self) -> f64 {
+        ratio(self.executed_dead_phone_attacks, self.dead_phone_attacks)
+    }
+}
+
+fn ratio(num: u32, den: u32) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        f64::from(num) / f64::from(den)
+    }
+}
+
+/// Result of the household sweep.
+#[derive(Debug, Clone)]
+pub struct HouseholdResult {
+    /// Per-cell outcomes, archetype-major, policy order of
+    /// [`policy_cells`].
+    pub cells: Vec<HouseholdCell>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+/// An indoor shelf spot outside the speaker's legitimate zone — where
+/// the left-behind phone sits, deterministically chosen.
+fn shelf_point(home: &GuardedHome) -> Point {
+    let zone = home.testbed().legit_zones[home.deployment()];
+    home.testbed()
+        .locations
+        .iter()
+        .map(|l| l.point)
+        .find(|p| !zone.contains(*p))
+        .expect("testbed has a location outside the legit zone")
+}
+
+/// Runs one cell of the sweep. Each round utters:
+///
+/// 1. one legitimate command with the household's occupants home (owner
+///    beside the targeted speaker, partner beside them, the left-behind
+///    phone on its shelf, guests present with unregistered devices);
+/// 2. the full acoustic-injection corpus against the *empty* home
+///    (every registered device away, the left-behind phone still on its
+///    shelf) — only injections that acoustically land are uttered;
+/// 3. a **dead-phone window**: the owner's phone goes Do-Not-Disturb,
+///    one legitimate command (owner home, phone dead, partner away) and
+///    one attack (everyone away) probe the starved path, then the phone
+///    revives.
+pub fn run_cell(
+    archetype: HouseholdArchetype,
+    policy: &PolicyCell,
+    seed: u64,
+    rounds: u32,
+) -> HouseholdCell {
+    let mut cfg = ScenarioConfig::household(apartment(), 0, seed, archetype);
+    cfg.faults = FaultProfile {
+        name: policy.name,
+        fallback: FallbackPolicy {
+            fail_open: policy.fail_open,
+            ..FallbackPolicy::default()
+        },
+        quorum: policy.quorum,
+        availability: policy.availability,
+        ..FaultProfile::clean()
+    };
+    let mut home = GuardedHome::new(cfg);
+    home.run_for(SimDuration::from_secs(5));
+    let devs = home.device_ids();
+    let target = archetype.attack_target();
+    let speaker =
+        home.testbed().deployments[(home.deployment() + target) % home.testbed().deployments.len()];
+    let away = home.testbed().outside;
+    let shelf = shelf_point(&home);
+    let corpus = injection_corpus(
+        Point::new(speaker.x - 2.0, speaker.y, speaker.floor),
+        target,
+        1,
+    );
+    if archetype == HouseholdArchetype::CouplePlusGuest {
+        home.set_guests_present(true);
+    }
+
+    // Where device `i` stands when the household is home vs. empty. The
+    // left-behind phone never moves off its shelf; everyone else goes to
+    // `away` when the home empties.
+    let home_pos = |i: usize| -> Point {
+        if archetype == HouseholdArchetype::PhoneLeftHome && i == 1 {
+            shelf
+        } else {
+            Point::new(speaker.x + 1.0 + 0.3 * i as f64, speaker.y, speaker.floor)
+        }
+    };
+    let away_pos = |i: usize| -> Point {
+        if archetype == HouseholdArchetype::PhoneLeftHome && i == 1 {
+            shelf
+        } else {
+            away
+        }
+    };
+
+    let mut cell = HouseholdCell {
+        archetype,
+        policy: policy.name,
+        legit: 0,
+        blocked_legit: 0,
+        dead_phone_legit: 0,
+        blocked_dead_phone_legit: 0,
+        attacks: 0,
+        executed_attacks: 0,
+        dead_phone_attacks: 0,
+        executed_dead_phone_attacks: 0,
+        totals: EvidenceTotals::default(),
+    };
+    for round in 0..rounds {
+        // (1) Everyone home: a legitimate command at the target speaker.
+        for (i, dev) in devs.iter().enumerate() {
+            home.set_device_position(*dev, home_pos(i));
+        }
+        let words = 4 + (round as usize % 5);
+        let id = home.utter_on(target, words, 1, false);
+        home.run_for(SimDuration::from_secs(40));
+        cell.legit += 1;
+        cell.blocked_legit += u32::from(!home.executed(id));
+
+        // (2) Empty home: the no-occupant acoustic-injection corpus.
+        for (i, dev) in devs.iter().enumerate() {
+            home.set_device_position(*dev, away_pos(i));
+        }
+        for inj in &corpus {
+            if !inj.injector.injects(speaker) {
+                continue;
+            }
+            let id = home.utter_on(target, inj.command.words, inj.command.response_parts, true);
+            home.run_for(SimDuration::from_secs(40));
+            cell.attacks += 1;
+            cell.executed_attacks += u32::from(home.executed(id));
+        }
+
+        // (3) Dead-phone window: the owner's phone dies.
+        home.decision_mut().set_device_dnd(devs[0], true);
+        for (i, dev) in devs.iter().enumerate() {
+            home.set_device_position(*dev, if i == 0 { home_pos(0) } else { away_pos(i) });
+        }
+        let id = home.utter_on(target, words, 1, false);
+        home.run_for(SimDuration::from_secs(40));
+        cell.dead_phone_legit += 1;
+        cell.blocked_dead_phone_legit += u32::from(!home.executed(id));
+
+        for (i, dev) in devs.iter().enumerate() {
+            home.set_device_position(*dev, away_pos(i));
+        }
+        let id = home.utter_on(target, 4, 1, true);
+        home.run_for(SimDuration::from_secs(40));
+        cell.dead_phone_attacks += 1;
+        cell.executed_dead_phone_attacks += u32::from(home.executed(id));
+        home.decision_mut().set_device_dnd(devs[0], false);
+    }
+    home.run_for(SimDuration::from_secs(10));
+    cell.totals = home.decision_mut().evidence_totals();
+    cell
+}
+
+/// Runs the full sweep: every archetype × every policy.
+pub fn run(seed: u64, rounds: u32) -> HouseholdResult {
+    run_filtered(&[], &[], seed, rounds)
+}
+
+/// Runs the sweep restricted to the named archetypes and policies
+/// (empty = all); the CI smoke uses this to exercise one archetype ×
+/// two policies cheaply.
+pub fn run_filtered(
+    archetypes: &[&str],
+    policies: &[&str],
+    seed: u64,
+    rounds: u32,
+) -> HouseholdResult {
+    let mut cells = Vec::new();
+    for archetype in HouseholdArchetype::ALL {
+        if !archetypes.is_empty() && !archetypes.contains(&archetype.name()) {
+            continue;
+        }
+        for policy in &policy_cells() {
+            if !policies.is_empty() && !policies.contains(&policy.name) {
+                continue;
+            }
+            cells.push(run_cell(archetype, policy, seed, rounds));
+        }
+    }
+    let table = render(&cells, seed, rounds);
+    HouseholdResult { cells, table }
+}
+
+fn render(cells: &[HouseholdCell], seed: u64, rounds: u32) -> Table {
+    let mut table = Table::new(
+        "Household sweep — evidence availability × quorum-fallback policy",
+        &[
+            "cell (household × policy)",
+            "FRR",
+            "attack success",
+            "dead-phone FRR",
+            "dead-phone residual",
+            "full/partial/starved",
+            "sfc/dnd/sil/quar",
+        ],
+    );
+    for c in cells {
+        let t = &c.totals;
+        table.push_row(vec![
+            format!("{} × {}", c.archetype.name(), c.policy),
+            format!("{} ({})", pct(c.frr()), c.blocked_legit),
+            format!("{} ({})", pct(c.attack_success()), c.executed_attacks),
+            format!(
+                "{} ({})",
+                pct(c.dead_phone_frr()),
+                c.blocked_dead_phone_legit
+            ),
+            format!(
+                "{} ({})",
+                pct(c.residual_risk()),
+                c.executed_dead_phone_attacks
+            ),
+            format!(
+                "{}/{}/{}",
+                t.full_queries, t.partial_queries, t.starved_queries
+            ),
+            format!(
+                "{}/{}/{}/{}",
+                t.starved_fail_closed, t.dnd_skips, t.silence_anomalies, t.quarantines
+            ),
+        ]);
+    }
+    table.note(format!(
+        "{rounds} round(s) per cell, seed {seed}. Each round: one legitimate \
+         command with the household home, the no-occupant acoustic-injection \
+         corpus (loudspeaker/ultrasonic/laser × barriers) against the empty \
+         home, and a dead-phone window (owner's phone DND) probing the \
+         starved evidence path with one legitimate command and one attack. \
+         'dead-phone residual' is the §13 single-device risk: fail-open \
+         executes starved attacks, fail-closed blocks starved legitimate \
+         commands — only a second registered device escapes both. \
+         sfc/dnd/sil/quar = starved-fail-closed overrides, DND skips, \
+         silence anomalies, quarantines."
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(
+        r: &'a HouseholdResult,
+        archetype: HouseholdArchetype,
+        policy: &str,
+    ) -> &'a HouseholdCell {
+        r.cells
+            .iter()
+            .find(|c| c.archetype == archetype && c.policy == policy)
+            .expect("cell present")
+    }
+
+    /// The headline invariants, pinned at seed 7: occupied and empty
+    /// homes both block every acoustic injection under the graceful
+    /// policy; the single-device dead-phone window is the honest §13
+    /// residual — fail-open executes the starved attack, every
+    /// fail-closed policy blocks the starved *legitimate* command
+    /// instead; and the DND device is never quarantined for its silence.
+    #[test]
+    fn household_sweep_pins_graceful_degradation_invariants() {
+        let r = run(7, 1);
+        assert_eq!(r.cells.len(), 24, "6 archetypes × 4 policies");
+        for c in &r.cells {
+            assert!(c.attacks > 0, "corpus must land in {c:?}");
+            if c.policy != "fail-open" {
+                assert_eq!(
+                    c.executed_attacks, 0,
+                    "acoustic injection must be blocked outside fail-open \
+                     starvation: {c:?}"
+                );
+            }
+        }
+        // The §13 residual, in its own row: a single-device home with a
+        // dead phone is starved, and the policy must pick its poison.
+        let open = cell(&r, HouseholdArchetype::SingleDevice, "fail-open");
+        assert_eq!(
+            open.executed_dead_phone_attacks, open.dead_phone_attacks,
+            "fail-open executes every starved attack: {open:?}"
+        );
+        let paper = cell(&r, HouseholdArchetype::SingleDevice, "paper-any-one");
+        assert_eq!(paper.executed_dead_phone_attacks, 0);
+        assert_eq!(
+            paper.blocked_dead_phone_legit, paper.dead_phone_legit,
+            "fail-closed blocks the starved legitimate command: {paper:?}"
+        );
+        let graceful = cell(&r, HouseholdArchetype::SingleDevice, "graceful-k2");
+        assert_eq!(
+            graceful.executed_dead_phone_attacks, 0,
+            "starvation fail-closed must override fail-open: {graceful:?}"
+        );
+        assert!(
+            graceful.totals.starved_fail_closed > 0,
+            "the override must be accounted: {graceful:?}"
+        );
+        // Multi-device households escape the dilemma: the partner's
+        // phone covers the dead-phone legitimate command.
+        let couple = cell(&r, HouseholdArchetype::TwoPhone, "graceful-k2");
+        assert_eq!(
+            couple.executed_dead_phone_attacks, 0,
+            "hardened multi-device cell blocks starved attacks: {couple:?}"
+        );
+        // The dead-battery DND device must not trip its breaker or be
+        // silence-scored under the graceful policy.
+        let dnd = cell(&r, HouseholdArchetype::DeadBatteryDnd, "graceful-k2");
+        assert!(dnd.totals.dnd_skips > 0, "DND device never polled: {dnd:?}");
+        assert_eq!(
+            dnd.totals.quarantines, 0,
+            "a DND device must not be quarantined for silence: {dnd:?}"
+        );
+        // Guest devices probe the registration boundary and are refused.
+        let guest = cell(&r, HouseholdArchetype::CouplePlusGuest, "graceful-k2");
+        assert!(
+            guest.totals.rejections.unknown_device > 0,
+            "guest reports must be rejected as unknown: {guest:?}"
+        );
+        assert_eq!(guest.executed_attacks, 0);
+    }
+
+    #[test]
+    fn filtered_runs_restrict_the_grid() {
+        let r = run_filtered(&["single-device"], &["paper-any-one", "graceful-k2"], 7, 1);
+        assert_eq!(r.cells.len(), 2);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.archetype == HouseholdArchetype::SingleDevice));
+    }
+
+    #[test]
+    fn household_cells_replay_bit_identically() {
+        let policy = policy_cells()
+            .into_iter()
+            .find(|p| p.name == "graceful-k2")
+            .expect("policy present");
+        let a = run_cell(HouseholdArchetype::DeadBatteryDnd, &policy, 7, 1);
+        let b = run_cell(HouseholdArchetype::DeadBatteryDnd, &policy, 7, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -41,6 +41,7 @@ pub mod fig7;
 pub mod fig89;
 pub mod fleet;
 pub mod hold_envelope;
+pub mod household;
 pub mod offline;
 pub mod orchestrator;
 pub mod report;
@@ -50,8 +51,8 @@ pub mod tables234;
 pub mod threat_coverage;
 
 pub use orchestrator::{
-    CommandRecord, EvidencePlan, FaultProfile, GuardedHome, QuorumChoice, ScenarioConfig,
-    ScenarioError,
+    CommandRecord, EvidencePlan, FaultProfile, GuardedHome, HouseholdArchetype, QuorumChoice,
+    ScenarioConfig, ScenarioError,
 };
 pub use report::{Report, Table};
 

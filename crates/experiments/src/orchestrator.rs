@@ -24,7 +24,7 @@ use netsim::{
 };
 use phone::{
     DeviceId, DeviceKind, DeviceRegistry, EvidenceEnvelope, FcmFaults, FcmLatencyModel,
-    MobileDevice, ThresholdCalibrator,
+    MobileDevice, QueryTiming, ThresholdCalibrator,
 };
 use rand::rngs::StdRng;
 use rfsim::{BleChannel, Point, PropagationConfig};
@@ -36,9 +36,10 @@ use speakers::{
 use std::net::{Ipv4Addr, SocketAddrV4};
 use testbeds::{RouteKind, Testbed};
 use voiceguard::{
-    AnyOneQuorum, DecisionModule, DeviceProfile, EvidenceHardening, FallbackPolicy, FloorTracker,
-    GuardConfig, GuardEvent, KOfNQuorum, OutlierRejectQuorum, QueryId, QuorumPolicy, RouteClass,
-    RouteClassifier, SpeakerKind, Verdict, VoiceGuardTap, WeightedByHealthQuorum,
+    AnyOneQuorum, DecisionModule, DeviceProfile, EvidenceAvailabilityPolicy, EvidenceHardening,
+    FallbackPolicy, FloorTracker, GuardConfig, GuardEvent, KOfAvailableQuorum, KOfNQuorum,
+    OutlierRejectQuorum, QueryId, QuorumPolicy, RouteClass, RouteClassifier, SpeakerKind, Verdict,
+    VoiceGuardTap, WeightedByHealthQuorum,
 };
 
 /// Speaker `i` lives at 192.168.1.(200+i).
@@ -76,6 +77,16 @@ pub struct ScenarioConfig {
     pub scan_samples: usize,
     /// Fault profile applied across the stack (default clean).
     pub faults: FaultProfile,
+    /// Unregistered guest devices carried into the home. While guests are
+    /// present ([`GuardedHome::set_guests_present`]) each contributes a
+    /// strong canned evidence report that the Decision Module must reject
+    /// as unknown — a registration-boundary probe, not legitimate
+    /// presence. Zero (the default) adds no state and draws no RNG.
+    pub guest_devices: usize,
+    /// Indices into `devices` of registered devices that are
+    /// Do-Not-Disturb for the whole run (dead battery, muted
+    /// notifications): never polled, never reporting. Empty by default.
+    pub dnd_devices: Vec<usize>,
     /// RNG stream factory to root every scenario stream in, instead of
     /// `RngStreams::new(seed)`. A fleet sets this to a per-home fork of a
     /// population factory (`population.fork_indexed("home", i)`) so each
@@ -186,6 +197,10 @@ pub enum QuorumChoice {
     /// Any one *plausible* voucher; implausibly strong readings cannot
     /// vouch alone.
     OutlierReject,
+    /// At least `k` of the devices that actually reported must vouch —
+    /// relaxing toward the reporting set so a small or starved home is
+    /// not condemned for devices it never had.
+    KOfAvailable(usize),
 }
 
 impl QuorumChoice {
@@ -198,6 +213,7 @@ impl QuorumChoice {
                 Box::new(WeightedByHealthQuorum { min_weight })
             }
             QuorumChoice::OutlierReject => Box::new(OutlierRejectQuorum),
+            QuorumChoice::KOfAvailable(k) => Box::new(KOfAvailableQuorum { k }),
         }
     }
 }
@@ -280,6 +296,9 @@ pub struct FaultProfile {
     pub hardening: EvidenceHardening,
     /// Quorum rule over accepted evidence (default: the paper's any-one).
     pub quorum: QuorumChoice,
+    /// Evidence-availability policy: starvation fail-closed, silence
+    /// scoring, DND-aware expectations (default: off).
+    pub availability: EvidenceAvailabilityPolicy,
 }
 
 impl FaultProfile {
@@ -298,6 +317,7 @@ impl FaultProfile {
             evidence: EvidencePlan::none(),
             hardening: EvidenceHardening::off(),
             quorum: QuorumChoice::AnyOne,
+            availability: EvidenceAvailabilityPolicy::off(),
         }
     }
 
@@ -466,6 +486,8 @@ impl ScenarioConfig {
             naive_spike_detection: false,
             scan_samples: 3,
             faults: FaultProfile::clean(),
+            guest_devices: 0,
+            dnd_devices: Vec::new(),
             streams: None,
         }
     }
@@ -483,6 +505,116 @@ impl ScenarioConfig {
         ScenarioConfig {
             speakers: vec![SpeakerKind::EchoDot, SpeakerKind::GoogleHomeMini],
             ..ScenarioConfig::echo(testbed, deployment, seed)
+        }
+    }
+
+    /// The deployment shape of a household archetype: registered devices,
+    /// guests, DND marks, and speaker layout per
+    /// [`HouseholdArchetype::configure`].
+    pub fn household(
+        testbed: Testbed,
+        deployment: usize,
+        seed: u64,
+        archetype: HouseholdArchetype,
+    ) -> Self {
+        let mut cfg = ScenarioConfig::echo(testbed, deployment, seed);
+        archetype.configure(&mut cfg);
+        cfg
+    }
+}
+
+/// The household shapes the evidence-availability sweep crosses with
+/// quorum-fallback policies — deployments the paper never evaluated,
+/// each starving or diluting presence evidence a different way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HouseholdArchetype {
+    /// A couple, both phones registered — the well-evidenced baseline.
+    TwoPhone,
+    /// A couple plus a visiting guest carrying an *unregistered* phone
+    /// that probes the registration boundary with strong readings.
+    CouplePlusGuest,
+    /// The paper's single-phone deployment: one device is the entire
+    /// evidence base (§13's residual-risk case).
+    SingleDevice,
+    /// Two registered phones, one left on a shelf at home while its
+    /// owner is away — evidence that claims "home" when nobody is.
+    PhoneLeftHome,
+    /// Two registered phones, one Do-Not-Disturb for the whole run
+    /// (dead battery): it never answers, and a naive health model would
+    /// quarantine it for the silence.
+    DeadBatteryDnd,
+    /// Two speakers, one phone: commands at the far speaker are judged
+    /// by proximity to *that* speaker, which the single owner rarely
+    /// has.
+    TwoSpeakerFar,
+}
+
+impl HouseholdArchetype {
+    /// Every archetype, in sweep row order.
+    pub const ALL: [HouseholdArchetype; 6] = [
+        HouseholdArchetype::TwoPhone,
+        HouseholdArchetype::CouplePlusGuest,
+        HouseholdArchetype::SingleDevice,
+        HouseholdArchetype::PhoneLeftHome,
+        HouseholdArchetype::DeadBatteryDnd,
+        HouseholdArchetype::TwoSpeakerFar,
+    ];
+
+    /// Stable table-row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HouseholdArchetype::TwoPhone => "two-phone",
+            HouseholdArchetype::CouplePlusGuest => "couple+guest",
+            HouseholdArchetype::SingleDevice => "single-device",
+            HouseholdArchetype::PhoneLeftHome => "phone-left-home",
+            HouseholdArchetype::DeadBatteryDnd => "dead-battery-dnd",
+            HouseholdArchetype::TwoSpeakerFar => "two-speaker-far",
+        }
+    }
+
+    /// True for the paper's one-phone deployment, whose starved queries
+    /// have no second device to fall back on.
+    pub fn single_device(self) -> bool {
+        self == HouseholdArchetype::SingleDevice
+    }
+
+    /// Applies the archetype's deployment shape to a scenario config:
+    /// device roster, guest count, DND marks, and speaker layout. Fault
+    /// and availability settings are left untouched — the sweep crosses
+    /// those separately.
+    pub fn configure(self, cfg: &mut ScenarioConfig) {
+        cfg.devices = vec![("Pixel 5".to_string(), DeviceKind::Phone)];
+        cfg.guest_devices = 0;
+        cfg.dnd_devices = Vec::new();
+        cfg.speakers = vec![SpeakerKind::EchoDot];
+        match self {
+            HouseholdArchetype::SingleDevice => {}
+            HouseholdArchetype::TwoPhone | HouseholdArchetype::PhoneLeftHome => {
+                cfg.devices
+                    .push(("Pixel 4a".to_string(), DeviceKind::Phone));
+            }
+            HouseholdArchetype::CouplePlusGuest => {
+                cfg.devices
+                    .push(("Pixel 4a".to_string(), DeviceKind::Phone));
+                cfg.guest_devices = 1;
+            }
+            HouseholdArchetype::DeadBatteryDnd => {
+                cfg.devices
+                    .push(("Pixel 4a".to_string(), DeviceKind::Phone));
+                cfg.dnd_devices = vec![1];
+            }
+            HouseholdArchetype::TwoSpeakerFar => {
+                cfg.speakers = vec![SpeakerKind::EchoDot, SpeakerKind::GoogleHomeMini];
+            }
+        }
+    }
+
+    /// Which speaker index the archetype's acoustic attacker targets:
+    /// the far speaker in the two-speaker home, the only one elsewhere.
+    pub fn attack_target(self) -> usize {
+        match self {
+            HouseholdArchetype::TwoSpeakerFar => 1,
+            _ => 0,
         }
     }
 }
@@ -572,8 +704,12 @@ pub fn scenario_guard_config(cfg: &ScenarioConfig, kind: SpeakerKind) -> GuardCo
         pending_query_budget: bounds.pending_query_budget,
         // The guard's timeout fail-safe and the Decision Module's
         // fallback must agree, or a fallback verdict and the guard's
-        // own timeout resolution could contradict each other.
-        fail_closed: !cfg.faults.fallback.fail_open,
+        // own timeout resolution could contradict each other. A
+        // starvation fail-closed availability policy overrides a
+        // fail-open fallback in the module, so it must here too.
+        fail_closed: !cfg.faults.fallback.fail_open
+            || (cfg.faults.availability.enabled
+                && cfg.faults.availability.fail_closed_on_starvation),
         ..match kind {
             SpeakerKind::EchoDot => GuardConfig::echo_dot(),
             SpeakerKind::GoogleHomeMini => GuardConfig::google_home_mini(),
@@ -605,6 +741,11 @@ pub struct GuardedHome {
     replay: Option<ReplayedReportAttack>,
     /// True while the scenario's attacker is actively transmitting.
     attacker_armed: bool,
+    /// Unregistered guest devices configured for this home.
+    guest_devices: usize,
+    /// True while guests are inside; their canned reports accompany
+    /// every query.
+    guests_present: bool,
     /// Ground truth for every uttered command.
     pub commands: Vec<CommandRecord>,
     /// Every query answered by the Decision Module.
@@ -831,6 +972,14 @@ impl GuardedHome {
         decision.set_fallback(cfg.faults.fallback);
         decision.set_hardening(cfg.faults.hardening);
         decision.set_quorum(cfg.faults.quorum.build());
+        decision.set_availability(cfg.faults.availability);
+        for &idx in &cfg.dnd_devices {
+            let ids = registry.ids();
+            let id = *ids
+                .get(idx)
+                .unwrap_or_else(|| panic!("dnd_devices index {idx} out of range"));
+            decision.set_device_dnd(id, true);
+        }
         // Evidence attacks: each armed leg gets its own RNG stream, so a
         // plan with nothing enabled draws nothing and stays byte-identical
         // to a run predating the model.
@@ -860,6 +1009,8 @@ impl GuardedHome {
             spoof,
             replay,
             attacker_armed: false,
+            guest_devices: cfg.guest_devices,
+            guests_present: false,
             commands: Vec::new(),
             decisions: Vec::new(),
             guard_events: Vec::new(),
@@ -1068,6 +1219,14 @@ impl GuardedHome {
         self.attacker_armed = armed;
     }
 
+    /// Marks the configured guest devices present (inside the home) or
+    /// absent. While present, each guest's unregistered device answers
+    /// every query with a strong canned report the Decision Module must
+    /// reject as unknown. With `guest_devices == 0` this is a no-op.
+    pub fn set_guests_present(&mut self, present: bool) {
+        self.guests_present = present;
+    }
+
     /// True when the profile's [`EvidencePlan`] enabled any attack.
     pub fn evidence_attack_configured(&self) -> bool {
         self.spoof.is_some() || self.replay.is_some() || !self.decision.tamper_names().is_empty()
@@ -1105,11 +1264,31 @@ impl GuardedHome {
                 // captured report and the spoofer overlays the speaker's
                 // channel; both legs are absent by default and touch no
                 // RNG, keeping unarmed runs byte-identical.
-                let injected: Vec<EvidenceEnvelope> = if self.attacker_armed {
+                let mut injected: Vec<EvidenceEnvelope> = if self.attacker_armed {
                     self.replay.as_ref().map(|r| r.inject()).unwrap_or_default()
                 } else {
                     Vec::new()
                 };
+                // Guests carry unregistered devices: while present, each
+                // answers with a strong canned report (fixed timing, no
+                // RNG) that validation must reject as UnknownDevice —
+                // guest proximity is not owner proximity.
+                if self.guests_present {
+                    let timing = QueryTiming {
+                        scan_start: SimDuration::from_secs_f64(0.6),
+                        measured_at: SimDuration::from_secs_f64(0.9),
+                        reported_at: SimDuration::from_secs_f64(1.2),
+                    };
+                    for g in 0..self.guest_devices {
+                        injected.push(EvidenceEnvelope {
+                            device: DeviceId(1000 + g as u32),
+                            nonce: 0,
+                            measured_at: now + timing.measured_at,
+                            rssi_db: -6.0,
+                            timing,
+                        });
+                    }
+                }
                 let spoofed = if self.attacker_armed {
                     self.spoof.as_mut().map(|(advertiser, spoof_rng)| {
                         self.channels[speaker]
@@ -1369,6 +1548,79 @@ mod tests {
         let id = home.utter(6, 1, false);
         home.run_for(SimDuration::from_secs(30));
         assert!(home.executed(id));
+    }
+
+    #[test]
+    fn household_archetypes_shape_the_deployment() {
+        for arch in HouseholdArchetype::ALL {
+            let cfg = ScenarioConfig::household(apartment(), 0, 11, arch);
+            match arch {
+                HouseholdArchetype::SingleDevice => {
+                    assert_eq!(cfg.devices.len(), 1);
+                    assert!(arch.single_device());
+                }
+                HouseholdArchetype::TwoSpeakerFar => {
+                    assert_eq!(cfg.speakers.len(), 2);
+                    assert_eq!(arch.attack_target(), 1);
+                }
+                _ => assert_eq!(cfg.devices.len(), 2),
+            }
+            if arch == HouseholdArchetype::CouplePlusGuest {
+                assert_eq!(cfg.guest_devices, 1);
+            }
+            if arch == HouseholdArchetype::DeadBatteryDnd {
+                assert_eq!(cfg.dnd_devices, vec![1]);
+            }
+            let home = GuardedHome::try_new(cfg);
+            assert!(home.is_ok(), "{} must build", arch.name());
+        }
+    }
+
+    #[test]
+    fn guest_reports_are_rejected_and_never_legitimise() {
+        let mut cfg =
+            ScenarioConfig::household(apartment(), 0, 12, HouseholdArchetype::CouplePlusGuest);
+        cfg.faults.availability = EvidenceAvailabilityPolicy::graceful();
+        let mut home = GuardedHome::new(cfg);
+        home.run_for(SimDuration::from_secs(5));
+        // Both owners out, guest inside with a strong unregistered phone.
+        let outside = home.testbed().outside;
+        for dev in home.device_ids() {
+            home.set_device_position(dev, outside);
+        }
+        home.set_guests_present(true);
+        let id = home.utter(4, 1, true);
+        home.run_for(SimDuration::from_secs(40));
+        assert!(!home.executed(id), "guest proximity must not legitimise");
+        let totals = home.decision_mut().evidence_totals();
+        assert!(
+            totals.rejections.unknown_device > 0,
+            "guest report must be rejected as unknown: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn dnd_home_executes_owner_commands_without_quarantining_the_dead_phone() {
+        let mut cfg =
+            ScenarioConfig::household(apartment(), 0, 13, HouseholdArchetype::DeadBatteryDnd);
+        cfg.faults.availability = EvidenceAvailabilityPolicy::graceful();
+        let mut home = GuardedHome::new(cfg);
+        home.run_for(SimDuration::from_secs(5));
+        let devs = home.device_ids();
+        let speaker = home.testbed().deployments[0];
+        home.set_device_position(
+            devs[0],
+            Point::new(speaker.x + 1.0, speaker.y, speaker.floor),
+        );
+        let id = home.utter(6, 1, false);
+        home.run_for(SimDuration::from_secs(30));
+        assert!(home.executed(id), "live owner phone must still vouch");
+        let totals = home.decision_mut().evidence_totals();
+        assert!(totals.dnd_skips > 0, "dead phone is never polled");
+        assert_eq!(
+            totals.quarantines, 0,
+            "a DND device must not trip its breaker"
+        );
     }
 
     #[test]

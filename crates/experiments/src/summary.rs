@@ -9,6 +9,7 @@
 
 use crate::chaos::ChaosOutcome;
 use crate::fig7::Fig7Result;
+use crate::household::HouseholdCell;
 use crate::report::{fmt_f, pct, Table};
 use crate::table1::Table1Result;
 use crate::tables234::Tables234Result;
@@ -169,6 +170,88 @@ pub fn degradation(outcomes: &[ChaosOutcome]) -> Table {
         "Abandoned holds drain fail-closed at restart: the record-seq gap \
          closes the session, so a crashed deliberation can never leak a \
          held command.",
+    );
+    table
+}
+
+/// Policy-level rollup of the household sweep: every archetype's cells
+/// for one policy pooled into a single row, so the sweep's verdict —
+/// what each quorum-fallback rule costs and catches across household
+/// shapes — reads at a glance. The single-device residual is pooled
+/// *separately* from the multi-device rows; averaging it away would
+/// hide exactly the §13 risk the sweep exists to surface.
+pub fn availability_degradation(cells: &[HouseholdCell]) -> Table {
+    let mut policies: Vec<&'static str> = Vec::new();
+    for c in cells {
+        if !policies.contains(&c.policy) {
+            policies.push(c.policy);
+        }
+    }
+    let mut table = Table::new(
+        "Household rollup — per-policy totals (single-device kept separate)",
+        &[
+            "policy",
+            "multi-device FRR",
+            "multi-device residual",
+            "single-device dead-phone FRR",
+            "single-device residual",
+            "full/partial/starved",
+            "sfc/dnd/sil/quar",
+        ],
+    );
+    for policy in policies {
+        let (mut md_legit, mut md_blocked) = (0u32, 0u32);
+        let (mut md_dp_att, mut md_dp_exec) = (0u32, 0u32);
+        let (mut sd_dp_legit, mut sd_dp_blocked) = (0u32, 0u32);
+        let (mut sd_dp_att, mut sd_dp_exec) = (0u32, 0u32);
+        let (mut full, mut partial, mut starved) = (0u64, 0u64, 0u64);
+        let (mut sfc, mut dnd, mut sil, mut quar) = (0u64, 0u64, 0u64, 0u64);
+        for c in cells.iter().filter(|c| c.policy == policy) {
+            if c.archetype.single_device() {
+                sd_dp_legit += c.dead_phone_legit;
+                sd_dp_blocked += c.blocked_dead_phone_legit;
+                sd_dp_att += c.dead_phone_attacks;
+                sd_dp_exec += c.executed_dead_phone_attacks;
+            } else {
+                md_legit += c.legit + c.dead_phone_legit;
+                md_blocked += c.blocked_legit + c.blocked_dead_phone_legit;
+                md_dp_att += c.dead_phone_attacks;
+                md_dp_exec += c.executed_dead_phone_attacks;
+            }
+            full += c.totals.full_queries;
+            partial += c.totals.partial_queries;
+            starved += c.totals.starved_queries;
+            sfc += c.totals.starved_fail_closed;
+            dnd += c.totals.dnd_skips;
+            sil += c.totals.silence_anomalies;
+            quar += c.totals.quarantines;
+        }
+        let rate = |n: u32, d: u32| {
+            if d == 0 {
+                0.0
+            } else {
+                f64::from(n) / f64::from(d)
+            }
+        };
+        table.push_row(vec![
+            policy.to_string(),
+            format!("{} ({md_blocked})", pct(rate(md_blocked, md_legit))),
+            format!("{} ({md_dp_exec})", pct(rate(md_dp_exec, md_dp_att))),
+            format!(
+                "{} ({sd_dp_blocked})",
+                pct(rate(sd_dp_blocked, sd_dp_legit))
+            ),
+            format!("{} ({sd_dp_exec})", pct(rate(sd_dp_exec, sd_dp_att))),
+            format!("{full}/{partial}/{starved}"),
+            format!("{sfc}/{dnd}/{sil}/{quar}"),
+        ]);
+    }
+    table.note(
+        "The single-device columns are the honest cost accounting: with one \
+         registered phone, a starved query forces a choice — fail-open \
+         admits the attack (residual > 0), fail-closed rejects the owner \
+         (dead-phone FRR > 0). Multi-device households escape both, which \
+         is the deployment recommendation, not a policy trick.",
     );
     table
 }

@@ -1,0 +1,54 @@
+//! Pinned seed-7 golden household-sweep tables.
+//!
+//! Same world-tagging scheme as `fleet_golden.rs`: the per-home RNG
+//! streams differ between the real crates-io `rand` and the offline
+//! build stubs, so the pin is `household_s7.stub.md` for the stub world
+//! and `household_s7.md` for the real one. A world whose pin has not
+//! been generated yet skips with a note instead of failing.
+//!
+//! Regenerate for the active world after an intentional behaviour
+//! change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test household_golden
+//! ```
+
+use experiments::household::run;
+use experiments::offline::offline_stubs_active;
+use experiments::summary::availability_degradation;
+use std::path::PathBuf;
+
+#[test]
+fn seed7_household_sweep_matches_pin() {
+    let result = run(7, 1);
+    let rendered = format!(
+        "{}\n{}",
+        result.table,
+        availability_degradation(&result.cells)
+    );
+
+    let pin = if offline_stubs_active() {
+        "household_s7.stub.md"
+    } else {
+        "household_s7.md"
+    };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(pin);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let Ok(expected) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "skipping: no {pin} pin for this dependency world yet \
+             (generate with UPDATE_GOLDEN=1)"
+        );
+        return;
+    };
+    assert_eq!(
+        rendered, expected,
+        "seed-7 household sweep drifted from {pin}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

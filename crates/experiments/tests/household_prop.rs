@@ -1,0 +1,149 @@
+//! Conservation of household decisions: every utterance, in every
+//! household archetype under every quorum-fallback policy, resolves to
+//! exactly one of **allow**, **block**, or **degraded-fallback** — no
+//! command is left pending, no decision lands in two buckets, and no
+//! decision escapes all three. Plus the seed-pinned regressions locking
+//! the single-device fail-closed path and the DND no-quarantine
+//! invariant (the graceful-degradation guarantees DESIGN.md §17 states).
+
+use experiments::household::{policy_cells, run_cell};
+use experiments::{FaultProfile, GuardedHome, HouseholdArchetype, ScenarioConfig};
+use proptest::prelude::*;
+use rfsim::Point;
+use simcore::SimDuration;
+use speakers::CommandOutcome;
+use testbeds::apartment;
+use voiceguard::{FallbackPolicy, Verdict};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The conservation law: allow + block + degraded-fallback buckets
+    /// partition the decision set, and every uttered command reaches a
+    /// terminal outcome.
+    #[test]
+    fn every_utterance_resolves_to_exactly_one_bucket(
+        seed in 0u64..100_000,
+        arch_idx in 0usize..HouseholdArchetype::ALL.len(),
+        pol_idx in 0usize..4,
+    ) {
+        let archetype = HouseholdArchetype::ALL[arch_idx];
+        let policy = policy_cells()[pol_idx];
+        let mut cfg = ScenarioConfig::household(apartment(), 0, seed, archetype);
+        cfg.faults = FaultProfile {
+            name: policy.name,
+            fallback: FallbackPolicy {
+                fail_open: policy.fail_open,
+                ..FallbackPolicy::default()
+            },
+            quorum: policy.quorum,
+            availability: policy.availability,
+            ..FaultProfile::clean()
+        };
+        let mut home = GuardedHome::new(cfg);
+        home.run_for(SimDuration::from_secs(5));
+        let devs = home.device_ids();
+        let target = archetype.attack_target();
+        let speaker = home.testbed().deployments
+            [(home.deployment() + target) % home.testbed().deployments.len()];
+        let away = home.testbed().outside;
+        if archetype == HouseholdArchetype::CouplePlusGuest {
+            home.set_guests_present(true);
+        }
+
+        // One well-evidenced command, one empty-home attack, one
+        // dead-phone command — the three evidence situations.
+        for (i, dev) in devs.iter().enumerate() {
+            home.set_device_position(
+                *dev,
+                Point::new(speaker.x + 1.0 + 0.3 * i as f64, speaker.y, speaker.floor),
+            );
+        }
+        home.utter_on(target, 5, 1, false);
+        home.run_for(SimDuration::from_secs(40));
+        for dev in &devs {
+            home.set_device_position(*dev, away);
+        }
+        home.utter_on(target, 4, 1, true);
+        home.run_for(SimDuration::from_secs(40));
+        home.decision_mut().set_device_dnd(devs[0], true);
+        home.utter_on(target, 6, 1, false);
+        home.run_for(SimDuration::from_secs(40));
+
+        for record in home.commands.clone() {
+            let outcome = home.outcome(record.id);
+            prop_assert_ne!(
+                outcome, CommandOutcome::Pending,
+                "command {} must reach a terminal outcome", record.id
+            );
+        }
+        let mut allow = 0usize;
+        let mut block = 0usize;
+        let mut fallback = 0usize;
+        for d in &home.decisions {
+            let buckets = [
+                !d.fell_back && d.verdict == Verdict::Legitimate,
+                !d.fell_back && d.verdict == Verdict::Malicious,
+                d.fell_back,
+            ];
+            prop_assert_eq!(
+                buckets.iter().filter(|b| **b).count(), 1,
+                "decision {:?} must land in exactly one bucket", d
+            );
+            allow += usize::from(buckets[0]);
+            block += usize::from(buckets[1]);
+            fallback += usize::from(buckets[2]);
+        }
+        prop_assert_eq!(allow + block + fallback, home.decisions.len());
+        // A fallback decision means zero reports survived: the recorded
+        // best RSSI must be the empty-fold sentinel.
+        for d in home.decisions.iter().filter(|d| d.fell_back) {
+            prop_assert_eq!(d.best_rssi_db, f64::NEG_INFINITY);
+        }
+    }
+}
+
+/// Seed-pinned regression: the single-device fail-closed path. With one
+/// registered phone dead, graceful availability must override the
+/// fail-open fallback (attack blocked, override accounted) while plain
+/// fail-open executes the same starved attack.
+#[test]
+fn single_device_fail_closed_path_is_pinned() {
+    let graceful = policy_cells()
+        .into_iter()
+        .find(|p| p.name == "graceful-k2")
+        .expect("policy present");
+    let cell = run_cell(HouseholdArchetype::SingleDevice, &graceful, 7, 1);
+    assert_eq!(cell.executed_dead_phone_attacks, 0, "{cell:?}");
+    assert!(cell.totals.starved_fail_closed > 0, "{cell:?}");
+    assert_eq!(
+        cell.blocked_dead_phone_legit, cell.dead_phone_legit,
+        "fail-closed starvation rejects the owner too — the honest cost: {cell:?}"
+    );
+    let open = policy_cells()
+        .into_iter()
+        .find(|p| p.name == "fail-open")
+        .expect("policy present");
+    let cell = run_cell(HouseholdArchetype::SingleDevice, &open, 7, 1);
+    assert_eq!(
+        cell.executed_dead_phone_attacks, cell.dead_phone_attacks,
+        "fail-open leaves the starved residual open: {cell:?}"
+    );
+}
+
+/// Seed-pinned regression: a DND device is never quarantined and never
+/// silence-scored, and its absence does not block the live phone.
+#[test]
+fn dnd_device_no_quarantine_is_pinned() {
+    let graceful = policy_cells()
+        .into_iter()
+        .find(|p| p.name == "graceful-k2")
+        .expect("policy present");
+    let cell = run_cell(HouseholdArchetype::DeadBatteryDnd, &graceful, 7, 1);
+    assert!(cell.totals.dnd_skips > 0, "{cell:?}");
+    assert_eq!(cell.totals.quarantines, 0, "{cell:?}");
+    assert_eq!(
+        cell.blocked_legit, 0,
+        "the live phone must keep vouching: {cell:?}"
+    );
+}

@@ -1,0 +1,308 @@
+//! Household archetypes: overlapping multi-occupant routines, guests,
+//! and phones that do not follow their owners.
+//!
+//! [`crate::owner_day`] models the paper's single evaluated occupant.
+//! Real households the paper never tested need more shapes:
+//!
+//! * a **partner** whose day overlaps the owner's but is offset (leaves
+//!   later, returns earlier), so multi-device quorums sometimes have
+//!   two vouchers and sometimes one;
+//! * a **guest** who arrives mid-day carrying an *unregistered* device
+//!   and leaves before night;
+//! * a **phone left at home**: the registered device sits on a shelf
+//!   inside the house all day while its owner is away — presence
+//!   evidence that says "home" when nobody is;
+//! * a [`HouseholdDay`] bundling every occupant's schedule, with a
+//!   co-presence helper the sweeps use to pick attack windows.
+//!
+//! All generators follow the [`crate::owner_day`] template: contiguous
+//! sojourns over 24 h, teleporting between anchor positions.
+
+use crate::schedule::{DaySchedule, Sojourn};
+use rand::Rng;
+use rfsim::Point;
+use simcore::{SimDuration, SimTime};
+use testbeds::{Testbed, Zone};
+
+/// Hours → duration, the schedule template's unit.
+fn h(hours: f64) -> SimDuration {
+    SimDuration::from_secs_f64(hours * 3600.0)
+}
+
+/// A random anchor inside the deployment's legitimate zone.
+fn in_zone<R: Rng + ?Sized>(testbed: &Testbed, deployment: usize, rng: &mut R) -> Point {
+    testbed.legit_zones[deployment].sample_inset(rng, 0.4)
+}
+
+/// A random home anchor outside the deployment's legitimate zone.
+fn elsewhere<R: Rng + ?Sized>(testbed: &Testbed, deployment: usize, rng: &mut R) -> Point {
+    let zone = testbed.legit_zones[deployment];
+    let candidates: Vec<Point> = testbed
+        .locations
+        .iter()
+        .map(|l| l.point)
+        .filter(|p| !zone.contains(*p))
+        .collect();
+    candidates[rng.gen_range(0..candidates.len())]
+}
+
+/// Builds a contiguous day from `(until_hour, position)` anchors.
+fn day_from_anchors(day_start: SimTime, anchors: &[(f64, Point)]) -> DaySchedule {
+    let mut sojourns = Vec::new();
+    let mut cursor = day_start;
+    for &(until, position) in anchors {
+        let end = day_start + h(until);
+        if end > cursor {
+            sojourns.push(Sojourn {
+                start: cursor,
+                end,
+                position,
+            });
+            cursor = end;
+        }
+    }
+    DaySchedule::new(sojourns)
+}
+
+/// A second adult whose routine overlaps the owner's but is offset:
+/// wakes a little later, leaves for a shorter away block, and is back
+/// before the owner. The overlap windows (both home, both away, exactly
+/// one home) are what exercise `k`-of-`n` quorums honestly.
+pub fn partner_day<R: Rng + ?Sized>(
+    testbed: &Testbed,
+    deployment: usize,
+    day_start: SimTime,
+    weekday: bool,
+    rng: &mut R,
+) -> DaySchedule {
+    let wake = 7.2 + rng.gen_range(0.0..0.8);
+    let leave = 9.3 + rng.gen_range(0.0..0.5);
+    let back = if weekday {
+        15.5 + rng.gen_range(0.0..1.0)
+    } else {
+        12.0 + rng.gen_range(0.0..1.5)
+    };
+    let night = 21.5 + rng.gen_range(0.0..1.5);
+    let dinner_end = back + (night - back) * 0.7;
+    day_from_anchors(
+        day_start,
+        &[
+            (wake, elsewhere(testbed, deployment, rng)),
+            (leave, in_zone(testbed, deployment, rng)),
+            (back, testbed.outside),
+            (dinner_end, in_zone(testbed, deployment, rng)),
+            (night, elsewhere(testbed, deployment, rng)),
+            (24.0, elsewhere(testbed, deployment, rng)),
+        ],
+    )
+}
+
+/// A guest who arrives at `arrive_hour`, spends the visit in the
+/// speaker's area, and leaves at `depart_hour`; outside the home for
+/// the rest of the day. The guest's device is *not* registered with the
+/// Decision Module — its presence contributes no legitimate evidence.
+///
+/// # Panics
+///
+/// Panics unless `0 < arrive_hour < depart_hour < 24`.
+pub fn guest_day<R: Rng + ?Sized>(
+    testbed: &Testbed,
+    deployment: usize,
+    day_start: SimTime,
+    arrive_hour: f64,
+    depart_hour: f64,
+    rng: &mut R,
+) -> DaySchedule {
+    assert!(
+        0.0 < arrive_hour && arrive_hour < depart_hour && depart_hour < 24.0,
+        "guest visit must fit inside the day"
+    );
+    day_from_anchors(
+        day_start,
+        &[
+            (arrive_hour, testbed.outside),
+            (depart_hour, in_zone(testbed, deployment, rng)),
+            (24.0, testbed.outside),
+        ],
+    )
+}
+
+/// The schedule of a **phone left at home** while its owner is away for
+/// the working block: the registered device sits at a fixed indoor spot
+/// (hallway shelf, charger) all day — never outside, never moving. Its
+/// RSSI evidence claims "somebody is home" during exactly the window
+/// when nobody is.
+pub fn phone_left_home_day<R: Rng + ?Sized>(
+    testbed: &Testbed,
+    deployment: usize,
+    day_start: SimTime,
+    rng: &mut R,
+) -> DaySchedule {
+    let shelf = elsewhere(testbed, deployment, rng);
+    day_from_anchors(day_start, &[(24.0, shelf)])
+}
+
+/// Every occupant schedule of one household for one day. Index 0 is the
+/// primary owner; the rest are partners/guests in generation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HouseholdDay {
+    /// One schedule per occupant (or per scheduled device).
+    pub occupants: Vec<DaySchedule>,
+}
+
+impl HouseholdDay {
+    /// A multi-occupant household: the owner plus `extra_adults`
+    /// partner schedules, all overlapping.
+    pub fn multi_occupant<R: Rng + ?Sized>(
+        testbed: &Testbed,
+        deployment: usize,
+        day_start: SimTime,
+        weekday: bool,
+        extra_adults: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut occupants = vec![crate::owner_day(
+            testbed, deployment, day_start, weekday, rng,
+        )];
+        for _ in 0..extra_adults {
+            occupants.push(partner_day(testbed, deployment, day_start, weekday, rng));
+        }
+        HouseholdDay { occupants }
+    }
+
+    /// Time during which at least `k` occupants are inside `zone` —
+    /// the window a `k`-of-`n` quorum can be satisfied from this zone.
+    pub fn co_presence_in_zone(&self, zone: Zone, k: usize) -> SimDuration {
+        let mut boundaries: Vec<SimTime> = self
+            .occupants
+            .iter()
+            .flat_map(|d| d.sojourns().iter().flat_map(|s| [s.start, s.end]))
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut total = SimDuration::ZERO;
+        for pair in boundaries.windows(2) {
+            let mid = pair[0] + pair[1].saturating_since(pair[0]) / 2;
+            let inside = self
+                .occupants
+                .iter()
+                .filter(|d| zone.contains(d.position_at(mid)))
+                .count();
+            if inside >= k {
+                total += pair[1].saturating_since(pair[0]);
+            }
+        }
+        total
+    }
+
+    /// Time during which *no* occupant is inside the home at all (every
+    /// schedule reads `testbed.outside`) — the attack window for
+    /// no-occupant acoustic injection.
+    pub fn empty_home(&self, testbed: &Testbed) -> SimDuration {
+        let mut boundaries: Vec<SimTime> = self
+            .occupants
+            .iter()
+            .flat_map(|d| d.sojourns().iter().flat_map(|s| [s.start, s.end]))
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let mut total = SimDuration::ZERO;
+        for pair in boundaries.windows(2) {
+            let mid = pair[0] + pair[1].saturating_since(pair[0]) / 2;
+            if self
+                .occupants
+                .iter()
+                .all(|d| d.position_at(mid) == testbed.outside)
+            {
+                total += pair[1].saturating_since(pair[0]);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use testbeds::apartment;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn partner_day_is_contiguous_and_overlaps_owner() {
+        let tb = apartment();
+        let mut r = rng(1);
+        let owner = crate::owner_day(&tb, 0, SimTime::ZERO, true, &mut r);
+        let partner = partner_day(&tb, 0, SimTime::ZERO, true, &mut r);
+        assert_eq!(partner.start(), SimTime::ZERO);
+        assert_eq!(partner.end(), SimTime::from_secs(86_400));
+        let hh = HouseholdDay {
+            occupants: vec![owner, partner],
+        };
+        let zone = tb.legit_zones[0];
+        // Both home near the speaker at some point (evening overlap)…
+        assert!(hh.co_presence_in_zone(zone, 2) > SimDuration::ZERO);
+        // …and the single-voucher window is real too.
+        assert!(hh.co_presence_in_zone(zone, 1) > hh.co_presence_in_zone(zone, 2));
+    }
+
+    #[test]
+    fn guest_is_only_inside_during_the_visit() {
+        let tb = apartment();
+        let mut r = rng(2);
+        let guest = guest_day(&tb, 0, SimTime::ZERO, 14.0, 18.0, &mut r);
+        assert_eq!(guest.position_at(SimTime::from_secs(10 * 3600)), tb.outside);
+        let visit = guest.position_at(SimTime::from_secs(16 * 3600));
+        assert!(tb.legit_zones[0].contains(visit));
+        assert_eq!(guest.position_at(SimTime::from_secs(20 * 3600)), tb.outside);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit inside the day")]
+    fn backwards_guest_visits_are_rejected() {
+        let tb = apartment();
+        guest_day(&tb, 0, SimTime::ZERO, 18.0, 14.0, &mut rng(3));
+    }
+
+    #[test]
+    fn phone_left_home_never_leaves() {
+        let tb = apartment();
+        let phone = phone_left_home_day(&tb, 0, SimTime::ZERO, &mut rng(4));
+        for hour in 0..24u64 {
+            let p = phone.position_at(SimTime::from_secs(hour * 3600 + 1800));
+            assert_ne!(p, tb.outside, "hour {hour}");
+        }
+        // The shelf is not in the speaker's zone (the phone reads
+        // "home", not "next to the speaker").
+        assert!(!tb.legit_zones[0].contains(phone.position_at(SimTime::ZERO)));
+    }
+
+    #[test]
+    fn multi_occupant_household_empties_during_the_working_block() {
+        let tb = apartment();
+        let hh = HouseholdDay::multi_occupant(&tb, 0, SimTime::ZERO, true, 1, &mut rng(5));
+        assert_eq!(hh.occupants.len(), 2);
+        let empty = hh.empty_home(&tb);
+        assert!(
+            empty > SimDuration::from_hours(2),
+            "both adults are out mid-day: {empty}"
+        );
+        // A phone left home removes the empty window entirely.
+        let mut with_phone = hh.clone();
+        with_phone
+            .occupants
+            .push(phone_left_home_day(&tb, 0, SimTime::ZERO, &mut rng(6)));
+        assert_eq!(with_phone.empty_home(&tb), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let tb = apartment();
+        let a = HouseholdDay::multi_occupant(&tb, 0, SimTime::ZERO, true, 2, &mut rng(7));
+        let b = HouseholdDay::multi_occupant(&tb, 0, SimTime::ZERO, true, 2, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod household;
 pub mod placement;
 pub mod schedule;
 pub mod sensor;
 pub mod traces;
 pub mod walk;
 
+pub use household::{guest_day, partner_day, phone_left_home_day, HouseholdDay};
 pub use placement::{OwnerPlacement, PlacementSampler};
 pub use schedule::{owner_day, DaySchedule, Sojourn};
 pub use sensor::MotionSensor;
