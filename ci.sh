@@ -45,6 +45,13 @@ run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -
 # machinery regressed. (The full 6×4 grid is pinned as a golden in
 # crates/experiments/tests/household_golden.rs.)
 run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --household --archetype single-device --policy paper-any-one --policy graceful-k2
+# Clock smoke: the identity control and the NTP step-back plan, each
+# under both freshness policies (paper-strict and skew-tolerant). A
+# hang, panic, or a time anomaly in the identity control here means the
+# clock-fault injection or the guard's monotonicity clamp regressed.
+# (The full 6×2 grid is pinned as a golden in
+# crates/experiments/tests/clock_golden.rs.)
+run cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin chaos-sweep -- --smoke --seed 7 --clock --clock-plan none --clock-plan step-back
 # Fleet smoke: ~1k home-hours across the archetype population, run
 # twice at 4 shards and once serially. The rendered population report
 # must be byte-identical across repetitions and shard counts — any
@@ -70,6 +77,15 @@ cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
     --smoke --seed 7 --shards 1 --storage-faults >"$fleet_smoke_dir/faulty_serial.md"
 run cmp "$fleet_smoke_dir/faulty_a.md" "$fleet_smoke_dir/faulty_serial.md"
 run grep -q "Checkpoint storage" "$fleet_smoke_dir/faulty_a.md"
+# Fleet clock smoke: the same population with the per-home clock-fault
+# dial on. The report must still be shard-independent and must grow the
+# clock-fault table (fault evidence).
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 4 --clock-faults >"$fleet_smoke_dir/clock_a.md"
+cargo "${CARGO_ARGS[@]}" run --release -q -p experiments --bin fleet-sweep -- \
+    --smoke --seed 7 --shards 1 --clock-faults >"$fleet_smoke_dir/clock_serial.md"
+run cmp "$fleet_smoke_dir/clock_a.md" "$fleet_smoke_dir/clock_serial.md"
+run grep -q "Clock faults" "$fleet_smoke_dir/clock_a.md"
 # Sans-io fuzz smoke: bounded property runs driving the pure GuardCore
 # with arbitrary input interleavings (no panics, state bounds hold, no
 # double-released holds) and pinning driver equivalence (simulator tap

@@ -122,6 +122,30 @@ fn bench_timer_tick(c: &mut Criterion) {
     });
 }
 
+fn bench_timer_tick_under_anomaly(c: &mut Criterion) {
+    // Same sweep tick, but every iteration presents a regressed driver
+    // clock: the monotonicity clamp fires on each step (counted anomaly,
+    // TimeAnomaly event, trace) before the timer dispatch. Prices the
+    // guard's worst-case tick during an NTP step-back storm against the
+    // plain tick above.
+    let mut core = GuardCore::new(GuardConfig::echo_dot());
+    let mut out = Vec::new();
+    establish(&mut core, 1, SimTime::ZERO, &mut out);
+    let token = TimerToken::FlowTtlSweep { pipeline: 0 }.encode();
+    // Pin the high-water mark far ahead; each tick below it regresses.
+    out.clear();
+    core.step(SimTime::from_secs(3600), Input::Timer { token }, &mut out);
+    let regressed = SimTime::from_secs(60);
+    c.bench_function("guard_core_flow_ttl_sweep_tick_under_anomaly", |b| {
+        b.iter(|| {
+            out.clear();
+            core.step(regressed, Input::Timer { token }, &mut out);
+            // Drain the anomaly event as a driver would each tick.
+            black_box(core.take_events().len() + out.len())
+        })
+    });
+}
+
 fn bench_snapshot(c: &mut Criterion) {
     let mut core = GuardCore::new(GuardConfig::echo_dot());
     let mut out = Vec::new();
@@ -143,6 +167,7 @@ criterion_group!(
     bench_record_ledger,
     bench_reorder_drain,
     bench_timer_tick,
+    bench_timer_tick_under_anomaly,
     bench_snapshot
 );
 criterion_main!(benches);

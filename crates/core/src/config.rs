@@ -277,6 +277,74 @@ impl Default for EvidenceAvailabilityPolicy {
     }
 }
 
+/// Opt-in skew-tolerant evidence freshness.
+///
+/// [`EvidenceHardening::max_report_age`] compares a device's *claimed*
+/// measurement timestamp against the guard's clock. With per-node clock
+/// faults injected (see `simcore::clock`), an honest device whose clock
+/// runs behind stamps reports that look stale, so the strict freshness
+/// rule silently trades FRR against clock quality. This policy replaces
+/// the strict comparison with a budgeted one:
+///
+/// * each accepted-or-rejected report contributes one *observed offset*
+///   sample (claimed measurement time minus the guard's expectation of
+///   it), folded into a per-device EWMA offset estimate;
+/// * a sample whose magnitude exceeds `tolerance` is **fail-closed**:
+///   the report is rejected as stale (`skew_rejected`) and the sample is
+///   *not* folded into the estimate, so an implausible clock cannot
+///   widen the budget;
+/// * the estimate itself is clamped into `[-tolerance, +tolerance]`
+///   before it corrects a report's age, so the skew-corrected acceptance
+///   window is **provably** bounded by
+///   `max_report_age + tolerance` in true time — the tolerance never
+///   reopens the replay window beyond budget, even if a compromised
+///   device feeds the estimator consistent lies (DESIGN.md §18).
+///
+/// Reports that strict freshness would have rejected but the corrected
+/// age accepts are counted as `skew_excused`. The policy only takes
+/// effect when [`EvidenceHardening::enabled`] is also set — without
+/// hardening there is no freshness rule to relax. The default
+/// ([`SkewTolerancePolicy::off`]) is byte-identical strict behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkewTolerancePolicy {
+    /// Master switch. Off = strict freshness, byte-identical.
+    #[serde(default)]
+    pub enabled: bool,
+    /// Largest per-device clock offset the module will excuse; also the
+    /// clamp bound of the EWMA estimate and the fail-closed gate on
+    /// single samples.
+    pub tolerance: SimDuration,
+    /// EWMA smoothing factor for the per-device offset estimate
+    /// (`estimate += alpha * (sample - estimate)`).
+    pub ewma_alpha: f64,
+}
+
+impl SkewTolerancePolicy {
+    /// Skew tolerance disabled (the default): the strict freshness rule.
+    pub fn off() -> Self {
+        SkewTolerancePolicy {
+            enabled: false,
+            ..SkewTolerancePolicy::tolerant()
+        }
+    }
+
+    /// The tolerant profile used by the clock sweep: a 30 s offset
+    /// budget, lightly smoothed.
+    pub fn tolerant() -> Self {
+        SkewTolerancePolicy {
+            enabled: true,
+            tolerance: SimDuration::from_secs(30),
+            ewma_alpha: 0.3,
+        }
+    }
+}
+
+impl Default for SkewTolerancePolicy {
+    fn default() -> Self {
+        SkewTolerancePolicy::off()
+    }
+}
+
 /// What a pipeline does with a frame it wants to hold once the engine
 /// already parks `capacity` frames for that flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -342,6 +410,18 @@ mod tests {
             EvidenceAvailabilityPolicy { enabled: true, ..a },
             EvidenceAvailabilityPolicy::graceful(),
             "off() differs from graceful() only in the master switch"
+        );
+    }
+
+    #[test]
+    fn skew_tolerance_defaults_off() {
+        let s = SkewTolerancePolicy::default();
+        assert!(!s.enabled, "skew tolerance must be opt-in");
+        assert!(SkewTolerancePolicy::tolerant().enabled);
+        assert_eq!(
+            SkewTolerancePolicy { enabled: true, ..s },
+            SkewTolerancePolicy::tolerant(),
+            "off() differs from tolerant() only in the master switch"
         );
     }
 

@@ -12,7 +12,7 @@
 //! [`DecisionOutcome`] with the verdict and the time offsets at which each
 //! milestone happened, which the orchestrator replays onto the guard tap.
 
-use crate::config::{EvidenceAvailabilityPolicy, EvidenceHardening};
+use crate::config::{EvidenceAvailabilityPolicy, EvidenceHardening, SkewTolerancePolicy};
 use crate::evidence::{EvidenceRejection, EvidenceRejections, EvidenceTamper, EvidenceTotals};
 use crate::floor::{FloorLevel, FloorTracker};
 use crate::health::{DeviceHealth, HealthGate};
@@ -24,7 +24,7 @@ use phone::{DeviceId, EvidenceEnvelope, FcmFaults, FcmLatencyModel, FcmOutcome, 
 use rand::Rng;
 use rfsim::{BleChannel, Orientation, Point};
 use serde::{Deserialize, Serialize};
-use simcore::{SimDuration, SimTime};
+use simcore::{NodeClock, SimDuration, SimTime};
 
 /// Legitimacy verdict for one voice command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -191,6 +191,13 @@ pub struct DecisionDegradation {
     /// True if the availability policy forced a starved query closed
     /// when the fallback would have failed open.
     pub starved_fail_closed: bool,
+    /// Reports strict freshness would have rejected but the
+    /// skew-tolerant policy accepted after offset correction.
+    pub skew_excused: u32,
+    /// Reports rejected fail-closed because their observed clock offset
+    /// exceeded the skew tolerance budget (counted under
+    /// `rejections.stale` as well).
+    pub skew_rejected: u32,
 }
 
 impl DecisionDegradation {
@@ -210,9 +217,12 @@ pub struct DecisionModule {
     fallback: FallbackPolicy,
     hardening: EvidenceHardening,
     availability: EvidenceAvailabilityPolicy,
+    skew: SkewTolerancePolicy,
     dnd: Vec<bool>,
     health: Vec<DeviceHealth>,
     tampers: Vec<Box<dyn EvidenceTamper>>,
+    clocks: Vec<Option<NodeClock>>,
+    offset_estimates: Vec<Option<i128>>,
     next_nonce: u64,
     totals: EvidenceTotals,
 }
@@ -240,6 +250,8 @@ impl DecisionModule {
             .map(|p| DeviceHealth::new(p.device))
             .collect();
         let dnd = vec![false; profiles.len()];
+        let clocks = vec![None; profiles.len()];
+        let offset_estimates = vec![None; profiles.len()];
         DecisionModule {
             profiles,
             policies: vec![Box::new(RssiThresholdPolicy), Box::new(FloorLevelPolicy)],
@@ -249,9 +261,12 @@ impl DecisionModule {
             fallback: FallbackPolicy::default(),
             hardening: EvidenceHardening::off(),
             availability: EvidenceAvailabilityPolicy::off(),
+            skew: SkewTolerancePolicy::off(),
             dnd,
             health,
             tampers: Vec::new(),
+            clocks,
+            offset_estimates,
             next_nonce: 0,
             totals: EvidenceTotals::default(),
         }
@@ -294,6 +309,42 @@ impl DecisionModule {
     /// The active evidence-availability policy.
     pub fn availability(&self) -> EvidenceAvailabilityPolicy {
         self.availability
+    }
+
+    /// Sets the skew-tolerant freshness policy (default:
+    /// [`SkewTolerancePolicy::off`], the strict freshness rule). Only
+    /// effective when [`EvidenceHardening::enabled`] is also set —
+    /// without hardening there is no freshness rule to relax.
+    pub fn set_skew_policy(&mut self, policy: SkewTolerancePolicy) {
+        self.skew = policy;
+    }
+
+    /// The active skew-tolerant freshness policy.
+    pub fn skew_policy(&self) -> SkewTolerancePolicy {
+        self.skew
+    }
+
+    /// Attaches a per-device clock: the device stamps its evidence
+    /// envelopes from this clock's reading instead of true simulation
+    /// time (the identity clock is transparent and draw-free). Returns
+    /// `false` if the device is not registered.
+    pub fn set_device_clock(&mut self, device: DeviceId, clock: NodeClock) -> bool {
+        match self.profiles.iter().position(|p| p.device == device) {
+            Some(idx) => {
+                self.clocks[idx] = Some(clock);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The per-device EWMA clock-offset estimate, in signed nanoseconds,
+    /// if any accepted sample has trained it.
+    pub fn device_offset_estimate(&self, device: DeviceId) -> Option<i128> {
+        self.profiles
+            .iter()
+            .position(|p| p.device == device)
+            .and_then(|idx| self.offset_estimates[idx])
     }
 
     /// Marks a registered device Do-Not-Disturb (dead battery, muted
@@ -521,8 +572,20 @@ impl DecisionModule {
                 .map(|_| channel.measure(position, orientation, rng))
                 .sum::<f64>()
                 / self.scan_samples as f64;
-            let mut envelope =
-                EvidenceEnvelope::genuine(profile.device, nonce, now, rssi_db, timing);
+            // A device with an attached clock stamps the envelope from
+            // its own (possibly skewed) reading of the issue instant;
+            // jitter draws come from the clock's dedicated stream, so
+            // the main draw sequence is untouched either way.
+            let mut envelope = match self.clocks[pi].as_mut() {
+                Some(clock) => EvidenceEnvelope::genuine_local(
+                    profile.device,
+                    nonce,
+                    clock.local_time(now),
+                    rssi_db,
+                    timing,
+                ),
+                None => EvidenceEnvelope::genuine(profile.device, nonce, now, rssi_db, timing),
+            };
             // A compromised device lies on its own side of the trust
             // boundary: tampers rewrite the outgoing envelope, then
             // validation and health tracking see the lie.
@@ -557,7 +620,11 @@ impl DecisionModule {
                     degradation.rejections.record(EvidenceRejection::CrossQuery);
                     continue;
                 }
-                if envelope.age_on_arrival(now) > self.hardening.max_report_age {
+                if self.skew.enabled {
+                    if !self.freshness_with_skew(idx, &envelope, now, &mut degradation) {
+                        continue;
+                    }
+                } else if envelope.age_on_arrival(now) > self.hardening.max_report_age {
                     degradation.rejections.record(EvidenceRejection::Stale);
                     continue;
                 }
@@ -758,6 +825,8 @@ impl DecisionModule {
         self.totals.starved_fail_closed += u64::from(degradation.starved_fail_closed);
         self.totals.dnd_skips += u64::from(degradation.devices_dnd);
         self.totals.silence_anomalies += u64::from(degradation.silence_anomalies);
+        self.totals.skew_excused += u64::from(degradation.skew_excused);
+        self.totals.skew_rejected += u64::from(degradation.skew_rejected);
         DecisionOutcome {
             verdict,
             ready_after,
@@ -767,6 +836,60 @@ impl DecisionModule {
             degradation,
             situation,
         }
+    }
+
+    /// Phase 2 freshness under [`SkewTolerancePolicy`]. Returns `true`
+    /// if the envelope passes; records the rejection otherwise.
+    ///
+    /// The acceptance window is provably bounded in true time: a report
+    /// is accepted only if (1) its observed offset sample lies within
+    /// `±tolerance` (fail-closed gate — beyond that an offset is
+    /// indistinguishable from a replay and must not train the
+    /// estimator), and (2) its offset-corrected age is within
+    /// `max_report_age`, where the correction is the per-device EWMA
+    /// estimate clamped into `±tolerance`. Together: the claimed
+    /// measurement can never be older than
+    /// `max_report_age + tolerance` at arrival, no matter what the
+    /// estimator has been fed (DESIGN.md §18).
+    fn freshness_with_skew(
+        &mut self,
+        idx: usize,
+        envelope: &EvidenceEnvelope,
+        now: SimTime,
+        degradation: &mut DecisionDegradation,
+    ) -> bool {
+        let tolerance = self.skew.tolerance.as_nanos() as i128;
+        let max_age = self.hardening.max_report_age.as_nanos() as i128;
+        // Observed offset sample: claimed measurement stamp minus the
+        // module's expectation of it (true issue time + the relative
+        // scan milestone). For an honest device this is exactly the
+        // device's clock offset; for a replayed capture it is the
+        // (hugely negative) capture age.
+        let expected = now.as_nanos() as i128 + envelope.timing.measured_at.as_nanos() as i128;
+        let sample = envelope.measured_at.as_nanos() as i128 - expected;
+        if sample.abs() > tolerance {
+            degradation.rejections.record(EvidenceRejection::Stale);
+            degradation.skew_rejected += 1;
+            return false;
+        }
+        let estimate = match self.offset_estimates[idx] {
+            Some(prev) => prev + ((sample - prev) as f64 * self.skew.ewma_alpha).round() as i128,
+            None => sample,
+        };
+        self.offset_estimates[idx] = Some(estimate);
+        let correction = estimate.clamp(-tolerance, tolerance);
+        // Signed raw age of the claimed measurement at arrival; the
+        // correction shifts it back into the guard's frame.
+        let arrival = now.as_nanos() as i128 + envelope.timing.reported_at.as_nanos() as i128;
+        let raw_age = arrival - envelope.measured_at.as_nanos() as i128;
+        if raw_age + correction > max_age {
+            degradation.rejections.record(EvidenceRejection::Stale);
+            return false;
+        }
+        if raw_age > max_age {
+            degradation.skew_excused += 1;
+        }
+        true
     }
 
     /// Convenience: current floor level of a device, if tracked.

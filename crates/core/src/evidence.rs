@@ -123,6 +123,14 @@ pub struct EvidenceTotals {
     /// Silence anomalies scored against reachable devices that never
     /// produced an accepted report (a subset of `anomalies`).
     pub silence_anomalies: u64,
+    /// Reports strict freshness would have rejected as stale but the
+    /// skew-tolerant policy accepted after offset correction
+    /// ([`crate::config::SkewTolerancePolicy`]).
+    pub skew_excused: u64,
+    /// Reports rejected fail-closed because their observed clock offset
+    /// exceeded the skew tolerance budget (a subset of
+    /// `rejections.stale`).
+    pub skew_rejected: u64,
 }
 
 /// A hook that mutates a device's outgoing report before the Decision

@@ -475,6 +475,11 @@ impl Codec for GuardConfig {
     }
 }
 
+// `time_anomalies` is deliberately absent from this frame: it counts
+// driver-lifetime clock observations, not checkpointed guard state, and
+// adding it would change checkpoint byte sizes (the fleet report tables
+// checkpoint overhead). `GuardCore::restore` carries the in-memory
+// value across a restore instead; decode leaves it at its default.
 impl Codec for GuardStats {
     fn encode(&self, out: &mut Vec<u8>) {
         self.queries.encode(out);
@@ -534,6 +539,8 @@ impl Codec for GuardStats {
             recoveries_cold: Codec::decode(r)?,
             recovery_checkpoints_skipped: Codec::decode(r)?,
             opaque_snapshots: Codec::decode(r)?,
+            // Not on the wire (see the impl comment above).
+            time_anomalies: 0,
         })
     }
 }

@@ -165,6 +165,16 @@ pub enum GuardEvent {
         /// When the shed happened.
         at: SimTime,
     },
+    /// The driver's clock ran backwards (an NTP step-back on the guard's
+    /// host). The core clamped `now` to its high-water mark, so the
+    /// regression can never resurrect a cancelled or stale-incarnation
+    /// timer nor extend an open hold's deadline.
+    TimeAnomaly {
+        /// The core's clamped (high-water) time.
+        at: SimTime,
+        /// How far backwards the driver's clock jumped.
+        regression: SimDuration,
+    },
 }
 
 /// Aggregate statistics kept by the guard core.
@@ -254,6 +264,14 @@ pub struct GuardStats {
     /// unless counted here.
     #[serde(default)]
     pub opaque_snapshots: u64,
+    /// Backwards driver-clock observations clamped at the input boundary
+    /// ([`GuardEvent::TimeAnomaly`]). Deliberately *not* persisted in the
+    /// checkpoint codec — it counts driver-lifetime observations, and
+    /// adding it to the frame would change checkpoint byte sizes (see
+    /// `guard/codec.rs`); [`GuardCore::restore`] carries the in-memory
+    /// value across instead.
+    #[serde(default)]
+    pub time_anomalies: u64,
 }
 
 /// Provenance of the checkpoint handed to [`Input::Restart`]: how the
@@ -656,6 +674,33 @@ impl GuardCore {
     /// them carries the frame verdict (see [`Action::frame_verdict`]),
     /// always last.
     pub fn step(&mut self, now: SimTime, input: Input, out: &mut Vec<Action>) {
+        // Monotonicity guard: a driver clock that runs backwards (an NTP
+        // step-back on the guard's host) must not rewind the core. Time
+        // is clamped to its high-water mark, so a step-back can never
+        // resurrect a cancelled or stale-incarnation timer nor extend an
+        // open hold's deadline; the anomaly is surfaced and counted
+        // instead of silently corrupting deadline arithmetic.
+        let now = if now < self.now {
+            let regression = self.now.saturating_since(now);
+            self.stats.time_anomalies += 1;
+            self.emit(
+                GuardEvent::TimeAnomaly {
+                    at: self.now,
+                    regression,
+                },
+                out,
+            );
+            out.push(Action::Trace {
+                category: "guard.clock",
+                message: format!(
+                    "driver clock regressed by {regression}; clamped to {}",
+                    self.now
+                ),
+            });
+            self.now
+        } else {
+            now
+        };
         self.now = now;
         if !self.pending_startup.is_empty() {
             out.append(&mut self.pending_startup);
@@ -1283,7 +1328,13 @@ impl GuardCore {
     /// Panics if the snapshot's slot count differs from this guard's.
     pub fn restore(&mut self, snap: &GuardSnapshot) {
         self.generation = snap.generation;
+        let time_anomalies = self.stats.time_anomalies;
         self.stats = snap.stats.clone();
+        // The time-anomaly counter is driver-lifetime accounting, not
+        // checkpointed state (the codec deliberately omits it to keep
+        // checkpoint bytes stable): the in-memory value survives the
+        // restore.
+        self.stats.time_anomalies = time_anomalies;
         self.pipeline_stats = snap.pipeline_stats.clone();
         self.adopt_checkpoint(snap);
         // A lossless restore re-adopts the held-frame mirror: the driver

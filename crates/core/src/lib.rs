@@ -44,7 +44,8 @@ pub mod recognition;
 pub mod tap;
 
 pub use config::{
-    EvidenceAvailabilityPolicy, EvidenceHardening, GuardConfig, HoldOverflowPolicy, SpeakerKind,
+    EvidenceAvailabilityPolicy, EvidenceHardening, GuardConfig, HoldOverflowPolicy,
+    SkewTolerancePolicy, SpeakerKind,
 };
 pub use decision::{
     DecisionDegradation, DecisionModule, DecisionOutcome, DeviceProfile, DeviceReport,

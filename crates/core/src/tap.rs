@@ -22,7 +22,7 @@ use crate::{config::GuardConfig, decision::Verdict};
 use netsim::app::{Middlebox, TapCtx};
 use netsim::{CloseReason, ConnId, Datagram, RecoveryScan, RestoreReport, TapVerdict};
 use simcore::wire::SegmentView;
-use simcore::{SimDuration, SimTime};
+use simcore::{NodeClock, SimDuration, SimTime};
 use std::any::Any;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -40,6 +40,15 @@ pub struct VoiceGuardTap {
     input_log: Option<Vec<String>>,
     /// When recording, every action the core emitted, in order.
     action_log: Option<Vec<Action>>,
+    /// The guard host's own clock. `None` (the default) means the guard
+    /// reads true simulation time — the zero-draw identity path. When a
+    /// faulty [`NodeClock`] is attached, every engine callback's `now`
+    /// is mapped through it before reaching the core, so an NTP
+    /// step-back on the guard host exercises [`GuardCore::step`]'s
+    /// monotonicity clamp. Timer *delays* handed back to the engine stay
+    /// in true time: the engine's wheel is the physical timer hardware,
+    /// which a wall-clock step does not touch.
+    clock: Option<NodeClock>,
 }
 
 impl fmt::Debug for VoiceGuardTap {
@@ -86,6 +95,23 @@ impl VoiceGuardTap {
             scratch: Vec::new(),
             input_log: None,
             action_log: None,
+            clock: None,
+        }
+    }
+
+    /// Attaches the guard host's clock model. Identity clocks are kept
+    /// (they cost nothing and read straight through); faulty clocks make
+    /// every subsequent callback stamp core inputs in guard-local time.
+    pub fn set_clock(&mut self, clock: NodeClock) {
+        self.clock = Some(clock);
+    }
+
+    /// Maps the engine's true `now` through the guard host's clock, if
+    /// one is attached.
+    fn local_now(&mut self, true_now: SimTime) -> SimTime {
+        match self.clock.as_mut() {
+            Some(clock) => clock.local_time(true_now),
+            None => true_now,
         }
     }
 
@@ -132,7 +158,7 @@ impl VoiceGuardTap {
         verdict: Verdict,
         delay: SimDuration,
     ) {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(
             ctx,
             now,
@@ -208,7 +234,7 @@ impl GuardDriver for VoiceGuardTap {
 
 impl Middlebox for VoiceGuardTap {
     fn on_segment(&mut self, ctx: &mut dyn TapCtx, view: &SegmentView) -> TapVerdict {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(ctx, now, Input::Segment(*view))
             .unwrap_or(TapVerdict::Forward)
     }
@@ -219,7 +245,7 @@ impl Middlebox for VoiceGuardTap {
         dgram: &Datagram,
         outbound: bool,
     ) -> TapVerdict {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(
             ctx,
             now,
@@ -232,7 +258,7 @@ impl Middlebox for VoiceGuardTap {
     }
 
     fn on_dns_response(&mut self, ctx: &mut dyn TapCtx, name: &str, ip: Ipv4Addr) {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(
             ctx,
             now,
@@ -244,12 +270,12 @@ impl Middlebox for VoiceGuardTap {
     }
 
     fn on_conn_closed(&mut self, ctx: &mut dyn TapCtx, conn: ConnId, reason: CloseReason) {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(ctx, now, Input::ConnClosed { conn, reason });
     }
 
     fn on_timer(&mut self, ctx: &mut dyn TapCtx, token: u64) {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         self.drive(ctx, now, Input::Timer { token });
     }
 
@@ -272,7 +298,7 @@ impl Middlebox for VoiceGuardTap {
     }
 
     fn restart(&mut self, ctx: &mut dyn TapCtx, scan: &RecoveryScan) -> RestoreReport {
-        let now = ctx.now();
+        let now = self.local_now(ctx.now());
         // Probe the checksum-valid candidates newest-first: decode the
         // payload, then check compatibility without mutating the core
         // (`check_restorable`, not `try_restore` — a crash restart must

@@ -1,0 +1,410 @@
+//! Clock-fault robustness pins for the guard core and the Decision
+//! Module (DESIGN.md §18).
+//!
+//! * the [`GuardCore::step`] monotonicity guard: a driver clock that
+//!   runs backwards (NTP step-back on the guard's host) is clamped to
+//!   the high-water mark, counted, and surfaced — and can never
+//!   resurrect a stale-incarnation timer;
+//! * the skew-tolerant freshness bound: no matter what envelope an
+//!   attacker injects and no matter what the per-device offset
+//!   estimator has been fed, an accepted report's claimed measurement
+//!   is never older than `max_report_age + tolerance` in true time;
+//! * snapshot/restore under a step: a checkpoint captured before an
+//!   NTP step restores losslessly, and the verdict timers armed before
+//!   the snapshot fire into the restored guard exactly once each — no
+//!   duplicated and no lost timeouts.
+
+use netsim::app::SegmentView;
+use netsim::{ConnId, Middlebox, SegmentPayload, TapCtx, TlsRecord};
+use phone::{DeviceId, EvidenceEnvelope, FcmLatencyModel, QueryTiming};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rfsim::{BleChannel, Floorplan, Point, PropagationConfig, Rect, Segment2};
+use simcore::{SimDuration, SimTime};
+use std::net::{Ipv4Addr, SocketAddrV4};
+use voiceguard::{
+    Action, DecisionModule, DeviceProfile, EvidenceHardening, GuardConfig, GuardCore, GuardDriver,
+    GuardEvent, Input, RecoveryInfo, SkewTolerancePolicy, TimerToken, VoiceGuardTap,
+};
+
+// ---------------------------------------------------------------------
+// Monotonicity guard
+// ---------------------------------------------------------------------
+
+/// A regressed driver clock is clamped to the high-water mark, counted,
+/// and reported as both a [`GuardEvent::TimeAnomaly`] and a
+/// `guard.clock` trace; a forward step afterwards is not an anomaly.
+#[test]
+fn step_back_is_clamped_counted_and_surfaced() {
+    let mut core = GuardCore::new(GuardConfig::echo_dot());
+    let mut out = Vec::new();
+    core.step(SimTime::from_secs(10), Input::Timer { token: 0 }, &mut out);
+    assert_eq!(core.stats.time_anomalies, 0);
+    out.clear();
+
+    // The driver's clock jumps back six seconds.
+    core.step(SimTime::from_secs(4), Input::Timer { token: 0 }, &mut out);
+    assert_eq!(core.stats.time_anomalies, 1);
+    assert_eq!(
+        core.last_step_at(),
+        SimTime::from_secs(10),
+        "the core must hold its high-water mark, not adopt the regressed clock"
+    );
+    assert!(
+        out.contains(&Action::Emit(GuardEvent::TimeAnomaly {
+            at: SimTime::from_secs(10),
+            regression: SimDuration::from_secs(6),
+        })),
+        "anomaly event missing from {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|a| matches!(a, Action::Trace { category, .. } if *category == "guard.clock")),
+        "guard.clock trace missing from {out:?}"
+    );
+
+    // A forward step is ordinary time.
+    out.clear();
+    core.step(SimTime::from_secs(11), Input::Timer { token: 0 }, &mut out);
+    assert_eq!(core.stats.time_anomalies, 1);
+    assert_eq!(core.last_step_at(), SimTime::from_secs(11));
+}
+
+// ---------------------------------------------------------------------
+// Tap harness (mirrors snapshot_roundtrip.rs)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct MockCtx {
+    now: SimTime,
+    held: usize,
+    released: usize,
+    discarded: usize,
+    timers: Vec<(SimDuration, u64)>,
+}
+
+impl TapCtx for MockCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn tapped_host(&self) -> netsim::HostId {
+        netsim::HostId(0)
+    }
+    fn held_count(&self, _conn: ConnId) -> usize {
+        self.held
+    }
+    fn release_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.released += n;
+        n
+    }
+    fn discard_held(&mut self, _conn: ConnId) -> usize {
+        let n = self.held;
+        self.held = 0;
+        self.discarded += n;
+        n
+    }
+    fn held_datagram_count(&self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn release_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn discard_held_datagrams(&mut self, _flow: Ipv4Addr) -> usize {
+        0
+    }
+    fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+    fn trace(&mut self, _category: &str, _message: &str) {}
+}
+
+const AVS_SIG: [u32; 16] = [
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33,
+];
+
+/// Record lengths a burst draws from: the Echo command-marker triple plus
+/// a few benign sizes, so some bursts classify as commands and some not.
+const LENS: [u32; 7] = [277, 131, 138, 41, 500, 600, 33];
+
+fn data_view(conn: u64, seq: u64, len: u32) -> SegmentView {
+    let mut rec = TlsRecord::app_data(len);
+    rec.seq = seq;
+    SegmentView {
+        conn: ConnId(conn),
+        dir: netsim::Direction::ClientToServer,
+        src: SocketAddrV4::new(Ipv4Addr::new(192, 168, 1, 200), 40_000),
+        dst: SocketAddrV4::new(Ipv4Addr::new(52, 94, 233, 10), 443),
+        payload: SegmentPayload::Data(rec),
+        wire_len: len,
+        retransmit: false,
+    }
+}
+
+fn establish(tap: &mut VoiceGuardTap, ctx: &mut MockCtx) -> u64 {
+    for (seq, len) in AVS_SIG.into_iter().enumerate() {
+        tap.on_segment(ctx, &data_view(1, seq as u64, len));
+    }
+    AVS_SIG.len() as u64
+}
+
+/// Feed a command burst (the Echo marker triple) and leave its query
+/// pending. Returns the burst's events.
+fn feed_command(tap: &mut VoiceGuardTap, ctx: &mut MockCtx, seq: &mut u64) -> Vec<GuardEvent> {
+    ctx.now += SimDuration::from_secs(3);
+    for idx in [0usize, 1, 2] {
+        if tap.on_segment(ctx, &data_view(1, *seq, LENS[idx])) == netsim::TapVerdict::Hold {
+            ctx.held += 1;
+        }
+        *seq += 1;
+        ctx.now += SimDuration::from_millis(20);
+    }
+    tap.take_events()
+}
+
+/// Pinned rule: a clock regression cannot resurrect a timer armed by a
+/// dead incarnation. After a crash restart the guard's generation has
+/// advanced; replaying the pre-crash verdict-timeout token at a
+/// *regressed* driver time must be ignored — it neither counts a
+/// timeout nor sheds the query the live incarnation is holding — while
+/// the live incarnation's own timer still fires.
+#[test]
+fn regression_cannot_resurrect_stale_incarnation_timers() {
+    let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+    let mut ctx = MockCtx::default();
+    let mut seq = establish(&mut tap, &mut ctx);
+    let events = feed_command(&mut tap, &mut ctx, &mut seq);
+    let old_query = events
+        .iter()
+        .find_map(|e| match e {
+            GuardEvent::QueryRequested { query, .. } => Some(*query),
+            _ => None,
+        })
+        .expect("command burst raises a query");
+    assert_eq!(tap.pending_query_count(), 1);
+    let (_, old_token) = *ctx.timers.last().expect("verdict timeout armed");
+    assert_eq!(
+        TimerToken::decode(old_token),
+        Some(TimerToken::VerdictTimeout { query: old_query })
+    );
+
+    // Crash (frames die with the process), restart from the pre-crash
+    // checkpoint. The restored hold drains fail-closed at restart, and
+    // the guard now runs as generation 1.
+    let checkpoint = tap.snapshot();
+    let crash_at = ctx.now;
+    tap.drive(&mut ctx, crash_at, Input::Crash);
+    ctx.held = 0;
+    ctx.now += SimDuration::from_secs(1);
+    let restart_at = ctx.now;
+    tap.drive(
+        &mut ctx,
+        restart_at,
+        Input::Restart {
+            checkpoint: Some(Box::new(checkpoint)),
+            recovery: RecoveryInfo::default(),
+        },
+    );
+    assert_eq!(
+        tap.pending_query_count(),
+        0,
+        "restored pre-crash holds drain fail-closed at restart"
+    );
+
+    // The live incarnation raises a fresh query of its own.
+    feed_command(&mut tap, &mut ctx, &mut seq);
+    assert_eq!(tap.pending_query_count(), 1);
+    let (_, live_token) = *ctx.timers.last().expect("new verdict timeout armed");
+    assert_eq!(TimerToken::generation(live_token), 1);
+    let timeouts_before = tap.stats.timeouts;
+    let released_before = ctx.released;
+
+    // NTP step-back: the driver clock regresses below the high-water
+    // mark, and the dead incarnation's timer fires at the regressed time.
+    ctx.now = ctx.now.checked_sub(SimDuration::from_secs(5)).unwrap();
+    tap.on_timer(&mut ctx, old_token);
+    assert_eq!(
+        tap.stats.time_anomalies, 1,
+        "regression clamped and counted"
+    );
+    assert_eq!(
+        tap.pending_query_count(),
+        1,
+        "stale-incarnation timer must not shed the live incarnation's query"
+    );
+    assert_eq!(tap.stats.timeouts, timeouts_before);
+    assert_eq!(ctx.released, released_before, "no held frames released");
+
+    // The live incarnation's own timer does fire.
+    ctx.now += SimDuration::from_secs(20);
+    tap.on_timer(&mut ctx, live_token);
+    assert_eq!(tap.pending_query_count(), 0);
+    assert_eq!(tap.stats.timeouts, timeouts_before + 1);
+}
+
+// ---------------------------------------------------------------------
+// Skew-tolerant freshness bound + snapshot-under-step proptests
+// ---------------------------------------------------------------------
+
+fn channel() -> BleChannel {
+    let mut b = Floorplan::builder("clock");
+    b.room("living", Rect::new(0.0, 0.0, 6.0, 5.0), 0);
+    b.room("far", Rect::new(6.0, 0.0, 12.0, 5.0), 0);
+    b.wall(Segment2::new(6.0, 0.0, 6.0, 5.0), 0);
+    BleChannel::new(
+        PropagationConfig::noiseless(),
+        b.build(),
+        Point::ground(1.0, 2.5),
+    )
+}
+
+fn profile(device: u32) -> DeviceProfile {
+    DeviceProfile {
+        device: DeviceId(device),
+        threshold_db: -8.0,
+        latency: FcmLatencyModel::smartphone(),
+        floor_tracker: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The provable acceptance bound of `freshness_with_skew`: whatever
+    /// absolute stamp and milestones an injected envelope claims, if the
+    /// skew-tolerant module accepts it, the claimed measurement is no
+    /// older than `max_report_age + tolerance` at arrival in TRUE time.
+    /// The EWMA estimate is clamped into `±tolerance`, so not even an
+    /// estimator fed a history of lies can stretch the window further.
+    #[test]
+    fn tolerant_acceptance_is_bounded_in_true_time(
+        now_ms in 0u64..600_000,
+        claimed_ms in 0u64..1_200_000,
+        scan_ms in 0u64..5_000,
+        measure_extra_ms in 0u64..5_000,
+        report_extra_ms in 0u64..5_000,
+        warmup in proptest::collection::vec(0i64..120_000, 0usize..4),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut dm = DecisionModule::new(vec![profile(0)]);
+        dm.set_hardening(EvidenceHardening::hardened());
+        dm.set_skew_policy(SkewTolerancePolicy::tolerant());
+        // DND suppresses the genuine report, so the injected envelope is
+        // the only evidence — every accepted envelope is attacker-shaped.
+        dm.set_device_dnd(DeviceId(0), true);
+        let chan = channel();
+        let near = Point::ground(2.0, 2.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        let max_age = EvidenceHardening::hardened().max_report_age.as_nanos() as i128;
+        let tolerance = SkewTolerancePolicy::tolerant().tolerance.as_nanos() as i128;
+
+        // Adversarial warm-up: feed the offset estimator a history of
+        // (in-tolerance) lies before the probe envelope, one per query.
+        for (i, off_ms) in warmup.iter().enumerate() {
+            let wnow = SimTime::from_millis(now_ms);
+            let timing = QueryTiming {
+                scan_start: SimDuration::from_millis(scan_ms),
+                measured_at: SimDuration::from_millis(scan_ms),
+                reported_at: SimDuration::from_millis(scan_ms),
+            };
+            let stamp = wnow.as_nanos() as i128
+                + timing.measured_at.as_nanos() as i128
+                + i128::from(*off_ms) * 1_000_000;
+            let env = EvidenceEnvelope {
+                device: DeviceId(0),
+                nonce: i as u64,
+                measured_at: SimTime::from_nanos(stamp.clamp(0, u64::MAX as i128) as u64),
+                rssi_db: -5.0,
+                timing,
+            };
+            dm.decide_with_evidence(wnow, &|_| near, &chan, &[env], &mut rng);
+        }
+
+        let now = SimTime::from_millis(now_ms);
+        let timing = QueryTiming {
+            scan_start: SimDuration::from_millis(scan_ms),
+            measured_at: SimDuration::from_millis(scan_ms + measure_extra_ms),
+            reported_at: SimDuration::from_millis(scan_ms + measure_extra_ms + report_extra_ms),
+        };
+        let probe = EvidenceEnvelope {
+            device: DeviceId(0),
+            nonce: warmup.len() as u64,
+            measured_at: SimTime::from_millis(claimed_ms),
+            rssi_db: -5.0,
+            timing,
+        };
+        let out = dm.decide_with_evidence(now, &|_| near, &chan, &[probe], &mut rng);
+
+        prop_assert!(out.envelopes.len() <= 1);
+        for env in &out.envelopes {
+            let arrival = now.as_nanos() as i128 + env.timing.reported_at.as_nanos() as i128;
+            let true_age = arrival - env.measured_at.as_nanos() as i128;
+            prop_assert!(
+                true_age <= max_age + tolerance,
+                "accepted a measurement {true_age}ns old (bound {}ns)",
+                max_age + tolerance
+            );
+        }
+    }
+
+    /// A checkpoint captured before an NTP step restores losslessly, and
+    /// the verdict-timeout timers armed before the snapshot fire into
+    /// the restored guard exactly once each — firing every recorded
+    /// token twice resolves every pending query and counts exactly
+    /// `pending` timeouts: no duplicated, no lost timers.
+    #[test]
+    fn snapshot_before_step_restores_without_duplicating_or_losing_timers(
+        bursts in 1usize..5,
+        step_back_s in 1u64..60,
+    ) {
+        let mut tap = VoiceGuardTap::new(GuardConfig::echo_dot());
+        let mut ctx = MockCtx::default();
+        let mut seq = establish(&mut tap, &mut ctx);
+        for _ in 0..bursts {
+            feed_command(&mut tap, &mut ctx, &mut seq);
+        }
+        let pending = tap.pending_query_count();
+        prop_assert!(pending > 0, "command bursts must leave pending queries");
+        let snap = tap.snapshot();
+        let armed: Vec<u64> = ctx
+            .timers
+            .iter()
+            .map(|&(_, token)| token)
+            .filter(|&t| matches!(TimerToken::decode(t), Some(TimerToken::VerdictTimeout { .. })))
+            .collect();
+        prop_assert_eq!(armed.len(), pending, "one timeout timer per pending query");
+
+        // The NTP step lands on the live guard *after* the checkpoint.
+        let mut live_ctx = ctx.clone();
+        live_ctx.now = ctx
+            .now
+            .checked_sub(SimDuration::from_secs(step_back_s))
+            .unwrap_or(SimTime::ZERO);
+        tap.on_timer(&mut live_ctx, 0);
+        prop_assert_eq!(tap.stats.time_anomalies, 1, "the step must register on the live guard");
+
+        // Restore a fresh guard from the pre-step checkpoint.
+        let mut fresh = VoiceGuardTap::new(GuardConfig::echo_dot());
+        fresh.try_restore(&snap).expect("pre-step checkpoint restores");
+        prop_assert_eq!(fresh.snapshot(), snap, "restore must be lossless");
+        prop_assert_eq!(fresh.pending_query_count(), pending);
+
+        // Fire every pre-snapshot timeout token twice, in forward time.
+        let timeouts_before = fresh.stats.timeouts;
+        let mut fresh_ctx = ctx.clone();
+        for _ in 0..2 {
+            fresh_ctx.now += SimDuration::from_secs(30);
+            for &token in &armed {
+                fresh.on_timer(&mut fresh_ctx, token);
+            }
+        }
+        prop_assert_eq!(fresh.pending_query_count(), 0, "every query resolved");
+        prop_assert_eq!(
+            fresh.stats.timeouts - timeouts_before,
+            pending as u64,
+            "each pending query times out exactly once"
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //! ```text
 //! chaos-sweep [--seed S] [--rounds N] [--smoke] [--profile NAME] [--crash]
 //!             [--storage] [--adversarial] [--byzantine] [--household]
-//!             [--attack NAME] [--archetype NAME] [--policy NAME]
-//!             [--record-trace FILE] [--list]
+//!             [--clock] [--attack NAME] [--archetype NAME] [--policy NAME]
+//!             [--clock-plan NAME] [--record-trace FILE] [--list]
 //!
 //!   --seed S        master seed (default 2023)
 //!   --rounds N      (legit, attack) command pairs per profile (default 4)
@@ -24,6 +24,10 @@
 //!   --household     run the household sweep (household archetypes ×
 //!                   quorum-fallback policies, with the no-occupant
 //!                   acoustic-injection corpus) instead of the profiles
+//!   --clock         run the clock-fault sweep (skewed/drifting/stepping/
+//!                   flapping node clocks × {paper-strict, skew-tolerant}
+//!                   evidence freshness, replay armed throughout) instead
+//!                   of the profiles
 //!   --attack NAME   with --adversarial or --byzantine: run only the
 //!                   named attack plan (adversarial: none, flood,
 //!                   slow-loris, mimic, spike-storm, all; byzantine:
@@ -34,6 +38,10 @@
 //!                   archetype; repeatable
 //!   --policy NAME   with --household: run only the named quorum-fallback
 //!                   policy; repeatable
+//!   --clock-plan NAME
+//!                   with --clock: run only the named clock plan (none,
+//!                   skew, drift, step-back, step-forward, flapping);
+//!                   repeatable
 //!   --record-trace FILE
 //!                   with --profile: record the guard's sans-io input
 //!                   stream (one JSON line per input, the format the
@@ -44,9 +52,9 @@
 //! ```
 //!
 //! The sweep modes (`--crash`, `--storage`, `--adversarial`,
-//! `--byzantine`, `--household`) are mutually exclusive — each replaces
-//! the default profile sweep wholesale, so combining them would silently
-//! ignore all but one.
+//! `--byzantine`, `--household`, `--clock`) are mutually exclusive —
+//! each replaces the default profile sweep wholesale, so combining them
+//! would silently ignore all but one.
 //!
 //! The default mode replays a compact Echo Dot scenario under the clean,
 //! lossy, bursty and fcm-degraded fault profiles and prints a markdown
@@ -58,8 +66,9 @@
 //! (BLE spoofing, report replay, compromised devices) against the
 //! paper's any-one-device rule and the hardened Decision Module.
 //! `--household` sweeps evidence-starved household shapes against
-//! quorum-fallback policies. Output is byte-identical for two runs with
-//! the same seed.
+//! quorum-fallback policies. `--clock` sweeps node clock faults against
+//! the paper-strict and skew-tolerant evidence-freshness rules. Output
+//! is byte-identical for two runs with the same seed.
 
 use std::process::ExitCode;
 
@@ -72,10 +81,12 @@ fn main() -> ExitCode {
     let mut adversarial = false;
     let mut byzantine = false;
     let mut household = false;
+    let mut clock = false;
     let mut list = false;
     let mut attacks: Vec<String> = Vec::new();
     let mut archetypes: Vec<String> = Vec::new();
     let mut policies: Vec<String> = Vec::new();
+    let mut clock_plans: Vec<String> = Vec::new();
     let mut record_trace: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -104,6 +115,18 @@ fn main() -> ExitCode {
             "--household" => {
                 household = true;
                 i += 1;
+            }
+            "--clock" => {
+                clock = true;
+                i += 1;
+            }
+            "--clock-plan" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--clock-plan needs a value");
+                    return ExitCode::FAILURE;
+                };
+                clock_plans.push(value.clone());
+                i += 2;
             }
             "--list" => {
                 list = true;
@@ -169,8 +192,9 @@ fn main() -> ExitCode {
                 eprintln!(
                     "usage: chaos-sweep [--seed S] [--rounds N] [--smoke] \
                      [--profile NAME] [--crash] [--storage] [--adversarial] \
-                     [--byzantine] [--household] [--attack NAME] \
-                     [--archetype NAME] [--policy NAME] [--list]"
+                     [--byzantine] [--household] [--clock] [--attack NAME] \
+                     [--archetype NAME] [--policy NAME] [--clock-plan NAME] \
+                     [--list]"
                 );
                 eprintln!("unknown flag '{other}'");
                 return ExitCode::FAILURE;
@@ -189,6 +213,7 @@ fn main() -> ExitCode {
         ("--adversarial", adversarial),
         ("--byzantine", byzantine),
         ("--household", household),
+        ("--clock", clock),
     ]
     .iter()
     .filter(|(_, on)| *on)
@@ -221,6 +246,26 @@ fn main() -> ExitCode {
     if !adversarial && !byzantine && !attacks.is_empty() {
         eprintln!("--attack only makes sense with --adversarial or --byzantine");
         return ExitCode::FAILURE;
+    }
+    if !clock && !clock_plans.is_empty() {
+        eprintln!("--clock-plan only makes sense with --clock");
+        return ExitCode::FAILURE;
+    }
+    if clock {
+        let known: Vec<&str> = experiments::clock::clock_plans()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        for plan in &clock_plans {
+            if !known.contains(&plan.as_str()) {
+                eprintln!("unknown clock plan '{plan}'; known: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            }
+        }
+        let selected: Vec<&str> = clock_plans.iter().map(String::as_str).collect();
+        let result = experiments::clock::run_clocks(&selected, seed, rounds);
+        print!("{}", result.table);
+        return ExitCode::SUCCESS;
     }
     if household {
         let known_arch: Vec<&str> = experiments::HouseholdArchetype::ALL
@@ -350,6 +395,7 @@ fn print_list() {
     println!("  --adversarial adversarial-load sweep");
     println!("  --byzantine   byzantine-evidence sweep");
     println!("  --household   household evidence-availability sweep");
+    println!("  --clock       clock-fault sweep");
     let profiles: Vec<&str> = experiments::chaos::all_profiles()
         .iter()
         .map(|p| p.name)
@@ -378,4 +424,9 @@ fn print_list() {
         .map(|p| p.name)
         .collect();
     println!("household policies (--policy): {}", policies.join(", "));
+    let clock_plans: Vec<&str> = experiments::clock::clock_plans()
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    println!("clock plans (--clock-plan): {}", clock_plans.join(", "));
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fleet-sweep [--home-hours N] [--seed S] [--shards N] [--hours-per-home H]
-//!             [--batch B] [--smoke] [--storage-faults]
+//!             [--batch B] [--smoke] [--storage-faults] [--clock-faults]
 //!
 //!   --home-hours N      simulated home-hours to cover (default 1000000)
 //!   --seed S            population seed (default 7)
@@ -13,6 +13,10 @@
 //!   --storage-faults    give crashy homes a faulty checkpoint store
 //!                       (torn/bit-rot/lost writes racing the crash); the
 //!                       report grows a checkpoint-storage table
+//!   --clock-faults      draw each home's guard clock from spare plan
+//!                       bits (skew / drift / NTP step-back / flapping
+//!                       sync / identity control); the report grows a
+//!                       clock-fault table
 //! ```
 //!
 //! Stdout carries the deterministic population report: archetype mix,
@@ -42,6 +46,10 @@ fn main() -> ExitCode {
             }
             "--storage-faults" => {
                 cfg.storage_faults = true;
+                i += 1;
+            }
+            "--clock-faults" => {
+                cfg.clock_faults = true;
                 i += 1;
             }
             "--home-hours" if i + 1 < args.len() => {
@@ -114,7 +122,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("fleet-sweep: {err}");
     eprintln!(
         "usage: fleet-sweep [--home-hours N] [--seed S] [--shards N] \
-         [--hours-per-home H] [--batch B] [--smoke] [--storage-faults]"
+         [--hours-per-home H] [--batch B] [--smoke] [--storage-faults] \
+         [--clock-faults]"
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,450 @@
+//! Clock-fault sweep — skewed, drifting and stepping node clocks vs.
+//! evidence freshness.
+//!
+//! The byzantine sweep attacks the evidence channel's *content*; this
+//! sweep attacks its *timestamps*. Every cell runs the hardened Decision
+//! Module (nonce/staleness/replay validation must be on for freshness to
+//! matter at all) in an otherwise clean home whose nodes read faulty
+//! wall clocks (see `simcore::clock`): a fixed device skew, accelerated
+//! drift, an NTP step backward or forward mid-run, and a flapping sync
+//! that alternates between two offsets. Each clock plan runs twice —
+//! once with the paper-strict freshness rule (a report older than
+//! [`voiceguard::EvidenceHardening::max_report_age`] is stale, full
+//! stop) and once with the opt-in skew-tolerant policy
+//! ([`voiceguard::SkewTolerancePolicy`]) that estimates each device's
+//! offset and corrects report ages inside a hard tolerance budget.
+//!
+//! Every cell also arms the evidence **replay** attack: the headline
+//! risk of tolerating skew is quietly re-opening the replay window, so
+//! the sweep proves in every tolerant cell that replayed captures are
+//! still rejected.
+//!
+//! The pinned invariants (this module's tests): no attack command is
+//! ever executed in any cell; the strict rule's FRR is dented by device
+//! skew while the tolerant rule restores the clean FRR; replay is
+//! rejected in every tolerant cell; only the step-back plan produces
+//! guard time anomalies; and tolerance is free when clocks are healthy.
+
+use crate::orchestrator::{ClockPlan, EvidencePlan, FaultProfile, GuardedHome, ScenarioConfig};
+use crate::report::{pct, Table};
+use phone::DeviceKind;
+use rfsim::Point;
+use simcore::{ClockModel, SimDuration, SimTime};
+use testbeds::apartment;
+use voiceguard::{EvidenceTotals, SkewTolerancePolicy};
+
+/// One cell of the sweep: a clock plan × a freshness policy.
+#[derive(Debug, Clone)]
+pub struct ClockCell {
+    /// Clock-plan label.
+    pub clock: &'static str,
+    /// True when the skew-tolerant freshness policy was on; false for
+    /// the paper-strict staleness rule.
+    pub tolerant: bool,
+    /// Legitimate commands uttered.
+    pub legit: u32,
+    /// Legitimate commands wrongly blocked.
+    pub blocked_legit: u32,
+    /// Attack commands uttered.
+    pub malicious: u32,
+    /// Attack commands the cloud executed (the attack succeeded).
+    pub executed_malicious: u32,
+    /// Evidence-path totals across the cell's run.
+    pub totals: EvidenceTotals,
+    /// Guard-core clock regressions detected (the monotonicity clamp).
+    pub time_anomalies: u64,
+}
+
+impl ClockCell {
+    /// Fraction of attack commands that executed.
+    pub fn attack_success(&self) -> f64 {
+        if self.malicious == 0 {
+            return 0.0;
+        }
+        f64::from(self.executed_malicious) / f64::from(self.malicious)
+    }
+
+    /// False-rejection rate on legitimate commands.
+    pub fn frr(&self) -> f64 {
+        if self.legit == 0 {
+            return 0.0;
+        }
+        f64::from(self.blocked_legit) / f64::from(self.legit)
+    }
+}
+
+/// Result of the clock-fault sweep.
+#[derive(Debug, Clone)]
+pub struct ClockResult {
+    /// Per-cell outcomes, plan order, paper-strict before skew-tolerant.
+    pub cells: Vec<ClockCell>,
+    /// The rendered table.
+    pub table: Table,
+}
+
+const SEC: i64 = 1_000_000_000;
+
+/// The clock plans of the sweep, with their table labels. `none` is the
+/// control pinning that the tolerant policy is free when every clock is
+/// healthy. Magnitudes are chosen against the hardened module's 10 s
+/// `max_report_age` and the tolerant policy's 30 s budget: the 15 s
+/// device skew and the 12 s step-back make honest reports look stale to
+/// the strict rule but sit well inside tolerance; the −12%/s drift
+/// crosses the stale line mid-run; the forward step pushes stamps into
+/// the future, which the strict rule's saturating age arithmetic already
+/// forgives (no FRR dent — documented, not a bug). Only the step-back
+/// plan also steps the *guard host's* clock, exercising the core's
+/// monotonicity clamp. The steps land at t = 46 s — inside a command's
+/// dense traffic, so the guard observes the regression immediately
+/// instead of the step hiding in an idle gap longer than itself.
+pub fn clock_plans() -> Vec<(&'static str, ClockPlan)> {
+    let step_at = SimTime::from_secs(46);
+    vec![
+        ("none", ClockPlan::none()),
+        (
+            "skew",
+            ClockPlan {
+                devices: ClockModel::skewed(-15 * SEC),
+                ..ClockPlan::none()
+            },
+        ),
+        (
+            "drift",
+            ClockPlan {
+                devices: ClockModel::drifting(-120_000),
+                ..ClockPlan::none()
+            },
+        ),
+        (
+            "step-back",
+            ClockPlan {
+                devices: ClockModel::stepping(step_at, -12 * SEC),
+                guard: ClockModel::stepping(step_at, -12 * SEC),
+                ..ClockPlan::none()
+            },
+        ),
+        (
+            "step-forward",
+            ClockPlan {
+                devices: ClockModel::stepping(step_at, 20 * SEC),
+                ..ClockPlan::none()
+            },
+        ),
+        (
+            "flapping",
+            ClockPlan {
+                devices: ClockModel::flapping(SimDuration::from_secs(15), -10 * SEC),
+                ..ClockPlan::none()
+            },
+        ),
+    ]
+}
+
+/// The scenario one cell runs: the apartment with a two-phone + watch
+/// household, the cell's clock plan and freshness policy, and the
+/// replay observer armed. Public so the step-back replay golden can
+/// rebuild the exact guard configuration a recorded trace was captured
+/// with ([`crate::orchestrator::scenario_guard_config`]).
+pub fn cell_scenario(
+    clock: &'static str,
+    plan: ClockPlan,
+    tolerant: bool,
+    seed: u64,
+) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::echo(apartment(), 0, seed);
+    cfg.devices = vec![
+        ("Pixel 5".to_string(), DeviceKind::Phone),
+        ("Pixel 4a".to_string(), DeviceKind::Phone),
+        ("Galaxy Watch".to_string(), DeviceKind::Watch),
+    ];
+    let skew = if tolerant {
+        SkewTolerancePolicy::tolerant()
+    } else {
+        SkewTolerancePolicy::off()
+    };
+    cfg.faults = FaultProfile::clocked(clock, plan, skew);
+    cfg.faults.evidence = EvidencePlan {
+        replay: true,
+        ..EvidencePlan::none()
+    };
+    cfg
+}
+
+/// Runs one cell: one legitimate command with every device beside the
+/// speaker and one attack with every device away, per round (the
+/// byzantine sweep's schedule).
+pub fn run_cell(
+    clock: &'static str,
+    plan: ClockPlan,
+    tolerant: bool,
+    seed: u64,
+    rounds: u32,
+) -> ClockCell {
+    run_cell_inner(clock, plan, tolerant, seed, rounds, None)
+}
+
+/// Runs one cell while recording the guard's sans-io input stream and
+/// the actions the core emitted (the format `voiceguard::guard::replay`
+/// parses). The step-back replay golden drives the recorded inputs —
+/// guard-local timestamps, regression included — through a pure
+/// [`voiceguard::guard::replay::ReplayDriver`] and must observe the
+/// identical action stream.
+pub fn record_cell_trace(
+    clock: &'static str,
+    plan: ClockPlan,
+    tolerant: bool,
+    seed: u64,
+    rounds: u32,
+) -> (ClockCell, Vec<String>, Vec<voiceguard::Action>) {
+    let mut trace = (Vec::new(), Vec::new());
+    let cell = run_cell_inner(clock, plan, tolerant, seed, rounds, Some(&mut trace));
+    (cell, trace.0, trace.1)
+}
+
+fn run_cell_inner(
+    clock: &'static str,
+    plan: ClockPlan,
+    tolerant: bool,
+    seed: u64,
+    rounds: u32,
+    mut trace: Option<&mut (Vec<String>, Vec<voiceguard::Action>)>,
+) -> ClockCell {
+    let cfg = cell_scenario(clock, plan, tolerant, seed);
+    let mut home = GuardedHome::new(cfg);
+    if trace.is_some() {
+        home.net
+            .with_tap::<voiceguard::VoiceGuardTap, _>(home.speaker_host, |g, _| {
+                g.record_inputs();
+                g.record_actions();
+            });
+    }
+    home.run_for(SimDuration::from_secs(5));
+    let devs = home.device_ids();
+    let speaker = home.testbed().deployments[0];
+    let away = home.testbed().outside;
+
+    let (mut legit, mut blocked_legit) = (0u32, 0u32);
+    let (mut malicious, mut executed_malicious) = (0u32, 0u32);
+    for round in 0..rounds {
+        for attack_cmd in [false, true] {
+            for (i, dev) in devs.iter().enumerate() {
+                let pos = if attack_cmd {
+                    away
+                } else {
+                    Point::new(speaker.x + 1.0 + 0.3 * i as f64, speaker.y, speaker.floor)
+                };
+                home.set_device_position(*dev, pos);
+            }
+            home.set_attacker_armed(attack_cmd);
+            let words = 4 + (round as usize % 5);
+            let id = home.utter(words, 1, attack_cmd);
+            home.run_for(SimDuration::from_secs(40));
+            let executed = home.executed(id);
+            if attack_cmd {
+                malicious += 1;
+                executed_malicious += u32::from(executed);
+            } else {
+                legit += 1;
+                blocked_legit += u32::from(!executed);
+            }
+        }
+    }
+    home.set_attacker_armed(false);
+    home.run_for(SimDuration::from_secs(10));
+    if let Some(out) = trace.as_mut() {
+        let (lines, actions) = home
+            .net
+            .with_tap::<voiceguard::VoiceGuardTap, _>(home.speaker_host, |g, _| {
+                (g.drain_recorded_inputs(), g.drain_recorded_actions())
+            });
+        out.0 = lines;
+        out.1 = actions;
+    }
+    let totals = home.decision_mut().evidence_totals();
+    let time_anomalies = home.guard_stats().time_anomalies;
+    ClockCell {
+        clock,
+        tolerant,
+        legit,
+        blocked_legit,
+        malicious,
+        executed_malicious,
+        totals,
+        time_anomalies,
+    }
+}
+
+/// Runs the full sweep: every clock plan × {paper-strict,
+/// skew-tolerant}, and renders the table.
+pub fn run(seed: u64, rounds: u32) -> ClockResult {
+    run_clocks(&[], seed, rounds)
+}
+
+/// Runs the sweep restricted to the named clock plans (empty = all);
+/// the CI smoke uses this to exercise single plans cheaply.
+pub fn run_clocks(clocks: &[&str], seed: u64, rounds: u32) -> ClockResult {
+    let mut cells = Vec::new();
+    for (clock, plan) in clock_plans() {
+        if !clocks.is_empty() && !clocks.contains(&clock) {
+            continue;
+        }
+        for tolerant in [false, true] {
+            cells.push(run_cell(clock, plan.clone(), tolerant, seed, rounds));
+        }
+    }
+    let mut table = Table::new(
+        "Clock-fault sweep — node clock faults vs. evidence freshness",
+        &[
+            "cell (clock × freshness)",
+            "attack success",
+            "FRR",
+            "skew exc/rej",
+            "rejected xq/rep/stale",
+            "time anomalies",
+        ],
+    );
+    for c in &cells {
+        let r = &c.totals.rejections;
+        table.push_row(vec![
+            format!(
+                "{} × {}",
+                c.clock,
+                if c.tolerant {
+                    "skew-tolerant"
+                } else {
+                    "paper-strict"
+                }
+            ),
+            format!("{} ({})", pct(c.attack_success()), c.executed_malicious),
+            format!("{} ({})", pct(c.frr()), c.blocked_legit),
+            format!("{}/{}", c.totals.skew_excused, c.totals.skew_rejected),
+            format!("{}/{}/{}", r.cross_query, r.replayed, r.stale),
+            c.time_anomalies.to_string(),
+        ]);
+    }
+    table.note(format!(
+        "{rounds} legitimate + {rounds} attack commands per cell, seed \
+         {seed}; two phones + one watch, hardened Decision Module, the \
+         replay observer armed throughout. Device clocks follow the \
+         cell's plan; the step-back plan also steps the guard host's \
+         clock (the monotonicity clamp counts the regressions). The \
+         tolerant policy corrects report ages by a per-device EWMA \
+         offset estimate clamped into ±30 s, so acceptance is provably \
+         bounded by max_report_age + tolerance in true time."
+    ));
+    ClockResult { cells, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell<'a>(r: &'a ClockResult, clock: &str, tolerant: bool) -> &'a ClockCell {
+        r.cells
+            .iter()
+            .find(|c| c.clock == clock && c.tolerant == tolerant)
+            .expect("cell present")
+    }
+
+    /// The headline invariants of the sweep in one run: attacks never
+    /// execute, strict freshness pays FRR for device skew while the
+    /// tolerant policy restores it, replay stays rejected under
+    /// tolerance, and only the step-back plan regresses the guard clock.
+    #[test]
+    fn clock_faults_dent_strict_freshness_but_not_the_tolerant_policy() {
+        let r = run(2023, 2);
+        for c in &r.cells {
+            assert_eq!(
+                c.executed_malicious, 0,
+                "no attack command may ever execute, whatever the clocks \
+                 do: {c:?}"
+            );
+        }
+        // Strict freshness wrongly blocks the owner once device clocks
+        // are skewed back past max_report_age; the tolerant policy
+        // restores the clean FRR in every cell.
+        for clock in ["skew", "step-back"] {
+            let strict = cell(&r, clock, false);
+            assert!(
+                strict.blocked_legit > 0,
+                "a device clock {clock} must dent the strict rule's FRR, \
+                 or the tolerant cells prove nothing: {strict:?}"
+            );
+            assert_eq!(
+                strict.totals.skew_excused, 0,
+                "the strict rule never excuses: {strict:?}"
+            );
+        }
+        for c in r.cells.iter().filter(|c| c.tolerant) {
+            assert_eq!(
+                c.blocked_legit, 0,
+                "the tolerant policy must restore the clean FRR: {c:?}"
+            );
+            assert!(
+                c.totals.rejections.cross_query > 0,
+                "replayed captures must stay rejected under tolerance \
+                 (the nonce check is not relaxed): {c:?}"
+            );
+        }
+        // Tolerance is free when clocks are healthy.
+        let strict_none = cell(&r, "none", false);
+        let tolerant_none = cell(&r, "none", true);
+        assert_eq!(strict_none.blocked_legit, 0);
+        assert_eq!(tolerant_none.blocked_legit, 0);
+        assert_eq!(tolerant_none.totals.skew_excused, 0);
+        assert_eq!(tolerant_none.totals.skew_rejected, 0);
+        // A forward step pushes stamps into the future; the strict
+        // rule's saturating age already forgives that, so neither
+        // policy blocks the owner.
+        assert_eq!(cell(&r, "step-forward", false).blocked_legit, 0);
+        // Only the step-back plan steps the guard host's clock, and the
+        // core's monotonicity clamp counts every regression.
+        for c in &r.cells {
+            if c.clock == "step-back" {
+                assert!(
+                    c.time_anomalies > 0,
+                    "the guard clock step-back must be detected: {c:?}"
+                );
+            } else {
+                assert_eq!(
+                    c.time_anomalies, 0,
+                    "no other plan touches the guard clock: {c:?}"
+                );
+            }
+        }
+        // Skewed-but-tolerated cells actually exercised the excusal
+        // path (the counter is how operators see tolerance working).
+        assert!(
+            cell(&r, "skew", true).totals.skew_excused > 0,
+            "the skew cell must excuse strict-stale reports"
+        );
+    }
+
+    #[test]
+    fn clock_cells_replay_bit_identically() {
+        let plan = clock_plans()
+            .into_iter()
+            .find(|(name, _)| *name == "step-back")
+            .map(|(_, plan)| plan)
+            .expect("step-back plan");
+        let a = run_cell("step-back", plan.clone(), true, 7, 1);
+        let b = run_cell("step-back", plan, true, 7, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// The zero-draw identity pin (the PR 8 storage-plan pattern): a
+    /// profile carrying an all-identity [`ClockPlan`] attaches nothing
+    /// and draws nothing, so its run is byte-identical to the same
+    /// profile built before the clock model existed — here represented
+    /// by the strict `none` cell run twice through independently
+    /// constructed plans.
+    #[test]
+    fn identity_clock_plan_is_transparent() {
+        let a = run_cell("none", ClockPlan::none(), false, 11, 1);
+        let b = run_cell("none", ClockPlan::default(), false, 11, 1);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.blocked_legit, 0);
+        assert_eq!(a.totals.skew_excused + a.totals.skew_rejected, 0);
+        assert_eq!(a.time_anomalies, 0);
+    }
+}

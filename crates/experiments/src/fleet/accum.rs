@@ -94,6 +94,12 @@ pub struct FleetAccumulator {
     /// Connections quarantined by ledger/reorder overflow caps.
     pub quarantines: u64,
 
+    /// Homes running a non-identity guard clock (the clock-fault dial).
+    pub clock_homes: u64,
+    /// Backwards `now` observations clamped by the guard's monotonicity
+    /// guard (NTP step-backs / flapping sync landing in dense traffic).
+    pub time_anomalies: u64,
+
     /// Hold latency distribution (seconds) of every resolved query.
     pub hold_latency: QuantileSketch,
     /// Sum of hold latencies in integer microseconds (for the mean).
@@ -148,6 +154,8 @@ impl FleetAccumulator {
         self.evicted_during_hold += other.evicted_during_hold;
         self.flows_readopted += other.flows_readopted;
         self.quarantines += other.quarantines;
+        self.clock_homes += other.clock_homes;
+        self.time_anomalies += other.time_anomalies;
         self.hold_latency.merge(&other.hold_latency);
         self.hold_micros += other.hold_micros;
         self.peak_live_homes = self.peak_live_homes.max(other.peak_live_homes);

@@ -13,7 +13,7 @@
 //! [`super::home`].
 
 use netsim::StoragePlan;
-use simcore::RngStreams;
+use simcore::{ClockModel, RngStreams, SimDuration, SimTime};
 use voiceguard::SpeakerKind;
 
 use crate::orchestrator::{
@@ -123,6 +123,9 @@ impl Archetype {
     }
 }
 
+/// One second in the signed nanosecond vocabulary [`ClockModel`] uses.
+const NANOS_PER_SEC: i64 = 1_000_000_000;
+
 /// What one command episode does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EpisodeKind {
@@ -159,6 +162,11 @@ pub struct HomePlan {
     /// bits, so adding it changed no existing archetype or speaker draw;
     /// the fleet fast path does not consult it.
     pub household: HouseholdArchetype,
+    /// The guard host's clock model. [`ClockModel::identity`] (the
+    /// default) reads true time and draws nothing from the home's
+    /// `"clock"` stream, so a dial-off fleet is byte-identical to one
+    /// built before clocks existed.
+    pub clock: ClockModel,
     /// RNG factory for the home's continuous noise streams.
     pub streams: RngStreams,
 }
@@ -188,6 +196,7 @@ impl HomePlan {
             hours,
             storage: StoragePlan::none(),
             household,
+            clock: ClockModel::identity(),
             streams,
         }
     }
@@ -222,6 +231,38 @@ impl HomePlan {
         if self.archetype == Archetype::Crashy {
             self.storage = dial;
         }
+        self
+    }
+
+    /// Applies the fleet's clock-fault dial: every home's guard clock is
+    /// drawn from spare plan-seed bits (bits 40+, like the household
+    /// shape), so turning the dial on changes no archetype, speaker,
+    /// household, or episode draw. A quarter of the fleet stays on the
+    /// identity clock as an in-population control; the rest split evenly
+    /// between a fixed skew, a slow drift, a mid-run NTP step-back, and
+    /// a fast flapping sync. Crashy homes keep their crash schedule, so
+    /// the dial surfaces the rare skew×crash interactions (a restart
+    /// restoring a checkpoint stamped in a now-regressed local frame).
+    pub fn with_clock_faults(mut self) -> Self {
+        let plan_seed = self.streams.fork("plan").master_seed();
+        self.clock = match (plan_seed >> 40) % 8 {
+            // Fixed skew: 15 s behind true time.
+            0 | 1 => ClockModel::skewed(-15 * NANOS_PER_SEC),
+            // Drift: 12% slow (accelerated ppm, as in the clock sweep).
+            2 | 3 => ClockModel::drifting(-120_000),
+            // One NTP step-back of 12 s halfway through the home's run.
+            4 | 5 => ClockModel::stepping(
+                SimTime::from_secs(u64::from(self.hours.max(1)) * 1800),
+                -12 * NANOS_PER_SEC,
+            ),
+            // Flapping sync: every other 2 s window the clock falls
+            // 500 ms behind. The period is shorter than a command
+            // spike, so flap boundaries land inside dense traffic and
+            // the guard's monotonicity clamp observes the regressions.
+            6 => ClockModel::flapping(SimDuration::from_secs(2), -NANOS_PER_SEC / 2),
+            // Control group: perfect clock.
+            _ => ClockModel::identity(),
+        };
         self
     }
 
@@ -355,6 +396,31 @@ mod tests {
                 "household {i} share {pct}: {counts:?}"
             );
         }
+    }
+
+    #[test]
+    fn clock_dial_uses_spare_bits_and_keeps_a_control_group() {
+        let pop = RngStreams::new(42);
+        let mut faulted = 0u64;
+        let mut can_step = 0u64;
+        for i in 0..500 {
+            let plain = HomePlan::for_home(&pop, i, 24);
+            assert!(plain.clock.is_identity());
+            let dialed = HomePlan::for_home(&pop, i, 24).with_clock_faults();
+            // Structural draws are untouched by the dial.
+            assert_eq!(dialed.archetype, plain.archetype);
+            assert_eq!(dialed.speaker, plain.speaker);
+            assert_eq!(dialed.household, plain.household);
+            for k in 0..plain.total_episodes() {
+                assert_eq!(dialed.episode_kind(k), plain.episode_kind(k));
+            }
+            faulted += u64::from(!dialed.clock.is_identity());
+            can_step += u64::from(dialed.clock.can_step());
+        }
+        // Roughly 7/8 of homes get a faulty clock, and the step-back +
+        // flapping slices (3/8) can move the clock backwards.
+        assert!((380..=480).contains(&faulted), "faulted {faulted}");
+        assert!(can_step > 100, "stepping slice too thin: {can_step}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use netsim::{CheckpointStore, RestoreReport};
 use rand::rngs::StdRng;
 use rand::Rng;
 use simcore::wire::{CloseReason, ConnId, Datagram, SegmentPayload, SegmentView, TlsRecord};
-use simcore::{SimDuration, SimTime};
+use simcore::{NodeClock, SimDuration, SimTime};
 use voiceguard::{
     Action, GuardConfig, GuardCore, GuardEvent, GuardSnapshot, HoldTarget, Input, QueryId,
     RecoveryInfo, SpeakerKind, Verdict,
@@ -54,6 +54,13 @@ pub struct HomeSim<'a> {
     plan: &'a HomePlan,
     core: GuardCore,
     now: SimTime,
+    /// The guard host's clock (the fleet clock dial). Identity homes
+    /// read true time and never fork the `"clock"` stream; faulted
+    /// homes stamp every core step in guard-local time, so an NTP
+    /// step-back or flapping sync exercises [`GuardCore::step`]'s
+    /// monotonicity clamp at population scale. Timers stay true-time:
+    /// the timer wheel models hardware a wall-clock fault cannot touch.
+    clock: NodeClock,
     crashed: bool,
     /// Pending timers: (due, token, insertion seq) — fired in (due, seq)
     /// order for stable determinism.
@@ -106,6 +113,11 @@ impl<'a> HomeSim<'a> {
         HomeSim {
             core: GuardCore::new(config),
             now: SimTime::ZERO,
+            clock: if plan.clock.is_identity() {
+                NodeClock::identity()
+            } else {
+                NodeClock::new(plan.clock.clone(), plan.streams.stream("clock"))
+            },
             crashed: false,
             timers: Vec::new(),
             timer_seq: 0,
@@ -603,7 +615,8 @@ impl<'a> HomeSim<'a> {
     fn step(&mut self, input: Input) {
         let mut actions = std::mem::take(&mut self.actions);
         actions.clear();
-        self.core.step(self.now, input, &mut actions);
+        let local_now = self.clock.local_time(self.now);
+        self.core.step(local_now, input, &mut actions);
         let mut raised = Vec::new();
         for action in &actions {
             match action {
@@ -791,6 +804,8 @@ impl<'a> HomeSim<'a> {
         acc.evicted_during_hold += self.evicted_during_hold;
         acc.flows_readopted += stats.flows_readopted;
         acc.quarantines += stats.ledger_overflows + stats.reorder_overflows;
+        acc.clock_homes += u64::from(!self.plan.clock.is_identity());
+        acc.time_anomalies += stats.time_anomalies;
         for &s in &stats.hold_durations_s {
             acc.record_hold(s);
         }

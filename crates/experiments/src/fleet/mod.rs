@@ -64,6 +64,13 @@ pub struct FleetConfig {
     /// run [`HomePlan::crashy_storage_faults`] (torn/corrupt/lost writes
     /// and durability latency) instead of a perfect store.
     pub storage_faults: bool,
+    /// Clock-fault dial: when true, each home's guard clock is drawn
+    /// from spare plan-seed bits ([`HomePlan::with_clock_faults`] —
+    /// skew, drift, NTP step-back, flapping sync, or an identity
+    /// control), so population-scale runs surface rare skew×crash
+    /// interactions. Off (the default) attaches nothing and draws
+    /// nothing: the report is byte-identical to a pre-clock fleet.
+    pub clock_faults: bool,
 }
 
 impl FleetConfig {
@@ -77,6 +84,7 @@ impl FleetConfig {
             shards: 4,
             batch: 16,
             storage_faults: false,
+            clock_faults: false,
         }
     }
 
@@ -129,24 +137,48 @@ pub fn home_guard_config(plan: &HomePlan) -> GuardConfig {
     scenario_guard_config(&scenario, plan.speaker)
 }
 
-/// Simulates one home (perfect checkpoint storage) and folds it into
-/// `acc`.
-pub fn simulate_home(population: &RngStreams, index: u64, hours: u32, acc: &mut FleetAccumulator) {
-    simulate_home_dialed(population, index, hours, false, acc);
+/// The fleet's per-home fault dials (everything in [`FleetConfig`] that
+/// changes what a home *is* rather than how the run is executed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetDials {
+    /// See [`FleetConfig::storage_faults`].
+    pub storage_faults: bool,
+    /// See [`FleetConfig::clock_faults`].
+    pub clock_faults: bool,
 }
 
-/// Simulates one home with the fleet's storage-fault dial applied (see
-/// [`FleetConfig::storage_faults`]) and folds it into `acc`.
+impl FleetConfig {
+    /// The fault dials this configuration applies to every home.
+    pub fn dials(&self) -> FleetDials {
+        FleetDials {
+            storage_faults: self.storage_faults,
+            clock_faults: self.clock_faults,
+        }
+    }
+}
+
+/// Simulates one home (perfect checkpoint storage, perfect clock) and
+/// folds it into `acc`.
+pub fn simulate_home(population: &RngStreams, index: u64, hours: u32, acc: &mut FleetAccumulator) {
+    simulate_home_dialed(population, index, hours, FleetDials::default(), acc);
+}
+
+/// Simulates one home with the fleet's fault dials applied (see
+/// [`FleetConfig::storage_faults`] / [`FleetConfig::clock_faults`]) and
+/// folds it into `acc`.
 pub fn simulate_home_dialed(
     population: &RngStreams,
     index: u64,
     hours: u32,
-    storage_faults: bool,
+    dials: FleetDials,
     acc: &mut FleetAccumulator,
 ) {
     let mut plan = HomePlan::for_home(population, index, hours);
-    if storage_faults {
+    if dials.storage_faults {
         plan = plan.with_crashy_storage(HomePlan::crashy_storage_faults());
+    }
+    if dials.clock_faults {
+        plan = plan.with_clock_faults();
     }
     let config = home_guard_config(&plan);
     HomeSim::new(&plan, config).run(acc);
@@ -165,7 +197,7 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
         for index in 0..homes {
             let hours = cfg.hours_of(index);
             if hours > 0 {
-                simulate_home_dialed(&population, index, hours, cfg.storage_faults, &mut acc);
+                simulate_home_dialed(&population, index, hours, cfg.dials(), &mut acc);
             }
         }
         let peak = u64::from(homes > 0);
@@ -180,7 +212,7 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
     let live = AtomicU64::new(0);
     let peak = AtomicU64::new(0);
     let batch = cfg.batch.max(1);
-    let storage_faults = cfg.storage_faults;
+    let dials = cfg.dials();
     let shard_accs: Vec<FleetAccumulator> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.shards)
             .map(|_| {
@@ -203,13 +235,7 @@ pub fn run(cfg: &FleetConfig) -> FleetOutcome {
                             }
                             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
                             peak.fetch_max(now, Ordering::SeqCst);
-                            simulate_home_dialed(
-                                population,
-                                index,
-                                hours,
-                                storage_faults,
-                                &mut acc,
-                            );
+                            simulate_home_dialed(population, index, hours, dials, &mut acc);
                             live.fetch_sub(1, Ordering::SeqCst);
                         }
                     }
@@ -399,6 +425,22 @@ pub fn render_report(cfg: &FleetConfig, acc: &FleetAccumulator) -> String {
         store.note("crashy homes' durable checkpoint chains under the storage-fault dial");
         out.push_str(&store.to_markdown());
     }
+
+    // Rendered only when the run attached faulty clocks, so clean-fleet
+    // reports (and their goldens) are unchanged.
+    if acc.clock_homes > 0 || acc.time_anomalies > 0 {
+        let mut clocks = Table::new("Clock faults", &["counter", "count"]);
+        clocks.push_row(vec![
+            "homes with faulty clocks".to_string(),
+            acc.clock_homes.to_string(),
+        ]);
+        clocks.push_row(vec![
+            "time anomalies clamped".to_string(),
+            acc.time_anomalies.to_string(),
+        ]);
+        clocks.note("guard-local clocks under the clock-fault dial; anomalies are backwards reads clamped by the guard's monotonicity guard");
+        out.push_str(&clocks.to_markdown());
+    }
     out
 }
 
@@ -445,6 +487,47 @@ mod tests {
             render_report(&cfg, &sharded.accumulator)
         );
         assert!(sharded.peak_live_homes <= 3);
+    }
+
+    #[test]
+    fn clock_dial_off_matches_plain_fleet_and_renders_no_clock_table() {
+        let mut cfg = FleetConfig::new(7, 48);
+        cfg.shards = 1;
+        let plain = run(&cfg);
+        cfg.clock_faults = false; // explicit: the default
+        let dialed_off = run(&cfg);
+        assert_eq!(plain.accumulator, dialed_off.accumulator);
+        let report = render_report(&cfg, &plain.accumulator);
+        assert!(!report.contains("Clock faults"));
+        assert_eq!(plain.accumulator.clock_homes, 0);
+        assert_eq!(plain.accumulator.time_anomalies, 0);
+    }
+
+    #[test]
+    fn clock_dial_surfaces_anomalies_without_changing_the_population() {
+        let mut cfg = FleetConfig::new(7, 24 * 40);
+        cfg.shards = 1;
+        let plain = run(&cfg);
+        cfg.clock_faults = true;
+        let dialed = run(&cfg);
+        let acc = &dialed.accumulator;
+        // The dial draws from spare plan-seed bits: the population's
+        // structural shape (archetype mix, speakers, episode counts) is
+        // untouched.
+        assert_eq!(acc.archetype_homes, plain.accumulator.archetype_homes);
+        assert_eq!(acc.echo_homes, plain.accumulator.echo_homes);
+        assert_eq!(
+            acc.legit_commands + acc.attack_commands,
+            plain.accumulator.legit_commands + plain.accumulator.attack_commands,
+        );
+        // Most homes carry a faulty clock, and the flapping/step-back
+        // slices produce regressions the guard clamps and counts.
+        assert!(acc.clock_homes > 0, "no faulted clocks in {acc:#?}");
+        assert!(acc.clock_homes < acc.homes, "control group vanished");
+        assert!(acc.time_anomalies > 0, "no anomalies clamped");
+        let report = render_report(&cfg, acc);
+        assert!(report.contains("Clock faults"));
+        assert!(report.contains("time anomalies clamped"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`ablations`] | design-choice ablations (DESIGN.md §5) |
 //! | [`chaos`] | fault-injection sweep (clean → lossy → bursty → FCM-degraded) |
 //! | [`adversarial`] | adversarial-load sweep (memory attacks × guard state bounds) |
+//! | [`clock`] | clock-fault sweep (skew/drift/step/flap × evidence freshness) |
 //!
 //! The shared scenario machinery lives in [`orchestrator`].
 
@@ -31,6 +32,7 @@ pub mod ablations;
 pub mod adversarial;
 pub mod byzantine;
 pub mod chaos;
+pub mod clock;
 pub mod corpus_stats;
 pub mod fig10;
 pub mod fig3;
@@ -51,8 +53,8 @@ pub mod tables234;
 pub mod threat_coverage;
 
 pub use orchestrator::{
-    CommandRecord, EvidencePlan, FaultProfile, GuardedHome, HouseholdArchetype, QuorumChoice,
-    ScenarioConfig, ScenarioError,
+    ClockPlan, CommandRecord, EvidencePlan, FaultProfile, GuardedHome, HouseholdArchetype,
+    QuorumChoice, ScenarioConfig, ScenarioError,
 };
 pub use report::{Report, Table};
 

@@ -28,7 +28,7 @@ use phone::{
 };
 use rand::rngs::StdRng;
 use rfsim::{BleChannel, Point, PropagationConfig};
-use simcore::{RngStreams, SimDuration, SimTime};
+use simcore::{ClockModel, NodeClock, RngStreams, SimDuration, SimTime};
 use speakers::{
     AvsCloud, CommandOutcome, CommandSpec, EchoDotApp, GoogleCloud, GoogleHomeApp, AVS_DOMAIN,
     GOOGLE_DOMAIN,
@@ -38,8 +38,8 @@ use testbeds::{RouteKind, Testbed};
 use voiceguard::{
     AnyOneQuorum, DecisionModule, DeviceProfile, EvidenceAvailabilityPolicy, EvidenceHardening,
     FallbackPolicy, FloorTracker, GuardConfig, GuardEvent, KOfAvailableQuorum, KOfNQuorum,
-    OutlierRejectQuorum, QueryId, QuorumPolicy, RouteClass, RouteClassifier, SpeakerKind, Verdict,
-    VoiceGuardTap, WeightedByHealthQuorum,
+    OutlierRejectQuorum, QueryId, QuorumPolicy, RouteClass, RouteClassifier, SkewTolerancePolicy,
+    SpeakerKind, Verdict, VoiceGuardTap, WeightedByHealthQuorum,
 };
 
 /// Speaker `i` lives at 192.168.1.(200+i).
@@ -263,6 +263,38 @@ impl GuardBounds {
     }
 }
 
+/// Which wall-clock faults afflict the scenario's nodes. Each role gets
+/// its own [`ClockModel`]; the engine always schedules in true simulation
+/// time, so a clock fault distorts only what that node's software *reads*
+/// (evidence timestamps, the guard driver's `now`, speaker log stamps).
+/// All-identity (the default) attaches nothing, creates no RNG streams
+/// and draws nothing, so a clock-free run is byte-identical to one
+/// predating the clock model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClockPlan {
+    /// Clock model shared by every registered owner device (phones and
+    /// watches stamp their evidence envelopes through it).
+    pub devices: ClockModel,
+    /// The guard host's clock: every tap callback maps `now` through it
+    /// before reaching the [`voiceguard::GuardCore`].
+    pub guard: ClockModel,
+    /// The speaker's clock (log timestamps only; traffic timing is
+    /// physical).
+    pub speaker: ClockModel,
+}
+
+impl ClockPlan {
+    /// Every node reads true simulation time.
+    pub fn none() -> Self {
+        ClockPlan::default()
+    }
+
+    /// True when no node has a clock fault (nothing will be attached).
+    pub fn is_none(&self) -> bool {
+        self.devices.is_identity() && self.guard.is_identity() && self.speaker.is_identity()
+    }
+}
+
 /// A named bundle of fault settings applied to every layer of a scenario:
 /// the packet network, the FCM push channel, and the Decision Module's
 /// retry/fallback policy. The guard's hold-overflow capacity rides along
@@ -299,6 +331,12 @@ pub struct FaultProfile {
     /// Evidence-availability policy: starvation fail-closed, silence
     /// scoring, DND-aware expectations (default: off).
     pub availability: EvidenceAvailabilityPolicy,
+    /// Per-node wall-clock fault models (default: all identity — no
+    /// attachment, no RNG streams, no draws).
+    pub clocks: ClockPlan,
+    /// Skew-tolerant evidence-freshness policy at the Decision Module
+    /// (default: off — the paper-strict staleness check).
+    pub skew: SkewTolerancePolicy,
 }
 
 impl FaultProfile {
@@ -318,6 +356,8 @@ impl FaultProfile {
             hardening: EvidenceHardening::off(),
             quorum: QuorumChoice::AnyOne,
             availability: EvidenceAvailabilityPolicy::off(),
+            clocks: ClockPlan::none(),
+            skew: SkewTolerancePolicy::off(),
         }
     }
 
@@ -339,6 +379,23 @@ impl FaultProfile {
             } else {
                 QuorumChoice::AnyOne
             },
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// A clock-fault cell: `clocks` afflicting an otherwise clean home,
+    /// judged by the hardened Decision Module (nonce/staleness/replay
+    /// validation must be on for freshness to matter at all) either
+    /// paper-strict (`skew` off) or skew-tolerant. Evidence replay is the
+    /// canonical companion attack — the sweep arms it to prove tolerance
+    /// does not reopen the replay window.
+    pub fn clocked(name: &'static str, clocks: ClockPlan, skew: SkewTolerancePolicy) -> Self {
+        FaultProfile {
+            name,
+            clocks,
+            skew,
+            hardening: EvidenceHardening::hardened(),
+            quorum: QuorumChoice::OutlierReject,
             ..FaultProfile::clean()
         }
     }
@@ -815,6 +872,11 @@ impl GuardedHome {
         });
         let mut speaker_hosts = Vec::new();
         let (mut avs_cloud_up, mut google_cloud_up) = (false, false);
+        // Wall-clock faults: each afflicted node gets its own clock
+        // stream, created only when its model is armed — an all-identity
+        // plan touches no stream and draws nothing, so clock-free runs
+        // stay byte-identical to runs predating the clock model.
+        let clocks = cfg.faults.clocks.clone();
         for (i, kind) in cfg.speakers.iter().enumerate() {
             let ip = Ipv4Addr::new(192, 168, 1, SPEAKER_IP_BASE + i as u8);
             let name = if i == 0 {
@@ -834,10 +896,14 @@ impl GuardedHome {
                         net.dns_zone_mut()
                             .insert(AVS_DOMAIN, ServerPool::new(AVS_IPS.to_vec()));
                     }
-                    net.set_app(
-                        host,
-                        Box::new(EchoDotApp::new(AVS_DOMAIN, AVS_IPS.to_vec(), vec![])),
-                    );
+                    let mut app = EchoDotApp::new(AVS_DOMAIN, AVS_IPS.to_vec(), vec![]);
+                    if !clocks.speaker.is_identity() {
+                        app.set_clock(NodeClock::new(
+                            clocks.speaker.clone(),
+                            streams.stream(&format!("clock-speaker-{i}")),
+                        ));
+                    }
+                    net.set_app(host, Box::new(app));
                 }
                 SpeakerKind::GoogleHomeMini => {
                     if !google_cloud_up {
@@ -847,8 +913,27 @@ impl GuardedHome {
                         net.dns_zone_mut()
                             .insert(GOOGLE_DOMAIN, ServerPool::new(vec![GOOGLE_IP]));
                     }
-                    net.set_app(host, Box::new(GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7)));
+                    let mut app = GoogleHomeApp::new(GOOGLE_DOMAIN, 0.7);
+                    if !clocks.speaker.is_identity() {
+                        app.set_clock(NodeClock::new(
+                            clocks.speaker.clone(),
+                            streams.stream(&format!("clock-speaker-{i}")),
+                        ));
+                    }
+                    net.set_app(host, Box::new(app));
                 }
+            }
+            // Mirror the speaker's clock in the engine's per-host
+            // registry so reports can ask the network what any host
+            // *thinks* the time is.
+            if !clocks.speaker.is_identity() {
+                net.attach_host_clock(
+                    host,
+                    NodeClock::new(
+                        clocks.speaker.clone(),
+                        streams.stream(&format!("clock-host-{i}")),
+                    ),
+                );
             }
             speaker_hosts.push(host);
         }
@@ -905,13 +990,10 @@ impl GuardedHome {
             }
         }
         let speaker_host = speaker_hosts[0];
-        if cfg.speakers.len() == 1 {
+        let mut tap = if cfg.speakers.len() == 1 {
             // Single speaker: a catch-all pipeline, exactly the paper's
             // one-speaker deployment.
-            net.set_tap(
-                speaker_host,
-                Box::new(VoiceGuardTap::new(guard_config(cfg.speakers[0]))),
-            );
+            VoiceGuardTap::new(guard_config(cfg.speakers[0]))
         } else {
             // Several speakers share one tap; pipeline i guards speaker i
             // by its IP, so pipeline indices equal speaker indices.
@@ -922,7 +1004,19 @@ impl GuardedHome {
                     guard_config(*kind),
                 );
             }
-            net.set_tap(speaker_host, Box::new(tap));
+            tap
+        };
+        // The guard host's own clock: every engine callback's `now` is
+        // mapped through it before reaching the core, so an NTP step-back
+        // on the guard machine exercises the core's monotonicity clamp.
+        if !clocks.guard.is_identity() {
+            tap.set_clock(NodeClock::new(
+                clocks.guard.clone(),
+                streams.stream("clock-guard"),
+            ));
+        }
+        net.set_tap(speaker_host, Box::new(tap));
+        if cfg.speakers.len() > 1 {
             for host in &speaker_hosts[1..] {
                 net.share_tap(*host, speaker_host);
             }
@@ -973,6 +1067,21 @@ impl GuardedHome {
         decision.set_hardening(cfg.faults.hardening);
         decision.set_quorum(cfg.faults.quorum.build());
         decision.set_availability(cfg.faults.availability);
+        decision.set_skew_policy(cfg.faults.skew);
+        // Device clocks: every registered device stamps its evidence
+        // envelopes through the plan's device model (its own stream, so
+        // jitter draws never perturb the decision path).
+        if !clocks.devices.is_identity() {
+            for (i, id) in registry.ids().iter().enumerate() {
+                decision.set_device_clock(
+                    *id,
+                    NodeClock::new(
+                        clocks.devices.clone(),
+                        streams.stream(&format!("clock-dev-{i}")),
+                    ),
+                );
+            }
+        }
         for &idx in &cfg.dnd_devices {
             let ids = registry.ids();
             let id = *ids

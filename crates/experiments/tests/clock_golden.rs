@@ -1,0 +1,82 @@
+//! Pinned seed-7 golden clock-fault sweep table.
+//!
+//! Same world-tagging scheme as `fleet_golden.rs`: the pin is
+//! `clock_s7.stub.md` for the offline stub world and `clock_s7.md` for
+//! the real crates-io one; a world whose pin has not been generated yet
+//! skips with a note instead of failing.
+//!
+//! The committed table IS the sweep's invariant record: no attack
+//! command executes in any cell, the paper-strict column's FRR
+//! collapses under skew/drift/step-back/flapping (all honest evidence
+//! rejected as stale), the skew-tolerant column restores FRR to the
+//! fault-free baseline in every one of those cells, and the step-back
+//! rows count the guard-host monotonicity clamps. Two rounds per cell:
+//! the first round primes the tolerant EWMA estimator, the second shows
+//! it excusing honest skew. (The headline invariants are additionally
+//! asserted cell-by-cell on this very result, so the pin cannot drift
+//! into a table that merely *looks* right.)
+//!
+//! Regenerate after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test clock_golden
+//! ```
+
+use experiments::clock::run;
+use experiments::offline::offline_stubs_active;
+use std::path::PathBuf;
+
+#[test]
+fn seed7_clock_sweep_matches_pin() {
+    let result = run(7, 2);
+    for cell in &result.cells {
+        assert_eq!(
+            cell.executed_malicious, 0,
+            "attack executed in {} × tolerant={}",
+            cell.clock, cell.tolerant
+        );
+        if cell.tolerant {
+            assert_eq!(
+                cell.blocked_legit, 0,
+                "tolerant cell {} must restore the clean FRR",
+                cell.clock
+            );
+        }
+    }
+    let strict_dented: u32 = result
+        .cells
+        .iter()
+        .filter(|c| !c.tolerant && c.clock != "none" && c.clock != "step-forward")
+        .map(|c| c.blocked_legit)
+        .sum();
+    assert!(
+        strict_dented > 0,
+        "the strict rule must false-reject under clock faults at this seed"
+    );
+    let rendered = result.table.to_string();
+
+    let pin = if offline_stubs_active() {
+        "clock_s7.stub.md"
+    } else {
+        "clock_s7.md"
+    };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(pin);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let Ok(expected) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "skipping: no {pin} pin for this dependency world yet \
+             (generate with UPDATE_GOLDEN=1)"
+        );
+        return;
+    };
+    assert_eq!(
+        rendered, expected,
+        "seed-7 clock sweep drifted from {pin}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,97 @@
+//! Seed-pinned step-back golden: the guard's recorded input stream from
+//! the clock sweep's step-back × skew-tolerant cell — guard-local
+//! timestamps, NTP regression included — driven through the pure
+//! [`ReplayDriver`] with no engine anywhere.
+//!
+//! Two pins in one run:
+//!
+//! * **Driver equivalence** — the replayed core must emit the exact
+//!   action stream the live tap recorded, so the monotonicity clamp
+//!   fires identically from a trace as it did live.
+//! * **World-tagged event golden** — the rendered event/trace lines are
+//!   pinned (`clock_stepback_s7.stub.events` under the offline stub
+//!   RNG, `clock_stepback_s7.events` in the real world). Regenerate
+//!   after an intentional behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p experiments --test clock_replay
+//! ```
+
+use experiments::clock::{cell_scenario, clock_plans, record_cell_trace};
+use experiments::offline::offline_stubs_active;
+use experiments::orchestrator::scenario_guard_config;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use voiceguard::guard::replay::ReplayDriver;
+use voiceguard::{Action, GuardCore, GuardEvent, SpeakerKind};
+
+#[test]
+fn stepback_trace_replays_through_the_pure_core() {
+    let plan = clock_plans()
+        .into_iter()
+        .find(|(name, _)| *name == "step-back")
+        .map(|(_, plan)| plan)
+        .expect("step-back plan");
+    let (cell, lines, live_actions) = record_cell_trace("step-back", plan.clone(), true, 7, 1);
+    assert!(
+        cell.time_anomalies > 0,
+        "the recorded run must contain the guard-clock regression: {cell:?}"
+    );
+    assert!(!lines.is_empty(), "trace recorded");
+
+    // Replay the recorded guard-local input stream through a fresh pure
+    // core configured exactly like the recorded scenario's guard.
+    let cfg = cell_scenario("step-back", plan, true, 7);
+    let config = scenario_guard_config(&cfg, SpeakerKind::EchoDot);
+    let mut driver = ReplayDriver::new(GuardCore::new(config));
+    let trace = lines.join("\n");
+    let replayed = driver.run_trace(&trace).expect("trace parses and replays");
+    assert_eq!(
+        replayed, live_actions,
+        "replayed action stream diverged from the live driver's"
+    );
+
+    // The regression survives the trace: the replayed core clamped the
+    // same anomalies the live guard did.
+    let anomalies = replayed
+        .iter()
+        .filter(|a| matches!(a, Action::Emit(GuardEvent::TimeAnomaly { .. })))
+        .count() as u64;
+    assert_eq!(anomalies, cell.time_anomalies);
+
+    // World-tagged event golden.
+    let mut rendered = String::new();
+    for action in &replayed {
+        match action {
+            Action::Emit(ev) => writeln!(rendered, "event {ev:?}").unwrap(),
+            Action::Trace { category, message } => {
+                writeln!(rendered, "trace {category} {message}").unwrap()
+            }
+            _ => {}
+        }
+    }
+    let pin = if offline_stubs_active() {
+        "clock_stepback_s7.stub.events"
+    } else {
+        "clock_stepback_s7.events"
+    };
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(pin);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let Ok(expected) = std::fs::read_to_string(&path) else {
+        eprintln!(
+            "skipping: no {pin} pin for this dependency world yet \
+             (generate with UPDATE_GOLDEN=1)"
+        );
+        return;
+    };
+    assert_eq!(
+        rendered, expected,
+        "step-back replay drifted from {pin}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+}

@@ -27,7 +27,7 @@ use crate::latency::LatencyModel;
 use crate::storage::{CheckpointStore, RecoveryOutcome, StorageCounters, StoragePlan};
 use crate::wire::{Datagram, Direction, Segment, SegmentPayload, TlsContentType, TlsRecord};
 use rand::rngs::StdRng;
-use simcore::{EventQueue, HoldQueue, RngStreams, SimDuration, SimTime, TraceBus};
+use simcore::{EventQueue, HoldQueue, NodeClock, RngStreams, SimDuration, SimTime, TraceBus};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -298,6 +298,13 @@ struct HostEntry {
     tap: Option<usize>,
     next_port: u16,
     rng: StdRng,
+    /// The host's wall clock. Defaults to the identity [`NodeClock`]
+    /// (reads true simulation time, draws nothing); attach a faulty model
+    /// with [`Network::attach_host_clock`] to give the host a skewed,
+    /// drifting or stepping view of time. The *engine* always schedules
+    /// in true time — only what the host's software reads via
+    /// [`Network::host_local_time`] is distorted.
+    clock: NodeClock,
 }
 
 /// Supervisor-side state of one tap slot's guard process.
@@ -439,8 +446,30 @@ impl Network {
             tap: None,
             next_port: 40_000,
             rng,
+            clock: NodeClock::identity(),
         });
         id
+    }
+
+    /// Attaches a wall-clock model to `host`. The engine keeps scheduling
+    /// in true simulation time; the clock only distorts what
+    /// [`Network::host_local_time`] reports, which is what host software
+    /// (evidence stamping, the guard's driver) reads.
+    pub fn attach_host_clock(&mut self, host: HostId, clock: NodeClock) {
+        self.host_entry_mut(host).clock = clock;
+    }
+
+    /// `host`'s current wall-clock reading — true simulation time mapped
+    /// through its attached [`NodeClock`] (the identity unless
+    /// [`Network::attach_host_clock`] replaced it).
+    pub fn host_local_time(&mut self, host: HostId) -> SimTime {
+        let now = self.queue.now();
+        self.host_entry_mut(host).clock.local_time(now)
+    }
+
+    /// `host`'s clock model, for reports and assertions.
+    pub fn host_clock_model(&self, host: HostId) -> &simcore::ClockModel {
+        self.host_entry(host).clock.model()
     }
 
     /// Installs the application running on `host`.

@@ -62,6 +62,23 @@ impl EvidenceEnvelope {
         }
     }
 
+    /// Build the envelope a genuine device with a *skewed clock*
+    /// produces: identical to [`EvidenceEnvelope::genuine`] except the
+    /// issue instant is the device's own (possibly offset, drifting or
+    /// stepped) clock reading rather than true simulation time. The
+    /// relative `timing` milestones are unaffected — a skewed clock
+    /// still measures short spans accurately — so only the absolute
+    /// `measured_at` stamp carries the node's clock error.
+    pub fn genuine_local(
+        device: DeviceId,
+        nonce: u64,
+        local_issued_at: SimTime,
+        rssi_db: f64,
+        timing: QueryTiming,
+    ) -> Self {
+        Self::genuine(device, nonce, local_issued_at, rssi_db, timing)
+    }
+
     /// Age of the claimed measurement when the report lands, given the
     /// query issue time: arrival is `issued_at + timing.reported_at`.
     pub fn age_on_arrival(&self, issued_at: SimTime) -> simcore::SimDuration {

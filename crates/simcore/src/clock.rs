@@ -1,0 +1,370 @@
+//! Per-node clocks with deterministic time-fault injection.
+//!
+//! Every node in a real deployment — phone, BLE devices, speaker,
+//! middlebox — keeps its own clock with offset, drift, and NTP
+//! correction steps. [`ClockModel`] describes one node's clock as a
+//! pure mapping from true simulation time to node-local time;
+//! [`NodeClock`] wraps a model with the mutable state a running node
+//! actually has (a jitter RNG and the last reading, for monotone
+//! reads).
+//!
+//! The same zero-draw discipline as `netsim::fault` / `netsim::storage`
+//! applies: the identity model makes **zero** RNG draws and returns its
+//! input unchanged, so attaching identity clocks everywhere leaves
+//! every golden, sweep, and fleet report byte-identical. Jitter is the
+//! only stochastic component and is drawn from a dedicated `"clock"`
+//! stream only when the configured jitter bound is non-zero.
+
+use crate::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A scheduled NTP-style correction: at true time `at`, the node's
+/// local clock jumps by `delta_nanos` (negative = step-back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockStep {
+    /// True simulation time at which the correction lands.
+    pub at: SimTime,
+    /// Signed jump applied to the local clock, in nanoseconds.
+    pub delta_nanos: i64,
+}
+
+/// A deterministic description of one node's clock behaviour.
+///
+/// The mapping from true time `t` (nanoseconds) to local time is
+///
+/// ```text
+/// local(t) = t + offset + t·drift_ppm/1e6 + Σ steps(at ≤ t) + flap(t) [+ jitter]
+/// ```
+///
+/// evaluated in 128-bit integer arithmetic and clamped into the `u64`
+/// [`SimTime`] range. Everything except jitter is a pure function of
+/// `t`, so two replays of the same model agree bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(default)]
+pub struct ClockModel {
+    /// Fixed offset of the local clock from true time, in nanoseconds
+    /// (negative = the node's clock runs behind).
+    pub offset_nanos: i64,
+    /// Linear drift rate in parts per million of elapsed true time
+    /// (negative = the local clock falls further behind as time passes).
+    pub drift_ppm: i64,
+    /// Bound of uniform read jitter: each read is perturbed by a draw in
+    /// `[-jitter, +jitter]`. Zero means zero draws.
+    pub jitter: SimDuration,
+    /// Scheduled NTP correction steps, applied cumulatively once their
+    /// `at` instant passes.
+    pub steps: Vec<ClockStep>,
+    /// Flapping-sync period: when non-zero, the clock alternates every
+    /// period between synced (even periods) and offset by
+    /// [`ClockModel::flap_amplitude_nanos`] (odd periods).
+    pub flap_period: SimDuration,
+    /// Signed offset applied during the odd half of each flapping cycle.
+    pub flap_amplitude_nanos: i64,
+}
+
+impl ClockModel {
+    /// The perfect clock: `local(t) == t`, zero RNG draws.
+    pub fn identity() -> Self {
+        ClockModel::default()
+    }
+
+    /// True if this model is the identity mapping (the zero-draw fast
+    /// path taken by every pre-existing scenario).
+    pub fn is_identity(&self) -> bool {
+        self.offset_nanos == 0
+            && self.drift_ppm == 0
+            && self.jitter.is_zero()
+            && self.steps.is_empty()
+            && (self.flap_period.is_zero() || self.flap_amplitude_nanos == 0)
+    }
+
+    /// A clock with a fixed signed offset (negative = behind true time).
+    pub fn skewed(offset_nanos: i64) -> Self {
+        ClockModel {
+            offset_nanos,
+            ..ClockModel::identity()
+        }
+    }
+
+    /// A clock drifting linearly at `ppm` parts per million.
+    pub fn drifting(ppm: i64) -> Self {
+        ClockModel {
+            drift_ppm: ppm,
+            ..ClockModel::identity()
+        }
+    }
+
+    /// A clock that takes one NTP correction of `delta_nanos` at `at`.
+    pub fn stepping(at: SimTime, delta_nanos: i64) -> Self {
+        ClockModel {
+            steps: vec![ClockStep { at, delta_nanos }],
+            ..ClockModel::identity()
+        }
+    }
+
+    /// A clock that flaps between synced and `amplitude_nanos` off every
+    /// `period`.
+    pub fn flapping(period: SimDuration, amplitude_nanos: i64) -> Self {
+        ClockModel {
+            flap_period: period,
+            flap_amplitude_nanos: amplitude_nanos,
+            ..ClockModel::identity()
+        }
+    }
+
+    /// True if the model contains discontinuities (NTP steps or
+    /// flapping) that can legitimately move the local clock backwards.
+    /// Step-free models are monotone by construction and [`NodeClock`]
+    /// additionally clamps their jittered reads to be non-decreasing.
+    pub fn can_step(&self) -> bool {
+        self.steps.iter().any(|s| s.delta_nanos != 0)
+            || (!self.flap_period.is_zero() && self.flap_amplitude_nanos != 0)
+    }
+
+    /// The deterministic (jitter-free) part of the mapping, in signed
+    /// 128-bit nanoseconds. Negative results mean the local clock has
+    /// not yet reached its own epoch.
+    pub fn map_nanos(&self, t: SimTime) -> i128 {
+        let true_nanos = t.as_nanos() as i128;
+        let mut local = true_nanos + self.offset_nanos as i128;
+        if self.drift_ppm != 0 {
+            local += true_nanos * self.drift_ppm as i128 / 1_000_000;
+        }
+        for step in &self.steps {
+            if step.at <= t {
+                local += step.delta_nanos as i128;
+            }
+        }
+        if !self.flap_period.is_zero() && self.flap_amplitude_nanos != 0 {
+            let cycle = true_nanos as u128 / self.flap_period.as_nanos() as u128;
+            if cycle % 2 == 1 {
+                local += self.flap_amplitude_nanos as i128;
+            }
+        }
+        local
+    }
+
+    /// The jitter-free local reading as a [`SimTime`], clamped into the
+    /// representable range.
+    pub fn local_time(&self, t: SimTime) -> SimTime {
+        clamp_nanos(self.map_nanos(t))
+    }
+}
+
+/// Clamps a signed 128-bit nanosecond value into the `SimTime` range.
+fn clamp_nanos(nanos: i128) -> SimTime {
+    if nanos <= 0 {
+        SimTime::ZERO
+    } else if nanos >= u64::MAX as i128 {
+        SimTime::MAX
+    } else {
+        SimTime::from_nanos(nanos as u64)
+    }
+}
+
+/// A running node's clock: a [`ClockModel`] plus the mutable state the
+/// node keeps between reads (jitter RNG, last reading).
+///
+/// Reads of step-free models are clamped to be non-decreasing — a real
+/// OS monotonic-ish wall clock never runs backwards from jitter alone —
+/// while NTP steps and flapping are allowed through as genuine
+/// discontinuities (that is the fault being injected).
+#[derive(Debug, Clone)]
+pub struct NodeClock {
+    model: ClockModel,
+    rng: Option<StdRng>,
+    last: Option<SimTime>,
+}
+
+impl NodeClock {
+    /// Wraps a model with its jitter stream. Pass the node's RNG from
+    /// the dedicated `"clock"` stream; it is only drawn from when
+    /// `model.jitter` is non-zero.
+    pub fn new(model: ClockModel, rng: StdRng) -> Self {
+        NodeClock {
+            model,
+            rng: Some(rng),
+            last: None,
+        }
+    }
+
+    /// The identity clock: returns its input unchanged, zero draws.
+    pub fn identity() -> Self {
+        NodeClock {
+            model: ClockModel::identity(),
+            rng: None,
+            last: None,
+        }
+    }
+
+    /// The model this clock runs.
+    pub fn model(&self) -> &ClockModel {
+        &self.model
+    }
+
+    /// True if this clock is the identity mapping.
+    pub fn is_identity(&self) -> bool {
+        self.model.is_identity()
+    }
+
+    /// Reads the node-local time at true time `t`.
+    ///
+    /// Identity models return `t` unchanged without touching the RNG.
+    pub fn local_time(&mut self, t: SimTime) -> SimTime {
+        if self.model.is_identity() {
+            return t;
+        }
+        let mut nanos = self.model.map_nanos(t);
+        let jitter = self.model.jitter.as_nanos();
+        if jitter > 0 {
+            if let Some(rng) = self.rng.as_mut() {
+                let bound = jitter.min(i64::MAX as u64) as i64;
+                nanos += rng.gen_range(-bound..=bound) as i128;
+            }
+        }
+        let mut reading = clamp_nanos(nanos);
+        if !self.model.can_step() {
+            // Step-free clocks never run backwards: jitter is absorbed
+            // by holding the reading at its high-water mark.
+            if let Some(last) = self.last {
+                reading = reading.max(last);
+            }
+        }
+        self.last = Some(reading);
+        reading
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn identity_is_transparent_and_drawless() {
+        let mut clock = NodeClock::identity();
+        for s in [0u64, 1, 7, 100_000] {
+            let t = SimTime::from_secs(s);
+            assert_eq!(clock.local_time(t), t);
+        }
+        assert!(clock.is_identity());
+        assert!(ClockModel::identity().is_identity());
+    }
+
+    #[test]
+    fn fixed_offset_shifts_readings() {
+        let mut behind = NodeClock::new(
+            ClockModel::skewed(-(SimDuration::from_secs(15).as_nanos() as i64)),
+            rng(1),
+        );
+        assert_eq!(
+            behind.local_time(SimTime::from_secs(60)),
+            SimTime::from_secs(45)
+        );
+        // Before the local epoch, readings clamp to zero.
+        let mut way_behind = NodeClock::new(
+            ClockModel::skewed(-(SimDuration::from_secs(100).as_nanos() as i64)),
+            rng(2),
+        );
+        assert_eq!(way_behind.local_time(SimTime::from_secs(5)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn drift_accumulates_linearly() {
+        let model = ClockModel::drifting(-120_000); // 12% slow, accelerated
+        assert_eq!(
+            model.local_time(SimTime::from_secs(100)),
+            SimTime::from_secs(88)
+        );
+        assert_eq!(model.local_time(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn scheduled_step_back_lands_once() {
+        let model = ClockModel::stepping(
+            SimTime::from_secs(30),
+            -(SimDuration::from_secs(20).as_nanos() as i64),
+        );
+        assert_eq!(
+            model.local_time(SimTime::from_secs(29)),
+            SimTime::from_secs(29)
+        );
+        assert_eq!(
+            model.local_time(SimTime::from_secs(30)),
+            SimTime::from_secs(10)
+        );
+        assert_eq!(
+            model.local_time(SimTime::from_secs(90)),
+            SimTime::from_secs(70)
+        );
+    }
+
+    #[test]
+    fn flapping_alternates_each_period() {
+        let amp = SimDuration::from_secs(10).as_nanos() as i64;
+        let model = ClockModel::flapping(SimDuration::from_secs(20), amp);
+        // Even periods synced, odd periods offset.
+        assert_eq!(
+            model.local_time(SimTime::from_secs(5)),
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            model.local_time(SimTime::from_secs(25)),
+            SimTime::from_secs(35)
+        );
+        assert_eq!(
+            model.local_time(SimTime::from_secs(45)),
+            SimTime::from_secs(45)
+        );
+    }
+
+    #[test]
+    fn jittered_stepfree_reads_never_go_backwards() {
+        let model = ClockModel {
+            jitter: SimDuration::from_millis(500),
+            ..ClockModel::skewed(2_000_000_000)
+        };
+        assert!(!model.can_step());
+        let mut clock = NodeClock::new(model, rng(42));
+        let mut last = SimTime::ZERO;
+        for i in 0..500u64 {
+            let reading = clock.local_time(SimTime::from_millis(i * 100));
+            assert!(reading >= last, "read {i} went backwards");
+            last = reading;
+        }
+    }
+
+    #[test]
+    fn jitter_replays_bit_identically() {
+        let model = ClockModel {
+            jitter: SimDuration::from_millis(200),
+            ..ClockModel::skewed(-1_000_000_000)
+        };
+        let run = |seed| {
+            let mut clock = NodeClock::new(model.clone(), rng(seed));
+            (0..100u64)
+                .map(|i| clock.local_time(SimTime::from_millis(i * 250)).as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn can_step_classification() {
+        assert!(!ClockModel::identity().can_step());
+        assert!(!ClockModel::skewed(-5).can_step());
+        assert!(!ClockModel::drifting(300).can_step());
+        assert!(ClockModel::stepping(SimTime::from_secs(1), -1).can_step());
+        assert!(ClockModel::flapping(SimDuration::from_secs(2), 9).can_step());
+        // Degenerate discontinuities are not discontinuities.
+        assert!(!ClockModel::stepping(SimTime::from_secs(1), 0).can_step());
+        assert!(!ClockModel::flapping(SimDuration::from_secs(2), 0).can_step());
+    }
+}

@@ -12,6 +12,9 @@
 //! * [`rng`] — named, fork-able random-number streams derived from a single
 //!   experiment seed, so adding a new consumer of randomness never perturbs
 //!   existing streams.
+//! * [`clock`] — per-node clocks ([`ClockModel`] / [`NodeClock`]) mapping true
+//!   simulation time to node-local time with offset, drift, jitter, NTP steps
+//!   and flapping sync; identity models make zero RNG draws.
 //! * [`stats`] — summary statistics, histograms and CDFs used by the
 //!   experiment harness to regenerate the paper's tables and figures.
 //! * [`regression`] — ordinary least squares on (x, y) traces; the Decision
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod confusion;
 pub mod error;
 pub mod hold;
@@ -53,6 +57,7 @@ pub mod time;
 pub mod trace;
 pub mod wire;
 
+pub use clock::{ClockModel, ClockStep, NodeClock};
 pub use confusion::ConfusionMatrix;
 pub use error::SimError;
 pub use hold::HoldQueue;

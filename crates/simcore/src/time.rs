@@ -37,6 +37,19 @@ pub struct SimTime(u64);
 )]
 pub struct SimDuration(u64);
 
+/// Multiplies a count of coarse units into nanoseconds without silently
+/// wrapping: debug builds panic on overflow, release builds saturate to
+/// `u64::MAX` (the existing "infinitely far" sentinel).
+const fn unit_nanos(value: u64, nanos_per_unit: u64) -> u64 {
+    match value.checked_mul(nanos_per_unit) {
+        Some(nanos) => nanos,
+        None => {
+            debug_assert!(false, "time constructor overflowed u64 nanoseconds");
+            u64::MAX
+        }
+    }
+}
+
 impl SimTime {
     /// The start of the simulation.
     pub const ZERO: SimTime = SimTime(0);
@@ -49,13 +62,17 @@ impl SimTime {
     }
 
     /// Creates an instant from whole milliseconds since the simulation start.
+    ///
+    /// Saturates to [`SimTime::MAX`] on overflow (debug builds assert).
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(unit_nanos(millis, 1_000_000))
     }
 
     /// Creates an instant from whole seconds since the simulation start.
+    ///
+    /// Saturates to [`SimTime::MAX`] on overflow (debug builds assert).
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(unit_nanos(secs, 1_000_000_000))
     }
 
     /// Creates an instant from fractional seconds since the simulation start.
@@ -96,6 +113,14 @@ impl SimTime {
     pub fn checked_sub(self, d: SimDuration) -> Option<SimTime> {
         self.0.checked_sub(d.0).map(SimTime)
     }
+
+    /// Saturating addition of a duration. The `+` operator already
+    /// saturates; this spelling makes the clamp explicit (and `const`)
+    /// at call sites that rely on it, e.g. deadline arithmetic near
+    /// [`SimTime::MAX`].
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
 }
 
 impl SimDuration {
@@ -107,34 +132,40 @@ impl SimDuration {
         SimDuration(nanos)
     }
 
-    /// Creates a duration from whole microseconds.
+    /// Creates a duration from whole microseconds (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(unit_nanos(micros, 1_000))
     }
 
-    /// Creates a duration from whole milliseconds.
+    /// Creates a duration from whole milliseconds (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(unit_nanos(millis, 1_000_000))
     }
 
-    /// Creates a duration from whole seconds.
+    /// Creates a duration from whole seconds (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(unit_nanos(secs, 1_000_000_000))
     }
 
-    /// Creates a duration from whole minutes.
+    /// Creates a duration from whole minutes (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_mins(mins: u64) -> Self {
-        SimDuration(mins * 60_000_000_000)
+        SimDuration(unit_nanos(mins, 60_000_000_000))
     }
 
-    /// Creates a duration from whole hours.
+    /// Creates a duration from whole hours (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_hours(hours: u64) -> Self {
-        SimDuration(hours * 3_600_000_000_000)
+        SimDuration(unit_nanos(hours, 3_600_000_000_000))
     }
 
-    /// Creates a duration from whole days.
+    /// Creates a duration from whole days (saturating on overflow;
+    /// debug builds assert).
     pub const fn from_days(days: u64) -> Self {
-        SimDuration(days * 86_400_000_000_000)
+        SimDuration(unit_nanos(days, 86_400_000_000_000))
     }
 
     /// Creates a duration from fractional seconds.
@@ -350,6 +381,35 @@ mod tests {
     fn ordering() {
         assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
         assert!(SimTime::MAX > SimTime::from_secs(1_000_000));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflowed u64 nanoseconds")]
+    fn overflowing_constructor_panics_in_debug() {
+        let _ = SimTime::from_secs(u64::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn overflowing_constructor_saturates_in_release() {
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_days(u64::MAX).as_nanos(), u64::MAX);
+        assert_eq!(SimDuration::from_micros(u64::MAX).as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        let near_max = SimTime::from_nanos(u64::MAX - 5);
+        assert_eq!(
+            near_max.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::from_secs(1).saturating_add(SimDuration::from_secs(2)),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

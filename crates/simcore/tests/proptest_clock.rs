@@ -1,0 +1,115 @@
+//! Property tests for the per-node clock subsystem.
+//!
+//! The contract the guard's consumers rely on: a clock without
+//! injected discontinuities (no NTP steps, no flapping) never runs
+//! backwards — whatever combination of offset, drift and bounded
+//! jitter it carries — and every clock, stepping or not, replays
+//! bit-identically from the same seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simcore::{ClockModel, ClockStep, NodeClock, SimDuration, SimTime};
+
+/// A step-free model: arbitrary offset, drift and jitter.
+fn stepfree_model() -> impl Strategy<Value = ClockModel> {
+    (
+        -600_000_000_000i64..=600_000_000_000, // offset within ±10 min
+        -500_000i64..=500_000,                 // drift within ±50%
+        0u64..=2_000,                          // jitter bound in ms
+    )
+        .prop_map(|(offset_nanos, drift_ppm, jitter_ms)| ClockModel {
+            offset_nanos,
+            drift_ppm,
+            jitter: SimDuration::from_millis(jitter_ms),
+            ..ClockModel::identity()
+        })
+}
+
+/// Any model, including scheduled steps and flapping.
+fn any_model() -> impl Strategy<Value = ClockModel> {
+    (
+        stepfree_model(),
+        proptest::collection::vec((0u64..=300, -30_000_000_000i64..=30_000_000_000), 0..4),
+        0u64..=60,
+        -20_000_000_000i64..=20_000_000_000,
+    )
+        .prop_map(
+            |(base, raw_steps, flap_secs, flap_amplitude_nanos)| ClockModel {
+                steps: raw_steps
+                    .into_iter()
+                    .map(|(at, delta_nanos)| ClockStep {
+                        at: SimTime::from_secs(at),
+                        delta_nanos,
+                    })
+                    .collect(),
+                flap_period: SimDuration::from_secs(flap_secs),
+                flap_amplitude_nanos,
+                ..base
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (a) Non-stepping clocks are monotone: across any increasing read
+    /// schedule, readings never decrease, no matter the jitter draws.
+    #[test]
+    fn stepfree_clocks_are_monotone(
+        model in stepfree_model(),
+        seed in 0u64..1_000,
+        gaps in proptest::collection::vec(1u64..=5_000, 1..200),
+    ) {
+        prop_assert!(!model.can_step());
+        let mut clock = NodeClock::new(model, StdRng::seed_from_u64(seed));
+        let mut t = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        for gap in gaps {
+            t += SimDuration::from_millis(gap);
+            let reading = clock.local_time(t);
+            prop_assert!(
+                reading >= last,
+                "clock ran backwards: {last} -> {reading} at true {t}"
+            );
+            last = reading;
+        }
+    }
+
+    /// Every clock — stepping or not — replays bit-identically from the
+    /// same seed, and the jitter-free mapping is a pure function of
+    /// true time.
+    #[test]
+    fn clocks_replay_deterministically(
+        model in any_model(),
+        seed in 0u64..1_000,
+        gaps in proptest::collection::vec(1u64..=5_000, 1..100),
+    ) {
+        let run = |m: &ClockModel| {
+            let mut clock = NodeClock::new(m.clone(), StdRng::seed_from_u64(seed));
+            let mut t = SimTime::ZERO;
+            gaps.iter()
+                .map(|gap| {
+                    t += SimDuration::from_millis(*gap);
+                    clock.local_time(t).as_nanos()
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&model), run(&model));
+        let mut t = SimTime::ZERO;
+        for gap in &gaps {
+            t += SimDuration::from_millis(*gap);
+            prop_assert_eq!(model.map_nanos(t), model.map_nanos(t));
+        }
+    }
+
+    /// Identity clocks are transparent for every input instant.
+    #[test]
+    fn identity_is_transparent(nanos in proptest::collection::vec(0u64..=u64::MAX, 1..50)) {
+        let mut clock = NodeClock::identity();
+        for n in nanos {
+            let t = SimTime::from_nanos(n);
+            prop_assert_eq!(clock.local_time(t), t);
+        }
+    }
+}

@@ -25,7 +25,7 @@ use crate::corpus::SPEECH_WORDS_PER_SECOND;
 use crate::spikes;
 use netsim::{AppCtx, CloseReason, ConnId, NetApp, TlsRecord};
 use rand::Rng;
-use simcore::SimDuration;
+use simcore::{NodeClock, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -87,6 +87,13 @@ pub struct EchoDotApp {
     by_id: HashMap<u64, usize>,
     /// Signatures queued for background connections, keyed by conn.
     other_pending: HashMap<ConnId, Vec<u32>>,
+    /// The speaker's own wall clock. Only the *log* timestamps in
+    /// [`InvocationRecord`] are stamped through it (a speaker with a
+    /// skewed clock keeps misdated logs); protocol scheduling and the
+    /// [`SpikeLabel`] ground truth stay in true simulation time, because
+    /// those label what happened on the wire, not what the device thinks
+    /// the time is. Identity by default — zero draws, zero change.
+    clock: NodeClock,
 }
 
 impl EchoDotApp {
@@ -115,7 +122,18 @@ impl EchoDotApp {
             avs_closes: Vec::new(),
             by_id: HashMap::new(),
             other_pending: HashMap::new(),
+            clock: NodeClock::identity(),
         }
+    }
+
+    /// Replaces the speaker's wall clock (see the `clock` field docs).
+    pub fn set_clock(&mut self, clock: NodeClock) {
+        self.clock = clock;
+    }
+
+    /// The speaker's current wall-clock reading.
+    fn local_now(&mut self, true_now: SimTime) -> SimTime {
+        self.clock.local_time(true_now)
     }
 
     /// Overrides the connection-establishment signature, modelling a
@@ -179,11 +197,12 @@ impl EchoDotApp {
     /// phase-1 traffic and registers the invocation.
     pub fn speak_command(&mut self, ctx: &mut dyn AppCtx, spec: CommandSpec) {
         let now = ctx.now();
+        let local_now = self.local_now(now);
         let speech = SimDuration::from_secs_f64(spec.words as f64 / SPEECH_WORDS_PER_SECOND);
         let record = InvocationRecord {
             id: spec.id,
-            started: now,
-            speech_end: now + speech,
+            started: local_now,
+            speech_end: local_now + speech,
             first_response: None,
             outcome: CommandOutcome::Pending,
         };
@@ -348,10 +367,11 @@ impl NetApp for EchoDotApp {
         }
         if record.app_tag & tags::BASE_MASK == tags::RESPONSE_DIRECTIVE_BASE {
             let (command, remaining) = tags::unpack(record.app_tag);
+            let local_now = self.local_now(ctx.now());
             if let Some(idx) = self.by_id.get(&command) {
                 let rec = &mut self.invocations[*idx];
                 if rec.first_response.is_none() {
-                    rec.first_response = Some(ctx.now());
+                    rec.first_response = Some(local_now);
                 }
                 rec.outcome = CommandOutcome::Executed;
             }

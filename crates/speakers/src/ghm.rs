@@ -11,7 +11,7 @@ use crate::command::{CommandOutcome, CommandSpec, InvocationRecord};
 use crate::corpus::SPEECH_WORDS_PER_SECOND;
 use netsim::{AppCtx, CloseReason, ConnId, Datagram, NetApp, TlsRecord};
 use rand::Rng;
-use simcore::{SimDuration, SimTime};
+use simcore::{NodeClock, SimDuration, SimTime};
 use std::any::Any;
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddrV4};
@@ -60,6 +60,10 @@ pub struct GoogleHomeApp {
     /// How many commands used TCP.
     pub tcp_commands: u32,
     by_id: HashMap<u64, usize>,
+    /// The speaker's own wall clock, stamping only the [`InvocationRecord`]
+    /// log timestamps (same contract as the Echo Dot model: protocol
+    /// scheduling stays in true time). Identity by default.
+    clock: NodeClock,
 }
 
 impl GoogleHomeApp {
@@ -82,7 +86,13 @@ impl GoogleHomeApp {
             quic_commands: 0,
             tcp_commands: 0,
             by_id: HashMap::new(),
+            clock: NodeClock::identity(),
         }
+    }
+
+    /// Replaces the speaker's wall clock (see the `clock` field docs).
+    pub fn set_clock(&mut self, clock: NodeClock) {
+        self.clock = clock;
     }
 
     /// The record of an invocation by id.
@@ -100,12 +110,13 @@ impl GoogleHomeApp {
     /// The user utters a command: resolve the front-end, then stream it.
     pub fn speak_command(&mut self, ctx: &mut dyn AppCtx, spec: CommandSpec) {
         let now = ctx.now();
+        let local_now = self.clock.local_time(now);
         let speech = SimDuration::from_secs_f64(spec.words as f64 / SPEECH_WORDS_PER_SECOND);
         self.by_id.insert(spec.id, self.invocations.len());
         self.invocations.push(InvocationRecord {
             id: spec.id,
-            started: now,
-            speech_end: now + speech,
+            started: local_now,
+            speech_end: local_now + speech,
             first_response: None,
             outcome: CommandOutcome::Pending,
         });
@@ -170,10 +181,11 @@ impl GoogleHomeApp {
     }
 
     fn record_response(&mut self, now: SimTime, command: u64) {
+        let local_now = self.clock.local_time(now);
         if let Some(idx) = self.by_id.get(&command) {
             let rec = &mut self.invocations[*idx];
             if rec.first_response.is_none() {
-                rec.first_response = Some(now);
+                rec.first_response = Some(local_now);
             }
             rec.outcome = CommandOutcome::Executed;
         }

@@ -71,6 +71,11 @@ fn render(events: &[GuardEvent]) -> String {
                 "{:12.6} shed    {query} (pending-query budget)",
                 at.as_secs_f64()
             ),
+            GuardEvent::TimeAnomaly { at, regression } => writeln!(
+                out,
+                "{:12.6} anomaly driver clock regressed by {regression} (clamped)",
+                at.as_secs_f64()
+            ),
         }
         .expect("write to string");
     }
